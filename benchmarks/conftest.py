@@ -1,0 +1,45 @@
+"""Shared fixtures for the paper-reproduction benchmark harness.
+
+Every figure/table of the paper's evaluation has one module here that
+regenerates it: the harness prints the same rows/series the paper
+reports (in virtual seconds where the paper reports wall seconds — see
+DESIGN.md §5.1) and asserts the *shape* of the result.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.apps import osem
+
+
+def print_experiment(title: str, body: str) -> None:
+    bar = "=" * 72
+    print(f"\n{bar}\n{title}\n{bar}\n{body}\n")
+
+
+class OsemProblem:
+    """The paper's reconstruction problem, downscaled in event count.
+
+    Grid is the paper's 150x150x280; the subset holds N_SIM simulated
+    events standing for ~1e6 real ones (1e8 events / ~1e2 subsets), the
+    virtual clock charging the full-scale cost via SCALE (DESIGN.md §2).
+    """
+
+    N_SIM = 2000
+    EVENTS_PER_SUBSET = 1_000_000
+    SCALE = EVENTS_PER_SUBSET / N_SIM
+
+    def __init__(self) -> None:
+        self.geometry = osem.ScannerGeometry.paper()
+        activity = osem.cylinder_phantom(self.geometry, hot_spheres=3,
+                                         seed=42)
+        self.events = osem.generate_events(self.geometry, activity,
+                                           self.N_SIM, seed=7)
+        self.f0 = np.ones(self.geometry.image_size)
+
+
+@pytest.fixture(scope="session")
+def osem_problem() -> OsemProblem:
+    return OsemProblem()

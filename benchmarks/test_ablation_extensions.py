@@ -1,0 +1,138 @@
+"""Ablations for the extension features.
+
+Two measurable design claims:
+
+1. **IndexVector** removes the index-upload of index-based maps
+   entirely (Mandelbrot-style workloads);
+2. **MapOverlap halo exchange** costs grow with device count (each
+   part re-uploads its halo every call) while the stencil compute
+   splits — the stencil analogue of the redistribution ablation.
+"""
+
+import numpy as np
+
+from repro import skelcl
+from repro.skelcl import IndexVector, Map, MapOverlap, Vector
+from repro.util.tables import format_table
+
+from conftest import print_experiment
+
+N = 1 << 20
+PIXEL_FN = ("float f(int i) { return (i % 1024) * 0.001f; }")
+AVG3 = ("float f(__global const float* w)"
+        " { return (w[0] + w[1] + w[2]) / 3.0f; }")
+
+
+def mandelbrot_style(use_index_vector: bool):
+    ctx = skelcl.init(num_gpus=2)
+    skeleton = Map(PIXEL_FN)
+    if use_index_vector:
+        v = IndexVector(N)
+    else:
+        v = Vector(np.arange(N, dtype=np.int32))
+    skeleton(v)  # warm-up compiles; uploads happen here too
+    v2 = (IndexVector(N) if use_index_vector
+          else Vector(np.arange(N, dtype=np.int32)))
+    t0 = ctx.system.timeline.now()
+    mark = len(ctx.system.timeline.spans)
+    skeleton(v2)
+    elapsed = ctx.system.timeline.now() - t0
+    uploads = sum(int(s.label.split()[1][:-1])
+                  for s in ctx.system.timeline.spans[mark:]
+                  if s.label.startswith("H2D"))
+    return elapsed, uploads
+
+
+def stencil_cost(num_gpus: int):
+    ctx = skelcl.init(num_gpus=num_gpus)
+    stencil = MapOverlap(AVG3, radius=1)
+    x = np.linspace(0, 1, 50_000).astype(np.float32)
+    v = Vector(x)
+    stencil(v)  # warm-up
+    t0 = ctx.system.timeline.now()
+    mark = len(ctx.system.timeline.spans)
+    stencil(v)
+    elapsed = ctx.system.timeline.now() - t0
+    halo_bytes = sum(int(s.label.split()[1][:-1])
+                     for s in ctx.system.timeline.spans[mark:]
+                     if s.label.startswith("H2D"))
+    return elapsed, halo_bytes
+
+
+def measure():
+    iv = mandelbrot_style(use_index_vector=True)
+    plain = mandelbrot_style(use_index_vector=False)
+    stencil = {n: stencil_cost(n) for n in (1, 2, 4)}
+    return iv, plain, stencil
+
+
+def test_extension_ablations(benchmark):
+    iv, plain, stencil = benchmark.pedantic(measure, rounds=1,
+                                            iterations=1)
+    rows = [
+        ["Vector(arange(n))", f"{plain[0] * 1e3:.3f}",
+         f"{plain[1] / 1e6:.2f} MB"],
+        ["IndexVector(n)", f"{iv[0] * 1e3:.3f}",
+         f"{iv[1] / 1e6:.2f} MB"],
+    ]
+    body = format_table(
+        ["index source", "map time [virt. ms]", "uploaded"], rows)
+    body += "\n\nstencil (MapOverlap r=1, 50k elements) vs devices:\n"
+    body += format_table(
+        ["GPUs", "time [virt. ms]", "halo+part upload"],
+        [[n, f"{t * 1e3:.3f}", f"{b / 1e3:.1f} kB"]
+         for n, (t, b) in stencil.items()])
+    print_experiment("Ablation — extension features", body)
+
+    # IndexVector: zero upload bytes, strictly faster
+    assert iv[1] == 0
+    assert plain[1] >= N * 4
+    assert iv[0] < plain[0]
+    # stencil: per-call upload stays ~constant in total (part + 2r
+    # halo elements per device) while compute splits across devices
+    assert stencil[4][0] < stencil[1][0]
+    assert stencil[4][1] <= stencil[1][1] * 1.2
+
+
+def fusion_comparison():
+    """Fused vs chained maps: launches, traffic, virtual time."""
+    from repro.skelcl import fuse
+    n = 1 << 21
+    x = np.linspace(0, 1, n).astype(np.float32)
+    results = {}
+    for kind in ("chained", "fused"):
+        ctx = skelcl.init(num_gpus=2)
+        sq = Map("float sq(float x) { return x * x; }")
+        neg = Map("float neg(float x) { return -x; }")
+        if kind == "fused":
+            fused = fuse(sq, neg)
+            fn = lambda v: fused(v)
+        else:
+            fn = lambda v: neg(sq(v))
+        v = Vector(x)
+        fn(v)  # warm-up: compile + upload the input parts
+        mark = len(ctx.system.timeline.spans)
+        t0 = ctx.system.timeline.now()
+        fn(v)
+        spans = ctx.system.timeline.spans[mark:]
+        launches = sum(1 for s in spans if s.label.startswith("kernel:"))
+        results[kind] = (ctx.system.timeline.now() - t0, launches)
+    return results
+
+
+def test_map_fusion_ablation(benchmark):
+    results = benchmark.pedantic(fusion_comparison, rounds=1,
+                                 iterations=1)
+    rows = [[kind, f"{t * 1e3:.3f}", launches]
+            for kind, (t, launches) in results.items()]
+    body = format_table(
+        ["composition", "neg(sq(x)) time [virt. ms]", "kernel launches"],
+        rows)
+    body += ("\n\n(2M elements, 2 GPUs; fusion halves launches and "
+             "intermediate memory traffic)")
+    print_experiment("Ablation — map fusion (source-level composition)",
+                     body)
+    t_chain, n_chain = results["chained"]
+    t_fused, n_fused = results["fused"]
+    assert n_fused * 2 == n_chain
+    assert t_fused < 0.8 * t_chain

@@ -1,0 +1,76 @@
+"""Ablation: lazy copying (paper Section II-B).
+
+"When a map skeleton's output vector is passed as an input vector to a
+reduce skeleton, the vector's data resides on the GPU and no data
+transfer is performed."  This harness runs the map→reduce chain with
+SkelCL's lazy consistency and compares it against a forced-eager
+variant that downloads/re-uploads the intermediate (what a naive
+implementation without the consistency state machine would do).
+"""
+
+import numpy as np
+
+from repro import skelcl
+from repro.skelcl import Map, Reduce, Vector
+from repro.util.tables import format_table
+
+from conftest import print_experiment
+
+N = 1 << 22
+SQUARE = "float sq(float x) { return x * x; }"
+ADD = "float add(float a, float b) { return a + b; }"
+
+
+def chain(eager: bool):
+    ctx = skelcl.init(num_gpus=2)
+    square = Map(SQUARE)
+    total = Reduce(ADD)
+    x = np.linspace(0, 1, N).astype(np.float32)
+    v = Vector(x, context=ctx)
+    # warm-up: compile both kernels
+    total(square(v))
+    v2 = Vector(x, context=ctx)
+    t0 = ctx.system.host_now()
+    mapped = square(v2)
+    if eager:
+        # defeat laziness: round-trip the intermediate through the host
+        mapped.host_view()
+        mapped.host_modified()
+    result = total(mapped)
+    elapsed = ctx.system.host_now() - t0
+    transfers = sum(
+        1 for s in ctx.system.timeline.spans
+        if s.label.startswith(("H2D", "D2H")))
+    value = float(result.to_numpy()[0])
+    assert abs(value - float((x.astype(np.float64) ** 2).sum())) < 1e3
+    return elapsed, transfers
+
+
+def measure():
+    lazy_time, lazy_transfers = chain(eager=False)
+    eager_time, eager_transfers = chain(eager=True)
+    return lazy_time, lazy_transfers, eager_time, eager_transfers
+
+
+def test_lazy_copying_ablation(benchmark):
+    (lazy_time, lazy_transfers, eager_time,
+     eager_transfers) = benchmark.pedantic(measure, rounds=1,
+                                           iterations=1)
+    rows = [
+        ["lazy (SkelCL)", f"{lazy_time * 1e3:.3f}", lazy_transfers],
+        ["eager round-trip", f"{eager_time * 1e3:.3f}",
+         eager_transfers],
+        ["saving", f"{(eager_time - lazy_time) * 1e3:.3f}",
+         eager_transfers - lazy_transfers],
+    ]
+    body = format_table(
+        ["intermediate handling", "map+reduce time [virt. ms]",
+         "transfer commands"], rows)
+    print_experiment(
+        "Ablation — lazy copying on a map→reduce chain (§II-B)", body)
+
+    # the intermediate's round trip costs real time and transfers
+    assert lazy_time < eager_time
+    assert lazy_transfers < eager_transfers
+    # at 4M floats the round trip is a large fraction of the chain
+    assert (eager_time - lazy_time) / eager_time > 0.2

@@ -1,0 +1,64 @@
+"""Ablation: redistribution cost vs device count (paper Section III-A).
+
+Changing a vector's distribution implies data exchanges between GPUs
+and the host.  This harness measures the copy→block redistribution of
+the OSEM error image (the paper's Figure 3 'redistribution' phase) for
+1/2/4 GPUs, separating the combine downloads from the re-uploads that
+follow on next use.
+"""
+
+import numpy as np
+
+from repro import skelcl
+from repro.skelcl import Distribution, Vector
+from repro.util.tables import format_table
+
+from conftest import print_experiment
+
+IMAGE_SIZE = 150 * 150 * 280  # the paper's reconstruction image
+
+
+def redistribution_cost(num_gpus):
+    ctx = skelcl.init(num_gpus=num_gpus)
+    c = Vector(size=IMAGE_SIZE, dtype=np.float32, context=ctx)
+    c.set_distribution(Distribution.copy(np.add))
+    # place divergent versions on the devices (as OSEM's step 1 does)
+    for d in range(num_gpus):
+        part = c.ensure_on_device(d)
+        ctx.queues[d].enqueue_write_buffer(
+            part.buffer, np.full(IMAGE_SIZE, float(d), np.float32))
+    c.data_on_devices_modified()
+    for queue in ctx.queues:
+        queue.finish()
+    t0 = ctx.system.host_now()
+    c.set_distribution(Distribution.block())  # download + combine
+    t_combine = ctx.system.host_now() - t0
+    t0 = ctx.system.timeline.now()
+    for d in range(num_gpus):
+        c.ensure_on_device(d)  # lazy re-uploads on next use
+    t_upload = ctx.system.timeline.now() - t0
+    return t_combine, t_upload
+
+
+def test_redistribution_scaling(benchmark):
+    results = benchmark.pedantic(
+        lambda: {n: redistribution_cost(n) for n in (1, 2, 4)},
+        rounds=1, iterations=1)
+
+    rows = [[n, f"{combine * 1e3:.2f}", f"{upload * 1e3:.2f}",
+             f"{(combine + upload) * 1e3:.2f}"]
+            for n, (combine, upload) in results.items()]
+    body = format_table(
+        ["GPUs", "download+combine [ms]", "re-upload [ms]",
+         "total [ms]"], rows)
+    body += ("\n\n(copy→block change of a 25 MB error image with a "
+             "user combine function)")
+    print_experiment(
+        "Ablation — redistribution cost vs device count (§III-A)", body)
+
+    totals = {n: c + u for n, (c, u) in results.items()}
+    # combine downloads grow with device count (one full copy each)...
+    assert results[4][0] > results[2][0] > results[1][0]
+    # ...while the re-uploads shrink (block parts get smaller) but the
+    # net redistribution cost grows with more devices
+    assert totals[4] > totals[1]

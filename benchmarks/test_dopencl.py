@@ -1,0 +1,66 @@
+"""Section V: dOpenCL — remote devices as local ones.
+
+Regenerates the paper's laboratory scenario (a desktop client with no
+OpenCL devices + three GPU servers = 8 GPUs, 3 CPU devices) and
+quantifies what the network adds: the same SkelCL map runs unmodified
+on local and on forwarded devices, and the harness reports the
+virtual-time cost of each placement.
+"""
+
+import numpy as np
+
+from repro import dopencl, ocl, skelcl
+from repro.util.tables import format_table
+
+from conftest import print_experiment
+
+N = 1 << 22
+USER_FN = "float f(float x) { return sqrt(x) * 2.0f + 1.0f; }"
+
+
+def run_map(devices, system):
+    skelcl.init(devices=devices)
+    x = np.linspace(0.0, 1.0, N).astype(np.float32)
+    v = skelcl.Vector(x)
+    m = skelcl.Map(USER_FN)
+    m(v).to_numpy()  # warm-up incl. compile
+    t0 = system.host_now()
+    out = m(v, out=skelcl.Vector(x)).to_numpy()
+    elapsed = system.host_now() - t0
+    expected = np.sqrt(x) * 2.0 + 1.0
+    np.testing.assert_allclose(out, expected, rtol=1e-5)
+    return elapsed
+
+
+def measure_all():
+    results = {}
+    # local 4-GPU system (the Section IV testbed)
+    local = ocl.System(num_gpus=4)
+    results["local 4 GPUs"] = run_map(local.devices, local)
+    # paper lab via dOpenCL: client with no devices of its own
+    for name, network in (("dOpenCL 8 GPUs (10GbE)",
+                           dopencl.TEN_GIGABIT_ETHERNET),
+                          ("dOpenCL 8 GPUs (1GbE)",
+                           dopencl.GIGABIT_ETHERNET)):
+        client = ocl.System(num_gpus=0, name="desktop")
+        platform = dopencl.connect(
+            client, dopencl.paper_lab_nodes(network=network))
+        results[name] = run_map(platform.get_devices("GPU"), client)
+    return results
+
+
+def test_dopencl_aggregation_and_cost(benchmark):
+    results = benchmark.pedantic(measure_all, rounds=1, iterations=1)
+
+    rows = [[name, f"{t * 1e3:.2f}"] for name, t in results.items()]
+    body = format_table(["placement", "map over 4M floats [virt. ms]"],
+                        rows)
+    body += ("\n\nthe same SkelCL program ran unmodified in all three "
+             "placements\n(dOpenCL is a drop-in replacement, Section V)")
+    print_experiment("Section V — dOpenCL device aggregation", body)
+
+    # the network is not free: forwarded devices cost more than local
+    assert results["dOpenCL 8 GPUs (10GbE)"] > results["local 4 GPUs"]
+    # and a slower network costs more than a faster one
+    assert (results["dOpenCL 8 GPUs (1GbE)"]
+            > 2 * results["dOpenCL 8 GPUs (10GbE)"])

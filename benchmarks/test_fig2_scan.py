@@ -1,0 +1,74 @@
+"""Figure 2: scan of [1..16] with (+) on four GPUs.
+
+Regenerates the figure's three lines — input, per-device local scans,
+final result after the implicitly-created maps — and checks the
+documented algorithm structure.  (The paper's figure displays the
+exclusive prefix; the library implements the inclusive scan that the
+paper's formal definition in Section II-A gives.)
+"""
+
+import numpy as np
+
+from repro import skelcl
+from repro.skelcl import Distribution, Scan, Vector
+
+from conftest import print_experiment
+
+ADD = "int add(int a, int b) { return a + b; }"
+
+
+def run_figure2():
+    ctx = skelcl.init(num_gpus=4)
+    v = Vector(np.arange(1, 17), dtype=np.int32)
+    v.set_distribution(Distribution.block())
+
+    # line 2 of the figure: local scans per device (computed analytically
+    # for display; the skeleton performs them on-device below)
+    parts = np.arange(1, 17).reshape(4, 4)
+    local_scans = np.cumsum(parts, axis=1)
+
+    out = Scan(ADD)(v)
+    result = out.to_numpy()
+    offsets = [0] + list(np.cumsum(local_scans[:, -1])[:-1])
+    return ctx, v, local_scans, offsets, result
+
+
+def test_fig2_scan_structure(benchmark):
+    ctx, v, local_scans, offsets, result = benchmark.pedantic(
+        run_figure2, rounds=3, iterations=1)
+
+    lines = ["input (block on 4 GPUs):",
+             "  " + "  | ".join(" ".join(f"{x:3d}" for x in row)
+                                for row in np.arange(1, 17).reshape(4, 4)),
+             "after step 1 (local scans):",
+             "  " + "  | ".join(" ".join(f"{x:3d}" for x in row)
+                                for row in local_scans),
+             "implicit maps add predecessors' totals: "
+             + ", ".join(f"GPU{i + 1}: +{o}"
+                         for i, o in enumerate(offsets) if i > 0),
+             "final result:",
+             "  " + " ".join(f"{x:3d}" for x in result)]
+    # the figure prints the exclusive form — reproduce it verbatim
+    excl_ctx = skelcl.init(num_gpus=4)
+    excl = Scan(ADD, exclusive=True, identity=0)(
+        Vector(np.arange(1, 17), dtype=np.int32)).to_numpy()
+    lines.append("exclusive form (as drawn in the figure):")
+    lines.append("  " + " ".join(f"{x:3d}" for x in excl))
+    print_experiment("Figure 2 — scan on four GPUs", "\n".join(lines))
+    np.testing.assert_array_equal(
+        excl, np.concatenate([[0], np.cumsum(np.arange(1, 16))]))
+
+    # exactness of the final prefix sums
+    np.testing.assert_array_equal(result, np.cumsum(np.arange(1, 17)))
+    # structure: 4 local scan launches + 3 offset maps, as in the figure
+    spans = ctx.system.timeline.spans
+    scan_launches = [s for s in spans
+                     if s.label.startswith("kernel:skelcl_scan")
+                     and "offset" not in s.label]
+    offset_launches = [s for s in spans
+                       if s.label.startswith("kernel:skelcl_scan_offset")]
+    per_round = len(scan_launches) // 1
+    assert per_round % 4 == 0
+    assert len(offset_launches) * 4 == len(scan_launches) * 3
+    # offsets are the running totals 10, 36, 78 of the figure's parts
+    assert offsets[1:] == [10, 36, 78]

@@ -1,0 +1,96 @@
+"""Figure 4a: program size (LOC) of the three OSEM host programs.
+
+Counts the host code of the runnable example programs in examples/
+(the same reconstruction written against SkelCL, OpenCL, and CUDA, in
+single- and multi-GPU variants) and the shared device kernel source.
+Comment and blank lines are excluded, as in the paper's methodology.
+
+The paper's absolute numbers (SkelCL 18/26, CUDA 88/130, OpenCL
+206/243 host LOC; ~200 kernel LOC) come from C++ against the real
+APIs; ours come from Python against the simulated APIs, so the harness
+asserts the *shape*: SkelCL ≪ CUDA < OpenCL, multi-GPU adds little to
+SkelCL but substantially to the low-level versions.
+"""
+
+import importlib
+import inspect
+import sys
+from pathlib import Path
+
+from repro.apps.osem.kernels import COMPUTE_C_SOURCE, UPDATE_F_SOURCE
+from repro.util.loc import count_loc
+from repro.util.tables import format_bars, format_table
+
+from conftest import print_experiment
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+
+#: the paper's measured values, for side-by-side display
+PAPER_HOST_LOC = {("SkelCL", "single"): 18, ("SkelCL", "multi"): 26,
+                  ("OpenCL", "single"): 206, ("OpenCL", "multi"): 243,
+                  ("CUDA", "single"): 88, ("CUDA", "multi"): 130}
+
+
+def _load_example(name):
+    sys.path.insert(0, str(EXAMPLES_DIR))
+    try:
+        return importlib.import_module(name)
+    finally:
+        sys.path.pop(0)
+
+
+def host_loc(module, variant: str) -> int:
+    """Host-code size of one variant: the reconstruction function."""
+    fn = getattr(module, f"reconstruct_{variant}_gpu")
+    return count_loc(inspect.getsource(fn), "python").code_lines
+
+
+def measure_all():
+    results = {}
+    for impl, module_name in (("SkelCL", "osem_skelcl"),
+                              ("OpenCL", "osem_opencl"),
+                              ("CUDA", "osem_cuda")):
+        module = _load_example(module_name)
+        for variant in ("single", "multi"):
+            results[(impl, variant)] = host_loc(module, variant)
+    kernel_loc = (count_loc(COMPUTE_C_SOURCE, "c").code_lines
+                  + count_loc(UPDATE_F_SOURCE, "c").code_lines)
+    return results, kernel_loc
+
+
+def test_fig4a_program_sizes(benchmark):
+    results, kernel_loc = benchmark.pedantic(measure_all, rounds=1,
+                                             iterations=1)
+
+    rows = []
+    labels, values = [], []
+    for impl in ("SkelCL", "OpenCL", "CUDA"):
+        for variant in ("single", "multi"):
+            measured = results[(impl, variant)]
+            rows.append([impl, variant, measured,
+                         PAPER_HOST_LOC[(impl, variant)]])
+            labels.append(f"{impl:6s} {variant}")
+            values.append(measured)
+    body = format_table(
+        ["implementation", "variant", "host LOC (measured)",
+         "host LOC (paper)"], rows)
+    body += (f"\n\ndevice kernel (shared across implementations): "
+             f"{kernel_loc} LOC (paper: ~200)\n\n")
+    body += format_bars(labels, values, unit=" LOC", width=40)
+    print_experiment("Figure 4a — program size of list-mode OSEM", body)
+
+    # shape: SkelCL is by far the shortest, OpenCL the longest
+    for variant in ("single", "multi"):
+        skelcl = results[("SkelCL", variant)]
+        opencl = results[("OpenCL", variant)]
+        cuda = results[("CUDA", variant)]
+        assert skelcl < cuda < opencl
+        assert opencl > 2 * skelcl  # SkelCL is a fraction of OpenCL
+    # multi-GPU support costs SkelCL only a few extra lines, the
+    # low-level versions far more
+    d_skelcl = results[("SkelCL", "multi")] - results[("SkelCL", "single")]
+    d_opencl = results[("OpenCL", "multi")] - results[("OpenCL", "single")]
+    d_cuda = results[("CUDA", "multi")] - results[("CUDA", "single")]
+    assert d_skelcl <= 10
+    assert d_opencl > 2 * d_skelcl
+    assert d_cuda > 2 * d_skelcl

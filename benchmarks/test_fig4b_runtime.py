@@ -1,0 +1,121 @@
+"""Figure 4b: average runtime of one OSEM subset iteration,
+1/2/4 GPUs x {SkelCL, OpenCL, CUDA}, plus the Section IV-C text claims
+(SkelCL overhead < 5 % vs OpenCL; CUDA ≈ 20 % faster).
+
+Runtimes are virtual seconds from the calibrated cost model over real
+computation on a downscaled event count (DESIGN.md §2/§5.1).  As in
+the paper, kernel compilation/module load is excluded by measuring the
+second (steady-state) subset iteration.
+"""
+
+import numpy as np
+import pytest
+
+from repro import ocl, skelcl
+from repro.apps import osem
+from repro.apps.osem import cuda_impl, opencl_impl
+from repro.cuda import CudaRuntime
+from repro.util.tables import format_bars, format_table
+
+from conftest import print_experiment
+
+GPU_COUNTS = (1, 2, 4)
+
+#: approximate values read off the paper's Figure 4b bars, for display
+PAPER_SECONDS = {
+    ("SkelCL", 1): 3.1, ("SkelCL", 2): 1.8, ("SkelCL", 4): 1.1,
+    ("OpenCL", 1): 3.0, ("OpenCL", 2): 1.7, ("OpenCL", 4): 1.0,
+    ("CUDA", 1): 2.5, ("CUDA", 2): 1.4, ("CUDA", 4): 0.9,
+}
+
+
+def run_skelcl(problem, num_gpus):
+    ctx = skelcl.init(num_gpus=num_gpus)
+    impl = osem.SkelCLOsem(ctx, problem.geometry,
+                           scale_factor=problem.SCALE)
+    f = skelcl.Vector(problem.f0.astype(np.float32), context=ctx)
+    impl.run_subset(problem.events, f)  # warm-up (compile excluded)
+    t0 = ctx.system.host_now()
+    impl.run_subset(problem.events, f)
+    return ctx.system.host_now() - t0
+
+
+def run_opencl(problem, num_gpus):
+    system = ocl.System(num_gpus=num_gpus)
+    opencl_impl.run_subset(system, problem.geometry, problem.events,
+                           problem.f0, scale_factor=problem.SCALE)
+    t0 = system.host_now()
+    opencl_impl.run_subset(system, problem.geometry, problem.events,
+                           problem.f0, scale_factor=problem.SCALE)
+    return system.host_now() - t0
+
+
+def run_cuda(problem, num_gpus):
+    system = ocl.System(num_gpus=num_gpus)
+    runtime = CudaRuntime(system)
+    cuda_impl.run_subset(system, problem.geometry, problem.events,
+                         problem.f0, scale_factor=problem.SCALE,
+                         runtime=runtime)
+    t0 = system.host_now()
+    cuda_impl.run_subset(system, problem.geometry, problem.events,
+                         problem.f0, scale_factor=problem.SCALE,
+                         runtime=runtime)
+    return system.host_now() - t0
+
+
+RUNNERS = {"SkelCL": run_skelcl, "OpenCL": run_opencl, "CUDA": run_cuda}
+
+
+def measure_all(problem):
+    return {(impl, n): runner(problem, n)
+            for impl, runner in RUNNERS.items() for n in GPU_COUNTS}
+
+
+def test_fig4b_runtimes(benchmark, osem_problem):
+    times = benchmark.pedantic(measure_all, args=(osem_problem,),
+                               rounds=1, iterations=1)
+
+    rows = []
+    labels, values = [], []
+    for impl in ("SkelCL", "OpenCL", "CUDA"):
+        for n in GPU_COUNTS:
+            measured = times[(impl, n)]
+            rows.append([impl, n, f"{measured:.3f}",
+                         PAPER_SECONDS[(impl, n)]])
+            labels.append(f"{impl:6s} {n} GPU")
+            values.append(measured)
+    body = format_table(
+        ["implementation", "GPUs", "measured [virt. s]", "paper [s]"],
+        rows)
+    body += "\n\n" + format_bars(labels, values, unit=" s", width=40)
+    overhead = [(times[("SkelCL", n)] - times[("OpenCL", n)])
+                / times[("OpenCL", n)] for n in GPU_COUNTS]
+    speedup = [times[("OpenCL", n)] / times[("CUDA", n)]
+               for n in GPU_COUNTS]
+    body += ("\n\nSkelCL overhead vs OpenCL: "
+             + ", ".join(f"{n} GPU: {o * 100:+.1f}%"
+                         for n, o in zip(GPU_COUNTS, overhead)))
+    body += ("\nCUDA advantage vs OpenCL:  "
+             + ", ".join(f"{n} GPU: {s:.2f}x"
+                         for n, s in zip(GPU_COUNTS, speedup)))
+    print_experiment(
+        "Figure 4b — runtime of one subset iteration (virtual time)",
+        body)
+
+    for n in GPU_COUNTS:
+        t_skelcl = times[("SkelCL", n)]
+        t_opencl = times[("OpenCL", n)]
+        t_cuda = times[("CUDA", n)]
+        # §IV-C: CUDA always fastest, about 20 % ahead of OpenCL
+        assert t_cuda < t_opencl and t_cuda < t_skelcl
+        assert 1.05 < t_opencl / t_cuda < 1.35
+        # §IV-C: SkelCL within 5 % of OpenCL
+        assert abs(t_skelcl - t_opencl) / t_opencl < 0.05
+    # multi-GPU scaling: more GPUs -> faster, near-linear 1 -> 2
+    for impl in RUNNERS:
+        assert times[(impl, 1)] > times[(impl, 2)] > times[(impl, 4)]
+        assert times[(impl, 1)] / times[(impl, 2)] == pytest.approx(
+            2.0, rel=0.25)
+    # the single-GPU SkelCL overhead is positive (a thin layer on top
+    # of OpenCL), as the paper reports
+    assert times[("SkelCL", 1)] > times[("OpenCL", 1)]

@@ -1,0 +1,93 @@
+"""Section VI / reference [6]: the Mandelbrot benchmark.
+
+The conclusion reports results for Mandelbrot "similar" to the OSEM
+ones: SkelCL much shorter than the low-level versions and within a few
+percent of OpenCL's performance, CUDA fastest.  This harness
+regenerates both the runtime series (1/2/4 GPUs x three
+implementations) and the program-size comparison.
+"""
+
+import inspect
+
+import numpy as np
+
+from repro import ocl, skelcl
+from repro.apps import mandelbrot as mb
+from repro.cuda import CudaRuntime
+from repro.util.loc import count_loc
+from repro.util.tables import format_table
+
+from conftest import print_experiment
+
+GPU_COUNTS = (1, 2, 4)
+VIEW = dict(width=1024, height=768, max_iter=40)
+#: one simulated pixel stands for 16 of the [6] benchmark's 4096x3072
+SCALE = (4096 * 3072) / (1024 * 768)
+
+
+def run_skelcl(num_gpus):
+    view = mb.View(**VIEW)
+    ctx = skelcl.init(num_gpus=num_gpus)
+    mb.mandelbrot_skelcl(ctx, view, scale_factor=SCALE)  # warm-up
+    t0 = ctx.system.host_now()
+    mb.mandelbrot_skelcl(ctx, view, scale_factor=SCALE)
+    return ctx.system.host_now() - t0
+
+
+def run_opencl(num_gpus):
+    view = mb.View(**VIEW)
+    system = ocl.System(num_gpus=num_gpus)
+    t0 = system.host_now()
+    mb.mandelbrot_opencl(system, view, scale_factor=SCALE)
+    return system.host_now() - t0
+
+
+def run_cuda(num_gpus):
+    view = mb.View(**VIEW)
+    system = ocl.System(num_gpus=num_gpus)
+    runtime = CudaRuntime(system)
+    mb.mandelbrot_cuda(system, view, scale_factor=SCALE,
+                       runtime=runtime)  # module load
+    t0 = system.host_now()
+    mb.mandelbrot_cuda(system, view, scale_factor=SCALE, runtime=runtime)
+    return system.host_now() - t0
+
+
+def measure_all():
+    runners = {"SkelCL": run_skelcl, "OpenCL": run_opencl,
+               "CUDA": run_cuda}
+    return {(impl, n): fn(n)
+            for impl, fn in runners.items() for n in GPU_COUNTS}
+
+
+def test_mandelbrot_runtime_and_loc(benchmark):
+    times = benchmark.pedantic(measure_all, rounds=1, iterations=1)
+
+    rows = [[impl, n, f"{times[(impl, n)] * 1e3:.2f}"]
+            for impl in ("SkelCL", "OpenCL", "CUDA") for n in GPU_COUNTS]
+    loc = {
+        "SkelCL": count_loc(inspect.getsource(mb.mandelbrot_skelcl),
+                            "python").code_lines,
+        "OpenCL": count_loc(inspect.getsource(mb.mandelbrot_opencl),
+                            "python").code_lines,
+        "CUDA": count_loc(inspect.getsource(mb.mandelbrot_cuda),
+                          "python").code_lines,
+    }
+    body = format_table(["implementation", "GPUs", "runtime [virt. ms]"],
+                        rows)
+    body += "\n\nhost program size: " + ", ".join(
+        f"{impl}: {n} LOC" for impl, n in loc.items())
+    body += ("\nkernel (user function) size: "
+             + str(count_loc(mb.MANDELBROT_SOURCE, 'c').code_lines)
+             + " LOC")
+    print_experiment("Reference [6] — Mandelbrot benchmark", body)
+
+    for n in GPU_COUNTS:
+        t_skelcl = times[("SkelCL", n)]
+        t_opencl = times[("OpenCL", n)]
+        t_cuda = times[("CUDA", n)]
+        assert t_cuda < t_opencl and t_cuda < t_skelcl
+        assert abs(t_skelcl - t_opencl) / t_opencl < 0.07
+    for impl in ("SkelCL", "OpenCL", "CUDA"):
+        assert times[(impl, 1)] > times[(impl, 4)]
+    assert loc["SkelCL"] < loc["CUDA"] <= loc["OpenCL"]

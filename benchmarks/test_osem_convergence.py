@@ -1,0 +1,69 @@
+"""Ablation: OSEM reconstruction quality vs iterations.
+
+The paper measures runtime only ("In a full reconstruction
+application, all subsets are processed multiple times"); this harness
+verifies the full reconstruction actually behaves like OSEM: contrast
+recovery rises over the first iterations while RMSE against the
+phantom falls, with low-count noise eventually limiting both.
+"""
+
+import numpy as np
+
+from repro import skelcl
+from repro.apps import osem
+from repro.apps.osem.metrics import (background_variability,
+                                     contrast_recovery, rmse)
+from repro.util.tables import format_table
+
+from conftest import print_experiment
+
+ITERATIONS = (1, 2, 4, 8)
+
+
+def run_study():
+    geo = osem.ScannerGeometry.small(12)
+    activity = osem.cylinder_phantom(geo, hot_spheres=2, seed=13)
+    events = osem.generate_events(geo, activity, 12_000, seed=17)
+    subsets = osem.split_subsets(events, 6)
+
+    ctx = skelcl.init(num_gpus=4)
+    impl = osem.SkelCLOsem(ctx, geo)
+    results = {}
+    f = skelcl.Vector(np.ones(geo.image_size, dtype=np.float32),
+                      context=ctx)
+    done = 0
+    for target in ITERATIONS:
+        while done < target:
+            for subset in subsets:
+                f = impl.run_subset(subset, f)
+            done += 1
+        volume = f.to_numpy().astype(np.float64)
+        results[target] = (rmse(volume, activity),
+                           contrast_recovery(volume, activity),
+                           background_variability(volume, activity))
+    return activity, results
+
+
+def test_osem_convergence(benchmark):
+    activity, results = benchmark.pedantic(run_study, rounds=1,
+                                           iterations=1)
+    flat = np.ones_like(activity)
+    rows = [["0 (flat start)", f"{rmse(flat, activity):.3f}", "-", "-"]]
+    for iters, (err, cr, bv) in results.items():
+        rows.append([str(iters), f"{err:.3f}", f"{cr:.3f}", f"{bv:.3f}"])
+    body = format_table(
+        ["iterations", "RMSE vs phantom", "contrast recovery",
+         "background CV"], rows)
+    body += ("\n\n(SkelCL implementation, 4 GPUs, 12k events, "
+             "6 subsets, 12x12x12 grid)")
+    print_experiment("Ablation — OSEM convergence over iterations", body)
+
+    first = results[ITERATIONS[0]]
+    last = results[ITERATIONS[-1]]
+    # the reconstruction beats the flat start and keeps improving
+    # contrast over the early iterations
+    assert first[0] < rmse(flat, activity)
+    assert last[1] > first[1] * 0.9  # contrast holds or improves
+    assert results[2][1] > first[1] * 0.99
+    # noise grows with iterations (the classic OSEM trade-off)
+    assert last[2] >= first[2]

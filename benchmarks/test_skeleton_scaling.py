@@ -1,0 +1,77 @@
+"""Ablation: multi-GPU scaling of the four skeletons (Section III-C).
+
+Measures the steady-state virtual time of map, zip, reduce, and scan
+over 1/2/4 GPUs.  Map and zip scale near-linearly; reduce pays a
+per-device gather; scan pays the extra offset-map pass on all but the
+first device — the structural costs Section III-C describes.
+"""
+
+import numpy as np
+
+from repro import skelcl
+from repro.skelcl import Map, Reduce, Scan, Vector, Zip
+from repro.util.tables import format_table
+
+from conftest import print_experiment
+
+N = 1 << 22
+
+SKELETONS = {
+    "map": lambda: Map("float f(float x)"
+                       " { return sqrt(x) * 1.5f + 0.5f; }"),
+    "zip": lambda: Zip("float f(float a, float b)"
+                       " { return a * b + 1.0f; }"),
+    "reduce": lambda: Reduce("float f(float a, float b)"
+                             " { return a + b; }"),
+    "scan": lambda: Scan("float f(float a, float b)"
+                         " { return a + b; }"),
+}
+
+
+def run_once(name, num_gpus):
+    ctx = skelcl.init(num_gpus=num_gpus)
+    skeleton = SKELETONS[name]()
+    x = np.linspace(0.0, 1.0, N).astype(np.float32)
+    a = Vector(x, context=ctx)
+    b = Vector(x, context=ctx)
+
+    def execute():
+        if name == "zip":
+            return skeleton(a, b)
+        return skeleton(a)
+
+    execute()  # warm-up: compile + upload
+    t0 = ctx.system.timeline.now()
+    execute()
+    return ctx.system.timeline.now() - t0
+
+
+def measure_all():
+    return {(name, n): run_once(name, n)
+            for name in SKELETONS for n in (1, 2, 4)}
+
+
+def test_skeleton_scaling(benchmark):
+    times = benchmark.pedantic(measure_all, rounds=1, iterations=1)
+
+    rows = []
+    for name in SKELETONS:
+        t1, t2, t4 = (times[(name, n)] for n in (1, 2, 4))
+        rows.append([name, f"{t1 * 1e3:.3f}", f"{t2 * 1e3:.3f}",
+                     f"{t4 * 1e3:.3f}", f"{t1 / t4:.2f}x"])
+    body = format_table(
+        ["skeleton", "1 GPU [ms]", "2 GPUs [ms]", "4 GPUs [ms]",
+         "speedup 1→4"], rows)
+    body += f"\n\n(steady state, {N} float elements, inputs resident)"
+    print_experiment(
+        "Ablation — skeleton scaling across GPUs (§III-C)", body)
+
+    for name in SKELETONS:
+        t1, t2, t4 = (times[(name, n)] for n in (1, 2, 4))
+        assert t1 > t2 > t4  # every skeleton benefits from more GPUs
+    # the data-parallel skeletons scale near-linearly
+    for name in ("map", "zip"):
+        assert times[(name, 1)] / times[(name, 4)] > 3.0
+    # scan pays for its second pass: speedup below the map's
+    assert (times[("scan", 1)] / times[("scan", 4)]
+            < times[("map", 1)] / times[("map", 4)])

@@ -1,0 +1,52 @@
+"""Matrix extension skeletons: 2-D stencils and all-pairs (matmul).
+
+Demonstrates the follow-up SkelCL features built on the paper's
+machinery: a Matrix container with row-block distribution, a 2-D
+stencil (image smoothing with halo rows exchanged between GPUs), and
+the all-pairs skeleton computing a matrix product.
+
+Run:  python examples/matrix_operations.py
+"""
+
+import numpy as np
+
+from repro import skelcl
+from repro.skelcl import MapOverlap2D, Matrix, matmul
+
+BLUR = """
+float blur(__global const float* w) {
+    float s = 0.0f;
+    for (int k = 0; k < 9; ++k) s += w[k];
+    return s / 9.0f;
+}
+"""
+
+
+def main() -> None:
+    skelcl.init(num_gpus=4)
+
+    # 2-D stencil: smooth a noisy image, rows split across 4 GPUs
+    rng = np.random.default_rng(11)
+    image = rng.random((24, 48)).astype(np.float32)
+    image[8:16, 16:32] += 3.0
+    m = Matrix(image)
+    smooth = MapOverlap2D(BLUR, radius=1)
+    twice = smooth(smooth(m))
+    print("image rows per GPU:", m.row_counts())
+    print(f"noise std before: {image[:8, :16].std():.3f}, "
+          f"after two blur passes: "
+          f"{twice.to_numpy()[:8, :16].std():.3f}")
+
+    # all-pairs: C = A @ B with B's columns stored as rows
+    a = rng.random((64, 32)).astype(np.float32)
+    b = rng.random((32, 48)).astype(np.float32)
+    C = matmul(Matrix(a), Matrix(np.ascontiguousarray(b.T)))
+    error = np.abs(C.to_numpy() - a @ b).max()
+    print(f"\nmatmul 64x32 @ 32x48 on 4 GPUs, max |error| vs numpy: "
+          f"{error:.2e}")
+    print("A rows are block-split; B is copy-distributed "
+          "(each GPU computes its slab of C)")
+
+
+if __name__ == "__main__":
+    main()

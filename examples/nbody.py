@@ -1,0 +1,46 @@
+"""N-body gravity with the AllPairs skeleton.
+
+A small cluster collapses under self-gravity on 4 simulated GPUs; the
+all-pairs force matrix is computed with the extension skeleton (left
+operand's rows block-split, right operand replicated).
+
+Run:  python examples/nbody.py
+"""
+
+import numpy as np
+
+from repro import skelcl
+from repro.apps.nbody import NBodySimulation, plummer_cluster
+
+
+def radius_histogram(sim, width=48):
+    r = np.sqrt((sim.bodies[:, :3].astype(np.float64) ** 2).sum(axis=1))
+    hist, _ = np.histogram(r, bins=12, range=(0, 3))
+    peak = max(hist.max(), 1)
+    return " ".join("▁▂▃▄▅▆▇█"[min(int(h / peak * 7), 7)]
+                    for h in hist)
+
+
+def main() -> None:
+    ctx = skelcl.init(num_gpus=4)
+    bodies = plummer_cluster(96, seed=42)
+    rng = np.random.default_rng(42)
+    velocities = rng.normal(0, 0.08, (96, 3)).astype(np.float32)
+    sim = NBodySimulation(ctx, bodies, velocities=velocities)
+    p0 = (sim.bodies[:, 3:4] * sim.velocities).sum(axis=0)
+
+    print("N-body collapse (96 bodies, AllPairs on 4 GPUs)")
+    print(f"{'t':>6s}  {'E_total':>9s}  radius distribution")
+    dt, steps_per_frame = 0.01, 5
+    for frame in range(6):
+        e = sim.total_energy()
+        print(f"{frame * steps_per_frame * dt:6.2f}  {e:9.4f}  "
+              f"{radius_histogram(sim)}")
+        sim.run(steps=steps_per_frame, dt=dt)
+    p1 = (sim.bodies[:, 3:4] * sim.velocities).sum(axis=0)
+    print(f"\nvirtual time: {ctx.system.timeline.now() * 1e3:.2f} ms, "
+          f"momentum drift: {np.abs(p1 - p0).max():.2e}")
+
+
+if __name__ == "__main__":
+    main()

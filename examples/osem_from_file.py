@@ -1,0 +1,59 @@
+"""List-mode OSEM streaming subsets from an event file.
+
+The paper's Listing 2 reads each subset from a file
+(``events = read_events()``) because clinical list-mode datasets dwarf
+memory.  This example writes a synthetic dataset to disk in the
+library's binary container and reconstructs by streaming it subset by
+subset — only one subset is ever in memory.
+
+Run:  python examples/osem_from_file.py
+"""
+
+import tempfile
+from pathlib import Path
+
+import numpy as np
+
+from repro import skelcl
+from repro.apps import osem
+from repro.apps.osem.io import iter_subsets, read_events, write_events
+from repro.apps.osem.metrics import contrast_recovery, rmse
+
+NUM_SUBSETS = 5
+NUM_ITERATIONS = 2
+
+
+def main() -> None:
+    geometry = osem.ScannerGeometry.small(12)
+    activity = osem.cylinder_phantom(geometry, hot_spheres=2, seed=7)
+    events = osem.generate_events(geometry, activity, 8000, seed=8)
+
+    with tempfile.TemporaryDirectory() as tmp:
+        path = Path(tmp) / "scan.lmev"
+        write_events(path, geometry, events)
+        print(f"wrote {path.stat().st_size / 1e3:.1f} kB "
+              f"({len(events)} events)")
+
+        file_geometry, _ = read_events(path)
+        assert file_geometry.shape == geometry.shape
+
+        ctx = skelcl.init(num_gpus=4)
+        impl = osem.SkelCLOsem(ctx, geometry)
+        f = skelcl.Vector(np.ones(geometry.image_size,
+                                  dtype=np.float32), context=ctx)
+        for iteration in range(NUM_ITERATIONS):
+            # Listing 2's outer loop: one subset in memory at a time
+            for subset in iter_subsets(path, NUM_SUBSETS):
+                f = impl.run_subset(subset, f)
+            print(f"iteration {iteration + 1}/{NUM_ITERATIONS} done "
+                  f"(virtual time so far: "
+                  f"{ctx.system.timeline.now():.3f} s)")
+
+        volume = f.to_numpy().astype(np.float64)
+        print(f"RMSE vs phantom:   {rmse(volume, activity):.4f}")
+        print(f"contrast recovery: "
+              f"{contrast_recovery(volume, activity):.4f}")
+
+
+if __name__ == "__main__":
+    main()

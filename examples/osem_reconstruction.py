@@ -1,0 +1,52 @@
+"""Full list-mode OSEM reconstruction study (paper Section IV).
+
+Generates a synthetic phantom + events, reconstructs with the SkelCL
+implementation on a simulated 4-GPU system, and reports image quality
+and the per-phase virtual-time breakdown of one subset iteration
+(Figure 3).
+
+Run:  python examples/osem_reconstruction.py
+"""
+
+import numpy as np
+
+from repro import skelcl
+from repro.apps import osem
+
+
+def main() -> None:
+    geometry = osem.ScannerGeometry.small(16)
+    activity = osem.cylinder_phantom(geometry, hot_spheres=2, seed=3)
+    events = osem.generate_events(geometry, activity, 6000, seed=9)
+    subsets = osem.split_subsets(events, 6)
+    print(f"grid {geometry.shape}, {len(events)} events, "
+          f"{len(subsets)} subsets")
+
+    ctx = skelcl.init(num_gpus=4)
+    impl = osem.SkelCLOsem(ctx, geometry)
+    reconstruction = impl.reconstruct(subsets, num_iterations=4)
+
+    volume = reconstruction.reshape(geometry.shape)
+    hot = activity > activity.max() / 2
+    warm = (activity > 0) & ~hot
+    cold = activity == 0
+    print(f"mean estimate  hot voxels: {volume[hot].mean():8.3f}")
+    print(f"mean estimate warm voxels: {volume[warm].mean():8.3f}")
+    print(f"mean estimate cold voxels: {volume[cold].mean():8.3f}")
+    contrast = volume[hot].mean() / max(volume[warm].mean(), 1e-9)
+    true_contrast = activity[hot].mean() / activity[warm].mean()
+    print(f"hot/warm contrast: {contrast:.2f} "
+          f"(phantom: {true_contrast:.2f})")
+
+    # per-phase breakdown of one fresh subset iteration (Figure 3)
+    ctx.system.timeline.reset()
+    f = skelcl.Vector(reconstruction.astype(np.float32), context=ctx)
+    impl.run_subset(subsets[0], f)
+    print("\nvirtual-time phases of one subset iteration:")
+    for phase, seconds in sorted(ctx.system.timeline
+                                 .elapsed_by_tag().items()):
+        print(f"  {phase:12s} {seconds * 1e3:9.3f} ms")
+
+
+if __name__ == "__main__":
+    main()

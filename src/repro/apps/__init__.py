@@ -1,0 +1,2 @@
+"""Applications: list-mode OSEM (paper Section IV), Mandelbrot ([6]),
+and small BLAS routines (Listing 1)."""

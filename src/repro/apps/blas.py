@@ -1,0 +1,69 @@
+"""Small BLAS routines built from skeletons.
+
+``saxpy`` is the paper's Listing 1; the others are the canonical
+one-liner compositions skeleton libraries advertise: ``dot`` as
+zip + reduce (with the intermediate staying on the GPUs thanks to lazy
+transfers), ``asum``/``nrm2`` as map + reduce, ``scal`` as a map with
+an additional scalar argument.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.skelcl import Map, Reduce, Vector, Zip
+from repro.skelcl.context import SkelCLContext
+
+
+class Blas:
+    """Skeleton-based BLAS level-1 routines over float vectors."""
+
+    def __init__(self, context: SkelCLContext | None = None) -> None:
+        self.ctx = context
+        self._saxpy = Zip(
+            "float func(float x, float y, float a) { return a*x+y; }")
+        self._mul = Zip(
+            "float mul(float x, float y) { return x * y; }")
+        self._add = Reduce(
+            "float add(float a, float b) { return a + b; }")
+        self._abs = Map("float absval(float x) { return fabs(x); }")
+        self._square = Map("float sq(float x) { return x * x; }")
+        self._scale = Map(
+            "float scale(float x, float a) { return a * x; }")
+
+    # -- routines -----------------------------------------------------------
+
+    def saxpy(self, x: Vector, y: Vector, a: float) -> Vector:
+        """``a*X + Y`` — the paper's Listing 1."""
+        return self._saxpy(x, y, a)
+
+    def dot(self, x: Vector, y: Vector) -> float:
+        """Dot product: zip(*) then reduce(+); the intermediate vector
+        never leaves the GPUs (lazy transfers, paper §II-B)."""
+        products = self._mul(x, y)
+        return float(self._add(products)[0])
+
+    def asum(self, x: Vector) -> float:
+        """Sum of absolute values."""
+        return float(self._add(self._abs(x))[0])
+
+    def nrm2(self, x: Vector) -> float:
+        """Euclidean norm."""
+        return math.sqrt(float(self._add(self._square(x))[0]))
+
+    def scal(self, x: Vector, a: float) -> Vector:
+        """``a*X`` in place."""
+        return self._scale(x, a, out=x)
+
+
+def saxpy_listing1(xs: np.ndarray, ys: np.ndarray, a: float,
+                   context: SkelCLContext | None = None) -> np.ndarray:
+    """The complete Listing 1 as one function."""
+    saxpy = Zip("float func(float x, float y, float a)"
+                "{ return a*x+y; }")
+    X = Vector(xs.astype(np.float32), context=context)
+    Y = Vector(ys.astype(np.float32), context=context)
+    Y = saxpy(X, Y, a)
+    return Y.to_numpy()

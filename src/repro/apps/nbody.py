@@ -1,0 +1,149 @@
+"""N-body gravity — a second domain application for the skeletons.
+
+All-pairs force computation is the textbook use of the
+:class:`repro.skelcl.AllPairs` skeleton (left operand row-blocked,
+right operand replicated), composed with a zip-style integration step.
+The implementation keeps bodies as rows ``[x, y, z, mass]`` and
+velocities as rows ``[vx, vy, vz]``; one leapfrog step is
+
+    a_i   = G Σ_j m_j (r_j - r_i) / (|r_j - r_i|² + ε²)^{3/2}
+    v_i  += a_i dt ;  r_i += v_i dt
+
+Both a runtime-compiled dialect path and a vectorized native path are
+provided and agree; energy diagnostics make conservation testable.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import SkelClError
+from repro.skelcl import AllPairs, Matrix
+from repro.skelcl.context import SkelCLContext
+
+#: gravitational constant (natural units) and softening length
+G = 1.0
+SOFTENING = 1e-2
+
+def _accel_matrix_native(axis: int):
+    def native(bi: np.ndarray, bj: np.ndarray) -> np.ndarray:
+        delta = bj[None, :, :3] - bi[:, None, :3]
+        r2 = (delta ** 2).sum(axis=2) + SOFTENING ** 2
+        inv_r3 = 1.0 / (r2 * np.sqrt(r2))
+        return (bj[None, :, 3] * delta[:, :, axis] * inv_r3) \
+            .astype(np.float32)
+
+    return native
+
+
+def _component_source(axis: int) -> str:
+    """Dialect source for one acceleration component."""
+    names = ["accel_x", "accel_y", "accel_z"]
+    numerators = ["dx", "dy", "dz"]
+    return f"""
+float {names[axis]}(__global const float* bi,
+                    __global const float* bj, int d) {{
+    float dx = bj[0] - bi[0];
+    float dy = bj[1] - bi[1];
+    float dz = bj[2] - bi[2];
+    float r2 = dx * dx + dy * dy + dz * dz + {SOFTENING ** 2:.6f}f;
+    float inv_r3 = 1.0f / (r2 * sqrt(r2));
+    return bj[3] * {numerators[axis]} * inv_r3;
+}}
+"""
+
+
+class NBodySimulation:
+    """Leapfrog N-body integrator over the AllPairs skeleton.
+
+    Args:
+        ctx: SkelCL context (devices to use).
+        bodies: (n, 4) float32 array of [x, y, z, mass].
+        velocities: (n, 3) float32 initial velocities (default rest).
+        use_native_kernel: vectorized path (default) vs the
+            runtime-compiled dialect path (identical results, slower —
+            use for small n).
+    """
+
+    def __init__(self, ctx: SkelCLContext, bodies: np.ndarray,
+                 velocities: np.ndarray | None = None,
+                 use_native_kernel: bool = True) -> None:
+        bodies = np.asarray(bodies, dtype=np.float32)
+        if bodies.ndim != 2 or bodies.shape[1] != 4:
+            raise SkelClError("bodies must be an (n, 4) array of "
+                              "[x, y, z, mass]")
+        self.ctx = ctx
+        self.n = bodies.shape[0]
+        self.bodies = bodies.copy()
+        if velocities is None:
+            self.velocities = np.zeros((self.n, 3), dtype=np.float32)
+        else:
+            self.velocities = np.asarray(velocities,
+                                         dtype=np.float32).copy()
+            if self.velocities.shape != (self.n, 3):
+                raise SkelClError("velocities must be (n, 3)")
+        self.skeletons = [
+            AllPairs(_component_source(axis),
+                     native=(_accel_matrix_native(axis)
+                             if use_native_kernel else None))
+            for axis in range(3)]
+
+    # -- physics ------------------------------------------------------------
+
+    def accelerations(self) -> np.ndarray:
+        """(n, 3) accelerations via three all-pairs executions."""
+        m = Matrix(self.bodies, context=self.ctx)
+        acc = np.empty((self.n, 3), dtype=np.float64)
+        for axis in range(3):
+            pair = self.skeletons[axis](m, Matrix(self.bodies,
+                                                  context=self.ctx))
+            acc[:, axis] = G * pair.to_numpy().sum(axis=1)
+        return acc
+
+    def step(self, dt: float) -> None:
+        """One leapfrog (kick-drift) step."""
+        acc = self.accelerations()
+        self.velocities += (acc * dt).astype(np.float32)
+        self.bodies[:, :3] += self.velocities * dt
+
+    def run(self, steps: int, dt: float) -> None:
+        for _ in range(steps):
+            self.step(dt)
+
+    # -- diagnostics ----------------------------------------------------------
+
+    def kinetic_energy(self) -> float:
+        v2 = (self.velocities.astype(np.float64) ** 2).sum(axis=1)
+        return float(0.5 * (self.bodies[:, 3] * v2).sum())
+
+    def potential_energy(self) -> float:
+        pos = self.bodies[:, :3].astype(np.float64)
+        mass = self.bodies[:, 3].astype(np.float64)
+        delta = pos[None, :, :] - pos[:, None, :]
+        r = np.sqrt((delta ** 2).sum(axis=2) + SOFTENING ** 2)
+        inv = mass[:, None] * mass[None, :] / r
+        np.fill_diagonal(inv, 0.0)
+        return float(-0.5 * G * inv.sum())
+
+    def total_energy(self) -> float:
+        return self.kinetic_energy() + self.potential_energy()
+
+
+def plummer_cluster(n: int, seed: int = 0) -> np.ndarray:
+    """A simple isotropic cluster: positions ~ N(0, 1), equal masses."""
+    rng = np.random.default_rng(seed)
+    bodies = np.zeros((n, 4), dtype=np.float32)
+    bodies[:, :3] = rng.normal(0.0, 1.0, (n, 3))
+    bodies[:, 3] = 1.0 / n
+    return bodies
+
+
+def reference_accelerations(bodies: np.ndarray) -> np.ndarray:
+    """Direct numpy computation, for verification."""
+    pos = bodies[:, :3].astype(np.float64)
+    mass = bodies[:, 3].astype(np.float64)
+    delta = pos[None, :, :] - pos[:, None, :]
+    r2 = (delta ** 2).sum(axis=2) + SOFTENING ** 2
+    inv_r3 = 1.0 / (r2 * np.sqrt(r2))
+    return G * (mass[None, :, None] * delta
+                * inv_r3[:, :, None]).sum(axis=1)

@@ -1,0 +1,77 @@
+"""PET scanner and reconstruction-volume geometry.
+
+The paper reconstructs a 150 x 150 x 280 voxel volume from quadHIDAC
+scanner data.  We model a cylindrical scanner (detector ring of radius
+``scanner_radius`` around the z axis) enclosing the voxel grid; events
+are lines of response (LORs) between two detection points on the
+cylinder.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+#: dtype of one recorded event: the two detection points of its LOR
+EVENT_DTYPE = np.dtype([
+    ("x1", np.float32), ("y1", np.float32), ("z1", np.float32),
+    ("x2", np.float32), ("y2", np.float32), ("z2", np.float32),
+])
+
+
+@dataclass(frozen=True)
+class ScannerGeometry:
+    """Voxel grid + detector cylinder.
+
+    The grid spans ``[0, nx] x [0, ny] x [0, nz]`` in voxel units; all
+    event coordinates are expressed in the same units, so ray tracing
+    needs no unit conversions.
+    """
+
+    nx: int = 150
+    ny: int = 150
+    nz: int = 280
+    #: detector cylinder radius in voxel units, measured from the grid
+    #: center; must enclose the whole xy extent of the grid
+    scanner_radius: float | None = None
+
+    def __post_init__(self) -> None:
+        if min(self.nx, self.ny, self.nz) <= 0:
+            raise ValueError(f"invalid grid {self.nx}x{self.ny}x{self.nz}")
+        if self.scanner_radius is None:
+            radius = 0.75 * float(np.hypot(self.nx, self.ny))
+            object.__setattr__(self, "scanner_radius", radius)
+        min_radius = 0.5 * float(np.hypot(self.nx, self.ny))
+        if self.scanner_radius < min_radius:
+            raise ValueError(
+                f"scanner radius {self.scanner_radius} does not enclose "
+                f"the grid (needs >= {min_radius:.1f})")
+
+    # -- derived ------------------------------------------------------------
+
+    @property
+    def image_size(self) -> int:
+        return self.nx * self.ny * self.nz
+
+    @property
+    def shape(self) -> tuple[int, int, int]:
+        return (self.nx, self.ny, self.nz)
+
+    @property
+    def center(self) -> np.ndarray:
+        return np.array([self.nx / 2.0, self.ny / 2.0, self.nz / 2.0])
+
+    def voxel_index(self, ix, iy, iz):
+        """Flattened voxel index (C order: x outermost, z innermost)."""
+        return (ix * self.ny + iy) * self.nz + iz
+
+    #: the paper's reconstruction volume
+    @staticmethod
+    def paper() -> "ScannerGeometry":
+        return ScannerGeometry(150, 150, 280)
+
+    @staticmethod
+    def small(n: int = 16) -> "ScannerGeometry":
+        """A small grid for tests and quick examples."""
+        return ScannerGeometry(n, n, n)

@@ -1,0 +1,223 @@
+"""Device kernels for list-mode OSEM.
+
+Two interchangeable realizations of the paper's ~200-line GPU kernel:
+
+- :data:`COMPUTE_C_SOURCE` — the user function in the kernel dialect,
+  containing a complete incremental Siddon ray tracer.  This is what
+  the SkelCL map skeleton merges and compiles at runtime, exactly like
+  the paper's workflow.  It executes per work item, so it is used at
+  small problem sizes (tests, small examples).
+- :func:`native_compute_c` — a numpy-vectorized native kernel (the
+  ``clCreateProgramWithBinary`` analogue, DESIGN.md §5.2) computing the
+  same values via the batched tracer; used at benchmark scale.
+
+The virtual-time cost of one event is dominated by its plane crossings
+(≈ nx+ny+nz voxel visits, each a gather from ``f`` plus a scattered
+atomic update of ``c``).  :data:`EFFECTIVE_OPS_PER_CROSSING` is the
+calibrated effective cost of one crossing; it folds in the uncoalesced
+memory traffic that dominates real GPU OSEM kernels.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.apps.osem.geometry import EVENT_DTYPE, ScannerGeometry
+from repro.apps.osem.reference import _FP_EPS
+from repro.apps.osem.siddon import trace_paths
+from repro.ocl.program import NativeKernelDef
+
+#: calibrated so one subset (≈1e6 events, paper grid) takes ≈2-3 s on
+#: one simulated Tesla GPU via OpenCL, matching Figure 4b's scale
+EFFECTIVE_OPS_PER_CROSSING = 1000.0
+
+
+def ops_per_event(geometry: ScannerGeometry) -> float:
+    """Modelled device cost (simple ops) of processing one event."""
+    crossings = geometry.nx + geometry.ny + geometry.nz
+    return EFFECTIVE_OPS_PER_CROSSING * crossings
+
+
+def bytes_per_event(geometry: ScannerGeometry) -> float:
+    """Modelled global-memory traffic per event (gathers + scatters)."""
+    crossings = geometry.nx + geometry.ny + geometry.nz
+    return 8.0 * crossings + EVENT_DTYPE.itemsize
+
+
+#: ``compute_c`` as a SkelCL user function (void: writes through the
+#: additional arguments ``f`` and ``c``).  Incremental Siddon: slab
+#: clipping, then a two-pass parametric traversal — pass 0 accumulates
+#: the forward projection fp, pass 1 scatters len/fp into c.
+COMPUTE_C_SOURCE = """
+typedef struct {
+    float x1; float y1; float z1;
+    float x2; float y2; float z2;
+} Event;
+
+void compute_c(Event e, __global const float* f, __global float* c,
+               int nx, int ny, int nz) {
+    float dx = e.x2 - e.x1;
+    float dy = e.y2 - e.y1;
+    float dz = e.z2 - e.z1;
+    float raylen = sqrt(dx * dx + dy * dy + dz * dz);
+    if (raylen < 1e-9f) return;
+
+    /* entry/exit parameters of the grid (slab clipping) */
+    float amin = 0.0f;
+    float amax = 1.0f;
+    if (fabs(dx) > 1e-9f) {
+        float a0 = (0.0f - e.x1) / dx;
+        float a1 = ((float)nx - e.x1) / dx;
+        amin = fmax(amin, fmin(a0, a1));
+        amax = fmin(amax, fmax(a0, a1));
+    } else if (e.x1 < 0.0f || e.x1 > (float)nx) {
+        return;
+    }
+    if (fabs(dy) > 1e-9f) {
+        float a0 = (0.0f - e.y1) / dy;
+        float a1 = ((float)ny - e.y1) / dy;
+        amin = fmax(amin, fmin(a0, a1));
+        amax = fmin(amax, fmax(a0, a1));
+    } else if (e.y1 < 0.0f || e.y1 > (float)ny) {
+        return;
+    }
+    if (fabs(dz) > 1e-9f) {
+        float a0 = (0.0f - e.z1) / dz;
+        float a1 = ((float)nz - e.z1) / dz;
+        amin = fmax(amin, fmin(a0, a1));
+        amax = fmin(amax, fmax(a0, a1));
+    } else if (e.z1 < 0.0f || e.z1 > (float)nz) {
+        return;
+    }
+    if (amax - amin < 1e-9f) return;
+
+    float fp = 0.0f;
+    for (int pass = 0; pass < 2; ++pass) {
+        /* voxel indices at the entry point */
+        float mid = amin + 1e-7f;
+        int ix = (int)floor(e.x1 + mid * dx);
+        int iy = (int)floor(e.y1 + mid * dy);
+        int iz = (int)floor(e.z1 + mid * dz);
+        ix = clamp(ix, 0, nx - 1);
+        iy = clamp(iy, 0, ny - 1);
+        iz = clamp(iz, 0, nz - 1);
+        /* per-axis parameter of the next plane crossing, and step */
+        int stepx = dx > 0.0f ? 1 : -1;
+        int stepy = dy > 0.0f ? 1 : -1;
+        int stepz = dz > 0.0f ? 1 : -1;
+        float axn = 1e30f, dax = 1e30f;
+        float ayn = 1e30f, day = 1e30f;
+        float azn = 1e30f, daz = 1e30f;
+        if (fabs(dx) > 1e-9f) {
+            int plane = dx > 0.0f ? ix + 1 : ix;
+            axn = ((float)plane - e.x1) / dx;
+            dax = fabs(1.0f / dx);
+        }
+        if (fabs(dy) > 1e-9f) {
+            int plane = dy > 0.0f ? iy + 1 : iy;
+            ayn = ((float)plane - e.y1) / dy;
+            day = fabs(1.0f / dy);
+        }
+        if (fabs(dz) > 1e-9f) {
+            int plane = dz > 0.0f ? iz + 1 : iz;
+            azn = ((float)plane - e.z1) / dz;
+            daz = fabs(1.0f / dz);
+        }
+        float alpha = amin;
+        while (alpha < amax - 1e-9f) {
+            float anext = fmin(fmin(axn, ayn), azn);
+            if (anext > amax) anext = amax;
+            float seglen = (anext - alpha) * raylen;
+            if (seglen > 1e-9f
+                    && ix >= 0 && ix < nx
+                    && iy >= 0 && iy < ny
+                    && iz >= 0 && iz < nz) {
+                int coord = (ix * ny + iy) * nz + iz;
+                if (pass == 0) {
+                    fp += f[coord] * seglen;
+                } else {
+                    c[coord] += seglen / fp;
+                }
+            }
+            if (axn <= ayn && axn <= azn) {
+                ix += stepx;
+                axn += dax;
+            } else if (ayn <= azn) {
+                iy += stepy;
+                ayn += day;
+            } else {
+                iz += stepz;
+                azn += daz;
+            }
+            alpha = anext;
+        }
+        if (pass == 0 && fp < 1e-12f) return;
+    }
+}
+"""
+
+#: step 2 as a SkelCL zip user function (Listing 2, lines 15-17)
+UPDATE_F_SOURCE = """
+float update(float f, float c) {
+    return c > 0.0f ? f * c : f;
+}
+"""
+
+
+def native_compute_c(geometry: ScannerGeometry):
+    """Vectorized ``compute_c`` for a SkelCL map's native override.
+
+    Signature matches the dialect user function: ``(events, f, c, nx,
+    ny, nz)`` with events as the element array and f/c as whole-buffer
+    views; writes into ``c`` in place, returns None (void).
+    """
+
+    def compute(events: np.ndarray, f: np.ndarray, c: np.ndarray,
+                nx: int, ny: int, nz: int,
+                _element_index=None) -> None:
+        paths = trace_paths(geometry, events)
+        safe_idx = np.maximum(paths.indices, 0)
+        fp = (f[safe_idx] * paths.lengths).sum(axis=1, dtype=np.float64)
+        with np.errstate(divide="ignore", invalid="ignore"):
+            inv_fp = np.where(fp > _FP_EPS, 1.0 / fp, 0.0)
+        contributions = (paths.lengths
+                         * inv_fp[:, None]).astype(np.float32)
+        valid = paths.indices >= 0
+        np.add.at(c, paths.indices[valid], contributions[valid])
+
+    return compute
+
+
+def native_compute_c_kerneldef(geometry: ScannerGeometry
+                               ) -> NativeKernelDef:
+    """The same vectorized kernel packaged for the low-level runtimes
+    (args: events buffer, f buffer, c buffer; grid dims baked in)."""
+    compute = native_compute_c(geometry)
+
+    def kernel(args, gsize):
+        events_view, f_view, c_view = args
+        compute(events_view[:gsize[0]], f_view, c_view,
+                geometry.nx, geometry.ny, geometry.nz)
+
+    return NativeKernelDef(
+        name="osem_compute_c", fn=kernel,
+        arg_dtypes=[EVENT_DTYPE, np.float32, np.float32],
+        ops_per_item=ops_per_event(geometry),
+        bytes_per_item=bytes_per_event(geometry),
+        const_args=frozenset([1]))
+
+
+def native_update_f_kerneldef() -> NativeKernelDef:
+    """Step 2 for the low-level runtimes (args: f buffer, c buffer)."""
+
+    def kernel(args, gsize):
+        f_view, c_view = args
+        n = gsize[0]
+        np.multiply(f_view[:n], c_view[:n], out=f_view[:n],
+                    where=c_view[:n] > 0.0)
+
+    return NativeKernelDef(
+        name="osem_update_f", fn=kernel,
+        arg_dtypes=[np.float32, np.float32],
+        ops_per_item=4.0, bytes_per_item=12.0,
+        const_args=frozenset([1]))

@@ -1,0 +1,209 @@
+"""The decomposition strategies of paper Section IV-A.
+
+The paper weighs two classical decompositions before choosing a hybrid:
+
+- **PSD** (projection space decomposition): the subset is split into
+  sub-subsets processed simultaneously; step 1 parallelizes, but
+  step 2 runs on a single processing unit.
+- **ISD** (image space decomposition): the reconstruction image is
+  partitioned; both steps parallelize, but every GPU processes the
+  *whole* subset (it is copied to each GPU) while accumulating only
+  its image part — step 1 does not scale.
+- **hybrid** (the paper's choice, implemented by the main OSEM
+  modules): PSD for step 1, ISD for step 2.
+
+These reference implementations of pure PSD and pure ISD exist to
+regenerate that comparison; all three produce identical images.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.apps.osem import kernels
+from repro.apps.osem.geometry import EVENT_DTYPE, ScannerGeometry
+from repro.apps.osem.siddon import trace_paths
+from repro.ocl import NativeKernelDef, NativeProgram, System
+from repro.ocl import api as cl
+from repro.apps.osem.reference import _FP_EPS
+
+
+def _masked_compute_c_kerneldef(geometry: ScannerGeometry
+                                ) -> NativeKernelDef:
+    """ISD's step-1 kernel: process all events, accumulate only the
+    voxels inside [row_lo, row_hi) of the flattened image."""
+    base = kernels.native_compute_c_kerneldef(geometry)
+
+    def kernel(args, gsize):
+        events_view, f_view, c_view, lo_view, hi_view = args
+        events = events_view[:gsize[0]]
+        lo = int(lo_view[0])
+        hi = int(hi_view[0])
+        paths = trace_paths(geometry, events)
+        safe = np.maximum(paths.indices, 0)
+        fp = (f_view[safe] * paths.lengths).sum(axis=1,
+                                                dtype=np.float64)
+        inv = np.where(fp > _FP_EPS, 1.0 / fp, 0.0)
+        contrib = (paths.lengths * inv[:, None]).astype(np.float32)
+        mask = (paths.indices >= lo) & (paths.indices < hi)
+        np.add.at(c_view, paths.indices[mask] - lo, contrib[mask])
+
+    return NativeKernelDef(
+        name="osem_compute_c_masked", fn=kernel,
+        arg_dtypes=[EVENT_DTYPE, np.float32, np.float32, np.int64,
+                    np.int64],
+        ops_per_item=base.ops_per_item,
+        bytes_per_item=base.bytes_per_item,
+        const_args=frozenset([1, 3, 4]))
+
+
+def _setup(system: System, geometry: ScannerGeometry, num_gpus,
+           extra_kernels=()):
+    platform = cl.get_platform_ids(system)[0]
+    devices = cl.get_device_ids(platform, cl.CL_DEVICE_TYPE_GPU)
+    if num_gpus is not None:
+        devices = devices[:num_gpus]
+    ctx = cl.create_context(devices)
+    queues = [cl.create_command_queue(ctx, d) for d in devices]
+    program = NativeProgram(ctx, [
+        kernels.native_compute_c_kerneldef(geometry),
+        kernels.native_update_f_kerneldef(), *extra_kernels])
+    return ctx, devices, queues, program
+
+
+def _block_parts(size: int, count: int) -> list[tuple[int, int]]:
+    base, extra = divmod(size, count)
+    parts, offset = [], 0
+    for i in range(count):
+        length = base + (1 if i < extra else 0)
+        parts.append((offset, length))
+        offset += length
+    return parts
+
+
+def run_subset_psd(system: System, geometry: ScannerGeometry,
+                   events: np.ndarray, f_host: np.ndarray,
+                   num_gpus: int | None = None,
+                   scale_factor: float = 1.0) -> np.ndarray:
+    """Pure PSD: step 1 split across GPUs, step 2 on GPU 0 only."""
+    timeline = system.timeline
+    img_size = geometry.image_size
+    ctx, devices, queues, program = _setup(system, geometry, num_gpus)
+    f32 = f_host.astype(np.float32)
+    event_parts = _block_parts(events.shape[0], len(devices))
+
+    timeline.set_tag("step1")
+    buf_f, buf_c = [], []
+    for i, queue in enumerate(queues):
+        offset, length = event_parts[i]
+        ebuf = cl.create_buffer(ctx,
+                                max(length, 1) * EVENT_DTYPE.itemsize)
+        if length:
+            cl.enqueue_write_buffer(queue, ebuf,
+                                    events[offset:offset + length])
+        fbuf = cl.create_buffer(ctx, img_size * 4)
+        cl.enqueue_write_buffer(queue, fbuf, f32)
+        cbuf = cl.create_buffer(ctx, img_size * 4)
+        cl.enqueue_write_buffer(queue, cbuf,
+                                np.zeros(img_size, np.float32))
+        if length:
+            kernel = cl.create_kernel(program, "osem_compute_c")
+            kernel.set_args(ebuf, fbuf, cbuf)
+            cl.enqueue_nd_range_kernel(queue, kernel, (length,),
+                                       scale_factor=scale_factor)
+        buf_f.append(fbuf)
+        buf_c.append(cbuf)
+        cl.release_mem_object(ebuf)
+
+    timeline.set_tag("combine")
+    c_total = np.zeros(img_size, np.float32)
+    download = np.empty(img_size, np.float32)
+    for i, queue in enumerate(queues):
+        cl.enqueue_read_buffer(queue, buf_c[i], download).wait()
+        c_total += download
+
+    # step 2 on a single processing unit (the paper's PSD drawback)
+    timeline.set_tag("step2")
+    cl.enqueue_write_buffer(queues[0], buf_c[0], c_total)
+    update = cl.create_kernel(program, "osem_update_f")
+    update.set_args(buf_f[0], buf_c[0])
+    cl.enqueue_nd_range_kernel(queues[0], update, (img_size,))
+    f_new = np.empty(img_size, np.float32)
+    cl.enqueue_read_buffer(queues[0], buf_f[0], f_new).wait()
+    for buf in buf_f + buf_c:
+        cl.release_mem_object(buf)
+    timeline.set_tag("")
+    return f_new.astype(f_host.dtype)
+
+
+def run_subset_isd(system: System, geometry: ScannerGeometry,
+                   events: np.ndarray, f_host: np.ndarray,
+                   num_gpus: int | None = None,
+                   scale_factor: float = 1.0) -> np.ndarray:
+    """Pure ISD: the whole subset goes to every GPU; each accumulates
+    and updates only its block of the image."""
+    timeline = system.timeline
+    img_size = geometry.image_size
+    masked = _masked_compute_c_kerneldef(geometry)
+    ctx, devices, queues, program = _setup(system, geometry, num_gpus,
+                                           extra_kernels=[masked])
+    f32 = f_host.astype(np.float32)
+    image_parts = _block_parts(img_size, len(devices))
+    n_events = events.shape[0]
+
+    timeline.set_tag("step1")
+    buf_cpart, buf_fpart = [], []
+    for i, queue in enumerate(queues):
+        offset, length = image_parts[i]
+        # the whole subset and the whole f on every GPU (ISD's cost)
+        ebuf = cl.create_buffer(ctx, n_events * EVENT_DTYPE.itemsize)
+        cl.enqueue_write_buffer(queue, ebuf, events)
+        fbuf = cl.create_buffer(ctx, img_size * 4)
+        cl.enqueue_write_buffer(queue, fbuf, f32)
+        cbuf = cl.create_buffer(ctx, max(length, 1) * 4)
+        cl.enqueue_write_buffer(queue, cbuf,
+                                np.zeros(max(length, 1), np.float32))
+        lo = cl.create_buffer(ctx, 8)
+        hi = cl.create_buffer(ctx, 8)
+        cl.enqueue_write_buffer(queue, lo,
+                                np.array([offset], np.int64))
+        cl.enqueue_write_buffer(queue, hi,
+                                np.array([offset + length], np.int64))
+        kernel = cl.create_kernel(program, "osem_compute_c_masked")
+        kernel.set_args(ebuf, fbuf, cbuf, lo, hi)
+        # every GPU processes ALL events: no event-dimension split
+        cl.enqueue_nd_range_kernel(queue, kernel, (n_events,),
+                                   scale_factor=scale_factor)
+        buf_cpart.append(cbuf)
+        # reuse the f buffer's block view for step 2
+        fpart = cl.create_buffer(ctx, max(length, 1) * 4)
+        cl.enqueue_write_buffer(queue, fpart,
+                                f32[offset:offset + length])
+        buf_fpart.append(fpart)
+        cl.release_mem_object(ebuf)
+        cl.release_mem_object(fbuf)
+        cl.release_mem_object(lo)
+        cl.release_mem_object(hi)
+
+    timeline.set_tag("step2")
+    for i, queue in enumerate(queues):
+        length = image_parts[i][1]
+        if not length:
+            continue
+        update = cl.create_kernel(program, "osem_update_f")
+        update.set_args(buf_fpart[i], buf_cpart[i])
+        cl.enqueue_nd_range_kernel(queue, update, (length,))
+
+    timeline.set_tag("download")
+    f_new = np.empty(img_size, np.float32)
+    for i, queue in enumerate(queues):
+        offset, length = image_parts[i]
+        if not length:
+            continue
+        part = np.empty(length, np.float32)
+        cl.enqueue_read_buffer(queue, buf_fpart[i], part).wait()
+        f_new[offset:offset + length] = part
+    for buf in buf_cpart + buf_fpart:
+        cl.release_mem_object(buf)
+    timeline.set_tag("")
+    return f_new.astype(f_host.dtype)

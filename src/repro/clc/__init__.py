@@ -1,0 +1,68 @@
+"""A miniature OpenCL-C compiler.
+
+This package gives the simulated OpenCL runtime (:mod:`repro.ocl`) its
+"compile kernels at runtime from source strings" capability, which is
+central to SkelCL's design: user functions arrive as plain strings, are
+merged with skeleton templates, and the merged source is built by the
+underlying OpenCL implementation.
+
+Pipeline: :func:`repro.clc.lexer.tokenize` →
+:func:`repro.clc.parser.parse` → :func:`repro.clc.typecheck.typecheck` →
+:func:`repro.clc.codegen.generate` (per-work-item Python), with
+:func:`repro.clc.vectorize.try_vectorize` as a fast path for
+straight-line elementwise functions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.clc import astnodes
+from repro.clc.codegen import CompiledFunction, CompiledUnit, generate
+from repro.clc.parser import parse, parse_function
+from repro.clc.typecheck import typecheck
+from repro.clc.types import (BOOL, CHAR, DOUBLE, FLOAT, INT, LONG,
+                             PointerType, SCALAR_TYPES, ScalarType,
+                             StructType, UINT, ULONG, VOID, dtype_to_ctype)
+from repro.clc.vectorize import try_vectorize
+
+__all__ = [
+    "compile_source", "Program", "CompiledFunction", "CompiledUnit",
+    "parse", "parse_function", "typecheck", "try_vectorize",
+    "ScalarType", "StructType", "PointerType", "dtype_to_ctype",
+    "BOOL", "CHAR", "INT", "UINT", "LONG", "ULONG", "FLOAT", "DOUBLE",
+    "VOID", "SCALAR_TYPES", "astnodes",
+]
+
+
+@dataclass
+class Program:
+    """A fully compiled translation unit plus its analysis products."""
+
+    source: str
+    unit: "astnodes.TranslationUnit"
+    compiled: CompiledUnit
+    #: per-function static op estimate (per work item)
+    op_counts: dict[str, float] = field(default_factory=dict)
+
+    @property
+    def kernels(self) -> dict[str, CompiledFunction]:
+        return self.compiled.kernels
+
+    @property
+    def functions(self) -> dict[str, CompiledFunction]:
+        return self.compiled.functions
+
+
+def compile_source(source: str) -> Program:
+    """Compile dialect source into executable Python functions.
+
+    Raises :class:`repro.errors.LexError`,
+    :class:`repro.errors.ParseError`, or
+    :class:`repro.errors.TypeCheckError` on invalid source.
+    """
+    unit = parse(source)
+    checker = typecheck(unit)
+    compiled = generate(unit, checker.op_counts)
+    return Program(source=source, unit=unit, compiled=compiled,
+                   op_counts=dict(checker.op_counts))

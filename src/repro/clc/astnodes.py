@@ -1,0 +1,220 @@
+"""AST node definitions for the mini OpenCL-C dialect.
+
+Nodes carry source positions for error messages.  The type checker
+annotates expression nodes in-place via their ``ctype`` attribute.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.clc.types import CType
+
+
+@dataclass
+class Node:
+    line: int = field(default=0, kw_only=True)
+    col: int = field(default=0, kw_only=True)
+
+
+# -- expressions -------------------------------------------------------------
+
+@dataclass
+class Expr(Node):
+    #: filled in by the type checker
+    ctype: Optional[CType] = field(default=None, kw_only=True, repr=False)
+
+
+@dataclass
+class IntLiteral(Expr):
+    value: int = 0
+    suffix: str = ""  # "u", "l", ...
+
+
+@dataclass
+class FloatLiteral(Expr):
+    value: float = 0.0
+    suffix: str = ""  # "f" for float32
+
+
+@dataclass
+class BoolLiteral(Expr):
+    value: bool = False
+
+
+@dataclass
+class Identifier(Expr):
+    name: str = ""
+
+
+@dataclass
+class Unary(Expr):
+    op: str = ""  # "-", "+", "!", "~", "&", "*"
+    operand: Expr | None = None
+
+
+@dataclass
+class PreIncDec(Expr):
+    op: str = ""  # "++" or "--"
+    operand: Expr | None = None
+
+
+@dataclass
+class PostIncDec(Expr):
+    op: str = ""
+    operand: Expr | None = None
+
+
+@dataclass
+class Binary(Expr):
+    op: str = ""
+    left: Expr | None = None
+    right: Expr | None = None
+
+
+@dataclass
+class Ternary(Expr):
+    cond: Expr | None = None
+    then: Expr | None = None
+    otherwise: Expr | None = None
+
+
+@dataclass
+class Assign(Expr):
+    op: str = "="  # "=", "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=", "<<=", ">>="
+    target: Expr | None = None
+    value: Expr | None = None
+
+
+@dataclass
+class Call(Expr):
+    name: str = ""
+    args: list[Expr] = field(default_factory=list)
+
+
+@dataclass
+class Index(Expr):
+    base: Expr | None = None
+    index: Expr | None = None
+
+
+@dataclass
+class Member(Expr):
+    base: Expr | None = None
+    member: str = ""
+    arrow: bool = False  # True for "->"
+
+
+@dataclass
+class Cast(Expr):
+    target_type: CType | None = None
+    operand: Expr | None = None
+
+
+# -- statements ----------------------------------------------------------------
+
+@dataclass
+class Stmt(Node):
+    pass
+
+
+@dataclass
+class Declarator(Node):
+    """One declared name within a declaration: ``x = init`` or ``arr[n]``."""
+
+    name: str = ""
+    init: Expr | None = None
+    array_size: Expr | None = None  # fixed-size local array, if any
+    pointer: bool = False
+
+
+@dataclass
+class DeclStmt(Stmt):
+    base_type: CType | None = None
+    declarators: list[Declarator] = field(default_factory=list)
+    #: "local" for ``__local`` work-group-shared declarations
+    address_space: str = ""
+
+
+@dataclass
+class ExprStmt(Stmt):
+    expr: Expr | None = None
+
+
+@dataclass
+class CompoundStmt(Stmt):
+    body: list[Stmt] = field(default_factory=list)
+
+
+@dataclass
+class IfStmt(Stmt):
+    cond: Expr | None = None
+    then: Stmt | None = None
+    otherwise: Stmt | None = None
+
+
+@dataclass
+class ForStmt(Stmt):
+    init: Stmt | None = None  # DeclStmt or ExprStmt or None
+    cond: Expr | None = None
+    step: Expr | None = None
+    body: Stmt | None = None
+
+
+@dataclass
+class WhileStmt(Stmt):
+    cond: Expr | None = None
+    body: Stmt | None = None
+
+
+@dataclass
+class DoWhileStmt(Stmt):
+    body: Stmt | None = None
+    cond: Expr | None = None
+
+
+@dataclass
+class ReturnStmt(Stmt):
+    value: Expr | None = None
+
+
+@dataclass
+class BreakStmt(Stmt):
+    pass
+
+
+@dataclass
+class ContinueStmt(Stmt):
+    pass
+
+
+# -- top level -----------------------------------------------------------------
+
+@dataclass
+class Param(Node):
+    name: str = ""
+    ctype: CType | None = None
+    address_space: str = ""  # "global", "local", "" (private)
+    is_const: bool = False
+
+
+@dataclass
+class FunctionDef(Node):
+    name: str = ""
+    return_type: CType | None = None
+    params: list[Param] = field(default_factory=list)
+    body: CompoundStmt | None = None
+    is_kernel: bool = False
+
+
+@dataclass
+class StructDef(Node):
+    name: str = ""
+    fields: list[Param] = field(default_factory=list)
+
+
+@dataclass
+class TranslationUnit(Node):
+    structs: list[StructDef] = field(default_factory=list)
+    functions: list[FunctionDef] = field(default_factory=list)

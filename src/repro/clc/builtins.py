@@ -1,0 +1,173 @@
+"""Built-in functions of the mini OpenCL-C dialect.
+
+Covers the work-item functions, the common math built-ins the paper's
+kernels use, integer helpers, and ``atomic_add``/``atomic_inc`` on
+global integer buffers.  ``barrier`` provides real work-group
+synchronization: the code generator turns barrier-containing kernel
+bodies into generators and the launcher advances a group's items in
+lockstep rounds (see :mod:`repro.clc.codegen`).
+
+Each builtin has a result-type rule and a Python implementation used by
+both the scalar (per-work-item) and the vectorized execution paths —
+numpy ufuncs behave identically for scalars and arrays.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.clc.types import (CType, FLOAT, INT, SIZE_T, UINT, VOID,
+                             promote)
+from repro.errors import TypeCheckError
+
+
+@dataclass(frozen=True)
+class Builtin:
+    """A built-in function: its typing rule and evaluator."""
+
+    name: str
+    arity: tuple[int, ...]
+    result_type: Callable[[Sequence[CType]], CType]
+    impl: Callable
+    #: approximate device cost in "simple operations" (for the timing model)
+    op_cost: float = 1.0
+
+
+def _float_result(args: Sequence[CType]) -> CType:
+    """Math builtins: float args stay float, ints promote to float."""
+    result: CType = FLOAT
+    for arg in args:
+        if arg.is_scalar and arg.is_float:
+            result = promote(result, arg)
+    return result
+
+
+def _same_as_args(args: Sequence[CType]) -> CType:
+    result = args[0]
+    for arg in args[1:]:
+        result = promote(result, arg)
+    return result
+
+
+def _fixed(ctype: CType) -> Callable[[Sequence[CType]], CType]:
+    return lambda args: ctype
+
+
+def _clamp(x, lo, hi):
+    return np.minimum(np.maximum(x, lo), hi)
+
+
+def _mad(a, b, c):
+    return a * b + c
+
+
+def _sign(x):
+    return np.sign(x)
+
+
+def _native(fn):
+    """OpenCL native_* variants: same math, modelled as cheaper."""
+    return fn
+
+
+_MATH_1 = {
+    "sqrt": (np.sqrt, 4.0), "rsqrt": (lambda x: 1.0 / np.sqrt(x), 5.0),
+    "fabs": (np.abs, 1.0), "exp": (np.exp, 8.0), "exp2": (np.exp2, 8.0),
+    "log": (np.log, 8.0), "log2": (np.log2, 8.0), "log10": (np.log10, 8.0),
+    "sin": (np.sin, 8.0), "cos": (np.cos, 8.0), "tan": (np.tan, 10.0),
+    "asin": (np.arcsin, 10.0), "acos": (np.arccos, 10.0),
+    "atan": (np.arctan, 10.0), "floor": (np.floor, 1.0),
+    "ceil": (np.ceil, 1.0), "trunc": (np.trunc, 1.0),
+    "round": (np.round, 1.0), "sign": (_sign, 1.0),
+}
+
+_MATH_2 = {
+    "pow": (np.power, 12.0), "fmin": (np.minimum, 1.0),
+    "fmax": (np.maximum, 1.0), "atan2": (np.arctan2, 12.0),
+    "fmod": (np.fmod, 4.0), "hypot": (np.hypot, 8.0),
+    "copysign": (np.copysign, 1.0),
+}
+
+
+def _int_abs(x):
+    return np.abs(x)
+
+
+def _build_table() -> dict[str, Builtin]:
+    table: dict[str, Builtin] = {}
+
+    def add(b: Builtin) -> None:
+        table[b.name] = b
+
+    for name, (fn, cost) in _MATH_1.items():
+        add(Builtin(name, (1,), _float_result, fn, cost))
+        add(Builtin(f"native_{name}", (1,), _float_result, _native(fn),
+                    max(1.0, cost / 2)))
+    for name, (fn, cost) in _MATH_2.items():
+        add(Builtin(name, (2,), _float_result, fn, cost))
+
+    add(Builtin("min", (2,), _same_as_args, np.minimum, 1.0))
+    add(Builtin("max", (2,), _same_as_args, np.maximum, 1.0))
+    add(Builtin("abs", (1,), _same_as_args, _int_abs, 1.0))
+    add(Builtin("clamp", (3,), _same_as_args, _clamp, 2.0))
+    add(Builtin("mad", (3,), _float_result, _mad, 1.0))
+    add(Builtin("fma", (3,), _float_result, _mad, 1.0))
+    add(Builtin("native_divide", (2,), _float_result,
+                lambda a, b: a / b, 2.0))
+    add(Builtin("isnan", (1,), _fixed(INT), lambda x: np.isnan(x), 1.0))
+    add(Builtin("isinf", (1,), _fixed(INT), lambda x: np.isinf(x), 1.0))
+
+    # Work-item functions: implementations are placeholders — the code
+    # generator rewrites these calls to read the per-item context, so the
+    # impl is only consulted for typing.
+    for name in ("get_global_id", "get_local_id", "get_group_id",
+                 "get_global_size", "get_local_size", "get_num_groups"):
+        add(Builtin(name, (1,), _fixed(SIZE_T), None, 0.0))
+    add(Builtin("get_work_dim", (0,), _fixed(UINT), None, 0.0))
+
+    # Synchronization / atomics: rewritten by codegen as well.
+    add(Builtin("barrier", (0, 1), _fixed(VOID), None, 0.0))
+    add(Builtin("atomic_add", (2,), _same_as_args, None, 4.0))
+    add(Builtin("atomic_sub", (2,), _same_as_args, None, 4.0))
+    add(Builtin("atomic_inc", (1,), _same_as_args, None, 4.0))
+
+    return table
+
+
+BUILTINS: dict[str, Builtin] = _build_table()
+
+#: names whose calls the code generator rewrites rather than dispatching
+#: through the builtin table's ``impl``
+WORK_ITEM_FUNCTIONS = {
+    "get_global_id", "get_local_id", "get_group_id", "get_global_size",
+    "get_local_size", "get_num_groups", "get_work_dim",
+}
+ATOMIC_FUNCTIONS = {"atomic_add", "atomic_sub", "atomic_inc"}
+
+
+def builtin_result_type(name: str, args: Sequence[CType], line: int,
+                        col: int) -> CType:
+    """Type a builtin call, raising :class:`TypeCheckError` on misuse."""
+    builtin = BUILTINS.get(name)
+    if builtin is None:
+        raise TypeCheckError(f"unknown function {name!r}", line, col)
+    if len(args) not in builtin.arity:
+        raise TypeCheckError(
+            f"{name} expects {' or '.join(map(str, builtin.arity))} "
+            f"argument(s), got {len(args)}", line, col)
+    if name in ATOMIC_FUNCTIONS:
+        first = args[0]
+        if not (first.is_pointer and first.pointee.is_scalar):  # type: ignore[attr-defined]
+            raise TypeCheckError(
+                f"{name} expects a pointer first argument", line, col)
+        return first.pointee  # type: ignore[attr-defined]
+    if name == "barrier":
+        return VOID
+    scalar_args = [a for a in args if a.is_scalar]
+    if len(scalar_args) != len(args):
+        raise TypeCheckError(
+            f"{name} expects scalar arguments", line, col)
+    return builtin.result_type(args)

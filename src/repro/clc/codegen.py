@@ -1,0 +1,584 @@
+"""Python code generation for the mini OpenCL-C dialect.
+
+Each C function becomes a Python function; each ``__kernel`` function
+additionally gets a launcher that iterates the NDRange work group by
+work group.  Barrier-free bodies execute eagerly per item; bodies
+containing ``barrier()`` compile to generators yielding at each
+barrier, and the launcher advances all items of a work group in
+lockstep rounds — real work-group synchronization, sufficient for the
+classic staged-reduction and local-memory-tiling idioms (``__local``
+arrays are shared per work group through the item context).
+
+Numeric model: C ``float``/``double`` compute in Python floats
+(float64); stores into ``float`` buffers round to float32 on
+assignment, matching OpenCL results within rounding tolerance.  Integer
+division/modulo use C truncation semantics via helpers.  Fixed-width
+integer overflow is not emulated (none of the paper's kernels rely on
+it).
+"""
+
+from __future__ import annotations
+
+from collections import namedtuple
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+import numpy as np
+
+from repro.clc import astnodes as ast
+from repro.clc.builtins import (ATOMIC_FUNCTIONS, BUILTINS,
+                                WORK_ITEM_FUNCTIONS)
+from repro.clc.types import CType, ScalarType, StructType
+from repro.errors import ClcError, InterpError
+
+WorkItem = namedtuple("WorkItem",
+                      ["gid", "lid", "grp", "gsz", "lsz", "wg"])
+WorkItem.__new__.__defaults__ = (None,)  # wg: work-group shared dict
+
+
+# -- runtime helpers injected into the generated module's namespace -----------
+
+def _idiv(a, b):
+    """C integer division: truncation toward zero."""
+    q = abs(int(a)) // abs(int(b))
+    return -q if (a < 0) != (b < 0) else q
+
+
+def _imod(a, b):
+    """C integer modulo: sign of the dividend."""
+    return int(a) - _idiv(a, b) * int(b)
+
+
+def _as_int(x):
+    """C cast-to-integer: truncation toward zero."""
+    return int(x)
+
+
+def _struct_copy(value):
+    """Value-copy semantics for struct assignment/initialization.
+
+    ``np.array(void_scalar, copy=True)`` keeps a view of the parent
+    array's memory, so an explicit fresh 0-d array is filled instead.
+    """
+    src = np.asarray(value)
+    out = np.zeros((), dtype=src.dtype)
+    out[()] = value
+    return out
+
+
+def _atomic_add(arr, idx, value):
+    old = arr[idx]
+    arr[idx] = old + value
+    return old
+
+
+def _atomic_sub(arr, idx, value):
+    old = arr[idx]
+    arr[idx] = old - value
+    return old
+
+
+def _atomic_inc(arr, idx):
+    old = arr[idx]
+    arr[idx] = old + 1
+    return old
+
+
+_ATOMIC_IMPLS = {"atomic_add": "_atomic_add", "atomic_sub": "_atomic_sub",
+                 "atomic_inc": "_atomic_inc"}
+
+_WI_ACCESS = {
+    "get_global_id": "_wi.gid",
+    "get_local_id": "_wi.lid",
+    "get_group_id": "_wi.grp",
+    "get_global_size": "_wi.gsz",
+    "get_local_size": "_wi.lsz",
+}
+
+
+@dataclass
+class CompiledFunction:
+    """One compiled C function: metadata plus its Python callable."""
+
+    name: str
+    callable: Callable
+    param_types: list[CType]
+    return_type: CType
+    is_kernel: bool
+    #: static per-work-item op estimate from the type checker
+    op_count: float = 1.0
+
+
+@dataclass
+class CompiledUnit:
+    """All functions of a compiled translation unit."""
+
+    kernels: dict[str, CompiledFunction] = field(default_factory=dict)
+    functions: dict[str, CompiledFunction] = field(default_factory=dict)
+    structs: dict[str, StructType] = field(default_factory=dict)
+    python_source: str = ""
+
+
+class _Emitter:
+    def __init__(self) -> None:
+        self.lines: list[str] = []
+        self.indent = 0
+
+    def emit(self, line: str) -> None:
+        self.lines.append("    " * self.indent + line)
+
+    def source(self) -> str:
+        return "\n".join(self.lines) + "\n"
+
+
+class CodeGenerator:
+    """Generates a Python module for one type-checked translation unit."""
+
+    def __init__(self, unit: ast.TranslationUnit,
+                 op_counts: dict[str, float]) -> None:
+        self.unit = unit
+        self.op_counts = op_counts
+        self.user_functions = {f.name for f in unit.functions}
+        self._emitter = _Emitter()
+        #: stack of "step" source lines for the innermost C loop, used to
+        #: give ``continue`` correct C semantics (run the step first)
+        self._loop_steps: list[list[str]] = []
+
+    # -- public entry ---------------------------------------------------------
+
+    def generate(self) -> CompiledUnit:
+        emitter = self._emitter
+        for func in self.unit.functions:
+            self._gen_function(func)
+            emitter.emit("")
+        source = emitter.source()
+        namespace: dict[str, Any] = {
+            "np": np,
+            "WorkItem": WorkItem,
+            "_idiv": _idiv, "_imod": _imod, "_as_int": _as_int,
+            "_struct_copy": _struct_copy,
+            "_atomic_add": _atomic_add, "_atomic_sub": _atomic_sub,
+            "_atomic_inc": _atomic_inc,
+            "InterpError": InterpError,
+        }
+        for name, builtin in BUILTINS.items():
+            if builtin.impl is not None:
+                namespace[f"_bi_{name}"] = builtin.impl
+        try:
+            exec(compile(source, "<clc-codegen>", "exec"), namespace)
+        except SyntaxError as exc:  # pragma: no cover - codegen bug guard
+            raise ClcError(f"internal codegen error: {exc}\n{source}")
+        compiled = CompiledUnit(python_source=source)
+        for func in self.unit.functions:
+            py_fn = namespace[f"_fn_{func.name}"]
+            record = CompiledFunction(
+                name=func.name, callable=py_fn,
+                param_types=[p.ctype for p in func.params],
+                return_type=func.return_type, is_kernel=func.is_kernel,
+                op_count=self.op_counts.get(func.name, 1.0))
+            compiled.functions[func.name] = record
+            if func.is_kernel:
+                launcher = namespace[f"_kernel_{func.name}"]
+                compiled.kernels[func.name] = CompiledFunction(
+                    name=func.name, callable=launcher,
+                    param_types=record.param_types,
+                    return_type=record.return_type, is_kernel=True,
+                    op_count=record.op_count)
+        return compiled
+
+    # -- functions -------------------------------------------------------------
+
+    def _gen_function(self, func: ast.FunctionDef) -> None:
+        e = self._emitter
+        params = ", ".join(f"v_{p.name}" for p in func.params)
+        sep = ", " if params else ""
+        e.emit(f"def _fn_{func.name}({params}{sep}_wi=None):")
+        e.indent += 1
+        body_stmts = func.body.body if func.body else []
+        if not body_stmts:
+            e.emit("pass")
+        else:
+            for stmt in body_stmts:
+                self._gen_stmt(stmt)
+        e.indent -= 1
+        if func.is_kernel:
+            e.emit("")
+            self._gen_kernel_launcher(func)
+
+    def _gen_kernel_launcher(self, func: ast.FunctionDef) -> None:
+        e = self._emitter
+        args = ", ".join(f"_args[{i}]" for i in range(len(func.params)))
+        sep = ", " if args else ""
+        e.emit(f"def _kernel_{func.name}(_args, _gsize, _lsize):")
+        e.indent += 1
+        e.emit(f"if len(_args) != {len(func.params)}:")
+        e.indent += 1
+        e.emit(f"raise InterpError('kernel {func.name} expects "
+               f"{len(func.params)} args, got %d' % len(_args))")
+        e.indent -= 1
+        # Work items execute group by group.  Barrier-free bodies run
+        # eagerly at call time; bodies containing barrier() compile to
+        # generators that yield at each barrier, and all items of a
+        # group advance in lockstep rounds between barriers.
+        e.emit("_ngrp = tuple(g // l for g, l in zip(_gsize, _lsize))")
+        e.emit("for _grp in np.ndindex(*_ngrp):")
+        e.indent += 1
+        e.emit("_wg = {}")
+        e.emit("_pending = []")
+        e.emit("for _lid in np.ndindex(*_lsize):")
+        e.indent += 1
+        e.emit("_idx = tuple(g * l + i for g, l, i in "
+               "zip(_grp, _lsize, _lid))")
+        e.emit("_wi = WorkItem(gid=_idx, lid=_lid, grp=_grp, "
+               "gsz=_gsize, lsz=_lsize, wg=_wg)")
+        e.emit(f"_r = _fn_{func.name}({args}{sep}_wi=_wi)")
+        e.emit("if _r is not None and hasattr(_r, '__next__'):")
+        e.indent += 1
+        e.emit("_pending.append(_r)")
+        e.indent -= 2
+        e.emit("while _pending:")
+        e.indent += 1
+        e.emit("_nxt = []")
+        e.emit("for _g in _pending:")
+        e.indent += 1
+        e.emit("try:")
+        e.indent += 1
+        e.emit("next(_g)")
+        e.emit("_nxt.append(_g)")
+        e.indent -= 1
+        e.emit("except StopIteration:")
+        e.indent += 1
+        e.emit("pass")
+        e.indent -= 2
+        e.emit("_pending = _nxt")
+        e.indent -= 2
+
+    # -- statements --------------------------------------------------------------
+
+    def _gen_stmt(self, stmt: ast.Stmt) -> None:
+        e = self._emitter
+        if isinstance(stmt, ast.CompoundStmt):
+            if not stmt.body:
+                e.emit("pass")
+            for sub in stmt.body:
+                self._gen_stmt(sub)
+            return
+        if isinstance(stmt, ast.DeclStmt):
+            self._gen_decl(stmt)
+            return
+        if isinstance(stmt, ast.ExprStmt):
+            self._gen_expr_stmt(stmt.expr)
+            return
+        if isinstance(stmt, ast.IfStmt):
+            e.emit(f"if {self._expr(stmt.cond)}:")
+            e.indent += 1
+            self._gen_stmt(stmt.then)
+            e.indent -= 1
+            if stmt.otherwise is not None:
+                e.emit("else:")
+                e.indent += 1
+                self._gen_stmt(stmt.otherwise)
+                e.indent -= 1
+            return
+        if isinstance(stmt, ast.ForStmt):
+            if stmt.init is not None:
+                self._gen_stmt(stmt.init)
+            cond = self._expr(stmt.cond) if stmt.cond is not None else "True"
+            e.emit(f"while {cond}:")
+            e.indent += 1
+            step_lines = self._capture_step(stmt.step)
+            self._loop_steps.append(step_lines)
+            self._gen_stmt(stmt.body)
+            self._loop_steps.pop()
+            for line in step_lines:
+                e.emit(line)
+            e.indent -= 1
+            return
+        if isinstance(stmt, ast.WhileStmt):
+            e.emit(f"while {self._expr(stmt.cond)}:")
+            e.indent += 1
+            self._loop_steps.append([])
+            self._gen_stmt(stmt.body)
+            self._loop_steps.pop()
+            e.indent -= 1
+            return
+        if isinstance(stmt, ast.DoWhileStmt):
+            e.emit("while True:")
+            e.indent += 1
+            exit_line = f"if not ({self._expr(stmt.cond)}): break"
+            self._loop_steps.append([exit_line])
+            self._gen_stmt(stmt.body)
+            self._loop_steps.pop()
+            e.emit(exit_line)
+            e.indent -= 1
+            return
+        if isinstance(stmt, ast.ReturnStmt):
+            if stmt.value is None:
+                e.emit("return None")
+            else:
+                e.emit(f"return {self._expr(stmt.value)}")
+            return
+        if isinstance(stmt, ast.BreakStmt):
+            e.emit("break")
+            return
+        if isinstance(stmt, ast.ContinueStmt):
+            # C continue runs the for-step (or do-while test) first.
+            for line in (self._loop_steps[-1] if self._loop_steps else []):
+                e.emit(line)
+            e.emit("continue")
+            return
+        raise ClcError(f"codegen: unsupported statement "
+                       f"{type(stmt).__name__}", stmt.line, stmt.col)
+
+    def _capture_step(self, step: ast.Expr | None) -> list[str]:
+        """Render the for-step expression as statement lines."""
+        if step is None:
+            return []
+        sub = CodeGenerator(self.unit, self.op_counts)
+        sub._loop_steps = []
+        sub._gen_expr_stmt(step)
+        return sub._emitter.lines
+
+    def _gen_decl(self, stmt: ast.DeclStmt) -> None:
+        e = self._emitter
+        for decl in stmt.declarators:
+            name = f"v_{decl.name}"
+            base = stmt.base_type
+            if decl.array_size is not None:
+                dtype = self._np_dtype_expr(base)
+                size = self._expr(decl.array_size)
+                if stmt.address_space == "local":
+                    # __local arrays are shared by the work group: the
+                    # first item allocates, the rest reuse
+                    e.emit(f"{name} = _wi.wg.setdefault("
+                           f"{decl.name!r}, np.zeros({size}, "
+                           f"dtype={dtype}))")
+                else:
+                    e.emit(f"{name} = np.zeros({size}, dtype={dtype})")
+                continue
+            if decl.init is not None:
+                init = self._expr(decl.init)
+                if isinstance(base, StructType) and not decl.pointer:
+                    e.emit(f"{name} = _struct_copy({init})")
+                elif isinstance(base, ScalarType) and not decl.pointer:
+                    e.emit(f"{name} = {self._scalar_coerce(base, init)}")
+                else:
+                    e.emit(f"{name} = {init}")
+            else:
+                if isinstance(base, StructType) and not decl.pointer:
+                    dtype = self._np_dtype_expr(base)
+                    e.emit(f"{name} = np.zeros((), dtype={dtype})")
+                elif isinstance(base, ScalarType) and base.is_float:
+                    e.emit(f"{name} = 0.0")
+                else:
+                    e.emit(f"{name} = 0")
+
+    def _gen_expr_stmt(self, expr: ast.Expr) -> None:
+        e = self._emitter
+        if isinstance(expr, ast.Assign):
+            self._gen_assign(expr)
+            return
+        if isinstance(expr, (ast.PreIncDec, ast.PostIncDec)):
+            target = self._lvalue(expr.operand)
+            op = "+" if expr.op == "++" else "-"
+            e.emit(f"{target} {op}= 1")
+            return
+        if isinstance(expr, ast.Binary) and expr.op == ",":
+            self._gen_expr_stmt(expr.left)
+            self._gen_expr_stmt(expr.right)
+            return
+        if isinstance(expr, ast.Call) and expr.name == "barrier":
+            # work-group synchronization point: the body becomes a
+            # generator and the launcher advances items in lockstep
+            e.emit("yield")
+            return
+        e.emit(self._expr(expr))
+
+    def _gen_assign(self, expr: ast.Assign) -> None:
+        e = self._emitter
+        target = self._lvalue(expr.target)
+        value = self._expr(expr.value)
+        if expr.op == "=":
+            ttype = expr.target.ctype
+            if isinstance(ttype, StructType):
+                e.emit(f"{target} = _struct_copy({value})")
+            elif (isinstance(expr.target, ast.Identifier)
+                  and isinstance(ttype, ScalarType)):
+                e.emit(f"{target} = {self._scalar_coerce(ttype, value)}")
+            else:
+                e.emit(f"{target} = {value}")
+            return
+        base_op = expr.op[:-1]
+        ttype = expr.target.ctype
+        if (base_op in ("/", "%") and ttype is not None
+                and ttype.is_integer and expr.value.ctype is not None
+                and expr.value.ctype.is_integer):
+            helper = "_idiv" if base_op == "/" else "_imod"
+            e.emit(f"{target} = {helper}({target}, {value})")
+            return
+        py_op = {"<<": "<<", ">>": ">>"}.get(base_op, base_op)
+        e.emit(f"{target} {py_op}= {value}")
+
+    # -- expressions -----------------------------------------------------------------
+
+    def _expr(self, expr: ast.Expr) -> str:
+        if isinstance(expr, ast.IntLiteral):
+            return repr(expr.value)
+        if isinstance(expr, ast.FloatLiteral):
+            return repr(expr.value)
+        if isinstance(expr, ast.BoolLiteral):
+            return "True" if expr.value else "False"
+        if isinstance(expr, ast.Identifier):
+            return f"v_{expr.name}"
+        if isinstance(expr, ast.Unary):
+            return self._unary(expr)
+        if isinstance(expr, ast.Binary):
+            return self._binary(expr)
+        if isinstance(expr, ast.Ternary):
+            return (f"({self._expr(expr.then)} if {self._expr(expr.cond)} "
+                    f"else {self._expr(expr.otherwise)})")
+        if isinstance(expr, ast.Call):
+            return self._call(expr)
+        if isinstance(expr, ast.Index):
+            base_t = expr.base.ctype
+            elem = (f"{self._expr(expr.base)}"
+                    f"[{self._index_expr(expr.index)}]")
+            return elem
+        if isinstance(expr, ast.Member):
+            return f"{self._expr(expr.base)}[{expr.member!r}]"
+        if isinstance(expr, ast.Cast):
+            return self._cast(expr)
+        if isinstance(expr, (ast.Assign, ast.PreIncDec, ast.PostIncDec)):
+            raise ClcError(
+                "assignment/increment used as a value is not supported by "
+                "this dialect; split the statement", expr.line, expr.col)
+        raise ClcError(f"codegen: unsupported expression "
+                       f"{type(expr).__name__}", expr.line, expr.col)
+
+    def _index_expr(self, index: ast.Expr) -> str:
+        """Indices must be Python ints (numpy rejects float indices)."""
+        text = self._expr(index)
+        if isinstance(index, (ast.IntLiteral, ast.Identifier)):
+            return text if isinstance(index, ast.IntLiteral) else f"int({text})"
+        return f"int({text})"
+
+    def _unary(self, expr: ast.Unary) -> str:
+        operand = self._expr(expr.operand)
+        if expr.op == "!":
+            return f"(not {operand})"
+        if expr.op == "&":
+            # Only reachable for atomics (checked by the type checker);
+            # rendered as-is only for error clarity if it leaks through.
+            raise ClcError("& outside an atomic call is not supported",
+                           expr.line, expr.col)
+        if expr.op == "*":
+            return f"{operand}[0]"
+        return f"({expr.op}{operand})"
+
+    def _binary(self, expr: ast.Binary) -> str:
+        left = self._expr(expr.left)
+        right = self._expr(expr.right)
+        op = expr.op
+        if op == ",":
+            raise ClcError("comma expression used as a value is not "
+                           "supported", expr.line, expr.col)
+        lt, rt = expr.left.ctype, expr.right.ctype
+        if op == "/" and lt is not None and rt is not None \
+                and lt.is_integer and rt.is_integer:
+            return f"_idiv({left}, {right})"
+        if op == "%":
+            return f"_imod({left}, {right})"
+        if op in ("&&", "||"):
+            py = "and" if op == "&&" else "or"
+            return f"(bool({left}) {py} bool({right}))"
+        if op in ("+",) and lt is not None and lt.is_pointer \
+                and rt is not None and rt.is_integer:
+            return f"{left}[int({right}):]"
+        if op in ("+",) and rt is not None and rt.is_pointer \
+                and lt is not None and lt.is_integer:
+            return f"{right}[int({left}):]"
+        if op == "-" and lt is not None and lt.is_pointer \
+                and rt is not None and rt.is_integer:
+            raise ClcError("negative pointer arithmetic is not supported",
+                           expr.line, expr.col)
+        return f"({left} {op} {right})"
+
+    def _call(self, expr: ast.Call) -> str:
+        name = expr.name
+        if name in WORK_ITEM_FUNCTIONS:
+            if name == "get_work_dim":
+                return "len(_wi.gid)"
+            if name == "get_num_groups":
+                dim = self._expr(expr.args[0])
+                return f"(_wi.gsz[int({dim})] // _wi.lsz[int({dim})])"
+            dim = self._expr(expr.args[0])
+            return f"{_WI_ACCESS[name]}[int({dim})]"
+        if name in ATOMIC_FUNCTIONS:
+            addr = expr.args[0]
+            assert isinstance(addr, ast.Unary) and isinstance(
+                addr.operand, ast.Index)
+            arr = self._expr(addr.operand.base)
+            idx = self._index_expr(addr.operand.index)
+            rest = ", ".join(self._expr(a) for a in expr.args[1:])
+            sep = ", " if rest else ""
+            return f"{_ATOMIC_IMPLS[name]}({arr}, {idx}{sep}{rest})"
+        if name == "barrier":
+            return "None"
+        args = ", ".join(self._expr(a) for a in expr.args)
+        if name in self.user_functions:
+            sep = ", " if args else ""
+            return f"_fn_{name}({args}{sep}_wi=_wi)"
+        return f"_bi_{name}({args})"
+
+    def _cast(self, expr: ast.Cast) -> str:
+        operand = self._expr(expr.operand)
+        target = expr.target_type
+        if isinstance(target, ScalarType):
+            return self._scalar_coerce(target, operand)
+        return operand  # pointer casts: no-op in the simulator
+
+    @staticmethod
+    def _scalar_coerce(ctype: ScalarType, value_expr: str) -> str:
+        if ctype.name == "bool":
+            return f"bool({value_expr})"
+        if ctype.is_integer:
+            return f"_as_int({value_expr})"
+        return f"float({value_expr})"
+
+    # -- lvalues -----------------------------------------------------------------------
+
+    def _lvalue(self, expr: ast.Expr) -> str:
+        if isinstance(expr, ast.Identifier):
+            return f"v_{expr.name}"
+        if isinstance(expr, ast.Index):
+            return f"{self._expr(expr.base)}[{self._index_expr(expr.index)}]"
+        if isinstance(expr, ast.Member):
+            return f"{self._expr(expr.base)}[{expr.member!r}]"
+        if isinstance(expr, ast.Unary) and expr.op == "*":
+            return f"{self._expr(expr.operand)}[0]"
+        raise ClcError("unsupported assignment target", expr.line, expr.col)
+
+    def _np_dtype_expr(self, ctype: CType) -> str:
+        if isinstance(ctype, ScalarType):
+            return f"np.dtype({ctype.np_dtype!r})"
+        if isinstance(ctype, StructType):
+            return f"np.dtype({_dtype_descr(ctype)!r})"
+        raise ClcError(f"cannot allocate array of {ctype}")
+
+
+def _dtype_descr(struct: StructType) -> list[tuple[str, str]]:
+    descr = []
+    for fname, ftype in struct.fields:
+        if isinstance(ftype, ScalarType):
+            descr.append((fname, ftype.np_dtype))
+        else:
+            raise ClcError(
+                f"nested struct field {struct.name}.{fname} not supported "
+                "for local arrays")
+    return descr
+
+
+def generate(unit: ast.TranslationUnit,
+             op_counts: dict[str, float]) -> CompiledUnit:
+    """Generate and exec Python code for a type-checked unit."""
+    return CodeGenerator(unit, op_counts).generate()

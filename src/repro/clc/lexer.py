@@ -1,0 +1,197 @@
+"""Tokenizer for the mini OpenCL-C dialect."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.errors import LexError
+
+KEYWORDS = {
+    "if", "else", "for", "while", "do", "return", "break", "continue",
+    "struct", "typedef", "const", "void", "true", "false",
+    "kernel", "__kernel", "global", "__global", "local", "__local",
+    "private", "__private", "constant", "__constant", "unsigned", "signed",
+}
+
+# Longest first so the scanner is greedy.
+OPERATORS = [
+    "<<=", ">>=",
+    "==", "!=", "<=", ">=", "&&", "||", "<<", ">>", "+=", "-=", "*=", "/=",
+    "%=", "&=", "|=", "^=", "++", "--", "->",
+    "+", "-", "*", "/", "%", "=", "<", ">", "!", "~", "&", "|", "^", "?",
+    ":", ";", ",", ".", "(", ")", "[", "]", "{", "}",
+]
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: str  # "id", "keyword", "int", "float", "op", "eof"
+    text: str
+    line: int
+    col: int
+
+    def __repr__(self) -> str:
+        return f"Token({self.kind}, {self.text!r}, {self.line}:{self.col})"
+
+
+def tokenize(source: str) -> list[Token]:
+    """Tokenize *source*, raising :class:`LexError` on invalid input.
+
+    Object-like ``#define NAME replacement`` macros are expanded
+    (single pass, no function-like macros, no redefinition), covering
+    the constant-definition usage OpenCL kernels rely on.
+    """
+    source, macros = _strip_defines(source)
+    tokens = list(_scan(source))
+    if not macros:
+        return tokens
+    expanded: list[Token] = []
+    for tok in tokens:
+        if tok.kind == "id" and tok.text in macros:
+            for rep in macros[tok.text]:
+                expanded.append(Token(rep.kind, rep.text, tok.line,
+                                      tok.col))
+        else:
+            expanded.append(tok)
+    return expanded
+
+
+def _strip_defines(source: str) -> tuple[str, dict[str, list[Token]]]:
+    """Remove #define lines, returning blanked source + macro table."""
+    macros: dict[str, list[Token]] = {}
+    out_lines = []
+    for lineno, line in enumerate(source.splitlines(), start=1):
+        stripped = line.lstrip()
+        if not stripped.startswith("#define"):
+            out_lines.append(line)
+            continue
+        body = stripped[len("#define"):].strip()
+        parts = body.split(None, 1)
+        if not parts:
+            raise LexError("#define needs a name", lineno, 1)
+        name = parts[0]
+        if "(" in name:
+            raise LexError("function-like macros are not supported",
+                           lineno, 1)
+        if not (name[0].isalpha() or name[0] == "_") \
+                or not all(c.isalnum() or c == "_" for c in name):
+            raise LexError(f"invalid macro name {name!r}", lineno, 1)
+        if name in macros:
+            raise LexError(f"macro {name!r} redefined", lineno, 1)
+        replacement = parts[1] if len(parts) > 1 else ""
+        rep_tokens = [t for t in _scan(replacement) if t.kind != "eof"]
+        for tok in rep_tokens:
+            if tok.kind == "id" and tok.text in macros:
+                raise LexError(
+                    f"macro {name!r} refers to macro {tok.text!r}; "
+                    "nested expansion is not supported", lineno, 1)
+        macros[name] = rep_tokens
+        out_lines.append("")  # keep line numbers stable
+    return "\n".join(out_lines), macros
+
+
+def _scan(source: str) -> Iterator[Token]:
+    i = 0
+    line = 1
+    col = 1
+    n = len(source)
+
+    def advance(count: int) -> None:
+        nonlocal i, line, col
+        for _ in range(count):
+            if i < n and source[i] == "\n":
+                line += 1
+                col = 1
+            else:
+                col += 1
+            i += 1
+
+    while i < n:
+        ch = source[i]
+        # whitespace
+        if ch in " \t\r\n":
+            advance(1)
+            continue
+        # comments
+        if source.startswith("//", i):
+            end = source.find("\n", i)
+            advance((end if end != -1 else n) - i)
+            continue
+        if source.startswith("/*", i):
+            end = source.find("*/", i + 2)
+            if end == -1:
+                raise LexError("unterminated block comment", line, col)
+            advance(end + 2 - i)
+            continue
+        # preprocessor: #pragma is skipped; #define handled by tokenize()
+        if ch == "#":
+            end = source.find("\n", i)
+            directive = source[i:(end if end != -1 else n)]
+            if not directive.startswith("#pragma"):
+                raise LexError(f"unsupported preprocessor directive: "
+                               f"{directive.split()[0]}", line, col)
+            advance((end if end != -1 else n) - i)
+            continue
+        tok_line, tok_col = line, col
+        # numbers
+        if ch.isdigit() or (ch == "." and i + 1 < n and source[i + 1].isdigit()):
+            j = i
+            is_float = False
+            if source.startswith(("0x", "0X"), i):
+                j = i + 2
+                while j < n and (source[j] in "0123456789abcdefABCDEF"):
+                    j += 1
+                text = source[i:j]
+                suffix = ""
+                while j < n and source[j] in "uUlL":
+                    suffix += source[j].lower()
+                    j += 1
+                advance(j - i)
+                yield Token("int", text + suffix, tok_line, tok_col)
+                continue
+            while j < n and source[j].isdigit():
+                j += 1
+            if j < n and source[j] == ".":
+                is_float = True
+                j += 1
+                while j < n and source[j].isdigit():
+                    j += 1
+            if j < n and source[j] in "eE":
+                k = j + 1
+                if k < n and source[k] in "+-":
+                    k += 1
+                if k < n and source[k].isdigit():
+                    is_float = True
+                    j = k
+                    while j < n and source[j].isdigit():
+                        j += 1
+            suffix = ""
+            while j < n and source[j] in "fFuUlL":
+                suffix += source[j].lower()
+                j += 1
+            if "f" in suffix:
+                is_float = True
+            text = source[i:j]
+            advance(j - i)
+            yield Token("float" if is_float else "int", text, tok_line, tok_col)
+            continue
+        # identifiers / keywords
+        if ch.isalpha() or ch == "_":
+            j = i
+            while j < n and (source[j].isalnum() or source[j] == "_"):
+                j += 1
+            text = source[i:j]
+            advance(j - i)
+            kind = "keyword" if text in KEYWORDS else "id"
+            yield Token(kind, text, tok_line, tok_col)
+            continue
+        # operators / punctuation
+        for op in OPERATORS:
+            if source.startswith(op, i):
+                advance(len(op))
+                yield Token("op", op, tok_line, tok_col)
+                break
+        else:
+            raise LexError(f"invalid character {ch!r}", line, col)
+    yield Token("eof", "", line, col)

@@ -1,0 +1,541 @@
+"""Recursive-descent parser for the mini OpenCL-C dialect.
+
+The grammar is a pragmatic C subset: struct definitions, function
+definitions (optionally ``__kernel``), the usual statements, and a full
+C expression grammar with precedence climbing.  Unsupported C features
+(function pointers, unions, goto, switch, multi-dimensional arrays)
+produce :class:`ParseError` with a source position.
+"""
+
+from __future__ import annotations
+
+from repro.clc import astnodes as ast
+from repro.clc.lexer import Token, tokenize
+from repro.clc.types import (CType, PointerType, SCALAR_TYPES, StructType,
+                             VOID)
+from repro.errors import ParseError
+
+_ASSIGN_OPS = {"=", "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=", "<<=",
+               ">>="}
+
+# binary precedence table: higher binds tighter
+_BINARY_PRECEDENCE = {
+    "||": 1,
+    "&&": 2,
+    "|": 3,
+    "^": 4,
+    "&": 5,
+    "==": 6, "!=": 6,
+    "<": 7, ">": 7, "<=": 7, ">=": 7,
+    "<<": 8, ">>": 8,
+    "+": 9, "-": 9,
+    "*": 10, "/": 10, "%": 10,
+}
+
+_ADDRESS_SPACES = {
+    "global": "global", "__global": "global",
+    "local": "local", "__local": "local",
+    "constant": "constant", "__constant": "constant",
+    "private": "private", "__private": "private",
+}
+
+
+class Parser:
+    """One-shot parser; use :func:`parse`."""
+
+    def __init__(self, source: str) -> None:
+        self._tokens = tokenize(source)
+        self._pos = 0
+        #: struct tag/typedef name -> StructType, grown as definitions parse
+        self.struct_types: dict[str, StructType] = {}
+
+    # -- token helpers -------------------------------------------------------
+
+    def _peek(self, offset: int = 0) -> Token:
+        idx = min(self._pos + offset, len(self._tokens) - 1)
+        return self._tokens[idx]
+
+    def _next(self) -> Token:
+        tok = self._tokens[self._pos]
+        if tok.kind != "eof":
+            self._pos += 1
+        return tok
+
+    def _accept(self, kind: str, text: str | None = None) -> Token | None:
+        tok = self._peek()
+        if tok.kind == kind and (text is None or tok.text == text):
+            return self._next()
+        return None
+
+    def _expect(self, kind: str, text: str | None = None) -> Token:
+        tok = self._peek()
+        if tok.kind != kind or (text is not None and tok.text != text):
+            want = text if text is not None else kind
+            raise ParseError(f"expected {want!r}, found {tok.text!r}",
+                             tok.line, tok.col)
+        return self._next()
+
+    # -- type parsing ----------------------------------------------------------
+
+    def _at_type(self) -> bool:
+        tok = self._peek()
+        if tok.kind == "keyword" and tok.text in ("struct", "const",
+                                                  "unsigned", "signed",
+                                                  "void"):
+            return True
+        if tok.kind == "keyword" and tok.text in _ADDRESS_SPACES:
+            return True
+        if tok.kind == "id" and (tok.text in SCALAR_TYPES
+                                 or tok.text in self.struct_types):
+            return True
+        return False
+
+    def _parse_type(self) -> tuple[CType, str, bool]:
+        """Parse a type specifier (with optional qualifiers and ``*``).
+
+        Returns ``(ctype, address_space, is_const)``.
+        """
+        address_space = ""
+        is_const = False
+        unsigned = False
+        base: CType | None = None
+        while True:
+            tok = self._peek()
+            if tok.kind == "keyword" and tok.text in _ADDRESS_SPACES:
+                address_space = _ADDRESS_SPACES[tok.text]
+                self._next()
+            elif tok.kind == "keyword" and tok.text == "const":
+                is_const = True
+                self._next()
+            elif tok.kind == "keyword" and tok.text in ("unsigned", "signed"):
+                unsigned = tok.text == "unsigned"
+                self._next()
+            else:
+                break
+        tok = self._peek()
+        if tok.kind == "keyword" and tok.text == "void":
+            self._next()
+            base = VOID
+        elif tok.kind == "keyword" and tok.text == "struct":
+            self._next()
+            name_tok = self._expect("id")
+            if name_tok.text not in self.struct_types:
+                raise ParseError(f"unknown struct {name_tok.text!r}",
+                                 name_tok.line, name_tok.col)
+            base = self.struct_types[name_tok.text]
+        elif tok.kind == "id" and tok.text in SCALAR_TYPES:
+            self._next()
+            base = SCALAR_TYPES[tok.text]
+            if unsigned:
+                unsigned_map = {"char": "uchar", "short": "ushort",
+                                "int": "uint", "long": "ulong"}
+                if tok.text in unsigned_map:
+                    base = SCALAR_TYPES[unsigned_map[tok.text]]
+        elif tok.kind == "id" and tok.text in self.struct_types:
+            self._next()
+            base = self.struct_types[tok.text]
+        elif unsigned:
+            base = SCALAR_TYPES["uint"]
+        else:
+            raise ParseError(f"expected type name, found {tok.text!r}",
+                             tok.line, tok.col)
+        # trailing const (e.g. "float const")
+        if self._accept("keyword", "const"):
+            is_const = True
+        while self._accept("op", "*"):
+            space = address_space or "global"
+            base = PointerType(base, space)
+        return base, address_space, is_const
+
+    # -- top level ---------------------------------------------------------------
+
+    def parse_translation_unit(self) -> ast.TranslationUnit:
+        unit = ast.TranslationUnit()
+        while self._peek().kind != "eof":
+            tok = self._peek()
+            if tok.kind == "keyword" and tok.text == "typedef":
+                unit.structs.append(self._parse_typedef_struct())
+            elif (tok.kind == "keyword" and tok.text == "struct"
+                  and self._peek(2).text == "{"):
+                unit.structs.append(self._parse_struct_def())
+            else:
+                unit.functions.append(self._parse_function())
+        return unit
+
+    def _parse_struct_body(self, name: str, line: int,
+                           col: int) -> ast.StructDef:
+        self._expect("op", "{")
+        fields: list[ast.Param] = []
+        while not self._accept("op", "}"):
+            ftype, _, _ = self._parse_type()
+            while True:
+                fname = self._expect("id")
+                fields.append(ast.Param(name=fname.text, ctype=ftype,
+                                        line=fname.line, col=fname.col))
+                if not self._accept("op", ","):
+                    break
+            self._expect("op", ";")
+        struct_def = ast.StructDef(name=name, fields=fields, line=line,
+                                   col=col)
+        self.struct_types[name] = StructType(
+            name=name,
+            fields=tuple((f.name, f.ctype) for f in fields))
+        return struct_def
+
+    def _parse_typedef_struct(self) -> ast.StructDef:
+        kw = self._expect("keyword", "typedef")
+        self._expect("keyword", "struct")
+        tag = self._accept("id")  # optional struct tag
+        # Pre-register the tag so self-references could resolve (not
+        # supported in fields, but harmless).
+        sdef = self._parse_struct_body(tag.text if tag else "<anon>",
+                                       kw.line, kw.col)
+        alias = self._expect("id")
+        self._expect("op", ";")
+        struct_type = self.struct_types.pop(sdef.name)
+        sdef.name = alias.text
+        self.struct_types[alias.text] = StructType(
+            name=alias.text, fields=struct_type.fields)
+        return sdef
+
+    def _parse_struct_def(self) -> ast.StructDef:
+        kw = self._expect("keyword", "struct")
+        name = self._expect("id")
+        sdef = self._parse_struct_body(name.text, kw.line, kw.col)
+        self._expect("op", ";")
+        return sdef
+
+    def _parse_function(self) -> ast.FunctionDef:
+        start = self._peek()
+        is_kernel = False
+        while True:
+            tok = self._peek()
+            if tok.kind == "keyword" and tok.text in ("kernel", "__kernel"):
+                is_kernel = True
+                self._next()
+            else:
+                break
+        ret_type, _, _ = self._parse_type()
+        name = self._expect("id")
+        self._expect("op", "(")
+        params: list[ast.Param] = []
+        if not self._accept("op", ")"):
+            while True:
+                ptype, space, is_const = self._parse_type()
+                pname = self._expect("id")
+                params.append(ast.Param(name=pname.text, ctype=ptype,
+                                        address_space=space,
+                                        is_const=is_const, line=pname.line,
+                                        col=pname.col))
+                if not self._accept("op", ","):
+                    break
+            self._expect("op", ")")
+        body = self._parse_compound()
+        return ast.FunctionDef(name=name.text, return_type=ret_type,
+                               params=params, body=body,
+                               is_kernel=is_kernel, line=start.line,
+                               col=start.col)
+
+    # -- statements ----------------------------------------------------------------
+
+    def _parse_compound(self) -> ast.CompoundStmt:
+        brace = self._expect("op", "{")
+        body: list[ast.Stmt] = []
+        while not self._accept("op", "}"):
+            if self._peek().kind == "eof":
+                raise ParseError("unterminated block", brace.line, brace.col)
+            body.append(self._parse_statement())
+        return ast.CompoundStmt(body=body, line=brace.line, col=brace.col)
+
+    def _parse_statement(self) -> ast.Stmt:
+        tok = self._peek()
+        if tok.kind == "op" and tok.text == "{":
+            return self._parse_compound()
+        if tok.kind == "keyword":
+            if tok.text == "if":
+                return self._parse_if()
+            if tok.text == "for":
+                return self._parse_for()
+            if tok.text == "while":
+                return self._parse_while()
+            if tok.text == "do":
+                return self._parse_do_while()
+            if tok.text == "return":
+                self._next()
+                value = None
+                if not (self._peek().kind == "op"
+                        and self._peek().text == ";"):
+                    value = self._parse_expression()
+                self._expect("op", ";")
+                return ast.ReturnStmt(value=value, line=tok.line,
+                                      col=tok.col)
+            if tok.text == "break":
+                self._next()
+                self._expect("op", ";")
+                return ast.BreakStmt(line=tok.line, col=tok.col)
+            if tok.text == "continue":
+                self._next()
+                self._expect("op", ";")
+                return ast.ContinueStmt(line=tok.line, col=tok.col)
+        if self._at_type():
+            decl = self._parse_declaration()
+            self._expect("op", ";")
+            return decl
+        if tok.kind == "op" and tok.text == ";":
+            self._next()
+            return ast.CompoundStmt(body=[], line=tok.line, col=tok.col)
+        expr = self._parse_expression()
+        self._expect("op", ";")
+        return ast.ExprStmt(expr=expr, line=tok.line, col=tok.col)
+
+    def _parse_declaration(self) -> ast.DeclStmt:
+        start = self._peek()
+        base, address_space, _ = self._parse_type()
+        declarators: list[ast.Declarator] = []
+        while True:
+            pointer = False
+            while self._accept("op", "*"):
+                pointer = True
+            name = self._expect("id")
+            array_size: ast.Expr | None = None
+            if self._accept("op", "["):
+                array_size = self._parse_expression()
+                self._expect("op", "]")
+            init: ast.Expr | None = None
+            if self._accept("op", "="):
+                init = self._parse_assignment()
+            declarators.append(
+                ast.Declarator(name=name.text, init=init,
+                               array_size=array_size, pointer=pointer,
+                               line=name.line, col=name.col))
+            if not self._accept("op", ","):
+                break
+        return ast.DeclStmt(base_type=base, declarators=declarators,
+                            address_space=address_space,
+                            line=start.line, col=start.col)
+
+    def _parse_if(self) -> ast.IfStmt:
+        kw = self._expect("keyword", "if")
+        self._expect("op", "(")
+        cond = self._parse_expression()
+        self._expect("op", ")")
+        then = self._parse_statement()
+        otherwise = None
+        if self._accept("keyword", "else"):
+            otherwise = self._parse_statement()
+        return ast.IfStmt(cond=cond, then=then, otherwise=otherwise,
+                          line=kw.line, col=kw.col)
+
+    def _parse_for(self) -> ast.ForStmt:
+        kw = self._expect("keyword", "for")
+        self._expect("op", "(")
+        init: ast.Stmt | None = None
+        if not (self._peek().kind == "op" and self._peek().text == ";"):
+            if self._at_type():
+                init = self._parse_declaration()
+            else:
+                init = ast.ExprStmt(expr=self._parse_expression(),
+                                    line=kw.line, col=kw.col)
+        self._expect("op", ";")
+        cond = None
+        if not (self._peek().kind == "op" and self._peek().text == ";"):
+            cond = self._parse_expression()
+        self._expect("op", ";")
+        step = None
+        if not (self._peek().kind == "op" and self._peek().text == ")"):
+            step = self._parse_expression()
+        self._expect("op", ")")
+        body = self._parse_statement()
+        return ast.ForStmt(init=init, cond=cond, step=step, body=body,
+                           line=kw.line, col=kw.col)
+
+    def _parse_while(self) -> ast.WhileStmt:
+        kw = self._expect("keyword", "while")
+        self._expect("op", "(")
+        cond = self._parse_expression()
+        self._expect("op", ")")
+        body = self._parse_statement()
+        return ast.WhileStmt(cond=cond, body=body, line=kw.line, col=kw.col)
+
+    def _parse_do_while(self) -> ast.DoWhileStmt:
+        kw = self._expect("keyword", "do")
+        body = self._parse_statement()
+        self._expect("keyword", "while")
+        self._expect("op", "(")
+        cond = self._parse_expression()
+        self._expect("op", ")")
+        self._expect("op", ";")
+        return ast.DoWhileStmt(body=body, cond=cond, line=kw.line,
+                               col=kw.col)
+
+    # -- expressions ----------------------------------------------------------------
+
+    def _parse_expression(self) -> ast.Expr:
+        expr = self._parse_assignment()
+        # comma operator: evaluate left then right (used in for-steps)
+        while self._peek().kind == "op" and self._peek().text == ",":
+            tok = self._next()
+            right = self._parse_assignment()
+            expr = ast.Binary(op=",", left=expr, right=right,
+                              line=tok.line, col=tok.col)
+        return expr
+
+    def _parse_assignment(self) -> ast.Expr:
+        left = self._parse_ternary()
+        tok = self._peek()
+        if tok.kind == "op" and tok.text in _ASSIGN_OPS:
+            self._next()
+            value = self._parse_assignment()
+            return ast.Assign(op=tok.text, target=left, value=value,
+                              line=tok.line, col=tok.col)
+        return left
+
+    def _parse_ternary(self) -> ast.Expr:
+        cond = self._parse_binary(1)
+        tok = self._peek()
+        if tok.kind == "op" and tok.text == "?":
+            self._next()
+            then = self._parse_assignment()
+            self._expect("op", ":")
+            otherwise = self._parse_ternary()
+            return ast.Ternary(cond=cond, then=then, otherwise=otherwise,
+                               line=tok.line, col=tok.col)
+        return cond
+
+    def _parse_binary(self, min_prec: int) -> ast.Expr:
+        left = self._parse_unary()
+        while True:
+            tok = self._peek()
+            if tok.kind != "op":
+                return left
+            prec = _BINARY_PRECEDENCE.get(tok.text)
+            if prec is None or prec < min_prec:
+                return left
+            self._next()
+            right = self._parse_binary(prec + 1)
+            left = ast.Binary(op=tok.text, left=left, right=right,
+                              line=tok.line, col=tok.col)
+
+    def _parse_unary(self) -> ast.Expr:
+        tok = self._peek()
+        if tok.kind == "op" and tok.text in ("-", "+", "!", "~", "&", "*"):
+            self._next()
+            operand = self._parse_unary()
+            return ast.Unary(op=tok.text, operand=operand, line=tok.line,
+                             col=tok.col)
+        if tok.kind == "op" and tok.text in ("++", "--"):
+            self._next()
+            operand = self._parse_unary()
+            return ast.PreIncDec(op=tok.text, operand=operand,
+                                 line=tok.line, col=tok.col)
+        # cast: "(" type ")" unary
+        if tok.kind == "op" and tok.text == "(":
+            save = self._pos
+            self._next()
+            if self._at_type():
+                try:
+                    ctype, _, _ = self._parse_type()
+                    self._expect("op", ")")
+                    operand = self._parse_unary()
+                    return ast.Cast(target_type=ctype, operand=operand,
+                                    line=tok.line, col=tok.col)
+                except ParseError:
+                    self._pos = save
+            else:
+                self._pos = save
+        return self._parse_postfix()
+
+    def _parse_postfix(self) -> ast.Expr:
+        expr = self._parse_primary()
+        while True:
+            tok = self._peek()
+            if tok.kind != "op":
+                return expr
+            if tok.text == "[":
+                self._next()
+                index = self._parse_expression()
+                self._expect("op", "]")
+                expr = ast.Index(base=expr, index=index, line=tok.line,
+                                 col=tok.col)
+            elif tok.text == ".":
+                self._next()
+                member = self._expect("id")
+                expr = ast.Member(base=expr, member=member.text,
+                                  line=tok.line, col=tok.col)
+            elif tok.text == "->":
+                self._next()
+                member = self._expect("id")
+                expr = ast.Member(base=expr, member=member.text, arrow=True,
+                                  line=tok.line, col=tok.col)
+            elif tok.text in ("++", "--"):
+                self._next()
+                expr = ast.PostIncDec(op=tok.text, operand=expr,
+                                      line=tok.line, col=tok.col)
+            else:
+                return expr
+
+    def _parse_primary(self) -> ast.Expr:
+        tok = self._peek()
+        if tok.kind == "int":
+            self._next()
+            text = tok.text
+            suffix = ""
+            while text and text[-1] in "ul":
+                suffix = text[-1] + suffix
+                text = text[:-1]
+            value = int(text, 0)
+            return ast.IntLiteral(value=value, suffix=suffix, line=tok.line,
+                                  col=tok.col)
+        if tok.kind == "float":
+            self._next()
+            text = tok.text
+            suffix = ""
+            while text and text[-1] in "fl":
+                suffix = text[-1] + suffix
+                text = text[:-1]
+            return ast.FloatLiteral(value=float(text), suffix=suffix,
+                                    line=tok.line, col=tok.col)
+        if tok.kind == "keyword" and tok.text in ("true", "false"):
+            self._next()
+            return ast.BoolLiteral(value=tok.text == "true", line=tok.line,
+                                   col=tok.col)
+        if tok.kind == "id":
+            self._next()
+            if self._peek().kind == "op" and self._peek().text == "(":
+                self._next()
+                args: list[ast.Expr] = []
+                if not self._accept("op", ")"):
+                    while True:
+                        args.append(self._parse_assignment())
+                        if not self._accept("op", ","):
+                            break
+                    self._expect("op", ")")
+                return ast.Call(name=tok.text, args=args, line=tok.line,
+                                col=tok.col)
+            return ast.Identifier(name=tok.text, line=tok.line, col=tok.col)
+        if tok.kind == "op" and tok.text == "(":
+            self._next()
+            expr = self._parse_expression()
+            self._expect("op", ")")
+            return expr
+        raise ParseError(f"unexpected token {tok.text!r}", tok.line, tok.col)
+
+
+def parse(source: str) -> ast.TranslationUnit:
+    """Parse a full translation unit (struct defs + functions)."""
+    return Parser(source).parse_translation_unit()
+
+
+def parse_function(source: str) -> ast.FunctionDef:
+    """Parse a source string expected to contain exactly one function.
+
+    This is the entry point SkelCL uses for user-defined functions: the
+    paper's API passes a single function definition as a plain string.
+    Struct/typedef definitions may precede the function.
+    """
+    unit = parse(source)
+    if len(unit.functions) != 1:
+        raise ParseError(
+            f"expected exactly one function definition, found "
+            f"{len(unit.functions)}")
+    return unit.functions[0]

@@ -1,0 +1,468 @@
+"""Semantic analysis for the mini OpenCL-C dialect.
+
+Walks the AST, resolves identifiers through lexically-scoped symbol
+tables, annotates every expression node's ``ctype`` in place, and
+rejects ill-typed programs.  Also derives a static per-work-item
+operation-count estimate used by the device timing model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.clc import astnodes as ast
+from repro.clc.builtins import (ATOMIC_FUNCTIONS, BUILTINS,
+                                builtin_result_type)
+from repro.clc.types import (BOOL, CType, DOUBLE, FLOAT, INT, PointerType,
+                             StructType, promote)
+from repro.errors import TypeCheckError
+
+
+@dataclass
+class FunctionSignature:
+    name: str
+    return_type: CType
+    param_types: list[CType]
+    is_kernel: bool
+
+
+@dataclass
+class _Scope:
+    parent: "_Scope | None" = None
+    names: dict[str, CType] = field(default_factory=dict)
+
+    def lookup(self, name: str) -> CType | None:
+        scope: _Scope | None = self
+        while scope is not None:
+            if name in scope.names:
+                return scope.names[name]
+            scope = scope.parent
+        return None
+
+    def declare(self, name: str, ctype: CType, line: int,
+                col: int) -> None:
+        if name in self.names:
+            raise TypeCheckError(f"redeclaration of {name!r}", line, col)
+        self.names[name] = ctype
+
+
+@dataclass
+class _ArrayType(CType):
+    """Local fixed-size array; decays to pointer-like indexing."""
+
+    element: CType = None  # type: ignore[assignment]
+    is_pointer = True  # indexable
+
+    @property
+    def pointee(self) -> CType:
+        return self.element
+
+    def __str__(self) -> str:  # pragma: no cover
+        return f"{self.element}[]"
+
+
+class TypeChecker:
+    """Checks one translation unit; collects per-function signatures."""
+
+    def __init__(self, unit: ast.TranslationUnit) -> None:
+        self.unit = unit
+        self.functions: dict[str, FunctionSignature] = {}
+        #: static op-count estimate per function (per work item)
+        self.op_counts: dict[str, float] = {}
+        self._current_return: CType | None = None
+        self._current_function: str | None = None
+        self._in_kernel = False
+        #: functions whose definitions have been fully checked; calls
+        #: may only target these (single-pass C: no forward references,
+        #: and OpenCL C forbids recursion)
+        self._checked: set[str] = set()
+        self._loop_depth = 0
+        #: assumed trip count for statically-unknown loops (cost model only)
+        self.loop_cost_multiplier = 16.0
+
+    # -- entry point ---------------------------------------------------------
+
+    def check(self) -> None:
+        for func in self.unit.functions:
+            if func.name in self.functions:
+                raise TypeCheckError(f"redefinition of function "
+                                     f"{func.name!r}", func.line, func.col)
+            if func.name in BUILTINS:
+                raise TypeCheckError(
+                    f"function {func.name!r} shadows a builtin",
+                    func.line, func.col)
+            self.functions[func.name] = FunctionSignature(
+                name=func.name, return_type=func.return_type,
+                param_types=[p.ctype for p in func.params],
+                is_kernel=func.is_kernel)
+        for func in self.unit.functions:
+            self.op_counts[func.name] = self._check_function(func)
+            self._checked.add(func.name)
+
+    # -- functions -----------------------------------------------------------
+
+    def _check_function(self, func: ast.FunctionDef) -> float:
+        scope = _Scope()
+        for param in func.params:
+            if param.ctype.is_void:
+                raise TypeCheckError(f"parameter {param.name!r} has type "
+                                     "void", param.line, param.col)
+            scope.declare(param.name, param.ctype, param.line, param.col)
+        if func.is_kernel and not func.return_type.is_void:
+            raise TypeCheckError("kernel functions must return void",
+                                 func.line, func.col)
+        self._current_return = func.return_type
+        self._current_function = func.name
+        self._in_kernel = func.is_kernel
+        # the body's outermost block shares the parameter scope, as in
+        # C: locals may not redeclare parameters
+        cost = sum(self._check_stmt(s, scope)
+                   for s in (func.body.body if func.body else []))
+        self._current_return = None
+        self._current_function = None
+        self._in_kernel = False
+        return cost
+
+    # -- statements (return estimated op cost) --------------------------------
+
+    def _check_stmt(self, stmt: ast.Stmt, scope: _Scope) -> float:
+        if isinstance(stmt, ast.CompoundStmt):
+            inner = _Scope(parent=scope)
+            return sum(self._check_stmt(s, inner) for s in stmt.body)
+        if isinstance(stmt, ast.DeclStmt):
+            return self._check_decl(stmt, scope)
+        if isinstance(stmt, ast.ExprStmt):
+            return self._check_expr(stmt.expr, scope)[1]
+        if isinstance(stmt, ast.IfStmt):
+            _, ccost = self._check_expr(stmt.cond, scope)
+            tcost = self._check_stmt(stmt.then, scope)
+            ecost = (self._check_stmt(stmt.otherwise, scope)
+                     if stmt.otherwise else 0.0)
+            return ccost + max(tcost, ecost)
+        if isinstance(stmt, ast.ForStmt):
+            inner = _Scope(parent=scope)
+            icost = self._check_stmt(stmt.init, inner) if stmt.init else 0.0
+            ccost = (self._check_expr(stmt.cond, inner)[1]
+                     if stmt.cond else 0.0)
+            scost = (self._check_expr(stmt.step, inner)[1]
+                     if stmt.step else 0.0)
+            self._loop_depth += 1
+            bcost = self._check_stmt(stmt.body, inner)
+            self._loop_depth -= 1
+            return icost + self.loop_cost_multiplier * (ccost + scost
+                                                        + bcost)
+        if isinstance(stmt, (ast.WhileStmt, ast.DoWhileStmt)):
+            ccost = self._check_expr(stmt.cond, scope)[1]
+            self._loop_depth += 1
+            bcost = self._check_stmt(stmt.body, scope)
+            self._loop_depth -= 1
+            return self.loop_cost_multiplier * (ccost + bcost)
+        if isinstance(stmt, ast.ReturnStmt):
+            assert self._current_return is not None
+            if stmt.value is None:
+                if not self._current_return.is_void:
+                    raise TypeCheckError("missing return value", stmt.line,
+                                         stmt.col)
+                return 0.0
+            vtype, vcost = self._check_expr(stmt.value, scope)
+            self._require_convertible(vtype, self._current_return,
+                                      stmt.line, stmt.col)
+            return vcost
+        if isinstance(stmt, (ast.BreakStmt, ast.ContinueStmt)):
+            if self._loop_depth == 0:
+                raise TypeCheckError("break/continue outside loop",
+                                     stmt.line, stmt.col)
+            return 0.0
+        raise TypeCheckError(f"unsupported statement {type(stmt).__name__}",
+                             stmt.line, stmt.col)
+
+    def _check_decl(self, stmt: ast.DeclStmt, scope: _Scope) -> float:
+        cost = 0.0
+        if stmt.address_space == "local":
+            if not self._in_kernel:
+                raise TypeCheckError(
+                    "__local declarations are only allowed inside "
+                    "kernel functions", stmt.line, stmt.col)
+            for decl in stmt.declarators:
+                if decl.array_size is None:
+                    raise TypeCheckError(
+                        "__local variables must be fixed-size arrays",
+                        decl.line, decl.col)
+                if decl.init is not None:
+                    raise TypeCheckError(
+                        "__local arrays cannot have initializers",
+                        decl.line, decl.col)
+        for decl in stmt.declarators:
+            ctype: CType = stmt.base_type
+            if decl.pointer:
+                ctype = PointerType(ctype, "private")
+            if decl.array_size is not None:
+                size_type, c = self._check_expr(decl.array_size, scope)
+                cost += c
+                if not size_type.is_integer:
+                    raise TypeCheckError("array size must be an integer",
+                                         decl.line, decl.col)
+                ctype = _ArrayType(element=ctype)
+            if ctype.is_void:
+                raise TypeCheckError(f"variable {decl.name!r} has type void",
+                                     decl.line, decl.col)
+            if decl.init is not None:
+                itype, c = self._check_expr(decl.init, scope)
+                cost += c + 1.0
+                self._require_convertible(itype, ctype, decl.line, decl.col)
+            scope.declare(decl.name, ctype, decl.line, decl.col)
+        return cost
+
+    # -- expressions (return (type, op cost)) ----------------------------------
+
+    def _check_expr(self, expr: ast.Expr,
+                    scope: _Scope) -> tuple[CType, float]:
+        ctype, cost = self._check_expr_inner(expr, scope)
+        expr.ctype = ctype
+        return ctype, cost
+
+    def _check_expr_inner(self, expr: ast.Expr,
+                          scope: _Scope) -> tuple[CType, float]:
+        if isinstance(expr, ast.IntLiteral):
+            return (INT, 0.0)
+        if isinstance(expr, ast.FloatLiteral):
+            return (FLOAT if expr.suffix == "f" else DOUBLE, 0.0)
+        if isinstance(expr, ast.BoolLiteral):
+            return (BOOL, 0.0)
+        if isinstance(expr, ast.Identifier):
+            ctype = scope.lookup(expr.name)
+            if ctype is None:
+                raise TypeCheckError(f"undeclared identifier {expr.name!r}",
+                                     expr.line, expr.col)
+            return (ctype, 0.0)
+        if isinstance(expr, ast.Unary):
+            return self._check_unary(expr, scope)
+        if isinstance(expr, (ast.PreIncDec, ast.PostIncDec)):
+            otype, ocost = self._check_expr(expr.operand, scope)
+            self._require_lvalue(expr.operand)
+            if not otype.is_scalar:
+                raise TypeCheckError("++/-- requires a scalar", expr.line,
+                                     expr.col)
+            return (otype, ocost + 1.0)
+        if isinstance(expr, ast.Binary):
+            return self._check_binary(expr, scope)
+        if isinstance(expr, ast.Ternary):
+            _, ccost = self._check_expr(expr.cond, scope)
+            ttype, tcost = self._check_expr(expr.then, scope)
+            etype, ecost = self._check_expr(expr.otherwise, scope)
+            if ttype.is_scalar and etype.is_scalar:
+                result = promote(ttype, etype)
+            elif ttype == etype:
+                result = ttype
+            else:
+                raise TypeCheckError("incompatible ternary branches",
+                                     expr.line, expr.col)
+            return (result, ccost + max(tcost, ecost) + 1.0)
+        if isinstance(expr, ast.Assign):
+            return self._check_assign(expr, scope)
+        if isinstance(expr, ast.Call):
+            return self._check_call(expr, scope)
+        if isinstance(expr, ast.Index):
+            btype, bcost = self._check_expr(expr.base, scope)
+            itype, icost = self._check_expr(expr.index, scope)
+            if not btype.is_pointer:
+                raise TypeCheckError("indexing a non-pointer", expr.line,
+                                     expr.col)
+            if not itype.is_integer:
+                raise TypeCheckError("array index must be an integer",
+                                     expr.line, expr.col)
+            return (btype.pointee, bcost + icost + 1.0)  # type: ignore[attr-defined]
+        if isinstance(expr, ast.Member):
+            btype, bcost = self._check_expr(expr.base, scope)
+            if expr.arrow:
+                if not btype.is_pointer:
+                    raise TypeCheckError("-> on a non-pointer", expr.line,
+                                         expr.col)
+                btype = btype.pointee  # type: ignore[attr-defined]
+            if not isinstance(btype, StructType):
+                raise TypeCheckError(
+                    f"member access on non-struct type {btype}", expr.line,
+                    expr.col)
+            ftype = btype.field_type(expr.member)
+            if ftype is None:
+                raise TypeCheckError(
+                    f"struct {btype.name} has no field {expr.member!r}",
+                    expr.line, expr.col)
+            return (ftype, bcost + 1.0)
+        if isinstance(expr, ast.Cast):
+            otype, ocost = self._check_expr(expr.operand, scope)
+            target = expr.target_type
+            if target.is_scalar and not otype.is_scalar:
+                raise TypeCheckError(f"cannot cast {otype} to {target}",
+                                     expr.line, expr.col)
+            return (target, ocost + 0.5)
+        raise TypeCheckError(f"unsupported expression "
+                             f"{type(expr).__name__}", expr.line, expr.col)
+
+    def _check_unary(self, expr: ast.Unary,
+                     scope: _Scope) -> tuple[CType, float]:
+        otype, ocost = self._check_expr(expr.operand, scope)
+        op = expr.op
+        if op in ("-", "+"):
+            if not otype.is_scalar:
+                raise TypeCheckError(f"unary {op} on non-scalar", expr.line,
+                                     expr.col)
+            return (otype, ocost + 1.0)
+        if op == "!":
+            return (BOOL, ocost + 1.0)
+        if op == "~":
+            if not otype.is_integer:
+                raise TypeCheckError("~ requires an integer", expr.line,
+                                     expr.col)
+            return (otype, ocost + 1.0)
+        if op == "&":
+            # Address-of is supported only where atomics need it:
+            # &buffer[i] and &variable.
+            if not isinstance(expr.operand, (ast.Index, ast.Identifier)):
+                raise TypeCheckError(
+                    "& is only supported on identifiers and indexed "
+                    "elements", expr.line, expr.col)
+            return (PointerType(otype, "global"), ocost)
+        if op == "*":
+            if not otype.is_pointer:
+                raise TypeCheckError("dereferencing a non-pointer",
+                                     expr.line, expr.col)
+            return (otype.pointee, ocost + 1.0)  # type: ignore[attr-defined]
+        raise TypeCheckError(f"unsupported unary operator {op!r}",
+                             expr.line, expr.col)
+
+    def _check_binary(self, expr: ast.Binary,
+                      scope: _Scope) -> tuple[CType, float]:
+        ltype, lcost = self._check_expr(expr.left, scope)
+        rtype, rcost = self._check_expr(expr.right, scope)
+        op = expr.op
+        cost = lcost + rcost + 1.0
+        if op == ",":
+            return (rtype, cost)
+        if op in ("&&", "||"):
+            return (BOOL, cost)
+        if op in ("==", "!=", "<", ">", "<=", ">="):
+            if ltype.is_scalar and rtype.is_scalar:
+                return (BOOL, cost)
+            if ltype.is_pointer and rtype.is_pointer:
+                return (BOOL, cost)
+            raise TypeCheckError(f"invalid comparison {ltype} {op} {rtype}",
+                                 expr.line, expr.col)
+        if op in ("<<", ">>", "&", "|", "^", "%"):
+            if not (ltype.is_integer and rtype.is_integer):
+                raise TypeCheckError(
+                    f"operator {op} requires integers, got {ltype} and "
+                    f"{rtype}", expr.line, expr.col)
+            return (promote(ltype, rtype), cost)
+        if op in ("+", "-"):
+            # pointer arithmetic: pointer +/- integer
+            if ltype.is_pointer and rtype.is_integer:
+                return (ltype, cost)
+            if op == "+" and ltype.is_integer and rtype.is_pointer:
+                return (rtype, cost)
+        if op in ("+", "-", "*", "/"):
+            if ltype.is_scalar and rtype.is_scalar:
+                result = promote(ltype, rtype)
+                if op == "/":
+                    cost += 3.0
+                return (result, cost)
+            raise TypeCheckError(f"invalid operands to {op}: {ltype} and "
+                                 f"{rtype}", expr.line, expr.col)
+        raise TypeCheckError(f"unsupported binary operator {op!r}",
+                             expr.line, expr.col)
+
+    def _check_assign(self, expr: ast.Assign,
+                      scope: _Scope) -> tuple[CType, float]:
+        ttype, tcost = self._check_expr(expr.target, scope)
+        vtype, vcost = self._check_expr(expr.value, scope)
+        self._require_lvalue(expr.target)
+        if expr.op != "=":
+            base_op = expr.op[:-1]
+            if base_op in ("<<", ">>", "&", "|", "^", "%"):
+                if not (ttype.is_integer and vtype.is_integer):
+                    raise TypeCheckError(
+                        f"operator {expr.op} requires integers", expr.line,
+                        expr.col)
+            elif not (ttype.is_scalar and vtype.is_scalar):
+                raise TypeCheckError(
+                    f"operator {expr.op} requires scalars", expr.line,
+                    expr.col)
+        else:
+            self._require_convertible(vtype, ttype, expr.line, expr.col)
+        return (ttype, tcost + vcost + 1.0)
+
+    def _check_call(self, expr: ast.Call,
+                    scope: _Scope) -> tuple[CType, float]:
+        arg_types: list[CType] = []
+        cost = 0.0
+        for arg in expr.args:
+            atype, acost = self._check_expr(arg, scope)
+            arg_types.append(atype)
+            cost += acost
+        sig = self.functions.get(expr.name)
+        if sig is not None:
+            if expr.name == self._current_function:
+                raise TypeCheckError(
+                    f"recursive call to {expr.name!r} (OpenCL C forbids "
+                    "recursion)", expr.line, expr.col)
+            if expr.name not in self._checked:
+                raise TypeCheckError(
+                    f"call to {expr.name!r} before its definition "
+                    "(no forward references)", expr.line, expr.col)
+            if len(arg_types) != len(sig.param_types):
+                raise TypeCheckError(
+                    f"{expr.name} expects {len(sig.param_types)} "
+                    f"argument(s), got {len(arg_types)}", expr.line,
+                    expr.col)
+            for atype, ptype in zip(arg_types, sig.param_types):
+                self._require_convertible(atype, ptype, expr.line, expr.col)
+            callee_cost = self.op_counts.get(expr.name, 8.0)
+            return (sig.return_type, cost + callee_cost)
+        builtin = BUILTINS.get(expr.name)
+        if builtin is None:
+            raise TypeCheckError(f"call to unknown function {expr.name!r}",
+                                 expr.line, expr.col)
+        if expr.name == "barrier" and not self._in_kernel:
+            raise TypeCheckError(
+                "barrier() may only be called from a kernel function "
+                "(the simulator synchronizes work items per launch)",
+                expr.line, expr.col)
+        result = builtin_result_type(expr.name, arg_types, expr.line,
+                                     expr.col)
+        if expr.name in ATOMIC_FUNCTIONS:
+            first = expr.args[0]
+            if not (isinstance(first, ast.Unary) and first.op == "&"
+                    and isinstance(first.operand, ast.Index)):
+                raise TypeCheckError(
+                    f"{expr.name} expects &buffer[index] as its first "
+                    "argument", expr.line, expr.col)
+        return (result, cost + builtin.op_cost)
+
+    # -- helpers -----------------------------------------------------------------
+
+    @staticmethod
+    def _require_lvalue(expr: ast.Expr) -> None:
+        if isinstance(expr, (ast.Identifier, ast.Index, ast.Member)):
+            return
+        if isinstance(expr, ast.Unary) and expr.op == "*":
+            return
+        raise TypeCheckError("assignment target is not an lvalue",
+                             expr.line, expr.col)
+
+    @staticmethod
+    def _require_convertible(src: CType, dst: CType, line: int,
+                             col: int) -> None:
+        if src.is_scalar and dst.is_scalar:
+            return
+        if src.is_pointer and dst.is_pointer:
+            return
+        if src == dst:
+            return
+        raise TypeCheckError(f"cannot convert {src} to {dst}", line, col)
+
+
+def typecheck(unit: ast.TranslationUnit) -> TypeChecker:
+    """Type-check *unit*; returns the checker with signatures/op counts."""
+    checker = TypeChecker(unit)
+    checker.check()
+    return checker

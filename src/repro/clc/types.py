@@ -1,0 +1,167 @@
+"""Type system for the mini OpenCL-C dialect.
+
+The dialect supports the scalar types the paper's kernels need, pointers
+into ``__global`` memory, and plain-old-data struct types (used by the
+OSEM kernels for event/path records).  Types are interned value objects;
+equality is structural.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+
+class CType:
+    """Base class for all types in the dialect."""
+
+    #: True for integer scalar types.
+    is_integer = False
+    #: True for floating scalar types.
+    is_float = False
+    is_scalar = False
+    is_pointer = False
+    is_struct = False
+    is_void = False
+
+
+@dataclass(frozen=True)
+class ScalarType(CType):
+    """A scalar type such as ``int`` or ``float``."""
+
+    name: str
+    np_dtype: str
+    integer: bool
+    signed: bool = True
+    rank: int = 0  # promotion rank; higher wins
+
+    is_scalar = True
+
+    @property
+    def is_integer(self) -> bool:  # type: ignore[override]
+        return self.integer
+
+    @property
+    def is_float(self) -> bool:  # type: ignore[override]
+        return not self.integer
+
+    def dtype(self) -> np.dtype:
+        return np.dtype(self.np_dtype)
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class VoidType(CType):
+    is_void = True
+
+    def __str__(self) -> str:
+        return "void"
+
+
+@dataclass(frozen=True)
+class PointerType(CType):
+    """Pointer to global (or local) memory of *pointee* type."""
+
+    pointee: CType
+    address_space: str = "global"
+
+    is_pointer = True
+
+    def __str__(self) -> str:
+        return f"__{self.address_space} {self.pointee}*"
+
+
+@dataclass(frozen=True)
+class StructType(CType):
+    """A POD struct; fields are (name, scalar type) pairs, in order."""
+
+    name: str
+    fields: tuple[tuple[str, CType], ...] = field(default_factory=tuple)
+
+    is_struct = True
+
+    def field_type(self, fname: str) -> CType | None:
+        for n, t in self.fields:
+            if n == fname:
+                return t
+        return None
+
+    def dtype(self) -> np.dtype:
+        """Numpy structured dtype laying out this struct."""
+        parts = []
+        for fname, ftype in self.fields:
+            if isinstance(ftype, ScalarType):
+                parts.append((fname, ftype.np_dtype))
+            elif isinstance(ftype, StructType):
+                parts.append((fname, ftype.dtype()))
+            else:
+                raise TypeError(
+                    f"struct field {self.name}.{fname} has unsupported "
+                    f"type {ftype}")
+        return np.dtype(parts)
+
+    def __str__(self) -> str:
+        return f"struct {self.name}"
+
+
+# -- the scalar type table ---------------------------------------------------
+
+BOOL = ScalarType("bool", "bool", integer=True, signed=False, rank=0)
+CHAR = ScalarType("char", "int8", integer=True, rank=1)
+UCHAR = ScalarType("uchar", "uint8", integer=True, signed=False, rank=1)
+SHORT = ScalarType("short", "int16", integer=True, rank=2)
+USHORT = ScalarType("ushort", "uint16", integer=True, signed=False, rank=2)
+INT = ScalarType("int", "int32", integer=True, rank=3)
+UINT = ScalarType("uint", "uint32", integer=True, signed=False, rank=3)
+LONG = ScalarType("long", "int64", integer=True, rank=4)
+ULONG = ScalarType("ulong", "uint64", integer=True, signed=False, rank=4)
+SIZE_T = ScalarType("size_t", "uint64", integer=True, signed=False, rank=4)
+FLOAT = ScalarType("float", "float32", integer=False, rank=5)
+DOUBLE = ScalarType("double", "float64", integer=False, rank=6)
+VOID = VoidType()
+
+SCALAR_TYPES: dict[str, ScalarType] = {
+    t.name: t
+    for t in (BOOL, CHAR, UCHAR, SHORT, USHORT, INT, UINT, LONG, ULONG,
+              SIZE_T, FLOAT, DOUBLE)
+}
+
+#: Type-name keywords recognized by the lexer/parser (incl. void).
+TYPE_KEYWORDS = set(SCALAR_TYPES) | {"void", "struct"}
+
+
+def promote(a: CType, b: CType) -> CType:
+    """Usual arithmetic conversions (simplified): highest rank wins;
+    unsigned wins ties, matching C's behaviour closely enough for the
+    dialect's kernels."""
+    if not (a.is_scalar and b.is_scalar):
+        raise TypeError(f"cannot promote {a} and {b}")
+    assert isinstance(a, ScalarType) and isinstance(b, ScalarType)
+    if a.rank > b.rank:
+        return a
+    if b.rank > a.rank:
+        return b
+    if not a.signed:
+        return a
+    return b
+
+
+def dtype_to_ctype(dtype: np.dtype) -> CType:
+    """Map a numpy dtype to the dialect type used for buffers of it."""
+    dtype = np.dtype(dtype)
+    if dtype.fields:
+        fields = tuple(
+            (name, dtype_to_ctype(sub[0])) for name, sub in dtype.fields.items())
+        return StructType(name=f"anon_{dtype.str}", fields=fields)
+    table = {
+        "bool": BOOL, "int8": CHAR, "uint8": UCHAR, "int16": SHORT,
+        "uint16": USHORT, "int32": INT, "uint32": UINT, "int64": LONG,
+        "uint64": ULONG, "float32": FLOAT, "float64": DOUBLE,
+    }
+    key = dtype.name
+    if key not in table:
+        raise TypeError(f"no dialect type for numpy dtype {dtype}")
+    return table[key]

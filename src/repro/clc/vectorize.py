@@ -1,0 +1,272 @@
+"""Vectorized evaluation of straight-line user functions.
+
+Skeleton user functions are usually tiny, branch-light elementwise
+functions (the paper's saxpy, image update, etc.).  For those, running
+the per-work-item Python path would dominate simulation wall time, so
+this module evaluates the function body directly over whole numpy
+arrays: declarations and assignments become array expressions, ternaries
+become ``np.where``, and reads through pointer arguments become fancy
+indexing.
+
+A function is vectorizable when its body consists only of scalar
+declarations-with-initializer, assignments to scalar locals, and a final
+``return`` — no loops, no if statements, no pointer writes, no calls to
+other user functions.  :func:`try_vectorize` returns ``None`` otherwise
+and the caller falls back to the per-item path.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from repro.clc import astnodes as ast
+from repro.clc.builtins import BUILTINS, WORK_ITEM_FUNCTIONS
+from repro.clc.types import ScalarType
+
+
+class _NotVectorizable(Exception):
+    pass
+
+
+def try_vectorize(func: ast.FunctionDef) -> Callable | None:
+    """Build a vectorized evaluator for *func*, or return ``None``.
+
+    The returned callable takes one positional argument per C parameter
+    — numpy arrays for elementwise scalar parameters (all of equal
+    length), scalars for scalar "additional arguments", and numpy arrays
+    for pointer parameters — plus an optional ``_element_index`` array
+    supplying the value of ``get_global_id(0)`` per element.  It returns
+    the function's result as an array.
+    """
+    try:
+        return _Vectorizer(func).build()
+    except _NotVectorizable:
+        return None
+
+
+class _Vectorizer:
+    def __init__(self, func: ast.FunctionDef) -> None:
+        self.func = func
+        if func.body is None:
+            raise _NotVectorizable
+        for stmt in func.body.body:
+            self._check_stmt(stmt)
+        if not func.body.body or not isinstance(func.body.body[-1],
+                                                ast.ReturnStmt):
+            raise _NotVectorizable
+
+    # -- admissibility ------------------------------------------------------
+
+    def _check_stmt(self, stmt: ast.Stmt) -> None:
+        if isinstance(stmt, ast.DeclStmt):
+            for decl in stmt.declarators:
+                if decl.array_size is not None or decl.pointer:
+                    raise _NotVectorizable
+                if not isinstance(stmt.base_type, ScalarType):
+                    raise _NotVectorizable
+                if decl.init is not None:
+                    self._check_expr(decl.init)
+            return
+        if isinstance(stmt, ast.ExprStmt):
+            expr = stmt.expr
+            if isinstance(expr, ast.Assign):
+                if not isinstance(expr.target, ast.Identifier):
+                    raise _NotVectorizable
+                self._check_expr(expr.value)
+                return
+            raise _NotVectorizable
+        if isinstance(stmt, ast.ReturnStmt):
+            if stmt.value is None:
+                raise _NotVectorizable
+            self._check_expr(stmt.value)
+            return
+        raise _NotVectorizable
+
+    def _check_expr(self, expr: ast.Expr) -> None:
+        if isinstance(expr, (ast.IntLiteral, ast.FloatLiteral,
+                             ast.BoolLiteral, ast.Identifier)):
+            return
+        if isinstance(expr, ast.Unary):
+            if expr.op in ("&", "*"):
+                raise _NotVectorizable
+            self._check_expr(expr.operand)
+            return
+        if isinstance(expr, ast.Binary):
+            if expr.op == ",":
+                raise _NotVectorizable
+            self._check_expr(expr.left)
+            self._check_expr(expr.right)
+            return
+        if isinstance(expr, ast.Ternary):
+            self._check_expr(expr.cond)
+            self._check_expr(expr.then)
+            self._check_expr(expr.otherwise)
+            return
+        if isinstance(expr, ast.Cast):
+            self._check_expr(expr.operand)
+            return
+        if isinstance(expr, ast.Index):
+            # pointer reads vectorize via fancy indexing
+            if not isinstance(expr.base, ast.Identifier):
+                raise _NotVectorizable
+            self._check_expr(expr.index)
+            return
+        if isinstance(expr, ast.Member):
+            self._check_expr(expr.base)
+            return
+        if isinstance(expr, ast.Call):
+            if expr.name in WORK_ITEM_FUNCTIONS:
+                if expr.name != "get_global_id":
+                    raise _NotVectorizable
+                return
+            builtin = BUILTINS.get(expr.name)
+            if builtin is None or builtin.impl is None:
+                raise _NotVectorizable
+            for arg in expr.args:
+                self._check_expr(arg)
+            return
+        raise _NotVectorizable
+
+    # -- evaluation ----------------------------------------------------------
+
+    def build(self) -> Callable:
+        func = self.func
+        param_names = [p.name for p in func.params]
+
+        def evaluate(*args, _element_index: np.ndarray | None = None):
+            if len(args) != len(param_names):
+                raise TypeError(
+                    f"{func.name} expects {len(param_names)} arguments, "
+                    f"got {len(args)}")
+            env: dict[str, object] = dict(zip(param_names, args))
+            env["__gid__"] = _element_index
+            result = None
+            for stmt in func.body.body:  # type: ignore[union-attr]
+                if isinstance(stmt, ast.DeclStmt):
+                    for decl in stmt.declarators:
+                        env[decl.name] = (_eval(decl.init, env)
+                                          if decl.init is not None else 0)
+                elif isinstance(stmt, ast.ExprStmt):
+                    assign = stmt.expr
+                    assert isinstance(assign, ast.Assign)
+                    assert isinstance(assign.target, ast.Identifier)
+                    value = _eval(assign.value, env)
+                    name = assign.target.name
+                    if assign.op == "=":
+                        env[name] = value
+                    else:
+                        env[name] = _apply_binop(assign.op[:-1], env[name],
+                                                 value)
+                elif isinstance(stmt, ast.ReturnStmt):
+                    result = _eval(stmt.value, env)
+                    break
+            return result
+
+        evaluate.__name__ = f"vectorized_{func.name}"
+        return evaluate
+
+
+def _apply_binop(op: str, left, right):
+    if op == "+":
+        return left + right
+    if op == "-":
+        return left - right
+    if op == "*":
+        return left * right
+    if op == "/":
+        return left / right
+    if op == "%":
+        return np.fmod(left, right)
+    if op == "&":
+        return left & right
+    if op == "|":
+        return left | right
+    if op == "^":
+        return left ^ right
+    if op == "<<":
+        return left << right
+    if op == ">>":
+        return left >> right
+    raise ValueError(f"unsupported operator {op!r}")
+
+
+def _eval(expr: ast.Expr, env: dict[str, object]):
+    if isinstance(expr, ast.IntLiteral):
+        return expr.value
+    if isinstance(expr, ast.FloatLiteral):
+        return expr.value
+    if isinstance(expr, ast.BoolLiteral):
+        return expr.value
+    if isinstance(expr, ast.Identifier):
+        return env[expr.name]
+    if isinstance(expr, ast.Unary):
+        value = _eval(expr.operand, env)
+        if expr.op == "-":
+            return -value
+        if expr.op == "+":
+            return +value
+        if expr.op == "!":
+            return np.logical_not(value)
+        if expr.op == "~":
+            return np.invert(value)
+        raise ValueError(f"unsupported unary {expr.op}")
+    if isinstance(expr, ast.Binary):
+        op = expr.op
+        left = _eval(expr.left, env)
+        right = _eval(expr.right, env)
+        if op in ("&&", "||"):
+            fn = np.logical_and if op == "&&" else np.logical_or
+            return fn(left, right)
+        if op in ("==", "!=", "<", ">", "<=", ">="):
+            import operator
+            table = {"==": operator.eq, "!=": operator.ne,
+                     "<": operator.lt, ">": operator.gt,
+                     "<=": operator.le, ">=": operator.ge}
+            return table[op](left, right)
+        if op == "/" and expr.left.ctype is not None \
+                and expr.left.ctype.is_integer \
+                and expr.right.ctype is not None \
+                and expr.right.ctype.is_integer:
+            # C truncating division, vectorized
+            q = np.floor_divide(np.abs(left), np.abs(right))
+            return np.where(np.logical_xor(np.asarray(left) < 0,
+                                           np.asarray(right) < 0), -q, q)
+        return _apply_binop(op, left, right)
+    if isinstance(expr, ast.Ternary):
+        cond = _eval(expr.cond, env)
+        then = _eval(expr.then, env)
+        otherwise = _eval(expr.otherwise, env)
+        return np.where(cond, then, otherwise)
+    if isinstance(expr, ast.Cast):
+        value = _eval(expr.operand, env)
+        target = expr.target_type
+        if isinstance(target, ScalarType):
+            dtype = target.dtype()
+            arr = np.asarray(value)
+            if target.is_integer and arr.dtype.kind == "f":
+                return np.trunc(arr).astype(dtype)
+            return arr.astype(dtype)
+        return value
+    if isinstance(expr, ast.Index):
+        base = _eval(expr.base, env)
+        index = _eval(expr.index, env)
+        idx = np.asarray(index)
+        if idx.dtype.kind == "f":
+            idx = np.trunc(idx).astype(np.int64)
+        return np.asarray(base)[idx]
+    if isinstance(expr, ast.Member):
+        base = _eval(expr.base, env)
+        return np.asarray(base)[expr.member]
+    if isinstance(expr, ast.Call):
+        if expr.name == "get_global_id":
+            gid = env.get("__gid__")
+            if gid is None:
+                raise ValueError(
+                    "get_global_id used but no element index supplied")
+            return gid
+        builtin = BUILTINS[expr.name]
+        args = [_eval(a, env) for a in expr.args]
+        return builtin.impl(*args)
+    raise ValueError(f"unsupported expression {type(expr).__name__}")

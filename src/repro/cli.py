@@ -1,0 +1,230 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+- ``devices`` — show the simulated platform's devices;
+- ``saxpy`` — run the paper's Listing 1 end to end;
+- ``mandelbrot`` — render the set (text, or a PGM image file);
+- ``osem`` — run a reconstruction with any of the four
+  implementations and report image-quality metrics plus the
+  virtual-time phase breakdown;
+- ``fig4b`` — regenerate the paper's headline runtime comparison.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+
+def _cmd_devices(args) -> int:
+    from repro import ocl
+    system = ocl.System(num_gpus=args.gpus, cpu_device=args.cpu)
+    platform = ocl.Platform(system)
+    print(f"{platform.name} ({platform.vendor})")
+    for device in platform.get_devices():
+        spec = device.spec
+        print(f"  [{device.id}] {spec.name} ({spec.device_type}): "
+              f"{spec.compute_units} CUs @ {spec.clock_mhz:.0f} MHz, "
+              f"{spec.global_mem_bytes // 1024 ** 2} MiB, "
+              f"link {spec.link_bandwidth_gbs} GB/s")
+    return 0
+
+
+def _cmd_saxpy(args) -> int:
+    from repro import skelcl
+    skelcl.init(num_gpus=args.gpus)
+    saxpy = skelcl.Zip(
+        "float func(float x, float y, float a) { return a*x+y; }")
+    rng = np.random.default_rng(0)
+    x = rng.random(args.size).astype(np.float32)
+    y = rng.random(args.size).astype(np.float32)
+    result = saxpy(skelcl.Vector(x), skelcl.Vector(y), args.alpha)
+    out = result.to_numpy()
+    error = np.abs(out - (np.float32(args.alpha) * x + y)).max()
+    ctx = skelcl.get_context()
+    print(f"saxpy over {args.size} elements on {args.gpus} GPU(s): "
+          f"max |error| = {error}, virtual time = "
+          f"{ctx.system.timeline.now() * 1e3:.3f} ms")
+    return 0 if error < 1e-5 else 1
+
+
+def _cmd_mandelbrot(args) -> int:
+    from repro import skelcl
+    from repro.apps import mandelbrot as mb
+    view = mb.View(width=args.width, height=args.height,
+                   max_iter=args.max_iter)
+    ctx = skelcl.init(num_gpus=args.gpus)
+    image = mb.mandelbrot_skelcl(ctx, view)
+    if args.output:
+        _write_pgm(args.output, image, view.max_iter)
+        print(f"wrote {args.output} ({args.width}x{args.height})")
+    else:
+        shades = " .:-=+*#%@"
+        for row in image:
+            line = "".join(
+                shades[min(int(v / view.max_iter * (len(shades) - 1)),
+                           len(shades) - 1)] for v in row)
+            print(line)
+    return 0
+
+
+def _write_pgm(path: str, image: np.ndarray, max_value: int) -> None:
+    scaled = (image.astype(np.float64) / max_value * 255).astype(np.uint8)
+    with open(path, "wb") as fh:
+        fh.write(f"P5\n{image.shape[1]} {image.shape[0]}\n255\n"
+                 .encode())
+        fh.write(scaled.tobytes())
+
+
+def _cmd_osem(args) -> int:
+    from repro import ocl, skelcl
+    from repro.apps import osem
+    from repro.apps.osem import cuda_impl, opencl_impl
+    from repro.apps.osem.metrics import contrast_recovery, rmse
+
+    geometry = osem.ScannerGeometry(args.grid, args.grid, args.grid)
+    activity = osem.cylinder_phantom(geometry, hot_spheres=2,
+                                     seed=args.seed)
+    events = osem.generate_events(geometry, activity, args.events,
+                                  seed=args.seed + 1)
+    subsets = osem.split_subsets(events, args.subsets)
+    print(f"{args.impl} OSEM: grid {geometry.shape}, "
+          f"{args.events} events, {args.subsets} subsets, "
+          f"{args.iterations} iteration(s), {args.gpus} GPU(s)")
+
+    if args.impl == "reference":
+        volume = osem.osem_reconstruct(geometry, subsets,
+                                       num_iterations=args.iterations)
+        timeline = None
+    elif args.impl == "skelcl":
+        ctx = skelcl.init(num_gpus=args.gpus)
+        impl = osem.SkelCLOsem(ctx, geometry)
+        volume = impl.reconstruct(subsets,
+                                  num_iterations=args.iterations)
+        timeline = ctx.system.timeline
+    elif args.impl == "opencl":
+        system = ocl.System(num_gpus=args.gpus)
+        volume = opencl_impl.reconstruct(
+            system, geometry, subsets, num_iterations=args.iterations)
+        timeline = system.timeline
+    else:  # cuda
+        system = ocl.System(num_gpus=args.gpus)
+        volume = cuda_impl.reconstruct(
+            system, geometry, subsets, num_iterations=args.iterations)
+        timeline = system.timeline
+
+    print(f"RMSE vs phantom:    {rmse(volume, activity):.4f}")
+    print(f"contrast recovery:  "
+          f"{contrast_recovery(volume, activity):.4f}")
+    if timeline is not None:
+        print(f"virtual time total: {timeline.now():.4f} s")
+        from repro.util.profiling import breakdown_report
+        print(breakdown_report(timeline))
+    return 0
+
+
+def _cmd_fig4b(args) -> int:
+    from repro import ocl, skelcl
+    from repro.apps import osem
+    from repro.apps.osem import cuda_impl, opencl_impl
+    from repro.cuda import CudaRuntime
+    from repro.util.tables import format_table
+
+    geometry = osem.ScannerGeometry.paper()
+    activity = osem.cylinder_phantom(geometry, hot_spheres=3, seed=42)
+    events = osem.generate_events(geometry, activity, args.events_sim,
+                                  seed=7)
+    scale = args.events_real / args.events_sim
+    f0 = np.ones(geometry.image_size)
+    rows = []
+    for impl in ("SkelCL", "OpenCL", "CUDA"):
+        for n in (1, 2, 4):
+            if impl == "SkelCL":
+                ctx = skelcl.init(num_gpus=n)
+                runner = osem.SkelCLOsem(ctx, geometry,
+                                         scale_factor=scale)
+                f = skelcl.Vector(f0.astype(np.float32), context=ctx)
+                runner.run_subset(events, f)
+                t0 = ctx.system.host_now()
+                runner.run_subset(events, f)
+                t = ctx.system.host_now() - t0
+            elif impl == "OpenCL":
+                system = ocl.System(num_gpus=n)
+                opencl_impl.run_subset(system, geometry, events, f0,
+                                       scale_factor=scale)
+                t0 = system.host_now()
+                opencl_impl.run_subset(system, geometry, events, f0,
+                                       scale_factor=scale)
+                t = system.host_now() - t0
+            else:
+                system = ocl.System(num_gpus=n)
+                runtime = CudaRuntime(system)
+                cuda_impl.run_subset(system, geometry, events, f0,
+                                     scale_factor=scale,
+                                     runtime=runtime)
+                t0 = system.host_now()
+                cuda_impl.run_subset(system, geometry, events, f0,
+                                     scale_factor=scale,
+                                     runtime=runtime)
+                t = system.host_now() - t0
+            rows.append([impl, n, f"{t:.3f}"])
+    print(format_table(["implementation", "GPUs", "runtime [virt. s]"],
+                       rows,
+                       title="Figure 4b — one subset iteration"))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="SkelCL reproduction (IPDPSW 2012) command line")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("devices", help="list simulated devices")
+    p.add_argument("--gpus", type=int, default=4)
+    p.add_argument("--cpu", action="store_true")
+    p.set_defaults(fn=_cmd_devices)
+
+    p = sub.add_parser("saxpy", help="run the paper's Listing 1")
+    p.add_argument("--size", type=int, default=1 << 20)
+    p.add_argument("--alpha", type=float, default=2.5)
+    p.add_argument("--gpus", type=int, default=2)
+    p.set_defaults(fn=_cmd_saxpy)
+
+    p = sub.add_parser("mandelbrot", help="render the Mandelbrot set")
+    p.add_argument("--width", type=int, default=72)
+    p.add_argument("--height", type=int, default=28)
+    p.add_argument("--max-iter", type=int, default=40)
+    p.add_argument("--gpus", type=int, default=2)
+    p.add_argument("--output", help="write a PGM image instead of text")
+    p.set_defaults(fn=_cmd_mandelbrot)
+
+    p = sub.add_parser("osem", help="run a PET reconstruction")
+    p.add_argument("--impl", default="skelcl",
+                   choices=["skelcl", "opencl", "cuda", "reference"])
+    p.add_argument("--grid", type=int, default=12)
+    p.add_argument("--events", type=int, default=5000)
+    p.add_argument("--subsets", type=int, default=5)
+    p.add_argument("--iterations", type=int, default=2)
+    p.add_argument("--gpus", type=int, default=4)
+    p.add_argument("--seed", type=int, default=1)
+    p.set_defaults(fn=_cmd_osem)
+
+    p = sub.add_parser("fig4b",
+                       help="regenerate the paper's runtime figure")
+    p.add_argument("--events-sim", type=int, default=1000)
+    p.add_argument("--events-real", type=int, default=1_000_000)
+    p.set_defaults(fn=_cmd_fig4b)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,15 @@
+"""Simulated CUDA runtime — the paper's baseline substrate.
+
+See :mod:`repro.cuda.api` for the model and its calibration against the
+paper's "CUDA ≈ 20 % faster than OpenCL" measurement.
+"""
+
+from repro.cuda.api import (CUDA_API_OVERHEAD_S, CUDA_LAUNCH_OVERHEAD_S,
+                            CUDA_RUNTIME_EFFICIENCY, CudaFunction,
+                            CudaRuntime, DevicePtr)
+
+__all__ = [
+    "CudaRuntime", "CudaFunction", "DevicePtr",
+    "CUDA_RUNTIME_EFFICIENCY", "CUDA_LAUNCH_OVERHEAD_S",
+    "CUDA_API_OVERHEAD_S",
+]

@@ -1,0 +1,19 @@
+"""dOpenCL — simulated distributed OpenCL (paper Section V).
+
+Makes the devices of several stand-alone systems appear as local
+OpenCL devices of one client, including the network costs that real
+dOpenCL command forwarding incurs.
+"""
+
+from repro.dopencl.client import ForwardedDevice, connect
+from repro.dopencl.protocol import CommandLog, NodeTraffic, collect
+from repro.dopencl.network import (GIGABIT_ETHERNET, INFINIBAND_QDR,
+                                   NetworkSpec, TEN_GIGABIT_ETHERNET)
+from repro.dopencl.server import ServerNode, paper_lab_nodes
+
+__all__ = [
+    "connect", "ForwardedDevice", "ServerNode", "paper_lab_nodes",
+    "NetworkSpec", "GIGABIT_ETHERNET", "TEN_GIGABIT_ETHERNET",
+    "CommandLog", "NodeTraffic", "collect",
+    "INFINIBAND_QDR",
+]

@@ -1,0 +1,85 @@
+"""The dOpenCL client: remote devices as if they were local.
+
+``connect()`` takes a client system (possibly with no OpenCL-capable
+devices at all, like the paper's desktop PC) and a list of server
+nodes, and extends the client's device list with forwarded devices.
+The returned platform is a drop-in replacement for a native one —
+"since dOpenCL is a drop-in replacement for any OpenCL implementation,
+it can be used together with SkelCL without any modifications"
+(Section V) — which `tests/dopencl` demonstrates by running unmodified
+SkelCL code on it.
+
+A :class:`ForwardedDevice` differs from a local device only in its
+transfer path (client -> network -> node PCIe, chained spans on two
+resources) and in a command-forwarding latency added to every enqueue.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.dopencl.network import NetworkSpec
+from repro.dopencl.server import ServerNode
+from repro.errors import DOpenCLError
+from repro.ocl.device import Device
+from repro.ocl.platform import Platform
+from repro.ocl.system import System
+
+
+class ForwardedDevice(Device):
+    """A remote node's device, presented as a local one."""
+
+    def __init__(self, system: System, device_id: int, spec,
+                 node_name: str, network: NetworkSpec,
+                 node_uplink_resource) -> None:
+        super().__init__(system, device_id, spec)
+        self.node_name = node_name
+        self.network = network
+        self._uplink = node_uplink_resource
+
+    @property
+    def command_latency_s(self) -> float:  # type: ignore[override]
+        # every forwarded command pays a network round trip
+        return self.network.round_trip_s
+
+    def schedule_transfer(self, nbytes: int, ready_at: float, label: str):
+        """Bulk data crosses the network, then the node's PCIe link."""
+        net_span = self.system.timeline.schedule(
+            self._uplink, self.network.transfer_duration(nbytes),
+            ready_at=ready_at, label=f"net[{self.node_name}] {label}")
+        from repro.ocl.timing import transfer_duration
+        return self.system.timeline.schedule(
+            self.link_resource, transfer_duration(self.spec, nbytes),
+            ready_at=net_span.end, label=label)
+
+    def __repr__(self) -> str:
+        return (f"<ForwardedDevice {self.id}: {self.name} "
+                f"@ {self.node_name}>")
+
+
+def connect(client: System, nodes: Sequence[ServerNode]) -> Platform:
+    """Integrate the nodes' devices into the client (dOpenCL's job).
+
+    Returns a platform listing the client's own devices first, then
+    every node's devices, in node order.
+    """
+    if not nodes:
+        raise DOpenCLError("dOpenCL needs at least one server node")
+    names = [n.name for n in nodes]
+    if len(set(names)) != len(names):
+        raise DOpenCLError(f"duplicate node names: {names}")
+    offline = [n.name for n in nodes if not n.online]
+    if offline:
+        from repro.errors import NodeUnreachableError
+        raise NodeUnreachableError(
+            f"cannot reach node(s): {', '.join(offline)}")
+    for node in nodes:
+        uplink = client.timeline.resource(f"net.{node.name}")
+        for spec in node.device_specs():
+            device = ForwardedDevice(
+                client, len(client.devices), spec,
+                node_name=node.name, network=node.network,
+                node_uplink_resource=uplink)
+            client.devices.append(device)
+    return Platform(client, name="dOpenCL (simulated)",
+                    vendor="repro dOpenCL")

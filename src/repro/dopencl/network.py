@@ -1,0 +1,35 @@
+"""Simulated network fabric for dOpenCL (paper Section V).
+
+A :class:`NetworkSpec` models the interconnect between the dOpenCL
+client and one server node: command forwarding pays a round-trip
+latency, bulk data pays latency + size/bandwidth, and each node's uplink
+is a serially-occupied virtual resource, so concurrent transfers to one
+node queue while transfers to different nodes overlap.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class NetworkSpec:
+    """Point-to-point characteristics of one client<->node connection."""
+
+    bandwidth_gbs: float = 1.25  # 10 Gigabit Ethernet payload rate
+    latency_s: float = 50e-6     # one-way latency
+
+    def transfer_duration(self, nbytes: int) -> float:
+        if nbytes < 0:
+            raise ValueError("negative transfer size")
+        return self.latency_s + nbytes / (self.bandwidth_gbs * 1e9)
+
+    @property
+    def round_trip_s(self) -> float:
+        return 2.0 * self.latency_s
+
+
+#: the paper's laboratory setup uses commodity Ethernet between nodes
+GIGABIT_ETHERNET = NetworkSpec(bandwidth_gbs=0.118, latency_s=100e-6)
+TEN_GIGABIT_ETHERNET = NetworkSpec(bandwidth_gbs=1.18, latency_s=50e-6)
+INFINIBAND_QDR = NetworkSpec(bandwidth_gbs=4.0, latency_s=5e-6)

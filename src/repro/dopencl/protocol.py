@@ -1,0 +1,100 @@
+"""dOpenCL command-forwarding protocol accounting.
+
+Real dOpenCL serializes every OpenCL API call the client issues for a
+remote device and forwards it to the owning node.  The simulation's
+data movement and latency are charged by
+:class:`repro.dopencl.client.ForwardedDevice`; this module adds the
+*observability* layer: a per-node log of forwarded commands with their
+serialized sizes, so experiments can report protocol traffic the way a
+real deployment would.
+
+Attach a :class:`CommandLog` to a client system with :func:`attach`;
+it tallies every span that crosses a node uplink plus the command
+round-trips implied by enqueues on forwarded devices.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+
+from repro.dopencl.client import ForwardedDevice
+from repro.ocl.system import System
+
+#: serialized size of one forwarded command header (ids, offsets,
+#: argument metadata) — small against any real payload
+COMMAND_HEADER_BYTES = 64
+
+
+@dataclass
+class NodeTraffic:
+    """Per-node protocol counters."""
+
+    commands: int = 0
+    payload_bytes: int = 0
+    round_trips: float = 0.0  # seconds of command latency paid
+
+
+@dataclass
+class CommandLog:
+    """Aggregated protocol traffic of one dOpenCL client."""
+
+    per_node: dict[str, NodeTraffic] = field(
+        default_factory=lambda: defaultdict(NodeTraffic))
+    _seen_spans: int = 0
+
+    def node(self, name: str) -> NodeTraffic:
+        return self.per_node[name]
+
+    def total_commands(self) -> int:
+        return sum(t.commands for t in self.per_node.values())
+
+    def total_payload_bytes(self) -> int:
+        return sum(t.payload_bytes for t in self.per_node.values())
+
+    def report(self) -> str:
+        from repro.util.tables import format_table
+        rows = [[name, t.commands, f"{t.payload_bytes / 1e6:.2f} MB",
+                 f"{t.round_trips * 1e3:.2f} ms"]
+                for name, t in sorted(self.per_node.items())]
+        return format_table(
+            ["node", "commands", "payload", "command latency"], rows)
+
+
+def collect(system: System) -> CommandLog:
+    """Build a command log from a client system's timeline.
+
+    Every span on a ``net.<node>`` uplink is one forwarded bulk
+    command; every enqueue on a forwarded device paid that device's
+    command round trip (counted once per uplink span here, a
+    first-order view of the per-command latency already charged to the
+    timeline).
+    """
+    log = CommandLog()
+    latency_by_node = {}
+    for device in system.devices:
+        if isinstance(device, ForwardedDevice):
+            latency_by_node[device.node_name] = \
+                device.network.round_trip_s
+    for span in system.timeline.spans:
+        if not span.resource.startswith("net."):
+            continue
+        node = span.resource[len("net."):]
+        traffic = log.per_node[node]
+        traffic.commands += 1
+        payload = _payload_bytes(span.label)
+        traffic.payload_bytes += payload + COMMAND_HEADER_BYTES
+        traffic.round_trips += latency_by_node.get(node, 0.0)
+        log._seen_spans += 1
+    return log
+
+
+def _payload_bytes(label: str) -> int:
+    """Parse the byte count out of a transfer span label."""
+    for token in label.split():
+        if token.endswith("B"):
+            try:
+                return int(token[:-1])
+            except ValueError:
+                continue
+    return 0

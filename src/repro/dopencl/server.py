@@ -1,0 +1,54 @@
+"""dOpenCL server nodes.
+
+Each server runs a native OpenCL implementation over its local devices;
+dOpenCL integrates them into a unified platform on the client (paper
+Section V).  In the simulation a server is a bundle of device specs plus
+the network characteristics of its connection.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.dopencl.network import NetworkSpec, TEN_GIGABIT_ETHERNET
+from repro.ocl.specs import DeviceSpec, TESLA_C1060, XEON_E5520
+
+
+@dataclass
+class ServerNode:
+    """One stand-alone machine offering its devices to dOpenCL clients.
+
+    The paper's laboratory uses one 4-GPU server (the Tesla S1070
+    system of Section IV-C) plus two servers with 1 multi-core CPU and
+    2 GPUs each; :func:`paper_lab_nodes` builds exactly that.
+    """
+
+    name: str
+    num_gpus: int = 1
+    gpu_spec: DeviceSpec = TESLA_C1060
+    cpu_device: bool = False
+    cpu_spec: DeviceSpec = XEON_E5520
+    network: NetworkSpec = TEN_GIGABIT_ETHERNET
+    #: an unreachable node makes connect() fail fast
+    online: bool = True
+
+    def device_specs(self) -> list[DeviceSpec]:
+        specs = [self.gpu_spec] * self.num_gpus
+        if self.cpu_device:
+            specs.append(self.cpu_spec)
+        return specs
+
+
+def paper_lab_nodes(network: NetworkSpec = TEN_GIGABIT_ETHERNET
+                    ) -> list[ServerNode]:
+    """The distributed laboratory system described in Section V:
+    the 4-GPU Tesla S1070 server plus two servers with one multi-core
+    CPU and two GPUs each (8 GPUs, 3 CPU devices in total)."""
+    return [
+        ServerNode("tesla-s1070", num_gpus=4, cpu_device=True,
+                   network=network),
+        ServerNode("gpu-node-1", num_gpus=2, cpu_device=True,
+                   network=network),
+        ServerNode("gpu-node-2", num_gpus=2, cpu_device=True,
+                   network=network),
+    ]

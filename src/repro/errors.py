@@ -1,0 +1,136 @@
+"""Exception hierarchy for the repro package.
+
+Every subsystem raises a subclass of :class:`ReproError`, so callers can
+catch errors from the whole stack with a single ``except`` clause while
+still being able to distinguish compiler errors from runtime errors.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this package."""
+
+
+# ---------------------------------------------------------------------------
+# Mini OpenCL-C compiler (repro.clc)
+# ---------------------------------------------------------------------------
+
+class ClcError(ReproError):
+    """Base class for errors from the mini OpenCL-C compiler."""
+
+    def __init__(self, message: str, line: int | None = None,
+                 col: int | None = None) -> None:
+        self.line = line
+        self.col = col
+        if line is not None:
+            message = f"{message} (at line {line}" + (
+                f", col {col})" if col is not None else ")")
+        super().__init__(message)
+
+
+class LexError(ClcError):
+    """Invalid character or malformed literal in kernel source."""
+
+
+class ParseError(ClcError):
+    """Kernel source does not conform to the supported C subset grammar."""
+
+
+class TypeCheckError(ClcError):
+    """Kernel source is grammatical but not well-typed."""
+
+
+class InterpError(ClcError):
+    """Runtime failure while executing a compiled kernel (e.g. an
+    out-of-bounds access caught by the simulator's boundary checks)."""
+
+
+# ---------------------------------------------------------------------------
+# Simulated OpenCL runtime (repro.ocl)
+# ---------------------------------------------------------------------------
+
+class OclError(ReproError):
+    """Base class for simulated-OpenCL runtime errors.
+
+    Mirrors OpenCL's error-code style: each subclass names the CL error
+    condition it stands in for.
+    """
+
+
+class DeviceNotFoundError(OclError):
+    """No device matched the requested selection (CL_DEVICE_NOT_FOUND)."""
+
+
+class OutOfResourcesError(OclError):
+    """Device memory exhausted (CL_MEM_OBJECT_ALLOCATION_FAILURE)."""
+
+
+class BuildProgramFailure(OclError):
+    """Program source failed to compile (CL_BUILD_PROGRAM_FAILURE)."""
+
+    def __init__(self, message: str, build_log: str = "") -> None:
+        super().__init__(message)
+        self.build_log = build_log
+
+
+class InvalidKernelArgs(OclError):
+    """Kernel launched with missing/ill-typed arguments
+    (CL_INVALID_KERNEL_ARGS)."""
+
+
+class InvalidCommand(OclError):
+    """A command was enqueued with invalid parameters (e.g. transfer range
+    outside a buffer: CL_INVALID_VALUE)."""
+
+
+class ContextMismatchError(OclError):
+    """Objects from different contexts were mixed (CL_INVALID_CONTEXT)."""
+
+
+# ---------------------------------------------------------------------------
+# Simulated CUDA runtime (repro.cuda)
+# ---------------------------------------------------------------------------
+
+class CudaError(ReproError):
+    """Base class for simulated-CUDA runtime errors."""
+
+
+# ---------------------------------------------------------------------------
+# SkelCL library (repro.skelcl)
+# ---------------------------------------------------------------------------
+
+class SkelClError(ReproError):
+    """Base class for SkelCL-level errors."""
+
+
+class NotInitializedError(SkelClError):
+    """SkelCL used before :func:`repro.skelcl.init` was called."""
+
+
+class DistributionError(SkelClError):
+    """Invalid distribution request or incompatible vector distributions."""
+
+
+class SizeMismatchError(SkelClError):
+    """Vectors of different sizes passed where equal sizes are required."""
+
+
+# ---------------------------------------------------------------------------
+# dOpenCL (repro.dopencl)
+# ---------------------------------------------------------------------------
+
+class DOpenCLError(ReproError):
+    """Base class for the simulated distributed-OpenCL layer."""
+
+
+class NodeUnreachableError(DOpenCLError):
+    """The simulated network has no route to the requested node."""
+
+
+# ---------------------------------------------------------------------------
+# Scheduler (repro.sched)
+# ---------------------------------------------------------------------------
+
+class SchedulerError(ReproError):
+    """Base class for scheduling failures."""

@@ -1,0 +1,31 @@
+"""Simulated OpenCL substrate.
+
+Faithful-to-the-API, simulated-in-time: real numerical results, virtual
+clocks.  See DESIGN.md §5.1 and :mod:`repro.ocl.timing` for the cost
+model, :mod:`repro.ocl.specs` for the hardware catalog mirroring the
+paper's Tesla S1070 testbed.
+"""
+
+from repro.ocl.context import Context
+from repro.ocl.device import Device
+from repro.ocl.event import Event, wait_for_events
+from repro.ocl.memory import Buffer, buffer_from_array
+from repro.ocl.platform import Platform, create_system_platform
+from repro.ocl.program import (Kernel, KernelParam, NativeKernelDef,
+                               NativeProgram, Program)
+from repro.ocl.queue import CommandQueue
+from repro.ocl.specs import (CATALOG, DeviceSpec, GTX_480, TESLA_C1060,
+                             XEON_E5520)
+from repro.ocl.system import System
+from repro.ocl.timing import (API_CALL_OVERHEAD_S, BUILD_TIME_S, KernelCost,
+                              kernel_duration, transfer_duration)
+
+__all__ = [
+    "System", "Platform", "Device", "Context", "CommandQueue", "Buffer",
+    "Event", "Program", "NativeProgram", "NativeKernelDef", "Kernel",
+    "KernelParam", "DeviceSpec", "KernelCost",
+    "buffer_from_array", "wait_for_events", "create_system_platform",
+    "kernel_duration", "transfer_duration",
+    "TESLA_C1060", "XEON_E5520", "GTX_480", "CATALOG",
+    "API_CALL_OVERHEAD_S", "BUILD_TIME_S",
+]

@@ -1,0 +1,115 @@
+"""C-style OpenCL host API.
+
+A thin functional facade over the object layer, mirroring the verbosity
+of the real OpenCL host API.  The low-level baseline implementations
+(the paper's "OpenCL versions") are written against this module, so the
+Figure 4a lines-of-code comparison reflects the same boilerplate
+obligations real OpenCL imposes: platform/device discovery, context and
+queue setup, runtime kernel compilation, explicit buffer management and
+transfers.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.ocl.context import Context
+from repro.ocl.device import Device
+from repro.ocl.event import Event
+from repro.ocl.memory import Buffer
+from repro.ocl.platform import Platform
+from repro.ocl.program import Kernel, Program
+from repro.ocl.queue import CommandQueue
+
+CL_DEVICE_TYPE_GPU = "GPU"
+CL_DEVICE_TYPE_CPU = "CPU"
+CL_DEVICE_TYPE_ALL = "ALL"
+
+
+def get_platform_ids(system_or_platform) -> list[Platform]:
+    """Enumerate platforms (``clGetPlatformIDs``)."""
+    if isinstance(system_or_platform, Platform):
+        return [system_or_platform]
+    return [Platform(system_or_platform)]
+
+
+def get_device_ids(platform: Platform,
+                   device_type: str = CL_DEVICE_TYPE_ALL) -> list[Device]:
+    """Enumerate devices of a platform (``clGetDeviceIDs``)."""
+    return platform.get_devices(device_type)
+
+
+def create_context(devices: Sequence[Device]) -> Context:
+    """Create a context (``clCreateContext``)."""
+    return Context(devices)
+
+
+def create_command_queue(context: Context, device: Device) -> CommandQueue:
+    """Create an in-order queue (``clCreateCommandQueue``)."""
+    return CommandQueue(context, device)
+
+
+def create_buffer(context: Context, nbytes: int) -> Buffer:
+    """Allocate a buffer object (``clCreateBuffer``)."""
+    return Buffer(context, nbytes)
+
+
+def create_program_with_source(context: Context, source: str) -> Program:
+    """Create a program from source (``clCreateProgramWithSource``)."""
+    return Program(context, source)
+
+
+def build_program(program: Program) -> Program:
+    """Compile the program at runtime (``clBuildProgram``)."""
+    return program.build()
+
+
+def create_kernel(program, name: str) -> Kernel:
+    """Extract a kernel object (``clCreateKernel``)."""
+    return program.create_kernel(name)
+
+
+def set_kernel_arg(kernel: Kernel, index: int, value) -> None:
+    """Bind one kernel argument (``clSetKernelArg``)."""
+    kernel.set_arg(index, value)
+
+
+def enqueue_write_buffer(queue: CommandQueue, buf: Buffer,
+                         src: np.ndarray, offset_bytes: int = 0,
+                         wait_for=None) -> Event:
+    """Upload host memory to the device (``clEnqueueWriteBuffer``)."""
+    return queue.enqueue_write_buffer(buf, src, offset_bytes, wait_for)
+
+
+def enqueue_read_buffer(queue: CommandQueue, buf: Buffer, dst: np.ndarray,
+                        offset_bytes: int = 0, wait_for=None) -> Event:
+    """Download device memory to the host (``clEnqueueReadBuffer``)."""
+    return queue.enqueue_read_buffer(buf, dst, offset_bytes, wait_for)
+
+
+def enqueue_copy_buffer(queue: CommandQueue, src: Buffer, dst: Buffer,
+                        src_offset: int = 0, dst_offset: int = 0,
+                        nbytes: int | None = None, wait_for=None) -> Event:
+    """Copy between buffers (``clEnqueueCopyBuffer``)."""
+    return queue.enqueue_copy_buffer(src, dst, src_offset, dst_offset,
+                                     nbytes, wait_for)
+
+
+def enqueue_nd_range_kernel(queue: CommandQueue, kernel: Kernel,
+                            global_size, local_size=None, wait_for=None,
+                            **cost_overrides) -> Event:
+    """Launch a kernel (``clEnqueueNDRangeKernel``)."""
+    return queue.enqueue_nd_range_kernel(kernel, global_size, local_size,
+                                         wait_for, **cost_overrides)
+
+
+def finish(queue: CommandQueue) -> None:
+    """Block until the queue drains (``clFinish``)."""
+    queue.finish()
+
+
+def release_mem_object(buf: Buffer) -> None:
+    """Release a buffer (``clReleaseMemObject``)."""
+    buf.release()

@@ -1,0 +1,53 @@
+"""Simulated OpenCL contexts."""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterable
+
+from repro.errors import ContextMismatchError
+from repro.ocl.device import Device
+
+if TYPE_CHECKING:
+    from repro.ocl.system import System
+
+
+class Context:
+    """A container tying devices, buffers, and programs together.
+
+    All devices of a context must belong to the same system (dOpenCL's
+    aggregated platform presents remote devices as local ones of the
+    client system, so this invariant holds there too).
+    """
+
+    def __init__(self, devices: Iterable[Device]) -> None:
+        self.devices: list[Device] = list(devices)
+        if not self.devices:
+            raise ContextMismatchError("context requires at least one device")
+        systems = {d.system for d in self.devices}
+        if len(systems) != 1:
+            raise ContextMismatchError(
+                "all devices of a context must belong to one system")
+        self.system: "System" = self.devices[0].system
+        self._buffers: list = []
+
+    def device_index(self, device: Device) -> int:
+        try:
+            return self.devices.index(device)
+        except ValueError:
+            raise ContextMismatchError(
+                f"{device!r} is not part of this context") from None
+
+    def check_device(self, device: Device) -> None:
+        if device not in self.devices:
+            raise ContextMismatchError(
+                f"{device!r} is not part of this context")
+
+    def _register_buffer(self, buf) -> None:
+        self._buffers.append(buf)
+
+    @property
+    def buffers(self) -> list:
+        return list(self._buffers)
+
+    def __repr__(self) -> str:
+        return f"<Context on {len(self.devices)} device(s)>"

@@ -1,0 +1,90 @@
+"""Simulated OpenCL devices."""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.errors import OutOfResourcesError
+from repro.ocl.specs import DeviceSpec
+
+if TYPE_CHECKING:
+    from repro.ocl.system import System
+
+
+class Device:
+    """One simulated OpenCL device.
+
+    A device owns two virtual-time resources: its in-order execution
+    engine (``dev{i}.queue``) and its host link (``dev{i}.link``), so
+    kernel execution and host transfers of *different* devices overlap
+    while work on one device serializes.
+    """
+
+    def __init__(self, system: "System", device_id: int,
+                 spec: DeviceSpec) -> None:
+        self.system = system
+        self.id = device_id
+        self.spec = spec
+        self.allocated_bytes = 0
+        self._queue_resource = system.timeline.resource(
+            f"dev{device_id}.queue")
+        self._link_resource = system.timeline.resource(
+            f"dev{device_id}.link")
+
+    # -- identity -----------------------------------------------------------
+
+    @property
+    def name(self) -> str:
+        return self.spec.name
+
+    @property
+    def device_type(self) -> str:
+        return self.spec.device_type
+
+    def __repr__(self) -> str:
+        return f"<Device {self.id}: {self.name}>"
+
+    # -- virtual-time resources ----------------------------------------------
+
+    @property
+    def queue_resource(self):
+        return self._queue_resource
+
+    @property
+    def link_resource(self):
+        return self._link_resource
+
+    #: extra host->device command-forwarding latency (zero for local
+    #: devices; dOpenCL's forwarded devices pay a network round trip)
+    command_latency_s = 0.0
+
+    def schedule_transfer(self, nbytes: int, ready_at: float,
+                          label: str):
+        """Occupy this device's transfer path; returns the span.
+
+        Local devices use their PCIe link only; subclasses may chain
+        additional hops (see
+        :class:`repro.dopencl.client.ForwardedDevice`).
+        """
+        from repro.ocl.timing import transfer_duration
+        duration = transfer_duration(self.spec, nbytes)
+        return self.system.timeline.schedule(
+            self._link_resource, duration, ready_at=ready_at, label=label)
+
+    # -- memory accounting -----------------------------------------------------
+
+    @property
+    def free_mem_bytes(self) -> int:
+        return self.spec.global_mem_bytes - self.allocated_bytes
+
+    def allocate(self, nbytes: int) -> None:
+        """Account for a device-memory allocation of *nbytes*."""
+        if nbytes > self.free_mem_bytes:
+            raise OutOfResourcesError(
+                f"device {self.id} ({self.name}): cannot allocate "
+                f"{nbytes} bytes; {self.free_mem_bytes} free of "
+                f"{self.spec.global_mem_bytes}")
+        self.allocated_bytes += nbytes
+
+    def release(self, nbytes: int) -> None:
+        self.allocated_bytes = max(0, self.allocated_bytes - nbytes)

@@ -1,0 +1,54 @@
+"""Simulated OpenCL events with profiling info."""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.util.timeline import VirtualSpan
+
+if TYPE_CHECKING:
+    from repro.ocl.system import System
+
+
+class Event:
+    """Completion handle for an enqueued command.
+
+    ``profile_start``/``profile_end`` expose the command's virtual-time
+    span like ``CL_PROFILING_COMMAND_START/END``; :meth:`wait` blocks
+    the (virtual) host until completion.
+    """
+
+    def __init__(self, system: "System", span: VirtualSpan,
+                 kind: str = "command") -> None:
+        self._system = system
+        self.span = span
+        self.kind = kind
+
+    @property
+    def profile_start(self) -> float:
+        return self.span.start
+
+    @property
+    def profile_end(self) -> float:
+        return self.span.end
+
+    @property
+    def duration(self) -> float:
+        return self.span.duration
+
+    def wait(self) -> None:
+        """Block the virtual host until this command completes."""
+        self._system.host_wait_until(self.span.end)
+
+    def is_complete_at(self, t: float) -> bool:
+        return self.span.end <= t
+
+    def __repr__(self) -> str:
+        return (f"<Event {self.kind} [{self.span.start:.6f}, "
+                f"{self.span.end:.6f}] on {self.span.resource}>")
+
+
+def wait_for_events(events: list["Event"]) -> None:
+    """Block the host until every event in *events* completes."""
+    for event in events:
+        event.wait()

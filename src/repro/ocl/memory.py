@@ -1,0 +1,142 @@
+"""Simulated device memory objects.
+
+A :class:`Buffer` is a context-global memory object, like ``cl_mem``.
+The simulator keeps one eager backing store (commands execute in
+enqueue order, so a single logical copy is sufficient for values) and
+separately tracks, per device, whether the buffer is *resident* there —
+residency drives device-memory capacity accounting and implicit
+migration costs, mirroring how OpenCL implementations lazily place
+context-global buffers.
+
+Layered code (SkelCL's distributions, the low-level OSEM programs)
+creates one buffer per device part, so genuinely divergent per-device
+contents (the paper's ``copy`` distribution) are represented by
+distinct buffers.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from repro.errors import InvalidCommand
+from repro.ocl.context import Context
+
+if TYPE_CHECKING:
+    from repro.ocl.device import Device
+
+
+class Buffer:
+    """A simulated ``cl_mem`` buffer of ``nbytes`` bytes."""
+
+    def __init__(self, context: Context, nbytes: int) -> None:
+        if nbytes <= 0:
+            raise InvalidCommand(f"invalid buffer size {nbytes}")
+        self.context = context
+        self.nbytes = int(nbytes)
+        self._data = np.zeros(self.nbytes, dtype=np.uint8)
+        #: device ids where the buffer is currently resident
+        self._resident: set[int] = set()
+        #: holders of an up-to-date copy: "host" and/or device ids.
+        #: Writes shrink this to the writer; read-only uses grow it.
+        self.valid: set[int | str] = {"host"}
+        #: completion time of the last command that touched this buffer;
+        #: later commands on any queue must not start before it
+        self.ready_at = 0.0
+        #: True once any data has been stored (drives implicit-upload cost)
+        self.initialized = False
+        self._released = False
+        context._register_buffer(self)
+
+    # -- residency / capacity ------------------------------------------------
+
+    def ensure_resident(self, device: "Device") -> bool:
+        """Account allocation on *device*; True if newly allocated."""
+        self._check_alive()
+        if device.id in self._resident:
+            return False
+        device.allocate(self.nbytes)
+        self._resident.add(device.id)
+        return True
+
+    def is_resident(self, device: "Device") -> bool:
+        return device.id in self._resident
+
+    def release(self) -> None:
+        """Free the buffer's device allocations (``clReleaseMemObject``)."""
+        if self._released:
+            return
+        for device in self.context.devices:
+            if device.id in self._resident:
+                device.release(self.nbytes)
+        self._resident.clear()
+        self._released = True
+
+    def _check_alive(self) -> None:
+        if self._released:
+            raise InvalidCommand("buffer used after release")
+
+    # -- data access ----------------------------------------------------------
+
+    def view(self, dtype, offset_bytes: int = 0,
+             count: int | None = None) -> np.ndarray:
+        """Typed view into the backing store (zero-copy)."""
+        self._check_alive()
+        dtype = np.dtype(dtype)
+        if offset_bytes < 0 or offset_bytes % dtype.itemsize:
+            raise InvalidCommand(
+                f"offset {offset_bytes} misaligned for dtype {dtype}")
+        avail = (self.nbytes - offset_bytes) // dtype.itemsize
+        if count is None:
+            count = avail
+        if count < 0 or count > avail:
+            raise InvalidCommand(
+                f"view of {count} x {dtype} at offset {offset_bytes} "
+                f"exceeds buffer of {self.nbytes} bytes")
+        end = offset_bytes + count * dtype.itemsize
+        return self._data[offset_bytes:end].view(dtype)
+
+    def write_bytes(self, src: np.ndarray, offset_bytes: int = 0) -> int:
+        """Copy *src* (any dtype) into the buffer; returns bytes written."""
+        self._check_alive()
+        raw = np.ascontiguousarray(src).view(np.uint8).reshape(-1)
+        if offset_bytes < 0 or offset_bytes + raw.nbytes > self.nbytes:
+            raise InvalidCommand(
+                f"write of {raw.nbytes} bytes at offset {offset_bytes} "
+                f"exceeds buffer of {self.nbytes} bytes")
+        self._data[offset_bytes:offset_bytes + raw.nbytes] = raw
+        self.initialized = True
+        return raw.nbytes
+
+    def read_bytes(self, dst: np.ndarray, offset_bytes: int = 0) -> int:
+        """Copy buffer contents into *dst*; returns bytes read."""
+        self._check_alive()
+        if not isinstance(dst, np.ndarray):
+            raise InvalidCommand("read destination must be a numpy array")
+        if not dst.flags.c_contiguous:
+            raise InvalidCommand("read destination must be contiguous")
+        nbytes = dst.nbytes
+        if offset_bytes < 0 or offset_bytes + nbytes > self.nbytes:
+            raise InvalidCommand(
+                f"read of {nbytes} bytes at offset {offset_bytes} exceeds "
+                f"buffer of {self.nbytes} bytes")
+        flat = dst.view(np.uint8).reshape(-1)
+        flat[:] = self._data[offset_bytes:offset_bytes + nbytes]
+        return nbytes
+
+    def __repr__(self) -> str:
+        return (f"<Buffer {self.nbytes}B resident_on={sorted(self._resident)} "
+                f"valid_on={sorted(map(str, self.valid))}>")
+
+
+def buffer_from_array(context: Context, array: np.ndarray) -> Buffer:
+    """Create a buffer sized and pre-filled from a host array.
+
+    Note: like ``CL_MEM_COPY_HOST_PTR``, the fill happens at creation
+    and is charged as a host-side copy, not a device transfer; the
+    transfer cost is charged when a queue first uses the buffer.
+    """
+    buf = Buffer(context, array.nbytes)
+    buf.write_bytes(array)
+    return buf

@@ -1,0 +1,47 @@
+"""Simulated OpenCL platform layer."""
+
+from __future__ import annotations
+
+from repro.errors import DeviceNotFoundError
+from repro.ocl.device import Device
+from repro.ocl.system import System
+
+
+class Platform:
+    """An OpenCL platform exposing a system's devices.
+
+    dOpenCL (:mod:`repro.dopencl`) provides a drop-in alternative whose
+    device list spans several systems; everything above the platform
+    layer (contexts, SkelCL) works with either.
+    """
+
+    def __init__(self, system: System, name: str = "repro OpenCL",
+                 vendor: str = "repro (simulated)") -> None:
+        self.system = system
+        self.name = name
+        self.vendor = vendor
+
+    def get_devices(self, device_type: str | None = None) -> list[Device]:
+        """Return devices, optionally filtered by ``"GPU"``/``"CPU"``.
+
+        Raises :class:`DeviceNotFoundError` when nothing matches,
+        mirroring ``CL_DEVICE_NOT_FOUND``.
+        """
+        if device_type is None or device_type == "ALL":
+            devices = list(self.system.devices)
+        else:
+            devices = [d for d in self.system.devices
+                       if d.device_type == device_type]
+        if not devices:
+            raise DeviceNotFoundError(
+                f"no devices of type {device_type!r} on platform "
+                f"{self.name!r}")
+        return devices
+
+    def __repr__(self) -> str:
+        return f"<Platform {self.name!r} ({len(self.system.devices)} devices)>"
+
+
+def create_system_platform(num_gpus: int = 1, **kwargs) -> Platform:
+    """Create a fresh simulated machine and return its platform."""
+    return Platform(System(num_gpus=num_gpus, **kwargs))

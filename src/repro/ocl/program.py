@@ -1,0 +1,220 @@
+"""Simulated OpenCL programs: runtime-compiled source or native kernels.
+
+Source programs go through the mini OpenCL-C compiler at ``build()``
+time, exactly like the paper's workflow (SkelCL merges user code into
+skeleton code and has the underlying OpenCL implementation compile it).
+
+Native programs are the analogue of ``clCreateProgramWithBinary``: a
+pre-built kernel implemented as a vectorized Python function.  They
+exist because interpreting millions of work items per launch in Python
+would make the simulation unusably slow for the OSEM ray tracer; their
+cost model parameters are declared explicitly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro import clc
+from repro.clc.types import PointerType, ScalarType, StructType
+from repro.errors import BuildProgramFailure, ClcError
+from repro.ocl.context import Context
+from repro.ocl.timing import BUILD_TIME_S
+
+
+@dataclass
+class KernelParam:
+    """Resolved parameter info used for argument binding."""
+
+    name: str
+    is_pointer: bool
+    dtype: np.dtype | None  # element dtype for pointers, scalar dtype else
+    #: ``__global const T*`` parameters don't invalidate other copies
+    is_const: bool = False
+
+
+@dataclass
+class NativeKernelDef:
+    """Descriptor of a pre-built (native) kernel.
+
+    ``fn(args, global_size)`` receives, per parameter, either a typed
+    numpy view of the bound buffer or the scalar value, and must write
+    its outputs in place.
+
+    ``ops_per_item``/``bytes_per_item`` feed the roofline cost model,
+    standing in for the statically-estimated cost of compiled kernels.
+    """
+
+    name: str
+    fn: Callable[[list, tuple], None]
+    arg_dtypes: Sequence[np.dtype | None]
+    ops_per_item: float
+    bytes_per_item: float = 8.0
+    #: indices of pointer arguments the kernel only reads
+    const_args: frozenset = frozenset()
+
+
+class Kernel:
+    """A launchable kernel with OpenCL-style positional arguments."""
+
+    def __init__(self, program: "Program", name: str,
+                 params: list[KernelParam],
+                 launcher: Callable, ops_per_item: float,
+                 bytes_per_item: float, native: bool) -> None:
+        self.program = program
+        self.name = name
+        self.params = params
+        self.launcher = launcher
+        self.ops_per_item = ops_per_item
+        self.bytes_per_item = bytes_per_item
+        self.native = native
+        self._args: list = [None] * len(params)
+        self._args_set = [False] * len(params)
+
+    @property
+    def context(self) -> Context:
+        return self.program.context
+
+    def set_arg(self, index: int, value) -> None:
+        """Bind argument *index* (``clSetKernelArg``)."""
+        if index < 0 or index >= len(self.params):
+            from repro.errors import InvalidKernelArgs
+            raise InvalidKernelArgs(
+                f"kernel {self.name}: argument index {index} out of range "
+                f"(expects {len(self.params)})")
+        self._args[index] = value
+        self._args_set[index] = True
+
+    def set_args(self, *values) -> None:
+        if len(values) != len(self.params):
+            from repro.errors import InvalidKernelArgs
+            raise InvalidKernelArgs(
+                f"kernel {self.name} expects {len(self.params)} args, "
+                f"got {len(values)}")
+        for i, value in enumerate(values):
+            self.set_arg(i, value)
+
+    def bound_args(self) -> list:
+        from repro.errors import InvalidKernelArgs
+        missing = [p.name for p, ok in zip(self.params, self._args_set)
+                   if not ok]
+        if missing:
+            raise InvalidKernelArgs(
+                f"kernel {self.name}: unset argument(s) {missing}")
+        return list(self._args)
+
+    def __repr__(self) -> str:
+        kind = "native" if self.native else "source"
+        return f"<Kernel {self.name!r} ({kind}, {len(self.params)} params)>"
+
+
+class Program:
+    """A program created from dialect source (``clCreateProgramWithSource``)."""
+
+    def __init__(self, context: Context, source: str) -> None:
+        self.context = context
+        self.source = source
+        self.build_log = ""
+        self._compiled: clc.Program | None = None
+
+    def build(self) -> "Program":
+        """Compile at runtime; charges build time to the virtual host.
+
+        Raises :class:`BuildProgramFailure` with a build log on invalid
+        source, mirroring ``CL_BUILD_PROGRAM_FAILURE``.
+        """
+        try:
+            self._compiled = clc.compile_source(self.source)
+        except ClcError as exc:
+            self.build_log = str(exc)
+            raise BuildProgramFailure(
+                f"program build failed: {exc}", build_log=self.build_log
+            ) from exc
+        self.build_log = "build successful"
+        self.context.system.host_step(BUILD_TIME_S, label="clBuildProgram")
+        return self
+
+    @property
+    def compiled(self) -> clc.Program:
+        if self._compiled is None:
+            raise BuildProgramFailure(
+                "program used before build() (CL_INVALID_PROGRAM_EXECUTABLE)")
+        return self._compiled
+
+    def kernel_names(self) -> list[str]:
+        return sorted(self.compiled.kernels)
+
+    def create_kernel(self, name: str) -> Kernel:
+        compiled = self.compiled
+        if name not in compiled.kernels:
+            raise BuildProgramFailure(
+                f"no kernel named {name!r}; available: "
+                f"{sorted(compiled.kernels)}")
+        fn = compiled.kernels[name]
+        func_def = next(f for f in compiled.unit.functions
+                        if f.name == name)
+        params = [_resolve_param(p.ctype, i, name, p.is_const, p.name)
+                  for i, p in enumerate(func_def.params)]
+        bytes_per_item = sum(p.dtype.itemsize for p in params
+                             if p.is_pointer and p.dtype is not None)
+        return Kernel(self, name, params, fn.callable,
+                      ops_per_item=fn.op_count,
+                      bytes_per_item=max(bytes_per_item, 4.0),
+                      native=False)
+
+
+class NativeProgram:
+    """A program backed by pre-built Python kernels (binary analogue)."""
+
+    def __init__(self, context: Context,
+                 kernels: Sequence[NativeKernelDef]) -> None:
+        self.context = context
+        self._defs = {k.name: k for k in kernels}
+
+    def kernel_names(self) -> list[str]:
+        return sorted(self._defs)
+
+    def create_kernel(self, name: str) -> Kernel:
+        if name not in self._defs:
+            raise BuildProgramFailure(
+                f"no native kernel named {name!r}; available: "
+                f"{sorted(self._defs)}")
+        kdef = self._defs[name]
+        params = []
+        for i, dtype in enumerate(kdef.arg_dtypes):
+            if dtype is None:
+                params.append(KernelParam(name=f"arg{i}", is_pointer=False,
+                                          dtype=None))
+            else:
+                params.append(KernelParam(name=f"arg{i}", is_pointer=True,
+                                          dtype=np.dtype(dtype),
+                                          is_const=i in kdef.const_args))
+
+        def launcher(args, gsize, lsize, _fn=kdef.fn):
+            _fn(args, gsize)
+
+        return Kernel(self, name, params, launcher,
+                      ops_per_item=kdef.ops_per_item,
+                      bytes_per_item=kdef.bytes_per_item, native=True)
+
+
+def _resolve_param(ctype, index: int, kernel_name: str,
+                   is_const: bool = False,
+                   pname: str | None = None) -> KernelParam:
+    name = pname or f"arg{index}"
+    if isinstance(ctype, PointerType):
+        pointee = ctype.pointee
+        if isinstance(pointee, (ScalarType, StructType)):
+            return KernelParam(name=name, is_pointer=True,
+                               dtype=pointee.dtype(), is_const=is_const)
+        raise BuildProgramFailure(
+            f"kernel {kernel_name}: unsupported pointer parameter "
+            f"{ctype}")
+    if isinstance(ctype, ScalarType):
+        return KernelParam(name=name, is_pointer=False,
+                           dtype=ctype.dtype(), is_const=is_const)
+    raise BuildProgramFailure(
+        f"kernel {kernel_name}: unsupported parameter type {ctype}")

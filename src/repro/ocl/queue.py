@@ -1,0 +1,228 @@
+"""Simulated in-order command queues and the enqueue commands.
+
+Every enqueue charges a small host-side API overhead, occupies the
+right virtual resource (the device's link for transfers, its execution
+engine for kernels), chains dependencies through buffer ready-times,
+and executes the data movement / computation eagerly so results are
+real while time is modelled.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import InvalidCommand, InvalidKernelArgs
+from repro.ocl.context import Context
+from repro.ocl.device import Device
+from repro.ocl.event import Event
+from repro.ocl.memory import Buffer
+from repro.ocl.program import Kernel
+from repro.ocl.timing import KernelCost, kernel_duration
+
+
+class CommandQueue:
+    """An in-order command queue bound to one device."""
+
+    def __init__(self, context: Context, device: Device,
+                 profiling: bool = True) -> None:
+        context.check_device(device)
+        self.context = context
+        self.device = device
+        self.profiling = profiling
+        self._last_complete = 0.0
+
+    # -- helpers ---------------------------------------------------------------
+
+    @property
+    def system(self):
+        return self.context.system
+
+    def _track(self, event: Event) -> Event:
+        self._last_complete = max(self._last_complete, event.span.end)
+        return event
+
+    def _deps_ready(self, wait_for: Sequence[Event] | None) -> float:
+        if not wait_for:
+            return 0.0
+        return max(e.span.end for e in wait_for)
+
+    # -- transfers ----------------------------------------------------------------
+
+    def enqueue_write_buffer(self, buf: Buffer, src: np.ndarray,
+                             offset_bytes: int = 0,
+                             wait_for: Sequence[Event] | None = None
+                             ) -> Event:
+        """Upload host data into the buffer (``clEnqueueWriteBuffer``)."""
+        self._check_buffer(buf)
+        ready = max(self.system.host_step(label="enqueueWrite")
+                    + self.device.command_latency_s,
+                    buf.ready_at, self._deps_ready(wait_for))
+        nbytes = buf.write_bytes(src, offset_bytes)
+        buf.ensure_resident(self.device)
+        span = self.device.schedule_transfer(nbytes, ready,
+                                             f"H2D {nbytes}B")
+        buf.ready_at = span.end
+        buf.valid = {"host", self.device.id}
+        return self._track(Event(self.system, span, kind="write"))
+
+    def enqueue_read_buffer(self, buf: Buffer, dst: np.ndarray,
+                            offset_bytes: int = 0,
+                            wait_for: Sequence[Event] | None = None
+                            ) -> Event:
+        """Download buffer data into host memory (``clEnqueueReadBuffer``)."""
+        self._check_buffer(buf)
+        ready = max(self.system.host_step(label="enqueueRead")
+                    + self.device.command_latency_s,
+                    buf.ready_at, self._deps_ready(wait_for))
+        nbytes = buf.read_bytes(dst, offset_bytes)
+        span = self.device.schedule_transfer(nbytes, ready,
+                                             f"D2H {nbytes}B")
+        buf.ready_at = span.end
+        buf.valid.add("host")
+        return self._track(Event(self.system, span, kind="read"))
+
+    def enqueue_copy_buffer(self, src: Buffer, dst: Buffer,
+                            src_offset: int = 0, dst_offset: int = 0,
+                            nbytes: int | None = None,
+                            wait_for: Sequence[Event] | None = None
+                            ) -> Event:
+        """Device-side buffer copy (``clEnqueueCopyBuffer``).
+
+        Charged on this queue's link (a same-device copy in real OpenCL
+        is faster, but no code path in this library copies large
+        same-device ranges, so one first-order rule suffices).
+        """
+        self._check_buffer(src)
+        self._check_buffer(dst)
+        if nbytes is None:
+            nbytes = min(src.nbytes - src_offset, dst.nbytes - dst_offset)
+        ready = max(self.system.host_step(label="enqueueCopy")
+                    + self.device.command_latency_s,
+                    src.ready_at, dst.ready_at, self._deps_ready(wait_for))
+        tmp = np.empty(nbytes, dtype=np.uint8)
+        src.read_bytes(tmp, src_offset)
+        dst.write_bytes(tmp, dst_offset)
+        dst.ensure_resident(self.device)
+        span = self.device.schedule_transfer(nbytes, ready,
+                                             f"D2D {nbytes}B")
+        src.ready_at = span.end
+        dst.ready_at = span.end
+        dst.valid = {self.device.id}
+        return self._track(Event(self.system, span, kind="copy"))
+
+    # -- kernels -----------------------------------------------------------------
+
+    def enqueue_nd_range_kernel(self, kernel: Kernel,
+                                global_size: Sequence[int],
+                                local_size: Sequence[int] | None = None,
+                                wait_for: Sequence[Event] | None = None,
+                                scale_factor: float = 1.0,
+                                ops_per_item: float | None = None,
+                                bytes_per_item: float | None = None
+                                ) -> Event:
+        """Launch a kernel (``clEnqueueNDRangeKernel``).
+
+        ``scale_factor`` lets layered code execute a downscaled problem
+        while charging virtual time for the full-scale one (documented
+        substitution for paper-scale workloads).  ``ops_per_item``/
+        ``bytes_per_item`` override the kernel's static cost estimate.
+        """
+        if kernel.context is not self.context:
+            raise InvalidCommand("kernel and queue belong to different "
+                                 "contexts")
+        gsize = tuple(int(g) for g in global_size)
+        if not gsize or any(g <= 0 for g in gsize):
+            raise InvalidCommand(f"invalid global size {global_size}")
+        if local_size is None:
+            lsize = tuple(1 for _ in gsize)
+        else:
+            lsize = tuple(int(l) for l in local_size)
+            if len(lsize) != len(gsize) or any(l <= 0 for l in lsize):
+                raise InvalidCommand(f"invalid local size {local_size}")
+            if any(g % l for g, l in zip(gsize, lsize)):
+                raise InvalidCommand(
+                    f"global size {gsize} not divisible by local size "
+                    f"{lsize}")
+        args = kernel.bound_args()
+        ready = max(self.system.host_step(label="enqueueNDRange")
+                    + self.device.command_latency_s,
+                    self._deps_ready(wait_for))
+        bound: list = []
+        buffers: list[tuple[Buffer, bool]] = []
+        for param, arg in zip(kernel.params, args):
+            if param.is_pointer:
+                if not isinstance(arg, Buffer):
+                    raise InvalidKernelArgs(
+                        f"kernel {kernel.name}: parameter {param.name} "
+                        f"expects a Buffer, got {type(arg).__name__}")
+                self._check_buffer(arg)
+                ready = max(ready, arg.ready_at)
+                ready = max(ready, self._migrate_in(arg))
+                bound.append(arg.view(param.dtype))
+                buffers.append((arg, param.is_const))
+            else:
+                if isinstance(arg, Buffer):
+                    raise InvalidKernelArgs(
+                        f"kernel {kernel.name}: parameter {param.name} "
+                        f"expects a scalar, got a Buffer")
+                bound.append(arg)
+        # execute for real
+        kernel.launcher(bound, gsize, lsize)
+        # charge modelled time
+        work_items = float(math.prod(gsize)) * scale_factor
+        cost = KernelCost(
+            work_items=work_items,
+            ops_per_item=(ops_per_item if ops_per_item is not None
+                          else kernel.ops_per_item),
+            bytes_per_item=(bytes_per_item if bytes_per_item is not None
+                            else kernel.bytes_per_item))
+        duration = kernel_duration(self.device.spec, cost)
+        span = self.system.timeline.schedule(
+            self.device.queue_resource, duration, ready_at=ready,
+            label=f"kernel:{kernel.name}")
+        for buf, is_const in buffers:
+            buf.ready_at = span.end
+            if not is_const:
+                buf.valid = {self.device.id}
+        return self._track(Event(self.system, span, kind="kernel"))
+
+    def _migrate_in(self, buf: Buffer) -> float:
+        """Implicitly place a buffer on this device; returns ready time.
+
+        Host-located data (created with ``buffer_from_array`` and never
+        explicitly uploaded) and data last written by *another* device
+        are transferred over this device's link, mirroring the implicit
+        migration OpenCL performs for context-global buffers.
+        """
+        buf.ensure_resident(self.device)
+        if self.device.id in buf.valid:
+            return 0.0
+        if buf.valid == {"host"} and not buf.initialized:
+            # an output-only buffer: nothing to move
+            buf.valid.add(self.device.id)
+            return 0.0
+        span = self.device.schedule_transfer(buf.nbytes, buf.ready_at,
+                                             f"migrate {buf.nbytes}B")
+        buf.ready_at = span.end
+        buf.valid.add(self.device.id)
+        return span.end
+
+    # -- synchronization ------------------------------------------------------------
+
+    def finish(self) -> None:
+        """Block the virtual host until every enqueued command completes."""
+        self.system.host_wait_until(self._last_complete)
+
+    def flush(self) -> None:
+        """No-op: commands are issued eagerly."""
+
+    def _check_buffer(self, buf: Buffer) -> None:
+        if buf.context is not self.context:
+            raise InvalidCommand(
+                "buffer and queue belong to different contexts")
+
+    def __repr__(self) -> str:
+        return f"<CommandQueue on {self.device!r}>"

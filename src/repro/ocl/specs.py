@@ -1,0 +1,100 @@
+"""Simulated device hardware specifications.
+
+The catalog mirrors the paper's testbed (Section IV-C): an NVIDIA Tesla
+S1070 server — four Tesla-class GPUs with 240 streaming processors and
+4 GB memory each — driven by a quad-core Intel Xeon E5520 host.
+
+The numbers feed the virtual-time cost model (:mod:`repro.ocl.timing`).
+They are calibrated for *shape* fidelity (relative speeds, transfer/
+compute ratios), not absolute agreement with the 2012 hardware.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+
+@dataclass(frozen=True)
+class DeviceSpec:
+    """Static description of one simulated OpenCL device."""
+
+    name: str
+    device_type: str  # "GPU" or "CPU"
+    compute_units: int
+    clock_mhz: float
+    #: simple arithmetic operations retired per compute unit per cycle
+    ops_per_cu_per_cycle: float
+    global_mem_bytes: int
+    mem_bandwidth_gbs: float
+    #: host<->device interconnect
+    link_bandwidth_gbs: float
+    link_latency_s: float
+    kernel_launch_overhead_s: float
+    #: multiplicative efficiency of the runtime driving this device
+    #: (OpenCL baseline = 1.0; the CUDA runtime model raises it)
+    runtime_efficiency: float = 1.0
+
+    @property
+    def clock_hz(self) -> float:
+        return self.clock_mhz * 1e6
+
+    @property
+    def ops_per_second(self) -> float:
+        return (self.compute_units * self.clock_hz
+                * self.ops_per_cu_per_cycle * self.runtime_efficiency)
+
+    def with_efficiency(self, efficiency: float) -> "DeviceSpec":
+        return replace(self, runtime_efficiency=efficiency)
+
+
+#: One GPU of the paper's Tesla S1070 system (essentially a Tesla C1060):
+#: 240 streaming processors grouped in 30 multiprocessors at 1.30 GHz,
+#: 4 GB GDDR3 at ~102 GB/s, PCIe 2.0 x16 (~5.2 GB/s effective).
+TESLA_C1060 = DeviceSpec(
+    name="Tesla C1060 (simulated)",
+    device_type="GPU",
+    compute_units=30,
+    clock_mhz=1296.0,
+    ops_per_cu_per_cycle=8.0,
+    global_mem_bytes=4 * 1024 ** 3,
+    mem_bandwidth_gbs=102.0,
+    link_bandwidth_gbs=5.2,
+    link_latency_s=15e-6,
+    kernel_launch_overhead_s=12e-6,
+)
+
+#: The paper's host CPU: quad-core Intel Xeon E5520 @ 2.26 GHz, 12 GB.
+#: As an OpenCL device it is far slower than a GPU for data-parallel
+#: kernels but has no PCIe hop (link models memcpy within host RAM).
+XEON_E5520 = DeviceSpec(
+    name="Intel Xeon E5520 (simulated)",
+    device_type="CPU",
+    compute_units=4,
+    clock_mhz=2260.0,
+    ops_per_cu_per_cycle=4.0,
+    global_mem_bytes=12 * 1024 ** 3,
+    mem_bandwidth_gbs=25.6,
+    link_bandwidth_gbs=12.0,
+    link_latency_s=1e-6,
+    kernel_launch_overhead_s=3e-6,
+)
+
+#: A smaller consumer GPU used by heterogeneous-scheduling experiments.
+GTX_480 = DeviceSpec(
+    name="GeForce GTX 480 (simulated)",
+    device_type="GPU",
+    compute_units=15,
+    clock_mhz=1401.0,
+    ops_per_cu_per_cycle=32.0,
+    global_mem_bytes=1536 * 1024 ** 2,
+    mem_bandwidth_gbs=177.0,
+    link_bandwidth_gbs=5.2,
+    link_latency_s=15e-6,
+    kernel_launch_overhead_s=10e-6,
+)
+
+CATALOG: dict[str, DeviceSpec] = {
+    "tesla_c1060": TESLA_C1060,
+    "xeon_e5520": XEON_E5520,
+    "gtx_480": GTX_480,
+}

@@ -1,0 +1,83 @@
+"""The simulated machine: host + devices + shared virtual timeline."""
+
+from __future__ import annotations
+
+from repro.util.timeline import Timeline
+from repro.ocl.device import Device
+from repro.ocl.specs import DeviceSpec, TESLA_C1060, XEON_E5520
+from repro.ocl.timing import API_CALL_OVERHEAD_S
+
+
+class System:
+    """One simulated stand-alone machine.
+
+    Mirrors the paper's testbed by default: a host CPU driving
+    ``num_gpus`` Tesla-class GPUs.  All runtimes (simulated OpenCL,
+    simulated CUDA, SkelCL on top) that share a ``System`` share its
+    virtual timeline, so their measurements are directly comparable.
+
+    Args:
+        num_gpus: number of GPU devices (the paper uses 1, 2, and 4).
+        gpu_spec: hardware model for each GPU.
+        cpu_device: also expose the host CPU as an OpenCL device
+            (Section V heterogeneous experiments).
+        runtime_efficiency: multiplicative efficiency of the runtime
+            layer driving the devices — 1.0 for the OpenCL baseline; the
+            CUDA runtime model passes ~1.2 (the paper measures CUDA
+            about 20 % faster than OpenCL on the same hardware).
+        timeline: share an existing virtual timeline (used by dOpenCL).
+    """
+
+    def __init__(self, num_gpus: int = 1,
+                 gpu_spec: DeviceSpec = TESLA_C1060,
+                 cpu_device: bool = False,
+                 cpu_spec: DeviceSpec = XEON_E5520,
+                 runtime_efficiency: float = 1.0,
+                 timeline: Timeline | None = None,
+                 name: str = "system") -> None:
+        if num_gpus < 0:
+            raise ValueError("num_gpus must be >= 0")
+        self.name = name
+        self.timeline = timeline if timeline is not None else Timeline()
+        self.host_resource = self.timeline.resource(f"{name}.host")
+        self.devices: list[Device] = []
+        for i in range(num_gpus):
+            spec = gpu_spec.with_efficiency(
+                gpu_spec.runtime_efficiency * runtime_efficiency)
+            self.devices.append(Device(self, i, spec))
+        if cpu_device:
+            spec = cpu_spec.with_efficiency(
+                cpu_spec.runtime_efficiency * runtime_efficiency)
+            self.devices.append(Device(self, len(self.devices), spec))
+
+    # -- host virtual time ------------------------------------------------------
+
+    def host_now(self) -> float:
+        return self.host_resource.available_at
+
+    def host_step(self, duration: float = API_CALL_OVERHEAD_S,
+                  label: str = "api") -> float:
+        """Charge host-side work; returns its completion time."""
+        span = self.timeline.schedule(self.host_resource, duration,
+                                      label=label)
+        return span.end
+
+    def host_wait_until(self, t: float) -> None:
+        """Block the host until virtual time *t* (e.g. event.wait())."""
+        if t > self.host_resource.available_at:
+            self.timeline.schedule(self.host_resource,
+                                   t - self.host_resource.available_at,
+                                   label="wait")
+
+    # -- convenience ---------------------------------------------------------------
+
+    def gpu_devices(self) -> list[Device]:
+        return [d for d in self.devices if d.device_type == "GPU"]
+
+    def cpu_devices(self) -> list[Device]:
+        return [d for d in self.devices if d.device_type == "CPU"]
+
+    def __repr__(self) -> str:
+        return (f"<System {self.name!r}: "
+                f"{len(self.gpu_devices())} GPU(s), "
+                f"{len(self.cpu_devices())} CPU device(s)>")

@@ -1,0 +1,65 @@
+"""Virtual-time cost model for simulated devices.
+
+Durations follow a simple roofline: a kernel takes
+``launch_overhead + max(compute_time, memory_time)`` where compute time
+is total simple-ops divided by the device's op throughput and memory
+time is global-memory traffic divided by memory bandwidth.  Transfers
+over the host link take ``latency + bytes / bandwidth``.
+
+All constants live in :class:`repro.ocl.specs.DeviceSpec`; the model is
+deliberately first-order — the reproduction targets the *shape* of the
+paper's results (scaling across GPUs, CUDA-vs-OpenCL ratio, SkelCL
+overhead), not the absolute 2012 numbers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.ocl.specs import DeviceSpec
+
+
+@dataclass(frozen=True)
+class KernelCost:
+    """Per-launch cost description supplied by the caller.
+
+    Attributes:
+        work_items: number of logical work items the launch stands for
+            (after any paper-scale ``scale_factor`` has been applied).
+        ops_per_item: simple-operation estimate per work item (the
+            compiler's static estimate, or a native kernel's declared
+            cost).
+        bytes_per_item: global-memory traffic per work item in bytes.
+    """
+
+    work_items: float
+    ops_per_item: float
+    bytes_per_item: float = 8.0
+
+
+def kernel_duration(spec: DeviceSpec, cost: KernelCost) -> float:
+    """Modelled execution time of one kernel launch on *spec*."""
+    if cost.work_items <= 0:
+        return spec.kernel_launch_overhead_s
+    total_ops = cost.work_items * max(cost.ops_per_item, 1.0)
+    compute_s = total_ops / spec.ops_per_second
+    total_bytes = cost.work_items * max(cost.bytes_per_item, 0.0)
+    memory_s = total_bytes / (spec.mem_bandwidth_gbs * 1e9
+                              * spec.runtime_efficiency)
+    return spec.kernel_launch_overhead_s + max(compute_s, memory_s)
+
+
+def transfer_duration(spec: DeviceSpec, nbytes: int) -> float:
+    """Modelled host<->device transfer time over the device's link."""
+    if nbytes < 0:
+        raise ValueError("negative transfer size")
+    return spec.link_latency_s + nbytes / (spec.link_bandwidth_gbs * 1e9)
+
+
+#: modelled host-side cost of one runtime API call (enqueue, set-arg...)
+API_CALL_OVERHEAD_S = 2e-6
+
+#: modelled runtime source-compilation time per kernel source build
+#: (the paper excludes compile time from its measurements; we model it
+#: so "compile once, excluded from subset iterations" is observable)
+BUILD_TIME_S = 80e-3

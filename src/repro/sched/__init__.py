@@ -1,0 +1,21 @@
+"""Static scheduling for heterogeneous devices (paper Section V)."""
+
+from repro.sched.adaptive import AdaptiveScheduler
+from repro.sched.measure import measure_map_seconds_per_item, static_cost
+from repro.sched.perf_model import (UserFunctionCost, predict_map,
+                                    predict_reduce_final,
+                                    predict_reduce_local, predict_zip,
+                                    throughput_items_per_s)
+from repro.sched.static_scheduler import (WeightedBlockDistribution,
+                                          choose_reduce_final_device,
+                                          makespan_of_partition,
+                                          weighted_block_distribution)
+
+__all__ = [
+    "UserFunctionCost", "predict_map", "predict_zip",
+    "predict_reduce_local", "predict_reduce_final",
+    "throughput_items_per_s", "static_cost",
+    "measure_map_seconds_per_item", "WeightedBlockDistribution",
+    "weighted_block_distribution", "choose_reduce_final_device",
+    "makespan_of_partition", "AdaptiveScheduler",
+]

@@ -1,0 +1,66 @@
+"""Micro-benchmarking of user-defined functions (paper Section V).
+
+"Performance prediction based on statistical code analysis and
+benchmarks is only used for the user-defined functions rather than the
+whole program code."  This module runs a user function on a small
+sample on each device of a context and reads the profiled (virtual)
+kernel time, yielding a measured per-element cost that complements the
+compiler's static op estimate.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import ocl
+from repro.skelcl.base import UserFunction
+from repro.skelcl.codegen import map_kernel
+from repro.skelcl.context import SkelCLContext
+from repro.sched.perf_model import UserFunctionCost
+
+
+def static_cost(user: UserFunction,
+                bytes_per_item: float | None = None) -> UserFunctionCost:
+    """Cost from static code analysis only (the compiler's estimate)."""
+    if bytes_per_item is None:
+        bytes_per_item = 2.0 * user.element_dtype(0).itemsize
+    return UserFunctionCost(ops_per_item=user.op_count + 2.0,
+                            bytes_per_item=bytes_per_item)
+
+
+def measure_map_seconds_per_item(ctx: SkelCLContext, user: UserFunction,
+                                 sample_size: int = 4096
+                                 ) -> list[float]:
+    """Measured per-element time of ``map(user)`` on each device.
+
+    Runs the generated map kernel on a sample buffer per device and
+    divides the profiled kernel duration (launch overhead subtracted)
+    by the sample size.
+    """
+    if user.output_dtype() is None or user.params[1:]:
+        raise ValueError(
+            "micro-benchmarking supports unary element -> element "
+            "functions")
+    source = map_kernel(user.source, user.func)
+    program = ctx.build_program(source)
+    in_dtype = user.element_dtype(0)
+    out_dtype = user.output_dtype()
+    results: list[float] = []
+    sample = np.zeros(sample_size, dtype=in_dtype)
+    if in_dtype.kind == "f":
+        sample[:] = np.linspace(0.1, 1.0, sample_size)
+    for device_index, queue in enumerate(ctx.queues):
+        buf_in = ocl.buffer_from_array(ctx.context, sample)
+        buf_out = ocl.Buffer(ctx.context, sample_size * out_dtype.itemsize)
+        kernel = program.create_kernel("skelcl_map")
+        kernel.set_args(buf_in, buf_out, np.int32(sample_size))
+        event = queue.enqueue_nd_range_kernel(kernel, (sample_size,),
+                                              ops_per_item=user.op_count
+                                              + 2.0)
+        queue.finish()
+        overhead = ctx.devices[device_index].spec.kernel_launch_overhead_s
+        per_item = max(event.duration - overhead, 1e-12) / sample_size
+        results.append(per_item)
+        buf_in.release()
+        buf_out.release()
+    return results

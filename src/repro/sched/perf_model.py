@@ -1,0 +1,85 @@
+"""Analytical performance models for skeletons (paper Section V).
+
+SkelCL can predict program performance better than plain OpenCL because
+the implementation of every skeleton is known: only the user-defined
+function needs measurement/static analysis; the skeleton around it is
+modelled analytically.  These models combine the user function's
+per-element cost with each skeleton's known structure (elements
+touched, transfers implied, final host-side stage).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.ocl.specs import DeviceSpec
+from repro.ocl.timing import KernelCost, kernel_duration, transfer_duration
+
+
+@dataclass(frozen=True)
+class UserFunctionCost:
+    """Per-element cost of a user-defined function.
+
+    Obtained from static analysis (the compiler's op estimate) and/or
+    micro-benchmarks (:mod:`repro.sched.measure`).
+    """
+
+    ops_per_item: float
+    bytes_per_item: float = 8.0
+
+
+def predict_map(spec: DeviceSpec, n: int, cost: UserFunctionCost,
+                include_transfers: bool = False) -> float:
+    """Predicted time for a map of *n* elements on *spec*."""
+    t = kernel_duration(spec, KernelCost(n, cost.ops_per_item,
+                                         cost.bytes_per_item))
+    if include_transfers:
+        nbytes = int(n * cost.bytes_per_item)
+        t += 2 * transfer_duration(spec, nbytes)  # upload + download
+    return t
+
+
+def predict_zip(spec: DeviceSpec, n: int, cost: UserFunctionCost,
+                include_transfers: bool = False) -> float:
+    """Predicted time for a zip of *n* element pairs on *spec*."""
+    t = kernel_duration(spec, KernelCost(n, cost.ops_per_item,
+                                         cost.bytes_per_item * 1.5))
+    if include_transfers:
+        nbytes = int(n * cost.bytes_per_item)
+        t += 3 * transfer_duration(spec, nbytes)  # two uploads + download
+    return t
+
+
+def predict_reduce_local(spec: DeviceSpec, n: int,
+                         cost: UserFunctionCost) -> float:
+    """Predicted time for the device-local reduction of *n* elements."""
+    return kernel_duration(spec, KernelCost(n, cost.ops_per_item,
+                                            cost.bytes_per_item))
+
+
+def predict_reduce_final(spec: DeviceSpec, k: int,
+                         cost: UserFunctionCost) -> float:
+    """Predicted time for reducing *k* intermediate values on *spec*.
+
+    The paper's observation: GPUs provide poor performance when
+    reducing only a few elements (launch overhead dominates), so the
+    CPU is often the better choice for this stage.
+    """
+    if k <= 1:
+        return spec.kernel_launch_overhead_s
+    return kernel_duration(spec, KernelCost(k, cost.ops_per_item,
+                                            cost.bytes_per_item))
+
+
+def throughput_items_per_s(spec: DeviceSpec,
+                           cost: UserFunctionCost) -> float:
+    """Sustained per-element throughput, ignoring launch overhead.
+
+    This is the weight the static scheduler assigns a device when
+    splitting a data-parallel workload.
+    """
+    large_n = 1 << 22
+    t = kernel_duration(spec, KernelCost(large_n, cost.ops_per_item,
+                                         cost.bytes_per_item))
+    t -= spec.kernel_launch_overhead_s
+    return large_n / t

@@ -1,0 +1,106 @@
+"""Static workload scheduling for heterogeneous devices (Section V).
+
+"To use the heterogeneous devices efficiently ... SkelCL should not
+assign evenly-sized workload to the devices."  The static scheduler
+computes per-device weights from the analytical skeleton models plus
+the user function's (measured or statically estimated) cost, and
+produces a weighted block distribution that drops into the existing
+Vector/skeleton machinery.
+
+It also answers the paper's reduce question: whether the final
+reduction of the small intermediate vector should run on a CPU rather
+than a GPU.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.errors import SchedulerError
+from repro.ocl.device import Device
+from repro.sched.perf_model import (UserFunctionCost, predict_reduce_final,
+                                    throughput_items_per_s)
+from repro.skelcl.distribution import Distribution
+
+
+class WeightedBlockDistribution(Distribution):
+    """A block distribution whose part sizes follow device weights."""
+
+    __slots__ = ("weights",)
+
+    def __init__(self, weights: Sequence[float]) -> None:
+        super().__init__("block")
+        if not weights or any(w < 0 for w in weights) \
+                or sum(weights) <= 0:
+            raise SchedulerError(f"invalid weights {weights}")
+        self.weights = tuple(float(w) for w in weights)
+
+    def partition(self, size: int,
+                  num_devices: int) -> list[tuple[int, int]]:
+        if num_devices != len(self.weights):
+            raise SchedulerError(
+                f"distribution weighted for {len(self.weights)} devices, "
+                f"used with {num_devices}")
+        total = sum(self.weights)
+        # largest-remainder apportionment: exact coverage, near-ideal split
+        ideal = [size * w / total for w in self.weights]
+        lengths = [int(x) for x in ideal]
+        remainder = size - sum(lengths)
+        by_frac = sorted(range(num_devices),
+                         key=lambda i: ideal[i] - lengths[i], reverse=True)
+        for i in by_frac[:remainder]:
+            lengths[i] += 1
+        parts = []
+        offset = 0
+        for length in lengths:
+            parts.append((offset, length))
+            offset += length
+        return parts
+
+    def _layout_token(self) -> tuple:
+        return ("block-weighted", self.weights)
+
+    def __repr__(self) -> str:
+        return f"WeightedBlockDistribution({list(self.weights)})"
+
+
+def weighted_block_distribution(devices: Sequence[Device],
+                                cost: UserFunctionCost
+                                ) -> WeightedBlockDistribution:
+    """Distribution proportional to each device's modelled throughput.
+
+    Compute-intensive user functions give GPUs large weights over CPUs
+    (the paper's example); memory-bound ones narrow the gap.
+    """
+    if not devices:
+        raise SchedulerError("no devices to schedule over")
+    weights = [throughput_items_per_s(d.spec, cost) for d in devices]
+    return WeightedBlockDistribution(weights)
+
+
+def choose_reduce_final_device(devices: Sequence[Device], k: int,
+                               cost: UserFunctionCost) -> Device:
+    """Pick the device for reducing *k* intermediate values.
+
+    GPUs 'provide poor performance when reducing only few elements'
+    (launch overhead dominates), so for small *k* a CPU device wins.
+    """
+    if not devices:
+        raise SchedulerError("no devices to choose from")
+    return min(devices,
+               key=lambda d: predict_reduce_final(d.spec, k, cost))
+
+
+def makespan_of_partition(devices: Sequence[Device],
+                          lengths: Sequence[int],
+                          cost: UserFunctionCost) -> float:
+    """Predicted makespan when device i processes lengths[i] elements."""
+    from repro.ocl.timing import KernelCost, kernel_duration
+    times = []
+    for device, length in zip(devices, lengths):
+        if length == 0:
+            continue
+        times.append(kernel_duration(
+            device.spec, KernelCost(length, cost.ops_per_item,
+                                    cost.bytes_per_item)))
+    return max(times, default=0.0)

@@ -1,0 +1,45 @@
+"""SkelCL — the paper's contribution, reproduced in Python.
+
+High-level multi-GPU programming through four algorithmic skeletons
+(map, zip, reduce, scan) customized with user functions passed as
+source strings, an abstract :class:`Vector` with lazy host<->device
+consistency, and runtime-changeable data :class:`Distribution`s
+(single / block / copy).
+
+Quickstart (the paper's Listing 1, saxpy)::
+
+    from repro import skelcl
+
+    skelcl.init(num_gpus=2)
+    saxpy = skelcl.Zip(
+        "float func(float x, float y, float a) { return a*x+y; }")
+    X = skelcl.Vector(xs)
+    Y = skelcl.Vector(ys)
+    Y = saxpy(X, Y, a)
+    print(Y.to_numpy())
+"""
+
+from repro.skelcl.base import Skeleton, UserFunction
+from repro.skelcl.context import (SKELCL_CALL_OVERHEAD_S, SkelCLContext,
+                                  get_context, init, terminate)
+from repro.skelcl.distribution import Distribution, combine_copies
+from repro.skelcl.fusion import fuse
+from repro.skelcl.index_vector import IndexVector
+from repro.skelcl.allpairs import AllPairs, matmul
+from repro.skelcl.map_overlap import MapOverlap
+from repro.skelcl.map_overlap2d import MapOverlap2D
+from repro.skelcl.matrix import Matrix, RowBlockDistribution
+from repro.skelcl.map_skeleton import Map
+from repro.skelcl.reduce_skeleton import Reduce
+from repro.skelcl.scan_skeleton import Scan
+from repro.skelcl.vector import DevicePart, Vector
+from repro.skelcl.zip_skeleton import Zip
+
+__all__ = [
+    "init", "terminate", "get_context", "SkelCLContext",
+    "Vector", "DevicePart", "IndexVector", "Distribution", "combine_copies",
+    "Skeleton", "UserFunction", "Map", "Zip", "Reduce", "Scan",
+    "MapOverlap", "MapOverlap2D", "Matrix", "RowBlockDistribution",
+    "AllPairs", "matmul", "fuse",
+    "SKELCL_CALL_OVERHEAD_S",
+]

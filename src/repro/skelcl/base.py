@@ -1,0 +1,179 @@
+"""Skeleton base machinery: user functions and additional arguments.
+
+A skeleton is customized with a user-defined function passed as a plain
+source string (paper Section II-A).  :class:`UserFunction` parses and
+type-checks it once; the concrete skeletons merge it into kernel source
+via :mod:`repro.skelcl.codegen` and adapt the kernel to any *additional
+arguments* (scalars or vectors beyond the primary inputs — the paper's
+novelty over classical skeletons, Listing 1).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro import clc
+from repro.clc import astnodes as ast
+from repro.clc.types import PointerType, ScalarType, StructType
+from repro.errors import DistributionError, SkelClError
+from repro.skelcl.context import SkelCLContext
+from repro.skelcl.vector import Vector
+
+
+class UserFunction:
+    """A parsed, type-checked user-defined function.
+
+    The source may contain helper functions (and struct definitions);
+    the *last* function defined is the one customizing the skeleton,
+    matching single-pass C where helpers precede their users.
+    """
+
+    def __init__(self, source: str) -> None:
+        self.source = source
+        unit = clc.parse(source)
+        if not unit.functions:
+            raise SkelClError(
+                "a skeleton needs a user function; found none")
+        checker = clc.typecheck(unit)
+        self.unit = unit
+        self.func: ast.FunctionDef = unit.functions[-1]
+        if any(f.is_kernel for f in unit.functions):
+            raise SkelClError(
+                "pass plain functions, not a __kernel, to a skeleton")
+        self.name = self.func.name
+        self.op_count = checker.op_counts[self.name]
+        #: vectorized fast-path evaluator (None when not straight-line)
+        self.vectorized = clc.try_vectorize(self.func)
+
+    @property
+    def params(self) -> list[ast.Param]:
+        return self.func.params
+
+    @property
+    def return_type(self):
+        return self.func.return_type
+
+    def element_dtype(self, param_index: int) -> np.dtype:
+        """Numpy dtype of an element-typed parameter."""
+        ctype = self.params[param_index].ctype
+        if isinstance(ctype, (ScalarType, StructType)):
+            return ctype.dtype()
+        raise SkelClError(
+            f"parameter {param_index} of {self.name} must be an element "
+            f"type, not {ctype}")
+
+    def output_dtype(self) -> np.dtype | None:
+        if self.return_type.is_void:
+            return None
+        if isinstance(self.return_type, (ScalarType, StructType)):
+            return self.return_type.dtype()
+        raise SkelClError(
+            f"{self.name}: unsupported return type {self.return_type}")
+
+
+class Skeleton:
+    """Common behaviour of Map/Zip/Reduce/Scan.
+
+    Subclasses define ``n_element_params`` (how many leading parameters
+    of the user function take vector elements) and implement
+    ``__call__``.
+    """
+
+    n_element_params = 1
+
+    def __init__(self, user_source: str) -> None:
+        self.user = UserFunction(user_source)
+        if len(self.user.params) < self.n_element_params:
+            raise SkelClError(
+                f"{type(self).__name__} user function needs at least "
+                f"{self.n_element_params} parameter(s)")
+
+    # -- additional arguments -----------------------------------------------------
+
+    @property
+    def extra_params(self) -> list[ast.Param]:
+        return self.user.params[self.n_element_params:]
+
+    def check_extras(self, extras: Sequence) -> None:
+        """Validate additional arguments against the user function."""
+        params = self.extra_params
+        if len(extras) != len(params):
+            raise SkelClError(
+                f"{type(self).__name__}({self.user.name}) expects "
+                f"{len(params)} additional argument(s), got {len(extras)}")
+        for value, param in zip(extras, params):
+            if isinstance(param.ctype, PointerType):
+                if not isinstance(value, Vector):
+                    raise SkelClError(
+                        f"additional argument {param.name!r} is a pointer; "
+                        f"pass a Vector, got {type(value).__name__}")
+                if value.distribution is None:
+                    # Section III-B: no meaningful default exists for
+                    # additional-argument vectors
+                    raise DistributionError(
+                        f"additional-argument vector {param.name!r} has no "
+                        "distribution; the user must set one explicitly")
+            else:
+                if isinstance(value, Vector):
+                    raise SkelClError(
+                        f"additional argument {param.name!r} is scalar; "
+                        f"got a Vector")
+
+    def bind_extras_on_device(self, extras: Sequence,
+                              device_index: int) -> list:
+        """Per-device kernel arguments for the additional arguments."""
+        bound = []
+        for value, param in zip(extras, self.extra_params):
+            if isinstance(value, Vector):
+                part = value.ensure_on_device(device_index)
+                if part.empty:
+                    raise DistributionError(
+                        f"additional-argument vector {param.name!r} has no "
+                        f"data on device {device_index} under "
+                        f"{value.distribution}")
+                bound.append(part.buffer)
+            else:
+                bound.append(value)
+        return bound
+
+    def extras_bytes_per_item(self) -> float:
+        """Rough traffic estimate contributed by pointer extras."""
+        total = 0.0
+        for param in self.extra_params:
+            if isinstance(param.ctype, PointerType):
+                pointee = param.ctype.pointee
+                if isinstance(pointee, (ScalarType, StructType)):
+                    total += pointee.dtype().itemsize
+        return total
+
+    # -- vectorized fast path ----------------------------------------------------------
+
+    def vectorized_extra_values(self, extras: Sequence,
+                                device_index: int) -> list | None:
+        """Extra argument values for the vectorized evaluator, or None
+        when an extra cannot be represented (never happens for the
+        supported scalar/pointer forms)."""
+        values = []
+        for value, param in zip(extras, self.extra_params):
+            if isinstance(value, Vector):
+                part = value.ensure_on_device(device_index)
+                if part.empty:
+                    return None
+                pointee = param.ctype.pointee  # type: ignore[attr-defined]
+                values.append(part.buffer.view(pointee.dtype()))
+            else:
+                values.append(value)
+        return values
+
+    # -- misc ---------------------------------------------------------------------------
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} skeleton ({self.user.name})>"
+
+
+def compiled_scalar_operator(program, name: str) -> Callable:
+    """The user operator as a host-side callable (used by reduce's final
+    step — the paper's 'the CPU reduces these intermediate results')."""
+    return program.compiled.functions[name].callable

@@ -1,0 +1,172 @@
+"""Kernel-source generation for skeletons (paper Section II-A).
+
+SkelCL's central mechanism: the user's function arrives as a plain
+source string; the skeleton *merges* it with pre-implemented,
+skeleton-specific code into a valid kernel, which the underlying OpenCL
+implementation compiles at runtime.  Additional arguments are handled
+by adapting the generated kernel's parameter list to the user function
+— the paper's "additional arguments" novelty.
+
+All generated identifiers carry the ``skelcl_`` prefix so they cannot
+collide with user code.
+"""
+
+from __future__ import annotations
+
+from repro.clc import astnodes as ast
+from repro.clc.types import CType, PointerType, ScalarType, StructType
+from repro.errors import SkelClError
+
+
+def type_name(ctype: CType) -> str:
+    """Render a type as dialect source (struct names resolve because the
+    user source defining them is prepended to the generated kernel)."""
+    if isinstance(ctype, ScalarType):
+        return ctype.name
+    if isinstance(ctype, StructType):
+        return ctype.name
+    if isinstance(ctype, PointerType):
+        return f"__global {type_name(ctype.pointee)}*"
+    raise SkelClError(f"cannot render type {ctype} in kernel source")
+
+
+def extra_param_decls(params: list[ast.Param]) -> str:
+    """Parameter-list fragment for the user function's extra arguments."""
+    decls = []
+    for param in params:
+        if isinstance(param.ctype, PointerType):
+            decls.append(f"__global {type_name(param.ctype.pointee)}* "
+                         f"{param.name}")
+        else:
+            decls.append(f"{type_name(param.ctype)} {param.name}")
+    return "".join(", " + d for d in decls)
+
+
+def extra_arg_names(params: list[ast.Param]) -> str:
+    return "".join(", " + p.name for p in params)
+
+
+def map_kernel(user_source: str, func: ast.FunctionDef) -> str:
+    """Merge a unary user function into the map skeleton's kernel."""
+    if not func.params:
+        raise SkelClError("map user function needs at least one parameter")
+    extras = func.params[1:]
+    in_type = type_name(func.params[0].ctype)
+    returns_void = func.return_type.is_void
+    call = (f"{func.name}(skelcl_in[skelcl_i]"
+            f"{extra_arg_names(extras)})")
+    if returns_void:
+        out_param = ""
+        body = f"{call};"
+    else:
+        out_type = type_name(func.return_type)
+        out_param = f" __global {out_type}* skelcl_out,"
+        body = f"skelcl_out[skelcl_i] = {call};"
+    return f"""{user_source}
+
+__kernel void skelcl_map(__global const {in_type}* skelcl_in,{out_param}
+                         int skelcl_n{extra_param_decls(extras)}) {{
+    int skelcl_i = get_global_id(0);
+    if (skelcl_i < skelcl_n) {{
+        {body}
+    }}
+}}
+"""
+
+
+def zip_kernel(user_source: str, func: ast.FunctionDef) -> str:
+    """Merge a binary user function into the zip skeleton's kernel."""
+    if len(func.params) < 2:
+        raise SkelClError("zip user function needs at least two parameters")
+    extras = func.params[2:]
+    lhs_type = type_name(func.params[0].ctype)
+    rhs_type = type_name(func.params[1].ctype)
+    returns_void = func.return_type.is_void
+    call = (f"{func.name}(skelcl_lhs[skelcl_i], skelcl_rhs[skelcl_i]"
+            f"{extra_arg_names(extras)})")
+    if returns_void:
+        out_param = ""
+        body = f"{call};"
+    else:
+        out_type = type_name(func.return_type)
+        out_param = f"\n                         __global {out_type}* skelcl_out,"
+        body = f"skelcl_out[skelcl_i] = {call};"
+    return f"""{user_source}
+
+__kernel void skelcl_zip(__global const {lhs_type}* skelcl_lhs,
+                         __global const {rhs_type}* skelcl_rhs,{out_param}
+                         int skelcl_n{extra_param_decls(extras)}) {{
+    int skelcl_i = get_global_id(0);
+    if (skelcl_i < skelcl_n) {{
+        {body}
+    }}
+}}
+"""
+
+
+def reduce_kernel(user_source: str, func: ast.FunctionDef) -> str:
+    """Per-device local reduction: each work item folds one chunk.
+
+    Chunks are contiguous and partials are combined in order, so a
+    non-commutative (but associative) operator stays correct, as the
+    paper requires.
+    """
+    if len(func.params) != 2:
+        raise SkelClError("reduce operator must be binary")
+    elem = type_name(func.params[0].ctype)
+    return f"""{user_source}
+
+__kernel void skelcl_reduce(__global const {elem}* skelcl_in,
+                            __global {elem}* skelcl_partial,
+                            int skelcl_n) {{
+    int skelcl_gid = get_global_id(0);
+    int skelcl_num = get_global_size(0);
+    int skelcl_chunk = (skelcl_n + skelcl_num - 1) / skelcl_num;
+    int skelcl_start = skelcl_gid * skelcl_chunk;
+    int skelcl_end = min(skelcl_start + skelcl_chunk, skelcl_n);
+    if (skelcl_start < skelcl_n) {{
+        {elem} skelcl_acc = skelcl_in[skelcl_start];
+        for (int skelcl_i = skelcl_start + 1; skelcl_i < skelcl_end;
+             ++skelcl_i) {{
+            skelcl_acc = {func.name}(skelcl_acc, skelcl_in[skelcl_i]);
+        }}
+        skelcl_partial[skelcl_gid] = skelcl_acc;
+    }}
+}}
+"""
+
+
+def scan_kernel(user_source: str, func: ast.FunctionDef) -> str:
+    """Per-device local scan (step 1 of the paper's Figure 2)."""
+    if len(func.params) != 2:
+        raise SkelClError("scan operator must be binary")
+    elem = type_name(func.params[0].ctype)
+    return f"""{user_source}
+
+__kernel void skelcl_scan(__global const {elem}* skelcl_in,
+                          __global {elem}* skelcl_out, int skelcl_n) {{
+    {elem} skelcl_acc = skelcl_in[0];
+    skelcl_out[0] = skelcl_acc;
+    for (int skelcl_i = 1; skelcl_i < skelcl_n; ++skelcl_i) {{
+        skelcl_acc = {func.name}(skelcl_acc, skelcl_in[skelcl_i]);
+        skelcl_out[skelcl_i] = skelcl_acc;
+    }}
+}}
+"""
+
+
+def scan_offset_kernel(user_source: str, func: ast.FunctionDef) -> str:
+    """The implicitly-created map of the scan's step 2 (Figure 2):
+    combine the predecessors' total into every element of a part."""
+    elem = type_name(func.params[0].ctype)
+    return f"""{user_source}
+
+__kernel void skelcl_scan_offset(__global {elem}* skelcl_data,
+                                 int skelcl_n, {elem} skelcl_offset) {{
+    int skelcl_i = get_global_id(0);
+    if (skelcl_i < skelcl_n) {{
+        skelcl_data[skelcl_i] = {func.name}(skelcl_offset,
+                                            skelcl_data[skelcl_i]);
+    }}
+}}
+"""

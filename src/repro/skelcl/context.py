@@ -1,0 +1,116 @@
+"""SkelCL initialization and device management.
+
+``skelcl.init(...)`` mirrors the C++ library's ``skelcl::init()``: it
+selects devices (by default every GPU of the platform), creates the
+OpenCL context and one command queue per device, and installs itself as
+the process-wide default so that ``Vector`` and the skeletons can be
+used without threading a context through every call.  An explicit
+:class:`SkelCLContext` can always be passed instead.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro import ocl
+from repro.errors import NotInitializedError, SkelClError
+from repro.ocl.timing import API_CALL_OVERHEAD_S
+
+#: modelled host-side bookkeeping per skeleton execution — SkelCL's thin
+#: layer over OpenCL (argument adaptation, distribution checks).  Kept
+#: small: the paper measures the total overhead at under 5 %.
+SKELCL_CALL_OVERHEAD_S = 15e-6
+
+#: modelled device-side inefficiency of skeleton-generated kernels
+#: relative to hand-written ones: the generic wrapper adds an index
+#: bounds check and a function call per work item.  Together with the
+#: host bookkeeping this yields the paper's "less than 5 %" overhead
+#: of SkelCL over the low-level OpenCL version (§IV-C).
+SKELCL_KERNEL_OVERHEAD_FACTOR = 1.04
+
+
+class SkelCLContext:
+    """Devices, queues, and the program cache of one SkelCL instance."""
+
+    def __init__(self, devices: Sequence[ocl.Device]) -> None:
+        if not devices:
+            raise SkelClError("SkelCL requires at least one device")
+        self.devices = list(devices)
+        self.context = ocl.Context(self.devices)
+        self.queues = [ocl.CommandQueue(self.context, d)
+                       for d in self.devices]
+        #: generated-source -> built Program; kernels are compiled once
+        #: (the paper excludes compilation from its runtime measurements
+        #: because it happens once per program, not per iteration)
+        self._program_cache: dict[str, ocl.Program] = {}
+
+    @property
+    def system(self) -> ocl.System:
+        return self.context.system
+
+    @property
+    def num_devices(self) -> int:
+        return len(self.devices)
+
+    def build_program(self, source: str) -> ocl.Program:
+        """Build (or fetch from cache) a program for *source*."""
+        program = self._program_cache.get(source)
+        if program is None:
+            program = ocl.Program(self.context, source).build()
+            self._program_cache[source] = program
+        return program
+
+    def skeleton_call_overhead(self, extra_args: int = 0) -> None:
+        """Charge SkelCL's own host-side bookkeeping for one execution."""
+        self.system.host_step(
+            SKELCL_CALL_OVERHEAD_S + extra_args * API_CALL_OVERHEAD_S,
+            label="skelcl")
+
+    def __repr__(self) -> str:
+        return f"<SkelCLContext on {self.num_devices} device(s)>"
+
+
+_default_context: SkelCLContext | None = None
+
+
+def init(num_gpus: int | None = None,
+         devices: Sequence[ocl.Device] | None = None,
+         platform: ocl.Platform | None = None,
+         system: ocl.System | None = None) -> SkelCLContext:
+    """Initialize SkelCL and install the default context.
+
+    Exactly one source of devices is used, tried in order: explicit
+    *devices*, a *platform*/*system* whose GPUs are taken, or a fresh
+    simulated system with *num_gpus* GPUs (default 1).
+    """
+    global _default_context
+    if devices is None:
+        if platform is None:
+            if system is None:
+                system = ocl.System(num_gpus=num_gpus or 1)
+            platform = ocl.Platform(system)
+        devices = platform.get_devices("GPU")
+        if num_gpus is not None:
+            if num_gpus > len(devices):
+                raise SkelClError(
+                    f"requested {num_gpus} GPUs, platform has "
+                    f"{len(devices)}")
+            devices = devices[:num_gpus]
+    _default_context = SkelCLContext(devices)
+    return _default_context
+
+
+def terminate() -> None:
+    """Drop the default context (``skelcl::terminate()``)."""
+    global _default_context
+    _default_context = None
+
+
+def get_context(context: SkelCLContext | None = None) -> SkelCLContext:
+    """Resolve an explicit context or fall back to the default."""
+    if context is not None:
+        return context
+    if _default_context is None:
+        raise NotInitializedError(
+            "SkelCL is not initialized; call repro.skelcl.init() first")
+    return _default_context

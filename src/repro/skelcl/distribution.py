@@ -1,0 +1,140 @@
+"""Vector distributions (paper Section III-A, Figure 1).
+
+A distribution describes how a vector's data is laid out across the
+devices of a multi-GPU system:
+
+- ``single``  — the whole vector lives on one device (the first, unless
+  specified otherwise);
+- ``block``   — each device stores a contiguous, disjoint part;
+- ``copy``    — every device holds the entire vector; when the
+  distribution is later changed away from ``copy`` and the copies were
+  modified, they are merged element-wise with a user-specified combine
+  function (first device wins if none is given).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.errors import DistributionError
+
+Kind = str  # "single" | "block" | "copy"
+
+
+class Distribution:
+    """Immutable description of a vector's device layout."""
+
+    __slots__ = ("kind", "device", "combine")
+
+    def __init__(self, kind: Kind, device: int = 0,
+                 combine: Callable | None = None) -> None:
+        if kind not in ("single", "block", "copy"):
+            raise DistributionError(f"unknown distribution kind {kind!r}")
+        if kind != "copy" and combine is not None:
+            raise DistributionError(
+                "a combine function is only meaningful for the copy "
+                "distribution")
+        if device < 0:
+            raise DistributionError(f"invalid device index {device}")
+        self.kind = kind
+        self.device = device
+        self.combine = combine
+
+    # -- constructors matching the paper's API --------------------------------
+
+    @staticmethod
+    def single(device: int = 0) -> "Distribution":
+        """Whole vector on one device (Figure 1a)."""
+        return Distribution("single", device=device)
+
+    @staticmethod
+    def block() -> "Distribution":
+        """Contiguous disjoint parts, one per device (Figure 1b)."""
+        return Distribution("block")
+
+    @staticmethod
+    def copy(combine: Callable | None = None) -> "Distribution":
+        """Full copy on every device (Figure 1c).
+
+        *combine* merges divergent copies element-wise when the
+        distribution is changed away from ``copy`` — e.g.
+        ``Distribution.copy(np.add)`` for the paper's error image.
+        """
+        return Distribution("copy", combine=combine)
+
+    # -- layout ------------------------------------------------------------------
+
+    def partition(self, size: int,
+                  num_devices: int) -> list[tuple[int, int]]:
+        """(offset, length) of each device's part for a vector of *size*."""
+        if num_devices <= 0:
+            raise DistributionError("no devices")
+        if self.kind == "single":
+            if self.device >= num_devices:
+                raise DistributionError(
+                    f"single distribution on device {self.device}, but "
+                    f"only {num_devices} device(s) available")
+            return [(0, size) if i == self.device else (0, 0)
+                    for i in range(num_devices)]
+        if self.kind == "copy":
+            return [(0, size)] * num_devices
+        # block: even split, remainder to the first devices
+        base, extra = divmod(size, num_devices)
+        parts: list[tuple[int, int]] = []
+        offset = 0
+        for i in range(num_devices):
+            length = base + (1 if i < extra else 0)
+            parts.append((offset, length))
+            offset += length
+        return parts
+
+    # -- equality/repr --------------------------------------------------------------
+
+    def _layout_token(self) -> tuple:
+        """Hashable description of the placement (combine fn excluded).
+
+        Subclasses with custom layouts (e.g. the scheduler's weighted
+        block distribution) override this so mixed comparisons against
+        plain distributions are correctly unequal.
+        """
+        return (self.kind, self.device if self.kind == "single" else 0)
+
+    def same_layout(self, other: "Distribution") -> bool:
+        """True when both describe the same placement (combine ignored)."""
+        return self._layout_token() == other._layout_token()
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Distribution):
+            return NotImplemented
+        return (self.kind == other.kind and self.device == other.device
+                and self.combine is other.combine)
+
+    def __hash__(self) -> int:
+        return hash((self.kind, self.device, id(self.combine)))
+
+    def __repr__(self) -> str:
+        if self.kind == "single":
+            return f"Distribution.single({self.device})"
+        if self.kind == "copy" and self.combine is not None:
+            name = getattr(self.combine, "__name__", "combine")
+            return f"Distribution.copy({name})"
+        return f"Distribution.{self.kind}()"
+
+
+def combine_copies(copies: Sequence[np.ndarray],
+                   combine: Callable | None) -> np.ndarray:
+    """Merge per-device copies into one array (paper Section III-A).
+
+    Without a combine function, the first device's copy is taken and the
+    others are discarded; with one, copies fold left element-wise.
+    """
+    if not copies:
+        raise DistributionError("no copies to combine")
+    if combine is None:
+        return np.array(copies[0], copy=True)
+    result = np.array(copies[0], copy=True)
+    for other in copies[1:]:
+        result = combine(result, other)
+    return np.asarray(result)

@@ -1,0 +1,92 @@
+"""Map fusion — composing skeletons at the source level (extension).
+
+Chained maps (``g(f(x))``) pay two kernel launches and stream the
+intermediate vector through device memory twice.  Because SkelCL holds
+the user functions *as source*, it can do better: fuse them into one
+map whose user function is the composition — the optimization
+direction the authors later pursued systematically (the Lift line of
+work).
+
+``fuse(first, second)`` returns a new :class:`repro.skelcl.Map` whose
+generated kernel calls ``second.f(first.f(x, ...), ...)`` per element;
+additional arguments of both maps concatenate (first's, then second's).
+"""
+
+from __future__ import annotations
+
+import itertools
+
+from repro.errors import SkelClError
+from repro.skelcl.codegen import type_name
+from repro.skelcl.map_skeleton import Map
+
+
+_fusion_ids = itertools.count()
+
+
+def fuse(first: Map, second: Map) -> Map:
+    """Fuse two map skeletons into one (``second`` after ``first``).
+
+    Requirements: both are Maps customized from source (no native
+    overrides), ``first`` returns a value that matches ``second``'s
+    element parameter, and the two sources define disjoint
+    function/struct names (rename one otherwise).
+    """
+    if not isinstance(first, Map) or not isinstance(second, Map):
+        raise SkelClError("fuse() composes two Map skeletons")
+    if first.native_fn is not None or second.native_fn is not None:
+        raise SkelClError(
+            "fuse() works on source-customized maps; native overrides "
+            "have no source to merge")
+    if first.out_dtype is None:
+        raise SkelClError("cannot fuse: the first map returns void")
+    if first.out_dtype != second.in_dtype:
+        raise SkelClError(
+            f"cannot fuse: first returns {first.out_dtype}, second "
+            f"takes {second.in_dtype}")
+    names_a = {f.name for f in first.user.unit.functions}
+    names_b = {f.name for f in second.user.unit.functions}
+    clash = names_a & names_b
+    if clash:
+        raise SkelClError(
+            f"cannot fuse: both sources define {sorted(clash)}; rename "
+            "one side")
+
+    in_type = type_name(first.user.params[0].ctype)
+    out_type = type_name(second.user.return_type)
+    extras_a = first.extra_params
+    extras_b = second.extra_params
+    decls = []
+    args_a = []
+    args_b = []
+    for i, param in enumerate(extras_a + extras_b):
+        name = f"skelcl_e{i}"
+        from repro.clc.types import PointerType
+        if isinstance(param.ctype, PointerType):
+            decls.append(
+                f"__global {type_name(param.ctype.pointee)}* {name}")
+        else:
+            decls.append(f"{type_name(param.ctype)} {name}")
+        (args_a if i < len(extras_a) else args_b).append(name)
+    decl_str = "".join(", " + d for d in decls)
+    call_a = ", ".join(["skelcl_x"] + args_a)
+    call_b = ", ".join(
+        [f"{first.user.name}({call_a})"] + args_b)
+    fused_name = f"skelcl_fused_{next(_fusion_ids)}"
+    fused_source = f"""{first.user.source}
+
+{second.user.source}
+
+{out_type} {fused_name}({in_type} skelcl_x{decl_str}) {{
+    return {second.user.name}({call_b});
+}}
+"""
+    fused = Map(
+        fused_source,
+        ops_per_item=(first.user.op_count + second.user.op_count + 2.0),
+        bytes_per_item=(first.in_dtype.itemsize
+                        + second.out_dtype.itemsize
+                        + first.extras_bytes_per_item()
+                        + second.extras_bytes_per_item()),
+        scale_factor=first.scale_factor)
+    return fused

@@ -1,0 +1,77 @@
+"""IndexVector — a device-generated index sequence (extension).
+
+Real SkelCL provides an ``IndexVector``/``IndexMatrix`` so that
+index-based maps (Mandelbrot, coordinate grids) need no host data and
+*no upload at all*: the device materializes ``[0, 1, ..., n-1]``
+itself.  Here ``ensure_on_device`` fills the part's buffer with a tiny
+iota kernel charged on the device queue instead of an H2D transfer —
+saving the full index upload the plain-Vector Mandelbrot pays.
+
+IndexVectors are read-only: skeletons may consume them as inputs or
+additional arguments, but nothing may write them.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import SkelClError
+from repro.ocl.timing import KernelCost, kernel_duration
+from repro.skelcl.context import SkelCLContext
+from repro.skelcl.vector import DevicePart, Vector
+
+
+class IndexVector(Vector):
+    """The vector ``[0, 1, ..., n-1]`` of int32, generated on-device."""
+
+    def __init__(self, size: int,
+                 context: SkelCLContext | None = None) -> None:
+        if size <= 0:
+            raise SkelClError(f"invalid index vector size {size}")
+        super().__init__(data=np.arange(int(size), dtype=np.int32),
+                         context=context)
+
+    def ensure_on_device(self, device_index: int) -> DevicePart:
+        """Materialize the part with an iota kernel — no transfer."""
+        if self._dist is None:
+            return super().ensure_on_device(device_index)
+        part = self._parts[device_index]
+        if part.empty or part.valid:
+            return part
+        assert part.buffer is not None
+        values = np.arange(part.offset, part.offset + part.length,
+                           dtype=np.int32)
+        part.buffer.write_bytes(values)
+        part.buffer.initialized = True
+        device = self.ctx.devices[device_index]
+        part.buffer.ensure_resident(device)
+        # charged as a trivial device-side kernel, not a PCIe transfer
+        duration = kernel_duration(
+            device.spec, KernelCost(work_items=part.length,
+                                    ops_per_item=1.0,
+                                    bytes_per_item=4.0))
+        span = self.ctx.system.timeline.schedule(
+            device.queue_resource, duration,
+            ready_at=self.ctx.system.host_now(),
+            label="kernel:skelcl_iota")
+        part.buffer.ready_at = span.end
+        part.buffer.valid = {device.id}
+        part.valid = True
+        return part
+
+    # -- read-only enforcement ------------------------------------------------
+
+    def mark_device_written(self, device_index: int) -> None:
+        raise SkelClError("IndexVector is read-only")
+
+    def data_on_devices_modified(self) -> None:
+        raise SkelClError("IndexVector is read-only")
+
+    def __setitem__(self, index, value) -> None:
+        raise SkelClError("IndexVector is read-only")
+
+    def host_modified(self) -> None:
+        raise SkelClError("IndexVector is read-only")
+
+    def __repr__(self) -> str:
+        return f"<IndexVector size={self.size} dist={self._dist}>"

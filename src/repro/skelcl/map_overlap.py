@@ -1,0 +1,145 @@
+"""The map-overlap (stencil) skeleton — an extension feature.
+
+Not part of the IPDPSW 2012 paper's four skeletons, but the next
+skeleton the SkelCL authors added (Steuwer et al., follow-up work) and
+a natural test of the same machinery: the user function sees a window
+of ``2*radius + 1`` neighbouring elements instead of a single one,
+
+    map_overlap(f, r)(x)[i] = f(<x[i-r] ... x[i+r]>),
+
+with out-of-range neighbours replaced by a neutral element.
+
+Multi-GPU execution adds the interesting part: under block
+distribution each device needs a *halo* of ``radius`` elements from
+its neighbours' parts.  The implementation uploads each part together
+with its halo (from the consistent host copy), so device kernels never
+read out of their own memory — the same technique real stencil codes
+use.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import ocl
+from repro.errors import SkelClError
+from repro.skelcl.base import Skeleton
+from repro.skelcl.codegen import type_name
+from repro.skelcl.distribution import Distribution
+from repro.skelcl.vector import Vector
+from repro.clc.types import PointerType, ScalarType
+
+
+class MapOverlap(Skeleton):
+    """A stencil skeleton customized with a windowed user function.
+
+    The user function's first parameter must be a pointer; at index
+    ``k`` (0 ≤ k ≤ 2*radius) it reads the neighbour at offset
+    ``k - radius``.  Example (3-point average, radius 1)::
+
+        avg = MapOverlap(
+            "float f(__global const float* w)"
+            " { return (w[0] + w[1] + w[2]) / 3.0f; }",
+            radius=1, neutral=0.0)
+    """
+
+    n_element_params = 1
+
+    def __init__(self, user_source: str, radius: int,
+                 neutral: float = 0.0) -> None:
+        super().__init__(user_source)
+        if radius < 1:
+            raise SkelClError("map_overlap radius must be >= 1")
+        first = self.user.params[0].ctype
+        if not (isinstance(first, PointerType)
+                and isinstance(first.pointee, ScalarType)):
+            raise SkelClError(
+                "map_overlap user function takes a pointer to the "
+                "element window as its first parameter")
+        if self.user.output_dtype() is None:
+            raise SkelClError("map_overlap user function must not "
+                              "return void")
+        self.radius = radius
+        self.neutral = neutral
+        self.elem_dtype = first.pointee.dtype()
+        self.out_dtype = self.user.output_dtype()
+        self.kernel_source = self._generate_kernel(user_source)
+
+    def _generate_kernel(self, user_source: str) -> str:
+        elem = type_name(self.user.params[0].ctype.pointee)
+        out = type_name(self.user.return_type)
+        from repro.skelcl.codegen import (extra_arg_names,
+                                          extra_param_decls)
+        extras = self.extra_params
+        return f"""{user_source}
+
+__kernel void skelcl_map_overlap(__global const {elem}* skelcl_in,
+                                 __global {out}* skelcl_out,
+                                 int skelcl_n{extra_param_decls(extras)}) {{
+    int skelcl_i = get_global_id(0);
+    if (skelcl_i < skelcl_n) {{
+        skelcl_out[skelcl_i] = {self.user.name}(
+            skelcl_in + skelcl_i{extra_arg_names(extras)});
+    }}
+}}
+"""
+
+    def __call__(self, input_vec: Vector, *extras,
+                 out: Vector | None = None) -> Vector:
+        if not isinstance(input_vec, Vector):
+            raise SkelClError("map_overlap input must be a Vector")
+        if input_vec.dtype != self.elem_dtype:
+            raise SkelClError(
+                f"map_overlap({self.user.name}): input dtype "
+                f"{input_vec.dtype} does not match window element type "
+                f"{self.elem_dtype}")
+        self.check_extras(extras)
+        ctx = input_vec.ctx
+        ctx.skeleton_call_overhead(extra_args=len(extras))
+        input_vec.ensure_distribution(Distribution.block())
+        if input_vec.distribution.kind != "block":
+            # halos are defined over contiguous parts
+            input_vec.set_distribution(Distribution.block())
+
+        if out is None:
+            out = Vector(size=input_vec.size, dtype=self.out_dtype,
+                         context=ctx)
+        else:
+            input_vec.check_same_size(out)
+            if out.dtype != self.out_dtype:
+                raise SkelClError("map_overlap output dtype mismatch")
+        out.set_distribution(Distribution.block())
+
+        program = ctx.build_program(self.kernel_source)
+        kernel = program.create_kernel("skelcl_map_overlap")
+        host = input_vec.host_view()  # consistent host copy for halos
+        r = self.radius
+        window = 2 * r + 1
+        from repro.skelcl.context import SKELCL_KERNEL_OVERHEAD_FACTOR
+        ops = ((self.user.op_count + 2.0 + window)
+               * SKELCL_KERNEL_OVERHEAD_FACTOR)
+        for part in input_vec.parts:
+            if part.empty:
+                continue
+            d = part.device_index
+            # part plus halo, with neutral padding at the vector ends
+            padded = np.full(part.length + 2 * r, self.neutral,
+                             dtype=self.elem_dtype)
+            lo = max(part.offset - r, 0)
+            hi = min(part.offset + part.length + r, input_vec.size)
+            dst_lo = lo - (part.offset - r)
+            padded[dst_lo:dst_lo + (hi - lo)] = host[lo:hi]
+            halo_buf = ocl.Buffer(ctx.context, padded.nbytes)
+            queue = ctx.queues[d]
+            queue.enqueue_write_buffer(halo_buf, padded)
+            out_part = out.parts[d]
+            args = [halo_buf, out_part.buffer, np.int32(part.length)]
+            args.extend(self.bind_extras_on_device(extras, d))
+            kernel.set_args(*args)
+            queue.enqueue_nd_range_kernel(
+                kernel, (part.length,), ops_per_item=ops,
+                bytes_per_item=float(self.elem_dtype.itemsize * window
+                                     + self.out_dtype.itemsize))
+            out.mark_device_written(d)
+            halo_buf.release()
+        return out

@@ -1,0 +1,147 @@
+"""A two-dimensional stencil skeleton over matrices — extension.
+
+``map_overlap2d(f, r)`` applies ``f`` to every element's
+``(2r+1) x (2r+1)`` neighbourhood; out-of-matrix neighbours read a
+neutral value.  The user function receives the window as a row-major
+``(2r+1)^2`` array: ``w[(dy+r)*(2r+1) + (dx+r)]`` is the neighbour at
+offset ``(dy, dx)``.
+
+Multi-GPU execution distributes the matrix by rows; each device's part
+is uploaded together with ``r`` halo rows from its neighbours (or
+neutral rows at the matrix edges), so devices never read each other's
+memory — the standard distributed-stencil technique.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import ocl
+from repro.clc.types import PointerType, ScalarType
+from repro.errors import SkelClError
+from repro.skelcl.base import Skeleton
+from repro.skelcl.codegen import extra_arg_names, extra_param_decls, \
+    type_name
+from repro.skelcl.matrix import Matrix, RowBlockDistribution
+
+
+class MapOverlap2D(Skeleton):
+    """Customizable 2-D stencil (e.g. blur, edge detection, diffusion)."""
+
+    n_element_params = 1
+
+    def __init__(self, user_source: str, radius: int,
+                 neutral: float = 0.0) -> None:
+        super().__init__(user_source)
+        if radius < 1:
+            raise SkelClError("map_overlap2d radius must be >= 1")
+        first = self.user.params[0].ctype
+        if not (isinstance(first, PointerType)
+                and isinstance(first.pointee, ScalarType)):
+            raise SkelClError(
+                "map_overlap2d user function takes a pointer to the "
+                "window as its first parameter")
+        if self.user.output_dtype() is None:
+            raise SkelClError("map_overlap2d user function must not "
+                              "return void")
+        self.radius = radius
+        self.neutral = neutral
+        self.elem_dtype = first.pointee.dtype()
+        self.out_dtype = self.user.output_dtype()
+        self.kernel_source = self._generate_kernel(user_source)
+
+    def _generate_kernel(self, user_source: str) -> str:
+        elem = type_name(self.user.params[0].ctype.pointee)
+        out = type_name(self.user.return_type)
+        r = self.radius
+        w = 2 * r + 1
+        extras = self.extra_params
+        return f"""{user_source}
+
+__kernel void skelcl_map_overlap2d(
+        __global const {elem}* skelcl_in, __global {out}* skelcl_out,
+        int skelcl_rows, int skelcl_cols,
+        {elem} skelcl_neutral{extra_param_decls(extras)}) {{
+    int skelcl_row = get_global_id(0);
+    int skelcl_col = get_global_id(1);
+    if (skelcl_row < skelcl_rows && skelcl_col < skelcl_cols) {{
+        {elem} skelcl_win[{w * w}];
+        for (int skelcl_dy = -{r}; skelcl_dy <= {r}; ++skelcl_dy) {{
+            for (int skelcl_dx = -{r}; skelcl_dx <= {r}; ++skelcl_dx) {{
+                int skelcl_c = skelcl_col + skelcl_dx;
+                int skelcl_k = (skelcl_dy + {r}) * {w}
+                             + (skelcl_dx + {r});
+                if (skelcl_c < 0 || skelcl_c >= skelcl_cols) {{
+                    skelcl_win[skelcl_k] = skelcl_neutral;
+                }} else {{
+                    /* the input carries {r} halo rows above the part */
+                    int skelcl_rr = skelcl_row + skelcl_dy + {r};
+                    skelcl_win[skelcl_k] =
+                        skelcl_in[skelcl_rr * skelcl_cols + skelcl_c];
+                }}
+            }}
+        }}
+        skelcl_out[skelcl_row * skelcl_cols + skelcl_col] =
+            {self.user.name}(skelcl_win{extra_arg_names(extras)});
+    }}
+}}
+"""
+
+    def __call__(self, matrix: Matrix, *extras,
+                 out: Matrix | None = None) -> Matrix:
+        if not isinstance(matrix, Matrix):
+            raise SkelClError("map_overlap2d input must be a Matrix")
+        if matrix.dtype != self.elem_dtype:
+            raise SkelClError(
+                f"map_overlap2d({self.user.name}): matrix dtype "
+                f"{matrix.dtype} does not match window element type "
+                f"{self.elem_dtype}")
+        self.check_extras(extras)
+        ctx = matrix.ctx
+        ctx.skeleton_call_overhead(extra_args=len(extras))
+        matrix._ensure_row_block()
+
+        if out is None:
+            out = Matrix(shape=matrix.shape, dtype=self.out_dtype,
+                         context=ctx)
+        elif out.shape != matrix.shape or out.dtype != self.out_dtype:
+            raise SkelClError("map_overlap2d output mismatch")
+        out.set_distribution(RowBlockDistribution(matrix.cols))
+
+        program = ctx.build_program(self.kernel_source)
+        kernel = program.create_kernel("skelcl_map_overlap2d")
+        host = matrix.vector.host_view().reshape(matrix.shape)
+        r = self.radius
+        cols = matrix.cols
+        window = (2 * r + 1) ** 2
+        from repro.skelcl.context import SKELCL_KERNEL_OVERHEAD_FACTOR
+        ops = ((self.user.op_count + 4.0 + 2.0 * window)
+               * SKELCL_KERNEL_OVERHEAD_FACTOR)
+        for part in matrix.vector.parts:
+            if part.empty:
+                continue
+            d = part.device_index
+            row0 = part.offset // cols
+            nrows = part.length // cols
+            # part plus halo rows, neutral-padded at matrix edges
+            padded = np.full((nrows + 2 * r, cols), self.neutral,
+                             dtype=self.elem_dtype)
+            lo = max(row0 - r, 0)
+            hi = min(row0 + nrows + r, matrix.rows)
+            padded[lo - (row0 - r):lo - (row0 - r) + (hi - lo)] = \
+                host[lo:hi]
+            halo_buf = ocl.Buffer(ctx.context, padded.nbytes)
+            queue = ctx.queues[d]
+            queue.enqueue_write_buffer(halo_buf, padded)
+            out_part = out.vector.parts[d]
+            args = [halo_buf, out_part.buffer, np.int32(nrows),
+                    np.int32(cols), self.elem_dtype.type(self.neutral)]
+            args.extend(self.bind_extras_on_device(extras, d))
+            kernel.set_args(*args)
+            queue.enqueue_nd_range_kernel(
+                kernel, (nrows, cols), ops_per_item=ops,
+                bytes_per_item=float(self.elem_dtype.itemsize * window
+                                     + self.out_dtype.itemsize))
+            out.vector.mark_device_written(d)
+            halo_buf.release()
+        return out

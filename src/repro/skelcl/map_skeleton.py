@@ -1,0 +1,202 @@
+"""The map skeleton (paper Sections II-A, III-B, III-C).
+
+``map(f)([x1..xn]) = [f(x1)..f(xn)]``.  On multi-GPU systems each
+device applies ``f`` to its part of the input vector: every device
+holding a part (block), the single owner (single), or every device on
+its own full copy (copy).  The output vector adopts the input's
+distribution.
+
+User functions may return ``void`` and work purely through additional
+arguments — the form the OSEM application's step 1 uses (Listing 3).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import SkelClError
+from repro.skelcl import codegen
+from repro.skelcl.base import Skeleton
+from repro.skelcl.distribution import Distribution
+from repro.skelcl.vector import Vector
+
+
+class Map(Skeleton):
+    """A map skeleton customized with a unary user function source.
+
+    Args:
+        user_source: the user-defined function as a source string.
+        native: optional vectorized override executing the same
+            computation (the precompiled-binary analogue, DESIGN.md
+            §5.2): called as ``native(elements, *extra_values)`` with
+            numpy views, writing outputs in place for void functions or
+            returning the result array otherwise.
+        ops_per_item / bytes_per_item: calibrated cost-model overrides
+            for the virtual clock (default: the compiler's static
+            estimate).
+        scale_factor: charge virtual time as if every launch processed
+            ``scale_factor`` times its element count (paper-scale
+            workloads on downscaled data; DESIGN.md §2).
+    """
+
+    n_element_params = 1
+
+    def __init__(self, user_source: str, native=None,
+                 ops_per_item: float | None = None,
+                 bytes_per_item: float | None = None,
+                 scale_factor: float = 1.0) -> None:
+        super().__init__(user_source)
+        self.kernel_source = codegen.map_kernel(user_source, self.user.func)
+        self.in_dtype = self.user.element_dtype(0)
+        self.out_dtype = self.user.output_dtype()
+        self.native_fn = native
+        self._ops_override = ops_per_item
+        self._bytes_override = bytes_per_item
+        self.scale_factor = scale_factor
+
+    def __call__(self, input_vec: Vector, *extras,
+                 out: Vector | None = None) -> Vector | None:
+        """Execute; returns the output vector (None for void functions)."""
+        if not isinstance(input_vec, Vector):
+            raise SkelClError("map input must be a Vector")
+        if input_vec.dtype != self.in_dtype:
+            raise SkelClError(
+                f"map({self.user.name}): input dtype {input_vec.dtype} "
+                f"does not match parameter type {self.in_dtype}")
+        self.check_extras(extras)
+        ctx = input_vec.ctx
+        ctx.skeleton_call_overhead(extra_args=len(extras))
+        # default distribution (Section III-C): block
+        input_vec.ensure_distribution(Distribution.block())
+
+        out_vec: Vector | None = None
+        if self.out_dtype is not None:
+            out_vec = self._prepare_output(input_vec, out)
+
+        program = ctx.build_program(self.kernel_source)
+        kernel = program.create_kernel("skelcl_map")
+        from repro.skelcl.context import SKELCL_KERNEL_OVERHEAD_FACTOR
+        ops_per_item = (self._ops_override if self._ops_override is not None
+                        else self.user.op_count + 2.0)
+        ops_per_item *= SKELCL_KERNEL_OVERHEAD_FACTOR
+        bytes_per_item = self._bytes_override
+        if bytes_per_item is None:
+            bytes_per_item = (self.in_dtype.itemsize
+                              + (self.out_dtype.itemsize if self.out_dtype
+                                 else 0)
+                              + self.extras_bytes_per_item())
+        for part in input_vec.parts:
+            if part.empty:
+                continue
+            d = part.device_index
+            in_part = input_vec.ensure_on_device(d)
+            out_part = out_vec.parts[d] if out_vec is not None else None
+            if self.native_fn is not None:
+                native_extras = self.vectorized_extra_values(extras, d)
+                self._run_native(ctx, d, in_part, out_part, part.length,
+                                 native_extras, ops_per_item,
+                                 bytes_per_item)
+                if out_vec is not None:
+                    out_vec.mark_device_written(d)
+                continue
+            fast_extras = (self.vectorized_extra_values(extras, d)
+                           if self.user.vectorized is not None
+                           and out_part is not None else None)
+            if fast_extras is not None:
+                self._run_vectorized(ctx, d, in_part, out_part,
+                                     part.length, fast_extras,
+                                     ops_per_item, bytes_per_item)
+            else:
+                args = [in_part.buffer]
+                if out_part is not None:
+                    args.append(out_part.buffer)
+                args.append(np.int32(part.length))
+                args.extend(self.bind_extras_on_device(extras, d))
+                kernel.set_args(*args)
+                ctx.queues[d].enqueue_nd_range_kernel(
+                    kernel, (part.length,),
+                    ops_per_item=ops_per_item,
+                    bytes_per_item=bytes_per_item,
+                    scale_factor=self.scale_factor)
+            if out_vec is not None:
+                out_vec.mark_device_written(d)
+        return out_vec
+
+    # -- helpers ---------------------------------------------------------------
+
+    def _prepare_output(self, input_vec: Vector,
+                        out: Vector | None) -> Vector:
+        if out is None:
+            out = Vector(size=input_vec.size, dtype=self.out_dtype,
+                         context=input_vec.ctx)
+        else:
+            input_vec.check_same_size(out)
+            if out.dtype != self.out_dtype:
+                raise SkelClError(
+                    f"map({self.user.name}): output dtype {out.dtype} "
+                    f"does not match return type {self.out_dtype}")
+        # output adopts the input's distribution (Section III-C)
+        out.set_distribution(input_vec.distribution)
+        return out
+
+    def _run_vectorized(self, ctx, device_index: int, in_part, out_part,
+                        length: int, extra_values: list,
+                        ops_per_item: float, bytes_per_item: float) -> None:
+        """Vectorized fast path: same semantics as the generated kernel,
+        evaluated with numpy over the whole part (DESIGN.md §5.2).
+        Charged identically to the source path — it is an execution
+        strategy of the simulator, not a different device program."""
+        from repro import ocl
+        evaluate = self.user.vectorized
+
+        def apply(args, gsize, _extras=extra_values, _n=length):
+            out_view, in_view = args
+            out_view[:_n] = evaluate(in_view[:_n], *_extras,
+                                     _element_index=np.arange(_n))
+
+        prog = ocl.NativeProgram(ctx.context, [ocl.NativeKernelDef(
+            name="skelcl_map_vec", fn=apply,
+            arg_dtypes=[self.out_dtype, self.in_dtype],
+            ops_per_item=ops_per_item,
+            bytes_per_item=bytes_per_item,
+            const_args=frozenset([1]))])
+        kernel = prog.create_kernel("skelcl_map_vec")
+        kernel.set_args(out_part.buffer, in_part.buffer)
+        ctx.queues[device_index].enqueue_nd_range_kernel(
+            kernel, (length,), scale_factor=self.scale_factor)
+
+    def _run_native(self, ctx, device_index: int, in_part, out_part,
+                    length: int, extra_values: list, ops_per_item: float,
+                    bytes_per_item: float) -> None:
+        """User-supplied native override (precompiled-kernel analogue)."""
+        from repro import ocl
+        native = self.native_fn
+        returns = self.out_dtype is not None
+
+        if returns:
+            def apply(args, gsize, _extras=extra_values, _n=length):
+                out_view, in_view = args
+                out_view[:_n] = native(in_view[:_n], *_extras,
+                                       _element_index=np.arange(_n))
+
+            arg_dtypes = [self.out_dtype, self.in_dtype]
+            const = frozenset([1])
+        else:
+            def apply(args, gsize, _extras=extra_values, _n=length):
+                (in_view,) = args
+                native(in_view[:_n], *_extras,
+                       _element_index=np.arange(_n))
+
+            arg_dtypes = [self.in_dtype]
+            const = frozenset([0])
+        prog = ocl.NativeProgram(ctx.context, [ocl.NativeKernelDef(
+            name="skelcl_map_native", fn=apply, arg_dtypes=arg_dtypes,
+            ops_per_item=ops_per_item, bytes_per_item=bytes_per_item,
+            const_args=const)])
+        kernel = prog.create_kernel("skelcl_map_native")
+        if returns:
+            kernel.set_args(out_part.buffer, in_part.buffer)
+        else:
+            kernel.set_args(in_part.buffer)
+        ctx.queues[device_index].enqueue_nd_range_kernel(
+            kernel, (length,), scale_factor=self.scale_factor)

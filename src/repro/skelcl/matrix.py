@@ -1,0 +1,174 @@
+"""A two-dimensional container — an extension feature.
+
+The IPDPSW 2012 paper works with vectors; the SkelCL authors added a
+``Matrix`` type in follow-up work.  This Matrix composes the existing
+Vector machinery: it owns a flattened Vector whose block distribution
+is constrained to *row boundaries* (a device always holds whole rows),
+so every vector skeleton — and the 2-D skeletons built on top
+(:mod:`repro.skelcl.map_overlap2d`, :mod:`repro.skelcl.allpairs`) —
+works on matrices unchanged.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import DistributionError, SkelClError
+from repro.skelcl.context import SkelCLContext
+from repro.skelcl.distribution import Distribution
+from repro.skelcl.vector import Vector
+
+
+class RowBlockDistribution(Distribution):
+    """Block distribution that splits only at row boundaries."""
+
+    __slots__ = ("cols",)
+
+    def __init__(self, cols: int) -> None:
+        super().__init__("block")
+        if cols <= 0:
+            raise DistributionError(f"invalid row length {cols}")
+        self.cols = int(cols)
+
+    def partition(self, size: int,
+                  num_devices: int) -> list[tuple[int, int]]:
+        if size % self.cols:
+            raise DistributionError(
+                f"matrix of {size} elements is not a multiple of its "
+                f"row length {self.cols}")
+        rows = size // self.cols
+        base, extra = divmod(rows, num_devices)
+        parts = []
+        offset = 0
+        for i in range(num_devices):
+            nrows = base + (1 if i < extra else 0)
+            parts.append((offset * self.cols, nrows * self.cols))
+            offset += nrows
+        return parts
+
+    def _layout_token(self) -> tuple:
+        return ("row-block", self.cols)
+
+    def __repr__(self) -> str:
+        return f"RowBlockDistribution(cols={self.cols})"
+
+
+class Matrix:
+    """A rows x cols matrix over a distributed Vector."""
+
+    def __init__(self, data=None, shape: tuple[int, int] | None = None,
+                 dtype=None,
+                 context: SkelCLContext | None = None) -> None:
+        if data is not None:
+            array = np.asarray(data)
+            if array.ndim != 2:
+                raise SkelClError(
+                    f"matrix data must be 2-D, got shape {array.shape}")
+            self.rows, self.cols = array.shape
+            self.vector = Vector(array.reshape(-1), dtype=dtype,
+                                 context=context)
+        elif shape is not None:
+            self.rows, self.cols = (int(shape[0]), int(shape[1]))
+            if self.rows <= 0 or self.cols <= 0:
+                raise SkelClError(f"invalid matrix shape {shape}")
+            self.vector = Vector(size=self.rows * self.cols, dtype=dtype,
+                                 context=context)
+        else:
+            raise SkelClError("Matrix needs data or a shape")
+
+    # -- properties ----------------------------------------------------------
+
+    @property
+    def shape(self) -> tuple[int, int]:
+        return (self.rows, self.cols)
+
+    @property
+    def size(self) -> int:
+        return self.rows * self.cols
+
+    @property
+    def dtype(self) -> np.dtype:
+        return self.vector.dtype
+
+    @property
+    def ctx(self) -> SkelCLContext:
+        return self.vector.ctx
+
+    @property
+    def distribution(self) -> Distribution | None:
+        return self.vector.distribution
+
+    # -- distributions ----------------------------------------------------------
+
+    def set_distribution(self, dist: Distribution) -> None:
+        """Set the layout; plain ``block`` is promoted to row-block."""
+        if dist.kind == "block" and not isinstance(
+                dist, RowBlockDistribution):
+            dist = RowBlockDistribution(self.cols)
+        self.vector.set_distribution(dist)
+
+    def block_by_rows(self) -> None:
+        self.vector.set_distribution(RowBlockDistribution(self.cols))
+
+    def row_counts(self) -> list[int]:
+        """Rows held by each device under the current distribution."""
+        if self.vector.distribution is None:
+            return [self.rows]
+        return [length // self.cols
+                for length in self.vector.sizes()]
+
+    # -- host access ---------------------------------------------------------------
+
+    def to_numpy(self) -> np.ndarray:
+        return self.vector.to_numpy().reshape(self.rows, self.cols)
+
+    def __getitem__(self, index):
+        return self.to_numpy()[index]
+
+    # -- elementwise skeletons ----------------------------------------------------------
+
+    def map(self, skeleton, *extras) -> "Matrix":
+        """Apply a Map skeleton elementwise; returns a new Matrix."""
+        self._ensure_row_block()
+        out_vec = skeleton(self.vector, *extras)
+        if out_vec is None:
+            return None
+        return Matrix.from_vector(out_vec, self.shape)
+
+    def zip_with(self, skeleton, other: "Matrix", *extras) -> "Matrix":
+        """Combine elementwise with another matrix via a Zip skeleton."""
+        if self.shape != other.shape:
+            raise SkelClError(
+                f"matrix shapes differ: {self.shape} vs {other.shape}")
+        self._ensure_row_block()
+        other._ensure_row_block()
+        out_vec = skeleton(self.vector, other.vector, *extras)
+        if out_vec is None:
+            return None
+        return Matrix.from_vector(out_vec, self.shape)
+
+    def _ensure_row_block(self) -> None:
+        dist = self.vector.distribution
+        if dist is None or (dist.kind == "block"
+                            and not isinstance(dist,
+                                               RowBlockDistribution)):
+            self.block_by_rows()
+
+    # -- construction helpers --------------------------------------------------------------
+
+    @staticmethod
+    def from_vector(vector: Vector, shape: tuple[int, int]) -> "Matrix":
+        rows, cols = shape
+        if vector.size != rows * cols:
+            raise SkelClError(
+                f"vector of {vector.size} elements cannot form a "
+                f"{rows}x{cols} matrix")
+        matrix = Matrix.__new__(Matrix)
+        matrix.rows = rows
+        matrix.cols = cols
+        matrix.vector = vector
+        return matrix
+
+    def __repr__(self) -> str:
+        return (f"<Matrix {self.rows}x{self.cols} dtype={self.dtype} "
+                f"dist={self.distribution}>")

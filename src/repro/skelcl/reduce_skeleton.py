@@ -1,0 +1,158 @@
+"""The reduce skeleton (paper Sections II-A, III-C).
+
+``reduce(op)([x1..xn]) = x1 op x2 op ... op xn`` for an associative
+(possibly non-commutative) operator.  Multi-GPU execution follows the
+paper's three steps exactly:
+
+1. every GPU runs a local reduction over its part;
+2. the intermediate results are gathered by the CPU;
+3. the CPU reduces them into the final value.
+
+Chunking is contiguous and partials combine in input order, preserving
+non-commutative operators.  The output is a one-element vector with
+``single`` distribution.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import SkelClError
+from repro.skelcl import codegen
+from repro.skelcl.base import Skeleton, compiled_scalar_operator
+from repro.skelcl.distribution import Distribution
+from repro.skelcl.vector import Vector
+
+#: work items per device for the local reduction (stands in for the
+#: work-group parallelism of a real device reduction)
+LOCAL_REDUCE_ITEMS = 64
+
+#: modelled host time per operator application in the final CPU step
+HOST_OP_TIME_S = 20e-9
+
+
+class Reduce(Skeleton):
+    """A reduce skeleton customized with a binary operator source."""
+
+    n_element_params = 2
+
+    def __init__(self, user_source: str) -> None:
+        super().__init__(user_source)
+        if self.extra_params:
+            raise SkelClError(
+                "reduce does not support additional arguments")
+        if self.user.output_dtype() is None:
+            raise SkelClError("reduce operator must not return void")
+        self.elem_dtype = self.user.element_dtype(0)
+        if self.user.element_dtype(1) != self.elem_dtype \
+                or self.user.output_dtype() != self.elem_dtype:
+            raise SkelClError(
+                "reduce operator must have type (T, T) -> T")
+        self.kernel_source = codegen.reduce_kernel(user_source,
+                                                   self.user.func)
+
+    def __call__(self, input_vec: Vector) -> Vector:
+        if not isinstance(input_vec, Vector):
+            raise SkelClError("reduce input must be a Vector")
+        if input_vec.size == 0:
+            raise SkelClError("cannot reduce an empty vector")
+        if input_vec.dtype != self.elem_dtype:
+            raise SkelClError(
+                f"reduce({self.user.name}): input dtype "
+                f"{input_vec.dtype} does not match operator type "
+                f"{self.elem_dtype}")
+        ctx = input_vec.ctx
+        ctx.skeleton_call_overhead()
+        input_vec.ensure_distribution(Distribution.block())
+
+        program = ctx.build_program(self.kernel_source)
+        kernel = program.create_kernel("skelcl_reduce")
+        operator = compiled_scalar_operator(program, self.user.name)
+        itemsize = self.elem_dtype.itemsize
+
+        # step 1: local reduction on every device holding data
+        from repro import ocl
+        pending: list[tuple[int, ocl.Buffer, int]] = []
+        for part in input_vec.parts:
+            if part.empty:
+                continue
+            d = part.device_index
+            in_part = input_vec.ensure_on_device(d)
+            n = part.length
+            items = min(LOCAL_REDUCE_ITEMS, n)
+            chunk = -(-n // items)  # ceil
+            used = -(-n // chunk)
+            from repro.skelcl.context import SKELCL_KERNEL_OVERHEAD_FACTOR
+            ops = ((self.user.op_count + 2.0) * chunk
+                   * SKELCL_KERNEL_OVERHEAD_FACTOR)
+            if self.user.vectorized is not None:
+                # vectorized fast path: pairwise tree reduction — an
+                # associativity-preserving regrouping of the chunked
+                # kernel; identical results for exact types, charged
+                # identically (DESIGN.md §5.2)
+                partial_buf = ocl.Buffer(ctx.context, itemsize)
+                fast = self._tree_reduce_kernel(ctx, n)
+                fast.set_args(partial_buf, in_part.buffer)
+                ctx.queues[d].enqueue_nd_range_kernel(
+                    fast, (items,), ops_per_item=ops,
+                    bytes_per_item=float(itemsize * chunk))
+                used = 1
+            else:
+                partial_buf = ocl.Buffer(ctx.context, items * itemsize)
+                kernel.set_args(in_part.buffer, partial_buf, np.int32(n))
+                ctx.queues[d].enqueue_nd_range_kernel(
+                    kernel, (items,), ops_per_item=ops,
+                    bytes_per_item=float(itemsize * chunk))
+            pending.append((d, partial_buf, used))
+
+        # step 2: gather intermediate results on the CPU
+        gathered: list[np.ndarray] = []
+        for d, partial_buf, used in pending:
+            out = np.empty(used, dtype=self.elem_dtype)
+            event = ctx.queues[d].enqueue_read_buffer(partial_buf, out)
+            event.wait()
+            partial_buf.release()
+            gathered.append(out)
+
+        # step 3: the CPU reduces the intermediate results, in order.
+        # Copy-distributed inputs: every device reduced the same full
+        # copy (Section III-B), so the copies beyond the first are
+        # redundant and only the first contributes to the result.
+        if input_vec.distribution.kind == "copy":
+            partials = gathered[0]
+        else:
+            partials = np.concatenate(gathered)
+        acc = partials[0]
+        for value in partials[1:]:
+            acc = operator(acc, value)
+        ctx.system.host_step(HOST_OP_TIME_S * max(len(partials) - 1, 0),
+                             label="reduce-final")
+
+        result = Vector(data=[acc], dtype=self.elem_dtype, context=ctx)
+        # output distribution is single (Section III-C)
+        result.set_distribution(Distribution.single(0))
+        return result
+
+    def _tree_reduce_kernel(self, ctx, n: int):
+        """Native kernel folding a whole part by pairwise tree."""
+        from repro import ocl
+        evaluate = self.user.vectorized
+
+        def apply(args, gsize, _n=n):
+            partial_view, in_view = args
+            data = np.asarray(in_view[:_n])
+            while data.shape[0] > 1:
+                half = data.shape[0] // 2
+                combined = np.asarray(evaluate(data[0:2 * half:2],
+                                               data[1:2 * half:2]))
+                if data.shape[0] % 2:
+                    combined = np.concatenate([combined, data[-1:]])
+                data = combined
+            partial_view[0] = data[0]
+
+        prog = ocl.NativeProgram(ctx.context, [ocl.NativeKernelDef(
+            name="skelcl_reduce_vec", fn=apply,
+            arg_dtypes=[self.elem_dtype, self.elem_dtype],
+            ops_per_item=1.0, const_args=frozenset([1]))])
+        return prog.create_kernel("skelcl_reduce_vec")
+

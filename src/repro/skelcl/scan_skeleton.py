@@ -1,0 +1,212 @@
+"""The scan skeleton (paper Sections II-A, III-C, Figure 2).
+
+``scan(op)([x1..xn]) = [x1, x1 op x2, ..., x1 op ... op xn]``
+(inclusive prefix), for an associative operator.  Multi-GPU execution
+follows the paper's four steps:
+
+1. every GPU scans its local part;
+2. the per-part totals are downloaded to the host;
+3. for every GPU except the first, a map skeleton is implicitly
+   created that combines the predecessors' running total with all
+   elements of that GPU's part;
+4. those maps execute on their GPUs, producing the final result.
+
+The output vector is block-distributed among all GPUs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import SkelClError
+from repro.skelcl import codegen
+from repro.skelcl.base import Skeleton, compiled_scalar_operator
+from repro.skelcl.distribution import Distribution
+from repro.skelcl.vector import Vector
+
+
+class Scan(Skeleton):
+    """A scan skeleton customized with a binary operator source.
+
+    By default the inclusive prefix of the paper's formal definition
+    (§II-A).  ``exclusive=True`` computes the exclusive prefix — the
+    form the paper's Figure 2 draws — which requires the operator's
+    *identity* element (0 for +, 1 for *, ...):
+
+        scan_excl(op)(x)[0] = identity
+        scan_excl(op)(x)[i] = x[0] op ... op x[i-1]
+
+    Implemented as the inclusive scan of the right-shifted input
+    ``[identity, x0, ..., x_{n-2}]``, which is exactly equivalent when
+    *identity* is neutral for the operator.
+    """
+
+    n_element_params = 2
+
+    def __init__(self, user_source: str, exclusive: bool = False,
+                 identity=0) -> None:
+        super().__init__(user_source)
+        self.exclusive = exclusive
+        self.identity = identity
+        if self.extra_params:
+            raise SkelClError("scan does not support additional arguments")
+        if self.user.output_dtype() is None:
+            raise SkelClError("scan operator must not return void")
+        self.elem_dtype = self.user.element_dtype(0)
+        if self.user.element_dtype(1) != self.elem_dtype \
+                or self.user.output_dtype() != self.elem_dtype:
+            raise SkelClError("scan operator must have type (T, T) -> T")
+        self.kernel_source = codegen.scan_kernel(user_source,
+                                                 self.user.func)
+        self.offset_source = codegen.scan_offset_kernel(user_source,
+                                                        self.user.func)
+
+    def __call__(self, input_vec: Vector,
+                 out: Vector | None = None) -> Vector:
+        if not isinstance(input_vec, Vector):
+            raise SkelClError("scan input must be a Vector")
+        if input_vec.size == 0:
+            raise SkelClError("cannot scan an empty vector")
+        if input_vec.dtype != self.elem_dtype:
+            raise SkelClError(
+                f"scan({self.user.name}): input dtype {input_vec.dtype} "
+                f"does not match operator type {self.elem_dtype}")
+        ctx = input_vec.ctx
+        ctx.skeleton_call_overhead()
+        if self.exclusive:
+            # exclusive prefix == inclusive prefix of the shifted input
+            shifted = np.empty(input_vec.size, dtype=self.elem_dtype)
+            shifted[0] = self.identity
+            shifted[1:] = input_vec.host_view()[:-1]
+            input_vec = Vector(shifted, dtype=self.elem_dtype,
+                               context=ctx)
+        # the scan algorithm is defined over block distribution (the
+        # paper's default for it); other layouts are redistributed
+        if input_vec.distribution is None \
+                or input_vec.distribution.kind != "block":
+            input_vec.set_distribution(Distribution.block())
+
+        if out is None:
+            out = Vector(size=input_vec.size, dtype=self.elem_dtype,
+                         context=ctx)
+        else:
+            input_vec.check_same_size(out)
+            if out.dtype != self.elem_dtype:
+                raise SkelClError("scan output dtype mismatch")
+        out.set_distribution(Distribution.block())
+
+        program = ctx.build_program(self.kernel_source)
+        scan_kernel = program.create_kernel("skelcl_scan")
+        operator = compiled_scalar_operator(program, self.user.name)
+        itemsize = self.elem_dtype.itemsize
+
+        # step 1: local scans (every GPU, independently)
+        active_parts = []
+        for part in input_vec.parts:
+            if part.empty:
+                continue
+            d = part.device_index
+            in_part = input_vec.ensure_on_device(d)
+            out_part = out.parts[d]
+            from repro.skelcl.context import SKELCL_KERNEL_OVERHEAD_FACTOR
+            ops = ((self.user.op_count + 2.0) * part.length
+                   * SKELCL_KERNEL_OVERHEAD_FACTOR)
+            if self.user.vectorized is not None:
+                # vectorized fast path: Hillis-Steele inclusive scan —
+                # a regrouping valid for associative operators, with
+                # earlier prefixes always the operator's left argument
+                # (non-commutative safe); charged identically
+                fast = self._hillis_steele_kernel(ctx, part.length)
+                fast.set_args(out_part.buffer, in_part.buffer)
+                ctx.queues[d].enqueue_nd_range_kernel(
+                    fast, (1,), ops_per_item=ops,
+                    bytes_per_item=float(2 * itemsize * part.length))
+            else:
+                scan_kernel.set_args(in_part.buffer, out_part.buffer,
+                                     np.int32(part.length))
+                ctx.queues[d].enqueue_nd_range_kernel(
+                    scan_kernel, (1,), ops_per_item=ops,
+                    bytes_per_item=float(2 * itemsize * part.length))
+            out.mark_device_written(d)
+            active_parts.append(part)
+
+        # step 2: download each part's total (its last element)
+        totals: list[np.ndarray] = []
+        for part in active_parts:
+            d = part.device_index
+            last = np.empty(1, dtype=self.elem_dtype)
+            event = ctx.queues[d].enqueue_read_buffer(
+                out.parts[d].buffer, last,
+                offset_bytes=(part.length - 1) * itemsize)
+            event.wait()
+            totals.append(last[0])
+
+        # steps 3+4: implicit maps add the predecessors' running total
+        # on every GPU except the first (Figure 2, marked values)
+        offset_program = ctx.build_program(self.offset_source)
+        offset_kernel = offset_program.create_kernel("skelcl_scan_offset")
+        running = None
+        for i, part in enumerate(active_parts):
+            if i == 0:
+                running = totals[0]
+                continue
+            d = part.device_index
+            from repro.skelcl.context import SKELCL_KERNEL_OVERHEAD_FACTOR
+            ops = ((self.user.op_count + 2.0)
+                   * SKELCL_KERNEL_OVERHEAD_FACTOR)
+            if self.user.vectorized is not None:
+                fast = self._offset_map_kernel(ctx, part.length,
+                                               self._as_scalar(running))
+                fast.set_args(out.parts[d].buffer)
+                ctx.queues[d].enqueue_nd_range_kernel(
+                    fast, (part.length,), ops_per_item=ops,
+                    bytes_per_item=float(2 * itemsize))
+            else:
+                offset_kernel.set_args(out.parts[d].buffer,
+                                       np.int32(part.length),
+                                       self._as_scalar(running))
+                ctx.queues[d].enqueue_nd_range_kernel(
+                    offset_kernel, (part.length,), ops_per_item=ops,
+                    bytes_per_item=float(2 * itemsize))
+            out.mark_device_written(d)
+            running = operator(running, totals[i])
+        return out
+
+    def _as_scalar(self, value):
+        return self.elem_dtype.type(value)
+
+    def _hillis_steele_kernel(self, ctx, n: int):
+        """Native kernel scanning a whole part in log(n) vector steps."""
+        from repro import ocl
+        evaluate = self.user.vectorized
+
+        def apply(args, gsize, _n=n):
+            out_view, in_view = args
+            data = np.array(in_view[:_n], copy=True)
+            offset = 1
+            while offset < _n:
+                data[offset:] = np.asarray(
+                    evaluate(data[:-offset], data[offset:]))
+                offset *= 2
+            out_view[:_n] = data
+
+        prog = ocl.NativeProgram(ctx.context, [ocl.NativeKernelDef(
+            name="skelcl_scan_vec", fn=apply,
+            arg_dtypes=[self.elem_dtype, self.elem_dtype],
+            ops_per_item=1.0, const_args=frozenset([1]))])
+        return prog.create_kernel("skelcl_scan_vec")
+
+    def _offset_map_kernel(self, ctx, n: int, offset_value):
+        """Vectorized form of the implicitly-created offset map."""
+        from repro import ocl
+        evaluate = self.user.vectorized
+
+        def apply(args, gsize, _n=n, _off=offset_value):
+            (data_view,) = args
+            data_view[:_n] = np.asarray(
+                evaluate(_off, np.asarray(data_view[:_n])))
+
+        prog = ocl.NativeProgram(ctx.context, [ocl.NativeKernelDef(
+            name="skelcl_scan_offset_vec", fn=apply,
+            arg_dtypes=[self.elem_dtype], ops_per_item=1.0)])
+        return prog.create_kernel("skelcl_scan_offset_vec")

@@ -1,0 +1,313 @@
+"""The abstract vector data type (paper Section II-B / III-A).
+
+A ``Vector`` is a self-contained container whose data is accessible by
+both the CPU and the GPUs.  Internally it keeps a host array plus, once
+a distribution is set, one device buffer per part, and a consistency
+state: transfers are *lazy* — deferred until a device part is actually
+needed by a skeleton, or until the host actually reads — and avoided
+entirely when data is already where it is needed (e.g. a map's output
+feeding a reduce stays on the GPUs; Section II-B).
+
+Changing the distribution does not move data eagerly either: the vector
+first makes its host copy consistent (downloading device parts, merging
+divergent ``copy`` versions with the distribution's combine function),
+then re-uploads lazily part by part as devices touch the vector again.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+import numpy as np
+
+from repro import ocl
+from repro.errors import DistributionError, SizeMismatchError, SkelClError
+from repro.skelcl.context import SkelCLContext, get_context
+from repro.skelcl.distribution import Distribution, combine_copies
+
+
+@dataclass
+class DevicePart:
+    """One device's share of a distributed vector."""
+
+    device_index: int
+    offset: int  # element offset within the vector
+    length: int  # elements
+    buffer: ocl.Buffer | None = None
+    valid: bool = False
+    #: the host copy of this part's range is stale (device is newer)
+    host_stale: bool = False
+
+    @property
+    def empty(self) -> bool:
+        return self.length == 0
+
+
+class Vector:
+    """A host+multi-device vector with lazy consistency.
+
+    Args:
+        data: initial contents (array-like), or ``None`` with *size*.
+        size: element count when *data* is not given.
+        dtype: element dtype; inferred from *data* (numpy arrays keep
+            theirs; plain Python lists default to float32, OpenCL's
+            ``float``), or float32 for sized construction.
+        context: SkelCL context; defaults to the one from ``init()``.
+    """
+
+    def __init__(self, data=None, size: int | None = None,
+                 dtype=None,
+                 context: SkelCLContext | None = None) -> None:
+        self.ctx = get_context(context)
+        if data is not None:
+            if dtype is None:
+                dtype = (data.dtype if isinstance(data, np.ndarray)
+                         else np.float32)
+            self._host = np.array(data, dtype=dtype, copy=True).reshape(-1)
+        elif size is not None:
+            if size < 0:
+                raise SkelClError(f"invalid vector size {size}")
+            self._host = np.zeros(int(size),
+                                  dtype=dtype if dtype is not None
+                                  else np.float32)
+        else:
+            raise SkelClError("Vector needs data or a size")
+        self._dist: Distribution | None = None
+        self._parts: list[DevicePart] = []
+        #: set by dataOnDevicesModified(): device copies of a
+        #: copy-distributed vector diverged through additional-arg writes
+        self._devices_modified = False
+
+    # -- basic properties ---------------------------------------------------------
+
+    @property
+    def size(self) -> int:
+        return int(self._host.shape[0])
+
+    def __len__(self) -> int:
+        return self.size
+
+    @property
+    def dtype(self) -> np.dtype:
+        return self._host.dtype
+
+    @property
+    def distribution(self) -> Distribution | None:
+        return self._dist
+
+    @property
+    def _host_valid(self) -> bool:
+        """True when no device holds data newer than the host copy."""
+        return not any(p.host_stale for p in self._parts)
+
+    @property
+    def parts(self) -> list[DevicePart]:
+        return list(self._parts)
+
+    def sizes(self) -> list[int]:
+        """Per-device part sizes under the current distribution."""
+        if self._dist is None:
+            return [self.size]
+        return [p.length for p in self._parts]
+
+    # -- distribution management ------------------------------------------------------
+
+    def set_distribution(self, dist: Distribution) -> None:
+        """Set/change the distribution (paper Section III-A).
+
+        Changing distribution implies data exchanges between devices and
+        host; they are performed implicitly — and lazily: here only the
+        host copy is made consistent and old device buffers are dropped;
+        uploads happen when devices next touch the vector.
+        """
+        if not isinstance(dist, Distribution):
+            raise DistributionError(f"not a distribution: {dist!r}")
+        if self._dist is not None and self._dist.same_layout(dist):
+            # Same placement: adopt without any movement.  (For copy
+            # distributions this may swap in a different combine
+            # function — it only matters when *leaving* copy, and then
+            # the most recently set one governs, as in Listing 3.)
+            self._dist = dist
+            return
+        self._make_host_consistent()
+        self._release_parts()
+        self._dist = dist
+        self._create_parts()
+
+    def ensure_distribution(self, dist: Distribution) -> None:
+        """Set *dist* only when no distribution was chosen yet (used for
+        skeleton default distributions, Section III-B)."""
+        if self._dist is None:
+            self.set_distribution(dist)
+
+    def _create_parts(self) -> None:
+        assert self._dist is not None
+        layout = self._dist.partition(self.size, self.ctx.num_devices)
+        itemsize = self.dtype.itemsize
+        self._parts = []
+        for i, (offset, length) in enumerate(layout):
+            buffer = None
+            if length > 0:
+                buffer = ocl.Buffer(self.ctx.context,
+                                    max(length * itemsize, 1))
+            self._parts.append(DevicePart(device_index=i, offset=offset,
+                                          length=length, buffer=buffer))
+        self._devices_modified = False
+
+    def _release_parts(self) -> None:
+        for part in self._parts:
+            if part.buffer is not None:
+                part.buffer.release()
+        self._parts = []
+
+    # -- consistency state machine -------------------------------------------------------
+
+    def _make_host_consistent(self) -> None:
+        """Download whatever is newer on the devices into the host copy.
+
+        Only stale ranges move: a block-distributed vector written on
+        one device downloads that part only.
+        """
+        if self._host_valid and not self._devices_modified:
+            return
+        if not self._parts:
+            return
+        assert self._dist is not None
+        if self._dist.kind == "copy":
+            stale_parts = [p for p in self._parts
+                           if p.valid and p.host_stale and not p.empty]
+            if stale_parts:
+                if self._devices_modified:
+                    copies = [self._download_part(p) for p in stale_parts]
+                    self._host[:] = combine_copies(copies,
+                                                   self._dist.combine)
+                else:
+                    self._host[:] = self._download_part(stale_parts[0])
+        else:
+            for part in self._parts:
+                if part.valid and part.host_stale and not part.empty:
+                    self._host[part.offset:part.offset + part.length] = \
+                        self._download_part(part)
+        for part in self._parts:
+            part.host_stale = False
+        self._devices_modified = False
+
+    def _download_part(self, part: DevicePart) -> np.ndarray:
+        assert part.buffer is not None
+        out = np.empty(part.length, dtype=self.dtype)
+        queue = self.ctx.queues[part.device_index]
+        event = queue.enqueue_read_buffer(part.buffer, out)
+        event.wait()
+        return out
+
+    def ensure_on_device(self, device_index: int) -> DevicePart:
+        """Upload this device's part if it is stale; returns the part."""
+        if self._dist is None:
+            raise DistributionError(
+                "vector has no distribution; set one (or let a skeleton "
+                "choose its default) before device use")
+        part = self._parts[device_index]
+        if part.empty or part.valid:
+            return part
+        needs_gather = (part.host_stale if self._dist.kind != "copy"
+                        else not self._host_valid)
+        if needs_gather or self._devices_modified:
+            # this part's host range is stale: bring it up to date first
+            self._make_host_consistent()
+        assert part.buffer is not None
+        data = self._host[part.offset:part.offset + part.length]
+        queue = self.ctx.queues[device_index]
+        queue.enqueue_write_buffer(part.buffer, data)
+        part.valid = True
+        return part
+
+    def mark_device_written(self, device_index: int) -> None:
+        """Record that a kernel produced this part (main-output path)."""
+        part = self._parts[device_index]
+        part.valid = True
+        part.host_stale = True
+        if self._dist is not None and self._dist.kind == "copy":
+            # each device writes its own full copy -> versions diverge
+            self._devices_modified = True
+
+    def data_on_devices_modified(self) -> None:
+        """Declare that device copies were modified through additional
+        arguments (the paper's ``dataOnDevicesModified()``, Listing 3).
+
+        SkelCL cannot see writes a user function performs through an
+        additional-argument pointer, so the program states it explicitly.
+        """
+        for part in self._parts:
+            if not part.empty:
+                part.valid = True
+                part.host_stale = True
+        if self._dist is not None and self._dist.kind == "copy":
+            self._devices_modified = True
+
+    # alias matching the paper's camelCase API
+    dataOnDevicesModified = data_on_devices_modified
+    setDistribution = set_distribution
+
+    # -- host access (implicit downloads) ---------------------------------------------------
+
+    def to_numpy(self) -> np.ndarray:
+        """A copy of the vector's contents, downloading if necessary."""
+        self._make_host_consistent()
+        return self._host.copy()
+
+    def host_view(self) -> np.ndarray:
+        """The host array itself (valid until the next device write).
+
+        Mutating the view must be followed by :meth:`host_modified`.
+        """
+        self._make_host_consistent()
+        return self._host
+
+    def host_modified(self) -> None:
+        """Declare host-side writes: device parts become stale."""
+        for part in self._parts:
+            part.valid = False
+            part.host_stale = False
+        self._devices_modified = False
+
+    def __getitem__(self, index):
+        self._make_host_consistent()
+        return self._host[index]
+
+    def __setitem__(self, index, value) -> None:
+        self._make_host_consistent()
+        self._host[index] = value
+        self.host_modified()
+
+    def __iter__(self) -> Iterable:
+        self._make_host_consistent()
+        return iter(self._host)
+
+    def begin(self):
+        """STL-flavoured alias used in the paper's listings."""
+        return iter(self)
+
+    # -- misc --------------------------------------------------------------------------------
+
+    def clone(self) -> "Vector":
+        """A deep copy with the same contents and distribution kind.
+
+        The clone's data is gathered to its host side (downloading if
+        necessary); device parts re-upload lazily on first use.
+        """
+        copy = Vector(self.to_numpy(), dtype=self.dtype,
+                      context=self.ctx)
+        if self._dist is not None:
+            copy.set_distribution(self._dist)
+        return copy
+
+    def check_same_size(self, other: "Vector") -> None:
+        if self.size != other.size:
+            raise SizeMismatchError(
+                f"vector sizes differ: {self.size} vs {other.size}")
+
+    def __repr__(self) -> str:
+        dist = self._dist if self._dist is not None else "none"
+        return (f"<Vector size={self.size} dtype={self.dtype} "
+                f"dist={dist} host_valid={self._host_valid}>")

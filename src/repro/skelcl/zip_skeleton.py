@@ -1,0 +1,156 @@
+"""The zip skeleton (paper Sections II-A, III-C).
+
+``zip(op)([x1..xn], [y1..yn]) = [x1 op y1, .., xn op yn]``.  Both input
+vectors must have the same distribution, and single-distributed inputs
+must live on the same GPU; otherwise SkelCL automatically changes both
+inputs to block distribution.  Block is also the default for inputs
+with no distribution.  The output adopts the inputs' distribution.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import SkelClError
+from repro.skelcl import codegen
+from repro.skelcl.base import Skeleton
+from repro.skelcl.distribution import Distribution
+from repro.skelcl.vector import Vector
+
+
+class Zip(Skeleton):
+    """A zip skeleton customized with a binary user function source."""
+
+    n_element_params = 2
+
+    def __init__(self, user_source: str,
+                 ops_per_item: float | None = None,
+                 bytes_per_item: float | None = None,
+                 scale_factor: float = 1.0) -> None:
+        super().__init__(user_source)
+        self.kernel_source = codegen.zip_kernel(user_source, self.user.func)
+        self.lhs_dtype = self.user.element_dtype(0)
+        self.rhs_dtype = self.user.element_dtype(1)
+        self.out_dtype = self.user.output_dtype()
+        self._ops_override = ops_per_item
+        self._bytes_override = bytes_per_item
+        self.scale_factor = scale_factor
+
+    def __call__(self, lhs: Vector, rhs: Vector, *extras,
+                 out: Vector | None = None) -> Vector | None:
+        if not isinstance(lhs, Vector) or not isinstance(rhs, Vector):
+            raise SkelClError("zip inputs must be Vectors")
+        lhs.check_same_size(rhs)
+        if lhs.dtype != self.lhs_dtype or rhs.dtype != self.rhs_dtype:
+            raise SkelClError(
+                f"zip({self.user.name}): input dtypes ({lhs.dtype}, "
+                f"{rhs.dtype}) do not match parameter types "
+                f"({self.lhs_dtype}, {self.rhs_dtype})")
+        self.check_extras(extras)
+        ctx = lhs.ctx
+        ctx.skeleton_call_overhead(extra_args=len(extras))
+        self._resolve_distributions(lhs, rhs)
+
+        out_vec: Vector | None = None
+        if self.out_dtype is not None:
+            out_vec = self._prepare_output(lhs, out)
+
+        program = ctx.build_program(self.kernel_source)
+        kernel = program.create_kernel("skelcl_zip")
+        from repro.skelcl.context import SKELCL_KERNEL_OVERHEAD_FACTOR
+        ops_per_item = (self._ops_override if self._ops_override is not None
+                        else self.user.op_count + 2.0)
+        ops_per_item *= SKELCL_KERNEL_OVERHEAD_FACTOR
+        bytes_per_item = self._bytes_override
+        if bytes_per_item is None:
+            bytes_per_item = (self.lhs_dtype.itemsize
+                              + self.rhs_dtype.itemsize
+                              + (self.out_dtype.itemsize if self.out_dtype
+                                 else 0)
+                              + self.extras_bytes_per_item())
+        for part in lhs.parts:
+            if part.empty:
+                continue
+            d = part.device_index
+            lhs_part = lhs.ensure_on_device(d)
+            rhs_part = rhs.ensure_on_device(d)
+            out_part = out_vec.parts[d] if out_vec is not None else None
+            fast_extras = (self.vectorized_extra_values(extras, d)
+                           if self.user.vectorized is not None
+                           and out_part is not None else None)
+            if fast_extras is not None:
+                self._run_vectorized(ctx, d, lhs_part, rhs_part, out_part,
+                                     part.length, fast_extras,
+                                     ops_per_item, bytes_per_item)
+            else:
+                args = [lhs_part.buffer, rhs_part.buffer]
+                if out_part is not None:
+                    args.append(out_part.buffer)
+                args.append(np.int32(part.length))
+                args.extend(self.bind_extras_on_device(extras, d))
+                kernel.set_args(*args)
+                ctx.queues[d].enqueue_nd_range_kernel(
+                    kernel, (part.length,),
+                    ops_per_item=ops_per_item,
+                    bytes_per_item=bytes_per_item,
+                    scale_factor=self.scale_factor)
+            if out_vec is not None:
+                out_vec.mark_device_written(d)
+        return out_vec
+
+    # -- distribution resolution (Section III-C) --------------------------------
+
+    @staticmethod
+    def _resolve_distributions(lhs: Vector, rhs: Vector) -> None:
+        ld, rd = lhs.distribution, rhs.distribution
+        if ld is None and rd is None:
+            lhs.set_distribution(Distribution.block())
+            rhs.set_distribution(Distribution.block())
+            return
+        if ld is None:
+            lhs.set_distribution(rd)
+            return
+        if rd is None:
+            rhs.set_distribution(ld)
+            return
+        compatible = ld.same_layout(rd)
+        if not compatible:
+            # automatic coercion to block (paper Section III-C)
+            lhs.set_distribution(Distribution.block())
+            rhs.set_distribution(Distribution.block())
+
+    def _prepare_output(self, lhs: Vector, out: Vector | None) -> Vector:
+        if out is None:
+            out = Vector(size=lhs.size, dtype=self.out_dtype,
+                         context=lhs.ctx)
+        else:
+            lhs.check_same_size(out)
+            if out.dtype != self.out_dtype:
+                raise SkelClError(
+                    f"zip({self.user.name}): output dtype {out.dtype} "
+                    f"does not match return type {self.out_dtype}")
+        out.set_distribution(lhs.distribution)
+        return out
+
+    def _run_vectorized(self, ctx, device_index: int, lhs_part, rhs_part,
+                        out_part, length: int, extra_values: list,
+                        ops_per_item: float, bytes_per_item: float) -> None:
+        from repro import ocl
+        evaluate = self.user.vectorized
+
+        def apply(args, gsize, _extras=extra_values, _n=length):
+            out_view, lhs_view, rhs_view = args
+            out_view[:_n] = evaluate(lhs_view[:_n], rhs_view[:_n],
+                                     *_extras,
+                                     _element_index=np.arange(_n))
+
+        prog = ocl.NativeProgram(ctx.context, [ocl.NativeKernelDef(
+            name="skelcl_zip_vec", fn=apply,
+            arg_dtypes=[self.out_dtype, self.lhs_dtype, self.rhs_dtype],
+            ops_per_item=ops_per_item,
+            bytes_per_item=bytes_per_item,
+            const_args=frozenset([1, 2]))])
+        kernel = prog.create_kernel("skelcl_zip_vec")
+        kernel.set_args(out_part.buffer, lhs_part.buffer, rhs_part.buffer)
+        ctx.queues[device_index].enqueue_nd_range_kernel(
+            kernel, (length,), scale_factor=self.scale_factor)

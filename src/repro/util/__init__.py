@@ -1,0 +1,15 @@
+"""Shared infrastructure: virtual time, table rendering, LOC counting."""
+
+from repro.util.timeline import Resource, Timeline, VirtualSpan
+from repro.util.tables import format_table, format_bars
+from repro.util.loc import count_loc, LocReport
+
+__all__ = [
+    "Resource",
+    "Timeline",
+    "VirtualSpan",
+    "format_table",
+    "format_bars",
+    "count_loc",
+    "LocReport",
+]

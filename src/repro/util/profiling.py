@@ -1,0 +1,83 @@
+"""Timeline profiling reports.
+
+Turns a :class:`repro.util.timeline.Timeline` into human-readable
+reports: per-resource utilization, a transfer/compute split, and a
+text Gantt chart — the view one would get from an OpenCL profiler
+(the events already carry ``CL_PROFILING``-style spans).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+from repro.util.tables import format_table
+from repro.util.timeline import Timeline, VirtualSpan
+
+
+def utilization_report(timeline: Timeline) -> str:
+    """Busy time and utilization of every resource."""
+    makespan = timeline.now()
+    rows = []
+    for resource in sorted(timeline.resources(), key=lambda r: r.name):
+        util = resource.busy_time / makespan if makespan > 0 else 0.0
+        rows.append([resource.name, f"{resource.busy_time * 1e3:.3f}",
+                     f"{util * 100:.1f}%"])
+    return format_table(["resource", "busy [ms]", "utilization"], rows,
+                        title=f"makespan: {makespan * 1e3:.3f} ms")
+
+
+def classify_span(span: VirtualSpan) -> str:
+    label = span.label
+    if label.startswith(("H2D", "D2H", "D2D", "migrate")):
+        return "transfer"
+    if label.startswith(("kernel:", "cuda:")) and "B" not in label.split()[-1]:
+        return "compute"
+    if span.resource.startswith("net."):
+        return "network"
+    if label.startswith(("cuda:H2D", "cuda:D2H")):
+        return "transfer"
+    if ".host" in span.resource:
+        return "host"
+    return "other"
+
+
+def cost_breakdown(timeline: Timeline) -> dict[str, float]:
+    """Total busy seconds by category (transfer/compute/network/host)."""
+    totals: dict[str, float] = defaultdict(float)
+    for span in timeline.spans:
+        totals[classify_span(span)] += span.duration
+    return dict(totals)
+
+
+def breakdown_report(timeline: Timeline) -> str:
+    totals = cost_breakdown(timeline)
+    grand = sum(totals.values()) or 1.0
+    rows = [[kind, f"{seconds * 1e3:.3f}",
+             f"{seconds / grand * 100:.1f}%"]
+            for kind, seconds in sorted(totals.items(),
+                                        key=lambda kv: -kv[1])]
+    return format_table(["category", "busy [ms]", "share"], rows)
+
+
+def gantt(timeline: Timeline, width: int = 64,
+          resources: list[str] | None = None) -> str:
+    """A text Gantt chart: one row per resource, '#' where busy."""
+    makespan = timeline.now()
+    if makespan <= 0:
+        return "(empty timeline)"
+    by_resource: dict[str, list[VirtualSpan]] = defaultdict(list)
+    for span in timeline.spans:
+        by_resource[span.resource].append(span)
+    names = (resources if resources is not None
+             else sorted(by_resource))
+    label_width = max((len(n) for n in names), default=0)
+    lines = [f"0 {'-' * width} {makespan * 1e3:.3f} ms"]
+    for name in names:
+        cells = [" "] * width
+        for span in by_resource.get(name, []):
+            lo = int(span.start / makespan * width)
+            hi = max(int(span.end / makespan * width), lo + 1)
+            for i in range(lo, min(hi, width)):
+                cells[i] = "#"
+        lines.append(f"{name.ljust(label_width)} |{''.join(cells)}|")
+    return "\n".join(lines)

@@ -1,0 +1,66 @@
+"""Plain-text table and bar-chart rendering for benchmark harnesses.
+
+The benchmark harnesses regenerate the paper's tables/figures as text:
+``format_table`` prints aligned rows, ``format_bars`` prints a horizontal
+ASCII bar chart (the closest text analogue of the paper's Figure 4).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence[object]],
+                 title: str = "") -> str:
+    """Render *rows* under *headers* as an aligned plain-text table."""
+    str_rows = [[_cell(v) for v in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells, expected {len(headers)}")
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def fmt_row(cells: Sequence[str]) -> str:
+        return "  ".join(c.rjust(w) if _numeric(c) else c.ljust(w)
+                         for c, w in zip(cells, widths)).rstrip()
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(fmt_row(list(headers)))
+    lines.append("  ".join("-" * w for w in widths))
+    lines.extend(fmt_row(row) for row in str_rows)
+    return "\n".join(lines)
+
+
+def format_bars(labels: Sequence[str], values: Sequence[float],
+                unit: str = "", width: int = 50, title: str = "") -> str:
+    """Render a horizontal bar chart with one bar per (label, value)."""
+    if len(labels) != len(values):
+        raise ValueError("labels and values must have equal length")
+    if not labels:
+        return title
+    vmax = max(values) if max(values) > 0 else 1.0
+    lw = max(len(l) for l in labels)
+    lines = [title] if title else []
+    for label, value in zip(labels, values):
+        n = int(round(width * value / vmax))
+        bar = "#" * n
+        lines.append(f"{label.ljust(lw)}  {bar} {value:.4g}{unit}")
+    return "\n".join(lines)
+
+
+def _cell(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.4g}"
+    return str(value)
+
+
+def _numeric(cell: str) -> bool:
+    try:
+        float(cell)
+        return True
+    except ValueError:
+        return False

@@ -1,0 +1,154 @@
+"""Discrete-event virtual-time accounting.
+
+The simulated runtimes (``repro.ocl``, ``repro.cuda``, ``repro.dopencl``)
+compute real results eagerly but charge their *duration* to a shared
+virtual timeline.  Each independently-progressing piece of hardware — a
+device's command queue, a host<->device PCIe link, a network link, the
+host thread — is a :class:`Resource`.  A command occupies one resource
+for a modelled duration and may depend on earlier commands through its
+``ready_at`` time, so work on distinct resources genuinely overlaps in
+virtual time while work on one resource serializes, exactly like
+in-order OpenCL command queues on a multi-GPU machine.
+
+The design deliberately avoids a full event-calendar simulator: because
+every queue is in-order and dependencies only flow through explicit
+``ready_at`` values, completion times can be computed immediately at
+enqueue time with ``start = max(resource.available_at, ready_at)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+
+@dataclass(frozen=True)
+class VirtualSpan:
+    """One command's occupancy of a resource on the virtual timeline.
+
+    Attributes:
+        resource: name of the resource the span ran on.
+        start: virtual time (seconds) the command started.
+        end: virtual time (seconds) the command completed.
+        label: free-form description (e.g. ``"kernel:map_f"``).
+        tag: optional grouping key used by phase breakdowns.
+    """
+
+    resource: str
+    start: float
+    end: float
+    label: str = ""
+    tag: str = ""
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+
+class Resource:
+    """A serially-occupied piece of simulated hardware."""
+
+    __slots__ = ("name", "available_at", "busy_time")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.available_at = 0.0
+        #: total occupied duration, for utilization reporting
+        self.busy_time = 0.0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Resource({self.name!r}, available_at={self.available_at:.6f})"
+
+
+class Timeline:
+    """A collection of resources sharing one virtual clock.
+
+    All times are in virtual seconds.  The timeline records every span so
+    that harnesses can print per-phase breakdowns (Fig. 3 of the paper).
+    """
+
+    def __init__(self) -> None:
+        self._resources: dict[str, Resource] = {}
+        self._spans: list[VirtualSpan] = []
+        self._tag: str = ""
+
+    # -- resources ---------------------------------------------------------
+
+    def resource(self, name: str) -> Resource:
+        """Return the resource called *name*, creating it on first use."""
+        res = self._resources.get(name)
+        if res is None:
+            res = Resource(name)
+            self._resources[name] = res
+        return res
+
+    def resources(self) -> Iterator[Resource]:
+        return iter(self._resources.values())
+
+    # -- scheduling --------------------------------------------------------
+
+    def schedule(self, resource: Resource | str, duration: float,
+                 ready_at: float = 0.0, label: str = "") -> VirtualSpan:
+        """Occupy *resource* for *duration* seconds.
+
+        The command starts when both the resource is free and its
+        dependencies are satisfied (*ready_at*).  Returns the recorded
+        span; ``span.end`` is the completion time other commands can use
+        as their own ``ready_at``.
+        """
+        if duration < 0.0:
+            raise ValueError(f"negative duration: {duration}")
+        if isinstance(resource, str):
+            resource = self.resource(resource)
+        start = max(resource.available_at, ready_at)
+        end = start + duration
+        resource.available_at = end
+        resource.busy_time += duration
+        span = VirtualSpan(resource=resource.name, start=start, end=end,
+                           label=label, tag=self._tag)
+        self._spans.append(span)
+        return span
+
+    # -- phase tagging -----------------------------------------------------
+
+    def set_tag(self, tag: str) -> None:
+        """Tag subsequently scheduled spans (used for phase breakdowns)."""
+        self._tag = tag
+
+    # -- inspection --------------------------------------------------------
+
+    @property
+    def spans(self) -> list[VirtualSpan]:
+        return list(self._spans)
+
+    def now(self) -> float:
+        """Latest completion time over all resources (the makespan)."""
+        if not self._resources:
+            return 0.0
+        return max(r.available_at for r in self._resources.values())
+
+    def elapsed_by_tag(self) -> dict[str, float]:
+        """Wall-clock (virtual) duration of each tagged phase.
+
+        A phase's elapsed time is ``max(end) - min(start)`` over its
+        spans, i.e. it accounts for overlap between resources, unlike a
+        plain sum of durations.
+        """
+        bounds: dict[str, tuple[float, float]] = {}
+        for span in self._spans:
+            if not span.tag:
+                continue
+            lo, hi = bounds.get(span.tag, (span.start, span.end))
+            bounds[span.tag] = (min(lo, span.start), max(hi, span.end))
+        return {tag: hi - lo for tag, (lo, hi) in bounds.items()}
+
+    def busy_by_resource(self) -> dict[str, float]:
+        return {name: res.busy_time for name, res in self._resources.items()}
+
+    def reset(self) -> None:
+        """Forget all spans and rewind every resource to t=0."""
+        self._spans.clear()
+        for res in self._resources.values():
+            res.available_at = 0.0
+            res.busy_time = 0.0
+        self._tag = ""

@@ -1,0 +1,189 @@
+"""Tests for the synthetic PET substrate: geometry, phantoms, events,
+Siddon ray tracing."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.apps.osem import (EVENT_DTYPE, ScannerGeometry,
+                             cylinder_phantom, generate_events,
+                             point_sources_phantom, split_subsets,
+                             trace_paths, trace_single)
+
+
+@pytest.fixture
+def geo():
+    return ScannerGeometry.small(12)
+
+
+def test_geometry_validation():
+    with pytest.raises(ValueError):
+        ScannerGeometry(0, 4, 4)
+    with pytest.raises(ValueError):
+        ScannerGeometry(16, 16, 16, scanner_radius=1.0)
+
+
+def test_geometry_paper_dimensions():
+    geo = ScannerGeometry.paper()
+    assert geo.shape == (150, 150, 280)
+    assert geo.image_size == 150 * 150 * 280
+
+
+def test_voxel_index_layout(geo):
+    assert geo.voxel_index(0, 0, 0) == 0
+    assert geo.voxel_index(0, 0, 1) == 1
+    assert geo.voxel_index(0, 1, 0) == geo.nz
+    assert geo.voxel_index(1, 0, 0) == geo.ny * geo.nz
+
+
+def test_cylinder_phantom_properties(geo):
+    activity = cylinder_phantom(geo)
+    assert activity.shape == geo.shape
+    assert activity.min() >= 0
+    assert activity.max() > 1.0  # hot spheres present
+    # corners are outside the cylinder
+    assert activity[0, 0, geo.nz // 2] == 0
+
+
+def test_point_sources_phantom(geo):
+    act = point_sources_phantom(geo, [(3, 4, 5)], activity=7.0)
+    assert act[3, 4, 5] == 7.0
+    assert act.sum() == 7.0
+    with pytest.raises(ValueError):
+        point_sources_phantom(geo, [(99, 0, 0)])
+
+
+def test_generate_events_shape_and_dtype(geo):
+    act = cylinder_phantom(geo)
+    events = generate_events(geo, act, 500, seed=1)
+    assert events.shape == (500,)
+    assert events.dtype == EVENT_DTYPE
+
+
+def test_events_endpoints_on_cylinder(geo):
+    act = cylinder_phantom(geo)
+    events = generate_events(geo, act, 200, seed=2)
+    cx, cy, _ = geo.center
+    for x, y in ((events["x1"], events["y1"]),
+                 (events["x2"], events["y2"])):
+        r = np.hypot(x - cx, y - cy)
+        np.testing.assert_allclose(r, geo.scanner_radius, rtol=1e-3)
+
+
+def test_events_require_matching_activity(geo):
+    with pytest.raises(ValueError):
+        generate_events(geo, np.ones((2, 2, 2)), 10)
+    with pytest.raises(ValueError):
+        generate_events(geo, np.zeros(geo.shape), 10)
+
+
+def test_split_subsets(geo):
+    act = cylinder_phantom(geo)
+    events = generate_events(geo, act, 100, seed=3)
+    subsets = split_subsets(events, 7)
+    assert len(subsets) == 7
+    assert sum(s.shape[0] for s in subsets) == 100
+    sizes = [s.shape[0] for s in subsets]
+    assert max(sizes) - min(sizes) <= 1
+
+
+def test_trace_central_axis_ray():
+    geo = ScannerGeometry(4, 4, 4)
+    event = np.zeros(1, EVENT_DTYPE)
+    # a ray through the middle of the grid along +x
+    event["x1"], event["y1"], event["z1"] = -2.0, 2.5, 2.5
+    event["x2"], event["y2"], event["z2"] = 6.0, 2.5, 2.5
+    idx, lengths = trace_single(geo, event[0])
+    # crosses 4 voxels, each of length 1
+    assert len(idx) == 4
+    np.testing.assert_allclose(lengths, 1.0, rtol=1e-5)
+    expected = [geo.voxel_index(i, 2, 2) for i in range(4)]
+    assert sorted(idx) == sorted(expected)
+
+
+def test_trace_diagonal_ray_total_length():
+    geo = ScannerGeometry(8, 8, 8)
+    event = np.zeros(1, EVENT_DTYPE)
+    event["x1"], event["y1"], event["z1"] = -1.0, -1.0, -1.0
+    event["x2"], event["y2"], event["z2"] = 9.0, 9.0, 9.0
+    idx, lengths = trace_single(geo, event[0])
+    # chord through the full cube diagonal: length 8*sqrt(3)
+    np.testing.assert_allclose(lengths.sum(), 8 * np.sqrt(3), rtol=1e-4)
+    assert len(np.unique(idx)) == len(idx)  # each voxel at most once
+
+
+def test_trace_miss_returns_empty():
+    geo = ScannerGeometry(4, 4, 4)
+    event = np.zeros(1, EVENT_DTYPE)
+    event["x1"], event["y1"], event["z1"] = -5.0, 10.0, 2.0
+    event["x2"], event["y2"], event["z2"] = 10.0, 10.0, 2.0  # y=10 > 4
+    idx, lengths = trace_single(geo, event[0])
+    assert len(idx) == 0
+
+
+def test_trace_degenerate_event():
+    geo = ScannerGeometry(4, 4, 4)
+    event = np.zeros(1, EVENT_DTYPE)
+    event["x1"] = event["x2"] = 2.0
+    event["y1"] = event["y2"] = 2.0
+    event["z1"] = event["z2"] = 2.0
+    idx, _ = trace_single(geo, event[0])
+    assert len(idx) == 0
+
+
+def test_trace_axis_parallel_inside_slab():
+    geo = ScannerGeometry(4, 4, 4)
+    event = np.zeros(1, EVENT_DTYPE)
+    # parallel to z, inside the grid in x/y
+    event["x1"], event["y1"], event["z1"] = 1.5, 2.5, -2.0
+    event["x2"], event["y2"], event["z2"] = 1.5, 2.5, 6.0
+    idx, lengths = trace_single(geo, event[0])
+    assert len(idx) == 4
+    np.testing.assert_allclose(lengths.sum(), 4.0, rtol=1e-5)
+
+
+def test_batch_matches_single(geo):
+    act = cylinder_phantom(geo)
+    events = generate_events(geo, act, 64, seed=4)
+    batch = trace_paths(geo, events, chunk_size=16)
+    for i in (0, 7, 33, 63):
+        idx_s, len_s = trace_single(geo, events[i])
+        mask = batch.indices[i] >= 0
+        idx_b = batch.indices[i][mask]
+        len_b = batch.lengths[i][mask]
+        order_s = np.argsort(idx_s)
+        order_b = np.argsort(idx_b)
+        np.testing.assert_array_equal(idx_b[order_b], idx_s[order_s])
+        np.testing.assert_allclose(len_b[order_b], len_s[order_s],
+                                   rtol=1e-5)
+
+
+@settings(max_examples=30, deadline=None)
+@given(x1=st.floats(-20, 36), y1=st.floats(-20, 36),
+       z1=st.floats(-20, 36), x2=st.floats(-20, 36),
+       y2=st.floats(-20, 36), z2=st.floats(-20, 36))
+def test_property_path_length_bounded_by_chord(x1, y1, z1, x2, y2, z2):
+    """Total path length never exceeds the LOR's length, and every
+    crossed voxel lies inside the grid."""
+    geo = ScannerGeometry(16, 16, 16)
+    event = np.zeros(1, EVENT_DTYPE)
+    event["x1"], event["y1"], event["z1"] = x1, y1, z1
+    event["x2"], event["y2"], event["z2"] = x2, y2, z2
+    idx, lengths = trace_single(geo, event[0])
+    chord = np.sqrt((x2 - x1) ** 2 + (y2 - y1) ** 2 + (z2 - z1) ** 2)
+    assert lengths.sum() <= chord * (1 + 1e-5) + 1e-4
+    assert np.all(idx >= 0)
+    assert np.all(idx < geo.image_size)
+    assert np.all(lengths > 0)
+
+
+@settings(max_examples=15, deadline=None)
+@given(seed=st.integers(0, 100))
+def test_property_events_through_grid_have_paths(seed):
+    """Events sampled from in-grid activity almost always cross voxels."""
+    geo = ScannerGeometry(10, 10, 10)
+    act = cylinder_phantom(geo, hot_spheres=0)
+    events = generate_events(geo, act, 50, seed=seed)
+    batch = trace_paths(geo, events)
+    hit_fraction = (batch.lengths.sum(axis=1) > 0).mean()
+    assert hit_fraction > 0.95

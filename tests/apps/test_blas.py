@@ -1,0 +1,69 @@
+"""Tests for the skeleton-based BLAS routines (Listing 1 and friends)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import skelcl
+from repro.apps.blas import Blas, saxpy_listing1
+from repro.skelcl import Vector
+
+
+@pytest.fixture
+def blas(ctx2):
+    return Blas()
+
+
+@pytest.fixture
+def ctx2():
+    return skelcl.init(num_gpus=2)
+
+
+def test_saxpy_listing1(ctx2):
+    rng = np.random.default_rng(0)
+    x = rng.random(100).astype(np.float32)
+    y = rng.random(100).astype(np.float32)
+    out = saxpy_listing1(x, y, 2.5)
+    np.testing.assert_allclose(out, 2.5 * x + y, rtol=1e-6)
+
+
+def test_blas_saxpy(blas, ctx2):
+    x = Vector(np.arange(10, dtype=np.float32))
+    y = Vector(np.ones(10, dtype=np.float32))
+    out = blas.saxpy(x, y, 3.0)
+    np.testing.assert_allclose(out.to_numpy(), 3.0 * np.arange(10) + 1)
+
+
+def test_blas_dot(blas, ctx2):
+    x = Vector(np.arange(8, dtype=np.float32))
+    y = Vector(np.full(8, 2.0, dtype=np.float32))
+    assert blas.dot(x, y) == pytest.approx(2.0 * np.arange(8).sum())
+
+
+def test_blas_asum(blas, ctx2):
+    x = Vector(np.array([-1.0, 2.0, -3.0], dtype=np.float32))
+    assert blas.asum(x) == pytest.approx(6.0)
+
+
+def test_blas_nrm2(blas, ctx2):
+    x = Vector(np.array([3.0, 4.0], dtype=np.float32))
+    assert blas.nrm2(x) == pytest.approx(5.0)
+
+
+def test_blas_scal_in_place(blas, ctx2):
+    x = Vector(np.arange(5, dtype=np.float32))
+    out = blas.scal(x, 2.0)
+    assert out is x
+    np.testing.assert_allclose(x.to_numpy(), 2.0 * np.arange(5))
+
+
+@settings(max_examples=20, deadline=None)
+@given(data=st.lists(st.floats(-100, 100), min_size=1, max_size=64),
+       a=st.floats(-10, 10))
+def test_property_saxpy_matches_numpy(data, a):
+    skelcl.init(num_gpus=2)
+    x = np.array(data, dtype=np.float32)
+    y = np.ones_like(x)
+    out = saxpy_listing1(x, y, a)
+    np.testing.assert_allclose(out, np.float32(a) * x + y, rtol=1e-4,
+                               atol=1e-4)

@@ -1,0 +1,97 @@
+"""Tests for the Mandelbrot benchmark application ([6])."""
+
+import numpy as np
+import pytest
+
+from repro import ocl, skelcl
+from repro.apps import mandelbrot as mb
+
+
+@pytest.fixture
+def view():
+    return mb.View(width=32, height=24, max_iter=30)
+
+
+def test_view_validation():
+    with pytest.raises(ValueError):
+        mb.View(width=0)
+    with pytest.raises(ValueError):
+        mb.View(max_iter=0)
+
+
+def test_known_points():
+    view = mb.View(width=8, height=8, max_iter=64)
+    # c = 0 is inside the set -> max_iter; c = 1 escapes quickly
+    inside = mb.escape_counts(np.array([0]), 1, 1, 0.0, 0.0, 0.0, 0.0, 64)
+    assert inside[0] == 64
+    outside = mb.escape_counts(np.array([0]), 1, 1, 1.0, 1.0, 0.0, 0.0,
+                               64)
+    assert outside[0] < 5
+
+
+def test_skelcl_native(view):
+    ctx = skelcl.init(num_gpus=2)
+    img = mb.mandelbrot_skelcl(ctx, view)
+    assert img.shape == (view.height, view.width)
+    assert img.max() == view.max_iter  # some pixels are in the set
+    assert img.min() >= 0
+
+
+def test_skelcl_source_path_matches_native():
+    """The runtime-compiled dialect kernel produces the same image."""
+    view = mb.View(width=12, height=8, max_iter=20)
+    ctx = skelcl.init(num_gpus=2)
+    native_img = mb.mandelbrot_skelcl(ctx, view, use_native_kernel=True)
+    ctx2 = skelcl.init(num_gpus=2)
+    source_img = mb.mandelbrot_skelcl(ctx2, view,
+                                      use_native_kernel=False)
+    np.testing.assert_array_equal(native_img, source_img)
+
+
+def test_all_three_implementations_agree(view):
+    ctx = skelcl.init(num_gpus=2)
+    img_skelcl = mb.mandelbrot_skelcl(ctx, view)
+    img_opencl = mb.mandelbrot_opencl(ocl.System(num_gpus=2), view)
+    img_cuda = mb.mandelbrot_cuda(ocl.System(num_gpus=2), view)
+    np.testing.assert_array_equal(img_skelcl, img_opencl)
+    np.testing.assert_array_equal(img_skelcl, img_cuda)
+
+
+def test_multi_gpu_split(view):
+    img1 = mb.mandelbrot_opencl(ocl.System(num_gpus=1), view)
+    img4 = mb.mandelbrot_opencl(ocl.System(num_gpus=4), view)
+    np.testing.assert_array_equal(img1, img4)
+
+
+def test_performance_ordering():
+    """CUDA fastest, SkelCL within a few percent of OpenCL (paper §VI).
+
+    Measured at a realistic image size: SkelCL's fixed per-call
+    bookkeeping (~tens of µs) amortizes over the workload, like the
+    paper's measurements do.
+    """
+    view = mb.View(width=640, height=480, max_iter=30)
+
+    ctx = skelcl.init(num_gpus=1)
+    mb.mandelbrot_skelcl(ctx, view)  # warm-up: compile excluded
+    t0 = ctx.system.host_now()
+    mb.mandelbrot_skelcl(ctx, view)
+    t_skelcl = ctx.system.host_now() - t0
+
+    sys_cl = ocl.System(num_gpus=1)
+    t0 = sys_cl.host_now()
+    mb.mandelbrot_opencl(sys_cl, view)
+    t_opencl = sys_cl.host_now() - t0
+
+    sys_cu = ocl.System(num_gpus=1)
+    from repro.cuda import CudaRuntime
+    runtime = CudaRuntime(sys_cu)
+    mb.mandelbrot_cuda(sys_cu, view, runtime=runtime)  # module load
+    t0 = sys_cu.host_now()
+    mb.mandelbrot_cuda(sys_cu, view, runtime=runtime)
+    t_cuda = sys_cu.host_now() - t0
+
+    assert t_cuda < t_opencl
+    assert t_cuda < t_skelcl
+    overhead = (t_skelcl - t_opencl) / t_opencl
+    assert overhead < 0.05

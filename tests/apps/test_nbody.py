@@ -1,0 +1,89 @@
+"""Tests for the N-body application (AllPairs-based)."""
+
+import numpy as np
+import pytest
+
+from repro import skelcl
+from repro.apps.nbody import (NBodySimulation, plummer_cluster,
+                              reference_accelerations)
+from repro.errors import SkelClError
+
+
+@pytest.fixture
+def ctx():
+    return skelcl.init(num_gpus=2)
+
+
+def test_cluster_factory(ctx):
+    bodies = plummer_cluster(32, seed=1)
+    assert bodies.shape == (32, 4)
+    assert bodies[:, 3].sum() == pytest.approx(1.0)
+
+
+def test_input_validation(ctx):
+    with pytest.raises(SkelClError):
+        NBodySimulation(ctx, np.zeros((4, 3), np.float32))
+    with pytest.raises(SkelClError):
+        NBodySimulation(ctx, plummer_cluster(4),
+                        velocities=np.zeros((3, 3), np.float32))
+
+
+def test_accelerations_match_reference(ctx):
+    bodies = plummer_cluster(24, seed=2)
+    sim = NBodySimulation(ctx, bodies)
+    acc = sim.accelerations()
+    expected = reference_accelerations(bodies)
+    np.testing.assert_allclose(acc, expected, rtol=1e-3, atol=1e-5)
+
+
+def test_source_path_matches_native(ctx):
+    bodies = plummer_cluster(10, seed=3)
+    native = NBodySimulation(ctx, bodies,
+                             use_native_kernel=True).accelerations()
+    ctx2 = skelcl.init(num_gpus=2)
+    source = NBodySimulation(ctx2, bodies,
+                             use_native_kernel=False).accelerations()
+    np.testing.assert_allclose(native, source, rtol=1e-4, atol=1e-6)
+
+
+def test_two_body_symmetric_attraction(ctx):
+    bodies = np.array([[-1.0, 0, 0, 1.0], [1.0, 0, 0, 1.0]],
+                      dtype=np.float32)
+    sim = NBodySimulation(ctx, bodies)
+    acc = sim.accelerations()
+    # equal masses: opposite, equal-magnitude accelerations toward
+    # each other along x
+    assert acc[0, 0] > 0 and acc[1, 0] < 0
+    assert acc[0, 0] == pytest.approx(-acc[1, 0], rel=1e-5)
+    np.testing.assert_allclose(acc[:, 1:], 0.0, atol=1e-6)
+
+
+def test_momentum_conserved_over_steps(ctx):
+    bodies = plummer_cluster(16, seed=4)
+    sim = NBodySimulation(ctx, bodies)
+    sim.run(steps=5, dt=0.01)
+    momentum = (sim.bodies[:, 3:4] * sim.velocities).sum(axis=0)
+    np.testing.assert_allclose(momentum, 0.0, atol=1e-4)
+
+
+def test_energy_roughly_conserved(ctx):
+    bodies = plummer_cluster(16, seed=5)
+    # small circularizing velocities to avoid deep encounters
+    rng = np.random.default_rng(5)
+    velocities = rng.normal(0, 0.05, (16, 3)).astype(np.float32)
+    sim = NBodySimulation(ctx, bodies, velocities=velocities)
+    e0 = sim.total_energy()
+    sim.run(steps=20, dt=0.005)
+    e1 = sim.total_energy()
+    assert abs(e1 - e0) < 0.05 * abs(e0) + 1e-3
+
+
+def test_multi_gpu_matches_single_gpu():
+    bodies = plummer_cluster(20, seed=6)
+    acc_by_gpus = []
+    for n in (1, 4):
+        ctx = skelcl.init(num_gpus=n)
+        acc_by_gpus.append(
+            NBodySimulation(ctx, bodies).accelerations())
+    np.testing.assert_allclose(acc_by_gpus[0], acc_by_gpus[1],
+                               rtol=1e-6)

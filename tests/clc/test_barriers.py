@@ -1,0 +1,174 @@
+"""Tests for work-group barriers and __local shared memory.
+
+The classic OpenCL idioms — staged tree reduction, local-memory tiling
+— rely on barrier() synchronizing the items of a work group and on
+__local arrays shared between them.  The simulator compiles
+barrier-containing kernels to generators and advances a group's items
+in lockstep rounds.
+"""
+
+import numpy as np
+import pytest
+
+from repro.clc import compile_source
+from repro.errors import TypeCheckError
+
+
+def launch(source, name, args, gsize, lsize):
+    program = compile_source(source)
+    program.kernels[name].callable(list(args), tuple(gsize),
+                                   tuple(lsize))
+
+
+TREE_REDUCE = """
+__kernel void reduce_groups(__global const float* in,
+                            __global float* partial, int n) {
+    __local float tmp[64];
+    int lid = get_local_id(0);
+    int gid = get_global_id(0);
+    int lsz = get_local_size(0);
+    tmp[lid] = gid < n ? in[gid] : 0.0f;
+    barrier();
+    for (int stride = lsz / 2; stride > 0; stride = stride / 2) {
+        if (lid < stride) {
+            tmp[lid] = tmp[lid] + tmp[lid + stride];
+        }
+        barrier();
+    }
+    if (lid == 0) {
+        partial[get_group_id(0)] = tmp[0];
+    }
+}
+"""
+
+
+def test_tree_reduction_with_barriers():
+    """The canonical work-group reduction produces per-group sums."""
+    n = 64
+    x = np.arange(n, dtype=np.float32)
+    partial = np.zeros(4, np.float32)
+    launch(TREE_REDUCE, "reduce_groups", [x, partial, n], (n,), (16,))
+    expected = x.reshape(4, 16).sum(axis=1)
+    np.testing.assert_allclose(partial, expected)
+
+
+def test_tree_reduction_partial_last_group():
+    """Items past n contribute the 0 identity."""
+    n = 40  # last group half full
+    x = np.ones(48, np.float32)
+    partial = np.zeros(3, np.float32)
+    launch(TREE_REDUCE, "reduce_groups", [x, partial, n], (48,), (16,))
+    np.testing.assert_allclose(partial, [16.0, 16.0, 8.0])
+
+
+def test_barrier_makes_writes_visible():
+    """Item 0's pre-barrier write is visible to every item after it."""
+    src = """
+    __kernel void broadcast(__global float* out, float value) {
+        __local float shared[1];
+        if (get_local_id(0) == 0) {
+            shared[0] = value;
+        }
+        barrier();
+        out[get_global_id(0)] = shared[0];
+    }
+    """
+    out = np.zeros(8, np.float32)
+    launch(src, "broadcast", [out, 7.5], (8,), (8,))
+    assert np.all(out == 7.5)
+
+
+def test_reversal_through_local_memory():
+    """Stage into local memory, barrier, read back reversed — the
+    pattern fails without real barrier semantics."""
+    src = """
+    __kernel void reverse_tile(__global const float* in,
+                               __global float* out) {
+        __local float tile[8];
+        int lid = get_local_id(0);
+        int lsz = get_local_size(0);
+        tile[lid] = in[get_global_id(0)];
+        barrier();
+        int grp0 = get_group_id(0) * lsz;
+        out[grp0 + lid] = tile[lsz - 1 - lid];
+    }
+    """
+    x = np.arange(16, dtype=np.float32)
+    out = np.zeros(16, np.float32)
+    launch(src, "reverse_tile", [x, out], (16,), (8,))
+    expected = np.concatenate([x[:8][::-1], x[8:][::-1]])
+    np.testing.assert_array_equal(out, expected)
+
+
+def test_local_arrays_not_shared_across_groups():
+    src = """
+    __kernel void mark(__global float* out) {
+        __local float flag[1];
+        if (get_local_id(0) == 0) {
+            flag[0] = (float)get_group_id(0);
+        }
+        barrier();
+        out[get_global_id(0)] = flag[0];
+    }
+    """
+    out = np.zeros(12, np.float32)
+    launch(src, "mark", [out], (12,), (4,))
+    np.testing.assert_array_equal(out, np.repeat([0.0, 1.0, 2.0], 4))
+
+
+def test_barrier_free_kernels_still_plain():
+    src = """
+    __kernel void dbl(__global float* d) {
+        int i = get_global_id(0);
+        d[i] = d[i] * 2.0f;
+    }
+    """
+    x = np.arange(8, dtype=np.float32)
+    launch(src, "dbl", [x], (8,), (2,))
+    np.testing.assert_array_equal(x, np.arange(8) * 2)
+
+
+def test_barrier_outside_kernel_rejected():
+    with pytest.raises(TypeCheckError):
+        compile_source("void helper(int x) { barrier(); }")
+
+
+def test_local_outside_kernel_rejected():
+    with pytest.raises(TypeCheckError):
+        compile_source(
+            "float helper(int n) { __local float t[4]; return t[0]; }")
+
+
+def test_local_scalar_rejected():
+    with pytest.raises(TypeCheckError):
+        compile_source(
+            "__kernel void k(__global float* o) { __local float x;"
+            " o[0] = x; }")
+
+
+def test_local_with_initializer_rejected():
+    with pytest.raises(TypeCheckError):
+        compile_source(
+            "__kernel void k(__global float* o) {"
+            " __local float t[2] = 0.0f; o[0] = t[0]; }")
+
+
+def test_through_simulated_device():
+    """Barrier kernels run through the full ocl stack too."""
+    from repro import ocl
+    system = ocl.System(num_gpus=1)
+    ctx = ocl.Context(system.devices)
+    queue = ocl.CommandQueue(ctx, system.devices[0])
+    n = 128
+    x = np.random.default_rng(0).random(n).astype(np.float32)
+    buf_in = ocl.buffer_from_array(ctx, x)
+    buf_out = ocl.Buffer(ctx, 8 * 4)
+    kernel = ocl.Program(ctx, TREE_REDUCE).build() \
+        .create_kernel("reduce_groups")
+    kernel.set_args(buf_in, buf_out, np.int32(n))
+    queue.enqueue_nd_range_kernel(kernel, (n,), (16,))
+    partial = np.zeros(8, np.float32)
+    queue.enqueue_read_buffer(buf_out, partial)
+    queue.finish()
+    np.testing.assert_allclose(partial, x.reshape(8, 16).sum(axis=1),
+                               rtol=1e-5)

@@ -1,0 +1,247 @@
+"""Edge-case and regression tests for the mini OpenCL-C dialect."""
+
+import numpy as np
+import pytest
+
+from repro.clc import compile_source
+from repro.errors import ParseError, TypeCheckError
+
+
+def run_fn(source, name, *args):
+    return compile_source(source).functions[name].callable(*args)
+
+
+def test_nested_loops():
+    src = """
+    int f(int n) {
+        int s = 0;
+        for (int i = 0; i < n; ++i)
+            for (int j = 0; j <= i; ++j)
+                s += 1;
+        return s;
+    }
+    """
+    assert run_fn(src, "f", 5) == 15
+
+
+def test_nested_loop_break_only_inner():
+    src = """
+    int f(int n) {
+        int s = 0;
+        for (int i = 0; i < n; ++i) {
+            for (int j = 0; j < 100; ++j) {
+                if (j > i) break;
+                s += 1;
+            }
+        }
+        return s;
+    }
+    """
+    assert run_fn(src, "f", 4) == 1 + 2 + 3 + 4
+
+
+def test_continue_in_while_loop():
+    src = """
+    int f(int n) {
+        int s = 0;
+        int i = 0;
+        while (i < n) {
+            i = i + 1;
+            if (i % 2 == 0) continue;
+            s += i;
+        }
+        return s;
+    }
+    """
+    assert run_fn(src, "f", 10) == 1 + 3 + 5 + 7 + 9
+
+
+def test_variable_shadowing_in_block():
+    src = """
+    int f(int x) {
+        int y = x;
+        {
+            int y2 = y * 10;
+            y = y2;
+        }
+        return y;
+    }
+    """
+    assert run_fn(src, "f", 3) == 30
+
+
+def test_redeclaration_in_same_scope_rejected():
+    with pytest.raises(TypeCheckError):
+        compile_source("int f(int x) { int a = 1; int a = 2; return a; }")
+
+
+def test_param_shadowed_by_local_rejected():
+    # same scope as the parameters -> rejected like C compilers do
+    with pytest.raises(TypeCheckError):
+        compile_source("int f(int x) { int x = 1; return x; }")
+
+
+def test_ternary_nesting():
+    src = "int sgn(int x) { return x > 0 ? 1 : (x < 0 ? -1 : 0); }"
+    assert run_fn(src, "sgn", 5) == 1
+    assert run_fn(src, "sgn", -5) == -1
+    assert run_fn(src, "sgn", 0) == 0
+
+
+def test_logical_operators_short_circuit_semantics():
+    # no side effects to observe, but values must be correct
+    src = "int f(int a, int b) { return (a > 0 && b > 0) ? 1 : 0; }"
+    assert run_fn(src, "f", 1, 1) == 1
+    assert run_fn(src, "f", 1, -1) == 0
+    assert run_fn(src, "f", -1, 1) == 0
+
+
+def test_bitwise_operations():
+    src = """
+    int f(int a, int b) {
+        return ((a & b) | (a ^ b)) + (a << 2) + (b >> 1) + (~a);
+    }
+    """
+    a, b = 0b1100, 0b1010
+    expected = ((a & b) | (a ^ b)) + (a << 2) + (b >> 1) + (~a)
+    assert run_fn(src, "f", a, b) == expected
+
+
+def test_comma_in_for_step():
+    src = """
+    int f(int n) {
+        int s = 0;
+        int j = 0;
+        for (int i = 0; i < n; ++i, ++j) s = i + j;
+        return s + j;
+    }
+    """
+    assert run_fn(src, "f", 3) == (2 + 2) + 3
+
+
+def test_unary_minus_precedence():
+    src = "int f(int a) { return -a * 2; }"
+    assert run_fn(src, "f", 3) == -6
+
+
+def test_hex_literals():
+    src = "int f() { return 0xff + 0x10; }"
+    assert run_fn(src, "f") == 255 + 16
+
+
+def test_float_literal_suffixes():
+    src = "float f() { return 1.5f + 2e-1f + 3.0; }"
+    assert run_fn(src, "f") == pytest.approx(4.7)
+
+
+def test_deeply_nested_expressions():
+    expr = "x"
+    for _ in range(30):
+        expr = f"({expr} + 1.0f)"
+    src = f"float f(float x) {{ return {expr}; }}"
+    assert run_fn(src, "f", 0.0) == pytest.approx(30.0)
+
+
+def test_mutual_function_use_requires_definition_order():
+    # forward references are not supported (single-pass, like OpenCL C
+    # without prototypes)
+    with pytest.raises(TypeCheckError):
+        compile_source("""
+        float f(float x) { return g(x); }
+        float g(float x) { return x; }
+        """)
+
+
+def test_recursion_is_rejected():
+    # OpenCL C forbids recursion; the single-pass checker rejects the
+    # self-reference because the name is not yet defined
+    with pytest.raises(TypeCheckError):
+        compile_source(
+            "int fact(int n) { return n <= 1 ? 1 : n * fact(n - 1); }")
+
+
+def test_void_function_with_early_return():
+    src = """
+    void f(__global float* out, int flag) {
+        if (flag == 0) return;
+        out[0] = 1.0f;
+    }
+    """
+    out = np.zeros(1, np.float32)
+    run_fn(src, "f", out, 0)
+    assert out[0] == 0.0
+    run_fn(src, "f", out, 1)
+    assert out[0] == 1.0
+
+
+def test_struct_nested_in_expression():
+    src = """
+    typedef struct { float x; float y; } P;
+    float f(__global P* ps, int n) {
+        float best = ps[0].x * ps[0].x + ps[0].y * ps[0].y;
+        for (int i = 1; i < n; ++i) {
+            float d = ps[i].x * ps[i].x + ps[i].y * ps[i].y;
+            if (d < best) best = d;
+        }
+        return best;
+    }
+    """
+    dtype = np.dtype([("x", np.float32), ("y", np.float32)])
+    ps = np.zeros(3, dtype)
+    ps["x"] = [3.0, 1.0, 2.0]
+    ps["y"] = [4.0, 1.0, 2.0]
+    assert run_fn(src, "f", ps, 3) == pytest.approx(2.0)
+
+
+def test_writing_through_two_buffers():
+    src = """
+    __kernel void swap_halves(__global float* a, __global float* b,
+                              int n) {
+        int i = get_global_id(0);
+        float t = a[i];
+        a[i] = b[i];
+        b[i] = t;
+    }
+    """
+    program = compile_source(src)
+    a = np.arange(4, dtype=np.float32)
+    b = np.arange(4, dtype=np.float32) + 10
+    program.kernels["swap_halves"].callable([a, b, 4], (4,), (1,))
+    np.testing.assert_array_equal(a, np.arange(4) + 10)
+    np.testing.assert_array_equal(b, np.arange(4))
+
+
+def test_empty_function_body():
+    src = "void f(int x) { }"
+    assert run_fn(src, "f", 1) is None
+
+
+def test_missing_paren_errors():
+    with pytest.raises(ParseError):
+        compile_source("int f(int a { return a; }")
+
+
+def test_for_without_condition():
+    src = """
+    int f(int n) {
+        int s = 0;
+        for (int i = 0;; ++i) {
+            if (i >= n) break;
+            s += i;
+        }
+        return s;
+    }
+    """
+    assert run_fn(src, "f", 5) == 10
+
+
+def test_size_t_from_get_global_id_usable_in_arithmetic():
+    src = """
+    __kernel void k(__global int* out) {
+        int i = get_global_id(0) * 2 + 1;
+        out[get_global_id(0)] = i;
+    }
+    """
+    out = np.zeros(4, np.int32)
+    compile_source(src).kernels["k"].callable([out], (4,), (1,))
+    np.testing.assert_array_equal(out, [1, 3, 5, 7])

@@ -1,0 +1,360 @@
+"""End-to-end execution tests: compile dialect source, run, check values."""
+
+import numpy as np
+import pytest
+
+from repro.clc import compile_source
+from repro.errors import TypeCheckError
+
+
+def run_fn(source, name, *args):
+    program = compile_source(source)
+    return program.functions[name].callable(*args)
+
+
+def launch(source, name, args, gsize, lsize=None):
+    program = compile_source(source)
+    lsize = lsize or tuple(1 for _ in gsize)
+    program.kernels[name].callable(list(args), tuple(gsize), tuple(lsize))
+
+
+def test_saxpy_function():
+    out = run_fn("float func(float x, float y, float a)"
+                 "{ return a*x+y; }", "func", 2.0, 3.0, 4.0)
+    assert out == pytest.approx(11.0)
+
+
+def test_kernel_writes_output():
+    src = """
+    __kernel void fill(__global float* out, float v) {
+        int i = get_global_id(0);
+        out[i] = v;
+    }
+    """
+    out = np.zeros(8, np.float32)
+    launch(src, "fill", [out, 2.5], (8,))
+    assert np.all(out == 2.5)
+
+
+def test_kernel_elementwise_add():
+    src = """
+    __kernel void add(__global const float* a, __global const float* b,
+                      __global float* c) {
+        int i = get_global_id(0);
+        c[i] = a[i] + b[i];
+    }
+    """
+    a = np.arange(16, dtype=np.float32)
+    b = np.arange(16, dtype=np.float32) * 2
+    c = np.zeros(16, np.float32)
+    launch(src, "add", [a, b, c], (16,))
+    np.testing.assert_allclose(c, a + b)
+
+
+def test_for_loop_sum():
+    src = "int tri(int n) { int s = 0; for (int i = 1; i <= n; ++i) s += i;" \
+          " return s; }"
+    assert run_fn(src, "tri", 10) == 55
+
+
+def test_continue_runs_for_step():
+    # C semantics: continue must execute the step expression.
+    src = """
+    int evens(int n) {
+        int s = 0;
+        for (int i = 0; i < n; ++i) {
+            if (i % 2 == 1) continue;
+            s += i;
+        }
+        return s;
+    }
+    """
+    assert run_fn(src, "evens", 10) == 0 + 2 + 4 + 6 + 8
+
+
+def test_break_exits_loop():
+    src = """
+    int firstdiv(int n, int d) {
+        int found = -1;
+        for (int i = 1; i <= n; ++i) {
+            if (i % d == 0) { found = i; break; }
+        }
+        return found;
+    }
+    """
+    assert run_fn(src, "firstdiv", 100, 7) == 7
+
+
+def test_while_loop():
+    src = "int lg(int n) { int c = 0; while (n > 1) { n = n / 2; c = c + 1; }" \
+          " return c; }"
+    assert run_fn(src, "lg", 1024) == 10
+
+
+def test_do_while_executes_once():
+    src = "int f(int n) { int c = 0; do { c = c + 1; } while (n > 100);" \
+          " return c; }"
+    assert run_fn(src, "f", 1) == 1
+
+
+def test_do_while_continue_checks_condition():
+    src = """
+    int f(int n) {
+        int c = 0;
+        do {
+            c = c + 1;
+            if (c < n) continue;
+        } while (false);
+        return c;
+    }
+    """
+    # continue jumps to the condition test (false) -> loop ends
+    assert run_fn(src, "f", 10) == 1
+
+
+def test_c_integer_division_truncates_toward_zero():
+    src = "int d(int a, int b) { return a / b; }"
+    assert run_fn(src, "d", 7, 2) == 3
+    assert run_fn(src, "d", -7, 2) == -3
+    assert run_fn(src, "d", 7, -2) == -3
+
+
+def test_c_modulo_sign_of_dividend():
+    src = "int m(int a, int b) { return a % b; }"
+    assert run_fn(src, "m", 7, 3) == 1
+    assert run_fn(src, "m", -7, 3) == -1
+
+
+def test_int_assignment_truncates_float():
+    src = "int t(float x) { int i = 0; i = x; return i; }"
+    assert run_fn(src, "t", 2.9) == 2
+    assert run_fn(src, "t", -2.9) == -2
+
+
+def test_cast_float_to_int():
+    src = "int t(float x) { return (int)x; }"
+    assert run_fn(src, "t", 3.7) == 3
+
+
+def test_ternary():
+    src = "float mx(float a, float b) { return a > b ? a : b; }"
+    assert run_fn(src, "mx", 2.0, 5.0) == 5.0
+
+
+def test_builtin_math():
+    src = "float h(float x, float y) { return sqrt(x*x + y*y); }"
+    assert run_fn(src, "h", 3.0, 4.0) == pytest.approx(5.0)
+
+
+def test_min_max_clamp():
+    src = "int c(int x) { return clamp(x, 0, 10); }"
+    assert run_fn(src, "c", -5) == 0
+    assert run_fn(src, "c", 15) == 10
+    assert run_fn(src, "c", 5) == 5
+
+
+def test_user_function_call():
+    src = """
+    float sq(float x) { return x * x; }
+    float quad(float x) { return sq(sq(x)); }
+    """
+    assert run_fn(src, "quad", 2.0) == 16.0
+
+
+def test_struct_fields_read_write():
+    src = """
+    typedef struct { int coord; float len; } PathElem;
+    float total(__global PathElem* path, int n) {
+        float s = 0.0f;
+        for (int i = 0; i < n; ++i) s += path[i].len;
+        return s;
+    }
+    """
+    dtype = np.dtype([("coord", np.int32), ("len", np.float32)])
+    path = np.zeros(4, dtype)
+    path["len"] = [1.0, 2.0, 3.0, 4.0]
+    assert run_fn(src, "total", path, 4) == pytest.approx(10.0)
+
+
+def test_struct_local_variable_copy_semantics():
+    src = """
+    typedef struct { float x; } S;
+    float f(__global S* p) {
+        S local1 = p[0];
+        local1.x = 99.0f;
+        return p[0].x;
+    }
+    """
+    arr = np.zeros(1, np.dtype([("x", np.float32)]))
+    arr["x"] = 5.0
+    # modifying the local copy must not write back to the array
+    assert run_fn(src, "f", arr) == pytest.approx(5.0)
+
+
+def test_struct_member_write_through_index():
+    src = """
+    typedef struct { int coord; float len; } E;
+    void setit(__global E* p, int i) {
+        p[i].coord = 7;
+        p[i].len = 2.5f;
+    }
+    """
+    arr = np.zeros(3, np.dtype([("coord", np.int32), ("len", np.float32)]))
+    run_fn(src, "setit", arr, 1)
+    assert arr["coord"][1] == 7
+    assert arr["len"][1] == pytest.approx(2.5)
+
+
+def test_local_array():
+    src = """
+    float f(float x) {
+        float tmp[4];
+        for (int i = 0; i < 4; ++i) tmp[i] = x * i;
+        return tmp[3];
+    }
+    """
+    assert run_fn(src, "f", 2.0) == pytest.approx(6.0)
+
+
+def test_atomic_add_accumulates():
+    src = """
+    __kernel void hist(__global const int* keys, __global int* counts) {
+        int i = get_global_id(0);
+        atomic_add(&counts[keys[i]], 1);
+    }
+    """
+    keys = np.array([0, 1, 1, 2, 2, 2], np.int32)
+    counts = np.zeros(3, np.int32)
+    launch(src, "hist", [keys, counts], (6,))
+    assert list(counts) == [1, 2, 3]
+
+
+def test_atomic_add_returns_old_value():
+    src = """
+    void f(__global int* c, __global int* old) {
+        old[0] = atomic_add(&c[0], 5);
+    }
+    """
+    c = np.array([10], np.int32)
+    old = np.zeros(1, np.int32)
+    run_fn(src, "f", c, old)
+    assert c[0] == 15 and old[0] == 10
+
+
+def test_pointer_arithmetic_offset_view():
+    src = """
+    float second(__global float* p) {
+        __global float* q = p + 1;
+        return q[0];
+    }
+    """
+    arr = np.array([1.0, 2.0, 3.0], np.float32)
+    assert run_fn(src, "second", arr) == pytest.approx(2.0)
+
+
+def test_get_global_size():
+    src = """
+    __kernel void strided(__global float* out, __global const float* in,
+                          int n) {
+        int i = get_global_id(0);
+        int stride = get_global_size(0);
+        for (int j = i; j < n; j += stride) out[j] = in[j] * 2.0f;
+    }
+    """
+    x = np.arange(10, dtype=np.float32)
+    out = np.zeros(10, np.float32)
+    launch(src, "strided", [out, x, 10], (4,))
+    np.testing.assert_allclose(out, x * 2)
+
+
+def test_2d_kernel():
+    src = """
+    __kernel void idx(__global int* out, int width) {
+        int x = get_global_id(0);
+        int y = get_global_id(1);
+        out[y * width + x] = y * width + x;
+    }
+    """
+    out = np.zeros(12, np.int32)
+    launch(src, "idx", [out, 4], (4, 3))
+    assert list(out) == list(range(12))
+
+
+def test_barrier_in_trivial_kernel():
+    # full barrier semantics are exercised in test_barriers.py; here a
+    # barrier with lsize=1 must simply not disturb execution
+    src = """
+    __kernel void k(__global float* out) {
+        int i = get_global_id(0);
+        barrier();
+        out[i] = 1.0f;
+    }
+    """
+    out = np.zeros(4, np.float32)
+    launch(src, "k", [out], (4,))
+    assert np.all(out == 1.0)
+
+
+def test_float32_store_rounds():
+    src = """
+    __kernel void k(__global float* out, double v) {
+        out[0] = v;
+    }
+    """
+    out = np.zeros(1, np.float32)
+    launch(src, "k", [out, 0.1], (1,))
+    assert out[0] == np.float32(0.1)
+
+
+def test_op_counts_positive_and_ordered():
+    cheap = compile_source("float f(float x) { return x + 1.0f; }")
+    costly = compile_source(
+        "float f(float x) { for (int i = 0; i < 100; ++i) x = sqrt(x) + "
+        "exp(x); return x; }")
+    assert cheap.op_counts["f"] > 0
+    assert costly.op_counts["f"] > cheap.op_counts["f"]
+
+
+def test_type_error_undeclared():
+    with pytest.raises(TypeCheckError):
+        compile_source("float f(float x) { return y; }")
+
+
+def test_type_error_kernel_nonvoid():
+    with pytest.raises(TypeCheckError):
+        compile_source("__kernel float f(float x) { return x; }")
+
+
+def test_type_error_wrong_arity():
+    with pytest.raises(TypeCheckError):
+        compile_source("float f(float x) { return sqrt(x, x); }")
+
+
+def test_type_error_index_non_pointer():
+    with pytest.raises(TypeCheckError):
+        compile_source("float f(float x) { return x[0]; }")
+
+
+def test_type_error_bad_member():
+    with pytest.raises(TypeCheckError):
+        compile_source(
+            "typedef struct { float a; } S;"
+            "float f(S s) { return s.b; }")
+
+
+def test_type_error_break_outside_loop():
+    with pytest.raises(TypeCheckError):
+        compile_source("void f(int x) { break; }")
+
+
+def test_type_error_modulo_floats():
+    with pytest.raises(TypeCheckError):
+        compile_source("float f(float x) { return x % 2.0f; }")
+
+
+def test_kernel_arg_count_mismatch_at_launch():
+    from repro.errors import InterpError
+    src = "__kernel void k(__global float* o, float v) { o[0] = v; }"
+    program = compile_source(src)
+    with pytest.raises(InterpError):
+        program.kernels["k"].callable([np.zeros(1, np.float32)], (1,), (1,))

@@ -1,0 +1,91 @@
+"""Unit tests for the mini OpenCL-C tokenizer."""
+
+import pytest
+
+from repro.clc.lexer import tokenize
+from repro.errors import LexError
+
+
+def kinds(source):
+    return [(t.kind, t.text) for t in tokenize(source)[:-1]]
+
+
+def test_simple_expression():
+    assert kinds("a + b") == [("id", "a"), ("op", "+"), ("id", "b")]
+
+
+def test_keywords_and_identifiers():
+    toks = kinds("if (x) return y;")
+    assert toks[0] == ("keyword", "if")
+    assert ("id", "x") in toks
+    assert ("keyword", "return") in toks
+
+
+def test_integer_literals():
+    assert kinds("42")[0] == ("int", "42")
+    assert kinds("0x1f")[0] == ("int", "0x1f")
+    assert kinds("7u")[0] == ("int", "7u")
+
+
+def test_float_literals():
+    assert kinds("1.5")[0] == ("float", "1.5")
+    assert kinds("1.5f")[0] == ("float", "1.5f")
+    assert kinds("2e3")[0] == ("float", "2e3")
+    assert kinds("1e-2")[0] == ("float", "1e-2")
+    assert kinds(".5")[0] == ("float", ".5")
+    assert kinds("3f")[0] == ("float", "3f")
+
+
+def test_member_dot_not_confused_with_float():
+    toks = kinds("e.x")
+    assert toks == [("id", "e"), ("op", "."), ("id", "x")]
+
+
+def test_multichar_operators_greedy():
+    assert [t for _, t in kinds("a <<= b >>= c")] == ["a", "<<=", "b",
+                                                      ">>=", "c"]
+    assert [t for _, t in kinds("a->b")] == ["a", "->", "b"]
+    assert [t for _, t in kinds("a++ + ++b")] == ["a", "++", "+", "++", "b"]
+
+
+def test_line_comments_skipped():
+    assert kinds("a // comment\n b") == [("id", "a"), ("id", "b")]
+
+
+def test_block_comments_skipped():
+    assert kinds("a /* x\ny */ b") == [("id", "a"), ("id", "b")]
+
+
+def test_unterminated_block_comment_raises():
+    with pytest.raises(LexError):
+        tokenize("a /* never closed")
+
+
+def test_invalid_character_raises():
+    with pytest.raises(LexError):
+        tokenize("a @ b")
+
+
+def test_positions_tracked():
+    toks = tokenize("a\n  b")
+    assert toks[0].line == 1 and toks[0].col == 1
+    assert toks[1].line == 2 and toks[1].col == 3
+
+
+def test_pragma_skipped():
+    assert kinds("#pragma OPENCL EXTENSION foo\na") == [("id", "a")]
+
+
+def test_unknown_directive_rejected():
+    with pytest.raises(LexError):
+        tokenize("#include <x.h>\n")
+
+
+def test_address_space_qualifiers_are_keywords():
+    toks = kinds("__global float* p")
+    assert toks[0] == ("keyword", "__global")
+
+
+def test_eof_token_present():
+    toks = tokenize("")
+    assert len(toks) == 1 and toks[0].kind == "eof"

@@ -1,0 +1,93 @@
+"""Tests for object-like #define macro expansion."""
+
+import numpy as np
+import pytest
+
+from repro.clc import compile_source
+from repro.clc.lexer import tokenize
+from repro.errors import LexError
+
+
+def run_fn(source, name, *args):
+    return compile_source(source).functions[name].callable(*args)
+
+
+def test_constant_macro():
+    src = """
+    #define SCALE 3.0f
+    float f(float x) { return x * SCALE; }
+    """
+    assert run_fn(src, "f", 2.0) == pytest.approx(6.0)
+
+
+def test_expression_macro():
+    src = """
+    #define TWO_PI (2.0f * 3.14159265f)
+    float f(float x) { return x * TWO_PI; }
+    """
+    assert run_fn(src, "f", 1.0) == pytest.approx(2 * 3.14159265)
+
+
+def test_macro_in_array_size():
+    src = """
+    #define TILE 4
+    float f(float x) {
+        float tmp[TILE];
+        for (int i = 0; i < TILE; ++i) tmp[i] = x + i;
+        return tmp[TILE - 1];
+    }
+    """
+    assert run_fn(src, "f", 1.0) == pytest.approx(4.0)
+
+
+def test_macro_used_in_kernel():
+    src = """
+    #define FACTOR 5
+    __kernel void k(__global int* d) {
+        d[get_global_id(0)] = get_global_id(0) * FACTOR;
+    }
+    """
+    out = np.zeros(4, np.int32)
+    compile_source(src).kernels["k"].callable([out], (4,), (1,))
+    np.testing.assert_array_equal(out, [0, 5, 10, 15])
+
+
+def test_line_numbers_preserved_after_define():
+    # an error *after* a #define must report its true line
+    src = "#define A 1\nint f(int x) {\n  return +; }"
+    from repro.errors import ParseError
+    with pytest.raises(ParseError) as excinfo:
+        compile_source(src)
+    assert excinfo.value.line == 3
+
+
+def test_function_like_macro_rejected():
+    with pytest.raises(LexError):
+        tokenize("#define SQ(x) ((x)*(x))\n")
+
+
+def test_redefinition_rejected():
+    with pytest.raises(LexError):
+        tokenize("#define A 1\n#define A 2\n")
+
+
+def test_nested_macro_rejected():
+    with pytest.raises(LexError):
+        tokenize("#define A 1\n#define B (A + 1)\n")
+
+
+def test_empty_define_rejected():
+    with pytest.raises(LexError):
+        tokenize("#define\n")
+
+
+def test_macro_does_not_touch_member_names():
+    src = """
+    #define x 99
+    typedef struct { float y; } S;
+    float f(S s) { return s.y; }
+    """
+    # 'y' is untouched; the macro name 'x' never appears
+    arr = np.zeros((), np.dtype([("y", np.float32)]))
+    arr["y"] = 2.5
+    assert run_fn(src, "f", arr) == pytest.approx(2.5)

@@ -1,0 +1,157 @@
+"""Unit tests for the mini OpenCL-C parser."""
+
+import pytest
+
+from repro.clc import astnodes as ast
+from repro.clc.parser import parse, parse_function
+from repro.clc.types import FLOAT, INT, PointerType
+from repro.errors import ParseError
+
+
+def test_parse_simple_function():
+    func = parse_function("float f(float x) { return x + 1.0f; }")
+    assert func.name == "f"
+    assert func.return_type == FLOAT
+    assert len(func.params) == 1
+    assert func.params[0].ctype == FLOAT
+    assert isinstance(func.body.body[0], ast.ReturnStmt)
+
+
+def test_parse_kernel_qualifier():
+    func = parse_function(
+        "__kernel void k(__global float* out) { out[get_global_id(0)] = 0.0f; }")
+    assert func.is_kernel
+    assert isinstance(func.params[0].ctype, PointerType)
+    assert func.params[0].ctype.pointee == FLOAT
+
+
+def test_parse_saxpy_listing1():
+    # The user function from Listing 1 of the paper, verbatim.
+    func = parse_function(
+        "float func(float x, float y, float a) { return a*x+y; }")
+    assert [p.name for p in func.params] == ["x", "y", "a"]
+
+
+def test_precedence_mul_over_add():
+    func = parse_function("int f(int a, int b, int c) { return a + b * c; }")
+    ret = func.body.body[0]
+    assert isinstance(ret.value, ast.Binary) and ret.value.op == "+"
+    assert isinstance(ret.value.right, ast.Binary)
+    assert ret.value.right.op == "*"
+
+
+def test_ternary_parses():
+    func = parse_function("int f(int a) { return a > 0 ? a : -a; }")
+    assert isinstance(func.body.body[0].value, ast.Ternary)
+
+
+def test_for_loop_with_decl():
+    func = parse_function(
+        "int f(int n) { int s = 0; for (int i = 0; i < n; ++i) s += i;"
+        " return s; }")
+    loop = func.body.body[1]
+    assert isinstance(loop, ast.ForStmt)
+    assert isinstance(loop.init, ast.DeclStmt)
+    assert isinstance(loop.step, ast.PreIncDec)
+
+
+def test_while_and_do_while():
+    func = parse_function(
+        "int f(int n) { while (n > 10) n = n - 1;"
+        " do { n = n + 1; } while (n < 5); return n; }")
+    assert isinstance(func.body.body[0], ast.WhileStmt)
+    assert isinstance(func.body.body[1], ast.DoWhileStmt)
+
+
+def test_struct_typedef():
+    unit = parse(
+        "typedef struct { int coord; float len; } PathElem;"
+        "float f(PathElem e) { return e.len; }")
+    assert len(unit.structs) == 1
+    assert unit.structs[0].name == "PathElem"
+    assert unit.functions[0].params[0].ctype.name == "PathElem"
+
+
+def test_struct_named_definition():
+    unit = parse(
+        "struct Ev { float x; float y; };"
+        "float g(struct Ev e) { return e.x + e.y; }")
+    assert unit.structs[0].name == "Ev"
+
+
+def test_unknown_struct_rejected():
+    with pytest.raises(ParseError):
+        parse("float f(struct Nope e) { return 0.0f; }")
+
+
+def test_cast_expression():
+    func = parse_function("int f(float x) { return (int)(x * 2.0f); }")
+    assert isinstance(func.body.body[0].value, ast.Cast)
+
+
+def test_pointer_index_and_member_arrow():
+    func = parse_function(
+        "typedef struct { float v; } S;"
+        "float f(__global S* p, int i) { return p[i].v + p->v; }")
+    ret = func.body.body[0].value
+    assert isinstance(ret, ast.Binary)
+    assert isinstance(ret.left, ast.Member)
+    assert isinstance(ret.right, ast.Member) and ret.right.arrow
+
+
+def test_local_array_declaration():
+    func = parse_function(
+        "float f(int n) { float tmp[8]; tmp[0] = 1.0f; return tmp[0]; }")
+    decl = func.body.body[0]
+    assert isinstance(decl, ast.DeclStmt)
+    assert decl.declarators[0].array_size is not None
+
+
+def test_multiple_declarators():
+    func = parse_function("int f(int n) { int a = 1, b = 2; return a + b; }")
+    decl = func.body.body[0]
+    assert [d.name for d in decl.declarators] == ["a", "b"]
+
+
+def test_compound_assignment_ops():
+    src = "int f(int a) { a += 1; a -= 2; a *= 3; a /= 2; a %= 3; return a; }"
+    func = parse_function(src)
+    ops = [s.expr.op for s in func.body.body[:-1]]
+    assert ops == ["+=", "-=", "*=", "/=", "%="]
+
+
+def test_missing_semicolon_is_error():
+    with pytest.raises(ParseError):
+        parse_function("int f(int a) { return a }")
+
+
+def test_unbalanced_braces_is_error():
+    with pytest.raises(ParseError):
+        parse_function("int f(int a) { if (a) { return a; }")
+
+
+def test_two_functions_rejected_by_parse_function():
+    with pytest.raises(ParseError):
+        parse_function("int f(int a){return a;} int g(int b){return b;}")
+
+
+def test_call_with_no_args():
+    func = parse_function("int f() { return get_work_dim(); }")
+    call = func.body.body[0].value
+    assert isinstance(call, ast.Call) and call.args == []
+
+
+def test_unsigned_int_parses():
+    func = parse_function("unsigned int f(unsigned int x) { return x; }")
+    assert func.return_type.name == "uint"
+
+
+def test_empty_statement_allowed():
+    func = parse_function("void f(int x) { ; }")
+    assert isinstance(func.body.body[0], ast.CompoundStmt)
+
+
+def test_error_carries_position():
+    with pytest.raises(ParseError) as excinfo:
+        parse_function("int f(int a) {\n  return +; }")
+    assert excinfo.value.line == 2

@@ -1,0 +1,85 @@
+"""Tests for nested struct types and struct-related edge cases."""
+
+import numpy as np
+import pytest
+
+from repro.clc import compile_source
+from repro.errors import ParseError, TypeCheckError
+
+
+def run_fn(source, name, *args):
+    return compile_source(source).functions[name].callable(*args)
+
+
+def test_nested_struct_fields():
+    src = """
+    typedef struct { float x; float y; } Point;
+    typedef struct { Point a; Point b; } Segment;
+    float length2(__global Segment* segs, int i) {
+        float dx = segs[i].b.x - segs[i].a.x;
+        float dy = segs[i].b.y - segs[i].a.y;
+        return dx * dx + dy * dy;
+    }
+    """
+    point = np.dtype([("x", np.float32), ("y", np.float32)])
+    segment = np.dtype([("a", point), ("b", point)])
+    segs = np.zeros(2, segment)
+    segs[1]["a"] = (1.0, 2.0)
+    segs[1]["b"] = (4.0, 6.0)
+    assert run_fn(src, "length2", segs, 1) == pytest.approx(25.0)
+
+
+def test_nested_struct_write_through():
+    src = """
+    typedef struct { float x; float y; } Point;
+    typedef struct { Point a; Point b; } Segment;
+    void flip(__global Segment* segs, int i) {
+        Point tmp = segs[i].a;
+        segs[i].a = segs[i].b;
+        segs[i].b = tmp;
+    }
+    """
+    point = np.dtype([("x", np.float32), ("y", np.float32)])
+    segment = np.dtype([("a", point), ("b", point)])
+    segs = np.zeros(1, segment)
+    segs[0]["a"] = (1.0, 2.0)
+    segs[0]["b"] = (3.0, 4.0)
+    run_fn(src, "flip", segs, 0)
+    assert tuple(segs[0]["a"]) == (3.0, 4.0)
+    assert tuple(segs[0]["b"]) == (1.0, 2.0)
+
+
+def test_struct_used_before_definition_rejected():
+    with pytest.raises(ParseError):
+        compile_source("""
+        float f(Late s) { return 0.0f; }
+        typedef struct { float x; } Late;
+        """)
+
+
+def test_struct_as_return_value():
+    src = """
+    typedef struct { float x; float y; } Point;
+    Point swap(Point p) {
+        Point q;
+        q.x = p.y;
+        q.y = p.x;
+        return q;
+    }
+    float check(__global Point* ps) {
+        Point s = swap(ps[0]);
+        return s.x * 10.0f + s.y;
+    }
+    """
+    point = np.dtype([("x", np.float32), ("y", np.float32)])
+    ps = np.zeros(1, point)
+    ps[0] = (1.0, 2.0)
+    assert run_fn(src, "check", ps) == pytest.approx(21.0)
+
+
+def test_struct_field_arithmetic_type_enforced():
+    with pytest.raises(TypeCheckError):
+        compile_source("""
+        typedef struct { float x; } S;
+        S f(S a, S b) { return a + b; }
+        """)

@@ -1,0 +1,127 @@
+"""Tests for the vectorized fast-path evaluator."""
+
+import numpy as np
+import pytest
+
+from repro.clc import compile_source, try_vectorize
+from repro.clc.parser import parse_function
+
+
+def vec(source):
+    func = parse_function(source)
+    # annotate types so integer-division rules are available
+    from repro.clc.parser import parse
+    from repro.clc.typecheck import typecheck
+    unit = parse(source)
+    typecheck(unit)
+    return try_vectorize(unit.functions[0])
+
+
+def test_saxpy_vectorizes():
+    fn = vec("float func(float x, float y, float a) { return a*x+y; }")
+    assert fn is not None
+    x = np.arange(5, dtype=np.float32)
+    y = np.ones(5, dtype=np.float32)
+    np.testing.assert_allclose(fn(x, y, 2.0), 2.0 * x + y)
+
+
+def test_declarations_and_assignments():
+    fn = vec("""
+    float f(float x) {
+        float t = x * 2.0f;
+        t += 1.0f;
+        float u = t * t;
+        return u - x;
+    }
+    """)
+    assert fn is not None
+    x = np.array([1.0, 2.0], np.float32)
+    t = x * 2 + 1
+    np.testing.assert_allclose(fn(x), t * t - x)
+
+
+def test_ternary_becomes_where():
+    fn = vec("float f(float a, float b) { return a > b ? a : b; }")
+    a = np.array([1.0, 5.0, 3.0])
+    b = np.array([4.0, 2.0, 3.0])
+    np.testing.assert_allclose(fn(a, b), np.maximum(a, b))
+
+
+def test_builtin_math_vectorizes():
+    fn = vec("float f(float x) { return sqrt(fabs(x)); }")
+    x = np.array([-4.0, 9.0])
+    np.testing.assert_allclose(fn(x), [2.0, 3.0])
+
+
+def test_pointer_read_fancy_indexing():
+    fn = vec("""
+    float f(int i, __global float* table) { return table[i] * 2.0f; }
+    """)
+    assert fn is not None
+    idx = np.array([2, 0, 1])
+    table = np.array([10.0, 20.0, 30.0], np.float32)
+    np.testing.assert_allclose(fn(idx, table), [60.0, 20.0, 40.0])
+
+
+def test_get_global_id_uses_element_index():
+    fn = vec("float f(float x) { return x + get_global_id(0); }")
+    assert fn is not None
+    x = np.zeros(4, np.float32)
+    out = fn(x, _element_index=np.arange(4))
+    np.testing.assert_allclose(out, [0, 1, 2, 3])
+
+
+def test_cast_vectorizes_with_truncation():
+    fn = vec("int f(float x) { return (int)x; }")
+    x = np.array([2.9, -2.9])
+    np.testing.assert_array_equal(fn(x), [2, -2])
+
+
+def test_integer_division_truncates():
+    fn = vec("int f(int a, int b) { return a / b; }")
+    a = np.array([7, -7, 7])
+    b = np.array([2, 2, -2])
+    np.testing.assert_array_equal(fn(a, b), [3, -3, -3])
+
+
+def test_loop_not_vectorizable():
+    assert vec("int f(int n) { int s = 0;"
+               " for (int i = 0; i < n; ++i) s += i; return s; }") is None
+
+
+def test_if_statement_not_vectorizable():
+    assert vec("int f(int a) { if (a > 0) return a; return -a; }") is None
+
+
+def test_pointer_write_not_vectorizable():
+    assert vec("void f(__global float* p, int i) { p[i] = 1.0f; }") is None
+
+
+def test_user_call_not_vectorizable():
+    # calls to other user functions fall back to the per-item path
+    src = """
+    float g(float x) { return x + 1.0f; }
+    float f(float x) { return g(x); }
+    """
+    from repro.clc.parser import parse
+    from repro.clc.typecheck import typecheck
+    unit = parse(src)
+    typecheck(unit)
+    from repro.clc import try_vectorize
+    assert try_vectorize(unit.functions[1]) is None
+
+
+def test_vectorized_matches_scalar_path():
+    src = """
+    float f(float x, float a) {
+        float t = a * x;
+        return t > 1.0f ? t : 1.0f / (t + 0.5f);
+    }
+    """
+    program = compile_source(src)
+    fn_vec = vec(src)
+    assert fn_vec is not None
+    xs = np.linspace(-2, 2, 17).astype(np.float32)
+    scalar = np.array([program.functions["f"].callable(float(x), 0.75)
+                       for x in xs])
+    np.testing.assert_allclose(fn_vec(xs, 0.75), scalar, rtol=1e-6)

@@ -1,0 +1,143 @@
+"""Tests for CUDA streams and asynchronous copies."""
+
+import numpy as np
+import pytest
+
+from repro import cuda, ocl
+from repro.errors import CudaError
+
+SRC = """
+__kernel void scale(__global float* d, float f) {
+    int i = get_global_id(0);
+    d[i] = d[i] * f;
+}
+"""
+
+
+@pytest.fixture
+def runtime():
+    return cuda.CudaRuntime(ocl.System(num_gpus=2))
+
+
+def test_async_copy_does_not_block_host(runtime):
+    system = runtime.system
+    dptr = runtime.malloc(1 << 22)
+    stream = runtime.create_stream()
+    data = np.zeros(1 << 20, np.float32)
+    runtime.memcpy_htod_async(dptr, data, stream)
+    # host returned before the transfer's virtual completion
+    assert system.host_now() < stream.last_complete
+    stream.synchronize()
+    assert system.host_now() >= stream.last_complete
+
+
+def test_sync_copy_blocks_host(runtime):
+    system = runtime.system
+    dptr = runtime.malloc(1 << 22)
+    runtime.memcpy_htod(dptr, np.zeros(1 << 20, np.float32))
+    # synchronous cudaMemcpy: host waited
+    assert system.host_now() >= dptr.ready_at
+
+
+def test_stream_operations_serialize(runtime):
+    dptr = runtime.malloc(1 << 22)
+    stream = runtime.create_stream()
+    data = np.zeros(1 << 20, np.float32)
+    runtime.memcpy_htod_async(dptr, data, stream)
+    t1 = stream.last_complete
+    runtime.memcpy_htod_async(dptr, data, stream)
+    assert stream.last_complete > t1
+
+
+def test_two_streams_on_different_devices_overlap(runtime):
+    data = np.zeros(1 << 20, np.float32)
+    runtime.set_device(0)
+    d0 = runtime.malloc(1 << 22)
+    s0 = runtime.create_stream()
+    runtime.memcpy_htod_async(d0, data, s0)
+    runtime.set_device(1)
+    d1 = runtime.malloc(1 << 22)
+    s1 = runtime.create_stream()
+    runtime.memcpy_htod_async(d1, data, s1)
+    spans = [s for s in runtime.system.timeline.spans
+             if "H2D-async" in s.label]
+    assert len(spans) == 2
+    # distinct links: the second transfer starts before the first ends
+    assert spans[1].start < spans[0].end
+
+
+def test_kernel_in_stream_waits_for_its_copy(runtime):
+    x = np.arange(1 << 16, dtype=np.float32)
+    dptr = runtime.malloc(x.nbytes)
+    stream = runtime.create_stream()
+    functions = runtime.load_module([cuda.CudaFunction(
+        name="scale", source=SRC)])
+    runtime.memcpy_htod_async(dptr, x, stream)
+    copy_done = stream.last_complete
+    event = runtime.launch(functions["scale"], (1 << 16,), (1,),
+                           [dptr, 2.0], stream=stream)
+    assert event.profile_start >= copy_done
+    out = np.zeros_like(x)
+    runtime.memcpy_dtoh_async(out, dptr, stream)
+    stream.synchronize()
+    np.testing.assert_array_equal(out, x * 2)
+
+
+def test_pipelined_chunks_overlap_compute_and_copy(runtime):
+    """The classic prefetch pattern: chunk k+1's upload (on the link)
+    overlaps chunk k's kernel (on the execution engine).
+
+    The simulated device link is half-duplex (one resource), so the
+    overlap streams buy is between uploads and *compute*, which is
+    what this asserts with a compute-heavy kernel."""
+    functions = runtime.load_module([cuda.CudaFunction(
+        name="scale", source=SRC)])
+    n = 1 << 18
+    chunks = 3
+    x = np.arange(n * chunks, dtype=np.float32)
+    streams = [runtime.create_stream() for _ in range(chunks)]
+    dptrs = [runtime.malloc(n * 4) for _ in range(chunks)]
+    out = np.zeros_like(x)
+    # prefetch every chunk, then compute, then collect
+    for k in range(chunks):
+        runtime.memcpy_htod_async(dptrs[k], x[k * n:(k + 1) * n],
+                                  streams[k])
+    for k in range(chunks):
+        runtime.launch(functions["scale"], (n,), (1,), [dptrs[k], 3.0],
+                       stream=streams[k], ops_per_item=300.0)
+    for k in range(chunks):
+        runtime.memcpy_dtoh_async(out[k * n:(k + 1) * n], dptrs[k],
+                                  streams[k])
+    for s in streams:
+        s.synchronize()
+    np.testing.assert_array_equal(out, x * 3)
+    # the link carried later uploads while the queue was computing
+    spans = runtime.system.timeline.spans
+    kernels = [s for s in spans if s.label == "cuda:scale"]
+    uploads = [s for s in spans if "H2D-async" in s.label]
+    overlapped = any(u.start < k.end and u.end > k.start
+                     for k in kernels for u in uploads[1:])
+    assert overlapped
+    # and each kernel still waited for its own chunk's upload
+    for k, (kernel, upload) in enumerate(zip(kernels, uploads)):
+        assert kernel.start >= upload.end
+
+
+def test_stream_device_mismatch_rejected(runtime):
+    runtime.set_device(0)
+    dptr = runtime.malloc(64)
+    runtime.set_device(1)
+    stream = runtime.create_stream()
+    with pytest.raises(CudaError):
+        runtime.memcpy_htod_async(dptr, np.zeros(4, np.float32), stream)
+    functions = runtime.load_module([cuda.CudaFunction(
+        name="scale", source=SRC)])
+    runtime.set_device(0)
+    with pytest.raises(CudaError):
+        runtime.launch(functions["scale"], (4,), (1,), [dptr, 1.0],
+                       stream=stream)
+
+
+def test_invalid_stream_device(runtime):
+    with pytest.raises(CudaError):
+        runtime.create_stream(device_index=9)

@@ -1,0 +1,167 @@
+"""Tests for the simulated dOpenCL layer (paper Section V)."""
+
+import numpy as np
+import pytest
+
+from repro import dopencl, ocl, skelcl
+from repro.errors import DOpenCLError
+
+
+def make_client(nodes=None):
+    """The paper's setup: a desktop client with no OpenCL devices."""
+    client = ocl.System(num_gpus=0, name="desktop")
+    platform = dopencl.connect(
+        client, nodes if nodes is not None else dopencl.paper_lab_nodes())
+    return client, platform
+
+
+def test_paper_lab_aggregation():
+    """Section V: 8 GPUs and 3 multi-core CPUs appear as local devices."""
+    _, platform = make_client()
+    assert len(platform.get_devices("GPU")) == 8
+    assert len(platform.get_devices("CPU")) == 3
+    assert len(platform.get_devices()) == 11
+
+
+def test_connect_requires_nodes():
+    client = ocl.System(num_gpus=0)
+    with pytest.raises(DOpenCLError):
+        dopencl.connect(client, [])
+
+
+def test_offline_node_unreachable():
+    from repro.errors import NodeUnreachableError
+    client = ocl.System(num_gpus=0)
+    nodes = [dopencl.ServerNode("up"),
+             dopencl.ServerNode("down", online=False)]
+    with pytest.raises(NodeUnreachableError):
+        dopencl.connect(client, nodes)
+
+
+def test_duplicate_node_names_rejected():
+    client = ocl.System(num_gpus=0)
+    nodes = [dopencl.ServerNode("a"), dopencl.ServerNode("a")]
+    with pytest.raises(DOpenCLError):
+        dopencl.connect(client, nodes)
+
+
+def test_remote_devices_run_kernels():
+    client, platform = make_client([dopencl.ServerNode("n1", num_gpus=2)])
+    devices = platform.get_devices("GPU")
+    ctx = ocl.Context(devices)
+    queue = ocl.CommandQueue(ctx, devices[0])
+    x = np.arange(16, dtype=np.float32)
+    buf = ocl.Buffer(ctx, x.nbytes)
+    queue.enqueue_write_buffer(buf, x)
+    program = ocl.Program(ctx, """
+    __kernel void dbl(__global float* d) {
+        int i = get_global_id(0);
+        d[i] = d[i] * 2.0f;
+    }
+    """).build()
+    kernel = program.create_kernel("dbl")
+    kernel.set_args(buf)
+    queue.enqueue_nd_range_kernel(kernel, (16,))
+    out = np.zeros_like(x)
+    queue.enqueue_read_buffer(buf, out)
+    queue.finish()
+    np.testing.assert_array_equal(out, x * 2)
+
+
+def test_forwarded_transfer_charges_network_and_pcie():
+    client, platform = make_client([dopencl.ServerNode(
+        "n1", num_gpus=1, network=dopencl.GIGABIT_ETHERNET)])
+    device = platform.get_devices("GPU")[0]
+    ctx = ocl.Context([device])
+    queue = ocl.CommandQueue(ctx, device)
+    n = 1 << 20
+    buf = ocl.Buffer(ctx, 4 * n)
+    queue.enqueue_write_buffer(buf, np.zeros(n, np.float32))
+    spans = client.timeline.spans
+    net = [s for s in spans if s.resource == "net.n1"]
+    pcie = [s for s in spans if s.resource.endswith(".link")
+            and not s.resource.startswith("net")]
+    assert len(net) == 1 and len(pcie) == 1
+    # gigabit ethernet is the bottleneck: 4 MiB at ~118 MB/s >> PCIe time
+    assert net[0].duration > 10 * pcie[0].duration
+    # PCIe hop starts only after the network hop delivered the data
+    assert pcie[0].start >= net[0].end
+
+
+def test_remote_slower_than_local_for_transfer_bound_work():
+    src = """
+    __kernel void dbl(__global float* d) {
+        int i = get_global_id(0);
+        d[i] = d[i] * 2.0f;
+    }
+    """
+    n = 1 << 20
+
+    def run(devices, system):
+        ctx = ocl.Context(devices)
+        queue = ocl.CommandQueue(ctx, devices[0])
+        buf = ocl.Buffer(ctx, 4 * n)
+        queue.enqueue_write_buffer(buf, np.zeros(n, np.float32))
+        kernel = ocl.Program(ctx, src).build().create_kernel("dbl")
+        kernel.set_args(buf)
+        queue.enqueue_nd_range_kernel(kernel, (n,))
+        out = np.zeros(n, np.float32)
+        queue.enqueue_read_buffer(buf, out)
+        queue.finish()
+        return system.host_now()
+
+    local_sys = ocl.System(num_gpus=1)
+    t_local = run(local_sys.devices, local_sys)
+
+    client, platform = make_client([dopencl.ServerNode("n1", num_gpus=1)])
+    t_remote = run(platform.get_devices("GPU"), client)
+    assert t_remote > t_local
+
+
+def test_node_uplink_serializes_but_nodes_overlap():
+    nodes = [dopencl.ServerNode("a", num_gpus=2),
+             dopencl.ServerNode("b", num_gpus=1)]
+    client, platform = make_client(nodes)
+    devices = platform.get_devices("GPU")
+    ctx = ocl.Context(devices)
+    n = 1 << 20
+    data = np.zeros(n, np.float32)
+    queues = [ocl.CommandQueue(ctx, d) for d in devices]
+    events = []
+    for queue in queues:
+        buf = ocl.Buffer(ctx, 4 * n)
+        events.append(queue.enqueue_write_buffer(buf, data))
+    spans_a = [s for s in client.timeline.spans if s.resource == "net.a"]
+    spans_b = [s for s in client.timeline.spans if s.resource == "net.b"]
+    assert len(spans_a) == 2 and len(spans_b) == 1
+    # same uplink serializes
+    assert spans_a[1].start >= spans_a[0].end
+    # different uplinks overlap
+    assert spans_b[0].start < spans_a[1].start
+
+
+def test_skelcl_runs_unmodified_on_dopencl():
+    """Section V: SkelCL + dOpenCL without any modifications."""
+    client, platform = make_client([dopencl.ServerNode("n1", num_gpus=2),
+                                    dopencl.ServerNode("n2", num_gpus=2)])
+    skelcl.init(devices=platform.get_devices("GPU"))
+    x = np.arange(32, dtype=np.float32)
+    v = skelcl.Vector(x)
+    out = skelcl.Map("float neg(float x) { return -x; }")(v)
+    np.testing.assert_array_equal(out.to_numpy(), -x)
+    total = skelcl.Reduce(
+        "float add(float a, float b) { return a + b; }")(v)
+    assert total.to_numpy()[0] == pytest.approx(x.sum())
+
+
+def test_command_latency_applied_to_remote_enqueue():
+    client, platform = make_client([dopencl.ServerNode(
+        "n1", num_gpus=1, network=dopencl.NetworkSpec(
+            bandwidth_gbs=1.0, latency_s=5e-3))])
+    device = platform.get_devices("GPU")[0]
+    assert device.command_latency_s == pytest.approx(10e-3)
+    ctx = ocl.Context([device])
+    queue = ocl.CommandQueue(ctx, device)
+    buf = ocl.Buffer(ctx, 64)
+    event = queue.enqueue_write_buffer(buf, np.zeros(16, np.float32))
+    assert event.profile_start >= 10e-3

@@ -1,0 +1,63 @@
+"""Tests for the dOpenCL command-forwarding protocol accounting."""
+
+import numpy as np
+import pytest
+
+from repro import dopencl, ocl, skelcl
+from repro.dopencl.protocol import COMMAND_HEADER_BYTES, collect
+
+
+def make_busy_client(network=None):
+    client = ocl.System(num_gpus=0, name="desktop")
+    nodes = [dopencl.ServerNode(
+        "n1", num_gpus=2,
+        network=network or dopencl.TEN_GIGABIT_ETHERNET)]
+    platform = dopencl.connect(client, nodes)
+    skelcl.init(devices=platform.get_devices("GPU"))
+    v = skelcl.Vector(np.ones(4096, dtype=np.float32))
+    out = skelcl.Map("float f(float x) { return x * 2.0f; }")(v)
+    out.to_numpy()
+    return client
+
+
+def test_collect_counts_commands():
+    client = make_busy_client()
+    log = collect(client)
+    traffic = log.node("n1")
+    # at least: two part uploads + two part downloads
+    assert traffic.commands >= 4
+    assert log.total_commands() == traffic.commands
+
+
+def test_payload_includes_data_and_headers():
+    client = make_busy_client()
+    log = collect(client)
+    traffic = log.node("n1")
+    data_bytes = 2 * 4096 * 4  # vector up + result down
+    assert traffic.payload_bytes >= data_bytes
+    assert traffic.payload_bytes \
+        >= traffic.commands * COMMAND_HEADER_BYTES
+
+
+def test_round_trips_accumulate_latency():
+    slow = dopencl.NetworkSpec(bandwidth_gbs=1.0, latency_s=1e-3)
+    client = make_busy_client(network=slow)
+    log = collect(client)
+    traffic = log.node("n1")
+    assert traffic.round_trips == pytest.approx(
+        traffic.commands * 2e-3, rel=1e-6)
+
+
+def test_local_system_has_no_traffic():
+    system = ocl.System(num_gpus=2)
+    skelcl.init(devices=system.devices)
+    v = skelcl.Vector(np.ones(128, dtype=np.float32))
+    skelcl.Map("float f(float x) { return x; }")(v).to_numpy()
+    log = collect(system)
+    assert log.total_commands() == 0
+
+
+def test_report_renders():
+    client = make_busy_client()
+    report = collect(client).report()
+    assert "n1" in report and "MB" in report

@@ -1,0 +1,77 @@
+"""Property tests for Buffer byte-level semantics."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import ocl
+from repro.errors import InvalidCommand
+
+
+@pytest.fixture
+def ctx():
+    system = ocl.System(num_gpus=1)
+    return ocl.Context(system.devices)
+
+
+@settings(max_examples=50, deadline=None)
+@given(size=st.integers(1, 512), offset=st.integers(0, 512),
+       count=st.integers(1, 512))
+def test_property_write_read_roundtrip(size, offset, count):
+    system = ocl.System(num_gpus=1)
+    ctx = ocl.Context(system.devices)
+    buf = ocl.Buffer(ctx, size * 4)
+    data = np.arange(count, dtype=np.float32)
+    in_range = offset * 4 + data.nbytes <= buf.nbytes
+    queue = ocl.CommandQueue(ctx, system.devices[0])
+    if not in_range:
+        with pytest.raises(InvalidCommand):
+            queue.enqueue_write_buffer(buf, data, offset_bytes=offset * 4)
+        return
+    queue.enqueue_write_buffer(buf, data, offset_bytes=offset * 4)
+    out = np.zeros(count, np.float32)
+    queue.enqueue_read_buffer(buf, out, offset_bytes=offset * 4)
+    np.testing.assert_array_equal(out, data)
+
+
+@settings(max_examples=50, deadline=None)
+@given(n=st.integers(1, 256),
+       dtype=st.sampled_from(["float32", "int32", "float64", "int16"]))
+def test_property_typed_views_share_storage(n, dtype):
+    system = ocl.System(num_gpus=1)
+    ctx = ocl.Context(system.devices)
+    dt = np.dtype(dtype)
+    buf = ocl.Buffer(ctx, n * dt.itemsize)
+    view = buf.view(dt)
+    assert view.shape == (n,)
+    view[:] = np.arange(n).astype(dt)
+    # a second view observes the same bytes
+    np.testing.assert_array_equal(buf.view(dt), np.arange(n).astype(dt))
+
+
+def test_view_misalignment_rejected(ctx):
+    buf = ocl.Buffer(ctx, 64)
+    with pytest.raises(InvalidCommand):
+        buf.view(np.float32, offset_bytes=2)
+    with pytest.raises(InvalidCommand):
+        buf.view(np.float32, count=17)
+
+
+@settings(max_examples=30, deadline=None)
+@given(parts=st.lists(st.integers(1, 32), min_size=1, max_size=8))
+def test_property_partial_writes_compose(parts):
+    """Writing adjacent chunks reconstructs the whole array."""
+    system = ocl.System(num_gpus=1)
+    ctx = ocl.Context(system.devices)
+    total = sum(parts)
+    data = np.arange(total, dtype=np.int32)
+    buf = ocl.Buffer(ctx, total * 4)
+    queue = ocl.CommandQueue(ctx, system.devices[0])
+    offset = 0
+    for length in parts:
+        queue.enqueue_write_buffer(buf, data[offset:offset + length],
+                                   offset_bytes=offset * 4)
+        offset += length
+    out = np.zeros(total, np.int32)
+    queue.enqueue_read_buffer(buf, out)
+    np.testing.assert_array_equal(out, data)

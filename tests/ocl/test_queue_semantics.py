@@ -1,0 +1,102 @@
+"""Property tests of the simulated runtime's ordering semantics.
+
+Random command sequences across multiple queues must always satisfy
+the OpenCL guarantees the layered code relies on:
+
+1. commands on one in-order queue's engine/link never overlap;
+2. an event passed via ``wait_for`` completes before the dependent
+   command starts;
+3. a command touching a buffer never starts before the buffer's
+   previous command completed (producer/consumer chaining);
+4. virtual time never runs backwards.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import ocl
+
+SRC = """
+__kernel void touch(__global float* d) {
+    int i = get_global_id(0);
+    d[i] = d[i] + 1.0f;
+}
+"""
+
+N_BUFFERS = 3
+N_ELEMS = 4096
+
+command_strategy = st.lists(
+    st.tuples(
+        st.sampled_from(["write", "read", "kernel", "copy"]),
+        st.integers(0, 1),            # queue index
+        st.integers(0, N_BUFFERS - 1),  # buffer index
+        st.integers(0, N_BUFFERS - 1),  # second buffer (copy)
+        st.booleans(),                # depend on a previous event?
+    ),
+    min_size=1, max_size=25)
+
+
+@settings(max_examples=40, deadline=None)
+@given(commands=command_strategy)
+def test_property_ordering_invariants(commands):
+    system = ocl.System(num_gpus=2)
+    ctx = ocl.Context(system.devices)
+    queues = [ocl.CommandQueue(ctx, d) for d in system.devices]
+    buffers = [ocl.Buffer(ctx, N_ELEMS * 4) for _ in range(N_BUFFERS)]
+    kernel = ocl.Program(ctx, SRC).build().create_kernel("touch")
+    host = np.zeros(N_ELEMS, np.float32)
+
+    events = []
+    touched = []  # (event, frozenset of buffer indices)
+    for op, qi, bi, bj, depend in commands:
+        queue = queues[qi]
+        wait_for = [events[-1]] if (depend and events) else None
+        before = {idx: buffers[idx].ready_at for idx in range(N_BUFFERS)}
+        if op == "write":
+            event = queue.enqueue_write_buffer(buffers[bi], host,
+                                               wait_for=wait_for)
+            used = {bi}
+        elif op == "read":
+            out = np.empty(N_ELEMS, np.float32)
+            event = queue.enqueue_read_buffer(buffers[bi], out,
+                                              wait_for=wait_for)
+            used = {bi}
+        elif op == "copy":
+            if bi == bj:
+                continue
+            event = queue.enqueue_copy_buffer(buffers[bi], buffers[bj],
+                                              wait_for=wait_for)
+            used = {bi, bj}
+        else:
+            kernel.set_args(buffers[bi])
+            event = queue.enqueue_nd_range_kernel(kernel, (N_ELEMS,),
+                                                  wait_for=wait_for)
+            used = {bi}
+        # invariant 2: explicit dependency respected
+        if wait_for:
+            assert event.profile_start >= wait_for[0].profile_end
+        # invariant 3: buffer chaining respected
+        for idx in used:
+            assert event.profile_start >= before[idx] - 1e-12
+        events.append(event)
+        touched.append((event, frozenset(used)))
+
+    # invariant 1: per-resource spans never overlap
+    by_resource = {}
+    for span in system.timeline.spans:
+        by_resource.setdefault(span.resource, []).append(span)
+    for spans in by_resource.values():
+        for earlier, later in zip(spans, spans[1:]):
+            assert later.start >= earlier.end - 1e-12
+
+    # invariant 4: makespan covers every event
+    makespan = system.timeline.now()
+    assert all(e.profile_end <= makespan + 1e-12 for e in events)
+
+    # sanity: finishing both queues lands the host at/after every event
+    for queue in queues:
+        queue.finish()
+    if events:
+        assert system.host_now() >= max(e.profile_end for e in events)

@@ -1,0 +1,321 @@
+"""Unit tests for the simulated OpenCL runtime."""
+
+import numpy as np
+import pytest
+
+from repro import ocl
+from repro.errors import (BuildProgramFailure, ContextMismatchError,
+                          DeviceNotFoundError, InvalidCommand,
+                          InvalidKernelArgs, OutOfResourcesError)
+
+SAXPY_SRC = """
+__kernel void saxpy(__global const float* x, __global float* y, float a) {
+    int i = get_global_id(0);
+    y[i] = a * x[i] + y[i];
+}
+"""
+
+
+@pytest.fixture
+def system():
+    return ocl.System(num_gpus=2)
+
+
+@pytest.fixture
+def setup(system):
+    devices = ocl.Platform(system).get_devices("GPU")
+    ctx = ocl.Context(devices)
+    queues = [ocl.CommandQueue(ctx, d) for d in devices]
+    return system, ctx, queues
+
+
+def test_platform_lists_devices(system):
+    platform = ocl.Platform(system)
+    assert len(platform.get_devices("GPU")) == 2
+    with pytest.raises(DeviceNotFoundError):
+        platform.get_devices("CPU")
+
+
+def test_cpu_device_exposed():
+    system = ocl.System(num_gpus=1, cpu_device=True)
+    platform = ocl.Platform(system)
+    assert len(platform.get_devices("CPU")) == 1
+    assert len(platform.get_devices()) == 2
+
+
+def test_context_rejects_foreign_device(system):
+    other = ocl.System(num_gpus=1)
+    with pytest.raises(ContextMismatchError):
+        ocl.Context([system.devices[0], other.devices[0]])
+
+
+def test_end_to_end_saxpy(setup):
+    system, ctx, queues = setup
+    queue = queues[0]
+    n = 1024
+    x = np.random.default_rng(0).random(n).astype(np.float32)
+    y = np.ones(n, dtype=np.float32)
+    expected = 2.5 * x + y
+
+    buf_x = ocl.Buffer(ctx, x.nbytes)
+    buf_y = ocl.Buffer(ctx, y.nbytes)
+    queue.enqueue_write_buffer(buf_x, x)
+    queue.enqueue_write_buffer(buf_y, y)
+    program = ocl.Program(ctx, SAXPY_SRC).build()
+    kernel = program.create_kernel("saxpy")
+    kernel.set_args(buf_x, buf_y, np.float32(2.5))
+    queue.enqueue_nd_range_kernel(kernel, (n,))
+    out = np.zeros(n, dtype=np.float32)
+    queue.enqueue_read_buffer(buf_y, out)
+    queue.finish()
+    np.testing.assert_allclose(out, expected, rtol=1e-6)
+
+
+def test_virtual_time_advances(setup):
+    system, ctx, queues = setup
+    n = 1 << 20
+    x = np.zeros(n, dtype=np.float32)
+    buf = ocl.Buffer(ctx, x.nbytes)
+    t0 = system.timeline.now()
+    queues[0].enqueue_write_buffer(buf, x)
+    queues[0].finish()
+    t1 = system.timeline.now()
+    # 4 MiB over ~5.2 GB/s is ~0.8 ms
+    assert t1 - t0 > 5e-4
+
+
+def test_transfers_on_different_devices_overlap(setup):
+    system, ctx, queues = setup
+    n = 1 << 22
+    x = np.zeros(n, dtype=np.float32)
+    bufs = [ocl.Buffer(ctx, x.nbytes) for _ in queues]
+    events = [q.enqueue_write_buffer(b, x) for q, b in zip(queues, bufs)]
+    # both transfers occupy distinct links; they overlap in virtual time
+    assert events[1].profile_start < events[0].profile_end
+
+
+def test_same_queue_commands_serialize(setup):
+    system, ctx, queues = setup
+    n = 1 << 20
+    x = np.zeros(n, dtype=np.float32)
+    buf1 = ocl.Buffer(ctx, x.nbytes)
+    buf2 = ocl.Buffer(ctx, x.nbytes)
+    e1 = queues[0].enqueue_write_buffer(buf1, x)
+    e2 = queues[0].enqueue_write_buffer(buf2, x)
+    assert e2.profile_start >= e1.profile_end
+
+
+def test_kernel_waits_for_its_input_transfer(setup):
+    system, ctx, queues = setup
+    n = 1 << 20
+    x = np.zeros(n, dtype=np.float32)
+    buf_x = ocl.Buffer(ctx, x.nbytes)
+    buf_y = ocl.Buffer(ctx, x.nbytes)
+    ew = queues[0].enqueue_write_buffer(buf_x, x)
+    queues[0].enqueue_write_buffer(buf_y, x)
+    program = ocl.Program(ctx, SAXPY_SRC).build()
+    kernel = program.create_kernel("saxpy")
+    kernel.set_args(buf_x, buf_y, 1.0)
+    ek = queues[0].enqueue_nd_range_kernel(kernel, (64,))
+    assert ek.profile_start >= ew.profile_end
+
+
+def test_buffer_offsets_roundtrip(setup):
+    _, ctx, queues = setup
+    queue = queues[0]
+    buf = ocl.Buffer(ctx, 16 * 4)
+    part = np.arange(8, dtype=np.float32)
+    queue.enqueue_write_buffer(buf, part, offset_bytes=8 * 4)
+    out = np.zeros(8, dtype=np.float32)
+    queue.enqueue_read_buffer(buf, out, offset_bytes=8 * 4)
+    np.testing.assert_array_equal(out, part)
+
+
+def test_write_out_of_range_rejected(setup):
+    _, ctx, queues = setup
+    buf = ocl.Buffer(ctx, 16)
+    with pytest.raises(InvalidCommand):
+        queues[0].enqueue_write_buffer(buf, np.zeros(5, np.float32))
+
+
+def test_copy_buffer(setup):
+    _, ctx, queues = setup
+    queue = queues[0]
+    a = np.arange(10, dtype=np.float32)
+    src = ocl.buffer_from_array(ctx, a)
+    dst = ocl.Buffer(ctx, a.nbytes)
+    queue.enqueue_copy_buffer(src, dst)
+    out = np.zeros_like(a)
+    queue.enqueue_read_buffer(dst, out)
+    np.testing.assert_array_equal(out, a)
+
+
+def test_memory_accounting_and_oom(system):
+    ctx = ocl.Context(system.devices)
+    device = system.devices[0]
+    free = device.free_mem_bytes
+    buf = ocl.Buffer(ctx, 1024)
+    buf.ensure_resident(device)
+    assert device.free_mem_bytes == free - 1024
+    with pytest.raises(OutOfResourcesError):
+        big = ocl.Buffer(ctx, device.free_mem_bytes + 1)
+        big.ensure_resident(device)
+    buf.release()
+    assert device.free_mem_bytes == free
+
+
+def test_buffer_use_after_release(setup):
+    _, ctx, queues = setup
+    buf = ocl.Buffer(ctx, 64)
+    buf.release()
+    with pytest.raises(InvalidCommand):
+        queues[0].enqueue_write_buffer(buf, np.zeros(4, np.float32))
+
+
+def test_build_failure_has_log(setup):
+    _, ctx, _ = setup
+    program = ocl.Program(ctx, "__kernel void broken( {")
+    with pytest.raises(BuildProgramFailure) as excinfo:
+        program.build()
+    assert excinfo.value.build_log
+
+
+def test_kernel_before_build_rejected(setup):
+    _, ctx, _ = setup
+    program = ocl.Program(ctx, SAXPY_SRC)
+    with pytest.raises(BuildProgramFailure):
+        program.create_kernel("saxpy")
+
+
+def test_unset_args_rejected(setup):
+    _, ctx, queues = setup
+    program = ocl.Program(ctx, SAXPY_SRC).build()
+    kernel = program.create_kernel("saxpy")
+    with pytest.raises(InvalidKernelArgs):
+        queues[0].enqueue_nd_range_kernel(kernel, (4,))
+
+
+def test_scalar_vs_buffer_arg_mismatch(setup):
+    _, ctx, queues = setup
+    program = ocl.Program(ctx, SAXPY_SRC).build()
+    kernel = program.create_kernel("saxpy")
+    buf = ocl.Buffer(ctx, 16)
+    kernel.set_args(buf, buf, buf)  # third must be scalar
+    with pytest.raises(InvalidKernelArgs):
+        queues[0].enqueue_nd_range_kernel(kernel, (4,))
+    kernel.set_args(1.0, buf, 1.0)  # first must be buffer
+    with pytest.raises(InvalidKernelArgs):
+        queues[0].enqueue_nd_range_kernel(kernel, (4,))
+
+
+def test_const_input_shared_across_devices_no_rewrite(setup):
+    """A const buffer read by two devices is uploaded once per device,
+    and reading it on the second device doesn't invalidate the first."""
+    system, ctx, queues = setup
+    n = 4096
+    x = np.ones(n, dtype=np.float32)
+    buf_x = ocl.buffer_from_array(ctx, x)
+    program = ocl.Program(ctx, SAXPY_SRC).build()
+    outs = []
+    for queue in queues:
+        buf_y = ocl.Buffer(ctx, x.nbytes)
+        queue.enqueue_write_buffer(buf_y, np.zeros(n, np.float32))
+        kernel = program.create_kernel("saxpy")
+        kernel.set_args(buf_x, buf_y, 3.0)
+        queue.enqueue_nd_range_kernel(kernel, (n,))
+        outs.append(buf_y)
+    # after both kernels, x must be valid on both devices
+    assert {0, 1} <= buf_x.valid
+
+
+def test_scale_factor_multiplies_duration(setup):
+    system, ctx, queues = setup
+    program = ocl.Program(ctx, SAXPY_SRC).build()
+    kernel = program.create_kernel("saxpy")
+    n = 1024
+    buf_x = ocl.buffer_from_array(ctx, np.zeros(n, np.float32))
+    buf_y = ocl.buffer_from_array(ctx, np.zeros(n, np.float32))
+    kernel.set_args(buf_x, buf_y, 1.0)
+    e1 = queues[0].enqueue_nd_range_kernel(kernel, (n,))
+    e2 = queues[0].enqueue_nd_range_kernel(kernel, (n,),
+                                           scale_factor=1e5)
+    assert e2.duration > 50 * e1.duration
+
+
+def test_event_wait_advances_host(setup):
+    system, ctx, queues = setup
+    buf = ocl.Buffer(ctx, 1 << 22)
+    event = queues[0].enqueue_write_buffer(buf, np.zeros(1 << 20,
+                                                         np.float32))
+    assert system.host_now() < event.profile_end
+    event.wait()
+    assert system.host_now() >= event.profile_end
+
+
+def test_native_program(setup):
+    system, ctx, queues = setup
+
+    def doubler(args, gsize):
+        out, inp = args
+        out[:gsize[0]] = inp[:gsize[0]] * 2
+
+    prog = ocl.NativeProgram(ctx, [ocl.NativeKernelDef(
+        name="dbl", fn=doubler,
+        arg_dtypes=[np.float32, np.float32],
+        ops_per_item=1.0, const_args=frozenset([1]))])
+    kernel = prog.create_kernel("dbl")
+    x = np.arange(16, dtype=np.float32)
+    buf_in = ocl.buffer_from_array(ctx, x)
+    buf_out = ocl.Buffer(ctx, x.nbytes)
+    kernel.set_args(buf_out, buf_in)
+    queues[0].enqueue_nd_range_kernel(kernel, (16,))
+    out = np.zeros_like(x)
+    queues[0].enqueue_read_buffer(buf_out, out)
+    np.testing.assert_array_equal(out, x * 2)
+
+
+def test_invalid_global_size(setup):
+    _, ctx, queues = setup
+    program = ocl.Program(ctx, SAXPY_SRC).build()
+    kernel = program.create_kernel("saxpy")
+    buf = ocl.Buffer(ctx, 16)
+    kernel.set_args(buf, buf, 1.0)
+    with pytest.raises(InvalidCommand):
+        queues[0].enqueue_nd_range_kernel(kernel, (0,))
+    with pytest.raises(InvalidCommand):
+        queues[0].enqueue_nd_range_kernel(kernel, (7,), (2,))
+
+
+def test_finish_blocks_until_all_commands(setup):
+    system, ctx, queues = setup
+    buf = ocl.Buffer(ctx, 1 << 24)
+    queues[0].enqueue_write_buffer(buf, np.zeros(1 << 22, np.float32))
+    queues[0].finish()
+    # after finish, nothing of this queue is outstanding
+    assert system.host_now() >= queues[0]._last_complete
+
+
+def test_c_style_api_facade(system):
+    from repro.ocl import api as cl
+    platform = cl.get_platform_ids(system)[0]
+    devices = cl.get_device_ids(platform, cl.CL_DEVICE_TYPE_GPU)
+    ctx = cl.create_context(devices)
+    queue = cl.create_command_queue(ctx, devices[0])
+    x = np.arange(8, dtype=np.float32)
+    y = np.ones(8, dtype=np.float32)
+    buf_x = cl.create_buffer(ctx, x.nbytes)
+    buf_y = cl.create_buffer(ctx, y.nbytes)
+    cl.enqueue_write_buffer(queue, buf_x, x)
+    cl.enqueue_write_buffer(queue, buf_y, y)
+    program = cl.build_program(cl.create_program_with_source(ctx,
+                                                             SAXPY_SRC))
+    kernel = cl.create_kernel(program, "saxpy")
+    cl.set_kernel_arg(kernel, 0, buf_x)
+    cl.set_kernel_arg(kernel, 1, buf_y)
+    cl.set_kernel_arg(kernel, 2, 2.0)
+    cl.enqueue_nd_range_kernel(queue, kernel, (8,))
+    out = np.zeros(8, dtype=np.float32)
+    cl.enqueue_read_buffer(queue, buf_y, out)
+    cl.finish(queue)
+    np.testing.assert_allclose(out, 2.0 * x + 1.0)
+    cl.release_mem_object(buf_x)

@@ -1,0 +1,109 @@
+"""Unit and property tests for the virtual-time cost model."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.ocl.specs import (CATALOG, DeviceSpec, GTX_480, TESLA_C1060,
+                             XEON_E5520)
+from repro.ocl.timing import (KernelCost, kernel_duration,
+                              transfer_duration)
+
+
+def test_catalog_entries():
+    assert set(CATALOG) == {"tesla_c1060", "xeon_e5520", "gtx_480"}
+    for spec in CATALOG.values():
+        assert spec.ops_per_second > 0
+        assert spec.global_mem_bytes > 0
+
+
+def test_tesla_matches_paper_testbed():
+    """§IV-C: 240 streaming processors, 4 GB per GPU."""
+    assert TESLA_C1060.compute_units * TESLA_C1060.ops_per_cu_per_cycle \
+        == 240
+    assert TESLA_C1060.global_mem_bytes == 4 * 1024 ** 3
+    assert TESLA_C1060.device_type == "GPU"
+
+
+def test_xeon_matches_paper_testbed():
+    """§IV-C: quad-core Xeon E5520 at 2.26 GHz, 12 GB."""
+    assert XEON_E5520.compute_units == 4
+    assert XEON_E5520.clock_mhz == pytest.approx(2260.0)
+    assert XEON_E5520.global_mem_bytes == 12 * 1024 ** 3
+
+
+def test_kernel_duration_has_launch_floor():
+    cost = KernelCost(work_items=1, ops_per_item=1)
+    d = kernel_duration(TESLA_C1060, cost)
+    assert d >= TESLA_C1060.kernel_launch_overhead_s
+
+
+def test_kernel_duration_compute_bound_scales_linearly():
+    small = KernelCost(work_items=1 << 20, ops_per_item=100,
+                       bytes_per_item=0)
+    big = KernelCost(work_items=1 << 22, ops_per_item=100,
+                     bytes_per_item=0)
+    t_small = kernel_duration(TESLA_C1060, small) \
+        - TESLA_C1060.kernel_launch_overhead_s
+    t_big = kernel_duration(TESLA_C1060, big) \
+        - TESLA_C1060.kernel_launch_overhead_s
+    assert t_big / t_small == pytest.approx(4.0, rel=1e-6)
+
+
+def test_kernel_duration_roofline_max():
+    """Memory-bound kernels are limited by bandwidth, not ops."""
+    compute_light = KernelCost(work_items=1 << 20, ops_per_item=1,
+                               bytes_per_item=64)
+    t = kernel_duration(TESLA_C1060, compute_light)
+    mem_time = (1 << 20) * 64 / (TESLA_C1060.mem_bandwidth_gbs * 1e9)
+    assert t == pytest.approx(
+        TESLA_C1060.kernel_launch_overhead_s + mem_time, rel=1e-6)
+
+
+def test_efficiency_scales_throughput():
+    fast = TESLA_C1060.with_efficiency(2.0)
+    cost = KernelCost(work_items=1 << 20, ops_per_item=100,
+                      bytes_per_item=0)
+    t_base = kernel_duration(TESLA_C1060, cost) \
+        - TESLA_C1060.kernel_launch_overhead_s
+    t_fast = kernel_duration(fast, cost) \
+        - fast.kernel_launch_overhead_s
+    assert t_base / t_fast == pytest.approx(2.0, rel=1e-6)
+
+
+def test_transfer_duration_latency_plus_bandwidth():
+    t = transfer_duration(TESLA_C1060, 5_200_000)
+    expected = TESLA_C1060.link_latency_s + 5_200_000 / 5.2e9
+    assert t == pytest.approx(expected, rel=1e-6)
+
+
+def test_transfer_negative_rejected():
+    with pytest.raises(ValueError):
+        transfer_duration(TESLA_C1060, -1)
+
+
+def test_gpu_beats_cpu_on_parallel_compute():
+    cost = KernelCost(work_items=1 << 22, ops_per_item=50)
+    assert kernel_duration(TESLA_C1060, cost) \
+        < kernel_duration(XEON_E5520, cost) / 5
+
+
+def test_gtx480_profile_differs():
+    assert GTX_480.mem_bandwidth_gbs > TESLA_C1060.mem_bandwidth_gbs
+    assert GTX_480.global_mem_bytes < TESLA_C1060.global_mem_bytes
+
+
+@given(items=st.integers(0, 1 << 24), ops=st.floats(0.0, 1e4),
+       nbytes=st.floats(0.0, 1e4))
+def test_property_duration_nonnegative_and_monotone(items, ops, nbytes):
+    cost = KernelCost(items, ops, nbytes)
+    t = kernel_duration(TESLA_C1060, cost)
+    assert t >= TESLA_C1060.kernel_launch_overhead_s
+    bigger = KernelCost(items, ops + 1.0, nbytes)
+    assert kernel_duration(TESLA_C1060, bigger) >= t
+
+
+@given(n1=st.integers(0, 1 << 26), n2=st.integers(0, 1 << 26))
+def test_property_transfer_monotone_in_size(n1, n2):
+    lo, hi = sorted((n1, n2))
+    assert transfer_duration(TESLA_C1060, lo) \
+        <= transfer_duration(TESLA_C1060, hi)

@@ -1,0 +1,92 @@
+"""Tests for the adaptive scheduler extension."""
+
+import numpy as np
+import pytest
+
+from repro import ocl, sched, skelcl
+from repro.errors import SchedulerError
+from repro.sched.adaptive import AdaptiveScheduler
+from repro.skelcl import Map, Vector
+
+USER_FN = "float f(float x) { return sqrt(exp(sin(x) * cos(x))); }"
+N = 1 << 18
+
+
+@pytest.fixture
+def hetero():
+    return ocl.System(num_gpus=1, cpu_device=True)
+
+
+def test_initial_weights_from_model(hetero):
+    cost = sched.UserFunctionCost(ops_per_item=50.0)
+    scheduler = AdaptiveScheduler(hetero.devices, cost)
+    assert scheduler.weights[0] > scheduler.weights[1]
+
+
+def test_initial_weights_even_without_model(hetero):
+    scheduler = AdaptiveScheduler(hetero.devices)
+    assert scheduler.weights == [1.0, 1.0]
+
+
+def test_validation(hetero):
+    with pytest.raises(SchedulerError):
+        AdaptiveScheduler([])
+    with pytest.raises(SchedulerError):
+        AdaptiveScheduler(hetero.devices, smoothing=0.0)
+    scheduler = AdaptiveScheduler(hetero.devices)
+    with pytest.raises(SchedulerError):
+        scheduler.observe([1], [1.0])
+
+
+def test_observation_moves_weights_toward_measurement(hetero):
+    scheduler = AdaptiveScheduler(hetero.devices, smoothing=1.0)
+    # device 0 processed 1000 elements in 1 ms, device 1 in 10 ms
+    scheduler.observe([1000, 1000], [1e-3, 1e-2])
+    assert scheduler.weights[0] == pytest.approx(1e6)
+    assert scheduler.weights[1] == pytest.approx(1e5)
+
+
+def test_idle_device_keeps_weight(hetero):
+    scheduler = AdaptiveScheduler(hetero.devices, smoothing=1.0)
+    scheduler.observe([1000, 0], [1e-3, 0.0])
+    assert scheduler.weights[1] == 1.0
+
+
+def test_imbalance_metric(hetero):
+    scheduler = AdaptiveScheduler(hetero.devices)
+    assert scheduler.imbalance([10, 10], [2.0, 1.0]) == 2.0
+    assert scheduler.imbalance([10, 0], [2.0, 0.0]) == 1.0
+
+
+def test_converges_from_even_split(hetero):
+    """Starting from an even (wrong) split, a few observed iterations
+    converge to the balanced weighted split."""
+    ctx = skelcl.init(devices=hetero.devices)
+    scheduler = AdaptiveScheduler(hetero.devices, smoothing=0.7)
+    skeleton = Map(USER_FN)
+    x = np.linspace(0, 1, N).astype(np.float32)
+    timeline = ctx.system.timeline
+
+    imbalances = []
+    for _ in range(6):
+        dist = scheduler.distribution()
+        lengths = [length for _, length in dist.partition(N, 2)]
+        v = Vector(x, context=ctx)
+        v.set_distribution(dist)
+        since = timeline.now()
+        skeleton(v)
+        scheduler.observe_from_timeline(timeline, lengths, since=since)
+        seconds = []
+        for device in hetero.devices:
+            seconds.append(sum(
+                s.duration for s in timeline.spans
+                if s.resource == device.queue_resource.name
+                and s.start >= since
+                and s.label.startswith("kernel:")))
+        imbalances.append(scheduler.imbalance(lengths, seconds))
+
+    # the first (even) split is badly imbalanced; the last is near 1
+    assert imbalances[0] > 3.0
+    assert imbalances[-1] < 1.3
+    # converged weights match the analytical optimum's split direction
+    assert scheduler.weights[0] > 3 * scheduler.weights[1]

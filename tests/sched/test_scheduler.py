@@ -1,0 +1,164 @@
+"""Tests for the static heterogeneous scheduler (paper Section V)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import ocl, sched, skelcl
+from repro.errors import SchedulerError
+from repro.skelcl import Distribution, Map, Reduce, Vector
+from repro.skelcl.base import UserFunction
+
+COMPUTE_HEAVY = ("float f(float x) { return sqrt(exp(sin(x) * cos(x))); }")
+ADD = "float add(float a, float b) { return a + b; }"
+
+
+@pytest.fixture
+def hetero():
+    """A GPU+CPU system like the paper's heterogeneous lab nodes."""
+    system = ocl.System(num_gpus=1, cpu_device=True)
+    return system
+
+
+def test_throughput_gpu_beats_cpu(hetero):
+    cost = sched.UserFunctionCost(ops_per_item=50.0)
+    gpu, cpu = hetero.devices
+    assert (sched.throughput_items_per_s(gpu.spec, cost)
+            > 5 * sched.throughput_items_per_s(cpu.spec, cost))
+
+
+def test_weighted_distribution_favors_gpu(hetero):
+    cost = sched.UserFunctionCost(ops_per_item=100.0)
+    dist = sched.weighted_block_distribution(hetero.devices, cost)
+    parts = dist.partition(1000, 2)
+    gpu_len, cpu_len = parts[0][1], parts[1][1]
+    assert gpu_len > 5 * cpu_len
+    assert gpu_len + cpu_len == 1000
+
+
+def test_weighted_partition_exact_coverage():
+    dist = sched.WeightedBlockDistribution([3.0, 1.0, 1.0])
+    parts = dist.partition(10, 3)
+    assert parts == [(0, 6), (6, 2), (8, 2)]
+
+
+def test_weighted_partition_device_count_mismatch():
+    dist = sched.WeightedBlockDistribution([1.0, 1.0])
+    with pytest.raises(SchedulerError):
+        dist.partition(10, 3)
+
+
+def test_invalid_weights_rejected():
+    with pytest.raises(SchedulerError):
+        sched.WeightedBlockDistribution([])
+    with pytest.raises(SchedulerError):
+        sched.WeightedBlockDistribution([0.0, 0.0])
+    with pytest.raises(SchedulerError):
+        sched.WeightedBlockDistribution([1.0, -1.0])
+
+
+def test_weighted_vs_plain_block_layout_inequality():
+    weighted = sched.WeightedBlockDistribution([2.0, 1.0])
+    plain = Distribution.block()
+    assert not weighted.same_layout(plain)
+    assert not plain.same_layout(weighted)
+    assert weighted.same_layout(sched.WeightedBlockDistribution([2.0, 1.0]))
+
+
+def test_weighted_distribution_works_with_map(hetero):
+    skelcl.init(devices=hetero.devices)
+    cost = sched.UserFunctionCost(ops_per_item=60.0)
+    dist = sched.weighted_block_distribution(hetero.devices, cost)
+    x = np.linspace(0, 1, 500).astype(np.float32)
+    v = Vector(x)
+    v.set_distribution(dist)
+    out = Map(COMPUTE_HEAVY)(v)
+    expected = np.sqrt(np.exp(np.sin(x) * np.cos(x)))
+    np.testing.assert_allclose(out.to_numpy(), expected, rtol=1e-5)
+    assert v.sizes()[0] > v.sizes()[1]  # GPU got the bigger share
+
+
+def test_weighted_beats_even_makespan(hetero):
+    """The scheduler's split has lower predicted makespan than 50/50."""
+    cost = sched.UserFunctionCost(ops_per_item=100.0)
+    n = 1 << 20
+    dist = sched.weighted_block_distribution(hetero.devices, cost)
+    weighted_lengths = [l for _, l in dist.partition(n, 2)]
+    even_lengths = [n // 2, n // 2]
+    t_weighted = sched.makespan_of_partition(hetero.devices,
+                                             weighted_lengths, cost)
+    t_even = sched.makespan_of_partition(hetero.devices, even_lengths,
+                                         cost)
+    assert t_weighted < t_even / 2
+
+
+def test_final_reduce_prefers_cpu_for_few_elements(hetero):
+    cost = sched.UserFunctionCost(ops_per_item=2.0)
+    gpu, cpu = hetero.devices
+    chosen_small = sched.choose_reduce_final_device(hetero.devices, 64,
+                                                    cost)
+    assert chosen_small is cpu
+    chosen_large = sched.choose_reduce_final_device(hetero.devices,
+                                                    1 << 22, cost)
+    assert chosen_large is gpu
+
+
+def test_static_cost_from_user_function():
+    user = UserFunction(COMPUTE_HEAVY)
+    cost = sched.static_cost(user)
+    assert cost.ops_per_item > 10.0
+    assert cost.bytes_per_item == pytest.approx(8.0)
+
+
+def test_measured_cost_orders_devices(hetero):
+    ctx = skelcl.SkelCLContext(hetero.devices)
+    user = UserFunction(COMPUTE_HEAVY)
+    per_item = sched.measure_map_seconds_per_item(ctx, user)
+    assert len(per_item) == 2
+    assert per_item[0] < per_item[1]  # GPU faster than CPU per element
+
+
+def test_measure_rejects_functions_with_extras(hetero):
+    ctx = skelcl.SkelCLContext(hetero.devices)
+    user = UserFunction("float f(float x, float a) { return a * x; }")
+    with pytest.raises(ValueError):
+        sched.measure_map_seconds_per_item(ctx, user)
+
+
+def test_prediction_matches_measurement(hetero):
+    """Analytical model and virtual measurement agree (same cost model)."""
+    ctx = skelcl.SkelCLContext(hetero.devices)
+    user = UserFunction(COMPUTE_HEAVY)
+    measured = sched.measure_map_seconds_per_item(ctx, user,
+                                                  sample_size=8192)
+    cost = sched.static_cost(user)
+    for device, m in zip(hetero.devices, measured):
+        predicted = sched.predict_map(device.spec, 8192, cost) \
+            - device.spec.kernel_launch_overhead_s
+        assert m * 8192 == pytest.approx(predicted, rel=0.2)
+
+
+@settings(max_examples=30, deadline=None)
+@given(weights=st.lists(st.floats(0.1, 10.0), min_size=1, max_size=6),
+       size=st.integers(0, 10_000))
+def test_property_weighted_partition_is_valid(weights, size):
+    dist = sched.WeightedBlockDistribution(weights)
+    parts = dist.partition(size, len(weights))
+    offset = 0
+    for o, l in parts:
+        assert o == offset and l >= 0
+        offset += l
+    assert offset == size
+
+
+def test_predict_zip_and_reduce_models(hetero):
+    cost = sched.UserFunctionCost(ops_per_item=10.0, bytes_per_item=8.0)
+    gpu = hetero.devices[0]
+    t_map = sched.predict_map(gpu.spec, 1 << 20, cost)
+    t_zip = sched.predict_zip(gpu.spec, 1 << 20, cost)
+    assert t_zip >= t_map  # zip reads two inputs
+    t_with = sched.predict_map(gpu.spec, 1 << 20, cost,
+                               include_transfers=True)
+    assert t_with > t_map
+    t_local = sched.predict_reduce_local(gpu.spec, 1 << 20, cost)
+    assert t_local > sched.predict_reduce_final(gpu.spec, 1, cost)

@@ -1,0 +1,28 @@
+"""Shared fixtures for SkelCL tests."""
+
+import pytest
+
+from repro import ocl, skelcl
+
+
+@pytest.fixture
+def ctx2():
+    """A SkelCL context on a fresh 2-GPU system."""
+    return skelcl.init(num_gpus=2)
+
+
+@pytest.fixture
+def ctx4():
+    """A SkelCL context on a fresh 4-GPU system (the paper's testbed)."""
+    return skelcl.init(num_gpus=4)
+
+
+@pytest.fixture
+def ctx1():
+    return skelcl.init(num_gpus=1)
+
+
+def transfer_spans(ctx, kinds=("H2D", "D2H", "migrate")):
+    """All transfer spans recorded on the context's timeline."""
+    return [s for s in ctx.system.timeline.spans
+            if any(s.label.startswith(k) for k in kinds)]

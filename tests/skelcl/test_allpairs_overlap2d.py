@@ -1,0 +1,168 @@
+"""Tests for the AllPairs and MapOverlap2D extension skeletons."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import skelcl
+from repro.errors import SkelClError
+from repro.skelcl import AllPairs, MapOverlap2D, Matrix, matmul
+
+DOT = """
+float dot(__global const float* a, __global const float* b, int d) {
+    float s = 0.0f;
+    for (int k = 0; k < d; ++k) s += a[k] * b[k];
+    return s;
+}
+"""
+
+BLUR = """
+float blur(__global const float* w) {
+    float s = 0.0f;
+    for (int k = 0; k < 9; ++k) s += w[k];
+    return s / 9.0f;
+}
+"""
+
+
+def blur_reference(image, neutral=0.0):
+    padded = np.full((image.shape[0] + 2, image.shape[1] + 2), neutral)
+    padded[1:-1, 1:-1] = image
+    out = np.zeros_like(image, dtype=np.float64)
+    for dy in range(3):
+        for dx in range(3):
+            out += padded[dy:dy + image.shape[0],
+                          dx:dx + image.shape[1]]
+    return (out / 9.0).astype(np.float32)
+
+
+# -- AllPairs -------------------------------------------------------------
+
+
+def test_matmul_source_path(ctx2):
+    rng = np.random.default_rng(0)
+    a = rng.random((5, 4)).astype(np.float32)
+    b = rng.random((3, 4)).astype(np.float32)  # rows are B^T's rows
+    A, Bt = Matrix(a), Matrix(b)
+    C = matmul(A, Bt, native=False)
+    np.testing.assert_allclose(C.to_numpy(), a @ b.T, rtol=1e-5)
+
+
+def test_matmul_native_path(ctx4):
+    rng = np.random.default_rng(1)
+    a = rng.random((9, 6)).astype(np.float32)
+    b = rng.random((7, 6)).astype(np.float32)
+    C = matmul(Matrix(a), Matrix(b), native=True)
+    np.testing.assert_allclose(C.to_numpy(), a @ b.T, rtol=1e-5)
+
+
+def test_allpairs_distribution_placement(ctx2):
+    a = Matrix(np.ones((4, 2), dtype=np.float32))
+    b = Matrix(np.ones((3, 2), dtype=np.float32))
+    AllPairs(DOT)(a, b)
+    assert a.distribution.kind == "block"  # A's rows split
+    assert b.distribution.kind == "copy"   # B replicated
+
+
+def test_allpairs_pairwise_distance(ctx2):
+    src = """
+    float d2(__global const float* a, __global const float* b, int d) {
+        float s = 0.0f;
+        for (int k = 0; k < d; ++k) {
+            float diff = a[k] - b[k];
+            s += diff * diff;
+        }
+        return s;
+    }
+    """
+    pts = np.array([[0, 0], [3, 4], [1, 1]], dtype=np.float32)
+    D = AllPairs(src)(Matrix(pts), Matrix(pts))
+    expected = ((pts[:, None, :] - pts[None, :, :]) ** 2).sum(axis=2)
+    np.testing.assert_allclose(D.to_numpy(), expected, rtol=1e-5)
+
+
+def test_allpairs_row_length_mismatch(ctx2):
+    with pytest.raises(SkelClError):
+        AllPairs(DOT)(Matrix(np.ones((2, 3), dtype=np.float32)),
+                      Matrix(np.ones((2, 4), dtype=np.float32)))
+
+
+def test_allpairs_bad_user_functions(ctx2):
+    with pytest.raises(SkelClError):
+        AllPairs("float f(float a, float b) { return a + b; }")
+    with pytest.raises(SkelClError):
+        AllPairs("float f(__global const float* a,"
+                 " __global const float* b, float d) { return a[0]; }")
+
+
+@settings(max_examples=15, deadline=None)
+@given(n=st.integers(1, 6), m=st.integers(1, 6), d=st.integers(1, 5),
+       ndev=st.integers(1, 4))
+def test_property_matmul_matches_numpy(n, m, d, ndev):
+    skelcl.init(num_gpus=ndev)
+    rng = np.random.default_rng(n * 100 + m * 10 + d)
+    a = rng.random((n, d)).astype(np.float32)
+    b = rng.random((m, d)).astype(np.float32)
+    C = matmul(Matrix(a), Matrix(b), native=False)
+    np.testing.assert_allclose(C.to_numpy(), a @ b.T, rtol=1e-4,
+                               atol=1e-5)
+
+
+# -- MapOverlap2D -----------------------------------------------------------
+
+
+def test_blur_matches_reference(ctx2):
+    rng = np.random.default_rng(3)
+    image = rng.random((6, 5)).astype(np.float32)
+    out = MapOverlap2D(BLUR, radius=1)(Matrix(image))
+    np.testing.assert_allclose(out.to_numpy(), blur_reference(image),
+                               rtol=1e-5)
+
+
+def test_blur_halo_rows_across_devices(ctx4):
+    """Row-block parts need halo rows from neighbouring devices."""
+    rng = np.random.default_rng(4)
+    image = rng.random((9, 4)).astype(np.float32)
+    out = MapOverlap2D(BLUR, radius=1)(Matrix(image))
+    np.testing.assert_allclose(out.to_numpy(), blur_reference(image),
+                               rtol=1e-5)
+
+
+def test_neutral_at_matrix_edges(ctx2):
+    image = np.ones((4, 4), dtype=np.float32)
+    out = MapOverlap2D(BLUR, radius=1, neutral=9.0)(Matrix(image))
+    expected = blur_reference(image, neutral=9.0)
+    np.testing.assert_allclose(out.to_numpy(), expected, rtol=1e-5)
+
+
+def test_edge_detection_kernel(ctx2):
+    src = """
+    float lap(__global const float* w) {
+        return w[1] + w[3] + w[5] + w[7] - 4.0f * w[4];
+    }
+    """
+    image = np.zeros((5, 5), dtype=np.float32)
+    image[2, 2] = 1.0
+    out = MapOverlap2D(src, radius=1)(Matrix(image)).to_numpy()
+    assert out[2, 2] == pytest.approx(-4.0)
+    assert out[1, 2] == pytest.approx(1.0)
+    assert out[0, 0] == pytest.approx(0.0)
+
+
+def test_overlap2d_rejects_bad_user_fn(ctx2):
+    with pytest.raises(SkelClError):
+        MapOverlap2D("float f(float x) { return x; }", radius=1)
+    with pytest.raises(SkelClError):
+        MapOverlap2D(BLUR, radius=0)
+
+
+@settings(max_examples=10, deadline=None)
+@given(rows=st.integers(1, 8), cols=st.integers(1, 8),
+       ndev=st.integers(1, 4))
+def test_property_blur_matches_reference(rows, cols, ndev):
+    skelcl.init(num_gpus=ndev)
+    rng = np.random.default_rng(rows * 10 + cols)
+    image = rng.random((rows, cols)).astype(np.float32)
+    out = MapOverlap2D(BLUR, radius=1)(Matrix(image))
+    np.testing.assert_allclose(out.to_numpy(), blur_reference(image),
+                               rtol=1e-4, atol=1e-5)

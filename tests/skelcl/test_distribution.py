@@ -1,0 +1,109 @@
+"""Tests for the distribution abstraction (paper Fig. 1, Section III-A)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import DistributionError
+from repro.skelcl.distribution import Distribution, combine_copies
+
+
+def test_single_layout_figure_1a():
+    dist = Distribution.single()
+    assert dist.partition(16, 2) == [(0, 16), (0, 0)]
+
+
+def test_single_on_other_device():
+    dist = Distribution.single(1)
+    assert dist.partition(16, 2) == [(0, 0), (0, 16)]
+
+
+def test_single_device_out_of_range():
+    with pytest.raises(DistributionError):
+        Distribution.single(3).partition(16, 2)
+
+
+def test_block_layout_figure_1b():
+    dist = Distribution.block()
+    assert dist.partition(16, 2) == [(0, 8), (8, 8)]
+    assert dist.partition(16, 4) == [(0, 4), (4, 4), (8, 4), (12, 4)]
+
+
+def test_block_remainder_to_first_devices():
+    dist = Distribution.block()
+    assert dist.partition(10, 4) == [(0, 3), (3, 3), (6, 2), (8, 2)]
+
+
+def test_block_more_devices_than_elements():
+    dist = Distribution.block()
+    parts = dist.partition(2, 4)
+    assert parts == [(0, 1), (1, 1), (2, 0), (2, 0)]
+
+
+def test_copy_layout_figure_1c():
+    dist = Distribution.copy()
+    assert dist.partition(16, 3) == [(0, 16)] * 3
+
+
+def test_invalid_kind():
+    with pytest.raises(DistributionError):
+        Distribution("scattered")
+
+
+def test_combine_only_for_copy():
+    with pytest.raises(DistributionError):
+        Distribution("block", combine=np.add)
+
+
+def test_same_layout():
+    assert Distribution.block().same_layout(Distribution.block())
+    assert not Distribution.block().same_layout(Distribution.copy())
+    assert Distribution.single(0).same_layout(Distribution.single(0))
+    assert not Distribution.single(0).same_layout(Distribution.single(1))
+    assert Distribution.copy().same_layout(Distribution.copy(np.add))
+
+
+def test_combine_copies_default_first_wins():
+    a = np.array([1.0, 2.0])
+    b = np.array([10.0, 20.0])
+    result = combine_copies([a, b], None)
+    np.testing.assert_array_equal(result, a)
+    result[0] = 99  # must be a copy
+    assert a[0] == 1.0
+
+
+def test_combine_copies_elementwise_add():
+    copies = [np.array([1, 2]), np.array([3, 4]), np.array([5, 6])]
+    np.testing.assert_array_equal(combine_copies(copies, np.add), [9, 12])
+
+
+def test_combine_copies_order_preserved():
+    # non-commutative combine: subtraction folds left
+    copies = [np.array([10.0]), np.array([3.0]), np.array([2.0])]
+    np.testing.assert_array_equal(
+        combine_copies(copies, np.subtract), [5.0])
+
+
+@given(size=st.integers(0, 1000), ndev=st.integers(1, 8))
+def test_property_block_partition_covers_exactly(size, ndev):
+    parts = Distribution.block().partition(size, ndev)
+    assert len(parts) == ndev
+    expected_offset = 0
+    for offset, length in parts:
+        assert offset == expected_offset
+        expected_offset += length
+    assert expected_offset == size
+    lengths = [l for _, l in parts]
+    assert max(lengths) - min(lengths) <= 1  # balanced
+
+
+@given(size=st.integers(1, 100), ndev=st.integers(1, 8),
+       dev=st.integers(0, 7))
+def test_property_single_puts_everything_on_one_device(size, ndev, dev):
+    if dev >= ndev:
+        with pytest.raises(DistributionError):
+            Distribution.single(dev).partition(size, ndev)
+        return
+    parts = Distribution.single(dev).partition(size, ndev)
+    assert parts[dev] == (0, size)
+    assert all(p == (0, 0) for i, p in enumerate(parts) if i != dev)

@@ -1,0 +1,79 @@
+"""Parametrized dtype coverage across the four paper skeletons."""
+
+import numpy as np
+import pytest
+
+from repro.skelcl import Map, Reduce, Scan, Vector, Zip
+
+DTYPES = {
+    "int": (np.int32, np.arange(-8, 24)),
+    "uint": (np.uint32, np.arange(0, 32)),
+    "long": (np.int64, np.arange(-8, 24) * 10 ** 10),
+    "float": (np.float32, np.linspace(-2, 2, 32)),
+    "double": (np.float64, np.linspace(-2, 2, 32)),
+}
+
+
+@pytest.mark.parametrize("cname", DTYPES)
+def test_map_identity_every_dtype(ctx2, cname):
+    dtype, data = DTYPES[cname]
+    v = Vector(np.asarray(data, dtype=dtype), dtype=dtype)
+    out = Map(f"{cname} f({cname} x) {{ return x; }}")(v)
+    assert out.dtype == dtype
+    np.testing.assert_array_equal(out.to_numpy(),
+                                  np.asarray(data, dtype=dtype))
+
+
+@pytest.mark.parametrize("cname", DTYPES)
+def test_zip_add_every_dtype(ctx2, cname):
+    dtype, data = DTYPES[cname]
+    a = np.asarray(data, dtype=dtype)
+    v1 = Vector(a, dtype=dtype)
+    v2 = Vector(a, dtype=dtype)
+    out = Zip(f"{cname} f({cname} x, {cname} y)"
+              f" {{ return x + y; }}")(v1, v2)
+    np.testing.assert_array_equal(out.to_numpy(), a + a)
+
+
+@pytest.mark.parametrize("cname", ["int", "long", "float", "double"])
+def test_reduce_sum_every_dtype(ctx4, cname):
+    dtype, data = DTYPES[cname]
+    a = np.asarray(data, dtype=dtype)
+    out = Reduce(f"{cname} f({cname} x, {cname} y)"
+                 f" {{ return x + y; }}")(Vector(a, dtype=dtype))
+    if np.issubdtype(dtype, np.integer):
+        assert out.to_numpy()[0] == a.sum()
+    else:
+        assert out.to_numpy()[0] == pytest.approx(float(a.sum()),
+                                                  rel=1e-5, abs=1e-5)
+
+
+@pytest.mark.parametrize("cname", ["int", "long", "double"])
+def test_scan_every_dtype(ctx4, cname):
+    dtype, data = DTYPES[cname]
+    a = np.asarray(data, dtype=dtype)
+    out = Scan(f"{cname} f({cname} x, {cname} y)"
+               f" {{ return x + y; }}")(Vector(a, dtype=dtype))
+    if np.issubdtype(dtype, np.integer):
+        np.testing.assert_array_equal(out.to_numpy(), np.cumsum(a))
+    else:
+        np.testing.assert_allclose(out.to_numpy(), np.cumsum(a),
+                                   rtol=1e-6, atol=1e-9)
+
+
+def test_map_mixed_dtype_conversion(ctx2):
+    v = Vector(np.arange(10), dtype=np.int64)
+    out = Map("double f(long x) { return x / 4.0; }")(v)
+    assert out.dtype == np.float64
+    np.testing.assert_allclose(out.to_numpy(), np.arange(10) / 4.0)
+
+
+def test_zip_mixed_input_dtypes(ctx2):
+    a = Vector(np.arange(6), dtype=np.int32)
+    b = Vector(np.linspace(0, 1, 6).astype(np.float32),
+               dtype=np.float32)
+    out = Zip("float f(int i, float x) { return i + x; }")(a, b)
+    np.testing.assert_allclose(
+        out.to_numpy(),
+        np.arange(6) + np.linspace(0, 1, 6).astype(np.float32),
+        rtol=1e-6)

@@ -1,0 +1,133 @@
+"""Tests for map fusion (source-level skeleton composition)."""
+
+import numpy as np
+import pytest
+
+from repro import skelcl
+from repro.errors import SkelClError
+from repro.skelcl import Distribution, Map, Vector, fuse
+
+SQ = "float sq(float x) { return x * x; }"
+NEG = "float neg(float x) { return -x; }"
+ADDC = "float addc(float x, float c) { return x + c; }"
+SCALE = "float scale(float x, float s) { return x * s; }"
+
+
+@pytest.fixture
+def ctx2():
+    return skelcl.init(num_gpus=2)
+
+
+def test_fused_equals_chained(ctx2):
+    x = np.linspace(-2, 2, 33).astype(np.float32)
+    chained = Map(NEG)(Map(SQ)(Vector(x))).to_numpy()
+    fused = fuse(Map(SQ), Map(NEG))(Vector(x)).to_numpy()
+    np.testing.assert_allclose(fused, chained, rtol=1e-6)
+
+
+def test_fusion_merges_sources(ctx2):
+    fused = fuse(Map(SQ), Map(NEG))
+    assert SQ in fused.kernel_source
+    assert NEG in fused.kernel_source
+    assert "skelcl_fused" in fused.kernel_source
+
+
+def test_fused_extras_concatenate(ctx2):
+    x = np.arange(6, dtype=np.float32)
+    fused = fuse(Map(ADDC), Map(SCALE))
+    out = fused(Vector(x), 1.0, 3.0)  # (x + 1) * 3
+    np.testing.assert_allclose(out.to_numpy(), (x + 1) * 3)
+
+
+def test_fused_three_deep(ctx2):
+    x = np.arange(5, dtype=np.float32)
+    inc = "float inc(float x) { return x + 1.0f; }"
+    dbl = "float dbl(float x) { return x * 2.0f; }"
+    half = "float half_it(float x) { return x * 0.5f; }"
+    fused = fuse(fuse(Map(inc), Map(dbl)), Map(half))
+    np.testing.assert_allclose(fused(Vector(x)).to_numpy(), x + 1.0)
+
+
+def test_fused_saves_a_launch_and_traffic(ctx2):
+    n = 1 << 20
+    x = np.linspace(0, 1, n).astype(np.float32)
+
+    def run(make_fn):
+        ctx = skelcl.init(num_gpus=2)
+        fn = make_fn()  # build skeletons once (compile cached)
+        v = Vector(x)
+        fn(v)  # warm-up: compile + upload the input parts
+        mark = len(ctx.system.timeline.spans)
+        t0 = ctx.system.timeline.now()
+        fn(v)
+        spans = ctx.system.timeline.spans[mark:]
+        launches = sum(1 for s in spans
+                       if s.label.startswith("kernel:"))
+        return ctx.system.timeline.now() - t0, launches
+
+    def make_chain():
+        sq, neg = Map(SQ), Map(NEG)
+        return lambda v: neg(sq(v))
+
+    def make_fused():
+        fused = fuse(Map(SQ), Map(NEG))
+        return lambda v: fused(v)
+
+    t_chain, n_chain = run(make_chain)
+    t_fused, n_fused = run(make_fused)
+    assert n_fused == n_chain // 2
+    assert t_fused < t_chain
+
+
+def test_fuse_type_mismatch(ctx2):
+    to_int = Map("int f(float x) { return (int)x; }")
+    neg = Map(NEG)
+    with pytest.raises(SkelClError):
+        fuse(to_int, neg)
+
+
+def test_fuse_void_first_rejected(ctx2):
+    void_map = Map("void f(float x, __global float* s) { s[0] = x; }")
+    with pytest.raises(SkelClError):
+        fuse(void_map, Map(NEG))
+
+
+def test_fuse_name_clash_rejected(ctx2):
+    with pytest.raises(SkelClError):
+        fuse(Map(SQ), Map(SQ))
+
+
+def test_fuse_native_override_rejected(ctx2):
+    native = Map(SQ, native=lambda x, _element_index=None: x * x)
+    with pytest.raises(SkelClError):
+        fuse(native, Map(NEG))
+
+
+def test_helper_functions_in_user_source(ctx2):
+    """UserFunction accepts helpers; the last function customizes."""
+    src = """
+    float helper(float x) { return x * x; }
+    float entry(float x) { return helper(x) + 1.0f; }
+    """
+    out = Map(src)(Vector(np.arange(4, dtype=np.float32)))
+    np.testing.assert_allclose(out.to_numpy(),
+                               np.arange(4) ** 2 + 1.0)
+
+
+def test_fused_output_distribution_follows_input(ctx2):
+    x = np.arange(8, dtype=np.float32)
+    v = Vector(x)
+    v.set_distribution(Distribution.single(1))
+    out = fuse(Map(SQ), Map(NEG))(v)
+    assert out.distribution.kind == "single"
+    assert out.distribution.device == 1
+
+
+def test_fused_map_on_matrix(ctx2):
+    """A fused map drops into Matrix.map unchanged."""
+    from repro.skelcl import Matrix
+    m = Matrix(np.arange(12, dtype=np.float32).reshape(3, 4))
+    fused = fuse(Map(SQ), Map(NEG))
+    out = m.map(fused)
+    np.testing.assert_allclose(out.to_numpy(),
+                               -(np.arange(12).reshape(3, 4) ** 2.0))

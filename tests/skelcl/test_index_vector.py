@@ -1,0 +1,80 @@
+"""Tests for the device-generated IndexVector extension."""
+
+import numpy as np
+import pytest
+
+from repro import skelcl
+from repro.errors import SkelClError
+from repro.skelcl import Distribution, IndexVector, Map
+
+from .conftest import transfer_spans
+
+
+def test_contents(ctx2):
+    iv = IndexVector(10)
+    np.testing.assert_array_equal(iv.to_numpy(), np.arange(10))
+    assert iv.dtype == np.int32
+
+
+def test_invalid_size(ctx2):
+    with pytest.raises(SkelClError):
+        IndexVector(0)
+
+
+def test_no_transfer_on_device_use(ctx2):
+    iv = IndexVector(1 << 16)
+    iv.set_distribution(Distribution.block())
+    iv.ensure_on_device(0)
+    iv.ensure_on_device(1)
+    assert transfer_spans(ctx2, kinds=("H2D",)) == []
+    iota = [s for s in ctx2.system.timeline.spans
+            if s.label == "kernel:skelcl_iota"]
+    assert len(iota) == 2
+
+
+def test_parts_hold_global_indices(ctx2):
+    iv = IndexVector(8)
+    iv.set_distribution(Distribution.block())
+    part = iv.ensure_on_device(1)
+    np.testing.assert_array_equal(part.buffer.view(np.int32),
+                                  [4, 5, 6, 7])
+
+
+def test_map_over_index_vector(ctx4):
+    iv = IndexVector(64)
+    out = Map("float f(int i) { return i * i * 1.0f; }")(iv)
+    np.testing.assert_allclose(out.to_numpy(),
+                               np.arange(64, dtype=np.float64) ** 2)
+
+
+def test_mandelbrot_style_usage(ctx2):
+    """Index-based maps need no input data upload at all."""
+    from repro.apps import mandelbrot as mb
+    view = mb.View(width=16, height=8, max_iter=20)
+    iv = IndexVector(view.n_pixels)
+    skeleton = Map(mb.MANDELBROT_SOURCE)
+    out = skeleton(iv, *view.scalar_args())
+    expected = mb.escape_counts(np.arange(view.n_pixels), view.width,
+                                view.height, view.x0, view.y0, view.dx,
+                                view.dy, view.max_iter)
+    np.testing.assert_array_equal(out.to_numpy(), expected)
+    assert transfer_spans(iv.ctx, kinds=("H2D",)) == []
+
+
+def test_read_only(ctx2):
+    iv = IndexVector(4)
+    with pytest.raises(SkelClError):
+        iv[0] = 5
+    with pytest.raises(SkelClError):
+        iv.data_on_devices_modified()
+    with pytest.raises(SkelClError):
+        iv.mark_device_written(0)
+
+
+def test_copy_distribution(ctx2):
+    iv = IndexVector(6)
+    iv.set_distribution(Distribution.copy())
+    for d in range(2):
+        part = iv.ensure_on_device(d)
+        np.testing.assert_array_equal(part.buffer.view(np.int32),
+                                      np.arange(6))

@@ -1,0 +1,134 @@
+"""Tests for the MapOverlap (stencil) extension skeleton."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import skelcl
+from repro.errors import SkelClError
+from repro.skelcl import Distribution, MapOverlap, Vector
+
+AVG3 = ("float f(__global const float* w)"
+        " { return (w[0] + w[1] + w[2]) / 3.0f; }")
+
+
+def reference_avg3(x, neutral=0.0):
+    padded = np.concatenate([[neutral], x, [neutral]])
+    return ((padded[:-2] + padded[1:-1] + padded[2:]) / 3.0) \
+        .astype(np.float32)
+
+
+def test_three_point_average(ctx2):
+    x = np.arange(10, dtype=np.float32)
+    out = MapOverlap(AVG3, radius=1)(Vector(x))
+    np.testing.assert_allclose(out.to_numpy(), reference_avg3(x),
+                               rtol=1e-6)
+
+
+def test_neutral_element_at_boundaries(ctx2):
+    x = np.ones(6, dtype=np.float32)
+    out = MapOverlap(AVG3, radius=1, neutral=4.0)(Vector(x))
+    expected = reference_avg3(x, neutral=4.0)
+    np.testing.assert_allclose(out.to_numpy(), expected, rtol=1e-6)
+
+
+def test_halo_exchange_across_parts(ctx4):
+    """The stencil must see neighbours living on other devices."""
+    x = np.arange(16, dtype=np.float32)
+    v = Vector(x)
+    v.set_distribution(Distribution.block())
+    out = MapOverlap(AVG3, radius=1)(v)
+    np.testing.assert_allclose(out.to_numpy(), reference_avg3(x),
+                               rtol=1e-6)
+
+
+def test_larger_radius(ctx2):
+    src = ("float f(__global const float* w) {"
+           " float s = 0.0f;"
+           " for (int k = 0; k < 5; ++k) s += w[k];"
+           " return s; }")
+    x = np.arange(12, dtype=np.float32)
+    out = MapOverlap(src, radius=2)(Vector(x))
+    padded = np.concatenate([[0, 0], x, [0, 0]])
+    expected = sum(padded[k:k + 12] for k in range(5))
+    np.testing.assert_allclose(out.to_numpy(), expected, rtol=1e-6)
+
+
+def test_gradient_stencil_non_symmetric(ctx2):
+    src = ("float f(__global const float* w)"
+           " { return w[2] - w[0]; }")  # central difference
+    x = (np.arange(8, dtype=np.float32)) ** 2
+    out = MapOverlap(src, radius=1)(Vector(x))
+    padded = np.concatenate([[0.0], x, [0.0]]).astype(np.float32)
+    np.testing.assert_allclose(out.to_numpy(), padded[2:] - padded[:-2],
+                               rtol=1e-6)
+
+
+def test_additional_scalar_argument(ctx2):
+    src = ("float f(__global const float* w, float alpha)"
+           " { return w[1] + alpha * (w[0] - 2.0f * w[1] + w[2]); }")
+    x = np.sin(np.linspace(0, 3, 20)).astype(np.float32)
+    out = MapOverlap(src, radius=1)(Vector(x), 0.1)
+    padded = np.concatenate([[0.0], x, [0.0]]).astype(np.float32)
+    lap = padded[:-2] - 2 * padded[1:-1] + padded[2:]
+    np.testing.assert_allclose(out.to_numpy(), x + 0.1 * lap, rtol=1e-5)
+
+
+def test_rejects_invalid_user_functions(ctx2):
+    with pytest.raises(SkelClError):
+        MapOverlap("float f(float x) { return x; }", radius=1)
+    with pytest.raises(SkelClError):
+        MapOverlap(AVG3, radius=0)
+    with pytest.raises(SkelClError):
+        MapOverlap("void f(__global const float* w) { }", radius=1)
+
+
+def test_dtype_mismatch_rejected(ctx2):
+    v = Vector(np.zeros(4), dtype=np.int32)
+    with pytest.raises(SkelClError):
+        MapOverlap(AVG3, radius=1)(v)
+
+
+def test_coerces_copy_to_block(ctx2):
+    x = np.arange(8, dtype=np.float32)
+    v = Vector(x)
+    v.set_distribution(Distribution.copy())
+    out = MapOverlap(AVG3, radius=1)(v)
+    assert v.distribution.kind == "block"
+    np.testing.assert_allclose(out.to_numpy(), reference_avg3(x),
+                               rtol=1e-6)
+
+
+def test_iterated_stencil_heat_diffusion(ctx2):
+    """A few explicit heat-equation steps stay equal to numpy."""
+    src = ("float f(__global const float* w, float alpha)"
+           " { return w[1] + alpha * (w[0] - 2.0f * w[1] + w[2]); }")
+    step = MapOverlap(src, radius=1)
+    u = np.zeros(32, dtype=np.float32)
+    u[16] = 100.0
+    v = Vector(u)
+    expected = u.astype(np.float64)
+    for _ in range(5):
+        v = step(v, 0.2)
+        padded = np.concatenate([[0.0], expected, [0.0]])
+        expected = (padded[1:-1]
+                    + 0.2 * (padded[:-2] - 2 * padded[1:-1]
+                             + padded[2:]))
+    np.testing.assert_allclose(v.to_numpy(), expected, rtol=1e-4,
+                               atol=1e-4)
+
+
+@settings(max_examples=20, deadline=None)
+@given(data=st.lists(st.floats(-10, 10), min_size=1, max_size=64),
+       ndev=st.integers(1, 4), radius=st.integers(1, 3))
+def test_property_matches_numpy_padded_window(data, ndev, radius):
+    skelcl.init(num_gpus=ndev)
+    src = (f"float f(__global const float* w) {{"
+           f" float s = 0.0f;"
+           f" for (int k = 0; k < {2 * radius + 1}; ++k) s += w[k];"
+           f" return s; }}")
+    x = np.array(data, dtype=np.float32)
+    out = MapOverlap(src, radius=radius)(Vector(x)).to_numpy()
+    padded = np.concatenate([np.zeros(radius), x, np.zeros(radius)])
+    expected = sum(padded[k:k + len(x)] for k in range(2 * radius + 1))
+    np.testing.assert_allclose(out, expected, rtol=1e-4, atol=1e-4)

@@ -1,0 +1,115 @@
+"""Tests for the Matrix container and row-block distribution."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import skelcl
+from repro.errors import DistributionError, SkelClError
+from repro.skelcl import (Distribution, Map, Matrix,
+                          RowBlockDistribution, Zip)
+
+
+def test_construction_from_2d(ctx2):
+    m = Matrix(np.arange(12, dtype=np.float32).reshape(3, 4))
+    assert m.shape == (3, 4)
+    np.testing.assert_array_equal(
+        m.to_numpy(), np.arange(12).reshape(3, 4))
+
+
+def test_construction_from_shape(ctx2):
+    m = Matrix(shape=(2, 5), dtype=np.float32)
+    assert m.size == 10
+    np.testing.assert_array_equal(m.to_numpy(), np.zeros((2, 5)))
+
+
+def test_rejects_1d_data(ctx2):
+    with pytest.raises(SkelClError):
+        Matrix(np.arange(6, dtype=np.float32))
+    with pytest.raises(SkelClError):
+        Matrix(shape=(0, 3))
+
+
+def test_row_block_partition_splits_at_rows():
+    dist = RowBlockDistribution(cols=5)
+    parts = dist.partition(4 * 5, 3)
+    assert parts == [(0, 10), (10, 5), (15, 5)]
+    for offset, length in parts:
+        assert offset % 5 == 0 and length % 5 == 0
+
+
+def test_row_block_partition_rejects_ragged():
+    dist = RowBlockDistribution(cols=5)
+    with pytest.raises(DistributionError):
+        dist.partition(12, 2)  # 12 is not a multiple of 5
+
+
+def test_row_block_vs_plain_block_layout():
+    assert not RowBlockDistribution(4).same_layout(Distribution.block())
+    assert RowBlockDistribution(4).same_layout(RowBlockDistribution(4))
+    assert not RowBlockDistribution(4).same_layout(
+        RowBlockDistribution(5))
+
+
+def test_plain_block_promoted_to_row_block(ctx2):
+    m = Matrix(np.zeros((4, 6), dtype=np.float32))
+    m.set_distribution(Distribution.block())
+    assert isinstance(m.vector.distribution, RowBlockDistribution)
+    assert m.row_counts() == [2, 2]
+
+
+def test_row_counts(ctx4):
+    m = Matrix(np.zeros((5, 3), dtype=np.float32))
+    m.block_by_rows()
+    assert m.row_counts() == [2, 1, 1, 1]
+
+
+def test_elementwise_map(ctx2):
+    m = Matrix(np.arange(8, dtype=np.float32).reshape(2, 4))
+    neg = Map("float f(float x) { return -x; }")
+    out = m.map(neg)
+    np.testing.assert_array_equal(out.to_numpy(),
+                                  -np.arange(8).reshape(2, 4))
+    assert out.shape == m.shape
+
+
+def test_elementwise_zip(ctx2):
+    a = Matrix(np.ones((3, 3), dtype=np.float32))
+    b = Matrix(np.full((3, 3), 2.0, dtype=np.float32))
+    add = Zip("float f(float x, float y) { return x + y; }")
+    out = a.zip_with(add, b)
+    np.testing.assert_array_equal(out.to_numpy(), np.full((3, 3), 3.0))
+
+
+def test_zip_shape_mismatch(ctx2):
+    a = Matrix(np.ones((2, 3), dtype=np.float32))
+    b = Matrix(np.ones((3, 2), dtype=np.float32))
+    add = Zip("float f(float x, float y) { return x + y; }")
+    with pytest.raises(SkelClError):
+        a.zip_with(add, b)
+
+
+def test_from_vector_size_check(ctx2):
+    v = skelcl.Vector(np.zeros(7, dtype=np.float32))
+    with pytest.raises(SkelClError):
+        Matrix.from_vector(v, (2, 4))
+
+
+def test_getitem(ctx2):
+    m = Matrix(np.arange(6, dtype=np.float32).reshape(2, 3))
+    assert m[1, 2] == 5.0
+    np.testing.assert_array_equal(m[0], [0, 1, 2])
+
+
+@settings(max_examples=20, deadline=None)
+@given(rows=st.integers(1, 12), cols=st.integers(1, 12),
+       ndev=st.integers(1, 4))
+def test_property_row_block_covers_all_rows(rows, cols, ndev):
+    dist = RowBlockDistribution(cols)
+    parts = dist.partition(rows * cols, ndev)
+    total = 0
+    for offset, length in parts:
+        assert offset % cols == 0
+        assert length % cols == 0
+        total += length
+    assert total == rows * cols

@@ -1,0 +1,92 @@
+"""Fault injection: device memory pressure and error recovery.
+
+A classic multi-GPU motivation the paper's distribution vocabulary
+expresses directly: data that does not fit one GPU's memory fits when
+block-distributed across several.  Simulated devices with tiny
+memories make this testable without allocating gigabytes.
+"""
+
+import numpy as np
+import pytest
+from dataclasses import replace
+
+from repro import ocl, skelcl
+from repro.errors import OutOfResourcesError
+from repro.skelcl import Distribution, Map, Vector
+
+#: a Tesla with only 1 MiB of device memory
+TINY_GPU = replace(ocl.TESLA_C1060, global_mem_bytes=1 << 20)
+
+NEG = "float neg(float x) { return -x; }"
+
+
+def tiny_system(num_gpus):
+    return ocl.System(num_gpus=num_gpus, gpu_spec=TINY_GPU)
+
+
+def test_vector_too_big_for_single_gpu():
+    system = tiny_system(1)
+    skelcl.init(devices=system.devices)
+    # 1.5 MiB of data on a 1 MiB device
+    v = Vector(np.zeros(384 * 1024, dtype=np.float32))
+    v.set_distribution(Distribution.single())
+    with pytest.raises(OutOfResourcesError):
+        v.ensure_on_device(0)
+
+
+def test_same_vector_fits_when_block_distributed():
+    system = tiny_system(4)
+    skelcl.init(devices=system.devices)
+    data = np.arange(384 * 1024, dtype=np.float32)
+    v = Vector(data)
+    v.set_distribution(Distribution.block())  # 384 KiB per device
+    out = Map(NEG)(v)
+    np.testing.assert_array_equal(out.to_numpy()[:5], -data[:5])
+
+
+def test_copy_distribution_hits_limit_everywhere():
+    system = tiny_system(4)
+    skelcl.init(devices=system.devices)
+    v = Vector(np.zeros(384 * 1024, dtype=np.float32))
+    v.set_distribution(Distribution.copy())
+    with pytest.raises(OutOfResourcesError):
+        v.ensure_on_device(0)
+
+
+def test_release_frees_capacity_for_next_vector():
+    system = tiny_system(1)
+    skelcl.init(devices=system.devices)
+    device = system.devices[0]
+    a = Vector(np.zeros(128 * 1024, dtype=np.float32))  # 512 KiB
+    a.set_distribution(Distribution.single())
+    a.ensure_on_device(0)
+    used = device.allocated_bytes
+    assert used >= 512 * 1024
+    # redistributing away drops the old buffers -> capacity returns
+    a.set_distribution(Distribution.single())  # same layout: no-op
+    b = Vector(np.zeros(120 * 1024, dtype=np.float32))  # 480 KiB
+    b.set_distribution(Distribution.single())
+    b.ensure_on_device(0)  # fits alongside (1 MiB total budget)
+    assert device.allocated_bytes <= device.spec.global_mem_bytes
+
+
+def test_failed_allocation_leaves_accounting_consistent():
+    system = tiny_system(1)
+    skelcl.init(devices=system.devices)
+    device = system.devices[0]
+    before = device.allocated_bytes
+    v = Vector(np.zeros(600 * 1024, dtype=np.float32))  # 2.4 MiB
+    v.set_distribution(Distribution.single())
+    with pytest.raises(OutOfResourcesError):
+        v.ensure_on_device(0)
+    assert device.allocated_bytes == before
+    # host data is still intact and usable after the failure
+    assert v.to_numpy().shape == (600 * 1024,)
+
+
+def test_map_through_skeleton_surfaces_oom():
+    system = tiny_system(1)
+    skelcl.init(devices=system.devices)
+    v = Vector(np.zeros(384 * 1024, dtype=np.float32))
+    with pytest.raises(OutOfResourcesError):
+        Map(NEG)(v)  # default block on 1 device = whole vector

@@ -1,0 +1,119 @@
+"""Assorted coverage: struct additional arguments, aliasing corners,
+event helpers, and API facade paths not exercised elsewhere."""
+
+import numpy as np
+import pytest
+
+from repro import ocl, skelcl
+from repro.apps.osem.geometry import EVENT_DTYPE
+from repro.errors import SkelClError
+from repro.skelcl import Distribution, Map, Vector, Zip
+
+
+@pytest.fixture
+def ctx2():
+    return skelcl.init(num_gpus=2)
+
+
+def test_struct_vector_as_additional_argument(ctx2):
+    """A struct-typed vector passed as an additional argument."""
+    src = """
+    typedef struct {
+        float x1; float y1; float z1;
+        float x2; float y2; float z2;
+    } Event;
+    float startx(int i, __global const Event* evs) {
+        return evs[i].x1;
+    }
+    """
+    events = np.zeros(4, EVENT_DTYPE)
+    events["x1"] = [1.0, 2.0, 3.0, 4.0]
+    ev = Vector(events, dtype=EVENT_DTYPE)
+    ev.set_distribution(Distribution.copy())
+    idx = Vector(np.arange(4), dtype=np.int32)
+    out = Map(src)(idx, ev)
+    np.testing.assert_allclose(out.to_numpy(), [1, 2, 3, 4])
+
+
+def test_zip_out_aliases_rhs(ctx2):
+    a = Vector(np.full(6, 2.0, dtype=np.float32))
+    b = Vector(np.arange(6, dtype=np.float32))
+    mul = Zip("float f(float x, float y) { return x * y; }")
+    result = mul(a, b, out=b)
+    assert result is b
+    np.testing.assert_array_equal(b.to_numpy(), 2.0 * np.arange(6))
+
+
+def test_map_chain_reuses_same_output_vector(ctx2):
+    v = Vector(np.arange(4, dtype=np.float32))
+    out = Vector(size=4, dtype=np.float32)
+    inc = Map("float f(float x) { return x + 1.0f; }")
+    for _ in range(3):
+        inc(v, out=out)
+        v, out = out, v
+    np.testing.assert_array_equal(v.to_numpy(), np.arange(4) + 3)
+
+
+def test_wait_for_events_helper(ctx2):
+    system = ctx2.system
+    octx = ocl.Context(ctx2.devices)
+    queues = [ocl.CommandQueue(octx, d) for d in ctx2.devices]
+    events = []
+    for queue in queues:
+        buf = ocl.Buffer(octx, 1 << 20)
+        events.append(queue.enqueue_write_buffer(
+            buf, np.zeros(1 << 18, np.float32)))
+    ocl.wait_for_events(events)
+    assert system.host_now() >= max(e.profile_end for e in events)
+
+
+def test_enqueue_with_wait_for_dependency(ctx2):
+    octx = ocl.Context(ctx2.devices)
+    q0 = ocl.CommandQueue(octx, ctx2.devices[0])
+    q1 = ocl.CommandQueue(octx, ctx2.devices[1])
+    buf0 = ocl.Buffer(octx, 1 << 22)
+    buf1 = ocl.Buffer(octx, 1 << 22)
+    e0 = q0.enqueue_write_buffer(buf0, np.zeros(1 << 20, np.float32))
+    e1 = q1.enqueue_write_buffer(buf1, np.zeros(1 << 20, np.float32),
+                                 wait_for=[e0])
+    assert e1.profile_start >= e0.profile_end
+
+
+def test_matrix_map_void_returns_none(ctx2):
+    from repro.skelcl import Matrix
+    m = Matrix(np.arange(8, dtype=np.float32).reshape(2, 4))
+    sink = Vector(np.zeros(8, dtype=np.float32))
+    sink.set_distribution(Distribution.copy(np.add))
+    writer = Map("void w(float x, __global float* s) { s[0] = x; }")
+    assert m.map(writer, sink) is None
+
+
+def test_terminate_then_reinit(ctx2):
+    skelcl.terminate()
+    with pytest.raises(Exception):
+        Vector(size=4)
+    skelcl.init(num_gpus=1)
+    assert Vector(size=4).size == 4
+
+
+def test_vector_repr_and_part_repr(ctx2):
+    v = Vector(np.arange(4, dtype=np.float32))
+    assert "Vector" in repr(v)
+    v.set_distribution(Distribution.block())
+    assert "block" in repr(v.distribution)
+
+
+def test_skeleton_repr(ctx2):
+    m = Map("float f(float x) { return x; }")
+    assert "Map" in repr(m) and "f" in repr(m)
+
+
+def test_map_rejects_non_vector(ctx2):
+    with pytest.raises(SkelClError):
+        Map("float f(float x) { return x; }")(np.zeros(4))
+
+
+def test_context_repr_and_properties(ctx2):
+    assert ctx2.num_devices == 2
+    assert "SkelCLContext" in repr(ctx2)
+    assert ctx2.system is ctx2.context.system

@@ -1,0 +1,227 @@
+"""Tests for the reduce and scan skeletons (paper §III-C, Figure 2)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import skelcl
+from repro.errors import SkelClError
+from repro.skelcl import Distribution, Reduce, Scan, Vector
+
+ADD_F = "float add(float a, float b) { return a + b; }"
+ADD_I = "int add(int a, int b) { return a + b; }"
+MAX_F = "float mx(float a, float b) { return a > b ? a : b; }"
+# Non-commutative but associative: 2x2 matrix-ish fold via a*b only
+# won't do; string-concat analogue over ints: a*10^digits(b)+b is messy.
+# Use function composition encoded as affine maps packed in a struct —
+# too heavy for a unit test; instead use subtraction-free "first" op:
+FIRST_F = "float first(float a, float b) { return a; }"
+
+
+def test_reduce_sum(ctx2):
+    v = Vector(np.arange(100, dtype=np.float32))
+    out = Reduce(ADD_F)(v)
+    assert out.size == 1
+    assert out.to_numpy()[0] == pytest.approx(4950.0)
+
+
+def test_reduce_output_distribution_single(ctx2):
+    v = Vector(np.arange(8, dtype=np.float32))
+    out = Reduce(ADD_F)(v)
+    assert out.distribution.kind == "single"
+
+
+def test_reduce_max(ctx2):
+    rng = np.random.default_rng(3)
+    data = rng.random(257).astype(np.float32)
+    out = Reduce(MAX_F)(v := Vector(data))
+    assert out.to_numpy()[0] == pytest.approx(data.max())
+
+
+def test_reduce_single_element(ctx2):
+    v = Vector(np.array([42.0], dtype=np.float32))
+    assert Reduce(ADD_F)(v).to_numpy()[0] == 42.0
+
+
+def test_reduce_empty_rejected(ctx2):
+    with pytest.raises(SkelClError):
+        Reduce(ADD_F)(Vector(size=0))
+
+
+def test_reduce_non_commutative_order_preserved(ctx4):
+    """'first' keeps element 0 only if chunks fold left in order."""
+    data = np.arange(1, 101, dtype=np.float32)
+    out = Reduce(FIRST_F)(Vector(data))
+    assert out.to_numpy()[0] == 1.0
+
+
+def test_reduce_multi_gpu_three_steps(ctx4):
+    """Kernels on all 4 devices, then D2H gathers, then host reduce."""
+    v = Vector(np.ones(4000, dtype=np.float32))
+    out = Reduce(ADD_F)(v)
+    assert out.to_numpy()[0] == pytest.approx(4000.0)
+    spans = ctx4.system.timeline.spans
+    kernels = [s for s in spans if s.label.startswith("kernel:")]
+    assert {s.resource for s in kernels} == {f"dev{i}.queue"
+                                             for i in range(4)}
+    reads = [s for s in spans if s.label.startswith("D2H")]
+    assert len(reads) >= 4  # one partial-gather per device
+    host = [s for s in spans if s.label == "reduce-final"]
+    assert len(host) == 1
+
+
+def test_reduce_int_dtype(ctx2):
+    v = Vector(np.arange(10), dtype=np.int32)
+    assert Reduce(ADD_I)(v).to_numpy()[0] == 45
+
+
+def test_reduce_wrong_dtype_rejected(ctx2):
+    v = Vector(np.arange(10), dtype=np.int32)
+    with pytest.raises(SkelClError):
+        Reduce(ADD_F)(v)
+
+
+def test_reduce_operator_arity_enforced():
+    skelcl.init(num_gpus=1)
+    with pytest.raises(SkelClError):
+        Reduce("float f(float a) { return a; }")
+    with pytest.raises(SkelClError):
+        Reduce("float f(float a, float b, float c) { return a; }")
+
+
+def test_reduce_copy_distribution_counts_once(ctx2):
+    v = Vector(np.arange(10, dtype=np.float32))
+    v.set_distribution(Distribution.copy())
+    out = Reduce(ADD_F)(v)
+    assert out.to_numpy()[0] == pytest.approx(45.0)
+
+
+def test_scan_figure2_example(ctx4):
+    """The paper's Figure 2: scan([1..16]) with + on four GPUs."""
+    v = Vector(np.arange(1, 17), dtype=np.int32)
+    out = Scan(ADD_I)(v)
+    expected = np.cumsum(np.arange(1, 17))
+    np.testing.assert_array_equal(out.to_numpy(), expected)
+    # the structure of Figure 2: output is block distributed
+    assert out.distribution.kind == "block"
+    assert v.sizes() == [4, 4, 4, 4]
+
+
+def test_scan_figure2_local_scans_before_offset(ctx4):
+    """After step 1 each device holds the local inclusive scan."""
+    v = Vector(np.arange(1, 17), dtype=np.int32)
+    out = Vector(size=16, dtype=np.int32)
+    # run the full scan, then verify per-part structure analytically
+    Scan(ADD_I)(v, out=out)
+    parts = out.to_numpy().reshape(4, 4)
+    locals_ = np.cumsum(np.arange(1, 17).reshape(4, 4), axis=1)
+    offsets = np.array([0, 10, 36, 78])[:, None]
+    np.testing.assert_array_equal(parts, locals_ + offsets)
+
+
+def test_scan_offset_maps_on_all_but_first_device(ctx4):
+    v = Vector(np.arange(1, 17), dtype=np.int32)
+    Scan(ADD_I)(v)
+    offset_kernels = [s for s in v.ctx.system.timeline.spans
+                      if s.label.startswith("kernel:skelcl_scan_offset")]
+    assert {s.resource for s in offset_kernels} == {
+        "dev1.queue", "dev2.queue", "dev3.queue"}
+
+
+def test_scan_single_gpu(ctx1):
+    v = Vector(np.arange(1, 11), dtype=np.int32)
+    out = Scan(ADD_I)(v)
+    np.testing.assert_array_equal(out.to_numpy(),
+                                  np.cumsum(np.arange(1, 11)))
+
+
+def test_scan_float(ctx2):
+    rng = np.random.default_rng(5)
+    data = rng.random(33).astype(np.float32)
+    out = Scan(ADD_F)(Vector(data))
+    np.testing.assert_allclose(out.to_numpy(), np.cumsum(data), rtol=1e-5)
+
+
+def test_scan_coerces_to_block(ctx2):
+    v = Vector(np.arange(8, dtype=np.float32))
+    v.set_distribution(Distribution.copy())
+    out = Scan(ADD_F)(v)
+    assert v.distribution.kind == "block"
+    np.testing.assert_allclose(out.to_numpy(), np.cumsum(np.arange(8)))
+
+
+def test_scan_empty_rejected(ctx2):
+    with pytest.raises(SkelClError):
+        Scan(ADD_F)(Vector(size=0))
+
+
+def test_scan_size_one(ctx2):
+    out = Scan(ADD_F)(Vector(np.array([3.0], dtype=np.float32)))
+    np.testing.assert_array_equal(out.to_numpy(), [3.0])
+
+
+def test_scan_more_devices_than_elements(ctx4):
+    v = Vector(np.arange(1, 3), dtype=np.int32)
+    out = Scan(ADD_I)(v)
+    np.testing.assert_array_equal(out.to_numpy(), [1, 3])
+
+
+@settings(max_examples=25, deadline=None)
+@given(data=st.lists(st.integers(-100, 100), min_size=1, max_size=200),
+       ndev=st.integers(1, 4))
+def test_property_scan_matches_cumsum(data, ndev):
+    skelcl.init(num_gpus=ndev)
+    v = Vector(np.array(data), dtype=np.int64)
+    out = Scan("long add(long a, long b) { return a + b; }")(v)
+    np.testing.assert_array_equal(out.to_numpy(), np.cumsum(data))
+
+
+@settings(max_examples=25, deadline=None)
+@given(data=st.lists(st.integers(-1000, 1000), min_size=1, max_size=200),
+       ndev=st.integers(1, 4))
+def test_property_reduce_matches_sum(data, ndev):
+    skelcl.init(num_gpus=ndev)
+    v = Vector(np.array(data), dtype=np.int64)
+    out = Reduce("long add(long a, long b) { return a + b; }")(v)
+    assert out.to_numpy()[0] == sum(data)
+
+
+@settings(max_examples=20, deadline=None)
+@given(data=st.lists(st.floats(min_value=-1e3, max_value=1e3,
+                               allow_nan=False), min_size=1, max_size=100),
+       ndev=st.integers(1, 4))
+def test_property_reduce_max_matches_numpy(data, ndev):
+    skelcl.init(num_gpus=ndev)
+    v = Vector(np.array(data, dtype=np.float64), dtype=np.float64)
+    out = Reduce("double mx(double a, double b)"
+                 " { return a > b ? a : b; }")(v)
+    assert out.to_numpy()[0] == pytest.approx(max(data))
+
+
+def test_exclusive_scan_matches_figure2(ctx4):
+    """Figure 2 as printed: the exclusive prefix [0, 1, 3, ..., 120]."""
+    v = Vector(np.arange(1, 17), dtype=np.int32)
+    out = Scan(ADD_I, exclusive=True, identity=0)(v)
+    expected = np.concatenate([[0], np.cumsum(np.arange(1, 16))])
+    np.testing.assert_array_equal(out.to_numpy(), expected)
+    assert out.to_numpy()[-1] == 120  # the figure's final value
+
+
+def test_exclusive_scan_float_product(ctx2):
+    v = Vector(np.array([2.0, 3.0, 4.0], dtype=np.float32))
+    out = Scan("float mul(float a, float b) { return a * b; }",
+               exclusive=True, identity=1.0)(v)
+    np.testing.assert_allclose(out.to_numpy(), [1.0, 2.0, 6.0])
+
+
+def test_exclusive_scan_single_element(ctx2):
+    v = Vector(np.array([5], dtype=np.int32))
+    out = Scan(ADD_I, exclusive=True)(v)
+    np.testing.assert_array_equal(out.to_numpy(), [0])
+
+
+def test_exclusive_does_not_mutate_input(ctx2):
+    data = np.arange(1, 6, dtype=np.int32)
+    v = Vector(data)
+    Scan(ADD_I, exclusive=True)(v)
+    np.testing.assert_array_equal(v.to_numpy(), data)

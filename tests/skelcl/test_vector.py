@@ -1,0 +1,256 @@
+"""Tests for the Vector data type and lazy memory management (§II-B)."""
+
+import numpy as np
+import pytest
+
+from repro import skelcl
+from repro.errors import (DistributionError, NotInitializedError,
+                          SizeMismatchError, SkelClError)
+from repro.skelcl import Distribution, Vector
+
+from .conftest import transfer_spans
+
+
+def test_requires_init():
+    skelcl.terminate()
+    with pytest.raises(NotInitializedError):
+        Vector(size=4)
+
+
+def test_create_from_data(ctx2):
+    v = Vector([1, 2, 3], dtype=np.float32)
+    assert v.size == 3
+    np.testing.assert_array_equal(v.to_numpy(), [1, 2, 3])
+
+
+def test_create_sized_zeroed(ctx2):
+    v = Vector(size=5, dtype=np.int32)
+    np.testing.assert_array_equal(v.to_numpy(), np.zeros(5))
+
+
+def test_create_invalid(ctx2):
+    with pytest.raises(SkelClError):
+        Vector()
+    with pytest.raises(SkelClError):
+        Vector(size=-1)
+
+
+def test_data_is_copied_on_construction(ctx2):
+    src = np.array([1.0, 2.0], dtype=np.float32)
+    v = Vector(src)
+    src[0] = 99.0
+    assert v[0] == 1.0
+
+
+def test_no_transfers_before_device_use(ctx2):
+    Vector(np.arange(1000, dtype=np.float32))
+    assert transfer_spans(ctx2) == []
+
+
+def test_set_distribution_alone_is_lazy(ctx2):
+    v = Vector(np.arange(1000, dtype=np.float32))
+    v.set_distribution(Distribution.block())
+    # setting a distribution must not move any data yet (Section III-A)
+    assert transfer_spans(ctx2) == []
+
+
+def test_ensure_on_device_uploads_part_only(ctx2):
+    n = 1000
+    v = Vector(np.arange(n, dtype=np.float32))
+    v.set_distribution(Distribution.block())
+    v.ensure_on_device(0)
+    spans = transfer_spans(ctx2, kinds=("H2D",))
+    assert len(spans) == 1
+    assert f"{n // 2 * 4}B" in spans[0].label  # half the vector
+
+
+def test_upload_happens_once(ctx2):
+    v = Vector(np.arange(8, dtype=np.float32))
+    v.set_distribution(Distribution.block())
+    v.ensure_on_device(0)
+    v.ensure_on_device(0)
+    assert len(transfer_spans(ctx2, kinds=("H2D",))) == 1
+
+
+def test_block_parts_content(ctx2):
+    v = Vector(np.arange(10, dtype=np.float32))
+    v.set_distribution(Distribution.block())
+    p0 = v.ensure_on_device(0)
+    p1 = v.ensure_on_device(1)
+    np.testing.assert_array_equal(p0.buffer.view(np.float32),
+                                  np.arange(5))
+    np.testing.assert_array_equal(p1.buffer.view(np.float32),
+                                  np.arange(5, 10))
+
+
+def test_copy_distribution_full_copies(ctx2):
+    v = Vector(np.arange(6, dtype=np.float32))
+    v.set_distribution(Distribution.copy())
+    for d in range(2):
+        part = v.ensure_on_device(d)
+        np.testing.assert_array_equal(part.buffer.view(np.float32),
+                                      np.arange(6))
+
+
+def test_single_distribution_other_device_empty(ctx2):
+    v = Vector(np.arange(4, dtype=np.float32))
+    v.set_distribution(Distribution.single(1))
+    assert v.parts[0].empty
+    assert not v.parts[1].empty
+
+
+def test_sizes(ctx2):
+    v = Vector(np.arange(10, dtype=np.float32))
+    assert v.sizes() == [10]
+    v.set_distribution(Distribution.block())
+    assert v.sizes() == [5, 5]
+    v.set_distribution(Distribution.copy())
+    assert v.sizes() == [10, 10]
+
+
+def test_ensure_on_device_without_distribution_fails(ctx2):
+    v = Vector(size=4)
+    with pytest.raises(DistributionError):
+        v.ensure_on_device(0)
+
+
+def test_host_write_invalidates_devices(ctx2):
+    v = Vector(np.zeros(8, dtype=np.float32))
+    v.set_distribution(Distribution.block())
+    v.ensure_on_device(0)
+    v[0] = 42.0
+    assert not v.parts[0].valid
+    part = v.ensure_on_device(0)
+    assert part.buffer.view(np.float32)[0] == 42.0
+
+
+def test_device_write_invalidates_host_then_downloads(ctx2):
+    v = Vector(np.zeros(8, dtype=np.float32))
+    v.set_distribution(Distribution.block())
+    part = v.ensure_on_device(0)
+    # simulate a kernel writing the device part
+    queue = ctx2.queues[0]
+    queue.enqueue_write_buffer(part.buffer,
+                               np.full(4, 7.0, dtype=np.float32))
+    v.mark_device_written(0)
+    n_before = len(transfer_spans(ctx2, kinds=("D2H",)))
+    np.testing.assert_array_equal(v.to_numpy()[:4], np.full(4, 7.0))
+    assert len(transfer_spans(ctx2, kinds=("D2H",))) > n_before
+
+
+def test_redistribution_block_to_copy_roundtrip(ctx2):
+    data = np.arange(12, dtype=np.float32)
+    v = Vector(data)
+    v.set_distribution(Distribution.block())
+    v.ensure_on_device(0)
+    v.ensure_on_device(1)
+    v.set_distribution(Distribution.copy())
+    for d in range(2):
+        part = v.ensure_on_device(d)
+        np.testing.assert_array_equal(part.buffer.view(np.float32), data)
+
+
+def test_copy_divergence_first_device_wins_without_combine(ctx2):
+    v = Vector(np.zeros(4, dtype=np.float32))
+    v.set_distribution(Distribution.copy())
+    for d in range(2):
+        part = v.ensure_on_device(d)
+        ctx2.queues[d].enqueue_write_buffer(
+            part.buffer, np.full(4, float(d + 1), dtype=np.float32))
+    v.data_on_devices_modified()
+    v.set_distribution(Distribution.block())
+    np.testing.assert_array_equal(v.to_numpy(), np.full(4, 1.0))
+
+
+def test_copy_divergence_combined_with_user_function(ctx2):
+    """The paper's error-image pattern: copy(add) merges device versions."""
+    v = Vector(np.zeros(4, dtype=np.float32))
+    v.set_distribution(Distribution.copy(np.add))
+    for d in range(2):
+        part = v.ensure_on_device(d)
+        ctx2.queues[d].enqueue_write_buffer(
+            part.buffer, np.full(4, float(d + 1), dtype=np.float32))
+    v.dataOnDevicesModified()  # paper-style camelCase alias
+    v.set_distribution(Distribution.block())
+    np.testing.assert_array_equal(v.to_numpy(), np.full(4, 3.0))
+
+
+def test_same_layout_change_is_free(ctx2):
+    v = Vector(np.arange(8, dtype=np.float32))
+    v.set_distribution(Distribution.copy())
+    v.ensure_on_device(0)
+    n = len(transfer_spans(ctx2))
+    v.set_distribution(Distribution.copy(np.add))
+    assert v.parts[0].valid  # no redistribution happened
+    assert len(transfer_spans(ctx2)) == n
+
+
+def test_getitem_setitem_and_iter(ctx2):
+    v = Vector(np.arange(5, dtype=np.float32))
+    assert v[2] == 2.0
+    v[2] = 9.0
+    assert list(v) == [0.0, 1.0, 9.0, 3.0, 4.0]
+    assert list(v.begin()) == list(v)
+
+
+def test_check_same_size(ctx2):
+    a = Vector(size=3)
+    b = Vector(size=4)
+    with pytest.raises(SizeMismatchError):
+        a.check_same_size(b)
+
+
+def test_structured_dtype_vector(ctx2):
+    dtype = np.dtype([("coord", np.int32), ("len", np.float32)])
+    data = np.zeros(6, dtype=dtype)
+    data["coord"] = np.arange(6)
+    v = Vector(data, dtype=dtype)
+    v.set_distribution(Distribution.block())
+    part = v.ensure_on_device(1)
+    np.testing.assert_array_equal(part.buffer.view(dtype)["coord"],
+                                  [3, 4, 5])
+
+
+def test_redistribution_downloads_before_dropping(ctx2):
+    """Device-written data survives a redistribution."""
+    v = Vector(np.zeros(8, dtype=np.float32))
+    v.set_distribution(Distribution.block())
+    for d in range(2):
+        part = v.ensure_on_device(d)
+        ctx2.queues[d].enqueue_write_buffer(
+            part.buffer, np.full(4, float(d + 10), dtype=np.float32))
+        v.mark_device_written(d)
+    v.set_distribution(Distribution.single(0))
+    expected = np.concatenate([np.full(4, 10.0), np.full(4, 11.0)])
+    np.testing.assert_array_equal(v.to_numpy(), expected.astype(np.float32))
+
+
+def test_more_devices_than_elements(ctx4):
+    v = Vector(np.arange(2, dtype=np.float32))
+    v.set_distribution(Distribution.block())
+    assert v.sizes() == [1, 1, 0, 0]
+    v.ensure_on_device(0)
+    part = v.ensure_on_device(2)  # empty part: no upload, no error
+    assert part.empty
+
+
+def test_clone_is_independent(ctx2):
+    v = Vector(np.arange(6, dtype=np.float32))
+    v.set_distribution(Distribution.block())
+    v.ensure_on_device(0)
+    c = v.clone()
+    assert c.distribution.same_layout(v.distribution)
+    c[0] = 99.0
+    assert v[0] == 0.0
+    np.testing.assert_array_equal(c.to_numpy()[1:], v.to_numpy()[1:])
+
+
+def test_clone_gathers_device_writes(ctx2):
+    v = Vector(np.zeros(4, dtype=np.float32))
+    v.set_distribution(Distribution.block())
+    part = v.ensure_on_device(0)
+    v.ctx.queues[0].enqueue_write_buffer(
+        part.buffer, np.full(2, 5.0, dtype=np.float32))
+    v.mark_device_written(0)
+    c = v.clone()
+    np.testing.assert_array_equal(c.to_numpy(), [5.0, 5.0, 0.0, 0.0])

@@ -1,0 +1,99 @@
+"""Model-based testing of the Vector consistency state machine.
+
+A hypothesis state machine drives a Vector through random sequences of
+distribution changes, host writes, and device writes, mirroring every
+operation on a plain numpy array.  The invariant: whatever the history,
+reading the vector yields the model's contents — i.e. the lazy
+transfers and the valid/stale bookkeeping never lose or duplicate an
+update.
+"""
+
+import numpy as np
+from hypothesis import settings
+from hypothesis.stateful import (RuleBasedStateMachine, initialize,
+                                 invariant, rule)
+from hypothesis import strategies as st
+
+from repro import skelcl
+from repro.skelcl import Distribution, Vector
+
+SIZE = 24
+NUM_GPUS = 3
+
+
+class VectorMachine(RuleBasedStateMachine):
+    @initialize(seed=st.integers(0, 2 ** 16))
+    def setup(self, seed):
+        self.ctx = skelcl.init(num_gpus=NUM_GPUS)
+        rng = np.random.default_rng(seed)
+        data = rng.integers(0, 100, SIZE).astype(np.float32)
+        self.vector = Vector(data)
+        self.model = data.copy()
+        self.counter = 1000.0
+
+    def _next_value(self):
+        self.counter += 1.0
+        return self.counter
+
+    @rule(kind=st.sampled_from(["single", "block", "copy"]),
+          device=st.integers(0, NUM_GPUS - 1))
+    def change_distribution(self, kind, device):
+        if kind == "single":
+            dist = Distribution.single(device)
+        elif kind == "block":
+            dist = Distribution.block()
+        else:
+            dist = Distribution.copy()
+        self.vector.set_distribution(dist)
+        # the model is distribution-agnostic: contents must not change
+
+    @rule(index=st.integers(0, SIZE - 1))
+    def host_write(self, index):
+        value = self._next_value()
+        self.vector[index] = value
+        self.model[index] = value
+
+    @rule(device=st.integers(0, NUM_GPUS - 1))
+    def touch_device(self, device):
+        """Uploading a part must never change observable contents."""
+        if self.vector.distribution is None:
+            return
+        self.vector.ensure_on_device(device)
+
+    @rule(device=st.integers(0, NUM_GPUS - 1))
+    def device_write(self, device):
+        """A kernel-style write of one device's whole part."""
+        dist = self.vector.distribution
+        if dist is None or dist.kind == "copy":
+            # divergent copy-writes have merge semantics tested
+            # separately (test_vector.py); the model here is linear
+            return
+        part = self.vector.parts[device]
+        if part.empty:
+            return
+        part = self.vector.ensure_on_device(device)
+        value = self._next_value()
+        data = np.full(part.length, value, dtype=np.float32)
+        self.ctx.queues[device].enqueue_write_buffer(part.buffer, data)
+        self.vector.mark_device_written(device)
+        self.model[part.offset:part.offset + part.length] = value
+
+    @rule()
+    def gather_to_host(self):
+        np.testing.assert_array_equal(self.vector.to_numpy(), self.model)
+
+    @invariant()
+    def sizes_consistent(self):
+        if self.vector.distribution is not None:
+            assert sum(self.vector.sizes()) in (
+                SIZE,  # single/block partition the data
+                SIZE * NUM_GPUS)  # copy replicates it
+
+    def teardown(self):
+        np.testing.assert_array_equal(self.vector.to_numpy(), self.model)
+
+
+VectorMachine.TestCase.settings = settings(max_examples=40,
+                                           stateful_step_count=30,
+                                           deadline=None)
+TestVectorModel = VectorMachine.TestCase

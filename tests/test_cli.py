@@ -1,0 +1,61 @@
+"""Tests for the command-line interface."""
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+
+
+def test_devices(capsys):
+    assert main(["devices", "--gpus", "2", "--cpu"]) == 0
+    out = capsys.readouterr().out
+    assert out.count("Tesla") == 2
+    assert "Xeon" in out
+
+
+def test_saxpy(capsys):
+    assert main(["saxpy", "--size", "4096", "--gpus", "2"]) == 0
+    out = capsys.readouterr().out
+    assert "max |error| = 0.0" in out
+
+
+def test_mandelbrot_text(capsys):
+    assert main(["mandelbrot", "--width", "24", "--height", "8",
+                 "--max-iter", "15"]) == 0
+    out = capsys.readouterr().out
+    assert len(out.splitlines()) == 8
+
+
+def test_mandelbrot_pgm(tmp_path, capsys):
+    path = tmp_path / "set.pgm"
+    assert main(["mandelbrot", "--width", "16", "--height", "8",
+                 "--output", str(path)]) == 0
+    data = path.read_bytes()
+    assert data.startswith(b"P5\n16 8\n255\n")
+    pixels = np.frombuffer(data.split(b"255\n", 1)[1], dtype=np.uint8)
+    assert pixels.size == 16 * 8
+    assert pixels.max() == 255  # points inside the set
+
+
+@pytest.mark.parametrize("impl", ["skelcl", "opencl", "cuda",
+                                  "reference"])
+def test_osem_all_impls(capsys, impl):
+    assert main(["osem", "--impl", impl, "--grid", "8", "--events",
+                 "400", "--subsets", "2", "--iterations", "1",
+                 "--gpus", "2"]) == 0
+    out = capsys.readouterr().out
+    assert "RMSE vs phantom" in out
+    if impl != "reference":
+        assert "virtual time total" in out
+
+
+def test_unknown_command_rejected():
+    with pytest.raises(SystemExit):
+        main(["frobnicate"])
+
+
+def test_fig4b_small(capsys):
+    assert main(["fig4b", "--events-sim", "200"]) == 0
+    out = capsys.readouterr().out
+    assert "Figure 4b" in out
+    assert out.count("SkelCL") == 3

@@ -1,0 +1,106 @@
+"""Smoke tests: every shipped example must run to completion.
+
+Examples are the library's user-facing contract; each one executes in a
+subprocess-free way (direct import + main()) with its default small
+problem sizes.
+"""
+
+import importlib
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+
+ALL_EXAMPLES = sorted(p.stem for p in EXAMPLES_DIR.glob("*.py"))
+
+
+@pytest.fixture(autouse=True)
+def _examples_on_path():
+    sys.path.insert(0, str(EXAMPLES_DIR))
+    yield
+    sys.path.pop(0)
+
+
+def run_example(name, capsys):
+    module = importlib.import_module(name)
+    importlib.reload(module)  # fresh module-level state per test
+    module.main()
+    return capsys.readouterr().out
+
+
+def test_example_inventory():
+    """The README promises at least these runnable examples."""
+    required = {"quickstart", "distributions", "mandelbrot",
+                "osem_reconstruction", "osem_skelcl", "osem_opencl",
+                "osem_cuda", "distributed_dopencl",
+                "heterogeneous_scheduling", "stencil_heat"}
+    assert required <= set(ALL_EXAMPLES)
+
+
+def test_quickstart(capsys):
+    out = run_example("quickstart", capsys)
+    assert "max |error| vs numpy: 0.0" in out
+
+
+def test_distributions(capsys):
+    out = run_example("distributions", capsys)
+    assert "transfers so far: 0" in out
+    assert "copy(add) merge" in out
+
+
+def test_mandelbrot(capsys):
+    out = run_example("mandelbrot", capsys)
+    assert "identical" in out
+
+
+def test_osem_host_programs(capsys):
+    for name in ("osem_skelcl", "osem_opencl", "osem_cuda"):
+        out = run_example(name, capsys)
+        for line in out.splitlines():
+            if "max |" in line:
+                error = float(line.split(":")[1])
+                assert error < 1e-4, f"{name}: {line}"
+
+
+def test_osem_reconstruction(capsys):
+    out = run_example("osem_reconstruction", capsys)
+    assert "hot/warm contrast" in out
+    assert "virtual-time phases" in out
+
+
+def test_distributed_dopencl(capsys):
+    out = run_example("distributed_dopencl", capsys)
+    assert "client sees 8 GPUs and 3 CPU devices" in out
+
+
+def test_heterogeneous_scheduling(capsys):
+    out = run_example("heterogeneous_scheduling", capsys)
+    assert "max |error|: 0.0" in out
+    assert "Xeon" in out  # the CPU wins the small final reduce
+
+
+def test_stencil_heat(capsys):
+    out = run_example("stencil_heat", capsys)
+    assert "heat conserved" in out
+
+
+def test_osem_from_file(capsys):
+    out = run_example("osem_from_file", capsys)
+    assert "contrast recovery" in out
+
+
+def test_nbody(capsys):
+    out = run_example("nbody", capsys)
+    assert "momentum drift" in out
+    drift = float(out.rsplit("momentum drift:", 1)[1])
+    assert drift < 1e-3
+
+
+def test_matrix_operations(capsys):
+    out = run_example("matrix_operations", capsys)
+    assert "matmul" in out
+    for line in out.splitlines():
+        if "max |error|" in line:
+            assert float(line.split(":")[1]) < 1e-4

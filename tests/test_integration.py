@@ -1,0 +1,146 @@
+"""Cross-subsystem integration tests.
+
+Each test composes several subsystems end to end: skeleton pipelines
+with lazy intermediates, OSEM over dOpenCL-forwarded devices, the
+scheduler's weighted distribution feeding real skeleton execution, and
+heterogeneous CPU+GPU mixes.
+"""
+
+import numpy as np
+import pytest
+
+from repro import dopencl, ocl, sched, skelcl
+from repro.apps import osem
+from repro.apps.blas import Blas
+from repro.skelcl import (Distribution, Map, MapOverlap, Reduce, Scan,
+                          Vector, Zip)
+
+
+def test_skeleton_pipeline_map_zip_scan_reduce():
+    """A four-skeleton pipeline; intermediates stay on the GPUs."""
+    ctx = skelcl.init(num_gpus=4)
+    n = 4096
+    x = np.linspace(0.0, 1.0, n).astype(np.float32)
+    y = np.linspace(1.0, 2.0, n).astype(np.float32)
+
+    squared = Map("float sq(float v) { return v * v; }")(Vector(x))
+    summed = Zip("float add(float a, float b) { return a + b; }")(
+        squared, Vector(y))
+    prefix = Scan("float add(float a, float b) { return a + b; }")(
+        summed)
+    total = Reduce("float mx(float a, float b)"
+                   " { return a > b ? a : b; }")(prefix)
+
+    expected = np.max(np.cumsum(x.astype(np.float64) ** 2
+                                + y.astype(np.float64)))
+    assert total.to_numpy()[0] == pytest.approx(expected, rel=1e-4)
+
+    # intermediates never visited the host: the only D2H transfers are
+    # the scan's per-part totals and the reduce partials/result
+    d2h = [s for s in ctx.system.timeline.spans
+           if s.label.startswith("D2H")]
+    assert all(int(s.label.split()[1][:-1]) <= 1024 for s in d2h)
+
+
+def test_osem_on_dopencl_cluster():
+    """The full application on distributed devices: Section IV meets
+    Section V."""
+    geo = osem.ScannerGeometry.small(8)
+    activity = osem.cylinder_phantom(geo, hot_spheres=1, seed=2)
+    events = osem.generate_events(geo, activity, 300, seed=3)
+    expected = osem.one_subset_iteration(geo, events,
+                                         np.ones(geo.image_size))
+
+    client = ocl.System(num_gpus=0, name="desktop")
+    platform = dopencl.connect(client, [
+        dopencl.ServerNode("n1", num_gpus=2),
+        dopencl.ServerNode("n2", num_gpus=2),
+    ])
+    ctx = skelcl.init(devices=platform.get_devices("GPU"))
+    impl = osem.SkelCLOsem(ctx, geo)
+    f = skelcl.Vector(np.ones(geo.image_size, dtype=np.float32),
+                      context=ctx)
+    out = impl.run_subset(events, f).to_numpy()
+    np.testing.assert_allclose(out, expected, rtol=1e-4, atol=1e-5)
+    # the network actually carried the data
+    net = [s for s in client.timeline.spans
+           if s.resource.startswith("net.")]
+    assert net
+
+
+def test_scheduler_distribution_with_reduce_pipeline():
+    """Weighted distribution + map + reduce on a CPU+GPU system."""
+    system = ocl.System(num_gpus=2, cpu_device=True)
+    ctx = skelcl.init(devices=system.devices)
+    user = skelcl.UserFunction(
+        "float f(float x) { return exp(sin(x)); }")
+    dist = sched.weighted_block_distribution(
+        system.devices, sched.static_cost(user))
+    n = 30_000
+    x = np.linspace(0, np.pi, n).astype(np.float32)
+    v = Vector(x, context=ctx)
+    v.set_distribution(dist)
+    mapped = Map(user.source)(v)
+    total = Reduce("float add(float a, float b) { return a + b; }")(
+        mapped)
+    expected = np.exp(np.sin(x.astype(np.float64))).sum()
+    assert total.to_numpy()[0] == pytest.approx(expected, rel=1e-3)
+    # all three devices participated
+    kernel_resources = {s.resource for s in ctx.system.timeline.spans
+                        if s.label.startswith("kernel:")}
+    assert {f"dev{i}.queue" for i in range(3)} <= kernel_resources
+
+
+def test_blas_on_heterogeneous_devices():
+    system = ocl.System(num_gpus=1, cpu_device=True)
+    skelcl.init(devices=system.devices)
+    blas = Blas()
+    x = Vector(np.arange(1, 101, dtype=np.float32))
+    y = Vector(np.ones(100, dtype=np.float32))
+    assert blas.dot(x, y) == pytest.approx(5050.0)
+    assert blas.nrm2(y) == pytest.approx(10.0)
+
+
+def test_stencil_after_redistribution():
+    """MapOverlap output feeds a reduce after a distribution change."""
+    ctx = skelcl.init(num_gpus=3)
+    x = np.linspace(0, 1, 1000).astype(np.float32)
+    v = Vector(x)
+    smooth = MapOverlap(
+        "float f(__global const float* w)"
+        " { return (w[0] + w[1] + w[2]) / 3.0f; }", radius=1)
+    smoothed = smooth(v)
+    smoothed.set_distribution(Distribution.single(1))
+    total = Reduce("float add(float a, float b) { return a + b; }")(
+        smoothed)
+    padded = np.concatenate([[0.0], x.astype(np.float64), [0.0]])
+    expected = ((padded[:-2] + padded[1:-1] + padded[2:]) / 3.0).sum()
+    assert total.to_numpy()[0] == pytest.approx(expected, rel=1e-4)
+
+
+def test_virtual_time_monotonic_across_subsystems():
+    """One shared system: OpenCL-layer, SkelCL, and CUDA operations all
+    advance the same virtual clock, never backwards."""
+    system = ocl.System(num_gpus=2)
+    times = [system.timeline.now()]
+
+    ctx = ocl.Context(system.devices)
+    queue = ocl.CommandQueue(ctx, system.devices[0])
+    buf = ocl.Buffer(ctx, 4096)
+    queue.enqueue_write_buffer(buf, np.zeros(1024, np.float32))
+    queue.finish()
+    times.append(system.timeline.now())
+
+    skelcl_ctx = skelcl.SkelCLContext(system.devices)
+    v = Vector(np.arange(64, dtype=np.float32), context=skelcl_ctx)
+    Map("float neg(float x) { return -x; }")(v).to_numpy()
+    times.append(system.timeline.now())
+
+    from repro.cuda import CudaRuntime
+    runtime = CudaRuntime(system)
+    dptr = runtime.malloc(4096)
+    runtime.memcpy_htod(dptr, np.zeros(1024, np.float32))
+    times.append(system.timeline.now())
+
+    assert times == sorted(times)
+    assert times[-1] > times[0]

@@ -1,0 +1,67 @@
+"""Tests for the timeline profiling reports."""
+
+import numpy as np
+
+from repro import ocl, skelcl
+from repro.skelcl import Map, Vector
+from repro.util.profiling import (breakdown_report, cost_breakdown,
+                                  gantt, utilization_report)
+from repro.util.timeline import Timeline
+
+
+def make_busy_context():
+    ctx = skelcl.init(num_gpus=2)
+    v = Vector(np.linspace(0, 1, 1 << 16).astype(np.float32))
+    Map("float f(float x) { return sqrt(x); }")(v).to_numpy()
+    return ctx
+
+
+def test_utilization_report_contains_resources():
+    ctx = make_busy_context()
+    report = utilization_report(ctx.system.timeline)
+    assert "dev0.queue" in report
+    assert "dev1.link" in report
+    assert "makespan" in report
+
+
+def test_cost_breakdown_categories():
+    ctx = make_busy_context()
+    totals = cost_breakdown(ctx.system.timeline)
+    assert totals.get("transfer", 0) > 0
+    assert totals.get("compute", 0) > 0
+    assert totals.get("host", 0) > 0
+
+
+def test_breakdown_report_renders():
+    ctx = make_busy_context()
+    report = breakdown_report(ctx.system.timeline)
+    assert "transfer" in report and "%" in report
+
+
+def test_gantt_marks_busy_cells():
+    ctx = make_busy_context()
+    chart = gantt(ctx.system.timeline, width=40)
+    assert "#" in chart
+    lines = chart.splitlines()
+    assert any("dev0.queue" in line for line in lines)
+
+
+def test_gantt_empty_timeline():
+    assert gantt(Timeline()) == "(empty timeline)"
+
+
+def test_gantt_resource_filter():
+    ctx = make_busy_context()
+    chart = gantt(ctx.system.timeline, resources=["dev0.queue"])
+    assert "dev1" not in chart
+
+
+def test_network_category_for_dopencl():
+    from repro import dopencl
+    client = ocl.System(num_gpus=0)
+    platform = dopencl.connect(client, [dopencl.ServerNode("n", 1)])
+    skelcl.init(devices=platform.get_devices("GPU"))
+    v = Vector(np.ones(1024, dtype=np.float32))
+    Map("float f(float x) { return x + 1.0f; }")(v).to_numpy()
+    totals = cost_breakdown(client.timeline)
+    assert totals.get("network", 0) > 0

@@ -1,0 +1,71 @@
+"""Tests for table rendering and LOC counting."""
+
+import pytest
+
+from repro.util.loc import count_loc
+from repro.util.tables import format_bars, format_table
+
+
+def test_format_table_alignment():
+    text = format_table(["name", "n"], [["alpha", 1], ["b", 22]])
+    lines = text.splitlines()
+    assert lines[0].startswith("name")
+    assert len(lines) == 4
+
+
+def test_format_table_row_width_mismatch():
+    with pytest.raises(ValueError):
+        format_table(["a"], [[1, 2]])
+
+
+def test_format_bars_scales_to_max():
+    text = format_bars(["x", "y"], [1.0, 2.0], width=10)
+    lines = text.splitlines()
+    assert lines[1].count("#") == 10
+    assert lines[0].count("#") == 5
+
+
+def test_format_bars_empty():
+    assert format_bars([], [], title="t") == "t"
+
+
+def test_loc_python_counts_code_only():
+    src = '''"""Module docstring."""
+
+# a comment
+x = 1
+
+
+def f():
+    """Docstring."""
+    return x  # trailing comment counts as code line
+'''
+    report = count_loc(src, "python")
+    assert report.code_lines == 3  # x=1, def f, return x
+    assert report.blank_lines == 3
+
+
+def test_loc_c_counts_code_only():
+    src = """// header comment
+/* block
+   comment */
+float f(float x) {
+    return x;  // trailing
+}
+
+"""
+    report = count_loc(src, "c")
+    assert report.code_lines == 3
+    assert report.comment_lines == 3
+    assert report.blank_lines == 1
+
+
+def test_loc_c_code_and_comment_same_line_is_code():
+    report = count_loc("int x; /* note */", "c")
+    assert report.code_lines == 1
+
+
+def test_loc_python_multiline_string_assigned_is_code():
+    src = 'KERNEL = """\nline\n"""\n'
+    report = count_loc(src, "python")
+    assert report.code_lines == 3

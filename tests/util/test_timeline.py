@@ -1,0 +1,92 @@
+"""Unit and property tests for the virtual timeline."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.util.timeline import Timeline
+
+
+def test_single_resource_serializes():
+    tl = Timeline()
+    s1 = tl.schedule("r", 1.0)
+    s2 = tl.schedule("r", 2.0)
+    assert s1.start == 0.0 and s1.end == 1.0
+    assert s2.start == 1.0 and s2.end == 3.0
+
+
+def test_distinct_resources_overlap():
+    tl = Timeline()
+    s1 = tl.schedule("a", 5.0)
+    s2 = tl.schedule("b", 5.0)
+    assert s1.start == s2.start == 0.0
+
+
+def test_ready_at_delays_start():
+    tl = Timeline()
+    s1 = tl.schedule("a", 2.0)
+    s2 = tl.schedule("b", 1.0, ready_at=s1.end)
+    assert s2.start == 2.0 and s2.end == 3.0
+
+
+def test_now_is_makespan():
+    tl = Timeline()
+    tl.schedule("a", 2.0)
+    tl.schedule("b", 7.0)
+    assert tl.now() == 7.0
+
+
+def test_negative_duration_rejected():
+    tl = Timeline()
+    with pytest.raises(ValueError):
+        tl.schedule("a", -1.0)
+
+
+def test_tags_and_phase_elapsed():
+    tl = Timeline()
+    tl.set_tag("upload")
+    tl.schedule("a", 1.0)
+    tl.schedule("b", 2.0)
+    tl.set_tag("compute")
+    tl.schedule("a", 3.0, ready_at=2.0)
+    by_tag = tl.elapsed_by_tag()
+    assert by_tag["upload"] == pytest.approx(2.0)
+    assert by_tag["compute"] == pytest.approx(3.0)
+
+
+def test_busy_accounting():
+    tl = Timeline()
+    tl.schedule("a", 1.5)
+    tl.schedule("a", 0.5)
+    assert tl.busy_by_resource()["a"] == pytest.approx(2.0)
+
+
+def test_reset():
+    tl = Timeline()
+    tl.schedule("a", 1.0)
+    tl.reset()
+    assert tl.now() == 0.0
+    assert tl.spans == []
+
+
+@given(st.lists(st.tuples(st.sampled_from(["a", "b", "c"]),
+                          st.floats(min_value=0.0, max_value=10.0)),
+                max_size=40))
+def test_property_no_overlap_per_resource(cmds):
+    """Spans on one resource never overlap and times never go backwards."""
+    tl = Timeline()
+    for res, dur in cmds:
+        tl.schedule(res, dur)
+    by_res = {}
+    for span in tl.spans:
+        by_res.setdefault(span.resource, []).append(span)
+    for spans in by_res.values():
+        for earlier, later in zip(spans, spans[1:]):
+            assert later.start >= earlier.end
+
+
+@given(st.lists(st.floats(min_value=0.0, max_value=5.0), max_size=30))
+def test_property_makespan_equals_sum_on_one_resource(durations):
+    tl = Timeline()
+    for d in durations:
+        tl.schedule("only", d)
+    assert tl.now() == pytest.approx(sum(durations))
