@@ -17,7 +17,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.clc import astnodes
+from repro.clc import analysis, astnodes
 from repro.clc.codegen import CompiledFunction, CompiledUnit, generate
 from repro.clc.parser import parse, parse_function
 from repro.clc.typecheck import typecheck
@@ -31,7 +31,7 @@ __all__ = [
     "parse", "parse_function", "typecheck", "try_vectorize",
     "ScalarType", "StructType", "PointerType", "dtype_to_ctype",
     "BOOL", "CHAR", "INT", "UINT", "LONG", "ULONG", "FLOAT", "DOUBLE",
-    "VOID", "SCALAR_TYPES", "astnodes",
+    "VOID", "SCALAR_TYPES", "astnodes", "analysis",
 ]
 
 

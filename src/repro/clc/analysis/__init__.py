@@ -1,0 +1,57 @@
+"""Static analysis of kernel dialect sources.
+
+The subsystem layers on top of the :mod:`repro.clc` front end:
+
+- :mod:`.cfg` — basic blocks + guard stacks per function;
+- :mod:`.dataflow` — a small forward-dataflow framework;
+- :mod:`.values` — the work-item variance lattice;
+- :mod:`.access` — pointer access-pattern classification and the
+  vectorization verdict;
+- :mod:`.checks` — barrier divergence, race, bounds, definite
+  assignment and distribution-safety checkers;
+- :mod:`.diagnostics` — the report model;
+- :mod:`.driver` — ties it all together.
+"""
+
+from repro.clc.analysis.access import (AccessPattern, AccessSite,
+                                       AccessSummary, FunctionSummary,
+                                       summarize_function,
+                                       summarize_unit,
+                                       vectorize_blockers)
+from repro.clc.analysis.cfg import CFG, BasicBlock, Guard, build_cfg
+from repro.clc.analysis.dataflow import ForwardAnalysis, Solution
+from repro.clc.analysis.diagnostics import (CHECKS, AnalysisReport,
+                                            Diagnostic, Severity)
+from repro.clc.analysis.driver import analyze_source, analyze_unit
+from repro.clc.analysis.values import (AbstractValue, ValueAnalysis,
+                                       add_values, affine, const,
+                                       join_values, mul_values)
+
+__all__ = [
+    "AbstractValue",
+    "AccessPattern",
+    "AccessSite",
+    "AccessSummary",
+    "AnalysisReport",
+    "BasicBlock",
+    "CFG",
+    "CHECKS",
+    "Diagnostic",
+    "ForwardAnalysis",
+    "FunctionSummary",
+    "Guard",
+    "Severity",
+    "Solution",
+    "ValueAnalysis",
+    "add_values",
+    "affine",
+    "analyze_source",
+    "analyze_unit",
+    "build_cfg",
+    "const",
+    "join_values",
+    "mul_values",
+    "summarize_function",
+    "summarize_unit",
+    "vectorize_blockers",
+]

@@ -1,0 +1,461 @@
+"""Pointer access-pattern classification and function summaries.
+
+For every pointer parameter of a function the classifier buckets the
+indices it is accessed with, relative to the work item's own index:
+
+- ``own-index``                     — only ``get_global_id(0)`` itself;
+- ``constant-offset-neighborhood``  — own index plus known constant
+  offsets (stencil windows);
+- ``arbitrary-gather``              — anything else (lookup tables,
+  chunked strides, data-dependent indices);
+- ``none``                          — the parameter is never accessed.
+
+The verdict drives two safety layers: the skeletons reject
+block-distributed additional-argument vectors whose accesses are not
+``own-index`` (each device only holds its slice — a neighbour or table
+gather silently reads the wrong element on every device but the
+first), and ``repro lint`` warns about neighbour gathers in kernels
+(check ``DIST001``) suggesting ``copy`` distribution or the
+map-overlap skeleton.
+
+The summary also carries the *vectorization verdict* — the single
+source of truth for whether the numpy fast path may evaluate a user
+function (straight-line scalar statements, pointer reads only, no
+work-item functions besides ``get_global_id``).
+:mod:`repro.clc.vectorize` consumes it instead of walking the AST
+itself.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.clc import astnodes as ast
+from repro.clc.analysis.cfg import build_cfg
+from repro.clc.analysis.values import (ID_WORK_ITEM_FUNCTIONS,
+                                       AbstractValue, ValueAnalysis)
+from repro.clc.builtins import BUILTINS, WORK_ITEM_FUNCTIONS
+from repro.clc.types import PointerType, ScalarType
+
+
+class AccessPattern(enum.Enum):
+    """How a pointer parameter is indexed, joined over all accesses."""
+
+    NONE = "none"
+    OWN_INDEX = "own-index"
+    NEIGHBORHOOD = "constant-offset-neighborhood"
+    ARBITRARY = "arbitrary-gather"
+
+    @property
+    def rank(self) -> int:
+        order = [AccessPattern.NONE, AccessPattern.OWN_INDEX,
+                 AccessPattern.NEIGHBORHOOD, AccessPattern.ARBITRARY]
+        return order.index(self)
+
+    def join(self, other: "AccessPattern") -> "AccessPattern":
+        return self if self.rank >= other.rank else other
+
+
+@dataclass(frozen=True)
+class AccessSite:
+    """One indexing of a pointer parameter."""
+
+    pattern: AccessPattern
+    #: constant offset from the own index (neighborhood sites)
+    offset: int | None
+    is_write: bool
+    line: int
+    col: int
+    #: a direct ``param[expr]`` in this function (False: inherited
+    #: through a call to a helper the pointer was passed to)
+    direct: bool = True
+
+
+@dataclass
+class AccessSummary:
+    """Joined access classification of one pointer parameter."""
+
+    pattern: AccessPattern = AccessPattern.NONE
+    written: bool = False
+    sites: list[AccessSite] = field(default_factory=list)
+
+    def record(self, site: AccessSite) -> None:
+        self.sites.append(site)
+        self.pattern = self.pattern.join(site.pattern)
+        self.written = self.written or site.is_write
+
+    @property
+    def max_offset(self) -> int:
+        """Largest |constant offset| over neighborhood sites."""
+        return max((abs(s.offset) for s in self.sites
+                    if s.offset is not None), default=0)
+
+
+@dataclass
+class FunctionSummary:
+    """Everything later passes need to know about one function."""
+
+    name: str
+    #: all parameter names in declaration order (call-site matching)
+    param_names: list[str] = field(default_factory=list)
+    #: pointer-parameter name -> joined access classification
+    param_access: dict[str, AccessSummary] = field(default_factory=dict)
+    #: calls get_global_id/get_local_id, directly or transitively
+    uses_work_item_ids: bool = False
+    has_barrier: bool = False
+    vectorizable: bool = False
+    #: why the vectorized fast path refused (empty when vectorizable)
+    vectorize_blockers: list[str] = field(default_factory=list)
+
+    def patterns(self) -> dict[str, str]:
+        return {name: summary.pattern.value
+                for name, summary in self.param_access.items()}
+
+
+def classify_index(value: AbstractValue) -> tuple[AccessPattern,
+                                                  int | None]:
+    """Bucket one abstract index value into (pattern, constant offset)."""
+    if value.kind == "affine" and value.base == ("global", 0) \
+            and value.coeff == 1:
+        if value.offset == 0:
+            return AccessPattern.OWN_INDEX, 0
+        if value.offset is not None:
+            return AccessPattern.NEIGHBORHOOD, value.offset
+    return AccessPattern.ARBITRARY, None
+
+
+def summarize_function(func: ast.FunctionDef,
+                       summaries: dict[str, "FunctionSummary"]
+                       | None = None) -> FunctionSummary:
+    """Build the :class:`FunctionSummary` for *func*.
+
+    *summaries* holds the already-computed summaries of functions
+    defined earlier in the unit (the dialect forbids forward
+    references), enabling bottom-up interprocedural classification of
+    pointers passed on to helpers.
+    """
+    summaries = summaries or {}
+    summary = FunctionSummary(name=func.name,
+                              param_names=[p.name for p in func.params])
+    pointer_params = {p.name for p in func.params
+                      if isinstance(p.ctype, PointerType)}
+    summary.param_access = {name: AccessSummary()
+                            for name in pointer_params}
+
+    id_free = frozenset(name for name, s in summaries.items()
+                        if not s.uses_work_item_ids)
+    analysis = ValueAnalysis([p.name for p in func.params],
+                             id_free_functions=id_free)
+    cfg = build_cfg(func)
+    solution = analysis.run(cfg)
+
+    collector = _AccessCollector(summary, pointer_params, analysis,
+                                 summaries)
+    for _block_id, stmt, env in solution.statement_states():
+        collector.visit_stmt(stmt, dict(env))
+    for block in cfg.blocks.values():
+        if block.cond is not None:
+            env = dict(solution.state_out(block.id))
+            collector.visit_expr(block.cond, env)
+
+    summary.uses_work_item_ids = collector.uses_ids
+    summary.has_barrier = collector.has_barrier
+    blockers = vectorize_blockers(func)
+    summary.vectorize_blockers = blockers
+    summary.vectorizable = not blockers
+    return summary
+
+
+def summarize_unit(unit: ast.TranslationUnit
+                   ) -> dict[str, FunctionSummary]:
+    """Bottom-up summaries for every function of a translation unit."""
+    summaries: dict[str, FunctionSummary] = {}
+    for func in unit.functions:
+        summaries[func.name] = summarize_function(func, summaries)
+    return summaries
+
+
+class _AccessCollector:
+    """Walks statements with their dataflow environments, recording
+    every access to a pointer parameter."""
+
+    def __init__(self, summary: FunctionSummary,
+                 pointer_params: set[str], analysis: ValueAnalysis,
+                 summaries: dict[str, FunctionSummary]) -> None:
+        self.summary = summary
+        self.pointer_params = pointer_params
+        self.analysis = analysis
+        self.summaries = summaries
+        self.uses_ids = False
+        self.has_barrier = False
+
+    # -- statements ---------------------------------------------------------
+
+    def visit_stmt(self, stmt: ast.Stmt, env: dict) -> None:
+        if isinstance(stmt, ast.DeclStmt):
+            for decl in stmt.declarators:
+                if decl.init is not None:
+                    self.visit_expr(decl.init, env)
+                    env[decl.name] = self.analysis.eval(decl.init, env)
+        elif isinstance(stmt, ast.ExprStmt):
+            if stmt.expr is not None:
+                self.visit_expr(stmt.expr, env)
+        elif isinstance(stmt, ast.ReturnStmt):
+            if stmt.value is not None:
+                self.visit_expr(stmt.value, env)
+
+    # -- expressions --------------------------------------------------------
+
+    def visit_expr(self, expr: ast.Expr, env: dict,
+                   is_write: bool = False) -> None:
+        if isinstance(expr, ast.Index):
+            self._record_index(expr, env, is_write)
+            self.visit_expr(expr.index, env)
+            if not isinstance(expr.base, ast.Identifier):
+                self.visit_expr(expr.base, env)
+            return
+        if isinstance(expr, ast.Assign):
+            self.visit_expr(expr.value, env)
+            # compound assignment (+= etc.) reads the target as well,
+            # but the site classification only distinguishes writes
+            self.visit_expr(expr.target, env, is_write=True)
+            return
+        if isinstance(expr, ast.Call):
+            self._record_call(expr, env)
+            for arg in expr.args:
+                self.visit_expr(arg, env)
+            return
+        if isinstance(expr, ast.Unary):
+            if expr.op == "*":
+                self._record_deref(expr, env, is_write)
+            self.visit_expr(expr.operand, env, is_write=is_write
+                            if expr.op == "*" else False)
+            return
+        for child in _children(expr):
+            self.visit_expr(child, env)
+
+    def _record_index(self, expr: ast.Index, env: dict,
+                      is_write: bool) -> None:
+        base = expr.base
+        if not (isinstance(base, ast.Identifier)
+                and base.name in self.pointer_params):
+            return
+        value = self.analysis.eval(expr.index, dict(env))
+        pattern, offset = classify_index(value)
+        self.summary.param_access[base.name].record(AccessSite(
+            pattern=pattern, offset=offset, is_write=is_write,
+            line=expr.line, col=expr.col))
+
+    def _record_deref(self, expr: ast.Unary, env: dict,
+                      is_write: bool) -> None:
+        """``*p`` counts as an access with no index structure."""
+        operand = expr.operand
+        if isinstance(operand, ast.Identifier) \
+                and operand.name in self.pointer_params:
+            self.summary.param_access[operand.name].record(AccessSite(
+                pattern=AccessPattern.ARBITRARY, offset=None,
+                is_write=is_write, line=expr.line, col=expr.col))
+
+    def _record_call(self, expr: ast.Call, env: dict) -> None:
+        if expr.name in ID_WORK_ITEM_FUNCTIONS:
+            self.uses_ids = True
+        if expr.name == "barrier":
+            self.has_barrier = True
+        callee = self.summaries.get(expr.name)
+        if callee is not None:
+            if callee.uses_work_item_ids:
+                self.uses_ids = True
+            if callee.has_barrier:
+                self.has_barrier = True
+            self._propagate_pointer_args(expr, callee, env)
+
+    def _propagate_pointer_args(self, expr: ast.Call,
+                                callee: FunctionSummary,
+                                env: dict) -> None:
+        """Fold a callee's accesses of forwarded pointers into ours."""
+        for pos, arg in enumerate(expr.args):
+            name, shift = self._pointer_argument(arg, env)
+            if name is None or name not in self.pointer_params:
+                continue
+            if pos >= len(callee.param_names):
+                continue
+            callee_summary = callee.param_access.get(
+                callee.param_names[pos])
+            if callee_summary is None \
+                    or callee_summary.pattern is AccessPattern.NONE:
+                continue
+            mine = self.summary.param_access[name]
+            for site in callee_summary.sites:
+                pattern, offset = site.pattern, site.offset
+                if shift is None:
+                    pattern, offset = AccessPattern.ARBITRARY, None
+                elif shift != 0:
+                    if offset is None:
+                        pattern, offset = AccessPattern.ARBITRARY, None
+                    else:
+                        offset += shift
+                        pattern = (AccessPattern.OWN_INDEX if offset == 0
+                                   else AccessPattern.NEIGHBORHOOD)
+                mine.record(AccessSite(
+                    pattern=pattern, offset=offset,
+                    is_write=site.is_write, line=expr.line,
+                    col=expr.col, direct=False))
+
+    def _pointer_argument(self, arg: ast.Expr, env: dict
+                          ) -> tuple[str | None, int | None]:
+        """(parameter name, shift) when *arg* forwards a pointer.
+
+        The shift is ``0`` for a plain ``p``, the constant ``c`` for
+        ``p + c`` / ``p - c`` / ``c + p``, and ``None`` (structure
+        unknown) for any other pointer arithmetic.
+        """
+        if isinstance(arg, ast.Identifier):
+            return arg.name, 0
+        if isinstance(arg, ast.Binary) and arg.op in ("+", "-"):
+            pointer: ast.Expr | None = None
+            other: ast.Expr | None = None
+            if isinstance(arg.left, ast.Identifier) \
+                    and arg.left.name in self.pointer_params:
+                pointer, other = arg.left, arg.right
+            elif arg.op == "+" and isinstance(arg.right, ast.Identifier) \
+                    and arg.right.name in self.pointer_params:
+                pointer, other = arg.right, arg.left
+            if pointer is not None and other is not None:
+                value = self.analysis.eval(other, dict(env))
+                if value.kind == "const":
+                    sign = -1 if arg.op == "-" else 1
+                    return pointer.name, sign * value.value
+                return pointer.name, None
+        return None, None
+
+
+def _children(expr: ast.Expr) -> list[ast.Expr]:
+    """Direct sub-expressions of *expr* (for node kinds without
+    bespoke handling in the collector)."""
+    if isinstance(expr, ast.Unary):
+        return [expr.operand]
+    if isinstance(expr, (ast.PreIncDec, ast.PostIncDec)):
+        return [expr.operand]
+    if isinstance(expr, ast.Binary):
+        return [expr.left, expr.right]
+    if isinstance(expr, ast.Ternary):
+        return [expr.cond, expr.then, expr.otherwise]
+    if isinstance(expr, ast.Cast):
+        return [expr.operand]
+    if isinstance(expr, ast.Member):
+        return [expr.base]
+    return []
+
+
+# -- vectorization verdict ---------------------------------------------------
+
+def vectorize_blockers(func: ast.FunctionDef) -> list[str]:
+    """Why the numpy fast path cannot evaluate *func* (empty: it can).
+
+    The rules match the historical admissibility walk of
+    :mod:`repro.clc.vectorize` exactly: straight-line scalar
+    declarations and assignments, a trailing ``return``, pointer reads
+    only, and no work-item function but ``get_global_id``.
+    """
+    blockers: list[str] = []
+    if func.body is None:
+        return [f"{func.name} has no body"]
+    for stmt in func.body.body:
+        _stmt_blockers(stmt, blockers)
+    if not func.body.body or not isinstance(func.body.body[-1],
+                                            ast.ReturnStmt):
+        blockers.append("body does not end in a return statement")
+    return blockers
+
+
+def _stmt_blockers(stmt: ast.Stmt, blockers: list[str]) -> None:
+    where = f"line {stmt.line}"
+    if isinstance(stmt, ast.DeclStmt):
+        for decl in stmt.declarators:
+            if decl.array_size is not None or decl.pointer:
+                blockers.append(f"{where}: array or pointer "
+                                f"declaration of '{decl.name}'")
+                continue
+            if not isinstance(stmt.base_type, ScalarType):
+                blockers.append(f"{where}: non-scalar declaration "
+                                f"of '{decl.name}'")
+                continue
+            if decl.init is not None:
+                _expr_blockers(decl.init, blockers)
+        return
+    if isinstance(stmt, ast.ExprStmt):
+        expr = stmt.expr
+        if isinstance(expr, ast.Assign):
+            if not isinstance(expr.target, ast.Identifier):
+                blockers.append(f"{where}: assignment target is not "
+                                "a scalar local")
+                return
+            _expr_blockers(expr.value, blockers)
+            return
+        blockers.append(f"{where}: expression statement is not an "
+                        "assignment")
+        return
+    if isinstance(stmt, ast.ReturnStmt):
+        if stmt.value is None:
+            blockers.append(f"{where}: return without a value")
+            return
+        _expr_blockers(stmt.value, blockers)
+        return
+    blockers.append(f"{where}: {type(stmt).__name__} is not "
+                    "straight-line code")
+
+
+def _expr_blockers(expr: ast.Expr, blockers: list[str]) -> None:
+    where = f"line {expr.line}"
+    if isinstance(expr, (ast.IntLiteral, ast.FloatLiteral,
+                         ast.BoolLiteral, ast.Identifier)):
+        return
+    if isinstance(expr, ast.Unary):
+        if expr.op in ("&", "*"):
+            blockers.append(f"{where}: address-of/dereference "
+                            "operator")
+            return
+        _expr_blockers(expr.operand, blockers)
+        return
+    if isinstance(expr, ast.Binary):
+        if expr.op == ",":
+            blockers.append(f"{where}: comma operator")
+            return
+        _expr_blockers(expr.left, blockers)
+        _expr_blockers(expr.right, blockers)
+        return
+    if isinstance(expr, ast.Ternary):
+        _expr_blockers(expr.cond, blockers)
+        _expr_blockers(expr.then, blockers)
+        _expr_blockers(expr.otherwise, blockers)
+        return
+    if isinstance(expr, ast.Cast):
+        _expr_blockers(expr.operand, blockers)
+        return
+    if isinstance(expr, ast.Index):
+        # pointer reads vectorize via fancy indexing
+        if not isinstance(expr.base, ast.Identifier):
+            blockers.append(f"{where}: indexing of a computed base")
+            return
+        _expr_blockers(expr.index, blockers)
+        return
+    if isinstance(expr, ast.Member):
+        _expr_blockers(expr.base, blockers)
+        return
+    if isinstance(expr, ast.Call):
+        if expr.name in WORK_ITEM_FUNCTIONS:
+            if expr.name != "get_global_id":
+                blockers.append(f"{where}: work-item function "
+                                f"{expr.name}() has no vectorized "
+                                "meaning")
+            return
+        builtin = BUILTINS.get(expr.name)
+        if builtin is None or builtin.impl is None:
+            blockers.append(f"{where}: call to {expr.name}() is not "
+                            "a pure builtin")
+            return
+        for arg in expr.args:
+            _expr_blockers(arg, blockers)
+        return
+    blockers.append(f"{where}: {type(expr).__name__} expression")

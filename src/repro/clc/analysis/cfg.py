@@ -1,0 +1,281 @@
+"""Control-flow graphs over the dialect AST.
+
+Each function body is lowered into basic blocks of *simple* statements
+(declarations, expression statements, returns); structured control flow
+(``if``/``for``/``while``/``do``/``break``/``continue``/``return``)
+becomes edges.  Because the dialect has no ``goto``, every block's
+control dependence is captured exactly by the stack of enclosing
+conditions active when the block was created — :attr:`BasicBlock.guards`
+— which the barrier-divergence checker consumes directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.clc import astnodes as ast
+
+
+@dataclass(frozen=True)
+class Guard:
+    """One enclosing condition a block is control-dependent on."""
+
+    cond: ast.Expr
+    #: block whose terminator evaluates the condition (its dataflow
+    #: out-state is the environment the condition sees)
+    block_id: int
+    #: "if" / "loop" — loops additionally imply divergent trip counts
+    kind: str
+
+
+@dataclass
+class BasicBlock:
+    """A straight-line run of simple statements."""
+
+    id: int
+    stmts: list[ast.Stmt] = field(default_factory=list)
+    #: branch condition evaluated after ``stmts`` (None: unconditional)
+    cond: ast.Expr | None = None
+    succs: list[int] = field(default_factory=list)
+    preds: list[int] = field(default_factory=list)
+    #: conditions this block is control-dependent on (outermost first)
+    guards: tuple[Guard, ...] = ()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"<BasicBlock {self.id}: {len(self.stmts)} stmt(s) "
+                f"-> {self.succs}>")
+
+
+@dataclass
+class CFG:
+    """The control-flow graph of one function."""
+
+    func: ast.FunctionDef
+    blocks: dict[int, BasicBlock] = field(default_factory=dict)
+    entry: int = 0
+    exit: int = 1
+
+    def block(self, block_id: int) -> BasicBlock:
+        return self.blocks[block_id]
+
+    def reverse_postorder(self) -> list[int]:
+        """Iteration order that converges fast for forward problems."""
+        seen: set[int] = set()
+        order: list[int] = []
+
+        def visit(block_id: int) -> None:
+            # iterative DFS; deep kernels must not hit the recursion cap
+            stack: list[tuple[int, int]] = [(block_id, 0)]
+            while stack:
+                bid, next_succ = stack.pop()
+                if next_succ == 0:
+                    if bid in seen:
+                        continue
+                    seen.add(bid)
+                succs = self.blocks[bid].succs
+                if next_succ < len(succs):
+                    stack.append((bid, next_succ + 1))
+                    stack.append((succs[next_succ], 0))
+                else:
+                    order.append(bid)
+
+        visit(self.entry)
+        order.reverse()
+        return order
+
+
+class _Builder:
+    """Lowers one function body into a :class:`CFG`."""
+
+    def __init__(self, func: ast.FunctionDef) -> None:
+        self.func = func
+        self.cfg = CFG(func=func)
+        self._next_id = 0
+        self._guards: list[Guard] = []
+        entry = self._new_block()
+        exit_block = self._new_block()
+        self.cfg.entry = entry.id
+        self.cfg.exit = exit_block.id
+        self._current: BasicBlock | None = entry
+        #: (break target, continue target) per enclosing loop
+        self._loop_targets: list[tuple[int, int]] = []
+
+    def _new_block(self) -> BasicBlock:
+        block = BasicBlock(id=self._next_id,
+                           guards=tuple(self._guards))
+        self._next_id += 1
+        self.cfg.blocks[block.id] = block
+        return block
+
+    def _link(self, src: int, dst: int) -> None:
+        self.cfg.blocks[src].succs.append(dst)
+        self.cfg.blocks[dst].preds.append(src)
+
+    def build(self) -> CFG:
+        body = self.func.body.body if self.func.body else []
+        for stmt in body:
+            self._lower(stmt)
+        if self._current is not None:
+            self._link(self._current.id, self.cfg.exit)
+        return self.cfg
+
+    # -- statement lowering -------------------------------------------------
+
+    def _lower(self, stmt: ast.Stmt) -> None:
+        if self._current is None:
+            # unreachable code after return/break/continue still gets a
+            # block so later checks can walk it, but with no preds
+            self._current = self._new_block()
+        if isinstance(stmt, ast.CompoundStmt):
+            for inner in stmt.body:
+                self._lower(inner)
+        elif isinstance(stmt, ast.IfStmt):
+            self._lower_if(stmt)
+        elif isinstance(stmt, ast.ForStmt):
+            self._lower_for(stmt)
+        elif isinstance(stmt, ast.WhileStmt):
+            self._lower_while(stmt)
+        elif isinstance(stmt, ast.DoWhileStmt):
+            self._lower_do_while(stmt)
+        elif isinstance(stmt, ast.ReturnStmt):
+            self._current.stmts.append(stmt)
+            self._link(self._current.id, self.cfg.exit)
+            self._current = None
+        elif isinstance(stmt, ast.BreakStmt):
+            self._link(self._current.id, self._loop_targets[-1][0])
+            self._current = None
+        elif isinstance(stmt, ast.ContinueStmt):
+            self._link(self._current.id, self._loop_targets[-1][1])
+            self._current = None
+        else:
+            self._current.stmts.append(stmt)
+
+    def _branch(self, cond: ast.Expr, kind: str
+                ) -> tuple[BasicBlock, Guard]:
+        """End the current block on *cond*; return it and its guard."""
+        assert self._current is not None
+        cond_block = self._current
+        cond_block.cond = cond
+        self._current = None
+        return cond_block, Guard(cond=cond, block_id=cond_block.id,
+                                 kind=kind)
+
+    def _guarded(self, guard: Guard) -> "_GuardScope":
+        return _GuardScope(self, guard)
+
+    def _lower_if(self, stmt: ast.IfStmt) -> None:
+        cond_block, guard = self._branch(stmt.cond, "if")
+        with self._guarded(guard):
+            then_block = self._new_block()
+            self._link(cond_block.id, then_block.id)
+            self._current = then_block
+            self._lower(stmt.then)
+            then_end = self._current
+            else_end: BasicBlock | None = None
+            if stmt.otherwise is not None:
+                else_block = self._new_block()
+                self._link(cond_block.id, else_block.id)
+                self._current = else_block
+                self._lower(stmt.otherwise)
+                else_end = self._current
+        join = self._new_block()
+        if stmt.otherwise is None:
+            self._link(cond_block.id, join.id)  # false edge
+        if then_end is not None:
+            self._link(then_end.id, join.id)
+        if else_end is not None:
+            self._link(else_end.id, join.id)
+        self._current = join
+
+    def _lower_loop_body(self, body: ast.Stmt, guard: Guard,
+                         cond_block: BasicBlock, break_to: int,
+                         continue_to: int) -> None:
+        with self._guarded(guard):
+            body_block = self._new_block()
+            self._link(cond_block.id, body_block.id)
+            self._current = body_block
+            self._loop_targets.append((break_to, continue_to))
+            self._lower(body)
+            self._loop_targets.pop()
+
+    def _lower_for(self, stmt: ast.ForStmt) -> None:
+        assert self._current is not None
+        if stmt.init is not None:
+            self._lower(stmt.init)
+        assert self._current is not None
+        cond_block = self._new_block()
+        self._link(self._current.id, cond_block.id)
+        self._current = cond_block
+        cond = stmt.cond if stmt.cond is not None else ast.BoolLiteral(
+            value=True, line=stmt.line, col=stmt.col)
+        cond_block, guard = self._branch(cond, "loop")
+        after = self._new_block()
+        self._link(cond_block.id, after.id)  # false edge
+        with self._guarded(guard):
+            step_block = self._new_block()
+            if stmt.step is not None:
+                step_block.stmts.append(
+                    ast.ExprStmt(expr=stmt.step, line=stmt.step.line,
+                                 col=stmt.step.col))
+        self._link(step_block.id, cond_block.id)  # back edge
+        self._lower_loop_body(stmt.body, guard, cond_block,
+                              break_to=after.id,
+                              continue_to=step_block.id)
+        if self._current is not None:
+            self._link(self._current.id, step_block.id)
+        self._current = after
+
+    def _lower_while(self, stmt: ast.WhileStmt) -> None:
+        assert self._current is not None
+        cond_block = self._new_block()
+        self._link(self._current.id, cond_block.id)
+        self._current = cond_block
+        cond_block, guard = self._branch(stmt.cond, "loop")
+        after = self._new_block()
+        self._link(cond_block.id, after.id)
+        self._lower_loop_body(stmt.body, guard, cond_block,
+                              break_to=after.id,
+                              continue_to=cond_block.id)
+        if self._current is not None:
+            self._link(self._current.id, cond_block.id)
+        self._current = after
+
+    def _lower_do_while(self, stmt: ast.DoWhileStmt) -> None:
+        assert self._current is not None
+        # the body runs at least once, but iterations past the first
+        # are condition-guarded; model the body as loop-guarded so
+        # divergence and race joins see the back edge
+        head = self._new_block()
+        self._link(self._current.id, head.id)
+        guard = Guard(cond=stmt.cond, block_id=head.id, kind="loop")
+        after = self._new_block()
+        with self._guarded(guard):
+            body_block = self._new_block()
+            self._link(head.id, body_block.id)
+            self._current = body_block
+            self._loop_targets.append((after.id, head.id))
+            self._lower(stmt.body)
+            self._loop_targets.pop()
+            if self._current is not None:
+                cond_block = self._current
+                cond_block.cond = stmt.cond
+                self._link(cond_block.id, head.id)   # true: loop again
+                self._link(cond_block.id, after.id)  # false: exit
+        self._current = after
+
+
+class _GuardScope:
+    def __init__(self, builder: _Builder, guard: Guard) -> None:
+        self._builder = builder
+        self._guard = guard
+
+    def __enter__(self) -> None:
+        self._builder._guards.append(self._guard)
+
+    def __exit__(self, *exc_info: object) -> None:
+        self._builder._guards.pop()
+
+
+def build_cfg(func: ast.FunctionDef) -> CFG:
+    """Lower *func* into basic blocks with explicit control-flow edges."""
+    return _Builder(func).build()

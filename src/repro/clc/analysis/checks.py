@@ -1,0 +1,751 @@
+"""The kernel checkers: barrier divergence, races, bounds, definite
+assignment, and distribution safety.
+
+Each checker appends :class:`~repro.clc.analysis.diagnostics.Diagnostic`
+records to a shared report; none of them raises.  They share the value
+analysis of :mod:`repro.clc.analysis.values`: the race and divergence
+checks are only meaningful for ``__kernel`` functions (the dialect
+allows ``barrier``/``__local`` nowhere else), bounds and definite
+assignment run everywhere.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.clc import astnodes as ast
+from repro.clc.analysis.cfg import CFG, Guard
+from repro.clc.analysis.dataflow import ForwardAnalysis, Solution
+from repro.clc.analysis.diagnostics import (CHECKS, AnalysisReport,
+                                            Diagnostic)
+from repro.clc.analysis.values import AbstractValue, ValueAnalysis
+from repro.clc.builtins import ATOMIC_FUNCTIONS
+
+ValueEnv = dict
+
+
+def _diag(report: AnalysisReport, check_id: str, message: str,
+          node: ast.Node, function: str) -> None:
+    severity, _summary = CHECKS[check_id]
+    report.add(Diagnostic(check_id=check_id, severity=severity,
+                          message=message, line=node.line,
+                          col=node.col, function=function))
+
+
+# ---------------------------------------------------------------------------
+# shared per-function context
+
+
+class FunctionContext:
+    """Value-analysis solution plus per-statement lookup tables that
+    several checkers share for one function."""
+
+    def __init__(self, func: ast.FunctionDef, cfg: CFG,
+                 analysis: ValueAnalysis,
+                 solution: Solution) -> None:
+        self.func = func
+        self.cfg = cfg
+        self.analysis = analysis
+        self.solution = solution
+        #: id(stmt) -> value environment before the statement
+        self.stmt_env: dict[int, ValueEnv] = {}
+        #: id(stmt) -> guards of the block holding the statement
+        self.stmt_guards: dict[int, tuple[Guard, ...]] = {}
+        for block_id, stmt, env in solution.statement_states():
+            self.stmt_env[id(stmt)] = dict(env)
+            self.stmt_guards[id(stmt)] = cfg.blocks[block_id].guards
+        #: block id -> environment the block's condition sees
+        self.cond_env: dict[int, ValueEnv] = {}
+        for block_id, block in cfg.blocks.items():
+            if block.cond is not None:
+                env = dict(solution.state_into(block_id))
+                for stmt in block.stmts:
+                    env = dict(analysis.transfer_stmt(stmt, env))
+                self.cond_env[block_id] = env
+
+    def guard_value(self, guard: Guard) -> AbstractValue:
+        env = dict(self.cond_env.get(guard.block_id, {}))
+        return self.analysis.eval(guard.cond, env)
+
+    def divergent_guards(self, guards: tuple[Guard, ...]
+                         ) -> list[Guard]:
+        return [g for g in guards if self.guard_value(g).divergent]
+
+    def single_item_guard_ids(self, guards: tuple[Guard, ...]
+                              ) -> frozenset[int]:
+        """Ids of enclosing guard blocks of the shape ``id == uniform``
+        — conditions at most one work item per group satisfies."""
+        ids = set()
+        for guard in guards:
+            if self._is_single_item(guard):
+                ids.add(guard.block_id)
+        return frozenset(ids)
+
+    def _is_single_item(self, guard: Guard) -> bool:
+        cond = guard.cond
+        if not (isinstance(cond, ast.Binary) and cond.op == "=="):
+            return False
+        env = dict(self.cond_env.get(guard.block_id, {}))
+        left = self.analysis.eval(cond.left, dict(env))
+        right = self.analysis.eval(cond.right, dict(env))
+        for a, b in ((left, right), (right, left)):
+            if a.kind == "affine" and a.coeff not in (None, 0) \
+                    and b.uniform:
+                return True
+        return False
+
+
+def make_context(func: ast.FunctionDef,
+                 id_free_functions: frozenset[str] = frozenset()
+                 ) -> FunctionContext:
+    from repro.clc.analysis.cfg import build_cfg
+    analysis = ValueAnalysis([p.name for p in func.params],
+                             id_free_functions=id_free_functions)
+    cfg = build_cfg(func)
+    return FunctionContext(func, cfg, analysis, analysis.run(cfg))
+
+
+# ---------------------------------------------------------------------------
+# BD001 / BD002 — barrier divergence
+
+
+def check_barriers(ctx: FunctionContext,
+                   report: AnalysisReport) -> None:
+    """All-or-none: ``barrier()`` hangs unless every work item of the
+    group reaches it, so a barrier under a work-item-dependent branch
+    or loop condition is an error (BD001); an early ``return`` on a
+    divergent path in a barrier-using kernel skips barriers for part
+    of the group (BD002)."""
+    func = ctx.func
+    barrier_sites: list[tuple[ast.Call, tuple[Guard, ...]]] = []
+    returns: list[tuple[ast.ReturnStmt, tuple[Guard, ...]]] = []
+    for stmt, guards in _stmts_with_guards(ctx):
+        for call in _find_calls(stmt, "barrier"):
+            barrier_sites.append((call, guards))
+        if isinstance(stmt, ast.ReturnStmt):
+            returns.append((stmt, guards))
+
+    for call, guards in barrier_sites:
+        for guard in ctx.divergent_guards(guards):
+            what = ("loop with a work-item-dependent trip count"
+                    if guard.kind == "loop" else
+                    "branch on a work-item-dependent condition")
+            _diag(report, "BD001",
+                  f"barrier() inside a {what} (line {guard.cond.line}) "
+                  "is not reached by every work item of the group",
+                  call, func.name)
+            break  # one report per barrier site
+
+    if barrier_sites:
+        for ret, guards in returns:
+            if ctx.divergent_guards(guards):
+                _diag(report, "BD002",
+                      "return on a work-item-dependent path skips the "
+                      "barrier(s) below for part of the group",
+                      ret, func.name)
+
+
+def _stmts_with_guards(ctx: FunctionContext
+                       ) -> list[tuple[ast.Stmt, tuple[Guard, ...]]]:
+    out = []
+    for block in ctx.cfg.blocks.values():
+        for stmt in block.stmts:
+            out.append((stmt, block.guards))
+    return out
+
+
+def _find_calls(node: ast.Stmt | ast.Expr, name: str
+                ) -> list[ast.Call]:
+    found: list[ast.Call] = []
+
+    def walk_expr(expr: ast.Expr | None) -> None:
+        if expr is None:
+            return
+        if isinstance(expr, ast.Call):
+            if expr.name == name:
+                found.append(expr)
+            for arg in expr.args:
+                walk_expr(arg)
+            return
+        for child in _expr_children(expr):
+            walk_expr(child)
+
+    if isinstance(node, ast.DeclStmt):
+        for decl in node.declarators:
+            walk_expr(decl.init)
+    elif isinstance(node, ast.ExprStmt):
+        walk_expr(node.expr)
+    elif isinstance(node, ast.ReturnStmt):
+        walk_expr(node.value)
+    return found
+
+
+def _expr_children(expr: ast.Expr) -> list[ast.Expr]:
+    if isinstance(expr, ast.Unary):
+        return [expr.operand]
+    if isinstance(expr, (ast.PreIncDec, ast.PostIncDec)):
+        return [expr.operand]
+    if isinstance(expr, ast.Binary):
+        return [expr.left, expr.right]
+    if isinstance(expr, ast.Ternary):
+        return [expr.cond, expr.then, expr.otherwise]
+    if isinstance(expr, ast.Assign):
+        return [expr.target, expr.value]
+    if isinstance(expr, ast.Cast):
+        return [expr.operand]
+    if isinstance(expr, ast.Index):
+        return [expr.base, expr.index]
+    if isinstance(expr, ast.Member):
+        return [expr.base]
+    return []
+
+
+# ---------------------------------------------------------------------------
+# RC001 / RC002 / RC003 — shared-memory races
+
+
+@dataclass(frozen=True)
+class _Write:
+    """One unsynchronized shared-memory write pending since the last
+    barrier."""
+
+    space: str  # "local" | "global"
+    name: str
+    index: AbstractValue
+    #: single-item guard blocks enclosing the write (``lid == 0``)
+    single_guard_ids: frozenset[int]
+    line: int
+    col: int
+
+
+class _RaceAnalysis(ForwardAnalysis[frozenset]):
+    """State: the set of shared-memory writes since the last barrier.
+
+    ``barrier()`` clears the set; the reporting pass replays the same
+    transfer and flags reads/writes that conflict with a pending write
+    another work item may have issued."""
+
+    def __init__(self, ctx: FunctionContext, shared: dict[str, str]
+                 ) -> None:
+        self.ctx = ctx
+        self.shared = shared  # array name -> "local" | "global"
+
+    def boundary_state(self) -> frozenset:
+        return frozenset()
+
+    def empty_state(self) -> frozenset:
+        return frozenset()
+
+    def join(self, a: frozenset, b: frozenset) -> frozenset:
+        return a | b
+
+    def transfer_stmt(self, stmt: ast.Stmt,
+                      state: frozenset) -> frozenset:
+        return self._process(stmt, state, report=None,
+                             func_name="")
+
+    # -- shared transfer/report walk ----------------------------------------
+
+    def _process(self, stmt: ast.Stmt, state: frozenset,
+                 report: AnalysisReport | None,
+                 func_name: str) -> frozenset:
+        env = self.ctx.stmt_env.get(id(stmt), {})
+        guards = self.ctx.stmt_guards.get(id(stmt), ())
+        single_ids = self.ctx.single_item_guard_ids(guards)
+
+        accesses: list[tuple[ast.Index, bool]] = []
+        has_barrier = bool(_find_calls(stmt, "barrier"))
+        atomic_targets: set[int] = set()
+        exprs: list[ast.Expr] = []
+        if isinstance(stmt, ast.DeclStmt):
+            exprs = [d.init for d in stmt.declarators
+                     if d.init is not None]
+        elif isinstance(stmt, ast.ExprStmt) and stmt.expr is not None:
+            exprs = [stmt.expr]
+        elif isinstance(stmt, ast.ReturnStmt) and stmt.value is not None:
+            exprs = [stmt.value]
+        for expr in exprs:
+            self._collect(expr, accesses, atomic_targets,
+                          is_write=False)
+
+        new_state = set(state)
+        for index_expr, is_write in accesses:
+            if id(index_expr) in atomic_targets:
+                continue  # atomics synchronize their own access
+            base = index_expr.base
+            assert isinstance(base, ast.Identifier)
+            space = self.shared[base.name]
+            value = self.ctx.analysis.eval(index_expr.index, dict(env))
+            if report is not None:
+                self._report_conflicts(index_expr, base.name, space,
+                                       value, single_ids, is_write,
+                                       state, report, func_name)
+            if is_write:
+                new_state.add(_Write(space=space, name=base.name,
+                                     index=value,
+                                     single_guard_ids=single_ids,
+                                     line=index_expr.line,
+                                     col=index_expr.col))
+        if has_barrier:
+            return frozenset()
+        return frozenset(new_state)
+
+    def _collect(self, expr: ast.Expr,
+                 accesses: list[tuple[ast.Index, bool]],
+                 atomic_targets: set[int], is_write: bool) -> None:
+        """Gather shared-array index accesses in evaluation order."""
+        if isinstance(expr, ast.Assign):
+            self._collect(expr.value, accesses, atomic_targets, False)
+            if isinstance(expr.target, ast.Index):
+                # compound assignment reads too, but flagging the
+                # write covers the same conflict
+                self._collect(expr.target, accesses, atomic_targets,
+                              True)
+            else:
+                self._collect(expr.target, accesses, atomic_targets,
+                              False)
+            return
+        if isinstance(expr, (ast.PreIncDec, ast.PostIncDec)):
+            self._collect(expr.operand, accesses, atomic_targets,
+                          True)
+            return
+        if isinstance(expr, ast.Call):
+            if expr.name in ATOMIC_FUNCTIONS and expr.args:
+                target = expr.args[0]
+                if isinstance(target, ast.Unary) and target.op == "&" \
+                        and isinstance(target.operand, ast.Index):
+                    atomic_targets.add(id(target.operand))
+            for arg in expr.args:
+                self._collect(arg, accesses, atomic_targets, False)
+            return
+        if isinstance(expr, ast.Index):
+            if isinstance(expr.base, ast.Identifier) \
+                    and expr.base.name in self.shared:
+                accesses.append((expr, is_write))
+            self._collect(expr.index, accesses, atomic_targets, False)
+            if not isinstance(expr.base, ast.Identifier):
+                self._collect(expr.base, accesses, atomic_targets,
+                              False)
+            return
+        for child in _expr_children(expr):
+            self._collect(child, accesses, atomic_targets, False)
+
+    def _report_conflicts(self, site: ast.Index, name: str, space: str,
+                          value: AbstractValue,
+                          single_ids: frozenset[int], is_write: bool,
+                          pending: frozenset, report: AnalysisReport,
+                          func_name: str) -> None:
+        for write in pending:
+            if write.name != name:
+                continue
+            if write.single_guard_ids & single_ids:
+                continue  # both on the same single-item path
+            if write.index == value and not value.uniform:
+                continue  # provably the item's own slot
+            if write.index == value and value.uniform \
+                    and not write.single_guard_ids:
+                # every item writes the same cell; flagged as RC002 at
+                # the write, don't repeat per read
+                continue
+            what = "write to" if is_write else "read of"
+            check = "RC001" if space == "local" else "RC003"
+            _diag(report, check,
+                  f"{what} __{space} '{name}' may race with the "
+                  f"write at line {write.line} — no barrier in "
+                  "between", site, func_name)
+            return  # one report per access site
+
+    def report_write_sharing(self, stmt: ast.Stmt,
+                             report: AnalysisReport,
+                             func_name: str) -> None:
+        """RC002: every work item stores to the same location."""
+        env = self.ctx.stmt_env.get(id(stmt), {})
+        guards = self.ctx.stmt_guards.get(id(stmt), ())
+        if self.ctx.single_item_guard_ids(guards):
+            return
+        accesses: list[tuple[ast.Index, bool]] = []
+        atomic_targets: set[int] = set()
+        exprs: list[ast.Expr] = []
+        if isinstance(stmt, ast.ExprStmt) and stmt.expr is not None:
+            exprs = [stmt.expr]
+        for expr in exprs:
+            self._collect(expr, accesses, atomic_targets, False)
+        for index_expr, is_write in accesses:
+            if not is_write or id(index_expr) in atomic_targets:
+                continue
+            base = index_expr.base
+            assert isinstance(base, ast.Identifier)
+            value = self.ctx.analysis.eval(index_expr.index, dict(env))
+            if value.uniform:
+                space = self.shared[base.name]
+                _diag(report, "RC002",
+                      f"every work item writes __{space} "
+                      f"'{base.name}' at the same index — last "
+                      "writer wins; guard with a single work item "
+                      "or use atomics", index_expr, func_name)
+
+
+def check_races(ctx: FunctionContext,
+                report: AnalysisReport) -> None:
+    """Flag unsynchronized cross-work-item conflicts on ``__local``
+    arrays (RC001, error) and ``__global`` pointers (RC003, warning),
+    plus all-items-same-cell stores (RC002)."""
+    shared = _shared_arrays(ctx.func)
+    if not shared:
+        return
+    analysis = _RaceAnalysis(ctx, shared)
+    solution = analysis.run(ctx.cfg)
+    for _block_id, stmt, state in solution.statement_states():
+        analysis._process(stmt, state, report=report,
+                          func_name=ctx.func.name)
+        analysis.report_write_sharing(stmt, report, ctx.func.name)
+
+
+def _shared_arrays(func: ast.FunctionDef) -> dict[str, str]:
+    """Names of ``__local`` arrays and ``__global`` pointer params."""
+    shared: dict[str, str] = {}
+    for param in func.params:
+        if getattr(param.ctype, "is_pointer", False) \
+                and param.address_space == "global":
+            shared[param.name] = "global"
+
+    def walk(stmt: ast.Stmt) -> None:
+        if isinstance(stmt, ast.DeclStmt):
+            if stmt.address_space == "local":
+                for decl in stmt.declarators:
+                    shared[decl.name] = "local"
+        elif isinstance(stmt, ast.CompoundStmt):
+            for inner in stmt.body:
+                walk(inner)
+        elif isinstance(stmt, ast.IfStmt):
+            walk(stmt.then)
+            if stmt.otherwise is not None:
+                walk(stmt.otherwise)
+        elif isinstance(stmt, ast.ForStmt):
+            if stmt.init is not None:
+                walk(stmt.init)
+            walk(stmt.body)
+        elif isinstance(stmt, (ast.WhileStmt, ast.DoWhileStmt)):
+            walk(stmt.body)
+
+    if func.body is not None:
+        walk(func.body)
+    return shared
+
+
+# ---------------------------------------------------------------------------
+# OB001 — constant index out of bounds
+
+
+def check_bounds(ctx: FunctionContext,
+                 report: AnalysisReport) -> None:
+    """Constant indices outside a fixed-size array's extent."""
+    sizes = _array_sizes(ctx.func)
+    if not sizes:
+        return
+    for stmt, _guards in _stmts_with_guards(ctx):
+        env = ctx.stmt_env.get(id(stmt), {})
+        for index_expr in _find_indexes(stmt):
+            base = index_expr.base
+            if not (isinstance(base, ast.Identifier)
+                    and base.name in sizes):
+                continue
+            value = ctx.analysis.eval(index_expr.index, dict(env))
+            size = sizes[base.name]
+            if value.kind == "const" and value.value is not None \
+                    and not 0 <= value.value < size:
+                _diag(report, "OB001",
+                      f"index {value.value} is outside "
+                      f"'{base.name}[{size}]'", index_expr,
+                      ctx.func.name)
+
+
+def _array_sizes(func: ast.FunctionDef) -> dict[str, int]:
+    sizes: dict[str, int] = {}
+
+    def walk(stmt: ast.Stmt) -> None:
+        if isinstance(stmt, ast.DeclStmt):
+            for decl in stmt.declarators:
+                if isinstance(decl.array_size, ast.IntLiteral):
+                    sizes[decl.name] = decl.array_size.value
+        elif isinstance(stmt, ast.CompoundStmt):
+            for inner in stmt.body:
+                walk(inner)
+        elif isinstance(stmt, ast.IfStmt):
+            walk(stmt.then)
+            if stmt.otherwise is not None:
+                walk(stmt.otherwise)
+        elif isinstance(stmt, ast.ForStmt):
+            if stmt.init is not None:
+                walk(stmt.init)
+            walk(stmt.body)
+        elif isinstance(stmt, (ast.WhileStmt, ast.DoWhileStmt)):
+            walk(stmt.body)
+
+    if func.body is not None:
+        walk(func.body)
+    return sizes
+
+
+def _find_indexes(stmt: ast.Stmt) -> list[ast.Index]:
+    found: list[ast.Index] = []
+
+    def walk(expr: ast.Expr | None) -> None:
+        if expr is None:
+            return
+        if isinstance(expr, ast.Index):
+            found.append(expr)
+        if isinstance(expr, ast.Call):
+            for arg in expr.args:
+                walk(arg)
+            return
+        for child in _expr_children(expr):
+            walk(child)
+
+    if isinstance(stmt, ast.DeclStmt):
+        for decl in stmt.declarators:
+            walk(decl.init)
+    elif isinstance(stmt, ast.ExprStmt):
+        walk(stmt.expr)
+    elif isinstance(stmt, ast.ReturnStmt):
+        walk(stmt.value)
+    return found
+
+
+# ---------------------------------------------------------------------------
+# UD001 — use before definite assignment
+
+
+class _AssignedAnalysis(ForwardAnalysis):
+    """State: the set of names definitely assigned on every path; the
+    join is intersection (``None`` marks the unreachable top)."""
+
+    def __init__(self, params: list[str]) -> None:
+        self.params = params
+
+    def boundary_state(self):
+        return frozenset(self.params)
+
+    def empty_state(self):
+        return None
+
+    def join(self, a, b):
+        if a is None:
+            return b
+        if b is None:
+            return a
+        return a & b
+
+    def transfer_stmt(self, stmt: ast.Stmt, state):
+        if state is None:
+            return None
+        assigned = set(state)
+        if isinstance(stmt, ast.DeclStmt):
+            for decl in stmt.declarators:
+                if decl.init is not None:
+                    _collect_assignments(decl.init, assigned)
+                    assigned.add(decl.name)
+                elif decl.array_size is not None:
+                    assigned.add(decl.name)
+        elif isinstance(stmt, ast.ExprStmt):
+            if stmt.expr is not None:
+                _collect_assignments(stmt.expr, assigned)
+        elif isinstance(stmt, ast.ReturnStmt):
+            if stmt.value is not None:
+                _collect_assignments(stmt.value, assigned)
+        return frozenset(assigned)
+
+    def transfer_cond(self, cond: ast.Expr, state):
+        if state is None:
+            return None
+        assigned = set(state)
+        _collect_assignments(cond, assigned)
+        return frozenset(assigned)
+
+
+def _member_root(expr: ast.Expr) -> ast.Identifier | None:
+    """The identifier at the bottom of a ``a.b.c`` member chain."""
+    while isinstance(expr, ast.Member):
+        expr = expr.base
+    return expr if isinstance(expr, ast.Identifier) else None
+
+
+def _collect_assignments(expr: ast.Expr, assigned: set) -> None:
+    if isinstance(expr, ast.Assign):
+        _collect_assignments(expr.value, assigned)
+        if isinstance(expr.target, ast.Identifier):
+            assigned.add(expr.target.name)
+            return
+        # a member store initializes (part of) the struct — treated
+        # as assigning the whole, matching the C compilers' leniency
+        root = _member_root(expr.target)
+        if root is not None:
+            assigned.add(root.name)
+            return
+        _collect_assignments(expr.target, assigned)
+        return
+    if isinstance(expr, (ast.PreIncDec, ast.PostIncDec)):
+        if isinstance(expr.operand, ast.Identifier):
+            assigned.add(expr.operand.name)
+        return
+    for child in _expr_children(expr):
+        _collect_assignments(child, assigned)
+    if isinstance(expr, ast.Call):
+        for arg in expr.args:
+            _collect_assignments(arg, assigned)
+
+
+def check_uninit(ctx: FunctionContext,
+                 report: AnalysisReport) -> None:
+    """Scalar locals declared without an initializer and read on some
+    path before any assignment."""
+    func = ctx.func
+    tracked = _uninit_tracked(func)
+    if not tracked:
+        return
+    analysis = _AssignedAnalysis([p.name for p in func.params])
+    solution = analysis.run(ctx.cfg)
+    reported: set[str] = set()
+
+    def flag(ident: ast.Identifier) -> None:
+        if ident.name in reported:
+            return
+        reported.add(ident.name)
+        _diag(report, "UD001",
+              f"'{ident.name}' may be read before it is assigned",
+              ident, func.name)
+
+    for _block_id, stmt, state in solution.statement_states():
+        if state is None:
+            continue
+        for ident in _reads_in_stmt(stmt):
+            if ident.name in tracked and ident.name not in state:
+                flag(ident)
+    for block_id, block in ctx.cfg.blocks.items():
+        if block.cond is None:
+            continue
+        state = solution.state_into(block_id)
+        if state is None:
+            continue
+        for stmt in block.stmts:
+            state = analysis.transfer_stmt(stmt, state)
+        for ident in _reads_in_expr(block.cond):
+            if ident.name in tracked and ident.name not in state:
+                flag(ident)
+
+
+def _uninit_tracked(func: ast.FunctionDef) -> set[str]:
+    """Locals worth tracking: declared exactly once (shadowing makes
+    the name ambiguous across scopes) and without initializer."""
+    declared: list[tuple[str, bool]] = []
+
+    def walk(stmt: ast.Stmt) -> None:
+        if isinstance(stmt, ast.DeclStmt):
+            for decl in stmt.declarators:
+                declared.append((decl.name,
+                                 decl.init is None
+                                 and decl.array_size is None))
+        elif isinstance(stmt, ast.CompoundStmt):
+            for inner in stmt.body:
+                walk(inner)
+        elif isinstance(stmt, ast.IfStmt):
+            walk(stmt.then)
+            if stmt.otherwise is not None:
+                walk(stmt.otherwise)
+        elif isinstance(stmt, ast.ForStmt):
+            if stmt.init is not None:
+                walk(stmt.init)
+            walk(stmt.body)
+        elif isinstance(stmt, (ast.WhileStmt, ast.DoWhileStmt)):
+            walk(stmt.body)
+
+    if func.body is not None:
+        walk(func.body)
+    counts: dict[str, int] = {}
+    for name, _ in declared:
+        counts[name] = counts.get(name, 0) + 1
+    return {name for name, uninit in declared
+            if uninit and counts[name] == 1}
+
+
+def _reads_in_stmt(stmt: ast.Stmt) -> list[ast.Identifier]:
+    reads: list[ast.Identifier] = []
+    if isinstance(stmt, ast.DeclStmt):
+        for decl in stmt.declarators:
+            if decl.init is not None:
+                _reads(decl.init, reads)
+    elif isinstance(stmt, ast.ExprStmt):
+        if stmt.expr is not None:
+            _reads(stmt.expr, reads)
+    elif isinstance(stmt, ast.ReturnStmt):
+        if stmt.value is not None:
+            _reads(stmt.value, reads)
+    return reads
+
+
+def _reads_in_expr(expr: ast.Expr) -> list[ast.Identifier]:
+    reads: list[ast.Identifier] = []
+    _reads(expr, reads)
+    return reads
+
+
+def _reads(expr: ast.Expr, out: list[ast.Identifier]) -> None:
+    if isinstance(expr, ast.Identifier):
+        out.append(expr)
+        return
+    if isinstance(expr, ast.Assign):
+        _reads(expr.value, out)
+        target = expr.target
+        if isinstance(target, ast.Identifier):
+            if expr.op != "=":
+                out.append(target)  # compound assigns read
+        elif isinstance(target, ast.Member) \
+                and _member_root(target) is not None:
+            if expr.op != "=":
+                out.append(_member_root(target))
+        else:
+            _reads(target, out)
+        return
+    if isinstance(expr, ast.Call):
+        for arg in expr.args:
+            _reads(arg, out)
+        return
+    for child in _expr_children(expr):
+        _reads(child, out)
+
+
+# ---------------------------------------------------------------------------
+# DIST001 — block-distribution-unsafe neighbour gathers
+
+
+def check_distribution(func: ast.FunctionDef, summary,
+                       report: AnalysisReport) -> None:
+    """A kernel indexing a ``__global`` pointer at its own index plus a
+    constant reads its neighbour's element — correct on one device,
+    silently wrong at block boundaries once the vector is split."""
+    global_params = {p.name for p in func.params
+                     if getattr(p.ctype, "is_pointer", False)
+                     and p.address_space == "global"}
+    from repro.clc.analysis.access import AccessPattern
+    for name, access in summary.param_access.items():
+        if name not in global_params:
+            continue
+        for site in access.sites:
+            if not site.direct \
+                    or site.pattern is not AccessPattern.NEIGHBORHOOD:
+                continue
+            offset = site.offset if site.offset is not None else 0
+            _diag(report, "DIST001",
+                  f"'{name}' is accessed at get_global_id(0)"
+                  f"{offset:+d}; under block distribution each device "
+                  "holds only its slice — use copy distribution or "
+                  "the map_overlap skeleton",
+                  _Pos(site.line, site.col), func.name)
+
+
+class _Pos:
+    """Duck-typed position carrier for :func:`_diag`."""
+
+    def __init__(self, line: int, col: int) -> None:
+        self.line = line
+        self.col = col

@@ -1,0 +1,112 @@
+"""A small forward-dataflow framework over :mod:`.cfg` graphs.
+
+Analyses subclass :class:`ForwardAnalysis`, define their lattice
+(:meth:`boundary_state`, :meth:`empty_state`, :meth:`join`) and the
+per-statement/per-condition transfer functions, and call :meth:`run`.
+The solver iterates a worklist in reverse postorder until the block
+in-states reach a fixpoint, which the finite lattices used by the
+checkers guarantee.  States must be immutable values with structural
+equality (frozensets, tuples, mappings wrapped in tuples, ...).
+
+:class:`Solution` keeps the per-block in-states and replays transfer
+functions on demand to recover the state *before* any individual
+statement — what the checkers consume.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Generic, Iterator, TypeVar
+
+from repro.clc import astnodes as ast
+from repro.clc.analysis.cfg import CFG
+
+S = TypeVar("S")
+
+
+class ForwardAnalysis(Generic[S]):
+    """Abstract forward dataflow problem; subclasses fill in the lattice."""
+
+    def boundary_state(self) -> S:
+        """State on entry to the function."""
+        raise NotImplementedError
+
+    def empty_state(self) -> S:
+        """Identity of :meth:`join` (state of an unreachable block)."""
+        raise NotImplementedError
+
+    def join(self, a: S, b: S) -> S:
+        raise NotImplementedError
+
+    def transfer_stmt(self, stmt: ast.Stmt, state: S) -> S:
+        raise NotImplementedError
+
+    def transfer_cond(self, cond: ast.Expr, state: S) -> S:
+        """Evaluate a branch condition's side effects (default: none)."""
+        return state
+
+    # -- solver -------------------------------------------------------------
+
+    def run(self, cfg: CFG) -> "Solution[S]":
+        order = cfg.reverse_postorder()
+        position = {bid: i for i, bid in enumerate(order)}
+        in_states: dict[int, S] = {bid: self.empty_state()
+                                   for bid in cfg.blocks}
+        in_states[cfg.entry] = self.boundary_state()
+        worklist = list(order)
+        pending = set(worklist)
+        iterations = 0
+        limit = 64 * max(len(cfg.blocks), 1) ** 2 + 1024
+        while worklist:
+            iterations += 1
+            if iterations > limit:  # pragma: no cover - lattice bug guard
+                raise RuntimeError(
+                    f"dataflow did not converge in {limit} iterations "
+                    f"(analysis {type(self).__name__})")
+            block_id = worklist.pop(0)
+            pending.discard(block_id)
+            block = cfg.blocks[block_id]
+            state = in_states[block_id]
+            for stmt in block.stmts:
+                state = self.transfer_stmt(stmt, state)
+            if block.cond is not None:
+                state = self.transfer_cond(block.cond, state)
+            for succ in block.succs:
+                merged = self.join(in_states[succ], state)
+                if merged != in_states[succ]:
+                    in_states[succ] = merged
+                    if succ not in pending:
+                        pending.add(succ)
+                        worklist.append(succ)
+            worklist.sort(key=lambda bid: position.get(bid, 0))
+        return Solution(analysis=self, cfg=cfg, block_in=in_states)
+
+
+@dataclass
+class Solution(Generic[S]):
+    """Fixpoint in-states per block, with per-statement replay."""
+
+    analysis: ForwardAnalysis[S]
+    cfg: CFG
+    block_in: dict[int, S]
+
+    def state_into(self, block_id: int) -> S:
+        return self.block_in[block_id]
+
+    def state_out(self, block_id: int) -> S:
+        block = self.cfg.blocks[block_id]
+        state = self.block_in[block_id]
+        for stmt in block.stmts:
+            state = self.analysis.transfer_stmt(stmt, state)
+        if block.cond is not None:
+            state = self.analysis.transfer_cond(block.cond, state)
+        return state
+
+    def statement_states(self) -> Iterator[tuple[int, ast.Stmt, S]]:
+        """Yield ``(block_id, stmt, state_before_stmt)`` for every
+        simple statement in the graph."""
+        for block_id, block in self.cfg.blocks.items():
+            state = self.block_in[block_id]
+            for stmt in block.stmts:
+                yield block_id, stmt, state
+                state = self.analysis.transfer_stmt(stmt, state)

@@ -1,0 +1,137 @@
+"""Diagnostics model for the kernel static-analysis subsystem.
+
+Checkers report :class:`Diagnostic` records instead of raising, so one
+analysis run can surface every finding at once.  Positions follow the
+same line/col convention as :class:`repro.errors.LexError` and friends;
+severities gate behaviour: ``error`` fails a skeleton build
+(:class:`repro.errors.BuildProgramFailure`), ``warning`` lands in the
+build log, ``note`` only shows up in ``repro lint`` reports.
+"""
+
+from __future__ import annotations
+
+import enum
+import json
+from dataclasses import dataclass, field
+
+
+class Severity(enum.Enum):
+    """How serious a finding is; ordered from mildest to worst."""
+
+    NOTE = "note"
+    WARNING = "warning"
+    ERROR = "error"
+
+    def __str__(self) -> str:
+        return self.value
+
+
+#: Registry of check ids: id -> (default severity, one-line summary).
+#: ``repro lint --checks`` and the docs render this table.
+CHECKS: dict[str, tuple[Severity, str]] = {
+    "BD001": (Severity.ERROR,
+              "barrier() under work-item-divergent control flow"),
+    "BD002": (Severity.WARNING,
+              "return under divergent control flow in a kernel that "
+              "also calls barrier()"),
+    "RC001": (Severity.ERROR,
+              "__local access may race with an unsynchronized write "
+              "of another work item (no intervening barrier)"),
+    "RC002": (Severity.WARNING,
+              "several work items write the same __local/__global "
+              "location without atomics"),
+    "RC003": (Severity.WARNING,
+              "__global access may race with an unsynchronized write "
+              "of another work item"),
+    "OB001": (Severity.ERROR,
+              "constant index outside the bounds of a fixed-size array"),
+    "UD001": (Severity.ERROR,
+              "variable may be read before it is assigned"),
+    "DIST001": (Severity.WARNING,
+                "kernel gathers a neighbour element (own index plus a "
+                "constant); breaks under block distribution"),
+}
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One finding of one checker at one source position."""
+
+    check_id: str
+    severity: Severity
+    message: str
+    line: int = 0
+    col: int = 0
+    function: str = ""
+
+    def format(self, filename: str = "<kernel>") -> str:
+        """Clang-style one-line rendering."""
+        where = f"{filename}:{self.line}:{self.col}"
+        scope = f" [in {self.function}]" if self.function else ""
+        return (f"{where}: {self.severity}[{self.check_id}]: "
+                f"{self.message}{scope}")
+
+    def to_dict(self) -> dict:
+        return {
+            "check": self.check_id,
+            "severity": str(self.severity),
+            "message": self.message,
+            "line": self.line,
+            "col": self.col,
+            "function": self.function,
+        }
+
+
+@dataclass
+class AnalysisReport:
+    """Every diagnostic of one analysis run over a translation unit."""
+
+    diagnostics: list[Diagnostic] = field(default_factory=list)
+    #: per-function pointer-parameter access classification
+    #: (function name -> param name -> pattern string)
+    access_patterns: dict[str, dict[str, str]] = field(
+        default_factory=dict)
+
+    def add(self, diag: Diagnostic) -> None:
+        self.diagnostics.append(diag)
+
+    def extend(self, other: "AnalysisReport") -> None:
+        self.diagnostics.extend(other.diagnostics)
+        self.access_patterns.update(other.access_patterns)
+
+    @property
+    def errors(self) -> list[Diagnostic]:
+        return [d for d in self.diagnostics
+                if d.severity is Severity.ERROR]
+
+    @property
+    def warnings(self) -> list[Diagnostic]:
+        return [d for d in self.diagnostics
+                if d.severity is Severity.WARNING]
+
+    @property
+    def has_errors(self) -> bool:
+        return bool(self.errors)
+
+    def sorted(self) -> list[Diagnostic]:
+        return sorted(self.diagnostics,
+                      key=lambda d: (d.line, d.col, d.check_id))
+
+    def format_text(self, filename: str = "<kernel>") -> str:
+        """Multi-line human-readable report including a summary line."""
+        lines = [d.format(filename) for d in self.sorted()]
+        lines.append(f"{len(self.errors)} error(s), "
+                     f"{len(self.warnings)} warning(s)")
+        return "\n".join(lines)
+
+    def to_dict(self, filename: str = "<kernel>") -> dict:
+        return {
+            "file": filename,
+            "diagnostics": [d.to_dict() for d in self.sorted()],
+            "access_patterns": self.access_patterns,
+            "errors": len(self.errors),
+            "warnings": len(self.warnings),
+        }
+
+    def format_json(self, filename: str = "<kernel>") -> str:
+        return json.dumps(self.to_dict(filename), indent=2)

@@ -1,0 +1,64 @@
+"""Entry points tying the analysis passes together.
+
+:func:`analyze_unit` runs every checker over a typechecked translation
+unit and returns one :class:`AnalysisReport`; :func:`analyze_source`
+parses and typechecks first (propagating the usual
+:class:`~repro.errors.ClcError` family for malformed sources).
+
+Checker applicability:
+
+===========  ==============================================
+check        runs on
+===========  ==============================================
+BD001/BD002  ``__kernel`` functions (barriers exist nowhere else)
+RC001-003    ``__kernel`` functions that read work-item ids —
+             a kernel that never asks for an id is a sequential
+             helper (the generated scan kernel) and has no
+             cross-item interleavings to race
+OB001/UD001  every function
+DIST001      ``__kernel`` functions with ``__global`` pointers
+===========  ==============================================
+"""
+
+from __future__ import annotations
+
+from repro.clc import astnodes as ast
+from repro.clc.analysis.access import (FunctionSummary,
+                                       summarize_function)
+from repro.clc.analysis.checks import (check_barriers, check_bounds,
+                                       check_distribution,
+                                       check_races, check_uninit,
+                                       make_context)
+from repro.clc.analysis.diagnostics import AnalysisReport
+
+
+def analyze_unit(unit: ast.TranslationUnit) -> AnalysisReport:
+    """Run every checker over *unit*; never raises on findings."""
+    report = AnalysisReport()
+    summaries: dict[str, FunctionSummary] = {}
+    for func in unit.functions:
+        summary = summarize_function(func, summaries)
+        summaries[func.name] = summary
+        if summary.param_access:
+            report.access_patterns[func.name] = summary.patterns()
+        id_free = frozenset(name for name, s in summaries.items()
+                            if not s.uses_work_item_ids)
+        ctx = make_context(func, id_free_functions=id_free)
+        check_uninit(ctx, report)
+        check_bounds(ctx, report)
+        if func.is_kernel:
+            check_barriers(ctx, report)
+            if summary.uses_work_item_ids:
+                check_races(ctx, report)
+            check_distribution(func, summary, report)
+    return report
+
+
+def analyze_source(source: str) -> AnalysisReport:
+    """Parse, typecheck and analyze a kernel dialect source string."""
+    from repro.clc.parser import parse
+    from repro.clc.typecheck import typecheck
+
+    unit = parse(source)
+    typecheck(unit)
+    return analyze_unit(unit)

@@ -1,0 +1,350 @@
+"""Abstract work-item variance values and the value analysis.
+
+The checkers all need the same question answered: *how does this
+expression vary across the work items of one work group?*  The lattice,
+ordered from most to least precise:
+
+- ``const``   — the same known integer constant for every item;
+- ``uniform`` — the same (unknown) value for every item of a group:
+  scalar parameters, ``get_local_size`` and friends, ``get_group_id``;
+- ``affine``  — ``coeff * id + offset`` with uniform, nonzero ``coeff``:
+  distinct items see distinct values (injective), the backbone of the
+  race and access-pattern checks.  ``coeff``/``offset`` are tracked as
+  known integers where possible and widen to ``None`` at joins, keeping
+  loop iteration convergent;
+- ``varying`` — differs per item with no structure we track.
+
+``affine`` and ``varying`` values are *divergent*: a branch on them
+splits the work items of a group.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping
+
+from repro.clc import astnodes as ast
+from repro.clc.analysis.dataflow import ForwardAnalysis
+from repro.clc.builtins import BUILTINS, WORK_ITEM_FUNCTIONS
+
+#: work-item functions whose result is uniform across one work group
+UNIFORM_WORK_ITEM_FUNCTIONS = {
+    "get_group_id", "get_global_size", "get_local_size",
+    "get_num_groups", "get_work_dim",
+}
+#: work-item functions whose result distinguishes items of one group
+ID_WORK_ITEM_FUNCTIONS = {"get_global_id", "get_local_id"}
+
+
+@dataclass(frozen=True)
+class AbstractValue:
+    """One point of the variance lattice (immutable, hashable)."""
+
+    kind: str  # "const" | "uniform" | "affine" | "varying"
+    #: the constant (kind == "const")
+    value: int | None = None
+    #: id source for affine values: ("global" | "local", dimension)
+    base: tuple[str, int | None] | None = None
+    #: known multiplier/offset of an affine value (None: some uniform)
+    coeff: int | None = None
+    offset: int | None = None
+
+    @property
+    def divergent(self) -> bool:
+        return self.kind in ("affine", "varying")
+
+    @property
+    def uniform(self) -> bool:
+        return self.kind in ("const", "uniform")
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        if self.kind == "const":
+            return f"const({self.value})"
+        if self.kind == "affine":
+            return (f"affine({self.base}, coeff={self.coeff}, "
+                    f"offset={self.offset})")
+        return self.kind
+
+
+CONST0 = AbstractValue("const", value=0)
+UNIFORM = AbstractValue("uniform")
+VARYING = AbstractValue("varying")
+
+
+def const(value: int) -> AbstractValue:
+    return AbstractValue("const", value=value)
+
+
+def affine(base: tuple[str, int | None], coeff: int | None = 1,
+           offset: int | None = 0) -> AbstractValue:
+    return AbstractValue("affine", base=base, coeff=coeff,
+                         offset=offset)
+
+
+def join_values(a: AbstractValue, b: AbstractValue) -> AbstractValue:
+    """Least upper bound; widens affine coefficients for convergence."""
+    if a == b:
+        return a
+    if a.kind == "varying" or b.kind == "varying":
+        return VARYING
+    if a.uniform and b.uniform:
+        return UNIFORM
+    if a.kind == "affine" and b.kind == "affine":
+        if a.base != b.base:
+            return VARYING
+        coeff = a.coeff if a.coeff == b.coeff else None
+        offset = a.offset if a.offset == b.offset else None
+        return affine(a.base, coeff, offset)
+    # one affine, one uniform/const: an item-dependent value on one
+    # path and not the other — no structure left
+    return VARYING
+
+
+def add_values(a: AbstractValue, b: AbstractValue,
+               sign: int = 1) -> AbstractValue:
+    """Abstract ``a + sign*b``."""
+    if a.kind == "const" and b.kind == "const":
+        return const(a.value + sign * b.value)  # type: ignore[operator]
+    if a.uniform and b.uniform:
+        return UNIFORM
+    if a.kind == "affine" and b.uniform:
+        if b.kind == "const" and a.offset is not None:
+            return affine(a.base, a.coeff,
+                          a.offset + sign * b.value)  # type: ignore[operator]
+        return affine(a.base, a.coeff, None)
+    if b.kind == "affine" and a.uniform:
+        coeff = None if b.coeff is None else sign * b.coeff
+        if a.kind == "const" and b.offset is not None:
+            return affine(b.base, coeff,
+                          a.value + sign * b.offset)  # type: ignore[operator]
+        return affine(b.base, coeff, None)
+    if a.kind == "affine" and b.kind == "affine":
+        if a.base == b.base and a.coeff is not None \
+                and b.coeff is not None:
+            coeff = a.coeff + sign * b.coeff
+            if coeff == 0:
+                return UNIFORM
+            if a.offset is not None and b.offset is not None:
+                return affine(a.base, coeff,
+                              a.offset + sign * b.offset)
+            return affine(a.base, coeff, None)
+        return VARYING
+    return VARYING
+
+
+def mul_values(a: AbstractValue, b: AbstractValue) -> AbstractValue:
+    if a.kind == "const" and b.kind == "const":
+        return const(a.value * b.value)  # type: ignore[operator]
+    if a.uniform and b.uniform:
+        return UNIFORM
+    if b.kind == "affine":
+        a, b = b, a
+    if a.kind == "affine" and b.uniform:
+        if b.kind == "const":
+            if b.value == 0:
+                return CONST0
+            coeff = None if a.coeff is None else a.coeff * b.value
+            offset = None if a.offset is None else a.offset * b.value
+            return affine(a.base, coeff, offset)
+        # times an unknown uniform: kept affine (assumed nonzero — a
+        # documented optimism that keeps strided chunking injective)
+        return affine(a.base, None, None)
+    return VARYING
+
+
+Env = dict
+
+
+class ValueAnalysis(ForwardAnalysis[Mapping[str, AbstractValue]]):
+    """Forward dataflow computing each variable's variance.
+
+    The environment maps variable names to :class:`AbstractValue`;
+    parameters enter as ``uniform`` (a kernel argument is the same for
+    every work item).  *id_free_functions* names user functions known
+    not to read work-item ids — calls to them with uniform arguments
+    stay uniform.
+    """
+
+    def __init__(self, params: list[str],
+                 id_free_functions: frozenset[str] = frozenset()
+                 ) -> None:
+        self.params = list(params)
+        self.id_free_functions = id_free_functions
+
+    # -- lattice ------------------------------------------------------------
+
+    def boundary_state(self) -> Mapping[str, AbstractValue]:
+        return {name: UNIFORM for name in self.params}
+
+    def empty_state(self) -> Mapping[str, AbstractValue]:
+        return {}
+
+    def join(self, a: Mapping[str, AbstractValue],
+             b: Mapping[str, AbstractValue]
+             ) -> Mapping[str, AbstractValue]:
+        if not a:
+            return b
+        if not b:
+            return a
+        merged = dict(a)
+        for name, value in b.items():
+            existing = merged.get(name)
+            merged[name] = (value if existing is None
+                            else join_values(existing, value))
+        return merged
+
+    # -- transfer -----------------------------------------------------------
+
+    def transfer_stmt(self, stmt: ast.Stmt,
+                      state: Mapping[str, AbstractValue]
+                      ) -> Mapping[str, AbstractValue]:
+        env = dict(state)
+        if isinstance(stmt, ast.DeclStmt):
+            for decl in stmt.declarators:
+                if decl.init is not None:
+                    env[decl.name] = self.eval(decl.init, env)
+                elif decl.array_size is not None:
+                    env[decl.name] = UNIFORM  # the array itself
+                else:
+                    env[decl.name] = VARYING  # uninitialized junk
+        elif isinstance(stmt, ast.ExprStmt):
+            if stmt.expr is not None:
+                self.eval(stmt.expr, env)
+        elif isinstance(stmt, ast.ReturnStmt):
+            if stmt.value is not None:
+                self.eval(stmt.value, env)
+        return env
+
+    def transfer_cond(self, cond: ast.Expr,
+                      state: Mapping[str, AbstractValue]
+                      ) -> Mapping[str, AbstractValue]:
+        env = dict(state)
+        self.eval(cond, env)
+        return env
+
+    # -- abstract expression evaluation ------------------------------------
+
+    def eval(self, expr: ast.Expr, env: Env) -> AbstractValue:
+        """Abstract value of *expr*; applies assignment side effects
+        to *env* in place."""
+        if isinstance(expr, ast.IntLiteral):
+            return const(expr.value)
+        if isinstance(expr, (ast.FloatLiteral, ast.BoolLiteral)):
+            return UNIFORM
+        if isinstance(expr, ast.Identifier):
+            return env.get(expr.name, UNIFORM)
+        if isinstance(expr, ast.Unary):
+            operand = self.eval(expr.operand, env)
+            if expr.op == "-":
+                if operand.kind == "const":
+                    return const(-operand.value)  # type: ignore[operator]
+                if operand.kind == "affine":
+                    coeff = (None if operand.coeff is None
+                             else -operand.coeff)
+                    offset = (None if operand.offset is None
+                              else -operand.offset)
+                    return affine(operand.base, coeff, offset)
+                return operand
+            if expr.op in ("+", "!", "~"):
+                if operand.divergent:
+                    return VARYING if expr.op != "+" else operand
+                return UNIFORM if expr.op != "+" else operand
+            if expr.op == "&":
+                return UNIFORM if operand.uniform else VARYING
+            # dereference: memory contents vary unless every item
+            # addresses the same cell
+            return UNIFORM if operand.uniform else VARYING
+        if isinstance(expr, (ast.PreIncDec, ast.PostIncDec)):
+            operand = self.eval(expr.operand, env)
+            delta = const(1 if expr.op == "++" else -1)
+            updated = add_values(operand, delta)
+            if isinstance(expr.operand, ast.Identifier):
+                env[expr.operand.name] = updated
+            return updated if isinstance(expr, ast.PreIncDec) \
+                else operand
+        if isinstance(expr, ast.Binary):
+            return self._eval_binary(expr, env)
+        if isinstance(expr, ast.Ternary):
+            cond = self.eval(expr.cond, env)
+            then = self.eval(expr.then, env)
+            otherwise = self.eval(expr.otherwise, env)
+            if cond.divergent:
+                return VARYING
+            return join_values(then, otherwise)
+        if isinstance(expr, ast.Assign):
+            value = self.eval(expr.value, env)
+            target = expr.target
+            if isinstance(target, ast.Identifier):
+                if expr.op == "=":
+                    env[target.name] = value
+                else:
+                    env[target.name] = self._apply_compound(
+                        expr.op[:-1], env.get(target.name, UNIFORM),
+                        value)
+                return env[target.name]
+            self.eval(target, env)  # index/member side effects
+            return value
+        if isinstance(expr, ast.Call):
+            return self._eval_call(expr, env)
+        if isinstance(expr, ast.Index):
+            base = self.eval(expr.base, env)
+            index = self.eval(expr.index, env)
+            del base
+            # a load: every item reads the same cell only for uniform
+            # indices (approximation: uniform cells hold uniform data)
+            return UNIFORM if index.uniform else VARYING
+        if isinstance(expr, ast.Member):
+            return self.eval(expr.base, env)
+        if isinstance(expr, ast.Cast):
+            return self.eval(expr.operand, env)
+        return VARYING
+
+    def _eval_binary(self, expr: ast.Binary, env: Env) -> AbstractValue:
+        left = self.eval(expr.left, env)
+        right = self.eval(expr.right, env)
+        op = expr.op
+        if op == ",":
+            return right
+        if op == "+":
+            return add_values(left, right)
+        if op == "-":
+            return add_values(left, right, sign=-1)
+        if op == "*":
+            return mul_values(left, right)
+        # comparisons, logicals, division, shifts, bit ops: no affine
+        # structure survives — only uniformity
+        if left.uniform and right.uniform:
+            return UNIFORM
+        return VARYING
+
+    def _apply_compound(self, op: str, old: AbstractValue,
+                        value: AbstractValue) -> AbstractValue:
+        if op == "+":
+            return add_values(old, value)
+        if op == "-":
+            return add_values(old, value, sign=-1)
+        if op == "*":
+            return mul_values(old, value)
+        if old.uniform and value.uniform:
+            return UNIFORM
+        return VARYING
+
+    def _eval_call(self, expr: ast.Call, env: Env) -> AbstractValue:
+        args = [self.eval(arg, env) for arg in expr.args]
+        name = expr.name
+        if name in ID_WORK_ITEM_FUNCTIONS:
+            dim: int | None = None
+            if args and isinstance(expr.args[0], ast.IntLiteral):
+                dim = expr.args[0].value
+            space = "global" if name == "get_global_id" else "local"
+            return affine((space, dim))
+        if name in UNIFORM_WORK_ITEM_FUNCTIONS:
+            return UNIFORM
+        if name in WORK_ITEM_FUNCTIONS or name == "barrier":
+            return UNIFORM
+        uniform_args = all(a.uniform for a in args)
+        if name in BUILTINS:
+            return UNIFORM if uniform_args else VARYING
+        if name in self.id_free_functions and uniform_args:
+            return UNIFORM
+        return VARYING

@@ -11,8 +11,11 @@ indexing.
 A function is vectorizable when its body consists only of scalar
 declarations-with-initializer, assignments to scalar locals, and a final
 ``return`` — no loops, no if statements, no pointer writes, no calls to
-other user functions.  :func:`try_vectorize` returns ``None`` otherwise
-and the caller falls back to the per-item path.
+other user functions.  The verdict comes from the static-analysis
+subsystem (:func:`repro.clc.analysis.access.vectorize_blockers`), which
+classifies every function anyway; :func:`try_vectorize` returns ``None``
+when the classifier lists any blocker and the caller falls back to the
+per-item path.
 """
 
 from __future__ import annotations
@@ -22,12 +25,9 @@ from typing import Callable
 import numpy as np
 
 from repro.clc import astnodes as ast
-from repro.clc.builtins import BUILTINS, WORK_ITEM_FUNCTIONS
+from repro.clc.analysis.access import vectorize_blockers
+from repro.clc.builtins import BUILTINS
 from repro.clc.types import ScalarType
-
-
-class _NotVectorizable(Exception):
-    pass
 
 
 def try_vectorize(func: ast.FunctionDef) -> Callable | None:
@@ -40,94 +40,14 @@ def try_vectorize(func: ast.FunctionDef) -> Callable | None:
     supplying the value of ``get_global_id(0)`` per element.  It returns
     the function's result as an array.
     """
-    try:
-        return _Vectorizer(func).build()
-    except _NotVectorizable:
+    if vectorize_blockers(func):
         return None
+    return _Vectorizer(func).build()
 
 
 class _Vectorizer:
     def __init__(self, func: ast.FunctionDef) -> None:
         self.func = func
-        if func.body is None:
-            raise _NotVectorizable
-        for stmt in func.body.body:
-            self._check_stmt(stmt)
-        if not func.body.body or not isinstance(func.body.body[-1],
-                                                ast.ReturnStmt):
-            raise _NotVectorizable
-
-    # -- admissibility ------------------------------------------------------
-
-    def _check_stmt(self, stmt: ast.Stmt) -> None:
-        if isinstance(stmt, ast.DeclStmt):
-            for decl in stmt.declarators:
-                if decl.array_size is not None or decl.pointer:
-                    raise _NotVectorizable
-                if not isinstance(stmt.base_type, ScalarType):
-                    raise _NotVectorizable
-                if decl.init is not None:
-                    self._check_expr(decl.init)
-            return
-        if isinstance(stmt, ast.ExprStmt):
-            expr = stmt.expr
-            if isinstance(expr, ast.Assign):
-                if not isinstance(expr.target, ast.Identifier):
-                    raise _NotVectorizable
-                self._check_expr(expr.value)
-                return
-            raise _NotVectorizable
-        if isinstance(stmt, ast.ReturnStmt):
-            if stmt.value is None:
-                raise _NotVectorizable
-            self._check_expr(stmt.value)
-            return
-        raise _NotVectorizable
-
-    def _check_expr(self, expr: ast.Expr) -> None:
-        if isinstance(expr, (ast.IntLiteral, ast.FloatLiteral,
-                             ast.BoolLiteral, ast.Identifier)):
-            return
-        if isinstance(expr, ast.Unary):
-            if expr.op in ("&", "*"):
-                raise _NotVectorizable
-            self._check_expr(expr.operand)
-            return
-        if isinstance(expr, ast.Binary):
-            if expr.op == ",":
-                raise _NotVectorizable
-            self._check_expr(expr.left)
-            self._check_expr(expr.right)
-            return
-        if isinstance(expr, ast.Ternary):
-            self._check_expr(expr.cond)
-            self._check_expr(expr.then)
-            self._check_expr(expr.otherwise)
-            return
-        if isinstance(expr, ast.Cast):
-            self._check_expr(expr.operand)
-            return
-        if isinstance(expr, ast.Index):
-            # pointer reads vectorize via fancy indexing
-            if not isinstance(expr.base, ast.Identifier):
-                raise _NotVectorizable
-            self._check_expr(expr.index)
-            return
-        if isinstance(expr, ast.Member):
-            self._check_expr(expr.base)
-            return
-        if isinstance(expr, ast.Call):
-            if expr.name in WORK_ITEM_FUNCTIONS:
-                if expr.name != "get_global_id":
-                    raise _NotVectorizable
-                return
-            builtin = BUILTINS.get(expr.name)
-            if builtin is None or builtin.impl is None:
-                raise _NotVectorizable
-            for arg in expr.args:
-                self._check_expr(arg)
-            return
-        raise _NotVectorizable
 
     # -- evaluation ----------------------------------------------------------
 

@@ -8,7 +8,9 @@ Commands:
 - ``osem`` — run a reconstruction with any of the four
   implementations and report image-quality metrics plus the
   virtual-time phase breakdown;
-- ``fig4b`` — regenerate the paper's headline runtime comparison.
+- ``fig4b`` — regenerate the paper's headline runtime comparison;
+- ``lint`` — run the kernel static analysis over a dialect source
+  file and print diagnostics (text or JSON).
 """
 
 from __future__ import annotations
@@ -177,6 +179,40 @@ def _cmd_fig4b(args) -> int:
     return 0
 
 
+def _cmd_lint(args) -> int:
+    from repro import errors
+    from repro.clc.analysis import CHECKS, analyze_source
+
+    if args.list_checks:
+        for check_id, (severity, summary) in CHECKS.items():
+            print(f"{check_id}  {str(severity):<7}  {summary}")
+        return 0
+    if not args.file:
+        print("lint: a file to analyze is required", file=sys.stderr)
+        return 2
+    try:
+        with open(args.file) as fh:
+            source = fh.read()
+    except OSError as exc:
+        print(f"lint: {exc}", file=sys.stderr)
+        return 2
+    try:
+        report = analyze_source(source)
+    except errors.ClcError as exc:
+        if args.json:
+            import json
+            print(json.dumps({"file": args.file,
+                              "error": str(exc)}, indent=2))
+        else:
+            print(f"{args.file}: {exc}", file=sys.stderr)
+        return 2
+    if args.json:
+        print(report.format_json(args.file))
+    else:
+        print(report.format_text(args.file))
+    return 1 if report.has_errors else 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -218,6 +254,16 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--events-sim", type=int, default=1000)
     p.add_argument("--events-real", type=int, default=1_000_000)
     p.set_defaults(fn=_cmd_fig4b)
+
+    p = sub.add_parser(
+        "lint", help="static analysis of a kernel dialect source file")
+    p.add_argument("file", nargs="?",
+                   help="dialect source file (.cl)")
+    p.add_argument("--json", action="store_true",
+                   help="machine-readable JSON report")
+    p.add_argument("--list-checks", action="store_true",
+                   help="print the check registry and exit")
+    p.set_defaults(fn=_cmd_lint)
     return parser
 
 

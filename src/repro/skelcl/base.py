@@ -15,6 +15,7 @@ from typing import Callable, Sequence
 import numpy as np
 
 from repro import clc
+from repro.clc import analysis as clc_analysis
 from repro.clc import astnodes as ast
 from repro.clc.types import PointerType, ScalarType, StructType
 from repro.errors import DistributionError, SkelClError
@@ -30,12 +31,18 @@ class UserFunction:
     matching single-pass C where helpers precede their users.
     """
 
-    def __init__(self, source: str) -> None:
+    def __init__(self, source: str,
+                 allow_reserved: bool = False) -> None:
         self.source = source
         unit = clc.parse(source)
         if not unit.functions:
             raise SkelClError(
                 "a skeleton needs a user function; found none")
+        if not allow_reserved:
+            # skeleton-internal sources (fusion) legitimately use the
+            # prefix; user-supplied ones must not
+            from repro.skelcl.codegen import check_no_reserved_identifiers
+            check_no_reserved_identifiers(unit)
         checker = clc.typecheck(unit)
         self.unit = unit
         self.func: ast.FunctionDef = unit.functions[-1]
@@ -44,6 +51,10 @@ class UserFunction:
                 "pass plain functions, not a __kernel, to a skeleton")
         self.name = self.func.name
         self.op_count = checker.op_counts[self.name]
+        #: per-function analysis summaries (access patterns drive the
+        #: distribution-safety check of additional-argument vectors)
+        self.summaries = clc_analysis.summarize_unit(unit)
+        self.summary = self.summaries[self.name]
         #: vectorized fast-path evaluator (None when not straight-line)
         self.vectorized = clc.try_vectorize(self.func)
 
@@ -83,8 +94,10 @@ class Skeleton:
 
     n_element_params = 1
 
-    def __init__(self, user_source: str) -> None:
-        self.user = UserFunction(user_source)
+    def __init__(self, user_source: str,
+                 allow_reserved: bool = False) -> None:
+        self.user = UserFunction(user_source,
+                                 allow_reserved=allow_reserved)
         if len(self.user.params) < self.n_element_params:
             raise SkelClError(
                 f"{type(self).__name__} user function needs at least "
@@ -120,6 +133,43 @@ class Skeleton:
                     raise SkelClError(
                         f"additional argument {param.name!r} is scalar; "
                         f"got a Vector")
+
+    def check_extra_distributions(self, extras: Sequence,
+                                  ctx: SkelCLContext) -> None:
+        """Distribution safety for pointer extras (Section III-B).
+
+        Under block distribution each device holds only its slice, so
+        a user function gathering beyond its own index reads the wrong
+        element on every device but one.  The access-pattern
+        classification of the static analysis tells us which
+        parameters only ever use their own index; everything else is
+        rejected on multi-device contexts.
+        """
+        if ctx.num_devices <= 1:
+            return
+        for value, param in zip(extras, self.extra_params):
+            if not (isinstance(value, Vector)
+                    and isinstance(param.ctype, PointerType)):
+                continue
+            dist = value.distribution
+            if dist is None or dist.kind != "block":
+                continue
+            access = self.user.summary.param_access.get(param.name)
+            if access is None or access.pattern in (
+                    clc_analysis.AccessPattern.NONE,
+                    clc_analysis.AccessPattern.OWN_INDEX):
+                continue
+            hint = ("use copy distribution, or the map_overlap "
+                    "skeleton for fixed neighborhoods"
+                    if access.pattern
+                    is clc_analysis.AccessPattern.NEIGHBORHOOD
+                    else "use copy distribution")
+            raise DistributionError(
+                f"{type(self).__name__}({self.user.name}): "
+                f"additional-argument vector {param.name!r} is "
+                f"block-distributed but {self.user.name} accesses it "
+                f"beyond its own index ({access.pattern.value}); "
+                f"{hint}")
 
     def bind_extras_on_device(self, extras: Sequence,
                               device_index: int) -> list:

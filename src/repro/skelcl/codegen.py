@@ -17,6 +17,55 @@ from repro.clc import astnodes as ast
 from repro.clc.types import CType, PointerType, ScalarType, StructType
 from repro.errors import SkelClError
 
+#: identifier prefix reserved for skeleton-generated code
+RESERVED_PREFIX = "skelcl_"
+
+
+def check_no_reserved_identifiers(unit: ast.TranslationUnit) -> None:
+    """Reject user sources declaring ``skelcl_``-prefixed names.
+
+    The merge step relies on the prefix never colliding with user
+    identifiers; a user function named ``skelcl_map`` would silently
+    shadow the generated kernel.  Raises :class:`SkelClError` naming
+    the first offending declaration.
+    """
+    def offend(kind: str, name: str, line: int) -> None:
+        raise SkelClError(
+            f"user source declares {kind} {name!r} (line {line}): the "
+            f"'{RESERVED_PREFIX}' prefix is reserved for "
+            "skeleton-generated code")
+
+    def check_stmt(stmt: ast.Stmt) -> None:
+        if isinstance(stmt, ast.DeclStmt):
+            for decl in stmt.declarators:
+                if decl.name.startswith(RESERVED_PREFIX):
+                    offend("variable", decl.name, stmt.line)
+        elif isinstance(stmt, ast.CompoundStmt):
+            for inner in stmt.body:
+                check_stmt(inner)
+        elif isinstance(stmt, ast.IfStmt):
+            check_stmt(stmt.then)
+            if stmt.otherwise is not None:
+                check_stmt(stmt.otherwise)
+        elif isinstance(stmt, ast.ForStmt):
+            if stmt.init is not None:
+                check_stmt(stmt.init)
+            check_stmt(stmt.body)
+        elif isinstance(stmt, (ast.WhileStmt, ast.DoWhileStmt)):
+            check_stmt(stmt.body)
+
+    for struct in unit.structs:
+        if struct.name.startswith(RESERVED_PREFIX):
+            offend("struct", struct.name, struct.line)
+    for func in unit.functions:
+        if func.name.startswith(RESERVED_PREFIX):
+            offend("function", func.name, func.line)
+        for param in func.params:
+            if param.name.startswith(RESERVED_PREFIX):
+                offend("parameter", param.name, func.line)
+        if func.body is not None:
+            check_stmt(func.body)
+
 
 def type_name(ctype: CType) -> str:
     """Render a type as dialect source (struct names resolve because the
@@ -158,6 +207,8 @@ __kernel void skelcl_scan(__global const {elem}* skelcl_in,
 def scan_offset_kernel(user_source: str, func: ast.FunctionDef) -> str:
     """The implicitly-created map of the scan's step 2 (Figure 2):
     combine the predecessors' total into every element of a part."""
+    if len(func.params) != 2:
+        raise SkelClError("scan operator must be binary")
     elem = type_name(func.params[0].ctype)
     return f"""{user_source}
 

@@ -13,7 +13,8 @@ from __future__ import annotations
 from typing import Sequence
 
 from repro import ocl
-from repro.errors import NotInitializedError, SkelClError
+from repro.errors import (BuildProgramFailure, NotInitializedError,
+                          SkelClError)
 from repro.ocl.timing import API_CALL_OVERHEAD_S
 
 #: modelled host-side bookkeeping per skeleton execution — SkelCL's thin
@@ -53,12 +54,40 @@ class SkelCLContext:
         return len(self.devices)
 
     def build_program(self, source: str) -> ocl.Program:
-        """Build (or fetch from cache) a program for *source*."""
+        """Build (or fetch from cache) a program for *source*.
+
+        Every build runs the static-analysis pass of
+        :mod:`repro.clc.analysis` first: error-severity findings
+        (barrier divergence, ``__local`` races, out-of-bounds constant
+        indices, reads of unassigned locals) fail the build with the
+        full report as the build log; warnings are recorded in the
+        built program's ``build_log``.
+        """
         program = self._program_cache.get(source)
         if program is None:
+            report = self._analyze(source)
+            if report is not None and report.has_errors:
+                raise BuildProgramFailure(
+                    "static analysis of the generated kernel source "
+                    "found errors",
+                    build_log=report.format_text("<skelcl-kernel>"))
             program = ocl.Program(self.context, source).build()
+            if report is not None and report.warnings:
+                program.build_log += "\n" + report.format_text(
+                    "<skelcl-kernel>")
             self._program_cache[source] = program
         return program
+
+    @staticmethod
+    def _analyze(source: str):
+        from repro.clc.analysis import analyze_source
+        from repro.errors import ClcError
+        try:
+            return analyze_source(source)
+        except ClcError:
+            # malformed source: let ocl.Program.build report it with
+            # its usual compile-error build log
+            return None
 
     def skeleton_call_overhead(self, extra_args: int = 0) -> None:
         """Charge SkelCL's own host-side bookkeeping for one execution."""

@@ -83,6 +83,7 @@ def fuse(first: Map, second: Map) -> Map:
 """
     fused = Map(
         fused_source,
+        allow_reserved=True,  # the composition wrapper is generated code
         ops_per_item=(first.user.op_count + second.user.op_count + 2.0),
         bytes_per_item=(first.in_dtype.itemsize
                         + second.out_dtype.itemsize

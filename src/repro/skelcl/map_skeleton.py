@@ -44,8 +44,9 @@ class Map(Skeleton):
     def __init__(self, user_source: str, native=None,
                  ops_per_item: float | None = None,
                  bytes_per_item: float | None = None,
-                 scale_factor: float = 1.0) -> None:
-        super().__init__(user_source)
+                 scale_factor: float = 1.0,
+                 allow_reserved: bool = False) -> None:
+        super().__init__(user_source, allow_reserved=allow_reserved)
         self.kernel_source = codegen.map_kernel(user_source, self.user.func)
         self.in_dtype = self.user.element_dtype(0)
         self.out_dtype = self.user.output_dtype()
@@ -65,6 +66,7 @@ class Map(Skeleton):
                 f"does not match parameter type {self.in_dtype}")
         self.check_extras(extras)
         ctx = input_vec.ctx
+        self.check_extra_distributions(extras, ctx)
         ctx.skeleton_call_overhead(extra_args=len(extras))
         # default distribution (Section III-C): block
         input_vec.ensure_distribution(Distribution.block())

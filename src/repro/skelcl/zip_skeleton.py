@@ -48,6 +48,7 @@ class Zip(Skeleton):
                 f"({self.lhs_dtype}, {self.rhs_dtype})")
         self.check_extras(extras)
         ctx = lhs.ctx
+        self.check_extra_distributions(extras, ctx)
         ctx.skeleton_call_overhead(extra_args=len(extras))
         self._resolve_distributions(lhs, rhs)
 

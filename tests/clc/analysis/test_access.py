@@ -1,0 +1,214 @@
+"""Tests for access-pattern classification, function summaries, and
+the vectorization verdict's parity with the evaluator."""
+
+import numpy as np
+import pytest
+
+from repro.clc import parse, try_vectorize, typecheck
+from repro.clc.analysis import (AccessPattern, summarize_unit,
+                                vectorize_blockers)
+
+
+def summary_of(source: str):
+    unit = parse(source)
+    typecheck(unit)
+    return summarize_unit(unit)[unit.functions[-1].name]
+
+
+# -- classification ---------------------------------------------------------
+
+def test_own_index_pattern():
+    s = summary_of("""
+    __kernel void k(__global const float* in, __global float* out,
+                    int n) {
+        int i = get_global_id(0);
+        if (i < n) { out[i] = in[i]; }
+    }
+    """)
+    assert s.param_access["in"].pattern is AccessPattern.OWN_INDEX
+    assert s.param_access["out"].pattern is AccessPattern.OWN_INDEX
+    assert s.param_access["out"].written
+    assert not s.param_access["in"].written
+
+
+def test_neighborhood_pattern_with_offsets():
+    s = summary_of("""
+    __kernel void k(__global const float* in, __global float* out) {
+        int i = get_global_id(0);
+        out[i] = in[i - 1] + in[i] + in[i + 1];
+    }
+    """)
+    access = s.param_access["in"]
+    assert access.pattern is AccessPattern.NEIGHBORHOOD
+    assert access.max_offset == 1
+    offsets = {site.offset for site in access.sites}
+    assert offsets == {-1, 0, 1}
+
+
+def test_arbitrary_gather_pattern():
+    s = summary_of("""
+    float f(float x, __global const float* lut) {
+        return lut[(int)x];
+    }
+    """)
+    assert s.param_access["lut"].pattern is AccessPattern.ARBITRARY
+
+
+def test_uniform_index_counts_as_gather():
+    # under block distribution table[0] exists on one device only
+    s = summary_of("""
+    float f(float x, __global const float* t) { return x * t[0]; }
+    """)
+    assert s.param_access["t"].pattern is AccessPattern.ARBITRARY
+
+
+def test_unaccessed_pointer_is_none():
+    s = summary_of("""
+    float f(float x, __global const float* unused) { return x; }
+    """)
+    assert s.param_access["unused"].pattern is AccessPattern.NONE
+
+
+def test_scaled_index_is_not_own():
+    s = summary_of("""
+    __kernel void k(__global const float* in, __global float* out) {
+        int i = get_global_id(0);
+        out[i] = in[2 * i];
+    }
+    """)
+    assert s.param_access["in"].pattern is AccessPattern.ARBITRARY
+
+
+def test_interprocedural_plain_forwarding():
+    s = summary_of("""
+    float helper(__global const float* p) {
+        return p[get_global_id(0)];
+    }
+    float f(float x, __global const float* data) {
+        return x + helper(data);
+    }
+    """)
+    assert s.param_access["data"].pattern is AccessPattern.OWN_INDEX
+    (site,) = s.param_access["data"].sites
+    assert not site.direct
+
+
+def test_interprocedural_shifted_forwarding():
+    s = summary_of("""
+    float helper(__global const float* p) {
+        return p[get_global_id(0)];
+    }
+    float f(float x, __global const float* data) {
+        return x + helper(data + 1);
+    }
+    """)
+    assert s.param_access["data"].pattern is AccessPattern.NEIGHBORHOOD
+
+
+def test_interprocedural_unknown_shift_degrades():
+    s = summary_of("""
+    float helper(__global const float* p) {
+        return p[0];
+    }
+    float f(float x, int k, __global const float* data) {
+        return x + helper(data + k);
+    }
+    """)
+    assert s.param_access["data"].pattern is AccessPattern.ARBITRARY
+
+
+def test_uses_work_item_ids_transitively():
+    unit = parse("""
+    float helper(float x) { return x + (float)get_local_id(0); }
+    float f(float x) { return helper(x); }
+    """)
+    typecheck(unit)
+    summaries = summarize_unit(unit)
+    assert summaries["helper"].uses_work_item_ids
+    assert summaries["f"].uses_work_item_ids
+
+
+def test_group_functions_do_not_count_as_ids():
+    s = summary_of("""
+    float f(float x) { return x * (float)get_num_groups(0); }
+    """)
+    assert not s.uses_work_item_ids
+
+
+def test_barrier_flag():
+    s = summary_of("""
+    __kernel void k(__global float* out) {
+        barrier();
+        out[get_global_id(0)] = 1.0f;
+    }
+    """)
+    assert s.has_barrier
+
+
+# -- vectorization verdict parity -------------------------------------------
+
+VECTORIZABLE = [
+    "float f(float x, float a) { return a * x + 1.0f; }",
+    "float f(float x) { float y = x * x; y = y + 1.0f; return y; }",
+    "float f(float x) { return x > 0.0f ? x : -x; }",
+    "float f(float x, __global const float* t) { return t[(int)x]; }",
+    "float f(float x) { return sqrt(x); }",
+    "int f(int x) { return x + get_global_id(0); }",
+]
+
+NOT_VECTORIZABLE = [
+    # loops
+    "float f(float x) { float s = 0.0f; for (int i = 0; i < 4;"
+    " i = i + 1) { s = s + x; } return s; }",
+    # if statements
+    "float f(float x) { if (x > 0.0f) { return x; } return -x; }",
+    # pointer writes
+    "void f(float x, __global float* out) { out[0] = x; }",
+    # arrays
+    "float f(float x) { float buf[4]; buf[0] = x; return buf[0]; }",
+    # other work-item functions
+    "int f(int x) { return x + get_local_id(0); }",
+    # user-function calls
+    "float g(float x) { return x; } float f(float x) { return g(x); }",
+    # missing trailing return
+    "void f(float x) { float y = x; }",
+]
+
+
+@pytest.mark.parametrize("source", VECTORIZABLE)
+def test_verdict_accepts_what_evaluator_accepts(source):
+    unit = parse(source)
+    typecheck(unit)
+    func = unit.functions[-1]
+    assert vectorize_blockers(func) == []
+    assert try_vectorize(func) is not None
+
+
+@pytest.mark.parametrize("source", NOT_VECTORIZABLE)
+def test_verdict_rejects_with_reasons(source):
+    unit = parse(source)
+    typecheck(unit)
+    func = unit.functions[-1]
+    blockers = vectorize_blockers(func)
+    assert blockers, "expected at least one blocker"
+    assert try_vectorize(func) is None
+
+
+def test_summary_carries_verdict():
+    s = summary_of("float f(float x) { return x + 1.0f; }")
+    assert s.vectorizable
+    assert s.vectorize_blockers == []
+    s = summary_of(
+        "float f(float x) { if (x > 0.0f) { return x; } return -x; }")
+    assert not s.vectorizable
+    assert any("IfStmt" in b or "straight-line" in b
+               for b in s.vectorize_blockers)
+
+
+def test_vectorized_evaluator_still_works():
+    unit = parse("float f(float x, float a) { return a * x + 1.0f; }")
+    typecheck(unit)
+    fn = try_vectorize(unit.functions[-1])
+    x = np.arange(8, dtype=np.float32)
+    out = fn(x, np.float32(2.0))
+    np.testing.assert_array_equal(out, 2.0 * x + 1.0)

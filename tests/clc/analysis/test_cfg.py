@@ -1,0 +1,181 @@
+"""Tests for CFG construction over the dialect AST."""
+
+from repro.clc import parse
+from repro.clc.analysis import build_cfg
+
+
+def cfg_of(source: str):
+    unit = parse(source)
+    return build_cfg(unit.functions[-1])
+
+
+def reachable(cfg):
+    seen = set()
+    stack = [cfg.entry]
+    while stack:
+        bid = stack.pop()
+        if bid in seen:
+            continue
+        seen.add(bid)
+        stack.extend(cfg.blocks[bid].succs)
+    return seen
+
+
+def test_straight_line_single_block():
+    cfg = cfg_of("""
+    float f(float x) {
+        float y = x * 2.0f;
+        return y;
+    }
+    """)
+    assert cfg.blocks[cfg.entry].succs == [cfg.exit]
+    assert len(cfg.blocks[cfg.entry].stmts) == 2
+
+
+def test_if_else_diamond():
+    cfg = cfg_of("""
+    int f(int x) {
+        int y = 0;
+        if (x > 0) { y = 1; } else { y = 2; }
+        return y;
+    }
+    """)
+    entry = cfg.blocks[cfg.entry]
+    assert entry.cond is not None
+    then_id, else_id = entry.succs
+    join_then = cfg.blocks[then_id].succs
+    join_else = cfg.blocks[else_id].succs
+    assert join_then == join_else  # both branches meet at the join
+
+
+def test_if_guards_cover_branch_bodies():
+    cfg = cfg_of("""
+    int f(int x) {
+        int y = 0;
+        if (x > 0) { y = 1; }
+        return y;
+    }
+    """)
+    guarded = [b for b in cfg.blocks.values() if b.guards]
+    assert len(guarded) == 1
+    (block,) = guarded
+    assert block.guards[0].kind == "if"
+    assert block.guards[0].block_id == cfg.entry
+
+
+def test_nested_guards_stack_outermost_first():
+    cfg = cfg_of("""
+    int f(int x) {
+        int y = 0;
+        if (x > 0) {
+            if (x > 1) { y = 2; }
+        }
+        return y;
+    }
+    """)
+    depths = sorted(len(b.guards) for b in cfg.blocks.values()
+                    if b.guards)
+    assert depths[-1] == 2
+    inner = next(b for b in cfg.blocks.values() if len(b.guards) == 2)
+    outer_guard, inner_guard = inner.guards
+    assert outer_guard.block_id != inner_guard.block_id
+
+
+def test_for_loop_back_edge_and_loop_guard():
+    cfg = cfg_of("""
+    int f(int n) {
+        int s = 0;
+        for (int i = 0; i < n; i = i + 1) { s = s + i; }
+        return s;
+    }
+    """)
+    cond_blocks = [b for b in cfg.blocks.values() if b.cond is not None]
+    assert len(cond_blocks) == 1
+    (cond,) = cond_blocks
+    # the condition block has a back edge predecessor besides entry
+    assert len(cond.preds) == 2
+    loop_guarded = [b for b in cfg.blocks.values()
+                    if any(g.kind == "loop" for g in b.guards)]
+    assert loop_guarded  # body and step carry the loop guard
+
+
+def test_while_loop_shape():
+    cfg = cfg_of("""
+    int f(int n) {
+        int i = 0;
+        while (i < n) { i = i + 1; }
+        return i;
+    }
+    """)
+    cond = next(b for b in cfg.blocks.values() if b.cond is not None)
+    assert len(cond.succs) == 2  # body and after
+
+
+def test_do_while_body_runs_and_loops():
+    cfg = cfg_of("""
+    int f(int n) {
+        int i = 0;
+        do { i = i + 1; } while (i < n);
+        return i;
+    }
+    """)
+    assert cfg.exit in reachable(cfg)
+    body = next(b for b in cfg.blocks.values()
+                if any(g.kind == "loop" for g in b.guards))
+    assert body is not None
+
+
+def test_return_links_to_exit_and_following_code_unreachable():
+    cfg = cfg_of("""
+    int f(int x) {
+        if (x > 0) { return 1; }
+        return 0;
+    }
+    """)
+    live = reachable(cfg)
+    assert cfg.exit in live
+    returns = [b for b in cfg.blocks.values()
+               if b.stmts and type(b.stmts[-1]).__name__ == "ReturnStmt"]
+    for block in returns:
+        assert cfg.exit in block.succs
+
+
+def test_break_exits_loop():
+    cfg = cfg_of("""
+    int f(int n) {
+        int i = 0;
+        for (;;) {
+            i = i + 1;
+            if (i > n) { break; }
+        }
+        return i;
+    }
+    """)
+    assert cfg.exit in reachable(cfg)
+
+
+def test_continue_targets_step():
+    cfg = cfg_of("""
+    int f(int n) {
+        int s = 0;
+        for (int i = 0; i < n; i = i + 1) {
+            if (i == 3) { continue; }
+            s = s + i;
+        }
+        return s;
+    }
+    """)
+    assert cfg.exit in reachable(cfg)
+
+
+def test_reverse_postorder_starts_at_entry():
+    cfg = cfg_of("""
+    int f(int n) {
+        int s = 0;
+        for (int i = 0; i < n; i = i + 1) { s = s + i; }
+        return s;
+    }
+    """)
+    order = cfg.reverse_postorder()
+    assert order[0] == cfg.entry
+    assert set(order) == reachable(cfg)

@@ -1,0 +1,315 @@
+"""Tests for the five checkers: positives fire with the right check id
+and position, and the canonical correct kernels stay silent."""
+
+import pathlib
+
+from repro.clc.analysis import analyze_source
+
+DATA = pathlib.Path(__file__).parent.parent.parent / "data" / "lint"
+
+
+def ids(report):
+    return [d.check_id for d in report.sorted()]
+
+
+# -- BD001 / BD002: barrier divergence --------------------------------------
+
+def test_barrier_under_divergent_if_is_flagged():
+    report = analyze_source((DATA / "barrier_divergent.cl").read_text())
+    (diag,) = report.diagnostics
+    assert diag.check_id == "BD001"
+    assert diag.severity.value == "error"
+    assert (diag.line, diag.col) == (5, 9)
+    assert diag.function == "bad_barrier"
+
+
+def test_barrier_under_divergent_loop_is_flagged():
+    report = analyze_source("""
+    __kernel void k(__global float* out) {
+        int i = get_global_id(0);
+        for (int j = 0; j < i; j = j + 1) {
+            barrier();
+        }
+        out[i] = 0.0f;
+    }
+    """)
+    assert "BD001" in ids(report)
+
+
+def test_barrier_under_uniform_condition_is_fine():
+    report = analyze_source("""
+    __kernel void k(__global float* out, int n) {
+        if (n > 0) {
+            barrier();
+        }
+        out[get_global_id(0)] = 0.0f;
+    }
+    """)
+    assert "BD001" not in ids(report)
+
+
+def test_divergent_return_with_barrier_warns():
+    report = analyze_source("""
+    __kernel void k(__global float* out, __global const float* in) {
+        __local float tmp[64];
+        int lid = get_local_id(0);
+        int gid = get_global_id(0);
+        if (in[gid] < 0.0f) { return; }
+        tmp[lid] = in[gid];
+        barrier();
+        out[gid] = tmp[lid];
+    }
+    """)
+    assert "BD002" in ids(report)
+    assert not report.has_errors  # BD002 is a warning
+
+
+def test_divergent_return_without_barrier_is_fine():
+    report = analyze_source("""
+    __kernel void k(__global float* out, __global const float* in) {
+        int gid = get_global_id(0);
+        if (in[gid] < 0.0f) { return; }
+        out[gid] = in[gid];
+    }
+    """)
+    assert "BD002" not in ids(report)
+
+
+# -- RC001 / RC002 / RC003: races -------------------------------------------
+
+def test_racy_reduction_missing_barrier():
+    report = analyze_source((DATA / "racy_reduction.cl").read_text())
+    assert "RC001" in ids(report)
+    assert report.has_errors
+    diag = next(d for d in report.sorted() if d.check_id == "RC001")
+    assert diag.line == 10  # tmp[lid + stride] read inside the loop
+
+
+def test_clean_reduction_is_silent():
+    report = analyze_source((DATA / "clean_reduction.cl").read_text())
+    assert report.diagnostics == []
+
+
+def test_broadcast_without_barrier_races():
+    report = analyze_source("""
+    __kernel void k(__global float* out, __global const float* in) {
+        __local float shared[1];
+        int lid = get_local_id(0);
+        if (lid == 0) {
+            shared[0] = in[get_group_id(0)];
+        }
+        out[get_global_id(0)] = shared[0];
+    }
+    """)
+    assert "RC001" in ids(report)
+
+
+def test_broadcast_with_barrier_is_fine():
+    report = analyze_source("""
+    __kernel void k(__global float* out, __global const float* in) {
+        __local float shared[1];
+        int lid = get_local_id(0);
+        if (lid == 0) {
+            shared[0] = in[get_group_id(0)];
+        }
+        barrier();
+        out[get_global_id(0)] = shared[0];
+    }
+    """)
+    assert ids(report) == []
+
+
+def test_all_items_write_same_cell_warns_rc002():
+    report = analyze_source("""
+    __kernel void k(__global float* out) {
+        __local float shared[1];
+        shared[0] = (float)get_global_id(0);
+        barrier();
+        out[get_global_id(0)] = shared[0];
+    }
+    """)
+    assert "RC002" in ids(report)
+
+
+def test_atomic_updates_are_exempt():
+    report = analyze_source("""
+    __kernel void k(__global int* count, __global const int* in) {
+        int gid = get_global_id(0);
+        atomic_add(&count[0], in[gid]);
+    }
+    """)
+    assert ids(report) == []
+
+
+def test_global_race_is_warning_rc003():
+    report = analyze_source("""
+    __kernel void k(__global float* data) {
+        int i = get_global_id(0);
+        data[i] = 1.0f;
+        data[0] = data[i + 1];
+    }
+    """)
+    assert "RC003" in ids(report)
+    assert not report.has_errors
+
+
+def test_own_slot_reuse_is_fine():
+    report = analyze_source("""
+    __kernel void k(__global float* data) {
+        int i = get_global_id(0);
+        data[i] = 1.0f;
+        data[i] = data[i] + 1.0f;
+    }
+    """)
+    assert ids(report) == []
+
+
+def test_id_free_kernel_skips_race_checks():
+    # the generated sequential scan kernel writes out[0] with no
+    # work-item ids: launched with one work item, there is nothing
+    # to race
+    report = analyze_source("""
+    __kernel void seq(__global const float* in, __global float* out,
+                      int n) {
+        float acc = in[0];
+        out[0] = acc;
+        for (int i = 1; i < n; ++i) {
+            acc = acc + in[i];
+            out[i] = acc;
+        }
+    }
+    """)
+    assert ids(report) == []
+
+
+# -- OB001: constant out-of-bounds ------------------------------------------
+
+def test_constant_index_out_of_bounds():
+    report = analyze_source("""
+    float f(float x) {
+        float buf[4];
+        buf[0] = x;
+        return buf[5];
+    }
+    """)
+    diag = next(d for d in report.sorted() if d.check_id == "OB001")
+    assert "buf[4]" in diag.message
+    assert diag.severity.value == "error"
+
+
+def test_negative_constant_index():
+    report = analyze_source("""
+    __kernel void k(__global float* out) {
+        __local float tmp[8];
+        tmp[-1] = 0.0f;
+        out[get_global_id(0)] = tmp[0];
+    }
+    """)
+    assert "OB001" in ids(report)
+
+
+def test_in_bounds_indices_are_fine():
+    report = analyze_source("""
+    float f(float x) {
+        float buf[4];
+        buf[0] = x;
+        buf[3] = x;
+        return buf[0] + buf[3];
+    }
+    """)
+    assert "OB001" not in ids(report)
+
+
+# -- UD001: use before assignment -------------------------------------------
+
+def test_read_before_assignment():
+    report = analyze_source("""
+    float f(float x) {
+        float y;
+        return x + y;
+    }
+    """)
+    (diag,) = report.diagnostics
+    assert diag.check_id == "UD001"
+    assert "'y'" in diag.message
+
+
+def test_assigned_on_one_path_only():
+    report = analyze_source("""
+    float f(float x) {
+        float y;
+        if (x > 0.0f) { y = 1.0f; }
+        return y;
+    }
+    """)
+    assert "UD001" in ids(report)
+
+
+def test_assigned_on_both_paths_is_fine():
+    report = analyze_source("""
+    float f(float x) {
+        float y;
+        if (x > 0.0f) { y = 1.0f; } else { y = 2.0f; }
+        return y;
+    }
+    """)
+    assert ids(report) == []
+
+
+def test_member_store_initializes_struct():
+    report = analyze_source("""
+    typedef struct { float x; float y; } Point;
+    float f(float a) {
+        Point p;
+        p.x = a;
+        p.y = a * 2.0f;
+        return p.x + p.y;
+    }
+    """)
+    assert ids(report) == []
+
+
+# -- DIST001: block-distribution-unsafe gathers -----------------------------
+
+def test_neighbour_gather_warns():
+    report = analyze_source((DATA / "block_gather.cl").read_text())
+    (diag,) = report.diagnostics
+    assert diag.check_id == "DIST001"
+    assert diag.severity.value == "warning"
+    assert (diag.line, diag.col) == (5, 20)
+    assert "map_overlap" in diag.message
+
+
+def test_own_index_access_is_fine():
+    report = analyze_source("""
+    __kernel void k(__global const float* in, __global float* out,
+                    int n) {
+        int i = get_global_id(0);
+        if (i < n) { out[i] = in[i] * 2.0f; }
+    }
+    """)
+    assert ids(report) == []
+
+
+def test_multiple_diagnostics_sorted_by_position():
+    report = analyze_source("""
+    float f(float x) {
+        float y;
+        float buf[2];
+        buf[0] = x;
+        return y + buf[3];
+    }
+    """)
+    assert ids(report) == ["UD001", "OB001"]
+    lines = [d.line for d in report.sorted()]
+    assert lines == sorted(lines)
+
+
+def test_format_text_and_json_shapes():
+    report = analyze_source((DATA / "barrier_divergent.cl").read_text())
+    text = report.format_text("k.cl")
+    assert "k.cl:5:9: error[BD001]" in text
+    assert text.endswith("1 error(s), 0 warning(s)")
+    data = report.to_dict("k.cl")
+    assert data["errors"] == 1
+    assert data["diagnostics"][0]["check"] == "BD001"

@@ -1,0 +1,173 @@
+"""Tests for the work-item variance lattice and value analysis."""
+
+from repro.clc import parse
+from repro.clc.analysis import (ValueAnalysis, add_values, affine,
+                                build_cfg, const, join_values,
+                                mul_values)
+from repro.clc.analysis.values import UNIFORM, VARYING
+
+
+def env_at_exit(source: str):
+    unit = parse(source)
+    func = unit.functions[-1]
+    cfg = build_cfg(func)
+    analysis = ValueAnalysis([p.name for p in func.params])
+    solution = analysis.run(cfg)
+    return solution.state_into(cfg.exit)
+
+
+# -- lattice operations -----------------------------------------------------
+
+def test_join_identical_values():
+    assert join_values(const(3), const(3)) == const(3)
+
+
+def test_join_different_constants_is_uniform():
+    assert join_values(const(1), const(2)) == UNIFORM
+
+
+def test_join_affine_widens_offset():
+    a = affine(("global", 0), 1, 0)
+    b = affine(("global", 0), 1, 5)
+    joined = join_values(a, b)
+    assert joined.kind == "affine"
+    assert joined.coeff == 1
+    assert joined.offset is None
+
+
+def test_join_affine_with_uniform_loses_structure():
+    assert join_values(affine(("global", 0)), UNIFORM) == VARYING
+
+
+def test_add_affine_plus_const_shifts_offset():
+    value = add_values(affine(("global", 0), 1, 0), const(2))
+    assert value == affine(("global", 0), 1, 2)
+
+
+def test_sub_cancelling_affines_is_uniform():
+    gid = affine(("global", 0), 1, 0)
+    assert add_values(gid, gid, sign=-1) == UNIFORM
+
+
+def test_mul_affine_by_const_scales():
+    value = mul_values(affine(("global", 0), 1, 1), const(4))
+    assert value == affine(("global", 0), 4, 4)
+
+
+def test_mul_affine_by_zero_collapses():
+    assert mul_values(affine(("global", 0)), const(0)) == const(0)
+
+
+def test_mul_affine_by_unknown_uniform_stays_affine():
+    value = mul_values(affine(("global", 0)), UNIFORM)
+    assert value.kind == "affine"
+    assert value.coeff is None
+
+
+# -- the analysis over real functions ---------------------------------------
+
+def test_params_enter_uniform():
+    env = env_at_exit("""
+    float f(float x) { return x; }
+    """)
+    assert env["x"] == UNIFORM
+
+
+def test_global_id_is_affine():
+    env = env_at_exit("""
+    __kernel void k(__global float* out) {
+        int i = get_global_id(0);
+        out[i] = 0.0f;
+    }
+    """)
+    assert env["i"] == affine(("global", 0), 1, 0)
+
+
+def test_local_id_has_local_base():
+    env = env_at_exit("""
+    __kernel void k(__global float* out) {
+        int l = get_local_id(0);
+        out[l] = 0.0f;
+    }
+    """)
+    assert env["l"].base == ("local", 0)
+
+
+def test_group_id_is_uniform():
+    env = env_at_exit("""
+    __kernel void k(__global float* out) {
+        int g = get_group_id(0);
+        int s = get_local_size(0);
+        out[g] = (float)s;
+    }
+    """)
+    assert env["g"] == UNIFORM
+    assert env["s"] == UNIFORM
+
+
+def test_derived_affine_arithmetic():
+    env = env_at_exit("""
+    __kernel void k(__global float* out, int n) {
+        int i = get_global_id(0);
+        int j = i + 3;
+        int m = i - i;
+        out[j] = (float)m;
+    }
+    """)
+    assert env["j"] == affine(("global", 0), 1, 3)
+    assert env["m"] == UNIFORM
+
+
+def test_loop_counter_widens_but_converges():
+    env = env_at_exit("""
+    int f(int n) {
+        int s = 0;
+        for (int i = 0; i < n; i = i + 1) { s = s + i; }
+        return s;
+    }
+    """)
+    assert env["s"].uniform  # uniform arithmetic only
+
+
+def test_uninitialized_local_is_varying():
+    env = env_at_exit("""
+    float f(float x) {
+        float y;
+        y = x;
+        return y;
+    }
+    """)
+    # at exit y was assigned uniform x on the only path
+    assert env["y"] == UNIFORM
+
+
+def test_divergent_ternary():
+    env = env_at_exit("""
+    __kernel void k(__global float* out, int n) {
+        int i = get_global_id(0);
+        int v = i < n ? 1 : 0;
+        out[i] = (float)v;
+    }
+    """)
+    assert env["v"] == VARYING
+
+
+def test_load_at_divergent_index_is_varying():
+    env = env_at_exit("""
+    __kernel void k(__global const float* in, __global float* out) {
+        int i = get_global_id(0);
+        float v = in[i];
+        out[i] = v;
+    }
+    """)
+    assert env["v"] == VARYING
+
+
+def test_load_at_uniform_index_is_uniform():
+    env = env_at_exit("""
+    __kernel void k(__global const float* in, __global float* out) {
+        float v = in[0];
+        out[get_global_id(0)] = v;
+    }
+    """)
+    assert env["v"] == UNIFORM

@@ -1,8 +1,6 @@
 """Tests for the vectorized fast-path evaluator."""
 
 import numpy as np
-import pytest
-
 from repro.clc import compile_source, try_vectorize
 from repro.clc.parser import parse_function
 

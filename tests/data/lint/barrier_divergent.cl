@@ -1,0 +1,7 @@
+__kernel void bad_barrier(__global float* out, int n) {
+    int gid = get_global_id(0);
+    if (gid < n) {
+        out[gid] = 1.0f;
+        barrier();
+    }
+}

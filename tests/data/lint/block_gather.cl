@@ -1,0 +1,7 @@
+__kernel void diff_right(__global const float* in,
+                         __global float* out, int n) {
+    int i = get_global_id(0);
+    if (i < n - 1) {
+        out[i] = in[i + 1] - in[i];
+    }
+}

@@ -1,0 +1,18 @@
+__kernel void reduce_groups(__global const float* in,
+                            __global float* partial, int n) {
+    __local float tmp[64];
+    int lid = get_local_id(0);
+    int gid = get_global_id(0);
+    int lsz = get_local_size(0);
+    tmp[lid] = gid < n ? in[gid] : 0.0f;
+    barrier();
+    for (int stride = lsz / 2; stride > 0; stride = stride / 2) {
+        if (lid < stride) {
+            tmp[lid] = tmp[lid] + tmp[lid + stride];
+        }
+        barrier();
+    }
+    if (lid == 0) {
+        partial[get_group_id(0)] = tmp[0];
+    }
+}

@@ -1,0 +1,198 @@
+"""Integration of the clc static-analysis pass with the skeleton
+library: reserved identifiers, scan arity, distribution safety for
+additional arguments, and the build-time diagnostics gate."""
+
+import numpy as np
+import pytest
+
+from repro.errors import (BuildProgramFailure, DistributionError,
+                          SkelClError)
+from repro.skelcl import Distribution, Map, Scan, Vector, Zip, fuse
+
+
+# -- reserved 'skelcl_' prefix ----------------------------------------------
+
+def test_reserved_function_name_rejected():
+    with pytest.raises(SkelClError, match="skelcl_"):
+        Map("float skelcl_f(float x) { return x; }")
+
+
+def test_reserved_parameter_name_rejected():
+    with pytest.raises(SkelClError, match="reserved"):
+        Map("float f(float skelcl_x) { return skelcl_x; }")
+
+
+def test_reserved_local_variable_rejected():
+    with pytest.raises(SkelClError, match="reserved"):
+        Map("float f(float x) {"
+            " float skelcl_tmp = x; return skelcl_tmp; }")
+
+
+def test_reserved_struct_name_rejected():
+    with pytest.raises(SkelClError, match="reserved"):
+        Map("typedef struct { float x; } skelcl_point;"
+            " float f(float a) { skelcl_point p; p.x = a;"
+            " return p.x; }")
+
+
+def test_ordinary_names_still_accepted(ctx2):
+    v = Vector(np.arange(4, dtype=np.float32))
+    m = Map("float f(float my_skelcl) { return my_skelcl + 1.0f; }")
+    np.testing.assert_array_equal(m(v).to_numpy(),
+                                  np.arange(4) + 1.0)
+
+
+def test_fusion_generated_source_is_exempt(ctx2):
+    # fuse() emits skelcl_-prefixed helper functions on purpose
+    first = Map("float a(float x) { return x + 1.0f; }")
+    second = Map("float b(float x) { return x * 2.0f; }")
+    fused = fuse(first, second)
+    v = Vector(np.arange(4, dtype=np.float32))
+    np.testing.assert_array_equal(fused(v).to_numpy(),
+                                  (np.arange(4) + 1.0) * 2.0)
+
+
+# -- scan operator arity ----------------------------------------------------
+
+def test_scan_rejects_unary_operator():
+    with pytest.raises(SkelClError):
+        Scan("float f(float x) { return x; }")
+
+
+def test_scan_rejects_ternary_operator():
+    with pytest.raises(SkelClError):
+        Scan("float f(float a, float b, float c)"
+             " { return a + b + c; }")
+
+
+@pytest.mark.parametrize("source", [
+    "float f(float x) { return x; }",
+    "float f(float a, float b, float c) { return a + b + c; }",
+])
+def test_scan_codegen_requires_binary_operator(source):
+    # the skeleton front-end rejects these earlier with its own
+    # message, but the kernel generators must also hold the line for
+    # direct callers
+    from repro.clc import parse
+    from repro.skelcl import codegen
+    func = parse(source).functions[0]
+    with pytest.raises(SkelClError,
+                       match="scan operator must be binary"):
+        codegen.scan_offset_kernel(source, func)
+    with pytest.raises(SkelClError,
+                       match="scan operator must be binary"):
+        codegen.scan_kernel(source, func)
+
+
+def test_scan_binary_operator_still_works(ctx2):
+    v = Vector(np.ones(16, dtype=np.float32))
+    prefix = Scan("float add(float a, float b) { return a + b; }")
+    np.testing.assert_array_equal(prefix(v).to_numpy(),
+                                  np.arange(1, 17, dtype=np.float32))
+
+
+# -- distribution safety for additional arguments ---------------------------
+
+GATHER = ("float lookup(int i, __global const float* t)"
+          " { return t[i]; }")
+NEIGHBOUR = ("float diff(float x, __global const float* n)"
+             " { int i = get_global_id(0); return n[i + 1] - x; }")
+OWN = ("float peek(float x, __global const float* o)"
+       " { return x + o[get_global_id(0)]; }")
+
+
+def test_block_distributed_gather_extra_rejected(ctx2):
+    v = Vector(np.zeros(4, dtype=np.int32))
+    table = Vector(np.zeros(4, dtype=np.float32))
+    table.set_distribution(Distribution.block())
+    with pytest.raises(DistributionError, match="beyond its own index"):
+        Map(GATHER)(v, table)
+
+
+def test_block_distributed_neighborhood_suggests_map_overlap(ctx2):
+    v = Vector(np.zeros(8, dtype=np.float32))
+    n = Vector(np.zeros(8, dtype=np.float32))
+    n.set_distribution(Distribution.block())
+    with pytest.raises(DistributionError, match="map_overlap"):
+        Map(NEIGHBOUR)(v, n)
+
+
+def test_copy_distributed_gather_extra_allowed(ctx2):
+    v = Vector(np.array([2, 0, 1, 2], dtype=np.int32))
+    table = Vector(np.array([10.0, 20.0, 30.0], dtype=np.float32))
+    table.set_distribution(Distribution.copy())
+    out = Map(GATHER)(v, table)
+    np.testing.assert_array_equal(out.to_numpy(),
+                                  [30.0, 10.0, 20.0, 30.0])
+
+
+def test_block_distributed_own_index_extra_allowed(ctx2):
+    v = Vector(np.arange(4, dtype=np.float32))
+    other = Vector(np.arange(4, dtype=np.float32))
+    other.set_distribution(Distribution.block())
+    out = Map(OWN)(v, other)
+    np.testing.assert_array_equal(out.to_numpy(),
+                                  2.0 * np.arange(4))
+
+
+def test_single_device_gather_is_allowed(ctx1):
+    # on one device a block distribution holds the whole vector
+    v = Vector(np.array([1, 0], dtype=np.int32))
+    table = Vector(np.array([5.0, 7.0], dtype=np.float32))
+    table.set_distribution(Distribution.block())
+    out = Map(GATHER)(v, table)
+    np.testing.assert_array_equal(out.to_numpy(), [7.0, 5.0])
+
+
+def test_zip_checks_extra_distributions_too(ctx2):
+    a = Vector(np.zeros(4, dtype=np.float32))
+    b = Vector(np.zeros(4, dtype=np.int32))
+    table = Vector(np.zeros(4, dtype=np.float32))
+    table.set_distribution(Distribution.block())
+    z = Zip("float f(float x, int i, __global const float* t)"
+            " { return x + t[i]; }")
+    with pytest.raises(DistributionError, match="beyond its own index"):
+        z(a, b, table)
+
+
+# -- build-time diagnostics gate --------------------------------------------
+
+RACY = """
+__kernel void k(__global float* out, __global const float* in) {
+    __local float shared[1];
+    int lid = get_local_id(0);
+    if (lid == 0) { shared[0] = in[get_group_id(0)]; }
+    out[get_global_id(0)] = shared[0];
+}
+"""
+
+WARN_ONLY = """
+__kernel void k(__global float* data) {
+    int i = get_global_id(0);
+    data[i] = 1.0f;
+    data[0] = data[i + 1];
+}
+"""
+
+
+def test_build_program_rejects_erroneous_kernel(ctx2):
+    with pytest.raises(BuildProgramFailure) as exc:
+        ctx2.build_program(RACY)
+    assert "RC001" in exc.value.build_log
+    assert "error" in exc.value.build_log
+
+
+def test_build_program_records_warnings(ctx2):
+    program = ctx2.build_program(WARN_ONLY)
+    assert "RC003" in program.build_log
+
+
+def test_build_program_clean_kernel_has_no_analysis_log(ctx2):
+    program = ctx2.build_program("""
+    __kernel void k(__global float* out, int n) {
+        int i = get_global_id(0);
+        if (i < n) { out[i] = (float)i; }
+    }
+    """)
+    assert "RC" not in program.build_log
+    assert "BD" not in program.build_log

@@ -59,3 +59,62 @@ def test_fig4b_small(capsys):
     out = capsys.readouterr().out
     assert "Figure 4b" in out
     assert out.count("SkelCL") == 3
+
+
+# -- lint -------------------------------------------------------------------
+
+import json
+import pathlib
+
+LINT_DATA = pathlib.Path(__file__).parent / "data" / "lint"
+
+
+def test_lint_clean_file_exits_zero(capsys):
+    assert main(["lint", str(LINT_DATA / "clean_reduction.cl")]) == 0
+    out = capsys.readouterr().out
+    assert "0 error(s), 0 warning(s)" in out
+
+
+def test_lint_divergent_barrier_exits_one(capsys):
+    path = LINT_DATA / "barrier_divergent.cl"
+    assert main(["lint", str(path)]) == 1
+    out = capsys.readouterr().out
+    assert f"{path}:5:9: error[BD001]" in out
+    assert "1 error(s)" in out
+
+
+def test_lint_json_output(capsys):
+    path = LINT_DATA / "racy_reduction.cl"
+    assert main(["lint", "--json", str(path)]) == 1
+    data = json.loads(capsys.readouterr().out)
+    assert data["file"] == str(path)
+    assert data["errors"] >= 1
+    checks = {d["check"] for d in data["diagnostics"]}
+    assert "RC001" in checks
+    assert "access_patterns" in data
+
+
+def test_lint_block_gather_warns(capsys):
+    path = LINT_DATA / "block_gather.cl"
+    assert main(["lint", str(path)]) == 0  # warnings do not fail
+    out = capsys.readouterr().out
+    assert "warning[DIST001]" in out
+
+
+def test_lint_list_checks(capsys):
+    assert main(["lint", "--list-checks"]) == 0
+    out = capsys.readouterr().out
+    for check_id in ("BD001", "RC001", "OB001", "UD001", "DIST001"):
+        assert check_id in out
+
+
+def test_lint_missing_file_exits_two(capsys):
+    assert main(["lint", "/nonexistent/kernel.cl"]) == 2
+    assert "lint:" in capsys.readouterr().err
+
+
+def test_lint_unparsable_source_exits_two(tmp_path, capsys):
+    bad = tmp_path / "bad.cl"
+    bad.write_text("float f(float x { return x; }")
+    assert main(["lint", str(bad)]) == 2
+    assert capsys.readouterr().err
