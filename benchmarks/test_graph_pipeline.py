@@ -1,0 +1,122 @@
+"""Deferred-graph pipeline benchmark (ISSUE 2 acceptance criterion).
+
+A 4-stage elementwise map pipeline on 1/2/4 simulated GPUs, run once
+eagerly (four kernel launches, three intermediate vectors streamed
+through device memory) and once through ``skelcl.deferred()`` (one
+fused kernel).  Emits ``BENCH_graph.json`` with both makespans per GPU
+count and asserts the acceptance criterion: on 2 GPUs the deferred
+makespan is at least 25 % below eager while results stay
+bitwise-identical.
+
+Both modes are measured warm and on device-resident input — kernels
+compiled and the input uploaded in a warm-up run, the final download
+outside the measured window — the steady state of an iterative
+application re-running the same pipeline.  The comparison therefore
+isolates what the graph engine actually changes (kernel launches and
+intermediate memory traffic), not the one-time program builds or the
+unavoidable first upload / last download that both modes share.
+"""
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+from repro import skelcl
+from repro.skelcl import Map, Vector
+from repro.util.tables import format_table
+
+from conftest import print_experiment
+
+N = 1 << 22
+STAGE_SOURCES = [
+    "float s0(float x) { return x * 2.0f; }",
+    "float s1(float x) { return x + 3.0f; }",
+    "float s2(float x) { return x * x; }",
+    "float s3(float x) { return x - 1.0f; }",
+]
+GPU_COUNTS = (1, 2, 4)
+BENCH_PATH = Path(__file__).resolve().parent.parent / "BENCH_graph.json"
+
+
+def run_eager(stages, xs, gpus):
+    ctx = skelcl.init(num_gpus=gpus)
+    vec = Vector(xs, context=ctx)
+
+    def once():
+        out = vec
+        for stage in stages:
+            out = stage(out)
+        return out
+
+    once()  # warm-up: compile the four kernels, upload the input
+    t0 = ctx.system.timeline.now()
+    result = once()
+    elapsed = ctx.system.timeline.now() - t0
+    return elapsed, result.to_numpy()
+
+
+def run_deferred(stages, xs, gpus):
+    ctx = skelcl.init(num_gpus=gpus)
+    vec = Vector(xs, context=ctx)
+
+    def once():
+        with skelcl.deferred() as graph:
+            out = vec
+            for stage in stages:
+                out = stage(out)
+        return out, graph
+
+    once()  # warm-up: fuse + compile the fused kernel, upload input
+    t0 = ctx.system.timeline.now()
+    result, graph = once()
+    elapsed = ctx.system.timeline.now() - t0
+    return elapsed, result.to_numpy(), graph.last_stats
+
+
+def measure():
+    stages = [Map(src) for src in STAGE_SOURCES]
+    rng = np.random.default_rng(0)
+    xs = rng.random(N).astype(np.float32)
+    results = {}
+    for gpus in GPU_COUNTS:
+        eager_s, eager_out = run_eager(stages, xs, gpus)
+        deferred_s, deferred_out, stats = run_deferred(stages, xs, gpus)
+        results[gpus] = {
+            "gpus": gpus,
+            "eager_makespan_s": eager_s,
+            "deferred_makespan_s": deferred_s,
+            "speedup": eager_s / deferred_s,
+            "identical": bool(np.array_equal(eager_out, deferred_out)),
+            "fused_stages": stats["fused_stages"],
+        }
+    return results
+
+
+def test_graph_pipeline(benchmark):
+    results = benchmark.pedantic(measure, rounds=1, iterations=1)
+
+    rows = [[r["gpus"], f"{r['eager_makespan_s'] * 1e3:.3f}",
+             f"{r['deferred_makespan_s'] * 1e3:.3f}",
+             f"{r['speedup']:.2f}x", r["identical"]]
+            for r in results.values()]
+    print_experiment(
+        f"Deferred graph: {len(STAGE_SOURCES)}-stage map pipeline, "
+        f"{N} elements (warm)",
+        format_table(["GPUs", "eager [ms]", "deferred [ms]", "speedup",
+                      "bitwise-identical"], rows))
+
+    BENCH_PATH.write_text(json.dumps({
+        "benchmark": "graph_pipeline",
+        "elements": N,
+        "stages": len(STAGE_SOURCES),
+        "results": list(results.values()),
+    }, indent=2))
+
+    for r in results.values():
+        assert r["identical"], f"{r['gpus']} GPU results diverged"
+        assert r["fused_stages"] == len(STAGE_SOURCES)
+    # acceptance criterion: >= 25% makespan reduction on 2 GPUs
+    two = results[2]
+    assert (two["deferred_makespan_s"]
+            <= 0.75 * two["eager_makespan_s"]), two

@@ -1,0 +1,29 @@
+/* Work-group tree reduction with barriers on both sides of each
+ * halving step — the shape the barrier-divergence checker expects. */
+__kernel void reduce_sum(__global const float* input,
+                         __global float* partial,
+                         __local float* scratch,
+                         const uint n) {
+    uint gid = get_global_id(0);
+    uint lid = get_local_id(0);
+    uint group = get_group_id(0);
+    uint lsize = get_local_size(0);
+
+    float value = 0.0f;
+    if (gid < n) {
+        value = input[gid];
+    }
+    scratch[lid] = value;
+    barrier();
+
+    for (uint stride = lsize / 2u; stride > 0u; stride = stride / 2u) {
+        if (lid < stride) {
+            scratch[lid] = scratch[lid] + scratch[lid + stride];
+        }
+        barrier();
+    }
+
+    if (lid == 0u) {
+        partial[group] = scratch[0];
+    }
+}

@@ -1,0 +1,12 @@
+/* Listing 1's user function compiled into a standalone kernel:
+ * y[i] <- a * x[i] + y[i].  Every access is at the work-item's own
+ * index, so the kernel is safe under any block distribution. */
+__kernel void saxpy(__global const float* x,
+                    __global float* y,
+                    const float a,
+                    const uint n) {
+    uint i = get_global_id(0);
+    if (i < n) {
+        y[i] = a * x[i] + y[i];
+    }
+}

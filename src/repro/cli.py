@@ -10,7 +10,13 @@ Commands:
   virtual-time phase breakdown;
 - ``fig4b`` — regenerate the paper's headline runtime comparison;
 - ``lint`` — run the kernel static analysis over a dialect source
-  file and print diagnostics (text or JSON).
+  file and print diagnostics (text or JSON);
+- ``graph dump`` — run a map pipeline through the deferred execution
+  engine, report optimizer statistics and the eager-vs-deferred
+  makespans, optionally writing the DAG (``--dot``) or the virtual
+  timeline (``--trace``, chrome://tracing format);
+- ``profile`` — run a workload and print per-resource utilization and
+  the phase breakdown, optionally exporting a Chrome trace.
 """
 
 from __future__ import annotations
@@ -213,6 +219,111 @@ def _cmd_lint(args) -> int:
     return 1 if report.has_errors else 0
 
 
+def _pipeline_stages(count: int):
+    """*count* chainable unary maps with distinct function names."""
+    from repro import skelcl
+    ops = ["return x * 2.0f;", "return x + 3.0f;",
+           "return x * x;", "return x - 1.0f;"]
+    return [skelcl.Map(f"float stage{i}(float x) "
+                       f"{{ {ops[i % len(ops)]} }}")
+            for i in range(count)]
+
+
+def _run_pipeline_eager(stages, xs, gpus: int):
+    from repro import skelcl
+    ctx = skelcl.init(num_gpus=gpus)
+    vec = skelcl.Vector(xs)
+    for stage in stages:
+        vec = stage(vec)
+    return vec.to_numpy(), ctx.system.timeline.now(), ctx
+
+
+def _cmd_graph_dump(args) -> int:
+    from repro import skelcl
+    from repro.graph import graph_to_dot
+    from repro.util.trace import export_chrome_trace
+
+    rng = np.random.default_rng(0)
+    xs = rng.random(args.size).astype(np.float32)
+    stages = _pipeline_stages(args.stages)
+
+    eager_out, eager_makespan, _ = _run_pipeline_eager(
+        stages, xs, args.gpus)
+
+    ctx = skelcl.init(num_gpus=args.gpus)
+    with skelcl.deferred(optimize=not args.no_optimize) as graph:
+        vec = skelcl.Vector(xs, context=ctx)
+        for stage in stages:
+            vec = stage(vec)
+    deferred_makespan = ctx.system.timeline.now()
+    identical = np.array_equal(eager_out, vec.to_numpy())
+
+    print(f"{args.stages}-stage map pipeline over {args.size} elements "
+          f"on {args.gpus} GPU(s)")
+    stats = graph.last_stats
+    print(f"graph: {stats['nodes']} node(s), {stats['steps']} step(s) "
+          f"after optimization")
+    print(f"  fused chains:             {stats['fused_chains']} "
+          f"({stats['fused_stages']} stages)")
+    print(f"  dead intermediates:       {stats['pruned']}")
+    print(f"  redistributions elided:   "
+          f"{stats['redistributions_elided']}")
+    print(f"eager    makespan: {eager_makespan * 1e3:9.3f} ms")
+    print(f"deferred makespan: {deferred_makespan * 1e3:9.3f} ms")
+    if eager_makespan > 0:
+        saved = 1.0 - deferred_makespan / eager_makespan
+        print(f"saved:             {saved:9.1%}")
+    print(f"results bitwise-identical to eager: {identical}")
+
+    if args.dot:
+        dot = graph_to_dot(graph, graph.last_plan)
+        if args.dot == "-":
+            print(dot, end="")
+        else:
+            with open(args.dot, "w") as fh:
+                fh.write(dot)
+            print(f"wrote {args.dot}")
+    if args.trace:
+        export_chrome_trace(ctx.system.timeline, args.trace)
+        print(f"wrote {args.trace} (open in chrome://tracing)")
+    return 0 if identical else 1
+
+
+def _cmd_profile(args) -> int:
+    from repro import skelcl
+    from repro.util.profiling import breakdown_report, utilization_report
+    from repro.util.trace import export_chrome_trace
+
+    rng = np.random.default_rng(0)
+    if args.workload == "pipeline":
+        xs = rng.random(args.size).astype(np.float32)
+        stages = _pipeline_stages(4)
+        ctx = skelcl.init(num_gpus=args.gpus)
+        with skelcl.deferred():
+            vec = skelcl.Vector(xs, context=ctx)
+            for stage in stages:
+                vec = stage(vec)
+        vec.to_numpy()
+    else:  # saxpy
+        ctx = skelcl.init(num_gpus=args.gpus)
+        saxpy = skelcl.Zip(
+            "float func(float x, float y, float a) { return a*x+y; }")
+        x = rng.random(args.size).astype(np.float32)
+        y = rng.random(args.size).astype(np.float32)
+        saxpy(skelcl.Vector(x), skelcl.Vector(y),
+              np.float32(2.5)).to_numpy()
+
+    timeline = ctx.system.timeline
+    print(f"{args.workload} over {args.size} elements on {args.gpus} "
+          f"GPU(s): virtual makespan {timeline.now() * 1e3:.3f} ms")
+    print(utilization_report(timeline))
+    print(breakdown_report(timeline))
+    if args.trace:
+        export_chrome_trace(timeline, args.trace)
+        print(f"wrote {args.trace} (open in chrome://tracing)")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -264,6 +375,34 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--list-checks", action="store_true",
                    help="print the check registry and exit")
     p.set_defaults(fn=_cmd_lint)
+
+    p = sub.add_parser(
+        "graph", help="deferred execution engine inspection")
+    graph_sub = p.add_subparsers(dest="graph_command", required=True)
+    p = graph_sub.add_parser(
+        "dump", help="run a pipeline deferred; dump stats/DAG/trace")
+    p.add_argument("--gpus", type=int, default=2)
+    p.add_argument("--size", type=int, default=1 << 18)
+    p.add_argument("--stages", type=int, default=4)
+    p.add_argument("--dot", metavar="FILE",
+                   help="write the captured DAG as Graphviz DOT "
+                        "('-' for stdout)")
+    p.add_argument("--trace", metavar="FILE",
+                   help="write the virtual timeline as a Chrome trace")
+    p.add_argument("--no-optimize", action="store_true",
+                   help="replay the captured calls without fusion or "
+                        "elision")
+    p.set_defaults(fn=_cmd_graph_dump)
+
+    p = sub.add_parser(
+        "profile", help="utilization and phase breakdown of a workload")
+    p.add_argument("--workload", default="pipeline",
+                   choices=["pipeline", "saxpy"])
+    p.add_argument("--size", type=int, default=1 << 18)
+    p.add_argument("--gpus", type=int, default=2)
+    p.add_argument("--trace", metavar="FILE",
+                   help="write the virtual timeline as a Chrome trace")
+    p.set_defaults(fn=_cmd_profile)
     return parser
 
 

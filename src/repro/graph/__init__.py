@@ -1,0 +1,30 @@
+"""Lazy task-graph execution engine (extension; see docs/graph.md).
+
+The paper's API executes every skeleton call eagerly.  This package
+adds a fourth execution layer (after eager, dOpenCL, and CUDA): inside
+a ``with skelcl.deferred():`` scope, skeleton calls record DAG nodes
+and return :class:`LazyVector` handles; on scope exit the graph is
+optimized — map/zip chain fusion, dead-intermediate elimination,
+redistribution and host-roundtrip elision — and executed on the
+virtual timeline, producing results bitwise-identical to eager mode.
+
+    import repro.skelcl as skelcl
+
+    with skelcl.deferred():
+        y = scale(x)       # recorded, not executed
+        z = offset(y)      # fused with `scale` into one kernel
+    print(z.to_numpy())    # materialized on scope exit
+"""
+
+from repro.graph.capture import (Graph, LazyVector, current_graph,
+                                 deferred, evaluate)
+from repro.graph.dot import graph_to_dot
+from repro.graph.node import Node
+from repro.graph.passes import (Plan, PlanStep, build_plan,
+                                elide_redistributions, fuse_map_chains)
+
+__all__ = [
+    "Graph", "LazyVector", "Node", "Plan", "PlanStep", "build_plan",
+    "current_graph", "deferred", "elide_redistributions", "evaluate",
+    "fuse_map_chains", "graph_to_dot",
+]

@@ -1,0 +1,424 @@
+"""Capture of skeleton calls into a lazy task graph.
+
+Inside a ``with skelcl.deferred():`` scope, skeleton calls do not
+execute — they record :class:`~repro.graph.node.Node`s on the active
+:class:`Graph` and return :class:`LazyVector` handles.  On scope exit
+(or an explicit :func:`evaluate`) the graph is optimized
+(:mod:`repro.graph.passes`) and executed
+(:mod:`repro.graph.executor`), materializing results bitwise-identical
+to eager mode.
+
+The skeletons themselves only call :func:`intercept` at the top of
+``__call__`` (via :meth:`repro.skelcl.base.Skeleton.deferred_intercept`):
+with an active graph it captures the call; without one it transparently
+unwraps any LazyVector arguments by forcing them, so lazy handles flow
+into later eager code unchanged.
+"""
+
+from __future__ import annotations
+
+import weakref
+from contextlib import contextmanager
+from typing import NamedTuple, Sequence
+
+from repro.errors import SizeMismatchError, SkelClError
+from repro.graph.node import Node
+from repro.skelcl.context import SkelCLContext, get_context
+from repro.skelcl.vector import Vector
+
+#: innermost-active graph builders (nested ``deferred`` scopes nest)
+_builders: list["Graph"] = []
+
+
+def current_graph() -> "Graph | None":
+    """The graph currently capturing skeleton calls, if any."""
+    return _builders[-1] if _builders else None
+
+
+@contextmanager
+def suspended():
+    """Temporarily disable capture (the executor replays skeleton calls
+    through their ordinary ``__call__``, which must not re-capture even
+    when evaluation was triggered from inside a deferred scope)."""
+    saved = _builders[:]
+    _builders.clear()
+    try:
+        yield
+    finally:
+        _builders[:] = saved
+
+
+class LazyVector:
+    """Handle to the not-yet-computed result of a deferred call.
+
+    Size and dtype are known statically (inferred at capture time);
+    everything else forces evaluation: once the scope has been
+    evaluated the handle delegates to the materialized
+    :class:`~repro.skelcl.Vector`, and a handle whose node was
+    optimized away (fused through, or pruned as dead) transparently
+    recomputes its value from the captured graph on first access.
+    """
+
+    def __init__(self, graph: "Graph", node: Node) -> None:
+        self._graph = graph
+        self._node = node
+        node.handle_ref = weakref.ref(self)
+
+    # -- static metadata (no forcing) ------------------------------------------
+
+    @property
+    def node(self) -> Node:
+        return self._node
+
+    @property
+    def graph(self) -> "Graph":
+        return self._graph
+
+    @property
+    def size(self) -> int:
+        return int(self._node.out_size or 0)
+
+    def __len__(self) -> int:
+        return self.size
+
+    @property
+    def dtype(self):
+        return self._node.out_dtype
+
+    # -- forcing ----------------------------------------------------------------
+
+    def force(self) -> Vector:
+        """The materialized Vector, computing it if necessary."""
+        return self._graph.ensure_value(self._node)
+
+    def to_numpy(self):
+        return self.force().to_numpy()
+
+    def __getitem__(self, index):
+        return self.force()[index]
+
+    def __iter__(self):
+        return iter(self.force())
+
+    @property
+    def distribution(self):
+        return self.force().distribution
+
+    def set_distribution(self, dist) -> None:
+        """Change distribution; recorded lazily while capturing.
+
+        Inside the scope this appends a ``redistribute`` node and
+        re-points the handle at it, so later uses of this handle see
+        the new layout; afterwards it acts eagerly on the value.
+        """
+        if current_graph() is self._graph and not self._node.executed:
+            old = self._node
+            self._node = self._graph.add_redistribute(old, dist)
+            self._node.handle_ref = weakref.ref(self)
+            if old.handle_ref is not None and old.handle_ref() is self:
+                old.handle_ref = None  # the handle moved on
+            return
+        self.force().set_distribution(dist)
+
+    setDistribution = set_distribution
+
+    def __getattr__(self, name):
+        # anything else (host_view, parts, clone, ...) acts on the value
+        if name.startswith("_"):
+            raise AttributeError(name)
+        return getattr(self.force(), name)
+
+    def __repr__(self) -> str:
+        state = ("materialized" if self._node.value is not None
+                 else "pending")
+        return (f"<LazyVector size={self.size} dtype={self.dtype} "
+                f"node=#{self._node.id} {state}>")
+
+
+class InterceptResult(NamedTuple):
+    """What :func:`intercept` decided about one skeleton call."""
+
+    captured: bool
+    #: the LazyVector result (None for void calls) when captured
+    value: object
+    #: unwrapped eager arguments when not captured
+    inputs: tuple
+    extras: tuple
+    out: object
+
+
+def intercept(skeleton, kind: str, inputs: Sequence, extras: Sequence,
+              out=None) -> InterceptResult:
+    """Route a skeleton call into the active graph, or unwrap lazies.
+
+    Called first thing by every skeleton ``__call__``.  Returns either
+    ``captured=True`` with the LazyVector standing for the result, or
+    ``captured=False`` with inputs/extras/out ready for eager use
+    (LazyVector arguments forced to their Vectors).
+    """
+    graph = current_graph()
+    if graph is not None:
+        value = graph.record_call(skeleton, kind, inputs, extras, out)
+        return InterceptResult(True, value, (), (), None)
+    return InterceptResult(
+        False, None,
+        tuple(_unwrap(v) for v in inputs),
+        tuple(_unwrap(v) for v in extras),
+        _unwrap(out))
+
+
+def _unwrap(value):
+    return value.force() if isinstance(value, LazyVector) else value
+
+
+class Graph:
+    """A captured task graph plus its evaluation state."""
+
+    def __init__(self, context: SkelCLContext | None = None) -> None:
+        self._explicit_ctx = context
+        self._ctx: SkelCLContext | None = context
+        self.nodes: list[Node] = []
+        self._sources: dict[int, Node] = {}
+        #: pass statistics of the most recent optimized evaluation
+        self.last_stats: dict[str, int] = {}
+        #: the most recent optimized plan (for dumps/debugging)
+        self.last_plan = None
+
+    # -- context ----------------------------------------------------------------
+
+    @property
+    def ctx(self) -> SkelCLContext:
+        if self._ctx is None:
+            self._ctx = get_context(self._explicit_ctx)
+        return self._ctx
+
+    def _adopt_context(self, ctx: SkelCLContext) -> None:
+        if self._ctx is None:
+            self._ctx = ctx
+
+    # -- node construction -------------------------------------------------------
+
+    def _new_node(self, **kw) -> Node:
+        node = Node(len(self.nodes), **kw)
+        self.nodes.append(node)
+        return node
+
+    def source(self, vector: Vector) -> Node:
+        """The (cached) source node wrapping a concrete Vector."""
+        node = self._sources.get(id(vector))
+        if node is None:
+            node = self._new_node(kind="source", out_size=vector.size,
+                                  out_dtype=vector.dtype)
+            node.value = vector
+            node.executed = True
+            self._sources[id(vector)] = node
+            self._adopt_context(vector.ctx)
+        return node
+
+    def add_redistribute(self, input_node: Node, dist) -> Node:
+        return self._new_node(kind="redistribute", inputs=[input_node],
+                              dist=dist, out_size=input_node.out_size,
+                              out_dtype=input_node.out_dtype)
+
+    def _as_node(self, value) -> Node:
+        """Graph node standing for one vector-valued argument."""
+        if isinstance(value, LazyVector):
+            if value.graph is self:
+                return value.node
+            # a handle from another graph: force it there, then treat
+            # the materialized vector as a plain source
+            return self.source(value.force())
+        if isinstance(value, Vector):
+            return self.source(value)
+        raise SkelClError(
+            f"deferred skeleton input must be a Vector, got "
+            f"{type(value).__name__}")
+
+    # -- capture -----------------------------------------------------------------
+
+    def record_call(self, skeleton, kind: str, inputs: Sequence,
+                    extras: Sequence, out) -> "LazyVector | None":
+        """Append the node for one skeleton call; returns its handle."""
+        input_nodes = [self._as_node(v) for v in inputs]
+        self._validate(skeleton, kind, input_nodes)
+        if isinstance(out, LazyVector):
+            raise SkelClError(
+                "deferred calls cannot write into a lazy out= vector; "
+                "pass a concrete Vector or drop out=")
+        # lazy extras become node references; concrete values stay raw
+        extra_nodes = tuple(
+            self._as_node(e) if isinstance(e, LazyVector) else e
+            for e in extras)
+        if kind == "reduce":
+            out_size = 1
+        else:
+            out_size = input_nodes[0].out_size
+        out_dtype = getattr(skeleton, "out_dtype", None)
+        if kind in ("reduce", "scan"):
+            out_dtype = skeleton.elem_dtype
+        node = self._new_node(kind=kind, skeleton=skeleton,
+                              inputs=input_nodes, extras=extra_nodes,
+                              out=out, out_size=out_size,
+                              out_dtype=out_dtype)
+        if kind in ("map", "zip") and skeleton.out_dtype is None:
+            return None  # void call: effect node, no handle
+        return LazyVector(self, node)
+
+    def _validate(self, skeleton, kind: str,
+                  input_nodes: list[Node]) -> None:
+        """Static checks that can fail at capture time (good errors at
+        the call site); everything else is validated on execution."""
+        if kind == "zip":
+            lhs, rhs = input_nodes
+            if lhs.out_size != rhs.out_size:
+                raise SizeMismatchError(
+                    f"vector sizes differ: {lhs.out_size} vs "
+                    f"{rhs.out_size}")
+            expected = (skeleton.lhs_dtype, skeleton.rhs_dtype)
+            actual = (lhs.out_dtype, rhs.out_dtype)
+            if expected != actual:
+                raise SkelClError(
+                    f"zip({skeleton.user.name}): input dtypes {actual} "
+                    f"do not match parameter types {expected}")
+            return
+        (node,) = input_nodes
+        if kind == "map" and node.out_dtype != skeleton.in_dtype:
+            raise SkelClError(
+                f"map({skeleton.user.name}): input dtype "
+                f"{node.out_dtype} does not match parameter type "
+                f"{skeleton.in_dtype}")
+        if kind in ("reduce", "scan"):
+            if node.out_size == 0:
+                raise SkelClError(f"cannot {kind} an empty vector")
+            if node.out_dtype != skeleton.elem_dtype:
+                raise SkelClError(
+                    f"{kind}({skeleton.user.name}): input dtype "
+                    f"{node.out_dtype} does not match operator type "
+                    f"{skeleton.elem_dtype}")
+
+    # -- consumers / roots ---------------------------------------------------------
+
+    def consumers(self) -> dict[int, list[Node]]:
+        """node id -> nodes that consume it (inputs or lazy extras)."""
+        used: dict[int, list[Node]] = {n.id: [] for n in self.nodes}
+        for node in self.nodes:
+            for dep in node.deps():
+                used[dep.id].append(node)
+        return used
+
+    def default_roots(self) -> list[Node]:
+        """What an unqualified evaluation must produce: side-effecting
+        nodes, plus every terminal result the user can still observe
+        (its LazyVector handle is alive).  Dead terminals — handles
+        already garbage-collected — are left to the pruning pass."""
+        consumed = self.consumers()
+        roots = []
+        for node in self.nodes:
+            if node.kind == "source":
+                continue
+            if node.effect:
+                roots.append(node)
+            elif not consumed[node.id] and node.handle_alive:
+                roots.append(node)
+        return roots
+
+    # -- evaluation ----------------------------------------------------------------
+
+    def evaluate(self, *targets, optimize: bool = True,
+                 adaptive: bool = False, weight_store=None
+                 ) -> dict[str, int]:
+        """Optimize and execute the graph.
+
+        Args:
+            targets: LazyVectors (or Nodes) to materialize; defaults to
+                every observable terminal plus all effect nodes.
+            optimize: run the optimization passes (fusion,
+                dead-intermediate elimination, redistribution elision);
+                False replays the captured calls as-is.
+            adaptive: split work with graph-aware adaptive weights
+                (see :mod:`repro.sched`); results are then only
+                bitwise-reproducible for maps/zips, not reductions.
+            weight_store: a :class:`repro.sched.WeightStore` carrying
+                learned device weights across evaluations.
+
+        Returns the pass/execution statistics (also kept on
+        ``last_stats``).
+        """
+        from repro.graph import executor, passes
+        if targets:
+            roots = [t.node if isinstance(t, LazyVector) else t
+                     for t in targets]
+        else:
+            roots = self.default_roots()
+        plan = passes.build_plan(self, roots)
+        if optimize:
+            passes.elide_redistributions(plan)
+            passes.fuse_map_chains(plan)
+        executor.execute_plan(plan, self.ctx, adaptive=adaptive,
+                              weight_store=weight_store)
+        self.last_plan = plan
+        self.last_stats = dict(plan.stats)
+        return self.last_stats
+
+    def ensure_value(self, node: Node) -> Vector:
+        """Force one node, replaying captured calls for any ancestor
+        that evaluation skipped (pruned or fused through)."""
+        if node.value is not None:
+            return node.value
+        if node.executed:
+            raise SkelClError(
+                f"{node.label} produced no value (void skeleton call)")
+        from repro.graph import executor
+        for dep in node.deps():
+            self.ensure_value(dep)
+        executor.execute_node(node)
+        if node.value is None:
+            raise SkelClError(
+                f"{node.label} produced no value (void skeleton call)")
+        return node.value
+
+
+@contextmanager
+def deferred(context: SkelCLContext | None = None,
+             optimize: bool = True, adaptive: bool = False,
+             weight_store=None):
+    """Scope in which skeleton calls build a task graph lazily.
+
+    On clean exit the graph is optimized and executed; results are
+    bitwise-identical to eager execution.  The graph is yielded for
+    introspection (``g.last_stats``, ``g.nodes``) and for explicit
+    mid-scope :meth:`Graph.evaluate` calls.
+
+    Example::
+
+        with skelcl.deferred():
+            y = m1(x)
+            z = m2(y)          # fused with m1 into one kernel
+        print(z.to_numpy())
+    """
+    graph = Graph(context)
+    _builders.append(graph)
+    try:
+        yield graph
+    finally:
+        popped = _builders.pop()
+        assert popped is graph
+    # evaluate only on clean exit — an exception propagates as-is
+    graph.evaluate(optimize=optimize, adaptive=adaptive,
+                   weight_store=weight_store)
+
+
+def evaluate(*lazies: LazyVector, optimize: bool = True,
+             adaptive: bool = False, weight_store=None) -> None:
+    """Materialize specific LazyVectors (optimizing their sub-DAGs)."""
+    by_graph: dict[int, tuple[Graph, list[LazyVector]]] = {}
+    for lazy in lazies:
+        if not isinstance(lazy, LazyVector):
+            raise SkelClError(
+                f"evaluate() takes LazyVectors, got "
+                f"{type(lazy).__name__}")
+        entry = by_graph.setdefault(id(lazy.graph), (lazy.graph, []))
+        entry[1].append(lazy)
+    for graph, handles in by_graph.values():
+        graph.evaluate(*handles, optimize=optimize, adaptive=adaptive,
+                       weight_store=weight_store)

@@ -1,0 +1,59 @@
+"""Graphviz DOT rendering of captured task graphs.
+
+``repro graph dump --dot`` uses this to visualize what the optimizer
+did: nodes fused into one kernel share a filled cluster-colored box,
+pruned dead intermediates are grayed out, and dashed edges mark
+additional-argument (non-element) data flow.
+"""
+
+from __future__ import annotations
+
+from repro.graph.node import Node
+
+
+def _escape(text: str) -> str:
+    return text.replace("\\", "\\\\").replace('"', '\\"')
+
+
+def graph_to_dot(graph, plan=None) -> str:
+    """Render *graph* (optionally annotated with *plan*) as DOT."""
+    fused_of: dict[int, int] = {}
+    executable: set[int] = set()
+    if plan is not None:
+        for step in plan.steps:
+            executable.add(step.node.id)
+            for member in step.fused_from:
+                fused_of[member.id] = step.node.id
+                executable.add(member.id)
+        for node, source in plan.aliases:
+            executable.add(node.id)
+
+    lines = ["digraph skelcl {", "  rankdir=TB;",
+             '  node [shape=box, fontname="monospace", fontsize=10];']
+    for node in graph.nodes:
+        attrs = [f'label="#{node.id} {_escape(node.label)}"']
+        if node.kind == "source":
+            attrs.append("shape=ellipse")
+        if plan is not None:
+            if node.id in fused_of:
+                attrs.append("style=filled")
+                attrs.append('fillcolor="lightblue"')
+                attrs.append(
+                    f'tooltip="fused into #{fused_of[node.id]}"')
+            elif node.kind != "source" and node.id not in executable \
+                    and node.value is None:
+                attrs.append("style=dashed")
+                attrs.append('color="gray"')
+                attrs.append('tooltip="pruned/elided"')
+            if node.id in plan.root_ids:
+                attrs.append("penwidth=2")
+        lines.append(f"  n{node.id} [{', '.join(attrs)}];")
+    for node in graph.nodes:
+        for dep in node.inputs:
+            lines.append(f"  n{dep.id} -> n{node.id};")
+        for extra in node.extras:
+            if isinstance(extra, Node):
+                lines.append(
+                    f"  n{extra.id} -> n{node.id} [style=dashed];")
+    lines.append("}")
+    return "\n".join(lines) + "\n"

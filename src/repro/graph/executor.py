@@ -1,0 +1,109 @@
+"""Execution of an optimized plan on the virtual machine model.
+
+Steps run in plan order — which is capture (program) order, so every
+distribution change and side effect lands exactly when eager code would
+have applied it.  Overlap in virtual time comes from the timeline
+model itself: each device queue and transfer link is an independent
+:class:`~repro.util.timeline.Resource`, so kernels of one branch run
+concurrently with transfers of another wherever the data dependencies
+(buffer ``ready_at`` chaining) allow it.
+
+With ``adaptive=True`` the executor routes distribution-less map/zip
+inputs through a per-kernel :class:`~repro.sched.AdaptiveScheduler`
+whose weights persist in a :class:`~repro.sched.WeightStore` across
+evaluations — the graph-aware extension of the sched layer's EMA
+refinement.
+"""
+
+from __future__ import annotations
+
+from repro.errors import SkelClError
+from repro.graph import capture
+from repro.graph.node import Node
+from repro.graph.passes import Plan, PlanStep
+
+
+def execute_plan(plan: Plan, ctx, adaptive: bool = False,
+                 weight_store=None) -> None:
+    """Run every step of *plan*, materializing node values in place."""
+    scheduler_for = None
+    if adaptive:
+        from repro.sched import WeightStore
+        store = weight_store if weight_store is not None else WeightStore()
+        scheduler_for = lambda skel: store.scheduler_for(  # noqa: E731
+            skel.user.source, ctx.devices)
+    with capture.suspended():
+        for step in plan.steps:
+            _run_step(step, ctx, scheduler_for)
+    for node, source in plan.aliases:
+        # a later pass may have fused the source away; the aliased node
+        # then stays pending and replays on demand instead
+        if source.value is not None:
+            node.value = source.value
+            node.executed = True
+
+
+def execute_node(node: Node) -> None:
+    """Replay one captured node eagerly (recompute-on-demand path used
+    by ``LazyVector.force`` for nodes the optimizer skipped).  All
+    dependencies must already hold values."""
+    step = PlanStep(node=node, kind=node.kind, skeleton=node.skeleton,
+                    inputs=list(node.inputs), extras=node.extras,
+                    out=node.out, dist=node.dist)
+    with capture.suspended():
+        _run_step(step, ctx=None, scheduler_for=None)
+
+
+def _value_of(node: Node):
+    if node.value is None:
+        raise SkelClError(
+            f"dependency {node.label} has no value — plan is not in "
+            "dependency order")
+    return node.value
+
+
+def _run_step(step: PlanStep, ctx, scheduler_for) -> None:
+    node = step.node
+    extras = tuple(_value_of(e) if isinstance(e, Node) else e
+                   for e in step.extras)
+
+    if step.kind == "redistribute":
+        vec = _value_of(step.inputs[0])
+        vec.set_distribution(step.dist)
+        result = vec
+    elif step.kind in ("map", "zip"):
+        inputs = [_value_of(n) for n in step.inputs]
+        scheduler = (scheduler_for(step.skeleton)
+                     if scheduler_for is not None else None)
+        observe_input = None
+        if scheduler is not None and inputs[0].distribution is None:
+            inputs[0].set_distribution(scheduler.distribution())
+            observe_input = inputs[0]
+        before = len(ctx.system.timeline.spans) if ctx is not None else 0
+        result = step.skeleton(*inputs, *extras, out=step.out)
+        if observe_input is not None:
+            _observe(scheduler, ctx, observe_input, before)
+    elif step.kind == "reduce":
+        result = step.skeleton(_value_of(step.inputs[0]))
+    elif step.kind == "scan":
+        result = step.skeleton(_value_of(step.inputs[0]), out=step.out)
+    else:  # pragma: no cover - exhaustive over executable kinds
+        raise SkelClError(f"cannot execute node kind {step.kind!r}")
+
+    node.executed = True
+    if result is not None:
+        node.value = result
+
+
+def _observe(scheduler, ctx, input_vec, span_start: int) -> None:
+    """Feed the kernel spans this step produced back into the
+    scheduler's weights (per-device busy time vs. elements handled)."""
+    new_spans = ctx.system.timeline.spans[span_start:]
+    lengths, seconds = [], []
+    for device, part in zip(ctx.devices, input_vec.parts):
+        busy = sum(s.duration for s in new_spans
+                   if s.resource == device.queue_resource.name
+                   and s.label.startswith(("kernel:", "cuda:")))
+        lengths.append(part.length)
+        seconds.append(busy)
+    scheduler.observe(lengths, seconds)

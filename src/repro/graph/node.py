@@ -1,0 +1,89 @@
+"""DAG nodes of the deferred execution graph.
+
+Every skeleton call captured inside a :func:`repro.graph.deferred`
+scope becomes one :class:`Node`; concrete :class:`~repro.skelcl.Vector`
+inputs enter the graph through ``source`` nodes, and
+``LazyVector.set_distribution`` records ``redistribute`` nodes.  Nodes
+are append-only and created in data-dependency order, so the graph's
+node list is already a topological order.
+"""
+
+from __future__ import annotations
+
+import weakref
+from typing import Iterator, Optional
+
+#: node kinds a graph may hold
+KINDS = ("source", "map", "zip", "reduce", "scan", "redistribute")
+
+
+class Node:
+    """One vertex of a captured task graph."""
+
+    __slots__ = ("id", "kind", "skeleton", "inputs", "extras", "dist",
+                 "out", "out_size", "out_dtype", "value", "executed",
+                 "handle_ref", "__weakref__")
+
+    def __init__(self, node_id: int, kind: str, skeleton=None,
+                 inputs: list["Node"] | None = None,
+                 extras: tuple = (), dist=None, out=None,
+                 out_size: int | None = None, out_dtype=None) -> None:
+        assert kind in KINDS, kind
+        self.id = node_id
+        self.kind = kind
+        #: the eager skeleton object replayed when this node executes
+        self.skeleton = skeleton
+        self.inputs: list[Node] = list(inputs or [])
+        #: raw additional arguments; lazy ones are Node references
+        self.extras = extras
+        #: target distribution (redistribute nodes)
+        self.dist = dist
+        #: explicit ``out=`` vector recorded at capture time
+        self.out = out
+        self.out_size = out_size
+        self.out_dtype = out_dtype
+        #: materialized result (a Vector), set by execution
+        self.value = None
+        #: True once the node ran (void nodes produce no value)
+        self.executed = False
+        #: weak reference to the user-facing LazyVector handle
+        self.handle_ref: Optional[weakref.ref] = None
+
+    # -- structure ---------------------------------------------------------
+
+    def deps(self) -> Iterator["Node"]:
+        """Every node this one depends on (inputs + lazy extras)."""
+        yield from self.inputs
+        for extra in self.extras:
+            if isinstance(extra, Node):
+                yield extra
+
+    @property
+    def effect(self) -> bool:
+        """True for nodes that must run even without a consumer: void
+        skeleton calls working purely through additional-argument
+        writes (the OSEM step-1 form)."""
+        return (self.kind in ("map", "zip") and self.skeleton is not None
+                and self.skeleton.out_dtype is None)
+
+    @property
+    def handle_alive(self) -> bool:
+        """True while the user still holds this node's LazyVector."""
+        return (self.handle_ref is not None
+                and self.handle_ref() is not None)
+
+    # -- display -----------------------------------------------------------
+
+    @property
+    def label(self) -> str:
+        if self.kind == "source":
+            return f"source[{self.out_size}]"
+        if self.kind == "redistribute":
+            return f"redistribute({self.dist!r})"
+        name = self.skeleton.user.name if self.skeleton is not None else "?"
+        return f"{self.kind}({name})"
+
+    def __repr__(self) -> str:
+        state = ("value" if self.value is not None
+                 else "executed" if self.executed else "pending")
+        return f"<Node #{self.id} {self.label} {state}>"

@@ -1,0 +1,347 @@
+"""Optimization passes over a captured task graph.
+
+:func:`build_plan` lowers the reachable part of a graph into a
+:class:`Plan` — an executable, topologically-ordered list of
+:class:`PlanStep`\\ s — pruning dead intermediates on the way (nodes no
+root needs whose handles the user has dropped).  The passes then
+rewrite the plan in place:
+
+- :func:`elide_redistributions` collapses chains of consecutive
+  redistributes (the deferred equivalent of a host round-trip:
+  ``block -> single -> block`` never has to move data at all) and drops
+  redistributes that re-state the layout their input already has;
+- :func:`fuse_map_chains` merges linear map/zip chains into single
+  fused kernels via :func:`repro.skelcl.fusion.fuse_chain`, halving
+  (or better) the intermediate memory traffic.
+
+Passes only rewrite *plan steps*; the captured graph itself stays
+untouched, so a :class:`~repro.graph.capture.LazyVector` whose node was
+fused through or pruned can still replay its original call chain on
+demand.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import SkelClError
+from repro.graph.node import Node
+from repro.skelcl.fusion import fuse_chain, fusion_blocker
+
+
+@dataclass
+class PlanStep:
+    """One executable unit of a plan.
+
+    Initially a step replays exactly one captured node; fusion replaces
+    a run of steps with a single step whose ``skeleton`` is the fused
+    composition and whose ``node`` is the chain's last node (the only
+    one whose value the rest of the plan needs).
+    """
+
+    node: Node
+    kind: str
+    skeleton: object = None
+    inputs: list = field(default_factory=list)
+    extras: tuple = ()
+    out: object = None
+    dist: object = None
+    #: the original nodes merged into this step (fusion), head first
+    fused_from: tuple = ()
+
+    @property
+    def label(self) -> str:
+        if self.fused_from:
+            names = "+".join(n.skeleton.user.name for n in self.fused_from)
+            return f"fused[{names}]"
+        return self.node.label
+
+
+class Plan:
+    """An optimized, executable lowering of (part of) a graph."""
+
+    def __init__(self, graph, roots: list[Node],
+                 steps: list[PlanStep]) -> None:
+        self.graph = graph
+        self.roots = roots
+        self.root_ids = {n.id for n in roots}
+        self.steps = steps
+        #: (node, source) pairs: node's value equals source's value
+        #: (recorded when a demanded no-op redistribute is elided)
+        self.aliases: list[tuple[Node, Node]] = []
+        self.stats: dict[str, int] = {
+            "nodes": len(graph.nodes),
+            "steps": len(steps),
+            "pruned": 0,
+            "redistributions_elided": 0,
+            "fused_chains": 0,
+            "fused_stages": 0,
+        }
+
+    def consumers(self) -> dict[int, list[PlanStep]]:
+        """node id -> plan steps that read its value."""
+        used: dict[int, list[PlanStep]] = {}
+        for step in self.steps:
+            for dep in step.inputs:
+                used.setdefault(dep.id, []).append(step)
+            for extra in step.extras:
+                if isinstance(extra, Node):
+                    used.setdefault(extra.id, []).append(step)
+        return used
+
+    def _resync_stats(self) -> None:
+        self.stats["steps"] = len(self.steps)
+
+
+def build_plan(graph, roots: list[Node]) -> Plan:
+    """Lower the sub-DAG reachable from *roots* into an initial plan.
+
+    Nodes that already hold a value (sources, and anything a previous
+    evaluation materialized) terminate the traversal.  Captured nodes
+    *not* reachable from any root are dead intermediates: they are
+    pruned here and never execute.
+    """
+    reachable: set[int] = set()
+    stack = list(roots)
+    while stack:
+        node = stack.pop()
+        if node.id in reachable:
+            continue
+        reachable.add(node.id)
+        if node.value is not None:
+            continue  # already materialized: acts as a source
+        stack.extend(node.deps())
+
+    steps = []
+    pruned = 0
+    for node in graph.nodes:
+        if node.value is not None or node.kind == "source":
+            continue
+        if node.id not in reachable:
+            if not node.executed:
+                pruned += 1
+            continue
+        steps.append(PlanStep(
+            node=node, kind=node.kind, skeleton=node.skeleton,
+            inputs=list(node.inputs), extras=node.extras, out=node.out,
+            dist=node.dist))
+    plan = Plan(graph, roots, steps)
+    plan.stats["pruned"] = pruned
+    plan._resync_stats()
+    return plan
+
+
+# ---------------------------------------------------------------------------
+# redistribution elision
+# ---------------------------------------------------------------------------
+
+def _same_distribution(a, b) -> bool:
+    """Layout-and-semantics equality: applying *b* on top of *a* is a
+    no-op.  ``same_layout`` respects subclass layouts (weighted block);
+    the combine function additionally matters for copy distributions
+    because it decides how divergent copies merge later."""
+    if a is None or b is None:
+        return False
+    return a.same_layout(b) and a.combine is b.combine
+
+
+def _infer_distributions(plan: Plan) -> dict[int, object]:
+    """Best-effort produced distribution of every plan node (None when
+    unknown), mirroring each skeleton's eager resolution rules."""
+    from repro.skelcl.distribution import Distribution
+
+    dist: dict[int, object] = {}
+    for node in plan.graph.nodes:
+        if node.value is not None:
+            dist[node.id] = node.value.distribution
+
+    block = Distribution.block()
+    for step in plan.steps:
+        if step.kind == "redistribute":
+            produced = step.dist
+        elif step.kind == "map":
+            produced = dist.get(step.inputs[0].id) or block
+        elif step.kind == "zip":
+            ld = dist.get(step.inputs[0].id)
+            rd = dist.get(step.inputs[1].id)
+            if ld is None and rd is None:
+                produced = block
+            elif ld is None:
+                produced = rd
+            elif rd is None:
+                produced = ld
+            else:
+                produced = ld if ld.same_layout(rd) else block
+        elif step.kind == "reduce":
+            produced = Distribution.single(0)
+        elif step.kind == "scan":
+            produced = block
+        else:  # pragma: no cover - exhaustive over KINDS
+            produced = None
+        dist[step.node.id] = produced
+    return dist
+
+
+def elide_redistributions(plan: Plan) -> None:
+    """Remove provably redundant redistribute steps (in place).
+
+    Two rules:
+
+    1. *chain collapse* — in ``redistribute(d1) -> redistribute(d2)``
+       the intermediate layout is never observed when the first node
+       has no other consumer, is not a root, and its handle is dead;
+       the second step consumes the original input directly.  Eagerly
+       this chain would move data twice (possibly through the host);
+       deferred it moves once or not at all.
+    2. *no-op elision* — a redistribute whose target equals the layout
+       its input already has (same layout, same combine) does nothing.
+    """
+    # rule 1: collapse chains, innermost first
+    changed = True
+    while changed:
+        changed = False
+        consumers = plan.consumers()
+        for step in plan.steps:
+            if step.kind != "redistribute":
+                continue
+            inner = step.inputs[0]
+            if inner.kind != "redistribute":
+                continue
+            inner_step = next((s for s in plan.steps if s.node is inner),
+                              None)
+            if inner_step is None:
+                continue
+            if inner.id in plan.root_ids or inner.handle_alive:
+                continue
+            if len(consumers.get(inner.id, ())) != 1:
+                continue
+            step.inputs[0] = inner_step.inputs[0]
+            plan.steps.remove(inner_step)
+            plan.stats["redistributions_elided"] += 1
+            changed = True
+            break
+
+    # rule 2: drop no-ops
+    dist = _infer_distributions(plan)
+    for step in list(plan.steps):
+        if step.kind != "redistribute":
+            continue
+        if _same_distribution(dist.get(step.inputs[0].id), step.dist):
+            _forward_step(plan, step, step.inputs[0])
+            plan.stats["redistributions_elided"] += 1
+    plan._resync_stats()
+
+
+def _forward_step(plan: Plan, step: PlanStep, replacement: Node) -> None:
+    """Drop *step*, making every consumer read *replacement* instead."""
+    plan.steps.remove(step)
+    for other in plan.steps:
+        other.inputs = [replacement if dep is step.node else dep
+                        for dep in other.inputs]
+        if any(extra is step.node for extra in other.extras):
+            other.extras = tuple(
+                replacement if extra is step.node else extra
+                for extra in other.extras)
+    # a root/live handle still needs this node's value: alias it to the
+    # replacement at execution time (a no-op redistribute returns its
+    # input vector unchanged, so the values are one and the same)
+    if step.node.id in plan.root_ids or step.node.handle_alive:
+        plan.aliases.append((step.node, replacement))
+
+
+# ---------------------------------------------------------------------------
+# map-chain fusion
+# ---------------------------------------------------------------------------
+
+#: fused skeletons cached across evaluations so re-running the same
+#: deferred pipeline reuses one generated source (and therefore hits the
+#: context's program cache instead of paying a rebuild every time)
+_FUSED_CACHE: dict[tuple, object] = {}
+
+
+def _cache_key(steps: list[PlanStep]) -> tuple:
+    return tuple(
+        (type(s.skeleton).__name__, s.skeleton.user.source,
+         s.skeleton._ops_override, s.skeleton._bytes_override,
+         s.skeleton.scale_factor)
+        for s in steps)
+
+
+def _fused_skeleton(chain: list[PlanStep]):
+    key = _cache_key(chain)
+    fused = _FUSED_CACHE.get(key)
+    if fused is None:
+        fused = fuse_chain([s.skeleton for s in chain])
+        _FUSED_CACHE[key] = fused
+    return fused
+
+
+def _chain_head_ok(step: PlanStep) -> bool:
+    return (step.kind in ("map", "zip")
+            and step.skeleton is not None
+            and getattr(step.skeleton, "native_fn", None) is None)
+
+
+def _fusable_link(plan: Plan, step: PlanStep, consumer: PlanStep) -> bool:
+    """May *step*'s result be folded into *consumer* (its only reader)?
+
+    The intermediate must not be demanded by the plan itself: not a
+    root, no explicit ``out=`` vector to fill.  A live LazyVector
+    handle does NOT block fusion — the handle replays the original
+    (unfused) node on access, which is cheap exactly because fusion
+    means nobody else needs that value.
+    """
+    return (consumer.kind == "map"
+            and consumer.skeleton is not None
+            and getattr(consumer.skeleton, "native_fn", None) is None
+            and consumer.inputs[0] is step.node
+            and not any(extra is step.node for extra in consumer.extras)
+            and step.node.id not in plan.root_ids
+            and step.out is None)
+
+
+def fuse_map_chains(plan: Plan) -> None:
+    """Merge maximal linear map/zip chains into fused kernels (in place).
+
+    Chains grow greedily while :func:`fusion_blocker` stays silent, so
+    an incompatible boundary (dtype mismatch, duplicate helper names,
+    differing scale factors) splits a chain instead of failing it.
+    """
+    consumers = plan.consumers()
+    in_chain: set[int] = set()
+    chains: list[list[PlanStep]] = []
+    for step in plan.steps:
+        if step.node.id in in_chain or not _chain_head_ok(step):
+            continue
+        chain = [step]
+        while True:
+            last = chain[-1]
+            readers = consumers.get(last.node.id, ())
+            if len(readers) != 1:
+                break
+            nxt = readers[0]
+            if not _fusable_link(plan, last, nxt):
+                break
+            if fusion_blocker([s.skeleton for s in chain] + [nxt.skeleton]):
+                break
+            chain.append(nxt)
+        if len(chain) > 1:
+            chains.append(chain)
+            in_chain.update(s.node.id for s in chain)
+
+    for chain in chains:
+        try:
+            fused = _fused_skeleton(chain)
+        except SkelClError:  # pragma: no cover - blocker pre-screens
+            continue
+        head, last = chain[0], chain[-1]
+        last.kind = head.kind
+        last.skeleton = fused
+        last.inputs = list(head.inputs)
+        last.extras = tuple(extra for s in chain for extra in s.extras)
+        last.fused_from = tuple(s.node for s in chain)
+        for interior in chain[:-1]:
+            plan.steps.remove(interior)
+        plan.stats["fused_chains"] += 1
+        plan.stats["fused_stages"] += len(chain)
+    plan._resync_stats()

@@ -1,6 +1,6 @@
 """Static scheduling for heterogeneous devices (paper Section V)."""
 
-from repro.sched.adaptive import AdaptiveScheduler
+from repro.sched.adaptive import AdaptiveScheduler, WeightStore
 from repro.sched.measure import measure_map_seconds_per_item, static_cost
 from repro.sched.perf_model import (UserFunctionCost, predict_map,
                                     predict_reduce_final,
@@ -17,5 +17,5 @@ __all__ = [
     "throughput_items_per_s", "static_cost",
     "measure_map_seconds_per_item", "WeightedBlockDistribution",
     "weighted_block_distribution", "choose_reduce_final_device",
-    "makespan_of_partition", "AdaptiveScheduler",
+    "makespan_of_partition", "AdaptiveScheduler", "WeightStore",
 ]

@@ -91,6 +91,17 @@ class AdaptiveScheduler:
             seconds.append(busy)
         self.observe(lengths, seconds)
 
+    def export_weights(self) -> list[float]:
+        """Snapshot of the current weights (for persistence)."""
+        return list(self.weights)
+
+    def import_weights(self, weights: Sequence[float]) -> None:
+        """Restore previously exported weights."""
+        if len(weights) != len(self.devices):
+            raise SchedulerError(
+                "weight snapshot does not cover every scheduled device")
+        self.weights = [float(w) for w in weights]
+
     def imbalance(self, lengths: Sequence[int],
                   seconds: Sequence[float]) -> float:
         """max/min per-device time ratio for one execution (1.0 = perfectly
@@ -99,3 +110,44 @@ class AdaptiveScheduler:
         if len(times) < 2:
             return 1.0
         return max(times) / min(times)
+
+
+class WeightStore:
+    """Per-kernel adaptive weights persisting across graph evaluations.
+
+    The deferred execution engine (:mod:`repro.graph`) evaluates a
+    pipeline many times over the lifetime of an application; each
+    evaluation is a fresh plan, so per-call scheduler state would start
+    from the analytical guess every time.  The store keys an
+    :class:`AdaptiveScheduler` by kernel identity (the user-function
+    source), letting the EMA-refined weights learned in one evaluation
+    seed the split of the next — graph-aware weight reuse.
+    """
+
+    def __init__(self, smoothing: float = 0.5) -> None:
+        if not 0.0 < smoothing <= 1.0:
+            raise SchedulerError(f"invalid smoothing {smoothing}")
+        self.smoothing = smoothing
+        self._schedulers: dict[tuple, AdaptiveScheduler] = {}
+
+    def scheduler_for(self, key: str, devices: Sequence[Device],
+                      cost: UserFunctionCost | None = None
+                      ) -> AdaptiveScheduler:
+        """The persistent scheduler for *key* on *devices* (created on
+        first use; the same key on a different device set gets its own
+        scheduler, since weights are positional per device)."""
+        full_key = (key, tuple(d.queue_resource.name for d in devices))
+        scheduler = self._schedulers.get(full_key)
+        if scheduler is None:
+            scheduler = AdaptiveScheduler(devices, cost=cost,
+                                          smoothing=self.smoothing)
+            self._schedulers[full_key] = scheduler
+        return scheduler
+
+    def __len__(self) -> int:
+        return len(self._schedulers)
+
+    def snapshot(self) -> dict[str, list[float]]:
+        """Kernel key -> current weights, for inspection/reporting."""
+        return {key: sched.export_weights()
+                for (key, _devices), sched in self._schedulers.items()}

@@ -23,7 +23,7 @@ from repro.skelcl.base import Skeleton, UserFunction
 from repro.skelcl.context import (SKELCL_CALL_OVERHEAD_S, SkelCLContext,
                                   get_context, init, terminate)
 from repro.skelcl.distribution import Distribution, combine_copies
-from repro.skelcl.fusion import fuse
+from repro.skelcl.fusion import fuse, fuse_chain
 from repro.skelcl.index_vector import IndexVector
 from repro.skelcl.allpairs import AllPairs, matmul
 from repro.skelcl.map_overlap import MapOverlap
@@ -35,11 +35,16 @@ from repro.skelcl.scan_skeleton import Scan
 from repro.skelcl.vector import DevicePart, Vector
 from repro.skelcl.zip_skeleton import Zip
 
+# the lazy execution layer builds on the eager skeletons above, so this
+# import must come last (repro.graph imports repro.skelcl submodules)
+from repro.graph import LazyVector, deferred, evaluate  # noqa: E402
+
 __all__ = [
     "init", "terminate", "get_context", "SkelCLContext",
     "Vector", "DevicePart", "IndexVector", "Distribution", "combine_copies",
     "Skeleton", "UserFunction", "Map", "Zip", "Reduce", "Scan",
     "MapOverlap", "MapOverlap2D", "Matrix", "RowBlockDistribution",
-    "AllPairs", "matmul", "fuse",
+    "AllPairs", "matmul", "fuse", "fuse_chain",
+    "LazyVector", "deferred", "evaluate",
     "SKELCL_CALL_OVERHEAD_S",
 ]

@@ -103,6 +103,18 @@ class Skeleton:
                 f"{type(self).__name__} user function needs at least "
                 f"{self.n_element_params} parameter(s)")
 
+    # -- deferred execution -------------------------------------------------------
+
+    def deferred_intercept(self, kind: str, inputs: Sequence,
+                           extras: Sequence = (), out=None):
+        """First statement of every ``__call__``: route the call into
+        the active task graph (``with skelcl.deferred():``) if one is
+        capturing, else unwrap any LazyVector arguments so lazy handles
+        compose transparently with eager code.  See :mod:`repro.graph`.
+        """
+        from repro.graph.capture import intercept
+        return intercept(self, kind, inputs, extras, out=out)
+
     # -- additional arguments -----------------------------------------------------
 
     @property

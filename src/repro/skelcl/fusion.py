@@ -1,93 +1,185 @@
-"""Map fusion — composing skeletons at the source level (extension).
+"""Skeleton fusion — composing skeletons at the source level (extension).
 
-Chained maps (``g(f(x))``) pay two kernel launches and stream the
-intermediate vector through device memory twice.  Because SkelCL holds
-the user functions *as source*, it can do better: fuse them into one
-map whose user function is the composition — the optimization
+Chained maps (``g(f(x))``) pay one kernel launch per stage and stream
+every intermediate vector through device memory twice.  Because SkelCL
+holds the user functions *as source*, it can do better: fuse them into
+one skeleton whose user function is the composition — the optimization
 direction the authors later pursued systematically (the Lift line of
 work).
 
-``fuse(first, second)`` returns a new :class:`repro.skelcl.Map` whose
-generated kernel calls ``second.f(first.f(x, ...), ...)`` per element;
-additional arguments of both maps concatenate (first's, then second's).
+``fuse_chain([s1, s2, ..., sN])`` returns one skeleton whose generated
+kernel computes ``sN.f(...s2.f(s1.f(x, ...), ...)...)`` per element.
+The first stage may be a :class:`Map` or a :class:`Zip` (the result is
+then a fused Map or Zip respectively); every later stage must be a
+unary Map.  Additional arguments of all stages concatenate in stage
+order.  ``fuse(first, second)`` is the historical pairwise spelling.
+
+The fused skeleton *preserves each stage's analysis summaries*: the
+access-pattern classification of every forwarded additional-argument
+pointer is grafted from the original stage onto the fused wrapper's
+parameter, so the distribution-safety check (block-distributed gather
+rejection) fires on fused kernels exactly as it does on the originals
+— even where re-analysis of the generated wrapper would be less
+precise.
 """
 
 from __future__ import annotations
 
 import itertools
+from typing import Sequence, Union
 
+from repro.clc.analysis.access import AccessSite, AccessSummary
+from repro.clc.types import PointerType
 from repro.errors import SkelClError
 from repro.skelcl.codegen import type_name
 from repro.skelcl.map_skeleton import Map
-
+from repro.skelcl.zip_skeleton import Zip
 
 _fusion_ids = itertools.count()
 
+FusedSkeleton = Union[Map, Zip]
 
-def fuse(first: Map, second: Map) -> Map:
-    """Fuse two map skeletons into one (``second`` after ``first``).
 
-    Requirements: both are Maps customized from source (no native
-    overrides), ``first`` returns a value that matches ``second``'s
-    element parameter, and the two sources define disjoint
-    function/struct names (rename one otherwise).
+def fuse(first: FusedSkeleton, second: Map) -> FusedSkeleton:
+    """Fuse two skeletons into one (``second`` after ``first``)."""
+    return fuse_chain([first, second])
+
+
+def fusion_blocker(stages: Sequence[FusedSkeleton]) -> str | None:
+    """Why *stages* cannot fuse into one kernel (None: they can).
+
+    The checks mirror :func:`fuse_chain`'s validation; optimization
+    passes use this to split a candidate chain at the first
+    incompatible boundary instead of failing the whole fusion.
     """
-    if not isinstance(first, Map) or not isinstance(second, Map):
-        raise SkelClError("fuse() composes two Map skeletons")
-    if first.native_fn is not None or second.native_fn is not None:
-        raise SkelClError(
-            "fuse() works on source-customized maps; native overrides "
-            "have no source to merge")
-    if first.out_dtype is None:
-        raise SkelClError("cannot fuse: the first map returns void")
-    if first.out_dtype != second.in_dtype:
-        raise SkelClError(
-            f"cannot fuse: first returns {first.out_dtype}, second "
-            f"takes {second.in_dtype}")
-    names_a = {f.name for f in first.user.unit.functions}
-    names_b = {f.name for f in second.user.unit.functions}
-    clash = names_a & names_b
-    if clash:
-        raise SkelClError(
-            f"cannot fuse: both sources define {sorted(clash)}; rename "
-            "one side")
+    if not stages:
+        return "empty chain"
+    head = stages[0]
+    if not isinstance(head, (Map, Zip)):
+        return f"chain starts with {type(head).__name__}, not Map/Zip"
+    for stage in stages[1:]:
+        if not isinstance(stage, Map):
+            return (f"later stage is {type(stage).__name__}; only "
+                    "unary maps compose")
+    for stage in stages:
+        if getattr(stage, "native_fn", None) is not None:
+            return (f"{stage.user.name} has a native override — no "
+                    "source to merge")
+    for prev, nxt in zip(stages, stages[1:]):
+        if prev.out_dtype is None:
+            return f"{prev.user.name} returns void but has a successor"
+        if prev.out_dtype != nxt.in_dtype:
+            return (f"{prev.user.name} returns {prev.out_dtype}, "
+                    f"{nxt.user.name} takes {nxt.in_dtype}")
+    if len({stage.scale_factor for stage in stages}) > 1:
+        return "stages have different scale factors"
+    names_seen: dict[str, int] = {}
+    for pos, stage in enumerate(stages):
+        for func in stage.user.unit.functions:
+            if func.name in names_seen and names_seen[func.name] != pos:
+                return (f"multiple stages define {func.name!r}; rename "
+                        "one side")
+            names_seen[func.name] = pos
+    return None
 
-    in_type = type_name(first.user.params[0].ctype)
-    out_type = type_name(second.user.return_type)
-    extras_a = first.extra_params
-    extras_b = second.extra_params
-    decls = []
-    args_a = []
-    args_b = []
-    for i, param in enumerate(extras_a + extras_b):
-        name = f"skelcl_e{i}"
-        from repro.clc.types import PointerType
-        if isinstance(param.ctype, PointerType):
-            decls.append(
-                f"__global {type_name(param.ctype.pointee)}* {name}")
-        else:
-            decls.append(f"{type_name(param.ctype)} {name}")
-        (args_a if i < len(extras_a) else args_b).append(name)
-    decl_str = "".join(", " + d for d in decls)
-    call_a = ", ".join(["skelcl_x"] + args_a)
-    call_b = ", ".join(
-        [f"{first.user.name}({call_a})"] + args_b)
+
+def fuse_chain(stages: Sequence[FusedSkeleton]) -> FusedSkeleton:
+    """Fuse an N-long skeleton chain into a single Map (or Zip).
+
+    Requirements: every stage is customized from source (no native
+    overrides), each stage's return type matches its successor's
+    element parameter, only the last stage may return void, all stages
+    share one scale factor, and the sources define disjoint
+    function names (rename otherwise).
+    """
+    stages = list(stages)
+    if not stages:
+        raise SkelClError("fuse_chain() needs at least one skeleton")
+    if len(stages) == 1:
+        return stages[0]
+    blocker = fusion_blocker(stages)
+    if blocker is not None:
+        raise SkelClError(f"cannot fuse: {blocker}")
+    head = stages[0]
+
+    n_elem = head.n_element_params
+    elem_names = ["skelcl_x", "skelcl_y"][:n_elem]
+    params = [f"{type_name(head.user.params[i].ctype)} {elem_names[i]}"
+              for i in range(n_elem)]
+    call = ""
+    extra_index = 0
+    for pos, stage in enumerate(stages):
+        stage_args = []
+        for param in stage.extra_params:
+            name = f"skelcl_e{extra_index}"
+            extra_index += 1
+            if isinstance(param.ctype, PointerType):
+                params.append(
+                    f"__global {type_name(param.ctype.pointee)}* {name}")
+            else:
+                params.append(f"{type_name(param.ctype)} {name}")
+            stage_args.append(name)
+        lead = elem_names if pos == 0 else [call]
+        call = f"{stage.user.name}({', '.join(lead + stage_args)})"
+
+    returns_void = stages[-1].out_dtype is None
+    out_type = ("void" if returns_void
+                else type_name(stages[-1].user.return_type))
+    body = f"    {call};" if returns_void else f"    return {call};"
+    sources = "\n\n".join(stage.user.source for stage in stages)
     fused_name = f"skelcl_fused_{next(_fusion_ids)}"
-    fused_source = f"""{first.user.source}
+    fused_source = (f"{sources}\n\n"
+                    f"{out_type} {fused_name}({', '.join(params)}) {{\n"
+                    f"{body}\n}}\n")
 
-{second.user.source}
+    ops_per_item = sum(s.user.op_count for s in stages) + 2.0
+    in_bytes = sum(head.user.element_dtype(i).itemsize
+                   for i in range(n_elem))
+    out_bytes = (stages[-1].out_dtype.itemsize
+                 if stages[-1].out_dtype is not None else 0)
+    bytes_per_item = (in_bytes + out_bytes
+                      + sum(s.extras_bytes_per_item() for s in stages))
 
-{out_type} {fused_name}({in_type} skelcl_x{decl_str}) {{
-    return {second.user.name}({call_b});
-}}
-"""
-    fused = Map(
+    cls = Zip if isinstance(head, Zip) else Map
+    fused = cls(
         fused_source,
         allow_reserved=True,  # the composition wrapper is generated code
-        ops_per_item=(first.user.op_count + second.user.op_count + 2.0),
-        bytes_per_item=(first.in_dtype.itemsize
-                        + second.out_dtype.itemsize
-                        + first.extras_bytes_per_item()
-                        + second.extras_bytes_per_item()),
-        scale_factor=first.scale_factor)
+        ops_per_item=ops_per_item,
+        bytes_per_item=bytes_per_item,
+        scale_factor=head.scale_factor)
+    _graft_stage_summaries(fused, stages)
+    fused.fused_stages = tuple(stages)  # type: ignore[union-attr]
     return fused
+
+
+def _graft_stage_summaries(fused: FusedSkeleton,
+                           stages: Sequence[FusedSkeleton]) -> None:
+    """Fold each stage's access summaries into the fused wrapper's.
+
+    The wrapper's own re-analysis propagates accesses through the
+    generated call chain, but summaries computed on the *original*
+    stage sources are at least as precise (and catch forwarding forms
+    the interprocedural propagation approximates away).  Joining the
+    two keeps the distribution-safety check of
+    :meth:`repro.skelcl.base.Skeleton.check_extra_distributions`
+    firing on fused kernels exactly as on the unfused chain.
+    """
+    extra_index = 0
+    for stage in stages:
+        for param in stage.extra_params:
+            name = f"skelcl_e{extra_index}"
+            extra_index += 1
+            if not isinstance(param.ctype, PointerType):
+                continue
+            stage_access = stage.user.summary.param_access.get(param.name)
+            if stage_access is None:
+                continue
+            merged = fused.user.summary.param_access.setdefault(
+                name, AccessSummary())
+            merged.pattern = merged.pattern.join(stage_access.pattern)
+            merged.written = merged.written or stage_access.written
+            for site in stage_access.sites:
+                merged.record(AccessSite(
+                    pattern=site.pattern, offset=site.offset,
+                    is_write=site.is_write, line=site.line,
+                    col=site.col, direct=False))

@@ -58,6 +58,10 @@ class Map(Skeleton):
     def __call__(self, input_vec: Vector, *extras,
                  out: Vector | None = None) -> Vector | None:
         """Execute; returns the output vector (None for void functions)."""
+        hook = self.deferred_intercept("map", (input_vec,), extras, out=out)
+        if hook.captured:
+            return hook.value
+        (input_vec,), extras, out = hook.inputs, hook.extras, hook.out
         if not isinstance(input_vec, Vector):
             raise SkelClError("map input must be a Vector")
         if input_vec.dtype != self.in_dtype:

@@ -52,6 +52,10 @@ class Reduce(Skeleton):
                                                    self.user.func)
 
     def __call__(self, input_vec: Vector) -> Vector:
+        hook = self.deferred_intercept("reduce", (input_vec,))
+        if hook.captured:
+            return hook.value
+        (input_vec,) = hook.inputs
         if not isinstance(input_vec, Vector):
             raise SkelClError("reduce input must be a Vector")
         if input_vec.size == 0:

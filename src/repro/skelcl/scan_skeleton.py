@@ -63,6 +63,10 @@ class Scan(Skeleton):
 
     def __call__(self, input_vec: Vector,
                  out: Vector | None = None) -> Vector:
+        hook = self.deferred_intercept("scan", (input_vec,), out=out)
+        if hook.captured:
+            return hook.value
+        (input_vec,), out = hook.inputs, hook.out
         if not isinstance(input_vec, Vector):
             raise SkelClError("scan input must be a Vector")
         if input_vec.size == 0:

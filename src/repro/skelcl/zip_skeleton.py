@@ -26,8 +26,9 @@ class Zip(Skeleton):
     def __init__(self, user_source: str,
                  ops_per_item: float | None = None,
                  bytes_per_item: float | None = None,
-                 scale_factor: float = 1.0) -> None:
-        super().__init__(user_source)
+                 scale_factor: float = 1.0,
+                 allow_reserved: bool = False) -> None:
+        super().__init__(user_source, allow_reserved=allow_reserved)
         self.kernel_source = codegen.zip_kernel(user_source, self.user.func)
         self.lhs_dtype = self.user.element_dtype(0)
         self.rhs_dtype = self.user.element_dtype(1)
@@ -38,6 +39,10 @@ class Zip(Skeleton):
 
     def __call__(self, lhs: Vector, rhs: Vector, *extras,
                  out: Vector | None = None) -> Vector | None:
+        hook = self.deferred_intercept("zip", (lhs, rhs), extras, out=out)
+        if hook.captured:
+            return hook.value
+        (lhs, rhs), extras, out = hook.inputs, hook.extras, hook.out
         if not isinstance(lhs, Vector) or not isinstance(rhs, Vector):
             raise SkelClError("zip inputs must be Vectors")
         lhs.check_same_size(rhs)

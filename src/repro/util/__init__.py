@@ -3,11 +3,14 @@
 from repro.util.timeline import Resource, Timeline, VirtualSpan
 from repro.util.tables import format_table, format_bars
 from repro.util.loc import count_loc, LocReport
+from repro.util.trace import chrome_trace_events, export_chrome_trace
 
 __all__ = [
     "Resource",
     "Timeline",
     "VirtualSpan",
+    "chrome_trace_events",
+    "export_chrome_trace",
     "format_table",
     "format_bars",
     "count_loc",

@@ -1,0 +1,37 @@
+"""Shared fixtures for the deferred execution engine tests."""
+
+import numpy as np
+import pytest
+
+from repro import skelcl
+
+
+@pytest.fixture
+def ctx1():
+    return skelcl.init(num_gpus=1)
+
+
+@pytest.fixture
+def ctx2():
+    """A SkelCL context on a fresh 2-GPU system."""
+    return skelcl.init(num_gpus=2)
+
+
+@pytest.fixture
+def xs():
+    return np.arange(512, dtype=np.float32)
+
+
+@pytest.fixture
+def double():
+    return skelcl.Map("float dbl(float x) { return x * 2.0f; }")
+
+
+@pytest.fixture
+def add3():
+    return skelcl.Map("float add3(float x) { return x + 3.0f; }")
+
+
+@pytest.fixture
+def square():
+    return skelcl.Map("float sq(float x) { return x * x; }")

@@ -1,0 +1,160 @@
+"""Capture semantics of the deferred scope (repro.graph.capture)."""
+
+import numpy as np
+import pytest
+
+from repro import skelcl
+from repro.errors import SizeMismatchError, SkelClError
+from repro.graph import LazyVector, current_graph
+
+
+class TestCapture:
+    def test_calls_inside_scope_return_lazy_handles(self, ctx2, xs,
+                                                    double):
+        with skelcl.deferred() as g:
+            y = double(skelcl.Vector(xs))
+            assert isinstance(y, LazyVector)
+            assert y.node.value is None  # nothing executed yet
+            assert [n.kind for n in g.nodes] == ["source", "map"]
+
+    def test_no_kernel_runs_until_scope_exit(self, ctx2, xs, double):
+        with skelcl.deferred():
+            y = double(skelcl.Vector(xs))
+            kernel_spans = [s for s in ctx2.system.timeline.spans
+                            if s.label.startswith("kernel:")]
+            assert kernel_spans == []
+        kernel_spans = [s for s in ctx2.system.timeline.spans
+                        if s.label.startswith("kernel:")]
+        assert kernel_spans  # scope exit evaluated the graph
+        assert y.node.value is not None
+
+    def test_static_metadata_without_forcing(self, ctx2, xs, double):
+        with skelcl.deferred():
+            y = double(skelcl.Vector(xs))
+            assert len(y) == xs.size
+            assert y.size == xs.size
+            assert y.dtype == np.float32
+            assert y.node.value is None  # metadata did not force
+
+    def test_scope_is_reentrant_and_restored(self, ctx2, xs, double):
+        assert current_graph() is None
+        with skelcl.deferred() as outer:
+            assert current_graph() is outer
+            with skelcl.deferred() as inner:
+                assert current_graph() is inner
+                double(skelcl.Vector(xs))
+            assert current_graph() is outer
+        assert current_graph() is None
+
+    def test_capture_validates_dtype_at_call_site(self, ctx2, double):
+        bad = skelcl.Vector(np.arange(8, dtype=np.int32))
+        with skelcl.deferred():
+            with pytest.raises(SkelClError, match="dtype"):
+                double(bad)
+
+    def test_capture_validates_zip_sizes(self, ctx2):
+        add = skelcl.Zip("float zadd(float a, float b) "
+                         "{ return a + b; }")
+        a = skelcl.Vector(np.zeros(8, dtype=np.float32))
+        b = skelcl.Vector(np.zeros(9, dtype=np.float32))
+        with skelcl.deferred():
+            with pytest.raises(SizeMismatchError):
+                add(a, b)
+
+    def test_lazy_out_rejected(self, ctx2, xs, double, add3):
+        with skelcl.deferred():
+            y = double(skelcl.Vector(xs))
+            with pytest.raises(SkelClError, match="out="):
+                add3(skelcl.Vector(xs), out=y)
+
+    def test_exception_skips_evaluation(self, ctx2, xs, double):
+        with pytest.raises(RuntimeError, match="boom"):
+            with skelcl.deferred():
+                y = double(skelcl.Vector(xs))
+                raise RuntimeError("boom")
+        assert y.node.value is None  # the graph never ran
+        assert current_graph() is None
+
+
+class TestLazyInterop:
+    def test_lazy_handle_forces_in_eager_call(self, ctx2, xs, double,
+                                              add3):
+        with skelcl.deferred():
+            y = double(skelcl.Vector(xs))
+        z = add3(y)  # eager call outside the scope: y must unwrap
+        assert isinstance(z, skelcl.Vector)
+        np.testing.assert_array_equal(z.to_numpy(), xs * 2 + 3)
+
+    def test_lazy_handle_from_other_graph_becomes_source(self, ctx2, xs,
+                                                         double, add3):
+        with skelcl.deferred():
+            y = double(skelcl.Vector(xs))
+        with skelcl.deferred() as g2:
+            z = add3(y)  # cross-graph: y forced, wrapped as source
+        assert g2.nodes[0].kind == "source"
+        np.testing.assert_array_equal(z.to_numpy(), xs * 2 + 3)
+
+    def test_getattr_delegates_to_materialized_vector(self, ctx2, xs,
+                                                      double):
+        with skelcl.deferred():
+            y = double(skelcl.Vector(xs))
+        assert y.distribution is not None
+        np.testing.assert_array_equal(y.host_view(), xs * 2)
+
+    def test_iteration_and_indexing(self, ctx2, double):
+        data = np.arange(4, dtype=np.float32)
+        with skelcl.deferred():
+            y = double(skelcl.Vector(data))
+        assert y[1] == 2.0
+        assert list(y) == [0.0, 2.0, 4.0, 6.0]
+
+    def test_reduce_and_scan_capture(self, ctx2, xs, double):
+        add_src = "float radd(float a, float b) { return a + b; }"
+        total = skelcl.Reduce(add_src)
+        prefix = skelcl.Scan(add_src)
+        with skelcl.deferred() as g:
+            s = total(double(skelcl.Vector(xs)))
+            p = prefix(skelcl.Vector(xs))
+        assert {n.kind for n in g.nodes} >= {"reduce", "scan"}
+        assert s.size == 1
+        np.testing.assert_allclose(s.to_numpy()[0], (xs * 2).sum(),
+                                   rtol=1e-5)
+        np.testing.assert_allclose(p.to_numpy(), np.cumsum(xs),
+                                   rtol=1e-5)
+
+    def test_explicit_out_vector_filled(self, ctx2, xs, double):
+        out = skelcl.Vector(size=xs.size, dtype=np.float32)
+        with skelcl.deferred():
+            y = double(skelcl.Vector(xs), out=out)
+        np.testing.assert_array_equal(out.to_numpy(), xs * 2)
+        assert y.force() is out
+
+    def test_void_map_effect_runs_on_exit(self, ctx2):
+        from repro.skelcl import Distribution
+        idx = skelcl.Vector(np.arange(8), dtype=np.int32)
+        sink = skelcl.Vector(np.zeros(8, dtype=np.float32))
+        sink.set_distribution(Distribution.copy(np.add))
+        writer = skelcl.Map(
+            "void w(int i, __global float* out) { out[i] = i * 2.0f; }")
+        with skelcl.deferred() as g:
+            result = writer(idx, sink)
+            assert result is None  # void call: no handle to hold
+        assert any(n.effect for n in g.nodes)
+        sink.data_on_devices_modified()
+        sink.set_distribution(Distribution.block())
+        np.testing.assert_array_equal(sink.to_numpy(),
+                                      2.0 * np.arange(8))
+
+
+class TestExplicitEvaluate:
+    def test_mid_scope_evaluate(self, ctx2, xs, double, add3):
+        with skelcl.deferred() as g:
+            y = double(skelcl.Vector(xs))
+            skelcl.evaluate(y)
+            assert y.node.value is not None
+            z = add3(y)  # continues capturing on the materialized node
+        np.testing.assert_array_equal(z.to_numpy(), xs * 2 + 3)
+
+    def test_evaluate_rejects_non_lazy(self, ctx2, xs):
+        with pytest.raises(SkelClError, match="LazyVector"):
+            skelcl.evaluate(skelcl.Vector(xs))

@@ -1,0 +1,137 @@
+"""End-to-end evaluation: correctness, cost, adaptive scheduling."""
+
+import numpy as np
+import pytest
+
+from repro import skelcl
+from repro.sched import WeightStore
+from repro.skelcl import Distribution
+
+
+def _pipeline(stages, vec):
+    for stage in stages:
+        vec = stage(vec)
+    return vec
+
+
+class TestBitwiseIdentity:
+    @pytest.mark.parametrize("gpus", [1, 2, 4])
+    def test_map_pipeline_identical_to_eager(self, gpus, xs, double,
+                                             add3, square):
+        stages = [double, add3, square, double]
+        skelcl.init(num_gpus=gpus)
+        eager = _pipeline(stages, skelcl.Vector(xs)).to_numpy()
+        skelcl.init(num_gpus=gpus)
+        with skelcl.deferred():
+            z = _pipeline(stages, skelcl.Vector(xs))
+        assert np.array_equal(eager, z.to_numpy())
+
+    def test_mixed_skeletons_identical_to_eager(self, ctx2, xs, double):
+        add_src = "float madd(float a, float b) { return a + b; }"
+        prefix = skelcl.Scan(add_src)
+        total = skelcl.Reduce(add_src)
+        zmul = skelcl.Zip("float zmul(float a, float b) "
+                          "{ return a * b; }")
+
+        eager_p = prefix(double(skelcl.Vector(xs)))
+        eager_t = total(zmul(eager_p, skelcl.Vector(xs)))
+        eager = (eager_p.to_numpy(), eager_t.to_numpy())
+
+        skelcl.init(num_gpus=2)
+        with skelcl.deferred():
+            p = prefix(double(skelcl.Vector(xs)))
+            t = total(zmul(p, skelcl.Vector(xs)))
+        assert np.array_equal(eager[0], p.to_numpy())
+        assert np.array_equal(eager[1], t.to_numpy())
+
+    def test_no_optimize_replays_captured_calls(self, ctx2, xs, double,
+                                                add3):
+        with skelcl.deferred(optimize=False) as g:
+            z = add3(double(skelcl.Vector(xs)))
+        assert g.last_stats["fused_chains"] == 0
+        assert g.last_stats["steps"] == 2
+        np.testing.assert_array_equal(z.to_numpy(), xs * 2 + 3)
+
+
+class TestMakespan:
+    def test_deferred_beats_eager_on_pipeline(self, xs, double, add3,
+                                              square):
+        stages = [double, add3, square, double]
+        ctx = skelcl.init(num_gpus=2)
+        _pipeline(stages, skelcl.Vector(xs)).to_numpy()
+        eager = ctx.system.timeline.now()
+
+        ctx = skelcl.init(num_gpus=2)
+        with skelcl.deferred():
+            z = _pipeline(stages, skelcl.Vector(xs))
+        z.to_numpy()
+        deferred = ctx.system.timeline.now()
+        # acceptance criterion: >= 25% makespan reduction; fusing four
+        # kernel launches (and three program builds) into one does far
+        # better on this pipeline
+        assert deferred <= 0.75 * eager
+
+    def test_fused_kernel_launches_once_per_device(self, ctx2, xs,
+                                                   double, add3):
+        with skelcl.deferred():
+            z = add3(double(skelcl.Vector(xs)))
+        z.to_numpy()
+        kernels = [s for s in ctx2.system.timeline.spans
+                   if s.label.startswith("kernel:")]
+        assert len(kernels) == 2  # one fused kernel x two devices
+
+
+class TestAdaptiveIntegration:
+    def test_weight_store_persists_across_evaluations(self, ctx2, xs,
+                                                      double, add3):
+        store = WeightStore()
+        for _ in range(2):
+            with skelcl.deferred(adaptive=True, weight_store=store):
+                z = add3(double(skelcl.Vector(xs)))
+            np.testing.assert_array_equal(z.to_numpy(), xs * 2 + 3)
+        assert len(store) == 1  # one fused kernel, one scheduler
+        (weights,) = store.snapshot().values()
+        assert len(weights) == 2
+        assert all(w > 0 for w in weights)
+        key = next(iter(store._schedulers))
+        assert store._schedulers[key].observations == 2
+
+    def test_adaptive_respects_preset_distributions(self, ctx2, xs,
+                                                    double):
+        vec = skelcl.Vector(xs)
+        vec.set_distribution(Distribution.single(0))
+        with skelcl.deferred(adaptive=True):
+            z = double(vec)
+        # input already distributed: the scheduler must not override it
+        assert z.distribution.kind == "single"
+        np.testing.assert_array_equal(z.to_numpy(), xs * 2)
+
+    def test_weight_snapshot_round_trip(self, ctx2):
+        from repro.sched import AdaptiveScheduler
+        sched = AdaptiveScheduler(ctx2.devices)
+        sched.observe([256, 256], [1e-3, 2e-3])
+        exported = sched.export_weights()
+        fresh = AdaptiveScheduler(ctx2.devices)
+        fresh.import_weights(exported)
+        assert fresh.export_weights() == exported
+
+
+class TestTargetedEvaluation:
+    def test_evaluate_single_target_leaves_rest_pending(self, ctx2, xs,
+                                                        double, add3):
+        with skelcl.deferred() as g:
+            a = double(skelcl.Vector(xs))
+            b = add3(skelcl.Vector(xs))
+            g.evaluate(a)
+            assert a.node.value is not None
+            assert b.node.value is None
+        np.testing.assert_array_equal(b.to_numpy(), xs + 3)
+
+    def test_module_level_evaluate_groups_by_graph(self, ctx2, xs,
+                                                   double, add3):
+        with skelcl.deferred():
+            a = double(skelcl.Vector(xs))
+            b = add3(skelcl.Vector(xs))
+            skelcl.evaluate(a, b)
+            assert a.node.value is not None
+            assert b.node.value is not None

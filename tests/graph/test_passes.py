@@ -1,0 +1,203 @@
+"""Optimization passes: fusion, dead-code pruning, elision."""
+
+import numpy as np
+import pytest
+
+from repro import skelcl
+from repro.skelcl import Distribution
+
+
+class TestFusionPass:
+    def test_four_stage_chain_fuses_to_one_step(self, ctx2, xs, double,
+                                                add3, square):
+        neg = skelcl.Map("float neg(float x) { return -x; }")
+        with skelcl.deferred() as g:
+            z = neg(square(add3(double(skelcl.Vector(xs)))))
+        assert g.last_stats["fused_chains"] == 1
+        assert g.last_stats["fused_stages"] == 4
+        assert g.last_stats["steps"] == 1
+        expected = -((xs * 2 + 3) ** 2)
+        np.testing.assert_array_equal(z.to_numpy(), expected)
+
+    def test_fused_matches_eager_bitwise(self, ctx2, xs, double, add3,
+                                         square):
+        eager = square(add3(double(skelcl.Vector(xs)))).to_numpy()
+        with skelcl.deferred():
+            z = square(add3(double(skelcl.Vector(xs))))
+        assert np.array_equal(eager, z.to_numpy())
+
+    def test_zip_headed_chain_fuses(self, ctx2, xs, double):
+        mul = skelcl.Zip("float zm(float a, float b) "
+                         "{ return a * b; }")
+        with skelcl.deferred() as g:
+            z = double(mul(skelcl.Vector(xs), skelcl.Vector(xs)))
+        assert g.last_stats["fused_chains"] == 1
+        np.testing.assert_array_equal(z.to_numpy(), xs * xs * 2)
+
+    def test_branch_point_blocks_fusion(self, ctx2, xs, double, add3,
+                                        square):
+        with skelcl.deferred() as g:
+            y = double(skelcl.Vector(xs))
+            a = add3(y)
+            b = square(y)  # y has two consumers: not fusable through
+        assert g.last_stats["fused_chains"] == 0
+        np.testing.assert_array_equal(a.to_numpy(), xs * 2 + 3)
+        np.testing.assert_array_equal(b.to_numpy(), (xs * 2) ** 2)
+
+    def test_dtype_boundary_splits_chain(self, ctx2, xs, double, add3):
+        to_int = skelcl.Map("int to_i(float x) { return (int)x; }")
+        back = skelcl.Map("int incr(int v) { return v + 1; }")
+        with skelcl.deferred() as g:
+            z = back(to_int(add3(double(skelcl.Vector(xs)))))
+        # float stages fuse together; the int stage chain fuses apart
+        assert g.last_stats["fused_chains"] >= 1
+        np.testing.assert_array_equal(
+            z.to_numpy(), (xs * 2 + 3).astype(np.int32) + 1)
+
+    def test_native_override_blocks_fusion(self, ctx2, xs, add3):
+        native = skelcl.Map("float nat(float x) { return x * 2.0f; }",
+                            native=lambda v, _element_index: v * 2.0)
+        with skelcl.deferred() as g:
+            z = add3(native(skelcl.Vector(xs)))
+        assert g.last_stats["fused_chains"] == 0
+        np.testing.assert_array_equal(z.to_numpy(), xs * 2 + 3)
+
+    def test_fused_skeleton_cached_across_evaluations(self, ctx2, xs,
+                                                      double, add3):
+        from repro.graph import passes
+        with skelcl.deferred():
+            a = add3(double(skelcl.Vector(xs)))
+        key = [k for k in passes._FUSED_CACHE
+               if any("dbl" in part[1] for part in k)]
+        assert key
+        first = passes._FUSED_CACHE[key[0]]
+        with skelcl.deferred():
+            b = add3(double(skelcl.Vector(xs)))
+        assert passes._FUSED_CACHE[key[0]] is first
+        np.testing.assert_array_equal(a.to_numpy(), b.to_numpy())
+
+    def test_program_built_once_for_repeated_pipelines(self, ctx2, xs,
+                                                       double, add3):
+        for _ in range(3):
+            with skelcl.deferred():
+                z = add3(double(skelcl.Vector(xs)))
+            z.to_numpy()
+        builds = [s for s in ctx2.system.timeline.spans
+                  if s.label.startswith("build")
+                  and "skelcl_fused" in s.label]
+        assert len(builds) <= 1
+
+
+class TestDeadCodeElimination:
+    def test_dropped_handle_is_pruned(self, ctx2, xs, double, add3):
+        with skelcl.deferred() as g:
+            dead = double(skelcl.Vector(xs))
+            alive = add3(skelcl.Vector(xs))
+            del dead
+        assert g.last_stats["pruned"] == 1
+        np.testing.assert_array_equal(alive.to_numpy(), xs + 3)
+
+    def test_held_handle_is_not_pruned(self, ctx2, xs, double, add3):
+        with skelcl.deferred() as g:
+            kept = double(skelcl.Vector(xs))
+            other = add3(skelcl.Vector(xs))
+        assert g.last_stats["pruned"] == 0
+        assert kept.node.value is not None  # materialized, not pruned
+        np.testing.assert_array_equal(kept.to_numpy(), xs * 2)
+        np.testing.assert_array_equal(other.to_numpy(), xs + 3)
+
+    def test_fused_through_handle_recomputes_on_demand(self, ctx2, xs,
+                                                       double, add3):
+        with skelcl.deferred() as g:
+            mid = double(skelcl.Vector(xs))
+            end = add3(mid)
+        assert g.last_stats["fused_chains"] == 1
+        assert mid.node.value is None  # fused through, not computed
+        np.testing.assert_array_equal(end.to_numpy(), xs * 2 + 3)
+        # forcing the interior handle replays the original call
+        np.testing.assert_array_equal(mid.to_numpy(), xs * 2)
+        assert mid.node.value is not None
+
+    def test_void_effect_is_never_pruned(self, ctx2):
+        idx = skelcl.Vector(np.arange(8), dtype=np.int32)
+        sink = skelcl.Vector(np.zeros(8, dtype=np.float32))
+        sink.set_distribution(Distribution.copy(np.add))
+        writer = skelcl.Map(
+            "void w(int i, __global float* out) { out[i] = 5.0f; }")
+        with skelcl.deferred() as g:
+            writer(idx, sink)
+        assert g.last_stats["pruned"] == 0
+        sink.data_on_devices_modified()
+        sink.set_distribution(Distribution.block())
+        assert sink.to_numpy().sum() == pytest.approx(8 * 5.0)
+
+
+class TestRedistributionElision:
+    def test_noop_redistribute_elided(self, ctx2, xs, double):
+        with skelcl.deferred() as g:
+            y = double(skelcl.Vector(xs))
+            y.set_distribution(Distribution.block())  # map output
+        assert g.last_stats["redistributions_elided"] == 1
+        np.testing.assert_array_equal(y.to_numpy(), xs * 2)
+
+    def test_roundtrip_chain_collapses(self, ctx2, xs, double, add3):
+        with skelcl.deferred() as g:
+            y = double(skelcl.Vector(xs))
+            y.set_distribution(Distribution.single(0))
+            y.set_distribution(Distribution.block())
+            z = add3(y)
+        assert g.last_stats["redistributions_elided"] == 2
+        assert g.last_stats["fused_chains"] == 1  # chain re-exposed
+        np.testing.assert_array_equal(z.to_numpy(), xs * 2 + 3)
+
+    def test_meaningful_redistribute_survives(self, ctx2, xs, double):
+        with skelcl.deferred() as g:
+            y = double(skelcl.Vector(xs))
+            y.set_distribution(Distribution.single(0))
+        assert g.last_stats["redistributions_elided"] == 0
+        assert y.distribution.kind == "single"
+        np.testing.assert_array_equal(y.to_numpy(), xs * 2)
+
+    def test_copy_combine_change_not_elided(self, ctx2, xs, double):
+        with skelcl.deferred() as g:
+            y = double(skelcl.Vector(xs))
+            y.set_distribution(Distribution.copy())
+            y.set_distribution(Distribution.copy(np.add))
+        # same layout, different combine: the second must survive
+        assert y.distribution.combine is np.add
+        np.testing.assert_array_equal(y.to_numpy(), xs * 2)
+
+    def test_elision_saves_transfers(self, ctx2, xs, double, add3):
+        def transfer_bytes(timeline):
+            return sum(
+                s.duration for s in timeline.spans
+                if s.label.startswith(("H2D", "D2H", "migrate", "D2D")))
+
+        eager_y = double(skelcl.Vector(xs))
+        eager_y.set_distribution(Distribution.single(0))
+        eager_y.set_distribution(Distribution.block())
+        add3(eager_y).to_numpy()
+        eager_cost = transfer_bytes(ctx2.system.timeline)
+
+        ctx = skelcl.init(num_gpus=2)
+        with skelcl.deferred():
+            y = double(skelcl.Vector(xs, context=ctx))
+            y.set_distribution(Distribution.single(0))
+            y.set_distribution(Distribution.block())
+            z = add3(y)
+        z.to_numpy()
+        assert transfer_bytes(ctx.system.timeline) < eager_cost
+
+
+class TestDotExport:
+    def test_dot_output_structure(self, ctx2, xs, double, add3):
+        from repro.graph import graph_to_dot
+        with skelcl.deferred() as g:
+            z = add3(double(skelcl.Vector(xs)))
+        dot = graph_to_dot(g, g.last_plan)
+        assert dot.startswith("digraph skelcl {")
+        assert dot.rstrip().endswith("}")
+        assert "shape=ellipse" in dot  # the source node
+        assert "fused into" in dot  # fusion annotation
+        assert "->" in dot
+        np.testing.assert_array_equal(z.to_numpy(), xs * 2 + 3)

@@ -1,0 +1,190 @@
+"""N-ary skeleton fusion (fuse_chain) and summary preservation.
+
+Complements test_fusion.py (pairwise ``fuse``): chains longer than
+two, additional-argument concatenation across many stages, interplay
+with the ``copy`` distribution, and the grafting of per-stage access
+summaries that keeps the PR-1 distribution-safety check firing on
+fused kernels.
+"""
+
+import numpy as np
+import pytest
+
+from repro.clc.analysis import AccessPattern
+from repro.errors import DistributionError, SkelClError
+from repro.skelcl import Distribution, Map, Vector, Zip
+from repro.skelcl.fusion import fuse_chain, fusion_blocker
+
+
+@pytest.fixture
+def xs():
+    return np.arange(256, dtype=np.float32)
+
+
+def test_chain_of_five_maps(ctx2, xs):
+    stages = [Map(f"float c{i}(float x) {{ return x + {i}.0f; }}")
+              for i in range(5)]
+    fused = fuse_chain(stages)
+    result = fused(Vector(xs))
+    np.testing.assert_array_equal(result.to_numpy(), xs + 10)
+
+
+def test_single_stage_chain_is_identity(ctx2):
+    m = Map("float one(float x) { return x; }")
+    assert fuse_chain([m]) is m
+
+
+def test_empty_chain_rejected(ctx2):
+    with pytest.raises(SkelClError, match="at least one"):
+        fuse_chain([])
+
+
+def test_extras_concatenate_across_three_stages(ctx2, xs):
+    s1 = Map("float e1(float x, float a) { return x * a; }")
+    s2 = Map("float e2(float x) { return x + 1.0f; }")
+    s3 = Map("float e3(float x, float b, float c) "
+             "{ return x * b + c; }")
+    fused = fuse_chain([s1, s2, s3])
+    assert len(fused.extra_params) == 3
+    result = fused(Vector(xs), np.float32(2.0), np.float32(3.0),
+                   np.float32(4.0))
+    np.testing.assert_array_equal(result.to_numpy(),
+                                  (xs * 2 + 1) * 3 + 4)
+
+
+def test_zip_head_with_map_tail_extras(ctx2, xs):
+    head = Zip("float zh(float a, float b, float s) "
+               "{ return a + b * s; }")
+    tail = Map("float zt(float x, float t) { return x - t; }")
+    fused = fuse_chain([head, tail])
+    assert isinstance(fused, Zip)
+    result = fused(Vector(xs), Vector(xs), np.float32(2.0),
+                   np.float32(1.0))
+    np.testing.assert_array_equal(result.to_numpy(), xs + xs * 2 - 1)
+
+
+def test_chain_matches_eager_bitwise(ctx2, xs):
+    stages = [Map("float b1(float x) { return x * 1.5f; }"),
+              Map("float b2(float x) { return x - 0.25f; }"),
+              Map("float b3(float x) { return x * x; }")]
+    vec = Vector(xs)
+    for stage in stages:
+        vec = stage(vec)
+    fused_out = fuse_chain(stages)(Vector(xs))
+    assert np.array_equal(vec.to_numpy(), fused_out.to_numpy())
+
+
+def test_void_last_stage_allowed(ctx2, xs):
+    first = Map("float v1(float x) { return x * 2.0f; }")
+    sink_writer = Map(
+        "void v2(float x, __global float* s) { s[0] = x; }")
+    sink = Vector(np.zeros(1, dtype=np.float32))
+    sink.set_distribution(Distribution.copy())
+    fused = fuse_chain([first, sink_writer])
+    assert fused.out_dtype is None
+    assert fused(Vector(xs), sink) is None
+
+
+# -- copy-distribution interplay -------------------------------------------
+
+def test_copy_distributed_extra_through_fusion(ctx2, xs):
+    """A gather table must stay usable when its stage is fused."""
+    table = Vector(np.array([10.0, 20.0], dtype=np.float32))
+    table.set_distribution(Distribution.copy())
+    gather = Map("float gf(float x, __global float* t) "
+                 "{ return x + t[1]; }")
+    scale = Map("float sf(float x) { return x * 0.5f; }")
+    fused = fuse_chain([scale, gather])
+    result = fused(Vector(xs), table)
+    np.testing.assert_array_equal(result.to_numpy(), xs * 0.5 + 20.0)
+
+
+def test_copy_input_distribution_propagates(ctx2, xs):
+    stages = [Map("float p1(float x) { return x + 1.0f; }"),
+              Map("float p2(float x) { return x * 2.0f; }")]
+    vec = Vector(xs)
+    vec.set_distribution(Distribution.copy())
+    result = fuse_chain(stages)(vec)
+    # map output adopts the input's distribution, fused or not
+    assert result.distribution.kind == "copy"
+    np.testing.assert_array_equal(result.to_numpy(), (xs + 1) * 2)
+
+
+# -- analysis-summary preservation (the PR-1 safety check) ------------------
+
+GATHER = ("float gather(float x, __global float* t) "
+          "{ return x + t[0]; }")
+OWN = ("float own(float x, __global float* t, int i) "
+       "{ return x + t[i]; }")
+
+
+def test_gather_summary_grafted_onto_fused_params(ctx2):
+    scale = Map("float g1(float x) { return x * 2.0f; }")
+    fused = fuse_chain([scale, Map(GATHER)])
+    access = fused.user.summary.param_access["skelcl_e0"]
+    assert access.pattern is not AccessPattern.OWN_INDEX
+    assert access.pattern in (AccessPattern.ARBITRARY,
+                              AccessPattern.NEIGHBORHOOD)
+
+
+def test_block_gather_rejected_on_fused_kernel(ctx2, xs):
+    """The distribution-safety check fires on fused kernels exactly as
+    on the original stages."""
+    scale = Map("float g2(float x) { return x * 2.0f; }")
+    fused = fuse_chain([scale, Map(GATHER)])
+    table = Vector(np.zeros(xs.size, dtype=np.float32))
+    table.set_distribution(Distribution.block())
+    with pytest.raises(DistributionError, match="beyond its own index"):
+        fused(Vector(xs), table)
+
+
+def test_block_gather_rejected_at_any_stage_position(ctx2, xs):
+    head = Map(GATHER)
+    tail = Map("float g3(float x) { return x + 1.0f; }")
+    fused = fuse_chain([head, tail])
+    table = Vector(np.zeros(xs.size, dtype=np.float32))
+    table.set_distribution(Distribution.block())
+    with pytest.raises(DistributionError, match="beyond its own index"):
+        fused(Vector(xs), table)
+
+
+def test_block_gather_fine_on_single_device(ctx1, xs):
+    fused = fuse_chain([Map("float g4(float x) { return x; }"),
+                        Map(GATHER)])
+    table = Vector(np.full(xs.size, 7.0, dtype=np.float32))
+    table.set_distribution(Distribution.block())
+    result = fused(Vector(xs), table)
+    np.testing.assert_array_equal(result.to_numpy(), xs + 7.0)
+
+
+# -- fusion_blocker -----------------------------------------------------------
+
+def test_blocker_reports_type_mismatch(ctx2):
+    f = Map("float t1(float x) { return x; }")
+    g = Map("int t2(int v) { return v; }")
+    assert "returns" in fusion_blocker([f, g])
+
+
+def test_blocker_reports_void_interior(ctx2):
+    v = Map("void t3(float x, __global float* s) { s[0] = x; }")
+    g = Map("float t4(float x) { return x; }")
+    assert "void" in fusion_blocker([v, g])
+
+
+def test_blocker_reports_scale_factor_mismatch(ctx2):
+    f = Map("float t5(float x) { return x; }", scale_factor=1.0)
+    g = Map("float t6(float x) { return x; }", scale_factor=2.0)
+    assert "scale factor" in fusion_blocker([f, g])
+
+
+def test_blocker_silent_on_compatible_chain(ctx2):
+    f = Map("float t7(float x) { return x; }")
+    g = Map("float t8(float x) { return x; }")
+    assert fusion_blocker([f, g]) is None
+
+
+def test_fused_stages_recorded(ctx2):
+    f = Map("float r1(float x) { return x; }")
+    g = Map("float r2(float x) { return x; }")
+    fused = fuse_chain([f, g])
+    assert fused.fused_stages == (f, g)

@@ -118,3 +118,62 @@ def test_lint_unparsable_source_exits_two(tmp_path, capsys):
     bad.write_text("float f(float x { return x; }")
     assert main(["lint", str(bad)]) == 2
     assert capsys.readouterr().err
+
+
+def test_graph_dump_reports_stats(capsys):
+    assert main(["graph", "dump", "--size", "4096", "--stages", "3",
+                 "--gpus", "2"]) == 0
+    out = capsys.readouterr().out
+    assert "fused chains:" in out
+    assert "eager    makespan:" in out
+    assert "deferred makespan:" in out
+    assert "results bitwise-identical to eager: True" in out
+
+
+def test_graph_dump_writes_dot(tmp_path, capsys):
+    path = tmp_path / "graph.dot"
+    assert main(["graph", "dump", "--size", "1024", "--dot",
+                 str(path)]) == 0
+    dot = path.read_text()
+    assert dot.startswith("digraph skelcl {")
+    assert "->" in dot
+
+
+def test_graph_dump_dot_to_stdout(capsys):
+    assert main(["graph", "dump", "--size", "1024", "--dot", "-"]) == 0
+    assert "digraph skelcl {" in capsys.readouterr().out
+
+
+def test_graph_dump_writes_chrome_trace(tmp_path, capsys):
+    import json
+    path = tmp_path / "out.json"
+    assert main(["graph", "dump", "--size", "1024", "--trace",
+                 str(path)]) == 0
+    document = json.loads(path.read_text())
+    assert document["traceEvents"]
+    assert {e["ph"] for e in document["traceEvents"]} <= {"X", "M"}
+
+
+def test_graph_dump_no_optimize(capsys):
+    assert main(["graph", "dump", "--size", "1024",
+                 "--no-optimize"]) == 0
+    out = capsys.readouterr().out
+    assert "fused chains:             0" in out
+    assert "results bitwise-identical to eager: True" in out
+
+
+@pytest.mark.parametrize("workload", ["pipeline", "saxpy"])
+def test_profile_workloads(capsys, workload):
+    assert main(["profile", "--workload", workload, "--size",
+                 "4096"]) == 0
+    out = capsys.readouterr().out
+    assert "virtual makespan" in out
+    assert "utilization" in out
+
+
+def test_profile_exports_trace(tmp_path, capsys):
+    import json
+    path = tmp_path / "prof.json"
+    assert main(["profile", "--size", "1024", "--trace",
+                 str(path)]) == 0
+    assert json.loads(path.read_text())["traceEvents"]

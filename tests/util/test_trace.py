@@ -1,0 +1,86 @@
+"""Chrome-trace export of virtual timelines."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro import skelcl
+from repro.util.timeline import Timeline
+from repro.util.trace import chrome_trace_events, export_chrome_trace
+
+
+@pytest.fixture
+def timeline():
+    tl = Timeline()
+    tl.set_tag("phase1")
+    tl.schedule("dev0.queue", 2e-3, label="kernel:f")
+    tl.schedule("dev0.link", 1e-3, ready_at=1e-3, label="H2D 4096B")
+    tl.set_tag("")
+    tl.schedule("dev1.queue", 3e-3, label="kernel:g")
+    return tl
+
+
+def test_one_track_per_resource(timeline):
+    events = chrome_trace_events(timeline)
+    names = [e["args"]["name"] for e in events
+             if e["name"] == "thread_name"]
+    assert sorted(names) == ["dev0.link", "dev0.queue", "dev1.queue"]
+    tids = {e["tid"] for e in events if e["name"] == "thread_name"}
+    assert len(tids) == 3  # distinct track per resource
+
+
+def test_one_duration_event_per_span(timeline):
+    events = chrome_trace_events(timeline)
+    durations = [e for e in events if e["ph"] == "X"]
+    assert len(durations) == len(timeline.spans)
+    by_name = {e["name"]: e for e in durations}
+    kernel = by_name["kernel:f"]
+    assert kernel["ts"] == pytest.approx(0.0)
+    assert kernel["dur"] == pytest.approx(2000.0)  # 2 ms in us
+    transfer = by_name["H2D 4096B"]
+    assert transfer["ts"] == pytest.approx(1000.0)
+
+
+def test_tags_become_categories(timeline):
+    events = chrome_trace_events(timeline)
+    tagged = [e for e in events if e.get("cat")]
+    assert {e["cat"] for e in tagged} == {"phase1"}
+    assert all(e["ph"] == "X" for e in tagged)
+
+
+def test_exported_file_is_loadable_trace_json(tmp_path, timeline):
+    """Structural validation of the chrome://tracing contract."""
+    path = export_chrome_trace(timeline, tmp_path / "trace.json")
+    document = json.loads(path.read_text())
+    assert "traceEvents" in document
+    assert document["displayTimeUnit"] == "ms"
+    for event in document["traceEvents"]:
+        assert event["ph"] in ("X", "M")
+        assert isinstance(event["pid"], int)
+        assert isinstance(event["tid"], int)
+        if event["ph"] == "X":
+            assert event["dur"] >= 0.0
+            assert event["ts"] >= 0.0
+            assert isinstance(event["name"], str)
+
+
+def test_export_of_real_workload(tmp_path):
+    ctx = skelcl.init(num_gpus=2)
+    double = skelcl.Map("float tr(float x) { return x * 2.0f; }")
+    double(skelcl.Vector(np.arange(64, dtype=np.float32))).to_numpy()
+    path = export_chrome_trace(ctx.system.timeline,
+                               tmp_path / "real.json")
+    document = json.loads(path.read_text())
+    names = {e["args"]["name"] for e in document["traceEvents"]
+             if e["name"] == "thread_name"}
+    assert {"dev0.queue", "dev1.queue", "system.host"} <= names
+    kernels = [e for e in document["traceEvents"]
+               if e["ph"] == "X" and e["name"].startswith("kernel:")]
+    assert kernels
+
+
+def test_empty_timeline_exports_empty_event_list(tmp_path):
+    path = export_chrome_trace(Timeline(), tmp_path / "empty.json")
+    document = json.loads(path.read_text())
+    assert document["traceEvents"] == []
