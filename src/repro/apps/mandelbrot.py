@@ -54,10 +54,13 @@ def escape_counts(idx: np.ndarray, width: int, height: int, x0: float,
     """Vectorized escape-time iteration (identical to the dialect fn)."""
     px = idx % width
     py = idx // width
-    # float64 internally, matching the per-work-item interpreter's
-    # arithmetic so both paths produce identical iteration counts
-    cr = np.float64(x0) + px * np.float64(dx)
-    ci = np.float64(y0) + py * np.float64(dy)
+    # mirror the compiled engines bit for bit: the f32 scalar kernel
+    # arguments force c into float32, while the weak float literals of
+    # the escape loop promote the iteration itself to float64
+    cr = (np.float32(x0) + px.astype(np.float32) * np.float32(dx)) \
+        .astype(np.float64)
+    ci = (np.float32(y0) + py.astype(np.float32) * np.float32(dy)) \
+        .astype(np.float64)
     zr = np.zeros(idx.shape, np.float64)
     zi = np.zeros(idx.shape, np.float64)
     iters = np.zeros(idx.shape, np.int32)
@@ -103,9 +106,14 @@ class View:
 
 
 def mandelbrot_skelcl(ctx: SkelCLContext, view: View,
-                      use_native_kernel: bool = True,
+                      use_native_kernel: bool = False,
                       scale_factor: float = 1.0) -> np.ndarray:
-    """Mandelbrot with the SkelCL map skeleton."""
+    """Mandelbrot with the SkelCL map skeleton.
+
+    The runtime-compiled dialect kernel is the default: the batch
+    execution engine lowers it to whole-NDRange numpy, so the native
+    override is only an escape hatch, not a performance requirement.
+    """
     native = None
     if use_native_kernel:
         def native(idx, width, height, x0, y0, dx, dy, max_iter,

@@ -60,14 +60,14 @@ class NBodySimulation:
         ctx: SkelCL context (devices to use).
         bodies: (n, 4) float32 array of [x, y, z, mass].
         velocities: (n, 3) float32 initial velocities (default rest).
-        use_native_kernel: vectorized path (default) vs the
-            runtime-compiled dialect path (identical results, slower —
-            use for small n).
+        use_native_kernel: opt into the hand-written vectorized
+            override; by default the runtime-compiled dialect kernels
+            run on the batch execution engine (identical results).
     """
 
     def __init__(self, ctx: SkelCLContext, bodies: np.ndarray,
                  velocities: np.ndarray | None = None,
-                 use_native_kernel: bool = True) -> None:
+                 use_native_kernel: bool = False) -> None:
         bodies = np.asarray(bodies, dtype=np.float32)
         if bodies.ndim != 2 or bodies.shape[1] != 4:
             raise SkelClError("bodies must be an (n, 4) array of "

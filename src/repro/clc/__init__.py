@@ -44,6 +44,8 @@ class Program:
     compiled: CompiledUnit
     #: per-function static op estimate (per work item)
     op_counts: dict[str, float] = field(default_factory=dict)
+    #: kernel name -> (BatchKernel | None, blockers) — see batch_kernel
+    _batch: dict = field(default_factory=dict, repr=False)
 
     @property
     def kernels(self) -> dict[str, CompiledFunction]:
@@ -53,16 +55,62 @@ class Program:
     def functions(self) -> dict[str, CompiledFunction]:
         return self.compiled.functions
 
+    def batch_kernel(self, name: str):
+        """The whole-NDRange evaluator for kernel *name*, plus why not.
 
-def compile_source(source: str) -> Program:
+        Returns ``(batch_kernel, blockers)``: the first element is a
+        :class:`repro.clc.batch.BatchKernel` when the batch engine can
+        lower the kernel, else ``None`` with a non-empty list of
+        human-readable blockers (the engine-selection report — there
+        are no silent fallbacks).
+        """
+        cached = self._batch.get(name)
+        if cached is not None:
+            return cached
+        from repro.clc.analysis import kernel_engine_blockers
+        func = next((f for f in self.unit.functions
+                     if f.name == name and f.is_kernel), None)
+        if func is None:
+            raise KeyError(f"no kernel named {name!r}")
+        blockers = kernel_engine_blockers(self.unit, func)
+        kernel = None
+        if not blockers:
+            from repro.clc.batch import BatchKernel
+            kernel = BatchKernel(self.unit, func)
+        result = (kernel, blockers)
+        self._batch[name] = result
+        return result
+
+
+def compile_source(source: str, use_cache: bool | None = None) -> Program:
     """Compile dialect source into executable Python functions.
 
-    Raises :class:`repro.errors.LexError`,
+    Results are memoized on disk (:mod:`repro.clc.cache`) keyed by the
+    source hash and dialect version; *use_cache* overrides the
+    ``REPRO_CLC_CACHE`` environment gate.  Raises
+    :class:`repro.errors.LexError`,
     :class:`repro.errors.ParseError`, or
     :class:`repro.errors.TypeCheckError` on invalid source.
     """
+    from repro.clc import cache
+
+    if use_cache is None:
+        use_cache = cache.cache_enabled()
+    if use_cache:
+        entry = cache.load(source)
+        if entry is not None:
+            from repro.clc.codegen import materialize
+            unit = entry["unit"]
+            op_counts = entry["op_counts"]
+            compiled = materialize(unit, op_counts,
+                                   entry["python_source"])
+            return Program(source=source, unit=unit, compiled=compiled,
+                           op_counts=dict(op_counts))
     unit = parse(source)
     checker = typecheck(unit)
     compiled = generate(unit, checker.op_counts)
+    if use_cache:
+        cache.store(source, unit, dict(checker.op_counts),
+                    compiled.python_source)
     return Program(source=source, unit=unit, compiled=compiled,
                    op_counts=dict(checker.op_counts))

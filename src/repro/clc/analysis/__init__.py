@@ -15,6 +15,7 @@ The subsystem layers on top of the :mod:`repro.clc` front end:
 
 from repro.clc.analysis.access import (AccessPattern, AccessSite,
                                        AccessSummary, FunctionSummary,
+                                       batch_blockers,
                                        summarize_function,
                                        summarize_unit,
                                        vectorize_blockers)
@@ -22,7 +23,9 @@ from repro.clc.analysis.cfg import CFG, BasicBlock, Guard, build_cfg
 from repro.clc.analysis.dataflow import ForwardAnalysis, Solution
 from repro.clc.analysis.diagnostics import (CHECKS, AnalysisReport,
                                             Diagnostic, Severity)
-from repro.clc.analysis.driver import analyze_source, analyze_unit
+from repro.clc.analysis.driver import (analyze_source, analyze_unit,
+                                       engine_report,
+                                       kernel_engine_blockers)
 from repro.clc.analysis.values import (AbstractValue, ValueAnalysis,
                                        add_values, affine, const,
                                        join_values, mul_values)
@@ -47,7 +50,10 @@ __all__ = [
     "affine",
     "analyze_source",
     "analyze_unit",
+    "batch_blockers",
     "build_cfg",
+    "engine_report",
+    "kernel_engine_blockers",
     "const",
     "join_values",
     "mul_values",

@@ -35,7 +35,8 @@ from repro.clc import astnodes as ast
 from repro.clc.analysis.cfg import build_cfg
 from repro.clc.analysis.values import (ID_WORK_ITEM_FUNCTIONS,
                                        AbstractValue, ValueAnalysis)
-from repro.clc.builtins import BUILTINS, WORK_ITEM_FUNCTIONS
+from repro.clc.builtins import (ATOMIC_FUNCTIONS, BUILTINS,
+                                WORK_ITEM_FUNCTIONS)
 from repro.clc.types import PointerType, ScalarType
 
 
@@ -459,3 +460,255 @@ def _expr_blockers(expr: ast.Expr, blockers: list[str]) -> None:
             _expr_blockers(arg, blockers)
         return
     blockers.append(f"{where}: {type(expr).__name__} expression")
+
+
+# -- batch-engine verdict -----------------------------------------------------
+
+def batch_blockers(func: ast.FunctionDef,
+                   unit: ast.TranslationUnit | None = None) -> list[str]:
+    """Why the batch engine cannot lower *func* (empty: it can).
+
+    Unlike :func:`vectorize_blockers` — which requires straight-line
+    code — the batch engine predicates control flow, so this list is a
+    handful of structural gaps: atomics used for their return value,
+    pointer locals being reassigned, array sizes or work-item
+    dimensions that are not literals, pointer arithmetic on ``__local``
+    or private arrays, and arrays forwarded to helper functions.
+    Helper functions reachable from *func* are checked too (they are
+    interpreted inline); pass *unit* to resolve them.
+    """
+    blockers: list[str] = []
+    seen: set[str] = set()
+    functions = {f.name: f for f in unit.functions} if unit else {}
+    _batch_func_blockers(func, functions, seen, blockers)
+    return blockers
+
+
+def _batch_func_blockers(func: ast.FunctionDef,
+                         functions: dict[str, ast.FunctionDef],
+                         seen: set[str], blockers: list[str]) -> None:
+    if func.name in seen:
+        return
+    seen.add(func.name)
+    if func.body is None:
+        blockers.append(f"{func.name} has no body")
+        return
+    ctx = _BatchCtx(functions, seen, blockers, func.name)
+    for param in func.params:
+        if isinstance(param.ctype, PointerType):
+            ctx.pointer_names.add(param.name)
+            space = param.address_space or getattr(
+                param.ctype, "address_space", "")
+            if "local" in (space or ""):
+                ctx.group_arrays.add(param.name)
+    for stmt in func.body.body:
+        ctx.stmt(stmt)
+
+
+class _BatchCtx:
+    """Walk state for :func:`batch_blockers` over one function."""
+
+    def __init__(self, functions: dict[str, ast.FunctionDef],
+                 seen: set[str], blockers: list[str],
+                 func_name: str) -> None:
+        self.functions = functions
+        self.seen = seen
+        self.blockers = blockers
+        self.func_name = func_name
+        #: names bound to pointers (params or initialized locals)
+        self.pointer_names: set[str] = set()
+        #: private / ``__local`` array locals and local pointer params
+        self.array_locals: set[str] = set()
+        self.group_arrays: set[str] = set()
+
+    def blocked(self, node: ast.Node, why: str) -> None:
+        self.blockers.append(
+            f"{self.func_name}: line {node.line}: {why}")
+
+    # -- statements -----------------------------------------------------------
+
+    def stmt(self, stmt: ast.Stmt) -> None:
+        if isinstance(stmt, ast.CompoundStmt):
+            for s in stmt.body:
+                self.stmt(s)
+        elif isinstance(stmt, ast.DeclStmt):
+            self.decl(stmt)
+        elif isinstance(stmt, ast.ExprStmt):
+            self.expr_stmt(stmt.expr)
+        elif isinstance(stmt, ast.IfStmt):
+            self.expr(stmt.cond)
+            self.stmt(stmt.then)
+            if stmt.otherwise is not None:
+                self.stmt(stmt.otherwise)
+        elif isinstance(stmt, ast.WhileStmt):
+            self.expr(stmt.cond)
+            self.stmt(stmt.body)
+        elif isinstance(stmt, ast.DoWhileStmt):
+            self.stmt(stmt.body)
+            self.expr(stmt.cond)
+        elif isinstance(stmt, ast.ForStmt):
+            if stmt.init is not None:
+                self.stmt(stmt.init)
+            if stmt.cond is not None:
+                self.expr(stmt.cond)
+            if stmt.step is not None:
+                self.expr_stmt(stmt.step)
+            self.stmt(stmt.body)
+        elif isinstance(stmt, ast.ReturnStmt):
+            if stmt.value is not None:
+                self.expr(stmt.value)
+        elif isinstance(stmt, (ast.BreakStmt, ast.ContinueStmt)):
+            pass
+        else:
+            self.blocked(stmt, f"{type(stmt).__name__} is not "
+                               "supported by the batch engine")
+
+    def decl(self, stmt: ast.DeclStmt) -> None:
+        local = "local" in (stmt.address_space or "")
+        for decl in stmt.declarators:
+            if decl.array_size is not None:
+                if not isinstance(decl.array_size, ast.IntLiteral):
+                    self.blocked(
+                        stmt, f"array '{decl.name}' has a non-literal "
+                              "size (batch arrays are shaped up front)")
+                (self.group_arrays if local
+                 else self.array_locals).add(decl.name)
+            elif decl.pointer:
+                if decl.init is None:
+                    self.blocked(
+                        stmt, f"pointer '{decl.name}' declared without "
+                              "an initializer (batch pointers are "
+                              "immutable bindings)")
+                self.pointer_names.add(decl.name)
+            if decl.init is not None:
+                self.expr(decl.init)
+
+    def expr_stmt(self, expr: ast.Expr) -> None:
+        """A statement-position expression: atomics are allowed here
+        (their return value is discarded)."""
+        if isinstance(expr, ast.Call) and expr.name in ATOMIC_FUNCTIONS:
+            for arg in expr.args[1:]:
+                self.expr(arg)
+            first = expr.args[0] if expr.args else None
+            if isinstance(first, ast.Unary) and first.op == "&":
+                target = first.operand
+                if isinstance(target, ast.Index):
+                    self.expr(target.index)
+                    return
+            if first is not None:
+                self.expr(first)
+            return
+        if isinstance(expr, ast.Binary) and expr.op == ",":
+            self.expr_stmt(expr.left)
+            self.expr_stmt(expr.right)
+            return
+        self.expr(expr)
+
+    # -- expressions ----------------------------------------------------------
+
+    def expr(self, expr: ast.Expr) -> None:
+        if isinstance(expr, (ast.IntLiteral, ast.FloatLiteral,
+                             ast.BoolLiteral, ast.Identifier)):
+            return
+        if isinstance(expr, ast.Assign):
+            self.assign(expr)
+            return
+        if isinstance(expr, ast.Call):
+            self.call(expr)
+            return
+        if isinstance(expr, ast.Index):
+            self.expr(expr.base)
+            self.expr(expr.index)
+            return
+        if isinstance(expr, ast.Member):
+            if not isinstance(expr.base, (ast.Identifier, ast.Index)):
+                self.blocked(expr, "nested member access (batch "
+                                   "structs are one level deep)")
+                return
+            self.expr(expr.base)
+            return
+        if isinstance(expr, ast.Binary):
+            if expr.op in ("+", "-"):
+                for side in (expr.left, expr.right):
+                    if isinstance(side, ast.Identifier) and (
+                            side.name in self.array_locals
+                            or side.name in self.group_arrays):
+                        self.blocked(
+                            expr, f"pointer arithmetic on array "
+                                  f"'{side.name}' (only __global "
+                                  "pointers support offsets in batch)")
+            self.expr(expr.left)
+            self.expr(expr.right)
+            return
+        if isinstance(expr, ast.Unary):
+            if expr.op == "&":
+                self.blocked(expr, "address-of outside an atomic "
+                                   "call")
+                return
+            self.expr(expr.operand)
+            return
+        if isinstance(expr, (ast.PreIncDec, ast.PostIncDec)):
+            self.expr(expr.operand)
+            return
+        if isinstance(expr, ast.Ternary):
+            self.expr(expr.cond)
+            self.expr(expr.then)
+            self.expr(expr.otherwise)
+            return
+        if isinstance(expr, ast.Cast):
+            self.expr(expr.operand)
+            return
+        self.blocked(expr, f"{type(expr).__name__} expression is not "
+                           "supported by the batch engine")
+
+    def assign(self, expr: ast.Assign) -> None:
+        target = expr.target
+        if isinstance(target, ast.Identifier):
+            if target.name in self.pointer_names:
+                self.blocked(expr, f"reassignment of pointer "
+                                   f"'{target.name}'")
+        elif isinstance(target, ast.Index):
+            self.expr(target.base)
+            self.expr(target.index)
+        elif isinstance(target, ast.Member):
+            if not isinstance(target.base, (ast.Identifier, ast.Index)):
+                self.blocked(expr, "nested member store")
+            else:
+                self.expr(target.base)
+        elif isinstance(target, ast.Unary) and target.op == "*":
+            self.expr(target.operand)
+        else:
+            self.blocked(expr, f"unsupported assignment target "
+                               f"{type(target).__name__}")
+        self.expr(expr.value)
+
+    def call(self, expr: ast.Call) -> None:
+        if expr.name in ATOMIC_FUNCTIONS:
+            self.blocked(expr, f"{expr.name}() used for its return "
+                               "value (batch atomics are "
+                               "statement-only)")
+            return
+        if expr.name in WORK_ITEM_FUNCTIONS:
+            if expr.args and not isinstance(expr.args[0],
+                                            ast.IntLiteral):
+                self.blocked(expr, f"{expr.name}() with a non-literal "
+                                   "dimension")
+            return
+        if expr.name == "barrier":
+            return
+        for arg in expr.args:
+            if isinstance(arg, ast.Identifier) and (
+                    arg.name in self.array_locals
+                    or arg.name in self.group_arrays):
+                self.blocked(expr, f"array '{arg.name}' passed to "
+                                   f"{expr.name}() (batch arrays "
+                                   "cannot cross call frames)")
+            else:
+                self.expr(arg)
+        callee = self.functions.get(expr.name)
+        if callee is not None:
+            _batch_func_blockers(callee, self.functions, self.seen,
+                                 self.blockers)
+        elif expr.name not in BUILTINS:
+            self.blocked(expr, f"call to unknown function "
+                               f"{expr.name}()")

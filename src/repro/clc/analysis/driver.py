@@ -23,8 +23,9 @@ DIST001      ``__kernel`` functions with ``__global`` pointers
 from __future__ import annotations
 
 from repro.clc import astnodes as ast
-from repro.clc.analysis.access import (FunctionSummary,
-                                       summarize_function)
+from repro.clc.analysis.access import (FunctionSummary, batch_blockers,
+                                       summarize_function,
+                                       summarize_unit)
 from repro.clc.analysis.checks import (check_barriers, check_bounds,
                                        check_distribution,
                                        check_races, check_uninit,
@@ -52,6 +53,49 @@ def analyze_unit(unit: ast.TranslationUnit) -> AnalysisReport:
                 check_races(ctx, report)
             check_distribution(func, summary, report)
     return report
+
+
+def kernel_engine_blockers(unit: ast.TranslationUnit,
+                           func: ast.FunctionDef) -> list[str]:
+    """Every reason the batch engine must decline *func* (empty: the
+    kernel runs batched).
+
+    Three layers combine:
+
+    - structural gaps from :func:`batch_blockers` (atomics in value
+      position, pointer reassignment, non-literal array sizes, ...);
+    - barrier divergence (BD001/BD002): lockstep statement execution
+      cannot honour a barrier some lanes of a group skip;
+    - a profitability heuristic: a kernel that never reads a work-item
+      id is a sequential helper (the generated scan kernel) — batching
+      it offers no lane parallelism, so the per-item launcher keeps it.
+    """
+    blockers = batch_blockers(func, unit)
+    summaries = summarize_unit(unit)
+    summary = summaries[func.name]
+    if summary.has_barrier:
+        id_free = frozenset(name for name, s in summaries.items()
+                            if not s.uses_work_item_ids)
+        ctx = make_context(func, id_free_functions=id_free)
+        report = AnalysisReport()
+        check_barriers(ctx, report)
+        for diag in report.diagnostics:
+            if diag.check_id in ("BD001", "BD002"):
+                blockers.append(
+                    f"{func.name}: line {diag.line}: barrier "
+                    f"divergence ({diag.check_id}): {diag.message}")
+    if not summary.uses_work_item_ids:
+        blockers.append(
+            f"{func.name}: kernel never reads a work-item id — it is "
+            "sequential, so batching offers no lane parallelism")
+    return blockers
+
+
+def engine_report(unit: ast.TranslationUnit) -> dict[str, list[str]]:
+    """Engine selection verdict for every ``__kernel`` in *unit*:
+    kernel name -> list of batch blockers (empty: batch engine)."""
+    return {func.name: kernel_engine_blockers(unit, func)
+            for func in unit.functions if func.is_kernel}
 
 
 def analyze_source(source: str) -> AnalysisReport:

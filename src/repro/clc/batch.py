@@ -1,0 +1,1406 @@
+"""Batched whole-NDRange execution engine for the OpenCL-C dialect.
+
+The per-work-item engine (:mod:`repro.clc.codegen`) runs one Python
+function call per work item — faithful but far too slow for paper-scale
+NDRanges.  This module interprets a ``__kernel`` function *once* over
+the entire NDRange with numpy arrays holding one element per work item
+("lanes"):
+
+- ``if``/ternary become predicated execution: an active-lane mask is
+  threaded through every statement and divergent stores merge via
+  ``np.where``/masked assignment;
+- ``for``/``while``/``do-while`` loops iterate until every lane has
+  exited (with an iteration-cap guard against runaway kernels);
+- pointer reads become fancy-indexing gathers, pointer writes become
+  scatter stores (``np.add.at``-family ufuncs for compound updates and
+  atomics, so colliding lanes stay correct);
+- work-item builtins (``get_global_id`` …) are precomputed index
+  arrays;
+- user helper functions are evaluated inline on whole lane arrays;
+- barrier kernels run group-batched: every statement completes for all
+  lanes before the next starts, which for barrier-divergence-free
+  kernels (checked statically — see
+  :func:`repro.clc.analysis.driver.kernel_engine_blockers`) is
+  equivalent to per-group lockstep rounds; ``__local`` arrays are
+  shaped ``(groups, local_size)`` and indexed per lane by group.
+
+Numeric model: the engine mirrors the per-item engine's semantics
+exactly — including NEP-50 "weak" Python scalars — so results are
+bitwise identical for integer kernels and within float rounding
+otherwise.  Each lane value is a :class:`Lanes` carrying a ``weak``
+flag: per-item locals are Python ints/floats (weak under NEP 50), so a
+batched lane array that *represents* weak values must be manually
+promoted against strong (numpy-typed) operands via
+``np.result_type(strong_dtype, 0 / 0.0 / False)``.  Known deliberate
+divergence: weak integer lanes are int64 (per-item uses arbitrary
+precision Python ints), and invalid operations on *inactive* lanes are
+computed-but-discarded under ``np.errstate(all='ignore')``.
+"""
+
+from __future__ import annotations
+
+import math
+import operator
+from typing import Any, Callable, Sequence
+
+import numpy as np
+
+from repro.clc import astnodes as ast
+from repro.clc.builtins import (ATOMIC_FUNCTIONS, BUILTINS,
+                                WORK_ITEM_FUNCTIONS)
+from repro.clc.types import PointerType, ScalarType, StructType
+from repro.errors import ClcError, InterpError
+
+#: guard against loops whose exit condition never converges
+LOOP_CAP = 10_000_000
+
+Mask = Any  # None (all lanes active) or a (N,) bool ndarray
+
+
+# -- lane values ---------------------------------------------------------------
+
+class Lanes:
+    """A per-lane scalar value.
+
+    ``data`` is a Python scalar (uniform, weak), a numpy scalar
+    (uniform, strong) or a ``(N,)`` array; ``weak`` tracks NEP-50
+    promotion strength (True mirrors a per-item Python int/float/bool).
+    Struct values are ``(N,)`` structured arrays (never weak).
+    Instances are immutable by convention: masked stores build new data
+    rather than writing in place (struct member stores are the one
+    deliberate exception, mirroring per-item aliasing).
+    """
+
+    __slots__ = ("data", "weak")
+
+    def __init__(self, data: Any, weak: bool) -> None:
+        self.data = data
+        self.weak = weak
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Lanes({self.data!r}, weak={self.weak})"
+
+
+class GlobalPtr:
+    """A pointer into a ``__global`` buffer: 1-D base view + offset.
+
+    ``offset`` is a Python int (uniform) or a per-lane int64 array.
+    Negative element indices mirror the per-item engine, which models
+    ``p + c`` as the Python slice ``base[c:]`` — so a negative index
+    resolves from the *end* of the buffer, independent of the offset.
+    """
+
+    __slots__ = ("base", "offset")
+
+    def __init__(self, base: np.ndarray, offset: Any = 0) -> None:
+        self.base = base
+        self.offset = offset
+
+    def shifted(self, delta: Any) -> "GlobalPtr":
+        return GlobalPtr(self.base, self.offset + delta)
+
+
+class PrivateArray:
+    """A per-lane private array: shape ``(N, size)``."""
+
+    __slots__ = ("arr",)
+
+    def __init__(self, arr: np.ndarray) -> None:
+        self.arr = arr
+
+
+class GroupArray:
+    """A work-group-shared (``__local``) array: shape ``(G, size)``,
+    indexed per lane through the lane→group map."""
+
+    __slots__ = ("arr",)
+
+    def __init__(self, arr: np.ndarray) -> None:
+        self.arr = arr
+
+
+# -- NEP-50 weak/strong coercion ----------------------------------------------
+
+def _is_weak_scalar(x: Any) -> bool:
+    return isinstance(x, (bool, int, float)) and not isinstance(x, np.generic)
+
+
+def _weak_token(data: Any) -> Any:
+    """The Python-scalar token standing in for a weak array in
+    ``np.result_type`` (0 for ints, 0.0 for floats, False for bools)."""
+    kind = data.dtype.kind if isinstance(data, np.ndarray) else (
+        "b" if isinstance(data, bool) else
+        "i" if isinstance(data, int) else "f")
+    if kind == "b":
+        return False
+    if kind in "iu":
+        return 0
+    return 0.0
+
+
+def _coerce_pair(a: Lanes, b: Lanes) -> tuple[Any, Any, bool]:
+    """Raw operands for a binary numpy op, mirroring per-item NEP-50
+    behaviour.  Weak Python scalars are left alone (numpy handles them
+    natively); a weak value materialized as an *array* would wrongly
+    count as strong, so it is pre-cast against the strong side."""
+    ad, bd = a.data, b.data
+    weak = a.weak and b.weak
+    if a.weak and not b.weak and isinstance(ad, np.ndarray):
+        tgt = np.result_type(np.asarray(bd).dtype, _weak_token(ad))
+        if ad.dtype != tgt:
+            ad = ad.astype(tgt)
+    if b.weak and not a.weak and isinstance(bd, np.ndarray):
+        tgt = np.result_type(np.asarray(ad).dtype, _weak_token(bd))
+        if bd.dtype != tgt:
+            bd = bd.astype(tgt)
+    return ad, bd, weak
+
+
+def _coerce_args(values: list[Lanes]) -> list[Any]:
+    """Coerce builtin-call arguments collectively (same rule as
+    :func:`_coerce_pair`, across all strong operands)."""
+    strong = [np.asarray(v.data).dtype for v in values if not v.weak]
+    if not strong:
+        return [v.data for v in values]
+    base = np.result_type(*strong)
+    out: list[Any] = []
+    for v in values:
+        d = v.data
+        if v.weak and isinstance(d, np.ndarray):
+            tgt = np.result_type(base, _weak_token(d))
+            if d.dtype != tgt:
+                d = d.astype(tgt)
+        out.append(d)
+    return out
+
+
+# -- masks ---------------------------------------------------------------------
+
+def _mask_any(mask: Mask) -> bool:
+    return mask is None or bool(mask.any())
+
+
+def _mask_full(mask: Mask, n: int) -> np.ndarray:
+    return np.ones(n, dtype=bool) if mask is None else mask
+
+
+def _mask_and(mask: Mask, cond: np.ndarray) -> np.ndarray:
+    return cond if mask is None else mask & cond
+
+
+def _mask_norm(mask: Mask) -> Mask:
+    if mask is not None and bool(mask.all()):
+        return None
+    return mask
+
+
+# -- C numeric helpers over lanes ---------------------------------------------
+
+def _to_i64(data: Any) -> Any:
+    """Truncate-toward-zero to int (mirrors per-item ``int(x)``).
+    Arrays become int64; scalars become Python ints (weak)."""
+    if isinstance(data, np.ndarray):
+        if data.dtype.kind == "f":
+            data = np.trunc(data)
+        if data.dtype == np.int64:
+            return data
+        return data.astype(np.int64)
+    return int(data)
+
+
+def _idiv_lanes(a: Lanes, b: Lanes) -> Lanes:
+    """C integer division (truncation toward zero); mirrors the
+    per-item ``_idiv`` helper, which returns a weak Python int."""
+    ad, bd = _to_i64(a.data), _to_i64(b.data)
+    if isinstance(ad, np.ndarray) or isinstance(bd, np.ndarray):
+        ad_min = ad.min() if isinstance(ad, np.ndarray) and ad.size \
+            else ad
+        bd_min = bd.min() if isinstance(bd, np.ndarray) and bd.size \
+            else bd
+        if np.all(ad_min >= 0) and np.all(bd_min > 0):
+            # non-negative operands: truncation == floor, one pass
+            return Lanes(np.floor_divide(ad, bd), True)
+        q = np.floor_divide(np.abs(ad), np.abs(bd))
+        return Lanes(np.where((np.asarray(ad) < 0) != (np.asarray(bd) < 0),
+                              -q, q), True)
+    q = abs(ad) // abs(bd)
+    return Lanes(-q if (ad < 0) != (bd < 0) else q, True)
+
+
+def _imod_lanes(a: Lanes, b: Lanes) -> Lanes:
+    """C modulo (sign of the dividend); truncates float operands to
+    ints first, exactly like the per-item ``_imod``."""
+    ad, bd = _to_i64(a.data), _to_i64(b.data)
+    q = _idiv_lanes(Lanes(ad, True), Lanes(bd, True)).data
+    return Lanes(ad - q * bd, True)
+
+
+_BINOPS: dict[str, Callable[[Any, Any], Any]] = {
+    "+": operator.add, "-": operator.sub, "*": operator.mul,
+    "/": operator.truediv,
+    "==": operator.eq, "!=": operator.ne, "<": operator.lt,
+    ">": operator.gt, "<=": operator.le, ">=": operator.ge,
+    "&": operator.and_, "|": operator.or_, "^": operator.xor,
+    "<<": operator.lshift, ">>": operator.rshift,
+    # only reachable from compound assignment on non-integer operands,
+    # where per-item uses the plain Python operator (Binary "%" always
+    # routes through the C-semantics helper instead)
+    "%": operator.mod,
+}
+
+#: compound pointer-store operators with an exact scatter ufunc
+_SCATTER_UFUNCS: dict[str, np.ufunc] = {
+    "+": np.add, "-": np.subtract, "*": np.multiply, "/": np.divide,
+}
+
+
+# -- execution frames ----------------------------------------------------------
+
+class _LoopFrame:
+    """Break/continue accumulators for one loop nesting level
+    (``None`` until the statement actually executes — most loop
+    iterations never break or continue, and a loop frame is built
+    per iteration)."""
+
+    __slots__ = ("break_mask", "continue_mask")
+
+    def __init__(self, n: int) -> None:
+        self.break_mask: np.ndarray | None = None
+        self.continue_mask: np.ndarray | None = None
+
+
+class _FuncFrame:
+    """One function invocation: its flat environment and return state."""
+
+    __slots__ = ("env", "ret_parts", "ret_mask", "loops")
+
+    def __init__(self, env: dict[str, Any], n: int) -> None:
+        self.env = env
+        self.ret_parts: list[tuple[Mask, Any]] = []
+        self.ret_mask = np.zeros(n, dtype=bool)
+        self.loops: list[_LoopFrame] = []
+
+
+#: lane counts below this are not worth the compaction bookkeeping
+COMPACT_MIN = 4096
+#: compact a loop once fewer than this fraction of lanes remain live
+COMPACT_FRACTION = 0.5
+
+
+class _CompactRecord:
+    """Undo record for one level of active-lane compaction.
+
+    Inside a long-running loop most lanes eventually exit but keep
+    paying for full-width array arithmetic.  Compaction restricts the
+    interpreter — the work-item id arrays and the *current* frame's
+    environment; outer frames are unreachable until this frame pops —
+    to the live lanes, runs the remaining iterations on the smaller
+    arrays, and scatter-merges the results back.  ``idx`` is sorted
+    ascending so lane order (and therefore scatter-collision
+    resolution) is preserved; records nest LIFO.
+    """
+
+    __slots__ = ("idx", "n", "grp_lin", "grp", "lid", "gid",
+                 "env", "ret_mask", "ret_len", "writeback", "restore")
+
+    def __init__(self, idx: np.ndarray, n: int, grp_lin: np.ndarray,
+                 grp: list, lid: list, gid: list, env: dict[str, Any],
+                 ret_mask: np.ndarray, ret_len: int) -> None:
+        self.idx = idx
+        self.n = n
+        self.grp_lin = grp_lin
+        self.grp = grp
+        self.lid = lid
+        self.gid = gid
+        self.env = env
+        self.ret_mask = ret_mask
+        self.ret_len = ret_len
+        #: in-place-mutated arrays (structs, private arrays) needing
+        #: ``orig[idx] = compacted`` on expansion
+        self.writeback: list[tuple[np.ndarray, np.ndarray]] = []
+        #: id(compacted value) -> (compacted value, original value);
+        #: the strong reference prevents id reuse after GC
+        self.restore: dict[int, tuple[Any, Any]] = {}
+
+
+class _Interp:
+    """Interprets one kernel launch over the whole NDRange."""
+
+    def __init__(self, functions: dict[str, ast.FunctionDef],
+                 gsize: Sequence[int], lsize: Sequence[int]) -> None:
+        self.functions = functions
+        self.gsize = tuple(int(g) for g in gsize)
+        self.lsize = tuple(int(l) for l in lsize)
+        self.ngrp = tuple(g // l for g, l in zip(self.gsize, self.lsize))
+        self.num_groups = math.prod(self.ngrp)
+        self.group_lanes = math.prod(self.lsize)
+        self.n = self.num_groups * self.group_lanes
+        grp_idx = np.arange(self.num_groups)
+        lid_idx = np.arange(self.group_lanes)
+        # lane order is group-major, row-major within each, matching the
+        # per-item launcher's np.ndindex iteration exactly (scatter
+        # collisions resolve to the same "last lane wins")
+        self.grp_lin = np.repeat(grp_idx, self.group_lanes)
+        lid_lin = np.tile(lid_idx, self.num_groups)
+        grp_md = np.unravel_index(grp_idx, self.ngrp)
+        lid_md = np.unravel_index(lid_idx, self.lsize)
+        self.grp = [grp_md[d][self.grp_lin] for d in range(len(self.ngrp))]
+        self.lid = [lid_md[d][lid_lin] for d in range(len(self.lsize))]
+        self.gid = [self.grp[d] * self.lsize[d] + self.lid[d]
+                    for d in range(len(self.gsize))]
+        self.local_param_arrays: list[tuple[np.ndarray, GroupArray]] = []
+
+    # -- small helpers ---------------------------------------------------------
+
+    def _expand(self, data: Any) -> np.ndarray:
+        """Broadcast a uniform value to a (N,) array."""
+        if isinstance(data, np.ndarray) and data.ndim > 0:
+            return data
+        if isinstance(data, np.void):
+            out = np.empty(self.n, dtype=data.dtype)
+            out[:] = data
+            return out
+        return np.full(self.n, data)
+
+    def _select(self, cond: np.ndarray, a: Lanes, b: Lanes) -> Lanes:
+        """Per-lane ``cond ? a : b`` with NEP-50-faithful promotion."""
+        ad, bd, weak = _coerce_pair(a, b)
+        dt = ad.dtype if isinstance(ad, np.ndarray) else None
+        if (dt is not None and dt.kind == "V") or (
+                isinstance(bd, np.ndarray) and bd.dtype.kind == "V") \
+                or isinstance(ad, np.void) or isinstance(bd, np.void):
+            out = self._expand(bd).copy()
+            out[cond] = self._expand(ad)[cond]
+            return Lanes(out, False)
+        return Lanes(np.where(cond, ad, bd), weak)
+
+    def _truthy(self, value: Lanes) -> Any:
+        """Python bool for uniform values, (N,) bool array otherwise."""
+        d = value.data
+        if isinstance(d, np.ndarray) and d.ndim > 0:
+            return d if d.dtype == np.bool_ else d.astype(bool)
+        return bool(d)
+
+    def _index_data(self, idx: Lanes) -> Any:
+        """An index operand: per-item wraps every index in ``int()``."""
+        return _to_i64(idx.data)
+
+    def _abs_index(self, ptr: GlobalPtr, idx: Any) -> Any:
+        """Absolute buffer index for an element index relative to the
+        pointer, mirroring per-item slice-view semantics for negative
+        indices (they resolve from the buffer end)."""
+        size = ptr.base.shape[0]
+        if isinstance(idx, np.ndarray) or isinstance(ptr.offset, np.ndarray):
+            if (isinstance(idx, np.ndarray) and idx.size
+                    and not isinstance(ptr.offset, np.ndarray)
+                    and idx.min() >= 0):
+                # non-negative indices (the common case): skip np.where
+                return idx if ptr.offset == 0 else ptr.offset + idx
+            return np.where(np.asarray(idx) >= 0,
+                            ptr.offset + np.asarray(idx),
+                            size + np.asarray(idx))
+        return ptr.offset + idx if idx >= 0 else size + idx
+
+    def _coerce_scalar(self, ctype: ScalarType, value: Lanes) -> Lanes:
+        """Mirror the per-item ``_scalar_coerce``: bool()/int()/float()
+        on scalars; the batched analogue yields weak lanes."""
+        d = value.data
+        if ctype.name == "bool":
+            if isinstance(d, np.ndarray):
+                return Lanes(d if d.dtype == np.bool_ else d.astype(bool),
+                             True)
+            return Lanes(bool(d), True)
+        if ctype.is_integer:
+            return Lanes(_to_i64(d), True)
+        if isinstance(d, np.ndarray):
+            return Lanes(d if d.dtype == np.float64
+                         else d.astype(np.float64), True)
+        return Lanes(float(d), True)
+
+    def _frame(self) -> _FuncFrame:
+        return self._frames[-1]
+
+    # -- statement execution ---------------------------------------------------
+
+    def run_kernel(self, func: ast.FunctionDef, env: dict[str, Any]) -> None:
+        frame = _FuncFrame(env, self.n)
+        self._frames: list[_FuncFrame] = [frame]
+        with np.errstate(all="ignore"):
+            self.exec_block(func.body.body if func.body else [], None)
+
+    def exec_block(self, stmts: Sequence[ast.Stmt], mask: Mask) -> Mask:
+        alive = _mask_any(mask)
+        for stmt in stmts:
+            if not alive:
+                break
+            new = self.exec_stmt(stmt, mask)
+            if new is not mask:
+                mask = new
+                alive = _mask_any(mask)
+        return mask
+
+    def exec_stmt(self, stmt: ast.Stmt, mask: Mask) -> Mask:
+        if isinstance(stmt, ast.CompoundStmt):
+            return self.exec_block(stmt.body, mask)
+        if isinstance(stmt, ast.DeclStmt):
+            self._exec_decl(stmt, mask)
+            return mask
+        if isinstance(stmt, ast.ExprStmt):
+            self._exec_expr_stmt(stmt.expr, mask)
+            return mask
+        if isinstance(stmt, ast.IfStmt):
+            return self._exec_if(stmt, mask)
+        if isinstance(stmt, ast.WhileStmt):
+            return self._exec_while(stmt, mask)
+        if isinstance(stmt, ast.ForStmt):
+            return self._exec_for(stmt, mask)
+        if isinstance(stmt, ast.DoWhileStmt):
+            return self._exec_do_while(stmt, mask)
+        if isinstance(stmt, ast.ReturnStmt):
+            frame = self._frame()
+            value = (self.eval(stmt.value, mask)
+                     if stmt.value is not None else None)
+            if value is not None:
+                frame.ret_parts.append((mask, value))
+            frame.ret_mask |= _mask_full(mask, self.n)
+            return np.zeros(self.n, dtype=bool)
+        if isinstance(stmt, ast.BreakStmt):
+            loop = self._frame().loops[-1]
+            full = _mask_full(mask, self.n)
+            loop.break_mask = (full.copy() if loop.break_mask is None
+                               else loop.break_mask | full)
+            return np.zeros(self.n, dtype=bool)
+        if isinstance(stmt, ast.ContinueStmt):
+            loop = self._frame().loops[-1]
+            full = _mask_full(mask, self.n)
+            loop.continue_mask = (full.copy()
+                                  if loop.continue_mask is None
+                                  else loop.continue_mask | full)
+            return np.zeros(self.n, dtype=bool)
+        raise ClcError(f"batch engine: unsupported statement "
+                       f"{type(stmt).__name__}", stmt.line, stmt.col)
+
+    def _post_loop_mask(self, entry: Mask, before_ret: np.ndarray) -> Mask:
+        """Lanes surviving a loop: everything that entered except lanes
+        that returned *during* the loop."""
+        frame = self._frame()
+        returned = frame.ret_mask & ~before_ret
+        if not returned.any():
+            return entry
+        return _mask_full(entry, self.n) & ~returned
+
+    # -- active-lane compaction ------------------------------------------------
+
+    def _loop_compact(self, live: Mask,
+                      records: list[_CompactRecord]) -> Mask:
+        """Shrink the lane space to the live lanes when enough have
+        left the loop; undone by :meth:`_expand_lanes` in LIFO order."""
+        if live is None or self.n < COMPACT_MIN:
+            return live
+        count = int(np.count_nonzero(live))
+        if count == 0 or count >= self.n * COMPACT_FRACTION:
+            return live
+        records.append(self._compact_lanes(np.flatnonzero(live)))
+        return None
+
+    def _compact_lanes(self, idx: np.ndarray) -> _CompactRecord:
+        frame = self._frame()
+        rec = _CompactRecord(idx, self.n, self.grp_lin, self.grp,
+                             self.lid, self.gid, frame.env,
+                             frame.ret_mask, len(frame.ret_parts))
+        self.n = int(idx.shape[0])
+        self.grp_lin = self.grp_lin[idx]
+        self.grp = [a[idx] for a in self.grp]
+        self.lid = [a[idx] for a in self.lid]
+        self.gid = [a[idx] for a in self.gid]
+        seen: dict[int, Any] = {}
+        frame.env = {name: self._compact_value(v, idx, seen, rec)
+                     for name, v in rec.env.items()}
+        frame.ret_mask = np.zeros(self.n, dtype=bool)
+        return rec
+
+    def _compact_value(self, val: Any, idx: np.ndarray,
+                       seen: dict[int, Any],
+                       rec: _CompactRecord) -> Any:
+        """Restrict one environment value to the lanes in ``idx``.
+        ``seen`` dedups by underlying array identity so aliased
+        bindings stay aliased in the compacted space."""
+        new: Any
+        if isinstance(val, Lanes):
+            d = val.data
+            if isinstance(d, np.ndarray) and d.ndim > 0:
+                comp = seen.get(id(d))
+                if comp is None:
+                    comp = d[idx]
+                    seen[id(d)] = comp
+                    if d.dtype.kind == "V":
+                        # structs are mutated in place (member stores)
+                        rec.writeback.append((d, comp))
+                new = Lanes(comp, val.weak)
+            else:
+                new = val  # uniform scalar: nothing lane-indexed
+        elif isinstance(val, PrivateArray):
+            comp = seen.get(id(val.arr))
+            if comp is None:
+                comp = val.arr[idx]
+                seen[id(val.arr)] = comp
+                rec.writeback.append((val.arr, comp))
+            new = PrivateArray(comp)
+        elif isinstance(val, GlobalPtr) and isinstance(val.offset,
+                                                       np.ndarray):
+            comp = seen.get(id(val.offset))
+            if comp is None:
+                comp = val.offset[idx]
+                seen[id(val.offset)] = comp
+            new = GlobalPtr(val.base, comp)
+        else:
+            # GroupArrays (group-dimensioned, not lane-dimensioned),
+            # uniform pointers, and anything else pass through
+            new = val
+        rec.restore[id(new)] = (new, val)
+        return new
+
+    def _expand_lanes(self, rec: _CompactRecord) -> None:
+        """Undo one compaction level: restore the full lane space and
+        scatter-merge everything the compacted run produced."""
+        frame = self._frame()
+        comp_env = frame.env
+        comp_ret = frame.ret_mask
+        comp_parts = frame.ret_parts[rec.ret_len:]
+        del frame.ret_parts[rec.ret_len:]
+        self.n = rec.n
+        self.grp_lin = rec.grp_lin
+        self.grp, self.lid, self.gid = rec.grp, rec.lid, rec.gid
+        idx = rec.idx
+        for orig, comp in rec.writeback:
+            orig[idx] = comp
+        full_ret = rec.ret_mask
+        if comp_ret.any():
+            full_ret[idx[comp_ret]] = True
+        frame.ret_mask = full_ret
+        for m, v in comp_parts:
+            fm = np.zeros(rec.n, dtype=bool)
+            fm[idx if m is None else idx[m]] = True
+            frame.ret_parts.append((fm, self._scatter_value(v, None, idx)))
+        new_env = dict(rec.env)
+        for name, comp in comp_env.items():
+            entry = rec.restore.get(id(comp))
+            if entry is not None and entry[0] is comp:
+                # binding unchanged during the compacted run (any
+                # in-place struct/private mutation was written back)
+                new_env[name] = entry[1]
+            else:
+                new_env[name] = self._scatter_value(
+                    comp, rec.env.get(name), idx)
+        frame.env = new_env
+
+    def _scatter_value(self, comp: Any, old: Any,
+                       idx: np.ndarray) -> Any:
+        """Merge a compacted value back into the full lane space:
+        lanes in ``idx`` take the compacted result, the rest keep
+        their pre-compaction value (zeros when the name was first
+        bound inside the compacted region — such lanes never read it)."""
+        if isinstance(comp, Lanes):
+            d = comp.data
+            dt = (d.dtype if isinstance(d, np.ndarray)
+                  else np.asarray(d).dtype)
+            if dt.kind == "V":
+                if isinstance(old, Lanes):
+                    full = self._expand(old.data).copy()
+                else:
+                    full = np.zeros(self.n, dtype=dt)
+                full[idx] = d
+                return Lanes(full, False)
+            if isinstance(old, Lanes):
+                ad, bd, weak = _coerce_pair(comp, old)
+                full = np.asarray(self._expand(bd))
+                tgt = np.result_type(full.dtype, np.asarray(ad).dtype)
+                full = full.astype(tgt) if full.dtype != tgt \
+                    else full.copy()
+                full[idx] = ad
+                return Lanes(full, weak)
+            full = np.zeros(self.n, dtype=dt)
+            full[idx] = d
+            return Lanes(full, comp.weak)
+        if isinstance(comp, PrivateArray):
+            if isinstance(old, PrivateArray):
+                full = old.arr.copy()
+            else:
+                full = np.zeros((self.n,) + comp.arr.shape[1:],
+                                dtype=comp.arr.dtype)
+            full[idx] = comp.arr
+            return PrivateArray(full)
+        if isinstance(comp, GlobalPtr) and isinstance(comp.offset,
+                                                      np.ndarray):
+            if isinstance(old, GlobalPtr):
+                off = np.full(self.n, 0, dtype=comp.offset.dtype)
+                off[:] = old.offset
+            else:
+                off = np.zeros(self.n, dtype=comp.offset.dtype)
+            off[idx] = comp.offset
+            return GlobalPtr(comp.base, off)
+        return comp
+
+    def _exec_if(self, stmt: ast.IfStmt, mask: Mask) -> Mask:
+        cond = self._truthy(self.eval(stmt.cond, mask))
+        if isinstance(cond, bool):
+            if cond:
+                return self.exec_stmt(stmt.then, mask)
+            if stmt.otherwise is not None:
+                return self.exec_stmt(stmt.otherwise, mask)
+            return mask
+        then_mask = _mask_norm(_mask_and(mask, cond))
+        else_mask = _mask_norm(_mask_and(mask, ~cond))
+        out_then = then_mask
+        if _mask_any(then_mask):
+            out_then = self.exec_stmt(stmt.then, then_mask)
+        out_else = else_mask
+        if stmt.otherwise is not None and _mask_any(else_mask):
+            out_else = self.exec_stmt(stmt.otherwise, else_mask)
+        return _mask_norm(_mask_full(out_then, self.n)
+                          | _mask_full(out_else, self.n))
+
+    def _exec_while(self, stmt: ast.WhileStmt, mask: Mask) -> Mask:
+        frame = self._frame()
+        before_ret = frame.ret_mask.copy()
+        live = mask
+        iterations = 0
+        records: list[_CompactRecord] = []
+        try:
+            while True:
+                cond = self._truthy(self.eval(stmt.cond, live))
+                if isinstance(cond, bool):
+                    if not cond:
+                        break
+                else:
+                    live = _mask_norm(_mask_and(live, cond))
+                if not _mask_any(live):
+                    break
+                live = self._loop_compact(live, records)
+                iterations += 1
+                if iterations > LOOP_CAP:
+                    raise InterpError(
+                        f"batch engine: loop exceeded {LOOP_CAP} "
+                        f"iterations (line {stmt.line})")
+                loop = _LoopFrame(self.n)
+                frame.loops.append(loop)
+                after = self.exec_stmt(stmt.body, live)
+                frame.loops.pop()
+                if loop.continue_mask is None:
+                    live = after
+                else:
+                    live = _mask_norm(_mask_full(after, self.n)
+                                      | loop.continue_mask)
+                if not _mask_any(live):
+                    break
+        finally:
+            for rec in reversed(records):
+                self._expand_lanes(rec)
+        return self._post_loop_mask(mask, before_ret)
+
+    def _exec_for(self, stmt: ast.ForStmt, mask: Mask) -> Mask:
+        frame = self._frame()
+        before_ret = frame.ret_mask.copy()
+        if stmt.init is not None:
+            self.exec_stmt(stmt.init, mask)
+        live = mask
+        iterations = 0
+        records: list[_CompactRecord] = []
+        try:
+            while True:
+                if stmt.cond is not None:
+                    cond = self._truthy(self.eval(stmt.cond, live))
+                    if isinstance(cond, bool):
+                        if not cond:
+                            break
+                    else:
+                        live = _mask_norm(_mask_and(live, cond))
+                if not _mask_any(live):
+                    break
+                live = self._loop_compact(live, records)
+                iterations += 1
+                if iterations > LOOP_CAP:
+                    raise InterpError(
+                        f"batch engine: loop exceeded {LOOP_CAP} "
+                        f"iterations (line {stmt.line})")
+                loop = _LoopFrame(self.n)
+                frame.loops.append(loop)
+                after = self.exec_stmt(stmt.body, live)
+                frame.loops.pop()
+                # C `continue` runs the step expression too
+                if loop.continue_mask is None:
+                    live = after
+                else:
+                    live = _mask_norm(_mask_full(after, self.n)
+                                      | loop.continue_mask)
+                if stmt.step is not None and _mask_any(live):
+                    self._exec_expr_stmt(stmt.step, live)
+                if not _mask_any(live):
+                    break
+        finally:
+            for rec in reversed(records):
+                self._expand_lanes(rec)
+        return self._post_loop_mask(mask, before_ret)
+
+    def _exec_do_while(self, stmt: ast.DoWhileStmt, mask: Mask) -> Mask:
+        frame = self._frame()
+        before_ret = frame.ret_mask.copy()
+        live = mask
+        iterations = 0
+        records: list[_CompactRecord] = []
+        try:
+            while _mask_any(live):
+                live = self._loop_compact(live, records)
+                iterations += 1
+                if iterations > LOOP_CAP:
+                    raise InterpError(
+                        f"batch engine: loop exceeded {LOOP_CAP} "
+                        f"iterations (line {stmt.line})")
+                loop = _LoopFrame(self.n)
+                frame.loops.append(loop)
+                after = self.exec_stmt(stmt.body, live)
+                frame.loops.pop()
+                if loop.continue_mask is None:
+                    live = after
+                else:
+                    live = _mask_norm(_mask_full(after, self.n)
+                                      | loop.continue_mask)
+                if not _mask_any(live):
+                    break
+                cond = self._truthy(self.eval(stmt.cond, live))
+                if isinstance(cond, bool):
+                    if not cond:
+                        break
+                else:
+                    live = _mask_norm(_mask_and(live, cond))
+        finally:
+            for rec in reversed(records):
+                self._expand_lanes(rec)
+        return self._post_loop_mask(mask, before_ret)
+
+    # -- declarations ----------------------------------------------------------
+
+    def _exec_decl(self, stmt: ast.DeclStmt, mask: Mask) -> None:
+        env = self._frame().env
+        for decl in stmt.declarators:
+            base = stmt.base_type
+            if decl.array_size is not None:
+                if not isinstance(decl.array_size, ast.IntLiteral):
+                    raise ClcError("batch engine: array size must be a "
+                                   "literal", stmt.line, stmt.col)
+                size = decl.array_size.value
+                dtype = self._decl_dtype(base, stmt)
+                if stmt.address_space == "local":
+                    # __local arrays allocate once per group (per-item
+                    # uses wg.setdefault): re-entry is a no-op
+                    if decl.name not in env:
+                        env[decl.name] = GroupArray(np.zeros(
+                            (self.num_groups, size), dtype=dtype))
+                else:
+                    if decl.name in env and mask is not None:
+                        old = env[decl.name]
+                        assert isinstance(old, PrivateArray)
+                        old.arr[mask] = 0
+                    else:
+                        env[decl.name] = PrivateArray(np.zeros(
+                            (self.n, size), dtype=dtype))
+                continue
+            if decl.pointer:
+                if decl.init is None:
+                    raise ClcError(
+                        "batch engine: pointer declaration without "
+                        "initializer", stmt.line, stmt.col)
+                env[decl.name] = self.eval(decl.init, mask)
+                continue
+            if isinstance(base, StructType):
+                dtype = base.dtype()
+                if decl.init is not None:
+                    init = self.eval(decl.init, mask)
+                    fresh = np.zeros(self.n, dtype=dtype)
+                    fresh[...] = self._expand(init.data)
+                    value = Lanes(fresh, False)
+                else:
+                    value = Lanes(np.zeros(self.n, dtype=dtype), False)
+            else:
+                assert isinstance(base, ScalarType)
+                if decl.init is not None:
+                    value = self._coerce_scalar(
+                        base, self.eval(decl.init, mask))
+                else:
+                    value = Lanes(0.0 if base.is_float else 0, True)
+            if decl.name in env and mask is not None:
+                env[decl.name] = self._select(mask, value, env[decl.name])
+            else:
+                env[decl.name] = value
+
+    def _decl_dtype(self, base: Any, stmt: ast.DeclStmt) -> np.dtype:
+        if isinstance(base, (ScalarType, StructType)):
+            return base.dtype()
+        raise ClcError(f"batch engine: cannot allocate array of {base}",
+                       stmt.line, stmt.col)
+
+    # -- expression statements -------------------------------------------------
+
+    def _exec_expr_stmt(self, expr: ast.Expr, mask: Mask) -> None:
+        if isinstance(expr, ast.Assign):
+            self._exec_assign(expr, mask)
+            return
+        if isinstance(expr, (ast.PreIncDec, ast.PostIncDec)):
+            delta = ast.IntLiteral(value=1, line=expr.line, col=expr.col)
+            delta.ctype = expr.operand.ctype
+            synth = ast.Assign(op="+=" if expr.op == "++" else "-=",
+                               target=expr.operand, value=delta,
+                               line=expr.line, col=expr.col)
+            synth.ctype = expr.ctype
+            self._exec_assign(synth, mask)
+            return
+        if isinstance(expr, ast.Binary) and expr.op == ",":
+            self._exec_expr_stmt(expr.left, mask)
+            self._exec_expr_stmt(expr.right, mask)
+            return
+        if isinstance(expr, ast.Call):
+            if expr.name == "barrier":
+                # statement-level lockstep subsumes the barrier for
+                # divergence-free kernels (divergent ones are blocked)
+                return
+            if expr.name in ATOMIC_FUNCTIONS:
+                self._exec_atomic(expr, mask)
+                return
+            self.eval(expr, mask)  # user function / builtin side effects
+            return
+        self.eval(expr, mask)
+
+    def _exec_atomic(self, expr: ast.Call, mask: Mask) -> None:
+        addr = expr.args[0]
+        assert isinstance(addr, ast.Unary) and isinstance(
+            addr.operand, ast.Index)
+        ptr = self.eval(addr.operand.base, mask)
+        if not isinstance(ptr, GlobalPtr):
+            raise InterpError("batch engine: atomic on a non-global "
+                              "pointer")
+        idx = self._abs_index(
+            ptr, self._index_data(self.eval(addr.operand.index, mask)))
+        if expr.name == "atomic_inc":
+            value: Any = 1
+        else:
+            value = self.eval(expr.args[1], mask).data
+        ufunc = np.add if expr.name in ("atomic_add", "atomic_inc") \
+            else np.subtract
+        idx_arr = np.broadcast_to(np.asarray(idx), (self.n,))
+        val_arr = np.broadcast_to(np.asarray(value), (self.n,))
+        if mask is None:
+            ufunc.at(ptr.base, idx_arr, val_arr)
+        else:
+            ufunc.at(ptr.base, idx_arr[mask], val_arr[mask])
+
+    # -- assignment / stores ---------------------------------------------------
+
+    def _exec_assign(self, expr: ast.Assign, mask: Mask) -> None:
+        target = expr.target
+        if isinstance(target, ast.Unary) and target.op == "*":
+            zero = ast.IntLiteral(value=0, line=target.line, col=target.col)
+            from repro.clc.types import INT
+            zero.ctype = INT
+            target = ast.Index(base=target.operand, index=zero,
+                               line=target.line, col=target.col)
+            target.ctype = expr.target.ctype
+        if isinstance(target, ast.Identifier):
+            self._assign_local(expr, target, mask)
+            return
+        if isinstance(target, ast.Index):
+            self._assign_indexed(expr, target, mask)
+            return
+        if isinstance(target, ast.Member):
+            self._assign_member(expr, target, mask)
+            return
+        raise ClcError("batch engine: unsupported assignment target",
+                       expr.line, expr.col)
+
+    def _compound_value(self, op: str, old: Lanes, new: Lanes,
+                        target_t: Any, value_t: Any) -> Lanes:
+        """Mirror per-item compound assignment: int `/=` and `%=` use C
+        truncating helpers; everything else is the plain Python
+        operator with no result coercion."""
+        both_int = (target_t is not None and target_t.is_integer
+                    and value_t is not None and value_t.is_integer)
+        if op == "/" and both_int:
+            return _idiv_lanes(old, new)
+        if op == "%" and both_int:
+            return _imod_lanes(old, new)
+        ad, bd, weak = _coerce_pair(old, new)
+        return Lanes(_BINOPS[op](ad, bd), weak)
+
+    def _assign_local(self, expr: ast.Assign, target: ast.Identifier,
+                      mask: Mask) -> None:
+        env = self._frame().env
+        value = self.eval(expr.value, mask)
+        ttype = target.ctype
+        if expr.op == "=":
+            if isinstance(value, (GlobalPtr, PrivateArray, GroupArray)):
+                raise ClcError("batch engine: pointer reassignment is "
+                               "not supported", expr.line, expr.col)
+            if isinstance(ttype, StructType):
+                old = env.get(target.name)
+                fresh = np.zeros(self.n, dtype=ttype.dtype())
+                fresh[...] = self._expand(value.data)
+                if mask is not None and isinstance(old, Lanes):
+                    merged = old.data.copy()
+                    merged[mask] = fresh[mask]
+                    env[target.name] = Lanes(merged, False)
+                else:
+                    env[target.name] = Lanes(fresh, False)
+                return
+            if isinstance(ttype, ScalarType):
+                value = self._coerce_scalar(ttype, value)
+        else:
+            old_v = env[target.name]
+            if not isinstance(old_v, Lanes):
+                raise ClcError("batch engine: compound assignment to a "
+                               "pointer", expr.line, expr.col)
+            value = self._compound_value(expr.op[:-1], old_v, value,
+                                         ttype, expr.value.ctype)
+        if mask is not None and target.name in env:
+            env[target.name] = self._select(mask, value, env[target.name])
+        else:
+            env[target.name] = value
+
+    def _assign_indexed(self, expr: ast.Assign, target: ast.Index,
+                        mask: Mask) -> None:
+        base = self.eval(target.base, mask)
+        idx = self._index_data(self.eval(target.index, mask))
+        value = self.eval(expr.value, mask)
+        op = expr.op[:-1] if expr.op != "=" else None
+        if isinstance(base, GlobalPtr):
+            self._store_global(base, idx, value, op, expr, mask)
+        elif isinstance(base, PrivateArray):
+            self._store_rowwise(base.arr, np.arange(self.n), idx, value,
+                                op, expr, mask)
+        elif isinstance(base, GroupArray):
+            self._store_rowwise(base.arr, self.grp_lin, idx, value, op,
+                                expr, mask)
+        else:
+            raise InterpError("batch engine: store through a non-pointer")
+
+    def _store_global(self, ptr: GlobalPtr, idx: Any, value: Lanes,
+                      op: Any, expr: ast.Assign, mask: Mask) -> None:
+        arr = ptr.base
+        abs_idx = self._abs_index(ptr, idx)
+        vd = value.data
+        uniform = (not isinstance(abs_idx, np.ndarray)
+                   and not isinstance(vd, np.ndarray) and mask is None)
+        if op is None:
+            if uniform:
+                arr[abs_idx] = vd
+                return
+            idx_arr = np.broadcast_to(np.asarray(abs_idx), (self.n,))
+            val_arr = self._expand(vd)
+            if mask is None:
+                arr[idx_arr] = val_arr
+            else:
+                arr[idx_arr[mask]] = val_arr[mask]
+            return
+        both_int = (expr.target.ctype is not None
+                    and expr.target.ctype.is_integer
+                    and expr.value.ctype is not None
+                    and expr.value.ctype.is_integer)
+        elem_float = arr.dtype.kind == "f"
+        if op in _SCATTER_UFUNCS and not (op in ("/", "%") and both_int) \
+                and not (op == "/" and not elem_float):
+            idx_arr = np.broadcast_to(np.asarray(abs_idx), (self.n,))
+            val_arr = np.broadcast_to(np.asarray(vd), (self.n,))
+            if mask is None:
+                _SCATTER_UFUNCS[op].at(arr, idx_arr, val_arr)
+            else:
+                _SCATTER_UFUNCS[op].at(arr, idx_arr[mask], val_arr[mask])
+            return
+        # gather-modify-scatter; colliding lanes are UB (documented)
+        old = Lanes(arr[np.broadcast_to(np.asarray(abs_idx), (self.n,))],
+                    False)
+        new = self._compound_value(op, old, value, expr.target.ctype,
+                                   expr.value.ctype)
+        idx_arr = np.broadcast_to(np.asarray(abs_idx), (self.n,))
+        val_arr = self._expand(new.data)
+        if mask is None:
+            arr[idx_arr] = val_arr
+        else:
+            arr[idx_arr[mask]] = val_arr[mask]
+
+    def _store_rowwise(self, arr: np.ndarray, rows: np.ndarray, idx: Any,
+                       value: Lanes, op: Any, expr: ast.Assign,
+                       mask: Mask) -> None:
+        """Store into a (rows, size) private/local array: each lane owns
+        (or shares within its group) row ``rows[lane]``."""
+        idx_arr = np.broadcast_to(np.asarray(idx), (self.n,))
+        if op is not None:
+            old = Lanes(arr[rows, idx_arr], False)
+            value = self._compound_value(op, old, value,
+                                         expr.target.ctype,
+                                         expr.value.ctype)
+        val_arr = self._expand(value.data)
+        if mask is None:
+            arr[rows, idx_arr] = val_arr
+        else:
+            arr[rows[mask], idx_arr[mask]] = val_arr[mask]
+
+    def _assign_member(self, expr: ast.Assign, target: ast.Member,
+                       mask: Mask) -> None:
+        value = self.eval(expr.value, mask)
+        if isinstance(target.base, ast.Index):
+            # field store through a struct pointer: scatter on the
+            # field view of the buffer
+            ptr = self.eval(target.base.base, mask)
+            if not isinstance(ptr, GlobalPtr):
+                raise InterpError("batch engine: member store through a "
+                                  "non-global pointer")
+            idx = self._index_data(self.eval(target.base.index, mask))
+            field = GlobalPtr(ptr.base[target.member], ptr.offset)
+            op = expr.op[:-1] if expr.op != "=" else None
+            self._store_global(field, idx, value, op, expr, mask)
+            return
+        base = self.eval(target.base, mask)
+        if not isinstance(base, Lanes):
+            raise InterpError("batch engine: member store on a "
+                              "non-struct value")
+        data = base.data
+        if op_ := (expr.op[:-1] if expr.op != "=" else None):
+            old = Lanes(np.asarray(data[target.member]).copy(), False)
+            value = self._compound_value(op_, old, value,
+                                         expr.target.ctype,
+                                         expr.value.ctype)
+        if isinstance(data, np.void):
+            # uniform struct view: active lanes write sequentially, the
+            # last one wins (mirrors per-item order)
+            vd = value.data
+            if isinstance(vd, np.ndarray) and vd.ndim > 0:
+                active = np.flatnonzero(_mask_full(mask, self.n))
+                if active.size == 0:
+                    return
+                data[target.member] = vd[active[-1]]
+            elif _mask_any(mask):
+                data[target.member] = vd
+            return
+        # in-place field mutation: aliases (struct params passed through
+        # user-function calls) observe the write, as per-item does
+        field_arr = data[target.member]
+        val_arr = value.data
+        if mask is None:
+            field_arr[...] = val_arr
+        else:
+            if isinstance(val_arr, np.ndarray) and val_arr.ndim > 0:
+                field_arr[mask] = val_arr[mask]
+            else:
+                field_arr[mask] = val_arr
+
+    # -- expression evaluation -------------------------------------------------
+
+    def eval(self, expr: ast.Expr, mask: Mask) -> Any:
+        if isinstance(expr, ast.IntLiteral):
+            return Lanes(expr.value, True)
+        if isinstance(expr, ast.FloatLiteral):
+            return Lanes(expr.value, True)
+        if isinstance(expr, ast.BoolLiteral):
+            return Lanes(expr.value, True)
+        if isinstance(expr, ast.Identifier):
+            try:
+                return self._frame().env[expr.name]
+            except KeyError:
+                raise InterpError(
+                    f"batch engine: undefined name {expr.name!r}")
+        if isinstance(expr, ast.Unary):
+            return self._eval_unary(expr, mask)
+        if isinstance(expr, ast.Binary):
+            return self._eval_binary(expr, mask)
+        if isinstance(expr, ast.Ternary):
+            return self._eval_ternary(expr, mask)
+        if isinstance(expr, ast.Call):
+            return self._eval_call(expr, mask)
+        if isinstance(expr, ast.Index):
+            return self._eval_index(expr, mask)
+        if isinstance(expr, ast.Member):
+            return self._eval_member(expr, mask)
+        if isinstance(expr, ast.Cast):
+            return self._eval_cast(expr, mask)
+        raise ClcError(f"batch engine: unsupported expression "
+                       f"{type(expr).__name__}", expr.line, expr.col)
+
+    def _eval_unary(self, expr: ast.Unary, mask: Mask) -> Any:
+        if expr.op == "*":
+            ptr = self.eval(expr.operand, mask)
+            if not isinstance(ptr, GlobalPtr):
+                raise InterpError("batch engine: dereference of a "
+                                  "non-global pointer")
+            return self._gather_global(ptr, 0, mask)
+        value = self.eval(expr.operand, mask)
+        if not isinstance(value, Lanes):
+            raise InterpError("batch engine: unary operator on a pointer")
+        if expr.op == "!":
+            t = self._truthy(value)
+            if isinstance(t, bool):
+                return Lanes(not t, True)
+            return Lanes(~t, True)
+        if expr.op == "-":
+            return Lanes(-value.data, value.weak)
+        if expr.op == "+":
+            return Lanes(+value.data, value.weak)
+        if expr.op == "~":
+            return Lanes(~value.data, value.weak)
+        raise ClcError(f"batch engine: unsupported unary {expr.op!r}",
+                       expr.line, expr.col)
+
+    def _eval_binary(self, expr: ast.Binary, mask: Mask) -> Any:
+        op = expr.op
+        if op == ",":
+            raise ClcError("batch engine: comma expression as a value",
+                           expr.line, expr.col)
+        if op in ("&&", "||"):
+            return self._eval_shortcircuit(expr, mask)
+        left = self.eval(expr.left, mask)
+        lt, rt = expr.left.ctype, expr.right.ctype
+        # pointer arithmetic (p + i / i + p) builds a shifted pointer
+        if isinstance(left, GlobalPtr):
+            right = self.eval(expr.right, mask)
+            if op == "+" and isinstance(right, Lanes):
+                return left.shifted(self._index_data(right))
+            raise ClcError("batch engine: unsupported pointer "
+                           "arithmetic", expr.line, expr.col)
+        right = self.eval(expr.right, mask)
+        if isinstance(right, GlobalPtr):
+            if op == "+" and isinstance(left, Lanes):
+                return right.shifted(self._index_data(left))
+            raise ClcError("batch engine: unsupported pointer "
+                           "arithmetic", expr.line, expr.col)
+        if not (isinstance(left, Lanes) and isinstance(right, Lanes)):
+            raise InterpError("batch engine: binary operator on a "
+                              "private/local array")
+        if op == "/" and lt is not None and rt is not None \
+                and lt.is_integer and rt.is_integer:
+            return _idiv_lanes(left, right)
+        if op == "%":
+            return _imod_lanes(left, right)
+        ld, rd, weak = _coerce_pair(left, right)
+        return Lanes(_BINOPS[op](ld, rd), weak)
+
+    def _eval_shortcircuit(self, expr: ast.Binary, mask: Mask) -> Lanes:
+        is_and = expr.op == "&&"
+        lb = self._truthy(self.eval(expr.left, mask))
+        if isinstance(lb, bool):
+            if is_and and not lb:
+                return Lanes(False, True)
+            if not is_and and lb:
+                return Lanes(True, True)
+            rb = self._truthy(self.eval(expr.right, mask))
+            if isinstance(rb, bool):
+                return Lanes(rb, True)
+            return Lanes(rb.copy(), True)
+        # evaluate the RHS only where the LHS doesn't decide the result
+        rhs_mask = _mask_norm(_mask_and(mask, lb if is_and else ~lb))
+        if not _mask_any(rhs_mask):
+            return Lanes(lb if is_and else lb.copy(), True)
+        rb = self._truthy(self.eval(expr.right, rhs_mask))
+        if isinstance(rb, bool):
+            rb_arr: Any = rb
+        else:
+            rb_arr = rb
+        return Lanes((lb & rb_arr) if is_and else (lb | rb_arr), True)
+
+    def _eval_ternary(self, expr: ast.Ternary, mask: Mask) -> Lanes:
+        cond = self._truthy(self.eval(expr.cond, mask))
+        if isinstance(cond, bool):
+            branch = expr.then if cond else expr.otherwise
+            value = self.eval(branch, mask)
+            if not isinstance(value, Lanes):
+                raise ClcError("batch engine: ternary over pointers",
+                               expr.line, expr.col)
+            return value
+        then_mask = _mask_norm(_mask_and(mask, cond))
+        else_mask = _mask_norm(_mask_and(mask, ~cond))
+        if not _mask_any(then_mask):
+            value = self.eval(expr.otherwise, else_mask)
+            if not isinstance(value, Lanes):
+                raise ClcError("batch engine: ternary over pointers",
+                               expr.line, expr.col)
+            return value
+        if not _mask_any(else_mask):
+            value = self.eval(expr.then, then_mask)
+            if not isinstance(value, Lanes):
+                raise ClcError("batch engine: ternary over pointers",
+                               expr.line, expr.col)
+            return value
+        then_v = self.eval(expr.then, then_mask)
+        else_v = self.eval(expr.otherwise, else_mask)
+        if not (isinstance(then_v, Lanes) and isinstance(else_v, Lanes)):
+            raise ClcError("batch engine: ternary over pointers",
+                           expr.line, expr.col)
+        return self._select(cond, then_v, else_v)
+
+    # -- gathers ---------------------------------------------------------------
+
+    def _gather_global(self, ptr: GlobalPtr, idx: Any, mask: Mask) -> Lanes:
+        arr = ptr.base
+        abs_idx = self._abs_index(ptr, idx)
+        if not isinstance(abs_idx, np.ndarray):
+            # uniform address: every active lane reads the same element
+            return Lanes(arr[abs_idx], False)
+        if mask is None:
+            return Lanes(arr[abs_idx], False)  # fancy indexing copies
+        out = np.zeros(self.n, dtype=arr.dtype)
+        out[mask] = arr[abs_idx[mask]]
+        return Lanes(out, False)
+
+    def _eval_index(self, expr: ast.Index, mask: Mask) -> Lanes:
+        base = self.eval(expr.base, mask)
+        idx = self._index_data(self.eval(expr.index, mask))
+        if isinstance(base, GlobalPtr):
+            return self._gather_global(base, idx, mask)
+        if isinstance(base, PrivateArray):
+            return self._gather_rowwise(base.arr, np.arange(self.n), idx,
+                                        mask)
+        if isinstance(base, GroupArray):
+            return self._gather_rowwise(base.arr, self.grp_lin, idx, mask)
+        raise InterpError("batch engine: indexing a non-pointer value")
+
+    def _gather_rowwise(self, arr: np.ndarray, rows: np.ndarray, idx: Any,
+                        mask: Mask) -> Lanes:
+        if not isinstance(idx, np.ndarray):
+            return Lanes(arr[rows, idx].copy()
+                         if isinstance(rows, np.ndarray)
+                         else arr[rows, idx], False)
+        if mask is None:
+            return Lanes(arr[rows, idx], False)
+        out = np.zeros(self.n, dtype=arr.dtype)
+        out[mask] = arr[rows[mask], idx[mask]]
+        return Lanes(out, False)
+
+    def _eval_member(self, expr: ast.Member, mask: Mask) -> Lanes:
+        base = self.eval(expr.base, mask)
+        if not isinstance(base, Lanes):
+            raise InterpError("batch engine: member access through a "
+                              "pointer")
+        d = base.data[expr.member]
+        if isinstance(d, np.ndarray) and d.ndim > 0:
+            d = d.copy()  # break the view: the local may be reassigned
+        return Lanes(d, False)
+
+    def _eval_cast(self, expr: ast.Cast, mask: Mask) -> Any:
+        value = self.eval(expr.operand, mask)
+        target = expr.target_type
+        if not isinstance(target, ScalarType) or not isinstance(
+                value, Lanes):
+            return value  # pointer casts: no-op, as per-item
+        return self._coerce_scalar(target, value)
+
+    # -- calls -----------------------------------------------------------------
+
+    def _eval_call(self, expr: ast.Call, mask: Mask) -> Any:
+        name = expr.name
+        if name in WORK_ITEM_FUNCTIONS:
+            return self._eval_work_item(expr)
+        if name in ATOMIC_FUNCTIONS:
+            raise ClcError("batch engine: atomic in value position",
+                           expr.line, expr.col)
+        if name in self.functions:
+            return self._call_user(self.functions[name], expr, mask)
+        builtin = BUILTINS.get(name)
+        if builtin is None or builtin.impl is None:
+            raise ClcError(f"batch engine: unsupported call {name}()",
+                           expr.line, expr.col)
+        args = [self.eval(a, mask) for a in expr.args]
+        if not all(isinstance(a, Lanes) for a in args):
+            raise InterpError(
+                f"batch engine: pointer argument to builtin {name}()")
+        # per-item builtins run numpy ufuncs, whose results are
+        # numpy-typed (strong) even for Python-scalar inputs
+        return Lanes(builtin.impl(*_coerce_args(args)), False)
+
+    def _eval_work_item(self, expr: ast.Call) -> Lanes:
+        name = expr.name
+        if name == "get_work_dim":
+            return Lanes(len(self.gsize), True)
+        dim_expr = expr.args[0]
+        if not isinstance(dim_expr, ast.IntLiteral):
+            raise ClcError(f"batch engine: {name} dimension must be a "
+                           "literal", expr.line, expr.col)
+        d = dim_expr.value
+        if name == "get_global_id":
+            return Lanes(self.gid[d], True)
+        if name == "get_local_id":
+            return Lanes(self.lid[d], True)
+        if name == "get_group_id":
+            return Lanes(self.grp[d], True)
+        if name == "get_global_size":
+            return Lanes(self.gsize[d], True)
+        if name == "get_local_size":
+            return Lanes(self.lsize[d], True)
+        if name == "get_num_groups":
+            return Lanes(self.gsize[d] // self.lsize[d], True)
+        raise ClcError(f"batch engine: unsupported work-item function "
+                       f"{name}", expr.line, expr.col)
+
+    def _call_user(self, fdef: ast.FunctionDef, expr: ast.Call,
+                   mask: Mask) -> Any:
+        args = [self.eval(a, mask) for a in expr.args]
+        env: dict[str, Any] = {}
+        for param, value in zip(fdef.params, args):
+            # struct parameters share the caller's Lanes so member
+            # stores alias, exactly like per-item np.void views
+            env[param.name] = value
+        frame = _FuncFrame(env, self.n)
+        self._frames.append(frame)
+        try:
+            self.exec_block(fdef.body.body if fdef.body else [], mask)
+        finally:
+            self._frames.pop()
+        if not frame.ret_parts:
+            return None
+        acc = frame.ret_parts[0][1]
+        for part_mask, part_value in frame.ret_parts[1:]:
+            acc = self._select(_mask_full(part_mask, self.n),
+                               part_value, acc)
+        return acc
+
+
+# -- the public kernel object --------------------------------------------------
+
+class BatchKernel:
+    """A batch-compiled kernel; its call signature matches the per-item
+    launcher (``launcher(args, gsize, lsize)``), so the OpenCL layer can
+    plug either engine into :class:`repro.ocl.program.Kernel`."""
+
+    def __init__(self, unit: ast.TranslationUnit,
+                 func: ast.FunctionDef) -> None:
+        self.unit = unit
+        self.func = func
+        self.name = func.name
+        self.functions = {f.name: f for f in unit.functions
+                          if not f.is_kernel}
+
+    def __call__(self, args: Sequence[Any], gsize: Sequence[int],
+                 lsize: Sequence[int]) -> None:
+        func = self.func
+        if len(args) != len(func.params):
+            raise InterpError(f"kernel {func.name} expects "
+                              f"{len(func.params)} args, got {len(args)}")
+        interp = _Interp(self.functions, gsize, lsize)
+        if interp.n == 0:
+            return
+        env: dict[str, Any] = {}
+        local_params: list[tuple[np.ndarray, GroupArray]] = []
+        for param, arg in zip(func.params, args):
+            if isinstance(param.ctype, PointerType):
+                view = np.asarray(arg)
+                if param.ctype.address_space == "local" \
+                        or param.address_space == "local":
+                    # per-group copies; per-item runs groups one after
+                    # another on the same scratch buffer, so the final
+                    # buffer content is the last group's
+                    garr = GroupArray(np.repeat(view[None, :],
+                                                interp.num_groups, axis=0))
+                    env[param.name] = garr
+                    local_params.append((view, garr))
+                else:
+                    env[param.name] = GlobalPtr(view, 0)
+            else:
+                env[param.name] = Lanes(arg, _is_weak_scalar(arg))
+        interp.run_kernel(func, env)
+        for view, garr in local_params:
+            view[:] = garr.arr[interp.num_groups - 1]

@@ -1,0 +1,124 @@
+"""Persistent on-disk compile cache for :func:`repro.clc.compile_source`.
+
+Repeated runs (and the repo-wide kernel self-test) compile the same
+merged skeleton sources over and over; parse/typecheck/codegen is pure,
+so the result can be keyed by the source text alone.  Entries are
+pickles of ``(source, unit, op_counts, python_source)`` stored under
+``~/.cache/repro/clc`` (override with ``REPRO_CLC_CACHE_DIR``), keyed
+by the SHA-256 of the source and the dialect version — bump
+:data:`DIALECT_VERSION` whenever parser, typechecker or codegen output
+changes shape, and stale entries are simply never looked up again.
+
+A cache hit re-runs only :func:`repro.clc.codegen.materialize` (exec of
+the stored Python source); the AST is reused for analysis passes and
+the batch engine.  Set ``REPRO_CLC_CACHE=off`` to disable entirely.
+Any unpickling problem falls back to a fresh compile — the cache can
+never make a build fail.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import pickle
+import tempfile
+from pathlib import Path
+from typing import Any
+
+#: bump when parse/typecheck/codegen output changes incompatibly
+DIALECT_VERSION = 1
+
+_OFF_VALUES = {"0", "off", "false", "no"}
+
+
+def cache_enabled() -> bool:
+    return os.environ.get("REPRO_CLC_CACHE", "").lower() \
+        not in _OFF_VALUES
+
+
+def cache_dir() -> Path:
+    override = os.environ.get("REPRO_CLC_CACHE_DIR")
+    if override:
+        return Path(override)
+    return Path.home() / ".cache" / "repro" / "clc"
+
+
+def _entry_path(source: str) -> Path:
+    digest = hashlib.sha256(source.encode()).hexdigest()
+    return cache_dir() / f"{digest}.v{DIALECT_VERSION}.pkl"
+
+
+def load(source: str) -> dict[str, Any] | None:
+    """The stored compile products for *source*, or None.
+
+    Returns a dict with ``unit``, ``op_counts`` and ``python_source``.
+    The stored source is compared against the request to rule out the
+    (astronomically unlikely) hash collision and truncated writes.
+    """
+    path = _entry_path(source)
+    try:
+        with open(path, "rb") as fh:
+            entry = pickle.load(fh)
+        if (entry.get("version") == DIALECT_VERSION
+                and entry.get("source") == source):
+            return entry
+    except Exception:
+        pass
+    return None
+
+
+def store(source: str, unit: Any, op_counts: dict[str, float],
+          python_source: str) -> None:
+    """Persist one compile result; failures are silently ignored
+    (a read-only cache directory must not break compilation)."""
+    path = _entry_path(source)
+    entry = {
+        "version": DIALECT_VERSION,
+        "source": source,
+        "unit": unit,
+        "op_counts": op_counts,
+        "python_source": python_source,
+    }
+    try:
+        path.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "wb") as fh:
+                pickle.dump(entry, fh)
+            os.replace(tmp, path)  # atomic on POSIX
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+    except Exception:
+        pass
+
+
+def stats() -> dict[str, Any]:
+    """Entry count and total size of the cache directory."""
+    directory = cache_dir()
+    entries = list(directory.glob("*.pkl")) if directory.is_dir() else []
+    return {
+        "dir": str(directory),
+        "enabled": cache_enabled(),
+        "entries": len(entries),
+        "bytes": sum(p.stat().st_size for p in entries),
+        "dialect_version": DIALECT_VERSION,
+    }
+
+
+def clear() -> int:
+    """Delete every cache entry; returns how many were removed."""
+    directory = cache_dir()
+    if not directory.is_dir():
+        return 0
+    removed = 0
+    for path in directory.glob("*.pkl"):
+        try:
+            path.unlink()
+            removed += 1
+        except OSError:
+            pass
+    return removed

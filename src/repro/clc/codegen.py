@@ -151,40 +151,7 @@ class CodeGenerator:
         for func in self.unit.functions:
             self._gen_function(func)
             emitter.emit("")
-        source = emitter.source()
-        namespace: dict[str, Any] = {
-            "np": np,
-            "WorkItem": WorkItem,
-            "_idiv": _idiv, "_imod": _imod, "_as_int": _as_int,
-            "_struct_copy": _struct_copy,
-            "_atomic_add": _atomic_add, "_atomic_sub": _atomic_sub,
-            "_atomic_inc": _atomic_inc,
-            "InterpError": InterpError,
-        }
-        for name, builtin in BUILTINS.items():
-            if builtin.impl is not None:
-                namespace[f"_bi_{name}"] = builtin.impl
-        try:
-            exec(compile(source, "<clc-codegen>", "exec"), namespace)
-        except SyntaxError as exc:  # pragma: no cover - codegen bug guard
-            raise ClcError(f"internal codegen error: {exc}\n{source}")
-        compiled = CompiledUnit(python_source=source)
-        for func in self.unit.functions:
-            py_fn = namespace[f"_fn_{func.name}"]
-            record = CompiledFunction(
-                name=func.name, callable=py_fn,
-                param_types=[p.ctype for p in func.params],
-                return_type=func.return_type, is_kernel=func.is_kernel,
-                op_count=self.op_counts.get(func.name, 1.0))
-            compiled.functions[func.name] = record
-            if func.is_kernel:
-                launcher = namespace[f"_kernel_{func.name}"]
-                compiled.kernels[func.name] = CompiledFunction(
-                    name=func.name, callable=launcher,
-                    param_types=record.param_types,
-                    return_type=record.return_type, is_kernel=True,
-                    op_count=record.op_count)
-        return compiled
+        return materialize(self.unit, self.op_counts, emitter.source())
 
     # -- functions -------------------------------------------------------------
 
@@ -576,6 +543,50 @@ def _dtype_descr(struct: StructType) -> list[tuple[str, str]]:
                 f"nested struct field {struct.name}.{fname} not supported "
                 "for local arrays")
     return descr
+
+
+def materialize(unit: ast.TranslationUnit, op_counts: dict[str, float],
+                python_source: str) -> CompiledUnit:
+    """Exec already-generated Python source and build the
+    :class:`CompiledUnit` records.
+
+    Split out of :meth:`CodeGenerator.generate` so the on-disk compile
+    cache (:mod:`repro.clc.cache`) can rebuild a unit from stored
+    Python source without re-running parse/typecheck/emit.
+    """
+    namespace: dict[str, Any] = {
+        "np": np,
+        "WorkItem": WorkItem,
+        "_idiv": _idiv, "_imod": _imod, "_as_int": _as_int,
+        "_struct_copy": _struct_copy,
+        "_atomic_add": _atomic_add, "_atomic_sub": _atomic_sub,
+        "_atomic_inc": _atomic_inc,
+        "InterpError": InterpError,
+    }
+    for name, builtin in BUILTINS.items():
+        if builtin.impl is not None:
+            namespace[f"_bi_{name}"] = builtin.impl
+    try:
+        exec(compile(python_source, "<clc-codegen>", "exec"), namespace)
+    except SyntaxError as exc:  # pragma: no cover - codegen bug guard
+        raise ClcError(f"internal codegen error: {exc}\n{python_source}")
+    compiled = CompiledUnit(python_source=python_source)
+    for func in unit.functions:
+        py_fn = namespace[f"_fn_{func.name}"]
+        record = CompiledFunction(
+            name=func.name, callable=py_fn,
+            param_types=[p.ctype for p in func.params],
+            return_type=func.return_type, is_kernel=func.is_kernel,
+            op_count=op_counts.get(func.name, 1.0))
+        compiled.functions[func.name] = record
+        if func.is_kernel:
+            launcher = namespace[f"_kernel_{func.name}"]
+            compiled.kernels[func.name] = CompiledFunction(
+                name=func.name, callable=launcher,
+                param_types=record.param_types,
+                return_type=record.return_type, is_kernel=True,
+                op_count=record.op_count)
+    return compiled
 
 
 def generate(unit: ast.TranslationUnit,

@@ -20,6 +20,7 @@ per-item path.
 
 from __future__ import annotations
 
+import operator
 from typing import Callable
 
 import numpy as np
@@ -77,8 +78,9 @@ class _Vectorizer:
                     if assign.op == "=":
                         env[name] = value
                     else:
-                        env[name] = _apply_binop(assign.op[:-1], env[name],
-                                                 value)
+                        env[name] = _typed_binop(
+                            assign.op[:-1], env[name], value,
+                            assign.target.ctype, assign.value.ctype)
                 elif isinstance(stmt, ast.ReturnStmt):
                     result = _eval(stmt.value, env)
                     break
@@ -86,6 +88,26 @@ class _Vectorizer:
 
         evaluate.__name__ = f"vectorized_{func.name}"
         return evaluate
+
+
+_CMP = {"==": operator.eq, "!=": operator.ne,
+        "<": operator.lt, ">": operator.gt,
+        "<=": operator.le, ">=": operator.ge}
+
+
+def _typed_binop(op: str, left, right, left_type, right_type):
+    """Apply *op* honouring the operands' C types.
+
+    Integer ``/`` is C truncating division — plain ``left / right``
+    would produce floats (this bit compound ``/=`` assignments, which
+    used to skip the typed lowering entirely).
+    """
+    if op == "/" and left_type is not None and left_type.is_integer \
+            and right_type is not None and right_type.is_integer:
+        q = np.floor_divide(np.abs(left), np.abs(right))
+        return np.where(np.logical_xor(np.asarray(left) < 0,
+                                       np.asarray(right) < 0), -q, q)
+    return _apply_binop(op, left, right)
 
 
 def _apply_binop(op: str, left, right):
@@ -139,21 +161,10 @@ def _eval(expr: ast.Expr, env: dict[str, object]):
         if op in ("&&", "||"):
             fn = np.logical_and if op == "&&" else np.logical_or
             return fn(left, right)
-        if op in ("==", "!=", "<", ">", "<=", ">="):
-            import operator
-            table = {"==": operator.eq, "!=": operator.ne,
-                     "<": operator.lt, ">": operator.gt,
-                     "<=": operator.le, ">=": operator.ge}
-            return table[op](left, right)
-        if op == "/" and expr.left.ctype is not None \
-                and expr.left.ctype.is_integer \
-                and expr.right.ctype is not None \
-                and expr.right.ctype.is_integer:
-            # C truncating division, vectorized
-            q = np.floor_divide(np.abs(left), np.abs(right))
-            return np.where(np.logical_xor(np.asarray(left) < 0,
-                                           np.asarray(right) < 0), -q, q)
-        return _apply_binop(op, left, right)
+        if op in _CMP:
+            return _CMP[op](left, right)
+        return _typed_binop(op, left, right, expr.left.ctype,
+                            expr.right.ctype)
     if isinstance(expr, ast.Ternary):
         cond = _eval(expr.cond, env)
         then = _eval(expr.then, env)

@@ -10,7 +10,11 @@ Commands:
   virtual-time phase breakdown;
 - ``fig4b`` — regenerate the paper's headline runtime comparison;
 - ``lint`` — run the kernel static analysis over a dialect source
-  file and print diagnostics (text or JSON);
+  file and print diagnostics (text or JSON); ``--engine-report``
+  instead prints which execution engine (batch or per-item) each
+  kernel gets and every blocker behind a per-item fallback;
+- ``cache stats`` / ``cache clear`` — inspect or empty the on-disk
+  kernel compile cache;
 - ``graph dump`` — run a map pipeline through the deferred execution
   engine, report optimizer statistics and the eager-vs-deferred
   makespans, optionally writing the DAG (``--dot``) or the virtual
@@ -202,6 +206,8 @@ def _cmd_lint(args) -> int:
     except OSError as exc:
         print(f"lint: {exc}", file=sys.stderr)
         return 2
+    if args.engine_report:
+        return _engine_report(args, source)
     try:
         report = analyze_source(source)
     except errors.ClcError as exc:
@@ -217,6 +223,64 @@ def _cmd_lint(args) -> int:
     else:
         print(report.format_text(args.file))
     return 1 if report.has_errors else 0
+
+
+def _engine_report(args, source: str) -> int:
+    """Which execution engine each kernel gets, and why."""
+    from repro import errors
+    from repro.clc import parse, typecheck
+    from repro.clc.analysis import engine_report
+
+    try:
+        unit = parse(source)
+        typecheck(unit)
+        report = engine_report(unit)
+    except errors.ClcError as exc:
+        if args.json:
+            import json
+            print(json.dumps({"file": args.file, "error": str(exc)},
+                             indent=2))
+        else:
+            print(f"{args.file}: {exc}", file=sys.stderr)
+        return 2
+    if args.json:
+        import json
+        print(json.dumps(
+            {"file": args.file,
+             "kernels": {name: {"engine": ("batch" if not blockers
+                                           else "per-item"),
+                                "blockers": blockers}
+                         for name, blockers in report.items()}},
+            indent=2))
+        return 0
+    if not report:
+        print(f"{args.file}: no kernels")
+        return 0
+    for name, blockers in report.items():
+        if not blockers:
+            print(f"{name}: batch")
+        else:
+            print(f"{name}: per-item")
+            for blocker in blockers:
+                print(f"  - {blocker}")
+    return 0
+
+
+def _cmd_cache(args) -> int:
+    from repro.clc import cache
+
+    if args.cache_command == "stats":
+        info = cache.stats()
+        print(f"cache dir:       {info['dir']}")
+        print(f"enabled:         {info['enabled']}")
+        print(f"dialect version: {info['dialect_version']}")
+        print(f"entries:         {info['entries']}")
+        print(f"size:            {info['bytes']} bytes")
+        return 0
+    removed = cache.clear()
+    print(f"removed {removed} cache entr"
+          f"{'y' if removed == 1 else 'ies'}")
+    return 0
 
 
 def _pipeline_stages(count: int):
@@ -374,7 +438,17 @@ def build_parser() -> argparse.ArgumentParser:
                    help="machine-readable JSON report")
     p.add_argument("--list-checks", action="store_true",
                    help="print the check registry and exit")
+    p.add_argument("--engine-report", action="store_true",
+                   help="report the execution engine each kernel gets "
+                        "(batch or per-item) and any blockers")
     p.set_defaults(fn=_cmd_lint)
+
+    p = sub.add_parser(
+        "cache", help="inspect the on-disk kernel compile cache")
+    cache_sub = p.add_subparsers(dest="cache_command", required=True)
+    cache_sub.add_parser("stats", help="show entry count and size")
+    cache_sub.add_parser("clear", help="delete every cache entry")
+    p.set_defaults(fn=_cmd_cache)
 
     p = sub.add_parser(
         "graph", help="deferred execution engine inspection")

@@ -4,15 +4,26 @@ Source programs go through the mini OpenCL-C compiler at ``build()``
 time, exactly like the paper's workflow (SkelCL merges user code into
 skeleton code and has the underlying OpenCL implementation compile it).
 
+Source kernels execute through one of two engines — a simulator
+implementation detail that never changes the virtual-time cost model:
+
+- ``batch``: the whole-NDRange numpy transpiler
+  (:mod:`repro.clc.batch`), the default whenever the engine-selection
+  analysis finds no blockers;
+- ``per-item``: the per-work-item interpreter loop, the fallback for
+  kernels the batch engine cannot lower (every fallback carries a
+  concrete reason in ``Kernel.engine_blockers``; see
+  ``repro lint --engine-report``).
+
 Native programs are the analogue of ``clCreateProgramWithBinary``: a
-pre-built kernel implemented as a vectorized Python function.  They
-exist because interpreting millions of work items per launch in Python
-would make the simulation unusably slow for the OSEM ray tracer; their
-cost model parameters are declared explicitly.
+pre-built kernel implemented as a vectorized Python function — the
+escape hatch from the era when every compiled kernel ran per work
+item.  Their cost model parameters are declared explicitly.
 """
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass
 from typing import Callable, Sequence
 
@@ -63,7 +74,9 @@ class Kernel:
     def __init__(self, program: "Program", name: str,
                  params: list[KernelParam],
                  launcher: Callable, ops_per_item: float,
-                 bytes_per_item: float, native: bool) -> None:
+                 bytes_per_item: float, native: bool,
+                 engine: str = "native",
+                 engine_blockers: Sequence[str] = ()) -> None:
         self.program = program
         self.name = name
         self.params = params
@@ -71,6 +84,12 @@ class Kernel:
         self.ops_per_item = ops_per_item
         self.bytes_per_item = bytes_per_item
         self.native = native
+        #: execution strategy: "batch", "per-item" or "native" — a
+        #: simulator implementation detail; the virtual-time cost
+        #: model is identical across engines
+        self.engine = engine
+        #: why the batch engine declined (empty when engine == "batch")
+        self.engine_blockers = list(engine_blockers)
         self._args: list = [None] * len(params)
         self._args_set = [False] * len(params)
 
@@ -147,12 +166,27 @@ class Program:
     def kernel_names(self) -> list[str]:
         return sorted(self.compiled.kernels)
 
-    def create_kernel(self, name: str) -> Kernel:
+    def create_kernel(self, name: str, engine: str | None = None) -> Kernel:
+        """Create a launchable kernel, selecting its execution engine.
+
+        *engine* is ``"auto"`` (default: batch when possible, else the
+        per-item launcher), ``"batch"`` (fail loudly when the batch
+        engine can't lower the kernel) or ``"per-item"``.  The
+        ``REPRO_CLC_ENGINE`` environment variable overrides the
+        default.  Engine choice is wall-clock only — the virtual-time
+        cost model is charged identically either way.
+        """
         compiled = self.compiled
         if name not in compiled.kernels:
             raise BuildProgramFailure(
                 f"no kernel named {name!r}; available: "
                 f"{sorted(compiled.kernels)}")
+        if engine is None:
+            engine = os.environ.get("REPRO_CLC_ENGINE", "auto")
+        if engine not in ("auto", "batch", "per-item"):
+            raise BuildProgramFailure(
+                f"unknown engine {engine!r} (expected auto, batch or "
+                "per-item)")
         fn = compiled.kernels[name]
         func_def = next(f for f in compiled.unit.functions
                         if f.name == name)
@@ -160,10 +194,23 @@ class Program:
                   for i, p in enumerate(func_def.params)]
         bytes_per_item = sum(p.dtype.itemsize for p in params
                              if p.is_pointer and p.dtype is not None)
-        return Kernel(self, name, params, fn.callable,
+        launcher = fn.callable
+        chosen = "per-item"
+        blockers: list[str] = []
+        if engine in ("auto", "batch"):
+            batch, blockers = compiled.batch_kernel(name)
+            if batch is not None:
+                launcher = batch
+                chosen = "batch"
+            elif engine == "batch":
+                raise BuildProgramFailure(
+                    f"kernel {name!r}: batch engine requested but "
+                    "blocked:\n  " + "\n  ".join(blockers))
+        return Kernel(self, name, params, launcher,
                       ops_per_item=fn.op_count,
                       bytes_per_item=max(bytes_per_item, 4.0),
-                      native=False)
+                      native=False, engine=chosen,
+                      engine_blockers=blockers)
 
 
 class NativeProgram:

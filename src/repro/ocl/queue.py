@@ -14,7 +14,7 @@ from typing import Sequence
 
 import numpy as np
 
-from repro.errors import InvalidCommand, InvalidKernelArgs
+from repro.errors import InterpError, InvalidCommand, InvalidKernelArgs
 from repro.ocl.context import Context
 from repro.ocl.device import Device
 from repro.ocl.event import Event
@@ -170,7 +170,12 @@ class CommandQueue:
                         f"expects a scalar, got a Buffer")
                 bound.append(arg)
         # execute for real
-        kernel.launcher(bound, gsize, lsize)
+        try:
+            kernel.launcher(bound, gsize, lsize)
+        except InterpError as exc:
+            raise InterpError(
+                f"kernel {kernel.name} ({kernel.engine} engine): "
+                f"{exc}") from exc
         # charge modelled time
         work_items = float(math.prod(gsize)) * scale_factor
         cost = KernelCost(

@@ -105,25 +105,17 @@ class Map(Skeleton):
                 if out_vec is not None:
                     out_vec.mark_device_written(d)
                 continue
-            fast_extras = (self.vectorized_extra_values(extras, d)
-                           if self.user.vectorized is not None
-                           and out_part is not None else None)
-            if fast_extras is not None:
-                self._run_vectorized(ctx, d, in_part, out_part,
-                                     part.length, fast_extras,
-                                     ops_per_item, bytes_per_item)
-            else:
-                args = [in_part.buffer]
-                if out_part is not None:
-                    args.append(out_part.buffer)
-                args.append(np.int32(part.length))
-                args.extend(self.bind_extras_on_device(extras, d))
-                kernel.set_args(*args)
-                ctx.queues[d].enqueue_nd_range_kernel(
-                    kernel, (part.length,),
-                    ops_per_item=ops_per_item,
-                    bytes_per_item=bytes_per_item,
-                    scale_factor=self.scale_factor)
+            args = [in_part.buffer]
+            if out_part is not None:
+                args.append(out_part.buffer)
+            args.append(np.int32(part.length))
+            args.extend(self.bind_extras_on_device(extras, d))
+            kernel.set_args(*args)
+            ctx.queues[d].enqueue_nd_range_kernel(
+                kernel, (part.length,),
+                ops_per_item=ops_per_item,
+                bytes_per_item=bytes_per_item,
+                scale_factor=self.scale_factor)
             if out_vec is not None:
                 out_vec.mark_device_written(d)
         return out_vec
@@ -144,32 +136,6 @@ class Map(Skeleton):
         # output adopts the input's distribution (Section III-C)
         out.set_distribution(input_vec.distribution)
         return out
-
-    def _run_vectorized(self, ctx, device_index: int, in_part, out_part,
-                        length: int, extra_values: list,
-                        ops_per_item: float, bytes_per_item: float) -> None:
-        """Vectorized fast path: same semantics as the generated kernel,
-        evaluated with numpy over the whole part (DESIGN.md §5.2).
-        Charged identically to the source path — it is an execution
-        strategy of the simulator, not a different device program."""
-        from repro import ocl
-        evaluate = self.user.vectorized
-
-        def apply(args, gsize, _extras=extra_values, _n=length):
-            out_view, in_view = args
-            out_view[:_n] = evaluate(in_view[:_n], *_extras,
-                                     _element_index=np.arange(_n))
-
-        prog = ocl.NativeProgram(ctx.context, [ocl.NativeKernelDef(
-            name="skelcl_map_vec", fn=apply,
-            arg_dtypes=[self.out_dtype, self.in_dtype],
-            ops_per_item=ops_per_item,
-            bytes_per_item=bytes_per_item,
-            const_args=frozenset([1]))])
-        kernel = prog.create_kernel("skelcl_map_vec")
-        kernel.set_args(out_part.buffer, in_part.buffer)
-        ctx.queues[device_index].enqueue_nd_range_kernel(
-            kernel, (length,), scale_factor=self.scale_factor)
 
     def _run_native(self, ctx, device_index: int, in_part, out_part,
                     length: int, extra_values: list, ops_per_item: float,

@@ -81,25 +81,17 @@ class Zip(Skeleton):
             lhs_part = lhs.ensure_on_device(d)
             rhs_part = rhs.ensure_on_device(d)
             out_part = out_vec.parts[d] if out_vec is not None else None
-            fast_extras = (self.vectorized_extra_values(extras, d)
-                           if self.user.vectorized is not None
-                           and out_part is not None else None)
-            if fast_extras is not None:
-                self._run_vectorized(ctx, d, lhs_part, rhs_part, out_part,
-                                     part.length, fast_extras,
-                                     ops_per_item, bytes_per_item)
-            else:
-                args = [lhs_part.buffer, rhs_part.buffer]
-                if out_part is not None:
-                    args.append(out_part.buffer)
-                args.append(np.int32(part.length))
-                args.extend(self.bind_extras_on_device(extras, d))
-                kernel.set_args(*args)
-                ctx.queues[d].enqueue_nd_range_kernel(
-                    kernel, (part.length,),
-                    ops_per_item=ops_per_item,
-                    bytes_per_item=bytes_per_item,
-                    scale_factor=self.scale_factor)
+            args = [lhs_part.buffer, rhs_part.buffer]
+            if out_part is not None:
+                args.append(out_part.buffer)
+            args.append(np.int32(part.length))
+            args.extend(self.bind_extras_on_device(extras, d))
+            kernel.set_args(*args)
+            ctx.queues[d].enqueue_nd_range_kernel(
+                kernel, (part.length,),
+                ops_per_item=ops_per_item,
+                bytes_per_item=bytes_per_item,
+                scale_factor=self.scale_factor)
             if out_vec is not None:
                 out_vec.mark_device_written(d)
         return out_vec
@@ -137,26 +129,3 @@ class Zip(Skeleton):
                     f"does not match return type {self.out_dtype}")
         out.set_distribution(lhs.distribution)
         return out
-
-    def _run_vectorized(self, ctx, device_index: int, lhs_part, rhs_part,
-                        out_part, length: int, extra_values: list,
-                        ops_per_item: float, bytes_per_item: float) -> None:
-        from repro import ocl
-        evaluate = self.user.vectorized
-
-        def apply(args, gsize, _extras=extra_values, _n=length):
-            out_view, lhs_view, rhs_view = args
-            out_view[:_n] = evaluate(lhs_view[:_n], rhs_view[:_n],
-                                     *_extras,
-                                     _element_index=np.arange(_n))
-
-        prog = ocl.NativeProgram(ctx.context, [ocl.NativeKernelDef(
-            name="skelcl_zip_vec", fn=apply,
-            arg_dtypes=[self.out_dtype, self.lhs_dtype, self.rhs_dtype],
-            ops_per_item=ops_per_item,
-            bytes_per_item=bytes_per_item,
-            const_args=frozenset([1, 2]))])
-        kernel = prog.create_kernel("skelcl_zip_vec")
-        kernel.set_args(out_part.buffer, lhs_part.buffer, rhs_part.buffer)
-        ctx.queues[device_index].enqueue_nd_range_kernel(
-            kernel, (length,), scale_factor=self.scale_factor)

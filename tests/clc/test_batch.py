@@ -1,0 +1,359 @@
+"""Unit tests for the whole-NDRange batch execution engine.
+
+The differential harness (test_engine_differential.py) checks the
+corpus end to end; these tests pin down individual lowering rules —
+predication, masked loops, scatter stores, group-batched barriers,
+active-lane compaction — and the engine selection at the OpenCL layer.
+"""
+
+import numpy as np
+import pytest
+
+from repro import clc, ocl
+from repro.clc import batch as batch_mod
+from repro.errors import BuildProgramFailure, InterpError
+
+
+def compile_batch(source: str, name: str):
+    program = clc.compile_source(source, use_cache=False)
+    kernel, blockers = program.batch_kernel(name)
+    assert kernel is not None, blockers
+    return kernel
+
+
+# -- predication --------------------------------------------------------------
+
+def test_if_else_predication():
+    k = compile_batch("""
+        __kernel void classify(__global const int* in,
+                               __global int* out, int n) {
+            int i = get_global_id(0);
+            if (i < n) {
+                if (in[i] > 10) {
+                    out[i] = 1;
+                } else if (in[i] > 5) {
+                    out[i] = 2;
+                } else {
+                    out[i] = 3;
+                }
+            }
+        }
+    """, "classify")
+    vals = np.array([0, 6, 11, 5, 10, 20], dtype=np.int32)
+    out = np.zeros(6, np.int32)
+    k([vals, out, np.int32(6)], (6,), (1,))
+    np.testing.assert_array_equal(out, [3, 2, 1, 3, 2, 1])
+
+
+def test_ternary_lowering():
+    k = compile_batch("""
+        __kernel void clampk(__global float* data, float lo, float hi) {
+            int i = get_global_id(0);
+            float v = data[i];
+            data[i] = v < lo ? lo : (v > hi ? hi : v);
+        }
+    """, "clampk")
+    data = np.array([-1.0, 0.5, 2.0], dtype=np.float32)
+    k([data, np.float32(0.0), np.float32(1.0)], (3,), (1,))
+    np.testing.assert_array_equal(data, [0.0, 0.5, 1.0])
+
+
+# -- loops --------------------------------------------------------------------
+
+def test_divergent_trip_counts():
+    k = compile_batch("""
+        __kernel void count(__global const int* in, __global int* out) {
+            int i = get_global_id(0);
+            int v = in[i];
+            int steps = 0;
+            while (v > 0) {
+                v = v - 2;
+                steps = steps + 1;
+            }
+            out[i] = steps;
+        }
+    """, "count")
+    vals = np.array([0, 1, 7, 100], dtype=np.int32)
+    out = np.zeros(4, np.int32)
+    k([vals, out], (4,), (1,))
+    np.testing.assert_array_equal(out, [0, 1, 4, 50])
+
+
+def test_runaway_loop_hits_iteration_cap(monkeypatch):
+    monkeypatch.setattr(batch_mod, "LOOP_CAP", 100)
+    k = compile_batch("""
+        __kernel void spin(__global int* out) {
+            int i = get_global_id(0);
+            int v = 1;
+            while (v > 0) {
+                v = v + 1;
+            }
+            out[i] = v;
+        }
+    """, "spin")
+    with pytest.raises(InterpError, match="loop exceeded"):
+        k([np.zeros(4, np.int32)], (4,), (1,))
+
+
+def test_break_and_continue():
+    k = compile_batch("""
+        __kernel void sums(__global int* out, int n) {
+            int i = get_global_id(0);
+            int acc = 0;
+            for (int j = 0; j < n; j = j + 1) {
+                if (j == i) {
+                    continue;
+                }
+                if (j > 2 * i) {
+                    break;
+                }
+                acc = acc + j;
+            }
+            out[i] = acc;
+        }
+    """, "sums")
+    out = np.zeros(5, np.int32)
+    k([out, np.int32(100)], (5,), (1,))
+
+    def ref(i):
+        acc = 0
+        for j in range(100):
+            if j == i:
+                continue
+            if j > 2 * i:
+                break
+            acc += j
+        return acc
+
+    np.testing.assert_array_equal(out, [ref(i) for i in range(5)])
+
+
+# -- pointer stores and builtin index arrays ---------------------------------
+
+def test_scatter_collision_takes_last_lane():
+    # every lane writes index 0: the per-item loop leaves the last
+    # work item's value, and the batch scatter must agree
+    k = compile_batch("""
+        __kernel void collide(__global int* out) {
+            int i = get_global_id(0);
+            out[0] = i;
+        }
+    """, "collide")
+    out = np.zeros(1, np.int32)
+    k([out], (7,), (1,))
+    assert out[0] == 6
+
+
+def test_negative_index_resolves_from_end():
+    k = compile_batch("""
+        __kernel void wrap(__global const float* in,
+                           __global float* out) {
+            int i = get_global_id(0);
+            out[i] = in[i - 2];
+        }
+    """, "wrap")
+    src = np.arange(4, dtype=np.float32)
+    out = np.zeros(4, np.float32)
+    k([src, out], (4,), (1,))
+    np.testing.assert_array_equal(out, [2, 3, 0, 1])
+
+
+def test_2d_work_item_builtins():
+    k = compile_batch("""
+        __kernel void ids(__global int* out) {
+            int x = get_global_id(0);
+            int y = get_global_id(1);
+            int w = get_global_size(0);
+            out[y * w + x] = 10 * y + x;
+        }
+    """, "ids")
+    out = np.zeros(12, np.int32)
+    k([out], (4, 3), (1, 1))
+    expect = np.array([[10 * y + x for x in range(4)]
+                       for y in range(3)]).ravel()
+    np.testing.assert_array_equal(out, expect)
+
+
+# -- barriers and __local arrays ---------------------------------------------
+
+def test_local_array_barrier_lockstep():
+    k = compile_batch("""
+        __kernel void rev(__global const int* in, __global int* out) {
+            __local int tile[4];
+            int lid = get_local_id(0);
+            int gid = get_global_id(0);
+            int lsz = get_local_size(0);
+            tile[lid] = in[gid];
+            barrier();
+            out[gid] = tile[lsz - 1 - lid];
+        }
+    """, "rev")
+    src = np.arange(8, dtype=np.int32)
+    out = np.zeros(8, np.int32)
+    k([src, out], (8,), (4,))
+    np.testing.assert_array_equal(out, [3, 2, 1, 0, 7, 6, 5, 4])
+
+
+# -- active-lane compaction ---------------------------------------------------
+
+COLLATZ = """
+__kernel void collatz(__global const int* in, __global int* out) {
+    int i = get_global_id(0);
+    int v = in[i];
+    int steps = 0;
+    while (v > 1) {
+        if (v % 2 == 0) {
+            v = v / 2;
+        } else {
+            v = 3 * v + 1;
+        }
+        steps = steps + 1;
+    }
+    out[i] = steps;
+}
+"""
+
+
+def collatz_steps(v):
+    steps = 0
+    while v > 1:
+        v = v // 2 if v % 2 == 0 else 3 * v + 1
+        steps += 1
+    return steps
+
+
+def test_compaction_matches_uncompacted(monkeypatch):
+    n = 512
+    vals = (np.arange(n, dtype=np.int32) % 101) + 1
+    expect = np.array([collatz_steps(int(v)) for v in vals], np.int32)
+
+    out_plain = np.zeros(n, np.int32)
+    compile_batch(COLLATZ, "collatz")([vals, out_plain], (n,), (1,))
+    np.testing.assert_array_equal(out_plain, expect)
+
+    # force compaction to kick in from the first retiring lane
+    monkeypatch.setattr(batch_mod, "COMPACT_MIN", 1)
+    out_compact = np.zeros(n, np.int32)
+    compile_batch(COLLATZ, "collatz")([vals, out_compact], (n,), (1,))
+    np.testing.assert_array_equal(out_compact, expect)
+
+
+def test_compaction_preserves_pointer_stores(monkeypatch):
+    monkeypatch.setattr(batch_mod, "COMPACT_MIN", 1)
+    k = compile_batch("""
+        __kernel void tally(__global const int* in, __global int* bins,
+                            __global int* out) {
+            int i = get_global_id(0);
+            int v = in[i];
+            int acc = 0;
+            while (v > 0) {
+                atomic_add(&bins[v % 4], 1);
+                v = v - 3;
+                acc = acc + v;
+            }
+            out[i] = acc;
+        }
+    """, "tally")
+    n = 64
+    vals = (np.arange(n, dtype=np.int32) * 7) % 23
+    bins_b = np.zeros(4, np.int32)
+    out_b = np.zeros(n, np.int32)
+    k([vals, bins_b, out_b], (n,), (1,))
+
+    bins_ref = np.zeros(4, np.int64)
+    out_ref = np.zeros(n, np.int64)
+    for i, v in enumerate(vals.tolist()):
+        acc = 0
+        while v > 0:
+            bins_ref[v % 4] += 1
+            v -= 3
+            acc += v
+        out_ref[i] = acc
+    np.testing.assert_array_equal(bins_b, bins_ref)
+    np.testing.assert_array_equal(out_b, out_ref)
+
+
+# -- engine selection at the OpenCL layer -------------------------------------
+
+SAXPY = """
+__kernel void saxpy(__global const float* x, __global float* y,
+                    float a, int n) {
+    int i = get_global_id(0);
+    if (i < n) {
+        y[i] = a * x[i] + y[i];
+    }
+}
+"""
+
+SEQUENTIAL = """
+__kernel void seq(__global float* data, int n) {
+    for (int i = 0; i < n; i = i + 1) {
+        data[i] = data[i] + 1.0f;
+    }
+}
+"""
+
+
+@pytest.fixture
+def ctx():
+    system = ocl.System(num_gpus=1)
+    return ocl.Context(ocl.Platform(system).get_devices("GPU"))
+
+
+def test_auto_selects_batch(ctx):
+    kernel = ocl.Program(ctx, SAXPY).build().create_kernel("saxpy")
+    assert kernel.engine == "batch"
+    assert kernel.engine_blockers == []
+
+
+def test_auto_falls_back_with_reason(ctx):
+    kernel = ocl.Program(ctx, SEQUENTIAL).build().create_kernel("seq")
+    assert kernel.engine == "per-item"
+    assert kernel.engine_blockers
+    assert "sequential" in kernel.engine_blockers[0]
+
+
+def test_explicit_batch_request_fails_loudly(ctx):
+    program = ocl.Program(ctx, SEQUENTIAL).build()
+    with pytest.raises(BuildProgramFailure, match="blocked"):
+        program.create_kernel("seq", engine="batch")
+
+
+def test_explicit_per_item_request(ctx):
+    kernel = ocl.Program(ctx, SAXPY).build() \
+        .create_kernel("saxpy", engine="per-item")
+    assert kernel.engine == "per-item"
+
+
+def test_unknown_engine_rejected(ctx):
+    program = ocl.Program(ctx, SAXPY).build()
+    with pytest.raises(BuildProgramFailure, match="unknown engine"):
+        program.create_kernel("saxpy", engine="simd")
+
+
+def test_env_var_overrides_default(ctx, monkeypatch):
+    monkeypatch.setenv("REPRO_CLC_ENGINE", "per-item")
+    kernel = ocl.Program(ctx, SAXPY).build().create_kernel("saxpy")
+    assert kernel.engine == "per-item"
+
+
+def test_engines_agree_through_the_queue(ctx):
+    n = 256
+    x = np.linspace(-1, 1, n, dtype=np.float32)
+    y0 = np.linspace(2, 3, n, dtype=np.float32)
+    results = {}
+    for engine in ("batch", "per-item"):
+        queue = ocl.CommandQueue(ctx, ctx.devices[0])
+        program = ocl.Program(ctx, SAXPY).build()
+        kernel = program.create_kernel("saxpy", engine=engine)
+        buf_x = ocl.Buffer(ctx, x.nbytes)
+        buf_y = ocl.Buffer(ctx, y0.nbytes)
+        queue.enqueue_write_buffer(buf_x, x)
+        queue.enqueue_write_buffer(buf_y, y0)
+        kernel.set_args(buf_x, buf_y, np.float32(2.5), np.int32(n))
+        queue.enqueue_nd_range_kernel(kernel, (n,))
+        out = np.empty(n, np.float32)
+        queue.enqueue_read_buffer(buf_y, out)
+        queue.finish()
+        results[engine] = out
+    np.testing.assert_array_equal(results["batch"], results["per-item"])

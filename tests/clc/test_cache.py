@@ -1,0 +1,97 @@
+"""Tests for the persistent compile cache (repro.clc.cache)."""
+
+import numpy as np
+import pytest
+
+from repro import clc
+from repro.clc import cache
+
+SOURCE = """
+__kernel void scale(__global float* data, float a, int n) {
+    int i = get_global_id(0);
+    if (i < n) {
+        data[i] = a * data[i];
+    }
+}
+"""
+
+
+@pytest.fixture
+def cache_dir(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_CLC_CACHE_DIR", str(tmp_path))
+    monkeypatch.delenv("REPRO_CLC_CACHE", raising=False)
+    return tmp_path
+
+
+def test_round_trip(cache_dir):
+    assert cache.stats()["entries"] == 0
+    cold = clc.compile_source(SOURCE)
+    assert cache.stats()["entries"] == 1
+    warm = clc.compile_source(SOURCE)
+    assert sorted(warm.kernels) == sorted(cold.kernels)
+    assert warm.op_counts == cold.op_counts
+
+    data = np.arange(8, dtype=np.float32)
+    expect = data * 3
+    warm.kernels["scale"].callable(
+        [data, np.float32(3.0), np.int32(8)], (8,), (1,))
+    np.testing.assert_array_equal(data, expect)
+
+
+def test_cached_program_supports_batch_engine(cache_dir):
+    clc.compile_source(SOURCE)  # populate
+    warm = clc.compile_source(SOURCE)
+    kernel, blockers = warm.batch_kernel("scale")
+    assert kernel is not None, blockers
+    data = np.arange(8, dtype=np.float32)
+    kernel([data, np.float32(2.0), np.int32(8)], (8,), (1,))
+    np.testing.assert_array_equal(data, np.arange(8) * 2)
+
+
+def test_disabled_by_env(cache_dir, monkeypatch):
+    monkeypatch.setenv("REPRO_CLC_CACHE", "off")
+    clc.compile_source(SOURCE)
+    assert cache.stats()["entries"] == 0
+    assert not cache.stats()["enabled"]
+
+
+def test_use_cache_argument_overrides(cache_dir):
+    clc.compile_source(SOURCE, use_cache=False)
+    assert cache.stats()["entries"] == 0
+    clc.compile_source(SOURCE, use_cache=True)
+    assert cache.stats()["entries"] == 1
+
+
+def test_corrupt_entry_falls_back_to_compile(cache_dir):
+    clc.compile_source(SOURCE)
+    (entry,) = cache_dir.glob("*.pkl")
+    entry.write_bytes(b"not a pickle")
+    program = clc.compile_source(SOURCE)  # must not raise
+    assert "scale" in program.kernels
+
+
+def test_version_mismatch_misses(cache_dir, monkeypatch):
+    clc.compile_source(SOURCE)
+    monkeypatch.setattr(cache, "DIALECT_VERSION",
+                        cache.DIALECT_VERSION + 1)
+    assert cache.load(SOURCE) is None
+
+
+def test_clear_and_stats(cache_dir):
+    clc.compile_source(SOURCE)
+    clc.compile_source(SOURCE + "\n// other")
+    info = cache.stats()
+    assert info["entries"] == 2
+    assert info["bytes"] > 0
+    assert info["dir"] == str(cache_dir)
+    assert cache.clear() == 2
+    assert cache.stats()["entries"] == 0
+
+
+def test_readonly_cache_dir_is_harmless(cache_dir):
+    cache_dir.chmod(0o500)
+    try:
+        program = clc.compile_source(SOURCE)  # store fails silently
+        assert "scale" in program.kernels
+    finally:
+        cache_dir.chmod(0o700)

@@ -1,0 +1,271 @@
+"""Differential harness: every batch-capable kernel in the repo's
+corpus must produce the same results on both execution engines.
+
+Integer outputs must match bit for bit.  float32 outputs are allowed a
+distance of at most 4 ULP — scatter accumulation (``np.add.at``) casts
+to float32 before adding, where the per-item loop adds in float64 and
+rounds once, so colliding atomic float adds can legitimately differ in
+the last bits.
+
+Kernels the batch engine declines must come with a concrete blocker —
+silent fallbacks are themselves a failure.
+"""
+
+import pathlib
+
+import numpy as np
+import pytest
+
+from repro import clc
+
+from .analysis.test_repo_kernels import generated_kernel_sources
+
+REPO = pathlib.Path(__file__).resolve().parents[2]
+KERNEL_DIR = REPO / "examples" / "kernels"
+
+MAX_ULP = 4
+
+
+def ulp_distance(a: np.ndarray, b: np.ndarray) -> int:
+    """Largest ULP distance between two float32 arrays."""
+    a = np.asarray(a, np.float32)
+    b = np.asarray(b, np.float32)
+    assert np.isfinite(a).all() and np.isfinite(b).all()
+    ia = a.view(np.int32).astype(np.int64)
+    ib = b.view(np.int32).astype(np.int64)
+    # map the sign-magnitude float ordering onto a monotonic integer line
+    ia = np.where(ia < 0, np.int64(-(2 ** 31)) - ia, ia)
+    ib = np.where(ib < 0, np.int64(-(2 ** 31)) - ib, ib)
+    return 0 if a.size == 0 else int(np.abs(ia - ib).max())
+
+
+def run_both(source: str, kernel_name: str, make_args, gsize,
+             lsize=None):
+    """Run *kernel_name* through both engines on identical inputs.
+
+    ``make_args`` builds a fresh argument list each call, so in-place
+    writes of one engine cannot leak into the other run.  Returns the
+    two argument lists after execution (outputs included).
+    """
+    program = clc.compile_source(source, use_cache=False)
+    batch, blockers = program.batch_kernel(kernel_name)
+    assert batch is not None, (
+        f"{kernel_name} unexpectedly blocked: {blockers}")
+    if lsize is None:
+        lsize = tuple(1 for _ in gsize)
+    args_item = make_args()
+    program.kernels[kernel_name].callable(args_item, gsize, lsize)
+    args_batch = make_args()
+    batch(args_batch, gsize, lsize)
+    return args_item, args_batch
+
+
+def assert_equivalent(args_item, args_batch) -> None:
+    for per_item, batched in zip(args_item, args_batch):
+        if not isinstance(per_item, np.ndarray):
+            continue
+        if per_item.dtype.kind == "f":
+            assert ulp_distance(per_item, batched) <= MAX_ULP
+        else:
+            np.testing.assert_array_equal(per_item, batched)
+
+
+# -- generated skeleton kernels -----------------------------------------------
+
+GENERATED = dict(generated_kernel_sources())
+N = 1234
+
+
+def test_map_kernel():
+    args_item, args_batch = run_both(
+        GENERATED["map"], "skelcl_map",
+        lambda: [np.linspace(-3, 3, N, dtype=np.float32),
+                 np.zeros(N, np.float32), np.int32(N), np.float32(2.5)],
+        (N,))
+    assert_equivalent(args_item, args_batch)
+    assert args_batch[1].any()
+
+
+def test_zip_kernel():
+    rng = np.random.default_rng(0)
+    args_item, args_batch = run_both(
+        GENERATED["zip"], "skelcl_zip",
+        lambda: [rng.random(N).astype(np.float32) * 0 + 1,
+                 np.linspace(0, 1, N, dtype=np.float32),
+                 np.zeros(N, np.float32), np.int32(N)],
+        (N,))
+    assert_equivalent(args_item, args_batch)
+
+
+def test_reduce_kernel():
+    # chunked sequential reduction per work item, 32 items over N values
+    args_item, args_batch = run_both(
+        GENERATED["reduce"], "skelcl_reduce",
+        lambda: [np.linspace(0, 1, N, dtype=np.float32),
+                 np.zeros(32, np.float32), np.int32(N)],
+        (32,))
+    assert_equivalent(args_item, args_batch)
+
+
+def test_scan_offset_kernel():
+    args_item, args_batch = run_both(
+        GENERATED["scan_offset"], "skelcl_scan_offset",
+        lambda: [np.linspace(0, 5, N, dtype=np.float32), np.int32(N),
+                 np.float32(1.5)],
+        (N,))
+    assert_equivalent(args_item, args_batch)
+
+
+def test_allpairs_kernel():
+    n, m, d = 17, 13, 8
+    rng = np.random.default_rng(1)
+    a = rng.random(n * d).astype(np.float32)
+    b = rng.random(m * d).astype(np.float32)
+    args_item, args_batch = run_both(
+        GENERATED["allpairs"], "skelcl_allpairs",
+        lambda: [a.copy(), b.copy(), np.zeros(n * m, np.float32),
+                 np.int32(n), np.int32(m), np.int32(d)],
+        (n, m))
+    assert_equivalent(args_item, args_batch)
+    assert args_batch[2].all()
+
+
+def test_map_overlap_kernel():
+    # the stencil reads in[-1]/in[+1] around each work item's base
+    # pointer; size the buffer so index n stays in bounds and let both
+    # engines share the dialect's wrap-from-the-end for in[-1] at i=0
+    buf = np.linspace(1, 2, N + 2, dtype=np.float32)
+    args_item, args_batch = run_both(
+        GENERATED["map_overlap"], "skelcl_map_overlap",
+        lambda: [buf.copy(), np.zeros(N, np.float32), np.int32(N)],
+        (N,))
+    assert_equivalent(args_item, args_batch)
+
+
+# -- standalone example kernels -----------------------------------------------
+
+def test_saxpy_kernel():
+    src = (KERNEL_DIR / "saxpy.cl").read_text()
+    x = np.linspace(-1, 1, N, dtype=np.float32)
+    y = np.linspace(3, 4, N, dtype=np.float32)
+    args_item, args_batch = run_both(
+        src, "saxpy",
+        lambda: [x.copy(), y.copy(), np.float32(2.5), np.uint32(N)],
+        (N,))
+    assert_equivalent(args_item, args_batch)
+
+
+def test_reduce_sum_barrier_kernel():
+    """Work-group tree reduction: barriers + __local scratch."""
+    src = (KERNEL_DIR / "reduce_sum.cl").read_text()
+    n, lsz = 1024, 64
+    x = np.linspace(0, 1, n, dtype=np.float32)
+    args_item, args_batch = run_both(
+        src, "reduce_sum",
+        lambda: [x.copy(), np.zeros(n // lsz, np.float32),
+                 np.zeros(lsz, np.float32), np.uint32(n)],
+        (n,), (lsz,))
+    assert_equivalent(args_item, args_batch)
+    assert args_batch[1].sum() > 0
+
+
+# -- control flow, atomics and scatter stores --------------------------------
+
+HISTOGRAM = """
+__kernel void histogram(__global const int* values,
+                        __global int* bins,
+                        int n, int nbins) {
+    int i = get_global_id(0);
+    if (i < n) {
+        int v = values[i];
+        if (v < 0) {
+            return;
+        }
+        atomic_add(&bins[v % nbins], 1);
+    }
+}
+"""
+
+
+def test_atomic_histogram_collisions():
+    """Colliding atomic_add scatter stores must count every lane."""
+    rng = np.random.default_rng(2)
+    values = rng.integers(-5, 40, N).astype(np.int32)
+    args_item, args_batch = run_both(
+        HISTOGRAM, "histogram",
+        lambda: [values.copy(), np.zeros(8, np.int32), np.int32(N),
+                 np.int32(8)],
+        (N,))
+    assert_equivalent(args_item, args_batch)
+    assert args_batch[1].sum() == int((values >= 0).sum())
+
+
+DIVERGENT_LOOP = """
+int collatz_steps(int v, int cap) {
+    int steps = 0;
+    while (v > 1) {
+        if (steps >= cap) {
+            break;
+        }
+        if (v % 2 == 0) {
+            v = v / 2;
+        } else {
+            v = 3 * v + 1;
+        }
+        steps = steps + 1;
+    }
+    return steps;
+}
+
+__kernel void divergent(__global const int* in, __global int* out,
+                        int n) {
+    int i = get_global_id(0);
+    if (i < n) {
+        int v = in[i];
+        if (v == 13) {
+            out[i] = -1;
+            return;
+        }
+        out[i] = collatz_steps(v, 500);
+    }
+}
+"""
+
+
+def test_divergent_loop_with_helper_and_early_return():
+    """Wildly divergent trip counts exercise masked iteration and the
+    active-lane compaction path (lanes retire at different times)."""
+    values = (np.arange(N, dtype=np.int32) % 97) + 1
+    args_item, args_batch = run_both(
+        DIVERGENT_LOOP, "divergent",
+        lambda: [values.copy(), np.zeros(N, np.int32), np.int32(N)],
+        (N,))
+    assert_equivalent(args_item, args_batch)
+    assert (args_batch[1] == -1).any()
+
+
+# -- blocked kernels must say why ---------------------------------------------
+
+@pytest.mark.parametrize("name,kernel", [
+    ("scan", "skelcl_scan"),
+    ("map_overlap2d", "skelcl_map_overlap2d"),
+])
+def test_blocked_kernels_report_concrete_blockers(name, kernel):
+    program = clc.compile_source(GENERATED[name], use_cache=False)
+    batch, blockers = program.batch_kernel(kernel)
+    assert batch is None
+    assert blockers, f"{kernel}: silent fallback (no blocker reported)"
+    assert all(kernel in b for b in blockers)
+
+
+def test_batch_capable_corpus_is_large():
+    """Most of the corpus must run on the batch engine — a regression
+    in the lowering or the blockers analysis shows up as shrinkage."""
+    batchable = 0
+    for name, source in GENERATED.items():
+        program = clc.compile_source(source, use_cache=False)
+        for func in program.unit.functions:
+            if func.is_kernel:
+                batch, _ = program.batch_kernel(func.name)
+                batchable += batch is not None
+    assert batchable >= 6

@@ -82,6 +82,17 @@ def test_integer_division_truncates():
     np.testing.assert_array_equal(fn(a, b), [3, -3, -3])
 
 
+def test_compound_integer_division_truncates():
+    # regression: /= used to bypass the typed lowering and produce
+    # float true-division results for integer operands
+    fn = vec("int f(int a, int b) { int q = a; q /= b; return q; }")
+    a = np.array([7, -7, 7, -7])
+    b = np.array([2, 2, -2, -2])
+    out = fn(a, b)
+    assert np.issubdtype(np.asarray(out).dtype, np.integer)
+    np.testing.assert_array_equal(out, [3, -3, -3, 3])
+
+
 def test_loop_not_vectorizable():
     assert vec("int f(int n) { int s = 0;"
                " for (int i = 0; i < n; ++i) s += i; return s; }") is None
