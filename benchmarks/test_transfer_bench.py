@@ -1,0 +1,177 @@
+"""Transfer-layer wall-clock benchmark (ISSUE 4 acceptance criterion).
+
+Measures the *host process* cost of the simulated transfer layer with
+the eager engine (every transfer physically memcpys) against the lazy
+zero-copy engine (transfers are charged on the virtual timeline but
+alias, pin or COW instead of copying).  Two workloads:
+
+- a transfer microbenchmark: upload / device write / download /
+  block<->copy redistribution rounds over a large vector on 1, 2 and
+  4 devices — the pattern the lazy layer exists to accelerate;
+- the SkelCL Fig. 4b OSEM subset iteration from the paper's
+  evaluation, the end-to-end workload named by the acceptance
+  criterion.
+
+Both engines must agree bitwise on every result and produce the exact
+same virtual end time — the engine switch is asserted unobservable.
+Emits ``BENCH_transfers.json``; asserts the microbenchmark speedup
+(the gate CI can lower on noisy shared runners via the environment
+override).  ``REPRO_TRANSFER_BENCH_MAIN_WALL_S``, when set to the
+Fig. 4b subset wall seconds measured on the pre-PR tree, is recorded
+so the JSON carries the against-``main`` speedup too.
+"""
+
+import json
+import os
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro import skelcl
+from repro.ocl import set_lazy_memory
+from repro.skelcl import Distribution, Vector
+from repro.util.tables import format_table
+
+from conftest import print_experiment
+
+MICRO_ELEMENTS = 48_000_000          # 192 MB of float32 per vector
+MICRO_ROUNDS = 3
+TARGET_SPEEDUP = float(os.environ.get("TRANSFER_BENCH_MIN_SPEEDUP", "3"))
+MAIN_WALL_S = os.environ.get("REPRO_TRANSFER_BENCH_MAIN_WALL_S")
+BENCH_PATH = Path(__file__).resolve().parent.parent / \
+    "BENCH_transfers.json"
+
+
+def micro_round(v):
+    """One upload / device-write / download / redistribute cycle."""
+    v.set_distribution(Distribution.block())
+    for part in v.parts:
+        if not part.empty:
+            v.ensure_on_device(part.device_index)
+    for part in v.parts:            # a kernel wrote every part
+        if not part.empty:
+            view = part.buffer.view(np.float32)
+            view[:1] = 1.0
+            v.mark_device_written(part.device_index)
+    checksum = float(v.host_view()[0])           # download
+    v.ensure_distribution(Distribution.copy())   # block -> copy
+    v.ensure_distribution(Distribution.block())  # copy -> block
+    v.host_modified()               # force fresh uploads next round
+    return checksum
+
+
+def run_micro(lazy: bool, gpus: int):
+    set_lazy_memory(lazy)
+    ctx = skelcl.init(num_gpus=gpus)
+    v = Vector(np.arange(MICRO_ELEMENTS, dtype=np.float32), context=ctx)
+    checksums = []
+    rounds = []
+    for _ in range(MICRO_ROUNDS):
+        t0 = time.perf_counter()
+        checksums.append(micro_round(v))
+        rounds.append(time.perf_counter() - t0)
+    stats = ctx.context.memory_stats
+    return {
+        "wall_s": min(rounds),
+        "virtual_s": ctx.system.host_now(),
+        "checksums": checksums,
+        "bytes_charged": stats.bytes_charged,
+        "bytes_moved": stats.bytes_moved,
+    }
+
+
+def run_fig4b_subset(lazy: bool, prob):
+    """One measured OSEM subset iteration (after a warm-up subset)."""
+    from repro.apps import osem
+    set_lazy_memory(lazy)
+    ctx = skelcl.init(num_gpus=4)
+    impl = osem.SkelCLOsem(ctx, prob.geometry, scale_factor=prob.SCALE)
+    f = Vector(prob.f0.astype(np.float32), context=ctx)
+    impl.run_subset(prob.events, f)              # warm-up: JIT + caches
+    f.host_view()
+    t0 = time.perf_counter()
+    impl.run_subset(prob.events, f)
+    result = f.host_view().copy()
+    wall = time.perf_counter() - t0
+    stats = ctx.context.memory_stats
+    return {
+        "wall_s": wall,
+        "virtual_s": ctx.system.host_now(),
+        "result": result,
+        "bytes_charged": stats.bytes_charged,
+        "bytes_moved": stats.bytes_moved,
+    }
+
+
+def measure(osem_problem):
+    micro = {}
+    for gpus in (1, 2, 4):
+        eager = run_micro(False, gpus)
+        lazy = run_micro(True, gpus)
+        assert eager["checksums"] == lazy["checksums"]
+        assert eager["virtual_s"] == lazy["virtual_s"]
+        micro[gpus] = {
+            "eager_wall_s": eager["wall_s"],
+            "lazy_wall_s": lazy["wall_s"],
+            "speedup": eager["wall_s"] / lazy["wall_s"],
+            "virtual_s": lazy["virtual_s"],
+            "eager_bytes_moved": eager["bytes_moved"],
+            "lazy_bytes_moved": lazy["bytes_moved"],
+            "bytes_charged": lazy["bytes_charged"],
+        }
+
+    eager = run_fig4b_subset(False, osem_problem)
+    lazy = run_fig4b_subset(True, osem_problem)
+    bitwise = bool(np.array_equal(eager["result"], lazy["result"]))
+    fig4b = {
+        "events_per_subset": osem_problem.EVENTS_PER_SUBSET,
+        "simulated_events": osem_problem.N_SIM,
+        "eager_wall_s": eager["wall_s"],
+        "lazy_wall_s": lazy["wall_s"],
+        "speedup_vs_eager": eager["wall_s"] / lazy["wall_s"],
+        "virtual_s_identical": eager["virtual_s"] == lazy["virtual_s"],
+        "bitwise_identical": bitwise,
+        "eager_bytes_moved": eager["bytes_moved"],
+        "lazy_bytes_moved": lazy["bytes_moved"],
+        "bytes_charged": lazy["bytes_charged"],
+    }
+    if MAIN_WALL_S is not None:
+        fig4b["main_wall_s"] = float(MAIN_WALL_S)
+        fig4b["speedup_vs_main"] = float(MAIN_WALL_S) / lazy["wall_s"]
+    return {"micro": micro, "fig4b": fig4b}
+
+
+def test_transfer_layer_speedup(benchmark, osem_problem):
+    try:
+        r = benchmark.pedantic(measure, args=(osem_problem,),
+                               rounds=1, iterations=1)
+    finally:
+        set_lazy_memory(None)
+
+    rows = [[f"micro {gpus} GPU", f"{m['eager_wall_s']:.3f}",
+             f"{m['lazy_wall_s']:.3f}", f"{m['speedup']:.1f}x",
+             f"{m['lazy_bytes_moved']:,}"]
+            for gpus, m in r["micro"].items()]
+    f = r["fig4b"]
+    rows.append(["fig4b subset", f"{f['eager_wall_s']:.3f}",
+                 f"{f['lazy_wall_s']:.3f}",
+                 f"{f['speedup_vs_eager']:.1f}x",
+                 f"{f['lazy_bytes_moved']:,}"])
+    print_experiment(
+        f"Transfer layer: eager vs lazy zero-copy (wall clock, "
+        f"{MICRO_ELEMENTS:,} elements x {MICRO_ROUNDS} rounds)",
+        format_table(["workload", "eager [s]", "lazy [s]", "speedup",
+                      "lazy moved B"], rows))
+
+    BENCH_PATH.write_text(json.dumps({
+        "benchmark": "lazy_transfer_layer",
+        "results": r,
+    }, indent=2) + "\n")
+
+    assert f["bitwise_identical"], "engines diverged on Fig. 4b subset"
+    assert f["virtual_s_identical"], "virtual timelines diverged"
+    for gpus, m in r["micro"].items():
+        assert m["lazy_bytes_moved"] < m["eager_bytes_moved"], gpus
+    best = max(m["speedup"] for m in r["micro"].values())
+    assert best >= TARGET_SPEEDUP, r

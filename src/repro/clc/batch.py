@@ -41,6 +41,8 @@ from __future__ import annotations
 
 import math
 import operator
+import os
+from collections import OrderedDict
 from typing import Any, Callable, Sequence
 
 import numpy as np
@@ -323,17 +325,25 @@ class _CompactRecord:
         self.restore: dict[int, tuple[Any, Any]] = {}
 
 
-class _Interp:
-    """Interprets one kernel launch over the whole NDRange."""
+class _IndexSpace:
+    """Precomputed per-lane index arrays for one (gsize, lsize) NDRange.
 
-    def __init__(self, functions: dict[str, ast.FunctionDef],
-                 gsize: Sequence[int], lsize: Sequence[int]) -> None:
-        self.functions = functions
-        self.gsize = tuple(int(g) for g in gsize)
-        self.lsize = tuple(int(l) for l in lsize)
-        self.ngrp = tuple(g // l for g, l in zip(self.gsize, self.lsize))
+    Building these is the dominant per-launch cost for large NDRanges,
+    and skeletons launch the same range over and over — so completed
+    spaces are memoized in :data:`_INDEX_SPACE_CACHE`.  The arrays are
+    frozen (non-writeable) because every cached launch shares them.
+    """
+
+    __slots__ = ("gsize", "lsize", "ngrp", "num_groups", "group_lanes",
+                 "n", "grp_lin", "grp", "lid", "gid")
+
+    def __init__(self, gsize: tuple[int, ...],
+                 lsize: tuple[int, ...]) -> None:
+        self.gsize = gsize
+        self.lsize = lsize
+        self.ngrp = tuple(g // l for g, l in zip(gsize, lsize))
         self.num_groups = math.prod(self.ngrp)
-        self.group_lanes = math.prod(self.lsize)
+        self.group_lanes = math.prod(lsize)
         self.n = self.num_groups * self.group_lanes
         grp_idx = np.arange(self.num_groups)
         lid_idx = np.arange(self.group_lanes)
@@ -348,6 +358,52 @@ class _Interp:
         self.lid = [lid_md[d][lid_lin] for d in range(len(self.lsize))]
         self.gid = [self.grp[d] * self.lsize[d] + self.lid[d]
                     for d in range(len(self.gsize))]
+        for arr in [self.grp_lin, *self.grp, *self.lid, *self.gid]:
+            arr.flags.writeable = False
+
+
+#: LRU cache of index spaces, bounded by total lanes so paper-scale
+#: ranges (~1.5M lanes each) keep a handful of entries, not gigabytes
+_INDEX_SPACE_CACHE: "OrderedDict[tuple, _IndexSpace]" = OrderedDict()
+_INDEX_SPACE_MAX_LANES = int(
+    os.environ.get("REPRO_CLC_INDEX_CACHE_LANES", 8_000_000))
+
+
+def _index_space(gsize: tuple[int, ...],
+                 lsize: tuple[int, ...]) -> _IndexSpace:
+    key = (gsize, lsize)
+    space = _INDEX_SPACE_CACHE.get(key)
+    if space is not None:
+        _INDEX_SPACE_CACHE.move_to_end(key)
+        return space
+    space = _IndexSpace(gsize, lsize)
+    if space.n <= _INDEX_SPACE_MAX_LANES:
+        _INDEX_SPACE_CACHE[key] = space
+        total = sum(s.n for s in _INDEX_SPACE_CACHE.values())
+        while total > _INDEX_SPACE_MAX_LANES and len(_INDEX_SPACE_CACHE) > 1:
+            _, evicted = _INDEX_SPACE_CACHE.popitem(last=False)
+            total -= evicted.n
+    return space
+
+
+class _Interp:
+    """Interprets one kernel launch over the whole NDRange."""
+
+    def __init__(self, functions: dict[str, ast.FunctionDef],
+                 gsize: Sequence[int], lsize: Sequence[int]) -> None:
+        self.functions = functions
+        space = _index_space(tuple(int(g) for g in gsize),
+                             tuple(int(l) for l in lsize))
+        self.gsize = space.gsize
+        self.lsize = space.lsize
+        self.ngrp = space.ngrp
+        self.num_groups = space.num_groups
+        self.group_lanes = space.group_lanes
+        self.n = space.n
+        self.grp_lin = space.grp_lin
+        self.grp = space.grp
+        self.lid = space.lid
+        self.gid = space.gid
         self.local_param_arrays: list[tuple[np.ndarray, GroupArray]] = []
 
     # -- small helpers ---------------------------------------------------------

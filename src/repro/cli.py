@@ -353,13 +353,58 @@ def _cmd_graph_dump(args) -> int:
     return 0 if identical else 1
 
 
+def _memory_report(ctx) -> str:
+    """Charged-vs-performed transfer report (``profile --memory``)."""
+    from repro import ocl
+
+    s = ctx.context.memory_stats.snapshot()
+    engine = "lazy (zero-copy)" if ocl.lazy_memory_enabled() else "eager"
+    lines = [
+        f"memory engine: {engine}",
+        f"bytes charged: {s['bytes_charged']:>15,}  "
+        f"(H2D {s['bytes_charged_h2d']:,} / D2H {s['bytes_charged_d2h']:,}"
+        f" / D2D {s['bytes_charged_d2d']:,})",
+        f"bytes moved:   {s['bytes_moved']:>15,}  (physically copied)",
+        f"copies elided: uploads {s['uploads_elided']}, downloads "
+        f"{s['downloads_elided']}, alias adoptions {s['alias_adoptions']}, "
+        f"zero fills {s['zero_fills']}",
+        f"copy-on-write: {s['cow_copies']} materializations "
+        f"({s['cow_bytes']:,} bytes)",
+        "",
+        f"{'vector':>6} {'size':>10} {'dtype':>10} {'dist':>6} "
+        f"{'up':>4} {'down':>5} {'elided':>7} {'charged B':>13} "
+        f"{'moved B':>13}",
+    ]
+    for row in ctx.vector_stats():
+        if not (row["uploads"] or row["downloads"]):
+            continue
+        elided = row["uploads_elided"] + row["downloads_elided"]
+        lines.append(
+            f"{row['vector']:>6} {row['size']:>10} {row['dtype']:>10} "
+            f"{row['distribution']:>6} {row['uploads']:>4} "
+            f"{row['downloads']:>5} {elided:>7} "
+            f"{row['bytes_charged']:>13,} {row['bytes_moved']:>13,}")
+    return "\n".join(lines)
+
+
 def _cmd_profile(args) -> int:
     from repro import skelcl
     from repro.util.profiling import breakdown_report, utilization_report
     from repro.util.trace import export_chrome_trace
 
     rng = np.random.default_rng(0)
-    if args.workload == "pipeline":
+    if args.workload == "osem":
+        from repro.apps import osem
+        geometry = osem.ScannerGeometry(24, 24, 24)
+        activity = osem.cylinder_phantom(geometry, hot_spheres=2, seed=0)
+        events = osem.generate_events(geometry, activity, args.size,
+                                      seed=1)
+        ctx = skelcl.init(num_gpus=args.gpus)
+        impl = osem.SkelCLOsem(ctx, geometry)
+        f = skelcl.Vector(np.ones(geometry.image_size, dtype=np.float32),
+                          context=ctx)
+        impl.run_subset(events, f)
+    elif args.workload == "pipeline":
         xs = rng.random(args.size).astype(np.float32)
         stages = _pipeline_stages(4)
         ctx = skelcl.init(num_gpus=args.gpus)
@@ -382,6 +427,8 @@ def _cmd_profile(args) -> int:
           f"GPU(s): virtual makespan {timeline.now() * 1e3:.3f} ms")
     print(utilization_report(timeline))
     print(breakdown_report(timeline))
+    if args.memory:
+        print(_memory_report(ctx))
     if args.trace:
         export_chrome_trace(timeline, args.trace)
         print(f"wrote {args.trace} (open in chrome://tracing)")
@@ -471,9 +518,13 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser(
         "profile", help="utilization and phase breakdown of a workload")
     p.add_argument("--workload", default="pipeline",
-                   choices=["pipeline", "saxpy"])
-    p.add_argument("--size", type=int, default=1 << 18)
+                   choices=["pipeline", "saxpy", "osem"])
+    p.add_argument("--size", type=int, default=1 << 18,
+                   help="elements (pipeline/saxpy) or events (osem)")
     p.add_argument("--gpus", type=int, default=2)
+    p.add_argument("--memory", action="store_true",
+                   help="report per-vector transfer counts, elided "
+                        "copies, and bytes charged vs. physically moved")
     p.add_argument("--trace", metavar="FILE",
                    help="write the virtual timeline as a Chrome trace")
     p.set_defaults(fn=_cmd_profile)

@@ -9,7 +9,9 @@ paper's Tesla S1070 testbed.
 from repro.ocl.context import Context
 from repro.ocl.device import Device
 from repro.ocl.event import Event, wait_for_events
-from repro.ocl.memory import Buffer, buffer_from_array
+from repro.ocl.memory import (Buffer, MemoryStats, buffer_from_array,
+                              lazy_memory_enabled, same_memory,
+                              set_lazy_memory)
 from repro.ocl.platform import Platform, create_system_platform
 from repro.ocl.program import (Kernel, KernelParam, NativeKernelDef,
                                NativeProgram, Program)
@@ -23,8 +25,9 @@ from repro.ocl.timing import (API_CALL_OVERHEAD_S, BUILD_TIME_S, KernelCost,
 __all__ = [
     "System", "Platform", "Device", "Context", "CommandQueue", "Buffer",
     "Event", "Program", "NativeProgram", "NativeKernelDef", "Kernel",
-    "KernelParam", "DeviceSpec", "KernelCost",
+    "KernelParam", "DeviceSpec", "KernelCost", "MemoryStats",
     "buffer_from_array", "wait_for_events", "create_system_platform",
+    "lazy_memory_enabled", "set_lazy_memory", "same_memory",
     "kernel_duration", "transfer_duration",
     "TESLA_C1060", "XEON_E5520", "GTX_480", "CATALOG",
     "API_CALL_OVERHEAD_S", "BUILD_TIME_S",

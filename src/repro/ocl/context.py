@@ -29,6 +29,16 @@ class Context:
                 "all devices of a context must belong to one system")
         self.system: "System" = self.devices[0].system
         self._buffers: list = []
+        self._memory_stats = None
+
+    @property
+    def memory_stats(self):
+        """Charged-vs-performed transfer accounting for this context
+        (:class:`repro.ocl.memory.MemoryStats`)."""
+        if self._memory_stats is None:
+            from repro.ocl.memory import MemoryStats
+            self._memory_stats = MemoryStats()
+        return self._memory_stats
 
     def device_index(self, device: Device) -> int:
         try:

@@ -1,21 +1,40 @@
-"""Simulated device memory objects.
+"""Simulated device memory objects with a lazy, zero-copy backing store.
 
 A :class:`Buffer` is a context-global memory object, like ``cl_mem``.
-The simulator keeps one eager backing store (commands execute in
-enqueue order, so a single logical copy is sufficient for values) and
-separately tracks, per device, whether the buffer is *resident* there —
-residency drives device-memory capacity accounting and implicit
-migration costs, mirroring how OpenCL implementations lazily place
-context-global buffers.
+The simulator separates the *virtual* transfer model (costs charged by
+:mod:`repro.ocl.queue` — unchanged by anything in this module) from the
+*physical* representation of the bytes, which is lazy:
+
+- ``owned``  — the buffer holds private storage (``None`` stands for
+  all-zero storage that has not been materialized yet, the analogue of
+  freshly allocated device memory);
+- ``alias``  — the storage is a zero-copy reference to memory owned
+  elsewhere (typically a vector's host array after an aliasing upload).
+  Reads are free; the first write triggers a copy-on-write
+  materialization so the source never observes buffer writes;
+- ``pinned`` — the buffer deliberately *wraps* an external array
+  (:meth:`Buffer.wrapping`): reads **and writes** go straight through.
+  This is how block-distributed vector parts become views into the
+  vector's host array, making uploads and downloads self-copies that
+  are elided entirely.
+
+Every physical copy, elision, adoption and copy-on-write is counted in
+the owning context's :class:`MemoryStats`, which backs
+``repro profile --memory`` and the transfer benchmarks.  Transfers are
+still *charged* on the virtual timeline by the queue layer exactly as
+before — they are just no longer *performed* when the bytes are
+already where they need to be.
 
 Layered code (SkelCL's distributions, the low-level OSEM programs)
 creates one buffer per device part, so genuinely divergent per-device
 contents (the paper's ``copy`` distribution) are represented by
-distinct buffers.
+distinct buffers (or by COW aliases that diverge on first write).
 """
 
 from __future__ import annotations
 
+import os
+from dataclasses import dataclass, field
 from typing import TYPE_CHECKING
 
 import numpy as np
@@ -27,6 +46,89 @@ if TYPE_CHECKING:
     from repro.ocl.device import Device
 
 
+_LAZY_OVERRIDE: bool | None = None
+
+
+def lazy_memory_enabled() -> bool:
+    """Whether the zero-copy lazy memory engine is active.
+
+    Controlled by :func:`set_lazy_memory`, else the ``REPRO_LAZY_MEM``
+    environment variable (default on).  Engine choice is wall-clock
+    only: virtual-time costs and all observable contents are identical
+    either way (enforced by the differential tests).
+    """
+    if _LAZY_OVERRIDE is not None:
+        return _LAZY_OVERRIDE
+    return os.environ.get("REPRO_LAZY_MEM", "1") != "0"
+
+
+def set_lazy_memory(enabled: bool | None) -> None:
+    """Force the lazy engine on/off; ``None`` defers to the env var."""
+    global _LAZY_OVERRIDE
+    _LAZY_OVERRIDE = enabled
+
+
+@dataclass
+class MemoryStats:
+    """Charged-vs-performed accounting for one context.
+
+    ``bytes_charged_*`` is what the virtual cost model billed (always
+    identical to the eager engine); ``bytes_moved`` is what was
+    physically copied by the host process.  The difference is the win
+    of the lazy memory layer.
+    """
+
+    bytes_charged_h2d: int = 0
+    bytes_charged_d2h: int = 0
+    bytes_charged_d2d: int = 0
+    #: bytes physically copied (uploads + downloads + COW + migrations)
+    bytes_moved: int = 0
+    uploads_elided: int = 0
+    downloads_elided: int = 0
+    #: zero-copy adoptions of a host array by a buffer
+    alias_adoptions: int = 0
+    #: uploads satisfied by logical zero-fill (no bytes touched)
+    zero_fills: int = 0
+    cow_copies: int = 0
+    cow_bytes: int = 0
+
+    @property
+    def bytes_charged(self) -> int:
+        return (self.bytes_charged_h2d + self.bytes_charged_d2h
+                + self.bytes_charged_d2d)
+
+    @property
+    def bytes_elided(self) -> int:
+        return max(self.bytes_charged - self.bytes_moved, 0)
+
+    def snapshot(self) -> dict:
+        return {
+            "bytes_charged_h2d": self.bytes_charged_h2d,
+            "bytes_charged_d2h": self.bytes_charged_d2h,
+            "bytes_charged_d2d": self.bytes_charged_d2d,
+            "bytes_charged": self.bytes_charged,
+            "bytes_moved": self.bytes_moved,
+            "uploads_elided": self.uploads_elided,
+            "downloads_elided": self.downloads_elided,
+            "alias_adoptions": self.alias_adoptions,
+            "zero_fills": self.zero_fills,
+            "cow_copies": self.cow_copies,
+            "cow_bytes": self.cow_bytes,
+        }
+
+
+def _as_raw(array: np.ndarray) -> np.ndarray:
+    """A flat uint8 view of a C-contiguous array (copies otherwise)."""
+    return np.ascontiguousarray(array).view(np.uint8).reshape(-1)
+
+
+def same_memory(a: np.ndarray, b: np.ndarray) -> bool:
+    """True when *a* and *b* are exactly the same memory region."""
+    return (a.__array_interface__["data"][0]
+            == b.__array_interface__["data"][0]
+            and a.nbytes == b.nbytes)
+
+
 class Buffer:
     """A simulated ``cl_mem`` buffer of ``nbytes`` bytes."""
 
@@ -35,7 +137,10 @@ class Buffer:
             raise InvalidCommand(f"invalid buffer size {nbytes}")
         self.context = context
         self.nbytes = int(nbytes)
-        self._data = np.zeros(self.nbytes, dtype=np.uint8)
+        #: physical storage: None = unmaterialized zeros ("owned")
+        self._data: np.ndarray | None = None
+        #: "owned" | "alias" | "pinned" — see module docstring
+        self._mode = "owned"
         #: device ids where the buffer is currently resident
         self._resident: set[int] = set()
         #: holders of an up-to-date copy: "host" and/or device ids.
@@ -48,6 +153,38 @@ class Buffer:
         self.initialized = False
         self._released = False
         context._register_buffer(self)
+
+    @classmethod
+    def wrapping(cls, context: Context, array: np.ndarray) -> "Buffer":
+        """A buffer pinned to *array*: reads and writes pass through.
+
+        The caller owns the consistency protocol — this is how vector
+        block parts share storage with the vector's host array, so
+        uploads/downloads of those parts become elided self-copies.
+        *array* must be C-contiguous and is kept alive by the buffer.
+        """
+        raw = array.view(np.uint8).reshape(-1) \
+            if array.flags.c_contiguous else None
+        if raw is None:
+            raise InvalidCommand("wrapped array must be C-contiguous")
+        buf = cls(context, raw.nbytes)
+        buf._data = raw
+        buf._mode = "pinned"
+        return buf
+
+    @property
+    def _stats(self) -> MemoryStats:
+        return self.context.memory_stats
+
+    @property
+    def storage_mode(self) -> str:
+        """Physical representation: ``owned``, ``alias`` or ``pinned``
+        (``owned`` storage may still be unmaterialized zeros)."""
+        return self._mode
+
+    @property
+    def is_materialized(self) -> bool:
+        return self._data is not None
 
     # -- residency / capacity ------------------------------------------------
 
@@ -64,25 +201,52 @@ class Buffer:
         return device.id in self._resident
 
     def release(self) -> None:
-        """Free the buffer's device allocations (``clReleaseMemObject``)."""
+        """Free the buffer's device allocations (``clReleaseMemObject``).
+
+        Storage already handed out through read views stays alive via
+        the usual numpy reference counting.
+        """
         if self._released:
             return
         for device in self.context.devices:
             if device.id in self._resident:
                 device.release(self.nbytes)
         self._resident.clear()
+        self._data = None
         self._released = True
 
     def _check_alive(self) -> None:
         if self._released:
             raise InvalidCommand("buffer used after release")
 
-    # -- data access ----------------------------------------------------------
+    # -- physical storage management ------------------------------------------
 
-    def view(self, dtype, offset_bytes: int = 0,
-             count: int | None = None) -> np.ndarray:
-        """Typed view into the backing store (zero-copy)."""
+    def _materialize(self) -> np.ndarray:
+        """The storage array, materializing lazy zeros if needed."""
+        if self._data is None:
+            self._data = np.zeros(self.nbytes, dtype=np.uint8)
+        return self._data
+
+    def prepare_write(self) -> None:
+        """Make the storage safe to mutate in place.
+
+        ``alias`` storage is copied first (copy-on-write) so the alias
+        source never observes buffer writes; ``pinned`` storage is
+        written through by design; ``owned`` storage is already private.
+        """
         self._check_alive()
+        if self._mode == "alias":
+            assert self._data is not None
+            self._data = self._data.copy()
+            self._mode = "owned"
+            self._stats.cow_copies += 1
+            self._stats.cow_bytes += self.nbytes
+            self._stats.bytes_moved += self.nbytes
+        else:
+            self._materialize()
+
+    def _typed_view(self, dtype, offset_bytes: int,
+                    count: int | None) -> np.ndarray:
         dtype = np.dtype(dtype)
         if offset_bytes < 0 or offset_bytes % dtype.itemsize:
             raise InvalidCommand(
@@ -95,22 +259,84 @@ class Buffer:
                 f"view of {count} x {dtype} at offset {offset_bytes} "
                 f"exceeds buffer of {self.nbytes} bytes")
         end = offset_bytes + count * dtype.itemsize
-        return self._data[offset_bytes:end].view(dtype)
+        return self._materialize()[offset_bytes:end].view(dtype)
 
-    def write_bytes(self, src: np.ndarray, offset_bytes: int = 0) -> int:
-        """Copy *src* (any dtype) into the buffer; returns bytes written."""
+    # -- data access ----------------------------------------------------------
+
+    def view(self, dtype, offset_bytes: int = 0,
+             count: int | None = None) -> np.ndarray:
+        """Writable typed view into the storage (zero-copy).
+
+        Makes the storage exclusive first (:meth:`prepare_write`), so
+        writes through the view never leak into an alias source.  Use
+        :meth:`view_readonly` for pure reads — it preserves aliasing.
+        """
         self._check_alive()
-        raw = np.ascontiguousarray(src).view(np.uint8).reshape(-1)
+        self.prepare_write()
+        return self._typed_view(dtype, offset_bytes, count)
+
+    def view_readonly(self, dtype, offset_bytes: int = 0,
+                      count: int | None = None) -> np.ndarray:
+        """Read-only typed view of the contents — never copies."""
+        self._check_alive()
+        v = self._typed_view(dtype, offset_bytes, count)
+        v.flags.writeable = False
+        return v
+
+    def write_bytes(self, src: np.ndarray, offset_bytes: int = 0, *,
+                    alias: bool = False, zero_fill: bool = False) -> int:
+        """Store *src* (any dtype) into the buffer; returns bytes written.
+
+        Physical behaviour (contents are identical in every case):
+
+        - a *self-copy* — *src* already is this buffer's storage at
+          that offset (pinned parts, re-uploads of an adopted array) —
+          is elided entirely;
+        - ``zero_fill=True`` asserts *src* is all zeros: the buffer
+          drops to unmaterialized zero storage without touching bytes;
+        - ``alias=True`` allows adopting a whole-buffer contiguous
+          *src* zero-copy (mode ``alias``): the caller promises not to
+          mutate *src* without re-uploading (the vector layer's
+          consistency protocol guarantees this).  The first buffer
+          write copies (COW);
+        - otherwise the bytes are copied, as the eager engine always
+          did.
+        """
+        self._check_alive()
+        raw = _as_raw(src)
         if offset_bytes < 0 or offset_bytes + raw.nbytes > self.nbytes:
             raise InvalidCommand(
                 f"write of {raw.nbytes} bytes at offset {offset_bytes} "
                 f"exceeds buffer of {self.nbytes} bytes")
-        self._data[offset_bytes:offset_bytes + raw.nbytes] = raw
         self.initialized = True
+        whole = offset_bytes == 0 and raw.nbytes == self.nbytes
+        if self._data is not None:
+            end = offset_bytes + raw.nbytes
+            if same_memory(raw, self._data[offset_bytes:end]):
+                self._stats.uploads_elided += 1
+                return raw.nbytes
+        if whole and self._mode != "pinned":
+            if zero_fill:
+                self._data = None
+                self._mode = "owned"
+                self._stats.zero_fills += 1
+                return raw.nbytes
+            if alias:
+                self._data = raw
+                self._mode = "alias"
+                self._stats.alias_adoptions += 1
+                return raw.nbytes
+        self.prepare_write()
+        self._data[offset_bytes:offset_bytes + raw.nbytes] = raw
+        self._stats.bytes_moved += raw.nbytes
         return raw.nbytes
 
     def read_bytes(self, dst: np.ndarray, offset_bytes: int = 0) -> int:
-        """Copy buffer contents into *dst*; returns bytes read."""
+        """Copy buffer contents into *dst*; returns bytes read.
+
+        A self-copy (``dst`` already is this storage region — pinned
+        vector parts downloading into their own host range) is elided.
+        """
         self._check_alive()
         if not isinstance(dst, np.ndarray):
             raise InvalidCommand("read destination must be a numpy array")
@@ -122,11 +348,21 @@ class Buffer:
                 f"read of {nbytes} bytes at offset {offset_bytes} exceeds "
                 f"buffer of {self.nbytes} bytes")
         flat = dst.view(np.uint8).reshape(-1)
-        flat[:] = self._data[offset_bytes:offset_bytes + nbytes]
+        if self._data is None:
+            flat[:] = 0
+            self._stats.bytes_moved += nbytes
+            return nbytes
+        end = offset_bytes + nbytes
+        if same_memory(flat, self._data[offset_bytes:end]):
+            self._stats.downloads_elided += 1
+            return nbytes
+        flat[:] = self._data[offset_bytes:end]
+        self._stats.bytes_moved += nbytes
         return nbytes
 
     def __repr__(self) -> str:
-        return (f"<Buffer {self.nbytes}B resident_on={sorted(self._resident)} "
+        return (f"<Buffer {self.nbytes}B ({self._mode}) "
+                f"resident_on={sorted(self._resident)} "
                 f"valid_on={sorted(map(str, self.valid))}>")
 
 
@@ -135,7 +371,9 @@ def buffer_from_array(context: Context, array: np.ndarray) -> Buffer:
 
     Note: like ``CL_MEM_COPY_HOST_PTR``, the fill happens at creation
     and is charged as a host-side copy, not a device transfer; the
-    transfer cost is charged when a queue first uses the buffer.
+    transfer cost is charged when a queue first uses the buffer.  The
+    bytes are genuinely copied (the caller may mutate *array* freely
+    afterwards).
     """
     buf = Buffer(context, array.nbytes)
     buf.write_bytes(array)

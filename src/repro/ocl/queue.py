@@ -53,15 +53,24 @@ class CommandQueue:
 
     def enqueue_write_buffer(self, buf: Buffer, src: np.ndarray,
                              offset_bytes: int = 0,
-                             wait_for: Sequence[Event] | None = None
-                             ) -> Event:
-        """Upload host data into the buffer (``clEnqueueWriteBuffer``)."""
+                             wait_for: Sequence[Event] | None = None,
+                             *, alias: bool = False,
+                             zero_fill: bool = False) -> Event:
+        """Upload host data into the buffer (``clEnqueueWriteBuffer``).
+
+        The transfer is always charged on the device link; ``alias``
+        and ``zero_fill`` only change the *physical* representation
+        (zero-copy adoption / logical zeros — see
+        :meth:`Buffer.write_bytes`), never the contents or the cost.
+        """
         self._check_buffer(buf)
         ready = max(self.system.host_step(label="enqueueWrite")
                     + self.device.command_latency_s,
                     buf.ready_at, self._deps_ready(wait_for))
-        nbytes = buf.write_bytes(src, offset_bytes)
+        nbytes = buf.write_bytes(src, offset_bytes, alias=alias,
+                                 zero_fill=zero_fill)
         buf.ensure_resident(self.device)
+        self.context.memory_stats.bytes_charged_h2d += nbytes
         span = self.device.schedule_transfer(nbytes, ready,
                                              f"H2D {nbytes}B")
         buf.ready_at = span.end
@@ -78,11 +87,41 @@ class CommandQueue:
                     + self.device.command_latency_s,
                     buf.ready_at, self._deps_ready(wait_for))
         nbytes = buf.read_bytes(dst, offset_bytes)
+        self.context.memory_stats.bytes_charged_d2h += nbytes
         span = self.device.schedule_transfer(nbytes, ready,
                                              f"D2H {nbytes}B")
         buf.ready_at = span.end
         buf.valid.add("host")
         return self._track(Event(self.system, span, kind="read"))
+
+    def enqueue_read_view(self, buf: Buffer, dtype,
+                          count: int | None = None,
+                          offset_bytes: int = 0,
+                          wait_for: Sequence[Event] | None = None
+                          ) -> tuple[Event, np.ndarray]:
+        """Download returning a zero-copy read-only view of the data.
+
+        Charged on the virtual timeline exactly like
+        :meth:`enqueue_read_buffer` of the same byte range — only the
+        physical host-side copy is elided.  The view reflects the
+        buffer contents at call time under the simulator's eager
+        in-order execution; callers must consume it before enqueueing
+        further writes to the buffer.
+        """
+        self._check_buffer(buf)
+        view = buf.view_readonly(dtype, offset_bytes, count)
+        nbytes = view.nbytes
+        ready = max(self.system.host_step(label="enqueueRead")
+                    + self.device.command_latency_s,
+                    buf.ready_at, self._deps_ready(wait_for))
+        stats = self.context.memory_stats
+        stats.bytes_charged_d2h += nbytes
+        stats.downloads_elided += 1
+        span = self.device.schedule_transfer(nbytes, ready,
+                                             f"D2H {nbytes}B")
+        buf.ready_at = span.end
+        buf.valid.add("host")
+        return self._track(Event(self.system, span, kind="read")), view
 
     def enqueue_copy_buffer(self, src: Buffer, dst: Buffer,
                             src_offset: int = 0, dst_offset: int = 0,
@@ -102,10 +141,16 @@ class CommandQueue:
         ready = max(self.system.host_step(label="enqueueCopy")
                     + self.device.command_latency_s,
                     src.ready_at, dst.ready_at, self._deps_ready(wait_for))
-        tmp = np.empty(nbytes, dtype=np.uint8)
-        src.read_bytes(tmp, src_offset)
-        dst.write_bytes(tmp, dst_offset)
+        if src is dst:
+            # overlapping self-copy: stage through a scratch array
+            tmp = np.empty(nbytes, dtype=np.uint8)
+            src.read_bytes(tmp, src_offset)
+            dst.write_bytes(tmp, dst_offset)
+        else:
+            dst.write_bytes(src.view_readonly(np.uint8, src_offset, nbytes),
+                            dst_offset)
         dst.ensure_resident(self.device)
+        self.context.memory_stats.bytes_charged_d2d += nbytes
         span = self.device.schedule_transfer(nbytes, ready,
                                              f"D2D {nbytes}B")
         src.ready_at = span.end
@@ -161,7 +206,12 @@ class CommandQueue:
                 self._check_buffer(arg)
                 ready = max(ready, arg.ready_at)
                 ready = max(ready, self._migrate_in(arg))
-                bound.append(arg.view(param.dtype))
+                # const pointers bind read-only views so aliased storage
+                # stays shared; writable pointers trigger copy-on-write
+                if param.is_const:
+                    bound.append(arg.view_readonly(param.dtype))
+                else:
+                    bound.append(arg.view(param.dtype))
                 buffers.append((arg, param.is_const))
             else:
                 if isinstance(arg, Buffer):

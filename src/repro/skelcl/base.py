@@ -18,7 +18,7 @@ from repro import clc
 from repro.clc import analysis as clc_analysis
 from repro.clc import astnodes as ast
 from repro.clc.types import PointerType, ScalarType, StructType
-from repro.errors import DistributionError, SkelClError
+from repro.errors import ClcError, DistributionError, SkelClError
 from repro.skelcl.context import SkelCLContext
 from repro.skelcl.vector import Vector
 
@@ -57,6 +57,25 @@ class UserFunction:
         self.summary = self.summaries[self.name]
         #: vectorized fast-path evaluator (None when not straight-line)
         self.vectorized = clc.try_vectorize(self.func)
+        self._elementwise: Callable | None = None
+        self._elementwise_built = False
+
+    @property
+    def elementwise(self) -> Callable | None:
+        """Whole-array evaluator of the user function, or ``None``.
+
+        Straight-line functions use the direct vectorizer; functions
+        with control flow (branchy ``max``-style operators) lower
+        through the batch engine via a synthetic elementwise kernel, so
+        reduce/scan fast paths no longer fall back to the per-item
+        interpreter for them.  Built lazily on first use.
+        """
+        if self.vectorized is not None:
+            return self.vectorized
+        if not self._elementwise_built:
+            self._elementwise_built = True
+            self._elementwise = _batch_elementwise(self)
+        return self._elementwise
 
     @property
     def params(self) -> list[ast.Param]:
@@ -82,6 +101,64 @@ class UserFunction:
             return self.return_type.dtype()
         raise SkelClError(
             f"{self.name}: unsupported return type {self.return_type}")
+
+
+def _batch_elementwise(user: UserFunction) -> Callable | None:
+    """Lower *user* through the batch engine as an elementwise kernel.
+
+    Wraps the (all-scalar-parameter, scalar-return) user function into
+    a synthetic map kernel and compiles it with the whole-NDRange batch
+    engine, yielding an evaluator with the same calling convention as
+    :func:`repro.clc.try_vectorize` results.  Returns ``None`` when the
+    function shape or the batch engine cannot support it.
+    """
+    func = user.func
+    if not isinstance(func.return_type, ScalarType):
+        return None
+    if not func.params or any(not isinstance(p.ctype, ScalarType)
+                              for p in func.params):
+        return None
+    in_types = [p.ctype for p in func.params]
+    ret = func.return_type
+    sig = ", ".join(f"__global const {t.name}* skelcl_in{i}"
+                    for i, t in enumerate(in_types))
+    calls = ", ".join(f"skelcl_in{i}[skelcl_i]"
+                      for i in range(len(in_types)))
+    wrapper = (f"\n__kernel void skelcl_elemwise({sig}, "
+               f"__global {ret.name}* skelcl_out, int skelcl_n) {{\n"
+               f"    int skelcl_i = get_global_id(0);\n"
+               f"    if (skelcl_i < skelcl_n) "
+               f"skelcl_out[skelcl_i] = {func.name}({calls});\n"
+               f"}}\n")
+    try:
+        prog = clc.compile_source(user.source + wrapper)
+        batch, _blockers = prog.batch_kernel("skelcl_elemwise")
+    except ClcError:
+        return None
+    if batch is None:
+        return None
+    in_dtypes = [t.dtype() for t in in_types]
+    out_dtype = ret.dtype()
+
+    def evaluate(*args, _element_index=None):
+        n = 0
+        for a in args:
+            arr = np.asarray(a)
+            if arr.ndim:
+                n = max(n, arr.shape[0])
+        arrays = []
+        for a, dt in zip(args, in_dtypes):
+            arr = np.asarray(a, dtype=dt)
+            if arr.ndim == 0:
+                arr = np.broadcast_to(arr, (n,))
+            arrays.append(arr)
+        out = np.empty(n, dtype=out_dtype)
+        if n:
+            batch([*arrays, out, np.int32(n)], (n,), (1,))
+        return out
+
+    evaluate.__name__ = f"batch_elementwise_{func.name}"
+    return evaluate
 
 
 class Skeleton:
@@ -216,7 +293,12 @@ class Skeleton:
                                 device_index: int) -> list | None:
         """Extra argument values for the vectorized evaluator, or None
         when an extra cannot be represented (never happens for the
-        supported scalar/pointer forms)."""
+        supported scalar/pointer forms).
+
+        ``const`` pointer extras bind read-only views so resident
+        device data stays aliased (no copy-on-write); only writable
+        pointers force the buffer storage exclusive.
+        """
         values = []
         for value, param in zip(extras, self.extra_params):
             if isinstance(value, Vector):
@@ -224,7 +306,10 @@ class Skeleton:
                 if part.empty:
                     return None
                 pointee = param.ctype.pointee  # type: ignore[attr-defined]
-                values.append(part.buffer.view(pointee.dtype()))
+                if param.is_const:
+                    values.append(part.buffer.view_readonly(pointee.dtype()))
+                else:
+                    values.append(part.buffer.view(pointee.dtype()))
             else:
                 values.append(value)
         return values
@@ -237,5 +322,17 @@ class Skeleton:
 
 def compiled_scalar_operator(program, name: str) -> Callable:
     """The user operator as a host-side callable (used by reduce's final
-    step — the paper's 'the CPU reduces these intermediate results')."""
-    return program.compiled.functions[name].callable
+    step — the paper's 'the CPU reduces these intermediate results').
+
+    Runs under ``np.errstate(all="ignore")`` like both kernel engines:
+    the dialect computes in the declared dtype, where e.g. int32
+    wraparound is defined behaviour, not a warning.
+    """
+    fn = program.compiled.functions[name].callable
+
+    def operator(*args):
+        with np.errstate(all="ignore"):
+            return fn(*args)
+
+    operator.__name__ = f"scalar_{name}"
+    return operator

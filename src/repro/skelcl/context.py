@@ -10,6 +10,7 @@ used without threading a context through every call.  An explicit
 
 from __future__ import annotations
 
+import weakref
 from typing import Sequence
 
 from repro import ocl
@@ -44,6 +45,35 @@ class SkelCLContext:
         #: (the paper excludes compilation from its runtime measurements
         #: because it happens once per program, not per iteration)
         self._program_cache: dict[str, ocl.Program] = {}
+        #: per-vector transfer records: seq -> (size, dtype, stats,
+        #: weakref) — the stats object outlives the vector so transient
+        #: vectors still show up in ``repro profile --memory``
+        self._vector_records: dict[int, tuple] = {}
+
+    def register_vector(self, vec) -> None:
+        self._vector_records[vec._seq] = (
+            vec.size, str(vec.dtype), vec.stats, weakref.ref(vec))
+
+    def vector_stats(self) -> list[dict]:
+        """Per-vector transfer accounting (``repro profile --memory``)."""
+        rows = []
+        for seq in sorted(self._vector_records):
+            size, dtype, s, ref = self._vector_records[seq]
+            vec = ref()
+            dist = vec.distribution if vec is not None else None
+            rows.append({
+                "vector": seq,
+                "size": size,
+                "dtype": dtype,
+                "distribution": dist.kind if dist is not None else "-",
+                "uploads": s.uploads,
+                "downloads": s.downloads,
+                "uploads_elided": s.uploads_elided,
+                "downloads_elided": s.downloads_elided,
+                "bytes_charged": s.bytes_charged,
+                "bytes_moved": s.bytes_moved,
+            })
+        return rows
 
     @property
     def system(self) -> ocl.System:

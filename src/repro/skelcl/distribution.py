@@ -132,9 +132,15 @@ def combine_copies(copies: Sequence[np.ndarray],
     """
     if not copies:
         raise DistributionError("no copies to combine")
-    if combine is None:
-        return np.array(copies[0], copy=True)
     result = np.array(copies[0], copy=True)
+    if combine is None:
+        return result
+    if isinstance(combine, np.ufunc):
+        # ufunc combines (np.add etc.) apply in place over the
+        # accumulator — same element-wise fold, no temporaries
+        for other in copies[1:]:
+            combine(result, other, out=result)
+        return result
     for other in copies[1:]:
         result = combine(result, other)
     return np.asarray(result)

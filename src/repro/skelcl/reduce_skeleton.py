@@ -89,11 +89,12 @@ class Reduce(Skeleton):
             from repro.skelcl.context import SKELCL_KERNEL_OVERHEAD_FACTOR
             ops = ((self.user.op_count + 2.0) * chunk
                    * SKELCL_KERNEL_OVERHEAD_FACTOR)
-            if self.user.vectorized is not None:
+            if self.user.elementwise is not None:
                 # vectorized fast path: pairwise tree reduction — an
                 # associativity-preserving regrouping of the chunked
                 # kernel; identical results for exact types, charged
-                # identically (DESIGN.md §5.2)
+                # identically (DESIGN.md §5.2).  Control-flow operators
+                # take it too, lowered through the batch engine.
                 partial_buf = ocl.Buffer(ctx.context, itemsize)
                 fast = self._tree_reduce_kernel(ctx, n)
                 fast.set_args(partial_buf, in_part.buffer)
@@ -140,7 +141,7 @@ class Reduce(Skeleton):
     def _tree_reduce_kernel(self, ctx, n: int):
         """Native kernel folding a whole part by pairwise tree."""
         from repro import ocl
-        evaluate = self.user.vectorized
+        evaluate = self.user.elementwise
 
         def apply(args, gsize, _n=n):
             partial_view, in_view = args

@@ -115,7 +115,7 @@ class Scan(Skeleton):
             from repro.skelcl.context import SKELCL_KERNEL_OVERHEAD_FACTOR
             ops = ((self.user.op_count + 2.0) * part.length
                    * SKELCL_KERNEL_OVERHEAD_FACTOR)
-            if self.user.vectorized is not None:
+            if self.user.elementwise is not None:
                 # vectorized fast path: Hillis-Steele inclusive scan —
                 # a regrouping valid for associative operators, with
                 # earlier prefixes always the operator's left argument
@@ -158,7 +158,7 @@ class Scan(Skeleton):
             from repro.skelcl.context import SKELCL_KERNEL_OVERHEAD_FACTOR
             ops = ((self.user.op_count + 2.0)
                    * SKELCL_KERNEL_OVERHEAD_FACTOR)
-            if self.user.vectorized is not None:
+            if self.user.elementwise is not None:
                 fast = self._offset_map_kernel(ctx, part.length,
                                                self._as_scalar(running))
                 fast.set_args(out.parts[d].buffer)
@@ -182,7 +182,7 @@ class Scan(Skeleton):
     def _hillis_steele_kernel(self, ctx, n: int):
         """Native kernel scanning a whole part in log(n) vector steps."""
         from repro import ocl
-        evaluate = self.user.vectorized
+        evaluate = self.user.elementwise
 
         def apply(args, gsize, _n=n):
             out_view, in_view = args
@@ -203,7 +203,7 @@ class Scan(Skeleton):
     def _offset_map_kernel(self, ctx, n: int, offset_value):
         """Vectorized form of the implicitly-created offset map."""
         from repro import ocl
-        evaluate = self.user.vectorized
+        evaluate = self.user.elementwise
 
         def apply(args, gsize, _n=n, _off=offset_value):
             (data_view,) = args

@@ -16,6 +16,7 @@ then re-uploads lazily part by part as devices touch the vector again.
 
 from __future__ import annotations
 
+import itertools
 from dataclasses import dataclass
 from typing import Iterable
 
@@ -23,6 +24,7 @@ import numpy as np
 
 from repro import ocl
 from repro.errors import DistributionError, SizeMismatchError, SkelClError
+from repro.ocl.memory import lazy_memory_enabled, same_memory
 from repro.skelcl.context import SkelCLContext, get_context
 from repro.skelcl.distribution import Distribution, combine_copies
 
@@ -42,6 +44,37 @@ class DevicePart:
     @property
     def empty(self) -> bool:
         return self.length == 0
+
+
+@dataclass
+class VectorTransferStats:
+    """Per-vector charged-vs-performed transfer accounting.
+
+    Uploads/downloads count queue commands issued for this vector (all
+    of them charged on the virtual timeline); the ``elided`` counters
+    say how many of those moved no bytes because the data was already
+    in place (pinned parts, aliases, zero-fill).
+    """
+
+    uploads: int = 0
+    downloads: int = 0
+    uploads_elided: int = 0
+    downloads_elided: int = 0
+    bytes_charged: int = 0
+    bytes_moved: int = 0
+
+    def record(self, kind: str, nbytes: int, moved: int) -> None:
+        if kind == "upload":
+            self.uploads += 1
+            self.uploads_elided += moved == 0
+        else:
+            self.downloads += 1
+            self.downloads_elided += moved == 0
+        self.bytes_charged += nbytes
+        self.bytes_moved += moved
+
+
+_vector_seq = itertools.count(1)
 
 
 class Vector:
@@ -78,6 +111,15 @@ class Vector:
         #: set by dataOnDevicesModified(): device copies of a
         #: copy-distributed vector diverged through additional-arg writes
         self._devices_modified = False
+        #: the host array is known to be all zeros (sized construction);
+        #: lets copy-distribution uploads use logical zero-fill
+        self._host_is_zero = data is None
+        #: engine choice captured at part creation so one part set is
+        #: never served by a mix of eager and lazy transfer paths
+        self._parts_lazy = False
+        self.stats = VectorTransferStats()
+        self._seq = next(_vector_seq)
+        self.ctx.register_vector(self)
 
     # -- basic properties ---------------------------------------------------------
 
@@ -146,11 +188,25 @@ class Vector:
         layout = self._dist.partition(self.size, self.ctx.num_devices)
         itemsize = self.dtype.itemsize
         self._parts = []
+        self._parts_lazy = lazy_memory_enabled()
+        # single/block parts cover disjoint host ranges, so their
+        # buffers can be pinned write-through views of the host array:
+        # uploads and downloads become elided self-copies, and kernel
+        # outputs land directly in the host range they will be
+        # downloaded to.  Copy-distribution parts overlap (every device
+        # holds the full vector), so each keeps private storage —
+        # uploads alias the host array with copy-on-write instead.
+        pin = self._parts_lazy and self._dist.kind != "copy"
         for i, (offset, length) in enumerate(layout):
             buffer = None
             if length > 0:
-                buffer = ocl.Buffer(self.ctx.context,
-                                    max(length * itemsize, 1))
+                if pin:
+                    buffer = ocl.Buffer.wrapping(
+                        self.ctx.context,
+                        self._host[offset:offset + length])
+                else:
+                    buffer = ocl.Buffer(self.ctx.context,
+                                        max(length * itemsize, 1))
             self._parts.append(DevicePart(device_index=i, offset=offset,
                                           length=length, buffer=buffer))
         self._devices_modified = False
@@ -180,26 +236,62 @@ class Vector:
             if stale_parts:
                 if self._devices_modified:
                     copies = [self._download_part(p) for p in stale_parts]
-                    self._host[:] = combine_copies(copies,
-                                                   self._dist.combine)
+                    combined = combine_copies(copies, self._dist.combine)
+                    if self._parts_lazy:
+                        # combine_copies produced a fresh array: adopt it
+                        # as the host copy instead of copying it over
+                        self._adopt_host(combined)
+                    else:
+                        self._host[:] = combined
                 else:
-                    self._host[:] = self._download_part(stale_parts[0])
+                    data = self._download_part(stale_parts[0])
+                    if not same_memory(data, self._host):
+                        self._host[:] = data
+                        self._host_is_zero = False
         else:
             for part in self._parts:
                 if part.valid and part.host_stale and not part.empty:
-                    self._host[part.offset:part.offset + part.length] = \
-                        self._download_part(part)
+                    data = self._download_part(part)
+                    dst = self._host[part.offset:part.offset + part.length]
+                    # pinned parts download into their own storage
+                    if not same_memory(data, dst):
+                        dst[:] = data
+                    self._host_is_zero = False
         for part in self._parts:
             part.host_stale = False
         self._devices_modified = False
 
+    def _adopt_host(self, array: np.ndarray) -> None:
+        """Replace the host copy with a freshly produced array.
+
+        Only valid while no part storage is pinned to the old host
+        array (copy-distribution parts never are).
+        """
+        assert array.size == self.size and array.dtype == self.dtype
+        self._host = array.reshape(-1)
+        self._host_is_zero = False
+
     def _download_part(self, part: DevicePart) -> np.ndarray:
+        """The part's device contents after a charged D2H transfer.
+
+        Lazy engine: a zero-copy read-only view of the buffer storage
+        (consumed immediately by the callers); eager engine: a fresh
+        physical copy.  Both charge identical virtual time.
+        """
         assert part.buffer is not None
-        out = np.empty(part.length, dtype=self.dtype)
         queue = self.ctx.queues[part.device_index]
-        event = queue.enqueue_read_buffer(part.buffer, out)
+        mem_stats = self.ctx.context.memory_stats
+        moved0 = mem_stats.bytes_moved
+        if self._parts_lazy:
+            event, data = queue.enqueue_read_view(
+                part.buffer, self.dtype, part.length)
+        else:
+            data = np.empty(part.length, dtype=self.dtype)
+            event = queue.enqueue_read_buffer(part.buffer, data)
         event.wait()
-        return out
+        self.stats.record("download", data.nbytes,
+                          mem_stats.bytes_moved - moved0)
+        return data
 
     def ensure_on_device(self, device_index: int) -> DevicePart:
         """Upload this device's part if it is stale; returns the part."""
@@ -218,7 +310,18 @@ class Vector:
         assert part.buffer is not None
         data = self._host[part.offset:part.offset + part.length]
         queue = self.ctx.queues[device_index]
-        queue.enqueue_write_buffer(part.buffer, data)
+        mem_stats = self.ctx.context.memory_stats
+        moved0 = mem_stats.bytes_moved
+        if self._parts_lazy:
+            # pinned parts elide the self-copy inside write_bytes; copy
+            # parts adopt the host array zero-copy (COW) — or stay as
+            # logical zeros when the host is known to be all zeros
+            queue.enqueue_write_buffer(part.buffer, data, alias=True,
+                                       zero_fill=self._host_is_zero)
+        else:
+            queue.enqueue_write_buffer(part.buffer, data)
+        self.stats.record("upload", data.nbytes,
+                          mem_stats.bytes_moved - moved0)
         part.valid = True
         return part
 
@@ -266,6 +369,7 @@ class Vector:
 
     def host_modified(self) -> None:
         """Declare host-side writes: device parts become stale."""
+        self._host_is_zero = False
         for part in self._parts:
             part.valid = False
             part.host_stale = False

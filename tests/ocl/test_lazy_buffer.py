@@ -1,0 +1,228 @@
+"""Unit tests for the lazy zero-copy Buffer storage engine.
+
+The lazy layer never changes contents or virtual-time charges — only
+whether bytes are *physically* copied.  These tests pin down the
+storage-mode transitions (owned/alias/pinned), copy-on-write in both
+directions, zero-fill uploads, self-copy elision, and the
+charged-vs-moved accounting in :class:`repro.ocl.MemoryStats`.
+"""
+
+import numpy as np
+import pytest
+
+from repro import ocl
+from repro.errors import InvalidCommand
+from repro.ocl.memory import same_memory
+
+
+@pytest.fixture
+def system():
+    return ocl.System(num_gpus=1)
+
+
+@pytest.fixture
+def ctx(system):
+    return ocl.Context(system.devices)
+
+
+@pytest.fixture
+def queue(system, ctx):
+    return ocl.CommandQueue(ctx, system.devices[0])
+
+
+def test_same_memory_identifies_regions():
+    a = np.arange(16, dtype=np.uint8)
+    assert same_memory(a, a)
+    assert same_memory(a, a[:])
+    assert not same_memory(a, a.copy())
+    assert not same_memory(a, a[1:])       # different base address
+    assert not same_memory(a, a[:8])       # different length
+
+
+def test_fresh_buffer_is_unmaterialized_zeros(ctx):
+    buf = ocl.Buffer(ctx, 64)
+    assert buf.storage_mode == "owned"
+    assert not buf.is_materialized
+    out = np.ones(16, np.float32)
+    buf.read_bytes(out)
+    np.testing.assert_array_equal(out, 0)
+
+
+def test_alias_adoption_is_zero_copy(ctx):
+    data = np.arange(16, dtype=np.float32)
+    buf = ocl.Buffer(ctx, data.nbytes)
+    buf.write_bytes(data, alias=True)
+    assert buf.storage_mode == "alias"
+    assert ctx.memory_stats.alias_adoptions == 1
+    assert ctx.memory_stats.bytes_moved == 0
+    # the read-only view is literally the adopted array's memory
+    assert same_memory(buf.view_readonly(np.float32), data)
+
+
+def test_cow_buffer_write_never_leaks_to_source(ctx):
+    data = np.arange(16, dtype=np.float32)
+    buf = ocl.Buffer(ctx, data.nbytes)
+    buf.write_bytes(data, alias=True)
+    view = buf.view(np.float32)          # writable view forces COW
+    view[:] = -1.0
+    assert buf.storage_mode == "owned"
+    assert ctx.memory_stats.cow_copies == 1
+    assert ctx.memory_stats.cow_bytes == data.nbytes
+    np.testing.assert_array_equal(data, np.arange(16, dtype=np.float32))
+
+
+def test_cow_partial_write_bytes_materializes_first(ctx):
+    data = np.arange(8, dtype=np.int32)
+    buf = ocl.Buffer(ctx, data.nbytes)
+    buf.write_bytes(data, alias=True)
+    buf.write_bytes(np.array([99], np.int32), offset_bytes=4)
+    out = np.empty(8, np.int32)
+    buf.read_bytes(out)
+    np.testing.assert_array_equal(out, [0, 99, 2, 3, 4, 5, 6, 7])
+    # the alias source kept its original contents
+    np.testing.assert_array_equal(data, np.arange(8, dtype=np.int32))
+
+
+def test_readonly_view_is_not_writable(ctx):
+    buf = ocl.Buffer(ctx, 32)
+    v = buf.view_readonly(np.float32)
+    with pytest.raises((ValueError, RuntimeError)):
+        v[0] = 1.0
+
+
+def test_readonly_view_preserves_alias(ctx):
+    data = np.arange(8, dtype=np.float32)
+    buf = ocl.Buffer(ctx, data.nbytes)
+    buf.write_bytes(data, alias=True)
+    buf.view_readonly(np.float32)
+    assert buf.storage_mode == "alias"
+    assert ctx.memory_stats.cow_copies == 0
+
+
+def test_zero_fill_upload_touches_no_bytes(ctx):
+    zeros = np.zeros(1024, np.float32)
+    buf = ocl.Buffer(ctx, zeros.nbytes)
+    buf.write_bytes(zeros, zero_fill=True)
+    assert not buf.is_materialized
+    assert ctx.memory_stats.zero_fills == 1
+    assert ctx.memory_stats.bytes_moved == 0
+    out = np.ones(1024, np.float32)
+    buf.read_bytes(out)
+    np.testing.assert_array_equal(out, zeros)
+
+
+def test_pinned_buffer_writes_through(ctx):
+    host = np.zeros(16, np.float32)
+    buf = ocl.Buffer.wrapping(ctx, host)
+    assert buf.storage_mode == "pinned"
+    buf.view(np.float32)[:] = 7.0
+    np.testing.assert_array_equal(host, 7.0)   # write-through by design
+
+
+def test_pinned_self_copy_is_elided(ctx):
+    host = np.arange(16, dtype=np.float32)
+    buf = ocl.Buffer.wrapping(ctx, host)
+    stats = ctx.memory_stats
+    buf.write_bytes(host)                 # upload of its own storage
+    assert stats.uploads_elided == 1
+    buf.read_bytes(host)                  # download into its own storage
+    assert stats.downloads_elided == 1
+    assert stats.bytes_moved == 0
+
+
+def test_plain_write_still_copies(ctx):
+    data = np.arange(16, dtype=np.float32)
+    buf = ocl.Buffer(ctx, data.nbytes)
+    buf.write_bytes(data)
+    assert ctx.memory_stats.bytes_moved == data.nbytes
+    data[:] = -1.0                        # caller may mutate freely
+    out = np.empty(16, np.float32)
+    buf.read_bytes(out)
+    np.testing.assert_array_equal(out, np.arange(16, dtype=np.float32))
+
+
+def test_use_after_release_rejected(ctx):
+    buf = ocl.Buffer(ctx, 16)
+    buf.release()
+    with pytest.raises(InvalidCommand):
+        buf.write_bytes(np.zeros(4, np.float32))
+    with pytest.raises(InvalidCommand):
+        buf.view(np.float32)
+
+
+def test_queue_charges_but_does_not_move_aliased_upload(queue, ctx):
+    data = np.arange(1000, dtype=np.float32)
+    buf = ocl.Buffer(ctx, data.nbytes)
+    queue.enqueue_write_buffer(buf, data, alias=True).wait()
+    stats = ctx.memory_stats
+    assert stats.bytes_charged_h2d == data.nbytes
+    assert stats.bytes_moved == 0
+    # the virtual timeline still carries the transfer span
+    labels = [s.label for s in queue.device.system.timeline.spans]
+    assert any(lbl.startswith("H2D") for lbl in labels)
+
+
+def test_enqueue_read_view_matches_read_buffer(queue, ctx):
+    data = np.arange(64, dtype=np.int32)
+    buf = ocl.Buffer(ctx, data.nbytes)
+    queue.enqueue_write_buffer(buf, data).wait()
+    event, view = queue.enqueue_read_view(buf, np.int32, count=64)
+    event.wait()
+    np.testing.assert_array_equal(view, data)
+    assert not view.flags.writeable
+    stats = ctx.memory_stats
+    assert stats.bytes_charged_d2h == data.nbytes
+    assert "host" in buf.valid
+
+
+def test_read_view_and_read_buffer_charge_identically(system):
+    def run(read_view: bool) -> float:
+        sys = ocl.System(num_gpus=1)
+        ctx = ocl.Context(sys.devices)
+        q = ocl.CommandQueue(ctx, sys.devices[0])
+        data = np.arange(4096, dtype=np.float32)
+        buf = ocl.Buffer(ctx, data.nbytes)
+        q.enqueue_write_buffer(buf, data).wait()
+        if read_view:
+            event, _ = q.enqueue_read_view(buf, np.float32)
+        else:
+            out = np.empty_like(data)
+            event = q.enqueue_read_buffer(buf, out)
+        event.wait()
+        return sys.host_now()
+
+    assert run(True) == run(False)
+
+
+def test_copy_buffer_charges_d2d(queue, ctx):
+    data = np.arange(32, dtype=np.float32)
+    src = ocl.Buffer(ctx, data.nbytes)
+    dst = ocl.Buffer(ctx, data.nbytes)
+    queue.enqueue_write_buffer(src, data).wait()
+    queue.enqueue_copy_buffer(src, dst, nbytes=data.nbytes).wait()
+    assert ctx.memory_stats.bytes_charged_d2d == data.nbytes
+    out = np.empty_like(data)
+    dst.read_bytes(out)
+    np.testing.assert_array_equal(out, data)
+
+
+def test_overlapping_self_copy_buffer(queue, ctx):
+    data = np.arange(8, dtype=np.int32)
+    buf = ocl.Buffer(ctx, data.nbytes)
+    queue.enqueue_write_buffer(buf, data).wait()
+    queue.enqueue_copy_buffer(buf, buf, src_offset=0, dst_offset=16,
+                              nbytes=16).wait()
+    out = np.empty(8, np.int32)
+    buf.read_bytes(out)
+    np.testing.assert_array_equal(out, [0, 1, 2, 3, 0, 1, 2, 3])
+
+
+def test_memory_stats_snapshot_roundtrip(ctx):
+    data = np.arange(16, dtype=np.float32)
+    buf = ocl.Buffer(ctx, data.nbytes)
+    buf.write_bytes(data, alias=True)
+    buf.view(np.float32)[:] = 0
+    snap = ctx.memory_stats.snapshot()
+    assert snap["alias_adoptions"] == 1
+    assert snap["cow_copies"] == 1
+    assert snap["bytes_moved"] == data.nbytes
