@@ -1,0 +1,75 @@
+"""Cluster-runtime benchmark: wire overhead of real distribution.
+
+Runs the skeleton corpus once on the single-process engine and once on
+a real 2-worker ``repro.cluster`` (separate OS processes, localhost
+TCP), measuring wall-clock for both and recording the cluster's wire
+traffic.  Results must be bitwise-identical — the distributed runtime
+is allowed to cost wall-clock (process spawn, TCP round trips) but
+never correctness and never *virtual* time.
+
+Emits ``BENCH_cluster.json``.
+"""
+
+import json
+import time
+from pathlib import Path
+
+from repro.cluster.corpus import (DEFAULT_SEED, corpus_mismatches,
+                                  reference_corpus, run_skeleton_corpus)
+
+from conftest import print_experiment
+
+SIZE = 1 << 15
+BENCH_PATH = Path(__file__).resolve().parent.parent / \
+    "BENCH_cluster.json"
+
+
+def test_cluster_vs_local_corpus():
+    from repro import skelcl
+    from repro.cluster.runtime import local_cluster
+
+    t0 = time.perf_counter()
+    expected = reference_corpus(2, SIZE, DEFAULT_SEED)
+    local_wall_s = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    with local_cluster(num_workers=2) as cluster:
+        spawn_wall_s = time.perf_counter() - t0
+        gpus = [d for d in cluster.devices if d.device_type == "GPU"]
+        skelcl.init(devices=gpus)
+        t0 = time.perf_counter()
+        try:
+            results = run_skeleton_corpus(SIZE, DEFAULT_SEED)
+        finally:
+            skelcl.terminate()
+        corpus_wall_s = time.perf_counter() - t0
+        stats = [s.as_dict() for s in cluster.all_stats()]
+
+    mismatches = corpus_mismatches(results, expected)
+    assert mismatches == [], mismatches
+
+    bytes_on_wire = sum(s["bytes_sent"] + s["bytes_received"]
+                        for s in stats)
+    frames = sum(s["frames_sent"] for s in stats)
+    record = {
+        "size": SIZE,
+        "workers": 2,
+        "local_wall_s": round(local_wall_s, 4),
+        "cluster_spawn_wall_s": round(spawn_wall_s, 4),
+        "cluster_corpus_wall_s": round(corpus_wall_s, 4),
+        "wire_bytes_total": bytes_on_wire,
+        "wire_frames_total": frames,
+        "bitwise_identical": True,
+        "per_worker_stats": stats,
+    }
+    BENCH_PATH.write_text(json.dumps(record, indent=2) + "\n")
+
+    print_experiment(
+        "cluster runtime: real 2-process corpus vs single process",
+        f"corpus size            {SIZE}\n"
+        f"local engine           {local_wall_s * 1e3:8.1f} ms\n"
+        f"cluster (spawn)        {spawn_wall_s * 1e3:8.1f} ms\n"
+        f"cluster (corpus)       {corpus_wall_s * 1e3:8.1f} ms\n"
+        f"wire traffic           {bytes_on_wire / 1e6:8.2f} MB "
+        f"in {frames} frames\n"
+        f"results                bitwise-identical")

@@ -5,14 +5,22 @@ A desktop client with no OpenCL devices of its own aggregates one
 unmodified SkelCL code runs across them.
 
 Run:  python examples/distributed_dopencl.py
+
+With ``--real`` the same SkelCL code instead runs on a genuine
+2-worker ``repro.cluster`` — separate OS processes serving the binary
+wire protocol over localhost TCP (see docs/distributed.md).
 """
+
+import sys
 
 import numpy as np
 
 from repro import dopencl, ocl, skelcl
 
 
-def main() -> None:
+def main(real: bool = False) -> None:
+    if real:
+        return real_cluster_main()
     client = ocl.System(num_gpus=0, name="desktop")
     platform = dopencl.connect(client, dopencl.paper_lab_nodes())
     gpus = platform.get_devices("GPU")
@@ -37,5 +45,31 @@ def main() -> None:
     print(f"total virtual time: {client.timeline.now() * 1e3:.3f} ms")
 
 
+def real_cluster_main() -> None:
+    from repro.cluster import local_cluster, stats_table
+
+    with local_cluster(num_workers=2) as cluster:
+        gpus = [d for d in cluster.devices if d.device_type == "GPU"]
+        print(f"cluster up: {len(cluster.handles)} worker processes, "
+              f"{len(gpus)} remote GPUs")
+        for handle in cluster.handles:
+            print(f"  worker {handle.rank}: pid {handle.proc.proc.pid} "
+                  f"@ {handle.conn.host}:{handle.conn.port}")
+
+        # the identical unmodified SkelCL code, now over real TCP
+        skelcl.init(devices=gpus)
+        x = np.linspace(0, 1, 1 << 16).astype(np.float32)
+        v = skelcl.Vector(x)
+        total = skelcl.Reduce(
+            "float add(float a, float b) { return a + b; }")(v)
+        print(f"\nreduce(+) over {len(x)} elements on 2 worker "
+              f"processes: {total.to_numpy()[0]:.2f} "
+              f"(numpy: {x.sum():.2f})")
+        skelcl.terminate()
+
+        print("\nper-worker wire traffic:")
+        print(stats_table(cluster.all_stats()))
+
+
 if __name__ == "__main__":
-    main()
+    main(real="--real" in sys.argv[1:])

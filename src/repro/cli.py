@@ -353,11 +353,19 @@ def _cmd_graph_dump(args) -> int:
     return 0 if identical else 1
 
 
-def _memory_report(ctx) -> str:
-    """Charged-vs-performed transfer report (``profile --memory``)."""
+def _memory_report(ctx) -> str | None:
+    """Charged-vs-performed transfer report (``profile --memory``).
+
+    Returns ``None`` when the workload recorded no transfers at all,
+    so the caller can exit non-zero instead of printing empty tables.
+    """
     from repro import ocl
 
     s = ctx.context.memory_stats.snapshot()
+    has_rows = any(row["uploads"] or row["downloads"]
+                   for row in ctx.vector_stats())
+    if not has_rows and not s["bytes_charged"] and not s["bytes_moved"]:
+        return None
     engine = "lazy (zero-copy)" if ocl.lazy_memory_enabled() else "eager"
     lines = [
         f"memory engine: {engine}",
@@ -387,19 +395,85 @@ def _memory_report(ctx) -> str:
     return "\n".join(lines)
 
 
+def _no_data(report: str) -> int:
+    """Uniform non-zero exit for profile reports with nothing to show."""
+    print(f"profile: no data for the {report} report — nothing was "
+          "recorded by this workload", file=sys.stderr)
+    return 1
+
+
 def _cmd_profile(args) -> int:
+    from contextlib import ExitStack
+
     from repro import skelcl
     from repro.util.profiling import breakdown_report, utilization_report
     from repro.util.trace import export_chrome_trace
 
     rng = np.random.default_rng(0)
+    with ExitStack() as stack:
+        cluster = None
+        if args.cluster:
+            if args.workload == "osem":
+                print("profile: --cluster supports the pipeline and "
+                      "saxpy workloads", file=sys.stderr)
+                return 2
+            from repro.cluster.runtime import local_cluster
+            cluster = stack.enter_context(
+                local_cluster(num_workers=args.workers))
+            gpus = [d for d in cluster.devices
+                    if d.device_type == "GPU"]
+            skelcl.init(devices=gpus)
+        code = _run_profile_workload(args, rng,
+                                     cluster_devices=cluster is not None)
+        if code:
+            return code
+        ctx = skelcl.get_context()
+        timeline = ctx.system.timeline
+        if not timeline.spans:
+            return _no_data("utilization")
+        print(f"{args.workload} over {args.size} elements on "
+              f"{len(ctx.devices)} device(s): virtual makespan "
+              f"{timeline.now() * 1e3:.3f} ms")
+        print(utilization_report(timeline))
+        print(breakdown_report(timeline))
+        if args.memory:
+            report = _memory_report(ctx)
+            if report is None:
+                return _no_data("memory")
+            print(report)
+        if args.cluster:
+            from repro.cluster.stats import stats_table
+            stats = cluster.all_stats()
+            if not any(s.frames_sent for s in stats):
+                return _no_data("cluster")
+            print(stats_table(stats))
+        if args.trace:
+            export_chrome_trace(timeline, args.trace)
+            print(f"wrote {args.trace} (open in chrome://tracing)")
+    return 0
+
+
+def _run_profile_workload(args, rng, cluster_devices: bool = False) -> int:
+    """Execute the selected workload on the current/initialized context."""
+    from repro import skelcl
+
+    def init_ctx():
+        # --cluster already initialized SkelCL on the remote devices
+        if not cluster_devices:
+            skelcl.init(num_gpus=args.gpus)
+        return skelcl.get_context()
+
+    if args.workload == "noop":
+        # diagnostic: an empty workload, to inspect the no-data paths
+        init_ctx()
+        return 0
     if args.workload == "osem":
         from repro.apps import osem
         geometry = osem.ScannerGeometry(24, 24, 24)
         activity = osem.cylinder_phantom(geometry, hot_spheres=2, seed=0)
         events = osem.generate_events(geometry, activity, args.size,
                                       seed=1)
-        ctx = skelcl.init(num_gpus=args.gpus)
+        ctx = init_ctx()
         impl = osem.SkelCLOsem(ctx, geometry)
         f = skelcl.Vector(np.ones(geometry.image_size, dtype=np.float32),
                           context=ctx)
@@ -407,32 +481,107 @@ def _cmd_profile(args) -> int:
     elif args.workload == "pipeline":
         xs = rng.random(args.size).astype(np.float32)
         stages = _pipeline_stages(4)
-        ctx = skelcl.init(num_gpus=args.gpus)
-        with skelcl.deferred():
+        ctx = init_ctx()
+        if cluster_devices:
+            # eager over the remote devices; the deferred graph engine
+            # is exercised by the local profile path
             vec = skelcl.Vector(xs, context=ctx)
             for stage in stages:
                 vec = stage(vec)
+        else:
+            with skelcl.deferred():
+                vec = skelcl.Vector(xs, context=ctx)
+                for stage in stages:
+                    vec = stage(vec)
         vec.to_numpy()
     else:  # saxpy
-        ctx = skelcl.init(num_gpus=args.gpus)
+        init_ctx()
         saxpy = skelcl.Zip(
             "float func(float x, float y, float a) { return a*x+y; }")
         x = rng.random(args.size).astype(np.float32)
         y = rng.random(args.size).astype(np.float32)
         saxpy(skelcl.Vector(x), skelcl.Vector(y),
               np.float32(2.5)).to_numpy()
-
-    timeline = ctx.system.timeline
-    print(f"{args.workload} over {args.size} elements on {args.gpus} "
-          f"GPU(s): virtual makespan {timeline.now() * 1e3:.3f} ms")
-    print(utilization_report(timeline))
-    print(breakdown_report(timeline))
-    if args.memory:
-        print(_memory_report(ctx))
-    if args.trace:
-        export_chrome_trace(timeline, args.trace)
-        print(f"wrote {args.trace} (open in chrome://tracing)")
     return 0
+
+
+def _cmd_cluster_serve(args) -> int:
+    from repro.cluster import worker
+    return worker.Worker(rank=args.rank, num_gpus=args.gpus,
+                         gpu_spec=args.gpu_spec, seed=args.seed,
+                         verbose=args.verbose).serve(args.host, args.port)
+
+
+def _cmd_cluster_run(args) -> int:
+    from repro.cluster.corpus import (corpus_mismatches, reference_corpus,
+                                      run_skeleton_corpus)
+    from repro.cluster.runtime import local_cluster
+    from repro.cluster.stats import stats_table
+    from repro import skelcl
+
+    with local_cluster(num_workers=args.workers,
+                       gpus_per_worker=args.gpus_per_worker,
+                       seed=args.seed) as cluster:
+        gpus = [d for d in cluster.devices if d.device_type == "GPU"]
+        print(f"cluster up: {len(cluster.handles)} worker(s), "
+              f"{len(gpus)} GPU device(s)")
+        skelcl.init(devices=gpus)
+        try:
+            results = run_skeleton_corpus(args.size, args.seed)
+        finally:
+            skelcl.terminate()
+        expected = reference_corpus(len(gpus), args.size, args.seed)
+        mismatches = corpus_mismatches(results, expected)
+        alive = [h.rank for h in cluster.alive_handles()]
+        print(f"corpus complete; workers alive at end: {alive}")
+        print(stats_table(cluster.all_stats()))
+        if args.report:
+            import json
+            with open(args.report, "w") as fh:
+                json.dump({"workers": args.workers,
+                           "size": args.size,
+                           "alive_at_end": alive,
+                           "mismatches": mismatches,
+                           "stats": [s.as_dict()
+                                     for s in cluster.all_stats()]},
+                          fh, indent=2)
+            print(f"wrote {args.report}")
+        if mismatches:
+            print("cluster run: results diverge from the single-process "
+                  f"engine: {', '.join(mismatches)}", file=sys.stderr)
+            return 1
+        print("all corpus results bitwise-identical to the "
+              "single-process engine")
+    return 0
+
+
+def _cmd_cluster_status(args) -> int:
+    from repro.cluster.client import WorkerConnection
+    from repro.errors import ClusterError
+
+    failures = 0
+    for index, address in enumerate(args.address):
+        host, _, port = address.rpartition(":")
+        try:
+            conn = WorkerConnection(host or "127.0.0.1", int(port),
+                                    rank=index, timeout_s=args.timeout,
+                                    retries=0)
+            info = conn.ping()
+            conn.close()
+            print(f"{address}: rank {info.get('rank')} pid "
+                  f"{info.get('pid')} — {info.get('commands', 0)} "
+                  f"command(s), {info.get('buffers', 0)} buffer(s), "
+                  f"{info.get('programs', 0)} program(s)")
+        except (ClusterError, OSError, ValueError) as exc:
+            print(f"{address}: unreachable ({exc})", file=sys.stderr)
+            failures += 1
+    return 1 if failures else 0
+
+
+def _cmd_cluster(args) -> int:
+    handlers = {"serve": _cmd_cluster_serve, "run": _cmd_cluster_run,
+                "status": _cmd_cluster_status}
+    return handlers[args.cluster_command](args)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -518,16 +667,50 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser(
         "profile", help="utilization and phase breakdown of a workload")
     p.add_argument("--workload", default="pipeline",
-                   choices=["pipeline", "saxpy", "osem"])
+                   choices=["pipeline", "saxpy", "osem", "noop"])
     p.add_argument("--size", type=int, default=1 << 18,
                    help="elements (pipeline/saxpy) or events (osem)")
     p.add_argument("--gpus", type=int, default=2)
     p.add_argument("--memory", action="store_true",
                    help="report per-vector transfer counts, elided "
                         "copies, and bytes charged vs. physically moved")
+    p.add_argument("--cluster", action="store_true",
+                   help="run the workload on a real localhost worker "
+                        "cluster and report per-node wire statistics")
+    p.add_argument("--workers", type=int, default=2,
+                   help="worker processes for --cluster")
     p.add_argument("--trace", metavar="FILE",
                    help="write the virtual timeline as a Chrome trace")
     p.set_defaults(fn=_cmd_profile)
+
+    p = sub.add_parser(
+        "cluster", help="multi-process distributed runtime "
+                        "(docs/distributed.md)")
+    cluster_sub = p.add_subparsers(dest="cluster_command", required=True)
+    q = cluster_sub.add_parser(
+        "serve", help="run one worker process in the foreground")
+    q.add_argument("--host", default="127.0.0.1")
+    q.add_argument("--port", type=int, default=0,
+                   help="TCP port (0 = ephemeral, announced on stdout)")
+    q.add_argument("--rank", type=int, default=0)
+    q.add_argument("--gpus", type=int, default=1)
+    q.add_argument("--gpu-spec", default="tesla_c1060")
+    q.add_argument("--seed", type=int, default=0)
+    q.add_argument("--verbose", action="store_true")
+    q = cluster_sub.add_parser(
+        "run", help="boot a localhost cluster, run the skeleton corpus, "
+                    "verify against the single-process engine")
+    q.add_argument("--workers", type=int, default=2)
+    q.add_argument("--gpus-per-worker", type=int, default=1)
+    q.add_argument("--size", type=int, default=4096)
+    q.add_argument("--seed", type=int, default=42)
+    q.add_argument("--report", metavar="FILE",
+                   help="write the ClusterStats report as JSON")
+    q = cluster_sub.add_parser(
+        "status", help="ping running workers by address")
+    q.add_argument("address", nargs="+", metavar="HOST:PORT")
+    q.add_argument("--timeout", type=float, default=2.0)
+    p.set_defaults(fn=_cmd_cluster)
     return parser
 
 

@@ -1,0 +1,46 @@
+"""`repro.cluster` — a real multi-process distributed runtime.
+
+Where :mod:`repro.dopencl` *simulates* command forwarding in-process,
+this package actually does it: worker processes each host a
+`repro.ocl.System` and serve a length-prefixed binary protocol over
+localhost TCP (:mod:`repro.cluster.wire`); a :class:`ClusterSystem`
+presents their devices through the ordinary ``Device``/``Queue``
+interfaces so SkelCL vectors and skeletons shard across processes
+unchanged, while the virtual-time cost model keeps charging exactly
+what the dOpenCL simulation charges.  See docs/distributed.md.
+
+The runtime symbols are imported lazily: :mod:`repro.dopencl.protocol`
+pulls framing constants from :mod:`repro.cluster.wire`, and an eager
+import of the runtime here would close an import cycle back into
+``repro.dopencl``.
+"""
+
+from repro.cluster.faults import ENV_VAR as FAULT_ENV_VAR, FaultPlan
+from repro.cluster.stats import ClusterStats, stats_table
+from repro.cluster.wire import COMMAND_HEADER_BYTES, FRAME_HEADER_BYTES, Op
+
+__all__ = [
+    "COMMAND_HEADER_BYTES", "FRAME_HEADER_BYTES", "Op",
+    "ClusterStats", "stats_table", "FaultPlan", "FAULT_ENV_VAR",
+    "ClusterSystem", "ClusterQueue", "RemoteDevice", "WorkerHandle",
+    "WorkerConnection", "launch_workers", "local_cluster",
+]
+
+_LAZY = {
+    "ClusterSystem": "repro.cluster.runtime",
+    "ClusterQueue": "repro.cluster.runtime",
+    "RemoteDevice": "repro.cluster.runtime",
+    "WorkerHandle": "repro.cluster.runtime",
+    "local_cluster": "repro.cluster.runtime",
+    "WorkerConnection": "repro.cluster.client",
+    "launch_workers": "repro.cluster.launch",
+}
+
+
+def __getattr__(name: str):
+    module_name = _LAZY.get(name)
+    if module_name is None:
+        raise AttributeError(
+            f"module 'repro.cluster' has no attribute {name!r}")
+    import importlib
+    return getattr(importlib.import_module(module_name), name)

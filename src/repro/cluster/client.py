@@ -1,0 +1,194 @@
+"""Client side of a worker connection: framing, retries, liveness.
+
+One :class:`WorkerConnection` owns the TCP socket to one worker
+process.  Every request is a frame with a fresh sequence number; the
+reply must echo it.  Lost or dropped replies hit the per-request
+timeout and the request is resent with the *same* sequence number —
+the worker deduplicates, so a retry never re-executes a command whose
+first reply was merely lost.  A broken connection is re-established
+once per request; if the worker is truly gone a
+:class:`~repro.errors.WorkerDiedError` surfaces so the runtime can
+re-shard onto survivors.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+import socket
+import time
+
+from repro.cluster import wire
+from repro.cluster.faults import FaultPlan
+from repro.cluster.stats import ClusterStats
+from repro.errors import (RemoteExecutionError, WireFormatError,
+                          WorkerDiedError)
+
+#: per-request reply timeout (seconds); override with
+#: ``REPRO_CLUSTER_TIMEOUT``
+DEFAULT_TIMEOUT_S = 10.0
+
+#: resend attempts per request before declaring the worker dead;
+#: override with ``REPRO_CLUSTER_RETRIES``
+DEFAULT_RETRIES = 3
+
+#: exponential backoff between retries: BACKOFF_BASE_S * 2**attempt
+BACKOFF_BASE_S = 0.05
+BACKOFF_CAP_S = 1.0
+
+
+def _env_float(name: str, default: float) -> float:
+    try:
+        return float(os.environ.get(name, ""))
+    except ValueError:
+        return default
+
+
+def _env_int(name: str, default: int) -> int:
+    try:
+        return int(os.environ.get(name, ""))
+    except ValueError:
+        return default
+
+
+class WorkerConnection:
+    """Reliable request/response channel to one worker process."""
+
+    def __init__(self, host: str, port: int, rank: int,
+                 timeout_s: float | None = None,
+                 retries: int | None = None,
+                 fault_plan: FaultPlan | None = None) -> None:
+        self.host = host
+        self.port = port
+        self.rank = rank
+        self.timeout_s = (timeout_s if timeout_s is not None
+                          else _env_float("REPRO_CLUSTER_TIMEOUT",
+                                          DEFAULT_TIMEOUT_S))
+        self.retries = (retries if retries is not None
+                        else _env_int("REPRO_CLUSTER_RETRIES",
+                                      DEFAULT_RETRIES))
+        self.stats = ClusterStats(rank=rank)
+        self._fault = fault_plan or FaultPlan.from_env()
+        # deterministic drop decisions: faulted runs stay reproducible
+        self._drop_rng = random.Random(0xD209 + rank)
+        self._sock: socket.socket | None = None
+        self._seq = 0
+
+    # -- connection management ---------------------------------------------------
+
+    def connect(self) -> None:
+        if self._sock is not None:
+            return
+        sock = socket.create_connection((self.host, self.port),
+                                        timeout=self.timeout_s)
+        sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        self._sock = sock
+
+    def close(self) -> None:
+        if self._sock is not None:
+            try:
+                self._sock.close()
+            finally:
+                self._sock = None
+
+    def _reconnect(self) -> None:
+        self.close()
+        self.stats.reconnects += 1
+        self.connect()
+
+    # -- requests ----------------------------------------------------------------
+
+    def request(self, op: int, meta: dict | None = None,
+                payload: bytes = b"",
+                timeout_s: float | None = None) -> tuple[dict, bytes]:
+        """Send one command and wait for its reply (retrying).
+
+        Returns the reply's ``(meta, payload)``.  Raises
+        :class:`RemoteExecutionError` if the worker replied with an
+        ERROR frame, :class:`WorkerDiedError` once retries and one
+        reconnect are exhausted.
+        """
+        self.connect()
+        self._seq = (self._seq + 1) & 0xFFFFFFFF
+        seq = self._seq
+        timeout = timeout_s if timeout_s is not None else self.timeout_s
+        raw = wire.encode_frame(op, seq, meta, payload)
+        reconnected = False
+        last_error: Exception | None = None
+        for attempt in range(self.retries + 1):
+            if attempt:
+                self.stats.retries += 1
+                time.sleep(min(BACKOFF_BASE_S * (2 ** (attempt - 1)),
+                               BACKOFF_CAP_S))
+            try:
+                started = time.monotonic()
+                assert self._sock is not None
+                self._sock.sendall(raw)
+                self.stats.frames_sent += 1
+                self.stats.bytes_sent += len(raw)
+                reply = self._recv_reply(seq, timeout)
+            except socket.timeout as exc:
+                self.stats.timeouts += 1
+                last_error = exc
+                continue
+            except (OSError, WireFormatError) as exc:
+                last_error = exc
+                if reconnected:
+                    break
+                try:
+                    self._reconnect()
+                    reconnected = True
+                    continue
+                except OSError as reconnect_exc:
+                    last_error = reconnect_exc
+                    break
+            if reply is None:  # injected drop: retry path
+                continue
+            rop, rmeta, rpayload = reply
+            self.stats.record_rtt(time.monotonic() - started)
+            if rop == wire.Op.ERROR:
+                raise RemoteExecutionError(
+                    f"worker {self.rank}: {rmeta.get('error', 'unknown')}",
+                    kind=rmeta.get("kind", ""))
+            return rmeta, rpayload
+        self.close()
+        raise WorkerDiedError(
+            f"worker {self.rank} at {self.host}:{self.port} stopped "
+            f"responding ({last_error})", rank=self.rank)
+
+    def _recv_reply(self, seq: int,
+                    timeout: float) -> tuple[int, dict, bytes] | None:
+        """Read frames until the one echoing *seq* arrives.
+
+        Replies to earlier (timed-out, already-retried) requests may
+        still be in flight; they are drained and discarded.  Returns
+        ``None`` when the fault hook decides this reply was "lost".
+        """
+        assert self._sock is not None
+        deadline = time.monotonic() + timeout
+        while True:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                raise socket.timeout("reply timed out")
+            self._sock.settimeout(remaining)
+            rop, rseq, rmeta, rpayload = wire.read_frame(self._sock.recv)
+            self.stats.frames_received += 1
+            self.stats.bytes_received += (
+                wire.frame_overhead_bytes(rmeta) + len(rpayload))
+            if rseq != seq:
+                continue  # stale reply from a retried request
+            if (self._fault.drop_probability > 0.0
+                    and self._drop_rng.random()
+                    < self._fault.drop_probability):
+                self.stats.frames_dropped += 1
+                return None
+            return rop, rmeta, rpayload
+
+    def ping(self, timeout_s: float | None = None) -> dict:
+        """Liveness probe; returns the worker's stats snapshot."""
+        meta, _ = self.request(wire.Op.PING, timeout_s=timeout_s)
+        return meta
+
+    def __repr__(self) -> str:
+        return (f"<WorkerConnection rank={self.rank} "
+                f"{self.host}:{self.port}>")

@@ -1,0 +1,68 @@
+"""The skeleton corpus used to validate a cluster against local runs.
+
+One deterministic batch of map / zip / reduce / scan executions over
+block- and copy-distributed vectors.  Run it once on a
+:class:`~repro.cluster.runtime.ClusterSystem` and once on a plain
+local `ocl.System` with the same device count: the results must be
+bitwise-identical (the distributed-determinism guarantee of
+docs/distributed.md).  Used by ``repro cluster run``, the cluster
+tests, and the CI ``cluster-smoke`` job.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+DEFAULT_SIZE = 4096
+DEFAULT_SEED = 42
+
+
+def run_skeleton_corpus(size: int = DEFAULT_SIZE,
+                        seed: int = DEFAULT_SEED) -> dict[str, np.ndarray]:
+    """Run the corpus on the *current* SkelCL context.
+
+    Call ``skelcl.init(...)`` first — with cluster devices or local
+    ones.  Returns result arrays keyed by operation name.
+    """
+    from repro import skelcl
+    from repro.skelcl.distribution import Distribution
+
+    rng = np.random.default_rng(seed)
+    x = rng.random(size, dtype=np.float32)
+    y = rng.random(size, dtype=np.float32)
+
+    square = skelcl.Map("float f(float x) { return x * x + 1.0f; }")
+    axpy = skelcl.Zip("float f(float x, float y) { return x + 2.0f * y; }")
+    total = skelcl.Reduce("float f(float a, float b) { return a + b; }")
+    prefix = skelcl.Scan("float f(float a, float b) { return a + b; }")
+
+    results: dict[str, np.ndarray] = {}
+    vx = skelcl.Vector(data=x.copy())
+    vy = skelcl.Vector(data=y.copy())
+    results["map"] = np.asarray(square(vx)).copy()
+    results["zip"] = np.asarray(axpy(vx, vy)).copy()
+    results["reduce"] = np.asarray(total(vx)).copy()
+    results["scan"] = np.asarray(prefix(vx)).copy()
+    vc = skelcl.Vector(data=x.copy())
+    vc.set_distribution(Distribution.copy())
+    results["map_copy"] = np.asarray(square(vc)).copy()
+    return results
+
+
+def reference_corpus(num_devices: int, size: int = DEFAULT_SIZE,
+                     seed: int = DEFAULT_SEED) -> dict[str, np.ndarray]:
+    """The corpus on a fresh single-process system of *num_devices* GPUs."""
+    from repro import skelcl
+    skelcl.init(num_gpus=num_devices)
+    try:
+        return run_skeleton_corpus(size, seed)
+    finally:
+        skelcl.terminate()
+
+
+def corpus_mismatches(got: dict[str, np.ndarray],
+                      expected: dict[str, np.ndarray]) -> list[str]:
+    """Names of operations whose results are not bitwise-identical."""
+    return [name for name in sorted(expected)
+            if name not in got
+            or not np.array_equal(got[name], expected[name])]

@@ -1,0 +1,70 @@
+"""Fault injection for cluster tests and the CI smoke job.
+
+Faults are injected through the ``REPRO_CLUSTER_FAULT`` environment
+variable, a comma-separated list of specs:
+
+``kill_worker:<rank>[:<nth>]``
+    The worker with the given rank calls ``os._exit`` immediately
+    before replying to its *nth* NDRange command (default: 2nd), i.e.
+    after it has already mutated state — the nastiest point to die.
+    Spawned workers see the variable through normal env inheritance.
+
+``drop_frame:<p>``
+    The *client* pretends each response frame was lost with
+    probability ``p``, forcing the timeout/retry path.  Drops come
+    from a dedicated deterministically-seeded RNG so faulted runs are
+    as reproducible as clean ones.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+
+from repro.errors import ClusterError
+
+ENV_VAR = "REPRO_CLUSTER_FAULT"
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """Parsed fault-injection configuration."""
+
+    kill_rank: int | None = None
+    kill_after: int = 2  # die before replying to this NDRange (1-based)
+    drop_probability: float = 0.0
+
+    @property
+    def active(self) -> bool:
+        return self.kill_rank is not None or self.drop_probability > 0.0
+
+    @classmethod
+    def from_env(cls, env: dict | None = None) -> "FaultPlan":
+        raw = (env if env is not None else os.environ).get(ENV_VAR, "")
+        return cls.parse(raw)
+
+    @classmethod
+    def parse(cls, raw: str) -> "FaultPlan":
+        kill_rank: int | None = None
+        kill_after = 2
+        drop_probability = 0.0
+        for spec in filter(None, (s.strip() for s in raw.split(","))):
+            parts = spec.split(":")
+            try:
+                if parts[0] == "kill_worker" and len(parts) in (2, 3):
+                    kill_rank = int(parts[1])
+                    if len(parts) == 3:
+                        kill_after = int(parts[2])
+                elif parts[0] == "drop_frame" and len(parts) == 2:
+                    drop_probability = float(parts[1])
+                    if not 0.0 <= drop_probability <= 1.0:
+                        raise ValueError(drop_probability)
+                else:
+                    raise ValueError(spec)
+            except ValueError:
+                raise ClusterError(
+                    f"bad {ENV_VAR} spec {spec!r}: expected "
+                    "kill_worker:<rank>[:<nth>] or drop_frame:<p>"
+                    ) from None
+        return cls(kill_rank=kill_rank, kill_after=kill_after,
+                   drop_probability=drop_probability)

@@ -1,0 +1,133 @@
+"""Spawning and wiring up local worker processes.
+
+Workers are plain ``subprocess`` children running
+``python -m repro.cluster.worker``; each binds an ephemeral localhost
+port and announces it on stdout, which the launcher reads back.
+
+Reproducibility guarantee: the coordinator's RNG seed and every
+``REPRO_*`` environment variable are propagated to each worker at
+spawn (each worker offsets the seed by its rank), and kernels execute
+through the same compiler and engines as a single-process run — so a
+distributed run is bitwise-identical to a local one, fault injection
+included (see docs/distributed.md).
+"""
+
+from __future__ import annotations
+
+import os
+import select
+import subprocess
+import sys
+import time
+from dataclasses import dataclass, field
+
+from repro.errors import ClusterError
+
+#: how long to wait for a spawned worker to announce its port
+SPAWN_TIMEOUT_S = 30.0
+
+PORT_LINE_PREFIX = "REPRO_CLUSTER_WORKER "
+
+
+@dataclass
+class WorkerProcess:
+    """A spawned local worker and how to reach it."""
+
+    rank: int
+    host: str
+    port: int
+    proc: subprocess.Popen = field(repr=False)
+
+    def terminate(self, timeout_s: float = 5.0) -> None:
+        if self.proc.poll() is None:
+            self.proc.terminate()
+        try:
+            self.proc.wait(timeout=timeout_s)
+        except subprocess.TimeoutExpired:
+            self.proc.kill()
+            self.proc.wait()
+
+
+def worker_environment(seed: int,
+                       extra_env: dict[str, str] | None = None
+                       ) -> dict[str, str]:
+    """The environment for a spawned worker.
+
+    Starts from the coordinator's full environment, re-asserts every
+    ``REPRO_*`` variable explicitly (the reproducibility contract is
+    that workers see exactly the coordinator's repro configuration),
+    makes the package importable, and records the seed.
+    """
+    env = dict(os.environ)
+    for key, value in os.environ.items():
+        if key.startswith("REPRO_"):
+            env[key] = value
+    src_dir = os.path.dirname(os.path.dirname(os.path.dirname(
+        os.path.abspath(__file__))))
+    existing = env.get("PYTHONPATH", "")
+    if src_dir not in existing.split(os.pathsep):
+        env["PYTHONPATH"] = (src_dir + os.pathsep + existing
+                             if existing else src_dir)
+    env["REPRO_CLUSTER_SEED"] = str(seed)
+    if extra_env:
+        env.update(extra_env)
+    return env
+
+
+def launch_workers(num_workers: int, gpus_per_worker: int = 1,
+                   seed: int = 0, gpu_spec: str = "tesla_c1060",
+                   cpu_device: bool = False, verbose: bool = False,
+                   extra_env: dict[str, str] | None = None
+                   ) -> list[WorkerProcess]:
+    """Spawn *num_workers* local workers and wait for their ports."""
+    if num_workers < 1:
+        raise ClusterError("need at least one worker")
+    env = worker_environment(seed, extra_env)
+    workers: list[WorkerProcess] = []
+    try:
+        for rank in range(num_workers):
+            cmd = [sys.executable, "-m", "repro.cluster.worker",
+                   "--port", "0", "--rank", str(rank),
+                   "--gpus", str(gpus_per_worker),
+                   "--gpu-spec", gpu_spec,
+                   "--seed", str(seed)]
+            if cpu_device:
+                cmd.append("--cpu-device")
+            if verbose:
+                cmd.append("--verbose")
+            proc = subprocess.Popen(cmd, env=env, stdout=subprocess.PIPE,
+                                    text=True)
+            port = _read_port_line(proc, rank)
+            workers.append(WorkerProcess(rank=rank, host="127.0.0.1",
+                                         port=port, proc=proc))
+    except BaseException:
+        for worker in workers:
+            worker.terminate()
+        raise
+    return workers
+
+
+def _read_port_line(proc: subprocess.Popen, rank: int) -> int:
+    """Wait for the worker's port announcement on its stdout."""
+    deadline = time.monotonic() + SPAWN_TIMEOUT_S
+    stdout = proc.stdout
+    assert stdout is not None
+    while time.monotonic() < deadline:
+        if proc.poll() is not None:
+            raise ClusterError(
+                f"worker {rank} exited with code {proc.returncode} "
+                "before announcing its port")
+        readable, _, _ = select.select([stdout], [], [], 0.2)
+        if not readable:
+            continue
+        line = stdout.readline()
+        if not line:
+            continue
+        if line.startswith(PORT_LINE_PREFIX):
+            fields = dict(part.split("=", 1)
+                          for part in line[len(PORT_LINE_PREFIX):].split())
+            return int(fields["PORT"])
+    proc.terminate()
+    raise ClusterError(
+        f"worker {rank} did not announce a port within "
+        f"{SPAWN_TIMEOUT_S:.0f}s")

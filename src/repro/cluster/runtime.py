@@ -1,0 +1,546 @@
+"""The coordinator runtime: remote devices behind local interfaces.
+
+A :class:`ClusterSystem` is an `ocl.System` whose devices are
+:class:`RemoteDevice` adapters for devices hosted by worker processes.
+It subclasses the dOpenCL simulation's ``ForwardedDevice``, so the
+virtual-time cost model charges network uplink + node PCIe spans and a
+per-command round trip *identically* to the in-process simulation —
+what changes is only where the bytes physically live and execute.
+
+Data model (the "mirror" protocol):
+
+- every buffer keeps a local mirror (the ordinary `ocl.Buffer`
+  storage); host-side writes update the mirror *and* ship the bytes to
+  the owning worker;
+- source-compiled kernels execute **only** on the worker; the written
+  buffers' mirrors are then stale and marked ``remote``;
+- reads (and native Python fast-path kernels, which cannot cross a
+  process boundary) first re-sync the mirror from the worker.
+
+Fault tolerance: every state-mutating command is appended to the
+owning worker's redo journal before it is sent.  When a worker stops
+responding, the journal is replayed onto a survivor — recreating its
+buffers and re-running its (deterministic) kernels — the dead worker's
+devices are re-routed there, and the computation continues.  Replay is
+not charged to the virtual timeline: the simulated cluster is the
+paper's fault-free one, recovery cost is wall-clock only.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Iterator, Sequence
+
+import numpy as np
+
+from repro.cluster import wire
+from repro.cluster.client import WorkerConnection
+from repro.cluster.launch import WorkerProcess, launch_workers
+from repro.cluster.stats import ClusterStats
+from repro.dopencl.client import ForwardedDevice
+from repro.dopencl.network import GIGABIT_ETHERNET, NetworkSpec
+from repro.errors import ClusterError, WorkerDiedError
+from repro.ocl.memory import Buffer
+from repro.ocl.platform import Platform
+from repro.ocl.queue import CommandQueue
+from repro.ocl.specs import DeviceSpec
+from repro.ocl.system import System
+
+
+@dataclass
+class JournalEntry:
+    """One replayable mutation (redo-log record)."""
+
+    op: int
+    meta: dict
+    payload: bytes = b""
+
+
+@dataclass
+class WorkerHandle:
+    """Coordinator-side state for one worker process."""
+
+    rank: int
+    conn: WorkerConnection
+    proc: WorkerProcess | None = None
+    specs: list[DeviceSpec] = field(default_factory=list)
+    alive: bool = True
+    journal: list[JournalEntry] = field(default_factory=list)
+    compiled: set[str] = field(default_factory=set)
+    heartbeat_ok: bool = True
+    last_heartbeat_s: float = 0.0
+
+    @property
+    def stats(self) -> ClusterStats:
+        return self.conn.stats
+
+    @property
+    def num_devices(self) -> int:
+        return len(self.specs)
+
+    def request(self, op: int, meta: dict | None = None,
+                payload: bytes = b"") -> tuple[dict, bytes]:
+        if not self.alive:
+            raise WorkerDiedError(
+                f"worker {self.rank} is already marked dead",
+                rank=self.rank)
+        return self.conn.request(op, meta, payload)
+
+
+class RemoteDevice(ForwardedDevice):
+    """A worker-hosted device, presented through the local Device API.
+
+    Inherits the dOpenCL cost model wholesale: bulk data is charged on
+    the node uplink then the node's PCIe link, and every enqueue pays
+    the network round trip.  ``route`` additionally records which live
+    worker (and which device index on it) currently serves this device
+    — re-pointed by the re-shard path when a worker dies.
+    """
+
+    #: ocl.create_queue dispatches on this
+    queue_class: type | None = None  # set below, after ClusterQueue
+
+    def __init__(self, system: "ClusterSystem", device_id: int,
+                 spec: DeviceSpec, handle: WorkerHandle,
+                 remote_index: int, network: NetworkSpec,
+                 uplink) -> None:
+        super().__init__(system, device_id, spec,
+                         node_name=f"worker{handle.rank}",
+                         network=network, node_uplink_resource=uplink)
+        self.route: tuple[WorkerHandle, int] = (handle, remote_index)
+
+    def __repr__(self) -> str:
+        handle, ridx = self.route
+        return (f"<RemoteDevice {self.id}: {self.name} @ "
+                f"worker{handle.rank}[{ridx}]>")
+
+
+class ClusterSystem(System):
+    """An `ocl.System` backed by live worker processes."""
+
+    def __init__(self, workers: Sequence[WorkerProcess | tuple[str, int]],
+                 network: NetworkSpec = GIGABIT_ETHERNET,
+                 name: str = "cluster",
+                 timeout_s: float | None = None) -> None:
+        super().__init__(num_gpus=0, name=name)
+        if not workers:
+            raise ClusterError("a cluster needs at least one worker")
+        self.network = network
+        self.handles: list[WorkerHandle] = []
+        #: kernel-source registry: sha -> source (for replay compiles)
+        self._sources: dict[str, str] = {}
+        #: buffer key -> (owning handle, "synced" | "remote");
+        #: "remote" means the worker holds fresher data than the mirror
+        self._buffer_state: dict[int, tuple[WorkerHandle, str]] = {}
+        self._key_counter = 0
+        self._heartbeat_thread: threading.Thread | None = None
+        self._heartbeat_stop = threading.Event()
+        for rank, endpoint in enumerate(workers):
+            if isinstance(endpoint, WorkerProcess):
+                host, port, proc = endpoint.host, endpoint.port, endpoint
+            else:
+                host, port = endpoint
+                proc = None
+            conn = WorkerConnection(host, port, rank, timeout_s=timeout_s)
+            handle = WorkerHandle(rank=rank, conn=conn, proc=proc)
+            try:
+                hello, _ = handle.request(wire.Op.HELLO)
+            except OSError as exc:
+                raise ClusterError(
+                    f"cannot reach worker {rank} at {host}:{port}: "
+                    f"{exc}") from exc
+            handle.specs = [DeviceSpec(**d) for d in hello["devices"]]
+            uplink = self.timeline.resource(f"net.worker{rank}")
+            for remote_index, spec in enumerate(handle.specs):
+                self.devices.append(RemoteDevice(
+                    self, len(self.devices), spec, handle, remote_index,
+                    network, uplink))
+            self.handles.append(handle)
+
+    # -- plumbing ----------------------------------------------------------------
+
+    def platform(self) -> Platform:
+        return Platform(self, name="repro cluster",
+                        vendor="repro dOpenCL")
+
+    def alive_handles(self) -> list[WorkerHandle]:
+        return [h for h in self.handles if h.alive]
+
+    def key_for(self, buf: Buffer) -> int:
+        key = getattr(buf, "_cluster_key", None)
+        if key is None:
+            self._key_counter += 1
+            key = self._key_counter
+            buf._cluster_key = key
+        return key
+
+    def all_stats(self) -> list[ClusterStats]:
+        return [h.stats for h in self.handles]
+
+    def invalidate_remote(self, buf: Buffer) -> None:
+        """Forget the worker-side copy (the mirror is now the truth)."""
+        key = getattr(buf, "_cluster_key", None)
+        if key is not None:
+            self._buffer_state.pop(key, None)
+
+    # -- source programs ---------------------------------------------------------
+
+    def register_source(self, source: str) -> str:
+        sha = hashlib.sha256(source.encode()).hexdigest()
+        self._sources.setdefault(sha, source)
+        return sha
+
+    def ensure_compiled(self, handle: WorkerHandle, sha: str) -> None:
+        if sha in handle.compiled:
+            return
+        handle.request(wire.Op.COMPILE, {"sha": sha},
+                       self._sources[sha].encode())
+        handle.compiled.add(sha)
+
+    # -- mirror consistency ------------------------------------------------------
+
+    def sync_mirror(self, buf: Buffer) -> None:
+        """Fetch worker-side bytes into the local mirror if fresher.
+
+        Physical repair only: the virtual-time D2H charge is made by
+        whichever read command triggered the sync.
+        """
+        key = getattr(buf, "_cluster_key", None)
+        if key is None:
+            return
+        while True:
+            state = self._buffer_state.get(key)
+            if state is None or state[1] != "remote":
+                return
+            handle = state[0]
+            try:
+                _, payload = handle.request(
+                    wire.Op.READ,
+                    {"buf": str(key), "offset": 0, "nbytes": buf.nbytes})
+            except WorkerDiedError:
+                self.on_worker_death(handle)
+                continue  # ownership re-routed; retry on the survivor
+            buf.write_bytes(np.frombuffer(payload, dtype=np.uint8))
+            self._buffer_state[key] = (handle, "synced")
+            return
+
+    # -- failure handling --------------------------------------------------------
+
+    def check_workers(self, timeout_s: float = 2.0) -> dict[int, bool]:
+        """Heartbeat every worker once; returns rank -> responsive."""
+        result: dict[int, bool] = {}
+        for handle in self.handles:
+            if not handle.alive:
+                result[handle.rank] = False
+                continue
+            try:
+                handle.conn.ping(timeout_s=timeout_s)
+                handle.heartbeat_ok = True
+                handle.last_heartbeat_s = time.monotonic()
+                result[handle.rank] = True
+            except (ClusterError, OSError):
+                handle.heartbeat_ok = False
+                result[handle.rank] = False
+        return result
+
+    def start_heartbeat(self, interval_s: float = 1.0) -> None:
+        """Background liveness probing (records only; the re-shard
+        decision is always taken on the request path, never from the
+        heartbeat thread, to keep recovery single-threaded)."""
+        if self._heartbeat_thread is not None:
+            return
+        self._heartbeat_stop.clear()
+
+        def loop() -> None:
+            while not self._heartbeat_stop.wait(interval_s):
+                self.check_workers()
+
+        self._heartbeat_thread = threading.Thread(target=loop, daemon=True)
+        self._heartbeat_thread.start()
+
+    def stop_heartbeat(self) -> None:
+        if self._heartbeat_thread is None:
+            return
+        self._heartbeat_stop.set()
+        self._heartbeat_thread.join(timeout=5.0)
+        self._heartbeat_thread = None
+
+    def on_worker_death(self, dead: WorkerHandle) -> None:
+        """Graceful degradation: replay the dead worker's journal onto
+        a survivor and re-route its devices there."""
+        if not dead.alive:
+            return
+        dead.alive = False
+        dead.conn.close()
+        while True:
+            survivors = self.alive_handles()
+            if not survivors:
+                raise ClusterError(
+                    "all workers are dead; cannot re-shard "
+                    f"(last casualty: worker {dead.rank})")
+            target = survivors[dead.rank % len(survivors)]
+            try:
+                self._replay_journal(dead, target)
+            except WorkerDiedError:
+                target.alive = False
+                target.conn.close()
+                continue
+            break
+        target.stats.resharded = True
+        # re-route the dead worker's devices
+        for device in self.devices:
+            if isinstance(device, RemoteDevice) \
+                    and device.route[0] is dead:
+                device.route = (target,
+                                device.route[1] % target.num_devices)
+        # transfer buffer ownership (contents recreated by the replay)
+        for key, (owner, state) in list(self._buffer_state.items()):
+            if owner is dead:
+                self._buffer_state[key] = (target, state)
+        target.journal.extend(dead.journal)
+        dead.journal = []
+
+    def _replay_journal(self, dead: WorkerHandle,
+                        target: WorkerHandle) -> None:
+        for entry in dead.journal:
+            if entry.op == wire.Op.NDRANGE:
+                self.ensure_compiled(target, entry.meta["program"])
+                meta = dict(entry.meta)
+                meta["device"] = (int(meta.get("device", 0))
+                                  % target.num_devices)
+                target.request(wire.Op.NDRANGE, meta)
+            else:
+                target.request(entry.op, entry.meta, entry.payload)
+
+    # -- lifecycle ---------------------------------------------------------------
+
+    def shutdown(self) -> None:
+        """Orderly teardown: SHUTDOWN every live worker, reap processes."""
+        self.stop_heartbeat()
+        for handle in self.handles:
+            if handle.alive:
+                try:
+                    handle.conn.request(wire.Op.SHUTDOWN, timeout_s=2.0)
+                except (ClusterError, OSError):
+                    pass
+            handle.conn.close()
+            handle.alive = False
+        for handle in self.handles:
+            if handle.proc is not None:
+                handle.proc.terminate()
+
+    def __repr__(self) -> str:
+        alive = len(self.alive_handles())
+        return (f"<ClusterSystem {len(self.devices)} device(s) on "
+                f"{alive}/{len(self.handles)} worker(s)>")
+
+
+class ClusterQueue(CommandQueue):
+    """A command queue whose device lives in a worker process.
+
+    Every override first lets the base class do the *virtual-time*
+    charging and local-mirror bookkeeping (through the inherited
+    ``ForwardedDevice`` transfer model — identical to the dOpenCL
+    simulation), then performs the *physical* wire traffic.
+    """
+
+    device: RemoteDevice
+
+    # -- wire plumbing -----------------------------------------------------------
+
+    @property
+    def _cluster(self) -> ClusterSystem:
+        return self.system  # type: ignore[return-value]
+
+    def _forward(self, op: int, make_meta, payload: bytes = b"",
+                 journaled: bool = False) -> tuple[dict, bytes]:
+        """Send a command to the device's current worker.
+
+        ``make_meta(remote_index)`` builds the metadata against the
+        current route, so a retry after a re-shard targets the right
+        device on the survivor.  Journaled commands that fail with a
+        dead worker are *not* re-sent: the journal replay performed by
+        the re-shard already re-applied them.
+        """
+        while True:
+            handle, remote_index = self.device.route
+            meta = make_meta(remote_index)
+            if journaled:
+                handle.journal.append(
+                    JournalEntry(op=op, meta=meta, payload=payload))
+            try:
+                return handle.request(op, meta, payload)
+            except WorkerDiedError:
+                self._cluster.on_worker_death(handle)
+                if journaled:
+                    return {}, b""
+
+    # -- transfers ---------------------------------------------------------------
+
+    def enqueue_write_buffer(self, buf, src, offset_bytes=0,
+                             wait_for=None, *, alias=False,
+                             zero_fill=False):
+        system = self._cluster
+        key = system.key_for(buf)
+        nbytes = int(np.asarray(src).nbytes)
+        partial = not (offset_bytes == 0 and nbytes == buf.nbytes)
+        if partial:
+            # a partial overwrite of worker-fresh data: complete the
+            # mirror first so the full upload below is coherent
+            system.sync_mirror(buf)
+        event = super().enqueue_write_buffer(
+            buf, src, offset_bytes, wait_for, alias=alias,
+            zero_fill=zero_fill)
+        if zero_fill:
+            payload = bytes(nbytes)
+        else:
+            payload = bytes(buf.view_readonly(np.uint8, offset_bytes,
+                                              nbytes))
+        self._forward(
+            wire.Op.WRITE,
+            lambda _ridx: {"buf": str(key), "nbytes": buf.nbytes,
+                           "offset": int(offset_bytes)},
+            payload, journaled=True)
+        self._cluster._buffer_state[key] = (self.device.route[0],
+                                            "synced")
+        return event
+
+    def enqueue_read_buffer(self, buf, dst, offset_bytes=0,
+                            wait_for=None):
+        self._cluster.sync_mirror(buf)
+        return super().enqueue_read_buffer(buf, dst, offset_bytes,
+                                           wait_for)
+
+    def enqueue_read_view(self, buf, dtype, count=None, offset_bytes=0,
+                          wait_for=None):
+        self._cluster.sync_mirror(buf)
+        return super().enqueue_read_view(buf, dtype, count, offset_bytes,
+                                         wait_for)
+
+    def enqueue_copy_buffer(self, src, dst, src_offset=0, dst_offset=0,
+                            nbytes=None, wait_for=None):
+        self._cluster.sync_mirror(src)
+        if not (dst_offset == 0
+                and (nbytes is None or nbytes == dst.nbytes)):
+            self._cluster.sync_mirror(dst)
+        event = super().enqueue_copy_buffer(src, dst, src_offset,
+                                            dst_offset, nbytes, wait_for)
+        # the copy ran on the mirror; the worker copy (if any) is stale
+        self._cluster.invalidate_remote(dst)
+        return event
+
+    # -- kernels -----------------------------------------------------------------
+
+    def _execute_kernel(self, kernel, bound, gsize, lsize, buffers):
+        system = self._cluster
+        if kernel.native:
+            # native kernels are Python closures — not serializable.
+            # Run them on the local mirrors (after re-syncing any
+            # worker-fresh inputs); the worker-side copies of written
+            # buffers become stale.
+            for buf, _is_const in buffers:
+                system.sync_mirror(buf)
+            super()._execute_kernel(kernel, bound, gsize, lsize, buffers)
+            for buf, is_const in buffers:
+                if not is_const:
+                    system.invalidate_remote(buf)
+            return
+        sha = system.register_source(kernel.program.source)
+        self.ensure_remote_inputs(buffers)
+        args_meta = self._wire_args(kernel)
+        self._forward(
+            wire.Op.NDRANGE,
+            lambda ridx: {"program": sha, "kernel": kernel.name,
+                          "device": ridx, "gsize": list(gsize),
+                          "lsize": list(lsize), "args": args_meta},
+            journaled=True)
+        for buf, is_const in buffers:
+            key = system.key_for(buf)
+            if not is_const:
+                self._cluster._buffer_state[key] = (
+                    self.device.route[0], "remote")
+
+    def ensure_remote_inputs(self, buffers) -> None:
+        """Make every buffer argument available on the routed worker.
+
+        Initialized mirrors are uploaded if the worker lacks (or has a
+        stale copy of) them; uninitialized output-only buffers are
+        created worker-side from the NDRange argument metadata instead.
+        Physical traffic only — the virtual-time upload was already
+        charged when the data first moved to this device.
+        """
+        system = self._cluster
+        handle, _ = self.device.route
+        for buf, _is_const in buffers:
+            key = system.key_for(buf)
+            state = system._buffer_state.get(key)
+            if state is not None and state[0] is handle:
+                continue  # already on the right worker
+            if state is not None and state[1] == "remote":
+                # fresher bytes live on a *different* worker: pull them
+                # into the mirror before re-uploading
+                system.sync_mirror(buf)
+            if not buf.initialized:
+                continue
+            payload = bytes(buf.view_readonly(np.uint8))
+            self._forward(
+                wire.Op.WRITE,
+                lambda _ridx, _key=key, _n=buf.nbytes: {
+                    "buf": str(_key), "nbytes": _n, "offset": 0},
+                payload, journaled=True)
+            system._buffer_state[key] = (self.device.route[0], "synced")
+
+    def _wire_args(self, kernel) -> list[dict]:
+        system = self._cluster
+        sha = system.register_source(kernel.program.source)
+        handle, _ = self.device.route
+        system.ensure_compiled(handle, sha)
+        args_meta: list[dict] = []
+        for param, arg in zip(kernel.params, kernel.bound_args()):
+            if param.is_pointer:
+                args_meta.append({"buf": str(system.key_for(arg)),
+                                  "nbytes": arg.nbytes})
+            else:
+                value = arg.item() if isinstance(arg, np.generic) else arg
+                dtype = (str(param.dtype) if param.dtype is not None
+                         else str(np.min_scalar_type(value)))
+                args_meta.append({"scalar": value, "dtype": dtype})
+        return args_meta
+
+    # -- synchronization ---------------------------------------------------------
+
+    def finish(self) -> None:
+        super().finish()
+        self._forward(wire.Op.BARRIER, lambda _ridx: {})
+
+    def __repr__(self) -> str:
+        return f"<ClusterQueue on {self.device!r}>"
+
+
+RemoteDevice.queue_class = ClusterQueue
+
+
+@contextmanager
+def local_cluster(num_workers: int = 2, gpus_per_worker: int = 1,
+                  seed: int = 0, gpu_spec: str = "tesla_c1060",
+                  network: NetworkSpec = GIGABIT_ETHERNET,
+                  timeout_s: float | None = None,
+                  verbose: bool = False
+                  ) -> Iterator[ClusterSystem]:
+    """Boot a localhost cluster, yield its system, tear it down."""
+    procs = launch_workers(num_workers, gpus_per_worker, seed=seed,
+                           gpu_spec=gpu_spec, verbose=verbose)
+    system = None
+    try:
+        system = ClusterSystem(procs, network=network,
+                               timeout_s=timeout_s)
+        yield system
+    finally:
+        if system is not None:
+            system.shutdown()
+        for proc in procs:
+            proc.terminate()

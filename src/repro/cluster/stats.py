@@ -1,0 +1,74 @@
+"""Per-node counters for the real distributed runtime.
+
+Where :mod:`repro.dopencl.protocol` accounts *simulated* traffic on the
+virtual timeline, :class:`ClusterStats` counts what actually crossed a
+worker's TCP connection: frames, bytes, retries, timeouts, and
+measured wall-clock round-trip times.  Surfaced by
+``repro cluster run/status`` and ``repro profile --cluster``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class ClusterStats:
+    """Wall-clock wire counters for one worker connection."""
+
+    rank: int = -1
+    frames_sent: int = 0
+    frames_received: int = 0
+    bytes_sent: int = 0
+    bytes_received: int = 0
+    retries: int = 0
+    timeouts: int = 0
+    frames_dropped: int = 0  # injected by the drop_frame fault hook
+    reconnects: int = 0
+    rtt_total_s: float = 0.0
+    rtt_max_s: float = 0.0
+    rtt_count: int = 0
+    resharded: bool = False
+
+    def record_rtt(self, seconds: float) -> None:
+        self.rtt_total_s += seconds
+        self.rtt_count += 1
+        if seconds > self.rtt_max_s:
+            self.rtt_max_s = seconds
+
+    @property
+    def rtt_mean_s(self) -> float:
+        return self.rtt_total_s / self.rtt_count if self.rtt_count else 0.0
+
+    def as_dict(self) -> dict:
+        return {
+            "rank": self.rank,
+            "frames_sent": self.frames_sent,
+            "frames_received": self.frames_received,
+            "bytes_sent": self.bytes_sent,
+            "bytes_received": self.bytes_received,
+            "retries": self.retries,
+            "timeouts": self.timeouts,
+            "frames_dropped": self.frames_dropped,
+            "reconnects": self.reconnects,
+            "rtt_mean_ms": self.rtt_mean_s * 1e3,
+            "rtt_max_ms": self.rtt_max_s * 1e3,
+            "resharded": self.resharded,
+        }
+
+
+def stats_table(all_stats: list[ClusterStats]) -> str:
+    """Render one row per worker (``repro cluster run``/``status``)."""
+    from repro.util.tables import format_table
+    rows = []
+    for s in sorted(all_stats, key=lambda s: s.rank):
+        rows.append([
+            s.rank, s.frames_sent, s.frames_received,
+            f"{s.bytes_sent / 1e6:.2f} MB", f"{s.bytes_received / 1e6:.2f} MB",
+            s.retries, s.frames_dropped,
+            f"{s.rtt_mean_s * 1e3:.3f} ms",
+            "yes" if s.resharded else "no",
+        ])
+    return format_table(
+        ["rank", "frames tx", "frames rx", "bytes tx", "bytes rx",
+         "retries", "dropped", "mean rtt", "resharded"], rows)

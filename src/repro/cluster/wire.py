@@ -1,0 +1,199 @@
+"""The cluster wire format: length-prefixed binary frames.
+
+One frame carries one command or one response:
+
+    +-------+--------+-------+----------+-------------+------+---------+
+    | magic | opcode |  seq  | meta_len | payload_len | meta | payload |
+    |  u16  |  u16   |  u32  |   u32    |     u64     | JSON |  bytes  |
+    +-------+--------+-------+----------+-------------+------+---------+
+
+The header is a fixed big-endian struct; ``meta`` is UTF-8 JSON
+(command parameters: buffer keys, offsets, kernel names, NDRange
+sizes); ``payload`` is raw bytes (ndarray contents, kernel source) —
+no pickle anywhere on the wire.  ``seq`` identifies a request so
+retried commands can be deduplicated by the worker and stale responses
+discarded by the client.
+
+This module is the single source of truth for framing constants:
+:mod:`repro.dopencl.protocol` charges its simulated per-command header
+from :data:`COMMAND_HEADER_BYTES` defined *here*, so the accounting of
+the in-process dOpenCL simulation can never drift from the real frame
+sizes the cluster puts on the wire (``tests/cluster/test_wire.py``
+pins the relationship).
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+from enum import IntEnum
+
+from repro.errors import WireFormatError
+
+#: frame magic — "CL" over a socket, and an instant corruption check
+MAGIC = 0xC15C
+
+#: the fixed frame header: magic, opcode, seq, meta_len, payload_len
+HEADER = struct.Struct(">HHIIQ")
+
+#: size of the fixed binary header actually sent per frame
+FRAME_HEADER_BYTES = HEADER.size
+
+#: modelled serialized size of one forwarded command's header *plus*
+#: its JSON metadata (ids, offsets, argument metadata).  This is what
+#: the dOpenCL simulation charges per command; real frames carry
+#: FRAME_HEADER_BYTES of fixed header plus the actual metadata, which
+#: this constant budgets as a first-order average.
+COMMAND_HEADER_BYTES = 64
+
+#: hard ceiling on metadata size — metadata is always small; anything
+#: bigger is a corrupt or hostile length prefix
+MAX_META_BYTES = 1 << 20
+
+#: hard ceiling on payload size (1 GiB); rejects absurd length
+#: prefixes before any allocation happens
+MAX_PAYLOAD_BYTES = 1 << 30
+
+
+class Op(IntEnum):
+    """Wire opcodes (requests and responses share the numbering)."""
+
+    HELLO = 1      # -> {rank, pid, devices: [DeviceSpec dicts]}
+    OK = 2         # generic success response
+    ERROR = 3      # response: {error, kind}
+    COMPILE = 4    # payload = kernel source; meta = {sha}
+    WRITE = 5      # payload = bytes; meta = {buf, nbytes, offset}
+    READ = 6       # meta = {buf, offset, nbytes}; response payload = bytes
+    NDRANGE = 7    # meta = {program, kernel, device, gsize, lsize, args}
+    FREE = 8       # meta = {buf}
+    BARRIER = 9    # drain the worker's queues
+    PING = 10      # liveness + stats snapshot
+    SHUTDOWN = 11  # orderly worker exit
+
+
+class TruncatedFrameError(WireFormatError):
+    """The stream ended in the middle of a frame."""
+
+
+class ConnectionClosedError(WireFormatError):
+    """The stream ended cleanly at a frame boundary."""
+
+
+def encode_frame(op: int, seq: int, meta: dict | None = None,
+                 payload: bytes = b"") -> bytes:
+    """Serialize one frame; validates sizes before building it."""
+    meta_bytes = json.dumps(meta or {}, separators=(",", ":")).encode()
+    if len(meta_bytes) > MAX_META_BYTES:
+        raise WireFormatError(
+            f"metadata of {len(meta_bytes)} bytes exceeds the "
+            f"{MAX_META_BYTES}-byte limit")
+    if len(payload) > MAX_PAYLOAD_BYTES:
+        raise WireFormatError(
+            f"payload of {len(payload)} bytes exceeds the "
+            f"{MAX_PAYLOAD_BYTES}-byte limit")
+    header = HEADER.pack(MAGIC, int(op), seq & 0xFFFFFFFF,
+                         len(meta_bytes), len(payload))
+    return header + meta_bytes + payload
+
+
+def frame_overhead_bytes(meta: dict | None = None) -> int:
+    """Real per-frame overhead: fixed header + serialized metadata."""
+    meta_bytes = json.dumps(meta or {}, separators=(",", ":")).encode()
+    return FRAME_HEADER_BYTES + len(meta_bytes)
+
+
+def decode_header(raw: bytes) -> tuple[int, int, int, int]:
+    """Validate a fixed header; returns (op, seq, meta_len, payload_len)."""
+    if len(raw) < FRAME_HEADER_BYTES:
+        raise TruncatedFrameError(
+            f"header truncated: {len(raw)} of {FRAME_HEADER_BYTES} bytes")
+    magic, op, seq, meta_len, payload_len = HEADER.unpack(
+        raw[:FRAME_HEADER_BYTES])
+    if magic != MAGIC:
+        raise WireFormatError(
+            f"bad frame magic 0x{magic:04X} (expected 0x{MAGIC:04X})")
+    if meta_len > MAX_META_BYTES:
+        raise WireFormatError(
+            f"corrupt length prefix: metadata of {meta_len} bytes "
+            f"exceeds the {MAX_META_BYTES}-byte limit")
+    if payload_len > MAX_PAYLOAD_BYTES:
+        raise WireFormatError(
+            f"corrupt length prefix: payload of {payload_len} bytes "
+            f"exceeds the {MAX_PAYLOAD_BYTES}-byte limit")
+    return op, seq, meta_len, payload_len
+
+
+def read_frame(read) -> tuple[int, int, dict, bytes]:
+    """Read one frame through ``read(n) -> bytes``.
+
+    ``read`` must return exactly *n* bytes, or fewer only at end of
+    stream.  Raises :class:`ConnectionClosedError` for a clean close at
+    a frame boundary, :class:`TruncatedFrameError` mid-frame, and
+    :class:`WireFormatError` for corrupt magic, length prefixes, or
+    metadata.
+    """
+    header = _read_exact(read, FRAME_HEADER_BYTES, allow_empty=True)
+    if not header:
+        raise ConnectionClosedError("connection closed")
+    if len(header) < FRAME_HEADER_BYTES:
+        raise TruncatedFrameError(
+            f"header truncated: {len(header)} of {FRAME_HEADER_BYTES} "
+            "bytes")
+    op, seq, meta_len, payload_len = decode_header(header)
+    meta_bytes = _read_exact(read, meta_len)
+    payload = _read_exact(read, payload_len)
+    try:
+        meta = json.loads(meta_bytes.decode()) if meta_len else {}
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise WireFormatError(f"corrupt frame metadata: {exc}") from exc
+    if not isinstance(meta, dict):
+        raise WireFormatError(
+            f"frame metadata must be a JSON object, got "
+            f"{type(meta).__name__}")
+    return op, seq, meta, payload
+
+
+def decode_frame(raw: bytes) -> tuple[int, int, dict, bytes]:
+    """Decode a complete frame held in memory (testing/fuzzing aid)."""
+    pos = 0
+
+    def read(n: int) -> bytes:
+        nonlocal pos
+        chunk = raw[pos:pos + n]
+        pos += len(chunk)
+        return chunk
+
+    op, seq, meta, payload = read_frame(read)
+    if pos != len(raw):
+        raise WireFormatError(
+            f"{len(raw) - pos} trailing bytes after frame")
+    return op, seq, meta, payload
+
+
+def _read_exact(read, n: int, allow_empty: bool = False) -> bytes:
+    chunks: list[bytes] = []
+    remaining = n
+    while remaining > 0:
+        chunk = read(remaining)
+        if not chunk:
+            got = n - remaining
+            if got == 0 and allow_empty:
+                return b""
+            raise TruncatedFrameError(
+                f"stream ended after {got} of {n} bytes")
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)
+
+
+def sock_reader(sock):
+    """A ``read(n)`` callable over a socket for :func:`read_frame`."""
+    return sock.recv
+
+
+def send_frame(sock, op: int, seq: int, meta: dict | None = None,
+               payload: bytes = b"") -> int:
+    """Encode and send one frame; returns bytes put on the wire."""
+    raw = encode_frame(op, seq, meta, payload)
+    sock.sendall(raw)
+    return len(raw)

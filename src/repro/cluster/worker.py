@@ -1,0 +1,276 @@
+"""A cluster worker: one process hosting a real `repro.ocl.System`.
+
+Run with ``python -m repro.cluster.worker --port 0 --rank 0 --gpus 1``
+(or ``repro cluster serve``).  The worker binds a localhost TCP
+socket, prints ``REPRO_CLUSTER_WORKER PORT=<port> RANK=<rank>`` on
+stdout so a launcher can discover the ephemeral port, and then serves
+framed commands: COMPILE, WRITE, READ, NDRANGE, FREE, BARRIER, PING,
+SHUTDOWN.
+
+Determinism: the worker seeds ``random`` and ``numpy.random`` from
+``--seed`` (offset by its rank) at startup, and kernel execution goes
+through the same compiler/engines as a single-process run, so a
+distributed run is bitwise-identical to a local one (the launcher
+propagates the coordinator's seed and ``REPRO_*`` environment).
+
+Replies echo the request's sequence number, and a small per-connection
+cache of recent replies lets a retried request (whose first reply was
+lost) be answered without re-executing.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import random
+import socket
+import sys
+import threading
+from collections import OrderedDict
+from dataclasses import asdict
+
+import numpy as np
+
+from repro import ocl
+from repro.cluster import wire
+from repro.cluster.faults import FaultPlan
+from repro.errors import ClusterError, ReproError
+
+#: replies remembered per connection for retry deduplication
+REPLY_CACHE_SIZE = 128
+
+
+class Worker:
+    """Serves one `ocl.System` over localhost TCP."""
+
+    def __init__(self, rank: int, num_gpus: int = 1,
+                 gpu_spec: str = "tesla_c1060", cpu_device: bool = False,
+                 seed: int | None = None, verbose: bool = False) -> None:
+        if gpu_spec not in ocl.CATALOG:
+            raise ClusterError(
+                f"unknown gpu spec {gpu_spec!r}; catalog: "
+                f"{sorted(ocl.CATALOG)}")
+        self.rank = rank
+        self.verbose = verbose
+        self._fault = FaultPlan.from_env()
+        self._ndrange_count = 0
+        if seed is not None:
+            random.seed(seed + rank)
+            np.random.seed((seed + rank) % 2 ** 32)
+        self.system = ocl.System(num_gpus=num_gpus,
+                                 gpu_spec=ocl.CATALOG[gpu_spec],
+                                 cpu_device=cpu_device,
+                                 name=f"worker{rank}")
+        self.context = ocl.Context(self.system.devices)
+        self.queues = [ocl.CommandQueue(self.context, d)
+                       for d in self.system.devices]
+        self._buffers: dict[str, ocl.Buffer] = {}
+        self._programs: dict[str, ocl.Program] = {}
+        self._kernels: dict[tuple[str, str], ocl.Kernel] = {}
+        self._lock = threading.Lock()
+        self._stop = threading.Event()
+        self._commands_served = 0
+
+    # -- serving -----------------------------------------------------------------
+
+    def serve(self, host: str = "127.0.0.1", port: int = 0) -> int:
+        """Bind, announce the port on stdout, and serve until SHUTDOWN."""
+        listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        listener.bind((host, port))
+        listener.listen(8)
+        listener.settimeout(0.2)
+        bound_port = listener.getsockname()[1]
+        print(f"REPRO_CLUSTER_WORKER PORT={bound_port} RANK={self.rank}",
+              flush=True)
+        self._log(f"serving on {host}:{bound_port}")
+        try:
+            while not self._stop.is_set():
+                try:
+                    conn, addr = listener.accept()
+                except socket.timeout:
+                    continue
+                conn.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+                thread = threading.Thread(
+                    target=self._serve_connection, args=(conn, addr),
+                    daemon=True)
+                thread.start()
+        finally:
+            listener.close()
+        self._log("shut down")
+        return 0
+
+    def _serve_connection(self, conn: socket.socket, addr) -> None:
+        replies: OrderedDict[int, bytes] = OrderedDict()
+        try:
+            while not self._stop.is_set():
+                try:
+                    op, seq, meta, payload = wire.read_frame(conn.recv)
+                except wire.ConnectionClosedError:
+                    break
+                cached = replies.get(seq)
+                if cached is not None:
+                    conn.sendall(cached)
+                    continue
+                raw = self._dispatch(op, seq, meta, payload)
+                replies[seq] = raw
+                while len(replies) > REPLY_CACHE_SIZE:
+                    replies.popitem(last=False)
+                conn.sendall(raw)
+                if op == wire.Op.SHUTDOWN:
+                    self._stop.set()
+        except (OSError, wire.TruncatedFrameError):
+            pass  # client went away mid-frame; nothing to answer
+        finally:
+            conn.close()
+
+    def _dispatch(self, op: int, seq: int, meta: dict,
+                  payload: bytes) -> bytes:
+        with self._lock:
+            self._commands_served += 1
+            try:
+                rmeta, rpayload = self._handle(op, meta, payload)
+            except ReproError as exc:
+                self._log(f"error on {wire.Op(op).name}: {exc}")
+                return wire.encode_frame(
+                    wire.Op.ERROR, seq,
+                    {"error": str(exc), "kind": type(exc).__name__})
+            except Exception as exc:  # never kill the worker on a bad frame
+                self._log(f"internal error on op {op}: {exc!r}")
+                return wire.encode_frame(
+                    wire.Op.ERROR, seq,
+                    {"error": f"{type(exc).__name__}: {exc}",
+                     "kind": "internal"})
+            return wire.encode_frame(wire.Op.OK, seq, rmeta, rpayload)
+
+    # -- command handlers --------------------------------------------------------
+
+    def _handle(self, op: int, meta: dict,
+                payload: bytes) -> tuple[dict, bytes]:
+        if op == wire.Op.HELLO:
+            return {"rank": self.rank, "pid": os.getpid(),
+                    "devices": [asdict(d.spec)
+                                for d in self.system.devices]}, b""
+        if op == wire.Op.COMPILE:
+            return self._handle_compile(meta, payload)
+        if op == wire.Op.WRITE:
+            return self._handle_write(meta, payload)
+        if op == wire.Op.READ:
+            return self._handle_read(meta)
+        if op == wire.Op.NDRANGE:
+            return self._handle_ndrange(meta)
+        if op == wire.Op.FREE:
+            buf = self._buffers.pop(str(meta["buf"]), None)
+            if buf is not None:
+                buf.release()
+            return {}, b""
+        if op == wire.Op.BARRIER:
+            for queue in self.queues:
+                queue.finish()
+            return {}, b""
+        if op == wire.Op.PING:
+            return {"rank": self.rank, "pid": os.getpid(),
+                    "commands": self._commands_served,
+                    "buffers": len(self._buffers),
+                    "programs": len(self._programs)}, b""
+        if op == wire.Op.SHUTDOWN:
+            return {"rank": self.rank}, b""
+        raise ClusterError(f"unknown opcode {op}")
+
+    def _handle_compile(self, meta: dict,
+                        payload: bytes) -> tuple[dict, bytes]:
+        sha = str(meta["sha"])
+        if sha not in self._programs:
+            source = payload.decode()
+            self._programs[sha] = ocl.Program(self.context, source).build()
+        return {"kernels": self._programs[sha].kernel_names()}, b""
+
+    def _buffer(self, key: str, nbytes: int | None = None) -> ocl.Buffer:
+        buf = self._buffers.get(key)
+        if buf is None:
+            if nbytes is None:
+                raise ClusterError(f"unknown buffer {key!r}")
+            buf = ocl.Buffer(self.context, max(int(nbytes), 1))
+            self._buffers[key] = buf
+        return buf
+
+    def _handle_write(self, meta: dict,
+                      payload: bytes) -> tuple[dict, bytes]:
+        buf = self._buffer(str(meta["buf"]), meta.get("nbytes"))
+        offset = int(meta.get("offset", 0))
+        buf.write_bytes(np.frombuffer(payload, dtype=np.uint8), offset)
+        return {"written": len(payload)}, b""
+
+    def _handle_read(self, meta: dict) -> tuple[dict, bytes]:
+        buf = self._buffer(str(meta["buf"]))
+        offset = int(meta.get("offset", 0))
+        nbytes = int(meta.get("nbytes", buf.nbytes - offset))
+        out = np.empty(nbytes, dtype=np.uint8)
+        buf.read_bytes(out, offset)
+        return {"nbytes": nbytes}, out.tobytes()
+
+    def _handle_ndrange(self, meta: dict) -> tuple[dict, bytes]:
+        self._ndrange_count += 1
+        if (self._fault.kill_rank == self.rank
+                and self._ndrange_count == self._fault.kill_after):
+            # injected crash: die mid-run without a word, like a real
+            # segfault or OOM kill would
+            self._log(f"fault injection: killing worker {self.rank} on "
+                      f"NDRange #{self._ndrange_count}")
+            os._exit(17)
+        sha = str(meta["program"])
+        name = str(meta["kernel"])
+        program = self._programs.get(sha)
+        if program is None:
+            raise ClusterError(
+                f"NDRange for uncompiled program {sha[:12]}…")
+        kernel = self._kernels.get((sha, name))
+        if kernel is None:
+            kernel = program.create_kernel(name)
+            self._kernels[(sha, name)] = kernel
+        args = []
+        for spec in meta["args"]:
+            if "buf" in spec:
+                args.append(self._buffer(str(spec["buf"]),
+                                         spec.get("nbytes")))
+            else:
+                args.append(np.dtype(spec["dtype"]).type(spec["scalar"]))
+        kernel.set_args(*args)
+        device = int(meta.get("device", 0)) % len(self.queues)
+        gsize = tuple(int(g) for g in meta["gsize"])
+        lsize = meta.get("lsize")
+        if lsize is not None:
+            lsize = tuple(int(l) for l in lsize)
+        self.queues[device].enqueue_nd_range_kernel(kernel, gsize, lsize)
+        return {"device": device}, b""
+
+    def _log(self, message: str) -> None:
+        if self.verbose:
+            print(f"[worker {self.rank}] {message}", file=sys.stderr,
+                  flush=True)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-cluster-worker",
+        description="Serve a simulated OpenCL system over localhost TCP.")
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=0,
+                        help="TCP port (0 = ephemeral, announced on "
+                             "stdout)")
+    parser.add_argument("--rank", type=int, default=0)
+    parser.add_argument("--gpus", type=int, default=1)
+    parser.add_argument("--gpu-spec", default="tesla_c1060",
+                        choices=sorted(ocl.CATALOG))
+    parser.add_argument("--cpu-device", action="store_true")
+    parser.add_argument("--seed", type=int, default=None)
+    parser.add_argument("--verbose", action="store_true")
+    args = parser.parse_args(argv)
+    worker = Worker(rank=args.rank, num_gpus=args.gpus,
+                    gpu_spec=args.gpu_spec, cpu_device=args.cpu_device,
+                    seed=args.seed, verbose=args.verbose)
+    return worker.serve(args.host, args.port)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -18,12 +18,12 @@ from __future__ import annotations
 from collections import defaultdict
 from dataclasses import dataclass, field
 
+from repro.cluster.wire import COMMAND_HEADER_BYTES
 from repro.dopencl.client import ForwardedDevice
 from repro.ocl.system import System
 
-#: serialized size of one forwarded command header (ids, offsets,
-#: argument metadata) — small against any real payload
-COMMAND_HEADER_BYTES = 64
+__all__ = ["COMMAND_HEADER_BYTES", "NodeTraffic", "CommandLog",
+           "collect"]
 
 
 @dataclass

@@ -129,6 +129,35 @@ class NodeUnreachableError(DOpenCLError):
 
 
 # ---------------------------------------------------------------------------
+# Distributed runtime (repro.cluster)
+# ---------------------------------------------------------------------------
+
+class ClusterError(ReproError):
+    """Base class for the multi-process distributed runtime."""
+
+
+class WireFormatError(ClusterError):
+    """A frame on the cluster wire is malformed (bad magic, corrupt
+    length prefix, truncated stream, oversized payload)."""
+
+
+class WorkerDiedError(ClusterError):
+    """A worker process stopped responding and reconnection failed."""
+
+    def __init__(self, message: str, rank: int | None = None) -> None:
+        super().__init__(message)
+        self.rank = rank
+
+
+class RemoteExecutionError(ClusterError):
+    """A worker reported a failure while executing a forwarded command."""
+
+    def __init__(self, message: str, kind: str = "") -> None:
+        super().__init__(message)
+        self.kind = kind
+
+
+# ---------------------------------------------------------------------------
 # Scheduler (repro.sched)
 # ---------------------------------------------------------------------------
 

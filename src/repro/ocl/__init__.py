@@ -15,7 +15,7 @@ from repro.ocl.memory import (Buffer, MemoryStats, buffer_from_array,
 from repro.ocl.platform import Platform, create_system_platform
 from repro.ocl.program import (Kernel, KernelParam, NativeKernelDef,
                                NativeProgram, Program)
-from repro.ocl.queue import CommandQueue
+from repro.ocl.queue import CommandQueue, create_queue
 from repro.ocl.specs import (CATALOG, DeviceSpec, GTX_480, TESLA_C1060,
                              XEON_E5520)
 from repro.ocl.system import System
@@ -27,6 +27,7 @@ __all__ = [
     "Event", "Program", "NativeProgram", "NativeKernelDef", "Kernel",
     "KernelParam", "DeviceSpec", "KernelCost", "MemoryStats",
     "buffer_from_array", "wait_for_events", "create_system_platform",
+    "create_queue",
     "lazy_memory_enabled", "set_lazy_memory", "same_memory",
     "kernel_duration", "transfer_duration",
     "TESLA_C1060", "XEON_E5520", "GTX_480", "CATALOG",

@@ -220,12 +220,7 @@ class CommandQueue:
                         f"expects a scalar, got a Buffer")
                 bound.append(arg)
         # execute for real
-        try:
-            kernel.launcher(bound, gsize, lsize)
-        except InterpError as exc:
-            raise InterpError(
-                f"kernel {kernel.name} ({kernel.engine} engine): "
-                f"{exc}") from exc
+        self._execute_kernel(kernel, bound, gsize, lsize, buffers)
         # charge modelled time
         work_items = float(math.prod(gsize)) * scale_factor
         cost = KernelCost(
@@ -243,6 +238,24 @@ class CommandQueue:
             if not is_const:
                 buf.valid = {self.device.id}
         return self._track(Event(self.system, span, kind="kernel"))
+
+    def _execute_kernel(self, kernel: Kernel, bound: list,
+                        gsize: tuple, lsize: tuple,
+                        buffers: list[tuple[Buffer, bool]]) -> None:
+        """Run the kernel's launcher on the bound argument views.
+
+        Subclasses may execute elsewhere — :mod:`repro.cluster` runs
+        source-compiled kernels on a remote worker process — as long as
+        the bound buffers end up holding the same results; the
+        virtual-time charge in :meth:`enqueue_nd_range_kernel` is
+        identical either way.
+        """
+        try:
+            kernel.launcher(bound, gsize, lsize)
+        except InterpError as exc:
+            raise InterpError(
+                f"kernel {kernel.name} ({kernel.engine} engine): "
+                f"{exc}") from exc
 
     def _migrate_in(self, buf: Buffer) -> float:
         """Implicitly place a buffer on this device; returns ready time.
@@ -281,3 +294,16 @@ class CommandQueue:
 
     def __repr__(self) -> str:
         return f"<CommandQueue on {self.device!r}>"
+
+
+def create_queue(context: Context, device: Device,
+                 profiling: bool = True) -> CommandQueue:
+    """Create the command queue appropriate for *device*.
+
+    A device may advertise a specialized queue implementation via a
+    ``queue_class`` attribute (cluster devices route their commands to
+    a remote worker through :class:`repro.cluster.ClusterQueue`);
+    ordinary simulated devices get a plain :class:`CommandQueue`.
+    """
+    queue_class = getattr(device, "queue_class", None) or CommandQueue
+    return queue_class(context, device, profiling)

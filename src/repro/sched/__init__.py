@@ -9,6 +9,7 @@ from repro.sched.perf_model import (UserFunctionCost, predict_map,
 from repro.sched.static_scheduler import (WeightedBlockDistribution,
                                           choose_reduce_final_device,
                                           makespan_of_partition,
+                                          network_capped_throughput,
                                           weighted_block_distribution)
 
 __all__ = [
@@ -16,6 +17,7 @@ __all__ = [
     "predict_reduce_local", "predict_reduce_final",
     "throughput_items_per_s", "static_cost",
     "measure_map_seconds_per_item", "WeightedBlockDistribution",
-    "weighted_block_distribution", "choose_reduce_final_device",
+    "weighted_block_distribution", "network_capped_throughput",
+    "choose_reduce_final_device",
     "makespan_of_partition", "AdaptiveScheduler", "WeightStore",
 ]

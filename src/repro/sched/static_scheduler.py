@@ -64,17 +64,42 @@ class WeightedBlockDistribution(Distribution):
         return f"WeightedBlockDistribution({list(self.weights)})"
 
 
+def network_capped_throughput(device: Device,
+                              cost: UserFunctionCost) -> float:
+    """Sustainable items/s of a device including its network uplink.
+
+    Remote devices (dOpenCL's ``ForwardedDevice``, the cluster's
+    ``RemoteDevice``) expose a ``network`` attribute: their input data
+    must cross that uplink, so per-item throughput can never exceed
+    ``uplink bandwidth / bytes per item``.  Local devices are returned
+    unchanged.
+    """
+    throughput = throughput_items_per_s(device.spec, cost)
+    network = getattr(device, "network", None)
+    if network is None or cost.bytes_per_item <= 0:
+        return throughput
+    uplink_cap = network.bandwidth_gbs * 1e9 / cost.bytes_per_item
+    return min(throughput, uplink_cap)
+
+
 def weighted_block_distribution(devices: Sequence[Device],
-                                cost: UserFunctionCost
+                                cost: UserFunctionCost,
+                                include_network: bool = False
                                 ) -> WeightedBlockDistribution:
     """Distribution proportional to each device's modelled throughput.
 
     Compute-intensive user functions give GPUs large weights over CPUs
-    (the paper's example); memory-bound ones narrow the gap.
+    (the paper's example); memory-bound ones narrow the gap.  With
+    ``include_network=True`` the weight of every remote device is
+    additionally capped by its uplink bandwidth, so a fast GPU behind
+    a slow network link receives a correspondingly smaller block.
     """
     if not devices:
         raise SchedulerError("no devices to schedule over")
-    weights = [throughput_items_per_s(d.spec, cost) for d in devices]
+    if include_network:
+        weights = [network_capped_throughput(d, cost) for d in devices]
+    else:
+        weights = [throughput_items_per_s(d.spec, cost) for d in devices]
     return WeightedBlockDistribution(weights)
 
 

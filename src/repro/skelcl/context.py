@@ -39,7 +39,7 @@ class SkelCLContext:
             raise SkelClError("SkelCL requires at least one device")
         self.devices = list(devices)
         self.context = ocl.Context(self.devices)
-        self.queues = [ocl.CommandQueue(self.context, d)
+        self.queues = [ocl.create_queue(self.context, d)
                        for d in self.devices]
         #: generated-source -> built Program; kernels are compiled once
         #: (the paper excludes compilation from its runtime measurements

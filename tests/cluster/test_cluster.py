@@ -1,0 +1,156 @@
+"""End-to-end tests for the repro.cluster distributed runtime.
+
+These boot real worker subprocesses on localhost and exercise the
+skeleton corpus over the wire.  They are slower than the unit suites
+(a few seconds each for process spawn), so the clean-cluster results
+are computed once per module.
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+import pytest
+
+from repro import skelcl
+from repro.cluster.corpus import (corpus_mismatches, reference_corpus,
+                                  run_skeleton_corpus)
+from repro.cluster.faults import FaultPlan
+from repro.cluster.launch import worker_environment
+from repro.cluster.runtime import local_cluster
+
+SIZE = 1024
+SEED = 42
+
+
+def cluster_corpus(timeout_s=None, seed=0):
+    """Boot a fresh 2-worker cluster, run the corpus, return artefacts."""
+    with local_cluster(num_workers=2, seed=seed,
+                       timeout_s=timeout_s) as cluster:
+        gpus = [d for d in cluster.devices if d.device_type == "GPU"]
+        assert len(gpus) == 2
+        skelcl.init(devices=gpus)
+        try:
+            results = run_skeleton_corpus(SIZE, SEED)
+        finally:
+            skelcl.terminate()
+        alive = [h.alive for h in cluster.handles]
+        stats = cluster.all_stats()
+    return results, alive, stats
+
+
+@pytest.fixture(scope="module")
+def reference():
+    return reference_corpus(2, SIZE, SEED)
+
+
+@pytest.fixture(scope="module")
+def clean_run():
+    assert "REPRO_CLUSTER_FAULT" not in os.environ
+    return cluster_corpus()
+
+
+class TestCorpusBitwise:
+    def test_matches_single_process_engine(self, clean_run, reference):
+        results, alive, _ = clean_run
+        assert alive == [True, True]
+        assert corpus_mismatches(results, reference) == []
+
+    def test_real_traffic_flowed(self, clean_run):
+        _, _, stats = clean_run
+        for s in stats:
+            assert s.frames_sent > 0
+            assert s.bytes_sent > 0
+            assert s.frames_received == s.frames_sent
+        # block distribution ships roughly half the data to each worker
+        assert all(s.bytes_received > SIZE for s in stats)
+
+    def test_reproducible_across_fresh_clusters(self, clean_run):
+        first, _, _ = clean_run
+        second, alive, _ = cluster_corpus()
+        assert alive == [True, True]
+        for name in first:
+            assert np.array_equal(first[name], second[name]), name
+
+
+class TestFaultTolerance:
+    def test_kill_worker_resharded_and_bitwise(self, monkeypatch,
+                                               reference):
+        monkeypatch.setenv("REPRO_CLUSTER_FAULT", "kill_worker:1:2")
+        results, alive, stats = cluster_corpus()
+        assert alive == [True, False]
+        assert stats[0].resharded
+        assert corpus_mismatches(results, reference) == []
+
+    def test_drop_frame_retries_and_recovers(self, monkeypatch,
+                                             reference):
+        monkeypatch.setenv("REPRO_CLUSTER_FAULT", "drop_frame:0.2")
+        results, alive, stats = cluster_corpus(timeout_s=0.5)
+        assert alive == [True, True]
+        assert sum(s.frames_dropped for s in stats) > 0
+        assert sum(s.retries for s in stats) > 0
+        assert corpus_mismatches(results, reference) == []
+
+
+class TestLiveness:
+    def test_ping_and_check_workers(self):
+        from repro.cluster.runtime import ClusterSystem
+        from repro.cluster.launch import launch_workers
+        procs = launch_workers(2)
+        try:
+            system = ClusterSystem(procs)
+            try:
+                assert system.check_workers() == {0: True, 1: True}
+                for handle in system.handles:
+                    assert handle.conn.ping()["rank"] == handle.rank
+            finally:
+                system.shutdown()
+        finally:
+            for proc in procs:
+                proc.terminate()
+
+
+class TestSeedPropagation:
+    def test_worker_environment_carries_seed_and_repro_vars(
+            self, monkeypatch):
+        monkeypatch.setenv("REPRO_ENGINE", "interp")
+        env = worker_environment(seed=7)
+        assert env["REPRO_CLUSTER_SEED"] == "7"
+        assert env["REPRO_ENGINE"] == "interp"
+        src_dir = env["PYTHONPATH"].split(os.pathsep)[0]
+        assert os.path.isdir(os.path.join(src_dir, "repro"))
+
+    def test_extra_env_wins(self):
+        env = worker_environment(seed=0, extra_env={"REPRO_X": "y"})
+        assert env["REPRO_X"] == "y"
+
+
+class TestFaultPlanParsing:
+    def test_kill_spec(self):
+        plan = FaultPlan.parse("kill_worker:1")
+        assert plan.kill_rank == 1 and plan.kill_after == 2
+        assert plan.active
+
+    def test_kill_spec_with_nth(self):
+        plan = FaultPlan.parse("kill_worker:0:5")
+        assert plan.kill_rank == 0 and plan.kill_after == 5
+
+    def test_drop_spec(self):
+        plan = FaultPlan.parse("drop_frame:0.25")
+        assert plan.drop_probability == 0.25
+
+    def test_combined_spec(self):
+        plan = FaultPlan.parse("kill_worker:1,drop_frame:0.1")
+        assert plan.kill_rank == 1
+        assert plan.drop_probability == 0.1
+
+    def test_empty_is_inactive(self):
+        assert not FaultPlan.parse("").active
+
+    def test_bad_spec_raises(self):
+        from repro.errors import ClusterError
+        with pytest.raises(ClusterError):
+            FaultPlan.parse("explode:now")
+        with pytest.raises(ClusterError):
+            FaultPlan.parse("drop_frame:2.0")

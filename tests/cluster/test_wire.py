@@ -1,0 +1,245 @@
+"""Wire-format tests: round-trips, truncation, corruption, fuzzing."""
+
+from __future__ import annotations
+
+import json
+import random
+import struct
+
+import pytest
+
+from repro.cluster import wire
+from repro.errors import WireFormatError
+
+
+def roundtrip(op, seq, meta=None, payload=b""):
+    return wire.decode_frame(wire.encode_frame(op, seq, meta, payload))
+
+
+class TestRoundTrip:
+    def test_empty_frame(self):
+        op, seq, meta, payload = roundtrip(wire.Op.PING, 7)
+        assert op == wire.Op.PING
+        assert seq == 7
+        assert meta == {}
+        assert payload == b""
+
+    def test_meta_and_payload(self):
+        meta = {"buf": "12", "nbytes": 4096, "offset": 0}
+        payload = bytes(range(256)) * 16
+        op, seq, got_meta, got_payload = roundtrip(
+            wire.Op.WRITE, 123456, meta, payload)
+        assert op == wire.Op.WRITE
+        assert seq == 123456
+        assert got_meta == meta
+        assert got_payload == payload
+
+    def test_unicode_metadata(self):
+        meta = {"error": "kernel κ failed — überraschend", "kind": "ClcError"}
+        _, _, got, _ = roundtrip(wire.Op.ERROR, 1, meta)
+        assert got == meta
+
+    def test_all_opcodes_roundtrip(self):
+        for op in wire.Op:
+            got_op, _, _, _ = roundtrip(op, 1)
+            assert got_op == op
+
+    def test_seq_wraps_at_32_bits(self):
+        _, seq, _, _ = roundtrip(wire.Op.OK, (1 << 32) + 5)
+        assert seq == 5
+
+    def test_float_metadata_exact(self):
+        # scalar kernel args ride in JSON metadata; repr round-trip is
+        # exact for float64, so distributed runs stay bitwise-faithful
+        value = 0.1 + 0.2
+        _, _, meta, _ = roundtrip(wire.Op.NDRANGE, 1, {"scalar": value})
+        assert meta["scalar"] == value
+
+    def test_frame_overhead_accounts_header_and_meta(self):
+        meta = {"buf": "3", "nbytes": 64, "offset": 0}
+        raw = wire.encode_frame(wire.Op.WRITE, 1, meta, b"x" * 64)
+        assert wire.frame_overhead_bytes(meta) == len(raw) - 64
+
+
+class TestSharedConstants:
+    def test_dopencl_imports_from_wire(self):
+        # satellite: one source of truth for framing constants
+        from repro.dopencl import protocol
+        assert protocol.COMMAND_HEADER_BYTES is wire.COMMAND_HEADER_BYTES
+
+    def test_modelled_header_covers_fixed_header(self):
+        # the simulated per-command budget must at least cover the real
+        # fixed frame header, else simulated traffic under-counts
+        assert wire.COMMAND_HEADER_BYTES >= wire.FRAME_HEADER_BYTES
+
+    def test_modelled_header_is_first_order_accurate(self):
+        # a typical NDRange meta should be the same order of magnitude
+        # as the modelled constant (within ~4x, not wildly off)
+        meta = {"program": "a" * 12, "kernel": "skelcl_map",
+                "device": 0, "gsize": [4096], "lsize": [1],
+                "args": [{"buf": "1", "nbytes": 16384}]}
+        overhead = wire.frame_overhead_bytes(meta)
+        assert wire.COMMAND_HEADER_BYTES <= overhead \
+            <= 4 * wire.COMMAND_HEADER_BYTES
+
+
+class TestTruncation:
+    def test_truncated_header(self):
+        raw = wire.encode_frame(wire.Op.OK, 1)
+        with pytest.raises(wire.TruncatedFrameError):
+            wire.decode_frame(raw[:wire.FRAME_HEADER_BYTES - 3])
+
+    def test_truncated_meta(self):
+        raw = wire.encode_frame(wire.Op.WRITE, 1, {"buf": "1"})
+        with pytest.raises(wire.TruncatedFrameError):
+            wire.decode_frame(raw[:-2])
+
+    def test_truncated_payload(self):
+        raw = wire.encode_frame(wire.Op.WRITE, 1, {"buf": "1"}, b"abcdef")
+        with pytest.raises(wire.TruncatedFrameError):
+            wire.decode_frame(raw[:-1])
+
+    def test_clean_close_at_boundary(self):
+        with pytest.raises(wire.ConnectionClosedError):
+            wire.decode_frame(b"")
+
+    def test_stream_reader_handles_short_reads(self):
+        # read(n) returning fewer bytes than asked (as sockets do)
+        raw = wire.encode_frame(wire.Op.WRITE, 9, {"k": 1}, b"payload!")
+        pos = 0
+
+        def dribble(n):
+            nonlocal pos
+            chunk = raw[pos:pos + min(n, 3)]
+            pos += len(chunk)
+            return chunk
+
+        op, seq, meta, payload = wire.read_frame(dribble)
+        assert (op, seq, meta, payload) == (wire.Op.WRITE, 9, {"k": 1},
+                                            b"payload!")
+
+
+class TestCorruption:
+    def test_bad_magic(self):
+        raw = bytearray(wire.encode_frame(wire.Op.OK, 1))
+        raw[0] ^= 0xFF
+        with pytest.raises(WireFormatError, match="magic"):
+            wire.decode_frame(bytes(raw))
+
+    def test_corrupt_meta_length_prefix(self):
+        header = wire.HEADER.pack(wire.MAGIC, int(wire.Op.OK), 1,
+                                  wire.MAX_META_BYTES + 1, 0)
+        with pytest.raises(WireFormatError, match="length prefix"):
+            wire.decode_frame(header)
+
+    def test_corrupt_payload_length_prefix(self):
+        header = wire.HEADER.pack(wire.MAGIC, int(wire.Op.OK), 1, 0,
+                                  wire.MAX_PAYLOAD_BYTES + 1)
+        with pytest.raises(WireFormatError, match="length prefix"):
+            wire.decode_frame(header)
+
+    def test_huge_length_prefix_rejected_before_allocation(self):
+        # a 2^63-byte payload length must be rejected from the header
+        # alone, never allocated
+        header = wire.HEADER.pack(wire.MAGIC, int(wire.Op.OK), 1, 0,
+                                  1 << 62)
+        with pytest.raises(WireFormatError):
+            wire.decode_frame(header)
+
+    def test_meta_not_json(self):
+        header = wire.HEADER.pack(wire.MAGIC, int(wire.Op.OK), 1, 4, 0)
+        with pytest.raises(WireFormatError, match="metadata"):
+            wire.decode_frame(header + b"\xff\xfe\x00\x01")
+
+    def test_meta_not_an_object(self):
+        body = json.dumps([1, 2, 3]).encode()
+        header = wire.HEADER.pack(wire.MAGIC, int(wire.Op.OK), 1,
+                                  len(body), 0)
+        with pytest.raises(WireFormatError, match="JSON object"):
+            wire.decode_frame(header + body)
+
+    def test_trailing_garbage(self):
+        raw = wire.encode_frame(wire.Op.OK, 1)
+        with pytest.raises(WireFormatError, match="trailing"):
+            wire.decode_frame(raw + b"junk")
+
+
+class TestOversize:
+    def test_oversized_meta_rejected_on_encode(self):
+        with pytest.raises(WireFormatError, match="metadata"):
+            wire.encode_frame(wire.Op.WRITE, 1,
+                              {"blob": "x" * (wire.MAX_META_BYTES + 1)})
+
+    def test_oversized_payload_rejected_on_encode(self):
+        class HugeBytes(bytes):
+            def __len__(self):
+                return wire.MAX_PAYLOAD_BYTES + 1
+
+        with pytest.raises(WireFormatError, match="payload"):
+            wire.encode_frame(wire.Op.WRITE, 1, None, HugeBytes())
+
+
+class TestFuzz:
+    """Seeded fuzzing: mutations must fail *cleanly* or decode."""
+
+    def test_random_mutations_never_crash(self):
+        rng = random.Random(0xC15C)
+        base = wire.encode_frame(
+            wire.Op.NDRANGE, 41,
+            {"program": "f" * 64, "kernel": "k", "gsize": [64],
+             "args": [{"buf": "1", "nbytes": 256}]},
+            payload=bytes(range(64)))
+        for _ in range(500):
+            raw = bytearray(base)
+            for _ in range(rng.randint(1, 8)):
+                raw[rng.randrange(len(raw))] = rng.randrange(256)
+            try:
+                op, seq, meta, payload = wire.decode_frame(bytes(raw))
+            except WireFormatError:
+                continue  # clean, typed rejection
+            # decoded fine: the structural invariants must hold
+            assert isinstance(meta, dict)
+            assert isinstance(payload, bytes)
+
+    def test_random_prefixes_raise_wire_errors(self):
+        rng = random.Random(1234)
+        base = wire.encode_frame(wire.Op.WRITE, 3, {"buf": "9"},
+                                 b"\x00" * 128)
+        for _ in range(200):
+            cut = rng.randrange(len(base))
+            with pytest.raises(WireFormatError):
+                wire.decode_frame(base[:cut])
+
+    def test_random_garbage_streams(self):
+        rng = random.Random(99)
+        for _ in range(200):
+            blob = bytes(rng.randrange(256)
+                         for _ in range(rng.randrange(1, 200)))
+            try:
+                wire.decode_frame(blob)
+            except WireFormatError:
+                pass  # the only acceptable failure mode
+
+    def test_length_prefix_fuzzing(self):
+        # flip bits in the two length fields specifically
+        rng = random.Random(7)
+        base = wire.encode_frame(wire.Op.READ, 5,
+                                 {"buf": "2", "nbytes": 64})
+        len_region = slice(8, wire.FRAME_HEADER_BYTES)
+        for _ in range(300):
+            raw = bytearray(base)
+            index = rng.randrange(len_region.start, len_region.stop)
+            raw[index] ^= 1 << rng.randrange(8)
+            try:
+                wire.decode_frame(bytes(raw))
+            except WireFormatError:
+                pass
+
+    def test_header_struct_layout_is_frozen(self):
+        # the wire format is a compatibility contract: 20-byte
+        # big-endian header (magic u16, op u16, seq u32, meta u32,
+        # payload u64)
+        assert wire.FRAME_HEADER_BYTES == 20
+        assert wire.HEADER.format == ">HHIIQ"
+        packed = struct.pack(">HHIIQ", wire.MAGIC, 2, 3, 0, 0)
+        assert wire.decode_header(packed) == (2, 3, 0, 0)

@@ -162,3 +162,37 @@ def test_predict_zip_and_reduce_models(hetero):
     assert t_with > t_map
     t_local = sched.predict_reduce_local(gpu.spec, 1 << 20, cost)
     assert t_local > sched.predict_reduce_final(gpu.spec, 1, cost)
+
+
+def test_network_capped_throughput(hetero):
+    from repro.dopencl.network import NetworkSpec
+    cost = sched.UserFunctionCost(ops_per_item=2.0, bytes_per_item=8.0)
+    gpu = hetero.devices[0]
+    local = sched.network_capped_throughput(gpu, cost)
+    assert local == sched.throughput_items_per_s(gpu.spec, cost)
+    # a memory-bound kernel behind a slow uplink is bandwidth-limited
+    slow = NetworkSpec(bandwidth_gbs=0.001, latency_s=1e-3)
+    gpu.network = slow
+    try:
+        capped = sched.network_capped_throughput(gpu, cost)
+        assert capped == pytest.approx(
+            slow.bandwidth_gbs * 1e9 / cost.bytes_per_item)
+        assert capped < local
+    finally:
+        del gpu.network
+
+
+def test_weighted_distribution_include_network(hetero):
+    from repro.dopencl.network import NetworkSpec
+    cost = sched.UserFunctionCost(ops_per_item=2.0, bytes_per_item=8.0)
+    gpu = hetero.devices[0]
+    plain = sched.weighted_block_distribution(hetero.devices, cost)
+    gpu.network = NetworkSpec(bandwidth_gbs=0.0001, latency_s=1e-3)
+    try:
+        capped = sched.weighted_block_distribution(
+            hetero.devices, cost, include_network=True)
+    finally:
+        del gpu.network
+    # choking the remote GPU's uplink shrinks its share of the block
+    n = 100_000
+    assert capped.partition(n, 2)[0][1] < plain.partition(n, 2)[0][1]
