@@ -1,0 +1,45 @@
+"""Whole-pipeline static analysis over skeletons, graphs and buffers.
+
+Where :mod:`repro.clc.analysis` checks one kernel translation unit at
+a time, this package reasons across the pipeline:
+
+- :mod:`.effects` — interprocedural per-argument read/write/atomic
+  *region* summaries for every compiled kernel;
+- :mod:`.verifier` — re-proves each ``repro.graph`` optimization pass
+  legal on the captured DAG before the plan executes;
+- :mod:`.aliasing` — alias/COW hazards over live buffers and cluster
+  redo-journal coverage;
+- :mod:`.sanitizer` — the ``REPRO_SANITIZE=1`` runtime mode
+  cross-checking actual buffer mutations against the static summaries.
+
+Entry points: ``repro lint``, ``repro verify-plan``, and automatic
+verification inside :meth:`repro.graph.Graph.evaluate`
+(``REPRO_VERIFY_PLAN=0`` opts out).
+"""
+
+from repro.analysis.aliasing import (check_context_aliasing,
+                                     check_journal_coverage)
+from repro.analysis.effects import (ArgEffect, KernelEffects, Region,
+                                    kernel_effects, site_region,
+                                    source_effects, unit_effects)
+from repro.analysis.sanitizer import (check_launch, sanitize_enabled,
+                                      set_sanitize, snapshot_launch)
+from repro.analysis.verifier import verify_or_raise, verify_plan
+
+__all__ = [
+    "ArgEffect",
+    "KernelEffects",
+    "Region",
+    "check_context_aliasing",
+    "check_journal_coverage",
+    "check_launch",
+    "kernel_effects",
+    "sanitize_enabled",
+    "set_sanitize",
+    "site_region",
+    "snapshot_launch",
+    "source_effects",
+    "unit_effects",
+    "verify_or_raise",
+    "verify_plan",
+]

@@ -1,0 +1,138 @@
+"""Alias/COW safety and cluster redo-journal coverage checks.
+
+Two whole-system checkers that look at *live runtime state* rather
+than kernel source:
+
+- :func:`check_context_aliasing` walks a context's buffers and flags
+  pairs whose physical storage overlaps while at least one side writes
+  through without copy-on-write protection (``pinned`` mode).  Writes
+  through such a buffer silently change what the other buffer reads —
+  legal for deliberate host-pinned I/O, but worth a warning
+  (``ALIAS001``) whenever it can be observed.  ``alias``-mode overlap
+  is *not* flagged: :meth:`repro.ocl.memory.Buffer.prepare_write`
+  copies before any write, so aliases can only ever be read through.
+
+- :func:`check_journal_coverage` verifies the cluster's fault-
+  tolerance invariant: for every buffer whose freshest bytes live only
+  on a worker (mirror state ``remote``), the owning worker's redo
+  journal must reproduce all of them — through ``WRITE`` records
+  covering the byte range and/or a replayable ``NDRANGE`` that
+  references the buffer.  A hole (``CLUS001``) means a worker failure
+  would lose data that a re-shard cannot recreate.
+"""
+
+from __future__ import annotations
+
+from repro.clc.analysis.diagnostics import (CHECKS, AnalysisReport,
+                                            Diagnostic)
+
+
+def _diag(report: AnalysisReport, check_id: str, message: str,
+          function: str = "") -> None:
+    severity = CHECKS[check_id][0]
+    report.add(Diagnostic(check_id=check_id, severity=severity,
+                          message=message, function=function))
+
+
+def _storage_span(buf) -> tuple[int, int] | None:
+    data = buf._data
+    if data is None or data.nbytes == 0:
+        return None
+    addr = data.__array_interface__["data"][0]
+    return addr, addr + data.nbytes
+
+
+def check_context_aliasing(context,
+                           report: AnalysisReport | None = None
+                           ) -> AnalysisReport:
+    """``ALIAS001`` for overlapping storages with a write-through side."""
+    if report is None:
+        report = AnalysisReport()
+    live = [buf for buf in context.buffers
+            if not getattr(buf, "_released", False)]
+    spans = [(buf, _storage_span(buf)) for buf in live]
+    for i, (a, span_a) in enumerate(spans):
+        if span_a is None:
+            continue
+        for b, span_b in spans[i + 1:]:
+            if span_b is None or a is b:
+                continue
+            if not (span_a[0] < span_b[1] and span_b[0] < span_a[1]):
+                continue
+            modes = {a.storage_mode, b.storage_mode}
+            if "pinned" not in modes:
+                continue  # alias/owned overlap is COW-protected
+            _diag(report, "ALIAS001",
+                  f"buffers of {a.nbytes} and {b.nbytes} bytes share "
+                  f"physical storage and one is pinned "
+                  f"({a.storage_mode}/{b.storage_mode}): writes "
+                  "through the pinned view are visible to the other "
+                  "buffer's reads without copy-on-write")
+    return report
+
+
+def _journal_covers(handle, key: str, nbytes: int) -> bool:
+    """Can replaying *handle*'s journal recreate buffer *key* fully?"""
+    from repro.cluster import wire
+
+    covered: list[tuple[int, int]] = []
+    for entry in handle.journal:
+        if entry.op == wire.Op.NDRANGE:
+            for arg in entry.meta.get("args", ()):
+                if arg.get("buf") == key:
+                    # a deterministic kernel replay regenerates every
+                    # byte the original execution produced
+                    return True
+        elif entry.op == wire.Op.WRITE:
+            if entry.meta.get("buf") != key:
+                continue
+            lo = int(entry.meta.get("offset", 0))
+            covered.append((lo, lo + len(entry.payload)))
+    # merge WRITE intervals and check [0, nbytes) has no hole
+    covered.sort()
+    pos = 0
+    for lo, hi in covered:
+        if lo > pos:
+            return False
+        pos = max(pos, hi)
+        if pos >= nbytes:
+            return True
+    return pos >= nbytes
+
+
+def check_journal_coverage(cluster,
+                           report: AnalysisReport | None = None
+                           ) -> AnalysisReport:
+    """``CLUS001`` for remote buffers the redo journal cannot rebuild.
+
+    *cluster* is a :class:`repro.cluster.ClusterSystem` (duck-typed:
+    anything with ``_buffer_state`` and journaled worker handles).
+    """
+    if report is None:
+        report = AnalysisReport()
+    sizes: dict[str, int] = {}
+    for _key, (handle, _state) in cluster._buffer_state.items():
+        for entry in handle.journal:
+            meta = entry.meta
+            if "buf" in meta and "nbytes" in meta:
+                sizes[meta["buf"]] = int(meta["nbytes"])
+            for arg in meta.get("args", ()):
+                if "buf" in arg and "nbytes" in arg:
+                    sizes[arg["buf"]] = int(arg["nbytes"])
+    for key, (handle, state) in cluster._buffer_state.items():
+        if state != "remote":
+            continue  # mirror holds the bytes; nothing depends on the
+            # journal for this buffer
+        nbytes = sizes.get(str(key))
+        if nbytes is None:
+            _diag(report, "CLUS001",
+                  f"buffer {key} is remote on worker {handle.rank} "
+                  "but no journal entry mentions it; a re-shard could "
+                  "not recreate it")
+            continue
+        if not _journal_covers(handle, str(key), nbytes):
+            _diag(report, "CLUS001",
+                  f"buffer {key} ({nbytes} bytes) is remote on worker "
+                  f"{handle.rank} but the redo journal does not cover "
+                  "every written byte; a re-shard would lose data")
+    return report

@@ -1,0 +1,549 @@
+"""Interprocedural effect summaries for compiled kernels.
+
+This is the bridge between the per-kernel access classification of
+:mod:`repro.clc.analysis.access` and the whole-pipeline verifier: every
+kernel exports, per pointer argument, the *region* of elements it may
+read, write or atomically update, expressed relative to the work item's
+own global index.
+
+The region lattice is deliberately tiny::
+
+    empty  <  window(lo, hi)  <  all
+
+``window(lo, hi)`` means "element ``gid + d`` for some ``lo <= d <= hi``"
+— ``window(0, 0)`` is the element-aligned access every fusable map
+stage must have, a stencil reads ``window(-r, r)``, and anything the
+index analysis cannot bound collapses to ``all``.
+
+Soundness hinges on an *escape check*: the access collector only
+recognizes a handful of syntactic access forms (``p[i]``, ``*p``,
+``atomic_op(&p[i], ...)``, and forwarding ``p``/``p +- c`` to an
+earlier function of the same unit).  Any other use of a pointer
+parameter — pointer locals, address-of into helpers, unrecognized
+arithmetic — may hide accesses from the collector, so the whole
+argument is widened to ``reads = writes = all`` and flagged imprecise.
+The runtime sanitizer (:mod:`repro.analysis.sanitizer`) then checks the
+*precise* summaries against reality on every launch.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.clc import astnodes as ast
+from repro.clc.analysis.access import (AccessPattern, AccessSite,
+                                       FunctionSummary, summarize_unit)
+from repro.clc.builtins import ATOMIC_FUNCTIONS, BUILTINS
+from repro.clc.types import PointerType
+
+
+# ---------------------------------------------------------------------------
+# Region lattice
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class Region:
+    """A set of element offsets relative to the own global index."""
+
+    kind: str  # "empty" | "window" | "all"
+    lo: int = 0
+    hi: int = 0
+
+    # -- constructors -------------------------------------------------------
+
+    @classmethod
+    def empty(cls) -> "Region":
+        return cls("empty")
+
+    @classmethod
+    def own(cls) -> "Region":
+        return cls("window", 0, 0)
+
+    @classmethod
+    def window(cls, lo: int, hi: int) -> "Region":
+        return cls("window", min(lo, hi), max(lo, hi))
+
+    @classmethod
+    def all_elements(cls) -> "Region":
+        return cls("all")
+
+    # -- predicates ---------------------------------------------------------
+
+    @property
+    def is_empty(self) -> bool:
+        return self.kind == "empty"
+
+    @property
+    def is_all(self) -> bool:
+        return self.kind == "all"
+
+    @property
+    def is_own(self) -> bool:
+        return self.kind == "window" and self.lo == 0 and self.hi == 0
+
+    # -- lattice operations -------------------------------------------------
+
+    def join(self, other: "Region") -> "Region":
+        if self.is_empty:
+            return other
+        if other.is_empty:
+            return self
+        if self.is_all or other.is_all:
+            return Region.all_elements()
+        return Region("window", min(self.lo, other.lo),
+                      max(self.hi, other.hi))
+
+    def contains(self, other: "Region") -> bool:
+        if other.is_empty:
+            return True
+        if self.is_all:
+            return True
+        if self.is_empty or other.is_all:
+            return False
+        return self.lo <= other.lo and self.hi >= other.hi
+
+    def overlaps(self, other: "Region") -> bool:
+        if self.is_empty or other.is_empty:
+            return False
+        if self.is_all or other.is_all:
+            return True
+        return self.lo <= other.hi and other.lo <= self.hi
+
+    # -- serialization ------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        if self.kind == "window":
+            return {"kind": "window", "lo": self.lo, "hi": self.hi}
+        return {"kind": self.kind}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Region":
+        if data["kind"] == "window":
+            return cls.window(data["lo"], data["hi"])
+        return cls(data["kind"])
+
+    def __str__(self) -> str:
+        if self.is_empty:
+            return "∅"
+        if self.is_all:
+            return "all"
+        if self.is_own:
+            return "own"
+        return f"[{self.lo:+d}, {self.hi:+d}]"
+
+
+def site_region(site: AccessSite) -> Region:
+    """The region one access site may touch."""
+    if site.pattern is AccessPattern.NONE:
+        return Region.empty()
+    if site.pattern is AccessPattern.OWN_INDEX:
+        return Region.own()
+    if site.pattern is AccessPattern.NEIGHBORHOOD \
+            and site.offset is not None:
+        return Region.window(site.offset, site.offset)
+    return Region.all_elements()
+
+
+# ---------------------------------------------------------------------------
+# Per-argument and per-kernel effects
+# ---------------------------------------------------------------------------
+
+@dataclass
+class ArgEffect:
+    """Read/write/atomic regions of one pointer argument."""
+
+    name: str
+    #: "global", "local" or "" (private pointer)
+    address_space: str = "global"
+    reads: Region = field(default_factory=Region.empty)
+    writes: Region = field(default_factory=Region.empty)
+    #: atomic read-modify-writes — the reduce-style effect; disjoint
+    #: work items may legally hit the same element through these
+    atomics: Region = field(default_factory=Region.empty)
+    #: False when the escape check widened this argument
+    precise: bool = True
+
+    @property
+    def effective_writes(self) -> Region:
+        """Everything that may end up mutated (plain + atomic)."""
+        return self.writes.join(self.atomics)
+
+    @property
+    def is_read_only(self) -> bool:
+        return self.effective_writes.is_empty
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "address_space": self.address_space,
+            "reads": self.reads.to_dict(),
+            "writes": self.writes.to_dict(),
+            "atomics": self.atomics.to_dict(),
+            "precise": self.precise,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ArgEffect":
+        return cls(name=data["name"],
+                   address_space=data.get("address_space", "global"),
+                   reads=Region.from_dict(data["reads"]),
+                   writes=Region.from_dict(data["writes"]),
+                   atomics=Region.from_dict(data["atomics"]),
+                   precise=data.get("precise", True))
+
+
+@dataclass
+class KernelEffects:
+    """The complete effect summary of one kernel (or helper function)."""
+
+    kernel: str
+    #: pointer-parameter name -> effect, in declaration order
+    args: dict[str, ArgEffect] = field(default_factory=dict)
+    #: all parameter names in declaration order (positional binding)
+    param_names: list[str] = field(default_factory=list)
+    has_barrier: bool = False
+    uses_work_item_ids: bool = False
+
+    @property
+    def precise(self) -> bool:
+        return all(a.precise for a in self.args.values())
+
+    def arg_by_position(self, index: int) -> ArgEffect | None:
+        if 0 <= index < len(self.param_names):
+            return self.args.get(self.param_names[index])
+        return None
+
+    def to_dict(self) -> dict:
+        return {
+            "kernel": self.kernel,
+            "param_names": list(self.param_names),
+            "args": [a.to_dict() for a in self.args.values()],
+            "has_barrier": self.has_barrier,
+            "uses_work_item_ids": self.uses_work_item_ids,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "KernelEffects":
+        args = [ArgEffect.from_dict(a) for a in data["args"]]
+        return cls(kernel=data["kernel"],
+                   args={a.name: a for a in args},
+                   param_names=list(data["param_names"]),
+                   has_barrier=data.get("has_barrier", False),
+                   uses_work_item_ids=data.get("uses_work_item_ids",
+                                               False))
+
+    def format_text(self) -> str:
+        lines = [f"kernel {self.kernel}:"]
+        for effect in self.args.values():
+            parts = []
+            if not effect.reads.is_empty:
+                parts.append(f"reads {effect.reads}")
+            if not effect.writes.is_empty:
+                parts.append(f"writes {effect.writes}")
+            if not effect.atomics.is_empty:
+                parts.append(f"atomics {effect.atomics}")
+            if not parts:
+                parts.append("no access")
+            if not effect.precise:
+                parts.append("imprecise")
+            space = f"__{effect.address_space} " \
+                if effect.address_space else ""
+            lines.append(f"  {space}{effect.name}: "
+                         + ", ".join(parts))
+        return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
+# Escape analysis
+# ---------------------------------------------------------------------------
+
+class _EscapeWalker:
+    """Finds pointer parameters used outside the access forms the
+    collector understands.  Computed bottom-up so forwarding a pointer
+    to a helper whose own parameter escapes taints the caller too."""
+
+    def __init__(self, pointer_params: set[str],
+                 escapes_by_func: dict[str, set[str]],
+                 params_by_func: dict[str, list[str]]) -> None:
+        self.pointer_params = pointer_params
+        self.escapes_by_func = escapes_by_func
+        self.params_by_func = params_by_func
+        self.escaped: set[str] = set()
+
+    # -- statements ---------------------------------------------------------
+
+    def stmt(self, stmt: ast.Stmt) -> None:
+        if isinstance(stmt, ast.CompoundStmt):
+            for s in stmt.body:
+                self.stmt(s)
+        elif isinstance(stmt, ast.DeclStmt):
+            for decl in stmt.declarators:
+                if decl.init is not None:
+                    self.expr(decl.init)
+        elif isinstance(stmt, ast.ExprStmt):
+            if stmt.expr is not None:
+                self.expr(stmt.expr)
+        elif isinstance(stmt, ast.IfStmt):
+            self.expr(stmt.cond)
+            self.stmt(stmt.then)
+            if stmt.otherwise is not None:
+                self.stmt(stmt.otherwise)
+        elif isinstance(stmt, ast.WhileStmt):
+            self.expr(stmt.cond)
+            self.stmt(stmt.body)
+        elif isinstance(stmt, ast.DoWhileStmt):
+            self.stmt(stmt.body)
+            self.expr(stmt.cond)
+        elif isinstance(stmt, ast.ForStmt):
+            if stmt.init is not None:
+                self.stmt(stmt.init)
+            if stmt.cond is not None:
+                self.expr(stmt.cond)
+            if stmt.step is not None:
+                self.expr(stmt.step)
+            self.stmt(stmt.body)
+        elif isinstance(stmt, ast.ReturnStmt):
+            if stmt.value is not None:
+                self.expr(stmt.value)
+
+    # -- expressions --------------------------------------------------------
+
+    def expr(self, expr: ast.Expr) -> None:
+        if isinstance(expr, ast.Identifier):
+            # a bare pointer-param use the recognized forms did not
+            # absorb: the pointer flows somewhere the collector
+            # cannot see
+            if expr.name in self.pointer_params:
+                self.escaped.add(expr.name)
+            return
+        if isinstance(expr, ast.Index):
+            if not isinstance(expr.base, ast.Identifier):
+                self.expr(expr.base)
+            self.expr(expr.index)
+            return
+        if isinstance(expr, ast.Unary):
+            if expr.op == "*" and isinstance(expr.operand,
+                                             ast.Identifier):
+                return  # *p is a recorded access
+            if expr.op == "&" and isinstance(expr.operand, ast.Index) \
+                    and isinstance(expr.operand.base, ast.Identifier):
+                # &p[e] materializes an interior pointer the collector
+                # cannot track (the atomic_op(&p[i], ...) form is
+                # absorbed by call() before we get here)
+                base = expr.operand.base.name
+                if base in self.pointer_params:
+                    self.escaped.add(base)
+                self.expr(expr.operand.index)
+                return
+            self.expr(expr.operand)
+            return
+        if isinstance(expr, ast.Assign):
+            self.expr(expr.target)
+            self.expr(expr.value)
+            return
+        if isinstance(expr, (ast.PreIncDec, ast.PostIncDec)):
+            self.expr(expr.operand)
+            return
+        if isinstance(expr, ast.Call):
+            self.call(expr)
+            return
+        if isinstance(expr, ast.Member):
+            self.expr(expr.base)
+            return
+        if isinstance(expr, ast.Binary):
+            self.expr(expr.left)
+            self.expr(expr.right)
+            return
+        if isinstance(expr, ast.Ternary):
+            self.expr(expr.cond)
+            self.expr(expr.then)
+            self.expr(expr.otherwise)
+            return
+        if isinstance(expr, ast.Cast):
+            self.expr(expr.operand)
+            return
+
+    def call(self, expr: ast.Call) -> None:
+        if expr.name in ATOMIC_FUNCTIONS and expr.args:
+            first = expr.args[0]
+            if isinstance(first, ast.Unary) and first.op == "&" \
+                    and isinstance(first.operand, ast.Index) \
+                    and isinstance(first.operand.base, ast.Identifier):
+                self.expr(first.operand.index)
+            else:
+                self.expr(first)
+            for arg in expr.args[1:]:
+                self.expr(arg)
+            return
+        callee_params = self.params_by_func.get(expr.name)
+        callee_escapes = self.escapes_by_func.get(expr.name, set())
+        for pos, arg in enumerate(expr.args):
+            name, other = self._forwarded_pointer(arg)
+            if name is not None:
+                # forwarding p / p +- c: sound only when the callee is
+                # a summarized unit function whose parameter does not
+                # itself escape (builtins never take our pointers)
+                if callee_params is None \
+                        or pos >= len(callee_params) \
+                        or callee_params[pos] in callee_escapes:
+                    self.escaped.add(name)
+                if other is not None:
+                    self.expr(other)
+                continue
+            self.expr(arg)
+        if expr.name not in self.params_by_func \
+                and expr.name not in BUILTINS \
+                and expr.name not in ATOMIC_FUNCTIONS:
+            # unknown callee: nothing to do — pointer args were either
+            # matched above (and escaped via callee_params None) or
+            # walked generically
+            pass
+
+    def _forwarded_pointer(self, arg: ast.Expr
+                           ) -> tuple[str | None, ast.Expr | None]:
+        """Mirror of the collector's ``_pointer_argument`` shapes:
+        returns (param name, leftover offset expr) for ``p`` and
+        ``p +- c`` forms, (None, None) otherwise."""
+        if isinstance(arg, ast.Identifier) \
+                and arg.name in self.pointer_params:
+            return arg.name, None
+        if isinstance(arg, ast.Binary) and arg.op in ("+", "-"):
+            if isinstance(arg.left, ast.Identifier) \
+                    and arg.left.name in self.pointer_params:
+                return arg.left.name, arg.right
+            if arg.op == "+" and isinstance(arg.right, ast.Identifier) \
+                    and arg.right.name in self.pointer_params:
+                return arg.right.name, arg.left
+        return None, None
+
+
+def _escape_map(unit: ast.TranslationUnit) -> dict[str, set[str]]:
+    """Per function: parameter names whose accesses may be hidden."""
+    escapes: dict[str, set[str]] = {}
+    params: dict[str, list[str]] = {}
+    for func in unit.functions:
+        pointer_params = {p.name for p in func.params
+                          if isinstance(p.ctype, PointerType)}
+        walker = _EscapeWalker(pointer_params, escapes, params)
+        if func.body is not None:
+            walker.stmt(func.body)
+        escapes[func.name] = walker.escaped
+        params[func.name] = [p.name for p in func.params]
+    return escapes
+
+
+# ---------------------------------------------------------------------------
+# Building effects from summaries
+# ---------------------------------------------------------------------------
+
+def function_effects(func: ast.FunctionDef, summary: FunctionSummary,
+                     escaped: set[str]) -> KernelEffects:
+    """Fold a function's access summary into per-argument regions."""
+    effects = KernelEffects(kernel=func.name,
+                            param_names=[p.name for p in func.params],
+                            has_barrier=summary.has_barrier,
+                            uses_work_item_ids=summary.uses_work_item_ids)
+    for param in func.params:
+        if not isinstance(param.ctype, PointerType):
+            continue
+        space = param.address_space or "global"
+        space = space.replace("__", "")
+        effect = ArgEffect(name=param.name, address_space=space)
+        access = summary.param_access.get(param.name)
+        for site in (access.sites if access else ()):
+            region = site_region(site)
+            if site.atomic:
+                effect.atomics = effect.atomics.join(region)
+            elif site.is_write:
+                effect.writes = effect.writes.join(region)
+            else:
+                effect.reads = effect.reads.join(region)
+        if param.name in escaped:
+            effect.reads = Region.all_elements()
+            if not param.is_const:
+                effect.writes = Region.all_elements()
+            effect.precise = False
+        effects.args[param.name] = effect
+    return effects
+
+
+def unit_effects(unit: ast.TranslationUnit,
+                 summaries: dict[str, FunctionSummary] | None = None
+                 ) -> dict[str, KernelEffects]:
+    """Effect summaries for every function of a translation unit."""
+    summaries = summaries or summarize_unit(unit)
+    escapes = _escape_map(unit)
+    effects: dict[str, KernelEffects] = {}
+    for func in unit.functions:
+        summary = summaries.get(func.name)
+        if summary is None:
+            continue
+        effects[func.name] = function_effects(
+            func, summary, escapes.get(func.name, set()))
+    return effects
+
+
+#: process-wide cache keyed by kernel source text
+_SOURCE_CACHE: dict[str, dict[str, KernelEffects]] = {}
+
+
+def source_effects(source: str) -> dict[str, KernelEffects]:
+    """Effect summaries for every function of *source* (cached).
+
+    Raises :class:`repro.errors.ClcError` when the source does not
+    compile — callers on verification paths should treat that as
+    "no summary available" rather than a verification failure.
+    """
+    cached = _SOURCE_CACHE.get(source)
+    if cached is None:
+        from repro import clc
+        unit = clc.parse(source)
+        clc.typecheck(unit)
+        cached = unit_effects(unit)
+        _SOURCE_CACHE[source] = cached
+    return cached
+
+
+def kernel_effects(kernel) -> KernelEffects | None:
+    """Effect summary for a launchable :class:`repro.ocl.Kernel`.
+
+    Source kernels summarize their compiled translation unit (cached
+    per program).  Native kernels have no analyzable body; their
+    ``const_args`` declaration still yields a checkable summary —
+    const pointers read-only, everything else conservatively
+    read/write-all and imprecise.
+    """
+    program = getattr(kernel, "program", None)
+    if program is None or not hasattr(kernel, "params"):
+        return None
+    cache = getattr(program, "_kernel_effects", None)
+    if cache is None:
+        cache = {}
+        program._kernel_effects = cache
+    cached = cache.get(kernel.name)
+    if cached is not None:
+        return cached
+    if kernel.native:
+        effects = KernelEffects(kernel=kernel.name,
+                                param_names=[p.name
+                                             for p in kernel.params])
+        for param in kernel.params:
+            if not param.is_pointer:
+                continue
+            if param.is_const:
+                effects.args[param.name] = ArgEffect(
+                    name=param.name, reads=Region.all_elements())
+            else:
+                effects.args[param.name] = ArgEffect(
+                    name=param.name, reads=Region.all_elements(),
+                    writes=Region.all_elements(), precise=False)
+        cache[kernel.name] = effects
+        return effects
+    compiled = getattr(program, "compiled", None)
+    if compiled is None:
+        return None
+    unit = compiled.unit
+    effects = unit_effects(unit).get(kernel.name)
+    if effects is not None:
+        cache[kernel.name] = effects
+    return effects

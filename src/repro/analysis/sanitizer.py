@@ -1,0 +1,241 @@
+"""Runtime sanitizer: cross-check kernel launches against summaries.
+
+With ``REPRO_SANITIZE=1`` every ``enqueue_nd_range_kernel`` snapshots
+the bytes of its buffer arguments, lets the kernel run, then verifies
+that nothing changed outside the write region the static effect
+summary (:mod:`repro.analysis.effects`) declares for each argument.
+Any mismatch is a *hard error* (:class:`repro.errors.SanitizerError`)
+— either the kernel is broken or the summary is unsound, and both must
+be fixed, which is what keeps the static layer honest on the whole
+differential corpus.
+
+The check is deliberately one-sided: summaries are upper bounds, so a
+kernel writing *less* than declared is fine, and an argument whose
+summary is ``all`` (or imprecise) is skipped — there is nothing to
+falsify.  Only ``window`` summaries and read-only claims are
+checkable, and those are exactly the ones the plan verifier's fusion
+proofs rely on.
+
+Cluster queues execute source kernels on a worker process, leaving the
+local mirror stale; the queue passes its ``_sanitizer_sync`` hook so
+snapshots and checks always see the worker's bytes
+(:meth:`repro.cluster.ClusterSystem.sync_mirror` is physical-only, so
+virtual time is unchanged by sanitizing).
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import SanitizerError
+from repro.analysis.effects import Region, kernel_effects
+
+_SANITIZE_OVERRIDE: bool | None = None
+
+#: process-wide counters (``repro lint --graph`` and tests read these)
+STATS = {
+    "launches": 0,
+    "buffers_checked": 0,
+    "buffers_skipped": 0,
+    "violations": 0,
+}
+
+
+def sanitize_enabled() -> bool:
+    """Whether launches are instrumented (``REPRO_SANITIZE=1``)."""
+    if _SANITIZE_OVERRIDE is not None:
+        return _SANITIZE_OVERRIDE
+    return os.environ.get("REPRO_SANITIZE", "0") not in ("0", "")
+
+
+def set_sanitize(enabled: bool | None) -> None:
+    """Force instrumentation on/off; ``None`` defers to the env var."""
+    global _SANITIZE_OVERRIDE
+    _SANITIZE_OVERRIDE = enabled
+
+
+def reset_stats() -> None:
+    for key in STATS:
+        STATS[key] = 0
+
+
+def _raw(buf) -> np.ndarray | None:
+    """The buffer's physical bytes (``None`` = unmaterialized zeros).
+
+    Reads the storage directly instead of ``view_readonly`` so
+    snapshotting never materializes lazy zero storage (which would
+    change the buffer's physical — though never logical — state).
+    """
+    return buf._data
+
+
+def _storage_span(buf) -> tuple[int, int] | None:
+    data = buf._data
+    if data is None:
+        return None
+    addr = data.__array_interface__["data"][0]
+    return addr, addr + data.nbytes
+
+
+@dataclass
+class _BufferCheck:
+    """One buffer of one launch, with its allowed write byte-range."""
+
+    buf: object
+    params: list[str]
+    #: None: read-only claim (nothing may change);
+    #: (lo, hi): bytes [lo, hi) may change, everything else must not
+    allowed: tuple[int, int] | None
+    snapshot: np.ndarray | None = None
+
+
+@dataclass
+class LaunchRecord:
+    kernel_name: str
+    checks: list[_BufferCheck] = field(default_factory=list)
+
+
+def _allowed_bytes(region: Region, gsize: tuple, itemsize: int,
+                   nbytes: int) -> tuple[int, int] | None | str:
+    """Byte interval a window region permits, for a 1-D launch.
+
+    Returns ``"all"`` when unbounded (multi-dimensional launches have
+    no single own-index axis), ``None`` for read-only, or a byte span.
+    """
+    if region.is_empty:
+        return None
+    if region.is_all or len(gsize) != 1:
+        return "all"
+    lo_el = max(0, region.lo)
+    hi_el = (gsize[0] - 1) + region.hi
+    if hi_el < lo_el:
+        return None
+    lo = max(0, lo_el * itemsize)
+    hi = min(nbytes, (hi_el + 1) * itemsize)
+    if hi <= lo:
+        return None
+    return (lo, hi)
+
+
+def snapshot_launch(kernel, gsize: tuple, buffers,
+                    sync=None) -> LaunchRecord | None:
+    """Record pre-launch buffer contents and allowed write regions.
+
+    *buffers* is the queue's ``[(Buffer, is_const), ...]`` list, in
+    pointer-parameter order.  Returns ``None`` when the kernel has no
+    effect summary or nothing is checkable.
+    """
+    effects = kernel_effects(kernel)
+    if effects is None:
+        return None
+    STATS["launches"] += 1
+    pointer_params = [p for p in kernel.params if p.is_pointer]
+
+    # aggregate per distinct buffer (the same buffer may bind several
+    # parameters, e.g. in-place maps)
+    per_buffer: dict[int, _BufferCheck] = {}
+    unbounded: set[int] = set()
+    for param, (buf, _is_const) in zip(pointer_params, buffers):
+        effect = effects.args.get(param.name)
+        if effect is None or not effect.precise:
+            allowed = "all"
+        else:
+            itemsize = param.dtype.itemsize if param.dtype is not None \
+                else 1
+            allowed = _allowed_bytes(effect.effective_writes, gsize,
+                                     itemsize, buf.nbytes)
+        key = id(buf)
+        if allowed == "all":
+            unbounded.add(key)
+        check = per_buffer.get(key)
+        if check is None:
+            check = _BufferCheck(buf=buf, params=[param.name],
+                                 allowed=None)
+            per_buffer[key] = check
+        else:
+            check.params.append(param.name)
+        if allowed not in (None, "all"):
+            if check.allowed is None:
+                check.allowed = allowed
+            else:
+                check.allowed = (min(check.allowed[0], allowed[0]),
+                                 max(check.allowed[1], allowed[1]))
+
+    for key in unbounded:
+        per_buffer.pop(key, None)
+        STATS["buffers_skipped"] += 1
+
+    # distinct buffers sharing physical storage (aliasing views) make
+    # byte-level attribution ambiguous: skip all parties
+    checks = list(per_buffer.values())
+    spans = [(_storage_span(c.buf), c) for c in checks]
+    overlapping: set[int] = set()
+    for i, (span_a, a) in enumerate(spans):
+        if span_a is None:
+            continue
+        for span_b, b in spans[i + 1:]:
+            if span_b is None or a.buf is b.buf:
+                continue
+            if span_a[0] < span_b[1] and span_b[0] < span_a[1]:
+                overlapping.add(id(a.buf))
+                overlapping.add(id(b.buf))
+    checks = [c for c in checks if id(c.buf) not in overlapping]
+    STATS["buffers_skipped"] += len(overlapping)
+    if not checks:
+        return None
+
+    record = LaunchRecord(kernel_name=kernel.name)
+    for check in checks:
+        if sync is not None:
+            sync(check.buf)
+        data = _raw(check.buf)
+        check.snapshot = None if data is None else data.copy()
+        record.checks.append(check)
+    return record
+
+
+def _first_violation(before: np.ndarray | None,
+                     after: np.ndarray | None,
+                     exclude: tuple[int, int] | None,
+                     nbytes: int) -> int | None:
+    """Index of the first byte that changed outside *exclude*."""
+    if before is None and after is None:
+        return None
+    if before is None:
+        before = np.zeros(nbytes, dtype=np.uint8)
+    if after is None:
+        after = np.zeros(nbytes, dtype=np.uint8)
+    diff = before != after
+    if exclude is not None:
+        diff[exclude[0]:exclude[1]] = False
+    idx = np.flatnonzero(diff)
+    return int(idx[0]) if idx.size else None
+
+
+def check_launch(record: LaunchRecord, sync=None) -> None:
+    """Compare post-launch contents against the snapshots; raise on
+    any mutation outside the declared write region."""
+    for check in record.checks:
+        if sync is not None:
+            sync(check.buf)
+        STATS["buffers_checked"] += 1
+        after = _raw(check.buf)
+        bad = _first_violation(check.snapshot, after, check.allowed,
+                               check.buf.nbytes)
+        if bad is None:
+            continue
+        STATS["violations"] += 1
+        names = "/".join(check.params)
+        if check.allowed is None:
+            raise SanitizerError(
+                f"[SAN001] kernel {record.kernel_name}: argument "
+                f"{names} is declared read-only by its effect summary "
+                f"but byte {bad} of its buffer changed")
+        raise SanitizerError(
+            f"[SAN002] kernel {record.kernel_name}: argument {names} "
+            f"wrote byte {bad}, outside the declared write region "
+            f"[{check.allowed[0]}, {check.allowed[1]}) of its effect "
+            "summary")

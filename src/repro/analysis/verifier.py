@@ -1,0 +1,495 @@
+"""Independent re-verification of optimized graph plans.
+
+:func:`verify_plan` takes the :class:`repro.graph.passes.Plan` an
+evaluation is about to execute and *re-proves* every rewrite the
+optimization passes applied, from scratch, against the captured graph
+and the kernel effect summaries (:mod:`repro.analysis.effects`).  It
+shares no decision logic with the passes — the passes transform, the
+verifier propagates demanded values and access regions over the
+original DAG and checks that the transformed plan still computes them.
+Unsound plans are rejected with structured diagnostics (the ``PLAN``
+check family) before any kernel runs.
+
+The individual proofs:
+
+- ``PLAN001`` *fusion* — a fused step must correspond to a linear
+  map/zip chain in the graph whose stages are element-aligned: the
+  primary input is only read at the own index, the output only written
+  at the own index, dtypes match across stage boundaries, and no
+  additional-argument vector written by one stage is visible to
+  another (interleaving per element instead of per pass would change
+  its meaning).
+- ``PLAN002`` *redistribution elision* — wherever a step consumes a
+  value across an elided redistribute, every skipped hop must be a
+  provable no-op (the layout its input already has), or — for a
+  redistribute step — a chain collapse whose final step re-establishes
+  the layout without a data-changing combine in between.  Recorded
+  ``plan.aliases`` must alias nodes to values with provably identical
+  distribution.
+- ``PLAN003`` *demand* — every root is produced: executed by some
+  step, already materialized, or soundly aliased.
+- ``PLAN004`` *dataflow* — steps are ordered so every input exists
+  when its consumer runs (this is also what catches a fusion that
+  swallowed a value some other step still reads).
+- ``PLAN005`` (note) — nodes eliminated although a live handle exists;
+  legal because handles replay their captured call chain on demand.
+"""
+
+from __future__ import annotations
+
+from repro.clc.analysis.diagnostics import (CHECKS, AnalysisReport,
+                                            Diagnostic)
+from repro.errors import ClcError, PlanVerificationError
+from repro.analysis.effects import KernelEffects, source_effects
+
+
+def _diag(report: AnalysisReport, check_id: str, message: str,
+          function: str = "") -> None:
+    severity = CHECKS[check_id][0]
+    report.add(Diagnostic(check_id=check_id, severity=severity,
+                          message=message, function=function))
+
+
+# ---------------------------------------------------------------------------
+# independent distribution inference (eager semantics over the graph)
+# ---------------------------------------------------------------------------
+
+def _graph_distributions(graph) -> dict[int, object]:
+    """What eager execution would give each node as distribution.
+
+    Follows the eager resolution rules of the skeletons over the
+    *captured graph* (not the plan), so a plan rewired through bogus
+    edges disagrees with this map and fails verification.
+    """
+    from repro.skelcl.distribution import Distribution
+
+    block = Distribution.block()
+    dist: dict[int, object] = {}
+    for node in graph.nodes:
+        if node.value is not None:
+            dist[node.id] = node.value.distribution
+            continue
+        if node.kind == "redistribute":
+            dist[node.id] = node.dist
+        elif node.kind == "map":
+            dist[node.id] = dist.get(node.inputs[0].id) or block
+        elif node.kind == "zip":
+            ld = dist.get(node.inputs[0].id)
+            rd = dist.get(node.inputs[1].id)
+            if ld is None and rd is None:
+                dist[node.id] = block
+            elif ld is None:
+                dist[node.id] = rd
+            elif rd is None:
+                dist[node.id] = ld
+            else:
+                dist[node.id] = ld if ld.same_layout(rd) else block
+        elif node.kind == "reduce":
+            dist[node.id] = Distribution.single(0)
+        elif node.kind == "scan":
+            dist[node.id] = block
+        else:
+            dist[node.id] = None
+    return dist
+
+
+def _same_distribution(a, b) -> bool:
+    if a is None or b is None:
+        return False
+    return a.same_layout(b) and a.combine is b.combine
+
+
+def _combine_changes_data(hop, dist_map) -> bool:
+    """Can eagerly executing redistribute *hop* change logical data?
+
+    Only a combine-carrying target applied to a copy-distributed input
+    with potentially divergent device copies merges values; skipping
+    such a hop is not value-preserving."""
+    target = hop.dist
+    if target is None or getattr(target, "combine", None) is None:
+        return False
+    source = dist_map.get(hop.inputs[0].id)
+    return source is not None and getattr(source, "kind", "") == "copy"
+
+
+# ---------------------------------------------------------------------------
+# kernel-source alignment checks (fusion)
+# ---------------------------------------------------------------------------
+
+_PRIMARY_INPUTS = ("skelcl_in", "skelcl_lhs", "skelcl_rhs")
+
+
+def _stage_effects(node) -> KernelEffects | None:
+    """Effect summary of one chain stage's standalone kernel."""
+    skeleton = node.skeleton
+    source = getattr(skeleton, "kernel_source", None)
+    if source is None:
+        return None
+    kernel_name = "skelcl_zip" if node.kind == "zip" else "skelcl_map"
+    return source_effects(source).get(kernel_name)
+
+
+def _check_stage_alignment(report: AnalysisReport, node,
+                           effects: KernelEffects, label: str) -> None:
+    """Element alignment of one fused stage's primary input/output."""
+    for name in _PRIMARY_INPUTS:
+        effect = effects.args.get(name)
+        if effect is None:
+            continue
+        if not effect.effective_writes.is_empty:
+            _diag(report, "PLAN001",
+                  f"stage {label}: primary input {name} is written "
+                  f"({effect.effective_writes})", function=node.label)
+        if not (effect.reads.is_empty or effect.reads.is_own):
+            _diag(report, "PLAN001",
+                  f"stage {label}: primary input {name} is read at "
+                  f"{effect.reads}, not only the own index — fusing "
+                  "would read elements the producer has not computed "
+                  "yet", function=node.label)
+        if not effect.precise:
+            _diag(report, "PLAN001",
+                  f"stage {label}: accesses of {name} cannot be "
+                  "bounded (pointer escapes the analysis)",
+                  function=node.label)
+    out = effects.args.get("skelcl_out")
+    if out is not None:
+        if not (out.effective_writes.is_empty
+                or out.effective_writes.is_own):
+            _diag(report, "PLAN001",
+                  f"stage {label}: output written at "
+                  f"{out.effective_writes}, not only the own index",
+                  function=node.label)
+        if not out.reads.is_empty:
+            _diag(report, "PLAN001",
+                  f"stage {label}: output is also read ({out.reads}); "
+                  "fused execution would observe partial results",
+                  function=node.label)
+        if not out.precise:
+            _diag(report, "PLAN001",
+                  f"stage {label}: writes of skelcl_out cannot be "
+                  "bounded (pointer escapes the analysis)",
+                  function=node.label)
+
+
+def _written_extras(node, effects: KernelEffects) -> list[tuple]:
+    """(extra value, effect) pairs for written/read pointer extras."""
+    written, read = [], []
+    reserved = set(_PRIMARY_INPUTS) | {"skelcl_out", "skelcl_n"}
+    extra_names = [name for name in effects.param_names
+                   if name not in reserved]
+    for name, value in zip(extra_names, node.extras):
+        effect = effects.args.get(name)
+        if effect is None:
+            continue
+        if not effect.effective_writes.is_empty:
+            written.append((name, value, effect))
+        elif not effect.reads.is_empty:
+            read.append((name, value, effect))
+    return written, read
+
+
+def _check_fused_step(report: AnalysisReport, plan, dist_map, step,
+                      executed: set[int]) -> None:
+    chain = list(step.fused_from)
+    label = step.label
+
+    # 1. re-derive chain linearity from the graph itself (the edge
+    # from one stage to the next may pass through elided redistributes
+    # — those hops then need the same justification as any rewired
+    # plan edge)
+    for prev, nxt in zip(chain, chain[1:]):
+        if nxt.kind != "map":
+            _diag(report, "PLAN001",
+                  f"{label}: stage {nxt.label} is a {nxt.kind}; only "
+                  "unary maps compose past the head", function=label)
+        if not nxt.inputs:
+            _diag(report, "PLAN001",
+                  f"{label}: stage {nxt.label} has no primary input — "
+                  "the fused chain does not exist in the graph",
+                  function=label)
+        elif nxt.inputs[0] is not prev:
+            _justify_forward(report, plan, dist_map, executed,
+                             nxt.inputs[0], prev, label,
+                             consumer_is_redistribute=False)
+        if any(extra is prev for extra in nxt.extras):
+            _diag(report, "PLAN001",
+                  f"{label}: stage {nxt.label} also reads "
+                  f"{prev.label} as an additional argument",
+                  function=label)
+
+    # 2. interior values must not be demanded by the plan
+    for interior in chain[:-1]:
+        if interior.id in plan.root_ids:
+            _diag(report, "PLAN001",
+                  f"{label}: interior stage {interior.label} is a "
+                  "root; fusing it away loses a demanded value",
+                  function=label)
+        if interior.out is not None:
+            _diag(report, "PLAN001",
+                  f"{label}: interior stage {interior.label} writes "
+                  "an explicit out= vector", function=label)
+
+    # 3. dtype continuity across stage boundaries
+    for prev, nxt in zip(chain, chain[1:]):
+        prev_dtype = getattr(prev.skeleton, "out_dtype", None)
+        nxt_dtype = getattr(nxt.skeleton, "in_dtype", None)
+        if prev_dtype is None:
+            _diag(report, "PLAN001",
+                  f"{label}: stage {prev.label} returns void but has "
+                  "a successor", function=label)
+        elif prev_dtype != nxt_dtype:
+            _diag(report, "PLAN001",
+                  f"{label}: {prev.label} produces {prev_dtype} but "
+                  f"{nxt.label} consumes {nxt_dtype}", function=label)
+
+    # 4. per-stage element alignment and cross-stage extra conflicts
+    all_written: list[tuple[int, str, object]] = []
+    all_read: list[tuple[int, str, object]] = []
+    for pos, node in enumerate(chain):
+        stage_label = node.label
+        try:
+            effects = _stage_effects(node)
+        except ClcError as exc:
+            _diag(report, "PLAN001",
+                  f"{label}: stage {stage_label} kernel source does "
+                  f"not analyze: {exc}", function=label)
+            continue
+        if effects is None:
+            _diag(report, "PLAN001",
+                  f"{label}: stage {stage_label} has no analyzable "
+                  "kernel source", function=label)
+            continue
+        _check_stage_alignment(report, node, effects, stage_label)
+        written, read = _written_extras(node, effects)
+        for name, value, effect in written:
+            if len(chain) > 1 and not effect.effective_writes.is_own:
+                _diag(report, "PLAN001",
+                      f"{label}: stage {stage_label} writes extra "
+                      f"{name!r} at {effect.effective_writes}; only "
+                      "own-index extra writes survive per-element "
+                      "interleaving", function=label)
+            all_written.append((pos, name, value))
+        for name, value, _effect in read:
+            all_read.append((pos, name, value))
+    for wpos, wname, wvalue in all_written:
+        for rpos, rname, rvalue in all_written + all_read:
+            if rpos == wpos:
+                continue
+            if rvalue is wvalue and wvalue is not None:
+                _diag(report, "PLAN001",
+                      f"{label}: extra {wname!r} written by stage "
+                      f"{wpos} is also accessed (as {rname!r}) by "
+                      f"stage {rpos}; fusion would interleave the "
+                      "passes per element", function=label)
+
+
+# ---------------------------------------------------------------------------
+# elision justification
+# ---------------------------------------------------------------------------
+
+def _justify_forward(report: AnalysisReport, plan, dist_map,
+                     executed: set[int], graph_input, plan_input,
+                     consumer_label: str,
+                     consumer_is_redistribute: bool) -> None:
+    """Prove ``value(plan_input)`` may stand in for
+    ``value(graph_input)`` at one consumer edge."""
+    hops = []
+    cur = graph_input
+    while cur is not plan_input:
+        if cur.kind != "redistribute" or cur.id in executed \
+                or cur.value is not None or not cur.inputs:
+            _diag(report, "PLAN002",
+                  f"{consumer_label}: rewired input skips "
+                  f"{cur.label}, which is not an elidable "
+                  "redistribute", function=consumer_label)
+            return
+        hops.append(cur)
+        cur = cur.inputs[0]
+    if not hops:
+        return
+    # no skipped hop may merge divergent copies — that would change
+    # data, which no later redistribute can undo
+    for hop in hops:
+        if _combine_changes_data(hop, dist_map):
+            _diag(report, "PLAN002",
+                  f"{consumer_label}: skipped redistribute "
+                  f"{hop.label} combines divergent copies; eliding "
+                  "it changes data", function=consumer_label)
+    if consumer_is_redistribute:
+        # chain collapse: the consumer re-establishes the layout itself
+        return
+    # a plain consumer expected the layout the graph edge produces:
+    # the substituted value must provably already have it
+    expected = hops[0].dist
+    if not _same_distribution(dist_map.get(plan_input.id), expected):
+        _diag(report, "PLAN002",
+              f"{consumer_label}: elided {hops[0].label} but "
+              f"{plan_input.label}'s distribution does not provably "
+              "match the target layout", function=consumer_label)
+
+
+def _check_aliases(report: AnalysisReport, plan, dist_map,
+                   executed: set[int]) -> None:
+    for node, source in plan.aliases:
+        label = f"alias({node.label})"
+        if node.kind != "redistribute":
+            _diag(report, "PLAN002",
+                  f"{label}: only elided redistributes may be "
+                  f"aliased, not a {node.kind} node", function=label)
+            continue
+        # value equality: every hop from the node down to the alias
+        # source must be a no-op redistribute (including the node)
+        hops = []
+        cur = node
+        ok = True
+        while cur is not source:
+            if cur.kind != "redistribute" or cur.id in executed \
+                    or not cur.inputs:
+                _diag(report, "PLAN002",
+                      f"{label}: aliased across {cur.label}, which "
+                      "is not an elided redistribute", function=label)
+                ok = False
+                break
+            hops.append(cur)
+            cur = cur.inputs[0]
+        if not ok:
+            continue
+        if not _same_distribution(dist_map.get(source.id), node.dist):
+            _diag(report, "PLAN002",
+                  f"{label}: aliased to {source.label} but its "
+                  f"distribution does not provably match the "
+                  f"redistribute target", function=label)
+        for hop in hops[1:]:
+            if _combine_changes_data(hop, dist_map):
+                _diag(report, "PLAN002",
+                      f"{label}: aliasing skips {hop.label}, which "
+                      "combines divergent copies", function=label)
+
+
+# ---------------------------------------------------------------------------
+# demand and dataflow
+# ---------------------------------------------------------------------------
+
+def _check_demand(report: AnalysisReport, plan,
+                  executed: set[int]) -> None:
+    aliased = {node.id for node, _source in plan.aliases}
+    for root in plan.roots:
+        if root.value is not None or root.id in executed \
+                or root.id in aliased or root.kind == "source":
+            continue
+        _diag(report, "PLAN003",
+              f"root {root.label} is demanded but the plan never "
+              "produces it", function=root.label)
+    for node in plan.graph.nodes:
+        if node.value is not None or node.id in executed \
+                or node.id in aliased or node.kind == "source":
+            continue
+        if node.handle_alive and node.id not in plan.root_ids:
+            _diag(report, "PLAN005",
+                  f"{node.label} was eliminated while its handle is "
+                  "alive; the handle will replay the captured call "
+                  "on demand", function=node.label)
+
+
+def _check_dataflow(report: AnalysisReport, plan, dist_map,
+                    executed: set[int]) -> None:
+    """Re-prove execution order: every consumed value exists in time.
+
+    Also proves every rewired edge (plan input differing from the
+    captured graph edge) value-preserving via
+    :func:`_justify_forward`."""
+    alias_source = {node.id: source for node, source in plan.aliases}
+    available: set[int] = set()
+    for node in plan.graph.nodes:
+        if node.value is not None or node.kind == "source":
+            available.add(node.id)
+
+    def resolve(node):
+        seen = set()
+        while node.id in alias_source and node.id not in seen:
+            seen.add(node.id)
+            node = alias_source[node.id]
+        return node
+
+    for step in plan.steps:
+        graph_inputs = (list(step.fused_from[0].inputs)
+                        if step.fused_from else list(step.node.inputs))
+        for pos, dep in enumerate(step.inputs):
+            if pos < len(graph_inputs) \
+                    and graph_inputs[pos] is not dep:
+                _justify_forward(
+                    report, plan, dist_map, executed,
+                    graph_inputs[pos], dep, step.label,
+                    consumer_is_redistribute=(step.kind
+                                              == "redistribute"))
+            if resolve(dep).id not in available:
+                _diag(report, "PLAN004",
+                      f"{step.label} consumes {dep.label} before any "
+                      "step produces it", function=step.label)
+        for extra in step.extras:
+            if hasattr(extra, "id") and hasattr(extra, "kind"):
+                if resolve(extra).id not in available:
+                    _diag(report, "PLAN004",
+                          f"{step.label} consumes extra "
+                          f"{extra.label} before any step produces "
+                          "it", function=step.label)
+        available.add(step.node.id)
+        for node in step.fused_from:
+            available.add(node.id)
+    # aliases resolve against whatever ran; a dangling alias source is
+    # a dataflow hole too
+    for node, source in plan.aliases:
+        if resolve(source).id not in available:
+            _diag(report, "PLAN004",
+                  f"alias({node.label}) points at {source.label}, "
+                  "which nothing produces", function=node.label)
+
+
+# ---------------------------------------------------------------------------
+# entry points
+# ---------------------------------------------------------------------------
+
+def verify_plan(plan) -> AnalysisReport:
+    """Independently re-prove every optimization in *plan* legal.
+
+    Returns an :class:`AnalysisReport`; ``report.has_errors`` means the
+    plan must not execute.
+    """
+    report = AnalysisReport()
+    executed: set[int] = set()
+    for step in plan.steps:
+        executed.add(step.node.id)
+        executed.update(n.id for n in step.fused_from)
+    dist_map = _graph_distributions(plan.graph)
+
+    for step in plan.steps:
+        if step.fused_from:
+            _check_fused_step(report, plan, dist_map, step, executed)
+    _check_aliases(report, plan, dist_map, executed)
+    _check_demand(report, plan, executed)
+    _check_dataflow(report, plan, dist_map, executed)
+
+    for node in plan.graph.nodes:
+        if node.kind in ("map", "zip") and node.skeleton is not None:
+            try:
+                effects = _stage_effects(node)
+            except ClcError:
+                continue
+            if effects is not None:
+                report.access_patterns.setdefault(
+                    node.label,
+                    {name: str(e.reads.join(e.effective_writes))
+                     for name, e in effects.args.items()})
+    return report
+
+
+def verify_or_raise(plan) -> AnalysisReport:
+    """Run :func:`verify_plan`; raise instead of executing when unsound."""
+    report = verify_plan(plan)
+    if report.has_errors:
+        first = report.errors[0]
+        raise PlanVerificationError(
+            f"plan verification failed: "
+            f"[{first.check_id}] {first.message} "
+            f"({len(report.errors)} error(s) total)", report=report)
+    return report

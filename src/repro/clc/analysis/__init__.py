@@ -21,8 +21,9 @@ from repro.clc.analysis.access import (AccessPattern, AccessSite,
                                        vectorize_blockers)
 from repro.clc.analysis.cfg import CFG, BasicBlock, Guard, build_cfg
 from repro.clc.analysis.dataflow import ForwardAnalysis, Solution
-from repro.clc.analysis.diagnostics import (CHECKS, AnalysisReport,
-                                            Diagnostic, Severity)
+from repro.clc.analysis.diagnostics import (CHECKS, SCHEMA_VERSION,
+                                            AnalysisReport, Diagnostic,
+                                            Severity)
 from repro.clc.analysis.driver import (analyze_source, analyze_unit,
                                        engine_report,
                                        kernel_engine_blockers)
@@ -40,6 +41,7 @@ __all__ = [
     "CFG",
     "CHECKS",
     "Diagnostic",
+    "SCHEMA_VERSION",
     "ForwardAnalysis",
     "FunctionSummary",
     "Guard",

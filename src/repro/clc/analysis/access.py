@@ -71,6 +71,9 @@ class AccessSite:
     #: a direct ``param[expr]`` in this function (False: inherited
     #: through a call to a helper the pointer was passed to)
     direct: bool = True
+    #: an atomic read-modify-write (``atomic_add(&p[i], v)`` etc.) —
+    #: the reduce-style effect of the effect-summary layer
+    atomic: bool = False
 
 
 @dataclass
@@ -79,12 +82,15 @@ class AccessSummary:
 
     pattern: AccessPattern = AccessPattern.NONE
     written: bool = False
+    #: some access is an atomic read-modify-write
+    atomic: bool = False
     sites: list[AccessSite] = field(default_factory=list)
 
     def record(self, site: AccessSite) -> None:
         self.sites.append(site)
         self.pattern = self.pattern.join(site.pattern)
         self.written = self.written or site.is_write
+        self.atomic = self.atomic or site.atomic
 
     @property
     def max_offset(self) -> int:
@@ -233,6 +239,14 @@ class _AccessCollector:
             self.visit_expr(expr.operand, env, is_write=is_write
                             if expr.op == "*" else False)
             return
+        if isinstance(expr, ast.Member):
+            # a store to p[i].x writes through p: keep the write flag
+            self.visit_expr(expr.base, env, is_write=is_write)
+            return
+        if isinstance(expr, (ast.PreIncDec, ast.PostIncDec)):
+            # p[i]++ both reads and writes; record the write
+            self.visit_expr(expr.operand, env, is_write=True)
+            return
         for child in _children(expr):
             self.visit_expr(child, env)
 
@@ -263,6 +277,8 @@ class _AccessCollector:
             self.uses_ids = True
         if expr.name == "barrier":
             self.has_barrier = True
+        if expr.name in ATOMIC_FUNCTIONS:
+            self._record_atomic(expr, env)
         callee = self.summaries.get(expr.name)
         if callee is not None:
             if callee.uses_work_item_ids:
@@ -270,6 +286,24 @@ class _AccessCollector:
             if callee.has_barrier:
                 self.has_barrier = True
             self._propagate_pointer_args(expr, callee, env)
+
+    def _record_atomic(self, expr: ast.Call, env: dict) -> None:
+        """``atomic_add(&p[i], v)``: an atomic read-modify-write of
+        ``p[i]`` — recorded as an atomic write site (the plain walk over
+        the arguments only sees the address computation as a read)."""
+        first = expr.args[0] if expr.args else None
+        if not (isinstance(first, ast.Unary) and first.op == "&"):
+            return
+        target = first.operand
+        if not (isinstance(target, ast.Index)
+                and isinstance(target.base, ast.Identifier)
+                and target.base.name in self.pointer_params):
+            return
+        value = self.analysis.eval(target.index, dict(env))
+        pattern, offset = classify_index(value)
+        self.summary.param_access[target.base.name].record(AccessSite(
+            pattern=pattern, offset=offset, is_write=True,
+            line=expr.line, col=expr.col, atomic=True))
 
     def _propagate_pointer_args(self, expr: ast.Call,
                                 callee: FunctionSummary,
@@ -301,7 +335,7 @@ class _AccessCollector:
                 mine.record(AccessSite(
                     pattern=pattern, offset=offset,
                     is_write=site.is_write, line=expr.line,
-                    col=expr.col, direct=False))
+                    col=expr.col, direct=False, atomic=site.atomic))
 
     def _pointer_argument(self, arg: ast.Expr, env: dict
                           ) -> tuple[str | None, int | None]:

@@ -15,6 +15,14 @@ import json
 from dataclasses import dataclass, field
 
 
+#: Version of the JSON diagnostic schema emitted by
+#: :meth:`AnalysisReport.to_dict` (and therefore ``repro lint --json``
+#: and ``repro verify-plan --json``).  Bump on any incompatible change
+#: to the key layout; see ``docs/analysis.md`` for the documented
+#: schema.
+SCHEMA_VERSION = 1
+
+
 class Severity(enum.Enum):
     """How serious a finding is; ordered from mildest to worst."""
 
@@ -50,6 +58,36 @@ CHECKS: dict[str, tuple[Severity, str]] = {
     "DIST001": (Severity.WARNING,
                 "kernel gathers a neighbour element (own index plus a "
                 "constant); breaks under block distribution"),
+    # -- graph-plan verifier (repro.analysis.verifier) ----------------
+    "PLAN001": (Severity.ERROR,
+                "fused kernel chain is not element-aligned (a stage "
+                "reads or writes beyond its own index)"),
+    "PLAN002": (Severity.ERROR,
+                "redistribution was elided although the distributions "
+                "do not provably match"),
+    "PLAN003": (Severity.ERROR,
+                "plan never produces a value demanded by a root or a "
+                "live handle"),
+    "PLAN004": (Severity.ERROR,
+                "plan step consumes a value that no earlier step "
+                "produces (dataflow order violated)"),
+    "PLAN005": (Severity.NOTE,
+                "node eliminated from the plan; its live handle will "
+                "replay the computation on demand"),
+    # -- alias/COW and cluster-journal checker (repro.analysis) -------
+    "ALIAS001": (Severity.WARNING,
+                 "write through a pinned or aliasing buffer view "
+                 "overlaps a concurrently-readable region"),
+    "CLUS001": (Severity.ERROR,
+                "redo journal does not cover every written region of a "
+                "remote buffer; a re-shard would lose data"),
+    # -- runtime sanitizer (repro.analysis.sanitizer) -----------------
+    "SAN001": (Severity.ERROR,
+               "kernel mutated a buffer its effect summary declares "
+               "read-only"),
+    "SAN002": (Severity.ERROR,
+               "kernel wrote outside the region declared by its "
+               "effect summary"),
 }
 
 
@@ -72,14 +110,28 @@ class Diagnostic:
                 f"{self.message}{scope}")
 
     def to_dict(self) -> dict:
+        """Stable JSON form (schema version
+        :data:`SCHEMA_VERSION`): code, severity, message, span,
+        function."""
         return {
-            "check": self.check_id,
+            "code": self.check_id,
             "severity": str(self.severity),
             "message": self.message,
-            "line": self.line,
-            "col": self.col,
+            "span": {"line": self.line, "col": self.col},
             "function": self.function,
         }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Diagnostic":
+        span = data.get("span", {})
+        return cls(
+            check_id=data["code"],
+            severity=Severity(data["severity"]),
+            message=data["message"],
+            line=span.get("line", 0),
+            col=span.get("col", 0),
+            function=data.get("function", ""),
+        )
 
 
 @dataclass
@@ -110,6 +162,11 @@ class AnalysisReport:
                 if d.severity is Severity.WARNING]
 
     @property
+    def notes(self) -> list[Diagnostic]:
+        return [d for d in self.diagnostics
+                if d.severity is Severity.NOTE]
+
+    @property
     def has_errors(self) -> bool:
         return bool(self.errors)
 
@@ -125,13 +182,32 @@ class AnalysisReport:
         return "\n".join(lines)
 
     def to_dict(self, filename: str = "<kernel>") -> dict:
+        """Stable JSON form shared by ``repro lint`` and the plan
+        verifier (schema version :data:`SCHEMA_VERSION`)."""
         return {
+            "schema_version": SCHEMA_VERSION,
             "file": filename,
             "diagnostics": [d.to_dict() for d in self.sorted()],
+            "summary": {
+                "errors": len(self.errors),
+                "warnings": len(self.warnings),
+                "notes": len(self.notes),
+            },
             "access_patterns": self.access_patterns,
-            "errors": len(self.errors),
-            "warnings": len(self.warnings),
         }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "AnalysisReport":
+        version = data.get("schema_version")
+        if version != SCHEMA_VERSION:
+            raise ValueError(
+                f"unsupported diagnostic schema version {version!r} "
+                f"(expected {SCHEMA_VERSION})")
+        return cls(
+            diagnostics=[Diagnostic.from_dict(d)
+                         for d in data.get("diagnostics", [])],
+            access_patterns=dict(data.get("access_patterns", {})),
+        )
 
     def format_json(self, filename: str = "<kernel>") -> str:
         return json.dumps(self.to_dict(filename), indent=2)

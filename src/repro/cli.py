@@ -189,81 +189,230 @@ def _cmd_fig4b(args) -> int:
     return 0
 
 
+def _lint_inputs(raw_paths) -> tuple[list, list]:
+    """Resolve lint arguments: files stay files, directories are
+    recursed for ``*.cl`` sources."""
+    import pathlib
+
+    files: list = []
+    missing: list = []
+    for raw in raw_paths:
+        path = pathlib.Path(raw)
+        if path.is_dir():
+            files.extend(sorted(path.rglob("*.cl")))
+        elif path.exists():
+            files.append(path)
+        else:
+            missing.append(raw)
+    return files, missing
+
+
 def _cmd_lint(args) -> int:
     from repro import errors
-    from repro.clc.analysis import CHECKS, analyze_source
+    from repro.clc.analysis import (CHECKS, SCHEMA_VERSION,
+                                    analyze_source)
 
     if args.list_checks:
         for check_id, (severity, summary) in CHECKS.items():
             print(f"{check_id}  {str(severity):<7}  {summary}")
         return 0
-    if not args.file:
-        print("lint: a file to analyze is required", file=sys.stderr)
+    if args.graph:
+        return _run_plan_audit(args.graph, args.json)
+    if not args.paths:
+        print("lint: a file or directory to analyze is required",
+              file=sys.stderr)
         return 2
-    try:
-        with open(args.file) as fh:
-            source = fh.read()
-    except OSError as exc:
-        print(f"lint: {exc}", file=sys.stderr)
+    files, missing = _lint_inputs(args.paths)
+    for raw in missing:
+        print(f"lint: {raw}: no such file or directory",
+              file=sys.stderr)
+    if not files and not missing:
+        print("lint: no .cl files found", file=sys.stderr)
         return 2
     if args.engine_report:
-        return _engine_report(args, source)
-    try:
-        report = analyze_source(source)
-    except errors.ClcError as exc:
-        if args.json:
-            import json
-            print(json.dumps({"file": args.file,
-                              "error": str(exc)}, indent=2))
-        else:
-            print(f"{args.file}: {exc}", file=sys.stderr)
-        return 2
+        return _engine_report(args, files, bool(missing))
+
+    results: list[tuple[str, object, str | None]] = []
+    for path in files:
+        try:
+            report = analyze_source(path.read_text())
+            results.append((str(path), report, None))
+        except (errors.ClcError, OSError) as exc:
+            results.append((str(path), None, str(exc)))
+
+    failed = bool(missing) or any(err for _, _, err in results)
+    errors_found = any(report is not None and report.has_errors
+                       for _, report, _ in results)
     if args.json:
-        print(report.format_json(args.file))
+        import json
+        docs = []
+        for filename, report, err in results:
+            if err is not None:
+                docs.append({"file": filename, "error": err})
+            else:
+                docs.append(report.to_dict(filename))
+        if len(args.paths) == 1 and len(docs) == 1 \
+                and not _is_dir(args.paths[0]):
+            print(json.dumps(docs[0], indent=2))
+        else:
+            print(json.dumps({
+                "schema_version": SCHEMA_VERSION,
+                "files": docs,
+                "summary": {
+                    "files": len(docs),
+                    "errors": sum(d.get("summary", {}).get("errors", 0)
+                                  for d in docs),
+                    "warnings": sum(
+                        d.get("summary", {}).get("warnings", 0)
+                        for d in docs),
+                    "failed": sum(1 for d in docs if "error" in d)
+                              + len(missing),
+                }}, indent=2))
     else:
-        print(report.format_text(args.file))
-    return 1 if report.has_errors else 0
+        for filename, report, err in results:
+            if err is not None:
+                print(f"{filename}: {err}", file=sys.stderr)
+            else:
+                print(report.format_text(filename))
+    if failed:
+        return 2
+    return 1 if errors_found else 0
 
 
-def _engine_report(args, source: str) -> int:
+def _is_dir(raw: str) -> bool:
+    import pathlib
+    return pathlib.Path(raw).is_dir()
+
+
+def _engine_report(args, files, had_missing: bool) -> int:
     """Which execution engine each kernel gets, and why."""
     from repro import errors
     from repro.clc import parse, typecheck
     from repro.clc.analysis import engine_report
 
-    try:
-        unit = parse(source)
-        typecheck(unit)
-        report = engine_report(unit)
-    except errors.ClcError as exc:
+    rc = 2 if had_missing else 0
+    json_docs = []
+    for path in files:
+        filename = str(path)
+        try:
+            unit = parse(path.read_text())
+            typecheck(unit)
+            report = engine_report(unit)
+        except (errors.ClcError, OSError) as exc:
+            if args.json:
+                json_docs.append({"file": filename, "error": str(exc)})
+            else:
+                print(f"{filename}: {exc}", file=sys.stderr)
+            rc = 2
+            continue
         if args.json:
-            import json
-            print(json.dumps({"file": args.file, "error": str(exc)},
-                             indent=2))
-        else:
-            print(f"{args.file}: {exc}", file=sys.stderr)
-        return 2
+            json_docs.append(
+                {"file": filename,
+                 "kernels": {name: {"engine": ("batch" if not blockers
+                                               else "per-item"),
+                                    "blockers": blockers}
+                             for name, blockers in report.items()}})
+            continue
+        if not report:
+            print(f"{filename}: no kernels")
+            continue
+        for name, blockers in report.items():
+            prefix = f"{filename}: " if len(files) > 1 else ""
+            if not blockers:
+                print(f"{prefix}{name}: batch")
+            else:
+                print(f"{prefix}{name}: per-item")
+                for blocker in blockers:
+                    print(f"  - {blocker}")
     if args.json:
         import json
-        print(json.dumps(
-            {"file": args.file,
-             "kernels": {name: {"engine": ("batch" if not blockers
-                                           else "per-item"),
-                                "blockers": blockers}
-                         for name, blockers in report.items()}},
-            indent=2))
-        return 0
-    if not report:
-        print(f"{args.file}: no kernels")
-        return 0
-    for name, blockers in report.items():
-        if not blockers:
-            print(f"{name}: batch")
+        print(json.dumps(json_docs[0] if len(json_docs) == 1
+                         else json_docs, indent=2))
+    return rc
+
+
+def _run_plan_audit(script: str | None, json_output: bool,
+                    size: int = 1 << 16, stages: int = 4,
+                    gpus: int = 2) -> int:
+    """Verify every graph plan a script (or the built-in pipeline)
+    evaluates; report instead of rejecting (audit mode)."""
+    import json
+
+    import repro.skelcl  # noqa: F401 -- break the graph<->skelcl import cycle
+    from repro.analysis import check_context_aliasing, sanitizer
+    from repro.clc.analysis import SCHEMA_VERSION
+    from repro.graph.capture import auditing_plans
+
+    with auditing_plans() as audits:
+        if script:
+            import runpy
+            runpy.run_path(script, run_name="__main__")
         else:
-            print(f"{name}: per-item")
-            for blocker in blockers:
-                print(f"  - {blocker}")
-    return 0
+            from repro import skelcl
+            rng = np.random.default_rng(0)
+            xs = rng.random(size).astype(np.float32)
+            pipeline = _pipeline_stages(stages)
+            skelcl.init(num_gpus=gpus)
+            with skelcl.deferred():
+                vec = skelcl.Vector(xs)
+                for stage in pipeline:
+                    vec = stage(vec)
+            vec.to_numpy()
+
+    alias_report = None
+    try:
+        from repro import skelcl
+        ctx = skelcl.get_context()
+    except Exception:
+        ctx = None
+    if ctx is not None:
+        alias_report = check_context_aliasing(ctx.context)
+
+    labelled = [(f"plan[{i}]", plan, report)
+                for i, (plan, report) in enumerate(audits)]
+    errors_found = sum(len(r.errors) for _, _, r in labelled)
+    if json_output:
+        payload = {
+            "schema_version": SCHEMA_VERSION,
+            "plans": [dict(report.to_dict(label),
+                           steps=len(plan.steps))
+                      for label, plan, report in labelled],
+            "summary": {
+                "plans": len(labelled),
+                "errors": errors_found,
+                "warnings": sum(len(r.warnings)
+                                for _, _, r in labelled),
+            },
+        }
+        if alias_report is not None:
+            payload["aliasing"] = alias_report.to_dict("<context>")
+        if sanitizer.sanitize_enabled():
+            payload["sanitizer"] = dict(sanitizer.STATS)
+        print(json.dumps(payload, indent=2))
+    else:
+        for label, plan, report in labelled:
+            print(f"{label}: {len(plan.steps)} step(s) — "
+                  f"{len(report.errors)} error(s), "
+                  f"{len(report.warnings)} warning(s), "
+                  f"{len(report.notes)} note(s)")
+            for diag in report.sorted():
+                print(f"  {diag.format(label)}")
+        if alias_report is not None and alias_report.diagnostics:
+            for diag in alias_report.sorted():
+                print(f"  {diag.format('<context>')}")
+        if sanitizer.sanitize_enabled():
+            stats = sanitizer.STATS
+            print(f"sanitizer: {stats['launches']} launch(es), "
+                  f"{stats['buffers_checked']} buffer(s) checked, "
+                  f"{stats['violations']} violation(s)")
+        print(f"verified {len(labelled)} plan(s): "
+              f"{errors_found} error(s)")
+    return 1 if errors_found else 0
+
+
+def _cmd_verify_plan(args) -> int:
+    return _run_plan_audit(args.script, args.json, size=args.size,
+                           stages=args.stages, gpus=args.gpus)
 
 
 def _cmd_cache(args) -> int:
@@ -535,6 +684,12 @@ def _cmd_cluster_run(args) -> int:
         alive = [h.rank for h in cluster.alive_handles()]
         print(f"corpus complete; workers alive at end: {alive}")
         print(stats_table(cluster.all_stats()))
+        from repro.analysis import check_journal_coverage
+        coverage = check_journal_coverage(cluster)
+        if coverage.diagnostics:
+            print(coverage.format_text("<cluster>"))
+        else:
+            print("redo journal covers every remote buffer")
         if args.report:
             import json
             with open(args.report, "w") as fh:
@@ -542,10 +697,16 @@ def _cmd_cluster_run(args) -> int:
                            "size": args.size,
                            "alive_at_end": alive,
                            "mismatches": mismatches,
+                           "journal_coverage":
+                               coverage.to_dict("<cluster>"),
                            "stats": [s.as_dict()
                                      for s in cluster.all_stats()]},
                           fh, indent=2)
             print(f"wrote {args.report}")
+        if coverage.has_errors:
+            print("cluster run: redo-journal coverage check failed",
+                  file=sys.stderr)
+            return 1
         if mismatches:
             print("cluster run: results diverge from the single-process "
                   f"engine: {', '.join(mismatches)}", file=sys.stderr)
@@ -627,17 +788,35 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(fn=_cmd_fig4b)
 
     p = sub.add_parser(
-        "lint", help="static analysis of a kernel dialect source file")
-    p.add_argument("file", nargs="?",
-                   help="dialect source file (.cl)")
+        "lint", help="static analysis of kernel dialect sources")
+    p.add_argument("paths", nargs="*", metavar="PATH",
+                   help="dialect source files (.cl) or directories "
+                        "(recursed for *.cl)")
     p.add_argument("--json", action="store_true",
-                   help="machine-readable JSON report")
+                   help="machine-readable JSON report "
+                        "(docs/analysis.md documents the schema)")
     p.add_argument("--list-checks", action="store_true",
                    help="print the check registry and exit")
     p.add_argument("--engine-report", action="store_true",
                    help="report the execution engine each kernel gets "
                         "(batch or per-item) and any blockers")
+    p.add_argument("--graph", metavar="SCRIPT",
+                   help="run a Python script and audit every deferred "
+                        "graph plan it evaluates (plan verifier)")
     p.set_defaults(fn=_cmd_lint)
+
+    p = sub.add_parser(
+        "verify-plan",
+        help="re-prove graph-plan optimizations legal (audit mode)")
+    p.add_argument("script", nargs="?",
+                   help="Python script to audit; defaults to the "
+                        "built-in map pipeline benchmark")
+    p.add_argument("--json", action="store_true",
+                   help="machine-readable JSON report")
+    p.add_argument("--size", type=int, default=1 << 16)
+    p.add_argument("--stages", type=int, default=4)
+    p.add_argument("--gpus", type=int, default=2)
+    p.set_defaults(fn=_cmd_verify_plan)
 
     p = sub.add_parser(
         "cache", help="inspect the on-disk kernel compile cache")

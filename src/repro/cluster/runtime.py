@@ -435,6 +435,15 @@ class ClusterQueue(CommandQueue):
 
     # -- kernels -----------------------------------------------------------------
 
+    def _sanitizer_sync(self, buf):
+        """Sanitizer snapshots/checks must see worker-side bytes.
+
+        ``sync_mirror`` is physical repair only (the virtual-time D2H
+        charge belongs to whichever *read command* triggers a sync), so
+        sanitizing leaves the modelled timeline untouched.
+        """
+        self._cluster.sync_mirror(buf)
+
     def _execute_kernel(self, kernel, bound, gsize, lsize, buffers):
         system = self._cluster
         if kernel.native:

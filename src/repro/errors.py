@@ -163,3 +163,30 @@ class RemoteExecutionError(ClusterError):
 
 class SchedulerError(ReproError):
     """Base class for scheduling failures."""
+
+
+# ---------------------------------------------------------------------------
+# Whole-pipeline analysis (repro.analysis)
+# ---------------------------------------------------------------------------
+
+class AnalysisError(ReproError):
+    """Base class for the cross-skeleton effect/alias verifier."""
+
+
+class PlanVerificationError(AnalysisError):
+    """An optimized graph plan failed independent re-verification.
+
+    Raised *instead of executing* the plan; ``report`` carries the
+    structured diagnostics (:class:`repro.clc.analysis.AnalysisReport`)
+    that prove the rejection.
+    """
+
+    def __init__(self, message: str, report=None) -> None:
+        super().__init__(message)
+        self.report = report
+
+
+class SanitizerError(AnalysisError):
+    """The runtime sanitizer observed a buffer mutation outside the
+    statically-declared effect region of the launched kernel
+    (``REPRO_SANITIZE=1``)."""

@@ -29,6 +29,41 @@ from repro.skelcl.vector import Vector
 #: innermost-active graph builders (nested ``deferred`` scopes nest)
 _builders: list["Graph"] = []
 
+#: when not None, plan verification collects (plan, report) pairs here
+#: instead of rejecting unsound plans (``repro verify-plan`` audits)
+_audit_reports: list | None = None
+
+
+@contextmanager
+def auditing_plans():
+    """Audit mode: every evaluated plan is verified, but unsound plans
+    execute anyway; yields the accumulating ``(plan, report)`` list."""
+    global _audit_reports
+    saved = _audit_reports
+    _audit_reports = []
+    try:
+        yield _audit_reports
+    finally:
+        _audit_reports = saved
+
+
+def _verify(plan):
+    """Independently re-prove the optimized plan before execution.
+
+    On by default; ``REPRO_VERIFY_PLAN=0`` opts out.  Unsound plans
+    raise :class:`repro.errors.PlanVerificationError` instead of
+    executing (except under :func:`auditing_plans`).
+    """
+    import os
+    if os.environ.get("REPRO_VERIFY_PLAN", "1") in ("0", ""):
+        return None
+    from repro.analysis import verifier
+    if _audit_reports is not None:
+        report = verifier.verify_plan(plan)
+        _audit_reports.append((plan, report))
+        return report
+    return verifier.verify_or_raise(plan)
+
 
 def current_graph() -> "Graph | None":
     """The graph currently capturing skeleton calls, if any."""
@@ -183,6 +218,8 @@ class Graph:
         self.last_stats: dict[str, int] = {}
         #: the most recent optimized plan (for dumps/debugging)
         self.last_plan = None
+        #: AnalysisReport of the most recent plan verification
+        self.last_verification = None
 
     # -- context ----------------------------------------------------------------
 
@@ -354,6 +391,7 @@ class Graph:
         if optimize:
             passes.elide_redistributions(plan)
             passes.fuse_map_chains(plan)
+        self.last_verification = _verify(plan)
         executor.execute_plan(plan, self.ctx, adaptive=adaptive,
                               weight_store=weight_store)
         self.last_plan = plan

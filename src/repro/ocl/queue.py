@@ -22,6 +22,21 @@ from repro.ocl.memory import Buffer
 from repro.ocl.program import Kernel
 from repro.ocl.timing import KernelCost, kernel_duration
 
+_sanitizer = None
+
+
+def _get_sanitizer():
+    """The runtime sanitizer module, imported on first launch.
+
+    Lazy because :mod:`repro.analysis` sits above :mod:`repro.ocl` in
+    the layering; importing it at module load would be cyclic.
+    """
+    global _sanitizer
+    if _sanitizer is None:
+        from repro.analysis import sanitizer
+        _sanitizer = sanitizer
+    return _sanitizer
+
 
 class CommandQueue:
     """An in-order command queue bound to one device."""
@@ -48,6 +63,12 @@ class CommandQueue:
         if not wait_for:
             return 0.0
         return max(e.span.end for e in wait_for)
+
+    def _sanitizer_sync(self, buf: Buffer) -> None:
+        """Make *buf*'s local bytes current before the sanitizer reads
+        them.  In-process queues execute on the storage directly, so
+        there is nothing to do; cluster queues override this to pull
+        the worker-side copy (physical repair only — no virtual time)."""
 
     # -- transfers ----------------------------------------------------------------
 
@@ -219,8 +240,15 @@ class CommandQueue:
                         f"kernel {kernel.name}: parameter {param.name} "
                         f"expects a scalar, got a Buffer")
                 bound.append(arg)
-        # execute for real
+        # execute for real (under the sanitizer when REPRO_SANITIZE=1)
+        record = None
+        sanitizer = _get_sanitizer()
+        if sanitizer.sanitize_enabled():
+            record = sanitizer.snapshot_launch(
+                kernel, gsize, buffers, sync=self._sanitizer_sync)
         self._execute_kernel(kernel, bound, gsize, lsize, buffers)
+        if record is not None:
+            sanitizer.check_launch(record, sync=self._sanitizer_sync)
         # charge modelled time
         work_items = float(math.prod(gsize)) * scale_factor
         cost = KernelCost(

@@ -182,4 +182,4 @@ def _graft_stage_summaries(fused: FusedSkeleton,
                 merged.record(AccessSite(
                     pattern=site.pattern, offset=site.offset,
                     is_write=site.is_write, line=site.line,
-                    col=site.col, direct=False))
+                    col=site.col, direct=False, atomic=site.atomic))

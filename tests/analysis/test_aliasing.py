@@ -1,0 +1,132 @@
+"""The alias/COW checker and the cluster redo-journal coverage check."""
+
+from types import SimpleNamespace
+
+import numpy as np
+
+from repro import ocl, skelcl
+from repro.analysis import check_context_aliasing, check_journal_coverage
+from repro.cluster import wire
+from repro.cluster.runtime import JournalEntry, local_cluster
+
+
+def _context():
+    system = ocl.System(num_gpus=1)
+    return ocl.Context(system.devices)
+
+
+# -- ALIAS001 ----------------------------------------------------------------
+
+def test_disjoint_buffers_are_clean():
+    ctx = _context()
+    a = ocl.Buffer(ctx, 256)
+    b = ocl.Buffer(ctx, 256)
+    queue = ocl.CommandQueue(ctx, ctx.devices[0])
+    queue.enqueue_write_buffer(a, np.ones(64, dtype=np.float32))
+    queue.enqueue_write_buffer(b, np.zeros(64, dtype=np.float32))
+    report = check_context_aliasing(ctx)
+    assert not report.diagnostics
+
+
+def test_overlapping_pinned_views_warn():
+    ctx = _context()
+    backing = np.zeros(96, dtype=np.float32)
+    ocl.Buffer.wrapping(ctx, backing[0:64])
+    ocl.Buffer.wrapping(ctx, backing[32:96])
+    report = check_context_aliasing(ctx)
+    assert [d.check_id for d in report.diagnostics] == ["ALIAS001"]
+    assert "pinned" in report.diagnostics[0].message
+    assert not report.has_errors  # a warning, not an error
+
+
+def test_released_buffers_are_ignored():
+    ctx = _context()
+    backing = np.zeros(64, dtype=np.float32)
+    first = ocl.Buffer.wrapping(ctx, backing)
+    ocl.Buffer.wrapping(ctx, backing)
+    first.release()
+    report = check_context_aliasing(ctx)
+    assert not report.diagnostics
+
+
+def test_vector_parts_pin_disjoint_blocks():
+    # block distribution wraps disjoint slices of the host array; the
+    # checker must not cry wolf on the normal skeleton data path
+    ctx = skelcl.init(num_gpus=2)
+    try:
+        double = skelcl.Map("float dbl(float x) { return x * 2.0f; }")
+        out = double(skelcl.Vector(np.ones(128, dtype=np.float32)))
+        out.to_numpy()
+        assert not check_context_aliasing(ctx.context).diagnostics
+    finally:
+        skelcl.terminate()
+
+
+# -- CLUS001 -----------------------------------------------------------------
+
+def _fake_cluster(entries, state="remote"):
+    handle = SimpleNamespace(rank=0, journal=entries)
+    return SimpleNamespace(_buffer_state={"7": (handle, state)})
+
+
+def test_journal_write_records_cover_buffer():
+    entries = [
+        JournalEntry(op=wire.Op.WRITE,
+                     meta={"buf": "7", "nbytes": 64, "offset": 0},
+                     payload=bytes(32)),
+        JournalEntry(op=wire.Op.WRITE,
+                     meta={"buf": "7", "nbytes": 64, "offset": 32},
+                     payload=bytes(32)),
+    ]
+    assert not check_journal_coverage(_fake_cluster(entries)).has_errors
+
+
+def test_journal_hole_is_flagged():
+    entries = [
+        JournalEntry(op=wire.Op.WRITE,
+                     meta={"buf": "7", "nbytes": 64, "offset": 0},
+                     payload=bytes(16)),
+        # bytes [16, 48) never journaled
+        JournalEntry(op=wire.Op.WRITE,
+                     meta={"buf": "7", "nbytes": 64, "offset": 48},
+                     payload=bytes(16)),
+    ]
+    report = check_journal_coverage(_fake_cluster(entries))
+    assert [d.check_id for d in report.errors] == ["CLUS001"]
+    assert "lose data" in report.errors[0].message
+
+
+def test_unmentioned_remote_buffer_is_flagged():
+    report = check_journal_coverage(_fake_cluster([]))
+    assert [d.check_id for d in report.errors] == ["CLUS001"]
+    assert "no journal entry" in report.errors[0].message
+
+
+def test_ndrange_replay_counts_as_coverage():
+    entries = [
+        JournalEntry(op=wire.Op.NDRANGE,
+                     meta={"kernel": "k", "gsize": [16],
+                           "args": [{"buf": "7", "nbytes": 64}]}),
+    ]
+    assert not check_journal_coverage(_fake_cluster(entries)).has_errors
+
+
+def test_synced_buffers_do_not_need_the_journal():
+    report = check_journal_coverage(_fake_cluster([], state="synced"))
+    assert not report.diagnostics
+
+
+def test_live_cluster_journal_is_complete():
+    with local_cluster(num_workers=2) as cluster:
+        gpus = [d for d in cluster.devices if d.device_type == "GPU"]
+        skelcl.init(devices=gpus)
+        try:
+            double = skelcl.Map("float dbl(float x) { return x * 2.0f; }")
+            out = double(skelcl.Vector(np.ones(256, dtype=np.float32)))
+            # freshest bytes still live worker-side: the invariant must
+            # already hold *before* any download
+            report = check_journal_coverage(cluster)
+            assert not report.has_errors
+            np.testing.assert_allclose(out.to_numpy(), 2.0)
+        finally:
+            skelcl.terminate()

@@ -1,0 +1,246 @@
+"""Effect summaries: regions, interprocedural propagation, escapes,
+atomics, local memory, and the ocl.Kernel front door."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import Region, kernel_effects, source_effects
+from repro.analysis.effects import _SOURCE_CACHE
+
+
+# -- the Region lattice ------------------------------------------------------
+
+def test_region_lattice_joins():
+    own = Region.own()
+    win = Region.window(-1, 2)
+    assert Region.empty().join(own) == own
+    assert own.join(win) == Region.window(-1, 2)
+    assert win.join(Region.all_elements()).is_all
+    assert Region.window(0, 1).join(Region.window(-2, 0)) \
+        == Region.window(-2, 1)
+
+
+def test_region_containment_and_overlap():
+    assert Region.all_elements().contains(Region.window(-5, 5))
+    assert Region.window(-1, 1).contains(Region.own())
+    assert not Region.own().contains(Region.window(0, 1))
+    assert Region.window(0, 2).overlaps(Region.window(2, 4))
+    assert not Region.window(0, 1).overlaps(Region.window(2, 3))
+    assert not Region.empty().overlaps(Region.all_elements())
+
+
+def test_region_round_trips_through_dict():
+    for region in (Region.empty(), Region.own(), Region.window(-3, 7),
+                   Region.all_elements()):
+        assert Region.from_dict(region.to_dict()) == region
+
+
+# -- kernel summaries --------------------------------------------------------
+
+def test_own_index_map_kernel():
+    eff = source_effects("""
+    __kernel void k(__global const float* in, __global float* out,
+                    int n) {
+        int i = get_global_id(0);
+        if (i < n) { out[i] = in[i] * 2.0f; }
+    }
+    """)["k"]
+    assert eff.args["in"].reads.is_own
+    assert eff.args["in"].effective_writes.is_empty
+    assert eff.args["out"].effective_writes.is_own
+    assert eff.args["out"].reads.is_empty
+    assert eff.precise
+
+
+def test_stencil_window():
+    eff = source_effects("""
+    __kernel void k(__global const float* in, __global float* out) {
+        int i = get_global_id(0);
+        out[i] = in[i - 1] + in[i] + in[i + 2];
+    }
+    """)["k"]
+    assert eff.args["in"].reads == Region.window(-1, 2)
+    assert eff.args["out"].effective_writes.is_own
+
+
+def test_arbitrary_index_is_all():
+    eff = source_effects("""
+    __kernel void k(__global const int* idx, __global float* out) {
+        int i = get_global_id(0);
+        out[idx[i]] = 1.0f;
+    }
+    """)["k"]
+    assert eff.args["out"].effective_writes.is_all
+    assert eff.args["idx"].reads.is_own
+
+
+def test_interprocedural_forwarded_pointer():
+    eff = source_effects("""
+    float gather(__global const float* p) {
+        int i = get_global_id(0);
+        return p[i - 1] + p[i];
+    }
+    __kernel void k(__global const float* in, __global float* out) {
+        int i = get_global_id(0);
+        out[i] = gather(in);
+    }
+    """)["k"]
+    assert eff.args["in"].reads == Region.window(-1, 0)
+    assert eff.args["in"].precise
+
+
+def test_interprocedural_shifted_pointer():
+    eff = source_effects("""
+    float at(__global const float* p) {
+        return p[get_global_id(0)];
+    }
+    __kernel void k(__global const float* in, __global float* out) {
+        int i = get_global_id(0);
+        out[i] = at(in + 2);
+    }
+    """)["k"]
+    # callee's own-index read through in + 2 -> in[i + 2]
+    assert eff.args["in"].reads == Region.window(2, 2)
+
+
+def test_address_of_element_into_helper_escapes():
+    eff = source_effects("""
+    float load2(__global const float* p) { return p[0] + p[1]; }
+    __kernel void k(__global const float* in, __global float* out) {
+        int i = get_global_id(0);
+        out[i] = load2(&in[i]);
+    }
+    """)["k"]
+    # the callee reads p[1] == in[i + 1]; an own-index claim would be
+    # unsound, so the interior pointer must widen the argument
+    assert not eff.args["in"].precise
+    assert eff.args["in"].reads.is_all
+
+
+def test_atomic_lands_in_atomics_region():
+    eff = source_effects("""
+    __kernel void k(__global int* hist, __global const int* in) {
+        int i = get_global_id(0);
+        atomic_add(&hist[0], in[i]);
+    }
+    """)["k"]
+    hist = eff.args["hist"]
+    assert hist.writes.is_empty
+    assert not hist.atomics.is_empty
+    assert not hist.effective_writes.is_empty
+    assert not hist.is_read_only
+
+
+def test_escaping_pointer_widens_to_all_imprecise():
+    eff = source_effects("""
+    float deref(__global float* p) { return p[0]; }
+    __kernel void k(__global float* data) {
+        __global float* q = data;
+        int i = get_global_id(0);
+        data[i] = q[i] + 1.0f;
+    }
+    """)["k"]
+    data = eff.args["data"]
+    assert not data.precise
+    assert data.reads.is_all
+    assert data.writes.is_all
+
+
+def test_const_escape_does_not_claim_writes():
+    eff = source_effects("""
+    __kernel void k(__global const float* in, __global float* out) {
+        __global const float* q = in;
+        int i = get_global_id(0);
+        out[i] = q[i];
+    }
+    """)["k"]
+    inn = eff.args["in"]
+    assert not inn.precise
+    assert inn.reads.is_all
+    assert inn.writes.is_empty  # const params cannot be written
+
+
+def test_local_memory_address_space_recorded():
+    eff = source_effects("""
+    __kernel void k(__global float* out, __local float* tmp) {
+        int lid = get_local_id(0);
+        tmp[lid] = 1.0f;
+        barrier();
+        out[get_global_id(0)] = tmp[lid];
+    }
+    """)["k"]
+    assert eff.args["tmp"].address_space == "local"
+    assert eff.has_barrier
+
+
+def test_summary_round_trips_through_dict():
+    from repro.analysis.effects import KernelEffects
+    eff = source_effects("""
+    __kernel void k(__global const float* in, __global float* out) {
+        int i = get_global_id(0);
+        out[i] = in[i + 1];
+    }
+    """)["k"]
+    clone = KernelEffects.from_dict(eff.to_dict())
+    assert clone.args["in"].reads == Region.window(1, 1)
+    assert clone.args["out"].effective_writes.is_own
+    assert clone.param_names == eff.param_names
+
+
+def test_source_effects_cached():
+    src = """
+    __kernel void k(__global float* out) {
+        out[get_global_id(0)] = 0.0f;
+    }
+    """
+    first = source_effects(src)
+    assert source_effects(src) is first
+    assert src in _SOURCE_CACHE
+
+
+# -- ocl.Kernel front door ---------------------------------------------------
+
+def test_kernel_effects_for_compiled_program():
+    from repro import ocl
+    system = ocl.System(num_gpus=1)
+    context = ocl.Context(system.devices)
+    program = ocl.Program(context, """
+    __kernel void scale(__global const float* in, __global float* out,
+                        float a) {
+        int i = get_global_id(0);
+        out[i] = in[i] * a;
+    }
+    """).build()
+    kernel = program.create_kernel("scale")
+    eff = kernel_effects(kernel)
+    assert eff is not None
+    assert eff.args["in"].is_read_only
+    assert eff.args["out"].effective_writes.is_own
+    # cached per program
+    assert kernel_effects(program.create_kernel("scale")) is eff
+
+
+def test_kernel_effects_for_native_kernel():
+    from repro import ocl
+    from repro.ocl.program import NativeKernelDef, NativeProgram
+
+    system = ocl.System(num_gpus=1)
+    context = ocl.Context(system.devices)
+
+    def dbl(args, gsize):
+        args[1][:] = args[0] * 2.0
+
+    program = NativeProgram(context, [NativeKernelDef(
+        name="dbl", fn=dbl, arg_dtypes=[np.float32, np.float32],
+        ops_per_item=1.0, const_args=frozenset({0}))])
+    kernel = program.create_kernel("dbl")
+    eff = kernel_effects(kernel)
+    assert eff is not None
+    assert eff.args["arg0"].is_read_only    # const: checkable claim
+    assert not eff.args["arg1"].precise     # opaque Python writes
+
+
+def test_kernel_effects_unknown_shapes_return_none():
+    class Fake:
+        pass
+    assert kernel_effects(Fake()) is None

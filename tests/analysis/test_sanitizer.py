@@ -1,0 +1,167 @@
+"""The runtime sanitizer: clean corpus runs stay clean; kernels that
+violate their effect summaries are hard errors at the launch site."""
+
+import numpy as np
+import pytest
+
+from repro import ocl, skelcl
+from repro.analysis import set_sanitize
+from repro.analysis.effects import ArgEffect, KernelEffects, Region
+from repro.analysis.sanitizer import STATS, reset_stats
+from repro.errors import SanitizerError
+
+
+@pytest.fixture(autouse=True)
+def _sanitizing():
+    set_sanitize(True)
+    reset_stats()
+    yield
+    set_sanitize(None)
+    reset_stats()
+    skelcl.terminate()
+
+
+def _plain_setup():
+    system = ocl.System(num_gpus=1)
+    ctx = ocl.Context(system.devices)
+    queue = ocl.CommandQueue(ctx, system.devices[0])
+    return ctx, queue
+
+
+def _plant(program, kernel_name, effects):
+    """Seed the per-program effect cache with a hand-written summary."""
+    program._kernel_effects = {kernel_name: effects}
+
+
+# -- clean runs --------------------------------------------------------------
+
+def test_skeleton_launches_verify_clean():
+    skelcl.init(num_gpus=2)
+    double = skelcl.Map("float dbl(float x) { return x * 2.0f; }")
+    add = skelcl.Zip("float add(float a, float b) { return a + b; }")
+    xs = np.arange(256, dtype=np.float32)
+    a = skelcl.Vector(xs)
+    out = add(double(a), a)
+    np.testing.assert_allclose(out.to_numpy(), xs * 3)
+    assert STATS["launches"] > 0
+    assert STATS["buffers_checked"] > 0
+    assert STATS["violations"] == 0
+
+
+def test_stencil_window_writes_verify_clean():
+    ctx, queue = _plain_setup()
+    n = 128
+    src = """
+    __kernel void shift(__global const float* in, __global float* out) {
+        int i = get_global_id(0);
+        out[i + 1] = in[i];
+    }
+    """
+    xs = np.arange(n, dtype=np.float32)
+    buf_in = ocl.Buffer(ctx, xs.nbytes)
+    buf_out = ocl.Buffer(ctx, (n + 1) * 4)
+    queue.enqueue_write_buffer(buf_in, xs)
+    kernel = ocl.Program(ctx, src).build().create_kernel("shift")
+    kernel.set_args(buf_in, buf_out)
+    queue.enqueue_nd_range_kernel(kernel, (n,))
+    queue.finish()
+    assert STATS["violations"] == 0
+    assert STATS["buffers_checked"] > 0
+
+
+def test_imprecise_summary_is_skipped_not_flagged():
+    ctx, queue = _plain_setup()
+    n = 16
+    # out[idx[i]] writes are unbounded: nothing checkable on out
+    src = """
+    __kernel void scatter(__global const int* idx, __global float* out) {
+        int i = get_global_id(0);
+        out[idx[i]] = 1.0f;
+    }
+    """
+    idx = np.arange(n, dtype=np.int32)[::-1].copy()
+    buf_idx = ocl.Buffer(ctx, idx.nbytes)
+    buf_out = ocl.Buffer(ctx, n * 4)
+    queue.enqueue_write_buffer(buf_idx, idx)
+    kernel = ocl.Program(ctx, src).build().create_kernel("scatter")
+    kernel.set_args(buf_idx, buf_out)
+    queue.enqueue_nd_range_kernel(kernel, (n,))
+    queue.finish()
+    assert STATS["violations"] == 0
+    assert STATS["buffers_skipped"] > 0
+
+
+# -- violations are hard errors ----------------------------------------------
+
+def test_out_of_window_write_raises_san002():
+    ctx, queue = _plain_setup()
+    n = 8
+    src = """
+    __kernel void k(__global float* out) {
+        int i = get_global_id(0);
+        out[i + 2] = 1.0f;
+    }
+    """
+    program = ocl.Program(ctx, src).build()
+    kernel = program.create_kernel("k")
+    # unsound hand-planted summary: claims own-index writes although
+    # the kernel really writes out[i + 2]
+    _plant(program, "k", KernelEffects(
+        kernel="k", param_names=["out"],
+        args={"out": ArgEffect(name="out", writes=Region.own())}))
+    buf = ocl.Buffer(ctx, (n + 2) * 4)
+    queue.enqueue_write_buffer(buf, np.zeros(n + 2, dtype=np.float32))
+    kernel.set_args(buf)
+    with pytest.raises(SanitizerError, match=r"\[SAN002\].*out"):
+        queue.enqueue_nd_range_kernel(kernel, (n,))
+    assert STATS["violations"] == 1
+
+
+def test_read_only_claim_violation_raises_san001():
+    ctx, queue = _plain_setup()
+    n = 32
+    src = """
+    __kernel void k(__global float* a) {
+        a[get_global_id(0)] = 3.0f;
+    }
+    """
+    program = ocl.Program(ctx, src).build()
+    kernel = program.create_kernel("k")
+    _plant(program, "k", KernelEffects(
+        kernel="k", param_names=["a"],
+        args={"a": ArgEffect(name="a", reads=Region.own())}))
+    buf = ocl.Buffer(ctx, n * 4)
+    queue.enqueue_write_buffer(buf, np.ones(n, dtype=np.float32))
+    kernel.set_args(buf)
+    with pytest.raises(SanitizerError, match=r"\[SAN001\].*read-only"):
+        queue.enqueue_nd_range_kernel(kernel, (n,))
+    assert STATS["violations"] == 1
+
+
+def test_sanitizer_off_means_no_instrumentation():
+    set_sanitize(False)
+    skelcl.init(num_gpus=1)
+    double = skelcl.Map("float dbl(float x) { return x * 2.0f; }")
+    out = double(skelcl.Vector(np.ones(32, dtype=np.float32)))
+    np.testing.assert_allclose(out.to_numpy(), 2.0)
+    assert STATS["launches"] == 0
+
+
+# -- cluster path ------------------------------------------------------------
+
+def test_cluster_smoke_verifies_clean():
+    from repro.cluster.runtime import local_cluster
+
+    with local_cluster(num_workers=2) as cluster:
+        gpus = [d for d in cluster.devices if d.device_type == "GPU"]
+        skelcl.init(devices=gpus)
+        try:
+            double = skelcl.Map(
+                "float dbl(float x) { return x * 2.0f; }")
+            xs = np.arange(128, dtype=np.float32)
+            out = double(skelcl.Vector(xs))
+            np.testing.assert_allclose(out.to_numpy(), xs * 2)
+        finally:
+            skelcl.terminate()
+    assert STATS["launches"] > 0
+    assert STATS["violations"] == 0

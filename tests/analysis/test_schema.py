@@ -1,0 +1,80 @@
+"""The stabilized JSON diagnostic schema (shared by ``repro lint``,
+``repro verify-plan`` and ``repro lint --graph``)."""
+
+import json
+
+import pytest
+
+from repro.clc.analysis import SCHEMA_VERSION
+from repro.clc.analysis.diagnostics import (AnalysisReport, CHECKS,
+                                            Diagnostic, Severity)
+
+
+def _sample_report():
+    report = AnalysisReport()
+    report.add(Diagnostic(check_id="BD001", severity=Severity.ERROR,
+                          message="barrier under divergent flow",
+                          line=5, col=9, function="reduce"))
+    report.add(Diagnostic(check_id="DIST001", severity=Severity.WARNING,
+                          message="gathers a neighbour element",
+                          line=2, col=1, function="stencil"))
+    report.add(Diagnostic(check_id="PLAN005", severity=Severity.NOTE,
+                          message="node eliminated"))
+    report.access_patterns = {"reduce": {"data": "own-index"}}
+    return report
+
+
+def test_diagnostic_round_trips():
+    diag = Diagnostic(check_id="PLAN001", severity=Severity.ERROR,
+                      message="misaligned stage", line=3, col=7,
+                      function="fused[f+g]")
+    data = diag.to_dict()
+    assert data == {
+        "code": "PLAN001",
+        "severity": "error",
+        "message": "misaligned stage",
+        "span": {"line": 3, "col": 7},
+        "function": "fused[f+g]",
+    }
+    assert Diagnostic.from_dict(data) == diag
+
+
+def test_report_round_trips_through_json():
+    report = _sample_report()
+    encoded = json.dumps(report.to_dict("kernels/foo.cl"))
+    decoded = json.loads(encoded)
+    assert decoded["schema_version"] == SCHEMA_VERSION
+    assert decoded["file"] == "kernels/foo.cl"
+    assert decoded["summary"] == {"errors": 1, "warnings": 1,
+                                  "notes": 1}
+    clone = AnalysisReport.from_dict(decoded)
+    assert clone.sorted() == report.sorted()
+    assert clone.access_patterns == report.access_patterns
+
+
+def test_version_mismatch_is_rejected():
+    document = _sample_report().to_dict()
+    document["schema_version"] = SCHEMA_VERSION + 1
+    with pytest.raises(ValueError, match="schema version"):
+        AnalysisReport.from_dict(document)
+    with pytest.raises(ValueError, match="schema version"):
+        AnalysisReport.from_dict({})
+
+
+def test_every_emitted_code_is_registered():
+    # the registry backs --list-checks and docs/analysis.md; every
+    # subsystem's codes must be present with a severity and summary
+    for code in ("BD001", "RC001", "OB001", "UD001", "DIST001",
+                 "PLAN001", "PLAN002", "PLAN003", "PLAN004", "PLAN005",
+                 "ALIAS001", "CLUS001", "SAN001", "SAN002"):
+        severity, summary = CHECKS[code]
+        assert isinstance(severity, Severity)
+        assert summary
+
+
+def test_diagnostics_sorted_by_position():
+    report = _sample_report()
+    data = report.to_dict()
+    positions = [(d["span"]["line"], d["span"]["col"])
+                 for d in data["diagnostics"]]
+    assert positions == sorted(positions)

@@ -311,5 +311,7 @@ def test_format_text_and_json_shapes():
     assert "k.cl:5:9: error[BD001]" in text
     assert text.endswith("1 error(s), 0 warning(s)")
     data = report.to_dict("k.cl")
-    assert data["errors"] == 1
-    assert data["diagnostics"][0]["check"] == "BD001"
+    assert data["schema_version"] == 1
+    assert data["summary"]["errors"] == 1
+    assert data["diagnostics"][0]["code"] == "BD001"
+    assert data["diagnostics"][0]["span"]["line"] == 5

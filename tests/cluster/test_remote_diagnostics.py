@@ -1,0 +1,76 @@
+"""Kernel diagnostics parity across the compile paths: a source that
+``repro lint`` flags produces the same findings in the ``build_log``
+when it is compiled for :class:`repro.cluster.RemoteDevice`s."""
+
+import pathlib
+
+import numpy as np
+import pytest
+
+from repro import ocl, skelcl
+from repro.clc.analysis import analyze_source
+from repro.cluster.runtime import RemoteDevice, local_cluster
+from repro.errors import BuildProgramFailure
+
+LINT_DATA = pathlib.Path(__file__).parent.parent / "data" / "lint"
+
+GATHER_SRC = (LINT_DATA / "block_gather.cl").read_text()
+RACY_SRC = (LINT_DATA / "racy_reduction.cl").read_text()
+
+
+def test_warning_build_log_matches_lint_report():
+    report = analyze_source(GATHER_SRC)
+    assert report.warnings and not report.has_errors
+    with local_cluster(num_workers=2) as cluster:
+        gpus = [d for d in cluster.devices if d.device_type == "GPU"]
+        assert all(isinstance(d, RemoteDevice) for d in gpus)
+        ctx = skelcl.init(devices=gpus)
+        try:
+            program = ctx.build_program(GATHER_SRC)
+            # the lint findings land verbatim in the build log
+            for diag in report.warnings:
+                assert diag.check_id in program.build_log
+                assert diag.message in program.build_log
+            assert program.build_log.startswith("build successful")
+        finally:
+            skelcl.terminate()
+
+
+def test_warned_kernel_still_runs_remotely():
+    with local_cluster(num_workers=2) as cluster:
+        gpus = [d for d in cluster.devices if d.device_type == "GPU"]
+        ctx = skelcl.init(devices=gpus)
+        try:
+            n = 64
+            xs = (np.arange(n, dtype=np.float32)) ** 2
+            program = ctx.build_program(GATHER_SRC)
+            kernel = program.create_kernel("diff_right")
+            buf_in = ocl.Buffer(ctx.context, xs.nbytes)
+            buf_out = ocl.Buffer(ctx.context, xs.nbytes)
+            queue = ctx.queues[0]
+            queue.enqueue_write_buffer(buf_in, xs)
+            queue.enqueue_write_buffer(
+                buf_out, np.zeros(n, dtype=np.float32))
+            kernel.set_args(buf_in, buf_out, np.int32(n))
+            queue.enqueue_nd_range_kernel(kernel, (n,))
+            out = np.zeros(n, dtype=np.float32)
+            queue.enqueue_read_buffer(buf_out, out)
+            queue.finish()
+            np.testing.assert_allclose(out[:-1], np.diff(xs))
+        finally:
+            skelcl.terminate()
+
+
+def test_error_findings_fail_remote_build_with_same_log():
+    report = analyze_source(RACY_SRC)
+    assert report.has_errors
+    with local_cluster(num_workers=2) as cluster:
+        gpus = [d for d in cluster.devices if d.device_type == "GPU"]
+        ctx = skelcl.init(devices=gpus)
+        try:
+            with pytest.raises(BuildProgramFailure) as exc_info:
+                ctx.build_program(RACY_SRC)
+            for diag in report.errors:
+                assert diag.check_id in exc_info.value.build_log
+        finally:
+            skelcl.terminate()

@@ -87,11 +87,41 @@ def test_lint_json_output(capsys):
     path = LINT_DATA / "racy_reduction.cl"
     assert main(["lint", "--json", str(path)]) == 1
     data = json.loads(capsys.readouterr().out)
+    assert data["schema_version"] == 1
     assert data["file"] == str(path)
-    assert data["errors"] >= 1
-    checks = {d["check"] for d in data["diagnostics"]}
+    assert data["summary"]["errors"] >= 1
+    checks = {d["code"] for d in data["diagnostics"]}
     assert "RC001" in checks
+    assert {"line", "col"} <= set(data["diagnostics"][0]["span"])
     assert "access_patterns" in data
+
+
+def test_lint_multiple_files_aggregates(capsys):
+    clean = LINT_DATA / "clean_reduction.cl"
+    bad = LINT_DATA / "barrier_divergent.cl"
+    assert main(["lint", str(clean), str(bad)]) == 1
+    out = capsys.readouterr().out
+    assert f"{bad}:5:9: error[BD001]" in out
+    assert "0 error(s), 0 warning(s)" in out  # the clean file's summary
+
+
+def test_lint_directory_recurses(capsys):
+    assert main(["lint", "--json", str(LINT_DATA)]) == 1
+    data = json.loads(capsys.readouterr().out)
+    assert data["schema_version"] == 1
+    names = {d["file"] for d in data["files"]}
+    assert str(LINT_DATA / "clean_reduction.cl") in names
+    assert str(LINT_DATA / "racy_reduction.cl") in names
+    assert data["summary"]["files"] == len(data["files"])
+    assert data["summary"]["errors"] >= 1
+
+
+def test_lint_mixed_missing_and_good_exits_two(capsys):
+    assert main(["lint", str(LINT_DATA / "clean_reduction.cl"),
+                 "/nonexistent/kernel.cl"]) == 2
+    captured = capsys.readouterr()
+    assert "no such file" in captured.err
+    assert "0 error(s), 0 warning(s)" in captured.out
 
 
 def test_lint_block_gather_warns(capsys):
@@ -118,6 +148,33 @@ def test_lint_unparsable_source_exits_two(tmp_path, capsys):
     bad.write_text("float f(float x { return x; }")
     assert main(["lint", str(bad)]) == 2
     assert capsys.readouterr().err
+
+
+def test_verify_plan_builtin_pipeline(capsys):
+    assert main(["verify-plan", "--size", "2048", "--stages", "3",
+                 "--gpus", "2", "--json"]) == 0
+    data = json.loads(capsys.readouterr().out)
+    assert data["schema_version"] == 1
+    assert data["summary"]["plans"] >= 1
+    assert data["summary"]["errors"] == 0
+    assert all(p["steps"] >= 1 for p in data["plans"])
+
+
+def test_lint_graph_audits_script(tmp_path, capsys):
+    script = tmp_path / "pipeline.py"
+    script.write_text(
+        "import numpy as np\n"
+        "from repro import skelcl\n"
+        "skelcl.init(num_gpus=2)\n"
+        "m1 = skelcl.Map('float f(float x) { return x * 2.0f; }')\n"
+        "m2 = skelcl.Map('float g(float x) { return x + 1.0f; }')\n"
+        "with skelcl.deferred():\n"
+        "    v = skelcl.Vector(np.ones(512, dtype=np.float32))\n"
+        "    v = m2(m1(v))\n"
+        "assert v.to_numpy()[0] == 3.0\n")
+    assert main(["lint", "--graph", str(script)]) == 0
+    out = capsys.readouterr().out
+    assert "verified 1 plan(s): 0 error(s)" in out
 
 
 def test_graph_dump_reports_stats(capsys):
