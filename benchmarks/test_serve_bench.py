@@ -1,0 +1,144 @@
+"""Serving-layer benchmark: cross-tenant micro-batching pay-off.
+
+Eight tenants each submit a stream of small same-pipeline jobs.  The
+engine runs the workload twice — once serially (one launch per job,
+the micro-batcher disabled) and once with cross-tenant micro-batching —
+and the batched run must beat the serial one on throughput (by at
+least ``SERVE_BENCH_MIN_SPEEDUP``, default 2x) *and* on p99 latency,
+while every tenant's results stay bitwise-identical to running that
+tenant's jobs alone on a private context.  Every batched launch goes
+through the plan verifier (on by default), so the fused plans are
+proved, not assumed.
+
+Emits ``BENCH_serve.json``.
+"""
+
+import json
+import os
+import time
+from pathlib import Path
+
+import numpy as np
+
+import repro.skelcl as skelcl
+from repro import ocl
+from repro.serve import ServeConfig, ServeEngine
+from repro.skelcl.context import SkelCLContext
+
+from conftest import print_experiment
+
+TENANTS = 8
+JOBS_PER_TENANT = 24
+JOB_ITEMS = 2048
+SOURCES = ["float scale2(float x) { return x * 2.0f; }",
+           "float plus3(float x) { return x + 3.0f; }"]
+MIN_SPEEDUP = float(os.environ.get("SERVE_BENCH_MIN_SPEEDUP", "2"))
+BENCH_PATH = Path(__file__).resolve().parent.parent / "BENCH_serve.json"
+
+
+def tenant_inputs() -> dict[str, list[np.ndarray]]:
+    rng = np.random.default_rng(2026)
+    return {f"tenant-{t:02d}": [rng.random(JOB_ITEMS).astype(np.float32)
+                                for _ in range(JOBS_PER_TENANT)]
+            for t in range(TENANTS)}
+
+
+def run_alone(array: np.ndarray) -> np.ndarray:
+    """One tenant's job on its own private context — the isolation
+    reference the multi-tenant results must match bitwise."""
+    system = ocl.System(num_gpus=2)
+    ctx = SkelCLContext(
+        [d for d in system.devices if d.device_type == "GPU"])
+    vec = skelcl.Vector(array, context=ctx)
+    for source in SOURCES:
+        vec = skelcl.Map(source)(vec)
+    return vec.to_numpy()
+
+
+def run_workload(inputs, micro_batch: bool):
+    engine = ServeEngine(ServeConfig(num_gpus=2,
+                                     micro_batch=micro_batch))
+    t0 = time.perf_counter()
+    jobs = {tenant: [engine.submit(tenant, SOURCES, array)
+                     for array in arrays]
+            for tenant, arrays in inputs.items()}
+    engine.drain(timeout_s=600.0)
+    wall_s = time.perf_counter() - t0
+    return engine, jobs, wall_s
+
+
+def test_micro_batching_beats_serial():
+    inputs = tenant_inputs()
+    total_jobs = TENANTS * JOBS_PER_TENANT
+
+    serial_engine, serial_jobs, serial_wall_s = run_workload(
+        inputs, micro_batch=False)
+    batched_engine, batched_jobs, batched_wall_s = run_workload(
+        inputs, micro_batch=True)
+
+    # -- correctness: batched == serial == alone, bitwise, per tenant
+    for tenant, arrays in inputs.items():
+        reference = run_alone(arrays[0])
+        assert np.array_equal(batched_jobs[tenant][0].result, reference)
+        for serial_job, batched_job in zip(serial_jobs[tenant],
+                                           batched_jobs[tenant]):
+            assert np.array_equal(serial_job.result, batched_job.result)
+
+    # -- every batched launch carried a verified fused plan
+    assert batched_engine.stats.plans_verified \
+        == batched_engine.stats.launches > 0
+    assert batched_engine.stats.batched_jobs > 0
+    assert serial_engine.stats.launches == total_jobs
+
+    # -- performance: throughput and tail latency must both improve
+    speedup = serial_wall_s / batched_wall_s
+    serial_p99 = serial_engine.stats.percentile_ms(99)
+    batched_p99 = batched_engine.stats.percentile_ms(99)
+    assert speedup >= MIN_SPEEDUP, (
+        f"micro-batching speedup {speedup:.2f}x below the "
+        f"{MIN_SPEEDUP}x gate")
+    assert batched_p99 < serial_p99, (
+        f"batched p99 {batched_p99:.1f} ms did not beat serial "
+        f"{serial_p99:.1f} ms")
+
+    record = {
+        "tenants": TENANTS,
+        "jobs_per_tenant": JOBS_PER_TENANT,
+        "job_items": JOB_ITEMS,
+        "serial": {
+            "wall_s": round(serial_wall_s, 4),
+            "launches": serial_engine.stats.launches,
+            "jobs_per_s": round(total_jobs / serial_wall_s, 1),
+            "p50_ms": round(serial_engine.stats.percentile_ms(50), 3),
+            "p99_ms": round(serial_p99, 3),
+        },
+        "batched": {
+            "wall_s": round(batched_wall_s, 4),
+            "launches": batched_engine.stats.launches,
+            "batched_jobs": batched_engine.stats.batched_jobs,
+            "plans_verified": batched_engine.stats.plans_verified,
+            "jobs_per_s": round(total_jobs / batched_wall_s, 1),
+            "p50_ms": round(batched_engine.stats.percentile_ms(50), 3),
+            "p99_ms": round(batched_p99, 3),
+        },
+        "speedup": round(speedup, 2),
+        "min_speedup_gate": MIN_SPEEDUP,
+        "bitwise_identical": True,
+    }
+    BENCH_PATH.write_text(json.dumps(record, indent=2) + "\n")
+
+    print_experiment(
+        "serving layer: cross-tenant micro-batching vs serial",
+        f"workload               {TENANTS} tenants x "
+        f"{JOBS_PER_TENANT} jobs x {JOB_ITEMS} items\n"
+        f"serial                 {serial_wall_s * 1e3:8.1f} ms in "
+        f"{serial_engine.stats.launches} launches "
+        f"(p99 {serial_p99:7.1f} ms)\n"
+        f"batched                {batched_wall_s * 1e3:8.1f} ms in "
+        f"{batched_engine.stats.launches} launches "
+        f"(p99 {batched_p99:7.1f} ms)\n"
+        f"speedup                {speedup:8.2f} x "
+        f"(gate: {MIN_SPEEDUP}x)\n"
+        f"plans verified         {batched_engine.stats.plans_verified}"
+        f"/{batched_engine.stats.launches}\n"
+        f"results                bitwise-identical per tenant")

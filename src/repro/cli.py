@@ -509,6 +509,7 @@ def _memory_report(ctx) -> str | None:
     so the caller can exit non-zero instead of printing empty tables.
     """
     from repro import ocl
+    from repro.util.tables import format_table
 
     s = ctx.context.memory_stats.snapshot()
     has_rows = any(row["uploads"] or row["downloads"]
@@ -528,19 +529,19 @@ def _memory_report(ctx) -> str | None:
         f"copy-on-write: {s['cow_copies']} materializations "
         f"({s['cow_bytes']:,} bytes)",
         "",
-        f"{'vector':>6} {'size':>10} {'dtype':>10} {'dist':>6} "
-        f"{'up':>4} {'down':>5} {'elided':>7} {'charged B':>13} "
-        f"{'moved B':>13}",
     ]
+    table_rows = []
     for row in ctx.vector_stats():
         if not (row["uploads"] or row["downloads"]):
             continue
-        elided = row["uploads_elided"] + row["downloads_elided"]
-        lines.append(
-            f"{row['vector']:>6} {row['size']:>10} {row['dtype']:>10} "
-            f"{row['distribution']:>6} {row['uploads']:>4} "
-            f"{row['downloads']:>5} {elided:>7} "
-            f"{row['bytes_charged']:>13,} {row['bytes_moved']:>13,}")
+        table_rows.append([
+            row["vector"], row["size"], row["dtype"],
+            row["distribution"], row["uploads"], row["downloads"],
+            row["uploads_elided"] + row["downloads_elided"],
+            f"{row['bytes_charged']:,}", f"{row['bytes_moved']:,}"])
+    lines.append(format_table(
+        ["vector", "size", "dtype", "dist", "up", "down", "elided",
+         "charged B", "moved B"], table_rows))
     return "\n".join(lines)
 
 
@@ -551,12 +552,84 @@ def _no_data(report: str) -> int:
     return 1
 
 
+def _serve_profile(args) -> int:
+    """``repro profile --serve``: synthetic multi-tenant load through a
+    real server, reporting queue depths and latency percentiles."""
+    import json
+    import threading
+    import time
+
+    from repro.serve import (ServeClient, ServeConfig, serve_in_thread,
+                             serve_table)
+
+    sources = ["float scale2(float x) { return x * 2.0f; }",
+               "float plus3(float x) { return x + 3.0f; }"]
+    config = ServeConfig(num_gpus=args.gpus,
+                         micro_batch=not args.no_batch)
+    rng = np.random.default_rng(0)
+    inputs = {f"tenant-{t:02d}": [
+        rng.random(args.job_items).astype(np.float32)
+        for _ in range(args.jobs_per_tenant)]
+        for t in range(args.tenants)}
+    errors: list[str] = []
+    started = time.monotonic()
+    with serve_in_thread(config=config) as server:
+        def run_tenant(tenant: str) -> None:
+            try:
+                with ServeClient("127.0.0.1", server.port,
+                                 tenant) as client:
+                    ids = [client.submit(sources, arr)
+                           for arr in inputs[tenant]]
+                    for job_id in ids:
+                        client.result(job_id, timeout_s=60.0)
+            except Exception as exc:  # surfaced after the join below
+                errors.append(f"{tenant}: {exc}")
+
+        threads = [threading.Thread(target=run_tenant, args=(t,))
+                   for t in inputs]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=120.0)
+        elapsed = time.monotonic() - started
+        stats = server.engine.stats
+        snapshot = server.engine.snapshot()
+        snapshot["sessions"] = server.sessions.snapshot()
+    for error in errors:
+        print(f"profile: tenant failed: {error}", file=sys.stderr)
+    total_jobs = args.tenants * args.jobs_per_tenant
+    print(f"serve: {args.tenants} tenant(s) x {args.jobs_per_tenant} "
+          f"job(s) x {args.job_items} items, micro-batching "
+          f"{'on' if config.micro_batch else 'off'}")
+    print(f"  wall time:      {elapsed:.3f} s "
+          f"({total_jobs / elapsed:.1f} jobs/s)")
+    print(f"  launches:       {stats.launches} "
+          f"({stats.batched_jobs} job(s) shared a launch)")
+    print(f"  plans verified: {stats.plans_verified}")
+    print(f"  p50/p95/p99:    {stats.percentile_ms(50):.2f} / "
+          f"{stats.percentile_ms(95):.2f} / "
+          f"{stats.percentile_ms(99):.2f} ms")
+    print(serve_table(stats))
+    if args.report:
+        snapshot["wall_s"] = elapsed
+        snapshot["jobs_per_s"] = total_jobs / elapsed
+        with open(args.report, "w") as fh:
+            json.dump(snapshot, fh, indent=2)
+        print(f"wrote {args.report}")
+    if errors:
+        return 1
+    return 0 if stats.completed == total_jobs else 1
+
+
 def _cmd_profile(args) -> int:
     from contextlib import ExitStack
 
     from repro import skelcl
     from repro.util.profiling import breakdown_report, utilization_report
     from repro.util.trace import export_chrome_trace
+
+    if args.serve:
+        return _serve_profile(args)
 
     rng = np.random.default_rng(0)
     with ExitStack() as stack:
@@ -728,11 +801,16 @@ def _cmd_cluster_status(args) -> int:
                                     rank=index, timeout_s=args.timeout,
                                     retries=0)
             info = conn.ping()
+            age = conn.stats.heartbeat_age_s
             conn.close()
             print(f"{address}: rank {info.get('rank')} pid "
                   f"{info.get('pid')} — {info.get('commands', 0)} "
                   f"command(s), {info.get('buffers', 0)} buffer(s), "
-                  f"{info.get('programs', 0)} program(s)")
+                  f"{info.get('programs', 0)} program(s), "
+                  f"queue depth {conn.stats.queue_depth}, "
+                  f"idle {info.get('idle_s', 0.0):.1f} s, "
+                  f"heartbeat age "
+                  f"{'never' if age is None else f'{age:.1f} s'}")
         except (ClusterError, OSError, ValueError) as exc:
             print(f"{address}: unreachable ({exc})", file=sys.stderr)
             failures += 1
@@ -743,6 +821,80 @@ def _cmd_cluster(args) -> int:
     handlers = {"serve": _cmd_cluster_serve, "run": _cmd_cluster_run,
                 "status": _cmd_cluster_status}
     return handlers[args.cluster_command](args)
+
+
+def _cmd_serve_start(args) -> int:
+    """Run the multi-tenant serve server in the foreground."""
+    import asyncio
+
+    from repro.serve import ServeConfig, ServeEngine, ServeServer
+
+    config = ServeConfig(num_gpus=args.gpus,
+                         micro_batch=not args.no_batch,
+                         max_queue_jobs=args.max_queue_jobs,
+                         max_total_jobs=args.max_total_jobs,
+                         max_batch_jobs=args.max_batch_jobs)
+    engine = ServeEngine(config)
+    engine.start()
+    server = ServeServer(engine, args.host, args.port)
+
+    async def main() -> None:
+        port = await server.start()
+        print(f"REPRO_SERVE PORT={port}", flush=True)
+        await server.serve_forever()
+
+    try:
+        asyncio.run(main())
+    except KeyboardInterrupt:
+        pass
+    finally:
+        engine.stop()
+    return 0
+
+
+def _cmd_serve_status(args) -> int:
+    """One STATS round-trip against a running serve server."""
+    from repro.cluster import wire
+    from repro.cluster.client import WorkerConnection
+    from repro.errors import ReproError
+    from repro.util.tables import format_table
+
+    host, _, port = args.address.rpartition(":")
+    try:
+        conn = WorkerConnection(host or "127.0.0.1", int(port), rank=0,
+                                timeout_s=args.timeout, retries=0)
+        snapshot, _ = conn.request(wire.Op.STATS)
+        conn.close()
+    except (ReproError, OSError, ValueError) as exc:
+        print(f"{args.address}: unreachable ({exc})", file=sys.stderr)
+        return 1
+    stats = snapshot.get("stats", {})
+    sessions = snapshot.get("sessions", {})
+    print(f"{args.address}: {snapshot.get('queued', 0)} job(s) queued, "
+          f"{sessions.get('active', 0)} session(s) active "
+          f"({sessions.get('dirty_disconnects', 0)} dirty "
+          f"disconnect(s))")
+    print(f"  launches: {stats.get('launches', 0)}, batched jobs: "
+          f"{stats.get('batched_jobs', 0)}, plans verified: "
+          f"{stats.get('plans_verified', 0)}")
+    print(f"  p50/p95/p99: {stats.get('p50_ms', 0.0):.2f} / "
+          f"{stats.get('p95_ms', 0.0):.2f} / "
+          f"{stats.get('p99_ms', 0.0):.2f} ms")
+    tenants = stats.get("tenants", {})
+    if tenants:
+        rows = [[name, t.get("submitted", 0), t.get("rejected", 0),
+                 t.get("completed", 0), t.get("max_queue_depth", 0),
+                 f"{t.get('p99_ms', 0.0):.2f}"]
+                for name, t in sorted(tenants.items())]
+        print(format_table(
+            ["tenant", "submit", "reject", "done", "max queue",
+             "p99 ms"], rows))
+    return 0
+
+
+def _cmd_serve(args) -> int:
+    handlers = {"start": _cmd_serve_start, "status": _cmd_serve_status}
+    return handlers[args.serve_command](args)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -858,6 +1010,20 @@ def build_parser() -> argparse.ArgumentParser:
                         "cluster and report per-node wire statistics")
     p.add_argument("--workers", type=int, default=2,
                    help="worker processes for --cluster")
+    p.add_argument("--serve", action="store_true",
+                   help="drive a multi-tenant serve server with "
+                        "synthetic clients and report queue-depth and "
+                        "latency-percentile metrics")
+    p.add_argument("--tenants", type=int, default=8,
+                   help="concurrent synthetic tenants for --serve")
+    p.add_argument("--jobs-per-tenant", type=int, default=12,
+                   help="jobs each synthetic tenant submits (--serve)")
+    p.add_argument("--job-items", type=int, default=2048,
+                   help="elements per serve job (--serve)")
+    p.add_argument("--no-batch", action="store_true",
+                   help="disable cross-tenant micro-batching (--serve)")
+    p.add_argument("--report", metavar="FILE",
+                   help="write the --serve snapshot as JSON")
     p.add_argument("--trace", metavar="FILE",
                    help="write the virtual timeline as a Chrome trace")
     p.set_defaults(fn=_cmd_profile)
@@ -890,6 +1056,29 @@ def build_parser() -> argparse.ArgumentParser:
     q.add_argument("address", nargs="+", metavar="HOST:PORT")
     q.add_argument("--timeout", type=float, default=2.0)
     p.set_defaults(fn=_cmd_cluster)
+
+    p = sub.add_parser(
+        "serve", help="multi-tenant serving layer (docs/serving.md)")
+    serve_sub = p.add_subparsers(dest="serve_command", required=True)
+    q = serve_sub.add_parser(
+        "start", help="run the serve server in the foreground")
+    q.add_argument("--host", default="127.0.0.1")
+    q.add_argument("--port", type=int, default=0,
+                   help="TCP port (0 = ephemeral, announced on stdout)")
+    q.add_argument("--gpus", type=int, default=2)
+    q.add_argument("--no-batch", action="store_true",
+                   help="disable cross-tenant micro-batching")
+    q.add_argument("--max-queue-jobs", type=int, default=64,
+                   help="per-tenant admission bound")
+    q.add_argument("--max-total-jobs", type=int, default=1024,
+                   help="global admission bound")
+    q.add_argument("--max-batch-jobs", type=int, default=32,
+                   help="jobs merged into one launch at most")
+    q = serve_sub.add_parser(
+        "status", help="query a running serve server")
+    q.add_argument("address", metavar="HOST:PORT")
+    q.add_argument("--timeout", type=float, default=2.0)
+    p.set_defaults(fn=_cmd_serve)
     return parser
 
 

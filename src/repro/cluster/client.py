@@ -16,13 +16,14 @@ from __future__ import annotations
 import os
 import random
 import socket
+import threading
 import time
 
 from repro.cluster import wire
 from repro.cluster.faults import FaultPlan
 from repro.cluster.stats import ClusterStats
-from repro.errors import (RemoteExecutionError, WireFormatError,
-                          WorkerDiedError)
+from repro.errors import (RemoteExecutionError, ReproError,
+                          WireFormatError, WorkerDiedError)
 
 #: per-request reply timeout (seconds); override with
 #: ``REPRO_CLUSTER_TIMEOUT``
@@ -35,6 +36,9 @@ DEFAULT_RETRIES = 3
 #: exponential backoff between retries: BACKOFF_BASE_S * 2**attempt
 BACKOFF_BASE_S = 0.05
 BACKOFF_CAP_S = 1.0
+
+#: default idle interval before the keepalive loop pings (seconds)
+DEFAULT_KEEPALIVE_S = 30.0
 
 
 def _env_float(name: str, default: float) -> float:
@@ -73,6 +77,12 @@ class WorkerConnection:
         self._drop_rng = random.Random(0xD209 + rank)
         self._sock: socket.socket | None = None
         self._seq = 0
+        # requests are serialized: the keepalive thread and the owner
+        # thread share one socket and one sequence-number stream
+        self._lock = threading.RLock()
+        self._last_activity = time.monotonic()
+        self._keepalive_thread: threading.Thread | None = None
+        self._keepalive_stop = threading.Event()
 
     # -- connection management ---------------------------------------------------
 
@@ -108,7 +118,32 @@ class WorkerConnection:
         ERROR frame, :class:`WorkerDiedError` once retries and one
         reconnect are exhausted.
         """
-        self.connect()
+        _rop, rmeta, rpayload = self.request_op(op, meta, payload,
+                                                timeout_s)
+        return rmeta, rpayload
+
+    def request_op(self, op: int, meta: dict | None = None,
+                   payload: bytes = b"",
+                   timeout_s: float | None = None
+                   ) -> tuple[int, dict, bytes]:
+        """Like :meth:`request`, but also returns the reply opcode.
+
+        The serving layer distinguishes OK / RESULT / BUSY replies by
+        opcode; the worker protocol only ever answers OK or ERROR, so
+        :meth:`request` drops it.
+        """
+        with self._lock:
+            return self._request_locked(op, meta, payload, timeout_s)
+
+    def _request_locked(self, op: int, meta: dict | None,
+                        payload: bytes,
+                        timeout_s: float | None) -> tuple[int, dict, bytes]:
+        try:
+            self.connect()
+        except OSError as exc:
+            raise WorkerDiedError(
+                f"worker {self.rank} at {self.host}:{self.port} is "
+                f"unreachable ({exc})", rank=self.rank) from exc
         self._seq = (self._seq + 1) & 0xFFFFFFFF
         seq = self._seq
         timeout = timeout_s if timeout_s is not None else self.timeout_s
@@ -132,6 +167,10 @@ class WorkerConnection:
                 last_error = exc
                 continue
             except (OSError, WireFormatError) as exc:
+                # a clean EOF (peer half-closed an idle connection) and
+                # a corrupt frame both land here: re-establish the
+                # connection once and resend under the same seq (the
+                # worker's reply cache deduplicates)
                 last_error = exc
                 if reconnected:
                     break
@@ -146,12 +185,17 @@ class WorkerConnection:
                 continue
             rop, rmeta, rpayload = reply
             self.stats.record_rtt(time.monotonic() - started)
+            self._last_activity = time.monotonic()
             if rop == wire.Op.ERROR:
                 raise RemoteExecutionError(
                     f"worker {self.rank}: {rmeta.get('error', 'unknown')}",
                     kind=rmeta.get("kind", ""))
-            return rmeta, rpayload
+            return rop, rmeta, rpayload
         self.close()
+        if isinstance(last_error, wire.ConnectionClosedError):
+            raise WorkerDiedError(
+                f"worker {self.rank} at {self.host}:{self.port} closed "
+                "the connection", rank=self.rank)
         raise WorkerDiedError(
             f"worker {self.rank} at {self.host}:{self.port} stopped "
             f"responding ({last_error})", rank=self.rank)
@@ -185,9 +229,62 @@ class WorkerConnection:
             return rop, rmeta, rpayload
 
     def ping(self, timeout_s: float | None = None) -> dict:
-        """Liveness probe; returns the worker's stats snapshot."""
+        """Liveness probe; returns the worker's stats snapshot.
+
+        Also folds the worker's self-reported queue depth and this
+        heartbeat's timestamp into :attr:`stats`, so `repro cluster
+        status` can show per-worker backlog and heartbeat age.
+        """
         meta, _ = self.request(wire.Op.PING, timeout_s=timeout_s)
+        self.stats.pings += 1
+        self.stats.queue_depth = int(meta.get("queue_depth", 0))
+        self.stats.last_heartbeat_s = time.monotonic()
         return meta
+
+    # -- keepalive ---------------------------------------------------------------
+
+    def start_keepalive(self,
+                        interval_s: float = DEFAULT_KEEPALIVE_S) -> None:
+        """Ping the worker whenever the connection sits idle.
+
+        Long-lived serve sessions can go quiet for minutes; NAT boxes
+        and the worker's own idle accounting both benefit from a
+        periodic heartbeat, and a dead peer is noticed between real
+        requests instead of on the next one.  Idempotent; the loop is a
+        daemon thread and shares the request lock, so it can never
+        interleave with an in-flight request.
+        """
+        if (self._keepalive_thread is not None
+                and self._keepalive_thread.is_alive()):
+            return
+        self._keepalive_stop.clear()
+        interval = max(interval_s, 0.01)
+
+        def loop() -> None:
+            poll = min(interval / 4.0, 1.0)
+            while not self._keepalive_stop.wait(poll):
+                idle = time.monotonic() - self._last_activity
+                if idle < interval:
+                    continue
+                try:
+                    self.ping(timeout_s=self.timeout_s)
+                except (ReproError, OSError):
+                    # the next real request will retry/reconnect and
+                    # report the failure with full context
+                    pass
+
+        thread = threading.Thread(
+            target=loop, name=f"keepalive-w{self.rank}", daemon=True)
+        self._keepalive_thread = thread
+        thread.start()
+
+    def stop_keepalive(self) -> None:
+        """Stop the keepalive loop (no-op if never started)."""
+        self._keepalive_stop.set()
+        thread = self._keepalive_thread
+        self._keepalive_thread = None
+        if thread is not None and thread is not threading.current_thread():
+            thread.join(timeout=5.0)
 
     def __repr__(self) -> str:
         return (f"<WorkerConnection rank={self.rank} "

@@ -9,7 +9,8 @@ measured wall-clock round-trip times.  Surfaced by
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import time
+from dataclasses import dataclass
 
 
 @dataclass
@@ -29,6 +30,9 @@ class ClusterStats:
     rtt_max_s: float = 0.0
     rtt_count: int = 0
     resharded: bool = False
+    pings: int = 0
+    queue_depth: int = 0       # worker-reported backlog at last PING
+    last_heartbeat_s: float = 0.0  # time.monotonic() of last PING reply
 
     def record_rtt(self, seconds: float) -> None:
         self.rtt_total_s += seconds
@@ -40,7 +44,15 @@ class ClusterStats:
     def rtt_mean_s(self) -> float:
         return self.rtt_total_s / self.rtt_count if self.rtt_count else 0.0
 
+    @property
+    def heartbeat_age_s(self) -> float | None:
+        """Seconds since the last successful PING (None if never)."""
+        if not self.last_heartbeat_s:
+            return None
+        return time.monotonic() - self.last_heartbeat_s
+
     def as_dict(self) -> dict:
+        age = self.heartbeat_age_s
         return {
             "rank": self.rank,
             "frames_sent": self.frames_sent,
@@ -54,6 +66,9 @@ class ClusterStats:
             "rtt_mean_ms": self.rtt_mean_s * 1e3,
             "rtt_max_ms": self.rtt_max_s * 1e3,
             "resharded": self.resharded,
+            "pings": self.pings,
+            "queue_depth": self.queue_depth,
+            "heartbeat_age_s": age,
         }
 
 
@@ -62,13 +77,17 @@ def stats_table(all_stats: list[ClusterStats]) -> str:
     from repro.util.tables import format_table
     rows = []
     for s in sorted(all_stats, key=lambda s: s.rank):
+        age = s.heartbeat_age_s
         rows.append([
             s.rank, s.frames_sent, s.frames_received,
             f"{s.bytes_sent / 1e6:.2f} MB", f"{s.bytes_received / 1e6:.2f} MB",
             s.retries, s.frames_dropped,
             f"{s.rtt_mean_s * 1e3:.3f} ms",
+            s.queue_depth,
+            "never" if age is None else f"{age:.1f} s",
             "yes" if s.resharded else "no",
         ])
     return format_table(
         ["rank", "frames tx", "frames rx", "bytes tx", "bytes rx",
-         "retries", "dropped", "mean rtt", "resharded"], rows)
+         "retries", "dropped", "mean rtt", "queue", "hb age",
+         "resharded"], rows)

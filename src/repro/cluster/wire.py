@@ -70,6 +70,16 @@ class Op(IntEnum):
     PING = 10      # liveness + stats snapshot
     SHUTDOWN = 11  # orderly worker exit
 
+    # -- serving layer (repro.serve; docs/serving.md) -----------------
+    SUBMIT = 12    # payload = input bytes; meta = {tenant, sources,
+                   #   dtype, deadline_s?} -> OK {job} | BUSY
+    POLL = 13      # meta = {tenant, job} -> OK {job, status, ...}
+    RESULT = 14    # meta = {tenant, job}; done -> RESULT + payload,
+                   #   else OK {status} (keep polling)
+    CANCEL = 15    # meta = {tenant, job} -> OK {cancelled, status}
+    STATS = 16     # -> OK with the server's full stats snapshot
+    BUSY = 17      # admission rejection: {retry_after_s, error}
+
 
 class TruncatedFrameError(WireFormatError):
     """The stream ended in the middle of a frame."""
@@ -107,8 +117,14 @@ def decode_header(raw: bytes) -> tuple[int, int, int, int]:
     if len(raw) < FRAME_HEADER_BYTES:
         raise TruncatedFrameError(
             f"header truncated: {len(raw)} of {FRAME_HEADER_BYTES} bytes")
-    magic, op, seq, meta_len, payload_len = HEADER.unpack(
-        raw[:FRAME_HEADER_BYTES])
+    try:
+        magic, op, seq, meta_len, payload_len = HEADER.unpack(
+            raw[:FRAME_HEADER_BYTES])
+    except struct.error as exc:
+        # a half-closed or corrupted stream must surface as a wire
+        # error the retry/reconnect machinery understands, never as a
+        # bare struct.error
+        raise WireFormatError(f"undecodable frame header: {exc}") from exc
     if magic != MAGIC:
         raise WireFormatError(
             f"bad frame magic 0x{magic:04X} (expected 0x{MAGIC:04X})")
@@ -142,15 +158,52 @@ def read_frame(read) -> tuple[int, int, dict, bytes]:
     op, seq, meta_len, payload_len = decode_header(header)
     meta_bytes = _read_exact(read, meta_len)
     payload = _read_exact(read, payload_len)
+    return op, seq, _parse_meta(meta_bytes), payload
+
+
+def _parse_meta(meta_bytes: bytes) -> dict:
+    if not meta_bytes:
+        return {}
     try:
-        meta = json.loads(meta_bytes.decode()) if meta_len else {}
+        meta = json.loads(meta_bytes.decode())
     except (UnicodeDecodeError, json.JSONDecodeError) as exc:
         raise WireFormatError(f"corrupt frame metadata: {exc}") from exc
     if not isinstance(meta, dict):
         raise WireFormatError(
             f"frame metadata must be a JSON object, got "
             f"{type(meta).__name__}")
-    return op, seq, meta, payload
+    return meta
+
+
+async def read_frame_async(reader) -> tuple[int, int, dict, bytes]:
+    """Read one frame from an ``asyncio.StreamReader``.
+
+    The async twin of :func:`read_frame`, used by the serving layer
+    (:mod:`repro.serve.server`).  A clean close at a frame boundary
+    raises :class:`ConnectionClosedError`; a stream that ends mid-frame
+    raises :class:`TruncatedFrameError` — the same graceful-EOF
+    contract as the synchronous reader, so session loops can tell an
+    orderly client disconnect from a corrupted stream.
+    """
+    import asyncio
+
+    try:
+        header = await reader.readexactly(FRAME_HEADER_BYTES)
+    except asyncio.IncompleteReadError as exc:
+        if not exc.partial:
+            raise ConnectionClosedError("connection closed") from exc
+        raise TruncatedFrameError(
+            f"header truncated: {len(exc.partial)} of "
+            f"{FRAME_HEADER_BYTES} bytes") from exc
+    op, seq, meta_len, payload_len = decode_header(header)
+    try:
+        meta_bytes = await reader.readexactly(meta_len)
+        payload = await reader.readexactly(payload_len)
+    except asyncio.IncompleteReadError as exc:
+        raise TruncatedFrameError(
+            "stream ended mid-frame after "
+            f"{len(exc.partial)} of {exc.expected} bytes") from exc
+    return op, seq, _parse_meta(meta_bytes), payload
 
 
 def decode_frame(raw: bytes) -> tuple[int, int, dict, bytes]:

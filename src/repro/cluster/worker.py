@@ -26,6 +26,7 @@ import random
 import socket
 import sys
 import threading
+import time
 from collections import OrderedDict
 from dataclasses import asdict
 
@@ -70,6 +71,11 @@ class Worker:
         self._lock = threading.Lock()
         self._stop = threading.Event()
         self._commands_served = 0
+        # commands accepted but not yet answered, across all client
+        # connections — the "queue depth" a PING reports
+        self._queued = 0
+        self._queued_lock = threading.Lock()
+        self._last_command_s = time.monotonic()
 
     # -- serving -----------------------------------------------------------------
 
@@ -112,7 +118,13 @@ class Worker:
                 if cached is not None:
                     conn.sendall(cached)
                     continue
-                raw = self._dispatch(op, seq, meta, payload)
+                with self._queued_lock:
+                    self._queued += 1
+                try:
+                    raw = self._dispatch(op, seq, meta, payload)
+                finally:
+                    with self._queued_lock:
+                        self._queued -= 1
                 replies[seq] = raw
                 while len(replies) > REPLY_CACHE_SIZE:
                     replies.popitem(last=False)
@@ -128,6 +140,8 @@ class Worker:
                   payload: bytes) -> bytes:
         with self._lock:
             self._commands_served += 1
+            if op != wire.Op.PING:
+                self._last_command_s = time.monotonic()
             try:
                 rmeta, rpayload = self._handle(op, meta, payload)
             except ReproError as exc:
@@ -169,10 +183,17 @@ class Worker:
                 queue.finish()
             return {}, b""
         if op == wire.Op.PING:
+            with self._queued_lock:
+                # the PING itself is in flight and counted; what the
+                # client cares about is the backlog *behind* it
+                depth = max(self._queued - 1, 0)
             return {"rank": self.rank, "pid": os.getpid(),
                     "commands": self._commands_served,
                     "buffers": len(self._buffers),
-                    "programs": len(self._programs)}, b""
+                    "programs": len(self._programs),
+                    "queue_depth": depth,
+                    "ndranges": self._ndrange_count,
+                    "idle_s": time.monotonic() - self._last_command_s}, b""
         if op == wire.Op.SHUTDOWN:
             return {"rank": self.rank}, b""
         raise ClusterError(f"unknown opcode {op}")

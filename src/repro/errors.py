@@ -190,3 +190,27 @@ class SanitizerError(AnalysisError):
     """The runtime sanitizer observed a buffer mutation outside the
     statically-declared effect region of the launched kernel
     (``REPRO_SANITIZE=1``)."""
+
+
+# ---------------------------------------------------------------------------
+# Serving layer (repro.serve)
+# ---------------------------------------------------------------------------
+
+class ServeError(ReproError):
+    """Base class for the multi-tenant serving layer."""
+
+
+class AdmissionRejectedError(ServeError):
+    """The server refused a job: the tenant's queue (or the server) is
+    full.  ``retry_after_s`` estimates when capacity will free up."""
+
+    def __init__(self, message: str, retry_after_s: float = 0.0,
+                 tenant: str = "") -> None:
+        super().__init__(message)
+        self.retry_after_s = retry_after_s
+        self.tenant = tenant
+
+
+class UnknownJobError(ServeError):
+    """A poll/result/cancel referenced a job id the server does not
+    hold for that tenant (wrong id, expired, or another tenant's)."""

@@ -16,6 +16,9 @@ virtual timeline, producing results bitwise-identical to eager mode.
     print(z.to_numpy())    # materialized on scope exit
 """
 
+from repro.graph.batching import (BatchedRun, merge_inputs,
+                                  pipeline_signature, run_batched,
+                                  split_outputs)
 from repro.graph.capture import (Graph, LazyVector, current_graph,
                                  deferred, evaluate)
 from repro.graph.dot import graph_to_dot
@@ -24,7 +27,8 @@ from repro.graph.passes import (Plan, PlanStep, build_plan,
                                 elide_redistributions, fuse_map_chains)
 
 __all__ = [
-    "Graph", "LazyVector", "Node", "Plan", "PlanStep", "build_plan",
-    "current_graph", "deferred", "elide_redistributions", "evaluate",
-    "fuse_map_chains", "graph_to_dot",
+    "BatchedRun", "Graph", "LazyVector", "Node", "Plan", "PlanStep",
+    "build_plan", "current_graph", "deferred", "elide_redistributions",
+    "evaluate", "fuse_map_chains", "graph_to_dot", "merge_inputs",
+    "pipeline_signature", "run_batched", "split_outputs",
 ]

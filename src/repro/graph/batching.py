@@ -1,0 +1,149 @@
+"""Cross-job micro-batching: merge isomorphic pipelines into one plan.
+
+The serving layer (:mod:`repro.serve`) receives many small independent
+jobs that run the *same* skeleton pipeline over different inputs.
+Launching each alone wastes the devices (tiny NDRanges, per-launch
+overhead); this module concatenates the inputs of isomorphic jobs into
+one vector, runs the pipeline **once** through the deferred graph
+engine (fusion + plan verification included), and splits the output
+back per job.
+
+Correctness argument (docs/serving.md): every batchable stage is an
+elementwise map, so output element *i* depends only on input element
+*i* — concatenation and slicing commute with the computation no matter
+how the scheduler splits the batched vector across devices.  The
+deferred engine is bitwise-identical to eager execution (PR 2), and
+the plan verifier (PR 6) re-proves the fused batched plan before it
+runs; ``BatchedRun.verification`` carries that report.
+
+Isomorphism is decided by :func:`pipeline_signature` — a SHA-256 over
+the *source text* of every stage plus the input dtype.  Keying by
+source hash (never by kernel name) is what keeps tenants isolated:
+two tenants submitting kernels that share a name but differ in body
+hash differently and are never merged.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import SkelClError
+
+
+def pipeline_signature(sources: Sequence[str], dtype) -> str:
+    """Identity of a pipeline: SHA-256 over stage sources + dtype.
+
+    Jobs may only be merged when their signatures are equal.  The
+    kernel *name* deliberately contributes nothing beyond being part
+    of the source text itself — identical names with different bodies
+    produce different signatures (tenant isolation), and identical
+    bodies submitted by different tenants produce the same one
+    (cross-tenant batching).
+    """
+    digest = hashlib.sha256()
+    digest.update(np.dtype(dtype).str.encode())
+    for source in sources:
+        digest.update(b"\x00stage\x00")
+        digest.update(source.encode())
+    return digest.hexdigest()
+
+
+@dataclass
+class BatchedRun:
+    """Result of one batched evaluation."""
+
+    #: per-job output arrays, in submission order
+    outputs: list[np.ndarray]
+    #: optimizer statistics of the batched plan (``graph.last_stats``)
+    plan_stats: dict = field(default_factory=dict)
+    #: the plan verifier's AnalysisReport (None only when verification
+    #: is disabled via ``REPRO_VERIFY_PLAN=0``)
+    verification: object = None
+    #: number of pipeline stages fused into single kernels
+    fused_stages: int = 0
+    #: jobs merged into this launch
+    jobs: int = 0
+    #: total elements across the batch
+    items: int = 0
+
+
+def merge_inputs(arrays: Sequence[np.ndarray]) -> tuple[np.ndarray,
+                                                        list[int]]:
+    """Concatenate job inputs; returns (batched array, per-job sizes).
+
+    Raises :class:`SkelClError` on dtype or dimensionality mismatch —
+    callers group by :func:`pipeline_signature` first, so a mismatch
+    here is a batcher bug, not user error.
+    """
+    if not arrays:
+        raise SkelClError("cannot batch zero jobs")
+    first = arrays[0]
+    for arr in arrays[1:]:
+        if arr.dtype != first.dtype:
+            raise SkelClError(
+                f"batched jobs disagree on dtype: {arr.dtype} vs "
+                f"{first.dtype}")
+        if arr.ndim != 1 or first.ndim != 1:
+            raise SkelClError("only 1-D vector jobs can be batched")
+    sizes = [int(a.shape[0]) for a in arrays]
+    return np.concatenate(list(arrays)), sizes
+
+
+def split_outputs(batched: np.ndarray,
+                  sizes: Sequence[int]) -> list[np.ndarray]:
+    """Slice a batched output back into per-job arrays (copies, so a
+    tenant's result never aliases another tenant's memory)."""
+    if int(batched.shape[0]) != sum(sizes):
+        raise SkelClError(
+            f"batched output has {batched.shape[0]} elements, jobs "
+            f"claim {sum(sizes)}")
+    outputs = []
+    offset = 0
+    for size in sizes:
+        outputs.append(batched[offset:offset + size].copy())
+        offset += size
+    return outputs
+
+
+def run_batched(ctx, skeletons: Sequence, arrays: Sequence[np.ndarray],
+                adaptive: bool = False,
+                weight_store=None) -> BatchedRun:
+    """Run one pipeline over the concatenation of many job inputs.
+
+    Args:
+        ctx: the :class:`SkelCLContext` to execute on (the serve
+            engine owns a private one; the global default is never
+            touched).
+        skeletons: the pipeline's stages, applied in order.  Each must
+            be a unary skeleton (Map) — the elementwise property is
+            what makes batching sound.
+        arrays: one 1-D input per job, all the same dtype.
+        adaptive: forwarders to the deferred engine's adaptive
+            scheduling.
+        weight_store: persistent per-kernel weights
+            (:class:`repro.sched.WeightStore`).
+
+    Returns:
+        :class:`BatchedRun` with per-job outputs in input order.
+    """
+    from repro.graph.capture import deferred
+    from repro.skelcl.vector import Vector
+
+    batched_in, sizes = merge_inputs(arrays)
+    with deferred(context=ctx, adaptive=adaptive,
+                  weight_store=weight_store) as graph:
+        vec = Vector(batched_in, context=ctx)
+        for skeleton in skeletons:
+            vec = skeleton(vec)
+    out = vec.to_numpy()
+    stats = dict(graph.last_stats)
+    return BatchedRun(outputs=split_outputs(out, sizes),
+                      plan_stats=stats,
+                      verification=graph.last_verification,
+                      fused_stages=int(stats.get("fused_stages", 0)),
+                      jobs=len(arrays),
+                      items=int(batched_in.shape[0]))

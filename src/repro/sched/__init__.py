@@ -1,6 +1,7 @@
 """Static scheduling for heterogeneous devices (paper Section V)."""
 
 from repro.sched.adaptive import AdaptiveScheduler, WeightStore
+from repro.sched.fair import DeficitRoundRobin
 from repro.sched.measure import measure_map_seconds_per_item, static_cost
 from repro.sched.perf_model import (UserFunctionCost, predict_map,
                                     predict_reduce_final,
@@ -20,4 +21,5 @@ __all__ = [
     "weighted_block_distribution", "network_capped_throughput",
     "choose_reduce_final_device",
     "makespan_of_partition", "AdaptiveScheduler", "WeightStore",
+    "DeficitRoundRobin",
 ]

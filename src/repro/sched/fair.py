@@ -1,0 +1,170 @@
+"""Cross-tenant fairness: weighted deficit round-robin (DRR).
+
+The serving layer (:mod:`repro.serve`) multiplexes many tenants onto
+one set of devices.  Admission control bounds each tenant's backlog;
+this module decides *whose* queued jobs the next scheduling round
+drains, and how many.
+
+Classic deficit round-robin [Shreedhar & Varghese '96], weighted:
+every round each backlogged tenant's deficit counter grows by
+``quantum_items * weight`` (weights normalized so the largest active
+weight gets the full quantum), then jobs are taken from the head of
+that tenant's queue while the deficit covers their cost (items).  A
+tenant whose queue drains forfeits its leftover deficit — idle tenants
+cannot bank credit and later starve the rest.
+
+Weights adapt the same way the device-level
+:class:`~repro.sched.adaptive.AdaptiveScheduler` refines its split:
+an exponential moving average over observed throughput
+(``items / second``), so tenants whose jobs are cheap per item are not
+penalized for submitting many of them.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Mapping, Sequence
+
+from repro.errors import SchedulerError
+
+#: deficit added per round to the heaviest-weighted backlogged tenant
+DEFAULT_QUANTUM_ITEMS = 4096
+
+
+class DeficitRoundRobin:
+    """Weighted DRR over per-tenant job queues.
+
+    Args:
+        quantum_items: items of service credit granted per round to a
+            tenant with the maximum weight.
+        smoothing: EMA factor for :meth:`observe` in (0, 1], identical
+            in meaning to :class:`AdaptiveScheduler`'s.
+    """
+
+    def __init__(self, quantum_items: int = DEFAULT_QUANTUM_ITEMS,
+                 smoothing: float = 0.5) -> None:
+        if quantum_items <= 0:
+            raise SchedulerError(
+                f"invalid DRR quantum {quantum_items}")
+        if not 0.0 < smoothing <= 1.0:
+            raise SchedulerError(f"invalid smoothing {smoothing}")
+        self.quantum_items = quantum_items
+        self.smoothing = smoothing
+        self._weights: dict[Hashable, float] = {}
+        self._deficits: dict[Hashable, float] = {}
+        self.rounds = 0
+
+    # -- weights -----------------------------------------------------------------
+
+    def ensure(self, tenant: Hashable) -> None:
+        """Register *tenant* with a neutral weight (idempotent)."""
+        self._weights.setdefault(tenant, 1.0)
+        self._deficits.setdefault(tenant, 0.0)
+
+    def set_weight(self, tenant: Hashable, weight: float) -> None:
+        """Pin a tenant's weight (e.g. a paid tier); must be > 0."""
+        if weight <= 0:
+            raise SchedulerError(
+                f"tenant weight must be positive, got {weight}")
+        self.ensure(tenant)
+        self._weights[tenant] = float(weight)
+
+    def weight(self, tenant: Hashable) -> float:
+        return self._weights.get(tenant, 1.0)
+
+    def observe(self, tenant: Hashable, items: int,
+                seconds: float) -> None:
+        """Fold one completed execution's measured throughput into the
+        tenant's weight (EMA, same smoothing semantics as the adaptive
+        device scheduler)."""
+        if items <= 0 or seconds <= 0:
+            return
+        self.ensure(tenant)
+        measured = items / seconds
+        self._weights[tenant] = (
+            (1 - self.smoothing) * self._weights[tenant]
+            + self.smoothing * measured)
+
+    # -- scheduling --------------------------------------------------------------
+
+    def pick_round(self, backlog: Mapping[Hashable, Sequence[int]],
+                   max_jobs: int | None = None,
+                   max_items: int | None = None
+                   ) -> dict[Hashable, int]:
+        """One DRR round over *backlog*.
+
+        Args:
+            backlog: tenant -> per-job costs (items), in queue order.
+            max_jobs: overall cap on jobs picked this round.
+            max_items: overall cap on summed item cost this round.
+
+        Returns:
+            tenant -> number of jobs to take from the *head* of that
+            tenant's queue.  Tenants are visited in sorted order so a
+            given backlog always yields the same round (determinism).
+        """
+        active = {t: costs for t, costs in backlog.items() if costs}
+        # credit for tenants that went quiet is dropped (DRR forbids
+        # banking while idle) — but debt from an oversized admission
+        # is never forgiven
+        for tenant in list(self._deficits):
+            if tenant not in active:
+                self._deficits[tenant] = min(self._deficits[tenant],
+                                             0.0)
+        if not active:
+            return {}
+        for tenant in active:
+            self.ensure(tenant)
+        max_weight = max(self._weights[t] for t in active)
+        picked: dict[Hashable, int] = {}
+        jobs_left = max_jobs if max_jobs is not None else float("inf")
+        items_left = max_items if max_items is not None else float("inf")
+        total_taken = 0
+        self.rounds += 1
+        for tenant in sorted(active, key=str):
+            share = self._weights[tenant] / max_weight
+            balance_before = self._deficits[tenant]
+            self._deficits[tenant] += self.quantum_items * share
+            take = 0
+            for cost in active[tenant]:
+                cost = max(int(cost), 1)
+                if jobs_left <= 0:
+                    break
+                # max_items is a hard cap — but the round's very first
+                # job always goes through, so a job bigger than the
+                # cap cannot stall the server
+                if cost > items_left and total_taken > 0:
+                    break
+                if self._deficits[tenant] < cost:
+                    # a head-of-line job bigger than the whole quantum
+                    # is admitted alone, overdrawing the balance — it
+                    # must not wait for credit that drained queues
+                    # forfeit.  The debt is repaid before the tenant's
+                    # next oversized admission (balance_before >= 0).
+                    oversized = (take == 0
+                                 and cost > self.quantum_items * share
+                                 and balance_before >= 0)
+                    if not oversized:
+                        break
+                self._deficits[tenant] -= cost
+                take += 1
+                total_taken += 1
+                jobs_left -= 1
+                items_left -= cost
+            if take:
+                picked[tenant] = take
+                if take == len(active[tenant]):
+                    # queue drained: forfeit leftover credit (debt,
+                    # if any, carries)
+                    self._deficits[tenant] = min(
+                        self._deficits[tenant], 0.0)
+        return picked
+
+    def snapshot(self) -> dict:
+        """Weights and deficits for ``repro serve status``."""
+        return {"rounds": self.rounds,
+                "weights": {str(t): w
+                            for t, w in sorted(self._weights.items(),
+                                               key=lambda kv: str(kv[0]))},
+                "deficits": {str(t): d
+                             for t, d in sorted(self._deficits.items(),
+                                                key=lambda kv: str(kv[0]))}}

@@ -1,0 +1,35 @@
+"""Multi-tenant serving layer with cross-tenant micro-batching.
+
+The production front door for the skeleton runtime (docs/serving.md):
+a long-running asyncio service that accepts pipeline jobs from many
+independent tenants, admission-controls them (bounded per-tenant
+queues, reject-with-retry-after), schedules fairly across tenants
+(weighted deficit round-robin), and merges small same-signature jobs
+across tenants into single fused, verified NDRange launches.
+
+    from repro.serve import ServeConfig, ServeClient, serve_in_thread
+
+    with serve_in_thread(config=ServeConfig(num_gpus=2)) as server:
+        with ServeClient("127.0.0.1", server.port, "tenant-a") as c:
+            job = c.submit(["float f(float x) { return 2.0f*x; }"],
+                           xs)
+            ys = c.result(job)
+"""
+
+import repro.skelcl  # noqa: F401 -- break the graph<->skelcl import cycle
+
+from repro.serve.admission import AdmissionController
+from repro.serve.batcher import Batcher
+from repro.serve.client import ServeClient
+from repro.serve.engine import ServeConfig, ServeEngine
+from repro.serve.job import Job, JobStatus
+from repro.serve.metrics import ServeStats, TenantStats, serve_table
+from repro.serve.server import ServeServer, serve_in_thread
+from repro.serve.session import Session, SessionRegistry
+
+__all__ = [
+    "AdmissionController", "Batcher", "Job", "JobStatus",
+    "ServeClient", "ServeConfig", "ServeEngine", "ServeServer",
+    "ServeStats", "Session", "SessionRegistry", "TenantStats",
+    "serve_in_thread", "serve_table",
+]

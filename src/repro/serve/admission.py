@@ -1,0 +1,60 @@
+"""Admission control: bounded queues, reject-don't-buffer on overload.
+
+A production service protects itself by refusing work it cannot hold:
+each tenant gets a bounded queue (no single tenant can fill the
+server), and a global bound caps total buffered work.  A rejected
+submit carries a ``retry_after_s`` estimate derived from the backlog
+ahead of the tenant and the observed mean service time, so clients can
+back off intelligently instead of hammering the server.
+"""
+
+from __future__ import annotations
+
+from repro.errors import AdmissionRejectedError, ServeError
+
+#: fallback service-time estimate before anything has completed
+DEFAULT_SERVICE_ESTIMATE_S = 0.05
+
+
+class AdmissionController:
+    """Decides whether a submit is allowed to enter the queues."""
+
+    def __init__(self, max_queue_jobs: int = 64,
+                 max_total_jobs: int = 1024) -> None:
+        if max_queue_jobs <= 0 or max_total_jobs <= 0:
+            raise ServeError(
+                "admission bounds must be positive, got "
+                f"per-tenant {max_queue_jobs}, total {max_total_jobs}")
+        self.max_queue_jobs = max_queue_jobs
+        self.max_total_jobs = max_total_jobs
+
+    def check(self, tenant: str, tenant_depth: int, total_depth: int,
+              mean_service_s: float = 0.0) -> None:
+        """Raise :class:`AdmissionRejectedError` if the job must not
+        be queued; return silently if it may.
+
+        Args:
+            tenant: submitting tenant (for the error message).
+            tenant_depth: jobs the tenant already has queued.
+            total_depth: jobs queued across all tenants.
+            mean_service_s: observed mean seconds per completed job
+                (0 → use a conservative default).
+        """
+        service = mean_service_s or DEFAULT_SERVICE_ESTIMATE_S
+        if tenant_depth >= self.max_queue_jobs:
+            raise AdmissionRejectedError(
+                f"tenant {tenant!r} queue is full "
+                f"({tenant_depth}/{self.max_queue_jobs} jobs)",
+                retry_after_s=self.retry_after(tenant_depth, service),
+                tenant=tenant)
+        if total_depth >= self.max_total_jobs:
+            raise AdmissionRejectedError(
+                f"server is at capacity ({total_depth}/"
+                f"{self.max_total_jobs} queued jobs)",
+                retry_after_s=self.retry_after(total_depth, service),
+                tenant=tenant)
+
+    @staticmethod
+    def retry_after(depth: int, mean_service_s: float) -> float:
+        """When roughly half the backlog ahead should have drained."""
+        return round(max(depth, 1) * mean_service_s * 0.5, 4)

@@ -1,0 +1,105 @@
+"""Grouping jobs into launches, and the per-signature skeleton cache.
+
+The batcher owns the mapping from job *signature* (source hash +
+dtype, :func:`repro.graph.batching.pipeline_signature`) to compiled
+skeleton stages.  Keying strictly by signature — never by kernel name
+— is the tenant-isolation property: two tenants submitting a kernel
+called ``f`` with different bodies get different signatures, different
+cache entries, and can never be merged into one launch or served each
+other's binaries.  Conversely, byte-identical pipelines from different
+tenants share one entry, which is exactly what makes cross-tenant
+micro-batching pay.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Sequence
+
+from repro.graph.batching import BatchedRun, run_batched
+from repro.serve.job import Job
+
+
+class Batcher:
+    """Groups compatible jobs and executes each group as one launch."""
+
+    def __init__(self, max_batch_jobs: int = 32,
+                 max_batch_items: int = 1 << 18) -> None:
+        self.max_batch_jobs = max(int(max_batch_jobs), 1)
+        self.max_batch_items = max(int(max_batch_items), 1)
+        #: signature -> instantiated pipeline stages
+        self._skeletons: dict[str, list] = {}
+
+    # -- skeleton cache ----------------------------------------------------------
+
+    def stages_for(self, job: Job) -> list:
+        """The (cached) skeleton stages implementing *job*'s pipeline."""
+        signature = job.signature
+        stages = self._skeletons.get(signature)
+        if stages is None:
+            from repro.skelcl import Map
+            stages = [Map(source) for source in job.sources]
+            self._skeletons[signature] = stages
+        return stages
+
+    @property
+    def cached_signatures(self) -> list[str]:
+        return sorted(self._skeletons)
+
+    # -- grouping ----------------------------------------------------------------
+
+    def group(self, jobs: Sequence[Job]) -> list[list[Job]]:
+        """Partition *jobs* into batchable groups.
+
+        Jobs merge only when their signatures match; a group is split
+        whenever it would exceed ``max_batch_jobs`` or
+        ``max_batch_items``.  Submission order is preserved within
+        each signature.
+        """
+        by_signature: dict[str, list[Job]] = {}
+        order: list[str] = []
+        for job in jobs:
+            signature = job.signature
+            if signature not in by_signature:
+                by_signature[signature] = []
+                order.append(signature)
+            by_signature[signature].append(job)
+        groups: list[list[Job]] = []
+        for signature in order:
+            current: list[Job] = []
+            items = 0
+            for job in by_signature[signature]:
+                if current and (len(current) >= self.max_batch_jobs
+                                or items + job.items
+                                > self.max_batch_items):
+                    groups.append(current)
+                    current, items = [], 0
+                current.append(job)
+                items += job.items
+            if current:
+                groups.append(current)
+        return groups
+
+    # -- execution ---------------------------------------------------------------
+
+    def execute(self, ctx, group: Sequence[Job], adaptive: bool = False,
+                weight_store=None) -> BatchedRun:
+        """Run one group as a single batched launch; fills each job's
+        result/status/timestamps in place."""
+        from repro.serve.job import JobStatus
+
+        stages = self.stages_for(group[0])
+        now = time.monotonic()
+        for job in group:
+            job.started_s = now
+            job.status = JobStatus.RUNNING
+        run = run_batched(ctx, stages,
+                          [job.payload for job in group],
+                          adaptive=adaptive, weight_store=weight_store)
+        finished = time.monotonic()
+        for job, output in zip(group, run.outputs):
+            job.result = output
+            job.status = JobStatus.DONE
+            job.finished_s = finished
+            job.batch_size = len(group)
+        return run

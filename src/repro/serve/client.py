@@ -1,0 +1,113 @@
+"""Client for the serving layer: submit, poll, fetch, cancel.
+
+Built on the cluster's :class:`WorkerConnection`, so it inherits the
+per-request timeout, retry-with-same-seq, and single-reconnect
+machinery — plus the new keepalive loop for long-lived sessions.  One
+client speaks for one tenant; the tenant id travels in every frame
+and the server scopes all job lookups by it.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.cluster import wire
+from repro.cluster.client import WorkerConnection
+from repro.errors import AdmissionRejectedError, ServeError
+
+
+class ServeClient:
+    """One tenant's connection to a serve server."""
+
+    def __init__(self, host: str, port: int, tenant: str,
+                 timeout_s: float | None = None,
+                 keepalive_s: float | None = None) -> None:
+        if not tenant:
+            raise ServeError("a serve client needs a tenant id")
+        self.tenant = tenant
+        self._conn = WorkerConnection(host, port, rank=0,
+                                      timeout_s=timeout_s)
+        if keepalive_s is not None:
+            self._conn.start_keepalive(keepalive_s)
+
+    # -- job lifecycle -----------------------------------------------------------
+
+    def submit(self, sources, array: np.ndarray,
+               deadline_s: float | None = None) -> str:
+        """Submit one pipeline job; returns its job id.
+
+        Raises :class:`AdmissionRejectedError` (with the server's
+        ``retry_after_s`` estimate) when the tenant's queue or the
+        server is full.
+        """
+        array = np.ascontiguousarray(array)
+        meta = {"tenant": self.tenant,
+                "sources": [str(s) for s in sources],
+                "dtype": array.dtype.name}
+        if deadline_s is not None:
+            meta["deadline_s"] = float(deadline_s)
+        op, rmeta, _ = self._conn.request_op(wire.Op.SUBMIT, meta,
+                                             array.tobytes())
+        if op == wire.Op.BUSY:
+            raise AdmissionRejectedError(
+                rmeta.get("error", "server busy"),
+                retry_after_s=float(rmeta.get("retry_after_s", 0.0)),
+                tenant=self.tenant)
+        return str(rmeta["job"])
+
+    def status(self, job_id: str) -> dict:
+        """One POLL round-trip: the job's current description."""
+        meta, _ = self._conn.request(
+            wire.Op.POLL, {"tenant": self.tenant, "job": job_id})
+        return meta
+
+    def result(self, job_id: str, timeout_s: float = 30.0,
+               poll_interval_s: float = 0.005) -> np.ndarray:
+        """Poll until the job finishes; returns its output array.
+
+        A job that failed, expired, or was cancelled surfaces as
+        :class:`~repro.errors.RemoteExecutionError` whose ``kind`` is
+        the terminal status.
+        """
+        deadline = time.monotonic() + timeout_s
+        while True:
+            op, meta, payload = self._conn.request_op(
+                wire.Op.RESULT, {"tenant": self.tenant, "job": job_id})
+            if op == wire.Op.RESULT:
+                return np.frombuffer(
+                    payload, dtype=np.dtype(meta["dtype"])).copy()
+            if time.monotonic() > deadline:
+                raise ServeError(
+                    f"timed out waiting for job {job_id} (status "
+                    f"{meta.get('status', '?')})")
+            time.sleep(poll_interval_s)
+
+    def cancel(self, job_id: str) -> bool:
+        meta, _ = self._conn.request(
+            wire.Op.CANCEL, {"tenant": self.tenant, "job": job_id})
+        return bool(meta.get("cancelled", False))
+
+    # -- introspection -----------------------------------------------------------
+
+    def stats(self) -> dict:
+        """The server's full snapshot (queues, scheduler, metrics)."""
+        meta, _ = self._conn.request(wire.Op.STATS,
+                                     {"tenant": self.tenant})
+        return meta
+
+    def ping(self) -> dict:
+        return self._conn.ping()
+
+    # -- lifecycle ---------------------------------------------------------------
+
+    def close(self) -> None:
+        self._conn.stop_keepalive()
+        self._conn.close()
+
+    def __enter__(self) -> "ServeClient":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

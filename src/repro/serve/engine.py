@@ -1,0 +1,340 @@
+"""The serve engine: queues, scheduling rounds, batched execution.
+
+The engine is the synchronous heart of :mod:`repro.serve`.  It owns:
+
+- the per-tenant bounded job queues (admission-controlled),
+- the weighted deficit-round-robin scheduler deciding whose jobs the
+  next round drains (:class:`repro.sched.fair.DeficitRoundRobin`),
+- the micro-batcher merging same-signature jobs into single launches
+  (:class:`repro.serve.batcher.Batcher`), and
+- a **private** :class:`SkelCLContext` — the engine never touches the
+  process-global default context, so a test or embedding application
+  can keep using ``skelcl.init()`` independently.
+
+The asyncio server (:mod:`repro.serve.server`) calls ``submit`` /
+``get`` / ``cancel`` from the event-loop thread while a dedicated
+engine thread loops :meth:`ServeEngine.run_once`; all shared state is
+guarded by one condition variable, and execution itself is serialized
+by a separate lock (skeleton evaluation is not reentrant).
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+import time
+from collections import deque
+from dataclasses import asdict, dataclass
+
+import numpy as np
+
+from repro.errors import (AdmissionRejectedError, ReproError, ServeError,
+                          UnknownJobError)
+from repro.sched.fair import DeficitRoundRobin
+from repro.serve.admission import AdmissionController
+from repro.serve.batcher import Batcher
+from repro.serve.job import Job, JobStatus
+from repro.serve.metrics import ServeStats
+
+
+@dataclass
+class ServeConfig:
+    """Tunables for one serve engine."""
+
+    num_gpus: int = 2
+    gpu_spec: str = "tesla_c1060"
+    #: merge same-signature jobs into one launch (False = serial
+    #: job-at-a-time, the benchmark baseline)
+    micro_batch: bool = True
+    max_batch_jobs: int = 32
+    max_batch_items: int = 1 << 18
+    #: admission bounds
+    max_queue_jobs: int = 64
+    max_total_jobs: int = 1024
+    #: DRR fairness
+    quantum_items: int = 4096
+    smoothing: float = 0.5
+    #: cap on jobs drained per scheduling round (None = DRR decides)
+    max_round_jobs: int | None = None
+    #: forward adaptive device-split scheduling into the graph engine
+    adaptive_split: bool = False
+
+
+class ServeEngine:
+    """Multi-tenant job queues + batched execution on private devices."""
+
+    def __init__(self, config: ServeConfig | None = None) -> None:
+        self.config = config or ServeConfig()
+        cfg = self.config
+        self.admission = AdmissionController(
+            max_queue_jobs=cfg.max_queue_jobs,
+            max_total_jobs=cfg.max_total_jobs)
+        self.batcher = Batcher(max_batch_jobs=cfg.max_batch_jobs,
+                               max_batch_items=cfg.max_batch_items)
+        self.drr = DeficitRoundRobin(quantum_items=cfg.quantum_items,
+                                     smoothing=cfg.smoothing)
+        self.stats = ServeStats()
+        self._queues: dict[str, deque[Job]] = {}
+        self._jobs: dict[tuple[str, str], Job] = {}
+        self._ids = itertools.count(1)
+        self._cond = threading.Condition()
+        self._exec_lock = threading.Lock()
+        self._stop = threading.Event()
+        self._thread: threading.Thread | None = None
+        self._ctx = self._build_context()
+
+    def _build_context(self):
+        """A private SkelCL context on fresh simulated devices — the
+        global default context is deliberately left alone."""
+        from repro import ocl
+        from repro.skelcl.context import SkelCLContext
+        cfg = self.config
+        system = ocl.System(num_gpus=cfg.num_gpus,
+                            gpu_spec=ocl.CATALOG[cfg.gpu_spec],
+                            name="serve")
+        return SkelCLContext(
+            [d for d in system.devices if d.device_type == "GPU"])
+
+    # -- client-facing API -------------------------------------------------------
+
+    def submit(self, tenant: str, sources, payload: np.ndarray,
+               deadline_s: float | None = None) -> Job:
+        """Admit one job (or raise :class:`AdmissionRejectedError`).
+
+        ``deadline_s`` is relative seconds from now; a job still queued
+        when it elapses is expired, never run.
+        """
+        if not tenant:
+            raise ServeError("a job needs a tenant id")
+        payload = np.ascontiguousarray(payload)
+        if payload.ndim != 1:
+            raise ServeError(
+                f"serve jobs take 1-D vectors, got shape "
+                f"{payload.shape}")
+        if not sources:
+            raise ServeError("a job needs at least one pipeline stage")
+        with self._cond:
+            queue = self._queues.setdefault(tenant, deque())
+            total = sum(len(q) for q in self._queues.values())
+            tstats = self.stats.tenant(tenant)
+            try:
+                self.admission.check(tenant, len(queue), total,
+                                     self.stats.mean_service_s)
+            except AdmissionRejectedError:
+                tstats.rejected += 1
+                raise
+            job = Job(
+                id=f"j{next(self._ids):06d}", tenant=tenant,
+                sources=tuple(str(s) for s in sources), payload=payload,
+                deadline_s=(None if deadline_s is None
+                            else time.monotonic() + deadline_s))
+            queue.append(job)
+            self._jobs[(tenant, job.id)] = job
+            self.drr.ensure(tenant)
+            tstats.submitted += 1
+            tstats.items += job.items
+            tstats.max_queue_depth = max(tstats.max_queue_depth,
+                                         len(queue))
+            self._cond.notify_all()
+            return job
+
+    def get(self, tenant: str, job_id: str) -> Job:
+        """Look up a tenant's job (tenant scoping is the lookup key —
+        one tenant can never address another's jobs)."""
+        with self._cond:
+            job = self._jobs.get((tenant, job_id))
+        if job is None:
+            raise UnknownJobError(
+                f"tenant {tenant!r} has no job {job_id!r}")
+        return job
+
+    def cancel(self, tenant: str, job_id: str) -> bool:
+        """Cancel a still-queued job; returns False once it is running
+        or already terminal."""
+        with self._cond:
+            job = self._jobs.get((tenant, job_id))
+            if job is None:
+                raise UnknownJobError(
+                    f"tenant {tenant!r} has no job {job_id!r}")
+            if job.status is not JobStatus.QUEUED:
+                return False
+            queue = self._queues.get(tenant)
+            if queue is not None:
+                try:
+                    queue.remove(job)
+                except ValueError:
+                    pass
+            job.status = JobStatus.CANCELLED
+            job.finished_s = time.monotonic()
+            self.stats.tenant(tenant).cancelled += 1
+            return True
+
+    def wait(self, tenant: str, job_id: str,
+             timeout_s: float = 30.0) -> Job:
+        """Block until the job reaches a terminal state (in-process
+        embeddings; remote clients poll over the wire instead)."""
+        deadline = time.monotonic() + timeout_s
+        job = self.get(tenant, job_id)
+        with self._cond:
+            while not job.status.terminal:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    raise ServeError(
+                        f"timed out waiting for job {job_id} "
+                        f"(status {job.status.value})")
+                self._cond.wait(timeout=min(remaining, 0.1))
+        return job
+
+    def queue_depth(self, tenant: str | None = None) -> int:
+        with self._cond:
+            if tenant is not None:
+                queue = self._queues.get(tenant)
+                return len(queue) if queue else 0
+            return sum(len(q) for q in self._queues.values())
+
+    # -- scheduling + execution --------------------------------------------------
+
+    def _take_round(self) -> list[Job]:
+        """Expire stale jobs, run one DRR round, pop the picked jobs."""
+        with self._cond:
+            now = time.monotonic()
+            for tenant, queue in self._queues.items():
+                kept: deque[Job] = deque()
+                for job in queue:
+                    if job.expired(now):
+                        job.status = JobStatus.EXPIRED
+                        job.finished_s = now
+                        job.error = ("deadline expired before the job "
+                                     "was scheduled")
+                        self.stats.tenant(tenant).expired += 1
+                    else:
+                        kept.append(job)
+                self._queues[tenant] = kept
+            backlog = {tenant: [job.items for job in queue]
+                       for tenant, queue in self._queues.items()
+                       if queue}
+            if not backlog:
+                return []
+            picked = self.drr.pick_round(
+                backlog, max_jobs=self.config.max_round_jobs)
+            taken: list[Job] = []
+            for tenant in sorted(picked, key=str):
+                queue = self._queues[tenant]
+                for _ in range(picked[tenant]):
+                    job = queue.popleft()
+                    job.status = JobStatus.RUNNING
+                    taken.append(job)
+            if taken:
+                self.stats.rounds += 1
+            return taken
+
+    def run_once(self) -> int:
+        """One scheduling round: pick, group, execute.  Returns jobs
+        brought to a terminal state."""
+        with self._exec_lock:
+            taken = self._take_round()
+            if not taken:
+                return 0
+            if self.config.micro_batch:
+                groups = self.batcher.group(taken)
+            else:
+                groups = [[job] for job in taken]
+            finished = 0
+            for group in groups:
+                finished += self._execute_group(group)
+            return finished
+
+    def _execute_group(self, group: list[Job]) -> int:
+        started = time.monotonic()
+        try:
+            run = self.batcher.execute(
+                self._ctx, group, adaptive=self.config.adaptive_split)
+        except ReproError as exc:
+            now = time.monotonic()
+            with self._cond:
+                for job in group:
+                    job.status = JobStatus.FAILED
+                    job.error = str(exc)
+                    job.finished_s = now
+                    self.stats.tenant(job.tenant).failed += 1
+                self._cond.notify_all()
+            return len(group)
+        elapsed = time.monotonic() - started
+        with self._cond:
+            self.stats.launches += 1
+            self.stats.busy_s += elapsed
+            self.stats.fused_stages += run.fused_stages
+            if len(group) > 1:
+                self.stats.batched_jobs += len(group)
+            if run.verification is not None \
+                    and not run.verification.errors:
+                self.stats.plans_verified += 1
+            tenant_items: dict[str, int] = {}
+            for job in group:
+                tstats = self.stats.tenant(job.tenant)
+                tstats.completed += 1
+                if job.latency_s is not None:
+                    tstats.latencies_s.append(job.latency_s)
+                tenant_items[job.tenant] = (
+                    tenant_items.get(job.tenant, 0) + job.items)
+            for tenant, items in tenant_items.items():
+                self.drr.observe(tenant, items, elapsed)
+            self._cond.notify_all()
+        return len(group)
+
+    def drain(self, timeout_s: float = 60.0) -> int:
+        """Run rounds until every queue is empty; returns jobs
+        finished.  For tests and the synchronous CLI path."""
+        deadline = time.monotonic() + timeout_s
+        finished = 0
+        while self.queue_depth() > 0:
+            if time.monotonic() > deadline:
+                raise ServeError(
+                    f"drain timed out with {self.queue_depth()} "
+                    "job(s) still queued")
+            finished += self.run_once()
+        return finished
+
+    # -- background thread -------------------------------------------------------
+
+    def start(self) -> None:
+        """Run scheduling rounds on a dedicated daemon thread."""
+        if self._thread is not None and self._thread.is_alive():
+            return
+        self._stop.clear()
+        self._thread = threading.Thread(
+            target=self._loop, name="serve-engine", daemon=True)
+        self._thread.start()
+
+    def _loop(self) -> None:
+        while not self._stop.is_set():
+            if self.run_once() == 0:
+                with self._cond:
+                    # short wait so deadlines expire promptly even
+                    # with no submit traffic
+                    self._cond.wait(timeout=0.02)
+
+    def stop(self) -> None:
+        self._stop.set()
+        with self._cond:
+            self._cond.notify_all()
+        if self._thread is not None:
+            self._thread.join(timeout=10.0)
+            self._thread = None
+
+    # -- reporting ---------------------------------------------------------------
+
+    def snapshot(self) -> dict:
+        """Everything ``repro serve status`` and STATS frames report."""
+        with self._cond:
+            queues = {tenant: len(queue)
+                      for tenant, queue in sorted(self._queues.items())
+                      if queue}
+            return {
+                "config": asdict(self.config),
+                "queued": sum(queues.values()),
+                "queues": queues,
+                "signatures_cached": len(self.batcher.cached_signatures),
+                "scheduler": self.drr.snapshot(),
+                "stats": self.stats.as_dict(),
+            }

@@ -1,0 +1,91 @@
+"""The unit of serving: one tenant's skeleton-pipeline job."""
+
+from __future__ import annotations
+
+import enum
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.graph.batching import pipeline_signature
+
+
+class JobStatus(str, enum.Enum):
+    """Lifecycle of a job inside the serve engine."""
+
+    QUEUED = "queued"        # admitted, waiting in the tenant's queue
+    RUNNING = "running"      # picked by a scheduling round
+    DONE = "done"            # result available
+    FAILED = "failed"        # execution raised; ``error`` holds why
+    CANCELLED = "cancelled"  # tenant cancelled it while still queued
+    EXPIRED = "expired"      # deadline passed before it was scheduled
+
+    @property
+    def terminal(self) -> bool:
+        return self not in (JobStatus.QUEUED, JobStatus.RUNNING)
+
+
+@dataclass
+class Job:
+    """One admitted pipeline job.
+
+    ``sources`` is the ordered tuple of map-stage sources; together
+    with the input dtype it determines the job's batching signature.
+    ``deadline_s`` is an *absolute* ``time.monotonic()`` instant (or
+    None for best-effort).
+    """
+
+    id: str
+    tenant: str
+    sources: tuple[str, ...]
+    payload: np.ndarray
+    deadline_s: float | None = None
+    status: JobStatus = JobStatus.QUEUED
+    submitted_s: float = field(default_factory=time.monotonic)
+    started_s: float | None = None
+    finished_s: float | None = None
+    result: np.ndarray | None = None
+    error: str = ""
+    #: jobs that shared this job's launch (1 = ran alone)
+    batch_size: int = 0
+
+    @property
+    def signature(self) -> str:
+        """Batching identity: SHA-256 of stage sources + dtype.
+
+        Two jobs merge only when signatures match — kernel *names*
+        never enter the hash, so same-named kernels with different
+        bodies (different tenants' private kernels) can never collide.
+        """
+        return pipeline_signature(self.sources, self.payload.dtype)
+
+    @property
+    def items(self) -> int:
+        return int(self.payload.shape[0])
+
+    @property
+    def latency_s(self) -> float | None:
+        """Submit-to-terminal latency (None while in flight)."""
+        if self.finished_s is None:
+            return None
+        return self.finished_s - self.submitted_s
+
+    def expired(self, now: float | None = None) -> bool:
+        if self.deadline_s is None:
+            return False
+        return (now if now is not None else time.monotonic()) \
+            > self.deadline_s
+
+    def describe(self) -> dict:
+        """Wire-friendly snapshot (POLL replies, status reports)."""
+        return {
+            "job": self.id,
+            "tenant": self.tenant,
+            "status": self.status.value,
+            "items": self.items,
+            "batch_size": self.batch_size,
+            "error": self.error,
+            "latency_ms": (None if self.latency_s is None
+                           else self.latency_s * 1e3),
+        }

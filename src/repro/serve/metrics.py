@@ -1,0 +1,127 @@
+"""Serving metrics: queue depths, latency percentiles, batch counters.
+
+Everything ``repro serve status`` / ``repro profile --serve`` prints
+and the ``serve-smoke`` CI artifact records comes from here.  Latency
+is wall-clock submit-to-done per job; percentiles are computed with
+``numpy.percentile`` over the completed population.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+
+@dataclass
+class TenantStats:
+    """Counters for one tenant."""
+
+    tenant: str
+    submitted: int = 0
+    rejected: int = 0
+    completed: int = 0
+    failed: int = 0
+    cancelled: int = 0
+    expired: int = 0
+    items: int = 0
+    max_queue_depth: int = 0
+    latencies_s: list[float] = field(default_factory=list)
+
+    def percentile_ms(self, q: float) -> float:
+        if not self.latencies_s:
+            return 0.0
+        return float(np.percentile(np.asarray(self.latencies_s), q)
+                     * 1e3)
+
+    def as_dict(self) -> dict:
+        return {
+            "tenant": self.tenant,
+            "submitted": self.submitted,
+            "rejected": self.rejected,
+            "completed": self.completed,
+            "failed": self.failed,
+            "cancelled": self.cancelled,
+            "expired": self.expired,
+            "items": self.items,
+            "max_queue_depth": self.max_queue_depth,
+            "p50_ms": self.percentile_ms(50),
+            "p95_ms": self.percentile_ms(95),
+            "p99_ms": self.percentile_ms(99),
+        }
+
+
+@dataclass
+class ServeStats:
+    """Whole-server counters plus the per-tenant breakdown."""
+
+    launches: int = 0          # NDRange pipeline launches performed
+    batched_jobs: int = 0      # jobs that shared a launch with others
+    plans_verified: int = 0    # batched plans the verifier approved
+    fused_stages: int = 0
+    busy_s: float = 0.0        # wall-clock spent executing
+    rounds: int = 0            # scheduler rounds that picked work
+    tenants: dict[str, TenantStats] = field(default_factory=dict)
+
+    def tenant(self, name: str) -> TenantStats:
+        stats = self.tenants.get(name)
+        if stats is None:
+            stats = TenantStats(tenant=name)
+            self.tenants[name] = stats
+        return stats
+
+    @property
+    def completed(self) -> int:
+        return sum(t.completed for t in self.tenants.values())
+
+    @property
+    def mean_service_s(self) -> float:
+        done = self.completed
+        return self.busy_s / done if done else 0.0
+
+    def all_latencies_s(self) -> list[float]:
+        out: list[float] = []
+        for t in self.tenants.values():
+            out.extend(t.latencies_s)
+        return out
+
+    def percentile_ms(self, q: float) -> float:
+        lat = self.all_latencies_s()
+        if not lat:
+            return 0.0
+        return float(np.percentile(np.asarray(lat), q) * 1e3)
+
+    def as_dict(self) -> dict:
+        return {
+            "launches": self.launches,
+            "batched_jobs": self.batched_jobs,
+            "plans_verified": self.plans_verified,
+            "fused_stages": self.fused_stages,
+            "busy_s": self.busy_s,
+            "rounds": self.rounds,
+            "completed": self.completed,
+            "mean_service_ms": self.mean_service_s * 1e3,
+            "p50_ms": self.percentile_ms(50),
+            "p95_ms": self.percentile_ms(95),
+            "p99_ms": self.percentile_ms(99),
+            "tenants": {name: t.as_dict()
+                        for name, t in sorted(self.tenants.items())},
+        }
+
+
+def serve_table(stats: ServeStats) -> str:
+    """Per-tenant table for ``repro profile --serve`` (rendered by the
+    shared :func:`repro.util.tables.format_table` helper)."""
+    from repro.util.tables import format_table
+    rows = []
+    for name, t in sorted(stats.tenants.items()):
+        rows.append([
+            name, t.submitted, t.rejected, t.completed,
+            t.failed + t.cancelled + t.expired, t.max_queue_depth,
+            f"{t.percentile_ms(50):.2f}", f"{t.percentile_ms(95):.2f}",
+            f"{t.percentile_ms(99):.2f}",
+        ])
+    return format_table(
+        ["tenant", "submit", "reject", "done", "other", "max queue",
+         "p50 ms", "p95 ms", "p99 ms"], rows,
+        title="per-tenant serving metrics")

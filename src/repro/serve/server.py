@@ -1,0 +1,220 @@
+"""The asyncio front door: framed TCP sessions onto the serve engine.
+
+The server speaks the cluster wire format (:mod:`repro.cluster.wire`)
+with the serving opcodes: SUBMIT, POLL, RESULT, CANCEL, STATS, plus
+PING for liveness.  Each client connection is one asyncio task; the
+engine's own thread does the heavy lifting, so the event loop only
+ever parses frames and touches lock-guarded queues — thousands of
+idle sessions cost nothing.
+
+Disconnect semantics: a clean EOF at a frame boundary ends the session
+quietly; a connection dropped mid-frame is recorded as a dirty
+disconnect.  Either way the tenant's queued jobs keep running — a
+client may reconnect and fetch results by job id (ids are scoped to
+the tenant, so only the owning tenant can address them).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import os
+import threading
+
+import numpy as np
+
+from repro.cluster import wire
+from repro.errors import (AdmissionRejectedError, ServeError,
+                          UnknownJobError, WireFormatError)
+from repro.serve.engine import ServeConfig, ServeEngine
+from repro.serve.job import JobStatus
+from repro.serve.session import Session, SessionRegistry
+
+
+class ServeServer:
+    """Serves one :class:`ServeEngine` over localhost TCP."""
+
+    def __init__(self, engine: ServeEngine, host: str = "127.0.0.1",
+                 port: int = 0) -> None:
+        self.engine = engine
+        self.host = host
+        self.port = port
+        self.sessions = SessionRegistry()
+        self._server: asyncio.AbstractServer | None = None
+
+    async def start(self) -> int:
+        """Bind and start accepting; returns the bound port."""
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.host, self.port)
+        self.port = self._server.sockets[0].getsockname()[1]
+        return self.port
+
+    async def stop(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+
+    async def serve_forever(self) -> None:
+        assert self._server is not None, "call start() first"
+        async with self._server:
+            await self._server.serve_forever()
+
+    # -- per-connection session --------------------------------------------------
+
+    async def _handle_connection(self, reader: asyncio.StreamReader,
+                                 writer: asyncio.StreamWriter) -> None:
+        peername = writer.get_extra_info("peername")
+        session = self.sessions.open(
+            f"{peername[0]}:{peername[1]}" if peername else "?")
+        clean = True
+        try:
+            while True:
+                try:
+                    op, seq, meta, payload = \
+                        await wire.read_frame_async(reader)
+                except wire.ConnectionClosedError:
+                    break  # orderly goodbye at a frame boundary
+                except (WireFormatError, asyncio.IncompleteReadError):
+                    clean = False
+                    break
+                rop, rmeta, rpayload = self._dispatch(
+                    session, op, meta, payload)
+                writer.write(wire.encode_frame(rop, seq, rmeta,
+                                               rpayload))
+                await writer.drain()
+        except (ConnectionResetError, BrokenPipeError, OSError):
+            clean = False
+        finally:
+            self.sessions.close(session, clean=clean)
+            writer.close()
+            with contextlib.suppress(Exception):
+                await writer.wait_closed()
+
+    # -- dispatch ----------------------------------------------------------------
+
+    def _dispatch(self, session: Session, op: int, meta: dict,
+                  payload: bytes) -> tuple[int, dict, bytes]:
+        tenant = str(meta.get("tenant", ""))
+        self.sessions.note(session, tenant or None,
+                           submitted=op == wire.Op.SUBMIT)
+        try:
+            if op == wire.Op.SUBMIT:
+                return self._handle_submit(tenant, meta, payload)
+            if op == wire.Op.POLL:
+                job = self.engine.get(tenant, str(meta.get("job", "")))
+                return wire.Op.OK, job.describe(), b""
+            if op == wire.Op.RESULT:
+                return self._handle_result(tenant, meta)
+            if op == wire.Op.CANCEL:
+                cancelled = self.engine.cancel(
+                    tenant, str(meta.get("job", "")))
+                job = self.engine.get(tenant, str(meta.get("job", "")))
+                return wire.Op.OK, {"cancelled": cancelled,
+                                    "status": job.status.value}, b""
+            if op == wire.Op.STATS:
+                snapshot = self.engine.snapshot()
+                snapshot["sessions"] = self.sessions.snapshot()
+                return wire.Op.OK, snapshot, b""
+            if op == wire.Op.PING:
+                return wire.Op.OK, {
+                    "pid": os.getpid(),
+                    "queue_depth": self.engine.queue_depth(),
+                    "sessions": self.sessions.active}, b""
+        except AdmissionRejectedError as exc:
+            return wire.Op.BUSY, {
+                "error": str(exc),
+                "retry_after_s": exc.retry_after_s,
+                "tenant": exc.tenant}, b""
+        except (ServeError, UnknownJobError, ValueError,
+                TypeError) as exc:
+            return wire.Op.ERROR, {"error": str(exc),
+                                   "kind": type(exc).__name__}, b""
+        return wire.Op.ERROR, {"error": f"unknown opcode {op}",
+                               "kind": "protocol"}, b""
+
+    def _handle_submit(self, tenant: str, meta: dict,
+                       payload: bytes) -> tuple[int, dict, bytes]:
+        sources = meta.get("sources")
+        if not isinstance(sources, list) or not sources:
+            raise ServeError("SUBMIT needs a non-empty sources list")
+        dtype = np.dtype(str(meta.get("dtype", "float32")))
+        array = np.frombuffer(payload, dtype=dtype).copy()
+        deadline = meta.get("deadline_s")
+        job = self.engine.submit(
+            tenant, [str(s) for s in sources], array,
+            deadline_s=None if deadline is None else float(deadline))
+        return wire.Op.OK, {"job": job.id,
+                            "status": job.status.value}, b""
+
+    def _handle_result(self, tenant: str,
+                       meta: dict) -> tuple[int, dict, bytes]:
+        job = self.engine.get(tenant, str(meta.get("job", "")))
+        if job.status is JobStatus.DONE:
+            assert job.result is not None
+            return wire.Op.RESULT, {
+                "job": job.id, "status": job.status.value,
+                "dtype": job.result.dtype.str,
+                "batch_size": job.batch_size,
+            }, job.result.tobytes()
+        if job.status.terminal:  # failed / cancelled / expired
+            return wire.Op.ERROR, {
+                "error": job.error or f"job {job.id} "
+                                      f"{job.status.value}",
+                "kind": job.status.value, "job": job.id}, b""
+        return wire.Op.OK, {"job": job.id,
+                            "status": job.status.value}, b""
+
+
+@contextlib.contextmanager
+def serve_in_thread(engine: ServeEngine | None = None,
+                    config: ServeConfig | None = None,
+                    host: str = "127.0.0.1", port: int = 0):
+    """Run a serve server (and its engine) on background threads.
+
+    The test-suite/CLI/benchmark entry point::
+
+        with serve_in_thread(config=ServeConfig()) as server:
+            client = ServeClient("127.0.0.1", server.port, "tenant-a")
+
+    On exit the event loop is stopped and, if the engine was created
+    here, its scheduling thread too.
+    """
+    own_engine = engine is None
+    if engine is None:
+        engine = ServeEngine(config)
+    engine.start()
+    server = ServeServer(engine, host, port)
+    loop = asyncio.new_event_loop()
+    started = threading.Event()
+
+    def run() -> None:
+        asyncio.set_event_loop(loop)
+        loop.run_until_complete(server.start())
+        started.set()
+        try:
+            loop.run_forever()
+        finally:
+            loop.run_until_complete(server.stop())
+            # connection handlers for still-open clients are cancelled,
+            # not leaked
+            pending = asyncio.all_tasks(loop)
+            for task in pending:
+                task.cancel()
+            if pending:
+                loop.run_until_complete(
+                    asyncio.gather(*pending, return_exceptions=True))
+            loop.close()
+
+    thread = threading.Thread(target=run, name="serve-server",
+                              daemon=True)
+    thread.start()
+    if not started.wait(timeout=10.0):
+        raise ServeError("serve server failed to start within 10 s")
+    try:
+        yield server
+    finally:
+        loop.call_soon_threadsafe(loop.stop)
+        thread.join(timeout=10.0)
+        if own_engine:
+            engine.stop()

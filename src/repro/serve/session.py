@@ -1,0 +1,85 @@
+"""Connection/session bookkeeping for the serve server.
+
+One session = one client TCP connection.  The registry answers "who is
+connected right now", attributes traffic to tenants, and records how
+each session ended (clean EOF vs. dropped mid-frame) — the
+``serve-smoke`` CI job asserts that a client vanishing mid-job leaves
+the server healthy and is accounted as a dirty disconnect.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+import time
+from dataclasses import dataclass, field
+
+
+@dataclass
+class Session:
+    """One live (or finished) client connection."""
+
+    id: int
+    peer: str
+    connected_s: float = field(default_factory=time.monotonic)
+    #: tenants this connection has submitted or polled for
+    tenants: set[str] = field(default_factory=set)
+    frames: int = 0
+    jobs_submitted: int = 0
+    closed: bool = False
+    clean: bool = True
+
+
+class SessionRegistry:
+    """Thread-safe registry of client sessions."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._ids = itertools.count(1)
+        self._sessions: dict[int, Session] = {}
+        self.total = 0
+        self.dirty_disconnects = 0
+
+    def open(self, peer: str) -> Session:
+        with self._lock:
+            session = Session(id=next(self._ids), peer=peer)
+            self._sessions[session.id] = session
+            self.total += 1
+            return session
+
+    def close(self, session: Session, clean: bool = True) -> None:
+        with self._lock:
+            session.closed = True
+            session.clean = clean
+            if not clean:
+                self.dirty_disconnects += 1
+            self._sessions.pop(session.id, None)
+
+    def note(self, session: Session, tenant: str | None = None,
+             submitted: bool = False) -> None:
+        with self._lock:
+            session.frames += 1
+            if tenant:
+                session.tenants.add(tenant)
+            if submitted:
+                session.jobs_submitted += 1
+
+    @property
+    def active(self) -> int:
+        with self._lock:
+            return len(self._sessions)
+
+    def snapshot(self) -> dict:
+        with self._lock:
+            return {
+                "active": len(self._sessions),
+                "total": self.total,
+                "dirty_disconnects": self.dirty_disconnects,
+                "sessions": [
+                    {"id": s.id, "peer": s.peer,
+                     "tenants": sorted(s.tenants),
+                     "frames": s.frames,
+                     "jobs_submitted": s.jobs_submitted,
+                     "age_s": time.monotonic() - s.connected_s}
+                    for s in self._sessions.values()],
+            }

@@ -1,0 +1,142 @@
+"""Connection liveness: keepalive loop, heartbeat stats, graceful EOF.
+
+A long-lived client (a serve session, an idle cluster runtime) must
+survive quiet periods and half-closed sockets: idle connections get
+pinged, a peer that closed the socket surfaces as a wire error — never
+a bare ``struct.error`` from a short header read.
+"""
+
+from __future__ import annotations
+
+import struct
+import time
+
+import pytest
+
+from repro.cluster import wire
+from repro.cluster.client import WorkerConnection
+from repro.cluster.launch import launch_workers
+from repro.cluster.stats import ClusterStats, stats_table
+from repro.errors import WireFormatError, WorkerDiedError
+
+
+@pytest.fixture()
+def worker():
+    procs = launch_workers(1)
+    try:
+        yield procs[0]
+    finally:
+        for proc in procs:
+            proc.terminate()
+
+
+class TestGracefulEOF:
+    def test_short_header_is_wire_error_not_struct_error(self):
+        # a half-closed socket hands decode_header fewer than 20 bytes
+        with pytest.raises(WireFormatError):
+            wire.decode_header(b"\x00" * 3)
+
+    def test_unpack_failure_is_wrapped(self, monkeypatch):
+        # even if a caller bypasses the length check, struct.error
+        # must never escape the wire module
+        monkeypatch.setattr(wire, "FRAME_HEADER_BYTES", 2)
+        with pytest.raises(WireFormatError) as info:
+            wire.decode_header(b"\xc1\x5c")
+        assert not isinstance(info.value, struct.error)
+
+    def test_peer_close_surfaces_as_worker_died(self, worker):
+        conn = WorkerConnection(worker.host, worker.port, rank=0,
+                                timeout_s=2.0, retries=0)
+        try:
+            assert conn.ping()["rank"] == 0
+            worker.proc.terminate()
+            worker.proc.wait(timeout=10)
+            with pytest.raises(WorkerDiedError) as info:
+                conn.ping()
+            # the diagnostic names the close, not a struct internals
+            assert "struct" not in str(info.value)
+        finally:
+            conn.close()
+
+
+class TestPingStats:
+    def test_ping_folds_heartbeat_into_stats(self, worker):
+        conn = WorkerConnection(worker.host, worker.port, rank=0)
+        try:
+            assert conn.stats.heartbeat_age_s is None
+            meta = conn.ping()
+            assert conn.stats.pings == 1
+            assert conn.stats.queue_depth == meta["queue_depth"]
+            assert conn.stats.last_heartbeat_s > 0
+            age = conn.stats.heartbeat_age_s
+            assert age is not None and 0 <= age < 5.0
+            assert "idle_s" in meta and "ndranges" in meta
+        finally:
+            conn.close()
+
+    def test_stats_table_has_liveness_columns(self):
+        stats = ClusterStats(rank=0)
+        table = stats_table([stats])
+        assert "queue" in table and "hb age" in table
+        assert "never" in table  # no heartbeat yet
+        stats.last_heartbeat_s = time.monotonic()
+        assert "never" not in stats_table([stats])
+
+
+class TestKeepalive:
+    def test_idle_connection_gets_pinged(self, worker):
+        conn = WorkerConnection(worker.host, worker.port, rank=0)
+        try:
+            conn.start_keepalive(interval_s=0.05)
+            deadline = time.monotonic() + 5.0
+            while conn.stats.pings == 0:
+                assert time.monotonic() < deadline, "keepalive never fired"
+                time.sleep(0.01)
+        finally:
+            conn.stop_keepalive()
+            conn.close()
+
+    def test_start_is_idempotent_and_stop_joins(self, worker):
+        conn = WorkerConnection(worker.host, worker.port, rank=0)
+        try:
+            conn.start_keepalive(interval_s=30.0)
+            thread = conn._keepalive_thread
+            conn.start_keepalive(interval_s=30.0)
+            assert conn._keepalive_thread is thread  # no second loop
+            conn.stop_keepalive()
+            assert not thread.is_alive()
+            assert conn._keepalive_thread is None
+            conn.stop_keepalive()  # stopping twice is harmless
+        finally:
+            conn.close()
+
+    def test_busy_connection_is_not_pinged(self, worker):
+        # activity resets the idle clock: a chatty connection never
+        # wastes frames on heartbeats
+        conn = WorkerConnection(worker.host, worker.port, rank=0)
+        try:
+            conn.start_keepalive(interval_s=0.4)
+            deadline = time.monotonic() + 1.2
+            while time.monotonic() < deadline:
+                conn.request(wire.Op.BARRIER)
+                time.sleep(0.02)
+            assert conn.stats.pings == 0
+        finally:
+            conn.stop_keepalive()
+            conn.close()
+
+    def test_keepalive_survives_dead_worker(self, worker):
+        # the loop swallows failures; the next real request reports them
+        conn = WorkerConnection(worker.host, worker.port, rank=0,
+                                timeout_s=0.5, retries=0)
+        try:
+            conn.start_keepalive(interval_s=0.05)
+            worker.proc.terminate()
+            worker.proc.wait(timeout=10)
+            time.sleep(0.3)  # several keepalive intervals pass
+            assert conn._keepalive_thread.is_alive()
+            with pytest.raises(WorkerDiedError):
+                conn.request(wire.Op.BARRIER)
+        finally:
+            conn.stop_keepalive()
+            conn.close()

@@ -1,0 +1,125 @@
+"""Cross-job micro-batching: signatures, merge/split, bitwise identity."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+import repro.skelcl as skelcl
+from repro import ocl
+from repro.errors import SkelClError
+from repro.graph import (merge_inputs, pipeline_signature, run_batched,
+                         split_outputs)
+from repro.skelcl.context import SkelCLContext
+
+SOURCES = ["float scale2(float x) { return x * 2.0f; }",
+           "float plus3(float x) { return x + 3.0f; }"]
+
+
+def make_context(num_gpus: int = 2) -> SkelCLContext:
+    system = ocl.System(num_gpus=num_gpus)
+    return SkelCLContext(
+        [d for d in system.devices if d.device_type == "GPU"])
+
+
+def run_alone(sources, array: np.ndarray) -> np.ndarray:
+    """Eager single-job reference on a fresh private context."""
+    ctx = make_context()
+    vec = skelcl.Vector(array, context=ctx)
+    for source in sources:
+        vec = skelcl.Map(source)(vec)
+    return vec.to_numpy()
+
+
+class TestSignature:
+    def test_same_pipeline_same_signature(self):
+        assert pipeline_signature(SOURCES, np.float32) \
+            == pipeline_signature(list(SOURCES), "float32")
+
+    def test_source_change_changes_signature(self):
+        other = [SOURCES[0],
+                 "float plus3(float x) { return x + 4.0f; }"]
+        assert pipeline_signature(SOURCES, np.float32) \
+            != pipeline_signature(other, np.float32)
+
+    def test_same_kernel_name_different_body_differs(self):
+        # the tenant-isolation property: names carry no identity
+        a = ["float f(float x) { return x * 2.0f; }"]
+        b = ["float f(float x) { return x * 3.0f; }"]
+        assert pipeline_signature(a, np.float32) \
+            != pipeline_signature(b, np.float32)
+
+    def test_dtype_changes_signature(self):
+        assert pipeline_signature(SOURCES, np.float32) \
+            != pipeline_signature(SOURCES, np.int32)
+
+    def test_stage_order_matters(self):
+        assert pipeline_signature(SOURCES, np.float32) \
+            != pipeline_signature(list(reversed(SOURCES)), np.float32)
+
+
+class TestMergeSplit:
+    def test_roundtrip(self):
+        rng = np.random.default_rng(0)
+        arrays = [rng.random(n).astype(np.float32)
+                  for n in (3, 17, 256)]
+        merged, sizes = merge_inputs(arrays)
+        assert sizes == [3, 17, 256]
+        back = split_outputs(merged, sizes)
+        for original, restored in zip(arrays, back):
+            assert np.array_equal(original, restored)
+
+    def test_split_results_do_not_alias(self):
+        merged = np.arange(6, dtype=np.float32)
+        outs = split_outputs(merged, [3, 3])
+        outs[0][:] = -1
+        assert merged[0] == 0.0  # tenant results never share memory
+
+    def test_rejects_mixed_dtypes(self):
+        with pytest.raises(SkelClError):
+            merge_inputs([np.zeros(2, np.float32),
+                          np.zeros(2, np.float64)])
+
+    def test_rejects_empty_batch(self):
+        with pytest.raises(SkelClError):
+            merge_inputs([])
+
+    def test_split_validates_total(self):
+        with pytest.raises(SkelClError):
+            split_outputs(np.zeros(5, np.float32), [2, 2])
+
+
+class TestRunBatched:
+    def test_bitwise_identical_to_running_alone(self):
+        rng = np.random.default_rng(7)
+        arrays = [rng.random(n).astype(np.float32)
+                  for n in (64, 129, 1000, 7)]
+        ctx = make_context()
+        stages = [skelcl.Map(s) for s in SOURCES]
+        run = run_batched(ctx, stages, arrays)
+        assert run.jobs == 4
+        assert run.items == 64 + 129 + 1000 + 7
+        for array, batched_out in zip(arrays, run.outputs):
+            assert np.array_equal(batched_out,
+                                  run_alone(SOURCES, array))
+
+    def test_batched_plan_is_fused_and_verified(self):
+        rng = np.random.default_rng(1)
+        ctx = make_context()
+        stages = [skelcl.Map(s) for s in SOURCES]
+        run = run_batched(ctx, stages,
+                          [rng.random(50).astype(np.float32)] * 3)
+        assert run.fused_stages == len(SOURCES)
+        # verification is on by default; the report must be clean
+        assert run.verification is not None
+        assert not run.verification.errors
+
+    def test_private_context_leaves_global_default_alone(self):
+        # batching on a private context must not install or replace
+        # the process-global default SkelCL context
+        from repro.skelcl import context as context_module
+        before = context_module._default_context
+        ctx = make_context()
+        run_batched(ctx, [skelcl.Map(SOURCES[0])],
+                    [np.ones(8, np.float32)])
+        assert context_module._default_context is before

@@ -1,0 +1,116 @@
+"""Weighted deficit round-robin (the serving layer's fairness)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import SchedulerError
+from repro.sched.fair import DeficitRoundRobin
+
+
+class TestConstruction:
+    def test_rejects_bad_quantum(self):
+        with pytest.raises(SchedulerError):
+            DeficitRoundRobin(quantum_items=0)
+
+    def test_rejects_bad_smoothing(self):
+        with pytest.raises(SchedulerError):
+            DeficitRoundRobin(smoothing=0.0)
+
+    def test_rejects_nonpositive_weight(self):
+        drr = DeficitRoundRobin()
+        with pytest.raises(SchedulerError):
+            drr.set_weight("a", 0.0)
+
+
+class TestPickRound:
+    def test_empty_backlog_picks_nothing(self):
+        assert DeficitRoundRobin().pick_round({}) == {}
+
+    def test_equal_tenants_get_equal_service(self):
+        drr = DeficitRoundRobin(quantum_items=100)
+        backlog = {"a": [50, 50, 50], "b": [50, 50, 50]}
+        picked = drr.pick_round(backlog)
+        assert picked == {"a": 2, "b": 2}
+
+    def test_round_is_deterministic(self):
+        backlog = {"b": [10, 10], "a": [10, 10], "c": [10]}
+        first = DeficitRoundRobin(quantum_items=20).pick_round(backlog)
+        second = DeficitRoundRobin(quantum_items=20).pick_round(backlog)
+        assert first == second
+
+    def test_weighted_tenant_gets_more(self):
+        drr = DeficitRoundRobin(quantum_items=100)
+        drr.set_weight("heavy", 2.0)
+        drr.set_weight("light", 1.0)
+        picked = drr.pick_round(
+            {"heavy": [50] * 10, "light": [50] * 10})
+        assert picked["heavy"] == 2 * picked["light"]
+
+    def test_max_jobs_caps_the_round(self):
+        drr = DeficitRoundRobin(quantum_items=1000)
+        picked = drr.pick_round({"a": [1] * 100, "b": [1] * 100},
+                                max_jobs=10)
+        assert sum(picked.values()) == 10
+
+    def test_max_items_caps_the_round(self):
+        drr = DeficitRoundRobin(quantum_items=1000)
+        picked = drr.pick_round({"a": [100] * 20}, max_items=350)
+        assert picked == {"a": 3}
+
+    def test_oversized_job_admitted_not_starved(self):
+        drr = DeficitRoundRobin(quantum_items=10)
+        picked = drr.pick_round({"a": [10_000]})
+        assert picked == {"a": 1}
+
+    def test_drained_queue_forfeits_deficit(self):
+        drr = DeficitRoundRobin(quantum_items=100)
+        # round 1: queue drains with credit to spare
+        assert drr.pick_round({"a": [10]}) == {"a": 1}
+        # the forfeited credit must not let round 2 exceed one quantum
+        picked = drr.pick_round({"a": [100] * 5})
+        assert picked == {"a": 1}
+
+    def test_idle_tenant_cannot_bank_credit(self):
+        drr = DeficitRoundRobin(quantum_items=100)
+        drr.ensure("idler")
+        for _ in range(5):
+            drr.pick_round({"worker": [100]})
+        # idler was empty for 5 rounds; it gets one quantum, not five
+        picked = drr.pick_round({"idler": [100] * 5})
+        assert picked == {"idler": 1}
+
+    def test_oversized_job_carries_debt_forward(self):
+        drr = DeficitRoundRobin(quantum_items=60)
+        # a 100-cost head job outweighs the quantum: admitted at once
+        # (no starvation), overdrawing the tenant's balance
+        assert drr.pick_round({"a": [100, 100]}) == {"a": 1}
+        # the overdraft is repaid first: one 60-credit round against a
+        # -40 balance is not enough for the next job...
+        assert drr.pick_round({"a": [100]}) == {}
+        # ...but once the balance is positive again, service resumes
+        assert drr.pick_round({"a": [100]}) == {"a": 1}
+
+
+class TestObserve:
+    def test_observe_moves_weight_toward_throughput(self):
+        drr = DeficitRoundRobin(smoothing=0.5)
+        drr.ensure("a")
+        drr.observe("a", items=1000, seconds=1.0)
+        assert drr.weight("a") == pytest.approx(0.5 * 1.0 + 0.5 * 1000)
+
+    def test_observe_ignores_degenerate_samples(self):
+        drr = DeficitRoundRobin()
+        drr.ensure("a")
+        drr.observe("a", items=0, seconds=1.0)
+        drr.observe("a", items=10, seconds=0.0)
+        assert drr.weight("a") == 1.0
+
+    def test_snapshot_is_json_friendly(self):
+        import json
+        drr = DeficitRoundRobin()
+        drr.ensure("a")
+        drr.pick_round({"a": [1]})
+        snap = drr.snapshot()
+        assert json.loads(json.dumps(snap)) == snap
+        assert snap["rounds"] == 1

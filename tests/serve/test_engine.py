@@ -1,0 +1,229 @@
+"""The serve engine: admission, batching, fairness, deadlines,
+tenant isolation — all without a network in the way."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import (AdmissionRejectedError, ServeError,
+                          UnknownJobError)
+from repro.serve import JobStatus, ServeConfig, ServeEngine
+from repro.serve.admission import AdmissionController
+
+SOURCES = ["float scale2(float x) { return x * 2.0f; }",
+           "float plus3(float x) { return x + 3.0f; }"]
+
+
+def reference(array: np.ndarray) -> np.ndarray:
+    return (array * np.float32(2.0)) + np.float32(3.0)
+
+
+def make_engine(**overrides) -> ServeEngine:
+    defaults = dict(num_gpus=2)
+    defaults.update(overrides)
+    return ServeEngine(ServeConfig(**defaults))
+
+
+class TestAdmissionController:
+    def test_within_bounds_admits(self):
+        AdmissionController(4, 16).check("a", 3, 10)
+
+    def test_tenant_bound_rejects(self):
+        with pytest.raises(AdmissionRejectedError) as info:
+            AdmissionController(4, 16).check("a", 4, 4)
+        assert info.value.tenant == "a"
+        assert info.value.retry_after_s > 0
+
+    def test_global_bound_rejects(self):
+        with pytest.raises(AdmissionRejectedError):
+            AdmissionController(100, 16).check("a", 2, 16)
+
+    def test_retry_after_scales_with_backlog(self):
+        shallow = AdmissionController.retry_after(2, 0.1)
+        deep = AdmissionController.retry_after(50, 0.1)
+        assert deep > shallow
+
+    def test_rejects_bad_bounds(self):
+        with pytest.raises(ServeError):
+            AdmissionController(0, 10)
+
+
+class TestSubmitAndRun:
+    def test_submit_drain_bitwise_identical(self):
+        engine = make_engine()
+        rng = np.random.default_rng(0)
+        jobs = []
+        for tenant in ("a", "b", "c"):
+            for _ in range(3):
+                arr = rng.random(100).astype(np.float32)
+                jobs.append((engine.submit(tenant, SOURCES, arr), arr))
+        engine.drain()
+        for job, arr in jobs:
+            assert job.status is JobStatus.DONE
+            assert np.array_equal(job.result, reference(arr))
+            assert job.latency_s is not None and job.latency_s >= 0
+
+    def test_micro_batching_merges_same_signature(self):
+        engine = make_engine()
+        rng = np.random.default_rng(1)
+        for tenant in ("a", "b", "c", "d"):
+            engine.submit(tenant, SOURCES,
+                          rng.random(64).astype(np.float32))
+        engine.drain()
+        assert engine.stats.launches == 1
+        assert engine.stats.batched_jobs == 4
+        assert engine.stats.plans_verified == 1
+
+    def test_no_batch_mode_launches_each_alone(self):
+        engine = make_engine(micro_batch=False)
+        rng = np.random.default_rng(2)
+        for tenant in ("a", "b", "c"):
+            engine.submit(tenant, SOURCES,
+                          rng.random(64).astype(np.float32))
+        engine.drain()
+        assert engine.stats.launches == 3
+        assert engine.stats.batched_jobs == 0
+
+    def test_admission_bound_enforced(self):
+        engine = make_engine(max_queue_jobs=2)
+        arr = np.ones(8, np.float32)
+        engine.submit("a", SOURCES, arr)
+        engine.submit("a", SOURCES, arr)
+        with pytest.raises(AdmissionRejectedError) as info:
+            engine.submit("a", SOURCES, arr)
+        assert info.value.retry_after_s > 0
+        assert engine.stats.tenant("a").rejected == 1
+        # another tenant is unaffected by a's full queue
+        engine.submit("b", SOURCES, arr)
+
+    def test_rejects_bad_payloads(self):
+        engine = make_engine()
+        with pytest.raises(ServeError):
+            engine.submit("a", SOURCES, np.ones((2, 2), np.float32))
+        with pytest.raises(ServeError):
+            engine.submit("a", [], np.ones(4, np.float32))
+        with pytest.raises(ServeError):
+            engine.submit("", SOURCES, np.ones(4, np.float32))
+
+
+class TestTenantIsolation:
+    def test_same_name_different_source_never_merge(self):
+        # two tenants own a kernel named `f` with different bodies:
+        # they must not collide in the batcher or the skeleton cache
+        src_a = ["float f(float x) { return x * 2.0f; }"]
+        src_b = ["float f(float x) { return x * 3.0f; }"]
+        engine = make_engine()
+        arr = np.arange(32, dtype=np.float32)
+        job_a = engine.submit("a", src_a, arr)
+        job_b = engine.submit("b", src_b, arr)
+        engine.drain()
+        assert engine.stats.launches == 2  # no cross-merge
+        assert np.array_equal(job_a.result, arr * np.float32(2.0))
+        assert np.array_equal(job_b.result, arr * np.float32(3.0))
+        assert len(engine.batcher.cached_signatures) == 2
+
+    def test_identical_sources_do_merge_across_tenants(self):
+        engine = make_engine()
+        arr = np.arange(16, dtype=np.float32)
+        engine.submit("a", SOURCES, arr)
+        engine.submit("b", SOURCES, arr.copy())
+        engine.drain()
+        assert engine.stats.launches == 1
+        assert len(engine.batcher.cached_signatures) == 1
+
+    def test_job_lookup_is_tenant_scoped(self):
+        engine = make_engine()
+        job = engine.submit("a", SOURCES, np.ones(8, np.float32))
+        with pytest.raises(UnknownJobError):
+            engine.get("b", job.id)
+        with pytest.raises(UnknownJobError):
+            engine.cancel("b", job.id)
+
+
+class TestLifecycle:
+    def test_cancel_queued_job(self):
+        engine = make_engine()
+        job = engine.submit("a", SOURCES, np.ones(8, np.float32))
+        assert engine.cancel("a", job.id) is True
+        assert job.status is JobStatus.CANCELLED
+        engine.drain()  # nothing left; must not run the cancelled job
+        assert job.result is None
+        assert engine.stats.tenant("a").cancelled == 1
+
+    def test_cancel_done_job_is_noop(self):
+        engine = make_engine()
+        job = engine.submit("a", SOURCES, np.ones(8, np.float32))
+        engine.drain()
+        assert engine.cancel("a", job.id) is False
+        assert job.status is JobStatus.DONE
+
+    def test_deadline_expiry(self):
+        engine = make_engine()
+        job = engine.submit("a", SOURCES, np.ones(8, np.float32),
+                            deadline_s=-0.001)  # already past
+        engine.run_once()
+        assert job.status is JobStatus.EXPIRED
+        assert "deadline" in job.error
+        assert engine.stats.tenant("a").expired == 1
+
+    def test_failed_job_reports_error(self):
+        engine = make_engine()
+        job = engine.submit("a", ["float broken(float x { return x; }"],
+                            np.ones(8, np.float32))
+        engine.drain()
+        assert job.status is JobStatus.FAILED
+        assert job.error
+        assert engine.stats.tenant("a").failed == 1
+
+    def test_background_thread_drains(self):
+        engine = make_engine()
+        engine.start()
+        try:
+            job = engine.submit("a", SOURCES,
+                                np.arange(64, dtype=np.float32))
+            done = engine.wait("a", job.id, timeout_s=30.0)
+            assert done.status is JobStatus.DONE
+        finally:
+            engine.stop()
+
+    def test_global_default_context_untouched(self):
+        from repro.skelcl import context as context_module
+        before = context_module._default_context
+        engine = make_engine()
+        engine.submit("a", SOURCES, np.ones(8, np.float32))
+        engine.drain()
+        assert context_module._default_context is before
+
+
+class TestFairness:
+    def test_flooding_tenant_does_not_starve_others(self):
+        # tenant "flood" submits 20 jobs, "small" submits 2; with DRR
+        # the small tenant's jobs must complete within the first few
+        # rounds, not after the flood drains
+        engine = make_engine(quantum_items=64, max_batch_jobs=4)
+        flood = [engine.submit("flood", SOURCES,
+                               np.ones(64, np.float32))
+                 for _ in range(20)]
+        small = [engine.submit("small", SOURCES,
+                               np.ones(64, np.float32))
+                 for _ in range(2)]
+        rounds = 0
+        while any(not j.status.terminal for j in small):
+            engine.run_once()
+            rounds += 1
+            assert rounds < 10, "small tenant starved"
+        assert rounds <= 3
+        assert any(not j.status.terminal for j in flood)
+        engine.drain()
+
+    def test_snapshot_shape(self):
+        import json
+        engine = make_engine()
+        engine.submit("a", SOURCES, np.ones(8, np.float32))
+        engine.drain()
+        snap = engine.snapshot()
+        assert json.loads(json.dumps(snap))  # JSON-serializable
+        assert snap["stats"]["completed"] == 1
+        assert snap["stats"]["tenants"]["a"]["p99_ms"] >= 0
+        assert snap["scheduler"]["rounds"] >= 1
