@@ -1,0 +1,28 @@
+"""Shared environment fingerprint for every ``BENCH_*.json`` emitter.
+
+Wall-clock benchmark numbers are meaningless without the machine and
+library versions they were measured on, and cross-run comparisons (CI
+artifact diffing, the README speedup table) need a stable record
+shape.  Every benchmark that writes a ``BENCH_*.json`` stamps the
+:func:`bench_meta` block into its payload under the ``"meta"`` key.
+"""
+
+import os
+import platform
+
+import numpy as np
+
+#: bump when the shape of emitted BENCH_*.json records changes
+#: incompatibly (v2 introduced this shared metadata block)
+BENCH_SCHEMA_VERSION = 2
+
+
+def bench_meta() -> dict:
+    """The metadata block shared by all benchmark records."""
+    return {
+        "bench_schema_version": BENCH_SCHEMA_VERSION,
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "platform": platform.platform(),
+        "cpu_count": os.cpu_count() or 1,
+    }

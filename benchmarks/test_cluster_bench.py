@@ -17,6 +17,7 @@ from pathlib import Path
 from repro.cluster.corpus import (DEFAULT_SEED, corpus_mismatches,
                                   reference_corpus, run_skeleton_corpus)
 
+from bench_meta import bench_meta
 from conftest import print_experiment
 
 SIZE = 1 << 15
@@ -52,6 +53,7 @@ def test_cluster_vs_local_corpus():
                         for s in stats)
     frames = sum(s["frames_sent"] for s in stats)
     record = {
+        "meta": bench_meta(),
         "size": SIZE,
         "workers": 2,
         "local_wall_s": round(local_wall_s, 4),

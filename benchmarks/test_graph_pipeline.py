@@ -26,6 +26,7 @@ from repro import skelcl
 from repro.skelcl import Map, Vector
 from repro.util.tables import format_table
 
+from bench_meta import bench_meta
 from conftest import print_experiment
 
 N = 1 << 22
@@ -108,6 +109,7 @@ def test_graph_pipeline(benchmark):
 
     BENCH_PATH.write_text(json.dumps({
         "benchmark": "graph_pipeline",
+        "meta": bench_meta(),
         "elements": N,
         "stages": len(STAGE_SOURCES),
         "results": list(results.values()),

@@ -1,0 +1,197 @@
+"""Native-engine wall-clock benchmark (ISSUE 8 acceptance criterion).
+
+Runs the two headline workloads — a 1M-pixel Mandelbrot render and a
+1M-interaction all-pairs N-body force pass — through the numpy batch
+engine and the fused-C native JIT and compares *wall-clock* time.
+Like the batch benchmark, real seconds are the measurand here: the
+native tier exists purely to make the simulator itself fast.
+
+JIT compilation happens on an untimed warm-up launch (the artifact
+cache makes repeat processes hit the compiled .so anyway), so the
+numbers compare steady-state execution.  Equivalence is asserted the
+same way the three-engine differential suite does: bitwise for the
+integer Mandelbrot output, <= 4 ULP for the float N-body output, each
+cross-checked against the per-item interpreter on a size it can cover.
+
+Emits ``BENCH_native.json``; asserts the acceptance gate of a >= 5x
+speedup over batch on Mandelbrot (the paper-facing target is ~10x —
+both numbers are recorded).  Skips only when the machine has no C
+toolchain at all ([ND001]).
+"""
+
+import json
+import os
+import time
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro import clc, skelcl
+from repro.apps import mandelbrot as mb
+from repro.apps import nbody
+from repro.clc import native
+from repro.util.tables import format_table
+
+from bench_meta import bench_meta
+from conftest import print_experiment
+
+WIDTH, HEIGHT = 1024, 1024          # 1,048,576 pixels
+MAX_ITER = 60
+EQUIV_WIDTH, EQUIV_HEIGHT = 256, 192  # per-item ground-truth run
+NBODY_N = 1024                      # 1,048,576 pair interactions
+NBODY_EQUIV_N = 64
+ROUNDS = 3
+MAX_ULP = 4
+#: acceptance gate (>= 5x); the design target is ~10x, recorded below
+TARGET_SPEEDUP = float(os.environ.get("NATIVE_BENCH_MIN_SPEEDUP", "5"))
+DESIGN_TARGET_SPEEDUP = 10.0
+BENCH_PATH = Path(__file__).resolve().parent.parent / \
+    "BENCH_native.json"
+
+pytestmark = pytest.mark.skipif(
+    bool(native.toolchain_blockers()),
+    reason="no C toolchain / cffi on this machine ([ND001])")
+
+
+def ulp_distance(a, b):
+    a = np.asarray(a, np.float32)
+    b = np.asarray(b, np.float32)
+    assert np.isfinite(a).all() and np.isfinite(b).all()
+    ia = a.view(np.int32).astype(np.int64)
+    ib = b.view(np.int32).astype(np.int64)
+    ia = np.where(ia < 0, np.int64(-(2 ** 31)) - ia, ia)
+    ib = np.where(ib < 0, np.int64(-(2 ** 31)) - ib, ib)
+    return 0 if a.size == 0 else int(np.abs(ia - ib).max())
+
+
+def best_of(launcher, make_args, gsize, rounds=ROUNDS):
+    """Best wall-clock of *rounds* runs; returns (seconds, last args)."""
+    best, args = float("inf"), None
+    for _ in range(rounds):
+        args = make_args()
+        t0 = time.perf_counter()
+        launcher(args, gsize, tuple(1 for _ in gsize))
+        best = min(best, time.perf_counter() - t0)
+    return best, args
+
+
+def engines_for(source, kernel_name):
+    program = clc.compile_source(source, use_cache=False)
+    batch, blockers = program.batch_kernel(kernel_name)
+    assert batch is not None, blockers
+    native_k, nblockers = program.native_kernel(kernel_name)
+    assert native_k is not None, nblockers
+    return program, batch, native_k
+
+
+def measure_mandelbrot():
+    skeleton = skelcl.Map(mb.MANDELBROT_SOURCE, ops_per_item=1.0)
+    program, batch, native_k = engines_for(skeleton.kernel_source,
+                                           "skelcl_map")
+    view = mb.View(width=WIDTH, height=HEIGHT, max_iter=MAX_ITER)
+    idx = np.arange(view.n_pixels, dtype=np.int32)
+
+    def make_args(v=view, i=idx):
+        return [i, np.zeros(len(i), np.int32), np.int32(len(i)),
+                np.int32(v.width), np.int32(v.height), v.x0, v.y0,
+                v.dx, v.dy, np.int32(v.max_iter)]
+
+    native_k(make_args(), (view.n_pixels,), (1,))  # untimed JIT warm-up
+    batch_s, out_batch = best_of(batch, make_args, (view.n_pixels,))
+    native_s, out_native = best_of(native_k, make_args,
+                                   (view.n_pixels,))
+
+    equiv_view = mb.View(width=EQUIV_WIDTH, height=EQUIV_HEIGHT,
+                         max_iter=MAX_ITER)
+    eidx = np.arange(equiv_view.n_pixels, dtype=np.int32)
+    item_args = make_args(equiv_view, eidx)
+    program.kernels["skelcl_map"].callable(
+        item_args, (equiv_view.n_pixels,), (1,))
+    native_args = make_args(equiv_view, eidx)
+    native_k(native_args, (equiv_view.n_pixels,), (1,))
+
+    return {
+        "pixels": view.n_pixels,
+        "max_iter": MAX_ITER,
+        "batch_wall_s": batch_s,
+        "native_wall_s": native_s,
+        "speedup": batch_s / native_s,
+        "bitwise_identical": bool(np.array_equal(out_batch[1],
+                                                 out_native[1])),
+        "per_item_equiv_pixels": equiv_view.n_pixels,
+        "per_item_bitwise_identical": bool(
+            np.array_equal(item_args[1], native_args[1])),
+    }
+
+
+def measure_nbody():
+    skeleton = skelcl.AllPairs(nbody._component_source(0))
+    program, batch, native_k = engines_for(skeleton.kernel_source,
+                                           "skelcl_allpairs")
+    bodies = nbody.plummer_cluster(NBODY_N, seed=7)
+
+    def make_args(b=bodies):
+        n = b.shape[0]
+        return [b.reshape(-1).copy(), b.reshape(-1).copy(),
+                np.zeros(n * n, np.float32), np.int32(n), np.int32(n),
+                np.int32(4)]
+
+    gsize = (NBODY_N, NBODY_N)
+    native_k(make_args(), gsize, (1, 1))  # untimed JIT warm-up
+    batch_s, out_batch = best_of(batch, make_args, gsize)
+    native_s, out_native = best_of(native_k, make_args, gsize)
+    full_ulp = ulp_distance(out_batch[2], out_native[2])
+
+    small = nbody.plummer_cluster(NBODY_EQUIV_N, seed=7)
+    egsize = (NBODY_EQUIV_N, NBODY_EQUIV_N)
+    item_args = make_args(small)
+    program.kernels["skelcl_allpairs"].callable(item_args, egsize,
+                                                (1, 1))
+    native_args = make_args(small)
+    native_k(native_args, egsize, (1, 1))
+
+    return {
+        "bodies": NBODY_N,
+        "interactions": NBODY_N * NBODY_N,
+        "batch_wall_s": batch_s,
+        "native_wall_s": native_s,
+        "speedup": batch_s / native_s,
+        "batch_native_max_ulp": full_ulp,
+        "per_item_equiv_bodies": NBODY_EQUIV_N,
+        "per_item_max_ulp": ulp_distance(item_args[2], native_args[2]),
+    }
+
+
+def test_native_engine_speedup(benchmark):
+    results = benchmark.pedantic(
+        lambda: {"mandelbrot": measure_mandelbrot(),
+                 "nbody": measure_nbody()},
+        rounds=1, iterations=1)
+    m, nb = results["mandelbrot"], results["nbody"]
+
+    print_experiment(
+        f"Native engine: {WIDTH}x{HEIGHT} Mandelbrot + "
+        f"{NBODY_N}-body all-pairs (wall clock, best of {ROUNDS})",
+        format_table(
+            ["workload", "batch [s]", "native [s]", "speedup"],
+            [["mandelbrot", f"{m['batch_wall_s']:.3f}",
+              f"{m['native_wall_s']:.3f}", f"{m['speedup']:.1f}x"],
+             ["nbody", f"{nb['batch_wall_s']:.3f}",
+              f"{nb['native_wall_s']:.3f}", f"{nb['speedup']:.1f}x"]]))
+
+    BENCH_PATH.write_text(json.dumps({
+        "benchmark": "native_engine",
+        "meta": bench_meta(),
+        "min_speedup_gate": TARGET_SPEEDUP,
+        "design_target_speedup": DESIGN_TARGET_SPEEDUP,
+        "results": results,
+    }, indent=2) + "\n")
+
+    assert m["bitwise_identical"], \
+        "native and batch diverged on the full Mandelbrot render"
+    assert m["per_item_bitwise_identical"], \
+        "native diverged from the per-item ground truth"
+    assert nb["batch_native_max_ulp"] <= MAX_ULP, nb
+    assert nb["per_item_max_ulp"] <= MAX_ULP, nb
+    assert m["speedup"] >= TARGET_SPEEDUP, m

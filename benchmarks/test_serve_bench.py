@@ -25,6 +25,7 @@ from repro import ocl
 from repro.serve import ServeConfig, ServeEngine
 from repro.skelcl.context import SkelCLContext
 
+from bench_meta import bench_meta
 from conftest import print_experiment
 
 TENANTS = 8
@@ -102,6 +103,7 @@ def test_micro_batching_beats_serial():
         f"{serial_p99:.1f} ms")
 
     record = {
+        "meta": bench_meta(),
         "tenants": TENANTS,
         "jobs_per_tenant": JOBS_PER_TENANT,
         "job_items": JOB_ITEMS,

@@ -33,6 +33,7 @@ from repro.ocl import set_lazy_memory
 from repro.skelcl import Distribution, Vector
 from repro.util.tables import format_table
 
+from bench_meta import bench_meta
 from conftest import print_experiment
 
 MICRO_ELEMENTS = 48_000_000          # 192 MB of float32 per vector
@@ -166,6 +167,7 @@ def test_transfer_layer_speedup(benchmark, osem_problem):
 
     BENCH_PATH.write_text(json.dumps({
         "benchmark": "lazy_transfer_layer",
+        "meta": bench_meta(),
         "results": r,
     }, indent=2) + "\n")
 

@@ -29,6 +29,7 @@ from repro import clc, skelcl
 from repro.apps import mandelbrot as mb
 from repro.util.tables import format_table
 
+from bench_meta import bench_meta
 from conftest import print_experiment
 
 WIDTH, HEIGHT = 1024, 1024          # 1, 048, 576 pixels
@@ -121,6 +122,7 @@ def test_batch_engine_speedup(benchmark):
 
     BENCH_PATH.write_text(json.dumps({
         "benchmark": "vectorize_mandelbrot",
+        "meta": bench_meta(),
         "results": r,
     }, indent=2) + "\n")
 

@@ -46,6 +46,8 @@ class Program:
     op_counts: dict[str, float] = field(default_factory=dict)
     #: kernel name -> (BatchKernel | None, blockers) — see batch_kernel
     _batch: dict = field(default_factory=dict, repr=False)
+    #: kernel name -> (NativeKernel | None, blockers) — see native_kernel
+    _native: dict = field(default_factory=dict, repr=False)
 
     @property
     def kernels(self) -> dict[str, CompiledFunction]:
@@ -79,6 +81,38 @@ class Program:
             kernel = BatchKernel(self.unit, func)
         result = (kernel, blockers)
         self._batch[name] = result
+        return result
+
+    def native_kernel(self, name: str):
+        """The fused-C JIT evaluator for kernel *name*, plus why not.
+
+        Returns ``(native_kernel, blockers)``: the first element is a
+        :class:`repro.clc.native.NativeKernel` when the native tier can
+        lower the kernel *and* a C toolchain + cffi are available, else
+        ``None`` with a non-empty list of blockers.  Structural
+        blockers (ND002/ND004/ND005/ND006, barrier divergence) come
+        first; environmental ones (ND001: no compiler, no cffi) are
+        appended so callers can distinguish "this kernel can never run
+        native" from "this machine cannot run native today".
+        """
+        cached = self._native.get(name)
+        if cached is not None:
+            return cached
+        from repro.clc import native
+        from repro.clc.analysis import kernel_native_blockers
+        func = next((f for f in self.unit.functions
+                     if f.name == name and f.is_kernel), None)
+        if func is None:
+            raise KeyError(f"no kernel named {name!r}")
+        blockers = kernel_native_blockers(self.unit, func)
+        blockers += native.toolchain_blockers()
+        kernel = None
+        if not blockers:
+            toolchain = native.find_toolchain()
+            assert toolchain is not None
+            kernel = native.NativeKernel(self.unit, func, toolchain)
+        result = (kernel, blockers)
+        self._native[name] = result
         return result
 
 

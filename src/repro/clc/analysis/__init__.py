@@ -26,7 +26,9 @@ from repro.clc.analysis.diagnostics import (CHECKS, SCHEMA_VERSION,
                                             Severity)
 from repro.clc.analysis.driver import (analyze_source, analyze_unit,
                                        engine_report,
-                                       kernel_engine_blockers)
+                                       engine_report_tiers,
+                                       kernel_engine_blockers,
+                                       kernel_native_blockers)
 from repro.clc.analysis.values import (AbstractValue, ValueAnalysis,
                                        add_values, affine, const,
                                        join_values, mul_values)
@@ -55,7 +57,9 @@ __all__ = [
     "batch_blockers",
     "build_cfg",
     "engine_report",
+    "engine_report_tiers",
     "kernel_engine_blockers",
+    "kernel_native_blockers",
     "const",
     "join_values",
     "mul_values",

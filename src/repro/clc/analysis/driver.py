@@ -91,11 +91,72 @@ def kernel_engine_blockers(unit: ast.TranslationUnit,
     return blockers
 
 
+def kernel_native_blockers(unit: ast.TranslationUnit,
+                           func: ast.FunctionDef) -> list[str]:
+    """Every *structural* reason the native JIT tier must decline
+    *func* (empty: the kernel can lower to fused C).
+
+    Two layers combine:
+
+    - lowering gaps from :func:`repro.clc.native.lowering_blockers`
+      (struct types ND002, unsupported constructs ND004, barriers the
+      phase transformation cannot split ND005, recursion ND006);
+    - barrier divergence (BD001/BD002): the two-phase barrier loop
+      transformation evaluates loop/branch conditions once per group,
+      which is only sound when every lane agrees.
+
+    Environmental blockers (no C compiler, no cffi) are deliberately
+    *not* included — they are reported per-toolchain by
+    :func:`repro.clc.native.toolchain_blockers` and cause a graceful
+    fallback rather than a build failure.
+    """
+    from repro.clc import native
+
+    blockers = native.lowering_blockers(unit, func)
+    summaries = summarize_unit(unit)
+    summary = summaries[func.name]
+    if summary.has_barrier:
+        id_free = frozenset(name for name, s in summaries.items()
+                            if not s.uses_work_item_ids)
+        ctx = make_context(func, id_free_functions=id_free)
+        report = AnalysisReport()
+        check_barriers(ctx, report)
+        for diag in report.diagnostics:
+            if diag.check_id in ("BD001", "BD002"):
+                blockers.append(
+                    f"{func.name}: line {diag.line}: barrier "
+                    f"divergence ({diag.check_id}): {diag.message}")
+    return blockers
+
+
 def engine_report(unit: ast.TranslationUnit) -> dict[str, list[str]]:
     """Engine selection verdict for every ``__kernel`` in *unit*:
     kernel name -> list of batch blockers (empty: batch engine)."""
     return {func.name: kernel_engine_blockers(unit, func)
             for func in unit.functions if func.is_kernel}
+
+
+def engine_report_tiers(
+        unit: ast.TranslationUnit) -> dict[str, dict[str, list[str]]]:
+    """Per-tier engine verdict for every ``__kernel`` in *unit*:
+    kernel name -> {"per-item": [], "batch": [...], "native": [...]}.
+
+    The per-item interpreter runs everything, so its blocker list is
+    always empty; the other tiers carry their structural blockers
+    (batch: access/barrier codes, native: ND002/ND004/ND005/ND006 +
+    barrier divergence).  Toolchain availability is environmental and
+    reported separately.
+    """
+    report: dict[str, dict[str, list[str]]] = {}
+    for func in unit.functions:
+        if not func.is_kernel:
+            continue
+        report[func.name] = {
+            "per-item": [],
+            "batch": kernel_engine_blockers(unit, func),
+            "native": kernel_native_blockers(unit, func),
+        }
+    return report
 
 
 def analyze_source(source: str) -> AnalysisReport:

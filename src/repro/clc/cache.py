@@ -30,6 +30,28 @@ DIALECT_VERSION = 1
 
 _OFF_VALUES = {"0", "off", "false", "no"}
 
+#: per-tier in-process hit/miss counters ("frontend" = parse/typecheck
+#: pickles, "native" = compiled shared objects)
+_COUNTS: dict[str, dict[str, int]] = {
+    "frontend": {"hits": 0, "misses": 0},
+    "native": {"hits": 0, "misses": 0},
+}
+
+#: process-lifetime scratch dir used for native artifacts when the
+#: cache is disabled or unwritable
+_SCRATCH_DIR: Path | None = None
+
+
+def _count(tier: str, key: str) -> None:
+    _COUNTS[tier][key] += 1
+
+
+def _scratch_dir() -> Path:
+    global _SCRATCH_DIR
+    if _SCRATCH_DIR is None:
+        _SCRATCH_DIR = Path(tempfile.mkdtemp(prefix="repro-clc-native-"))
+    return _SCRATCH_DIR
+
 
 def cache_enabled() -> bool:
     return os.environ.get("REPRO_CLC_CACHE", "").lower() \
@@ -61,9 +83,11 @@ def load(source: str) -> dict[str, Any] | None:
             entry = pickle.load(fh)
         if (entry.get("version") == DIALECT_VERSION
                 and entry.get("source") == source):
+            _count("frontend", "hits")
             return entry
     except Exception:
         pass
+    _count("frontend", "misses")
     return None
 
 
@@ -96,29 +120,134 @@ def store(source: str, unit: Any, op_counts: dict[str, float],
         pass
 
 
-def stats() -> dict[str, Any]:
-    """Entry count and total size of the cache directory."""
-    directory = cache_dir()
-    entries = list(directory.glob("*.pkl")) if directory.is_dir() else []
-    return {
-        "dir": str(directory),
-        "enabled": cache_enabled(),
-        "entries": len(entries),
-        "bytes": sum(p.stat().st_size for p in entries),
-        "dialect_version": DIALECT_VERSION,
-    }
+# ---------------------------------------------------------------------------
+# native shared-object artifact store (engine="native", PR 8)
+# ---------------------------------------------------------------------------
+
+def _native_path(digest: str, toolchain_id: str) -> Path:
+    return cache_dir() / f"{digest}.v{DIALECT_VERSION}.{toolchain_id}.so"
 
 
-def clear() -> int:
-    """Delete every cache entry; returns how many were removed."""
+def native_load(digest: str, toolchain_id: str) -> str | None:
+    """Path of a cached shared object for (C source digest, toolchain),
+    or None on a miss.  Artifacts are keyed by the SHA-256 of the
+    *generated C* (which itself derives from the dialect source and the
+    specialization signature), the dialect version, and the toolchain
+    id, so a compiler upgrade can never serve stale machine code."""
+    if cache_enabled():
+        path = _native_path(digest, toolchain_id)
+        if path.is_file():
+            _count("native", "hits")
+            return str(path)
+    scratch = _scratch_dir() / f"{digest}.{toolchain_id}.so"
+    if scratch.is_file():
+        _count("native", "hits")
+        return str(scratch)
+    _count("native", "misses")
+    return None
+
+
+def native_store(digest: str, toolchain_id: str,
+                 build: Any) -> str:
+    """Build and persist one shared object.
+
+    *build* is called with the final destination path and must place a
+    complete .so there (atomically).  When the cache is disabled or the
+    cache directory is unwritable, the artifact lands in a
+    process-lifetime scratch directory instead — compilation must never
+    fail because of cache state."""
+    if cache_enabled():
+        path = _native_path(digest, toolchain_id)
+        try:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            build(path)
+            return str(path)
+        except OSError:
+            pass
+    scratch = _scratch_dir() / f"{digest}.{toolchain_id}.so"
+    build(scratch)
+    return str(scratch)
+
+
+def evict_stale_native(current_toolchain_id: str | None) -> int:
+    """Delete native artifacts built by any toolchain other than the
+    current one; returns how many were removed."""
     directory = cache_dir()
     if not directory.is_dir():
         return 0
     removed = 0
-    for path in directory.glob("*.pkl"):
+    suffix = f".{current_toolchain_id}.so" if current_toolchain_id else None
+    for path in directory.glob("*.so"):
+        if suffix is not None and path.name.endswith(suffix):
+            continue
         try:
             path.unlink()
             removed += 1
         except OSError:
             pass
+    return removed
+
+
+def stats() -> dict[str, Any]:
+    """Entry count and total size of the cache directory, with a
+    per-tier breakdown (``tiers.frontend`` = parse/typecheck pickles,
+    ``tiers.native`` = compiled shared objects) including in-process
+    hit/miss counters."""
+    directory = cache_dir()
+    pickles = list(directory.glob("*.pkl")) if directory.is_dir() else []
+    shared = list(directory.glob("*.so")) if directory.is_dir() else []
+
+    def _sizes(paths: list[Path]) -> int:
+        total = 0
+        for path in paths:
+            try:
+                total += path.stat().st_size
+            except OSError:
+                pass
+        return total
+
+    return {
+        "dir": str(directory),
+        "enabled": cache_enabled(),
+        "entries": len(pickles),
+        "bytes": _sizes(pickles),
+        "dialect_version": DIALECT_VERSION,
+        "tiers": {
+            "frontend": {
+                "entries": len(pickles),
+                "bytes": _sizes(pickles),
+                "hits": _COUNTS["frontend"]["hits"],
+                "misses": _COUNTS["frontend"]["misses"],
+            },
+            "native": {
+                "entries": len(shared),
+                "bytes": _sizes(shared),
+                "hits": _COUNTS["native"]["hits"],
+                "misses": _COUNTS["native"]["misses"],
+            },
+        },
+    }
+
+
+_TIER_GLOBS = {"frontend": ("*.pkl",), "native": ("*.so",)}
+
+
+def clear(tier: str | None = None) -> int:
+    """Delete cache entries (all tiers by default, or just *tier* —
+    ``"frontend"`` or ``"native"``); returns how many were removed."""
+    directory = cache_dir()
+    if not directory.is_dir():
+        return 0
+    if tier is not None and tier not in _TIER_GLOBS:
+        raise ValueError(f"unknown cache tier {tier!r}")
+    patterns = _TIER_GLOBS[tier] if tier is not None \
+        else tuple(g for globs in _TIER_GLOBS.values() for g in globs)
+    removed = 0
+    for pattern in patterns:
+        for path in directory.glob(pattern):
+            try:
+                path.unlink()
+                removed += 1
+            except OSError:
+                pass
     return removed

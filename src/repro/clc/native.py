@@ -1,0 +1,1891 @@
+"""Native JIT execution tier: dialect kernels compiled to fused C.
+
+The third execution engine (after the per-item interpreter and the
+numpy batch engine of :mod:`repro.clc.batch`): the typechecked dialect
+AST is lowered to one fused C function per kernel — real control flow
+instead of masked lane compaction, no intermediate arrays — compiled
+with the system C compiler, loaded through cffi, and driven over the
+NDRange either in one sequential sweep or split across a thread pool
+when the kernel's effect summary proves lanes independent.
+
+Numeric contract
+----------------
+
+The per-item interpreter is the ground truth; the native tier must
+match it bitwise on integers and within 4 ULP on float32.  The
+interpreter executes Python/numpy scalar arithmetic, so the lowering
+reproduces numpy's NEP-50 promotion *statically*: every expression is
+assigned a :class:`Kind` — weak (Python ``bool``/``int``/``float``,
+carried as ``int64_t``/``double``) or strong (a concrete numpy dtype,
+carried as the exact-width C type) — and binary operations compute in
+the carrier of the joined kind, where the join of mixed weak/strong
+kinds is ``np.result_type`` over representative tokens.  Declared
+locals coerce exactly like the interpreter's ``int()``/``float()``
+(always weak); compound assignment does not coerce; integer ``/`` and
+``%`` lower to C's truncating division and sign-of-dividend remainder,
+which is precisely what the interpreter's ``_idiv``/``_imod`` compute.
+Math built-ins get their result kind by evaluating the interpreter's
+own numpy implementation on token values, so the table can never
+drift.
+
+Barrier kernels use a phase transformation (in the style of MCUDA's
+deep fission): every scalar becomes a per-lane array, statement runs
+between barriers become ``for (lane)`` loops, and group-uniform control
+flow around barriers is hoisted to group level with conditions read
+from lane 0.  Groups then execute sequentially, which reproduces the
+interpreter's lockstep generator order exactly.
+
+Blockers
+--------
+
+A kernel the lowering cannot take reports a structured blocker through
+:func:`repro.clc.analysis.kernel_native_blockers` (never a silent
+fallback):
+
+- ``ND001`` — no usable C toolchain (compiler or cffi missing);
+- ``ND002`` — struct types (the OSEM record kernels stay on batch);
+- ``ND004`` — a construct outside the native subset (atomics in value
+  position, non-literal array sizes, break/continue across a barrier,
+  ...);
+- ``ND005`` — barrier divergence (the BD001/BD002 findings);
+- ``ND006`` — recursive helper functions.
+
+``ND001`` is environmental, not structural: engine selection degrades
+to the batch tier and records the blocker instead of failing the
+build.  Set ``REPRO_CLC_CC`` to pick a compiler, ``REPRO_CLC_CC=``
+(empty) to simulate an absent toolchain, and
+``REPRO_CLC_NATIVE_THREADS`` to bound the slice driver's pool.
+Compiled shared objects are cached on disk by
+:mod:`repro.clc.cache`, keyed by the SHA-256 of the generated C
+source, the dialect version and the toolchain id.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import shutil
+import subprocess
+import tempfile
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Optional, Sequence, Union
+
+import numpy as np
+
+from repro.clc import astnodes as ast
+from repro.clc.builtins import (ATOMIC_FUNCTIONS, BUILTINS,
+                                WORK_ITEM_FUNCTIONS)
+from repro.clc.types import PointerType, ScalarType, StructType
+
+__all__ = [
+    "NativeKernel", "NativeLoweringError", "Toolchain", "find_toolchain",
+    "toolchain_blockers", "lowering_blockers", "lower_kernel",
+]
+
+
+class NativeLoweringError(Exception):
+    """A kernel (or its environment) the native tier must decline."""
+
+    def __init__(self, code: str, message: str, line: int = 0) -> None:
+        self.code = code
+        self.message = message
+        self.line = line
+        super().__init__(f"[{code}] {message}")
+
+
+# ---------------------------------------------------------------------------
+# Kinds: the static image of numpy's NEP-50 value model
+# ---------------------------------------------------------------------------
+
+#: carrier C type per numpy dtype name
+_C_TYPES: dict[str, str] = {
+    "bool": "uint8_t", "int8": "int8_t", "uint8": "uint8_t",
+    "int16": "int16_t", "uint16": "uint16_t", "int32": "int32_t",
+    "uint32": "uint32_t", "int64": "int64_t", "uint64": "uint64_t",
+    "float32": "float", "float64": "double",
+}
+
+_CAT_ORDER = {"bool": 0, "int": 1, "float": 2}
+
+
+@dataclass(frozen=True)
+class Kind:
+    """Category + carrier of one scalar expression.
+
+    ``weak`` kinds model Python scalars (the interpreter's ``int``/
+    ``float``/``bool`` values); strong kinds model numpy scalars of a
+    concrete dtype (buffer loads, typed kernel arguments).
+    """
+
+    category: str  # "bool" | "int" | "float"
+    dtype: str     # numpy dtype name of the carrier
+    weak: bool
+
+    @property
+    def ctype(self) -> str:
+        return _C_TYPES[self.dtype]
+
+    def token(self) -> Any:
+        """The np.result_type token reproducing NEP-50 joins."""
+        if self.weak:
+            return {"bool": False, "int": 0, "float": 0.0}[self.category]
+        return np.dtype(self.dtype)
+
+    def sample(self) -> Any:
+        """An in-domain runtime value of this kind (for builtin typing)."""
+        if self.weak:
+            return {"bool": True, "int": 1, "float": 0.5}[self.category]
+        dt = np.dtype(self.dtype)
+        if dt.kind == "b":
+            return np.bool_(True)
+        if dt.kind in "iu":
+            return dt.type(1)
+        return dt.type(0.5)
+
+
+WEAK_BOOL = Kind("bool", "int64", True)
+WEAK_INT = Kind("int", "int64", True)
+WEAK_FLOAT = Kind("float", "float64", True)
+
+_WEAK_BY_CAT = {"bool": WEAK_BOOL, "int": WEAK_INT, "float": WEAK_FLOAT}
+
+
+def strong_kind(dtype: Union[np.dtype, str]) -> Kind:
+    dt = np.dtype(dtype)
+    cat = {"b": "bool", "i": "int", "u": "int", "f": "float"}.get(dt.kind)
+    if cat is None:
+        raise NativeLoweringError(
+            "ND004", f"unsupported scalar dtype {dt} in native lowering")
+    return Kind(cat, dt.name, False)
+
+
+def join(a: Kind, b: Kind) -> Kind:
+    """The kind of a value produced by combining *a* and *b* the way
+    numpy would (NEP-50): weak pairs stay weak at the wider category;
+    any strong operand resolves through ``np.result_type`` tokens."""
+    if a == b:
+        return a
+    if a.weak and b.weak:
+        cat = a.category if _CAT_ORDER[a.category] >= _CAT_ORDER[b.category] \
+            else b.category
+        return _WEAK_BY_CAT[cat]
+    return strong_kind(np.result_type(a.token(), b.token()))
+
+
+@dataclass(frozen=True)
+class PtrKind:
+    """A pointer value: base + remaining length (negative indices read
+    from the end of the view, exactly like the interpreter's numpy
+    slices)."""
+
+    dtype: str  # pointee numpy dtype name
+
+    @property
+    def struct(self) -> str:
+        return f"ptr_{self.dtype}"
+
+    @property
+    def ctype(self) -> str:
+        return _C_TYPES[self.dtype]
+
+
+AnyKind = Union[Kind, PtrKind]
+
+
+def scalar_param_kind(ctype: ScalarType) -> Kind:
+    return strong_kind(ctype.dtype())
+
+
+def kind_from_value(value: Any) -> AnyKind:
+    """The kind of one runtime kernel argument (compilation signature)."""
+    if isinstance(value, np.ndarray):
+        return PtrKind(value.dtype.name)
+    if isinstance(value, np.generic):
+        return strong_kind(value.dtype)
+    if isinstance(value, bool):
+        return WEAK_BOOL
+    if isinstance(value, int):
+        return WEAK_INT
+    if isinstance(value, float):
+        return WEAK_FLOAT
+    raise NativeLoweringError(
+        "ND004", f"unsupported kernel argument type {type(value).__name__}")
+
+
+def _float_literal(value: float) -> str:
+    """An exact C double literal (hex float form)."""
+    if value != value:
+        return "NAN"
+    if value in (float("inf"), float("-inf")):
+        return "INFINITY" if value > 0 else "(-INFINITY)"
+    return float(value).hex()
+
+
+# ---------------------------------------------------------------------------
+# Toolchain discovery
+# ---------------------------------------------------------------------------
+
+_CFLAGS = ["-O2", "-shared", "-fPIC", "-fwrapv", "-ffp-contract=off", "-w"]
+
+
+@dataclass(frozen=True)
+class Toolchain:
+    cc: str        # resolved compiler path
+    version: str   # first line of --version
+    id: str        # short stable identifier for cache keys
+
+
+_PROBE_LOCK = threading.Lock()
+_PROBE_CACHE: dict[str, Optional[Toolchain]] = {}
+
+
+def _probe(path: str) -> Optional[Toolchain]:
+    """Compile-check one candidate compiler; broken toolchains are
+    treated as absent rather than crashing later at kernel build."""
+    try:
+        version = subprocess.run(
+            [path, "--version"], capture_output=True, text=True,
+            timeout=30).stdout.splitlines()[0].strip()
+    except Exception:
+        return None
+    probe_src = "int repro_probe(void) { return 42; }\n"
+    try:
+        with tempfile.TemporaryDirectory(prefix="repro-cc-probe") as tmp:
+            src = Path(tmp) / "probe.c"
+            out = Path(tmp) / "probe.so"
+            src.write_text(probe_src)
+            result = subprocess.run(
+                [path, *_CFLAGS, str(src), "-o", str(out), "-lm"],
+                capture_output=True, timeout=60)
+            if result.returncode != 0 or not out.exists():
+                return None
+    except Exception:
+        return None
+    real = os.path.realpath(path)
+    digest = hashlib.sha256(f"{real}\n{version}".encode()).hexdigest()[:12]
+    return Toolchain(cc=path, version=version, id=digest)
+
+
+def find_toolchain() -> Optional[Toolchain]:
+    """The usable C compiler, or None.
+
+    ``REPRO_CLC_CC`` overrides discovery; setting it to the empty
+    string simulates an absent toolchain (the CI fallback assertion).
+    Probe results are memoized per process.
+    """
+    spec = os.environ.get("REPRO_CLC_CC")
+    if spec is not None and spec.strip() == "":
+        return None
+    candidates = [spec] if spec else ["cc", "gcc", "clang"]
+    for name in candidates:
+        path = shutil.which(name)
+        if path is None:
+            continue
+        with _PROBE_LOCK:
+            if path not in _PROBE_CACHE:
+                _PROBE_CACHE[path] = _probe(path)
+            tc = _PROBE_CACHE[path]
+        if tc is not None:
+            return tc
+    return None
+
+
+def _cffi_available() -> bool:
+    try:
+        import cffi  # noqa: F401
+    except Exception:
+        return False
+    return True
+
+
+def toolchain_blockers() -> list[str]:
+    """Environmental (non-structural) reasons the native tier is
+    unavailable right now — empty when a kernel can actually compile."""
+    blockers = []
+    if not _cffi_available():
+        blockers.append("[ND001] cffi is not importable — the native "
+                        "tier cannot load compiled kernels")
+    if find_toolchain() is None:
+        blockers.append("[ND001] no usable C compiler (checked "
+                        "REPRO_CLC_CC, cc, gcc, clang)")
+    return blockers
+
+
+# ---------------------------------------------------------------------------
+# cffi loading and shared-object compilation
+# ---------------------------------------------------------------------------
+
+ENTRY_SYMBOL = "repro_native_entry"
+_ENTRY_CDEF = (f"void {ENTRY_SYMBOL}(void **bufs, int64_t *lens, "
+               "int64_t *meta, int64_t t0, int64_t t1);")
+
+_FFI_LOCK = threading.Lock()
+_FFI: Any = None
+_LIB_CACHE: dict[str, Any] = {}
+
+
+def _ffi() -> Any:
+    global _FFI
+    with _FFI_LOCK:
+        if _FFI is None:
+            import cffi
+            ffi = cffi.FFI()
+            ffi.cdef(_ENTRY_CDEF)
+            _FFI = ffi
+        return _FFI
+
+
+def _load_entry(so_path: str) -> Any:
+    """dlopen + symbol lookup, memoized per shared-object path."""
+    with _FFI_LOCK:
+        lib = _LIB_CACHE.get(so_path)
+    if lib is None:
+        lib = _ffi().dlopen(so_path)
+        with _FFI_LOCK:
+            _LIB_CACHE[so_path] = lib
+    return getattr(lib, ENTRY_SYMBOL)
+
+
+def compile_so(c_source: str, toolchain: Toolchain) -> str:
+    """Compile *c_source* to a shared object, going through the
+    on-disk artifact store when enabled; returns the .so path."""
+    from repro.clc import cache
+
+    digest = hashlib.sha256(c_source.encode()).hexdigest()
+    cached = cache.native_load(digest, toolchain.id)
+    if cached is not None:
+        return cached
+
+    def build(out_path: Path) -> None:
+        with tempfile.TemporaryDirectory(prefix="repro-native") as tmp:
+            src = Path(tmp) / "kernel.c"
+            obj = Path(tmp) / "kernel.so"
+            src.write_text(c_source)
+            result = subprocess.run(
+                [toolchain.cc, *_CFLAGS, str(src), "-o", str(obj), "-lm"],
+                capture_output=True, text=True, timeout=300)
+            if result.returncode != 0 or not obj.exists():
+                raise NativeLoweringError(
+                    "ND001", "C compilation failed:\n"
+                    + (result.stderr or result.stdout or "")[-2000:])
+            out_path.parent.mkdir(parents=True, exist_ok=True)
+            fd, tmp_out = tempfile.mkstemp(dir=out_path.parent,
+                                           suffix=".so.tmp")
+            os.close(fd)
+            shutil.copyfile(obj, tmp_out)
+            os.replace(tmp_out, out_path)
+
+    return cache.native_store(digest, toolchain.id, build)
+
+
+# ---------------------------------------------------------------------------
+# C prelude shared by every generated kernel
+# ---------------------------------------------------------------------------
+
+_PRELUDE = """\
+#include <stdint.h>
+#include <string.h>
+#include <math.h>
+
+typedef struct {
+    int64_t gid[3]; int64_t lid[3]; int64_t grp[3];
+    int64_t gsz[3]; int64_t lsz[3]; int64_t dim;
+} wi_t;
+
+static void clc_decomp(int64_t t, const int64_t *dims, int64_t d,
+                       int64_t *out) {
+    int64_t k;
+    for (k = 0; k < 3; ++k) out[k] = 0;
+    for (k = d - 1; k >= 0; --k) { out[k] = t % dims[k]; t /= dims[k]; }
+}
+
+static void wi_fill(wi_t *wi, const int64_t *meta, int64_t g, int64_t l) {
+    int64_t k, d = meta[0];
+    clc_decomp(g, meta + 7, d, wi->grp);
+    clc_decomp(l, meta + 4, d, wi->lid);
+    for (k = 0; k < 3; ++k) {
+        wi->gsz[k] = k < d ? meta[1 + k] : 1;
+        wi->lsz[k] = k < d ? meta[4 + k] : 1;
+        wi->gid[k] = wi->grp[k] * wi->lsz[k] + wi->lid[k];
+    }
+    wi->dim = d;
+}
+
+#define PW(P, I) ((I) >= 0 ? (I) : (P).n + (I))
+#define PIDX(P, I) ((P).p[PW((P), (I))])
+#define AW(N, I) ((I) >= 0 ? (I) : (N) + (I))
+#define CLC_MIN(a, b) ((a) != (a) ? (a) : ((b) != (b) ? (b) : ((a) < (b) ? (a) : (b))))
+#define CLC_MAX(a, b) ((a) != (a) ? (a) : ((b) != (b) ? (b) : ((a) > (b) ? (a) : (b))))
+#define CLC_ABS(x) ((x) < 0 ? -(x) : (x))
+#define CLC_SIGN(x) ((x) != (x) ? (x) : ((x) > 0 ? 1 : ((x) < 0 ? -1 : (x))))
+"""
+
+_LIBM_1 = {
+    "sqrt": "sqrt", "fabs": "fabs", "exp": "exp", "exp2": "exp2",
+    "log": "log", "log2": "log2", "log10": "log10", "sin": "sin",
+    "cos": "cos", "tan": "tan", "asin": "asin", "acos": "acos",
+    "atan": "atan", "floor": "floor", "ceil": "ceil", "trunc": "trunc",
+    "round": "rint",
+}
+_LIBM_2 = {"pow": "pow", "atan2": "atan2", "fmod": "fmod",
+           "hypot": "hypot", "copysign": "copysign"}
+
+_CMP_OPS = {"<", ">", "<=", ">=", "==", "!="}
+_SHIFT_OPS = {"<<", ">>"}
+_BITWISE_OPS = {"&", "|", "^"}
+_ARITH_OPS = {"+", "-", "*", "/"}
+
+_BUILTIN_KIND_CACHE: dict[tuple, Kind] = {}
+
+
+def _builtin_result_kind(name: str, arg_kinds: Sequence[Kind]) -> Kind:
+    """Result kind of a math builtin, computed by evaluating the
+    interpreter's own numpy implementation on token values — so the
+    native tier can never disagree with per-item typing."""
+    key = (name, tuple(arg_kinds))
+    cached = _BUILTIN_KIND_CACHE.get(key)
+    if cached is not None:
+        return cached
+    impl = BUILTINS[name].impl
+    with np.errstate(all="ignore"):
+        result = impl(*[k.sample() for k in arg_kinds])
+    kind: Kind
+    if isinstance(result, np.generic):
+        kind = strong_kind(result.dtype)
+    elif isinstance(result, bool):
+        kind = WEAK_BOOL
+    elif isinstance(result, int):
+        kind = WEAK_INT
+    else:
+        kind = WEAK_FLOAT
+    _BUILTIN_KIND_CACHE[key] = kind
+    return kind
+
+
+@dataclass
+class _Val:
+    text: str
+    kind: AnyKind
+
+
+@dataclass
+class _Slot:
+    """One scope-resolved variable (parameter or local declaration)."""
+
+    name: str
+    cname: str
+    kind: Optional[AnyKind] = None
+    declared: Optional[ScalarType] = None
+    is_array: bool = False
+    elem: str = ""           # array element dtype name
+    size: int = 0
+    addr_space: str = ""     # "" private, "local"
+    is_param: bool = False
+
+
+@dataclass
+class _FnInstance:
+    """One monomorphized lowering of a helper function."""
+
+    cname: str
+    sig: tuple
+    ret: Optional[Kind] = None  # None while in progress / for void
+    void: bool = False
+    code: str = ""
+
+
+@dataclass
+class LoweredKernel:
+    """Everything the runtime needs about one compiled specialization."""
+
+    c_source: str
+    group_mode: bool
+    has_barrier: bool
+    has_atomic: bool
+    has_float_atomic: bool
+    param_is_pointer: list[bool]
+    #: staging numpy dtype per scalar param (None for pointer params)
+    scalar_dtypes: list[Optional[np.dtype]]
+
+
+def _err(code: str, message: str, node: Optional[ast.Node] = None
+         ) -> NativeLoweringError:
+    line = getattr(node, "line", 0) if node is not None else 0
+    return NativeLoweringError(code, message, line)
+
+
+def _contains_barrier(node: Any) -> bool:
+    if isinstance(node, ast.Call) and node.name == "barrier":
+        return True
+    if isinstance(node, ast.Node):
+        for f in vars(node).values():
+            if _contains_barrier(f):
+                return True
+    elif isinstance(node, list):
+        for item in node:
+            if _contains_barrier(item):
+                return True
+    return False
+
+
+class _UnitLowering:
+    """Shared state while lowering one kernel specialization: helper
+    instances, generated pointer-struct types, and safety flags."""
+
+    def __init__(self, unit: ast.TranslationUnit) -> None:
+        self.unit = unit
+        self.functions = {f.name: f for f in unit.functions}
+        self.instances: dict[tuple, _FnInstance] = {}
+        self.instance_defs: list[str] = []
+        self.in_progress: set[tuple] = set()
+        self.ptr_dtypes: set[str] = set()
+        self.has_atomic = False
+        self.has_float_atomic = False
+        self.counter = 0
+
+    def ptr_struct(self, dtype: str) -> str:
+        self.ptr_dtypes.add(dtype)
+        return f"ptr_{dtype}"
+
+    def instance(self, name: str, arg_kinds: tuple) -> _FnInstance:
+        key = (name, arg_kinds)
+        inst = self.instances.get(key)
+        if inst is not None:
+            if key in self.in_progress:
+                raise _err("ND006",
+                           f"recursive helper function {name!r} is not "
+                           "supported by the native tier")
+            return inst
+        func = self.functions.get(name)
+        if func is None:
+            raise _err("ND004", f"unknown function {name!r}")
+        self.counter += 1
+        inst = _FnInstance(cname=f"fn_{name}_{self.counter}",
+                           sig=arg_kinds)
+        self.instances[key] = inst
+        self.in_progress.add(key)
+        try:
+            low = _FnLowering(self, func, arg_kinds, kernel=False)
+            low.lower_helper(inst)
+        finally:
+            self.in_progress.discard(key)
+        self.instance_defs.append(inst.code)
+        return inst
+
+    def struct_defs(self) -> str:
+        lines = []
+        for dtype in sorted(self.ptr_dtypes):
+            ct = _C_TYPES[dtype]
+            lines.append(f"typedef struct {{ {ct} *p; int64_t n; }} "
+                         f"ptr_{dtype};")
+            lines.append(f"#define PADD_{dtype}(P, K) "
+                         f"((ptr_{dtype}){{(P).p + (K), (P).n - (K)}})")
+        return "\n".join(lines) + ("\n" if lines else "")
+
+
+class _FnLowering:
+    """Lowers one function (kernel or helper instance) to C.
+
+    Runs a flow-insensitive kind fixpoint first (assignments join into
+    their target slot until stable), then a single emission pass over
+    the identical traversal; slots are matched across passes by
+    deterministic creation order.
+    """
+
+    def __init__(self, ul: _UnitLowering, func: ast.FunctionDef,
+                 arg_kinds: tuple, kernel: bool) -> None:
+        self.ul = ul
+        self.func = func
+        self.arg_kinds = arg_kinds
+        self.kernel = kernel
+        self.group_mode = False
+        if kernel:
+            self.group_mode = (_contains_barrier(func.body)
+                               or self._has_local_decl(func))
+        self.slots: list[_Slot] = []
+        self.param_slots: list[_Slot] = []
+        self.cursor = 0
+        self.scopes: list[dict[str, _Slot]] = []
+        self.out: list[str] = []
+        self.ind = ""
+        self.lane = "L"
+        self.changed = False
+        self.emitting = False
+        self.phase_label = 0
+        self.cur_phase_end = ""
+        self.in_phase = False
+        self.loop_depth = 0
+        self.ret_kind: Optional[Kind] = None
+        self._setup_params()
+
+    # -- setup / passes -----------------------------------------------------
+
+    @staticmethod
+    def _has_local_decl(func: ast.FunctionDef) -> bool:
+        found = False
+
+        def walk(node: Any) -> None:
+            nonlocal found
+            if isinstance(node, ast.DeclStmt) and node.address_space == "local":
+                found = True
+            if isinstance(node, ast.Node):
+                for value in vars(node).values():
+                    walk(value)
+            elif isinstance(node, list):
+                for item in node:
+                    walk(item)
+
+        walk(func.body)
+        return found
+
+    def _setup_params(self) -> None:
+        params = self.func.params
+        if len(self.arg_kinds) != len(params):
+            raise _err("ND004",
+                       f"{self.func.name}: expected {len(params)} "
+                       f"arguments, got {len(self.arg_kinds)}")
+        for i, (param, akind) in enumerate(zip(params, self.arg_kinds)):
+            ctype = param.ctype
+            if isinstance(ctype, StructType) or (
+                    isinstance(ctype, PointerType)
+                    and not isinstance(ctype.pointee, ScalarType)):
+                raise _err("ND002",
+                           f"struct-typed parameter {param.name!r} is not "
+                           "supported by the native tier", param)
+            slot = _Slot(name=param.name, cname=f"v{i}_{param.name}",
+                         is_param=True)
+            if isinstance(ctype, PointerType):
+                if not isinstance(akind, PtrKind):
+                    raise _err("ND004",
+                               f"pointer parameter {param.name!r} bound to "
+                               "a non-array argument", param)
+                slot.kind = akind
+                self.ul.ptr_struct(akind.dtype)
+            else:
+                if not isinstance(akind, Kind) \
+                        or not isinstance(ctype, ScalarType):
+                    raise _err("ND004",
+                               f"scalar parameter {param.name!r} bound to "
+                               "an array argument", param)
+                slot.declared = ctype
+                slot.kind = akind
+            self.slots.append(slot)
+            self.param_slots.append(slot)
+
+    def _fixpoint(self) -> None:
+        for _ in range(40):
+            self.changed = False
+            self._run_pass(emitting=False)
+            if not self.changed:
+                return
+        raise _err("ND004",
+                   f"{self.func.name}: kind inference did not converge")
+
+    def _run_pass(self, emitting: bool) -> None:
+        self.emitting = emitting
+        self.cursor = len(self.param_slots)
+        self.scopes = [{s.name: s for s in self.param_slots}]
+        self.out = []
+        self.ind = "    "
+        self.lane = "L"
+        self.phase_label = 0
+        self.in_phase = False
+        self.loop_depth = 0
+        body = self.func.body.body if self.func.body is not None else []
+        if self.kernel and self.group_mode:
+            self._sync_block(body)
+        else:
+            self._stmts(body)
+
+    # -- scope / slot helpers -----------------------------------------------
+
+    def _declare(self, name: str, **kw: Any) -> _Slot:
+        if self.cursor < len(self.slots):
+            slot = self.slots[self.cursor]
+        else:
+            slot = _Slot(name=name, cname=f"v{len(self.slots)}_{name}")
+            for key, value in kw.items():
+                setattr(slot, key, value)
+            self.slots.append(slot)
+        self.cursor += 1
+        self.scopes[-1][name] = slot
+        return slot
+
+    def _lookup(self, name: str, node: ast.Node) -> _Slot:
+        for scope in reversed(self.scopes):
+            slot = scope.get(name)
+            if slot is not None:
+                return slot
+        raise _err("ND004", f"unknown identifier {name!r}", node)
+
+    def _touch(self, slot: _Slot, kind: AnyKind) -> None:
+        if isinstance(kind, PtrKind) or isinstance(slot.kind, PtrKind):
+            return
+        new = kind if slot.kind is None else join(slot.kind, kind)
+        if new != slot.kind:
+            slot.kind = new
+            self.changed = True
+
+    def _slot_kind(self, slot: _Slot) -> AnyKind:
+        assert slot.kind is not None
+        return slot.kind
+
+    def _slot_ref(self, slot: _Slot) -> str:
+        if self.group_mode:
+            return f"{slot.cname}[{self.lane}]"
+        return slot.cname
+
+    def _array_base(self, slot: _Slot) -> str:
+        if self.group_mode and slot.addr_space != "local":
+            return f"({slot.cname} + (int64_t){self.lane} * {slot.size})"
+        return slot.cname
+
+    def _emit(self, line: str) -> None:
+        self.out.append(f"{self.ind}{line}")
+
+    # -- expressions ---------------------------------------------------------
+
+    def _expr(self, expr: Optional[ast.Expr]) -> _Val:
+        if expr is None:
+            raise _err("ND004", "empty expression")
+        if isinstance(expr, ast.IntLiteral):
+            return _Val(f"INT64_C({expr.value})", WEAK_INT)
+        if isinstance(expr, ast.FloatLiteral):
+            return _Val(_float_literal(expr.value), WEAK_FLOAT)
+        if isinstance(expr, ast.BoolLiteral):
+            return _Val("1" if expr.value else "0", WEAK_BOOL)
+        if isinstance(expr, ast.Identifier):
+            return self._identifier(expr)
+        if isinstance(expr, ast.Unary):
+            return self._unary(expr)
+        if isinstance(expr, ast.Binary):
+            return self._binop(expr.op, self._expr(expr.left),
+                               self._expr(expr.right), expr)
+        if isinstance(expr, ast.Ternary):
+            return self._ternary(expr)
+        if isinstance(expr, ast.Call):
+            return self._call(expr)
+        if isinstance(expr, ast.Index):
+            return self._index(expr)
+        if isinstance(expr, ast.Cast):
+            return self._cast(expr)
+        if isinstance(expr, ast.Member):
+            raise _err("ND002", "struct member access is not supported by "
+                       "the native tier", expr)
+        raise _err("ND004", f"unsupported expression "
+                   f"{type(expr).__name__}", expr)
+
+    def _identifier(self, expr: ast.Identifier) -> _Val:
+        slot = self._lookup(expr.name, expr)
+        if slot.is_array:
+            struct = self.ul.ptr_struct(slot.elem)
+            return _Val(f"(({struct}){{{self._array_base(slot)}, "
+                        f"{slot.size}}})", PtrKind(slot.elem))
+        return _Val(f"({self._slot_ref(slot)})", self._slot_kind(slot))
+
+    def _unary(self, expr: ast.Unary) -> _Val:
+        if expr.op == "&":
+            raise _err("ND004", "address-of is only supported as an atomic "
+                       "operand", expr)
+        val = self._expr(expr.operand)
+        if expr.op == "*":
+            if not isinstance(val.kind, PtrKind):
+                raise _err("ND004", "dereference of a non-pointer", expr)
+            return _Val(f"PIDX({val.text}, 0)", strong_kind(val.kind.dtype))
+        if not isinstance(val.kind, Kind):
+            raise _err("ND004", f"unary {expr.op!r} on a pointer", expr)
+        if expr.op == "+":
+            return val
+        if expr.op == "!":
+            return _Val(f"(!({val.text}))", WEAK_BOOL)
+        kind = val.kind
+        if kind.category == "bool":
+            if not kind.weak:
+                raise _err("ND004", "arithmetic on a strong bool", expr)
+            kind = WEAK_INT
+        if expr.op == "-":
+            return _Val(f"(-({kind.ctype})({val.text}))", kind)
+        if expr.op == "~":
+            if kind.category == "float":
+                raise _err("ND004", "bitwise not on a float", expr)
+            return _Val(f"(~({kind.ctype})({val.text}))", kind)
+        raise _err("ND004", f"unsupported unary operator {expr.op!r}", expr)
+
+    def _arith_kind(self, k: Kind, node: ast.Node) -> Kind:
+        if k.category == "bool":
+            if not k.weak:
+                raise _err("ND004", "arithmetic on a strong bool", node)
+            return WEAK_INT
+        return k
+
+    def _binop(self, op: str, left: _Val, right: _Val,
+               node: ast.Node) -> _Val:
+        if isinstance(left.kind, PtrKind) or isinstance(right.kind, PtrKind):
+            if op == "+" and isinstance(left.kind, PtrKind) \
+                    and isinstance(right.kind, Kind):
+                ptr, offs = left, right
+            elif op == "+" and isinstance(right.kind, PtrKind) \
+                    and isinstance(left.kind, Kind):
+                ptr, offs = right, left
+            else:
+                raise _err("ND004",
+                           f"unsupported pointer operation {op!r}", node)
+            assert isinstance(ptr.kind, PtrKind)
+            self.ul.ptr_struct(ptr.kind.dtype)
+            return _Val(f"PADD_{ptr.kind.dtype}({ptr.text}, "
+                        f"(int64_t)({offs.text}))", ptr.kind)
+        lk, rk = left.kind, right.kind
+        assert isinstance(lk, Kind) and isinstance(rk, Kind)
+        if op in ("&&", "||"):
+            return _Val(f"(({left.text}) {op} ({right.text}))", WEAK_BOOL)
+        if op in _CMP_OPS:
+            ct = join(lk, rk).ctype
+            res = WEAK_BOOL if (lk.weak and rk.weak) \
+                else strong_kind(np.dtype(bool))
+            return _Val(f"((({ct})({left.text})) {op} "
+                        f"(({ct})({right.text})))", res)
+        if op == "/" and lk.category != "float" and rk.category != "float":
+            # the interpreter's _idiv: C truncating division on Python ints
+            return _Val(f"((int64_t)({left.text}) / "
+                        f"(int64_t)({right.text}))", WEAK_INT)
+        if op == "%":
+            # the interpreter's _imod: int casts, sign of the dividend
+            return _Val(f"((int64_t)({left.text}) % "
+                        f"(int64_t)({right.text}))", WEAK_INT)
+        if op in _ARITH_OPS or op in _SHIFT_OPS:
+            lk = self._arith_kind(lk, node)
+            rk = self._arith_kind(rk, node)
+            kind = join(lk, rk)
+            if op in _SHIFT_OPS and kind.category == "float":
+                raise _err("ND004", "shift on a float", node)
+            ct = kind.ctype
+            return _Val(f"((({ct})({left.text})) {op} "
+                        f"(({ct})({right.text})))", kind)
+        if op in _BITWISE_OPS:
+            kind = join(lk, rk)
+            if kind.category == "float":
+                raise _err("ND004", "bitwise operator on a float", node)
+            ct = kind.ctype
+            return _Val(f"((({ct})({left.text})) {op} "
+                        f"(({ct})({right.text})))", kind)
+        raise _err("ND004", f"unsupported binary operator {op!r}", node)
+
+    def _ternary(self, expr: ast.Ternary) -> _Val:
+        cond = self._expr(expr.cond)
+        then = self._expr(expr.then)
+        other = self._expr(expr.otherwise)
+        if isinstance(then.kind, PtrKind) or isinstance(other.kind, PtrKind):
+            if then.kind != other.kind:
+                raise _err("ND004", "mismatched pointer ternary", expr)
+            return _Val(f"(({cond.text}) ? ({then.text}) : "
+                        f"({other.text}))", then.kind)
+        assert isinstance(then.kind, Kind) and isinstance(other.kind, Kind)
+        kind = join(then.kind, other.kind)
+        ct = kind.ctype
+        return _Val(f"(({cond.text}) ? (({ct})({then.text})) : "
+                    f"(({ct})({other.text})))", kind)
+
+    def _cast(self, expr: ast.Cast) -> _Val:
+        val = self._expr(expr.operand)
+        target = expr.target_type
+        if not isinstance(target, ScalarType) \
+                or not isinstance(val.kind, Kind):
+            raise _err("ND004", "unsupported cast", expr)
+        if target.name == "bool":
+            return _Val(f"((({val.text}) != 0) ? 1 : 0)", WEAK_BOOL)
+        if target.is_float:
+            return _Val(f"((double)({val.text}))", WEAK_FLOAT)
+        return _Val(f"((int64_t)({val.text}))", WEAK_INT)
+
+    def _index(self, expr: ast.Index) -> _Val:
+        base = self._expr(expr.base)
+        if not isinstance(base.kind, PtrKind):
+            raise _err("ND004", "indexing a non-pointer value", expr)
+        idx = self._expr(expr.index)
+        if not isinstance(idx.kind, Kind):
+            raise _err("ND004", "pointer used as an index", expr)
+        return _Val(f"PIDX({base.text}, (int64_t)({idx.text}))",
+                    strong_kind(base.kind.dtype))
+
+    # -- calls ---------------------------------------------------------------
+
+    _WI_FIELDS = {
+        "get_global_id": "gid", "get_local_id": "lid",
+        "get_group_id": "grp", "get_global_size": "gsz",
+        "get_local_size": "lsz",
+    }
+
+    def _call(self, expr: ast.Call) -> _Val:
+        name = expr.name
+        if name in WORK_ITEM_FUNCTIONS:
+            if name == "get_work_dim":
+                return _Val("(wi->dim)", WEAK_INT)
+            dim = self._expr(expr.args[0])
+            dtext = f"(int64_t)({dim.text})"
+            if name == "get_num_groups":
+                return _Val(f"(wi->gsz[{dtext}] / wi->lsz[{dtext}])",
+                            WEAK_INT)
+            return _Val(f"(wi->{self._WI_FIELDS[name]}[{dtext}])", WEAK_INT)
+        if name == "barrier":
+            raise _err("ND005", "barrier in a position the phase "
+                       "transformation cannot split (divergent or "
+                       "value context)", expr)
+        if name in ATOMIC_FUNCTIONS:
+            raise _err("ND004", "atomic calls are only supported in "
+                       "statement position", expr)
+        if name in self.ul.functions:
+            vals = [self._expr(a) for a in expr.args]
+            inst = self.ul.instance(name, tuple(v.kind for v in vals))
+            args = ", ".join(
+                [f"({v.kind.struct})({v.text})" if isinstance(v.kind, PtrKind)
+                 else f"({v.kind.ctype})({v.text})" for v in vals])
+            sep = ", " if args else ""
+            kind = inst.ret if inst.ret is not None else WEAK_INT
+            return _Val(f"{inst.cname}(wi{sep}{args})", kind)
+        if name in BUILTINS:
+            vals = [self._expr(a) for a in expr.args]
+            kinds = []
+            for v in vals:
+                if not isinstance(v.kind, Kind):
+                    raise _err("ND004",
+                               f"pointer argument to builtin {name!r}", expr)
+                kinds.append(v.kind)
+            out = _builtin_result_kind(name, kinds)
+            return _Val(self._emit_builtin(name, vals, kinds, out, expr), out)
+        raise _err("ND004", f"unknown function {name!r}", expr)
+
+    def _emit_builtin(self, name: str, vals: list[_Val], kinds: list[Kind],
+                      out: Kind, node: ast.Node) -> str:
+        base = name[7:] if name.startswith("native_") \
+            and name != "native_divide" else name
+        oct_ = out.ctype
+        texts = [v.text for v in vals]
+        if base in ("rsqrt",):
+            if out.dtype == "float32":
+                return f"(1.0f / (float)sqrt((double)({texts[0]})))"
+            return f"(1.0 / sqrt((double)({texts[0]})))"
+        if base == "sign":
+            return f"(CLC_SIGN(({oct_})({texts[0]})))"
+        if base in ("min", "max", "fmin", "fmax"):
+            macro = "CLC_MIN" if base in ("min", "fmin") else "CLC_MAX"
+            return (f"({macro}(({oct_})({texts[0]}), "
+                    f"({oct_})({texts[1]})))")
+        if base == "abs":
+            if out.category == "float":
+                inner = f"fabs((double)({texts[0]}))"
+                return f"(({oct_})({inner}))"
+            return f"(CLC_ABS(({oct_})({texts[0]})))"
+        if base == "clamp":
+            inner_k = _builtin_result_kind("max", [kinds[0], kinds[1]])
+            ict = inner_k.ctype
+            inner = (f"CLC_MAX(({ict})({texts[0]}), "
+                     f"({ict})({texts[1]}))")
+            return (f"(CLC_MIN(({oct_})({inner}), "
+                    f"({oct_})({texts[2]})))")
+        if base in ("mad", "fma"):
+            ab = self._binop("*", vals[0], vals[1], node)
+            return self._binop("+", ab, vals[2], node).text
+        if base == "native_divide":
+            return f"((({oct_})({texts[0]})) / (({oct_})({texts[1]})))"
+        if base == "isnan":
+            return f"((({texts[0]}) != ({texts[0]})) ? 1 : 0)"
+        if base == "isinf":
+            return f"(isinf((double)({texts[0]})) ? 1 : 0)"
+        if base == "fabs" and out.category != "float":
+            return f"(CLC_ABS(({oct_})({texts[0]})))"
+        if base == "fmod" and out.category != "float":
+            return (f"((({oct_})({texts[0]})) % "
+                    f"(({oct_})({texts[1]})))")
+        if base == "pow" and out.category != "float":
+            return (f"(({oct_})(pow((double)({texts[0]}), "
+                    f"(double)({texts[1]}))))")
+        if base in _LIBM_1:
+            inner = f"{_LIBM_1[base]}((double)({texts[0]}))"
+            if out.dtype == "float32":
+                return f"((float)({inner}))"
+            return f"({inner})"
+        if base in _LIBM_2:
+            inner = (f"{_LIBM_2[base]}((double)({texts[0]}), "
+                     f"(double)({texts[1]}))")
+            if out.dtype == "float32":
+                return f"((float)({inner}))"
+            return f"({inner})"
+        raise _err("ND004", f"builtin {name!r} is not supported by the "
+                   "native tier", node)
+
+    # -- statements ----------------------------------------------------------
+
+    def _stmts(self, stmts: Sequence[ast.Stmt]) -> None:
+        for stmt in stmts:
+            self._stmt(stmt)
+
+    def _block(self, stmt: ast.Stmt) -> None:
+        self.scopes.append({})
+        self._emit("{")
+        self.ind += "    "
+        if isinstance(stmt, ast.CompoundStmt):
+            self._stmts(stmt.body)
+        else:
+            self._stmt(stmt)
+        self.ind = self.ind[:-4]
+        self._emit("}")
+        self.scopes.pop()
+
+    def _stmt(self, stmt: ast.Stmt) -> None:
+        if isinstance(stmt, ast.DeclStmt):
+            self._decl(stmt)
+        elif isinstance(stmt, ast.ExprStmt):
+            self._expr_stmt(stmt)
+        elif isinstance(stmt, ast.CompoundStmt):
+            self._block(stmt)
+        elif isinstance(stmt, ast.IfStmt):
+            cond = self._expr(stmt.cond)
+            self._emit(f"if ({cond.text})")
+            self._block(stmt.then)
+            if stmt.otherwise is not None:
+                self._emit("else")
+                self._block(stmt.otherwise)
+        elif isinstance(stmt, ast.ForStmt):
+            self.scopes.append({})
+            self._emit("{")
+            self.ind += "    "
+            if stmt.init is not None:
+                self._stmt(stmt.init)
+            cond = self._expr(stmt.cond).text if stmt.cond is not None \
+                else "1"
+            step = self._expr_text(stmt.step) if stmt.step is not None else ""
+            self._emit(f"for (; {cond}; {step})")
+            self.loop_depth += 1
+            self._block(stmt.body)
+            self.loop_depth -= 1
+            self.ind = self.ind[:-4]
+            self._emit("}")
+            self.scopes.pop()
+        elif isinstance(stmt, ast.WhileStmt):
+            cond = self._expr(stmt.cond)
+            self._emit(f"while ({cond.text})")
+            self.loop_depth += 1
+            self._block(stmt.body)
+            self.loop_depth -= 1
+        elif isinstance(stmt, ast.DoWhileStmt):
+            self._emit("do")
+            self.loop_depth += 1
+            self._block(stmt.body)
+            self.loop_depth -= 1
+            cond = self._expr(stmt.cond)
+            self._emit(f"while ({cond.text});")
+        elif isinstance(stmt, ast.ReturnStmt):
+            self._return(stmt)
+        elif isinstance(stmt, ast.BreakStmt):
+            self._jump_guard(stmt, "break")
+            self._emit("break;")
+        elif isinstance(stmt, ast.ContinueStmt):
+            self._jump_guard(stmt, "continue")
+            self._emit("continue;")
+        else:
+            raise _err("ND004",
+                       f"unsupported statement {type(stmt).__name__}", stmt)
+
+    def _jump_guard(self, stmt: ast.Stmt, word: str) -> None:
+        if self.kernel and self.group_mode and self.in_phase \
+                and self.loop_depth == 0:
+            raise _err("ND005",
+                       f"{word} would cross a barrier phase boundary", stmt)
+
+    def _return(self, stmt: ast.ReturnStmt) -> None:
+        if self.kernel:
+            if stmt.value is not None:
+                raise _err("ND004", "kernel return with a value", stmt)
+            if self.group_mode:
+                if not self.in_phase:
+                    raise _err("ND005", "return in a position the phase "
+                               "transformation cannot split", stmt)
+                self._emit(f"{{ done_[L] = 1; goto {self.cur_phase_end}; }}")
+            else:
+                self._emit("return;")
+            return
+        if stmt.value is None:
+            self._emit("return;")
+            return
+        val = self._expr(stmt.value)
+        if not isinstance(val.kind, Kind):
+            raise _err("ND004", "helper returns a pointer", stmt)
+        self.ret_kind = val.kind if self.ret_kind is None \
+            else join(self.ret_kind, val.kind)
+        self._emit(f"return ({self.ret_kind.ctype})({val.text});")
+
+    def _decl(self, stmt: ast.DeclStmt) -> None:
+        base = stmt.base_type
+        if not isinstance(base, ScalarType):
+            raise _err("ND002", "struct declarations are not supported by "
+                       "the native tier", stmt)
+        for decl in stmt.declarators:
+            if decl.array_size is not None:
+                if not isinstance(decl.array_size, ast.IntLiteral):
+                    raise _err("ND004", "array sizes must be integer "
+                               "literals in the native tier", stmt)
+                if decl.init is not None:
+                    raise _err("ND004", "array initializers are not "
+                               "supported by the native tier", stmt)
+                if stmt.address_space == "local" and not self.kernel:
+                    raise _err("ND004", "__local declaration inside a "
+                               "helper function", stmt)
+                slot = self._declare(decl.name, is_array=True,
+                                     elem=base.dtype().name,
+                                     size=int(decl.array_size.value),
+                                     addr_space=stmt.address_space or "")
+                self.ul.ptr_struct(slot.elem)
+                if slot.addr_space != "local":
+                    # per-item allocates a zeroed array each time the
+                    # declaration executes
+                    ct = _C_TYPES[slot.elem]
+                    self._emit(f"memset({self._array_base(slot)}, 0, "
+                               f"{slot.size} * sizeof({ct}));")
+            elif decl.pointer:
+                slot = self._declare(decl.name)
+                if decl.init is not None:
+                    val = self._expr(decl.init)
+                    if not isinstance(val.kind, PtrKind):
+                        raise _err("ND004", "pointer initialized from a "
+                                   "non-pointer", stmt)
+                    if slot.kind is None:
+                        slot.kind = val.kind
+                        self.changed = True
+                    elif slot.kind != val.kind:
+                        raise _err("ND004", "pointer rebinding changes the "
+                                   "element type", stmt)
+                    self._emit(f"{self._slot_ref(slot)} = {val.text};")
+                else:
+                    raise _err("ND004", "uninitialized pointer declaration",
+                               stmt)
+            else:
+                slot = self._declare(decl.name, declared=base)
+                cat = "bool" if base.name == "bool" else (
+                    "int" if base.is_integer else "float")
+                self._touch(slot, _WEAK_BY_CAT[cat])
+                if decl.init is not None:
+                    val = self._expr(decl.init)
+                    self._store_scalar(slot, val, stmt)
+                else:
+                    self._emit(f"{self._slot_ref(slot)} = 0;")
+
+    def _store_scalar(self, slot: _Slot, val: _Val, node: ast.Node) -> None:
+        """Plain `=` coercion: the interpreter casts through the declared
+        Python category (float() / int() / bool()) before narrowing."""
+        if not isinstance(val.kind, Kind):
+            raise _err("ND004", "pointer assigned to a scalar", node)
+        assert slot.declared is not None
+        cat = "bool" if slot.declared.name == "bool" else (
+            "int" if slot.declared.is_integer else "float")
+        self._touch(slot, _WEAK_BY_CAT[cat])
+        kind = self._slot_kind(slot)
+        assert isinstance(kind, Kind)
+        ref = self._slot_ref(slot)
+        if cat == "bool":
+            self._emit(f"{ref} = (({val.text}) != 0) ? 1 : 0;")
+        elif cat == "int":
+            self._emit(f"{ref} = ({kind.ctype})((int64_t)({val.text}));")
+        else:
+            self._emit(f"{ref} = ({kind.ctype})((double)({val.text}));")
+
+    def _expr_stmt(self, stmt: ast.ExprStmt) -> None:
+        self._expr_stmt_inner(stmt.expr, stmt)
+
+    def _expr_stmt_inner(self, expr: ast.Expr, node: ast.Node) -> None:
+        if isinstance(expr, (ast.PreIncDec, ast.PostIncDec)):
+            one = _Val("INT64_C(1)", WEAK_INT)
+            op = "+" if expr.op == "++" else "-"
+            self._emit(self._compound_text(expr.operand, op, one, node) + ";")
+        elif isinstance(expr, ast.Assign):
+            self._emit(self._assign_text(expr) + ";")
+        elif isinstance(expr, ast.Binary) and expr.op == ",":
+            self._expr_stmt_inner(expr.left, node)
+            self._expr_stmt_inner(expr.right, node)
+        elif isinstance(expr, ast.Call) and expr.name == "barrier":
+            raise _err("ND005", "barrier in a position the phase "
+                       "transformation cannot split", node)
+        elif isinstance(expr, ast.Call) and expr.name in ATOMIC_FUNCTIONS:
+            self._atomic_stmt(expr)
+        else:
+            val = self._expr(expr)
+            self._emit(f"(void)({val.text});")
+
+    def _expr_text(self, expr: ast.Expr) -> str:
+        """Lower an expression used for side effects (for-step position)
+        to a single C expression."""
+        if isinstance(expr, (ast.PreIncDec, ast.PostIncDec)):
+            one = _Val("INT64_C(1)", WEAK_INT)
+            op = "+" if expr.op == "++" else "-"
+            return self._compound_text(expr.operand, op, one, expr)
+        if isinstance(expr, ast.Assign):
+            return self._assign_text(expr)
+        if isinstance(expr, ast.Binary) and expr.op == ",":
+            return (f"{self._expr_text(expr.left)}, "
+                    f"{self._expr_text(expr.right)}")
+        return f"(void)({self._expr(expr).text})"
+
+    def _assign_text(self, expr: ast.Assign) -> str:
+        if expr.op == "=":
+            target = expr.target
+            val = self._expr(expr.value)
+            if isinstance(target, ast.Identifier):
+                slot = self._lookup(target.name, target)
+                if slot.is_array:
+                    raise _err("ND004", "assignment to an array", expr)
+                if isinstance(slot.kind, PtrKind):
+                    if val.kind != slot.kind:
+                        raise _err("ND004", "pointer rebinding changes the "
+                                   "element type", expr)
+                    return f"{self._slot_ref(slot)} = {val.text}"
+                return self._store_scalar_text(slot, val, expr)
+            lval, elem = self._lvalue(target)
+            if not isinstance(val.kind, Kind):
+                raise _err("ND004", "pointer stored into a buffer", expr)
+            if elem == "bool":
+                return f"{lval} = ((({val.text}) != 0) ? 1 : 0)"
+            return f"{lval} = ({_C_TYPES[elem]})({val.text})"
+        op = expr.op[:-1]
+        val = self._expr(expr.value)
+        return self._compound_text(expr.target, op, val, expr)
+
+    def _store_scalar_text(self, slot: _Slot, val: _Val,
+                           node: ast.Node) -> str:
+        assert slot.declared is not None
+        cat = "bool" if slot.declared.name == "bool" else (
+            "int" if slot.declared.is_integer else "float")
+        self._touch(slot, _WEAK_BY_CAT[cat])
+        kind = self._slot_kind(slot)
+        assert isinstance(kind, Kind)
+        ref = self._slot_ref(slot)
+        if cat == "bool":
+            return f"{ref} = ((({val.text}) != 0) ? 1 : 0)"
+        if cat == "int":
+            return f"{ref} = ({kind.ctype})((int64_t)({val.text}))"
+        return f"{ref} = ({kind.ctype})((double)({val.text}))"
+
+    def _compound_text(self, target: ast.Expr, op: str, val: _Val,
+                       node: ast.Node) -> str:
+        """Compound assignment / inc-dec: the interpreter applies the
+        binary operator and stores the result UNcoerced."""
+        if isinstance(target, ast.Identifier):
+            slot = self._lookup(target.name, target)
+            if slot.is_array or isinstance(slot.kind, PtrKind):
+                raise _err("ND004", "compound assignment to a pointer",
+                           node)
+            cur = _Val(f"({self._slot_ref(slot)})", self._slot_kind(slot))
+            res = self._binop(op, cur, val, node)
+            assert isinstance(res.kind, Kind)
+            self._touch(slot, res.kind)
+            kind = self._slot_kind(slot)
+            assert isinstance(kind, Kind)
+            return (f"{self._slot_ref(slot)} = "
+                    f"({kind.ctype})({res.text})")
+        lval, elem = self._lvalue(target)
+        cur = _Val(f"({lval})", strong_kind(np.dtype(elem)))
+        res = self._binop(op, cur, val, node)
+        if elem == "bool":
+            return f"{lval} = ((({res.text}) != 0) ? 1 : 0)"
+        return f"{lval} = ({_C_TYPES[elem]})({res.text})"
+
+    def _lvalue(self, target: ast.Expr) -> tuple[str, str]:
+        """Lower a buffer-store target to (C lvalue text, element dtype)."""
+        if isinstance(target, ast.Unary) and target.op == "*":
+            base = self._expr(target.operand)
+            if not isinstance(base.kind, PtrKind):
+                raise _err("ND004", "store through a non-pointer", target)
+            return f"PIDX({base.text}, 0)", base.kind.dtype
+        if isinstance(target, ast.Index):
+            base = self._expr(target.base)
+            if not isinstance(base.kind, PtrKind):
+                raise _err("ND004", "store into a non-pointer", target)
+            idx = self._expr(target.index)
+            if not isinstance(idx.kind, Kind):
+                raise _err("ND004", "pointer used as an index", target)
+            return (f"PIDX({base.text}, (int64_t)({idx.text}))",
+                    base.kind.dtype)
+        raise _err("ND004", "unsupported assignment target", target)
+
+    def _atomic_stmt(self, expr: ast.Call) -> None:
+        ref = expr.args[0]
+        if not (isinstance(ref, ast.Unary) and ref.op == "&"
+                and isinstance(ref.operand, ast.Index)):
+            raise _err("ND004", "atomic operand must be &buf[index]", expr)
+        index = ref.operand
+        base = self._expr(index.base)
+        if not isinstance(base.kind, PtrKind):
+            raise _err("ND004", "atomic on a non-pointer", expr)
+        idx = self._expr(index.index)
+        if not isinstance(idx.kind, Kind):
+            raise _err("ND004", "pointer used as an atomic index", expr)
+        if expr.name == "atomic_inc":
+            amount = _Val("INT64_C(1)", WEAK_INT)
+        else:
+            amount = self._expr(expr.args[1])
+            if not isinstance(amount.kind, Kind):
+                raise _err("ND004", "pointer atomic amount", expr)
+        elem = base.kind.dtype
+        ct = _C_TYPES[elem]
+        self.ul.has_atomic = True
+        if np.dtype(elem).kind == "f":
+            # no portable float atomic intrinsic; this forces the
+            # launcher onto the sequential path
+            self.ul.has_float_atomic = True
+            op = "+=" if expr.name in ("atomic_add", "atomic_inc") else "-="
+            self._emit(f"PIDX({base.text}, (int64_t)({idx.text})) "
+                       f"{op} ({ct})({amount.text});")
+            return
+        if elem == "bool":
+            raise _err("ND004", "atomic on a bool buffer", expr)
+        intr = "__atomic_fetch_sub" if expr.name == "atomic_sub" \
+            else "__atomic_fetch_add"
+        ptr = base.text
+        self._emit(f"(void){intr}(&({ptr}).p[PW(({ptr}), "
+                   f"(int64_t)({idx.text}))], ({ct})({amount.text}), "
+                   f"__ATOMIC_RELAXED);")
+
+    # -- barrier phase transformation (group mode) ---------------------------
+
+    def _lane0_expr(self, expr: ast.Expr) -> _Val:
+        prev = self.lane
+        self.lane = "0"
+        try:
+            return self._expr(expr)
+        finally:
+            self.lane = prev
+
+    def _phase_begin(self) -> str:
+        self.phase_label += 1
+        label = f"ph{self.phase_label}_end"
+        self._emit("for (int64_t L = 0; L < NL; ++L) {")
+        self.ind += "    "
+        self._emit("if (done_[L]) continue;")
+        self._emit("wi_t wi_s; wi_fill(&wi_s, meta, g, L);")
+        self._emit("const wi_t *wi = &wi_s; (void) wi;")
+        self.cur_phase_end = label
+        self.in_phase = True
+        self.loop_depth = 0
+        return label
+
+    def _phase_end(self, label: str) -> None:
+        self._emit(f"{label}: ;")
+        self.in_phase = False
+        self.ind = self.ind[:-4]
+        self._emit("}")
+
+    def _phase(self, stmts: Sequence[ast.Stmt]) -> None:
+        label = self._phase_begin()
+        for stmt in stmts:
+            self._stmt(stmt)
+        self._phase_end(label)
+
+    def _phase_expr(self, expr: ast.Expr) -> None:
+        label = self._phase_begin()
+        self._expr_stmt_inner(expr, expr)
+        self._phase_end(label)
+
+    def _sync_group_block(self, stmt: ast.Stmt) -> None:
+        self.scopes.append({})
+        self._emit("{")
+        self.ind += "    "
+        if isinstance(stmt, ast.CompoundStmt):
+            self._sync_block(stmt.body)
+        else:
+            self._sync_block([stmt])
+        self.ind = self.ind[:-4]
+        self._emit("}")
+        self.scopes.pop()
+
+    def _sync_block(self, stmts: Sequence[ast.Stmt]) -> None:
+        """Emit a group-synchronous statement list: barrier-free runs
+        become per-lane phase loops; control flow containing a barrier
+        stays at group level with lane-0 (uniform) conditions."""
+        buffered: list[ast.Stmt] = []
+
+        def flush() -> None:
+            if buffered:
+                self._phase(list(buffered))
+                buffered.clear()
+
+        for stmt in stmts:
+            if isinstance(stmt, ast.ExprStmt) \
+                    and isinstance(stmt.expr, ast.Call) \
+                    and stmt.expr.name == "barrier":
+                flush()
+            elif not _contains_barrier(stmt):
+                buffered.append(stmt)
+            elif isinstance(stmt, ast.CompoundStmt):
+                flush()
+                self._sync_group_block(stmt)
+            elif isinstance(stmt, ast.IfStmt):
+                flush()
+                cond = self._lane0_expr(stmt.cond)
+                self._emit(f"if ({cond.text})")
+                self._sync_group_block(stmt.then)
+                if stmt.otherwise is not None:
+                    self._emit("else")
+                    self._sync_group_block(stmt.otherwise)
+            elif isinstance(stmt, ast.ForStmt):
+                flush()
+                self.scopes.append({})
+                self._emit("{")
+                self.ind += "    "
+                if stmt.init is not None:
+                    self._phase([stmt.init])
+                self._emit("for (;;) {")
+                self.ind += "    "
+                if stmt.cond is not None:
+                    cond = self._lane0_expr(stmt.cond)
+                    self._emit(f"if (!({cond.text})) break;")
+                self._sync_group_block(stmt.body)
+                if stmt.step is not None:
+                    self._phase_expr(stmt.step)
+                self.ind = self.ind[:-4]
+                self._emit("}")
+                self.ind = self.ind[:-4]
+                self._emit("}")
+                self.scopes.pop()
+            elif isinstance(stmt, ast.WhileStmt):
+                flush()
+                self._emit("for (;;) {")
+                self.ind += "    "
+                cond = self._lane0_expr(stmt.cond)
+                self._emit(f"if (!({cond.text})) break;")
+                self._sync_group_block(stmt.body)
+                self.ind = self.ind[:-4]
+                self._emit("}")
+            else:
+                flush()
+                raise _err("ND005",
+                           "barrier inside a "
+                           f"{type(stmt).__name__} the phase "
+                           "transformation cannot split", stmt)
+        flush()
+
+    # -- assembly ------------------------------------------------------------
+
+    def _storage_decls(self) -> list[str]:
+        lines: list[str] = []
+        for slot in self.slots:
+            if slot.is_param and not self.group_mode:
+                continue
+            if slot.is_array:
+                ct = _C_TYPES[slot.elem]
+                if self.group_mode and slot.addr_space != "local":
+                    lines.append(f"{ct} {slot.cname}[NL * {slot.size}];")
+                else:
+                    lines.append(f"{ct} {slot.cname}[{slot.size}];")
+                continue
+            kind = slot.kind
+            if kind is None:
+                continue
+            ct = kind.struct if isinstance(kind, PtrKind) else kind.ctype
+            if self.group_mode:
+                lines.append(f"{ct} {slot.cname}[NL];")
+            else:
+                lines.append(f"{ct} {slot.cname};")
+        return lines
+
+    def lower_helper(self, inst: _FnInstance) -> None:
+        self._fixpoint()
+        self._run_pass(emitting=True)
+        rtype = self.func.return_type
+        void = rtype.is_void
+        if not void and self.ret_kind is None:
+            raise _err("ND004",
+                       f"helper {self.func.name!r} never returns a value")
+        inst.void = void
+        inst.ret = None if void else self.ret_kind
+        params: list[str] = []
+        seeds: list[str] = []
+        for i, slot in enumerate(self.param_slots):
+            kind = slot.kind
+            if isinstance(kind, PtrKind):
+                params.append(f"{kind.struct} in_{i}")
+                seeds.append(f"    {kind.struct} {slot.cname} = in_{i};")
+            else:
+                assert isinstance(kind, Kind)
+                sig_kind = self.arg_kinds[i]
+                assert isinstance(sig_kind, Kind)
+                params.append(f"{sig_kind.ctype} in_{i}")
+                seeds.append(f"    {kind.ctype} {slot.cname} = "
+                             f"({kind.ctype})in_{i};")
+        ret_ct = "void" if void or inst.ret is None else inst.ret.ctype
+        plist = ", ".join(["const wi_t *wi"] + params)
+        code = [f"static {ret_ct} {inst.cname}({plist}) {{",
+                "    (void) wi;"]
+        code += seeds
+        code += [f"    {line}" for line in self._storage_decls()]
+        code += self.out
+        code.append("}")
+        inst.code = "\n".join(code)
+
+    def lower_kernel_text(self) -> str:
+        self._fixpoint()
+        self._run_pass(emitting=True)
+        body = list(self.out)
+        unpack: list[str] = []
+        for i, akind in enumerate(self.arg_kinds):
+            if isinstance(akind, PtrKind):
+                ct = _C_TYPES[akind.dtype]
+                unpack.append(f"{akind.struct} a_{i} = {{ ({ct} *) "
+                              f"bufs[{i}], lens[{i}] }};")
+            else:
+                assert isinstance(akind, Kind)
+                unpack.append(f"{akind.ctype} p_{i} = "
+                              f"*({akind.ctype} *) bufs[{i}];")
+        lines: list[str] = []
+        entry = (f"void {ENTRY_SYMBOL}(void **bufs, int64_t *lens, "
+                 "int64_t *meta, int64_t t0, int64_t t1) {")
+        if not self.group_mode:
+            params: list[str] = []
+            seeds: list[str] = []
+            call_args = ["&wi_s"]
+            for i, slot in enumerate(self.param_slots):
+                kind = slot.kind
+                if isinstance(kind, PtrKind):
+                    params.append(f"{kind.struct} in_{i}")
+                    seeds.append(f"    {kind.struct} {slot.cname} = "
+                                 f"in_{i};")
+                    call_args.append(f"a_{i}")
+                else:
+                    assert isinstance(kind, Kind)
+                    akind = self.arg_kinds[i]
+                    assert isinstance(akind, Kind)
+                    params.append(f"{akind.ctype} in_{i}")
+                    seeds.append(f"    {kind.ctype} {slot.cname} = "
+                                 f"({kind.ctype})in_{i};")
+                    call_args.append(f"p_{i}")
+            plist = ", ".join(["const wi_t *wi"] + params)
+            lines.append(f"static void k_body({plist}) {{")
+            lines.append("    (void) wi;")
+            lines += seeds
+            lines += [f"    {line}" for line in self._storage_decls()]
+            lines += body
+            lines.append("}")
+            lines.append("")
+            lines.append(entry)
+            lines += [f"    {u}" for u in unpack]
+            lines.append("    int64_t NL = meta[10];")
+            lines.append("    (void) lens;")
+            lines.append("    for (int64_t t = t0; t < t1; ++t) {")
+            lines.append("        wi_t wi_s; "
+                         "wi_fill(&wi_s, meta, t / NL, t % NL);")
+            lines.append(f"        k_body({', '.join(call_args)});")
+            lines.append("    }")
+            lines.append("}")
+        else:
+            lines.append(entry)
+            lines += [f"    {u}" for u in unpack]
+            lines.append("    int64_t NL = meta[10];")
+            lines.append("    (void) lens;")
+            lines.append("    for (int64_t g = t0; g < t1; ++g) {")
+            lines.append("    wi_t wi0_s; wi_fill(&wi0_s, meta, g, 0);")
+            lines.append("    const wi_t *wi = &wi0_s; (void) wi;")
+            lines.append("    uint8_t done_[NL]; "
+                         "memset(done_, 0, (size_t)NL);")
+            lines += [f"    {line}" for line in self._storage_decls()]
+            for slot in self.slots:
+                if slot.is_array and slot.addr_space == "local":
+                    lines.append(f"    memset({slot.cname}, 0, "
+                                 f"sizeof({slot.cname}));")
+            lines.append("    for (int64_t Ls_ = 0; Ls_ < NL; ++Ls_) {")
+            for i, slot in enumerate(self.param_slots):
+                kind = slot.kind
+                if isinstance(kind, PtrKind):
+                    lines.append(f"        {slot.cname}[Ls_] = a_{i};")
+                else:
+                    assert isinstance(kind, Kind)
+                    lines.append(f"        {slot.cname}[Ls_] = "
+                                 f"({kind.ctype})p_{i};")
+            lines.append("    }")
+            lines += body
+            lines.append("    }")
+            lines.append("}")
+        return "\n".join(lines)
+
+
+def lower_kernel(unit: ast.TranslationUnit, func: ast.FunctionDef,
+                 arg_kinds: Sequence[AnyKind]) -> "LoweredKernel":
+    """Lower one kernel (specialized to concrete argument kinds) to a
+    complete C translation unit."""
+    ul = _UnitLowering(unit)
+    low = _FnLowering(ul, func, tuple(arg_kinds), kernel=True)
+    kernel_text = low.lower_kernel_text()
+    parts = [_PRELUDE, ul.struct_defs()]
+    parts += ul.instance_defs
+    parts.append(kernel_text)
+    scalar_dtypes: list[Optional[np.dtype]] = []
+    for kind in arg_kinds:
+        if isinstance(kind, PtrKind):
+            scalar_dtypes.append(None)
+        else:
+            scalar_dtypes.append(np.dtype(kind.dtype))
+    return LoweredKernel(
+        c_source="\n".join(parts),
+        group_mode=low.group_mode,
+        has_barrier=_contains_barrier(func.body),
+        has_atomic=ul.has_atomic,
+        has_float_atomic=ul.has_float_atomic,
+        param_is_pointer=[isinstance(k, PtrKind) for k in arg_kinds],
+        scalar_dtypes=scalar_dtypes,
+    )
+
+
+def declared_signature(func: ast.FunctionDef) -> tuple:
+    """The static specialization used for blocker detection: declared
+    pointee dtypes for pointers, strong declared dtypes for scalars."""
+    kinds: list[AnyKind] = []
+    for param in func.params:
+        ctype = param.ctype
+        if isinstance(ctype, PointerType):
+            if not isinstance(ctype.pointee, ScalarType):
+                raise _err("ND002",
+                           f"struct-typed parameter {param.name!r} is not "
+                           "supported by the native tier", param)
+            kinds.append(PtrKind(ctype.pointee.dtype().name))
+        elif isinstance(ctype, ScalarType):
+            kinds.append(strong_kind(ctype.dtype()))
+        else:
+            raise _err("ND002",
+                       f"struct-typed parameter {param.name!r} is not "
+                       "supported by the native tier", param)
+    return tuple(kinds)
+
+
+def lowering_blockers(unit: ast.TranslationUnit,
+                      func: ast.FunctionDef) -> list[str]:
+    """Structural native-tier blockers for one kernel (ND002/ND004/ND005/
+    ND006), found by attempting the lowering against the declared
+    signature.  Environmental (toolchain) blockers are reported
+    separately by :func:`toolchain_blockers`."""
+    try:
+        lower_kernel(unit, func, declared_signature(func))
+    except NativeLoweringError as exc:
+        where = f" (line {exc.line})" if exc.line else ""
+        return [f"{func.name}: [{exc.code}] {exc.message}{where}"]
+    return []
+
+
+# ---------------------------------------------------------------------------
+# runtime launcher
+# ---------------------------------------------------------------------------
+
+_PARALLEL_MIN_LANES = 4096
+
+_POOL_LOCK = threading.Lock()
+_POOL: Optional[ThreadPoolExecutor] = None
+
+
+def _thread_pool() -> ThreadPoolExecutor:
+    global _POOL
+    with _POOL_LOCK:
+        if _POOL is None:
+            _POOL = ThreadPoolExecutor(
+                max_workers=max(1, os.cpu_count() or 1),
+                thread_name_prefix="repro-native")
+        return _POOL
+
+
+def native_workers() -> int:
+    """Thread count for parallel native launches
+    (``REPRO_CLC_NATIVE_THREADS`` override, else the CPU count)."""
+    spec = os.environ.get("REPRO_CLC_NATIVE_THREADS", "").strip()
+    if spec:
+        try:
+            return max(1, int(spec))
+        except ValueError:
+            pass
+    return max(1, os.cpu_count() or 1)
+
+
+@dataclass
+class _Variant:
+    entry: Any
+    lowered: LoweredKernel
+    parallel_ok: bool
+
+
+class NativeKernel:
+    """A kernel compiled to fused, multi-threaded C; its call signature
+    matches the per-item launcher (``launcher(args, gsize, lsize)``), so
+    the OpenCL layer can plug any engine into
+    :class:`repro.ocl.program.Kernel`.
+
+    Lowering is specialized per argument-kind signature (buffer dtypes +
+    scalar weak/strong kinds) and the resulting shared objects are
+    memoized here and in the on-disk artifact cache.
+    """
+
+    def __init__(self, unit: ast.TranslationUnit, func: ast.FunctionDef,
+                 toolchain: Toolchain) -> None:
+        self.unit = unit
+        self.func = func
+        self.name = func.name
+        self.toolchain = toolchain
+        self._variants: dict[tuple, _Variant] = {}
+        self._effects: Any = None
+        self._effects_ready = False
+
+    # -- specialization -----------------------------------------------------
+
+    def _signature(self, args: Sequence[Any]) -> tuple:
+        kinds: list[AnyKind] = []
+        for param, arg in zip(self.func.params, args):
+            if isinstance(param.ctype, PointerType):
+                kinds.append(kind_from_value(np.asarray(arg)))
+            else:
+                kinds.append(kind_from_value(arg))
+        return tuple(kinds)
+
+    def _variant(self, sig: tuple) -> _Variant:
+        variant = self._variants.get(sig)
+        if variant is None:
+            lowered = lower_kernel(self.unit, self.func, sig)
+            so_path = compile_so(lowered.c_source, self.toolchain)
+            entry = _load_entry(so_path)
+            variant = _Variant(entry, lowered, self._parallel_ok(lowered))
+            self._variants[sig] = variant
+        return variant
+
+    def _kernel_effects(self) -> Any:
+        if not self._effects_ready:
+            self._effects_ready = True
+            try:
+                from repro.analysis.effects import unit_effects
+                self._effects = unit_effects(self.unit).get(self.name)
+            except Exception:
+                self._effects = None
+        return self._effects
+
+    def _parallel_ok(self, lowered: LoweredKernel) -> bool:
+        if lowered.group_mode or lowered.has_float_atomic:
+            return False
+        for param in self.func.params:
+            space = param.address_space or getattr(
+                param.ctype, "address_space", "")
+            if space == "local":
+                return False
+        effects = self._kernel_effects()
+        if effects is None or not effects.precise \
+                or not effects.uses_work_item_ids:
+            return False
+        for param in self.func.params:
+            if not isinstance(param.ctype, PointerType):
+                continue
+            arg_eff = effects.args.get(param.name)
+            if arg_eff is None:
+                return False
+            if not arg_eff.writes.is_empty and not arg_eff.writes.is_own:
+                return False
+            if not arg_eff.effective_writes.is_empty:
+                if not (arg_eff.reads.is_empty or arg_eff.reads.is_own):
+                    return False
+        return True
+
+    def _overlap_hazard(self, args: Sequence[Any]) -> bool:
+        effects = self._kernel_effects()
+        arrays: list[tuple[int, np.ndarray, bool]] = []
+        for i, (param, arg) in enumerate(zip(self.func.params, args)):
+            if not isinstance(param.ctype, PointerType):
+                continue
+            arg_eff = effects.args.get(param.name) if effects else None
+            written = bool(arg_eff
+                           and not arg_eff.effective_writes.is_empty)
+            arrays.append((i, np.asarray(arg), written))
+        for i, arr, written in arrays:
+            if not written:
+                continue
+            for j, other, _ in arrays:
+                if i != j and np.may_share_memory(arr, other):
+                    return True
+        return False
+
+    # -- launch -------------------------------------------------------------
+
+    def __call__(self, args: Sequence[Any], gsize: Sequence[int],
+                 lsize: Sequence[int]) -> None:
+        from repro.errors import InterpError
+        func = self.func
+        if len(args) != len(func.params):
+            raise InterpError(f"kernel {func.name} expects "
+                              f"{len(func.params)} args, got {len(args)}")
+        gdims = [int(g) for g in gsize]
+        ldims = [int(sz) for sz in lsize]
+        if len(gdims) != len(ldims) or not 1 <= len(gdims) <= 3:
+            raise InterpError("native engine supports 1-3 dimensional "
+                              "NDRanges with matching local size")
+        ngrp = [g // max(1, sz) for g, sz in zip(gdims, ldims)]
+        lanes_per_group = 1
+        for sz in ldims:
+            lanes_per_group *= sz
+        num_groups = 1
+        for n in ngrp:
+            num_groups *= n
+        if lanes_per_group == 0 or num_groups == 0:
+            return
+        variant = self._variant(self._signature(args))
+        lowered = variant.lowered
+        ffi = _ffi()
+        nargs = len(args)
+        bufs = ffi.new("void *[]", max(1, nargs))
+        lens = np.zeros(max(1, nargs), dtype=np.int64)
+        keepalive: list[Any] = []
+        copyback: list[tuple[np.ndarray, np.ndarray]] = []
+        for i, arg in enumerate(args):
+            if lowered.param_is_pointer[i]:
+                arr = np.asarray(arg)
+                if not arr.flags.c_contiguous:
+                    contig = np.ascontiguousarray(arr)
+                    if arr.flags.writeable:
+                        copyback.append((arr, contig))
+                    arr = contig
+                cbuf = ffi.from_buffer("char[]", arr,
+                                       require_writable=bool(
+                                           arr.flags.writeable))
+                keepalive.append(arr)
+                keepalive.append(cbuf)
+                bufs[i] = cbuf
+                lens[i] = arr.size
+            else:
+                staged = np.zeros(1, dtype=lowered.scalar_dtypes[i])
+                staged[0] = arg
+                cbuf = ffi.from_buffer("char[]", staged,
+                                       require_writable=False)
+                keepalive.append(staged)
+                keepalive.append(cbuf)
+                bufs[i] = cbuf
+                lens[i] = 1
+        meta = np.zeros(12, dtype=np.int64)
+        meta[0] = len(gdims)
+        for d in range(3):
+            meta[1 + d] = gdims[d] if d < len(gdims) else 1
+            meta[4 + d] = ldims[d] if d < len(ldims) else 1
+            meta[7 + d] = ngrp[d] if d < len(ngrp) else 1
+        meta[10] = lanes_per_group
+        meta[11] = num_groups
+        lens_buf = ffi.from_buffer("int64_t[]", lens)
+        meta_buf = ffi.from_buffer("int64_t[]", meta)
+        total = num_groups if lowered.group_mode \
+            else num_groups * lanes_per_group
+        workers = native_workers()
+        parallel = (variant.parallel_ok and workers > 1
+                    and total >= _PARALLEL_MIN_LANES
+                    and not self._overlap_hazard(args))
+        if parallel:
+            chunk = -(-total // workers)
+            spans = [(start, min(start + chunk, total))
+                     for start in range(0, total, chunk)]
+            pool = _thread_pool()
+            futures = [pool.submit(variant.entry, bufs, lens_buf,
+                                   meta_buf, start, stop)
+                       for start, stop in spans]
+            for future in futures:
+                future.result()
+        else:
+            variant.entry(bufs, lens_buf, meta_buf, 0, total)
+        for original, contig in copyback:
+            np.copyto(original, contig)
+        del keepalive

@@ -285,10 +285,32 @@ def _is_dir(raw: str) -> bool:
 
 
 def _engine_report(args, files, had_missing: bool) -> int:
-    """Which execution engine each kernel gets, and why."""
+    """Which execution engine each kernel gets, and why — per tier.
+
+    The JSON document stays schema-v1 compatible: every kernel keeps
+    its original ``engine`` / ``blockers`` keys (the batch-vs-per-item
+    verdict) and gains a ``tiers`` mapping with one blocker list per
+    execution tier plus the auto-selection verdict for this machine.
+    """
     from repro import errors
-    from repro.clc import parse, typecheck
-    from repro.clc.analysis import engine_report
+    from repro.clc import native, parse, typecheck
+    from repro.clc.analysis import engine_report_tiers
+
+    toolchain = native.find_toolchain()
+    toolchain_blockers = native.toolchain_blockers()
+    toolchain_doc = {
+        "available": toolchain is not None and not toolchain_blockers,
+        "cc": toolchain.cc if toolchain else None,
+        "id": toolchain.id if toolchain else None,
+        "blockers": toolchain_blockers,
+    }
+
+    def auto_engine(tiers: dict) -> str:
+        if not tiers["native"] and toolchain_doc["available"]:
+            return "native"
+        if not tiers["batch"]:
+            return "batch"
+        return "per-item"
 
     rc = 2 if had_missing else 0
     json_docs = []
@@ -297,7 +319,7 @@ def _engine_report(args, files, had_missing: bool) -> int:
         try:
             unit = parse(path.read_text())
             typecheck(unit)
-            report = engine_report(unit)
+            report = engine_report_tiers(unit)
         except (errors.ClcError, OSError) as exc:
             if args.json:
                 json_docs.append({"file": filename, "error": str(exc)})
@@ -308,22 +330,31 @@ def _engine_report(args, files, had_missing: bool) -> int:
         if args.json:
             json_docs.append(
                 {"file": filename,
-                 "kernels": {name: {"engine": ("batch" if not blockers
-                                               else "per-item"),
-                                    "blockers": blockers}
-                             for name, blockers in report.items()}})
+                 "native_toolchain": toolchain_doc,
+                 "kernels": {
+                     name: {"engine": ("batch" if not tiers["batch"]
+                                       else "per-item"),
+                            "blockers": tiers["batch"],
+                            "selected": auto_engine(tiers),
+                            "tiers": tiers}
+                     for name, tiers in report.items()}})
             continue
         if not report:
             print(f"{filename}: no kernels")
             continue
-        for name, blockers in report.items():
+        for name, tiers in report.items():
             prefix = f"{filename}: " if len(files) > 1 else ""
-            if not blockers:
-                print(f"{prefix}{name}: batch")
-            else:
-                print(f"{prefix}{name}: per-item")
-                for blocker in blockers:
-                    print(f"  - {blocker}")
+            print(f"{prefix}{name}: {auto_engine(tiers)}")
+            for tier in ("native", "batch"):
+                blockers = tiers[tier]
+                if not blockers:
+                    print(f"  {tier}: ok")
+                else:
+                    print(f"  {tier}: blocked")
+                    for blocker in blockers:
+                        print(f"    - {blocker}")
+            for blocker in toolchain_blockers:
+                print(f"  toolchain: {blocker}")
     if args.json:
         import json
         print(json.dumps(json_docs[0] if len(json_docs) == 1
@@ -423,10 +454,21 @@ def _cmd_cache(args) -> int:
         print(f"cache dir:       {info['dir']}")
         print(f"enabled:         {info['enabled']}")
         print(f"dialect version: {info['dialect_version']}")
-        print(f"entries:         {info['entries']}")
-        print(f"size:            {info['bytes']} bytes")
+        for tier, tinfo in info["tiers"].items():
+            print(f"{tier + ':':16s} {tinfo['entries']} entries, "
+                  f"{tinfo['bytes']} bytes "
+                  f"({tinfo['hits']} hits / {tinfo['misses']} misses "
+                  "this process)")
         return 0
-    removed = cache.clear()
+    if getattr(args, "stale", False):
+        from repro.clc import native
+        toolchain = native.find_toolchain()
+        removed = cache.evict_stale_native(
+            toolchain.id if toolchain else None)
+        print(f"evicted {removed} stale native artifact"
+              f"{'' if removed == 1 else 's'}")
+        return 0
+    removed = cache.clear(getattr(args, "tier", None))
     print(f"removed {removed} cache entr"
           f"{'y' if removed == 1 else 'ies'}")
     return 0
@@ -951,7 +993,8 @@ def build_parser() -> argparse.ArgumentParser:
                    help="print the check registry and exit")
     p.add_argument("--engine-report", action="store_true",
                    help="report the execution engine each kernel gets "
-                        "(batch or per-item) and any blockers")
+                        "(native, batch or per-item) with per-tier "
+                        "blockers")
     p.add_argument("--graph", metavar="SCRIPT",
                    help="run a Python script and audit every deferred "
                         "graph plan it evaluates (plan verifier)")
@@ -973,8 +1016,15 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser(
         "cache", help="inspect the on-disk kernel compile cache")
     cache_sub = p.add_subparsers(dest="cache_command", required=True)
-    cache_sub.add_parser("stats", help="show entry count and size")
-    cache_sub.add_parser("clear", help="delete every cache entry")
+    cache_sub.add_parser("stats",
+                         help="show per-tier entry count and size")
+    clear_p = cache_sub.add_parser(
+        "clear", help="delete cache entries")
+    clear_p.add_argument("--tier", choices=("frontend", "native"),
+                         help="clear only one tier (default: all)")
+    clear_p.add_argument("--stale", action="store_true",
+                         help="only evict native artifacts built by a "
+                              "different C toolchain")
     p.set_defaults(fn=_cmd_cache)
 
     p = sub.add_parser(

@@ -75,8 +75,9 @@ class Kernel:
                  params: list[KernelParam],
                  launcher: Callable, ops_per_item: float,
                  bytes_per_item: float, native: bool,
-                 engine: str = "native",
-                 engine_blockers: Sequence[str] = ()) -> None:
+                 engine: str = "host",
+                 engine_blockers: Sequence[str] = (),
+                 tier_blockers: dict[str, list[str]] | None = None) -> None:
         self.program = program
         self.name = name
         self.params = params
@@ -84,12 +85,16 @@ class Kernel:
         self.ops_per_item = ops_per_item
         self.bytes_per_item = bytes_per_item
         self.native = native
-        #: execution strategy: "batch", "per-item" or "native" — a
+        #: execution strategy: "native" (JIT-compiled C), "batch",
+        #: "per-item", or "host" (pre-built Python kernels) — a
         #: simulator implementation detail; the virtual-time cost
         #: model is identical across engines
         self.engine = engine
-        #: why the batch engine declined (empty when engine == "batch")
+        #: why the batch engine declined (empty when batch lowered it)
         self.engine_blockers = list(engine_blockers)
+        #: per-tier blocker lists for every tier evaluated during
+        #: selection: {"per-item": [], "batch": [...], "native": [...]}
+        self.tier_blockers: dict[str, list[str]] = dict(tier_blockers or {})
         self._args: list = [None] * len(params)
         self._args_set = [False] * len(params)
 
@@ -169,12 +174,20 @@ class Program:
     def create_kernel(self, name: str, engine: str | None = None) -> Kernel:
         """Create a launchable kernel, selecting its execution engine.
 
-        *engine* is ``"auto"`` (default: batch when possible, else the
-        per-item launcher), ``"batch"`` (fail loudly when the batch
-        engine can't lower the kernel) or ``"per-item"``.  The
+        *engine* is ``"auto"`` (default: native when a C toolchain can
+        lower the kernel, else batch, else the per-item launcher),
+        ``"native"``, ``"batch"`` (both fail loudly when a structural
+        blocker rules the tier out) or ``"per-item"``.  The
         ``REPRO_CLC_ENGINE`` environment variable overrides the
         default.  Engine choice is wall-clock only — the virtual-time
         cost model is charged identically either way.
+
+        A merely *environmental* native blocker — no C compiler, no
+        cffi (``[ND001]``) — degrades gracefully to the batch tier even
+        for an explicit ``engine="native"`` request, recording the
+        reason in ``Kernel.tier_blockers["native"]``; structural
+        blockers on an explicit request raise
+        :class:`BuildProgramFailure` (no silent wrong-tier selection).
         """
         compiled = self.compiled
         if name not in compiled.kernels:
@@ -183,10 +196,10 @@ class Program:
                 f"{sorted(compiled.kernels)}")
         if engine is None:
             engine = os.environ.get("REPRO_CLC_ENGINE", "auto")
-        if engine not in ("auto", "batch", "per-item"):
+        if engine not in ("auto", "native", "batch", "per-item"):
             raise BuildProgramFailure(
-                f"unknown engine {engine!r} (expected auto, batch or "
-                "per-item)")
+                f"unknown engine {engine!r} (expected auto, native, "
+                "batch or per-item)")
         fn = compiled.kernels[name]
         func_def = next(f for f in compiled.unit.functions
                         if f.name == name)
@@ -196,21 +209,39 @@ class Program:
                              if p.is_pointer and p.dtype is not None)
         launcher = fn.callable
         chosen = "per-item"
-        blockers: list[str] = []
-        if engine in ("auto", "batch"):
-            batch, blockers = compiled.batch_kernel(name)
-            if batch is not None:
-                launcher = batch
-                chosen = "batch"
-            elif engine == "batch":
-                raise BuildProgramFailure(
-                    f"kernel {name!r}: batch engine requested but "
-                    "blocked:\n  " + "\n  ".join(blockers))
+        tier_blockers: dict[str, list[str]] = {"per-item": []}
+        if engine in ("auto", "native"):
+            native_k, nblockers = compiled.native_kernel(name)
+            tier_blockers["native"] = nblockers
+            if native_k is not None:
+                launcher = native_k
+                chosen = "native"
+            elif engine == "native":
+                structural = [b for b in nblockers
+                              if "[ND001]" not in b]
+                if structural:
+                    raise BuildProgramFailure(
+                        f"kernel {name!r}: native engine requested but "
+                        "blocked:\n  " + "\n  ".join(structural))
+                # toolchain-only blockers: graceful fallback to batch
+        batch_blockers: list[str] = []
+        if engine in ("auto", "native", "batch"):
+            batch, batch_blockers = compiled.batch_kernel(name)
+            tier_blockers["batch"] = batch_blockers
+            if chosen != "native":
+                if batch is not None:
+                    launcher = batch
+                    chosen = "batch"
+                elif engine == "batch":
+                    raise BuildProgramFailure(
+                        f"kernel {name!r}: batch engine requested but "
+                        "blocked:\n  " + "\n  ".join(batch_blockers))
         return Kernel(self, name, params, launcher,
                       ops_per_item=fn.op_count,
                       bytes_per_item=max(bytes_per_item, 4.0),
                       native=False, engine=chosen,
-                      engine_blockers=blockers)
+                      engine_blockers=batch_blockers,
+                      tier_blockers=tier_blockers)
 
 
 class NativeProgram:

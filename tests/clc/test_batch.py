@@ -300,17 +300,30 @@ def ctx():
     return ocl.Context(ocl.Platform(system).get_devices("GPU"))
 
 
-def test_auto_selects_batch(ctx):
+def test_auto_selects_native_then_batch(ctx, monkeypatch):
     kernel = ocl.Program(ctx, SAXPY).build().create_kernel("saxpy")
-    assert kernel.engine == "batch"
+    assert kernel.engine == "native"
+    assert kernel.tier_blockers["native"] == []
     assert kernel.engine_blockers == []
+    # without a C toolchain, auto degrades to batch with a structured
+    # ND001 blocker recorded — never a crash, never a silent wrong tier
+    monkeypatch.setenv("REPRO_CLC_CC", "")
+    fallback = ocl.Program(ctx, SAXPY).build().create_kernel("saxpy")
+    assert fallback.engine == "batch"
+    assert any("[ND001]" in b for b in fallback.tier_blockers["native"])
 
 
-def test_auto_falls_back_with_reason(ctx):
+def test_auto_falls_back_with_reason(ctx, monkeypatch):
+    # the sequential kernel is batch-blocked but native-capable: auto
+    # picks native when a toolchain exists, per-item when it does not
     kernel = ocl.Program(ctx, SEQUENTIAL).build().create_kernel("seq")
-    assert kernel.engine == "per-item"
+    assert kernel.engine == "native"
     assert kernel.engine_blockers
     assert "sequential" in kernel.engine_blockers[0]
+    monkeypatch.setenv("REPRO_CLC_CC", "")
+    fallback = ocl.Program(ctx, SEQUENTIAL).build().create_kernel("seq")
+    assert fallback.engine == "per-item"
+    assert "sequential" in fallback.engine_blockers[0]
 
 
 def test_explicit_batch_request_fails_loudly(ctx):
@@ -335,6 +348,13 @@ def test_env_var_overrides_default(ctx, monkeypatch):
     monkeypatch.setenv("REPRO_CLC_ENGINE", "per-item")
     kernel = ocl.Program(ctx, SAXPY).build().create_kernel("saxpy")
     assert kernel.engine == "per-item"
+
+
+def test_explicit_batch_request_still_selects_batch(ctx):
+    kernel = ocl.Program(ctx, SAXPY).build() \
+        .create_kernel("saxpy", engine="batch")
+    assert kernel.engine == "batch"
+    assert kernel.engine_blockers == []
 
 
 def test_engines_agree_through_the_queue(ctx):

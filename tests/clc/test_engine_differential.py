@@ -1,14 +1,20 @@
-"""Differential harness: every batch-capable kernel in the repo's
-corpus must produce the same results on both execution engines.
+"""Differential harness: every kernel in the repo's corpus must
+produce the same results on all three execution engines — the per-item
+interpreter (ground truth), the numpy batch transpiler, and the fused-C
+native JIT.
 
 Integer outputs must match bit for bit.  float32 outputs are allowed a
-distance of at most 4 ULP — scatter accumulation (``np.add.at``) casts
+distance of at most 4 ULP: scatter accumulation (``np.add.at``) casts
 to float32 before adding, where the per-item loop adds in float64 and
-rounds once, so colliding atomic float adds can legitimately differ in
-the last bits.
+rounds once, and the native tier evaluates transcendentals through the
+C library rather than numpy's, so the last bits can legitimately
+differ.
 
-Kernels the batch engine declines must come with a concrete blocker —
-silent fallbacks are themselves a failure.
+Kernels an engine declines must come with a concrete blocker — silent
+fallbacks (and silent test skips) are themselves a failure.  The only
+legitimate reason for a missing native leg is an *environmental*
+``[ND001]`` blocker (no C compiler / no cffi on this machine);
+structural declines fail the test.
 """
 
 import pathlib
@@ -39,13 +45,35 @@ def ulp_distance(a: np.ndarray, b: np.ndarray) -> int:
     return 0 if a.size == 0 else int(np.abs(ia - ib).max())
 
 
-def run_both(source: str, kernel_name: str, make_args, gsize,
-             lsize=None):
-    """Run *kernel_name* through both engines on identical inputs.
+def run_native_leg(program, kernel_name: str, make_args, gsize, lsize):
+    """Run the native (fused C) leg; None only without a C toolchain.
+
+    A kernel the native tier declines *structurally* is an immediate
+    failure — every decline must carry a concrete ``[ND...]`` code, and
+    for the corpus exercised here there must be none at all.  Only the
+    environmental ``[ND001]`` (no compiler / no cffi on this machine)
+    may leave the leg unrun.
+    """
+    native_k, blockers = program.native_kernel(kernel_name)
+    if native_k is None:
+        structural = [b for b in blockers if "[ND001]" not in b]
+        assert not structural, (
+            f"{kernel_name}: native tier structurally blocked: "
+            f"{structural}")
+        return None
+    args_native = make_args()
+    native_k(args_native, gsize, lsize)
+    return args_native
+
+
+def run_engines(source: str, kernel_name: str, make_args, gsize,
+                lsize=None):
+    """Run *kernel_name* through all three engines on identical inputs.
 
     ``make_args`` builds a fresh argument list each call, so in-place
-    writes of one engine cannot leak into the other run.  Returns the
-    two argument lists after execution (outputs included).
+    writes of one engine cannot leak into another run.  Returns the
+    three argument lists after execution (outputs included); the native
+    list is ``None`` only when the machine has no C toolchain.
     """
     program = clc.compile_source(source, use_cache=False)
     batch, blockers = program.batch_kernel(kernel_name)
@@ -57,17 +85,23 @@ def run_both(source: str, kernel_name: str, make_args, gsize,
     program.kernels[kernel_name].callable(args_item, gsize, lsize)
     args_batch = make_args()
     batch(args_batch, gsize, lsize)
-    return args_item, args_batch
+    args_native = run_native_leg(program, kernel_name, make_args,
+                                 gsize, lsize)
+    return args_item, args_batch, args_native
 
 
-def assert_equivalent(args_item, args_batch) -> None:
-    for per_item, batched in zip(args_item, args_batch):
-        if not isinstance(per_item, np.ndarray):
-            continue
-        if per_item.dtype.kind == "f":
-            assert ulp_distance(per_item, batched) <= MAX_ULP
-        else:
-            np.testing.assert_array_equal(per_item, batched)
+def assert_equivalent(args_item, args_batch, args_native=None) -> None:
+    """Check batch (and, when run, native) against the per-item truth."""
+    legs = [args_batch] + ([args_native] if args_native is not None
+                           else [])
+    for other in legs:
+        for per_item, candidate in zip(args_item, other):
+            if not isinstance(per_item, np.ndarray):
+                continue
+            if per_item.dtype.kind == "f":
+                assert ulp_distance(per_item, candidate) <= MAX_ULP
+            else:
+                np.testing.assert_array_equal(per_item, candidate)
 
 
 # -- generated skeleton kernels -----------------------------------------------
@@ -77,43 +111,43 @@ N = 1234
 
 
 def test_map_kernel():
-    args_item, args_batch = run_both(
+    args_item, args_batch, args_native = run_engines(
         GENERATED["map"], "skelcl_map",
         lambda: [np.linspace(-3, 3, N, dtype=np.float32),
                  np.zeros(N, np.float32), np.int32(N), np.float32(2.5)],
         (N,))
-    assert_equivalent(args_item, args_batch)
+    assert_equivalent(args_item, args_batch, args_native)
     assert args_batch[1].any()
 
 
 def test_zip_kernel():
     rng = np.random.default_rng(0)
-    args_item, args_batch = run_both(
+    args_item, args_batch, args_native = run_engines(
         GENERATED["zip"], "skelcl_zip",
         lambda: [rng.random(N).astype(np.float32) * 0 + 1,
                  np.linspace(0, 1, N, dtype=np.float32),
                  np.zeros(N, np.float32), np.int32(N)],
         (N,))
-    assert_equivalent(args_item, args_batch)
+    assert_equivalent(args_item, args_batch, args_native)
 
 
 def test_reduce_kernel():
     # chunked sequential reduction per work item, 32 items over N values
-    args_item, args_batch = run_both(
+    args_item, args_batch, args_native = run_engines(
         GENERATED["reduce"], "skelcl_reduce",
         lambda: [np.linspace(0, 1, N, dtype=np.float32),
                  np.zeros(32, np.float32), np.int32(N)],
         (32,))
-    assert_equivalent(args_item, args_batch)
+    assert_equivalent(args_item, args_batch, args_native)
 
 
 def test_scan_offset_kernel():
-    args_item, args_batch = run_both(
+    args_item, args_batch, args_native = run_engines(
         GENERATED["scan_offset"], "skelcl_scan_offset",
         lambda: [np.linspace(0, 5, N, dtype=np.float32), np.int32(N),
                  np.float32(1.5)],
         (N,))
-    assert_equivalent(args_item, args_batch)
+    assert_equivalent(args_item, args_batch, args_native)
 
 
 def test_allpairs_kernel():
@@ -121,12 +155,12 @@ def test_allpairs_kernel():
     rng = np.random.default_rng(1)
     a = rng.random(n * d).astype(np.float32)
     b = rng.random(m * d).astype(np.float32)
-    args_item, args_batch = run_both(
+    args_item, args_batch, args_native = run_engines(
         GENERATED["allpairs"], "skelcl_allpairs",
         lambda: [a.copy(), b.copy(), np.zeros(n * m, np.float32),
                  np.int32(n), np.int32(m), np.int32(d)],
         (n, m))
-    assert_equivalent(args_item, args_batch)
+    assert_equivalent(args_item, args_batch, args_native)
     assert args_batch[2].all()
 
 
@@ -135,11 +169,11 @@ def test_map_overlap_kernel():
     # pointer; size the buffer so index n stays in bounds and let both
     # engines share the dialect's wrap-from-the-end for in[-1] at i=0
     buf = np.linspace(1, 2, N + 2, dtype=np.float32)
-    args_item, args_batch = run_both(
+    args_item, args_batch, args_native = run_engines(
         GENERATED["map_overlap"], "skelcl_map_overlap",
         lambda: [buf.copy(), np.zeros(N, np.float32), np.int32(N)],
         (N,))
-    assert_equivalent(args_item, args_batch)
+    assert_equivalent(args_item, args_batch, args_native)
 
 
 # -- standalone example kernels -----------------------------------------------
@@ -148,11 +182,11 @@ def test_saxpy_kernel():
     src = (KERNEL_DIR / "saxpy.cl").read_text()
     x = np.linspace(-1, 1, N, dtype=np.float32)
     y = np.linspace(3, 4, N, dtype=np.float32)
-    args_item, args_batch = run_both(
+    args_item, args_batch, args_native = run_engines(
         src, "saxpy",
         lambda: [x.copy(), y.copy(), np.float32(2.5), np.uint32(N)],
         (N,))
-    assert_equivalent(args_item, args_batch)
+    assert_equivalent(args_item, args_batch, args_native)
 
 
 def test_reduce_sum_barrier_kernel():
@@ -160,12 +194,12 @@ def test_reduce_sum_barrier_kernel():
     src = (KERNEL_DIR / "reduce_sum.cl").read_text()
     n, lsz = 1024, 64
     x = np.linspace(0, 1, n, dtype=np.float32)
-    args_item, args_batch = run_both(
+    args_item, args_batch, args_native = run_engines(
         src, "reduce_sum",
         lambda: [x.copy(), np.zeros(n // lsz, np.float32),
                  np.zeros(lsz, np.float32), np.uint32(n)],
         (n,), (lsz,))
-    assert_equivalent(args_item, args_batch)
+    assert_equivalent(args_item, args_batch, args_native)
     assert args_batch[1].sum() > 0
 
 
@@ -191,12 +225,12 @@ def test_atomic_histogram_collisions():
     """Colliding atomic_add scatter stores must count every lane."""
     rng = np.random.default_rng(2)
     values = rng.integers(-5, 40, N).astype(np.int32)
-    args_item, args_batch = run_both(
+    args_item, args_batch, args_native = run_engines(
         HISTOGRAM, "histogram",
         lambda: [values.copy(), np.zeros(8, np.int32), np.int32(N),
                  np.int32(8)],
         (N,))
-    assert_equivalent(args_item, args_batch)
+    assert_equivalent(args_item, args_batch, args_native)
     assert args_batch[1].sum() == int((values >= 0).sum())
 
 
@@ -236,11 +270,11 @@ def test_divergent_loop_with_helper_and_early_return():
     """Wildly divergent trip counts exercise masked iteration and the
     active-lane compaction path (lanes retire at different times)."""
     values = (np.arange(N, dtype=np.int32) % 97) + 1
-    args_item, args_batch = run_both(
+    args_item, args_batch, args_native = run_engines(
         DIVERGENT_LOOP, "divergent",
         lambda: [values.copy(), np.zeros(N, np.int32), np.int32(N)],
         (N,))
-    assert_equivalent(args_item, args_batch)
+    assert_equivalent(args_item, args_batch, args_native)
     assert (args_batch[1] == -1).any()
 
 
@@ -258,6 +292,53 @@ def test_blocked_kernels_report_concrete_blockers(name, kernel):
     assert all(kernel in b for b in blockers)
 
 
+def test_batch_blocked_scan_runs_native():
+    """The sequential scan kernel the batch engine declines still runs
+    on the native tier (no profitability blocker there) — checked
+    against the per-item ground truth since batch cannot referee."""
+    program = clc.compile_source(GENERATED["scan"], use_cache=False)
+    n = 257
+
+    def make_args():
+        return [np.linspace(0, 2, n, dtype=np.float32),
+                np.zeros(n, np.float32), np.int32(n)]
+
+    args_item = make_args()
+    program.kernels["skelcl_scan"].callable(args_item, (1,), (1,))
+    args_native = run_native_leg(program, "skelcl_scan", make_args,
+                                 (1,), (1,))
+    if args_native is None:
+        pytest.skip("no C toolchain on this machine ([ND001])")
+    assert ulp_distance(args_item[1], args_native[1]) <= MAX_ULP
+    assert args_native[1][-1] > 0
+
+
+def test_batch_blocked_map_overlap2d_runs_native():
+    """The 2-D stencil the batch engine declines runs native; its
+    helper reads negative indices off a decayed private array, so the
+    wrap-from-the-end pointer semantics get exercised in C."""
+    program = clc.compile_source(GENERATED["map_overlap2d"],
+                                 use_cache=False)
+    rows, cols = 11, 13
+    rng = np.random.default_rng(3)
+    halo = rng.random((rows + 2) * cols).astype(np.float32)
+
+    def make_args():
+        return [halo.copy(), np.zeros(rows * cols, np.float32),
+                np.int32(rows), np.int32(cols), np.float32(0.0),
+                np.int32(3)]
+
+    args_item = make_args()
+    program.kernels["skelcl_map_overlap2d"].callable(
+        args_item, (rows, cols), (1, 1))
+    args_native = run_native_leg(program, "skelcl_map_overlap2d",
+                                 make_args, (rows, cols), (1, 1))
+    if args_native is None:
+        pytest.skip("no C toolchain on this machine ([ND001])")
+    assert ulp_distance(args_item[1], args_native[1]) <= MAX_ULP
+    assert args_native[1].any()
+
+
 def test_batch_capable_corpus_is_large():
     """Most of the corpus must run on the batch engine — a regression
     in the lowering or the blockers analysis shows up as shrinkage."""
@@ -269,3 +350,21 @@ def test_batch_capable_corpus_is_large():
                 batch, _ = program.batch_kernel(func.name)
                 batchable += batch is not None
     assert batchable >= 6
+
+
+def test_native_capable_corpus_is_total():
+    """Every generated kernel must lower to fused C — including the
+    two the batch engine declines.  Checked through the structural
+    blocker analysis, so this holds even on machines without a C
+    toolchain; any future decline must be a structured ``[ND...]``
+    code, never a silent skip."""
+    from repro.clc.analysis import kernel_native_blockers
+    for name, source in GENERATED.items():
+        program = clc.compile_source(source, use_cache=False)
+        for func in program.unit.functions:
+            if not func.is_kernel:
+                continue
+            blockers = kernel_native_blockers(program.unit, func)
+            assert not blockers, (
+                f"{name}/{func.name}: native lowering regressed: "
+                f"{blockers}")

@@ -1,0 +1,376 @@
+"""Unit tests for the native execution tier (:mod:`repro.clc.native`):
+fused-C lowering flags, structured blockers, the on-disk .so artifact
+cache, graceful toolchain fallback, the chunked parallel launch path,
+and sanitizer instrumentation of native launches.
+
+End-to-end numerical equivalence against the other two engines lives in
+``test_engine_differential.py``; this file covers the machinery around
+the lowering.
+"""
+
+import re
+
+import numpy as np
+import pytest
+
+from repro import clc, ocl
+from repro.clc import cache, native
+
+requires_toolchain = pytest.mark.skipif(
+    bool(native.toolchain_blockers()),
+    reason="no C toolchain / cffi on this machine ([ND001])")
+
+DOUBLE_IT = """
+__kernel void double_it(__global const float* in, __global float* out,
+                        uint n) {
+    uint i = get_global_id(0);
+    if (i < n) {
+        out[i] = in[i] * 2.0f + 1.0f;
+    }
+}
+"""
+
+REDUCE_SUM = """
+__kernel void reduce_sum(__global const float* in,
+                         __global float* partial,
+                         __local float* scratch, uint n) {
+    uint lid = get_local_id(0);
+    uint gid = get_global_id(0);
+    uint lsize = get_local_size(0);
+    scratch[lid] = gid < n ? in[gid] : 0.0f;
+    barrier();
+    for (uint stride = lsize / 2u; stride > 0u; stride = stride / 2u) {
+        if (lid < stride) {
+            scratch[lid] = scratch[lid] + scratch[lid + stride];
+        }
+        barrier();
+    }
+    if (lid == 0u) {
+        partial[get_group_id(0)] = scratch[0];
+    }
+}
+"""
+
+HISTOGRAM = """
+__kernel void histogram(__global const int* values, __global int* bins,
+                        int n, int nbins) {
+    int i = get_global_id(0);
+    if (i < n) {
+        atomic_add(&bins[values[i] % nbins], 1);
+    }
+}
+"""
+
+
+def _kernel_func(program, name):
+    return next(f for f in program.unit.functions
+                if f.is_kernel and f.name == name)
+
+
+# -- lowering flags -----------------------------------------------------------
+
+def test_lowered_flags_elementwise():
+    program = clc.compile_source(DOUBLE_IT, use_cache=False)
+    func = _kernel_func(program, "double_it")
+    lowered = native.lower_kernel(
+        program.unit, func, native.declared_signature(func))
+    assert not lowered.group_mode
+    assert not lowered.has_barrier
+    assert not lowered.has_atomic
+    assert native.ENTRY_SYMBOL in lowered.c_source
+    assert lowered.param_is_pointer == [True, True, False]
+
+
+def test_lowered_flags_group_mode_barrier():
+    program = clc.compile_source(REDUCE_SUM, use_cache=False)
+    func = _kernel_func(program, "reduce_sum")
+    lowered = native.lower_kernel(
+        program.unit, func, native.declared_signature(func))
+    assert lowered.group_mode
+    assert lowered.has_barrier
+    assert not lowered.has_atomic
+
+
+def test_lowered_flags_atomic():
+    program = clc.compile_source(HISTOGRAM, use_cache=False)
+    func = _kernel_func(program, "histogram")
+    lowered = native.lower_kernel(
+        program.unit, func, native.declared_signature(func))
+    assert lowered.has_atomic
+    assert not lowered.has_float_atomic
+    assert "__atomic_fetch_add" in lowered.c_source
+
+
+# -- structured blockers ------------------------------------------------------
+
+DIVERGENT_BARRIER = """
+__kernel void k(__global float* out, __local float* s) {
+    int l = get_local_id(0);
+    if (l == 0) {
+        barrier(1);
+    }
+    out[l] = 1.0f;
+}
+"""
+
+PHASE_CROSSING_BREAK = """
+__kernel void k(__global float* out, __local float* s, int n) {
+    int l = get_local_id(0);
+    for (int i = 0; i < n; ++i) {
+        if (l < i) { break; }
+        barrier(1);
+    }
+    out[l] = 1.0f;
+}
+"""
+
+
+def test_divergent_barrier_is_structurally_blocked():
+    program = clc.compile_source(DIVERGENT_BARRIER, use_cache=False)
+    kernel, blockers = program.native_kernel("k")
+    assert kernel is None
+    assert any("BD001" in b for b in blockers)
+
+
+def test_phase_crossing_break_reports_nd005():
+    program = clc.compile_source(PHASE_CROSSING_BREAK, use_cache=False)
+    kernel, blockers = program.native_kernel("k")
+    assert kernel is None
+    assert any("[ND005]" in b for b in blockers)
+
+
+def test_structural_blockers_carry_codes_and_lines():
+    """Every native decline is structured: kernel name plus a bracketed
+    code — the contract the differential harness and the CLI rely on."""
+    for src in (PHASE_CROSSING_BREAK,):
+        program = clc.compile_source(src, use_cache=False)
+        func = _kernel_func(program, "k")
+        blockers = native.lowering_blockers(program.unit, func)
+        assert blockers
+        for b in blockers:
+            assert b.startswith("k: ")
+            assert re.search(r"\[ND\d{3}\]", b)
+
+
+def test_explicit_native_request_raises_on_structural_blocker():
+    from repro.errors import BuildProgramFailure
+    system = ocl.System(num_gpus=1)
+    ctx = ocl.Context(system.devices)
+    program = ocl.Program(ctx, PHASE_CROSSING_BREAK).build()
+    with pytest.raises(BuildProgramFailure, match=r"\[ND005\]"):
+        program.create_kernel("k", engine="native")
+
+
+# -- toolchain fallback -------------------------------------------------------
+
+def test_missing_toolchain_reports_nd001(monkeypatch):
+    monkeypatch.setenv("REPRO_CLC_CC", "")
+    assert native.find_toolchain() is None
+    blockers = native.toolchain_blockers()
+    assert blockers and all("[ND001]" in b for b in blockers)
+
+
+def test_missing_toolchain_degrades_to_batch(monkeypatch):
+    """Explicit ``engine="native"`` without a compiler must not crash:
+    it records the environmental blocker and runs the batch tier."""
+    monkeypatch.setenv("REPRO_CLC_CC", "")
+    system = ocl.System(num_gpus=1)
+    ctx = ocl.Context(system.devices)
+    program = ocl.Program(ctx, DOUBLE_IT).build()
+    kernel = program.create_kernel("double_it", engine="native")
+    assert kernel.engine == "batch"
+    assert any("[ND001]" in b for b in kernel.tier_blockers["native"])
+
+
+# -- on-disk .so artifact cache -----------------------------------------------
+
+@requires_toolchain
+def test_native_artifacts_land_in_cache_dir(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_CLC_CACHE_DIR", str(tmp_path))
+    program = clc.compile_source(DOUBLE_IT, use_cache=False)
+    kernel, blockers = program.native_kernel("double_it")
+    assert kernel is not None, blockers
+    n = 64
+    kernel([np.ones(n, np.float32), np.zeros(n, np.float32),
+            np.uint32(n)], (n,), (1,))
+    artifacts = list(tmp_path.glob("*.so"))
+    assert len(artifacts) == 1
+    toolchain = native.find_toolchain()
+    assert artifacts[0].name.endswith(f".{toolchain.id}.so")
+    assert f".v{cache.DIALECT_VERSION}." in artifacts[0].name
+    tiers = cache.stats()["tiers"]
+    assert tiers["native"]["entries"] == 1
+    assert tiers["native"]["bytes"] > 0
+
+
+@requires_toolchain
+def test_native_cache_hit_across_kernel_instances(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_CLC_CACHE_DIR", str(tmp_path))
+    n = 32
+
+    def args():
+        return [np.ones(n, np.float32), np.zeros(n, np.float32),
+                np.uint32(n)]
+
+    program = clc.compile_source(DOUBLE_IT, use_cache=False)
+    kernel, _ = program.native_kernel("double_it")
+    kernel(args(), (n,), (1,))
+    hits_before = cache.stats()["tiers"]["native"]["hits"]
+    # a fresh Program: the in-memory variant memo is empty, so the .so
+    # must come back from the on-disk artifact store
+    program2 = clc.compile_source(DOUBLE_IT, use_cache=False)
+    kernel2, _ = program2.native_kernel("double_it")
+    out = args()
+    kernel2(out, (n,), (1,))
+    assert cache.stats()["tiers"]["native"]["hits"] == hits_before + 1
+    np.testing.assert_array_equal(out[1], np.float32(3.0))
+    assert len(list(tmp_path.glob("*.so"))) == 1
+
+
+@requires_toolchain
+def test_clear_tier_and_stale_eviction(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_CLC_CACHE_DIR", str(tmp_path))
+    program = clc.compile_source(DOUBLE_IT, use_cache=True)
+    kernel, _ = program.native_kernel("double_it")
+    n = 16
+    kernel([np.ones(n, np.float32), np.zeros(n, np.float32),
+            np.uint32(n)], (n,), (1,))
+    assert list(tmp_path.glob("*.so"))
+    assert list(tmp_path.glob("*.pkl"))
+    # a leftover from an older compiler: digest.vN.<old-id>.so
+    stale = tmp_path / f"feed.v{cache.DIALECT_VERSION}.deadbeef0000.so"
+    stale.write_bytes(b"stale")
+    toolchain = native.find_toolchain()
+    assert cache.evict_stale_native(toolchain.id) == 1
+    assert not stale.exists()
+    assert list(tmp_path.glob("*.so"))  # current artifact survives
+    removed = cache.clear(tier="native")
+    assert removed == 1
+    assert not list(tmp_path.glob("*.so"))
+    assert list(tmp_path.glob("*.pkl"))  # frontend tier untouched
+    with pytest.raises(ValueError):
+        cache.clear(tier="bogus")
+
+
+@requires_toolchain
+def test_cache_disabled_still_compiles(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_CLC_CACHE_DIR", str(tmp_path))
+    monkeypatch.setenv("REPRO_CLC_CACHE", "off")
+    program = clc.compile_source(DOUBLE_IT, use_cache=False)
+    kernel, blockers = program.native_kernel("double_it")
+    assert kernel is not None, blockers
+    n = 16
+    out = [np.ones(n, np.float32), np.zeros(n, np.float32), np.uint32(n)]
+    kernel(out, (n,), (1,))
+    np.testing.assert_array_equal(out[1], np.float32(3.0))
+    assert not list(tmp_path.glob("*.so"))  # scratch dir, not the cache
+
+
+# -- parallel launch path -----------------------------------------------------
+
+@requires_toolchain
+def test_parallel_chunked_launch_matches_per_item(monkeypatch):
+    """An own-writes elementwise kernel over >=4096 lanes with several
+    workers takes the chunked thread-pool path; results must match the
+    per-item interpreter bit for bit."""
+    monkeypatch.setenv("REPRO_CLC_NATIVE_THREADS", "4")
+    assert native.native_workers() == 4
+    n = 8192
+    x = np.linspace(-2, 2, n, dtype=np.float32)
+    program = clc.compile_source(DOUBLE_IT, use_cache=False)
+    kernel, blockers = program.native_kernel("double_it")
+    assert kernel is not None, blockers
+    out_native = [x.copy(), np.zeros(n, np.float32), np.uint32(n)]
+    kernel(out_native, (n,), (1,))
+    variants = list(kernel._variants.values())
+    assert variants and all(v.parallel_ok for v in variants)
+    out_item = [x.copy(), np.zeros(n, np.float32), np.uint32(n)]
+    program.kernels["double_it"].callable(out_item, (n,), (1,))
+    np.testing.assert_array_equal(out_native[1], out_item[1])
+
+
+@requires_toolchain
+def test_group_mode_kernel_is_sequential(monkeypatch):
+    monkeypatch.setenv("REPRO_CLC_NATIVE_THREADS", "4")
+    program = clc.compile_source(REDUCE_SUM, use_cache=False)
+    kernel, blockers = program.native_kernel("reduce_sum")
+    assert kernel is not None, blockers
+    n, lsz = 4096, 64
+    x = np.ones(n, np.float32)
+    args = [x, np.zeros(n // lsz, np.float32), np.zeros(lsz, np.float32),
+            np.uint32(n)]
+    kernel(args, (n,), (lsz,))
+    variants = list(kernel._variants.values())
+    assert variants and not any(v.parallel_ok for v in variants)
+    np.testing.assert_array_equal(args[1], np.float32(lsz))
+
+
+@requires_toolchain
+def test_overlapping_buffers_run_sequentially():
+    """Aliasing views would race under the chunked path; the runtime
+    overlap check must force a sequential launch (and stay correct)."""
+    n = 8192
+    buf = np.zeros(n + 8, np.float32)
+    x = buf[:n]
+    out = buf[8:]  # overlaps x
+    program = clc.compile_source(DOUBLE_IT, use_cache=False)
+    kernel, _ = program.native_kernel("double_it")
+    kernel([x, out, np.uint32(n)], (n,), (1,))
+    assert out.any()
+
+
+# -- launch validation --------------------------------------------------------
+
+@requires_toolchain
+def test_bad_arity_raises_interp_error():
+    from repro.errors import InterpError
+    program = clc.compile_source(DOUBLE_IT, use_cache=False)
+    kernel, _ = program.native_kernel("double_it")
+    with pytest.raises(InterpError, match="expects 3 args"):
+        kernel([np.zeros(4, np.float32)], (4,), (1,))
+
+
+@requires_toolchain
+def test_zero_size_launch_is_a_noop():
+    program = clc.compile_source(DOUBLE_IT, use_cache=False)
+    kernel, _ = program.native_kernel("double_it")
+    out = np.zeros(4, np.float32)
+    kernel([np.ones(4, np.float32), out, np.uint32(4)], (0,), (1,))
+    assert not out.any()
+
+
+# -- sanitizer instrumentation ------------------------------------------------
+
+@requires_toolchain
+def test_sanitizer_instruments_native_launches():
+    """``REPRO_SANITIZE=1`` checks native launches exactly like the
+    other engines: the launch goes through the queue, which snapshots
+    and verifies buffer mutations against the effect summaries."""
+    from repro.analysis import set_sanitize
+    from repro.analysis.sanitizer import STATS, reset_stats
+    set_sanitize(True)
+    reset_stats()
+    try:
+        system = ocl.System(num_gpus=1)
+        ctx = ocl.Context(system.devices)
+        queue = ocl.CommandQueue(ctx, system.devices[0])
+        n = 256
+        xs = np.arange(n, dtype=np.float32)
+        buf_in = ocl.Buffer(ctx, xs.nbytes)
+        buf_out = ocl.Buffer(ctx, xs.nbytes)
+        queue.enqueue_write_buffer(buf_in, xs)
+        program = ocl.Program(ctx, DOUBLE_IT).build()
+        kernel = program.create_kernel("double_it", engine="native")
+        assert kernel.engine == "native"
+        kernel.set_args(buf_in, buf_out, np.uint32(n))
+        queue.enqueue_nd_range_kernel(kernel, (n,))
+        out = np.empty_like(xs)
+        queue.enqueue_read_buffer(buf_out, out)
+        queue.finish()
+        np.testing.assert_array_equal(out, xs * 2 + 1)
+        assert STATS["launches"] > 0
+        assert STATS["buffers_checked"] > 0
+        assert STATS["violations"] == 0
+    finally:
+        set_sanitize(None)
+        reset_stats()

@@ -77,7 +77,7 @@ def test_distributed_dopencl(capsys):
 
 def test_heterogeneous_scheduling(capsys):
     out = run_example("heterogeneous_scheduling", capsys)
-    assert "max |error|: 0.0" in out
+    assert "max |error| within tolerance: True" in out
     assert "Xeon" in out  # the CPU wins the small final reduce
 
 
