@@ -1,0 +1,134 @@
+"""Rewrite-planner benchmark (ISSUE 9 acceptance criterion).
+
+A stencil → stencil → map → reduce pipeline — the map∘reduce∘
+map_overlap shape from the issue — run once with the peephole
+optimizer only (``rewrite=False``, the pre-PR planner) and once
+through the cost-model-driven rewrite planner.  The planner composes
+the two stencils into one halo-merged pass (``overlap_chain``,
+eliminating a full host round trip) and folds the map into the
+reduction's local pass (``map_reduce``).  Emits ``BENCH_rewrite.json``
+and asserts: on >= 2 GPUs the rewritten makespan beats peephole by
+``REWRITE_BENCH_MIN_SPEEDUP`` (default 2.0x), results are
+bitwise-identical, and every executed plan was verifier-proven
+(plans_verified == plans_executed).
+
+Both modes are measured warm (kernels compiled in a warm-up pass, the
+final download outside the measured window), isolating what the
+planner changes: kernel launches, intermediate traffic, and stencil
+host round trips.
+"""
+
+import json
+import os
+from pathlib import Path
+
+import numpy as np
+
+from repro import skelcl
+from repro.util.tables import format_table
+
+from bench_meta import bench_meta
+from conftest import print_experiment
+
+N = 1 << 20
+GPU_COUNTS = (1, 2, 4)
+MIN_SPEEDUP = float(os.environ.get("REWRITE_BENCH_MIN_SPEEDUP", "2.0"))
+BENCH_PATH = Path(__file__).resolve().parent.parent / "BENCH_rewrite.json"
+
+
+def _pipeline():
+    st1 = skelcl.MapOverlap(
+        "float blur3(__global const float* w) "
+        "{ return 0.25f*w[0] + 0.5f*w[1] + 0.25f*w[2]; }",
+        radius=1, neutral=0.0)
+    st2 = skelcl.MapOverlap(
+        "float wide5(__global const float* w) "
+        "{ return 0.5f * (w[0] + w[4]); }",
+        radius=2, neutral=0.0)
+    sq = skelcl.Map("float sq(float x) { return x * x; }")
+    total = skelcl.Reduce("float add(float a, float b) { return a + b; }")
+
+    def build(xs):
+        return total(sq(st2(st1(skelcl.Vector(xs.copy())))))
+
+    return build
+
+
+def _run(build, xs, gpus, rewrite):
+    ctx = skelcl.init(num_gpus=gpus)
+
+    def once():
+        with skelcl.deferred(rewrite=rewrite) as graph:
+            out = build(xs)
+        return out, graph
+
+    once()  # warm-up: plan + compile the winning kernels
+    t0 = ctx.system.timeline.now()
+    out, graph = once()
+    elapsed = ctx.system.timeline.now() - t0
+    result = np.asarray(out.to_numpy()).copy()
+    verification = graph.last_verification
+    verified = verification is not None and not verification.has_errors
+    trace = list(graph.last_plan.rewrite_trace)
+    skelcl.terminate()
+    return elapsed, result, verified, trace
+
+
+def measure():
+    build = _pipeline()
+    rng = np.random.default_rng(0)
+    xs = rng.random(N).astype(np.float32)
+    results = {}
+    executed = verified_count = 0
+    for gpus in GPU_COUNTS:
+        base_s, base_out, base_ok, _ = _run(build, xs, gpus, False)
+        opt_s, opt_out, opt_ok, trace = _run(build, xs, gpus, True)
+        executed += 2
+        verified_count += int(base_ok) + int(opt_ok)
+        results[gpus] = {
+            "gpus": gpus,
+            "peephole_makespan_s": base_s,
+            "rewritten_makespan_s": opt_s,
+            "speedup": base_s / opt_s,
+            "identical": bool(np.array_equal(
+                base_out.view(np.uint8), opt_out.view(np.uint8))),
+            "rewrites": trace,
+        }
+    return results, executed, verified_count
+
+
+def test_rewrite_planner(benchmark):
+    results, executed, verified = benchmark.pedantic(
+        measure, rounds=1, iterations=1)
+
+    rows = [[r["gpus"], f"{r['peephole_makespan_s'] * 1e3:.3f}",
+             f"{r['rewritten_makespan_s'] * 1e3:.3f}",
+             f"{r['speedup']:.2f}x", r["identical"],
+             "+".join(r["rewrites"])]
+            for r in results.values()]
+    print_experiment(
+        f"Rewrite planner: stencil+stencil+map+reduce pipeline, "
+        f"{N} elements (warm)",
+        format_table(["GPUs", "peephole [ms]", "rewritten [ms]",
+                      "speedup", "bitwise-identical", "rules"], rows))
+
+    BENCH_PATH.write_text(json.dumps({
+        "benchmark": "rewrite_planner",
+        "meta": bench_meta(),
+        "elements": N,
+        "min_speedup": MIN_SPEEDUP,
+        "plans_executed": executed,
+        "plans_verified": verified,
+        "results": list(results.values()),
+    }, indent=2))
+
+    assert verified == executed, \
+        f"only {verified}/{executed} executed plans were verifier-proven"
+    for r in results.values():
+        assert r["identical"], f"{r['gpus']} GPU results diverged"
+    for gpus in (2, 4):
+        assert results[gpus]["speedup"] >= MIN_SPEEDUP, \
+            (f"{gpus} GPUs: {results[gpus]['speedup']:.2f}x < "
+             f"{MIN_SPEEDUP}x")
+        assert "overlap_chain" in results[gpus]["rewrites"]
+        assert "map_reduce" in results[gpus]["rewrites"]

@@ -86,7 +86,7 @@ def _graph_distributions(graph) -> dict[int, object]:
                 dist[node.id] = ld if ld.same_layout(rd) else block
         elif node.kind == "reduce":
             dist[node.id] = Distribution.single(0)
-        elif node.kind == "scan":
+        elif node.kind in ("scan", "map_overlap"):
             dist[node.id] = block
         else:
             dist[node.id] = None
@@ -125,29 +125,32 @@ def _stage_effects(node) -> KernelEffects | None:
     source = getattr(skeleton, "kernel_source", None)
     if source is None:
         return None
-    kernel_name = "skelcl_zip" if node.kind == "zip" else "skelcl_map"
+    kernel_name = {"zip": "skelcl_zip",
+                   "map_overlap": "skelcl_map_overlap"}.get(
+                       node.kind, "skelcl_map")
     return source_effects(source).get(kernel_name)
 
 
 def _check_stage_alignment(report: AnalysisReport, node,
-                           effects: KernelEffects, label: str) -> None:
+                           effects: KernelEffects, label: str,
+                           code: str = "PLAN001") -> None:
     """Element alignment of one fused stage's primary input/output."""
     for name in _PRIMARY_INPUTS:
         effect = effects.args.get(name)
         if effect is None:
             continue
         if not effect.effective_writes.is_empty:
-            _diag(report, "PLAN001",
+            _diag(report, code,
                   f"stage {label}: primary input {name} is written "
                   f"({effect.effective_writes})", function=node.label)
         if not (effect.reads.is_empty or effect.reads.is_own):
-            _diag(report, "PLAN001",
+            _diag(report, code,
                   f"stage {label}: primary input {name} is read at "
                   f"{effect.reads}, not only the own index — fusing "
                   "would read elements the producer has not computed "
                   "yet", function=node.label)
         if not effect.precise:
-            _diag(report, "PLAN001",
+            _diag(report, code,
                   f"stage {label}: accesses of {name} cannot be "
                   "bounded (pointer escapes the analysis)",
                   function=node.label)
@@ -155,17 +158,17 @@ def _check_stage_alignment(report: AnalysisReport, node,
     if out is not None:
         if not (out.effective_writes.is_empty
                 or out.effective_writes.is_own):
-            _diag(report, "PLAN001",
+            _diag(report, code,
                   f"stage {label}: output written at "
                   f"{out.effective_writes}, not only the own index",
                   function=node.label)
         if not out.reads.is_empty:
-            _diag(report, "PLAN001",
+            _diag(report, code,
                   f"stage {label}: output is also read ({out.reads}); "
                   "fused execution would observe partial results",
                   function=node.label)
         if not out.precise:
-            _diag(report, "PLAN001",
+            _diag(report, code,
                   f"stage {label}: writes of skelcl_out cannot be "
                   "bounded (pointer escapes the analysis)",
                   function=node.label)
@@ -284,19 +287,566 @@ def _check_fused_step(report: AnalysisReport, plan, dist_map, step,
 
 
 # ---------------------------------------------------------------------------
+# rewrite-rule proof obligations (PLAN006-009)
+# ---------------------------------------------------------------------------
+
+def _other_plan_readers(plan, node, *own_steps) -> list:
+    """Plan steps other than *own_steps* that read *node*'s value."""
+    readers = []
+    for step in plan.steps:
+        if step in own_steps:
+            continue
+        if any(dep is node for dep in step.inputs) \
+                or any(extra is node for extra in step.extras):
+            readers.append(step)
+    return readers
+
+
+def _check_interior(report, plan, node, label, code) -> None:
+    """An intermediate a rewrite computes through must be plan-internal."""
+    if node.id in plan.root_ids:
+        _diag(report, code,
+              f"{label}: interior stage {node.label} is a root; "
+              "rewriting it away loses a demanded value",
+              function=label)
+    if node.out is not None:
+        _diag(report, code,
+              f"{label}: interior stage {node.label} writes an "
+              "explicit out= vector", function=label)
+
+
+def _check_edge(report, plan, dist_map, executed, pushed, graph_input,
+                plan_input, label) -> None:
+    if graph_input is not plan_input:
+        _justify_forward(report, plan, dist_map, executed, graph_input,
+                         plan_input, label,
+                         consumer_is_redistribute=False, pushed=pushed)
+
+
+def _check_composition(report, plan, dist_map, step, executed, pushed,
+                       code, prod_kind, cons_kind,
+                       prod_skel, cons_skel) -> None:
+    """Shared obligations of the producer-into-consumer rules: the
+    rewritten step must correspond to a real two-node graph edge whose
+    interior nobody else observes, with matching dtypes, built from
+    the *identical* skeleton objects the graph captured."""
+    label = step.label
+    if len(step.rewritten_from) < 2:
+        _diag(report, code,
+              f"{label}: no provenance — rewritten_from does not name "
+              "the composed nodes", function=label)
+        return
+    prod_node, cons_node = step.rewritten_from[-2], step.rewritten_from[-1]
+    if cons_node is not step.node:
+        _diag(report, code,
+              f"{label}: provenance tail {cons_node.label} is not the "
+              "step's own node", function=label)
+    if prod_node.kind != prod_kind:
+        _diag(report, code,
+              f"{label}: composed producer {prod_node.label} is a "
+              f"{prod_node.kind}, expected {prod_kind}", function=label)
+    if cons_node.kind != cons_kind:
+        _diag(report, code,
+              f"{label}: composed consumer {cons_node.label} is a "
+              f"{cons_node.kind}, expected {cons_kind}", function=label)
+    if prod_skel is not prod_node.skeleton:
+        _diag(report, code,
+              f"{label}: fused producer skeleton is not the captured "
+              f"{prod_node.label} skeleton", function=label)
+    if cons_skel is not cons_node.skeleton:
+        _diag(report, code,
+              f"{label}: fused consumer skeleton is not the captured "
+              f"{cons_node.label} skeleton", function=label)
+    # the graph edge: consumer's primary input is the producer
+    if not cons_node.inputs:
+        _diag(report, code,
+              f"{label}: {cons_node.label} has no primary input",
+              function=label)
+    elif cons_node.inputs[0] is not prod_node:
+        _check_edge(report, plan, dist_map, executed, pushed,
+                    cons_node.inputs[0], prod_node, label)
+    # the step's own input is the producer's graph input
+    if prod_node.inputs and step.inputs:
+        _check_edge(report, plan, dist_map, executed, pushed,
+                    prod_node.inputs[0], step.inputs[0], label)
+    # interior unobservable: nobody else reads it, it is not demanded
+    _check_interior(report, plan, prod_node, label, code)
+    for reader in _other_plan_readers(plan, prod_node, step):
+        _diag(report, code,
+              f"{label}: {prod_node.label} is also read by "
+              f"{reader.label}; composing it away loses that value",
+              function=label)
+    if prod_node.extras:
+        _diag(report, code,
+              f"{label}: composed producer {prod_node.label} carries "
+              "additional arguments", function=label)
+    # dtype continuity
+    prod_out = getattr(prod_skel, "out_dtype", None)
+    cons_in = getattr(cons_skel, "in_dtype", None) \
+        or getattr(cons_skel, "elem_dtype", None)
+    if prod_out is None:
+        _diag(report, code,
+              f"{label}: composed producer {prod_node.label} returns "
+              "void", function=label)
+    elif cons_in is not None and prod_out != cons_in:
+        _diag(report, code,
+              f"{label}: {prod_node.label} produces {prod_out} but "
+              f"{cons_node.label} consumes {cons_in}", function=label)
+
+
+def _check_map_into_fold(report, plan, dist_map, step, executed,
+                         pushed, fold_kind, fold_cls_name) -> None:
+    """map∘reduce / map∘scan (PLAN006)."""
+    label = step.label
+    skel = step.skeleton
+    map_skel = getattr(skel, "map_skel", None)
+    fold_attr = "reduce_skel" if fold_kind == "reduce" else "scan_skel"
+    fold_skel = getattr(skel, fold_attr, None)
+    if map_skel is None or fold_skel is None:
+        _diag(report, "PLAN006",
+              f"{label}: step skeleton is not a {fold_cls_name}",
+              function=label)
+        return
+    _check_composition(report, plan, dist_map, step, executed, pushed,
+                       "PLAN006", "map", fold_kind, map_skel, fold_skel)
+    if fold_kind == "scan" and getattr(fold_skel, "exclusive", False):
+        _diag(report, "PLAN006",
+              f"{label}: exclusive scan shifts its input host-side; "
+              "a pre-composed map does not commute with the shift",
+              function=label)
+    if map_skel.user.elementwise is None \
+            or fold_skel.user.elementwise is None:
+        _diag(report, "PLAN006",
+              f"{label}: fused local pass needs vectorized forms for "
+              "both stages", function=label)
+    # the map stage must be element-aligned (same obligation as PLAN001)
+    if len(step.rewritten_from) >= 2:
+        map_node = step.rewritten_from[-2]
+        try:
+            effects = _stage_effects(map_node)
+        except ClcError as exc:
+            _diag(report, "PLAN006",
+                  f"{label}: map stage kernel does not analyze: {exc}",
+                  function=label)
+            return
+        if effects is not None:
+            _check_stage_alignment(report, map_node, effects,
+                                   map_node.label, code="PLAN006")
+
+
+def _check_zip_of_maps(report, plan, dist_map, step, executed,
+                       pushed) -> None:
+    """zip(z)(map(f)(x), y) → zip(z∘f)(x, y) (PLAN006)."""
+    label = step.label
+    if step.kind != "zip":
+        _diag(report, "PLAN006",
+              f"{label}: zip_of_maps produced a {step.kind} step",
+              function=label)
+        return
+    members = list(step.rewritten_from)
+    if len(members) < 2 or members[-1] is not step.node:
+        _diag(report, "PLAN006",
+              f"{label}: zip_of_maps provenance does not end at the "
+              "zip node", function=label)
+        return
+    zip_node = members[-1]
+    map_nodes = members[:-1]
+    if zip_node.kind != "zip":
+        _diag(report, "PLAN006",
+              f"{label}: rewritten node {zip_node.label} is not a zip",
+              function=label)
+        return
+    # each folded map must feed exactly one zip operand in the graph
+    remaining = list(zip_node.inputs)
+    for map_node in map_nodes:
+        if map_node.kind != "map":
+            _diag(report, "PLAN006",
+                  f"{label}: folded stage {map_node.label} is a "
+                  f"{map_node.kind}, not a map", function=label)
+            continue
+        positions = [i for i, dep in enumerate(remaining)
+                     if dep is map_node]
+        if len(positions) != 1:
+            _diag(report, "PLAN006",
+                  f"{label}: folded map {map_node.label} feeds "
+                  f"{len(positions)} zip operands; exactly one is "
+                  "foldable", function=label)
+            continue
+        pos = positions[0]
+        # the plan step must read the map's own input at that operand
+        if map_node.inputs and pos < len(step.inputs):
+            _check_edge(report, plan, dist_map, executed, pushed,
+                        map_node.inputs[0], step.inputs[pos], label)
+        remaining[pos] = None
+        _check_interior(report, plan, map_node, label, "PLAN006")
+        for reader in _other_plan_readers(plan, map_node, step):
+            _diag(report, "PLAN006",
+                  f"{label}: {map_node.label} is also read by "
+                  f"{reader.label}", function=label)
+        if map_node.extras:
+            _diag(report, "PLAN006",
+                  f"{label}: folded map {map_node.label} carries "
+                  "additional arguments", function=label)
+        m = map_node.skeleton
+        if m is None or getattr(m, "out_dtype", None) is None:
+            _diag(report, "PLAN006",
+                  f"{label}: folded map {map_node.label} returns void",
+                  function=label)
+        elif zip_node.skeleton is not None \
+                and m.out_dtype != zip_node.skeleton.user.element_dtype(
+                    pos):
+            _diag(report, "PLAN006",
+                  f"{label}: folded map {map_node.label} produces "
+                  f"{m.out_dtype}, zip operand {pos} consumes "
+                  f"{zip_node.skeleton.user.element_dtype(pos)}",
+                  function=label)
+        try:
+            effects = _stage_effects(map_node)
+        except ClcError:
+            effects = None
+        if effects is not None:
+            _check_stage_alignment(report, map_node, effects,
+                                   map_node.label, code="PLAN006")
+    # untouched operands must still be wired to the graph edge
+    for pos, dep in enumerate(remaining):
+        if dep is None or pos >= len(step.inputs):
+            continue
+        if step.inputs[pos] is not dep:
+            _check_edge(report, plan, dist_map, executed, pushed,
+                        dep, step.inputs[pos], label)
+    # the fused zip must not write through a forwarded extra pointer
+    skel = step.skeleton
+    if skel is not None:
+        for param in skel.extra_params:
+            access = skel.user.summary.param_access.get(param.name)
+            if access is not None and access.written:
+                _diag(report, "PLAN006",
+                      f"{label}: fused zip writes extra "
+                      f"{param.name!r}; commuting a map across the "
+                      "write is unsound", function=label)
+
+
+def _check_stencil_rule(report, plan, dist_map, step, executed,
+                        pushed, rule) -> None:
+    """overlap_map / overlap_chain (PLAN007)."""
+    label = step.label
+    skel = step.skeleton
+    if len(step.rewritten_from) < 2:
+        _diag(report, "PLAN007",
+              f"{label}: no provenance for the stencil composition",
+              function=label)
+        return
+    prod_node, cons_node = step.rewritten_from[-2], step.rewritten_from[-1]
+    if rule == "overlap_chain":
+        o1 = getattr(skel, "first", None)
+        o2 = getattr(skel, "second", None)
+        if o1 is None or o2 is None:
+            _diag(report, "PLAN007",
+                  f"{label}: step skeleton is not a FusedOverlapChain",
+                  function=label)
+            return
+        _check_composition(report, plan, dist_map, step, executed,
+                           pushed, "PLAN007", "map_overlap",
+                           "map_overlap", o1, o2)
+        if o1.out_dtype != o2.elem_dtype:
+            _diag(report, "PLAN007",
+                  f"{label}: chained stencil dtypes do not line up "
+                  f"({o1.out_dtype} -> {o2.elem_dtype})",
+                  function=label)
+        if cons_node.extras or prod_node.extras:
+            _diag(report, "PLAN007",
+                  f"{label}: stencil stages with additional arguments "
+                  "cannot chain", function=label)
+        return
+    # overlap_map: the composed skeleton replaces the *map* node
+    ov_skel = prod_node.skeleton
+    m_skel = cons_node.skeleton
+    if prod_node.kind != "map_overlap" or cons_node.kind != "map":
+        _diag(report, "PLAN007",
+              f"{label}: overlap_map expects map_overlap -> map, got "
+              f"{prod_node.kind} -> {cons_node.kind}", function=label)
+        return
+    if cons_node is not step.node:
+        _diag(report, "PLAN007",
+              f"{label}: provenance tail is not the step's own node",
+              function=label)
+    if not cons_node.inputs or cons_node.inputs[0] is not prod_node:
+        if cons_node.inputs:
+            _check_edge(report, plan, dist_map, executed, pushed,
+                        cons_node.inputs[0], prod_node, label)
+    if prod_node.inputs and step.inputs:
+        _check_edge(report, plan, dist_map, executed, pushed,
+                    prod_node.inputs[0], step.inputs[0], label)
+    _check_interior(report, plan, prod_node, label, "PLAN007")
+    for reader in _other_plan_readers(plan, prod_node, step):
+        _diag(report, "PLAN007",
+              f"{label}: {prod_node.label} is also read by "
+              f"{reader.label}", function=label)
+    if prod_node.extras or cons_node.extras:
+        _diag(report, "PLAN007",
+              f"{label}: stencil composition with additional "
+              "arguments", function=label)
+    if ov_skel is None or m_skel is None or skel is None:
+        return
+    if skel.radius != ov_skel.radius:
+        _diag(report, "PLAN007",
+              f"{label}: composed stencil radius {skel.radius} != "
+              f"captured radius {ov_skel.radius}", function=label)
+    if skel.neutral != ov_skel.neutral:
+        _diag(report, "PLAN007",
+              f"{label}: composed stencil neutral {skel.neutral} != "
+              f"captured neutral {ov_skel.neutral}", function=label)
+    if skel.elem_dtype != ov_skel.elem_dtype \
+            or skel.out_dtype != m_skel.out_dtype:
+        _diag(report, "PLAN007",
+              f"{label}: composed stencil dtypes do not match the "
+              "captured stages", function=label)
+    if getattr(m_skel, "out_dtype", None) is None:
+        _diag(report, "PLAN007",
+              f"{label}: composed map returns void", function=label)
+    if ov_skel.out_dtype != getattr(m_skel, "in_dtype", None):
+        _diag(report, "PLAN007",
+              f"{label}: stencil output dtype does not feed the map",
+              function=label)
+    # direction: the wrapper must apply the *map* to the *stencil's*
+    # result — the converse (map inside the window) would transform
+    # the neutral padding at the vector edges
+    compact = "".join(skel.user.source.split())
+    if f"{m_skel.user.name}({ov_skel.user.name}(" not in compact:
+        _diag(report, "PLAN007",
+              f"{label}: composed source does not apply "
+              f"{m_skel.user.name} to {ov_skel.user.name}'s result "
+              "(wrong composition direction)", function=label)
+
+
+def _check_push(report, plan, dist_map, step, executed, pushed,
+                rule) -> None:
+    """redistribute_sink / redistribute_hoist (PLAN008).
+
+    The full pair proof runs on the redistribute step; the map step
+    only proves its partner exists."""
+    label = step.label
+    if step.kind == "map":
+        partners = [s for s in plan.steps
+                    if s.kind == "redistribute" and rule in s.rules]
+        if not any((rule == "redistribute_sink"
+                    and s.inputs and s.inputs[0] is step.node)
+                   or (rule == "redistribute_hoist"
+                       and step.inputs
+                       and step.inputs[0] is s.node)
+                   for s in partners):
+            _diag(report, "PLAN008",
+                  f"{label}: pushed map has no partnered "
+                  "redistribute step", function=label)
+        return
+    if step.kind != "redistribute":
+        _diag(report, "PLAN008",
+              f"{label}: {rule} tagged a {step.kind} step",
+              function=label)
+        return
+    r_node = step.node
+    if r_node.kind != "redistribute":
+        _diag(report, "PLAN008",
+              f"{label}: pushed step's node is a {r_node.kind}",
+              function=label)
+        return
+    if step.dist is None or getattr(step.dist, "kind", "") == "copy":
+        _diag(report, "PLAN008",
+              f"{label}: pushing a copy distribution would reorder "
+              "its combine semantics", function=label)
+    if r_node.id in plan.root_ids or r_node.handle_alive:
+        _diag(report, "PLAN008",
+              f"{label}: the pushed redistribute node is demanded; "
+              "its value changes under the push", function=label)
+
+    if rule == "redistribute_sink":
+        # plan: ... M(A) ... R(M) ...; graph: A -> R -> M
+        m_node = step.inputs[0] if step.inputs else None
+        m_step = next((s for s in plan.steps if s.node is m_node), None)
+        if m_node is None or m_node.kind != "map" or m_step is None:
+            _diag(report, "PLAN008",
+                  f"{label}: sink partner is not a planned map step",
+                  function=label)
+            return
+        if plan.steps.index(m_step) > plan.steps.index(step):
+            _diag(report, "PLAN008",
+                  f"{label}: sunk redistribute runs before its map",
+                  function=label)
+        # for a peephole-fused map chain, the graph edge to prove is
+        # at the chain's head, not its tail node
+        head = m_step.fused_from[0] if m_step.fused_from else m_node
+        if not head.inputs or head.inputs[0] is not r_node:
+            _diag(report, "PLAN008",
+                  f"{label}: graph does not chain "
+                  f"{r_node.label} -> {head.label}", function=label)
+            return
+        shifted = r_node.inputs[0] if r_node.inputs else None
+        if shifted is not None and m_step.inputs \
+                and m_step.inputs[0] is not shifted:
+            _check_edge(report, plan, dist_map, executed, pushed,
+                        shifted, m_step.inputs[0], label)
+        for reader in _other_plan_readers(plan, r_node, step, m_step):
+            _diag(report, "PLAN008",
+                  f"{label}: {r_node.label} is also read by "
+                  f"{reader.label}; its value changes under the sink",
+                  function=label)
+        map_node, map_step = m_node, m_step
+    else:
+        # plan: ... R(A) ... M(R) ...; graph: A -> M -> R
+        m_node = r_node.inputs[0] if r_node.inputs else None
+        m_step = next((s for s in plan.steps if s.node is m_node), None)
+        if m_node is None or m_node.kind != "map" or m_step is None:
+            _diag(report, "PLAN008",
+                  f"{label}: hoist partner is not a planned map step",
+                  function=label)
+            return
+        if plan.steps.index(step) > plan.steps.index(m_step):
+            _diag(report, "PLAN008",
+                  f"{label}: hoisted redistribute runs after its map",
+                  function=label)
+        if not m_step.inputs or m_step.inputs[0] is not r_node:
+            _diag(report, "PLAN008",
+                  f"{label}: hoisted map does not consume the "
+                  "redistributed value", function=label)
+        head = m_step.fused_from[0] if m_step.fused_from else m_node
+        shifted = head.inputs[0] if head.inputs else None
+        if shifted is not None and step.inputs \
+                and step.inputs[0] is not shifted:
+            _check_edge(report, plan, dist_map, executed, pushed,
+                        shifted, step.inputs[0], label)
+        if m_node.id in plan.root_ids or m_node.out is not None \
+                or m_node.handle_alive:
+            _diag(report, "PLAN008",
+                  f"{label}: hoisted map's layout is observable "
+                  "(root, out= or live handle)", function=label)
+        for reader in _other_plan_readers(plan, r_node, step, m_step):
+            _diag(report, "PLAN008",
+                  f"{label}: {r_node.label} read by {reader.label} "
+                  "was not rewired to the hoisted map",
+                  function=label)
+        map_node, map_step = m_node, m_step
+
+    # shared: the map must be a pure element-wise unary value function
+    m_skel = map_node.skeleton
+    if m_skel is None or getattr(m_skel, "out_dtype", None) is None:
+        _diag(report, "PLAN008",
+              f"{label}: pushed-across map is void (works by side "
+              "effect); reordering changes when the effect lands",
+              function=label)
+    if map_node.extras or map_step.extras:
+        _diag(report, "PLAN008",
+              f"{label}: pushed-across map reads additional "
+              "arguments whose distribution safety depends on the "
+              "layout", function=label)
+    if map_node.kind != "map":
+        _diag(report, "PLAN008",
+              f"{label}: only unary maps commute with redistribution",
+              function=label)
+    # the vector whose final layout differs must be plan-internal
+    head = map_step.fused_from[0] if map_step.fused_from else map_node
+    shifted_node = (r_node.inputs[0] if rule == "redistribute_sink"
+                    else head.inputs[0]) \
+        if (r_node.inputs and head.inputs) else None
+    if shifted_node is not None:
+        if shifted_node.kind == "source" \
+                or shifted_node.value is not None:
+            _diag(report, "PLAN008",
+                  f"{label}: push changes the final layout of "
+                  f"concrete vector {shifted_node.label}",
+                  function=label)
+        if shifted_node.id in plan.root_ids \
+                or shifted_node.handle_alive:
+            _diag(report, "PLAN008",
+                  f"{label}: push changes the final layout of "
+                  f"demanded vector {shifted_node.label}",
+                  function=label)
+
+
+def _check_reduce_split(report, plan, dist_map, step) -> None:
+    """reduce_split (PLAN009)."""
+    import numpy as np
+
+    label = step.label
+    if step.kind != "reduce" or step.node.kind != "reduce":
+        _diag(report, "PLAN009",
+              f"{label}: reduce_split tagged a {step.kind} step",
+              function=label)
+        return
+    inner = getattr(step.skeleton, "inner", None)
+    if inner is None:
+        _diag(report, "PLAN009",
+              f"{label}: step skeleton is not a SplitReduce",
+              function=label)
+        return
+    if inner is not step.node.skeleton:
+        _diag(report, "PLAN009",
+              f"{label}: split wraps a different operator than the "
+              "captured reduce", function=label)
+        return
+    dt = inner.elem_dtype
+    if not (np.issubdtype(dt, np.integer)
+            or np.issubdtype(dt, np.bool_)):
+        _diag(report, "PLAN009",
+              f"{label}: re-chunking a {dt} reduction is not "
+              "value-preserving (inexact element type)",
+              function=label)
+    src = step.inputs[0] if step.inputs else None
+    src_dist = dist_map.get(src.id) if src is not None else None
+    if src_dist is None or getattr(src_dist, "kind", "") != "single":
+        _diag(report, "PLAN009",
+              f"{label}: split input is not provably single-device; "
+              "the spread copy is pure overhead", function=label)
+
+
+def _check_rewritten_step(report, plan, dist_map, step, executed,
+                          pushed) -> None:
+    for rule in step.rules:
+        if rule == "map_reduce":
+            _check_map_into_fold(report, plan, dist_map, step,
+                                 executed, pushed, "reduce",
+                                 "FusedMapReduce")
+        elif rule == "map_scan":
+            _check_map_into_fold(report, plan, dist_map, step,
+                                 executed, pushed, "scan",
+                                 "FusedMapScan")
+        elif rule == "zip_of_maps":
+            _check_zip_of_maps(report, plan, dist_map, step, executed,
+                               pushed)
+            break  # one generic proof covers stacked applications
+        elif rule in ("overlap_map", "overlap_chain"):
+            _check_stencil_rule(report, plan, dist_map, step, executed,
+                                pushed, rule)
+        elif rule in ("redistribute_sink", "redistribute_hoist"):
+            _check_push(report, plan, dist_map, step, executed,
+                        pushed, rule)
+        elif rule == "reduce_split":
+            _check_reduce_split(report, plan, dist_map, step)
+        else:
+            _diag(report, "PLAN006",
+                  f"{step.label}: unknown rewrite rule {rule!r}",
+                  function=step.label)
+
+
+# ---------------------------------------------------------------------------
 # elision justification
 # ---------------------------------------------------------------------------
 
 def _justify_forward(report: AnalysisReport, plan, dist_map,
                      executed: set[int], graph_input, plan_input,
                      consumer_label: str,
-                     consumer_is_redistribute: bool) -> None:
+                     consumer_is_redistribute: bool,
+                     pushed: frozenset = frozenset()) -> None:
     """Prove ``value(plan_input)`` may stand in for
-    ``value(graph_input)`` at one consumer edge."""
+    ``value(graph_input)`` at one consumer edge.
+
+    A hop in *pushed* is a redistribute that still executes but was
+    reordered across an element-wise step (PLAN008); the push checker
+    owns its layout proof, so the walk passes through it."""
     hops = []
     cur = graph_input
     while cur is not plan_input:
-        if cur.kind != "redistribute" or cur.id in executed \
+        if cur.kind != "redistribute" \
+                or (cur.id in executed and cur.id not in pushed) \
                 or cur.value is not None or not cur.inputs:
             _diag(report, "PLAN002",
                   f"{consumer_label}: rewired input skips "
@@ -317,6 +867,10 @@ def _justify_forward(report: AnalysisReport, plan, dist_map,
                   "it changes data", function=consumer_label)
     if consumer_is_redistribute:
         # chain collapse: the consumer re-establishes the layout itself
+        return
+    if all(hop.id in pushed for hop in hops):
+        # every hop still executes, merely reordered; the push
+        # checker proves the layout equivalence
         return
     # a plain consumer expected the layout the graph edge produces:
     # the substituted value must provably already have it
@@ -392,7 +946,8 @@ def _check_demand(report: AnalysisReport, plan,
 
 
 def _check_dataflow(report: AnalysisReport, plan, dist_map,
-                    executed: set[int]) -> None:
+                    executed: set[int],
+                    pushed: frozenset = frozenset()) -> None:
     """Re-prove execution order: every consumed value exists in time.
 
     Also proves every rewired edge (plan input differing from the
@@ -412,16 +967,24 @@ def _check_dataflow(report: AnalysisReport, plan, dist_map,
         return node
 
     for step in plan.steps:
-        graph_inputs = (list(step.fused_from[0].inputs)
-                        if step.fused_from else list(step.node.inputs))
+        if step.fused_from:
+            graph_inputs = list(step.fused_from[0].inputs)
+        elif step.rewritten_from:
+            graph_inputs = list(step.rewritten_from[0].inputs)
+        else:
+            graph_inputs = list(step.node.inputs)
         for pos, dep in enumerate(step.inputs):
             if pos < len(graph_inputs) \
-                    and graph_inputs[pos] is not dep:
+                    and graph_inputs[pos] is not dep \
+                    and not step.rules:
+                # rewritten steps' rewired edges are proven by their
+                # rule checkers (PLAN006-009), not the generic walk
                 _justify_forward(
                     report, plan, dist_map, executed,
                     graph_inputs[pos], dep, step.label,
                     consumer_is_redistribute=(step.kind
-                                              == "redistribute"))
+                                              == "redistribute"),
+                    pushed=pushed)
             if resolve(dep).id not in available:
                 _diag(report, "PLAN004",
                       f"{step.label} consumes {dep.label} before any "
@@ -435,6 +998,8 @@ def _check_dataflow(report: AnalysisReport, plan, dist_map,
                           "it", function=step.label)
         available.add(step.node.id)
         for node in step.fused_from:
+            available.add(node.id)
+        for node in step.rewritten_from:
             available.add(node.id)
     # aliases resolve against whatever ran; a dangling alias source is
     # a dataflow hole too
@@ -460,14 +1025,25 @@ def verify_plan(plan) -> AnalysisReport:
     for step in plan.steps:
         executed.add(step.node.id)
         executed.update(n.id for n in step.fused_from)
+        executed.update(n.id for n in step.rewritten_from)
+    # redistributes that still run but were reordered across an
+    # element-wise step; _justify_forward passes through them because
+    # the push checker (PLAN008) owns their layout proof
+    pushed = frozenset(
+        step.node.id for step in plan.steps
+        if step.kind == "redistribute"
+        and any(r.startswith("redistribute_") for r in step.rules))
     dist_map = _graph_distributions(plan.graph)
 
     for step in plan.steps:
         if step.fused_from:
             _check_fused_step(report, plan, dist_map, step, executed)
+        if step.rules:
+            _check_rewritten_step(report, plan, dist_map, step,
+                                  executed, pushed)
     _check_aliases(report, plan, dist_map, executed)
     _check_demand(report, plan, executed)
-    _check_dataflow(report, plan, dist_map, executed)
+    _check_dataflow(report, plan, dist_map, executed, pushed)
 
     for node in plan.graph.nodes:
         if node.kind in ("map", "zip") and node.skeleton is not None:

@@ -74,6 +74,20 @@ CHECKS: dict[str, tuple[Severity, str]] = {
     "PLAN005": (Severity.NOTE,
                 "node eliminated from the plan; its live handle will "
                 "replay the computation on demand"),
+    "PLAN006": (Severity.ERROR,
+                "rewritten skeleton composition (map∘reduce, map∘scan, "
+                "zip-of-maps) does not correspond to the captured "
+                "graph or violates a composition obligation"),
+    "PLAN007": (Severity.ERROR,
+                "rewritten stencil composition (map_overlap∘map or "
+                "stencil chain) is structurally unsound (direction, "
+                "radius/neutral, dtype, or demanded intermediate)"),
+    "PLAN008": (Severity.ERROR,
+                "redistribution pushed across a step whose values or "
+                "observable layouts it is not proven to commute with"),
+    "PLAN009": (Severity.ERROR,
+                "reduce split across devices without an exact element "
+                "type or a single-device input"),
     # -- alias/COW and cluster-journal checker (repro.analysis) -------
     "ALIAS001": (Severity.WARNING,
                  "write through a pinned or aliasing buffer view "

@@ -216,8 +216,8 @@ def _cmd_lint(args) -> int:
         for check_id, (severity, summary) in CHECKS.items():
             print(f"{check_id}  {str(severity):<7}  {summary}")
         return 0
-    if args.graph:
-        return _run_plan_audit(args.graph, args.json)
+    if args.graph is not None:
+        return _run_plan_audit(args.graph or None, args.json)
     if not args.paths:
         print("lint: a file or directory to analyze is required",
               file=sys.stderr)
@@ -406,7 +406,15 @@ def _run_plan_audit(script: str | None, json_output: bool,
         payload = {
             "schema_version": SCHEMA_VERSION,
             "plans": [dict(report.to_dict(label),
-                           steps=len(plan.steps))
+                           steps=len(plan.steps),
+                           rewrites=list(
+                               getattr(plan, "rewrite_trace", ())),
+                           fusion_blockers=[
+                               {"producer": producer,
+                                "consumer": consumer,
+                                "reason": reason}
+                               for producer, consumer, reason
+                               in getattr(plan, "fusion_blockers", [])])
                       for label, plan, report in labelled],
             "summary": {
                 "plans": len(labelled),
@@ -428,6 +436,13 @@ def _run_plan_audit(script: str | None, json_output: bool,
                   f"{len(report.notes)} note(s)")
             for diag in report.sorted():
                 print(f"  {diag.format(label)}")
+            trace = getattr(plan, "rewrite_trace", ())
+            if trace:
+                print(f"  rewrites applied: {' -> '.join(trace)}")
+            for producer, consumer, reason in getattr(
+                    plan, "fusion_blockers", []):
+                print(f"  fusion blocked: {producer} -> {consumer}: "
+                      f"{reason}")
         if alias_report is not None and alias_report.diagnostics:
             for diag in alias_report.sorted():
                 print(f"  {diag.format('<context>')}")
@@ -542,6 +557,84 @@ def _cmd_graph_dump(args) -> int:
         export_chrome_trace(ctx.system.timeline, args.trace)
         print(f"wrote {args.trace} (open in chrome://tracing)")
     return 0 if identical else 1
+
+
+def _cmd_graph_plan(args) -> int:
+    """Run a mixed pipeline through the rewrite planner and report the
+    chosen plan: rule trace, predicted vs. actual makespan, verifier
+    verdict."""
+    from repro import skelcl
+
+    rng = np.random.default_rng(0)
+    xs = rng.random(args.size).astype(np.float32)
+
+    stencil = skelcl.MapOverlap(
+        "float blur(__global const float* w) "
+        "{ return 0.25f*w[0] + 0.5f*w[1] + 0.25f*w[2]; }",
+        radius=1, neutral=0.0)
+    scale = skelcl.Map("float scale(float x) { return 2.0f * x; }")
+    total = skelcl.Reduce("float add(float a, float b) "
+                          "{ return a + b; }")
+
+    def evaluate(rewrite: bool):
+        skelcl.init(num_gpus=args.gpus)
+        ctx = skelcl.get_context()
+        # warm-up: compile programs so the measured pass is steady-state
+        with skelcl.deferred(rewrite=rewrite):
+            r = total(scale(stencil(skelcl.Vector(xs))))
+        r.to_numpy()
+        t0 = ctx.system.timeline.now()
+        with skelcl.deferred(rewrite=rewrite) as graph:
+            r = total(scale(stencil(skelcl.Vector(xs))))
+        value = r.to_numpy()
+        return graph, ctx.system.timeline.now() - t0, value
+
+    graph, actual, value = evaluate(rewrite=not args.no_rewrite)
+    plan = graph.last_plan
+    report = graph.last_verification
+
+    print(f"map_overlap -> map -> reduce over {args.size} elements on "
+          f"{args.gpus} GPU(s)")
+    print(f"plan: {len(plan.steps)} step(s), "
+          f"{plan.stats['rewrites_applied']} rewrite(s) applied")
+    for step in plan.steps:
+        print(f"  {step.label}")
+    if args.explain:
+        print("rule trace: "
+              + (" -> ".join(plan.rewrite_trace) or "(no rewrites)"))
+        if plan.baseline_predicted_s is not None:
+            print(f"predicted makespan (before rewriting): "
+                  f"{plan.baseline_predicted_s * 1e3:9.3f} ms")
+        if plan.predicted_makespan_s is not None:
+            print(f"predicted makespan (chosen plan):      "
+                  f"{plan.predicted_makespan_s * 1e3:9.3f} ms")
+        print(f"actual makespan (virtual timeline):    "
+              f"{actual * 1e3:9.3f} ms")
+        if plan.predicted_makespan_s:
+            err = abs(actual - plan.predicted_makespan_s) \
+                / plan.predicted_makespan_s
+            print(f"prediction error:                      "
+                  f"{err:9.1%}")
+        if plan.fusion_blockers:
+            print("fusion blockers:")
+            for producer, consumer, reason in plan.fusion_blockers:
+                print(f"  {producer} -> {consumer}: {reason}")
+    if report is not None:
+        print(f"verifier: {len(report.errors)} error(s), "
+              f"{len(report.warnings)} warning(s)")
+    else:
+        print("verifier: not run (REPRO_VERIFY_PLAN disabled)")
+
+    _, baseline_actual, baseline_value = evaluate(rewrite=False)
+    identical = np.array_equal(
+        np.asarray(value).view(np.uint8),
+        np.asarray(baseline_value).view(np.uint8))
+    print(f"without rewriting: {baseline_actual * 1e3:9.3f} ms "
+          f"(speedup {baseline_actual / actual:.2f}x)" if actual
+          else "without rewriting: n/a")
+    print(f"results bitwise-identical with rewriting off: {identical}")
+    return 0 if identical and (report is None
+                               or not report.has_errors) else 1
 
 
 def _memory_report(ctx) -> str | None:
@@ -700,6 +793,11 @@ def _cmd_profile(args) -> int:
               f"{timeline.now() * 1e3:.3f} ms")
         print(utilization_report(timeline))
         print(breakdown_report(timeline))
+        calibration = getattr(args, "_graph_calibration", None)
+        if getattr(args, "graph", False):
+            code = _report_graph_calibration(calibration)
+            if code:
+                return code
         if args.memory:
             report = _memory_report(ctx)
             if report is None:
@@ -714,6 +812,33 @@ def _cmd_profile(args) -> int:
         if args.trace:
             export_chrome_trace(timeline, args.trace)
             print(f"wrote {args.trace} (open in chrome://tracing)")
+    return 0
+
+
+def _report_graph_calibration(calibration) -> int:
+    """Print predicted-vs-actual plan makespan; warn on drift > 25%."""
+    if calibration is None:
+        print("graph calibration: only the pipeline workload runs "
+              "through the deferred planner", file=sys.stderr)
+        return 2
+    plan, actual = calibration
+    predicted = plan.predicted_makespan_s
+    if predicted is None:
+        print("graph calibration: no prediction recorded (rewrite "
+              "optimizer disabled via REPRO_GRAPH_REWRITE=0?)",
+              file=sys.stderr)
+        return 0
+    print(f"plan cost model: predicted {predicted * 1e3:.3f} ms, "
+          f"actual {actual * 1e3:.3f} ms")
+    if actual > 0:
+        error = abs(predicted - actual) / actual
+        print(f"plan cost model: relative error {error:.1%}")
+        if error > 0.25:
+            print(f"warning: plan cost model drifted {error:.1%} from "
+                  "the virtual timeline (> 25%); rewrite choices may "
+                  "be unreliable — recalibrate "
+                  "sched/perf_model.py against ocl/timing.py",
+                  file=sys.stderr)
     return 0
 
 
@@ -753,10 +878,24 @@ def _run_profile_workload(args, rng, cluster_devices: bool = False) -> int:
             for stage in stages:
                 vec = stage(vec)
         else:
-            with skelcl.deferred():
+            if getattr(args, "graph", False):
+                # warm-up pass: compile programs so the measured
+                # evaluation matches the model's warm-cache assumption
+                with skelcl.deferred():
+                    vec = skelcl.Vector(xs, context=ctx)
+                    for stage in stages:
+                        vec = stage(vec)
+                vec.to_numpy()
+            t0 = ctx.system.timeline.now()
+            with skelcl.deferred() as graph:
                 vec = skelcl.Vector(xs, context=ctx)
                 for stage in stages:
                     vec = stage(vec)
+            if getattr(args, "graph", False):
+                # measure at evaluation end: the prediction covers the
+                # plan itself, not the final host gather
+                args._graph_calibration = (
+                    graph.last_plan, ctx.system.timeline.now() - t0)
         vec.to_numpy()
     else:  # saxpy
         init_ctx()
@@ -995,9 +1134,12 @@ def build_parser() -> argparse.ArgumentParser:
                    help="report the execution engine each kernel gets "
                         "(native, batch or per-item) with per-tier "
                         "blockers")
-    p.add_argument("--graph", metavar="SCRIPT",
-                   help="run a Python script and audit every deferred "
-                        "graph plan it evaluates (plan verifier)")
+    p.add_argument("--graph", metavar="SCRIPT", nargs="?", const="",
+                   default=None,
+                   help="audit every deferred graph plan a Python "
+                        "script (or, without an argument, the built-in "
+                        "pipeline) evaluates: plan verifier verdicts, "
+                        "rewrites applied, fusion blockers")
     p.set_defaults(fn=_cmd_lint)
 
     p = sub.add_parser(
@@ -1044,6 +1186,19 @@ def build_parser() -> argparse.ArgumentParser:
                    help="replay the captured calls without fusion or "
                         "elision")
     p.set_defaults(fn=_cmd_graph_dump)
+    p = graph_sub.add_parser(
+        "plan", help="run the rewrite planner on a mixed "
+                     "stencil/map/reduce pipeline and report the "
+                     "chosen plan")
+    p.add_argument("--gpus", type=int, default=2)
+    p.add_argument("--size", type=int, default=1 << 18)
+    p.add_argument("--explain", action="store_true",
+                   help="show the rule trace and predicted vs. actual "
+                        "makespan of the chosen plan")
+    p.add_argument("--no-rewrite", action="store_true",
+                   help="plan with the rewrite optimizer disabled "
+                        "(peephole passes only)")
+    p.set_defaults(fn=_cmd_graph_plan)
 
     p = sub.add_parser(
         "profile", help="utilization and phase breakdown of a workload")
@@ -1055,6 +1210,11 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--memory", action="store_true",
                    help="report per-vector transfer counts, elided "
                         "copies, and bytes charged vs. physically moved")
+    p.add_argument("--graph", action="store_true",
+                   help="compare the plan cost model's predicted "
+                        "makespan against the virtual timeline "
+                        "(pipeline workload; warns when the relative "
+                        "error exceeds 25%%)")
     p.add_argument("--cluster", action="store_true",
                    help="run the workload on a real localhost worker "
                         "cluster and report per-node wire statistics")

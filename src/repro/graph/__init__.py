@@ -5,8 +5,10 @@ adds a fourth execution layer (after eager, dOpenCL, and CUDA): inside
 a ``with skelcl.deferred():`` scope, skeleton calls record DAG nodes
 and return :class:`LazyVector` handles; on scope exit the graph is
 optimized — map/zip chain fusion, dead-intermediate elimination,
-redistribution and host-roundtrip elision — and executed on the
-virtual timeline, producing results bitwise-identical to eager mode.
+redistribution and host-roundtrip elision, and a cost-model-driven
+rewrite-rule planner (:mod:`repro.graph.rewrite`) — and executed on
+the virtual timeline, producing results bitwise-identical to eager
+mode.
 
     import repro.skelcl as skelcl
 
@@ -25,10 +27,12 @@ from repro.graph.dot import graph_to_dot
 from repro.graph.node import Node
 from repro.graph.passes import (Plan, PlanStep, build_plan,
                                 elide_redistributions, fuse_map_chains)
+from repro.graph.rewrite import RULES, RULE_CODES, optimize_plan
 
 __all__ = [
     "BatchedRun", "Graph", "LazyVector", "Node", "Plan", "PlanStep",
-    "build_plan", "current_graph", "deferred", "elide_redistributions",
-    "evaluate", "fuse_map_chains", "graph_to_dot", "merge_inputs",
+    "RULES", "RULE_CODES", "build_plan", "current_graph", "deferred",
+    "elide_redistributions", "evaluate", "fuse_map_chains",
+    "graph_to_dot", "merge_inputs", "optimize_plan",
     "pipeline_signature", "run_batched", "split_outputs",
 ]

@@ -324,6 +324,14 @@ class Graph:
                 f"map({skeleton.user.name}): input dtype "
                 f"{node.out_dtype} does not match parameter type "
                 f"{skeleton.in_dtype}")
+        if kind == "map_overlap":
+            if node.out_size == 0:
+                raise SkelClError("cannot map_overlap an empty vector")
+            if node.out_dtype != skeleton.elem_dtype:
+                raise SkelClError(
+                    f"map_overlap({skeleton.user.name}): input dtype "
+                    f"{node.out_dtype} does not match window element "
+                    f"type {skeleton.elem_dtype}")
         if kind in ("reduce", "scan"):
             if node.out_size == 0:
                 raise SkelClError(f"cannot {kind} an empty vector")
@@ -362,8 +370,8 @@ class Graph:
     # -- evaluation ----------------------------------------------------------------
 
     def evaluate(self, *targets, optimize: bool = True,
-                 adaptive: bool = False, weight_store=None
-                 ) -> dict[str, int]:
+                 adaptive: bool = False, weight_store=None,
+                 rewrite: bool | None = None) -> dict[str, int]:
         """Optimize and execute the graph.
 
         Args:
@@ -377,10 +385,15 @@ class Graph:
                 bitwise-reproducible for maps/zips, not reductions.
             weight_store: a :class:`repro.sched.WeightStore` carrying
                 learned device weights across evaluations.
+            rewrite: run the cost-model-driven rewrite optimizer
+                (:mod:`repro.graph.rewrite`) after the peephole passes;
+                defaults to the ``REPRO_GRAPH_REWRITE`` environment
+                knob (on unless set to ``0``).
 
         Returns the pass/execution statistics (also kept on
         ``last_stats``).
         """
+        import os
         from repro.graph import executor, passes
         if targets:
             roots = [t.node if isinstance(t, LazyVector) else t
@@ -391,6 +404,12 @@ class Graph:
         if optimize:
             passes.elide_redistributions(plan)
             passes.fuse_map_chains(plan)
+            if rewrite is None:
+                rewrite = os.environ.get(
+                    "REPRO_GRAPH_REWRITE", "1") not in ("0", "")
+            if rewrite and not adaptive:
+                from repro.graph import rewrite as rewrite_pass
+                plan = rewrite_pass.optimize_plan(plan, self.ctx)
         self.last_verification = _verify(plan)
         executor.execute_plan(plan, self.ctx, adaptive=adaptive,
                               weight_store=weight_store)
@@ -419,7 +438,7 @@ class Graph:
 @contextmanager
 def deferred(context: SkelCLContext | None = None,
              optimize: bool = True, adaptive: bool = False,
-             weight_store=None):
+             weight_store=None, rewrite: bool | None = None):
     """Scope in which skeleton calls build a task graph lazily.
 
     On clean exit the graph is optimized and executed; results are
@@ -443,7 +462,7 @@ def deferred(context: SkelCLContext | None = None,
         assert popped is graph
     # evaluate only on clean exit — an exception propagates as-is
     graph.evaluate(optimize=optimize, adaptive=adaptive,
-                   weight_store=weight_store)
+                   weight_store=weight_store, rewrite=rewrite)
 
 
 def evaluate(*lazies: LazyVector, optimize: bool = True,

@@ -2,7 +2,8 @@
 
 ``repro graph dump --dot`` uses this to visualize what the optimizer
 did: nodes fused into one kernel share a filled cluster-colored box,
-pruned dead intermediates are grayed out, and dashed edges mark
+nodes absorbed by a rewrite rule are green with the rule name in the
+label, pruned dead intermediates are grayed out, and dashed edges mark
 additional-argument (non-element) data flow.
 """
 
@@ -18,6 +19,7 @@ def _escape(text: str) -> str:
 def graph_to_dot(graph, plan=None) -> str:
     """Render *graph* (optionally annotated with *plan*) as DOT."""
     fused_of: dict[int, int] = {}
+    rewritten_of: dict[int, tuple[int, str]] = {}
     executable: set[int] = set()
     if plan is not None:
         for step in plan.steps:
@@ -25,6 +27,13 @@ def graph_to_dot(graph, plan=None) -> str:
             for member in step.fused_from:
                 fused_of[member.id] = step.node.id
                 executable.add(member.id)
+            if step.rules:
+                rules = ",".join(step.rules)
+                for member in step.rewritten_from:
+                    rewritten_of[member.id] = (step.node.id, rules)
+                    executable.add(member.id)
+                rewritten_of.setdefault(step.node.id,
+                                        (step.node.id, rules))
         for node, source in plan.aliases:
             executable.add(node.id)
 
@@ -35,7 +44,18 @@ def graph_to_dot(graph, plan=None) -> str:
         if node.kind == "source":
             attrs.append("shape=ellipse")
         if plan is not None:
-            if node.id in fused_of:
+            if node.id in rewritten_of:
+                target, rules = rewritten_of[node.id]
+                attrs[0] = (f'label="#{node.id} {_escape(node.label)}'
+                            f'\\n[{_escape(rules)}]"')
+                attrs.append("style=filled")
+                attrs.append('fillcolor="palegreen"')
+                if target != node.id:
+                    attrs.append(
+                        f'tooltip="rewritten into #{target}"')
+                else:
+                    attrs.append(f'tooltip="rewritten: {rules}"')
+            elif node.id in fused_of:
                 attrs.append("style=filled")
                 attrs.append('fillcolor="lightblue"')
                 attrs.append(

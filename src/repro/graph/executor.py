@@ -83,9 +83,14 @@ def _run_step(step: PlanStep, ctx, scheduler_for) -> None:
         result = step.skeleton(*inputs, *extras, out=step.out)
         if observe_input is not None:
             _observe(scheduler, ctx, observe_input, before)
-    elif step.kind == "reduce":
+    elif step.kind in ("reduce", "map_reduce"):
         result = step.skeleton(_value_of(step.inputs[0]))
-    elif step.kind == "scan":
+    elif step.kind in ("scan", "map_scan"):
+        result = step.skeleton(_value_of(step.inputs[0]), out=step.out)
+    elif step.kind == "map_overlap":
+        result = step.skeleton(_value_of(step.inputs[0]), *extras,
+                               out=step.out)
+    elif step.kind == "overlap_chain":
         result = step.skeleton(_value_of(step.inputs[0]), out=step.out)
     else:  # pragma: no cover - exhaustive over executable kinds
         raise SkelClError(f"cannot execute node kind {step.kind!r}")

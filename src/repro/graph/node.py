@@ -14,7 +14,8 @@ import weakref
 from typing import Iterator, Optional
 
 #: node kinds a graph may hold
-KINDS = ("source", "map", "zip", "reduce", "scan", "redistribute")
+KINDS = ("source", "map", "zip", "reduce", "scan", "map_overlap",
+         "redistribute")
 
 
 class Node:

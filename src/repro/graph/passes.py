@@ -48,13 +48,33 @@ class PlanStep:
     dist: object = None
     #: the original nodes merged into this step (fusion), head first
     fused_from: tuple = ()
+    #: rewrite-rule names applied to this step, in application order
+    rules: tuple = ()
+    #: graph nodes this step computes through rewriting (dataflow
+    #: order, the step's own node last) — the rewrite analogue of
+    #: ``fused_from``
+    rewritten_from: tuple = ()
 
     @property
     def label(self) -> str:
+        if self.rules:
+            members = (self.rewritten_from or self.fused_from
+                       or (self.node,))
+            names = "+".join(
+                n.skeleton.user.name if n.skeleton is not None
+                else n.label for n in members)
+            return f"rewritten[{names}|{','.join(self.rules)}]"
         if self.fused_from:
             names = "+".join(n.skeleton.user.name for n in self.fused_from)
             return f"fused[{names}]"
         return self.node.label
+
+    def copy(self) -> "PlanStep":
+        return PlanStep(node=self.node, kind=self.kind,
+                        skeleton=self.skeleton, inputs=list(self.inputs),
+                        extras=self.extras, out=self.out, dist=self.dist,
+                        fused_from=self.fused_from, rules=self.rules,
+                        rewritten_from=self.rewritten_from)
 
 
 class Plan:
@@ -76,7 +96,28 @@ class Plan:
             "redistributions_elided": 0,
             "fused_chains": 0,
             "fused_stages": 0,
+            "rewrites_applied": 0,
         }
+        #: (node label, consumer label, reason) triples recorded when a
+        #: growing fusion chain was stopped by an incompatibility
+        self.fusion_blockers: list[tuple[str, str, str]] = []
+        #: rule names applied by the rewrite optimizer, in order
+        self.rewrite_trace: tuple[str, ...] = ()
+        #: cost-model makespan of this plan / of the unrewritten plan
+        self.predicted_makespan_s: float | None = None
+        self.baseline_predicted_s: float | None = None
+
+    def clone(self) -> "Plan":
+        """Deep-copy the plan's step list (Nodes stay shared — they are
+        the immutable graph; steps are the mutable rewrite substrate)."""
+        twin = Plan(self.graph, self.roots, [s.copy() for s in self.steps])
+        twin.aliases = list(self.aliases)
+        twin.stats = dict(self.stats)
+        twin.fusion_blockers = list(self.fusion_blockers)
+        twin.rewrite_trace = self.rewrite_trace
+        twin.predicted_makespan_s = self.predicted_makespan_s
+        twin.baseline_predicted_s = self.baseline_predicted_s
+        return twin
 
     def consumers(self) -> dict[int, list[PlanStep]]:
         """node id -> plan steps that read its value."""
@@ -172,9 +213,10 @@ def _infer_distributions(plan: Plan) -> dict[int, object]:
                 produced = ld
             else:
                 produced = ld if ld.same_layout(rd) else block
-        elif step.kind == "reduce":
+        elif step.kind in ("reduce", "map_reduce"):
             produced = Distribution.single(0)
-        elif step.kind == "scan":
+        elif step.kind in ("scan", "map_scan", "map_overlap",
+                           "overlap_chain"):
             produced = block
         else:  # pragma: no cover - exhaustive over KINDS
             produced = None
@@ -282,8 +324,10 @@ def _chain_head_ok(step: PlanStep) -> bool:
             and getattr(step.skeleton, "native_fn", None) is None)
 
 
-def _fusable_link(plan: Plan, step: PlanStep, consumer: PlanStep) -> bool:
+def _fusable_link(plan: Plan, step: PlanStep,
+                  consumer: PlanStep) -> str | None:
     """May *step*'s result be folded into *consumer* (its only reader)?
+    Returns ``None`` when fusable, else a human-readable reason.
 
     The intermediate must not be demanded by the plan itself: not a
     root, no explicit ``out=`` vector to fill.  A live LazyVector
@@ -291,13 +335,21 @@ def _fusable_link(plan: Plan, step: PlanStep, consumer: PlanStep) -> bool:
     (unfused) node on access, which is cheap exactly because fusion
     means nobody else needs that value.
     """
-    return (consumer.kind == "map"
-            and consumer.skeleton is not None
-            and getattr(consumer.skeleton, "native_fn", None) is None
-            and consumer.inputs[0] is step.node
-            and not any(extra is step.node for extra in consumer.extras)
-            and step.node.id not in plan.root_ids
-            and step.out is None)
+    if consumer.kind != "map":
+        return f"consumer is {consumer.kind}, not a unary map"
+    if consumer.skeleton is None:
+        return "consumer has no skeleton"
+    if getattr(consumer.skeleton, "native_fn", None) is not None:
+        return "consumer uses a native kernel"
+    if consumer.inputs[0] is not step.node:
+        return "value feeds the consumer only through a secondary edge"
+    if any(extra is step.node for extra in consumer.extras):
+        return "value is also read as an additional argument"
+    if step.node.id in plan.root_ids:
+        return "intermediate is demanded (evaluation root)"
+    if step.out is not None:
+        return "intermediate fills an explicit out= vector"
+    return None
 
 
 def fuse_map_chains(plan: Plan) -> None:
@@ -320,9 +372,13 @@ def fuse_map_chains(plan: Plan) -> None:
             if len(readers) != 1:
                 break
             nxt = readers[0]
-            if not _fusable_link(plan, last, nxt):
-                break
-            if fusion_blocker([s.skeleton for s in chain] + [nxt.skeleton]):
+            reason = _fusable_link(plan, last, nxt)
+            if reason is None:
+                reason = fusion_blocker(
+                    [s.skeleton for s in chain] + [nxt.skeleton])
+            if reason is not None:
+                plan.fusion_blockers.append(
+                    (last.label, nxt.label, reason))
                 break
             chain.append(nxt)
         if len(chain) > 1:

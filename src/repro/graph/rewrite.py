@@ -1,0 +1,623 @@
+"""Cost-model-driven plan rewriting (the query-planner layer).
+
+The peephole passes in :mod:`repro.graph.passes` only fuse linear
+map/zip chains and elide redundant redistributions.  This module goes
+after the rest of the skeleton algebra — the systematic rewrite-rule
+direction of the Lift line of work, but with the virtual-timeline cost
+model as the fitness function instead of auto-tuning:
+
+- every rule is a declarative (pattern, guard, apply) triple over plan
+  steps; *pattern* matches structure, *guard* proves soundness
+  preconditions (consulting effect summaries where writes matter), and
+  *apply* produces a rewritten clone of the plan;
+- a beam search (width ``REPRO_GRAPH_BEAM``, deterministic
+  tie-breaking) explores rule applications, prices every candidate via
+  :func:`repro.sched.perf_model.predict_plan`, and keeps the cheapest;
+- the winning plan carries full provenance (``PlanStep.rules`` /
+  ``rewritten_from``, ``Plan.rewrite_trace``) and is re-proven by the
+  plan verifier (PLAN006-009) before anything executes.
+
+Disable with ``REPRO_GRAPH_REWRITE=0`` (the plan is then exactly what
+the peephole passes produced).
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+
+from repro.errors import SkelClError
+from repro.graph.passes import Plan, PlanStep, _infer_distributions
+from repro.skelcl.fusion import (FusedMapReduce, FusedMapScan,
+                                 FusedOverlapChain, SplitReduce,
+                                 compose_overlap_map, fuse_zip_of_maps,
+                                 fusion_blocker)
+from repro.skelcl.map_overlap import MapOverlap
+from repro.skelcl.map_skeleton import Map
+from repro.skelcl.reduce_skeleton import Reduce
+from repro.skelcl.scan_skeleton import Scan
+from repro.skelcl.zip_skeleton import Zip
+
+#: default beam width; override with REPRO_GRAPH_BEAM
+DEFAULT_BEAM_WIDTH = 4
+
+#: maximum rule applications along one search path
+MAX_DEPTH = 8
+
+
+# ---------------------------------------------------------------------------
+# shared predicates
+# ---------------------------------------------------------------------------
+
+def _untagged(step: PlanStep) -> bool:
+    """Rules compose through the search, not by stacking on one step."""
+    return not step.rules and not step.fused_from
+
+
+def _producer(plan: Plan, node) -> PlanStep | None:
+    for step in plan.steps:
+        if step.node is node:
+            return step
+    return None
+
+
+def _sole_consumer(plan: Plan, node, step: PlanStep) -> bool:
+    readers = plan.consumers().get(node.id, ())
+    return len(readers) == 1 and readers[0] is step
+
+
+def _writes_extras(skel) -> bool:
+    """Effect-summary check: does the kernel write through any
+    additional-argument pointer?  Rules that reorder or merge steps
+    must not move such writes."""
+    for param in skel.extra_params:
+        access = skel.user.summary.param_access.get(param.name)
+        if access is not None and access.written:
+            return True
+    return False
+
+
+def _disjoint_names(a, b) -> str | None:
+    seen = {f.name for f in a.user.unit.functions}
+    for func in b.user.unit.functions:
+        if func.name in seen:
+            return f"both sides define {func.name!r}"
+    return None
+
+
+def _demanded(plan: Plan, step: PlanStep) -> bool:
+    """The intermediate's value is observable outside the rewrite."""
+    return step.node.id in plan.root_ids or step.out is not None
+
+
+# ---------------------------------------------------------------------------
+# the rules
+# ---------------------------------------------------------------------------
+
+class Rule:
+    """One declarative rewrite: (pattern, guard, apply).
+
+    ``pattern(plan, i)`` returns a match payload (or None) for the step
+    at index *i* by structure alone; ``guard(plan, match)`` returns a
+    rejection reason (or None) proving the soundness preconditions;
+    ``apply(plan, match)`` mutates a *clone* of the plan.  Keeping the
+    three separable lets the soundness tests corrupt a guard and watch
+    the verifier catch the unsound plan downstream.
+    """
+
+    name: str = "?"
+    code: str = "?"  # the verifier diagnostic that re-proves this rule
+
+    def pattern(self, plan: Plan, i: int):
+        raise NotImplementedError
+
+    def guard(self, plan: Plan, match) -> str | None:
+        raise NotImplementedError
+
+    def candidates(self, plan: Plan, ctx):
+        for i in range(len(plan.steps)):
+            match = self.pattern(plan, i)
+            if match is None:
+                continue
+            if self.guard(plan, match) is not None:
+                continue
+            yield match
+
+    def apply(self, plan: Plan, match) -> None:
+        raise NotImplementedError
+
+
+class _ComposeRule(Rule):
+    """Shared shape: a producer step folded into its sole consumer."""
+
+    producer_kinds: tuple = ()
+    consumer_kinds: tuple = ()
+
+    def pattern(self, plan: Plan, i: int):
+        step = plan.steps[i]
+        if step.kind not in self.consumer_kinds or not _untagged(step):
+            return None
+        if not step.inputs:
+            return None
+        prod = _producer(plan, step.inputs[0])
+        if prod is None or prod.kind not in self.producer_kinds \
+                or not _untagged(prod):
+            return None
+        return (plan.steps.index(prod), i)
+
+    def _common_guard(self, plan: Plan, prod: PlanStep,
+                      cons: PlanStep) -> str | None:
+        if not _sole_consumer(plan, prod.node, cons):
+            return "intermediate has other consumers"
+        if _demanded(plan, prod):
+            return "intermediate is demanded (root or out=)"
+        return None
+
+
+class MapReduceRule(_ComposeRule):
+    """map ∘ reduce → one fused local-reduction pass per device."""
+
+    name = "map_reduce"
+    code = "PLAN006"
+    producer_kinds = ("map",)
+    consumer_kinds = ("reduce",)
+
+    def guard(self, plan: Plan, match) -> str | None:
+        prod, cons = plan.steps[match[0]], plan.steps[match[1]]
+        reason = self._common_guard(plan, prod, cons)
+        if reason:
+            return reason
+        m, r = prod.skeleton, cons.skeleton
+        if type(r) is not Reduce:
+            return "consumer is not a plain Reduce"
+        if not isinstance(m, Map) or getattr(m, "native_fn", None):
+            return "producer is not a source-level unary map"
+        if prod.extras:
+            return "map stage has additional arguments"
+        if m.scale_factor != 1.0:
+            return "map stage has a scale factor"
+        if m.out_dtype is None or m.out_dtype != r.elem_dtype:
+            return "dtype mismatch between map output and operator"
+        if m.user.elementwise is None or r.user.elementwise is None:
+            return "no vectorized form for the fused local pass"
+        dist = _infer_distributions(plan).get(prod.inputs[0].id)
+        if dist is not None and dist.kind not in ("block", "copy",
+                                                  "single"):
+            return "unsupported input distribution"
+        return None
+
+    def apply(self, plan: Plan, match) -> None:
+        prod, cons = plan.steps[match[0]], plan.steps[match[1]]
+        cons.skeleton = FusedMapReduce(prod.skeleton, cons.skeleton)
+        cons.kind = "map_reduce"
+        cons.inputs = list(prod.inputs)
+        cons.rules = cons.rules + (self.name,)
+        cons.rewritten_from = (prod.node, cons.node)
+        plan.steps.remove(prod)
+
+
+class MapScanRule(_ComposeRule):
+    """map ∘ scan → the map folded into the local scan pass."""
+
+    name = "map_scan"
+    code = "PLAN006"
+    producer_kinds = ("map",)
+    consumer_kinds = ("scan",)
+
+    def guard(self, plan: Plan, match) -> str | None:
+        prod, cons = plan.steps[match[0]], plan.steps[match[1]]
+        reason = self._common_guard(plan, prod, cons)
+        if reason:
+            return reason
+        m, s = prod.skeleton, cons.skeleton
+        if type(s) is not Scan:
+            return "consumer is not a plain Scan"
+        if s.exclusive:
+            return "exclusive scan shifts its input host-side"
+        if not isinstance(m, Map) or getattr(m, "native_fn", None):
+            return "producer is not a source-level unary map"
+        if prod.extras:
+            return "map stage has additional arguments"
+        if m.scale_factor != 1.0:
+            return "map stage has a scale factor"
+        if m.out_dtype is None or m.out_dtype != s.elem_dtype:
+            return "dtype mismatch between map output and operator"
+        if m.user.elementwise is None or s.user.elementwise is None:
+            return "no vectorized form for the fused local pass"
+        return None
+
+    def apply(self, plan: Plan, match) -> None:
+        prod, cons = plan.steps[match[0]], plan.steps[match[1]]
+        cons.skeleton = FusedMapScan(prod.skeleton, cons.skeleton)
+        cons.kind = "map_scan"
+        cons.inputs = list(prod.inputs)
+        cons.rules = cons.rules + (self.name,)
+        cons.rewritten_from = (prod.node, cons.node)
+        plan.steps.remove(prod)
+
+
+class OverlapMapRule(_ComposeRule):
+    """map_overlap ∘ map → one stencil computing ``g(f(window))``.
+
+    Sound in this direction only: *g* post-processes stencil outputs,
+    so the neutral padding *f* sees at the vector edges is unchanged.
+    """
+
+    name = "overlap_map"
+    code = "PLAN007"
+    producer_kinds = ("map_overlap",)
+    consumer_kinds = ("map",)
+
+    def guard(self, plan: Plan, match) -> str | None:
+        prod, cons = plan.steps[match[0]], plan.steps[match[1]]
+        reason = self._common_guard(plan, prod, cons)
+        if reason:
+            return reason
+        ov, m = prod.skeleton, cons.skeleton
+        if type(ov) is not MapOverlap:
+            return "producer is not a plain MapOverlap"
+        if not isinstance(m, Map) or getattr(m, "native_fn", None):
+            return "consumer is not a source-level unary map"
+        if prod.extras or cons.extras:
+            return "additional arguments block stencil composition"
+        if m.scale_factor != 1.0:
+            return "map stage has a scale factor"
+        if m.out_dtype is None or ov.out_dtype != m.in_dtype:
+            return "dtype mismatch between stencil output and map input"
+        clash = _disjoint_names(ov, m)
+        if clash:
+            return clash
+        return None
+
+    def apply(self, plan: Plan, match) -> None:
+        prod, cons = plan.steps[match[0]], plan.steps[match[1]]
+        composed = compose_overlap_map(prod.skeleton, cons.skeleton)
+        cons.skeleton = composed
+        cons.kind = "map_overlap"
+        cons.inputs = list(prod.inputs)
+        cons.rules = cons.rules + (self.name,)
+        cons.rewritten_from = (prod.node, cons.node)
+        plan.steps.remove(prod)
+
+
+class OverlapChainRule(_ComposeRule):
+    """stencil ∘ stencil → one halo-merged pass (no host round trip)."""
+
+    name = "overlap_chain"
+    code = "PLAN007"
+    producer_kinds = ("map_overlap",)
+    consumer_kinds = ("map_overlap",)
+
+    def guard(self, plan: Plan, match) -> str | None:
+        prod, cons = plan.steps[match[0]], plan.steps[match[1]]
+        reason = self._common_guard(plan, prod, cons)
+        if reason:
+            return reason
+        o1, o2 = prod.skeleton, cons.skeleton
+        if type(o1) is not MapOverlap or type(o2) is not MapOverlap:
+            return "both stages must be plain MapOverlap skeletons"
+        if prod.extras or cons.extras:
+            return "additional arguments block stencil composition"
+        if o1.out_dtype != o2.elem_dtype:
+            return "dtype mismatch between the chained stencils"
+        return None
+
+    def apply(self, plan: Plan, match) -> None:
+        prod, cons = plan.steps[match[0]], plan.steps[match[1]]
+        cons.skeleton = FusedOverlapChain(prod.skeleton, cons.skeleton)
+        cons.kind = "overlap_chain"
+        cons.inputs = list(prod.inputs)
+        cons.rules = cons.rules + (self.name,)
+        cons.rewritten_from = (prod.node, cons.node)
+        plan.steps.remove(prod)
+
+
+class ZipOfMapsRule(Rule):
+    """zip(z)(map(f)(x), y) → zip(z∘f)(x, y): commuting the map into
+    the zip exposes one launch and halves the intermediate traffic.
+    May apply once per operand."""
+
+    name = "zip_of_maps"
+    code = "PLAN006"
+
+    def pattern(self, plan: Plan, i: int):
+        step = plan.steps[i]
+        if step.kind != "zip" or step.fused_from:
+            return None
+        if any(r != self.name for r in step.rules):
+            return None
+        for operand in (0, 1):
+            prod = _producer(plan, step.inputs[operand])
+            if prod is not None and prod.kind == "map" \
+                    and _untagged(prod):
+                return (plan.steps.index(prod), i, operand)
+        return None
+
+    def guard(self, plan: Plan, match) -> str | None:
+        prod, cons = plan.steps[match[0]], plan.steps[match[1]]
+        operand = match[2]
+        if not _sole_consumer(plan, prod.node, cons):
+            return "intermediate has other consumers"
+        if _demanded(plan, prod):
+            return "intermediate is demanded (root or out=)"
+        m, z = prod.skeleton, cons.skeleton
+        if not isinstance(z, Zip) or getattr(z, "native_fn", None):
+            return "consumer is not a source-level zip"
+        if not isinstance(m, Map) or getattr(m, "native_fn", None):
+            return "producer is not a source-level unary map"
+        if prod.extras:
+            return "map stage has additional arguments"
+        if _writes_extras(z):
+            return "zip writes through an additional argument"
+        if m.scale_factor != z.scale_factor:
+            return "stages have different scale factors"
+        if m.out_dtype is None \
+                or m.out_dtype != z.user.element_dtype(operand):
+            return "dtype mismatch between map output and zip operand"
+        clash = _disjoint_names(m, z)
+        if clash:
+            return clash
+        return None
+
+    def apply(self, plan: Plan, match) -> None:
+        prod, cons = plan.steps[match[0]], plan.steps[match[1]]
+        operand = match[2]
+        cons.skeleton = fuse_zip_of_maps(cons.skeleton, prod.skeleton,
+                                         operand)
+        cons.inputs[operand] = prod.inputs[0]
+        cons.rules = cons.rules + (self.name,)
+        prior = cons.rewritten_from or (cons.node,)
+        cons.rewritten_from = (prod.node,) + prior
+        plan.steps.remove(prod)
+
+
+class _PushRule(Rule):
+    """Shared guards for moving a redistribute across a unary map.
+
+    Element-wise values don't depend on layout, so the *values* are
+    untouched; the guards make sure no *layout* anyone can observe
+    changes: the vector whose final distribution differs must be a
+    plan-internal intermediate (produced here, not a root, handle
+    dead), and no pointer extras whose distribution-safety depends on
+    the layout may be attached.
+    """
+
+    def _layout_guard(self, plan: Plan, map_step: PlanStep,
+                      redist_step: PlanStep, shifted) -> str | None:
+        m = map_step.skeleton
+        if m is None or not isinstance(m, Map):
+            return "only unary maps commute with redistribution"
+        if map_step.extras:
+            return "map has additional arguments (layout-sensitive)"
+        if m.out_dtype is None:
+            return "void map works by side effect"
+        if redist_step.dist is None or redist_step.dist.kind == "copy":
+            return "copy distributions carry combine semantics"
+        prod = _producer(plan, shifted)
+        if prod is None:
+            return "shifted vector is not produced by this plan"
+        if shifted.id in plan.root_ids or shifted.handle_alive:
+            return "shifted vector's layout is observable"
+        dist = _infer_distributions(plan).get(shifted.id)
+        if dist is not None and dist.kind not in ("block", "single"):
+            return "shifted vector's layout is not block/single"
+        return None
+
+
+class RedistributeSinkRule(_PushRule):
+    """redistribute → map becomes map → redistribute: the conversion
+    happens on the (post-map) intermediate and the kernel runs on the
+    cheaper pre-conversion layout."""
+
+    name = "redistribute_sink"
+    code = "PLAN008"
+
+    def pattern(self, plan: Plan, i: int):
+        step = plan.steps[i]
+        # peephole-fused map chains are still element-wise, so they
+        # commute too (fused_from allowed, prior rewrites not)
+        if step.kind != "map" or step.rules:
+            return None
+        prod = _producer(plan, step.inputs[0])
+        if prod is None or prod.kind != "redistribute" \
+                or not _untagged(prod):
+            return None
+        return (plan.steps.index(prod), i)
+
+    def guard(self, plan: Plan, match) -> str | None:
+        redist, map_step = plan.steps[match[0]], plan.steps[match[1]]
+        if not _sole_consumer(plan, redist.node, map_step):
+            return "redistributed value has other consumers"
+        if redist.node.id in plan.root_ids or redist.node.handle_alive:
+            return "redistributed value is demanded"
+        return self._layout_guard(plan, map_step, redist,
+                                  redist.inputs[0])
+
+    def apply(self, plan: Plan, match) -> None:
+        redist, map_step = plan.steps[match[0]], plan.steps[match[1]]
+        map_step.inputs[0] = redist.inputs[0]
+        map_step.rules = map_step.rules + (self.name,)
+        redist.inputs = [map_step.node]
+        redist.rules = redist.rules + (self.name,)
+        plan.steps.remove(redist)
+        plan.steps.insert(plan.steps.index(map_step) + 1, redist)
+
+
+class RedistributeHoistRule(_PushRule):
+    """map → redistribute becomes redistribute → map: the kernel runs
+    on the post-conversion layout (e.g. block-parallel instead of
+    single-device)."""
+
+    name = "redistribute_hoist"
+    code = "PLAN008"
+
+    def pattern(self, plan: Plan, i: int):
+        step = plan.steps[i]
+        if step.kind != "redistribute" or not _untagged(step):
+            return None
+        prod = _producer(plan, step.inputs[0])
+        if prod is None or prod.kind != "map" or prod.rules:
+            return None
+        return (plan.steps.index(prod), i)
+
+    def guard(self, plan: Plan, match) -> str | None:
+        map_step, redist = plan.steps[match[0]], plan.steps[match[1]]
+        if not _sole_consumer(plan, map_step.node, redist):
+            return "map value has other consumers"
+        if map_step.node.id in plan.root_ids or map_step.out is not None:
+            return "map value is demanded"
+        if map_step.node.handle_alive:
+            return "map value's layout is observable via its handle"
+        if redist.node.id in plan.root_ids or redist.node.handle_alive:
+            # hoisted, the redistribute node would hold pre-map data
+            return "redistributed value is demanded"
+        return self._layout_guard(plan, map_step, redist,
+                                  map_step.inputs[0])
+
+    def apply(self, plan: Plan, match) -> None:
+        map_step, redist = plan.steps[match[0]], plan.steps[match[1]]
+        source = map_step.inputs[0]
+        redist.inputs = [source]
+        redist.rules = redist.rules + (self.name,)
+        map_step.inputs[0] = redist.node
+        map_step.rules = map_step.rules + (self.name,)
+        # the hoisted map's node now carries the final (redistributed)
+        # value: rewire everything that read the redistribute node
+        for other in plan.steps:
+            if other is redist or other is map_step:
+                continue
+            other.inputs = [map_step.node if dep is redist.node else dep
+                            for dep in other.inputs]
+            if any(extra is redist.node for extra in other.extras):
+                other.extras = tuple(
+                    map_step.node if extra is redist.node else extra
+                    for extra in other.extras)
+        idx = plan.steps.index(map_step)
+        plan.steps.remove(redist)
+        plan.steps.insert(idx, redist)
+
+
+class ReduceSplitRule(Rule):
+    """Reduce on a single-device vector → spread block-wise first, then
+    the per-device partial-combine tree.  Exact element types only —
+    re-chunking is an associative regrouping, value-preserving for
+    integers/bools but not for floats."""
+
+    name = "reduce_split"
+    code = "PLAN009"
+
+    def pattern(self, plan: Plan, i: int):
+        step = plan.steps[i]
+        if step.kind != "reduce" or not _untagged(step):
+            return None
+        if type(step.skeleton) is not Reduce:
+            return None
+        return (i,)
+
+    def guard(self, plan: Plan, match) -> str | None:
+        step = plan.steps[match[0]]
+        dt = step.skeleton.elem_dtype
+        if not (np.issubdtype(dt, np.integer) or dt == np.bool_):
+            return "re-chunking is only bitwise for exact dtypes"
+        node = step.inputs[0]
+        dist = _infer_distributions(plan).get(node.id)
+        if dist is None or dist.kind != "single":
+            return "input is not single-device"
+        return None
+
+    def candidates(self, plan: Plan, ctx):
+        if ctx.num_devices < 2:
+            return
+        yield from super().candidates(plan, ctx)
+
+    def apply(self, plan: Plan, match) -> None:
+        step = plan.steps[match[0]]
+        step.skeleton = SplitReduce(step.skeleton)
+        step.rules = step.rules + (self.name,)
+
+
+RULES: tuple[Rule, ...] = (
+    MapReduceRule(),
+    MapScanRule(),
+    OverlapChainRule(),
+    OverlapMapRule(),
+    ZipOfMapsRule(),
+    RedistributeSinkRule(),
+    RedistributeHoistRule(),
+    ReduceSplitRule(),
+)
+
+#: rule name -> verifier diagnostic code that re-proves it
+RULE_CODES = {rule.name: rule.code for rule in RULES}
+
+
+# ---------------------------------------------------------------------------
+# beam search
+# ---------------------------------------------------------------------------
+
+def _signature(plan: Plan) -> tuple:
+    return tuple(
+        (s.kind, s.node.id, tuple(n.id for n in s.inputs), s.rules,
+         tuple(n.id for n in s.rewritten_from))
+        for s in plan.steps)
+
+
+def _cost(plan: Plan, ctx) -> float:
+    from repro.sched.perf_model import predict_plan
+    return predict_plan(plan, ctx).makespan_s
+
+
+def optimize_plan(plan: Plan, ctx) -> Plan:
+    """Beam-search rule applications; return the cheapest proven shape.
+
+    Deterministic: candidates are ordered by (predicted makespan, rule
+    trace), so ties break toward the lexicographically first trace.
+    """
+    if not plan.steps:
+        return plan
+    width = int(os.environ.get("REPRO_GRAPH_BEAM",
+                               str(DEFAULT_BEAM_WIDTH)) or 0)
+    if width < 1:
+        return plan
+
+    base_cost = _cost(plan, ctx)
+    plan.predicted_makespan_s = base_cost
+    plan.baseline_predicted_s = base_cost
+
+    seen = {_signature(plan)}
+    best = (base_cost, (), plan)
+    frontier = [best]
+    for _depth in range(MAX_DEPTH):
+        nxt = []
+        for cost, trace, cand in frontier:
+            for rule in RULES:
+                for match in rule.candidates(cand, ctx):
+                    twin = cand.clone()
+                    try:
+                        rule.apply(twin, match)
+                    except SkelClError:
+                        continue
+                    sig = _signature(twin)
+                    if sig in seen:
+                        continue
+                    seen.add(sig)
+                    twin._resync_stats()
+                    new_trace = trace + (rule.name,)
+                    nxt.append((_cost(twin, ctx), new_trace, twin))
+        if not nxt:
+            break
+        nxt.sort(key=lambda item: (item[0], item[1]))
+        frontier = nxt[:width]
+        if frontier[0][:2] < best[:2]:
+            best = frontier[0]
+
+    cost, trace, winner = best
+    if winner is plan:
+        return plan
+    winner.rewrite_trace = trace
+    winner.stats["rewrites_applied"] = len(trace)
+    winner.predicted_makespan_s = cost
+    winner.baseline_predicted_s = base_cost
+    winner._resync_stats()
+    return winner

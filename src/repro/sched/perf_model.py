@@ -71,6 +71,335 @@ def predict_reduce_final(spec: DeviceSpec, k: int,
                                             cost.bytes_per_item))
 
 
+# ---------------------------------------------------------------------------
+# plan-level costing (the rewrite optimizer's fitness function)
+# ---------------------------------------------------------------------------
+
+@dataclass
+class PlanCost:
+    """Predicted execution profile of one optimized plan.
+
+    A miniature discrete-event replay of the plan against the same
+    roofline constants the virtual timeline charges: one clock per
+    device queue, one per device link, one for the host, with buffer
+    residency tracked per node so redistributions and lazy re-uploads
+    are priced where the real execution pays them.  Warm caches are
+    assumed (no program build time) — the optimizer compares *steady
+    state* plan shapes, and builds amortize across evaluations.
+    """
+
+    makespan_s: float
+    per_step: list  # (step label, predicted seconds contributed)
+
+
+class _VecState:
+    __slots__ = ("size", "itemsize", "dist", "host_t", "dev_t")
+
+    def __init__(self, size, itemsize, dist=None, host_t=0.0):
+        self.size = size
+        self.itemsize = itemsize
+        self.dist = dist          # a Distribution or None
+        self.host_t = host_t      # host copy valid since t (None: stale)
+        self.dev_t = {}           # device index -> part valid since t
+
+
+def predict_plan(plan, ctx) -> PlanCost:
+    """Price *plan* on the virtual machine model without executing it."""
+    import numpy as np
+
+    from repro.skelcl.context import (SKELCL_CALL_OVERHEAD_S,
+                                      SKELCL_KERNEL_OVERHEAD_FACTOR)
+    from repro.skelcl.distribution import Distribution
+    from repro.skelcl.reduce_skeleton import (HOST_OP_TIME_S,
+                                              LOCAL_REDUCE_ITEMS)
+    from repro.ocl.timing import API_CALL_OVERHEAD_S, transfer_duration
+
+    specs = [d.spec for d in ctx.devices]
+    nd = len(specs)
+    factor = SKELCL_KERNEL_OVERHEAD_FACTOR
+    clock = {"host": 0.0}
+    qfree = [0.0] * nd
+    lfree = [0.0] * nd
+
+    def api(n=1):
+        clock["host"] += n * API_CALL_OVERHEAD_S
+
+    def call_overhead(extra_args=0):
+        clock["host"] += (SKELCL_CALL_OVERHEAD_S
+                          + extra_args * API_CALL_OVERHEAD_S)
+
+    def h2d(d, nbytes, ready=0.0):
+        api()
+        start = max(lfree[d], clock["host"], ready)
+        end = start + transfer_duration(specs[d], int(nbytes))
+        lfree[d] = end
+        return end
+
+    def d2h_wait(d, nbytes, ready=0.0):
+        api()
+        start = max(lfree[d], clock["host"], ready)
+        end = start + transfer_duration(specs[d], int(nbytes))
+        lfree[d] = end
+        clock["host"] = max(clock["host"], end)  # event.wait()
+        return end
+
+    def launch(d, items, ops, bpi, ready=0.0):
+        api()
+        start = max(qfree[d], clock["host"], ready)
+        end = start + kernel_duration(
+            specs[d], KernelCost(items, ops, bpi))
+        qfree[d] = end
+        return end
+
+    def parts_of(st):
+        """(device, offset, length) triples under st's layout."""
+        dist = st.dist
+        if dist is None or dist.kind == "block":
+            split = Distribution.block().partition(st.size, nd)
+            return [(d, off, length) for d, (off, length)
+                    in enumerate(split) if length]
+        if dist.kind == "single":
+            return [(dist.device, 0, st.size)]
+        return [(d, 0, st.size) for d in range(nd)]  # copy
+
+    def make_host_consistent(st):
+        if st.host_t is not None:
+            return
+        for d, off, length in parts_of(st):
+            d2h_wait(d, length * st.itemsize, ready=st.dev_t.get(d, 0.0))
+        st.host_t = clock["host"]
+
+    def on_device(st, d, length):
+        """Time st's part becomes valid on device *d* (lazy upload)."""
+        if d in st.dev_t:
+            return st.dev_t[d]
+        make_host_consistent(st)
+        end = h2d(d, length * st.itemsize, ready=st.host_t)
+        st.dev_t[d] = end
+        return end
+
+    def itemsize_of(dtype, fallback=8):
+        return dtype.itemsize if dtype is not None else fallback
+
+    state: dict[int, _VecState] = {}
+    for node in plan.graph.nodes:
+        vec = node.value
+        if vec is None:
+            continue
+        st = _VecState(vec.size, vec.dtype.itemsize, vec.distribution,
+                       host_t=0.0 if vec._host_valid else None)
+        if vec.parts is not None:
+            for part in vec.parts:
+                if not part.empty and getattr(part, "valid", False):
+                    st.dev_t[part.device_index] = 0.0
+        if st.host_t is None and not st.dev_t:
+            st.host_t = 0.0
+        state[node.id] = st
+
+    def state_of(node):
+        st = state.get(node.id)
+        if st is None:  # dependency with no recorded state: assume host
+            size = node.out_size or 1
+            st = _VecState(size, itemsize_of(node.out_dtype))
+            state[node.id] = st
+        return st
+
+    def skel_ops(skel):
+        ops = (skel._ops_override if skel._ops_override is not None
+               else skel.user.op_count + 2.0)
+        return ops * factor
+
+    def skel_bytes(skel, in_itemsizes, out_itemsize):
+        if skel._bytes_override is not None:
+            return skel._bytes_override
+        return (sum(in_itemsizes) + out_itemsize
+                + skel.extras_bytes_per_item())
+
+    per_step = []
+    for step in plan.steps:
+        t0 = max([clock["host"]] + qfree + lfree)
+        _predict_step(step, state, state_of, parts_of,
+                      make_host_consistent, on_device, h2d, d2h_wait,
+                      launch, call_overhead, clock,
+                      skel_ops, skel_bytes, itemsize_of, nd, factor,
+                      Distribution, np, LOCAL_REDUCE_ITEMS,
+                      HOST_OP_TIME_S)
+        per_step.append((step.label,
+                         max([clock["host"]] + qfree + lfree) - t0))
+
+    makespan = max([clock["host"]] + qfree + lfree)
+    return PlanCost(makespan_s=makespan, per_step=per_step)
+
+
+def _predict_step(step, state, state_of, parts_of, make_host_consistent,
+                  on_device, h2d, d2h_wait, launch, call_overhead, clock,
+                  skel_ops, skel_bytes, itemsize_of, nd, factor,
+                  Distribution, np, LOCAL_REDUCE_ITEMS, HOST_OP_TIME_S):
+    skel = step.skeleton
+    kind = step.kind
+
+    if kind == "redistribute":
+        st = state_of(step.inputs[0])
+        target = step.dist
+        if st.dist is not None and st.dist.same_layout(target):
+            st.dist = target
+        else:
+            make_host_consistent(st)
+            st.dev_t = {}
+            st.dist = target
+        state[step.node.id] = st
+        return
+
+    in_st = state_of(step.inputs[0])
+
+    if kind in ("map", "zip"):
+        call_overhead(extra_args=len(step.extras))
+        states = [in_st]
+        if kind == "zip":
+            states.append(state_of(step.inputs[1]))
+        for st in states:
+            if st.dist is None:
+                st.dist = Distribution.block()
+        if kind == "zip" and not states[0].dist.same_layout(
+                states[1].dist):
+            for st in states:
+                make_host_consistent(st)
+                st.dev_t = {}
+                st.dist = Distribution.block()
+        out_itemsize = itemsize_of(skel.out_dtype, 0)
+        out_st = _VecState(step.node.out_size or in_st.size,
+                           out_itemsize or 8, in_st.dist, host_t=None)
+        ops = skel_ops(skel)
+        bpi = skel_bytes(skel, [s.itemsize for s in states],
+                         out_itemsize)
+        for d, off, length in parts_of(in_st):
+            ready = max(on_device(st, d, length) for st in states)
+            end = launch(d, length * skel.scale_factor, ops, bpi,
+                         ready=ready)
+            if skel.out_dtype is not None:
+                out_st.dev_t[d] = end
+        if skel.out_dtype is not None:
+            state[step.node.id] = out_st
+        return
+
+    if kind in ("reduce", "map_reduce"):
+        call_overhead()
+        if step.rules and "reduce_split" in step.rules:
+            inner = skel.inner
+            make_host_consistent(in_st)
+            spread = _VecState(in_st.size, in_st.itemsize,
+                               Distribution.block(), host_t=in_st.host_t)
+            in_st = spread
+        else:
+            inner = skel
+        if in_st.dist is None:
+            in_st.dist = Distribution.block()
+        if kind == "map_reduce":
+            from repro.skelcl.fusion import _map_op_count
+            op_count = (_map_op_count(skel.map_skel)
+                        + skel.reduce_skel.user.op_count)
+            red = skel.reduce_skel
+            in_itemsize = skel.map_skel.in_dtype.itemsize
+        else:
+            red = inner
+            op_count = red.user.op_count
+            in_itemsize = in_st.itemsize
+        itemsize = red.elem_dtype.itemsize
+        pending = []
+        for d, off, length in parts_of(in_st):
+            ready = on_device(in_st, d, length)
+            items = min(LOCAL_REDUCE_ITEMS, length)
+            chunk = -(-length // items)
+            ops = (op_count + 2.0) * chunk * factor
+            end = launch(d, items, ops, float(in_itemsize * chunk),
+                         ready=ready)
+            pending.append((d, end))
+        for d, end in pending:
+            d2h_wait(d, itemsize, ready=end)
+        k = len(pending)
+        clock["host"] += HOST_OP_TIME_S * max(k - 1, 0)
+        out_st = _VecState(1, itemsize, Distribution.single(0),
+                           host_t=clock["host"])
+        state[step.node.id] = out_st
+        return
+
+    if kind in ("scan", "map_scan"):
+        call_overhead()
+        if in_st.dist is None or in_st.dist.kind != "block":
+            make_host_consistent(in_st)
+            in_st.dev_t = {}
+            in_st.dist = Distribution.block()
+        if kind == "map_scan":
+            from repro.skelcl.fusion import _map_op_count
+            op_count = (_map_op_count(skel.map_skel)
+                        + skel.scan_skel.user.op_count)
+            base = skel.scan_skel
+            in_itemsize = skel.map_skel.in_dtype.itemsize
+        else:
+            base = skel
+            op_count = base.user.op_count
+            in_itemsize = in_st.itemsize
+        itemsize = base.elem_dtype.itemsize
+        out_st = _VecState(in_st.size, itemsize, Distribution.block(),
+                           host_t=None)
+        active = []
+        for d, off, length in parts_of(in_st):
+            ready = on_device(in_st, d, length)
+            ops = (op_count + 2.0) * length * factor
+            end = launch(d, 1, ops,
+                         float((in_itemsize + itemsize) * length),
+                         ready=ready)
+            out_st.dev_t[d] = end
+            active.append((d, length, end))
+        for d, length, end in active:
+            d2h_wait(d, itemsize, ready=end)
+        for i, (d, length, _end) in enumerate(active):
+            if i == 0:
+                continue
+            ops = (base.user.op_count + 2.0) * factor
+            out_st.dev_t[d] = launch(d, length, ops,
+                                     float(2 * itemsize),
+                                     ready=out_st.dev_t[d])
+        state[step.node.id] = out_st
+        return
+
+    if kind in ("map_overlap", "overlap_chain"):
+        call_overhead(extra_args=len(step.extras))
+        if in_st.dist is None or in_st.dist.kind != "block":
+            make_host_consistent(in_st)
+            in_st.dev_t = {}
+            in_st.dist = Distribution.block()
+        make_host_consistent(in_st)  # host_view() for halos
+        if kind == "overlap_chain":
+            o1, o2 = skel.first, skel.second
+            stages = [(o1, o2.radius), (o2, 0)]
+        else:
+            stages = [(skel, 0)]
+        out_itemsize = stages[-1][0].out_dtype.itemsize
+        out_st = _VecState(in_st.size, out_itemsize,
+                           Distribution.block(), host_t=None)
+        from repro.skelcl.fusion import _map_op_count
+        n = in_st.size
+        for d, off, length in parts_of(out_st):
+            first, ext0 = stages[0]
+            total_r = sum(s.radius for s, _ in stages)
+            end = h2d(d, (length + 2 * total_r) * first.elem_dtype.itemsize,
+                      ready=in_st.host_t)
+            for stage, extra_range in stages:
+                w = 2 * stage.radius + 1
+                items = length + 2 * extra_range
+                ops = (_map_op_count(stage) + 2.0 + w) * factor
+                bpi = float(stage.elem_dtype.itemsize * w
+                            + stage.out_dtype.itemsize)
+                end = launch(d, items, ops, bpi, ready=end)
+            out_st.dev_t[d] = end
+        state[step.node.id] = out_st
+        return
+
+    # unknown kinds cost nothing (conservative)  # pragma: no cover
+    return
+
+
 def throughput_items_per_s(spec: DeviceSpec,
                            cost: UserFunctionCost) -> float:
     """Sustained per-element throughput, ignoring launch overhead.

@@ -183,3 +183,481 @@ def _graft_stage_summaries(fused: FusedSkeleton,
                     pattern=site.pattern, offset=site.offset,
                     is_write=site.is_write, line=site.line,
                     col=site.col, direct=False, atomic=site.atomic))
+
+
+# ---------------------------------------------------------------------------
+# rewrite-rule builders (repro.graph.rewrite)
+#
+# Unlike fuse_chain these are plan-only artifacts: they are constructed
+# by the rewrite optimizer for a specific plan step, run under
+# capture.suspended(), and never intercept deferred scopes themselves.
+# Each one mirrors the staged multi-GPU algorithm of the skeleton it
+# replaces *exactly* — same kernels, same chunking, same combine order
+# — so results are bitwise identical to the unrewritten plan.
+# ---------------------------------------------------------------------------
+
+
+def _map_op_count(skel) -> float:
+    override = getattr(skel, "_ops_override", None)
+    return override if override is not None else skel.user.op_count
+
+
+def _map_eval(skel):
+    """The map stage's vectorized evaluator (guards ensure non-None)."""
+    evaluate = skel.user.elementwise
+    if evaluate is None:  # pragma: no cover - guards pre-screen
+        raise SkelClError(
+            f"{skel.user.name} has no vectorized form to fuse")
+    return evaluate
+
+
+class FusedMapReduce:
+    """``reduce(op)(map(f)(x))`` in one device pass per part.
+
+    The local tree reduction of :class:`~repro.skelcl.Reduce` applies
+    *f* to the part before the first pairwise-halving round; chunking,
+    gather order and the host fold are byte-for-byte the eager path's.
+    """
+
+    def __init__(self, map_skel, reduce_skel) -> None:
+        self.map_skel = map_skel
+        self.reduce_skel = reduce_skel
+        self.user = reduce_skel.user
+        self.elem_dtype = reduce_skel.elem_dtype
+        self.out_dtype = reduce_skel.elem_dtype
+
+    def __call__(self, input_vec):
+        import numpy as np
+        from repro import ocl
+        from repro.skelcl.context import SKELCL_KERNEL_OVERHEAD_FACTOR
+        from repro.skelcl.distribution import Distribution
+        from repro.skelcl.base import compiled_scalar_operator
+        from repro.skelcl.reduce_skeleton import (HOST_OP_TIME_S,
+                                                  LOCAL_REDUCE_ITEMS)
+        from repro.skelcl.vector import Vector
+
+        m, r = self.map_skel, self.reduce_skel
+        if input_vec.size == 0:
+            raise SkelClError("cannot reduce an empty vector")
+        ctx = input_vec.ctx
+        ctx.skeleton_call_overhead()
+        input_vec.ensure_distribution(Distribution.block())
+
+        program = ctx.build_program(r.kernel_source)
+        operator = compiled_scalar_operator(program, r.user.name)
+        itemsize = r.elem_dtype.itemsize
+        map_eval = _map_eval(m)
+        red_eval = _map_eval(r)
+        total_ops = _map_op_count(m) + r.user.op_count
+
+        pending: list[tuple[int, object]] = []
+        for part in input_vec.parts:
+            if part.empty:
+                continue
+            d = part.device_index
+            in_part = input_vec.ensure_on_device(d)
+            n = part.length
+            items = min(LOCAL_REDUCE_ITEMS, n)
+            chunk = -(-n // items)  # ceil
+            ops = ((total_ops + 2.0) * chunk
+                   * SKELCL_KERNEL_OVERHEAD_FACTOR)
+            partial_buf = ocl.Buffer(ctx.context, itemsize)
+
+            def apply(args, gsize, _n=n):
+                partial_view, in_view = args
+                data = np.asarray(map_eval(np.asarray(in_view[:_n])))
+                while data.shape[0] > 1:
+                    half = data.shape[0] // 2
+                    combined = np.asarray(red_eval(data[0:2 * half:2],
+                                                   data[1:2 * half:2]))
+                    if data.shape[0] % 2:
+                        combined = np.concatenate([combined, data[-1:]])
+                    data = combined
+                partial_view[0] = data[0]
+
+            prog = ocl.NativeProgram(ctx.context, [ocl.NativeKernelDef(
+                name="skelcl_map_reduce_vec", fn=apply,
+                arg_dtypes=[r.elem_dtype, m.in_dtype],
+                ops_per_item=1.0, const_args=frozenset([1]))])
+            fast = prog.create_kernel("skelcl_map_reduce_vec")
+            fast.set_args(partial_buf, in_part.buffer)
+            ctx.queues[d].enqueue_nd_range_kernel(
+                fast, (items,), ops_per_item=ops,
+                bytes_per_item=float(m.in_dtype.itemsize * chunk))
+            pending.append((d, partial_buf))
+
+        gathered: list = []
+        for d, partial_buf in pending:
+            host = np.empty(1, dtype=r.elem_dtype)
+            event = ctx.queues[d].enqueue_read_buffer(partial_buf, host)
+            event.wait()
+            partial_buf.release()
+            gathered.append(host)
+
+        if input_vec.distribution.kind == "copy":
+            partials = gathered[0]
+        else:
+            partials = np.concatenate(gathered)
+        acc = partials[0]
+        for value in partials[1:]:
+            acc = operator(acc, value)
+        ctx.system.host_step(HOST_OP_TIME_S * max(len(partials) - 1, 0),
+                             label="reduce-final")
+        result = Vector(data=[acc], dtype=r.elem_dtype, context=ctx)
+        result.set_distribution(Distribution.single(0))
+        return result
+
+
+class FusedMapScan:
+    """``scan(op)(map(f)(x))`` with *f* folded into the local scans.
+
+    The Hillis-Steele local pass of :class:`~repro.skelcl.Scan` maps
+    its part first; totals download and the running-offset maps are
+    untouched, so per-part prefixes match the eager path bitwise.
+    Inclusive scans only (exclusive shifts the *input* host-side,
+    which would need f's inverse to commute).
+    """
+
+    def __init__(self, map_skel, scan_skel) -> None:
+        self.map_skel = map_skel
+        self.scan_skel = scan_skel
+        self.user = scan_skel.user
+        self.elem_dtype = scan_skel.elem_dtype
+        self.out_dtype = scan_skel.elem_dtype
+
+    def __call__(self, input_vec, out=None):
+        import numpy as np
+        from repro import ocl
+        from repro.skelcl.context import SKELCL_KERNEL_OVERHEAD_FACTOR
+        from repro.skelcl.distribution import Distribution
+        from repro.skelcl.base import compiled_scalar_operator
+        from repro.skelcl.vector import Vector
+
+        m, s = self.map_skel, self.scan_skel
+        if input_vec.size == 0:
+            raise SkelClError("cannot scan an empty vector")
+        ctx = input_vec.ctx
+        ctx.skeleton_call_overhead()
+        if input_vec.distribution is None \
+                or input_vec.distribution.kind != "block":
+            input_vec.set_distribution(Distribution.block())
+
+        if out is None:
+            out = Vector(size=input_vec.size, dtype=s.elem_dtype,
+                         context=ctx)
+        else:
+            input_vec.check_same_size(out)
+            if out.dtype != s.elem_dtype:
+                raise SkelClError("scan output dtype mismatch")
+        out.set_distribution(Distribution.block())
+
+        program = ctx.build_program(s.kernel_source)
+        operator = compiled_scalar_operator(program, s.user.name)
+        itemsize = s.elem_dtype.itemsize
+        map_eval = _map_eval(m)
+        scan_eval = _map_eval(s)
+        total_ops = _map_op_count(m) + s.user.op_count
+
+        # step 1: local map+scan on every device holding data
+        active_parts = []
+        for part in input_vec.parts:
+            if part.empty:
+                continue
+            d = part.device_index
+            in_part = input_vec.ensure_on_device(d)
+            out_part = out.parts[d]
+            ops = ((total_ops + 2.0) * part.length
+                   * SKELCL_KERNEL_OVERHEAD_FACTOR)
+
+            def apply(args, gsize, _n=part.length):
+                out_view, in_view = args
+                data = np.array(map_eval(np.asarray(in_view[:_n])),
+                                dtype=s.elem_dtype)
+                offset = 1
+                while offset < _n:
+                    data[offset:] = np.asarray(
+                        scan_eval(data[:-offset], data[offset:]))
+                    offset *= 2
+                out_view[:_n] = data
+
+            prog = ocl.NativeProgram(ctx.context, [ocl.NativeKernelDef(
+                name="skelcl_map_scan_vec", fn=apply,
+                arg_dtypes=[s.elem_dtype, m.in_dtype],
+                ops_per_item=1.0, const_args=frozenset([1]))])
+            fast = prog.create_kernel("skelcl_map_scan_vec")
+            fast.set_args(out_part.buffer, in_part.buffer)
+            ctx.queues[d].enqueue_nd_range_kernel(
+                fast, (1,), ops_per_item=ops,
+                bytes_per_item=float((m.in_dtype.itemsize + itemsize)
+                                     * part.length))
+            out.mark_device_written(d)
+            active_parts.append(part)
+
+        # step 2: download each part's total (identical to Scan)
+        totals: list = []
+        for part in active_parts:
+            d = part.device_index
+            last = np.empty(1, dtype=s.elem_dtype)
+            event = ctx.queues[d].enqueue_read_buffer(
+                out.parts[d].buffer, last,
+                offset_bytes=(part.length - 1) * itemsize)
+            event.wait()
+            totals.append(last[0])
+
+        # steps 3+4: running-total offset maps (identical to Scan)
+        running = None
+        for i, part in enumerate(active_parts):
+            if i == 0:
+                running = totals[0]
+                continue
+            d = part.device_index
+            ops = ((s.user.op_count + 2.0)
+                   * SKELCL_KERNEL_OVERHEAD_FACTOR)
+
+            def apply_offset(args, gsize, _n=part.length,
+                             _off=s.elem_dtype.type(running)):
+                (data_view,) = args
+                data_view[:_n] = np.asarray(
+                    scan_eval(_off, np.asarray(data_view[:_n])))
+
+            prog = ocl.NativeProgram(ctx.context, [ocl.NativeKernelDef(
+                name="skelcl_scan_offset_vec", fn=apply_offset,
+                arg_dtypes=[s.elem_dtype], ops_per_item=1.0)])
+            fast = prog.create_kernel("skelcl_scan_offset_vec")
+            fast.set_args(out.parts[d].buffer)
+            ctx.queues[d].enqueue_nd_range_kernel(
+                fast, (part.length,), ops_per_item=ops,
+                bytes_per_item=float(2 * itemsize))
+            out.mark_device_written(d)
+            running = operator(running, totals[i])
+        return out
+
+
+class FusedOverlapChain:
+    """Two chained stencils with merged halo transfers.
+
+    Eagerly ``o2(o1(x))`` downloads the whole intermediate to the host
+    (to build o2's halos) and re-uploads it.  Fused, each part uploads
+    one halo of ``r1 + r2`` and runs o1 over an *extended* range of
+    ``L + 2*r2`` items into a scratch buffer, so o2's halo is already
+    on-device.  Scratch entries whose global index falls outside the
+    vector are overwritten with o2's neutral before o2 runs — exactly
+    the padding the eager path would have applied — making the fused
+    result bitwise identical by construction.
+    """
+
+    def __init__(self, first, second) -> None:
+        self.first = first
+        self.second = second
+        self.user = second.user
+        self.elem_dtype = first.elem_dtype
+        self.out_dtype = second.out_dtype
+        self.radius = first.radius + second.radius
+
+    def __call__(self, input_vec, out=None):
+        import numpy as np
+        from repro import ocl
+        from repro.skelcl.context import SKELCL_KERNEL_OVERHEAD_FACTOR
+        from repro.skelcl.distribution import Distribution
+        from repro.skelcl.vector import Vector
+
+        o1, o2 = self.first, self.second
+        if not isinstance(input_vec, Vector):
+            raise SkelClError("map_overlap input must be a Vector")
+        if input_vec.dtype != o1.elem_dtype:
+            raise SkelClError(
+                f"map_overlap({o1.user.name}): input dtype "
+                f"{input_vec.dtype} does not match window element type "
+                f"{o1.elem_dtype}")
+        ctx = input_vec.ctx
+        ctx.skeleton_call_overhead()
+        input_vec.ensure_distribution(Distribution.block())
+        if input_vec.distribution.kind != "block":
+            input_vec.set_distribution(Distribution.block())
+
+        if out is None:
+            out = Vector(size=input_vec.size, dtype=o2.out_dtype,
+                         context=ctx)
+        else:
+            input_vec.check_same_size(out)
+            if out.dtype != o2.out_dtype:
+                raise SkelClError("map_overlap output dtype mismatch")
+        out.set_distribution(Distribution.block())
+
+        prog1 = ctx.build_program(o1.kernel_source)
+        kernel1 = prog1.create_kernel("skelcl_map_overlap")
+        prog2 = ctx.build_program(o2.kernel_source)
+        kernel2 = prog2.create_kernel("skelcl_map_overlap")
+        host = input_vec.host_view()
+        n = input_vec.size
+        r1, r2 = o1.radius, o2.radius
+        w1, w2 = 2 * r1 + 1, 2 * r2 + 1
+        mid_itemsize = o1.out_dtype.itemsize
+        ops1 = ((_map_op_count(o1) + 2.0 + w1)
+                * SKELCL_KERNEL_OVERHEAD_FACTOR)
+        ops2 = ((_map_op_count(o2) + 2.0 + w2)
+                * SKELCL_KERNEL_OVERHEAD_FACTOR)
+
+        for part in input_vec.parts:
+            if part.empty:
+                continue
+            d = part.device_index
+            queue = ctx.queues[d]
+            L = part.length
+            ext = L + 2 * r2  # o1 output range: [offset-r2, offset+L+r2)
+            # one halo upload covering both radii, o1-neutral padded
+            padded = np.full(ext + 2 * r1, o1.neutral,
+                             dtype=o1.elem_dtype)
+            lo = max(part.offset - r1 - r2, 0)
+            hi = min(part.offset + L + r1 + r2, n)
+            dst_lo = lo - (part.offset - r1 - r2)
+            padded[dst_lo:dst_lo + (hi - lo)] = host[lo:hi]
+            halo_buf = ocl.Buffer(ctx.context, padded.nbytes)
+            queue.enqueue_write_buffer(halo_buf, padded)
+
+            # o1 over the extended range, into on-device scratch
+            mid_buf = ocl.Buffer(ctx.context, ext * mid_itemsize)
+            kernel1.set_args(halo_buf, mid_buf, np.int32(ext))
+            queue.enqueue_nd_range_kernel(
+                kernel1, (ext,), ops_per_item=ops1,
+                bytes_per_item=float(o1.elem_dtype.itemsize * w1
+                                     + mid_itemsize))
+
+            # scratch positions outside [0, n) must hold o2's neutral —
+            # the eager intermediate simply ends there
+            left_oob = max(0, r2 - part.offset)
+            if left_oob:
+                queue.enqueue_write_buffer(
+                    mid_buf, np.full(left_oob, o2.neutral,
+                                     dtype=o1.out_dtype))
+            right_oob = max(0, part.offset + L + r2 - n)
+            if right_oob:
+                queue.enqueue_write_buffer(
+                    mid_buf, np.full(right_oob, o2.neutral,
+                                     dtype=o1.out_dtype),
+                    offset_bytes=(ext - right_oob) * mid_itemsize)
+
+            out_part = out.parts[d]
+            kernel2.set_args(mid_buf, out_part.buffer, np.int32(L))
+            queue.enqueue_nd_range_kernel(
+                kernel2, (L,), ops_per_item=ops2,
+                bytes_per_item=float(mid_itemsize * w2
+                                     + o2.out_dtype.itemsize))
+            out.mark_device_written(d)
+            halo_buf.release()
+            mid_buf.release()
+        return out
+
+
+#: composed skeletons cached like _FUSED_CACHE, keyed structurally so
+#: re-planning the same pipeline reuses one generated source
+_REWRITE_CACHE: dict[tuple, object] = {}
+
+
+def compose_overlap_map(overlap, map_skel):
+    """``map(g)(map_overlap(f, r)(x))`` as one stencil ``g∘f``.
+
+    Sound in this direction only: *g* applies to stencil *outputs*, so
+    the neutral-padded window semantics of *f* are untouched.  (The
+    converse — folding a map into a stencil's *input* — would feed
+    ``g(neutral)`` instead of ``neutral`` at the vector edges.)
+    """
+    from repro.skelcl.map_overlap import MapOverlap
+
+    key = ("overlap_map", overlap.user.source, overlap.radius,
+           overlap.neutral, map_skel.user.source)
+    composed = _REWRITE_CACHE.get(key)
+    if composed is not None:
+        return composed
+    elem = type_name(overlap.user.params[0].ctype.pointee)
+    out = type_name(map_skel.user.return_type)
+    name = f"skelcl_fused_{next(_fusion_ids)}"
+    source = (f"{overlap.user.source}\n\n{map_skel.user.source}\n\n"
+              f"{out} {name}(__global const {elem}* skelcl_w) {{\n"
+              f"    return {map_skel.user.name}("
+              f"{overlap.user.name}(skelcl_w));\n}}\n")
+    composed = MapOverlap(
+        source, radius=overlap.radius, neutral=overlap.neutral,
+        ops_per_item=_map_op_count(overlap) + _map_op_count(map_skel),
+        allow_reserved=True)
+    _REWRITE_CACHE[key] = composed
+    return composed
+
+
+def fuse_zip_of_maps(zip_skel, map_skel, operand: int):
+    """Fold a unary map feeding one zip operand into the zip's source:
+    ``zip(z)(map(f)(x), y)`` becomes ``zip(z∘₁f)(x, y)`` (and the
+    symmetric form for *operand* = 1).  The zip's additional arguments
+    are forwarded unchanged (as ``skelcl_eN``, with grafted access
+    summaries), so distribution-safety checks keep firing."""
+    key = ("zip_of_maps", zip_skel.user.source,
+           tuple(type_name(p.ctype) for p in zip_skel.extra_params),
+           map_skel.user.source, operand,
+           zip_skel.scale_factor)
+    fused = _REWRITE_CACHE.get(key)
+    if fused is not None:
+        return fused
+
+    elem_names = ["skelcl_x", "skelcl_y"]
+    folded_type = type_name(map_skel.user.params[0].ctype)
+    other_type = type_name(zip_skel.user.params[1 - operand].ctype)
+    params = []
+    for pos, name in enumerate(elem_names):
+        params.append(f"{folded_type if pos == operand else other_type} "
+                      f"{name}")
+    zip_args = list(elem_names)
+    zip_args[operand] = f"{map_skel.user.name}({elem_names[operand]})"
+    for i, param in enumerate(zip_skel.extra_params):
+        name = f"skelcl_e{i}"
+        if isinstance(param.ctype, PointerType):
+            params.append(
+                f"__global {type_name(param.ctype.pointee)}* {name}")
+        else:
+            params.append(f"{type_name(param.ctype)} {name}")
+        zip_args.append(name)
+
+    out = type_name(zip_skel.user.return_type)
+    name = f"skelcl_fused_{next(_fusion_ids)}"
+    source = (f"{map_skel.user.source}\n\n{zip_skel.user.source}\n\n"
+              f"{out} {name}({', '.join(params)}) {{\n"
+              f"    return {zip_skel.user.name}({', '.join(zip_args)});"
+              f"\n}}\n")
+    ops = _map_op_count(map_skel) + _map_op_count(zip_skel) + 2.0
+    in_bytes = (map_skel.in_dtype.itemsize
+                + zip_skel.user.element_dtype(1 - operand).itemsize)
+    bytes_per_item = (in_bytes + zip_skel.out_dtype.itemsize
+                      + zip_skel.extras_bytes_per_item())
+    fused = Zip(source, allow_reserved=True, ops_per_item=ops,
+                bytes_per_item=bytes_per_item,
+                scale_factor=zip_skel.scale_factor)
+    _graft_stage_summaries(fused, [zip_skel])
+    fused.fused_stages = (map_skel, zip_skel)
+    _REWRITE_CACHE[key] = fused
+    return fused
+
+
+class SplitReduce:
+    """Reduce a single-device vector by spreading it block-wise first.
+
+    The inner reduce then runs its usual per-device tree + in-order
+    host combine — the partial-combine tree across devices.  Bitwise
+    identity holds for exact (integer/bool) element types, where the
+    associative regrouping is value-preserving; the rewrite guard
+    enforces that.  The input vector is copied, never redistributed in
+    place, so its observable layout is untouched.
+    """
+
+    def __init__(self, inner) -> None:
+        self.inner = inner
+        self.user = inner.user
+        self.elem_dtype = inner.elem_dtype
+        self.out_dtype = inner.elem_dtype
+
+    def __call__(self, input_vec):
+        from repro.skelcl.distribution import Distribution
+        from repro.skelcl.vector import Vector
+
+        spread = Vector(input_vec.host_view().copy(),
+                        dtype=input_vec.dtype, context=input_vec.ctx)
+        spread.set_distribution(Distribution.block())
+        return self.inner(spread)

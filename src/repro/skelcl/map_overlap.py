@@ -46,8 +46,10 @@ class MapOverlap(Skeleton):
     n_element_params = 1
 
     def __init__(self, user_source: str, radius: int,
-                 neutral: float = 0.0) -> None:
-        super().__init__(user_source)
+                 neutral: float = 0.0,
+                 ops_per_item: float | None = None,
+                 allow_reserved: bool = False) -> None:
+        super().__init__(user_source, allow_reserved=allow_reserved)
         if radius < 1:
             raise SkelClError("map_overlap radius must be >= 1")
         first = self.user.params[0].ctype
@@ -63,6 +65,8 @@ class MapOverlap(Skeleton):
         self.neutral = neutral
         self.elem_dtype = first.pointee.dtype()
         self.out_dtype = self.user.output_dtype()
+        #: cost-model override for composed (rewritten) stencil sources
+        self._ops_override = ops_per_item
         self.kernel_source = self._generate_kernel(user_source)
 
     def _generate_kernel(self, user_source: str) -> str:
@@ -86,6 +90,11 @@ __kernel void skelcl_map_overlap(__global const {elem}* skelcl_in,
 
     def __call__(self, input_vec: Vector, *extras,
                  out: Vector | None = None) -> Vector:
+        hook = self.deferred_intercept("map_overlap", (input_vec,),
+                                       extras, out=out)
+        if hook.captured:
+            return hook.value
+        (input_vec,), extras, out = hook.inputs, hook.extras, hook.out
         if not isinstance(input_vec, Vector):
             raise SkelClError("map_overlap input must be a Vector")
         if input_vec.dtype != self.elem_dtype:
@@ -116,8 +125,9 @@ __kernel void skelcl_map_overlap(__global const {elem}* skelcl_in,
         r = self.radius
         window = 2 * r + 1
         from repro.skelcl.context import SKELCL_KERNEL_OVERHEAD_FACTOR
-        ops = ((self.user.op_count + 2.0 + window)
-               * SKELCL_KERNEL_OVERHEAD_FACTOR)
+        op_count = (self._ops_override if self._ops_override is not None
+                    else self.user.op_count)
+        ops = (op_count + 2.0 + window) * SKELCL_KERNEL_OVERHEAD_FACTOR
         for part in input_vec.parts:
             if part.empty:
                 continue

