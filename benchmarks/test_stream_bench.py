@@ -1,0 +1,172 @@
+"""Streaming benchmark: plan templates vs naive per-window execution.
+
+An unbounded telemetry stream is windowed (tumbling, count-based) and
+each window runs through a four-stage map pipeline two ways:
+
+* **stream** — ``repro.stream``: the first window is captured, planned
+  by the cost-model optimizer, proven by the verifier (including the
+  PLAN010 window-shape-polymorphism proof) and cached; every later
+  window replays the proven plan over the recycled zero-copy ring
+  view — one fused launch per window, zero re-planning.
+* **naive** — what a caller without the streaming tier writes: per
+  window, rebuild the stage pipeline and execute it eagerly, stage by
+  stage (four separate launches plus per-stage host round-trips).
+
+Both paths warm up first (kernel compilation is amortized identically)
+and then stream ``MEASURED_WINDOWS`` windows; sustained throughput of
+the stream path must beat naive by ``STREAM_BENCH_MIN_SPEEDUP``
+(default 3x) with bitwise-identical outputs for every window, while
+the template cache reports exactly one planned plan.
+
+Emits ``BENCH_stream.json``.
+"""
+
+import json
+import os
+import time
+from pathlib import Path
+
+import numpy as np
+
+import repro.skelcl as skelcl
+from repro import ocl
+from repro.skelcl.context import SkelCLContext
+from repro.stream import StreamPipeline, WindowSpec
+
+from bench_meta import bench_meta
+from conftest import print_experiment
+
+WINDOW_ITEMS = 2048
+WARMUP_WINDOWS = 2
+MEASURED_WINDOWS = 64
+SOURCES = ["float s0(float x) { return x * 2.0f; }",
+           "float s1(float x) { return x + 3.0f; }",
+           "float s2(float x) { return x * x; }",
+           "float s3(float x) { return x - 1.0f; }"]
+MIN_SPEEDUP = float(os.environ.get("STREAM_BENCH_MIN_SPEEDUP", "3"))
+BENCH_PATH = Path(__file__).resolve().parent.parent \
+    / "BENCH_stream.json"
+
+
+def make_context() -> SkelCLContext:
+    system = ocl.System(num_gpus=2)
+    return SkelCLContext(
+        [d for d in system.devices if d.device_type == "GPU"])
+
+
+def stream_data() -> np.ndarray:
+    rng = np.random.default_rng(2026)
+    total = (WARMUP_WINDOWS + MEASURED_WINDOWS) * WINDOW_ITEMS
+    return rng.random(total).astype(np.float32)
+
+
+def window(data: np.ndarray, index: int) -> np.ndarray:
+    return data[index * WINDOW_ITEMS:(index + 1) * WINDOW_ITEMS]
+
+
+def run_stream(data: np.ndarray):
+    """Template-cached streaming over all windows; returns the
+    measured-phase results, wall seconds, and the pipeline."""
+    pipe = StreamPipeline([skelcl.Map(s) for s in SOURCES],
+                          WindowSpec(size=WINDOW_ITEMS),
+                          ctx=make_context(),
+                          max_inflight=MEASURED_WINDOWS + 1)
+    for w in range(WARMUP_WINDOWS):
+        pipe.push(window(data, w))
+    pipe.poll()
+    t0 = time.perf_counter()
+    for w in range(WARMUP_WINDOWS, WARMUP_WINDOWS + MEASURED_WINDOWS):
+        pipe.push(window(data, w))
+    results = pipe.poll()
+    wall_s = time.perf_counter() - t0
+    assert len(results) == MEASURED_WINDOWS
+    return results, wall_s, pipe
+
+
+def run_naive(data: np.ndarray):
+    """The baseline: per window, rebuild the pipeline and execute it
+    eagerly stage by stage on a same-shape private context."""
+    ctx = make_context()
+
+    def one_window(w: int) -> np.ndarray:
+        vec = skelcl.Vector(window(data, w), context=ctx)
+        for source in SOURCES:
+            vec = skelcl.Map(source)(vec)
+        return vec.to_numpy()
+
+    for w in range(WARMUP_WINDOWS):
+        one_window(w)
+    t0 = time.perf_counter()
+    results = [one_window(w) for w in
+               range(WARMUP_WINDOWS, WARMUP_WINDOWS + MEASURED_WINDOWS)]
+    wall_s = time.perf_counter() - t0
+    return results, wall_s
+
+
+def test_stream_templates_beat_naive_per_window():
+    data = stream_data()
+    items = MEASURED_WINDOWS * WINDOW_ITEMS
+
+    stream_results, stream_wall_s, pipe = run_stream(data)
+    naive_results, naive_wall_s = run_naive(data)
+
+    # -- correctness: every window bitwise-identical to naive eager
+    for result, reference in zip(stream_results, naive_results):
+        assert np.array_equal(result.data, reference)
+
+    # -- planning economy: one plan for the whole stream, proven
+    stats = pipe.stats
+    assert stats.plans_planned == 1, (
+        f"steady state re-planned: {stats.plans_planned} plans for "
+        "one pipeline signature x window shape")
+    assert stats.plans_verified >= 1
+    assert stats.template_hits \
+        == WARMUP_WINDOWS + MEASURED_WINDOWS - 1
+
+    # -- performance: sustained throughput gate
+    stream_rate = items / stream_wall_s
+    naive_rate = items / naive_wall_s
+    speedup = naive_wall_s / stream_wall_s
+    stream_p99 = stats.percentile_ms(99)
+    assert speedup >= MIN_SPEEDUP, (
+        f"stream speedup {speedup:.2f}x below the {MIN_SPEEDUP}x gate")
+
+    record = {
+        "meta": bench_meta(),
+        "window_items": WINDOW_ITEMS,
+        "measured_windows": MEASURED_WINDOWS,
+        "warmup_windows": WARMUP_WINDOWS,
+        "stages": len(SOURCES),
+        "stream": {
+            "wall_s": round(stream_wall_s, 4),
+            "sustained_items_per_s": round(stream_rate, 1),
+            "p50_window_ms": round(stats.percentile_ms(50), 3),
+            "p99_window_ms": round(stream_p99, 3),
+            "plans_planned": stats.plans_planned,
+            "plans_verified": stats.plans_verified,
+            "template_hits": stats.template_hits,
+        },
+        "naive": {
+            "wall_s": round(naive_wall_s, 4),
+            "sustained_items_per_s": round(naive_rate, 1),
+        },
+        "speedup": round(speedup, 2),
+        "min_speedup_gate": MIN_SPEEDUP,
+        "bitwise_identical": True,
+    }
+    BENCH_PATH.write_text(json.dumps(record, indent=2) + "\n")
+
+    print_experiment(
+        "streaming: cached plan templates vs naive per-window",
+        f"workload               {MEASURED_WINDOWS} windows x "
+        f"{WINDOW_ITEMS} items, {len(SOURCES)}-stage pipeline\n"
+        f"stream                 {stream_wall_s * 1e3:8.1f} ms "
+        f"({stream_rate:,.0f} items/s, p99 {stream_p99:.2f} ms)\n"
+        f"naive                  {naive_wall_s * 1e3:8.1f} ms "
+        f"({naive_rate:,.0f} items/s)\n"
+        f"speedup                {speedup:8.2f} x "
+        f"(gate: {MIN_SPEEDUP}x)\n"
+        f"plans                  {stats.plans_planned} planned, "
+        f"{stats.plans_verified} verified, "
+        f"{stats.template_hits} template hits\n"
+        f"results                bitwise-identical per window")

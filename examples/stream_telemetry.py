@@ -1,0 +1,222 @@
+"""Streaming demo — windowed skeleton pipelines over unbounded feeds.
+
+A telemetry producer emits an endless stream of float chunks; the
+``repro.stream`` layer windows them (tumbling, count-based, with a
+lateness allowance for out-of-order arrival) and runs every window
+through a three-stage map pipeline.  The first window pays for
+capture, cost-model planning and verifier proofs (including the
+``PLAN010`` window-shape-polymorphism proof); every later window
+replays the one cached plan over a recycled zero-copy ring view.
+
+Three scenes:
+
+- a recorded stream replayed from disk, bit-identically, through the
+  plan-template cache (steady state: ``plans_planned == 1``),
+- a live TCP feed whose chunks arrive out of order — lateness slack
+  places them correctly, while a genuinely late straggler is dropped
+  and counted,
+- a push-mode producer that outruns its consumer and is refused with
+  a structured backpressure error plus a retry hint.
+
+Run:  python examples/stream_telemetry.py            # full demo
+      python examples/stream_telemetry.py --smoke    # quick CI variant
+      python examples/stream_telemetry.py --soak 60  # N-second soak
+"""
+
+import socket
+import sys
+import tempfile
+import threading
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro import skelcl
+from repro.errors import StreamBackpressureError
+from repro.stream import (Chunk, ReplayFileSource, SocketSource,
+                          StreamPipeline, WindowSpec, push_chunks,
+                          write_replay)
+
+SOURCES = ["float dbl(float x) { return x * 2.0f; }",
+           "float add3(float x) { return x + 3.0f; }",
+           "float sq(float x) { return x * x; }"]
+
+
+def stages():
+    return [skelcl.Map(s) for s in SOURCES]
+
+
+def reference(array: np.ndarray) -> np.ndarray:
+    y = array * np.float32(2.0) + np.float32(3.0)
+    return (y * y).astype(np.float32)
+
+
+def replay_scene(window: int, chunk: int, n_windows: int,
+                 failures: list) -> None:
+    """Record a stream to disk, then replay it through the cache."""
+    rng = np.random.default_rng(2026)
+    data = rng.random(n_windows * window).astype(np.float32)
+    chunks = [data[i:i + chunk] for i in range(0, data.size, chunk)]
+    with tempfile.TemporaryDirectory() as tmp:
+        path = Path(tmp) / "telemetry.stream"
+        write_replay(path, chunks)
+        print(f"recorded {len(chunks)} chunks "
+              f"({data.nbytes // 1024} KiB) -> {path.name}")
+        pipe = StreamPipeline(stages(), WindowSpec(size=window))
+        for result in pipe.run(ReplayFileSource(path)):
+            window_data = data[result.start:result.start + result.items]
+            if not np.array_equal(result.data, reference(window_data)):
+                failures.append(f"replay window {result.index}: "
+                                "result diverged from reference")
+    stats = pipe.stats
+    print(f"replayed {stats.windows_executed} windows of {window}: "
+          f"{stats.plans_planned} plan planned, "
+          f"{stats.plans_verified} proofs, "
+          f"{stats.template_hits} template hits, "
+          f"{stats.sustained_items_per_s:,.0f} items/s sustained, "
+          f"p99 {stats.percentile_ms(99):.2f} ms/window")
+    if stats.plans_planned != 1:
+        failures.append(
+            f"replay: expected 1 plan, got {stats.plans_planned}")
+
+
+def socket_scene(window: int, failures: list) -> None:
+    """A live feed with out-of-order chunks and one true straggler."""
+    source, port = SocketSource.listen()
+    half = window // 2
+
+    def produce() -> None:
+        rng = np.random.default_rng(7)
+        data = rng.random(2 * window).astype(np.float32)
+        with socket.create_connection(("127.0.0.1", port)) as sock:
+            push_chunks(sock, [
+                # window 0 arrives back half first: in-lateness reorder
+                Chunk(data[half:window], seq=half),
+                Chunk(data[:half], seq=0),
+                # window 1 in order
+                Chunk(data[window:2 * window], seq=window),
+                # a straggler from window 0, far beyond the slack
+                Chunk(data[:4], seq=0),
+            ])
+
+    producer = threading.Thread(target=produce)
+    producer.start()
+    pipe = StreamPipeline(stages(),
+                          WindowSpec(size=window, lateness=half))
+    windows = list(pipe.run(source))
+    producer.join(timeout=10)
+    counters = pipe.stats.window
+    print(f"live feed on port {port}: {len(windows)} windows, "
+          f"{counters.items_in} items in, "
+          f"{counters.late_dropped} late dropped")
+    if counters.late_dropped != 4:
+        failures.append(f"socket: expected 4 late-dropped items, got "
+                        f"{counters.late_dropped}")
+    if len(windows) != 2:
+        failures.append(f"socket: expected 2 windows, got "
+                        f"{len(windows)}")
+
+
+def backpressure_scene(window: int, failures: list) -> None:
+    """A producer that outruns its consumer hits the window budget."""
+    pipe = StreamPipeline(stages(), WindowSpec(size=window),
+                          max_inflight=2)
+    chunk = np.arange(window, dtype=np.float32)
+    rejected = None
+    for _ in range(4):
+        try:
+            pipe.push(chunk)
+        except StreamBackpressureError as exc:
+            rejected = exc
+            break
+    if rejected is None:
+        failures.append("backpressure: the budget never refused")
+        return
+    print(f"push refused after {pipe.stats.windows_executed} windows "
+          f"in flight: [{rejected.code}] retry in "
+          f"{rejected.retry_after_s * 1e3:.2f} ms")
+    drained = pipe.poll()
+    resumed = pipe.push(chunk)
+    print(f"drained {len(drained)} windows; the retried push landed "
+          f"{len(resumed)} more")
+    pipe.close()
+
+
+def soak(seconds: float, window: int, chunk: int) -> int:
+    """Stream continuously for *seconds*; verify every window."""
+    pipe = StreamPipeline(stages(), WindowSpec(size=window),
+                          max_inflight=8)
+    rng = np.random.default_rng(1)
+    deadline = time.monotonic() + seconds
+    pending: list[np.ndarray] = []  # unconsumed input, by window
+    carry = np.empty(0, dtype=np.float32)
+    verified = 0
+    failures = 0
+    while time.monotonic() < deadline:
+        data = rng.random(chunk).astype(np.float32)
+        try:
+            pipe.push(data)
+        except StreamBackpressureError as exc:
+            time.sleep(min(exc.retry_after_s, 0.05))
+        else:
+            carry = np.concatenate([carry, data])
+        while carry.size >= window:
+            pending.append(carry[:window])
+            carry = carry[window:]
+        for result in pipe.poll():
+            expect = reference(pending.pop(0))
+            if not np.array_equal(result.data, expect):
+                failures += 1
+            verified += 1
+    for result in pipe.close():
+        if result.partial:
+            expect = reference(carry[:result.items])
+        else:
+            expect = reference(pending.pop(0))
+        if not np.array_equal(result.data, expect):
+            failures += 1
+        verified += 1
+    stats = pipe.stats
+    print(f"soak: {verified} windows verified in {seconds:.0f}s, "
+          f"{failures} mismatches, {stats.plans_planned} plans "
+          f"planned, {stats.backpressure_rejects} backpressure "
+          f"rejects, {stats.sustained_items_per_s:,.0f} items/s, "
+          f"p99 {stats.percentile_ms(99):.2f} ms/window")
+    if failures or stats.plans_planned > 2 or verified == 0:
+        print("SOAK FAILED")
+        return 1
+    print("soak passed: every window bitwise-correct, one steady plan")
+    return 0
+
+
+def main(argv: list[str]) -> int:
+    smoke = "--smoke" in argv
+    window = 512 if smoke else 4096
+    chunk = 128 if smoke else 1024
+    n_windows = 8 if smoke else 64
+    skelcl.init(num_gpus=2)
+
+    if "--soak" in argv:
+        seconds = float(argv[argv.index("--soak") + 1])
+        return soak(seconds, window, chunk)
+
+    failures: list[str] = []
+    print("== scene 1: replay file through the plan-template cache ==")
+    replay_scene(window, chunk, n_windows, failures)
+    print("\n== scene 2: live socket feed, out-of-order chunks ==")
+    socket_scene(window, failures)
+    print("\n== scene 3: producer outruns consumer (backpressure) ==")
+    backpressure_scene(window, failures)
+
+    if failures:
+        print("\nFAILURES:")
+        for failure in failures:
+            print(f"  - {failure}")
+        return 1
+    print("\nall scenes passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

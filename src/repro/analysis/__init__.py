@@ -24,7 +24,9 @@ from repro.analysis.effects import (ArgEffect, KernelEffects, Region,
                                     source_effects, unit_effects)
 from repro.analysis.sanitizer import (check_launch, sanitize_enabled,
                                       set_sanitize, snapshot_launch)
-from repro.analysis.verifier import verify_or_raise, verify_plan
+from repro.analysis.verifier import (verify_or_raise, verify_plan,
+                                     verify_template,
+                                     verify_template_or_raise)
 
 __all__ = [
     "ArgEffect",
@@ -42,4 +44,6 @@ __all__ = [
     "unit_effects",
     "verify_or_raise",
     "verify_plan",
+    "verify_template",
+    "verify_template_or_raise",
 ]

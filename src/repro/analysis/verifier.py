@@ -1069,3 +1069,112 @@ def verify_or_raise(plan) -> AnalysisReport:
             f"[{first.check_id}] {first.message} "
             f"({len(report.errors)} error(s) total)", report=report)
     return report
+
+
+# ---------------------------------------------------------------------------
+# PLAN010: plan-template window-shape polymorphism (repro.stream)
+# ---------------------------------------------------------------------------
+
+def verify_template(plan, window_nodes) -> AnalysisReport:
+    """Prove *plan* sound to re-execute once per stream window.
+
+    The streaming layer plans and verifies a pipeline **once**, then
+    replays the cached plan for every window with only the declared
+    window source(s) re-pointed at fresh data (``PLAN010``).  That is
+    only sound when the plan is *window-shape-polymorphic*: nothing it
+    computes may depend on state that survives from one execution to
+    the next.  Obligations proved here:
+
+    - no step writes an explicit ``out=`` vector (the target would
+      carry one window's result into the next execution's view of it);
+    - no step writes through an additional-argument pointer into
+      memory that persists across windows (a concrete Vector captured
+      at build time, or a source node other than the window itself) —
+      re-derived from the kernel effect summaries, and rejected
+      conservatively when no summary is available;
+    - every non-window source the plan reads holds a materialized
+      constant (a broadcast the re-execution can keep reusing);
+    - the window source is actually consumed — a template whose plan
+      ignores its window would emit the same result forever.
+    """
+    # imported here: repro.graph pulls in repro.skelcl at module load,
+    # and this verifier must stay importable on its own
+    from repro.graph.node import Node
+
+    report = AnalysisReport()
+    window_ids = {node.id for node in window_nodes}
+    consumed_sources: set[int] = set()
+
+    def persistent(value) -> str | None:
+        """Why a written extra outlives one window (None = it doesn't)."""
+        if isinstance(value, Node):
+            if value.kind == "source" and value.id not in window_ids:
+                return f"captured source #{value.id}"
+            return None  # re-materialized every execution
+        if hasattr(value, "to_numpy"):  # a concrete Vector
+            return "a Vector captured at template-build time"
+        return None
+
+    for step in plan.steps:
+        members = [step.node]
+        members.extend(step.fused_from)
+        members.extend(step.rewritten_from)
+        for node in members:
+            if node.kind == "source":
+                continue
+            if node.out is not None:
+                _diag(report, "PLAN010",
+                      f"{node.label} writes an explicit out= vector; "
+                      "re-executing the template would clobber one "
+                      "window's result with the next",
+                      function=node.label)
+            effects = _stage_effects(node)
+            if effects is None:
+                if node.effect:
+                    _diag(report, "PLAN010",
+                          f"{node.label} is a void effect call with no "
+                          "effect summary; its additional-argument "
+                          "writes cannot be proven window-local",
+                          function=node.label)
+            else:
+                written, _read = _written_extras(node, effects)
+                for name, value, effect in written:
+                    why = persistent(value)
+                    if why is not None:
+                        region = effect.effective_writes
+                        _diag(report, "PLAN010",
+                              f"{node.label} writes additional "
+                              f"argument {name} ({region}) into "
+                              f"{why}; that state would persist "
+                              "across windows",
+                              function=node.label)
+            for dep in node.deps():
+                if dep.kind != "source":
+                    continue
+                consumed_sources.add(dep.id)
+                if dep.id not in window_ids and dep.value is None:
+                    _diag(report, "PLAN010",
+                          f"{node.label} reads source #{dep.id} which "
+                          "is neither the window source nor a "
+                          "materialized constant",
+                          function=node.label)
+    for wid in sorted(window_ids):
+        if wid not in consumed_sources:
+            _diag(report, "PLAN010",
+                  f"window source #{wid} is never consumed by the "
+                  "plan; every window would produce the same result",
+                  function=f"source#{wid}")
+    return report
+
+
+def verify_template_or_raise(plan, window_nodes) -> AnalysisReport:
+    """Run :func:`verify_template`; raise when the plan must not be
+    cached as a stream template."""
+    report = verify_template(plan, window_nodes)
+    if report.has_errors:
+        first = report.errors[0]
+        raise PlanVerificationError(
+            f"plan-template verification failed: "
+            f"[{first.check_id}] {first.message} "
+            f"({len(report.errors)} error(s) total)", report=report)
+    return report

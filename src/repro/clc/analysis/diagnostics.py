@@ -88,6 +88,10 @@ CHECKS: dict[str, tuple[Severity, str]] = {
     "PLAN009": (Severity.ERROR,
                 "reduce split across devices without an exact element "
                 "type or a single-device input"),
+    "PLAN010": (Severity.ERROR,
+                "plan is not window-shape-polymorphic: re-executing it "
+                "over successive stream windows would read or write "
+                "state that persists across windows"),
     # -- alias/COW and cluster-journal checker (repro.analysis) -------
     "ALIAS001": (Severity.WARNING,
                  "write through a pinned or aliasing buffer view "

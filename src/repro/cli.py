@@ -756,6 +756,90 @@ def _serve_profile(args) -> int:
     return 0 if stats.completed == total_jobs else 1
 
 
+def _stream_context(gpus: int):
+    """A private context for streaming runs (the global default
+    context stays untouched, as the serve engine does)."""
+    from repro import ocl
+    from repro.skelcl.context import SkelCLContext
+    system = ocl.System(num_gpus=gpus, name="stream")
+    return SkelCLContext(
+        [d for d in system.devices if d.device_type == "GPU"])
+
+
+def _stream_profile(args) -> int:
+    """``repro profile --stream``: sustained throughput and window
+    latency of the template-cached streaming path vs. the naive
+    re-plan-every-window eager baseline."""
+    import json
+    import time
+
+    from repro import skelcl  # imported first: breaks the
+    from repro.stream import StreamPipeline, WindowSpec  # graph cycle
+
+    stages = _pipeline_stages(args.stream_stages)
+    rng = np.random.default_rng(0)
+    data = rng.random(args.window_items * args.windows) \
+        .astype(np.float32)
+    chunk = max(1, args.window_items // 2)
+    chunks = [data[i:i + chunk] for i in range(0, data.size, chunk)]
+
+    pipe = StreamPipeline(stages, WindowSpec(size=args.window_items),
+                          ctx=_stream_context(args.gpus))
+    started = time.monotonic()
+    stream_results = list(pipe.run(chunks))
+    stream_wall = time.monotonic() - started
+
+    # naive baseline: a fresh eager pipeline per window
+    eager_ctx = skelcl.init(num_gpus=args.gpus)
+    started = time.monotonic()
+    eager_results = []
+    for w in range(args.windows):
+        window = data[w * args.window_items:(w + 1) * args.window_items]
+        vec = skelcl.Vector(window, context=eager_ctx)
+        for stage in stages:
+            vec = stage(vec)
+        eager_results.append(vec.to_numpy())
+    eager_wall = time.monotonic() - started
+
+    identical = all(
+        np.array_equal(r.data, eager_results[r.index])
+        for r in stream_results)
+    stats = pipe.stats
+    speedup = eager_wall / stream_wall if stream_wall > 0 else 0.0
+    items_per_s = data.size / stream_wall if stream_wall > 0 else 0.0
+    print(f"stream: {args.windows} window(s) x {args.window_items} "
+          f"items through {args.stream_stages} stage(s) on "
+          f"{args.gpus} GPU(s)")
+    print(f"  streaming wall:    {stream_wall:.3f} s "
+          f"({items_per_s:.0f} items/s sustained)")
+    print(f"  per-window eager:  {eager_wall:.3f} s "
+          f"(speedup {speedup:.2f}x)")
+    print(f"  plans planned:     {stats.plans_planned} "
+          f"(template hits {stats.template_hits}, "
+          f"verified {stats.plans_verified})")
+    print(f"  p50/p99 window:    {stats.percentile_ms(50):.2f} / "
+          f"{stats.percentile_ms(99):.2f} ms")
+    print(f"  results bitwise-identical to eager: {identical}")
+    predicted = pipe.predicted_cost()
+    if predicted is not None:
+        print(f"  predicted window latency: "
+              f"{predicted.window_latency_s * 1e3:.3f} ms "
+              f"({predicted.sustained_items_per_s:.0f} items/s model)")
+    if args.report:
+        snapshot = pipe.snapshot()
+        snapshot.update({
+            "stream_wall_s": stream_wall,
+            "eager_wall_s": eager_wall,
+            "speedup": speedup,
+            "sustained_items_per_s": items_per_s,
+            "bitwise_identical": identical,
+        })
+        with open(args.report, "w") as fh:
+            json.dump(snapshot, fh, indent=2)
+        print(f"wrote {args.report}")
+    return 0 if identical and stats.plans_planned == 1 else 1
+
+
 def _cmd_profile(args) -> int:
     from contextlib import ExitStack
 
@@ -765,6 +849,8 @@ def _cmd_profile(args) -> int:
 
     if args.serve:
         return _serve_profile(args)
+    if args.stream:
+        return _stream_profile(args)
 
     rng = np.random.default_rng(0)
     with ExitStack() as stack:
@@ -1078,6 +1164,109 @@ def _cmd_serve(args) -> int:
     return handlers[args.serve_command](args)
 
 
+def _cmd_stream_run(args) -> int:
+    """Run a synthetic windowed stream through the template-cached
+    streaming engine and report its economics."""
+    from repro import skelcl  # noqa: F401  -- break graph<->skelcl cycle
+    from repro.graph import graph_to_dot
+    from repro.stream import StreamPipeline, WindowSpec
+
+    stages = _pipeline_stages(args.stages)
+    spec = WindowSpec(size=args.window, step=args.step,
+                      lateness=args.lateness, policy=args.policy)
+    rng = np.random.default_rng(0)
+    data = rng.random(args.items).astype(np.float32)
+    chunks = [data[i:i + args.chunk]
+              for i in range(0, args.items, args.chunk)]
+
+    pipe = StreamPipeline(stages, spec, ctx=_stream_context(args.gpus))
+    windows = list(pipe.run(chunks))
+    stats = pipe.stats
+
+    step = spec.stride
+    kind = "sliding" if spec.sliding else "tumbling"
+    print(f"{kind} window({spec.size}/{step}) over {args.items} "
+          f"item(s) in {len(chunks)} chunk(s), {args.stages}-stage "
+          f"pipeline on {args.gpus} GPU(s)")
+    print(f"  windows executed:  {stats.windows_executed} "
+          f"({sum(1 for w in windows if w.partial)} partial)")
+    print(f"  plans planned:     {stats.plans_planned} "
+          f"(template hits {stats.template_hits}, "
+          f"verified {stats.plans_verified})")
+    print(f"  late elements:     {stats.window.late_dropped} dropped, "
+          f"{stats.window.late_reassigned} reassigned")
+    print(f"  sustained:         "
+          f"{stats.sustained_items_per_s:.0f} items/s")
+    print(f"  p50/p99 window:    {stats.percentile_ms(50):.2f} / "
+          f"{stats.percentile_ms(99):.2f} ms")
+    predicted = pipe.predicted_cost()
+    if predicted is not None:
+        print(f"  model prediction:  "
+              f"{predicted.window_latency_s * 1e3:.3f} ms/window "
+              f"({predicted.sustained_items_per_s:.0f} items/s)")
+    if args.dot:
+        templates = list(pipe.templates._templates.values())
+        steady = max(templates, key=lambda t: t.executions)
+        dot = graph_to_dot(steady.graph, steady.plan)
+        if args.dot == "-":
+            print(dot, end="")
+        else:
+            with open(args.dot, "w") as fh:
+                fh.write(dot)
+            print(f"wrote {args.dot}")
+    return 0
+
+
+def _cmd_stream_status(args) -> int:
+    """Stream sessions and sustained service of a running serve
+    server (one STATS round-trip)."""
+    from repro.cluster import wire
+    from repro.cluster.client import WorkerConnection
+    from repro.errors import ReproError
+    from repro.util.tables import format_table
+
+    host, _, port = args.address.rpartition(":")
+    try:
+        conn = WorkerConnection(host or "127.0.0.1", int(port), rank=0,
+                                timeout_s=args.timeout, retries=0)
+        snapshot, _ = conn.request(wire.Op.STATS)
+        conn.close()
+    except (ReproError, OSError, ValueError) as exc:
+        print(f"{args.address}: unreachable ({exc})", file=sys.stderr)
+        return 1
+    stats = snapshot.get("stats", {})
+    streams = snapshot.get("streams", [])
+    print(f"{args.address}: {stats.get('streams_opened', 0)} "
+          f"stream(s) opened, {stats.get('stream_windows', 0)} "
+          f"window job(s) admitted, {snapshot.get('queued', 0)} "
+          "job(s) queued")
+    if streams:
+        rows = [[s.get("stream", "?"), s.get("tenant", "?"),
+                 f"{s['window']['size']}/{s['window']['step']}",
+                 s.get("windows", 0), s.get("items_in", 0),
+                 s.get("late_dropped", 0) + s.get("late_reassigned", 0),
+                 "closed" if s.get("closed") else "open"]
+                for s in streams]
+        print(format_table(
+            ["stream", "tenant", "window", "jobs", "items", "late",
+             "state"], rows, title="stream sessions"))
+    sustained = snapshot.get("scheduler", {}).get("sustained", {})
+    if sustained:
+        rows = [[tenant, f"{s.get('items', 0):.0f}",
+                 f"{s.get('busy_s', 0.0):.3f}",
+                 f"{s.get('items_per_s', 0.0):.1f}"]
+                for tenant, s in sorted(sustained.items())]
+        print(format_table(
+            ["tenant", "items", "busy s", "items/s"], rows,
+            title="sustained service"))
+    return 0
+
+
+def _cmd_stream(args) -> int:
+    handlers = {"run": _cmd_stream_run, "status": _cmd_stream_status}
+    return handlers[args.stream_command](args)
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -1232,8 +1421,18 @@ def build_parser() -> argparse.ArgumentParser:
                    help="elements per serve job (--serve)")
     p.add_argument("--no-batch", action="store_true",
                    help="disable cross-tenant micro-batching (--serve)")
+    p.add_argument("--stream", action="store_true",
+                   help="profile the windowed streaming path: "
+                        "sustained items/s and window-latency "
+                        "percentiles vs. the per-window eager baseline")
+    p.add_argument("--window-items", type=int, default=2048,
+                   help="elements per stream window (--stream)")
+    p.add_argument("--windows", type=int, default=32,
+                   help="windows to stream (--stream)")
+    p.add_argument("--stream-stages", type=int, default=4,
+                   help="pipeline stages for --stream")
     p.add_argument("--report", metavar="FILE",
-                   help="write the --serve snapshot as JSON")
+                   help="write the --serve/--stream snapshot as JSON")
     p.add_argument("--trace", metavar="FILE",
                    help="write the virtual timeline as a Chrome trace")
     p.set_defaults(fn=_cmd_profile)
@@ -1289,6 +1488,37 @@ def build_parser() -> argparse.ArgumentParser:
     q.add_argument("address", metavar="HOST:PORT")
     q.add_argument("--timeout", type=float, default=2.0)
     p.set_defaults(fn=_cmd_serve)
+
+    p = sub.add_parser(
+        "stream", help="windowed streaming execution "
+                       "(docs/streaming.md)")
+    stream_sub = p.add_subparsers(dest="stream_command", required=True)
+    q = stream_sub.add_parser(
+        "run", help="stream a synthetic source through a windowed "
+                    "pipeline and report plan-template economics")
+    q.add_argument("--items", type=int, default=1 << 16,
+                   help="total elements to stream")
+    q.add_argument("--chunk", type=int, default=1024,
+                   help="elements per arriving chunk")
+    q.add_argument("--window", type=int, default=2048,
+                   help="window size (elements)")
+    q.add_argument("--step", type=int, default=None,
+                   help="window step (default: tumbling)")
+    q.add_argument("--lateness", type=int, default=0,
+                   help="watermark lag in elements")
+    q.add_argument("--policy", default="drop",
+                   choices=["drop", "reassign"],
+                   help="late-element policy")
+    q.add_argument("--stages", type=int, default=4)
+    q.add_argument("--gpus", type=int, default=2)
+    q.add_argument("--dot", metavar="FILE",
+                   help="write the steady-state template graph as "
+                        "Graphviz (- for stdout)")
+    q = stream_sub.add_parser(
+        "status", help="stream sessions of a running serve server")
+    q.add_argument("address", metavar="HOST:PORT")
+    q.add_argument("--timeout", type=float, default=2.0)
+    p.set_defaults(fn=_cmd_stream)
     return parser
 
 

@@ -80,6 +80,15 @@ class Op(IntEnum):
     STATS = 16     # -> OK with the server's full stats snapshot
     BUSY = 17      # admission rejection: {retry_after_s, error}
 
+    # -- streaming jobs (repro.stream via repro.serve) ----------------
+    STREAM_OPEN = 18    # meta = {tenant, sources, window, dtype}
+                        #   -> OK {stream}
+    STREAM_PUSH = 19    # payload = chunk bytes; meta = {tenant,
+                        #   stream, dtype, seq?} -> OK {jobs, windows}
+                        #   | BUSY (window budget exhausted)
+    STREAM_CLOSE = 20   # meta = {tenant, stream} -> OK {jobs} (the
+                        #   flushed tail windows, partial included)
+
 
 class TruncatedFrameError(WireFormatError):
     """The stream ended in the middle of a frame."""

@@ -116,6 +116,23 @@ class SizeMismatchError(SkelClError):
     """Vectors of different sizes passed where equal sizes are required."""
 
 
+class GraphScopeError(SkelClError):
+    """A lazy graph handle was forced after its graph could no longer
+    replay it: the ``deferred()`` scope exited and the captured values
+    it would replay from were discarded (a retired stream-template
+    graph, or a re-armed graph whose source vectors were cleared).
+
+    ``handle`` names the node whose handle was forced; ``scope`` names
+    the graph scope it was captured in.
+    """
+
+    def __init__(self, message: str, handle: str = "",
+                 scope: str = "") -> None:
+        super().__init__(message)
+        self.handle = handle
+        self.scope = scope
+
+
 # ---------------------------------------------------------------------------
 # dOpenCL (repro.dopencl)
 # ---------------------------------------------------------------------------
@@ -214,3 +231,31 @@ class AdmissionRejectedError(ServeError):
 class UnknownJobError(ServeError):
     """A poll/result/cancel referenced a job id the server does not
     hold for that tenant (wrong id, expired, or another tenant's)."""
+
+
+# ---------------------------------------------------------------------------
+# Streaming layer (repro.stream)
+# ---------------------------------------------------------------------------
+
+class StreamError(ReproError):
+    """Base class for the windowed streaming layer.
+
+    Structured like the analysis diagnostics: every raise carries a
+    ``STRMxxx`` code so tests and clients can match on the condition
+    instead of the message text (docs/streaming.md lists the codes).
+    """
+
+    def __init__(self, message: str, code: str = "STRM000") -> None:
+        super().__init__(f"[{code}] {message}")
+        self.code = code
+
+
+class StreamBackpressureError(StreamError):
+    """The in-flight-window budget is exhausted: the producer must
+    consume results (or back off for ``retry_after_s``) before pushing
+    more elements."""
+
+    def __init__(self, message: str,
+                 retry_after_s: float = 0.0) -> None:
+        super().__init__(message, code="STRM002")
+        self.retry_after_s = retry_after_s

@@ -21,8 +21,8 @@ mode.
 from repro.graph.batching import (BatchedRun, merge_inputs,
                                   pipeline_signature, run_batched,
                                   split_outputs)
-from repro.graph.capture import (Graph, LazyVector, current_graph,
-                                 deferred, evaluate)
+from repro.graph.capture import (Graph, LazyVector, capturing,
+                                 current_graph, deferred, evaluate)
 from repro.graph.dot import graph_to_dot
 from repro.graph.node import Node
 from repro.graph.passes import (Plan, PlanStep, build_plan,
@@ -31,7 +31,8 @@ from repro.graph.rewrite import RULES, RULE_CODES, optimize_plan
 
 __all__ = [
     "BatchedRun", "Graph", "LazyVector", "Node", "Plan", "PlanStep",
-    "RULES", "RULE_CODES", "build_plan", "current_graph", "deferred",
+    "RULES", "RULE_CODES", "build_plan", "capturing", "current_graph",
+    "deferred",
     "elide_redistributions", "evaluate", "fuse_map_chains",
     "graph_to_dot", "merge_inputs", "optimize_plan",
     "pipeline_signature", "run_batched", "split_outputs",

@@ -17,17 +17,20 @@ into later eager code unchanged.
 
 from __future__ import annotations
 
+import itertools
 import weakref
 from contextlib import contextmanager
 from typing import NamedTuple, Sequence
 
-from repro.errors import SizeMismatchError, SkelClError
+from repro.errors import GraphScopeError, SizeMismatchError, SkelClError
 from repro.graph.node import Node
 from repro.skelcl.context import SkelCLContext, get_context
 from repro.skelcl.vector import Vector
 
 #: innermost-active graph builders (nested ``deferred`` scopes nest)
 _builders: list["Graph"] = []
+
+_scope_seq = itertools.count(1)
 
 #: when not None, plan verification collects (plan, report) pairs here
 #: instead of rejecting unsound plans (``repro verify-plan`` audits)
@@ -209,9 +212,16 @@ def _unwrap(value):
 class Graph:
     """A captured task graph plus its evaluation state."""
 
-    def __init__(self, context: SkelCLContext | None = None) -> None:
+    def __init__(self, context: SkelCLContext | None = None,
+                 scope_name: str | None = None) -> None:
         self._explicit_ctx = context
         self._ctx: SkelCLContext | None = context
+        #: human-readable name of the capture scope, used by
+        #: :class:`~repro.errors.GraphScopeError` to say *where* a
+        #: stale handle came from
+        self.scope_name = scope_name or f"deferred#{next(_scope_seq)}"
+        #: why replay-on-demand is no longer possible (None = alive)
+        self.retired: str | None = None
         self.nodes: list[Node] = []
         self._sources: dict[int, Node] = {}
         #: pass statistics of the most recent optimized evaluation
@@ -417,22 +427,75 @@ class Graph:
         self.last_stats = dict(plan.stats)
         return self.last_stats
 
-    def ensure_value(self, node: Node) -> Vector:
+    def retire(self, reason: str) -> None:
+        """Declare replay-on-demand impossible from here on.
+
+        The stream template engine re-arms a captured graph between
+        windows (clearing node values, re-pointing the source vector
+        at the next window); any handle that escaped the capture scope
+        would replay against whichever window happens to be loaded.
+        Retiring the graph turns that silent wrong-answer into a
+        structured :class:`~repro.errors.GraphScopeError`.
+        """
+        self.retired = reason
+
+    def ensure_value(self, node: Node, _for: Node | None = None) -> Vector:
         """Force one node, replaying captured calls for any ancestor
-        that evaluation skipped (pruned or fused through)."""
+        that evaluation skipped (pruned or fused through).
+
+        Raises :class:`~repro.errors.GraphScopeError` when the replay
+        is no longer possible: the graph was retired, or it reaches a
+        source whose captured value was discarded (a re-armed graph
+        after its ``deferred()``/capture scope exited).
+        """
+        target = _for if _for is not None else node
+        if self.retired is not None:
+            raise GraphScopeError(
+                f"cannot force handle {target.label} (node "
+                f"#{target.id}): its capture scope "
+                f"{self.scope_name!r} was retired ({self.retired})",
+                handle=target.label, scope=self.scope_name)
         if node.value is not None:
             return node.value
         if node.executed:
             raise SkelClError(
                 f"{node.label} produced no value (void skeleton call)")
+        if node.kind == "source":
+            # a source without a value cannot be recomputed: the
+            # concrete Vector it captured is gone (cleared by a
+            # re-arm after the scope exited)
+            raise GraphScopeError(
+                f"cannot force handle {target.label} (node "
+                f"#{target.id}): source {node.label} (node #{node.id}) "
+                f"of scope {self.scope_name!r} no longer holds its "
+                "captured vector, so the call chain cannot be "
+                "replayed after the scope exited",
+                handle=target.label, scope=self.scope_name)
         from repro.graph import executor
         for dep in node.deps():
-            self.ensure_value(dep)
+            self.ensure_value(dep, _for=target)
         executor.execute_node(node)
         if node.value is None:
             raise SkelClError(
                 f"{node.label} produced no value (void skeleton call)")
         return node.value
+
+
+@contextmanager
+def capturing(graph: "Graph"):
+    """Capture skeleton calls onto *graph* without evaluating on exit.
+
+    The building block under :func:`deferred` for callers that manage
+    evaluation themselves — the stream template builder captures a
+    pipeline once, evaluates it explicitly, then re-executes the
+    cached plan per window.
+    """
+    _builders.append(graph)
+    try:
+        yield graph
+    finally:
+        popped = _builders.pop()
+        assert popped is graph
 
 
 @contextmanager

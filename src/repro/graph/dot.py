@@ -41,7 +41,20 @@ def graph_to_dot(graph, plan=None) -> str:
              '  node [shape=box, fontname="monospace", fontsize=10];']
     for node in graph.nodes:
         attrs = [f'label="#{node.id} {_escape(node.label)}"']
-        if node.kind == "source":
+        if node.kind == "source" and node.window is not None:
+            # stream-window sources render distinctly so template
+            # plans are inspectable like batch plans: a cylinder with
+            # the window parameters in the label and tooltip
+            win = node.window
+            params = ", ".join(f"{k}={win[k]}" for k in sorted(win))
+            attrs[0] = (f'label="#{node.id} {_escape(node.label)}'
+                        f'\\nwindow({win.get("size", "?")}'
+                        f'/{win.get("step", "?")})"')
+            attrs.append("shape=cylinder")
+            attrs.append("style=filled")
+            attrs.append('fillcolor="lightyellow"')
+            attrs.append(f'tooltip="stream window: {_escape(params)}"')
+        elif node.kind == "source":
             attrs.append("shape=ellipse")
         if plan is not None:
             if node.id in rewritten_of:

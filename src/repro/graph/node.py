@@ -23,7 +23,7 @@ class Node:
 
     __slots__ = ("id", "kind", "skeleton", "inputs", "extras", "dist",
                  "out", "out_size", "out_dtype", "value", "executed",
-                 "handle_ref", "__weakref__")
+                 "handle_ref", "window", "__weakref__")
 
     def __init__(self, node_id: int, kind: str, skeleton=None,
                  inputs: list["Node"] | None = None,
@@ -49,6 +49,10 @@ class Node:
         self.executed = False
         #: weak reference to the user-facing LazyVector handle
         self.handle_ref: Optional[weakref.ref] = None
+        #: stream-window parameters for source nodes fed by
+        #: :mod:`repro.stream` (``{"size", "step", "policy", ...}``);
+        #: None for ordinary batch nodes
+        self.window: dict | None = None
 
     # -- structure ---------------------------------------------------------
 
@@ -78,6 +82,8 @@ class Node:
     @property
     def label(self) -> str:
         if self.kind == "source":
+            if self.window is not None:
+                return f"window[{self.out_size}]"
             return f"source[{self.out_size}]"
         if self.kind == "redistribute":
             return f"redistribute({self.dist!r})"

@@ -3,10 +3,10 @@
 from repro.sched.adaptive import AdaptiveScheduler, WeightStore
 from repro.sched.fair import DeficitRoundRobin
 from repro.sched.measure import measure_map_seconds_per_item, static_cost
-from repro.sched.perf_model import (UserFunctionCost, predict_map,
-                                    predict_reduce_final,
-                                    predict_reduce_local, predict_zip,
-                                    throughput_items_per_s)
+from repro.sched.perf_model import (StreamCost, UserFunctionCost,
+                                    predict_map, predict_reduce_final,
+                                    predict_reduce_local, predict_stream,
+                                    predict_zip, throughput_items_per_s)
 from repro.sched.static_scheduler import (WeightedBlockDistribution,
                                           choose_reduce_final_device,
                                           makespan_of_partition,
@@ -14,7 +14,8 @@ from repro.sched.static_scheduler import (WeightedBlockDistribution,
                                           weighted_block_distribution)
 
 __all__ = [
-    "UserFunctionCost", "predict_map", "predict_zip",
+    "StreamCost", "UserFunctionCost", "predict_map", "predict_zip",
+    "predict_stream",
     "predict_reduce_local", "predict_reduce_final",
     "throughput_items_per_s", "static_cost",
     "measure_map_seconds_per_item", "WeightedBlockDistribution",

@@ -51,6 +51,11 @@ class DeficitRoundRobin:
         self.smoothing = smoothing
         self._weights: dict[Hashable, float] = {}
         self._deficits: dict[Hashable, float] = {}
+        #: cumulative (items, busy seconds) served per tenant — the
+        #: sustained-throughput ledger long-lived stream tenants are
+        #: judged by (windows keep arriving, so the EMA weight alone
+        #: would forget how much service they already consumed)
+        self._served: dict[Hashable, list[float]] = {}
         self.rounds = 0
 
     # -- weights -----------------------------------------------------------------
@@ -79,10 +84,21 @@ class DeficitRoundRobin:
         if items <= 0 or seconds <= 0:
             return
         self.ensure(tenant)
+        served = self._served.setdefault(tenant, [0.0, 0.0])
+        served[0] += items
+        served[1] += seconds
         measured = items / seconds
         self._weights[tenant] = (
             (1 - self.smoothing) * self._weights[tenant]
             + self.smoothing * measured)
+
+    def sustained_items_per_s(self, tenant: Hashable) -> float:
+        """Lifetime items/second actually served to *tenant* (0 until
+        its first completed execution)."""
+        served = self._served.get(tenant)
+        if served is None or served[1] <= 0:
+            return 0.0
+        return served[0] / served[1]
 
     # -- scheduling --------------------------------------------------------------
 
@@ -160,11 +176,18 @@ class DeficitRoundRobin:
         return picked
 
     def snapshot(self) -> dict:
-        """Weights and deficits for ``repro serve status``."""
+        """Weights, deficits and sustained service for
+        ``repro serve status`` / ``repro stream status``."""
         return {"rounds": self.rounds,
                 "weights": {str(t): w
                             for t, w in sorted(self._weights.items(),
                                                key=lambda kv: str(kv[0]))},
                 "deficits": {str(t): d
                              for t, d in sorted(self._deficits.items(),
-                                                key=lambda kv: str(kv[0]))}}
+                                                key=lambda kv: str(kv[0]))},
+                "sustained": {
+                    str(t): {"items": s[0], "busy_s": s[1],
+                             "items_per_s": (s[0] / s[1]
+                                             if s[1] > 0 else 0.0)}
+                    for t, s in sorted(self._served.items(),
+                                       key=lambda kv: str(kv[0]))}}

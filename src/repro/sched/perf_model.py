@@ -412,3 +412,44 @@ def throughput_items_per_s(spec: DeviceSpec,
                                          cost.bytes_per_item))
     t -= spec.kernel_launch_overhead_s
     return large_n / t
+
+
+# ---------------------------------------------------------------------------
+# stream-window costing (repro.stream / repro profile --stream)
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class StreamCost:
+    """Predicted steady-state profile of one stream plan template.
+
+    One window's latency is the cached plan's predicted makespan
+    (:func:`predict_plan` — warm caches, which is exactly the
+    template's steady state: planned, verified and compiled once,
+    re-executed per window).  Sustained throughput assumes windows
+    execute back-to-back, which the pull-based stream engine
+    guarantees whenever the source keeps up.
+    """
+
+    window_items: int
+    window_latency_s: float
+    sustained_items_per_s: float
+
+
+def predict_stream(plan, ctx, window_items: int,
+                   step_items: int | None = None) -> StreamCost:
+    """Price one window of a cached stream plan template.
+
+    Args:
+        plan: the template's optimized, verified plan.
+        ctx: the SkelCL context the template executes on.
+        window_items: elements per window.
+        step_items: elements the window advances per execution
+            (sliding windows re-process ``window - step`` elements, so
+            sustained throughput counts only *new* elements).
+    """
+    makespan = predict_plan(plan, ctx).makespan_s
+    advance = step_items if step_items else window_items
+    sustained = advance / makespan if makespan > 0 else float("inf")
+    return StreamCost(window_items=int(window_items),
+                      window_latency_s=makespan,
+                      sustained_items_per_s=sustained)

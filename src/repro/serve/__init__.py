@@ -21,7 +21,7 @@ import repro.skelcl  # noqa: F401 -- break the graph<->skelcl import cycle
 from repro.serve.admission import AdmissionController
 from repro.serve.batcher import Batcher
 from repro.serve.client import ServeClient
-from repro.serve.engine import ServeConfig, ServeEngine
+from repro.serve.engine import ServeConfig, ServeEngine, StreamSession
 from repro.serve.job import Job, JobStatus
 from repro.serve.metrics import ServeStats, TenantStats, serve_table
 from repro.serve.server import ServeServer, serve_in_thread
@@ -30,6 +30,6 @@ from repro.serve.session import Session, SessionRegistry
 __all__ = [
     "AdmissionController", "Batcher", "Job", "JobStatus",
     "ServeClient", "ServeConfig", "ServeEngine", "ServeServer",
-    "ServeStats", "Session", "SessionRegistry", "TenantStats",
-    "serve_in_thread", "serve_table",
+    "ServeStats", "Session", "SessionRegistry", "StreamSession",
+    "TenantStats", "serve_in_thread", "serve_table",
 ]

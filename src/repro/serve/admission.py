@@ -10,23 +10,37 @@ back off intelligently instead of hammering the server.
 
 from __future__ import annotations
 
+import random
+
 from repro.errors import AdmissionRejectedError, ServeError
 
 #: fallback service-time estimate before anything has completed
 DEFAULT_SERVICE_ESTIMATE_S = 0.05
+
+#: relative spread applied to retry_after_s hints: deterministic hints
+#: synchronize every backed-off client onto the same retry instant,
+#: and the resulting thundering herd re-rejects itself forever
+RETRY_JITTER = 0.25
 
 
 class AdmissionController:
     """Decides whether a submit is allowed to enter the queues."""
 
     def __init__(self, max_queue_jobs: int = 64,
-                 max_total_jobs: int = 1024) -> None:
+                 max_total_jobs: int = 1024,
+                 jitter: float = RETRY_JITTER,
+                 seed: int | None = None) -> None:
         if max_queue_jobs <= 0 or max_total_jobs <= 0:
             raise ServeError(
                 "admission bounds must be positive, got "
                 f"per-tenant {max_queue_jobs}, total {max_total_jobs}")
+        if not 0.0 <= jitter < 1.0:
+            raise ServeError(
+                f"retry jitter must be in [0, 1), got {jitter}")
         self.max_queue_jobs = max_queue_jobs
         self.max_total_jobs = max_total_jobs
+        self.jitter = jitter
+        self._rng = random.Random(seed)
 
     def check(self, tenant: str, tenant_depth: int, total_depth: int,
               mean_service_s: float = 0.0) -> None:
@@ -54,7 +68,14 @@ class AdmissionController:
                 retry_after_s=self.retry_after(total_depth, service),
                 tenant=tenant)
 
+    def retry_after(self, depth: int, mean_service_s: float) -> float:
+        """When roughly half the backlog ahead should have drained,
+        spread by bounded jitter so rejected clients desynchronize."""
+        base = self.base_retry_after(depth, mean_service_s)
+        spread = self._rng.uniform(-self.jitter, self.jitter)
+        return round(base * (1.0 + spread), 4)
+
     @staticmethod
-    def retry_after(depth: int, mean_service_s: float) -> float:
-        """When roughly half the backlog ahead should have drained."""
+    def base_retry_after(depth: int, mean_service_s: float) -> float:
+        """The jitter-free drain estimate the hint is centred on."""
         return round(max(depth, 1) * mean_service_s * 0.5, 4)

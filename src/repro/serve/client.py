@@ -89,6 +89,52 @@ class ServeClient:
             wire.Op.CANCEL, {"tenant": self.tenant, "job": job_id})
         return bool(meta.get("cancelled", False))
 
+    # -- streaming ---------------------------------------------------------------
+
+    def open_stream(self, sources, window: dict) -> str:
+        """Open a stream session; returns its stream id.
+
+        ``window`` is a :class:`~repro.stream.WindowSpec` as a dict —
+        at least ``{"size": n}``, optionally ``step`` / ``lateness`` /
+        ``policy``.
+        """
+        meta, _ = self._conn.request(
+            wire.Op.STREAM_OPEN,
+            {"tenant": self.tenant,
+             "sources": [str(s) for s in sources],
+             "window": dict(window)})
+        return str(meta["stream"])
+
+    def push_stream(self, stream_id: str, chunk: np.ndarray,
+                    seq: int | None = None) -> list[str]:
+        """Push one chunk; returns job ids of windows it closed.
+
+        Raises :class:`AdmissionRejectedError` when the stream's
+        window budget is exhausted (fetch some results, then retry
+        after the hinted backoff).
+        """
+        chunk = np.ascontiguousarray(chunk)
+        meta = {"tenant": self.tenant, "stream": stream_id,
+                "dtype": chunk.dtype.name}
+        if seq is not None:
+            meta["seq"] = int(seq)
+        op, rmeta, _ = self._conn.request_op(wire.Op.STREAM_PUSH, meta,
+                                             chunk.tobytes())
+        if op == wire.Op.BUSY:
+            raise AdmissionRejectedError(
+                rmeta.get("error", "stream window budget exhausted"),
+                retry_after_s=float(rmeta.get("retry_after_s", 0.0)),
+                tenant=self.tenant)
+        return [str(j) for j in rmeta.get("jobs", [])]
+
+    def close_stream(self, stream_id: str) -> list[str]:
+        """End of stream: returns job ids of the flushed tail windows
+        (the final partial window included)."""
+        meta, _ = self._conn.request(
+            wire.Op.STREAM_CLOSE,
+            {"tenant": self.tenant, "stream": stream_id})
+        return [str(j) for j in meta.get("jobs", [])]
+
     # -- introspection -----------------------------------------------------------
 
     def stats(self) -> dict:

@@ -24,17 +24,19 @@ import itertools
 import threading
 import time
 from collections import deque
-from dataclasses import asdict, dataclass
+from dataclasses import asdict, dataclass, field
 
 import numpy as np
 
 from repro.errors import (AdmissionRejectedError, ReproError, ServeError,
-                          UnknownJobError)
+                          StreamError, UnknownJobError)
 from repro.sched.fair import DeficitRoundRobin
-from repro.serve.admission import AdmissionController
+from repro.serve.admission import (DEFAULT_SERVICE_ESTIMATE_S,
+                                   AdmissionController)
 from repro.serve.batcher import Batcher
 from repro.serve.job import Job, JobStatus
 from repro.serve.metrics import ServeStats
+from repro.stream.window import WindowSpec, Windower
 
 
 @dataclass
@@ -58,6 +60,41 @@ class ServeConfig:
     max_round_jobs: int | None = None
     #: forward adaptive device-split scheduling into the graph engine
     adaptive_split: bool = False
+    #: per-stream bound on window jobs in flight (queued or running);
+    #: pushes beyond it are refused with BUSY + retry_after, the
+    #: streaming analogue of bounded admission
+    stream_window_budget: int = 8
+
+
+@dataclass
+class StreamSession:
+    """One tenant's open stream: a windower feeding window jobs.
+
+    Windows become ordinary :class:`Job`s (``kind="stream"``) in the
+    tenant's queue, so DRR fairness and same-signature micro-batching
+    apply to streams and one-shot jobs uniformly — a stream is just a
+    tenant that never stops submitting.
+    """
+
+    id: str
+    tenant: str
+    sources: tuple[str, ...]
+    spec: WindowSpec
+    windower: Windower
+    job_ids: list[str] = field(default_factory=list)
+    closed: bool = False
+
+    def describe(self) -> dict:
+        return {
+            "stream": self.id,
+            "tenant": self.tenant,
+            "window": self.spec.as_dict(),
+            "windows": len(self.job_ids),
+            "items_in": self.windower.counters.items_in,
+            "late_dropped": self.windower.counters.late_dropped,
+            "late_reassigned": self.windower.counters.late_reassigned,
+            "closed": self.closed,
+        }
 
 
 class ServeEngine:
@@ -76,7 +113,9 @@ class ServeEngine:
         self.stats = ServeStats()
         self._queues: dict[str, deque[Job]] = {}
         self._jobs: dict[tuple[str, str], Job] = {}
+        self._streams: dict[tuple[str, str], StreamSession] = {}
         self._ids = itertools.count(1)
+        self._stream_ids = itertools.count(1)
         self._cond = threading.Condition()
         self._exec_lock = threading.Lock()
         self._stop = threading.Event()
@@ -183,6 +222,122 @@ class ServeEngine:
                         f"timed out waiting for job {job_id} "
                         f"(status {job.status.value})")
                 self._cond.wait(timeout=min(remaining, 0.1))
+        return job
+
+    # -- stream sessions ---------------------------------------------------------
+
+    def open_stream(self, tenant: str, sources,
+                    window: dict | WindowSpec,
+                    ) -> StreamSession:
+        """Open a stream session: a windowed pipeline the tenant will
+        push chunks into.  Each closed window is admitted as one
+        ``kind="stream"`` job through the normal queues."""
+        if not tenant:
+            raise ServeError("a stream needs a tenant id")
+        if not sources:
+            raise ServeError(
+                "a stream needs at least one pipeline stage")
+        spec = window if isinstance(window, WindowSpec) else \
+            WindowSpec(**window)
+        with self._cond:
+            session = StreamSession(
+                id=f"s{next(self._stream_ids):04d}", tenant=tenant,
+                sources=tuple(str(s) for s in sources), spec=spec,
+                windower=Windower(spec))
+            self._streams[(tenant, session.id)] = session
+            self.drr.ensure(tenant)
+            self.stats.streams_opened += 1
+            tstats = self.stats.tenant(tenant)
+            tstats.streams += 1
+            return session
+
+    def get_stream(self, tenant: str, stream_id: str) -> StreamSession:
+        with self._cond:
+            session = self._streams.get((tenant, stream_id))
+        if session is None:
+            raise UnknownJobError(
+                f"tenant {tenant!r} has no stream {stream_id!r}")
+        return session
+
+    def push_stream(self, tenant: str, stream_id: str,
+                    payload: np.ndarray,
+                    seq: int | None = None) -> list[Job]:
+        """Push one chunk into a stream; windows it closes are
+        admitted as jobs (returned in window order).
+
+        Raises :class:`AdmissionRejectedError` when the stream already
+        has ``stream_window_budget`` window jobs in flight — the
+        backpressure reply (BUSY + jittered retry hint) that keeps a
+        fast producer from flooding the queues.
+        """
+        session = self.get_stream(tenant, stream_id)
+        payload = np.ascontiguousarray(payload)
+        if payload.ndim != 1:
+            raise ServeError(
+                f"stream chunks are 1-D vectors, got shape "
+                f"{payload.shape}")
+        with self._cond:
+            if session.closed:
+                raise StreamError(
+                    f"stream {stream_id} is closed", code="STRM004")
+            inflight = self._stream_inflight(session)
+            if inflight >= self.config.stream_window_budget:
+                tstats = self.stats.tenant(tenant)
+                tstats.rejected += 1
+                raise AdmissionRejectedError(
+                    f"stream {stream_id} has {inflight} window job(s) "
+                    f"in flight (budget "
+                    f"{self.config.stream_window_budget}); poll "
+                    "results before pushing more",
+                    retry_after_s=self.admission.retry_after(
+                        inflight, self.stats.mean_service_s
+                        or DEFAULT_SERVICE_ESTIMATE_S),
+                    tenant=tenant)
+            windows = session.windower.push(payload, seq=seq)
+            return [self._admit_window(session, w) for w in windows]
+
+    def close_stream(self, tenant: str, stream_id: str) -> list[Job]:
+        """End of stream: flush remaining windows (the final partial
+        one included) into jobs and close the session."""
+        session = self.get_stream(tenant, stream_id)
+        with self._cond:
+            if session.closed:
+                return []
+            session.closed = True
+            windows = session.windower.flush()
+            return [self._admit_window(session, w) for w in windows]
+
+    def _stream_inflight(self, session: StreamSession) -> int:
+        """Window jobs of *session* not yet terminal (caller holds
+        the condition lock)."""
+        count = 0
+        for job_id in session.job_ids:
+            job = self._jobs.get((session.tenant, job_id))
+            if job is not None and not job.status.terminal:
+                count += 1
+        return count
+
+    def _admit_window(self, session: StreamSession, window) -> Job:
+        """Turn one closed window into a queued job (lock held).  The
+        payload is copied out of the windower's ring — the ring
+        recycles long before the scheduling round runs."""
+        job = Job(
+            id=f"j{next(self._ids):06d}", tenant=session.tenant,
+            sources=session.sources,
+            payload=np.array(window.data, copy=True),
+            kind="stream", stream=session.id, window=window.index)
+        queue = self._queues.setdefault(session.tenant, deque())
+        queue.append(job)
+        self._jobs[(session.tenant, job.id)] = job
+        session.job_ids.append(job.id)
+        self.stats.stream_windows += 1
+        tstats = self.stats.tenant(session.tenant)
+        tstats.submitted += 1
+        tstats.items += job.items
+        tstats.stream_windows += 1
+        tstats.max_queue_depth = max(tstats.max_queue_depth,
+                                     len(queue))
+        self._cond.notify_all()
         return job
 
     def queue_depth(self, tenant: str | None = None) -> int:
@@ -336,5 +491,8 @@ class ServeEngine:
                 "queues": queues,
                 "signatures_cached": len(self.batcher.cached_signatures),
                 "scheduler": self.drr.snapshot(),
+                "streams": [session.describe()
+                            for key, session in
+                            sorted(self._streams.items())],
                 "stats": self.stats.as_dict(),
             }

@@ -49,6 +49,14 @@ class Job:
     error: str = ""
     #: jobs that shared this job's launch (1 = ran alone)
     batch_size: int = 0
+    #: "oneshot" (a submitted job) or "stream" (one window of a
+    #: stream session) — stream windows ride the same queues, DRR
+    #: rounds and micro-batches as one-shot jobs
+    kind: str = "oneshot"
+    #: owning stream session id (stream windows only)
+    stream: str = ""
+    #: window index within the stream (stream windows only)
+    window: int = -1
 
     @property
     def signature(self) -> str:
@@ -79,7 +87,7 @@ class Job:
 
     def describe(self) -> dict:
         """Wire-friendly snapshot (POLL replies, status reports)."""
-        return {
+        info = {
             "job": self.id,
             "tenant": self.tenant,
             "status": self.status.value,
@@ -88,4 +96,9 @@ class Job:
             "error": self.error,
             "latency_ms": (None if self.latency_s is None
                            else self.latency_s * 1e3),
+            "kind": self.kind,
         }
+        if self.kind == "stream":
+            info["stream"] = self.stream
+            info["window"] = self.window
+        return info

@@ -26,6 +26,8 @@ class TenantStats:
     expired: int = 0
     items: int = 0
     max_queue_depth: int = 0
+    streams: int = 0
+    stream_windows: int = 0
     latencies_s: list[float] = field(default_factory=list)
 
     def percentile_ms(self, q: float) -> float:
@@ -45,6 +47,8 @@ class TenantStats:
             "expired": self.expired,
             "items": self.items,
             "max_queue_depth": self.max_queue_depth,
+            "streams": self.streams,
+            "stream_windows": self.stream_windows,
             "p50_ms": self.percentile_ms(50),
             "p95_ms": self.percentile_ms(95),
             "p99_ms": self.percentile_ms(99),
@@ -61,6 +65,8 @@ class ServeStats:
     fused_stages: int = 0
     busy_s: float = 0.0        # wall-clock spent executing
     rounds: int = 0            # scheduler rounds that picked work
+    streams_opened: int = 0    # stream sessions ever opened
+    stream_windows: int = 0    # stream windows admitted as jobs
     tenants: dict[str, TenantStats] = field(default_factory=dict)
 
     def tenant(self, name: str) -> TenantStats:
@@ -99,6 +105,8 @@ class ServeStats:
             "fused_stages": self.fused_stages,
             "busy_s": self.busy_s,
             "rounds": self.rounds,
+            "streams_opened": self.streams_opened,
+            "stream_windows": self.stream_windows,
             "completed": self.completed,
             "mean_service_ms": self.mean_service_s * 1e3,
             "p50_ms": self.percentile_ms(50),

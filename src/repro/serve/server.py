@@ -25,7 +25,7 @@ import numpy as np
 
 from repro.cluster import wire
 from repro.errors import (AdmissionRejectedError, ServeError,
-                          UnknownJobError, WireFormatError)
+                          StreamError, UnknownJobError, WireFormatError)
 from repro.serve.engine import ServeConfig, ServeEngine
 from repro.serve.job import JobStatus
 from repro.serve.session import Session, SessionRegistry
@@ -121,15 +121,28 @@ class ServeServer:
                     "pid": os.getpid(),
                     "queue_depth": self.engine.queue_depth(),
                     "sessions": self.sessions.active}, b""
+            if op == wire.Op.STREAM_OPEN:
+                return self._handle_stream_open(tenant, meta)
+            if op == wire.Op.STREAM_PUSH:
+                return self._handle_stream_push(tenant, meta, payload)
+            if op == wire.Op.STREAM_CLOSE:
+                jobs = self.engine.close_stream(
+                    tenant, str(meta.get("stream", "")))
+                return wire.Op.OK, {
+                    "stream": str(meta.get("stream", "")),
+                    "jobs": [job.id for job in jobs]}, b""
         except AdmissionRejectedError as exc:
             return wire.Op.BUSY, {
                 "error": str(exc),
                 "retry_after_s": exc.retry_after_s,
                 "tenant": exc.tenant}, b""
-        except (ServeError, UnknownJobError, ValueError,
+        except (ServeError, StreamError, UnknownJobError, ValueError,
                 TypeError) as exc:
-            return wire.Op.ERROR, {"error": str(exc),
-                                   "kind": type(exc).__name__}, b""
+            rmeta = {"error": str(exc), "kind": type(exc).__name__}
+            code = getattr(exc, "code", "")
+            if code:
+                rmeta["code"] = code
+            return wire.Op.ERROR, rmeta, b""
         return wire.Op.ERROR, {"error": f"unknown opcode {op}",
                                "kind": "protocol"}, b""
 
@@ -146,6 +159,35 @@ class ServeServer:
             deadline_s=None if deadline is None else float(deadline))
         return wire.Op.OK, {"job": job.id,
                             "status": job.status.value}, b""
+
+    def _handle_stream_open(self, tenant: str,
+                            meta: dict) -> tuple[int, dict, bytes]:
+        sources = meta.get("sources")
+        if not isinstance(sources, list) or not sources:
+            raise ServeError(
+                "STREAM_OPEN needs a non-empty sources list")
+        window = meta.get("window")
+        if not isinstance(window, dict) or "size" not in window:
+            raise ServeError(
+                "STREAM_OPEN needs a window spec with at least "
+                "{'size': n}")
+        session = self.engine.open_stream(
+            tenant, [str(s) for s in sources], window)
+        return wire.Op.OK, {"stream": session.id,
+                            "window": session.spec.as_dict()}, b""
+
+    def _handle_stream_push(self, tenant: str, meta: dict,
+                            payload: bytes) -> tuple[int, dict, bytes]:
+        dtype = np.dtype(str(meta.get("dtype", "float32")))
+        chunk = np.frombuffer(payload, dtype=dtype).copy()
+        seq = meta.get("seq")
+        jobs = self.engine.push_stream(
+            tenant, str(meta.get("stream", "")), chunk,
+            seq=None if seq is None else int(seq))
+        return wire.Op.OK, {
+            "stream": str(meta.get("stream", "")),
+            "jobs": [job.id for job in jobs],
+            "windows": len(jobs)}, b""
 
     def _handle_result(self, tenant: str,
                        meta: dict) -> tuple[int, dict, bytes]:

@@ -91,13 +91,33 @@ class Vector:
 
     def __init__(self, data=None, size: int | None = None,
                  dtype=None,
-                 context: SkelCLContext | None = None) -> None:
+                 context: SkelCLContext | None = None, *,
+                 copy: bool = True) -> None:
         self.ctx = get_context(context)
         if data is not None:
-            if dtype is None:
-                dtype = (data.dtype if isinstance(data, np.ndarray)
-                         else np.float32)
-            self._host = np.array(data, dtype=dtype, copy=True).reshape(-1)
+            if not copy:
+                # zero-copy adoption (stream window views): the caller
+                # owns the array and keeps it alive/stable while the
+                # vector computes from it
+                if not isinstance(data, np.ndarray):
+                    raise SkelClError(
+                        "copy=False needs a numpy array, got "
+                        f"{type(data).__name__}")
+                data = data.reshape(-1)
+                if dtype is not None and np.dtype(dtype) != data.dtype:
+                    raise SkelClError(
+                        f"copy=False cannot convert {data.dtype} to "
+                        f"{np.dtype(dtype)}")
+                if not data.flags.c_contiguous:
+                    raise SkelClError(
+                        "copy=False needs a C-contiguous array")
+                self._host = data
+            else:
+                if dtype is None:
+                    dtype = (data.dtype if isinstance(data, np.ndarray)
+                             else np.float32)
+                self._host = np.array(data, dtype=dtype,
+                                      copy=True).reshape(-1)
         elif size is not None:
             if size < 0:
                 raise SkelClError(f"invalid vector size {size}")
@@ -391,6 +411,54 @@ class Vector:
     def begin(self):
         """STL-flavoured alias used in the paper's listings."""
         return iter(self)
+
+    # -- zero-copy adoption (stream windows) -------------------------------------------------
+
+    @classmethod
+    def wrapping(cls, data: np.ndarray,
+                 context: SkelCLContext | None = None) -> "Vector":
+        """A vector adopting *data* without copying it.
+
+        The streaming layer hands window views straight from its ring
+        buffer to the pipeline this way: with the lazy memory engine,
+        single/block device parts become pinned write-through views of
+        *data* itself (the PR 4 alias machinery), so a window reaches
+        the devices with zero host-side copies.  The caller must keep
+        *data* alive and unchanged while the vector computes.
+        """
+        return cls(data, context=context, copy=False)
+
+    def reload(self, data: np.ndarray) -> None:
+        """Adopt the next window's host array in place (zero-copy).
+
+        Re-points the vector at *data* keeping its distribution: old
+        device parts are released and fresh pinned parts are created
+        over the new array, so the plan-template executor can re-run a
+        cached plan against a recycled input vector without
+        reallocating anything else.  The dtype must match; the size
+        may not change (templates are keyed by window shape).
+        """
+        if not isinstance(data, np.ndarray):
+            raise SkelClError(
+                f"reload() needs a numpy array, got "
+                f"{type(data).__name__}")
+        data = data.reshape(-1)
+        if data.dtype != self.dtype:
+            raise SkelClError(
+                f"reload() cannot change dtype {self.dtype} to "
+                f"{data.dtype}")
+        if data.shape[0] != self.size:
+            raise SizeMismatchError(
+                f"reload() cannot change size {self.size} to "
+                f"{data.shape[0]}")
+        if not data.flags.c_contiguous:
+            raise SkelClError("reload() needs a C-contiguous array")
+        self._release_parts()
+        self._host = data
+        self._host_is_zero = False
+        self._devices_modified = False
+        if self._dist is not None:
+            self._create_parts()
 
     # -- misc --------------------------------------------------------------------------------
 

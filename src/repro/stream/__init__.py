@@ -1,0 +1,37 @@
+"""repro.stream: windowed streaming execution over unbounded sources.
+
+The batch layers of this repro evaluate one bounded Vector at a time;
+this package extends the same skeleton pipelines to *unbounded*
+element streams (ROADMAP item 2a).  Chunks from a
+:class:`StreamSource` are assigned to count-based tumbling or sliding
+windows (:class:`WindowSpec` / :class:`Windower`, with watermarks and
+a late-element policy), and each window executes through a cached
+:class:`PlanTemplate`: the first window is captured, optimized by the
+cost-model planner and proven by the verifier — including the
+streaming-specific window-shape-polymorphism proof (``PLAN010``) —
+then every later window replays the proven plan over a recycled
+zero-copy ring-buffer view.  Push-mode callers get bounded-buffer
+backpressure (``[STRM002]``) instead of unbounded queueing.
+"""
+
+import repro.skelcl  # noqa: F401 -- break the graph<->skelcl import cycle
+
+from repro.errors import StreamBackpressureError, StreamError
+from repro.stream.engine import (DEFAULT_MAX_INFLIGHT, StreamPipeline,
+                                 WindowResult)
+from repro.stream.source import (Chunk, GeneratorSource,
+                                 ReplayFileSource, SocketSource,
+                                 StreamSource, push_chunks,
+                                 write_replay)
+from repro.stream.stats import StreamStats
+from repro.stream.template import PlanTemplate, TemplateCache
+from repro.stream.window import (Window, WindowCounters, WindowSpec,
+                                 Windower)
+
+__all__ = [
+    "Chunk", "DEFAULT_MAX_INFLIGHT", "GeneratorSource", "PlanTemplate",
+    "ReplayFileSource", "SocketSource", "StreamBackpressureError",
+    "StreamError", "StreamPipeline", "StreamSource", "StreamStats",
+    "TemplateCache", "Window", "WindowCounters", "WindowResult",
+    "WindowSpec", "Windower", "push_chunks", "write_replay",
+]

@@ -1,0 +1,201 @@
+"""The streaming engine: windows in, skeleton results out.
+
+:class:`StreamPipeline` binds a skeleton stage chain to a
+:class:`~repro.stream.window.WindowSpec` and executes each emitted
+window through the plan-template cache — the first window pays for
+capture, planning and verification, every later window replays the
+proven plan over the recycled ring buffer.
+
+Two driving modes:
+
+* **pull** — :meth:`run` consumes a :class:`StreamSource` and yields
+  :class:`WindowResult`\\ s as windows close; natural for replay files
+  and benchmarks.
+* **push** — :meth:`push` / :meth:`poll` / :meth:`close` for callers
+  that own the arrival loop (the serving layer).  Push mode enforces
+  *backpressure*: when more than ``max_inflight`` executed windows
+  sit unconsumed, :meth:`push` refuses the chunk with a structured
+  ``[STRM002]`` :class:`~repro.errors.StreamBackpressureError`
+  carrying a retry hint, instead of buffering without bound.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Iterator, Sequence
+
+import numpy as np
+
+from repro.errors import StreamBackpressureError
+from repro.stream.source import Chunk, StreamSource
+from repro.stream.stats import StreamStats
+from repro.stream.template import (Stage, TemplateCache,
+                                   pipeline_signature, stage_sources)
+from repro.stream.window import Window, WindowSpec, Windower
+
+#: default bound on executed-but-unconsumed windows in push mode
+DEFAULT_MAX_INFLIGHT = 8
+
+
+@dataclass
+class WindowResult:
+    """One executed window: its identity plus the pipeline's output."""
+
+    index: int
+    start: int
+    items: int
+    data: np.ndarray
+    latency_s: float
+    partial: bool = False
+
+
+class StreamPipeline:
+    """A windowed skeleton pipeline over an unbounded element stream.
+
+    Args:
+        stages: single-input skeleton stages, applied in order to each
+            window (their calls are captured lazily — the chain must
+            stay on graph handles).
+        window: the window shape and late-element policy.
+        ctx: SkelCL context; defaults to the ambient one the first
+            template build resolves.
+        max_inflight: push-mode backpressure bound — executed windows
+            a slow consumer may leave unconsumed before pushes refuse.
+    """
+
+    def __init__(self, stages: Sequence[Stage], window: WindowSpec,
+                 ctx=None,
+                 max_inflight: int = DEFAULT_MAX_INFLIGHT) -> None:
+        self.stages = list(stages)
+        self.spec = window
+        self.ctx = ctx
+        self.max_inflight = max(1, int(max_inflight))
+        self.stats = StreamStats()
+        self.windower = Windower(window, counters=self.stats.window)
+        self.templates = TemplateCache()
+        self._ready: list[WindowResult] = []
+        self._signature: str | None = None
+        self._closed = False
+
+    # -- pull mode ---------------------------------------------------------------
+
+    def run(self, source: StreamSource | Sequence
+            ) -> Iterator[WindowResult]:
+        """Consume *source* to exhaustion, yielding executed windows.
+
+        The final partial window (if the stream does not end on a
+        window boundary) is executed and yielded too, marked
+        ``partial``.
+        """
+        chunks = source.chunks() if isinstance(source, StreamSource) \
+            else iter(source)
+        for item in chunks:
+            chunk = item if isinstance(item, Chunk) else Chunk(item)
+            for window in self.windower.push(chunk.data, seq=chunk.seq):
+                yield self._execute(window)
+        for window in self.windower.flush():
+            yield self._execute(window)
+        self._closed = True
+
+    # -- push mode ---------------------------------------------------------------
+
+    def push(self, data: np.ndarray,
+             seq: int | None = None) -> list[WindowResult]:
+        """Ingest one chunk; windows it closes execute immediately.
+
+        Raises :class:`StreamBackpressureError` when the consumer has
+        fallen more than ``max_inflight`` executed windows behind —
+        the chunk is *not* ingested; retry after draining
+        :meth:`poll`.
+        """
+        self._check_budget(extra_items=int(
+            np.asarray(data).reshape(-1).shape[0]))
+        results = [self._execute(w)
+                   for w in self.windower.push(data, seq=seq)]
+        self._ready.extend(results)
+        return results
+
+    def poll(self) -> list[WindowResult]:
+        """Take every executed-but-unconsumed window (clears backlog)."""
+        ready, self._ready = self._ready, []
+        return ready
+
+    def close(self) -> list[WindowResult]:
+        """End of stream: flush, execute remaining windows, return
+        them along with any unconsumed backlog."""
+        if not self._closed:
+            self._ready.extend(self._execute(w)
+                               for w in self.windower.flush())
+            self._closed = True
+        return self.poll()
+
+    def _check_budget(self, extra_items: int) -> None:
+        stride = self.spec.stride
+        would_close = (self.windower.pending_items + extra_items
+                       - self.spec.size) // stride + 1
+        inflight = len(self._ready) + max(0, would_close)
+        if inflight > self.max_inflight:
+            self.stats.backpressure_rejects += 1
+            backlog = max(1, len(self._ready))
+            mean_s = (self.stats.busy_s / self.stats.windows_executed
+                      if self.stats.windows_executed else 1e-3)
+            raise StreamBackpressureError(
+                f"{len(self._ready)} executed windows await the "
+                f"consumer (budget {self.max_inflight}); drain poll() "
+                "before pushing more",
+                retry_after_s=round(backlog * mean_s, 6))
+
+    # -- execution ---------------------------------------------------------------
+
+    @property
+    def signature(self) -> str:
+        if self._signature is None:
+            dtype = self.windower.dtype
+            self._signature = pipeline_signature(
+                stage_sources(self.stages),
+                dtype if dtype is not None else np.dtype("float32"))
+        return self._signature
+
+    def _execute(self, window: Window) -> WindowResult:
+        started = time.perf_counter()
+        output, template = self.templates.run_window(
+            self.ctx, self.stages, window.data,
+            window_meta=self.spec.as_dict(),
+            signature=self.signature)
+        elapsed = time.perf_counter() - started
+        if self.ctx is None:
+            self.ctx = template.ctx if template.ctx is not None \
+                else template.input.ctx
+        advanced = self.spec.stride if not window.partial \
+            else window.items
+        self.stats.record_window(advanced, elapsed)
+        self.stats.plans_planned = self.templates.plans_planned
+        self.stats.plans_verified = self.templates.verifications
+        self.stats.template_hits = self.templates.hits
+        return WindowResult(index=window.index, start=window.start,
+                            items=window.items, data=output,
+                            latency_s=elapsed, partial=window.partial)
+
+    # -- reporting ---------------------------------------------------------------
+
+    def predicted_cost(self):
+        """Perf-model prediction for the steady-state window, if a
+        template exists (None before the first window)."""
+        templates = list(self.templates._templates.values())
+        if not templates or self.ctx is None:
+            return None
+        from repro.sched import predict_stream
+        steady = max(templates, key=lambda t: t.executions)
+        return predict_stream(steady.plan, self.ctx,
+                              window_items=steady.length,
+                              step_items=self.spec.stride)
+
+    def snapshot(self) -> dict:
+        return {
+            "window": self.spec.as_dict(),
+            "signature": self.signature[:16],
+            "templates": len(self.templates),
+            "max_inflight": self.max_inflight,
+            "stats": self.stats.as_dict(),
+        }

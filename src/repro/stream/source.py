@@ -1,0 +1,259 @@
+"""Unbounded stream sources: generators, sockets, and replay files.
+
+A :class:`StreamSource` is anything that yields :class:`Chunk`s — an
+array of elements plus the sequence number of its first element
+(``None`` = next in order).  Three concrete sources cover the paper's
+streaming scenarios:
+
+* :class:`GeneratorSource` — any Python iterable of arrays (synthetic
+  telemetry, sensor simulators, test fixtures).
+* :class:`ReplayFileSource` — a recorded stream on disk, framed with
+  the cluster wire format so a capture from a socket replays
+  bit-identically (including its out-of-order chunk arrivals).
+* :class:`SocketSource` — a live TCP feed using the same framing.
+
+The wire framing is reused from :mod:`repro.cluster.wire` rather than
+invented: ``Op.WRITE`` frames carry chunk payloads (meta records the
+sequence number and dtype) and a final ``Op.SHUTDOWN`` frame marks end
+of stream.
+"""
+
+from __future__ import annotations
+
+import socket as socket_module
+from dataclasses import dataclass
+from pathlib import Path
+from typing import IO, Iterable, Iterator
+
+import numpy as np
+
+from repro.cluster.wire import (ConnectionClosedError, Op, encode_frame,
+                                read_frame)
+from repro.errors import StreamError
+
+
+@dataclass
+class Chunk:
+    """One batch of stream elements.
+
+    ``seq`` is the sequence number of the first element; ``None``
+    means the chunk follows the previous one in order.
+    """
+
+    data: np.ndarray
+    seq: int | None = None
+
+    @property
+    def items(self) -> int:
+        return int(np.asarray(self.data).reshape(-1).shape[0])
+
+
+class StreamSource:
+    """Base class: an iterable of :class:`Chunk`s plus ``close()``."""
+
+    def chunks(self) -> Iterator[Chunk]:
+        raise NotImplementedError
+
+    def close(self) -> None:  # noqa: B027 - optional hook
+        pass
+
+    def __iter__(self) -> Iterator[Chunk]:
+        return self.chunks()
+
+    def __enter__(self) -> "StreamSource":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
+
+
+class GeneratorSource(StreamSource):
+    """Wraps any iterable of arrays / ``(seq, array)`` pairs / Chunks."""
+
+    def __init__(self, iterable: Iterable, dtype=None) -> None:
+        self._iterable = iterable
+        self._dtype = np.dtype(dtype) if dtype is not None else None
+
+    def chunks(self) -> Iterator[Chunk]:
+        for item in self._iterable:
+            if isinstance(item, Chunk):
+                yield item
+            elif (isinstance(item, tuple) and len(item) == 2
+                    and isinstance(item[0], int)):
+                seq, data = item
+                yield Chunk(self._coerce(data), seq=seq)
+            else:
+                yield Chunk(self._coerce(item))
+
+    def _coerce(self, data) -> np.ndarray:
+        arr = np.asarray(data)
+        if self._dtype is not None and arr.dtype != self._dtype:
+            arr = arr.astype(self._dtype)
+        return arr.reshape(-1)
+
+
+# -- framed chunk streams (files and sockets) ------------------------------------
+
+def _chunk_frame(chunk: Chunk, dtype: np.dtype) -> bytes:
+    data = np.ascontiguousarray(
+        np.asarray(chunk.data).reshape(-1), dtype=dtype)
+    meta = {"dtype": str(dtype), "n": int(data.shape[0])}
+    if chunk.seq is not None:
+        meta["seq"] = int(chunk.seq)
+    return encode_frame(Op.WRITE, 0, meta, data.tobytes())
+
+
+def _decode_chunk(meta: dict, payload: bytes) -> Chunk:
+    try:
+        dtype = np.dtype(meta["dtype"])
+        n = int(meta["n"])
+    except (KeyError, TypeError) as exc:
+        raise StreamError(
+            f"malformed chunk frame meta: {meta!r}",
+            code="STRM005") from exc
+    data = np.frombuffer(payload, dtype=dtype, count=n).copy()
+    seq = meta.get("seq")
+    return Chunk(data, seq=None if seq is None else int(seq))
+
+
+def _read_framed_chunks(read) -> Iterator[Chunk]:
+    """Yield chunks from a framed byte stream until SHUTDOWN or EOF."""
+    while True:
+        try:
+            op, _seq, meta, payload = read_frame(read)
+        except ConnectionClosedError:
+            return  # clean close at a frame boundary counts as EOS
+        if op == Op.SHUTDOWN:
+            return
+        if op != Op.WRITE:
+            raise StreamError(
+                f"unexpected frame op {op!r} in chunk stream",
+                code="STRM005")
+        yield _decode_chunk(meta, payload)
+
+
+def write_replay(path: str | Path, chunks: Iterable[Chunk | np.ndarray],
+                 dtype="float32") -> int:
+    """Record a chunk stream to *path* for later replay.
+
+    Returns the number of chunks written.  Chunk order and explicit
+    sequence numbers are preserved, so an out-of-order capture replays
+    with the same lateness behaviour it had live.
+    """
+    dtype = np.dtype(dtype)
+    count = 0
+    with open(path, "wb") as fh:
+        for item in chunks:
+            chunk = item if isinstance(item, Chunk) else Chunk(item)
+            fh.write(_chunk_frame(chunk, dtype))
+            count += 1
+        fh.write(encode_frame(Op.SHUTDOWN, 0, {"chunks": count}, b""))
+    return count
+
+
+class ReplayFileSource(StreamSource):
+    """Replays a stream recorded with :func:`write_replay`."""
+
+    def __init__(self, path: str | Path) -> None:
+        self.path = Path(path)
+        self._fh: IO[bytes] | None = None
+
+    def chunks(self) -> Iterator[Chunk]:
+        self._fh = open(self.path, "rb")
+        try:
+            yield from _read_framed_chunks(self._fh.read)
+        finally:
+            self.close()
+
+    def close(self) -> None:
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+
+class SocketSource(StreamSource):
+    """A live TCP chunk feed (one producer connection).
+
+    Either wrap an already-connected socket, or use
+    :meth:`listen` to bind an ephemeral port and accept the first
+    producer that connects.  Producers send frames built by
+    :func:`push_chunks` / :func:`_chunk_frame`.
+    """
+
+    def __init__(self, sock: socket_module.socket) -> None:
+        self._sock = sock
+
+    @classmethod
+    def listen(cls, host: str = "127.0.0.1",
+               port: int = 0) -> tuple["_PendingSocketSource", int]:
+        """Bind *host:port* (0 = ephemeral); returns (source, port).
+
+        The returned source accepts its producer lazily, on the first
+        call to :meth:`chunks` — so the consumer can hand the port to
+        a producer thread before iterating.
+        """
+        listener = socket_module.socket(socket_module.AF_INET,
+                                        socket_module.SOCK_STREAM)
+        listener.setsockopt(socket_module.SOL_SOCKET,
+                            socket_module.SO_REUSEADDR, 1)
+        listener.bind((host, port))
+        listener.listen(1)
+        return _PendingSocketSource(listener), listener.getsockname()[1]
+
+    def chunks(self) -> Iterator[Chunk]:
+        try:
+            yield from _read_framed_chunks(self._recv_exact)
+        finally:
+            self.close()
+
+    def _recv_exact(self, n: int) -> bytes:
+        buf = bytearray()
+        while len(buf) < n:
+            part = self._sock.recv(n - len(buf))
+            if not part:
+                return bytes(buf)
+            buf.extend(part)
+        return bytes(buf)
+
+    def close(self) -> None:
+        try:
+            self._sock.close()
+        except OSError:
+            pass
+
+
+class _PendingSocketSource(StreamSource):
+    """A listening socket that becomes a SocketSource on first read."""
+
+    def __init__(self, listener: socket_module.socket) -> None:
+        self._listener = listener
+        self._inner: SocketSource | None = None
+
+    def chunks(self) -> Iterator[Chunk]:
+        conn, _addr = self._listener.accept()
+        self._listener.close()
+        self._inner = SocketSource(conn)
+        yield from self._inner.chunks()
+
+    def close(self) -> None:
+        if self._inner is not None:
+            self._inner.close()
+        else:
+            try:
+                self._listener.close()
+            except OSError:
+                pass
+
+
+def push_chunks(sock: socket_module.socket,
+                chunks: Iterable[Chunk | np.ndarray],
+                dtype="float32") -> int:
+    """Producer side of :class:`SocketSource`: send chunks then EOS."""
+    dtype = np.dtype(dtype)
+    count = 0
+    for item in chunks:
+        chunk = item if isinstance(item, Chunk) else Chunk(item)
+        sock.sendall(_chunk_frame(chunk, dtype))
+        count += 1
+    sock.sendall(encode_frame(Op.SHUTDOWN, 0, {"chunks": count}, b""))
+    return count

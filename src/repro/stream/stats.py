@@ -1,0 +1,70 @@
+"""Per-stream accounting: throughput, latency, planning economy."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.stream.window import WindowCounters
+
+
+@dataclass
+class StreamStats:
+    """Everything ``repro stream run`` and the bench gate report.
+
+    ``plans_planned`` counts template builds (full capture + planner +
+    verifier runs); in steady state it stays at 1 per pipeline
+    signature × window length while ``windows_executed`` grows without
+    bound — the economics the streaming tier exists for.
+    """
+
+    window: WindowCounters = field(default_factory=WindowCounters)
+    windows_executed: int = 0
+    items_advanced: int = 0
+    plans_planned: int = 0
+    plans_verified: int = 0
+    template_hits: int = 0
+    backpressure_rejects: int = 0
+    busy_s: float = 0.0
+    latencies_s: list[float] = field(default_factory=list)
+
+    def record_window(self, items: int, seconds: float) -> None:
+        self.windows_executed += 1
+        self.items_advanced += int(items)
+        self.busy_s += seconds
+        self.latencies_s.append(seconds)
+
+    @property
+    def sustained_items_per_s(self) -> float:
+        """Items advanced per second of execution time."""
+        if self.busy_s <= 0:
+            return 0.0
+        return self.items_advanced / self.busy_s
+
+    def percentile_ms(self, q: float) -> float:
+        """Window-latency percentile in milliseconds (q in [0, 100])."""
+        if not self.latencies_s:
+            return 0.0
+        ordered = sorted(self.latencies_s)
+        rank = max(0, min(len(ordered) - 1,
+                          int(round(q / 100.0 * (len(ordered) - 1)))))
+        return ordered[rank] * 1e3
+
+    def as_dict(self) -> dict:
+        return {
+            "items_in": self.window.items_in,
+            "windows_emitted": self.window.windows_emitted,
+            "windows_executed": self.windows_executed,
+            "items_advanced": self.items_advanced,
+            "empty_flushes": self.window.empty_flushes,
+            "late_dropped": self.window.late_dropped,
+            "late_reassigned": self.window.late_reassigned,
+            "plans_planned": self.plans_planned,
+            "plans_verified": self.plans_verified,
+            "template_hits": self.template_hits,
+            "backpressure_rejects": self.backpressure_rejects,
+            "busy_s": round(self.busy_s, 6),
+            "sustained_items_per_s": round(self.sustained_items_per_s,
+                                           3),
+            "p50_window_ms": round(self.percentile_ms(50), 3),
+            "p99_window_ms": round(self.percentile_ms(99), 3),
+        }

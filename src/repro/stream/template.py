@@ -1,0 +1,178 @@
+"""Plan templates: plan a windowed pipeline once, re-execute forever.
+
+The first window of a stream runs through the full lazy machinery —
+:func:`repro.graph.capturing` capture, peephole passes, the
+cost-model-driven rewrite planner, and the plan verifier.  The result
+is a :class:`PlanTemplate`: the proven plan plus the captured graph,
+with the window's input :class:`~repro.skelcl.Vector` zero-copy
+wrapping the windower's ring buffer.
+
+Every later window with the same pipeline signature and window length
+skips all of that: :meth:`PlanTemplate.execute` re-points the input
+vector at the new window view (:meth:`Vector.reload` — no host copy,
+device parts recycled through the PR 4 alias machinery), re-arms the
+graph's non-source nodes, and replays the cached plan steps directly.
+Steady state therefore reports ``plans_planned == 1`` per
+(signature, window length) while every executed plan remains
+verifier-proven.
+
+Re-executing a plan over fresh data is only sound when the plan is
+*window-shape-polymorphic* — it must not read or write state that
+persists across windows.  :func:`repro.analysis.verify_template`
+proves exactly that (diagnostic ``PLAN010``) before the template is
+admitted to the cache.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.errors import StreamError
+from repro.graph.batching import pipeline_signature
+from repro.graph.capture import Graph, capturing
+from repro.skelcl import Vector
+
+#: a pipeline is a chain of single-input skeleton stages
+Stage = Callable
+
+
+def stage_sources(stages: Sequence[Stage]) -> list[str]:
+    """Kernel sources of a stage chain, for signature computation."""
+    sources = []
+    for stage in stages:
+        user = getattr(stage, "user", None)
+        source = getattr(user, "source", None)
+        if source is None:
+            source = getattr(stage, "source", repr(stage))
+        sources.append(str(source))
+    return sources
+
+
+def template_verification_enabled() -> bool:
+    """PLAN010 template proofs follow the plan-verifier gate."""
+    return os.environ.get("REPRO_VERIFY_PLAN", "1") not in ("0", "")
+
+
+class PlanTemplate:
+    """One pipeline × one window shape, planned and proven once.
+
+    Building the template executes the first window (its result is
+    read with :meth:`result`); :meth:`execute` runs each later window
+    through the cached plan.
+    """
+
+    def __init__(self, ctx, stages: Sequence[Stage],
+                 window_data: np.ndarray,
+                 window_meta: dict | None = None,
+                 signature: str | None = None) -> None:
+        data = np.ascontiguousarray(np.asarray(window_data).reshape(-1))
+        self.ctx = ctx
+        self.stages = list(stages)
+        self.dtype = data.dtype
+        self.length = int(data.shape[0])
+        self.signature = signature if signature is not None else \
+            pipeline_signature(stage_sources(stages), data.dtype)
+        self.input = Vector.wrapping(data, context=ctx)
+        self.graph = Graph(
+            ctx, scope_name=f"stream-template:{self.signature[:12]}")
+        with capturing(self.graph):
+            handle = self.input
+            for stage in self.stages:
+                handle = stage(handle)
+        if not hasattr(handle, "node"):
+            raise StreamError(
+                "stream pipeline stages must be lazy skeleton calls; "
+                f"stage chain produced {type(handle).__name__} instead "
+                "of a graph handle", code="STRM006")
+        self.result_node = handle.node
+        self.source_node = self.graph.source(self.input)
+        self.source_node.window = dict(window_meta or {})
+        self.source_node.window.setdefault("size", self.length)
+        # window 0: capture -> passes -> rewrite -> verify -> execute
+        self.graph.evaluate(handle)
+        self.plan = self.graph.last_plan
+        self.plan_stats = dict(self.graph.last_stats)
+        self.verifications = (
+            1 if self.graph.last_verification is not None else 0)
+        # the window-shape-polymorphism proof (PLAN010): replaying this
+        # plan over the next window must not touch cross-window state
+        self.template_report = None
+        if template_verification_enabled():
+            from repro.analysis import verify_template_or_raise
+            self.template_report = verify_template_or_raise(
+                self.plan, [self.source_node])
+            self.verifications += 1
+        self.executions = 1
+        # handles from the build scope must fail loudly, not replay
+        # against a recycled window buffer
+        self.graph.retire(
+            f"stream template {self.signature[:12]} re-executes its "
+            "cached plan; per-handle replay is disabled")
+
+    def result(self) -> np.ndarray:
+        """Output of the most recently executed window (a copy — the
+        consumer owns it; template buffers are recycled)."""
+        value = self.result_node.value
+        assert value is not None, "plan left its root unmaterialized"
+        return value.to_numpy()
+
+    def execute(self, window_data: np.ndarray) -> np.ndarray:
+        """Run one window through the cached plan (no re-planning)."""
+        if window_data.shape[0] != self.length:
+            raise StreamError(
+                f"window of {window_data.shape[0]} items does not fit "
+                f"template built for {self.length}", code="STRM006")
+        from repro.graph import executor
+        self.input.reload(np.ascontiguousarray(window_data))
+        for node in self.graph.nodes:
+            if node.kind != "source":
+                node.value = None
+                node.executed = False
+        executor.execute_plan(self.plan, self.ctx)
+        self.executions += 1
+        return self.result()
+
+
+class TemplateCache:
+    """Templates keyed by pipeline signature × window length.
+
+    A tumbling stream hits one entry forever; the end-of-stream
+    partial window (different length) builds its own entry, so the
+    steady-state plan is never invalidated by the tail.
+    """
+
+    def __init__(self) -> None:
+        self._templates: dict[tuple[str, int], PlanTemplate] = {}
+        self.plans_planned = 0
+        self.hits = 0
+
+    def __len__(self) -> int:
+        return len(self._templates)
+
+    def run_window(self, ctx, stages: Sequence[Stage],
+                   window_data: np.ndarray,
+                   window_meta: dict | None = None,
+                   signature: str | None = None
+                   ) -> tuple[np.ndarray, PlanTemplate]:
+        """Execute one window, building a template on first sight."""
+        if signature is None:
+            signature = pipeline_signature(stage_sources(stages),
+                                           window_data.dtype)
+        key = (signature, int(window_data.shape[0]))
+        template = self._templates.get(key)
+        if template is None:
+            template = PlanTemplate(ctx, stages, window_data,
+                                    window_meta=window_meta,
+                                    signature=signature)
+            self._templates[key] = template
+            self.plans_planned += 1
+            return template.result(), template
+        self.hits += 1
+        return template.execute(window_data), template
+
+    @property
+    def verifications(self) -> int:
+        return sum(t.verifications for t in self._templates.values())

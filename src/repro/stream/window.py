@@ -1,0 +1,265 @@
+"""Count-based windowing with watermarks and late-element policy.
+
+A :class:`Windower` turns an unbounded sequence of chunks (arrays of
+elements, each carrying a base sequence number) into bounded windows a
+skeleton pipeline can execute.  Windows are count-based — tumbling
+(``step == size``) or sliding (``step < size``) — and are emitted
+through a *watermark*: window ``[start, start+size)`` closes only once
+the highest sequence number seen reaches ``start + size + lateness``,
+so out-of-order chunks within the allowed lateness still land in their
+window.  Elements older than the watermark are *late*; the policy
+decides whether they are dropped (counted) or reassigned fresh
+sequence numbers at the head of the stream.
+
+Window ``data`` arrays are zero-copy views into the windower's ring
+buffer, valid until the next :meth:`Windower.push`/:meth:`flush` call —
+the stream engine executes each window before ingesting more, which is
+also what backpressure wants.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import StreamError
+
+#: supported late-element policies
+POLICIES = ("drop", "reassign")
+
+
+@dataclass(frozen=True)
+class WindowSpec:
+    """Shape of the windows a stream pipeline executes.
+
+    Args:
+        size: elements per window (> 0).
+        step: elements the window advances per emission; ``None`` or
+            ``== size`` is tumbling, ``< size`` is sliding (elements
+            shared between consecutive windows).
+        lateness: how many elements beyond a window's end must arrive
+            before it closes — the watermark lag that lets
+            out-of-order chunks within the slack still be assigned.
+        policy: what happens to elements older than the watermark:
+            ``"drop"`` discards them (counted), ``"reassign"`` gives
+            them fresh sequence numbers at the head of the stream.
+    """
+
+    size: int
+    step: int | None = None
+    lateness: int = 0
+    policy: str = "drop"
+
+    def __post_init__(self) -> None:
+        if self.size <= 0:
+            raise StreamError(
+                f"window size must be positive, got {self.size}",
+                code="STRM001")
+        if self.step is not None and not 0 < self.step <= self.size:
+            raise StreamError(
+                f"window step must be in (0, size={self.size}], got "
+                f"{self.step}", code="STRM001")
+        if self.lateness < 0:
+            raise StreamError(
+                f"lateness must be >= 0, got {self.lateness}",
+                code="STRM001")
+        if self.policy not in POLICIES:
+            raise StreamError(
+                f"unknown late-element policy {self.policy!r} "
+                f"(expected one of {POLICIES})", code="STRM001")
+
+    @property
+    def stride(self) -> int:
+        return self.step if self.step is not None else self.size
+
+    @property
+    def sliding(self) -> bool:
+        return self.stride < self.size
+
+    def as_dict(self) -> dict:
+        return {"size": self.size, "step": self.stride,
+                "lateness": self.lateness, "policy": self.policy}
+
+
+@dataclass
+class Window:
+    """One emitted window: a bounded view the pipeline can execute."""
+
+    index: int
+    start: int          # sequence number of the first element
+    data: np.ndarray    # view into the ring; valid until the next push
+    #: True for the end-of-stream partial window (< size elements)
+    partial: bool = False
+
+    @property
+    def items(self) -> int:
+        return int(self.data.shape[0])
+
+
+@dataclass
+class WindowCounters:
+    """The windower's own accounting (merged into StreamStats)."""
+
+    items_in: int = 0
+    windows_emitted: int = 0
+    late_dropped: int = 0
+    late_reassigned: int = 0
+    empty_flushes: int = 0
+
+
+class Windower:
+    """Assigns incoming chunks to count-based windows.
+
+    The ring is a flat numpy buffer addressed by absolute sequence
+    number; compaction (shifting the live tail down) happens between
+    pushes, so emitted window views stay valid until the next call.
+    """
+
+    def __init__(self, spec: WindowSpec,
+                 counters: WindowCounters | None = None) -> None:
+        self.spec = spec
+        self.counters = counters if counters is not None \
+            else WindowCounters()
+        self._dtype: np.dtype | None = None
+        self._buf: np.ndarray | None = None
+        self._base = 0        # sequence number of _buf[0]
+        self._high = 0        # 1 + highest sequence number seen
+        self._next_start = 0  # start of the next unemitted window
+        self._next_seq = 0    # auto-assigned seq for seq-less chunks
+        self._index = 0       # next window index
+        self._closed = False
+
+    @property
+    def dtype(self) -> np.dtype | None:
+        return self._dtype
+
+    @property
+    def pending_items(self) -> int:
+        """Elements buffered but not yet emitted in any window."""
+        return max(0, self._high - self._next_start)
+
+    # -- ingestion ---------------------------------------------------------------
+
+    def push(self, data: np.ndarray,
+             seq: int | None = None) -> list[Window]:
+        """Ingest one chunk; returns the windows it completed.
+
+        ``seq`` is the sequence number of the chunk's first element;
+        ``None`` means "next in order".  A chunk whose dtype differs
+        from the stream's locked dtype raises a structured
+        ``[STRM003]`` :class:`~repro.errors.StreamError` — silently
+        casting telemetry mid-stream corrupts every later window.
+        """
+        if self._closed:
+            raise StreamError(
+                "stream already flushed; no more chunks can be pushed",
+                code="STRM004")
+        data = np.asarray(data).reshape(-1)
+        if self._dtype is None:
+            self._dtype = data.dtype
+        elif data.dtype != self._dtype:
+            raise StreamError(
+                f"dtype changed mid-stream: expected {self._dtype}, "
+                f"got {data.dtype} (chunk at seq "
+                f"{self._next_seq if seq is None else seq})",
+                code="STRM003")
+        if seq is None:
+            seq = self._next_seq
+        if data.shape[0] == 0:
+            return []
+        self.counters.items_in += int(data.shape[0])
+
+        # split off the late prefix (older than the oldest open window)
+        if seq < self._next_start:
+            late = min(self._next_start - seq, data.shape[0])
+            late_part, data = data[:late], data[late:]
+            seq += late
+            if self.spec.policy == "drop":
+                self.counters.late_dropped += late
+            else:  # reassign: fresh seqs at the head of the stream
+                self.counters.late_reassigned += late
+                self._write(late_part, self._high)
+            if data.shape[0] == 0:
+                return self._emit(watermark=self._watermark())
+        self._write(data, seq)
+        return self._emit(watermark=self._watermark())
+
+    def flush(self) -> list[Window]:
+        """End of stream: close every remaining window.
+
+        Emits all still-open full windows (the watermark jumps to the
+        end of the stream) plus one final partial window for the tail,
+        if any elements remain.  An empty flush — the stream ended
+        exactly on a window boundary — emits nothing and is counted.
+        """
+        if self._closed:
+            return []
+        self._closed = True
+        windows = self._emit(watermark=self._high)
+        if self._high > self._next_start:
+            length = self._high - self._next_start
+            windows.append(self._make_window(self._next_start, length,
+                                             partial=True))
+            self._next_start += self.spec.stride
+        if not windows:
+            self.counters.empty_flushes += 1
+        return windows
+
+    # -- internals ---------------------------------------------------------------
+
+    def _watermark(self) -> int:
+        return self._high - self.spec.lateness
+
+    def _write(self, data: np.ndarray, seq: int) -> None:
+        end = seq + int(data.shape[0])
+        self._reserve(end)
+        assert self._buf is not None
+        self._buf[seq - self._base:end - self._base] = data
+        self._high = max(self._high, end)
+        self._next_seq = max(self._next_seq, end)
+
+    def _reserve(self, end_seq: int) -> None:
+        """Ensure the ring covers [next_start, end_seq), compacting
+        consumed elements away and growing as needed."""
+        if self._buf is None:
+            cap = max(4 * self.spec.size, end_seq - self._base, 1024)
+            # zeros, not empty: a gap the lateness slack never fills
+            # must emit deterministic data, not uninitialized memory
+            self._buf = np.zeros(cap, dtype=self._dtype)
+        # drop everything before the oldest open window
+        if self._next_start > self._base:
+            keep = self._high - self._next_start
+            if keep > 0:
+                offset = self._next_start - self._base
+                self._buf[:keep] = self._buf[offset:offset + keep]
+            self._base = self._next_start
+        needed = end_seq - self._base
+        if needed > self._buf.shape[0]:
+            cap = self._buf.shape[0]
+            while cap < needed:
+                cap *= 2
+            grown = np.zeros(cap, dtype=self._dtype)
+            live = self._high - self._base
+            if live > 0:
+                grown[:live] = self._buf[:live]
+            self._buf = grown
+
+    def _emit(self, watermark: int) -> list[Window]:
+        windows: list[Window] = []
+        while self._next_start + self.spec.size <= watermark:
+            windows.append(self._make_window(self._next_start,
+                                             self.spec.size))
+            self._next_start += self.spec.stride
+        return windows
+
+    def _make_window(self, start: int, length: int,
+                     partial: bool = False) -> Window:
+        assert self._buf is not None
+        lo = start - self._base
+        window = Window(index=self._index, start=start,
+                        data=self._buf[lo:lo + length],
+                        partial=partial)
+        self._index += 1
+        self.counters.windows_emitted += 1
+        return window

@@ -158,3 +158,39 @@ class TestExplicitEvaluate:
     def test_evaluate_rejects_non_lazy(self, ctx2, xs):
         with pytest.raises(SkelClError, match="LazyVector"):
             skelcl.evaluate(skelcl.Vector(xs))
+
+
+class TestGraphScopeErrors:
+    """Forcing a handle its graph can no longer replay must raise a
+    structured GraphScopeError, never a bare internal error (and never
+    silently recompute from stale buffers)."""
+
+    def test_retired_graph_refuses_to_force(self, ctx2, xs, double):
+        from repro.errors import GraphScopeError
+        with skelcl.deferred() as g:
+            y = double(skelcl.Vector(xs))
+        y.to_numpy()  # fine: the scope evaluated normally
+        g.retire("unit test retired this scope")
+        with pytest.raises(GraphScopeError) as info:
+            y.to_numpy()
+        assert "retired" in str(info.value)
+        assert "unit test retired this scope" in str(info.value)
+        assert info.value.scope == g.scope_name
+        assert info.value.handle  # names the node that was forced
+
+    def test_cleared_source_refuses_to_replay(self, ctx2, xs, double,
+                                              add3):
+        from repro.errors import GraphScopeError
+        with skelcl.deferred() as g:
+            z = add3(double(skelcl.Vector(xs)))
+        # simulate a stream-template re-arm after scope exit: values
+        # cleared, the source's captured vector discarded
+        source = next(n for n in g.nodes if n.kind == "source")
+        for node in g.nodes:
+            node.value = None
+            node.executed = False
+        with pytest.raises(GraphScopeError) as info:
+            z.to_numpy()
+        assert "captured vector" in str(info.value)
+        assert info.value.scope == g.scope_name
+        assert str(source.id) in str(info.value)

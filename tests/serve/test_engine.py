@@ -40,9 +40,25 @@ class TestAdmissionController:
             AdmissionController(100, 16).check("a", 2, 16)
 
     def test_retry_after_scales_with_backlog(self):
-        shallow = AdmissionController.retry_after(2, 0.1)
-        deep = AdmissionController.retry_after(50, 0.1)
+        shallow = AdmissionController.base_retry_after(2, 0.1)
+        deep = AdmissionController.base_retry_after(50, 0.1)
         assert deep > shallow
+
+    def test_retry_after_jitter_disperses_hints(self):
+        # deterministic hints would march every rejected client back
+        # at the same instant; the hints for one backlog must spread
+        ctrl = AdmissionController(4, 16, seed=7)
+        hints = {ctrl.retry_after(50, 0.1) for _ in range(32)}
+        assert len(hints) > 16
+        base = AdmissionController.base_retry_after(50, 0.1)
+        for hint in hints:
+            assert base * (1 - ctrl.jitter) - 1e-9 <= hint \
+                <= base * (1 + ctrl.jitter) + 1e-9
+
+    def test_retry_after_jitter_can_be_disabled(self):
+        ctrl = AdmissionController(4, 16, jitter=0.0)
+        assert ctrl.retry_after(8, 0.1) \
+            == AdmissionController.base_retry_after(8, 0.1)
 
     def test_rejects_bad_bounds(self):
         with pytest.raises(ServeError):

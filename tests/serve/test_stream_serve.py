@@ -1,0 +1,230 @@
+"""Stream sessions in the serving layer: windows become ordinary
+jobs, so admission, DRR fairness and micro-batching apply to streams
+and one-shot jobs uniformly — both at the engine level and over the
+wire protocol (STREAM_OPEN / STREAM_PUSH / STREAM_CLOSE)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import (AdmissionRejectedError, RemoteExecutionError,
+                          ServeError, StreamError, UnknownJobError)
+from repro.serve import (JobStatus, ServeClient, ServeConfig,
+                         ServeEngine, serve_in_thread)
+
+SOURCES = ["float scale2(float x) { return x * 2.0f; }",
+           "float plus3(float x) { return x + 3.0f; }"]
+
+
+def reference(array: np.ndarray) -> np.ndarray:
+    return (array * np.float32(2.0)) + np.float32(3.0)
+
+
+def make_engine(**overrides) -> ServeEngine:
+    defaults = dict(num_gpus=2)
+    defaults.update(overrides)
+    return ServeEngine(ServeConfig(**defaults))
+
+
+def chunks_of(total: int, chunk: int, seed: int = 3):
+    rng = np.random.default_rng(seed)
+    data = rng.random(total).astype(np.float32)
+    return data, [data[i:i + chunk] for i in range(0, total, chunk)]
+
+
+class TestEngineStreams:
+    def test_windows_become_jobs_and_run_bitwise(self):
+        engine = make_engine()
+        data, chunks = chunks_of(total=512, chunk=128)
+        session = engine.open_stream("a", SOURCES, {"size": 256})
+        jobs = []
+        for chunk in chunks:
+            jobs.extend(engine.push_stream("a", session.id, chunk))
+        jobs.extend(engine.close_stream("a", session.id))
+        assert len(jobs) == 2
+        engine.drain()
+        for index, job in enumerate(jobs):
+            assert job.status is JobStatus.DONE
+            assert job.kind == "stream"
+            assert job.stream == session.id
+            assert job.window == index
+            window = data[index * 256:(index + 1) * 256]
+            assert np.array_equal(job.result, reference(window))
+
+    def test_final_partial_window_flushed_on_close(self):
+        engine = make_engine()
+        data, _ = chunks_of(total=300, chunk=300)
+        session = engine.open_stream("a", SOURCES, {"size": 256})
+        jobs = engine.push_stream("a", session.id, data)
+        jobs.extend(engine.close_stream("a", session.id))
+        assert [j.items for j in jobs] == [256, 44]
+        engine.drain()
+        assert np.array_equal(jobs[1].result, reference(data[256:]))
+
+    def test_stream_and_oneshot_jobs_coexist(self):
+        engine = make_engine()
+        data, _ = chunks_of(total=256, chunk=256)
+        oneshot = engine.submit("b", SOURCES, data)
+        session = engine.open_stream("a", SOURCES, {"size": 256})
+        (window_job,) = engine.push_stream("a", session.id, data)
+        engine.drain()
+        assert np.array_equal(oneshot.result, window_job.result)
+        assert oneshot.kind == "oneshot"
+        stats = engine.stats
+        assert stats.streams_opened == 1
+        assert stats.stream_windows == 1
+        assert stats.tenant("a").stream_windows == 1
+        assert stats.tenant("b").stream_windows == 0
+        info = window_job.describe()
+        assert info["kind"] == "stream"
+        assert info["stream"] == session.id
+        assert info["window"] == 0
+        assert "stream" not in oneshot.describe()
+
+    def test_window_budget_rejects_with_retry_hint(self):
+        engine = make_engine(stream_window_budget=2)
+        session = engine.open_stream("a", SOURCES, {"size": 64})
+        chunk = np.arange(64, dtype=np.float32)
+        engine.push_stream("a", session.id, chunk)
+        engine.push_stream("a", session.id, chunk)
+        with pytest.raises(AdmissionRejectedError) as info:
+            engine.push_stream("a", session.id, chunk)
+        assert info.value.tenant == "a"
+        assert info.value.retry_after_s > 0
+        assert engine.stats.tenant("a").rejected == 1
+        # draining the queued windows frees the budget
+        engine.drain()
+        assert len(engine.push_stream("a", session.id, chunk)) == 1
+
+    def test_push_after_close_rejected(self):
+        engine = make_engine()
+        session = engine.open_stream("a", SOURCES, {"size": 64})
+        engine.close_stream("a", session.id)
+        with pytest.raises(StreamError) as info:
+            engine.push_stream("a", session.id,
+                               np.arange(64, dtype=np.float32))
+        assert info.value.code == "STRM004"
+        assert engine.close_stream("a", session.id) == []
+
+    def test_dtype_change_mid_stream_rejected(self):
+        engine = make_engine()
+        session = engine.open_stream("a", SOURCES, {"size": 64})
+        engine.push_stream("a", session.id,
+                           np.arange(32, dtype=np.float32))
+        with pytest.raises(StreamError) as info:
+            engine.push_stream("a", session.id,
+                               np.arange(32, dtype=np.float64))
+        assert info.value.code == "STRM003"
+
+    def test_validation_errors(self):
+        engine = make_engine()
+        with pytest.raises(ServeError):
+            engine.open_stream("", SOURCES, {"size": 64})
+        with pytest.raises(ServeError):
+            engine.open_stream("a", [], {"size": 64})
+        with pytest.raises(StreamError) as info:
+            engine.open_stream("a", SOURCES, {"size": 0})
+        assert info.value.code == "STRM001"
+        with pytest.raises(UnknownJobError):
+            engine.push_stream("a", "s9999",
+                               np.arange(4, dtype=np.float32))
+        session = engine.open_stream("a", SOURCES, {"size": 64})
+        with pytest.raises(ServeError):
+            engine.push_stream("a", session.id,
+                               np.zeros((2, 2), dtype=np.float32))
+
+    def test_sessions_visible_in_snapshot(self):
+        engine = make_engine()
+        session = engine.open_stream("a", SOURCES,
+                                     {"size": 64, "lateness": 8})
+        engine.push_stream("a", session.id,
+                           np.arange(64, dtype=np.float32))
+        (entry,) = engine.snapshot()["streams"]
+        assert entry["stream"] == session.id
+        assert entry["tenant"] == "a"
+        assert entry["window"]["size"] == 64
+        assert entry["window"]["lateness"] == 8
+        assert entry["items_in"] == 64
+
+
+@pytest.fixture(scope="module")
+def server():
+    config = ServeConfig(num_gpus=2, max_queue_jobs=8,
+                         stream_window_budget=2)
+    with serve_in_thread(config=config) as srv:
+        yield srv
+
+
+class TestWireStreams:
+    def test_open_push_close_round_trip(self, server):
+        data, chunks = chunks_of(total=512, chunk=128)
+        with ServeClient("127.0.0.1", server.port, "alice") as client:
+            stream_id = client.open_stream(SOURCES, {"size": 256})
+            job_ids = []
+            for chunk in chunks:
+                job_ids.extend(client.push_stream(stream_id, chunk))
+                for job_id in job_ids[-1:]:
+                    # consume as windows close: stays under budget
+                    client.result(job_id)
+            job_ids.extend(client.close_stream(stream_id))
+            assert len(job_ids) == 2
+            for index, job_id in enumerate(job_ids):
+                out = client.result(job_id)
+                window = data[index * 256:(index + 1) * 256]
+                assert np.array_equal(out, reference(window))
+                status = client.status(job_id)
+                assert status["kind"] == "stream"
+                assert status["stream"] == stream_id
+                assert status["window"] == index
+
+    def test_explicit_seq_travels_the_wire(self, server):
+        with ServeClient("127.0.0.1", server.port, "carol") as client:
+            # lateness keeps the window open for the reordered chunk
+            stream_id = client.open_stream(SOURCES,
+                                           {"size": 4, "lateness": 2})
+            # the second half arrives first; seq puts it in place
+            assert client.push_stream(stream_id,
+                                      np.float32([2.0, 3.0]),
+                                      seq=2) == []
+            assert client.push_stream(stream_id,
+                                      np.float32([0.0, 1.0]),
+                                      seq=0) == []
+            (job_id,) = client.close_stream(stream_id)
+            out = client.result(job_id)
+            assert np.array_equal(
+                out, reference(np.float32([0.0, 1.0, 2.0, 3.0])))
+
+    def test_budget_exhaustion_returns_busy(self, server):
+        # freeze the scheduler so the queued windows stay in flight
+        # and the third push deterministically trips the budget of 2
+        server.engine.stop()
+        chunk = np.arange(64, dtype=np.float32)
+        try:
+            with ServeClient("127.0.0.1", server.port,
+                             "bob") as client:
+                stream_id = client.open_stream(SOURCES, {"size": 64})
+                client.push_stream(stream_id, chunk)
+                client.push_stream(stream_id, chunk)
+                with pytest.raises(AdmissionRejectedError) as info:
+                    client.push_stream(stream_id, chunk)
+                assert info.value.retry_after_s >= 0
+                client.close_stream(stream_id)
+        finally:
+            server.engine.start()
+
+    def test_protocol_errors_carry_stream_codes(self, server):
+        with ServeClient("127.0.0.1", server.port, "dave") as client:
+            stream_id = client.open_stream(SOURCES, {"size": 64})
+            client.push_stream(stream_id,
+                               np.arange(32, dtype=np.float32))
+            with pytest.raises(RemoteExecutionError) as info:
+                client.push_stream(stream_id,
+                                   np.arange(32, dtype=np.float64))
+            assert "STRM003" in str(info.value)
+            client.close_stream(stream_id)
+
+    def test_open_requires_window_size(self, server):
+        with ServeClient("127.0.0.1", server.port, "erin") as client:
+            with pytest.raises(RemoteExecutionError):
+                client.open_stream(SOURCES, {})

@@ -1,0 +1,26 @@
+"""Shared fixtures for the streaming subsystem tests."""
+
+import numpy as np
+import pytest
+
+from repro import skelcl
+
+
+@pytest.fixture
+def ctx2():
+    """A SkelCL context on a fresh 2-GPU system."""
+    return skelcl.init(num_gpus=2)
+
+
+@pytest.fixture
+def stages():
+    """A three-stage map chain: x -> (x * 2 + 3) ** 2."""
+    return [skelcl.Map("float dbl(float x) { return x * 2.0f; }"),
+            skelcl.Map("float add3(float x) { return x + 3.0f; }"),
+            skelcl.Map("float sq(float x) { return x * x; }")]
+
+
+def reference(array: np.ndarray) -> np.ndarray:
+    """Eager-equivalent of the ``stages`` fixture, in numpy."""
+    y = array * np.float32(2.0) + np.float32(3.0)
+    return (y * y).astype(np.float32)

@@ -1,0 +1,162 @@
+"""The stream engine end to end: pull mode, push mode, backpressure."""
+
+import numpy as np
+import pytest
+
+from repro.errors import StreamBackpressureError, StreamError
+from repro.stream import (GeneratorSource, StreamPipeline, WindowSpec,
+                          write_replay, ReplayFileSource)
+
+from .conftest import reference
+
+
+def chunks_of(total: int, chunk: int, seed: int = 7):
+    rng = np.random.default_rng(seed)
+    data = rng.random(total).astype(np.float32)
+    return data, [data[i:i + chunk] for i in range(0, total, chunk)]
+
+
+class TestPullMode:
+    def test_run_is_bitwise_equivalent_to_eager(self, ctx2, stages):
+        data, chunks = chunks_of(total=1024, chunk=128)
+        pipe = StreamPipeline(stages, WindowSpec(size=256), ctx=ctx2)
+        results = list(pipe.run(GeneratorSource(chunks)))
+        assert [r.index for r in results] == [0, 1, 2, 3]
+        assert not any(r.partial for r in results)
+        for result in results:
+            window = data[result.start:result.start + result.items]
+            np.testing.assert_allclose(result.data, reference(window),
+                                       rtol=1e-5)
+        assert pipe.stats.plans_planned == 1
+        assert pipe.stats.template_hits == 3
+        assert pipe.stats.windows_executed == 4
+
+    def test_plain_iterables_are_accepted(self, ctx2, stages):
+        _, chunks = chunks_of(total=512, chunk=256)
+        pipe = StreamPipeline(stages, WindowSpec(size=256), ctx=ctx2)
+        assert len(list(pipe.run(chunks))) == 2
+
+    def test_final_partial_window_is_executed(self, ctx2, stages):
+        data, chunks = chunks_of(total=320, chunk=64)
+        pipe = StreamPipeline(stages, WindowSpec(size=256), ctx=ctx2)
+        results = list(pipe.run(GeneratorSource(chunks)))
+        assert len(results) == 2
+        assert results[1].partial and results[1].items == 64
+        np.testing.assert_allclose(results[1].data,
+                                   reference(data[256:]), rtol=1e-5)
+        # the tail's different length built a second template...
+        assert pipe.stats.plans_planned == 2
+        # ...but the steady-state latency samples dominate
+        assert pipe.stats.windows_executed == 2
+
+    def test_sliding_windows_share_steady_plan(self, ctx2, stages):
+        data, chunks = chunks_of(total=1024, chunk=128)
+        pipe = StreamPipeline(stages,
+                              WindowSpec(size=256, step=128), ctx=ctx2)
+        results = list(pipe.run(GeneratorSource(chunks)))
+        full = [r for r in results if not r.partial]
+        assert [r.start for r in full] == [0, 128, 256, 384, 512, 640,
+                                           768]
+        for result in full:
+            window = data[result.start:result.start + 256]
+            np.testing.assert_allclose(result.data, reference(window),
+                                       rtol=1e-5)
+        assert pipe.stats.plans_planned <= 2  # steady + tail
+
+    def test_replay_file_feeds_a_pipeline(self, ctx2, stages,
+                                          tmp_path):
+        data, chunks = chunks_of(total=512, chunk=128)
+        path = tmp_path / "telemetry.stream"
+        write_replay(path, chunks)
+        pipe = StreamPipeline(stages, WindowSpec(size=256), ctx=ctx2)
+        results = list(pipe.run(ReplayFileSource(path)))
+        assert len(results) == 2
+        np.testing.assert_allclose(results[0].data,
+                                   reference(data[:256]), rtol=1e-5)
+
+    def test_context_resolved_from_first_template(self, stages):
+        # no ctx argument: the first template build resolves one
+        from repro import skelcl
+        skelcl.init(num_gpus=2)
+        _, chunks = chunks_of(total=256, chunk=256)
+        pipe = StreamPipeline(stages, WindowSpec(size=256))
+        assert len(list(pipe.run(GeneratorSource(chunks)))) == 1
+        assert pipe.ctx is not None
+
+
+class TestPushMode:
+    def test_push_poll_close_cycle(self, ctx2, stages):
+        data, chunks = chunks_of(total=640, chunk=128)
+        pipe = StreamPipeline(stages, WindowSpec(size=256), ctx=ctx2)
+        assert pipe.push(chunks[0]) == []
+        assert len(pipe.push(chunks[1])) == 1  # window [0,256) closed
+        for chunk in chunks[2:]:
+            pipe.push(chunk)
+        results = pipe.poll()
+        assert pipe.poll() == []  # poll drains
+        tail = pipe.close()
+        assert len(results) + len(tail) == 3
+        assert tail and tail[-1].partial
+
+    def test_close_is_idempotent(self, ctx2, stages):
+        pipe = StreamPipeline(stages, WindowSpec(size=64), ctx=ctx2)
+        pipe.push(np.arange(64, dtype=np.float32))
+        assert len(pipe.close()) == 1
+        assert pipe.close() == []
+
+    def test_backpressure_rejects_then_recovers(self, ctx2, stages):
+        pipe = StreamPipeline(stages, WindowSpec(size=64), ctx=ctx2,
+                              max_inflight=2)
+        chunk = np.arange(64, dtype=np.float32)
+        pipe.push(chunk)
+        pipe.push(chunk)
+        with pytest.raises(StreamBackpressureError) as info:
+            pipe.push(chunk)  # would make 3 unconsumed windows
+        assert info.value.code == "STRM002"
+        assert info.value.retry_after_s > 0
+        assert pipe.stats.backpressure_rejects == 1
+        # the refused chunk was NOT ingested: nothing half-buffered
+        assert pipe.windower.pending_items == 0
+        assert len(pipe.poll()) == 2  # drain...
+        assert len(pipe.push(chunk)) == 1  # ...and the retry succeeds
+        assert pipe.stats.windows_executed == 3
+
+    def test_backpressure_counts_windows_not_chunks(self, ctx2,
+                                                    stages):
+        # sub-window chunks never trip the budget on their own
+        pipe = StreamPipeline(stages, WindowSpec(size=1024), ctx=ctx2,
+                              max_inflight=1)
+        for _ in range(8):
+            pipe.push(np.arange(64, dtype=np.float32))
+        assert pipe.stats.backpressure_rejects == 0
+
+
+class TestReporting:
+    def test_stats_and_snapshot(self, ctx2, stages):
+        _, chunks = chunks_of(total=1024, chunk=256)
+        pipe = StreamPipeline(stages, WindowSpec(size=256), ctx=ctx2)
+        list(pipe.run(GeneratorSource(chunks)))
+        stats = pipe.stats.as_dict()
+        assert stats["windows_executed"] == 4
+        assert stats["plans_planned"] == 1
+        assert stats["sustained_items_per_s"] > 0
+        assert stats["p99_window_ms"] >= stats["p50_window_ms"] >= 0
+        snapshot = pipe.snapshot()
+        assert snapshot["window"] == WindowSpec(size=256).as_dict()
+        assert snapshot["templates"] == 1
+
+    def test_predicted_cost_available_after_first_window(self, ctx2,
+                                                         stages):
+        _, chunks = chunks_of(total=512, chunk=256)
+        pipe = StreamPipeline(stages, WindowSpec(size=256), ctx=ctx2)
+        assert pipe.predicted_cost() is None
+        list(pipe.run(GeneratorSource(chunks)))
+        prediction = pipe.predicted_cost()
+        assert prediction is not None
+
+    def test_dtype_errors_surface_through_push(self, ctx2, stages):
+        pipe = StreamPipeline(stages, WindowSpec(size=64), ctx=ctx2)
+        pipe.push(np.arange(32, dtype=np.float32))
+        with pytest.raises(StreamError) as info:
+            pipe.push(np.arange(32, dtype=np.float64))
+        assert info.value.code == "STRM003"

@@ -1,0 +1,138 @@
+"""Stream sources: generators, replay files, and live sockets.
+
+The framed sources reuse the cluster wire format — a capture from a
+socket replays bit-identically from disk, including out-of-order
+chunk arrivals and their explicit sequence numbers.
+"""
+
+import socket
+import threading
+
+import numpy as np
+import pytest
+
+from repro.cluster.wire import Op, encode_frame
+from repro.errors import StreamError
+from repro.stream import (Chunk, GeneratorSource, ReplayFileSource,
+                          SocketSource, push_chunks, write_replay)
+
+
+def drain(source) -> list[Chunk]:
+    with source:
+        return list(source.chunks())
+
+
+class TestGeneratorSource:
+    def test_plain_arrays(self):
+        chunks = drain(GeneratorSource([np.float32([1, 2]),
+                                        np.float32([3])]))
+        assert [c.seq for c in chunks] == [None, None]
+        np.testing.assert_array_equal(chunks[0].data, [1, 2])
+        assert chunks[0].items == 2
+
+    def test_seq_pairs_and_chunks_pass_through(self):
+        chunks = drain(GeneratorSource([
+            (4, np.float32([4, 5])),
+            Chunk(np.float32([0, 1]), seq=0),
+        ]))
+        assert [c.seq for c in chunks] == [4, 0]
+
+    def test_dtype_coercion_and_flattening(self):
+        chunks = drain(GeneratorSource([[[1, 2], [3, 4]]],
+                                       dtype="float32"))
+        assert chunks[0].data.dtype == np.dtype("float32")
+        np.testing.assert_array_equal(chunks[0].data, [1, 2, 3, 4])
+
+
+class TestReplayFile:
+    def test_round_trip_preserves_order_and_seqs(self, tmp_path):
+        path = tmp_path / "capture.stream"
+        recorded = [Chunk(np.float32([4, 5, 6, 7]), seq=4),
+                    Chunk(np.float32([0, 1, 2, 3]), seq=0),
+                    np.float32([8, 9])]  # bare arrays allowed too
+        assert write_replay(path, recorded) == 3
+        chunks = drain(ReplayFileSource(path))
+        assert [c.seq for c in chunks] == [4, 0, None]
+        for chunk, original in zip(chunks, recorded):
+            data = original.data if isinstance(original, Chunk) \
+                else original
+            np.testing.assert_array_equal(chunk.data, data)
+
+    def test_replay_honours_requested_dtype(self, tmp_path):
+        path = tmp_path / "ints.stream"
+        write_replay(path, [np.arange(4)], dtype="int32")
+        (chunk,) = drain(ReplayFileSource(path))
+        assert chunk.data.dtype == np.dtype("int32")
+
+    def test_truncated_file_without_eos_is_clean_end(self, tmp_path):
+        # a capture cut off at a frame boundary (no SHUTDOWN frame)
+        # still replays every complete chunk
+        path = tmp_path / "cut.stream"
+        write_replay(path, [np.float32([1, 2]), np.float32([3, 4])])
+        framed = path.read_bytes()
+        eos = encode_frame(Op.SHUTDOWN, 0, {"chunks": 2}, b"")
+        path.write_bytes(framed[:-len(eos)])
+        chunks = drain(ReplayFileSource(path))
+        assert len(chunks) == 2
+
+    def test_unexpected_op_is_malformed(self, tmp_path):
+        path = tmp_path / "bad.stream"
+        path.write_bytes(encode_frame(Op.PING, 0, {}, b""))
+        with pytest.raises(StreamError) as info:
+            drain(ReplayFileSource(path))
+        assert info.value.code == "STRM005"
+
+    def test_missing_meta_is_malformed(self, tmp_path):
+        path = tmp_path / "meta.stream"
+        path.write_bytes(encode_frame(Op.WRITE, 0, {"n": 4}, b""))
+        with pytest.raises(StreamError) as info:
+            drain(ReplayFileSource(path))
+        assert info.value.code == "STRM005"
+
+
+class TestSocketSource:
+    def test_producer_thread_to_consumer(self):
+        source, port = SocketSource.listen()
+        sent = [Chunk(np.float32([1, 2, 3]), seq=0),
+                Chunk(np.float32([4, 5, 6]), seq=3)]
+
+        def produce():
+            with socket.create_connection(("127.0.0.1", port)) as sock:
+                push_chunks(sock, sent)
+
+        producer = threading.Thread(target=produce)
+        producer.start()
+        try:
+            chunks = drain(source)
+        finally:
+            producer.join(timeout=5)
+        assert [c.seq for c in chunks] == [0, 3]
+        np.testing.assert_array_equal(chunks[1].data, [4, 5, 6])
+
+    def test_producer_disconnect_is_clean_end(self):
+        source, port = SocketSource.listen()
+
+        def produce():
+            sock = socket.create_connection(("127.0.0.1", port))
+            sock.sendall(
+                encode_frame(Op.WRITE, 0,
+                             {"dtype": "float32", "n": 1},
+                             np.float32([7.0]).tobytes()))
+            sock.close()  # vanishes without an EOS frame
+
+        producer = threading.Thread(target=produce)
+        producer.start()
+        try:
+            chunks = drain(source)
+        finally:
+            producer.join(timeout=5)
+        assert len(chunks) == 1
+
+    def test_close_before_accept_releases_listener(self):
+        source, port = SocketSource.listen()
+        source.close()
+        # port is free again: a second listen on it must succeed
+        retry = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        retry.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        retry.bind(("127.0.0.1", port))
+        retry.close()

@@ -1,0 +1,160 @@
+"""Plan templates: plan once, prove once, re-execute per window."""
+
+import numpy as np
+import pytest
+
+from repro import skelcl
+from repro.analysis import verify_template, verify_template_or_raise
+from repro.errors import (GraphScopeError, PlanVerificationError,
+                          StreamError)
+from repro.stream import PlanTemplate, TemplateCache
+
+from .conftest import reference
+
+
+def windows_of(n_windows: int, items: int) -> list[np.ndarray]:
+    rng = np.random.default_rng(42)
+    data = rng.random(n_windows * items).astype(np.float32)
+    return [data[i * items:(i + 1) * items] for i in range(n_windows)]
+
+
+class TestPlanTemplate:
+    def test_build_executes_the_first_window(self, ctx2, stages):
+        (w0,) = windows_of(1, 256)
+        template = PlanTemplate(ctx2, stages, w0)
+        np.testing.assert_allclose(template.result(), reference(w0),
+                                   rtol=1e-5)
+        assert template.executions == 1
+        assert template.length == 256
+
+    def test_execute_replays_bitwise_vs_eager(self, ctx2, stages):
+        w0, w1, w2 = windows_of(3, 256)
+        template = PlanTemplate(ctx2, stages, w0)
+        for window in (w1, w2):
+            out = template.execute(window)
+            vec = skelcl.Vector(window, context=ctx2)
+            for stage in stages:
+                vec = stage(vec)
+            np.testing.assert_array_equal(out, vec.to_numpy())
+        assert template.executions == 3
+
+    def test_wrong_window_length_rejected(self, ctx2, stages):
+        (w0,) = windows_of(1, 256)
+        template = PlanTemplate(ctx2, stages, w0)
+        with pytest.raises(StreamError) as info:
+            template.execute(np.zeros(128, dtype=np.float32))
+        assert info.value.code == "STRM006"
+
+    def test_eager_stage_chain_rejected(self, ctx2):
+        # a stage that leaves the lazy world (returns a plain array)
+        # cannot be captured into a replayable plan
+        (w0,) = windows_of(1, 64)
+        with pytest.raises(StreamError) as info:
+            PlanTemplate(ctx2, [lambda v: np.asarray(w0)], w0)
+        assert info.value.code == "STRM006"
+
+    def test_build_scope_handles_fail_loudly(self, ctx2, stages):
+        # the template graph is retired after the build: a handle that
+        # escaped the capture scope must raise a structured scope
+        # error, not silently replay against a recycled window buffer
+        (w0,) = windows_of(1, 64)
+        template = PlanTemplate(ctx2, stages, w0)
+        with pytest.raises(GraphScopeError) as info:
+            template.graph.ensure_value(template.result_node)
+        assert "retired" in str(info.value)
+        assert info.value.scope == template.graph.scope_name
+
+
+class TestWindowShapeProof:
+    """The PLAN010 obligations, exercised directly on built plans."""
+
+    def test_clean_template_plan_proves(self, ctx2, stages):
+        (w0,) = windows_of(1, 128)
+        template = PlanTemplate(ctx2, stages, w0)
+        report = verify_template(template.plan, [template.source_node])
+        assert not report.has_errors
+
+    def test_explicit_out_vector_rejected(self, ctx2, stages):
+        # an out= target would carry one window's result into the
+        # next execution's view of it
+        (w0,) = windows_of(1, 128)
+        template = PlanTemplate(ctx2, stages, w0)
+        template.plan.steps[-1].node.out = template.input
+        report = verify_template(template.plan, [template.source_node])
+        assert report.has_errors
+        assert report.errors[0].check_id == "PLAN010"
+        assert "out=" in report.errors[0].message
+
+    def test_unmaterialized_captured_source_rejected(self, ctx2,
+                                                     stages):
+        # a non-window source must hold a materialized constant the
+        # re-execution can keep reusing; simulate the scope-exit case
+        # where its captured vector was discarded
+        (w0,) = windows_of(1, 128)
+        template = PlanTemplate(ctx2, stages, w0)
+        template.source_node.value = None
+        report = verify_template(template.plan, [])
+        assert report.has_errors
+        assert all(d.check_id == "PLAN010" for d in report.errors)
+
+    def test_unconsumed_window_source_rejected(self, ctx2, stages):
+        # a plan that ignores its window would emit the same result
+        # forever; the proof demands the window is actually consumed
+        (w0,) = windows_of(1, 128)
+        template = PlanTemplate(ctx2, stages, w0)
+        report = verify_template(template.plan, [template.result_node])
+        assert report.has_errors
+        assert "never consumed" in report.errors[0].message \
+            or "consum" in report.errors[0].message
+
+    def test_or_raise_carries_the_report(self, ctx2, stages):
+        (w0,) = windows_of(1, 128)
+        template = PlanTemplate(ctx2, stages, w0)
+        template.plan.steps[-1].node.out = template.input
+        with pytest.raises(PlanVerificationError) as info:
+            verify_template_or_raise(template.plan,
+                                     [template.source_node])
+        assert "PLAN010" in str(info.value)
+        assert info.value.report.has_errors
+
+    def test_verification_gate_follows_env(self, ctx2, stages,
+                                           monkeypatch):
+        (w0,) = windows_of(1, 64)
+        monkeypatch.setenv("REPRO_VERIFY_PLAN", "0")
+        off = PlanTemplate(ctx2, stages, w0)
+        assert off.template_report is None
+        monkeypatch.setenv("REPRO_VERIFY_PLAN", "1")
+        on = PlanTemplate(ctx2, stages, w0)
+        assert on.template_report is not None
+        assert on.verifications > off.verifications
+
+
+class TestTemplateCache:
+    def test_one_plan_many_windows(self, ctx2, stages):
+        cache = TemplateCache()
+        for window in windows_of(5, 256):
+            out, _ = cache.run_window(ctx2, stages, window)
+            np.testing.assert_allclose(out, reference(window),
+                                       rtol=1e-5)
+        assert cache.plans_planned == 1
+        assert cache.hits == 4
+        assert len(cache) == 1
+
+    def test_partial_tail_builds_its_own_entry(self, ctx2, stages):
+        cache = TemplateCache()
+        (full,) = windows_of(1, 256)
+        cache.run_window(ctx2, stages, full)
+        cache.run_window(ctx2, stages, full[:100])  # the EOS tail
+        cache.run_window(ctx2, stages, full)        # steady state kept
+        assert cache.plans_planned == 2
+        assert cache.hits == 1
+        assert len(cache) == 2
+
+    def test_verifications_summed_across_templates(self, ctx2, stages,
+                                                   monkeypatch):
+        monkeypatch.setenv("REPRO_VERIFY_PLAN", "1")
+        cache = TemplateCache()
+        (full,) = windows_of(1, 256)
+        cache.run_window(ctx2, stages, full)
+        # evaluate-time proof + the PLAN010 template proof
+        assert cache.verifications == 2

@@ -1,0 +1,204 @@
+"""Windowing semantics: tumbling/sliding, watermarks, late policy.
+
+These are the satellite edge cases the issue calls out: an empty
+window flushed at end-of-stream, window sizes that do not divide the
+chunk size, late elements under both policies, and a dtype change
+mid-stream rejected with a structured diagnostic.
+"""
+
+import numpy as np
+import pytest
+
+from repro.errors import StreamError
+from repro.stream import WindowSpec, Windower
+
+
+def seq_chunk(n: int, start: int = 0) -> np.ndarray:
+    return np.arange(start, start + n, dtype=np.float32)
+
+
+class TestWindowSpec:
+    def test_tumbling_defaults(self):
+        spec = WindowSpec(size=8)
+        assert spec.stride == 8
+        assert not spec.sliding
+
+    def test_sliding(self):
+        spec = WindowSpec(size=8, step=4)
+        assert spec.stride == 4
+        assert spec.sliding
+
+    def test_as_dict_round_trips(self):
+        spec = WindowSpec(size=8, step=4, lateness=2, policy="reassign")
+        assert WindowSpec(**spec.as_dict()) == spec
+
+    @pytest.mark.parametrize("kwargs", [
+        dict(size=0),
+        dict(size=-4),
+        dict(size=8, step=0),
+        dict(size=8, step=9),          # step beyond the window
+        dict(size=8, lateness=-1),
+        dict(size=8, policy="ignore"),
+    ])
+    def test_invalid_specs_rejected(self, kwargs):
+        with pytest.raises(StreamError) as info:
+            WindowSpec(**kwargs)
+        assert info.value.code == "STRM001"
+
+
+class TestTumbling:
+    def test_exact_multiples_emit_per_push(self):
+        w = Windower(WindowSpec(size=4))
+        windows = w.push(seq_chunk(8))
+        assert [win.start for win in windows] == [0, 4]
+        np.testing.assert_array_equal(windows[0].data, [0, 1, 2, 3])
+        np.testing.assert_array_equal(windows[1].data, [4, 5, 6, 7])
+        assert all(not win.partial for win in windows)
+        assert windows[0].items == 4
+
+    def test_chunk_size_not_dividing_window_size(self):
+        # chunks of 4 into windows of 5: emission straddles pushes
+        w = Windower(WindowSpec(size=5))
+        assert w.push(seq_chunk(4)) == []
+        assert w.pending_items == 4
+        (win,) = w.push(seq_chunk(4, start=4))
+        np.testing.assert_array_equal(win.data, [0, 1, 2, 3, 4])
+        tail = w.flush()
+        assert len(tail) == 1 and tail[0].partial
+        np.testing.assert_array_equal(tail[0].data, [5, 6, 7])
+
+    def test_window_indices_are_sequential(self):
+        w = Windower(WindowSpec(size=2))
+        windows = w.push(seq_chunk(6))
+        assert [win.index for win in windows] == [0, 1, 2]
+
+    def test_empty_chunk_is_a_no_op(self):
+        w = Windower(WindowSpec(size=4))
+        assert w.push(np.empty(0, dtype=np.float32)) == []
+        assert w.counters.items_in == 0
+
+
+class TestSliding:
+    def test_overlapping_windows_share_elements(self):
+        w = Windower(WindowSpec(size=4, step=2))
+        windows = w.push(seq_chunk(8))
+        assert [win.start for win in windows] == [0, 2, 4]
+        np.testing.assert_array_equal(windows[1].data, [2, 3, 4, 5])
+        tail = w.flush()
+        assert len(tail) == 1 and tail[0].partial
+        np.testing.assert_array_equal(tail[0].data, [6, 7])
+
+
+class TestFlush:
+    def test_stream_ending_on_boundary_counts_empty_flush(self):
+        w = Windower(WindowSpec(size=4))
+        assert len(w.push(seq_chunk(8))) == 2
+        assert w.flush() == []
+        assert w.counters.empty_flushes == 1
+        assert w.counters.windows_emitted == 2
+
+    def test_flush_closes_windows_held_back_by_lateness(self):
+        # with lateness 4 the first window needs high >= 8 to close;
+        # EOS jumps the watermark to the end of the stream instead
+        w = Windower(WindowSpec(size=4, lateness=4))
+        assert w.push(seq_chunk(6)) == []
+        windows = w.flush()
+        assert [win.start for win in windows] == [0, 4]
+        assert not windows[0].partial and windows[1].partial
+
+    def test_push_after_flush_is_an_error(self):
+        w = Windower(WindowSpec(size=4))
+        w.push(seq_chunk(4))
+        w.flush()
+        with pytest.raises(StreamError) as info:
+            w.push(seq_chunk(4))
+        assert info.value.code == "STRM004"
+
+    def test_double_flush_is_idempotent(self):
+        w = Windower(WindowSpec(size=4))
+        w.push(seq_chunk(6))  # emits [0,4) immediately
+        assert len(w.flush()) == 1  # the partial tail
+        assert w.flush() == []
+
+
+class TestLateness:
+    def test_out_of_order_chunk_lands_in_its_window(self):
+        # the reorder distance (4) must be strictly under the allowed
+        # lateness (8): window [0,4) only stays open while the
+        # watermark (high - lateness) has not passed its end
+        w = Windower(WindowSpec(size=4, lateness=8))
+        assert w.push(seq_chunk(4, start=4), seq=4) == []
+        assert w.push(seq_chunk(4, start=0), seq=0) == []
+        windows = w.flush()
+        assert [win.start for win in windows] == [0, 4]
+        np.testing.assert_array_equal(windows[0].data, [0, 1, 2, 3])
+        np.testing.assert_array_equal(windows[1].data, [4, 5, 6, 7])
+
+    def test_late_elements_dropped_and_counted(self):
+        w = Windower(WindowSpec(size=4))  # lateness 0
+        assert len(w.push(seq_chunk(4))) == 1  # window [0,4) is gone
+        assert w.push(np.float32([9.0, 9.0]), seq=1) == []
+        assert w.counters.late_dropped == 2
+        assert w.flush() == []  # dropped elements never reappear
+        assert w.counters.late_reassigned == 0
+
+    def test_late_elements_reassigned_to_stream_head(self):
+        w = Windower(WindowSpec(size=4, policy="reassign"))
+        assert len(w.push(seq_chunk(4))) == 1
+        assert w.push(np.float32([8.0, 9.0]), seq=0) == []
+        assert w.counters.late_reassigned == 2
+        assert w.counters.late_dropped == 0
+        (tail,) = w.flush()  # reassigned data heads the next window
+        np.testing.assert_array_equal(tail.data, [8.0, 9.0])
+
+    def test_straddling_chunk_splits_late_prefix(self):
+        # a chunk starting before next_start but reaching past it: the
+        # late prefix follows the policy, the rest lands normally
+        w = Windower(WindowSpec(size=4))
+        w.push(seq_chunk(4))
+        windows = w.push(seq_chunk(6, start=2), seq=2)
+        assert w.counters.late_dropped == 2
+        (win,) = windows
+        np.testing.assert_array_equal(win.data, [4, 5, 6, 7])
+
+    def test_unfilled_gap_emits_deterministic_zeros(self):
+        # seq 2..6 never arrives; the ring must emit zeros for the
+        # gap, not uninitialized memory
+        w = Windower(WindowSpec(size=4))
+        w.push(np.float32([1.0, 2.0]), seq=0)
+        (win,) = w.push(np.float32([7.0, 8.0]), seq=6)[:1]
+        np.testing.assert_array_equal(win.data, [1.0, 2.0, 0.0, 0.0])
+
+
+class TestDtypeLock:
+    def test_dtype_change_mid_stream_rejected(self):
+        w = Windower(WindowSpec(size=4))
+        w.push(seq_chunk(4))
+        with pytest.raises(StreamError) as info:
+            w.push(np.arange(4, dtype=np.float64))
+        assert info.value.code == "STRM003"
+        assert "float64" in str(info.value)
+        assert "float32" in str(info.value)
+
+    def test_first_chunk_locks_the_dtype(self):
+        w = Windower(WindowSpec(size=4))
+        assert w.dtype is None
+        w.push(np.arange(4, dtype=np.int32))
+        assert w.dtype == np.dtype("int32")
+
+
+class TestRing:
+    def test_ring_grows_past_initial_capacity(self):
+        w = Windower(WindowSpec(size=8))
+        # one giant chunk far beyond the 4*size initial capacity
+        windows = w.push(seq_chunk(4096))
+        assert len(windows) == 512
+        np.testing.assert_array_equal(windows[-1].data,
+                                      seq_chunk(8, start=4088))
+
+    def test_views_stay_valid_until_next_push(self):
+        w = Windower(WindowSpec(size=4))
+        (first,) = w.push(seq_chunk(4))
+        copied = first.data.copy()
+        w.push(seq_chunk(4, start=100), seq=4)  # compacts the ring
+        np.testing.assert_array_equal(copied, [0, 1, 2, 3])
